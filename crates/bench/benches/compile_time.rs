@@ -1,0 +1,27 @@
+//! Criterion benches for Table III's compile-time columns: the MEMOIR
+//! pipeline at O0 (construction+destruction) and O3 (all optimizations)
+//! on each compilation subject.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memoir_opt::OptLevel;
+
+fn compile_time(c: &mut Criterion) {
+    for (name, module) in bench::compilation_subjects() {
+        c.bench_function(&format!("compile/{name}/O0"), |b| {
+            b.iter(|| bench::compile_at(std::hint::black_box(&module), OptLevel::O0))
+        });
+        c.bench_function(&format!("compile/{name}/O3"), |b| {
+            b.iter(|| bench::compile_at(std::hint::black_box(&module), bench::o3_all()))
+        });
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group!(name = benches; config = config(); targets = compile_time);
+criterion_main!(benches);

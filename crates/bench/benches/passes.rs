@@ -1,0 +1,46 @@
+//! Criterion benches for the analyses and low-level passes: the live
+//! range analysis on the mcf kernel, and GVN/Sink/ConstantFold on the
+//! lowered subjects.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memoir_analysis::LiveRangeConfig;
+
+fn passes(c: &mut Criterion) {
+    // Live range analysis on the SSA mcf kernel.
+    let mut m = workloads::mcf_ir::build_mcf_ir();
+    memoir_opt::construct_ssa(&mut m).unwrap();
+    let master = m.func_by_name("master").unwrap();
+    c.bench_function("analysis/liverange_sound/mcf_master", |b| {
+        b.iter(|| memoir_analysis::live_ranges(&m, master, &LiveRangeConfig::sound()))
+    });
+    let qsort = m.func_by_name("qsort").unwrap();
+    c.bench_function("analysis/liverange_escape/mcf_qsort", |b| {
+        b.iter(|| memoir_analysis::live_ranges(&m, qsort, &LiveRangeConfig::escape()))
+    });
+
+    // Low-level passes over the lowered subjects.
+    for (name, module) in bench::lowered_subjects() {
+        c.bench_function(&format!("lir/gvn/{name}"), |b| {
+            b.iter(|| {
+                let mut m = module.clone();
+                lir::gvn(&mut m)
+            })
+        });
+        c.bench_function(&format!("lir/constfold/{name}"), |b| {
+            b.iter(|| {
+                let mut m = module.clone();
+                lir::constfold(&mut m)
+            })
+        });
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group!(name = benches; config = config(); targets = passes);
+criterion_main!(benches);

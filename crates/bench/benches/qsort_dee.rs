@@ -1,0 +1,49 @@
+//! Criterion bench for E12: the interpreted mcf kernel with and without
+//! automatic DEE specialization (the Listings 2–4 complexity effect).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memoir_interp::{Interp, Value};
+use memoir_ir::Type;
+
+fn qsort_dee(c: &mut Criterion) {
+    let baseline = workloads::mcf_ir::build_mcf_ir();
+    let mut dee = workloads::mcf_ir::build_mcf_ir();
+    memoir_opt::construct_ssa(&mut dee).unwrap();
+    memoir_opt::dee_specialize_calls_with(&mut dee, memoir_opt::DeeOptions::exact());
+    memoir_opt::destruct_ssa(&mut dee);
+
+    let mut group = c.benchmark_group("mcf_kernel");
+    for n in [500i64, 1500] {
+        let args = || {
+            vec![
+                Value::Int(Type::Index, n),
+                Value::Int(Type::Index, 16),
+                Value::Int(Type::Index, n / 2),
+                Value::Int(Type::Index, 2),
+            ]
+        };
+        group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
+            b.iter(|| {
+                let mut i = Interp::new(&baseline).with_fuel(4_000_000_000);
+                i.run_by_name("master", args()).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dee", n), &n, |b, _| {
+            b.iter(|| {
+                let mut i = Interp::new(&dee).with_fuel(4_000_000_000);
+                i.run_by_name("master", args()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group!(name = benches; config = config(); targets = qsort_dee);
+criterion_main!(benches);

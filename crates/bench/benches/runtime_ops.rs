@@ -1,0 +1,56 @@
+//! Criterion microbenches for the MUT runtime collections — the per-op
+//! costs behind the Figs. 6–9 proxies (sequence vs hashtable access,
+//! object field access by layout size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memoir_runtime::{Assoc, ObjectHeap, Seq};
+
+fn runtime_ops(c: &mut Criterion) {
+    c.bench_function("runtime/seq_push_read", |b| {
+        b.iter(|| {
+            let mut s = Seq::new();
+            for i in 0..1000i64 {
+                s.push(i);
+            }
+            let mut acc = 0;
+            for i in 0..1000 {
+                acc += *s.read(i);
+            }
+            acc
+        })
+    });
+    c.bench_function("runtime/assoc_write_read", |b| {
+        b.iter(|| {
+            let mut a = Assoc::new();
+            for i in 0..1000i64 {
+                a.write(i, i);
+            }
+            let mut acc = 0;
+            for i in 0..1000 {
+                acc += *a.read(&i);
+            }
+            acc
+        })
+    });
+    c.bench_function("runtime/object_field_access", |b| {
+        b.iter(|| {
+            let mut h = ObjectHeap::new(56);
+            let refs: Vec<_> = (0..500i64).map(|i| h.alloc((i, i * 2))).collect();
+            let mut acc = 0;
+            for &r in &refs {
+                acc += h.read(r, |o| o.0 + o.1);
+            }
+            acc
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group!(name = benches; config = config(); targets = runtime_ops);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 1: classification of heap memory usage across the SPECINT-shaped
+//! workload suite — bytes allocated, read, and written per collection
+//! class (paper §III).
+
+use memoir_runtime::CollectionClass;
+
+fn main() {
+    let results = workloads::suite::run_suite();
+    let classes = CollectionClass::ALL;
+
+    for (title, pick) in [
+        ("(a) bytes allocated per collection class", 0usize),
+        ("(b) bytes read per collection class", 1),
+        ("(c) bytes written per collection class", 2),
+    ] {
+        println!("{}", bench::header(&format!("Figure 1{title}")));
+        print!("{:>12}", "");
+        for c in classes {
+            print!("{:>14}", c.label());
+        }
+        println!();
+        for r in &results {
+            print!("{:>12}", r.name);
+            let total: f64 = classes
+                .iter()
+                .map(|&c| {
+                    let cb = r.ledger.class(c);
+                    (match pick {
+                        0 => cb.allocated,
+                        1 => cb.read,
+                        _ => cb.written,
+                    }) as f64
+                })
+                .sum();
+            for c in classes {
+                let cb = r.ledger.class(c);
+                let v = match pick {
+                    0 => cb.allocated,
+                    1 => cb.read,
+                    _ => cb.written,
+                } as f64;
+                let share = if total > 0.0 { v / total * 100.0 } else { 0.0 };
+                print!("{share:>13.1}%");
+            }
+            println!();
+        }
+    }
+
+    // The §III headline number.
+    let mut structured = 0.0;
+    let mut total = 0.0;
+    for r in &results {
+        for c in classes {
+            let b = r.ledger.class(c).allocated as f64;
+            total += b;
+            if c.representable() {
+                structured += b;
+            }
+        }
+    }
+    println!(
+        "\nMEMOIR-representable share of allocated bytes across the suite: {:.1}%",
+        structured / total * 100.0
+    );
+}

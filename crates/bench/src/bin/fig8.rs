@@ -1,0 +1,12 @@
+//! Figure 8: relative execution time of each mcf optimization, in
+//! isolation and concert (paper §VII-C).
+
+fn main() {
+    println!("{}", bench::header("Figure 8 — mcf execution time per configuration"));
+    let sweep = bench::mcf_sweep();
+    let base = sweep[0].1.ledger.cost;
+    for (name, out) in &sweep {
+        println!("{}", bench::pct(name, out.ledger.cost / base - 1.0));
+    }
+    println!("\n(paper: DEE −26.6%, FE +10.4%, FE+RIE +1.3%, FE+DFE −4.7%, ALL ≈ DEE −2.1%)");
+}

@@ -1,0 +1,75 @@
+//! Dead code elimination for the low-level IR: drops side-effect-free
+//! instructions with no used results.
+
+use crate::ir::{Module, Val};
+use std::collections::HashSet;
+
+/// Removes dead instructions; returns how many were removed.
+pub fn dce(m: &mut Module) -> usize {
+    let mut removed = 0;
+    for f in &mut m.funcs {
+        loop {
+            let mut used: HashSet<Val> = HashSet::new();
+            for (_, i) in f.order() {
+                f.insts[i.0 as usize].op.visit(|v| {
+                    used.insert(*v);
+                });
+            }
+            let mut dead = Vec::new();
+            for (b, i) in f.order() {
+                let inst = &f.insts[i.0 as usize];
+                if inst.op.is_terminator() || inst.op.may_write() {
+                    continue;
+                }
+                // Loads are removable when unused (no observable effect).
+                if !inst.results.is_empty() && inst.results.iter().all(|r| !used.contains(r)) {
+                    dead.push((b, i));
+                }
+            }
+            if dead.is_empty() {
+                break;
+            }
+            removed += dead.len();
+            for (b, i) in dead {
+                f.remove(b, i);
+            }
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Function, Op};
+
+    #[test]
+    fn removes_transitively_dead() {
+        let mut f = Function::new("f", 1, 1);
+        let e = f.entry;
+        let a = f.push1(e, Op::Bin(BinOp::Add, f.param(0), f.param(0)));
+        let _b = f.push1(e, Op::Bin(BinOp::Mul, a, a));
+        let keep = f.push1(e, Op::Const(1));
+        f.push0(e, Op::Ret(vec![keep]));
+        let mut m = Module::default();
+        m.add(f);
+        assert_eq!(dce(&mut m), 2);
+        assert_eq!(m.funcs[0].live_inst_count(), 2);
+    }
+
+    #[test]
+    fn stores_and_calls_survive() {
+        let mut f = Function::new("f", 1, 0);
+        let e = f.entry;
+        let c = f.push1(e, Op::Const(1));
+        f.push0(e, Op::Store { addr: f.param(0), value: c });
+        f.push0(
+            e,
+            Op::CallRt { name: "rt_assoc_new".into(), args: vec![], has_result: false },
+        );
+        f.push0(e, Op::Ret(vec![]));
+        let mut m = Module::default();
+        m.add(f);
+        assert_eq!(dce(&mut m), 0);
+    }
+}

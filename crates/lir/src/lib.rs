@@ -1,0 +1,37 @@
+//! # lir
+//!
+//! A low-level SSA IR — the LLVM analogue of the MEMOIR paper's
+//! substrate — with explicit memory (`alloca`/`malloc`/`load`/`store`/
+//! `gep`), opaque runtime calls (the premature-lowering shape of §III),
+//! an interpreter, and the three instrumented passes whose counters
+//! reproduce the paper's pass analysis (§VII-D):
+//!
+//! * [`gvn::gvn`] — value numbering; Fig. 10's "% value numbers for
+//!   memory";
+//! * [`sinkpass::sink`] — code motion; Fig. 11's success / may-write /
+//!   may-reference breakdown;
+//! * [`constfold::constfold`] — folding; Fig. 12's scalar/load success
+//!   and load fail counts;
+//!
+//! plus [`dce::dce`] and [`mem2reg::mem2reg`]. MEMOIR programs are lowered into this IR by
+//! `memoir-lower`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod constfold;
+pub mod mem2reg;
+pub mod printer;
+pub mod dce;
+pub mod gvn;
+pub mod interp;
+pub mod ir;
+pub mod sinkpass;
+
+pub use constfold::{constfold, ConstFoldStats};
+pub use dce::dce;
+pub use gvn::{gvn, GvnStats};
+pub use mem2reg::{mem2reg, Mem2RegStats};
+pub use interp::{LirMachine, LirStats, LirTrap};
+pub use ir::{BinOp, Blk, CmpOp, Fun, Function, Ins, Inst, Module, Op, Val};
+pub use sinkpass::{sink, SinkStats};

@@ -1,0 +1,194 @@
+//! Promotion of non-escaping `alloca`s: block-local store-to-load
+//! forwarding plus removal of allocas whose every access is a direct
+//! load/store (the scalar-promotion component of LLVM's mem2reg; loops
+//! and cross-block promotion are left to the SSA-construction machinery
+//! of the MEMOIR level, which is where the paper does that work).
+
+use crate::ir::{Function, Ins, Module, Op, Val};
+use std::collections::{HashMap, HashSet};
+
+/// Statistics from a mem2reg run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Mem2RegStats {
+    /// Loads replaced by the forwarded stored value.
+    pub loads_forwarded: u64,
+    /// Allocas removed entirely (all accesses promoted).
+    pub allocas_removed: u64,
+    /// Dead stores removed with them.
+    pub stores_removed: u64,
+}
+
+/// Runs promotion on every function.
+pub fn mem2reg(m: &mut Module) -> Mem2RegStats {
+    let mut stats = Mem2RegStats::default();
+    for f in &mut m.funcs {
+        run_function(f, &mut stats);
+    }
+    stats
+}
+
+fn run_function(f: &mut Function, stats: &mut Mem2RegStats) {
+    // Which values are alloca results, and do they escape (used by
+    // anything but a direct load/store-address)?
+    let mut allocas: HashSet<Val> = HashSet::new();
+    for inst in &f.insts {
+        if matches!(inst.op, Op::Alloca(_)) {
+            if let Some(&r) = inst.results.first() {
+                allocas.insert(r);
+            }
+        }
+    }
+    let mut escaped: HashSet<Val> = HashSet::new();
+    for (_, i) in f.order() {
+        match &f.insts[i.0 as usize].op {
+            Op::Load(a) => {
+                let _ = a; // address position: fine
+            }
+            Op::Store { addr, value } => {
+                if allocas.contains(value) {
+                    escaped.insert(*value); // address stored somewhere
+                }
+                let _ = addr;
+            }
+            other => {
+                other.visit(|v| {
+                    if allocas.contains(v) {
+                        escaped.insert(*v);
+                    }
+                });
+            }
+        }
+    }
+    let promotable: HashSet<Val> = allocas.difference(&escaped).copied().collect();
+
+    // Block-local store-to-load forwarding on promotable allocas.
+    let mut replacements: HashMap<Val, Val> = HashMap::new();
+    let mut dead: Vec<(crate::ir::Blk, Ins)> = Vec::new();
+    for (bi, block) in f.blocks.iter().enumerate() {
+        let mut current: HashMap<Val, Val> = HashMap::new(); // alloca → last stored value
+        for &i in &block.insts {
+            match &f.insts[i.0 as usize].op {
+                Op::Store { addr, value } if promotable.contains(addr) => {
+                    current.insert(*addr, *value);
+                }
+                Op::Load(addr) if promotable.contains(addr) => {
+                    if let Some(&v) = current.get(addr) {
+                        replacements.insert(f.insts[i.0 as usize].results[0], v);
+                        dead.push((crate::ir::Blk(bi as u32), i));
+                        stats.loads_forwarded += 1;
+                    }
+                }
+                op if op.may_write() => {
+                    // Opaque writes cannot touch a non-escaping alloca:
+                    // the facts survive. (This is exactly the guarantee
+                    // the escape check bought.)
+                }
+                _ => {}
+            }
+        }
+    }
+    for (b, i) in dead {
+        f.remove(b, i);
+    }
+    f.replace_uses(&replacements);
+
+    // Remove allocas with no remaining loads (their stores are dead too).
+    let mut loaded: HashSet<Val> = HashSet::new();
+    for (_, i) in f.order() {
+        if let Op::Load(a) = f.insts[i.0 as usize].op {
+            loaded.insert(a);
+        }
+    }
+    let mut drop_insts: Vec<(crate::ir::Blk, Ins)> = Vec::new();
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for &i in &block.insts {
+            match &f.insts[i.0 as usize].op {
+                Op::Alloca(_) => {
+                    let r = f.insts[i.0 as usize].results[0];
+                    if promotable.contains(&r) && !loaded.contains(&r) {
+                        drop_insts.push((crate::ir::Blk(bi as u32), i));
+                        stats.allocas_removed += 1;
+                    }
+                }
+                Op::Store { addr, .. }
+                    if promotable.contains(addr) && !loaded.contains(addr) =>
+                {
+                    drop_insts.push((crate::ir::Blk(bi as u32), i));
+                    stats.stores_removed += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    for (b, i) in drop_insts {
+        f.remove(b, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::BinOp;
+
+    #[test]
+    fn forwards_store_to_load_and_drops_alloca() {
+        let mut f = Function::new("f", 1, 1);
+        let e = f.entry;
+        let a = f.push1(e, Op::Alloca(1));
+        f.push0(e, Op::Store { addr: a, value: f.param(0) });
+        let l = f.push1(e, Op::Load(a));
+        let s = f.push1(e, Op::Bin(BinOp::Add, l, f.param(0)));
+        f.push0(e, Op::Ret(vec![s]));
+        let mut m = Module::default();
+        m.add(f);
+        let stats = mem2reg(&mut m);
+        assert_eq!(stats.loads_forwarded, 1);
+        assert_eq!(stats.allocas_removed, 1);
+        assert_eq!(stats.stores_removed, 1);
+        // The function is now pure scalar.
+        assert!(m.funcs[0]
+            .order()
+            .iter()
+            .all(|(_, i)| !m.funcs[0].insts[i.0 as usize].op.is_memory_op()));
+        let mut vm = crate::interp::LirMachine::new(&m);
+        assert_eq!(vm.run_by_name("f", vec![21]).unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn escaping_alloca_untouched() {
+        let mut f = Function::new("f", 0, 1);
+        let e = f.entry;
+        let a = f.push1(e, Op::Alloca(1));
+        let c = f.push1(e, Op::Const(7));
+        f.push0(e, Op::Store { addr: a, value: c });
+        // The address escapes through an opaque call.
+        f.push0(
+            e,
+            Op::CallRt { name: "rt_obj_delete".into(), args: vec![a], has_result: false },
+        );
+        let l = f.push1(e, Op::Load(a));
+        f.push0(e, Op::Ret(vec![l]));
+        let mut m = Module::default();
+        m.add(f);
+        let stats = mem2reg(&mut m);
+        assert_eq!(stats.loads_forwarded, 0);
+        assert_eq!(stats.allocas_removed, 0);
+    }
+
+    #[test]
+    fn opaque_calls_do_not_kill_promotable_facts() {
+        let mut f = Function::new("f", 0, 1);
+        let e = f.entry;
+        let a = f.push1(e, Op::Alloca(1));
+        let c = f.push1(e, Op::Const(9));
+        f.push0(e, Op::Store { addr: a, value: c });
+        // An opaque call that does NOT receive the address.
+        f.push0(e, Op::CallRt { name: "rt_assoc_new".into(), args: vec![], has_result: false });
+        let l = f.push1(e, Op::Load(a));
+        f.push0(e, Op::Ret(vec![l]));
+        let mut m = Module::default();
+        m.add(f);
+        let stats = mem2reg(&mut m);
+        assert_eq!(stats.loads_forwarded, 1, "non-escaping allocas survive opaque calls");
+    }
+}

@@ -1,0 +1,93 @@
+//! Textual rendering of low-level IR functions (debugging aid).
+
+use crate::ir::{Function, Module, Op};
+use std::fmt::Write;
+
+/// Prints a module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for f in &m.funcs {
+        out.push_str(&print_function(f, m));
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints one function.
+pub fn print_function(f: &Function, m: &Module) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = (0..f.num_params).map(|i| format!("%{i}")).collect();
+    let _ = writeln!(out, "fn {}({}) -> {} values {{", f.name, params.join(", "), f.num_rets);
+    for (bi, block) in f.blocks.iter().enumerate() {
+        let _ = writeln!(out, "b{bi}:");
+        for &i in &block.insts {
+            let inst = &f.insts[i.0 as usize];
+            let results = if inst.results.is_empty() {
+                String::new()
+            } else {
+                let names: Vec<String> =
+                    inst.results.iter().map(|r| format!("%{}", r.0)).collect();
+                format!("{} = ", names.join(", "))
+            };
+            let body = match &inst.op {
+                Op::Const(c) => format!("const {c}"),
+                Op::Bin(op, a, b) => format!("{op:?} %{}, %{}", a.0, b.0).to_lowercase(),
+                Op::Cmp(op, a, b) => format!("cmp.{op:?} %{}, %{}", a.0, b.0).to_lowercase(),
+                Op::Phi(incs) => {
+                    let parts: Vec<String> =
+                        incs.iter().map(|(b, v)| format!("[b{}: %{}]", b.0, v.0)).collect();
+                    format!("phi {}", parts.join(", "))
+                }
+                Op::Alloca(n) => format!("alloca {n}"),
+                Op::Malloc(v) => format!("malloc %{}", v.0),
+                Op::Free(v) => format!("free %{}", v.0),
+                Op::Load(a) => format!("load %{}", a.0),
+                Op::Store { addr, value } => format!("store %{}, %{}", addr.0, value.0),
+                Op::Gep { base, offset } => format!("gep %{}, %{}", base.0, offset.0),
+                Op::Call { func, args } => {
+                    let a: Vec<String> = args.iter().map(|v| format!("%{}", v.0)).collect();
+                    format!("call @{}({})", m.funcs[func.0 as usize].name, a.join(", "))
+                }
+                Op::CallRt { name, args, .. } => {
+                    let a: Vec<String> = args.iter().map(|v| format!("%{}", v.0)).collect();
+                    format!("call @{name}!({})", a.join(", "))
+                }
+                Op::Jmp(b) => format!("jmp b{}", b.0),
+                Op::Br { cond, then_b, else_b } => {
+                    format!("br %{}, b{}, b{}", cond.0, then_b.0, else_b.0)
+                }
+                Op::Ret(vs) => {
+                    let a: Vec<String> = vs.iter().map(|v| format!("%{}", v.0)).collect();
+                    format!("ret {}", a.join(", "))
+                }
+            };
+            let _ = writeln!(out, "  {results}{body}");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::BinOp;
+
+    #[test]
+    fn prints_readably() {
+        let mut f = Function::new("demo", 1, 1);
+        let e = f.entry;
+        let c = f.push1(e, Op::Const(2));
+        let x = f.push1(e, Op::Bin(BinOp::Mul, f.param(0), c));
+        let a = f.push1(e, Op::Alloca(1));
+        f.push0(e, Op::Store { addr: a, value: x });
+        let l = f.push1(e, Op::Load(a));
+        f.push0(e, Op::Ret(vec![l]));
+        let mut m = Module::default();
+        m.add(f);
+        let text = print_module(&m);
+        assert!(text.contains("fn demo(%0) -> 1 values"), "{text}");
+        assert!(text.contains("store"), "{text}");
+        assert!(text.contains("ret"), "{text}");
+    }
+}

@@ -1,0 +1,219 @@
+//! The Sink pass with the paper's Fig. 11 instrumentation.
+//!
+//! Attempts to move single-use instructions into their use's block. In
+//! the lowered form, most attempts fail on memory barriers: a load cannot
+//! move past an instruction that **may write** memory, and no instruction
+//! may move past one that **may reference** the location it writes or
+//! computes. Fig. 11 reports the attempt breakdown (success / may-write /
+//! may-reference); §VII-D argues MEMOIR's unambiguous element operations
+//! would lift most of these barriers (and `memoir-opt::sink` demonstrates
+//! it by sinking collection reads freely).
+
+use crate::ir::{Blk, Function, Ins, Module, Op, Val};
+use std::collections::HashMap;
+
+/// Fig. 11 counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SinkStats {
+    /// Candidates successfully sunk.
+    pub success: u64,
+    /// Candidates blocked because an intervening instruction may write
+    /// memory the candidate reads.
+    pub blocked_may_write: u64,
+    /// Candidates blocked because an intervening instruction may
+    /// reference memory the candidate (an address-producing or
+    /// memory-reading op) touches.
+    pub blocked_may_reference: u64,
+}
+
+impl SinkStats {
+    /// Total attempts.
+    pub fn attempts(&self) -> u64 {
+        self.success + self.blocked_may_write + self.blocked_may_reference
+    }
+}
+
+/// Runs the sink pass on every function.
+pub fn sink(m: &mut Module) -> SinkStats {
+    let mut stats = SinkStats::default();
+    for f in &mut m.funcs {
+        run_function(f, &mut stats);
+    }
+    stats
+}
+
+fn run_function(f: &mut Function, stats: &mut SinkStats) {
+    // Single pass (LLVM's Sink iterates; one pass suffices for counters
+    // and most motion).
+    let order = f.order();
+    let mut pos: HashMap<Ins, (Blk, usize)> = HashMap::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for (k, &i) in b.insts.iter().enumerate() {
+            pos.insert(i, (Blk(bi as u32), k));
+        }
+    }
+    // Uses per value.
+    let mut uses: HashMap<Val, Vec<Ins>> = HashMap::new();
+    for &(_, i) in &order {
+        f.insts[i.0 as usize].op.visit(|v| {
+            uses.entry(*v).or_default().push(i);
+        });
+    }
+
+    let mut moves: Vec<(Ins, Blk, Blk)> = Vec::new();
+    for &(b, i) in &order {
+        let inst = &f.insts[i.0 as usize];
+        // Candidates: non-terminator, non-φ, single result, single use in
+        // a different block, and not a store/call (those anchor).
+        if inst.op.is_terminator() || matches!(inst.op, Op::Phi(_)) {
+            continue;
+        }
+        if inst.op.may_write() {
+            continue;
+        }
+        if inst.results.len() != 1 {
+            continue;
+        }
+        let Some(us) = uses.get(&inst.results[0]) else { continue };
+        if us.len() != 1 {
+            continue;
+        }
+        let user = us[0];
+        if matches!(f.insts[user.0 as usize].op, Op::Phi(_)) {
+            continue;
+        }
+        let Some(&(ub, _upos)) = pos.get(&user) else { continue };
+        if ub == b {
+            continue;
+        }
+        // This is an attempt. Check memory legality along the straight
+        // block-order region between def and use (a conservative stand-in
+        // for LLVM's dominance walk).
+        let (reads_mem, is_addr) = match inst.op {
+            Op::Load(_) => (true, false),
+            Op::Gep { .. } => (false, true),
+            _ => (false, false),
+        };
+        let between = region_between(&order, i, user);
+        let mut verdict = Verdict::Ok;
+        for &j in &between {
+            let other = &f.insts[j.0 as usize].op;
+            if reads_mem && other.may_write() {
+                verdict = Verdict::MayWrite;
+                break;
+            }
+            if is_addr && (other.may_write() || other.may_read()) {
+                // Moving address computation past memory operations that
+                // may reference the same object.
+                verdict = Verdict::MayReference;
+                break;
+            }
+        }
+        match verdict {
+            Verdict::Ok => {
+                stats.success += 1;
+                moves.push((i, b, ub));
+            }
+            Verdict::MayWrite => stats.blocked_may_write += 1,
+            Verdict::MayReference => stats.blocked_may_reference += 1,
+        }
+    }
+
+    for (i, from, to) in moves {
+        f.remove(from, i);
+        // Insert after φs of the target.
+        let phi_boundary = f.blocks[to.0 as usize]
+            .insts
+            .iter()
+            .take_while(|&&x| matches!(f.insts[x.0 as usize].op, Op::Phi(_)))
+            .count();
+        f.blocks[to.0 as usize].insts.insert(phi_boundary, i);
+    }
+}
+
+enum Verdict {
+    Ok,
+    MayWrite,
+    MayReference,
+}
+
+fn region_between(order: &[(Blk, Ins)], from: Ins, to: Ins) -> Vec<Ins> {
+    let a = order.iter().position(|&(_, i)| i == from).unwrap_or(0);
+    let b = order.iter().position(|&(_, i)| i == to).unwrap_or(order.len());
+    order[a + 1..b].iter().map(|&(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, CmpOp};
+
+    /// A pure add used only in one branch sinks successfully.
+    #[test]
+    fn pure_scalar_sinks() {
+        let mut f = Function::new("f", 2, 1);
+        let e = f.entry;
+        let yes = f.add_block();
+        let no = f.add_block();
+        let v = f.push1(e, Op::Bin(BinOp::Add, f.param(0), f.param(0)));
+        let c = f.push1(e, Op::Cmp(CmpOp::Gt, f.param(1), f.param(0)));
+        f.push0(e, Op::Br { cond: c, then_b: yes, else_b: no });
+        f.push0(yes, Op::Ret(vec![v]));
+        let z = f.push1(no, Op::Const(0));
+        f.push0(no, Op::Ret(vec![z]));
+        let mut m = Module::default();
+        m.add(f);
+        let stats = sink(&mut m);
+        assert_eq!(stats.success, 1);
+        assert_eq!(stats.attempts(), 1);
+        // The add moved into `yes`.
+        assert!(m.funcs[0].blocks[1]
+            .insts
+            .iter()
+            .any(|&i| matches!(m.funcs[0].insts[i.0 as usize].op, Op::Bin(..))));
+    }
+
+    /// A load blocked by an intervening store reports MayWrite.
+    #[test]
+    fn load_blocked_by_store() {
+        let mut f = Function::new("f", 2, 1);
+        let e = f.entry;
+        let yes = f.add_block();
+        let no = f.add_block();
+        let l = f.push1(e, Op::Load(f.param(0)));
+        let c9 = f.push1(e, Op::Const(9));
+        f.push0(e, Op::Store { addr: f.param(1), value: c9 }); // may alias
+        let c = f.push1(e, Op::Cmp(CmpOp::Gt, c9, f.param(1)));
+        f.push0(e, Op::Br { cond: c, then_b: yes, else_b: no });
+        f.push0(yes, Op::Ret(vec![l]));
+        let z = f.push1(no, Op::Const(0));
+        f.push0(no, Op::Ret(vec![z]));
+        let mut m = Module::default();
+        m.add(f);
+        let stats = sink(&mut m);
+        assert_eq!(stats.blocked_may_write, 1);
+        assert_eq!(stats.success, 0);
+    }
+
+    /// A GEP blocked by intervening memory traffic reports MayReference.
+    #[test]
+    fn gep_blocked_by_memory_reference() {
+        let mut f = Function::new("f", 2, 1);
+        let e = f.entry;
+        let yes = f.add_block();
+        let no = f.add_block();
+        let one = f.push1(e, Op::Const(1));
+        let g = f.push1(e, Op::Gep { base: f.param(0), offset: one });
+        let l = f.push1(e, Op::Load(f.param(1))); // memory reference between
+        let c = f.push1(e, Op::Cmp(CmpOp::Gt, l, one));
+        f.push0(e, Op::Br { cond: c, then_b: yes, else_b: no });
+        let lv = f.push1(yes, Op::Load(g));
+        f.push0(yes, Op::Ret(vec![lv]));
+        let z = f.push1(no, Op::Const(0));
+        f.push0(no, Op::Ret(vec![z]));
+        let mut m = Module::default();
+        m.add(f);
+        let stats = sink(&mut m);
+        assert_eq!(stats.blocked_may_reference, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Differential tests: every low-level pass preserves the observable
+//! behaviour of a representative function.
+
+use lir::{BinOp, CmpOp, Function, LirMachine, Module, Op};
+
+/// Builds `f(p, x)`: mixed scalar/memory code with a loop and a branch.
+fn build() -> Module {
+    let mut f = Function::new("f", 2, 1);
+    let e = f.entry;
+    let header = f.add_block();
+    let body = f.add_block();
+    let exit = f.add_block();
+
+    // Entry: alloca scratch, store x*2+3, redundant adds (GVN fodder).
+    let a = f.push1(e, Op::Alloca(1));
+    let two = f.push1(e, Op::Const(2));
+    let three = f.push1(e, Op::Const(3));
+    let x2 = f.push1(e, Op::Bin(BinOp::Mul, f.param(1), two));
+    let x2b = f.push1(e, Op::Bin(BinOp::Mul, f.param(1), two)); // redundant
+    let t = f.push1(e, Op::Bin(BinOp::Add, x2, three));
+    f.push0(e, Op::Store { addr: a, value: t });
+    let five = f.push1(e, Op::Bin(BinOp::Add, two, three)); // folds to 5
+    let zero = f.push1(e, Op::Const(0));
+    f.push0(e, Op::Jmp(header));
+
+    // Loop: acc += load(a) + x2b, i += 1 while i < p0.
+    let i = f.push1(header, Op::Phi(vec![]));
+    let acc = f.push1(header, Op::Phi(vec![]));
+    let done = f.push1(header, Op::Cmp(CmpOp::Ge, i, f.param(0)));
+    f.push0(header, Op::Br { cond: done, then_b: exit, else_b: body });
+    let l = f.push1(body, Op::Load(a));
+    let s1 = f.push1(body, Op::Bin(BinOp::Add, acc, l));
+    let s2 = f.push1(body, Op::Bin(BinOp::Add, s1, x2b));
+    let one = f.push1(body, Op::Const(1));
+    let i2 = f.push1(body, Op::Bin(BinOp::Add, i, one));
+    f.push0(body, Op::Jmp(header));
+
+    let out = f.push1(exit, Op::Bin(BinOp::Add, acc, five));
+    f.push0(exit, Op::Ret(vec![out]));
+
+    // Patch φs.
+    let mut patched = 0;
+    for inst in &mut f.insts {
+        if let Op::Phi(incs) = &mut inst.op {
+            if patched == 0 {
+                incs.push((e, zero));
+                incs.push((body, i2));
+            } else {
+                incs.push((e, zero));
+                incs.push((body, s2));
+            }
+            patched += 1;
+        }
+    }
+    assert_eq!(patched, 2);
+    let mut m = Module::default();
+    m.add(f);
+    m
+}
+
+fn run(m: &Module, p: i64, x: i64) -> i64 {
+    let mut vm = LirMachine::new(m);
+    vm.run_by_name("f", vec![p, x]).unwrap()[0]
+}
+
+#[test]
+fn every_pass_preserves_behaviour() {
+    let m0 = build();
+    let cases = [(0i64, 0i64), (1, 5), (7, -3), (20, 11)];
+    let expect: Vec<i64> = cases.iter().map(|&(p, x)| run(&m0, p, x)).collect();
+
+    // Each pass alone.
+    let passes: Vec<(&str, Box<dyn Fn(&mut Module)>)> = vec![
+        ("gvn", Box::new(|m| {
+            lir::gvn(m);
+        })),
+        ("constfold", Box::new(|m| {
+            lir::constfold(m);
+        })),
+        ("sink", Box::new(|m| {
+            lir::sink(m);
+        })),
+        ("mem2reg", Box::new(|m| {
+            lir::mem2reg(m);
+        })),
+        ("dce", Box::new(|m| {
+            lir::dce(m);
+        })),
+    ];
+    for (name, pass) in &passes {
+        let mut m = m0.clone();
+        pass(&mut m);
+        for (k, &(p, x)) in cases.iter().enumerate() {
+            assert_eq!(run(&m, p, x), expect[k], "{name} changed f({p},{x})");
+        }
+    }
+
+    // The whole pipeline, twice.
+    let mut m = m0.clone();
+    for _ in 0..2 {
+        lir::mem2reg(&mut m);
+        lir::gvn(&mut m);
+        lir::constfold(&mut m);
+        lir::sink(&mut m);
+        lir::dce(&mut m);
+    }
+    for (k, &(p, x)) in cases.iter().enumerate() {
+        assert_eq!(run(&m, p, x), expect[k], "pipeline changed f({p},{x})");
+    }
+    // The pipeline did real work.
+    assert!(m.inst_count() < m0.inst_count());
+}
+
+#[test]
+fn gvn_counts_on_this_function() {
+    let mut m = build();
+    let stats = lir::gvn(&mut m);
+    assert!(stats.replaced >= 1, "the duplicate multiply collapses: {stats:?}");
+    assert!(stats.memory_value_numbers >= 2, "{stats:?}");
+}

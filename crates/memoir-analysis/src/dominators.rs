@@ -1,0 +1,278 @@
+//! Dominator tree construction (Cooper–Harvey–Kennedy).
+//!
+//! The MEMOIR SSA construction (§VI) inserts φs on the dominance frontier
+//! and renames along a depth-first traversal of the dominator tree, exactly
+//! like scalar SSA construction.
+
+use memoir_ir::{BlockId, Function};
+use std::collections::HashMap;
+
+/// A dominator tree over the reachable blocks of a function.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator of each reachable block (the entry maps to
+    /// itself).
+    pub idom: HashMap<BlockId, BlockId>,
+    /// Children in the dominator tree.
+    pub children: HashMap<BlockId, Vec<BlockId>>,
+    /// Reverse post-order of reachable blocks.
+    pub rpo: Vec<BlockId>,
+    rpo_index: HashMap<BlockId, usize>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `f` using the Cooper–Harvey–Kennedy
+    /// iterative algorithm over reverse post-order.
+    pub fn compute(f: &Function) -> Self {
+        let rpo = f.reverse_postorder();
+        let rpo_index: HashMap<BlockId, usize> =
+            rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let preds = f.predecessors();
+
+        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+        idom.insert(f.entry, f.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b] {
+                    if !idom.contains_key(&p) {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&b) != Some(&ni) {
+                        idom.insert(b, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let mut children: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for (&b, &d) in &idom {
+            if b != d {
+                children.entry(d).or_default().push(b);
+            }
+        }
+        for kids in children.values_mut() {
+            kids.sort();
+        }
+        DomTree { idom, children, rpo, rpo_index }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom.get(&cur) {
+                Some(&d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Whether a block is reachable from entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom.contains_key(&b)
+    }
+
+    /// Pre-order depth-first traversal of the dominator tree.
+    pub fn preorder(&self, entry: BlockId) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        let mut stack = vec![entry];
+        while let Some(b) = stack.pop() {
+            out.push(b);
+            if let Some(kids) = self.children.get(&b) {
+                for &k in kids.iter().rev() {
+                    stack.push(k);
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes dominance frontiers (Cytron et al.): `DF(b)` is the set of
+    /// blocks where `b`'s dominance ends — the φ-insertion points.
+    pub fn dominance_frontiers(&self, f: &Function) -> HashMap<BlockId, Vec<BlockId>> {
+        let preds = f.predecessors();
+        let mut df: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for &b in &self.rpo {
+            if preds[b].len() >= 2 {
+                for &p in &preds[b] {
+                    if !self.is_reachable(p) {
+                        continue;
+                    }
+                    let mut runner = p;
+                    while runner != self.idom[&b] {
+                        let entry = df.entry(runner).or_default();
+                        if !entry.contains(&b) {
+                            entry.push(b);
+                        }
+                        if runner == self.idom[&runner] {
+                            break; // reached entry
+                        }
+                        runner = self.idom[&runner];
+                    }
+                }
+            }
+        }
+        df
+    }
+
+    /// The reverse post-order index of a block (entry is 0).
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        self.rpo_index.get(&b).copied()
+    }
+}
+
+/// Natural-loop nesting depth per block: for every back edge `u → h`
+/// (where `h` dominates `u`), the loop body is `h` plus every block that
+/// reaches `u` over predecessors without passing through `h`; a block's
+/// depth is the number of such loops containing it.
+pub fn natural_loop_depths(f: &Function) -> HashMap<BlockId, u32> {
+    let dt = DomTree::compute(f);
+    let preds = f.predecessors();
+    let mut depth: HashMap<BlockId, u32> = dt.rpo.iter().map(|&b| (b, 0)).collect();
+    for &u in &dt.rpo {
+        for h in f.successors(u) {
+            if !dt.dominates(h, u) {
+                continue; // not a back edge
+            }
+            // Collect the natural loop of (u → h).
+            let mut body: Vec<BlockId> = vec![h];
+            let mut stack = vec![u];
+            while let Some(b) = stack.pop() {
+                if body.contains(&b) {
+                    continue;
+                }
+                body.push(b);
+                for &p in &preds[b] {
+                    stack.push(p);
+                }
+            }
+            for b in body {
+                *depth.entry(b).or_insert(0) += 1;
+            }
+        }
+    }
+    depth
+}
+
+fn intersect(
+    idom: &HashMap<BlockId, BlockId>,
+    rpo_index: &HashMap<BlockId, usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[&a] > rpo_index[&b] {
+            a = idom[&a];
+        }
+        while rpo_index[&b] > rpo_index[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memoir_ir::{Form, ModuleBuilder};
+
+    /// Diamond CFG: entry → {then, else} → join.
+    fn diamond() -> (memoir_ir::Module, Vec<BlockId>) {
+        let mut mb = ModuleBuilder::new("m");
+        let mut ids = Vec::new();
+        mb.func("f", Form::Ssa, |b| {
+            let then_b = b.block("then");
+            let else_b = b.block("else");
+            let join = b.block("join");
+            ids.extend([b.func.entry, then_b, else_b, join]);
+            let c = b.bool(true);
+            b.branch(c, then_b, else_b);
+            b.switch_to(then_b);
+            b.jump(join);
+            b.switch_to(else_b);
+            b.jump(join);
+            b.switch_to(join);
+            b.ret(vec![]);
+        });
+        (mb.finish(), ids)
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let (m, ids) = diamond();
+        let f = &m.funcs[m.func_by_name("f").unwrap()];
+        let dt = DomTree::compute(f);
+        let [entry, then_b, else_b, join] = [ids[0], ids[1], ids[2], ids[3]];
+        assert_eq!(dt.idom[&then_b], entry);
+        assert_eq!(dt.idom[&else_b], entry);
+        assert_eq!(dt.idom[&join], entry);
+        assert!(dt.dominates(entry, join));
+        assert!(!dt.dominates(then_b, join));
+        assert!(dt.dominates(join, join));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let (m, ids) = diamond();
+        let f = &m.funcs[m.func_by_name("f").unwrap()];
+        let dt = DomTree::compute(f);
+        let df = dt.dominance_frontiers(f);
+        let [_, then_b, else_b, join] = [ids[0], ids[1], ids[2], ids[3]];
+        assert_eq!(df[&then_b], vec![join]);
+        assert_eq!(df[&else_b], vec![join]);
+        assert!(!df.contains_key(&join));
+    }
+
+    #[test]
+    fn loop_header_in_own_frontier() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut blocks = Vec::new();
+        mb.func("g", Form::Ssa, |b| {
+            let header = b.block("header");
+            let body = b.block("body");
+            let exit = b.block("exit");
+            blocks.extend([b.func.entry, header, body, exit]);
+            b.jump(header);
+            b.switch_to(header);
+            let c = b.bool(true);
+            b.branch(c, exit, body);
+            b.switch_to(body);
+            b.jump(header);
+            b.switch_to(exit);
+            b.ret(vec![]);
+        });
+        let m = mb.finish();
+        let f = &m.funcs[m.func_by_name("g").unwrap()];
+        let dt = DomTree::compute(f);
+        let df = dt.dominance_frontiers(f);
+        let header = blocks[1];
+        let body = blocks[2];
+        // The loop body's frontier is the header (back edge).
+        assert_eq!(df[&body], vec![header]);
+        // The header is in its own frontier.
+        assert!(df.get(&header).is_some_and(|v| v.contains(&header)));
+    }
+
+    #[test]
+    fn preorder_covers_tree() {
+        let (m, _) = diamond();
+        let f = &m.funcs[m.func_by_name("f").unwrap()];
+        let dt = DomTree::compute(f);
+        let pre = dt.preorder(f.entry);
+        assert_eq!(pre.len(), 4);
+        assert_eq!(pre[0], f.entry);
+    }
+}

@@ -1,0 +1,50 @@
+//! # memoir-analysis
+//!
+//! Analyses over the MEMOIR IR (paper §V):
+//!
+//! * [`dominators`] — dominator trees and dominance frontiers (for SSA
+//!   construction and the verifier);
+//! * [`defuse`] — sparse def-use chains, the backbone of element-level
+//!   analysis;
+//! * [`liveness`] — scalar SSA liveness (consumed by SSA destruction);
+//! * [`scc`] — Tarjan's SCC (constraint-graph and call-graph cycles);
+//! * [`exprtree`] — expression trees (Def. 1) in canonical affine form;
+//! * [`range`] — ranges and the range lattice (Defs. 2–5);
+//! * [`idxrange`] — intraprocedural symbolic index ranges, the `R(i)`
+//!   input of Alg. 1;
+//! * [`liverange`] — live range analysis of sequence elements (Table I +
+//!   Alg. 1), in sound and escape (paper-methodology) modes;
+//! * [`escape`] — allocation-site escape analysis for heap/stack
+//!   selection (§VI);
+//! * [`affinity`] — field affinity analysis choosing field-elision
+//!   candidates (§V);
+//! * [`callgraph`] / [`purity`] — call graph and function effect
+//!   summaries (dead-call elimination, sinking).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod affinity;
+pub mod callgraph;
+pub mod defuse;
+pub mod dominators;
+pub mod escape;
+pub mod exprtree;
+pub mod idxrange;
+pub mod liveness;
+pub mod liverange;
+pub mod purity;
+pub mod range;
+pub mod scc;
+
+pub use affinity::Affinity;
+pub use callgraph::CallGraph;
+pub use defuse::DefUse;
+pub use dominators::DomTree;
+pub use escape::{EscapeAnalysis, Placement};
+pub use exprtree::{Affine, Expr, Term};
+pub use idxrange::IndexRanges;
+pub use liveness::Liveness;
+pub use liverange::{live_ranges, LiveRangeConfig, LiveRanges};
+pub use purity::{EffectSummary, Purity};
+pub use range::Range;

@@ -1,0 +1,202 @@
+//! Scalar live-variable analysis over SSA values.
+//!
+//! Used by SSA destruction (Alg. 3) to decide whether an operand collection
+//! is "dead after this use" — the condition under which the destructed
+//! program may mutate it in place instead of copying.
+
+use memoir_ir::{BlockId, Function, InstId, InstKind, ValueId};
+use std::collections::{HashMap, HashSet};
+
+/// Per-block live-in/live-out sets plus a per-instruction query.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Values live at entry of each block.
+    pub live_in: HashMap<BlockId, HashSet<ValueId>>,
+    /// Values live at exit of each block.
+    pub live_out: HashMap<BlockId, HashSet<ValueId>>,
+}
+
+impl Liveness {
+    /// Computes liveness with the classic backward data-flow over the CFG.
+    /// φ-operands are treated as live-out of the corresponding predecessor
+    /// (standard SSA liveness).
+    pub fn compute(f: &Function) -> Self {
+        let mut live_in: HashMap<BlockId, HashSet<ValueId>> = HashMap::new();
+        let mut live_out: HashMap<BlockId, HashSet<ValueId>> = HashMap::new();
+        for b in f.blocks.ids() {
+            live_in.insert(b, HashSet::new());
+            live_out.insert(b, HashSet::new());
+        }
+
+        // use[b]: values used in b before any (re)definition; φ uses are
+        // attributed to predecessors instead.
+        // def[b]: values defined in b.
+        let mut uses: HashMap<BlockId, HashSet<ValueId>> = HashMap::new();
+        let mut defs: HashMap<BlockId, HashSet<ValueId>> = HashMap::new();
+        // φ uses per predecessor edge.
+        let mut phi_uses: HashMap<BlockId, HashSet<ValueId>> = HashMap::new();
+
+        for (b, block) in f.blocks.iter() {
+            let u = uses.entry(b).or_default();
+            let d = defs.entry(b).or_default();
+            for &i in &block.insts {
+                let inst = &f.insts[i];
+                match &inst.kind {
+                    InstKind::Phi { incoming } => {
+                        for (pred, v) in incoming {
+                            if is_tracked(f, *v) {
+                                phi_uses.entry(*pred).or_default().insert(*v);
+                            }
+                        }
+                    }
+                    kind => {
+                        kind.visit_operands(|&v| {
+                            if is_tracked(f, v) && !d.contains(&v) {
+                                u.insert(v);
+                            }
+                        });
+                    }
+                }
+                for &r in &inst.results {
+                    d.insert(r);
+                }
+            }
+        }
+
+        // Iterate to fixpoint.
+        let rpo = f.reverse_postorder();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().rev() {
+                let mut out: HashSet<ValueId> =
+                    phi_uses.get(&b).cloned().unwrap_or_default();
+                for s in f.successors(b) {
+                    for &v in &live_in[&s] {
+                        out.insert(v);
+                    }
+                }
+                let mut inn: HashSet<ValueId> = uses.get(&b).cloned().unwrap_or_default();
+                for &v in &out {
+                    if !defs.get(&b).is_some_and(|d| d.contains(&v)) {
+                        inn.insert(v);
+                    }
+                }
+                if out != live_out[&b] {
+                    live_out.insert(b, out);
+                    changed = true;
+                }
+                if inn != live_in[&b] {
+                    live_in.insert(b, inn);
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Whether `v` is live immediately *after* instruction `inst` in block
+    /// `b` at position `pos` (i.e. some later instruction or a successor
+    /// still reads it).
+    pub fn live_after(&self, f: &Function, b: BlockId, pos: usize, v: ValueId) -> bool {
+        let block = &f.blocks[b];
+        for &i in &block.insts[pos + 1..] {
+            let mut used = false;
+            match &f.insts[i].kind {
+                // φs later in this block can't use v from this position's
+                // path (they are at block head anyway).
+                InstKind::Phi { .. } => {}
+                kind => kind.visit_operands(|&op| {
+                    if op == v {
+                        used = true;
+                    }
+                }),
+            }
+            if used {
+                return true;
+            }
+        }
+        self.live_out.get(&b).is_some_and(|s| s.contains(&v))
+    }
+
+    /// Position of an instruction within its block, if present.
+    pub fn position(f: &Function, b: BlockId, inst: InstId) -> Option<usize> {
+        f.blocks[b].insts.iter().position(|&i| i == inst)
+    }
+}
+
+fn is_tracked(f: &Function, v: ValueId) -> bool {
+    // Constants are always available; tracking them would only bloat sets.
+    !matches!(f.values[v].def, memoir_ir::ValueDef::Const(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memoir_ir::{CmpOp, Form, ModuleBuilder, Type};
+
+    #[test]
+    fn straightline_liveness() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut probe = None;
+        mb.func("f", Form::Ssa, |b| {
+            let t = b.ty(Type::I64);
+            let x = b.param("x", t);
+            let y = b.add(x, x);
+            let z = b.add(y, y);
+            probe = Some((x, y, z));
+            b.returns(&[t]);
+            b.ret(vec![z]);
+        });
+        let m = mb.finish();
+        let f = &m.funcs[m.func_by_name("f").unwrap()];
+        let lv = Liveness::compute(f);
+        let (x, y, _z) = probe.unwrap();
+        // After the add defining y (pos 0), x is dead, y live.
+        assert!(!lv.live_after(f, f.entry, 0, x));
+        assert!(lv.live_after(f, f.entry, 0, y));
+        // After z's def (pos 1), y is dead.
+        assert!(!lv.live_after(f, f.entry, 1, y));
+    }
+
+    #[test]
+    fn loop_carried_value_is_live_across_backedge() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut probe = None;
+        mb.func("g", Form::Ssa, |b| {
+            let t = b.ty(Type::Index);
+            let n = b.param("n", t);
+            let header = b.block("header");
+            let body = b.block("body");
+            let exit = b.block("exit");
+            let zero = b.index(0);
+            let one = b.index(1);
+            b.jump(header);
+            b.switch_to(header);
+            let i = b.phi_placeholder(t);
+            let entry = b.func.entry;
+            b.add_phi_incoming(i, entry, zero);
+            let done = b.cmp(CmpOp::Ge, i, n);
+            b.branch(done, exit, body);
+            b.switch_to(body);
+            let next = b.add(i, one);
+            let bb = b.current_block();
+            b.add_phi_incoming(i, bb, next);
+            b.jump(header);
+            b.switch_to(exit);
+            b.returns(&[t]);
+            b.ret(vec![i]);
+            probe = Some((header, body, i, next, n));
+        });
+        let m = mb.finish();
+        let f = &m.funcs[m.func_by_name("g").unwrap()];
+        let lv = Liveness::compute(f);
+        let (header, body, i, next, n) = probe.unwrap();
+        // `next` is live-out of body (feeds the φ across the back edge).
+        assert!(lv.live_out[&body].contains(&next));
+        // `n` is live-in to the header every iteration.
+        assert!(lv.live_in[&header].contains(&n));
+        // `i` is live-out of the header (used in body and exit).
+        assert!(lv.live_out[&header].contains(&i));
+    }
+}

@@ -1,0 +1,258 @@
+//! Function effect summaries (purity analysis).
+//!
+//! Computed bottom-up over call-graph SCCs. MEMOIR's value semantics make
+//! this unusually precise: collections cannot be aliased, so the only ways
+//! a function can affect its caller are (a) mutating a by-reference
+//! collection parameter (mut form), (b) writing object fields through the
+//! heap-form field arrays, (c) returning values, and (d) calling opaque
+//! externs. Dead-call elimination (the DEE follow-up, DESIGN.md §6) and
+//! the sink pass consume these summaries.
+
+use crate::callgraph::CallGraph;
+use memoir_ir::{Callee, FuncId, InstKind, Module};
+use std::collections::{HashMap, HashSet};
+
+/// The effect summary of one function.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EffectSummary {
+    /// Indices of by-reference collection parameters the function (or its
+    /// callees through argument threading) may mutate.
+    pub writes_params: HashSet<usize>,
+    /// Object fields `(type, field)` that may be written.
+    pub writes_fields: HashSet<(memoir_ir::ObjTypeId, u32)>,
+    /// May allocate or delete objects (observable through reference
+    /// identity and the heap model).
+    pub allocates_objects: bool,
+    /// Calls an extern with unknown effects.
+    pub opaque: bool,
+}
+
+impl EffectSummary {
+    /// A function with this summary has no effects observable by the
+    /// caller besides its return values.
+    pub fn is_pure(&self) -> bool {
+        self.writes_params.is_empty()
+            && self.writes_fields.is_empty()
+            && !self.allocates_objects
+            && !self.opaque
+    }
+}
+
+/// Effect summaries for every function of a module.
+#[derive(Clone, Debug)]
+pub struct Purity {
+    summaries: HashMap<FuncId, EffectSummary>,
+}
+
+impl Purity {
+    /// Computes summaries bottom-up over the call graph (iterating each
+    /// recursive SCC to a fixed point).
+    pub fn compute(m: &Module, cg: &CallGraph) -> Self {
+        let mut summaries: HashMap<FuncId, EffectSummary> = HashMap::new();
+        for comp in &cg.sccs {
+            // Start every member of the component at ⊥ (no effects) so the
+            // fixed-point iteration is monotone from the bottom; callees in
+            // other components were already finalized (SCCs arrive in
+            // reverse topological order).
+            for &fid in comp {
+                summaries.entry(fid).or_default();
+            }
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for &fid in comp {
+                    let s = summarize(m, fid, &summaries);
+                    if summaries.get(&fid) != Some(&s) {
+                        summaries.insert(fid, s);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Functions unreachable in SCC enumeration (none today) default to
+        // opaque-free empty summaries on query.
+        Purity { summaries }
+    }
+
+    /// The summary for a function.
+    pub fn summary(&self, f: FuncId) -> &EffectSummary {
+        static EMPTY: std::sync::OnceLock<EffectSummary> = std::sync::OnceLock::new();
+        self.summaries.get(&f).unwrap_or_else(|| EMPTY.get_or_init(EffectSummary::default))
+    }
+}
+
+fn summarize(
+    m: &Module,
+    fid: FuncId,
+    partial: &HashMap<FuncId, EffectSummary>,
+) -> EffectSummary {
+    let f = &m.funcs[fid];
+    let mut s = EffectSummary::default();
+    // Map from parameter value → parameter index for by-ref params.
+    let param_index: HashMap<memoir_ir::ValueId, usize> = f
+        .param_values
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| f.params[*i].by_ref)
+        .map(|(i, &v)| (v, i))
+        .collect();
+
+    for (_, i) in f.inst_ids_in_order() {
+        let kind = &f.insts[i].kind;
+        for c in kind.mutated_collections() {
+            if let Some(&pi) = param_index.get(&c) {
+                s.writes_params.insert(pi);
+            }
+        }
+        match kind {
+            InstKind::FieldWrite { obj_ty, field, .. } => {
+                s.writes_fields.insert((*obj_ty, *field));
+            }
+            InstKind::NewObj { .. } | InstKind::DeleteObj { .. } => {
+                s.allocates_objects = true;
+            }
+            InstKind::Call { callee, args } => match callee {
+                Callee::Func(target) => {
+                    if let Some(cs) = partial.get(target) {
+                        s.writes_fields.extend(cs.writes_fields.iter().copied());
+                        s.allocates_objects |= cs.allocates_objects;
+                        s.opaque |= cs.opaque;
+                        // Thread by-ref mutation back to our own params.
+                        for &callee_param in &cs.writes_params {
+                            if let Some(&arg) = args.get(callee_param) {
+                                if let Some(&pi) = param_index.get(&arg) {
+                                    s.writes_params.insert(pi);
+                                }
+                            }
+                        }
+                    } else {
+                        // Not yet summarized outside this SCC pass: assume
+                        // worst within the component; fixed-point iteration
+                        // refines it.
+                        s.opaque = true;
+                    }
+                }
+                Callee::Extern(eid) => {
+                    let e = &m.externs[*eid];
+                    if e.effects.opaque {
+                        s.opaque = true;
+                    }
+                    if e.effects.writes_args {
+                        for &arg in args {
+                            if let Some(&pi) = param_index.get(&arg) {
+                                s.writes_params.insert(pi);
+                            }
+                        }
+                    }
+                }
+            },
+            _ => {}
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memoir_ir::{Form, ModuleBuilder, Type};
+
+    #[test]
+    fn pure_function_summarized() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("pure_fn", Form::Mut, |b| {
+            let t = b.ty(Type::I64);
+            let x = b.param("x", t);
+            let y = b.add(x, x);
+            b.returns(&[t]);
+            b.ret(vec![y]);
+        });
+        let m = mb.finish();
+        let cg = CallGraph::compute(&m);
+        let p = Purity::compute(&m, &cg);
+        assert!(p.summary(m.func_by_name("pure_fn").unwrap()).is_pure());
+    }
+
+    #[test]
+    fn byref_mutation_threads_through_calls() {
+        let mut mb = ModuleBuilder::new("m");
+        let inner_fn = {
+            let mut fb = memoir_ir::FunctionBuilder::new(&mut mb.module.types, "inner", Form::Mut);
+            let i64t = fb.ty(Type::I64);
+            let seqt = fb.types.seq_of(i64t);
+            let s = fb.param_ref("s", seqt);
+            let zero = fb.index(0);
+            let v = fb.i64(1);
+            fb.mut_write(s, zero, v);
+            fb.ret(vec![]);
+            fb.finish()
+        };
+        let inner = mb.module.add_func(inner_fn);
+        mb.func("outer", Form::Mut, |b| {
+            let i64t = b.ty(Type::I64);
+            let seqt = b.types.seq_of(i64t);
+            let s = b.param_ref("s", seqt);
+            b.call(memoir_ir::Callee::Func(inner), vec![s], &[]);
+            b.ret(vec![]);
+        });
+        let m = mb.finish();
+        let cg = CallGraph::compute(&m);
+        let p = Purity::compute(&m, &cg);
+        let outer = m.func_by_name("outer").unwrap();
+        assert!(p.summary(outer).writes_params.contains(&0));
+        assert!(!p.summary(outer).is_pure());
+    }
+
+    #[test]
+    fn field_write_recorded() {
+        let mut mb = ModuleBuilder::new("m");
+        let i32t = mb.module.types.intern(Type::I32);
+        let obj = mb
+            .module
+            .types
+            .define_object("t0", vec![memoir_ir::Field { name: "a".into(), ty: i32t }])
+            .unwrap();
+        mb.func("writer", Form::Mut, |b| {
+            let o = b.new_obj(obj);
+            let v = b.i32(1);
+            b.field_write(o, obj, 0, v);
+            b.ret(vec![]);
+        });
+        let m = mb.finish();
+        let cg = CallGraph::compute(&m);
+        let p = Purity::compute(&m, &cg);
+        let w = m.func_by_name("writer").unwrap();
+        assert!(p.summary(w).writes_fields.contains(&(obj, 0)));
+        assert!(p.summary(w).allocates_objects);
+    }
+
+    #[test]
+    fn recursion_reaches_fixed_point() {
+        // Self-recursive function mutating its by-ref param.
+        let mut mb = ModuleBuilder::new("m");
+        let fid = mb.module.add_func(memoir_ir::Function::new("rec", Form::Mut));
+        {
+            let i64t = mb.module.types.intern(Type::I64);
+            let seqt = mb.module.types.seq_of(i64t);
+            let indext = mb.module.types.intern(Type::Index);
+            let f = &mut mb.module.funcs[fid];
+            let s = f.add_param("s", seqt, true);
+            let zero = f.constant(memoir_ir::Constant::index(0), indext);
+            let v = f.constant(memoir_ir::Constant::i64(1), i64t);
+            let entry = f.entry;
+            f.append_inst(entry, InstKind::MutWrite { c: s, idx: zero, value: v }, &[]);
+            f.append_inst(
+                entry,
+                InstKind::Call { callee: memoir_ir::Callee::Func(fid), args: vec![s] },
+                &[],
+            );
+            f.append_inst(entry, InstKind::Ret { values: vec![] }, &[]);
+        }
+        let m = mb.finish();
+        let cg = CallGraph::compute(&m);
+        let p = Purity::compute(&m, &cg);
+        let s = p.summary(fid);
+        assert!(s.writes_params.contains(&0));
+        assert!(!s.opaque, "fixed point must clear the provisional opaque bit: {s:?}");
+    }
+}

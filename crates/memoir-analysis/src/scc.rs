@@ -1,0 +1,137 @@
+//! Tarjan's strongly-connected components over a generic indexed graph.
+//!
+//! Used by the live range analysis (Alg. 1) to resolve cycles in the
+//! constraint graph, and by the call graph for recursion groups.
+
+/// Computes the strongly-connected components of a directed graph given as
+/// an adjacency list. Returns the components in **reverse topological
+/// order** (callees/leaves first): every edge `u → v` with `u` and `v` in
+/// different components has `component(v)` appearing before
+/// `component(u)`.
+pub fn tarjan_scc(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative Tarjan to avoid recursion limits on big graphs.
+    enum Frame {
+        Enter(usize),
+        Continue(usize, usize),
+    }
+    let mut work: Vec<Frame> = Vec::new();
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        work.push(Frame::Enter(start));
+        while let Some(frame) = work.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    work.push(Frame::Continue(v, 0));
+                }
+                Frame::Continue(v, mut ei) => {
+                    let mut descended = false;
+                    while ei < adj[v].len() {
+                        let w = adj[v][ei];
+                        ei += 1;
+                        if index[w] == usize::MAX {
+                            work.push(Frame::Continue(v, ei));
+                            work.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            low[v] = low[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    // All edges done: close the component if v is a root.
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().unwrap();
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comps.push(comp);
+                    }
+                    // Propagate low to the parent Continue frame.
+                    if let Some(Frame::Continue(p, _)) = work.last() {
+                        let p = *p;
+                        low[p] = low[p].min(low[v]);
+                    }
+                }
+            }
+        }
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_graph_is_all_singletons() {
+        // 0 → 1 → 2
+        let adj = vec![vec![1], vec![2], vec![]];
+        let comps = tarjan_scc(&adj);
+        assert_eq!(comps.len(), 3);
+        // Reverse topological: 2 first, 0 last.
+        assert_eq!(comps[0], vec![2]);
+        assert_eq!(comps[2], vec![0]);
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        // 0 → 1 → 2 → 0, 2 → 3
+        let adj = vec![vec![1], vec![2], vec![0, 3], vec![]];
+        let mut comps = tarjan_scc(&adj);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![3]);
+        comps[1].sort();
+        assert_eq!(comps[1], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let adj = vec![vec![0], vec![]];
+        let comps = tarjan_scc(&adj);
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn two_cycles_ordered() {
+        // comp A {0,1} → comp B {2,3}
+        let adj = vec![vec![1], vec![0, 2], vec![3], vec![2]];
+        let comps = tarjan_scc(&adj);
+        assert_eq!(comps.len(), 2);
+        let mut first = comps[0].clone();
+        first.sort();
+        assert_eq!(first, vec![2, 3]); // callee/leaf first
+    }
+
+    #[test]
+    fn disconnected_nodes_covered() {
+        let adj = vec![vec![], vec![], vec![]];
+        let comps = tarjan_scc(&adj);
+        assert_eq!(comps.len(), 3);
+        let all: Vec<usize> = comps.into_iter().flatten().collect();
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+}

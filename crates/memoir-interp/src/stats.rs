@@ -1,0 +1,145 @@
+//! Execution accounting: instruction counts, copies, and the deterministic
+//! cost model.
+//!
+//! The cost model assigns a deterministic "time" to an execution so that
+//! complexity-level effects (e.g. dead element elimination turning mcf's
+//! sort from `O(n log n)` into `O(n + B log B)`, §VII-C) reproduce without
+//! real hardware. Costs are in abstract cycles:
+//!
+//! | operation | cost |
+//! |---|---|
+//! | scalar ALU / compare / φ / branch | 1 |
+//! | sequence read/write | 2 |
+//! | associative read/write/has (hash + probe) | 8 |
+//! | associative insert (amortized growth) | 12 |
+//! | field read/write | 1 + ⌈object bytes ⁄ 64⌉ (cache-line factor) |
+//! | per element moved (insert/remove/swap/copy/splice) | 1 |
+//! | call/return | 6 |
+//! | collection allocation | 12 (+1 per reserved element) |
+
+/// Counters accumulated during execution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecStats {
+    /// Instructions executed.
+    pub insts: u64,
+    /// Sequence element reads.
+    pub seq_reads: u64,
+    /// Sequence element writes.
+    pub seq_writes: u64,
+    /// Associative operations (read/write/has/insert/remove).
+    pub assoc_ops: u64,
+    /// Field array reads/writes.
+    pub field_ops: u64,
+    /// Elements moved by bulk operations (shift, swap, splice, copy).
+    pub elements_moved: u64,
+    /// Whole-collection copies performed (value-semantics copies plus SSA
+    /// functional updates). Table III's "no spurious copies" claim is
+    /// checked against this counter.
+    pub collection_copies: u64,
+    /// Collections allocated.
+    pub allocations: u64,
+    /// Logical bytes allocated for collections/objects (no reclamation —
+    /// RSS is measured by the runtime-library twin, see DESIGN.md).
+    pub bytes_allocated: u64,
+    /// Calls executed.
+    pub calls: u64,
+    /// Accumulated abstract cost (the execution-time proxy).
+    pub cost: f64,
+}
+
+impl ExecStats {
+    /// Adds the base cost of one scalar/control instruction.
+    pub fn scalar(&mut self) {
+        self.insts += 1;
+        self.cost += 1.0;
+    }
+
+    /// Records a sequence element access.
+    pub fn seq_access(&mut self, write: bool) {
+        self.insts += 1;
+        if write {
+            self.seq_writes += 1;
+        } else {
+            self.seq_reads += 1;
+        }
+        self.cost += 2.0;
+    }
+
+    /// Records an associative operation; `insert` marks growth-amortized
+    /// insertion.
+    pub fn assoc_op(&mut self, insert: bool) {
+        self.insts += 1;
+        self.assoc_ops += 1;
+        self.cost += if insert { 12.0 } else { 8.0 };
+    }
+
+    /// Records a field access on an object whose layout occupies
+    /// `object_bytes`.
+    pub fn field_op(&mut self, object_bytes: u64) {
+        self.insts += 1;
+        self.field_ops += 1;
+        self.cost += 1.0 + (object_bytes as f64 / 64.0).ceil();
+    }
+
+    /// Records `n` elements moved by a bulk operation.
+    pub fn moved(&mut self, n: u64) {
+        self.elements_moved += n;
+        self.cost += n as f64;
+    }
+
+    /// Records a whole-collection copy of `n` elements.
+    pub fn copy(&mut self, n: u64) {
+        self.collection_copies += 1;
+        self.moved(n);
+    }
+
+    /// Records a collection allocation of `reserved` elements and
+    /// `bytes` logical bytes.
+    pub fn alloc(&mut self, reserved: u64, bytes: u64) {
+        self.allocations += 1;
+        self.bytes_allocated += bytes;
+        self.cost += 12.0 + reserved as f64;
+    }
+
+    /// Records a call.
+    pub fn call(&mut self) {
+        self.insts += 1;
+        self.calls += 1;
+        self.cost += 6.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_accumulate() {
+        let mut s = ExecStats::default();
+        s.scalar();
+        s.seq_access(false);
+        s.seq_access(true);
+        s.assoc_op(true);
+        s.field_op(128);
+        s.moved(10);
+        s.copy(5);
+        s.alloc(4, 64);
+        s.call();
+        assert_eq!(s.insts, 6);
+        assert_eq!(s.seq_reads, 1);
+        assert_eq!(s.seq_writes, 1);
+        assert_eq!(s.collection_copies, 1);
+        assert_eq!(s.elements_moved, 15);
+        assert_eq!(s.allocations, 1);
+        assert!(s.cost > 0.0);
+    }
+
+    #[test]
+    fn field_cost_scales_with_object_size() {
+        let mut small = ExecStats::default();
+        small.field_op(56);
+        let mut big = ExecStats::default();
+        big.field_op(72);
+        assert!(big.cost > small.cost, "packing objects must lower cost");
+    }
+}

@@ -1,0 +1,248 @@
+//! Runtime values and the collection store.
+
+use memoir_ir::{ObjTypeId, Type};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a collection in the [`Store`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CollId(pub u32);
+
+/// Identifier of an object in the [`Store`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+/// A runtime value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Integer of a specific IR type (including `index`).
+    Int(Type, i64),
+    /// Float of a specific IR type.
+    Float(Type, f64),
+    /// Boolean.
+    Bool(bool),
+    /// Object reference (`None` = null).
+    Ref(ObjTypeId, Option<ObjId>),
+    /// Raw pointer payload (opaque).
+    Ptr(u64),
+    /// A collection handle into the store.
+    Coll(CollId),
+    /// Uninitialized element — reading one is undefined behaviour and the
+    /// interpreter traps on it (§IV-B).
+    Uninit,
+}
+
+impl Value {
+    /// Index payload (traps-by-panic on type confusion; the verifier rules
+    /// this out for verified programs).
+    pub fn as_index(&self) -> Option<u64> {
+        match self {
+            Value::Int(Type::Index, v) => Some(*v as u64),
+            Value::Int(_, v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Integer payload.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(_, v) => Some(*v),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Collection handle payload.
+    pub fn as_coll(&self) -> Option<CollId> {
+        match self {
+            Value::Coll(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(_, v) => write!(f, "{v}"),
+            Value::Float(_, v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Ref(_, Some(o)) => write!(f, "@{}", o.0),
+            Value::Ref(_, None) => write!(f, "null"),
+            Value::Ptr(p) => write!(f, "ptr:{p:#x}"),
+            Value::Coll(c) => write!(f, "coll:{}", c.0),
+            Value::Uninit => write!(f, "uninit"),
+        }
+    }
+}
+
+/// Hashable key form of a value, for associative arrays. Objects compare
+/// per-field (finite depth is guaranteed by the type system, §IV-E);
+/// references compare by identity (shallow equality, §IV-D).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Key {
+    /// Integer key.
+    Int(i64),
+    /// Boolean key.
+    Bool(bool),
+    /// Reference key (identity).
+    Ref(Option<ObjId>),
+    /// Float key by bit pattern (identity equality, §IV-D).
+    Float(u64),
+    /// Pointer key.
+    Ptr(u64),
+}
+
+impl Key {
+    /// Converts a runtime value into its key form.
+    pub fn from_value(v: &Value) -> Option<Key> {
+        match v {
+            Value::Int(_, x) => Some(Key::Int(*x)),
+            Value::Bool(b) => Some(Key::Bool(*b)),
+            Value::Ref(_, o) => Some(Key::Ref(*o)),
+            Value::Float(_, x) => Some(Key::Float(x.to_bits())),
+            Value::Ptr(p) => Some(Key::Ptr(*p)),
+            _ => None,
+        }
+    }
+
+    /// Rebuilds a value from the key, given the key's IR type.
+    pub fn to_value(&self, ty: Type) -> Value {
+        match self {
+            Key::Int(x) => Value::Int(ty, *x),
+            Key::Bool(b) => Value::Bool(*b),
+            Key::Ref(o) => match ty {
+                Type::Ref(obj) => Value::Ref(obj, *o),
+                _ => Value::Ref(ObjTypeId::from_raw(0), *o),
+            },
+            Key::Float(bits) => Value::Float(ty, f64::from_bits(*bits)),
+            Key::Ptr(p) => Value::Ptr(*p),
+        }
+    }
+}
+
+/// A stored collection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Collection {
+    /// Sequence storage.
+    Seq(Vec<Value>),
+    /// Associative storage with deterministic (insertion-order) key
+    /// enumeration.
+    Assoc {
+        /// Key → value map.
+        map: HashMap<Key, Value>,
+        /// Keys in insertion order (the deterministic `keys` order).
+        order: Vec<Key>,
+    },
+}
+
+impl Collection {
+    /// Creates an empty associative collection.
+    pub fn new_assoc() -> Self {
+        Collection::Assoc { map: HashMap::new(), order: Vec::new() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Collection::Seq(v) => v.len(),
+            Collection::Assoc { map, .. } => map.len(),
+        }
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An allocated object: per-field values, `None` after `delete`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Object {
+    /// The object's type.
+    pub ty: ObjTypeId,
+    /// Field values (`None` = deleted object).
+    pub fields: Option<Vec<Value>>,
+}
+
+/// The heap: collections and objects.
+#[derive(Clone, Debug, Default)]
+pub struct Store {
+    /// Collections by id.
+    pub collections: Vec<Collection>,
+    /// Objects by id.
+    pub objects: Vec<Object>,
+}
+
+impl Store {
+    /// Allocates a collection, returning its handle.
+    pub fn alloc_coll(&mut self, c: Collection) -> CollId {
+        let id = CollId(self.collections.len() as u32);
+        self.collections.push(c);
+        id
+    }
+
+    /// Allocates an object with all fields uninitialized.
+    pub fn alloc_obj(&mut self, ty: ObjTypeId, nfields: usize) -> ObjId {
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(Object { ty, fields: Some(vec![Value::Uninit; nfields]) });
+        id
+    }
+
+    /// Immutable access to a collection.
+    pub fn coll(&self, id: CollId) -> &Collection {
+        &self.collections[id.0 as usize]
+    }
+
+    /// Mutable access to a collection.
+    pub fn coll_mut(&mut self, id: CollId) -> &mut Collection {
+        &mut self.collections[id.0 as usize]
+    }
+
+    /// Deep-copies a collection (value semantics), returning the new
+    /// handle and the number of elements copied.
+    pub fn clone_coll(&mut self, id: CollId) -> (CollId, usize) {
+        let c = self.coll(id).clone();
+        let n = c.len();
+        (self.alloc_coll(c), n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_round_trip() {
+        let v = Value::Int(Type::I32, -7);
+        let k = Key::from_value(&v).unwrap();
+        assert_eq!(k.to_value(Type::I32), v);
+        assert_eq!(Key::from_value(&Value::Bool(true)), Some(Key::Bool(true)));
+        assert_eq!(Key::from_value(&Value::Uninit), None);
+    }
+
+    #[test]
+    fn float_keys_use_identity() {
+        let a = Key::from_value(&Value::Float(Type::F64, 0.0)).unwrap();
+        let b = Key::from_value(&Value::Float(Type::F64, -0.0)).unwrap();
+        assert_ne!(a, b, "identity equality distinguishes 0.0 from -0.0");
+    }
+
+    #[test]
+    fn store_clone_counts_elements() {
+        let mut s = Store::default();
+        let id = s.alloc_coll(Collection::Seq(vec![Value::Int(Type::I64, 1); 5]));
+        let (copy, n) = s.clone_coll(id);
+        assert_eq!(n, 5);
+        assert_ne!(copy, id);
+        assert_eq!(s.coll(copy), s.coll(id));
+    }
+}

@@ -1,0 +1,525 @@
+//! Ergonomic construction of MEMOIR functions.
+//!
+//! [`FunctionBuilder`] keeps a cursor on a current block and derives result
+//! types from operand types, so frontends and tests can build IR without
+//! spelling out every type. It is deliberately thin: it never reorders or
+//! optimizes what it is given.
+
+use crate::ids::{BlockId, InstId, ObjTypeId, TypeId, ValueId};
+use crate::inst::{BinOp, Callee, CmpOp, Constant, InstKind};
+use crate::{Form, Function, Module, Type, TypeTable};
+
+/// Builder over a [`Function`] plus the module [`TypeTable`].
+#[derive(Debug)]
+pub struct FunctionBuilder<'a> {
+    /// The function being built; exposed for advanced surgery.
+    pub func: Function,
+    /// The module type table.
+    pub types: &'a mut TypeTable,
+    cur: BlockId,
+}
+
+impl<'a> FunctionBuilder<'a> {
+    /// Starts building a function with the given name and form.
+    pub fn new(types: &'a mut TypeTable, name: impl Into<String>, form: Form) -> Self {
+        let func = Function::new(name, form);
+        let cur = func.entry;
+        FunctionBuilder { func, types, cur }
+    }
+
+    /// Finishes, returning the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    /// Interns a type.
+    pub fn ty(&mut self, t: Type) -> TypeId {
+        self.types.intern(t)
+    }
+
+    /// Adds a parameter (by value).
+    pub fn param(&mut self, name: &str, ty: TypeId) -> ValueId {
+        self.func.add_param(name, ty, false)
+    }
+
+    /// Adds a by-reference collection parameter (mut form).
+    pub fn param_ref(&mut self, name: &str, ty: TypeId) -> ValueId {
+        self.func.add_param(name, ty, true)
+    }
+
+    /// Declares the return types.
+    pub fn returns(&mut self, tys: &[TypeId]) {
+        self.func.ret_tys = tys.to_vec();
+    }
+
+    /// Creates a new block.
+    pub fn block(&mut self, name: &str) -> BlockId {
+        self.func.add_block(name)
+    }
+
+    /// Moves the cursor to a block.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    /// The block the cursor is on.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Names a value for readable printing.
+    pub fn name(&mut self, v: ValueId, name: &str) -> ValueId {
+        self.func.values[v].name = Some(name.to_string());
+        v
+    }
+
+    fn emit(&mut self, kind: InstKind, tys: &[TypeId]) -> (InstId, Vec<ValueId>) {
+        self.func.append_inst(self.cur, kind, tys)
+    }
+
+    fn emit1(&mut self, kind: InstKind, ty: TypeId) -> ValueId {
+        self.emit(kind, &[ty]).1[0]
+    }
+
+    // ------------------------------------------------------------- constants
+
+    /// `index` constant.
+    pub fn index(&mut self, v: u64) -> ValueId {
+        let t = self.ty(Type::Index);
+        self.func.constant(Constant::index(v), t)
+    }
+
+    /// `i64` constant.
+    pub fn i64(&mut self, v: i64) -> ValueId {
+        let t = self.ty(Type::I64);
+        self.func.constant(Constant::i64(v), t)
+    }
+
+    /// `i32` constant.
+    pub fn i32(&mut self, v: i32) -> ValueId {
+        let t = self.ty(Type::I32);
+        self.func.constant(Constant::i32(v), t)
+    }
+
+    /// `f64` constant.
+    pub fn f64(&mut self, v: f64) -> ValueId {
+        let t = self.ty(Type::F64);
+        self.func.constant(Constant::f64(v), t)
+    }
+
+    /// `bool` constant.
+    pub fn bool(&mut self, v: bool) -> ValueId {
+        let t = self.ty(Type::Bool);
+        self.func.constant(Constant::Bool(v), t)
+    }
+
+    /// Null reference constant.
+    pub fn null(&mut self, obj: ObjTypeId) -> ValueId {
+        let t = self.ty(Type::Ref(obj));
+        self.func.constant(Constant::Null(obj), t)
+    }
+
+    /// Arbitrary typed integer constant.
+    pub fn int(&mut self, ty: Type, v: i64) -> ValueId {
+        let t = self.ty(ty);
+        self.func.constant(Constant::Int(ty, v), t)
+    }
+
+    // ---------------------------------------------------------------- scalar
+
+    /// Binary operation; result has the operand type.
+    pub fn bin(&mut self, op: BinOp, lhs: ValueId, rhs: ValueId) -> ValueId {
+        let ty = self.func.value_ty(lhs);
+        self.emit1(InstKind::Bin { op, lhs, rhs }, ty)
+    }
+
+    /// Addition.
+    pub fn add(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.bin(BinOp::Add, a, b)
+    }
+
+    /// Subtraction.
+    pub fn sub(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.bin(BinOp::Sub, a, b)
+    }
+
+    /// Multiplication.
+    pub fn mul(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.bin(BinOp::Mul, a, b)
+    }
+
+    /// Comparison producing `bool`.
+    pub fn cmp(&mut self, op: CmpOp, lhs: ValueId, rhs: ValueId) -> ValueId {
+        let b = self.ty(Type::Bool);
+        self.emit1(InstKind::Cmp { op, lhs, rhs }, b)
+    }
+
+    /// Numeric cast.
+    pub fn cast(&mut self, to: Type, value: ValueId) -> ValueId {
+        let to = self.ty(to);
+        self.emit1(InstKind::Cast { to, value }, to)
+    }
+
+    /// Ternary select.
+    pub fn select(&mut self, cond: ValueId, t: ValueId, e: ValueId) -> ValueId {
+        let ty = self.func.value_ty(t);
+        self.emit1(InstKind::Select { cond, then_value: t, else_value: e }, ty)
+    }
+
+    /// Creates a φ with the given incomings.
+    pub fn phi(&mut self, ty: TypeId, incoming: Vec<(BlockId, ValueId)>) -> ValueId {
+        // φs must precede non-φ instructions: insert after existing φs.
+        let pos = self.func.blocks[self.cur]
+            .insts
+            .iter()
+            .take_while(|&&i| self.func.insts[i].kind.is_phi())
+            .count();
+        let cur = self.cur;
+        self.func.insert_inst_at(cur, pos, InstKind::Phi { incoming }, &[ty]).1[0]
+    }
+
+    /// Creates an empty φ to be filled later via [`FunctionBuilder::add_phi_incoming`]
+    /// (the standard trick for loop headers).
+    pub fn phi_placeholder(&mut self, ty: TypeId) -> ValueId {
+        self.phi(ty, Vec::new())
+    }
+
+    /// Adds an incoming edge to a previously created φ.
+    pub fn add_phi_incoming(&mut self, phi: ValueId, pred: BlockId, value: ValueId) {
+        let inst = self.func.value_def_inst(phi).expect("phi value");
+        match &mut self.func.insts[inst].kind {
+            InstKind::Phi { incoming } => incoming.push((pred, value)),
+            _ => panic!("add_phi_incoming on non-phi"),
+        }
+    }
+
+    /// Calls a module function; result types must be supplied by the caller
+    /// (they are the callee's return types).
+    pub fn call(&mut self, callee: Callee, args: Vec<ValueId>, ret_tys: &[TypeId]) -> Vec<ValueId> {
+        self.emit(InstKind::Call { callee, args }, ret_tys).1
+    }
+
+    // --------------------------------------------------------------- control
+
+    /// Unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.emit(InstKind::Jump { target }, &[]);
+    }
+
+    /// Conditional branch.
+    pub fn branch(&mut self, cond: ValueId, then_target: BlockId, else_target: BlockId) {
+        self.emit(InstKind::Branch { cond, then_target, else_target }, &[]);
+    }
+
+    /// Return.
+    pub fn ret(&mut self, values: Vec<ValueId>) {
+        self.emit(InstKind::Ret { values }, &[]);
+    }
+
+    // ----------------------------------------------------------- collections
+
+    /// `new Seq<elem>(len)`.
+    pub fn new_seq(&mut self, elem: TypeId, len: ValueId) -> ValueId {
+        let ty = self.types.seq_of(elem);
+        self.emit1(InstKind::NewSeq { elem, len }, ty)
+    }
+
+    /// `new Assoc<K, V>`.
+    pub fn new_assoc(&mut self, key: TypeId, value: TypeId) -> ValueId {
+        let ty = self.types.assoc_of(key, value);
+        self.emit1(InstKind::NewAssoc { key, value }, ty)
+    }
+
+    /// `new T` object allocation.
+    pub fn new_obj(&mut self, obj: ObjTypeId) -> ValueId {
+        let ty = self.types.ref_of(obj);
+        self.emit1(InstKind::NewObj { obj }, ty)
+    }
+
+    /// `delete(obj)`.
+    pub fn delete_obj(&mut self, obj: ValueId) {
+        self.emit(InstKind::DeleteObj { obj }, &[]);
+    }
+
+    /// Element type when reading from a collection-typed value.
+    pub fn element_ty(&self, c: ValueId) -> TypeId {
+        match self.types.get(self.func.value_ty(c)) {
+            Type::Seq(e) => e,
+            Type::Assoc(_, v) => v,
+            other => panic!("element_ty of non-collection {other:?}"),
+        }
+    }
+
+    /// `READ(c, idx)`.
+    pub fn read(&mut self, c: ValueId, idx: ValueId) -> ValueId {
+        let ty = self.element_ty(c);
+        self.emit1(InstKind::Read { c, idx }, ty)
+    }
+
+    /// SSA `WRITE`.
+    pub fn write(&mut self, c: ValueId, idx: ValueId, value: ValueId) -> ValueId {
+        let ty = self.func.value_ty(c);
+        self.emit1(InstKind::Write { c, idx, value }, ty)
+    }
+
+    /// SSA `INSERT` of a single element.
+    pub fn insert(&mut self, c: ValueId, idx: ValueId, value: Option<ValueId>) -> ValueId {
+        let ty = self.func.value_ty(c);
+        self.emit1(InstKind::Insert { c, idx, value }, ty)
+    }
+
+    /// SSA sequence splice `INSERT(s, i, src)`.
+    pub fn insert_seq(&mut self, c: ValueId, idx: ValueId, src: ValueId) -> ValueId {
+        let ty = self.func.value_ty(c);
+        self.emit1(InstKind::InsertSeq { c, idx, src }, ty)
+    }
+
+    /// SSA `REMOVE` of one element.
+    pub fn remove(&mut self, c: ValueId, idx: ValueId) -> ValueId {
+        let ty = self.func.value_ty(c);
+        self.emit1(InstKind::Remove { c, idx }, ty)
+    }
+
+    /// SSA `REMOVE` of a range.
+    pub fn remove_range(&mut self, c: ValueId, from: ValueId, to: ValueId) -> ValueId {
+        let ty = self.func.value_ty(c);
+        self.emit1(InstKind::RemoveRange { c, from, to }, ty)
+    }
+
+    /// SSA `COPY` of a whole collection.
+    pub fn copy(&mut self, c: ValueId) -> ValueId {
+        let ty = self.func.value_ty(c);
+        self.emit1(InstKind::Copy { c }, ty)
+    }
+
+    /// SSA `COPY` of a range.
+    pub fn copy_range(&mut self, c: ValueId, from: ValueId, to: ValueId) -> ValueId {
+        let ty = self.func.value_ty(c);
+        self.emit1(InstKind::CopyRange { c, from, to }, ty)
+    }
+
+    /// SSA one-sequence `SWAP`.
+    pub fn swap(&mut self, c: ValueId, from: ValueId, to: ValueId, at: ValueId) -> ValueId {
+        let ty = self.func.value_ty(c);
+        self.emit1(InstKind::Swap { c, from, to, at }, ty)
+    }
+
+    /// SSA two-sequence `SWAP`; returns the two updated sequences.
+    pub fn swap2(
+        &mut self,
+        a: ValueId,
+        from: ValueId,
+        to: ValueId,
+        b: ValueId,
+        at: ValueId,
+    ) -> (ValueId, ValueId) {
+        let ta = self.func.value_ty(a);
+        let tb = self.func.value_ty(b);
+        let r = self.emit(InstKind::Swap2 { a, from, to, b, at }, &[ta, tb]).1;
+        (r[0], r[1])
+    }
+
+    /// `SIZE(c)`.
+    pub fn size(&mut self, c: ValueId) -> ValueId {
+        let t = self.ty(Type::Index);
+        self.emit1(InstKind::Size { c }, t)
+    }
+
+    /// `HAS(assoc, key)`.
+    pub fn has(&mut self, c: ValueId, key: ValueId) -> ValueId {
+        let t = self.ty(Type::Bool);
+        self.emit1(InstKind::Has { c, key }, t)
+    }
+
+    /// `KEYS(assoc)` — a sequence of the key type.
+    pub fn keys(&mut self, c: ValueId) -> ValueId {
+        let key_ty = match self.types.get(self.func.value_ty(c)) {
+            Type::Assoc(k, _) => k,
+            other => panic!("keys of non-assoc {other:?}"),
+        };
+        let ty = self.types.seq_of(key_ty);
+        self.emit1(InstKind::Keys { c }, ty)
+    }
+
+    /// `USEφ(c)`.
+    pub fn use_phi(&mut self, c: ValueId) -> ValueId {
+        let ty = self.func.value_ty(c);
+        self.emit1(InstKind::UsePhi { c }, ty)
+    }
+
+    // ---------------------------------------------------------------- fields
+
+    /// Field array read `READ(F_{T.f}, obj)`.
+    pub fn field_read(&mut self, obj: ValueId, obj_ty: ObjTypeId, field: u32) -> ValueId {
+        let ty = self.types.object(obj_ty).fields[field as usize].ty;
+        self.emit1(InstKind::FieldRead { obj, obj_ty, field }, ty)
+    }
+
+    /// Field array write.
+    pub fn field_write(&mut self, obj: ValueId, obj_ty: ObjTypeId, field: u32, value: ValueId) {
+        self.emit(InstKind::FieldWrite { obj, obj_ty, field, value }, &[]);
+    }
+
+    // -------------------------------------------------------------- mut form
+
+    /// `mut.write(c, idx, v)`.
+    pub fn mut_write(&mut self, c: ValueId, idx: ValueId, value: ValueId) {
+        self.emit(InstKind::MutWrite { c, idx, value }, &[]);
+    }
+
+    /// `mut.insert(c, idx, [v])`.
+    pub fn mut_insert(&mut self, c: ValueId, idx: ValueId, value: Option<ValueId>) {
+        self.emit(InstKind::MutInsert { c, idx, value }, &[]);
+    }
+
+    /// `mut.insert(s, i, src)`.
+    pub fn mut_insert_seq(&mut self, c: ValueId, idx: ValueId, src: ValueId) {
+        self.emit(InstKind::MutInsertSeq { c, idx, src }, &[]);
+    }
+
+    /// `mut.remove(c, idx)`.
+    pub fn mut_remove(&mut self, c: ValueId, idx: ValueId) {
+        self.emit(InstKind::MutRemove { c, idx }, &[]);
+    }
+
+    /// `mut.remove(s, from, to)`.
+    pub fn mut_remove_range(&mut self, c: ValueId, from: ValueId, to: ValueId) {
+        self.emit(InstKind::MutRemoveRange { c, from, to }, &[]);
+    }
+
+    /// `mut.append(s, src)`.
+    pub fn mut_append(&mut self, c: ValueId, src: ValueId) {
+        self.emit(InstKind::MutAppend { c, src }, &[]);
+    }
+
+    /// `mut.swap(s, from, to, at)`.
+    pub fn mut_swap(&mut self, c: ValueId, from: ValueId, to: ValueId, at: ValueId) {
+        self.emit(InstKind::MutSwap { c, from, to, at }, &[]);
+    }
+
+    /// `mut.swap(s0, from, to, s1, at)`.
+    pub fn mut_swap2(&mut self, a: ValueId, from: ValueId, to: ValueId, b: ValueId, at: ValueId) {
+        self.emit(InstKind::MutSwap2 { a, from, to, b, at }, &[]);
+    }
+
+    /// `s2 = mut.split(s, from, to)`.
+    pub fn mut_split(&mut self, c: ValueId, from: ValueId, to: ValueId) -> ValueId {
+        let ty = self.func.value_ty(c);
+        self.emit1(InstKind::MutSplit { c, from, to }, ty)
+    }
+}
+
+/// Convenience for building a [`Module`] function-by-function.
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    /// The module under construction.
+    pub module: Module,
+}
+
+impl ModuleBuilder {
+    /// Creates a module builder.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder { module: Module::new(name) }
+    }
+
+    /// Builds one function with a closure over a [`FunctionBuilder`] and
+    /// adds it to the module.
+    pub fn func(
+        &mut self,
+        name: &str,
+        form: Form,
+        build: impl FnOnce(&mut FunctionBuilder<'_>),
+    ) -> crate::FuncId {
+        let mut fb = FunctionBuilder::new(&mut self.module.types, name, form);
+        build(&mut fb);
+        let f = fb.finish();
+        self.module.add_func(f)
+    }
+
+    /// Finishes, returning the module.
+    pub fn finish(self) -> Module {
+        self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_loop_with_phi() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("count", Form::Ssa, |b| {
+            let n = {
+                let t = b.ty(Type::Index);
+                b.param("n", t)
+            };
+            let header = b.block("header");
+            let body = b.block("body");
+            let exit = b.block("exit");
+            let zero = b.index(0);
+            let one = b.index(1);
+            b.jump(header);
+
+            b.switch_to(header);
+            let idx_ty = b.ty(Type::Index);
+            let i = b.phi_placeholder(idx_ty);
+            let entry = b.func.entry;
+            b.add_phi_incoming(i, entry, zero);
+            let done = b.cmp(CmpOp::Ge, i, n);
+            b.branch(done, exit, body);
+
+            b.switch_to(body);
+            let next = b.add(i, one);
+            let bodyb = b.current_block();
+            b.add_phi_incoming(i, bodyb, next);
+            b.jump(header);
+
+            b.switch_to(exit);
+            b.returns(&[idx_ty]);
+            b.ret(vec![i]);
+        });
+        let m = mb.finish();
+        let f = &m.funcs[m.func_by_name("count").unwrap()];
+        assert_eq!(f.blocks.len(), 4);
+        // φ is first instruction of header
+        let header = BlockId::from_raw(1);
+        let first = f.blocks[header].insts[0];
+        assert!(f.insts[first].kind.is_phi());
+    }
+
+    #[test]
+    fn seq_ops_derive_types() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("f", Form::Ssa, |b| {
+            let i64t = b.ty(Type::I64);
+            let n = b.index(10);
+            let s0 = b.new_seq(i64t, n);
+            let zero = b.index(0);
+            let v = b.i64(42);
+            let s1 = b.write(s0, zero, v);
+            let got = b.read(s1, zero);
+            assert_eq!(b.func.value_ty(got), i64t);
+            let sz = b.size(s1);
+            assert_eq!(b.types.get(b.func.value_ty(sz)), Type::Index);
+            b.ret(vec![]);
+        });
+    }
+
+    #[test]
+    fn assoc_keys_type() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("f", Form::Ssa, |b| {
+            let i32t = b.ty(Type::I32);
+            let boolt = b.ty(Type::Bool);
+            let a = b.new_assoc(i32t, boolt);
+            let ks = b.keys(a);
+            let kty = b.func.value_ty(ks);
+            assert_eq!(b.types.get(kty), Type::Seq(i32t));
+            let k = b.i32(3);
+            let h = b.has(a, k);
+            assert_eq!(b.types.get(b.func.value_ty(h)), Type::Bool);
+            b.ret(vec![]);
+        });
+    }
+}

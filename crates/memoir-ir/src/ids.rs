@@ -1,0 +1,194 @@
+//! Typed integer identifiers for IR entities.
+//!
+//! Every IR entity (type, function, block, instruction, value, object type,
+//! global) is referred to by a small copyable id into an arena owned by the
+//! enclosing [`Module`](crate::Module) or [`Function`](crate::Function).
+//! Newtypes keep the id spaces from being confused with one another.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// Intended for arena implementations and tests; ids minted this
+            /// way are only meaningful against the arena they index.
+            pub fn from_raw(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// Returns the raw index backing this id.
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the raw index as a `usize`, for direct slice indexing.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an interned [`Type`](crate::Type) in a [`TypeTable`](crate::TypeTable).
+    TypeId, "ty"
+);
+define_id!(
+    /// Identifier of an object type definition (`type T = { .. }`).
+    ObjTypeId, "T"
+);
+define_id!(
+    /// Identifier of a function within a [`Module`](crate::Module).
+    FuncId, "fn"
+);
+define_id!(
+    /// Identifier of an external function declaration within a module.
+    ExternId, "ext"
+);
+define_id!(
+    /// Identifier of a basic block within a [`Function`](crate::Function).
+    BlockId, "bb"
+);
+define_id!(
+    /// Identifier of an instruction within a [`Function`](crate::Function).
+    InstId, "inst"
+);
+define_id!(
+    /// Identifier of an SSA value within a [`Function`](crate::Function).
+    ValueId, "%"
+);
+
+/// A compact, growable map from ids to `T`, keyed by the id's raw index.
+///
+/// This is a thin wrapper over `Vec<T>` that keeps indexing type-safe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IdMap<I, T> {
+    items: Vec<T>,
+    _marker: std::marker::PhantomData<I>,
+}
+
+impl<I, T> Default for IdMap<I, T> {
+    fn default() -> Self {
+        IdMap { items: Vec::new(), _marker: std::marker::PhantomData }
+    }
+}
+
+impl<I: Copy + Into<usize> + From<u32>, T> IdMap<I, T> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an item and returns its id.
+    pub fn push(&mut self, item: T) -> I {
+        let id = I::from(self.items.len() as u32);
+        self.items.push(item);
+        id
+    }
+
+    /// Number of items stored.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over `(id, &item)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
+        self.items.iter().enumerate().map(|(i, t)| (I::from(i as u32), t))
+    }
+
+    /// Iterates over the ids in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = I> + '_ {
+        (0..self.items.len()).map(|i| I::from(i as u32))
+    }
+}
+
+impl<I: Copy + Into<usize>, T> std::ops::Index<I> for IdMap<I, T> {
+    type Output = T;
+    fn index(&self, id: I) -> &T {
+        &self.items[id.into()]
+    }
+}
+
+impl<I: Copy + Into<usize>, T> std::ops::IndexMut<I> for IdMap<I, T> {
+    fn index_mut(&mut self, id: I) -> &mut T {
+        &mut self.items[id.into()]
+    }
+}
+
+macro_rules! idmap_conv {
+    ($name:ident) => {
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                $name(raw)
+            }
+        }
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0 as usize
+            }
+        }
+    };
+}
+
+idmap_conv!(TypeId);
+idmap_conv!(ObjTypeId);
+idmap_conv!(FuncId);
+idmap_conv!(ExternId);
+idmap_conv!(BlockId);
+idmap_conv!(InstId);
+idmap_conv!(ValueId);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idmap_push_and_index() {
+        let mut m: IdMap<ValueId, &str> = IdMap::new();
+        let a = m.push("a");
+        let b = m.push("b");
+        assert_eq!(m[a], "a");
+        assert_eq!(m[b], "b");
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn idmap_iter_order() {
+        let mut m: IdMap<BlockId, u32> = IdMap::new();
+        m.push(10);
+        m.push(20);
+        let collected: Vec<_> = m.iter().map(|(id, v)| (id.raw(), *v)).collect();
+        assert_eq!(collected, vec![(0, 10), (1, 20)]);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(ValueId::from_raw(3).to_string(), "%3");
+        assert_eq!(BlockId::from_raw(0).to_string(), "bb0");
+        assert_eq!(ObjTypeId::from_raw(1).to_string(), "T1");
+    }
+}

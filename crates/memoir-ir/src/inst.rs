@@ -1,0 +1,970 @@
+//! MEMOIR instructions (paper §IV, Fig. 2) in both program forms.
+//!
+//! MEMOIR programs exist in two forms that share one instruction set:
+//!
+//! * **Mut form** (the MUT library view, §VI): collections are storage
+//!   identified by their defining SSA handle, and `mut.*` instructions
+//!   update that storage in place. This is the form produced by frontends
+//!   and consumed by lowering.
+//! * **SSA form** (§IV): collections are immutable values; `write`,
+//!   `insert`, `remove`, `swap`, … produce *new* collection values, and
+//!   φ-functions merge collection values exactly like scalars.
+//!
+//! SSA construction ([`memoir-opt::ssa_construct`]) rewrites mut
+//! instructions to SSA instructions following the Fig. 5 rules; SSA
+//! destruction (Alg. 3) performs the inverse without introducing spurious
+//! copies.
+//!
+//! Scalar instructions (arithmetic, comparisons, branches, calls) are shared
+//! by both forms and are always in SSA.
+
+use crate::ids::{BlockId, ExternId, FuncId, ObjTypeId, TypeId, ValueId};
+use std::fmt;
+
+/// A compile-time constant value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Constant {
+    /// An integer of the given integer type (`index` included); the payload
+    /// is the value sign-extended to 64 bits (or zero-extended for unsigned
+    /// types).
+    Int(crate::Type, i64),
+    /// A float of the given float type, stored as raw bits so constants are
+    /// hashable.
+    Float(crate::Type, u64),
+    /// A boolean.
+    Bool(bool),
+    /// The null reference of the given object type.
+    Null(ObjTypeId),
+}
+
+impl Constant {
+    /// The type of this constant.
+    pub fn ty(self) -> crate::Type {
+        match self {
+            Constant::Int(ty, _) => ty,
+            Constant::Float(ty, _) => ty,
+            Constant::Bool(_) => crate::Type::Bool,
+            Constant::Null(obj) => crate::Type::Ref(obj),
+        }
+    }
+
+    /// Convenience constructor for an `index` constant.
+    pub fn index(v: u64) -> Self {
+        Constant::Int(crate::Type::Index, v as i64)
+    }
+
+    /// Convenience constructor for an `i64` constant.
+    pub fn i64(v: i64) -> Self {
+        Constant::Int(crate::Type::I64, v)
+    }
+
+    /// Convenience constructor for an `i32` constant.
+    pub fn i32(v: i32) -> Self {
+        Constant::Int(crate::Type::I32, v as i64)
+    }
+
+    /// Convenience constructor for an `f64` constant.
+    pub fn f64(v: f64) -> Self {
+        Constant::Float(crate::Type::F64, v.to_bits())
+    }
+
+    /// The integer payload, if this is an integer constant.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Constant::Int(_, v) => Some(v),
+            Constant::Bool(b) => Some(b as i64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(ty, v) => write!(f, "{v}:{ty:?}"),
+            Constant::Float(ty, bits) => write!(f, "{}:{ty:?}", f64::from_bits(*bits)),
+            Constant::Bool(b) => write!(f, "{b}"),
+            Constant::Null(obj) => write!(f, "null:{obj}"),
+        }
+    }
+}
+
+/// Binary arithmetic and bitwise operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition (wrapping for integers).
+    Add,
+    /// Subtraction (wrapping for integers).
+    Sub,
+    /// Multiplication (wrapping for integers).
+    Mul,
+    /// Division. Integer division by zero is a trap.
+    Div,
+    /// Remainder. Integer remainder by zero is a trap.
+    Rem,
+    /// Bitwise/logical and.
+    And,
+    /// Bitwise/logical or.
+    Or,
+    /// Bitwise/logical xor.
+    Xor,
+    /// Left shift.
+    Shl,
+    /// Right shift (arithmetic for signed, logical for unsigned).
+    Shr,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl BinOp {
+    /// Whether `a op b == b op a` for all operands.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Min | BinOp::Max
+        )
+    }
+
+    /// Surface mnemonic used by the printer/parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+}
+
+/// Comparison operators. Produce `bool`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Surface mnemonic used by the printer/parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+
+    /// The comparison with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation (`a < b` ⇔ `!(a >= b)`).
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+/// The target of a call: a function in this module or an external
+/// declaration (unknown code under partial compilation, §V).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// A function defined in the module.
+    Func(FuncId),
+    /// An external declaration with a summarized effect.
+    Extern(ExternId),
+}
+
+/// A MEMOIR instruction.
+///
+/// Collection-producing SSA instructions return the new collection as their
+/// single result; `swap` over two sequences and `call`s of multi-return
+/// functions produce several results. Mut-form instructions mutate the
+/// storage named by their first operand and produce no collection result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InstKind {
+    // ---------------------------------------------------------------- scalar
+    /// Binary arithmetic: `res = op lhs, rhs`.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// Comparison producing `bool`.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// Numeric conversion to the given type.
+    Cast {
+        /// Destination type.
+        to: TypeId,
+        /// Source value.
+        value: ValueId,
+    },
+    /// `res = cond ? then_value : else_value`.
+    Select {
+        /// Condition.
+        cond: ValueId,
+        /// Value when true.
+        then_value: ValueId,
+        /// Value when false.
+        else_value: ValueId,
+    },
+    /// φ-function merging values by predecessor block. Loop-header φs are
+    /// the paper's μ-operations. Must appear before any non-φ instruction
+    /// of its block.
+    Phi {
+        /// `(predecessor, value)` incomings; one per predecessor.
+        incoming: Vec<(BlockId, ValueId)>,
+    },
+    /// Call a function. Collection arguments in SSA form flow back to the
+    /// caller as extra results (the paper's RETφ); collection parameters
+    /// receive their ARGφ role implicitly.
+    Call {
+        /// Call target.
+        callee: Callee,
+        /// Arguments.
+        args: Vec<ValueId>,
+    },
+
+    // --------------------------------------------------------------- control
+    /// Unconditional jump.
+    Jump {
+        /// Target block.
+        target: BlockId,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Condition (`bool`).
+        cond: ValueId,
+        /// Target when true.
+        then_target: BlockId,
+        /// Target when false.
+        else_target: BlockId,
+    },
+    /// Return from the function.
+    Ret {
+        /// Returned values (possibly several: scalar returns plus live-out
+        /// SSA collections).
+        values: Vec<ValueId>,
+    },
+    /// Marks unreachable control flow.
+    Unreachable,
+
+    // --------------------------------------------------- collection creation
+    /// `seq = new Seq<elem>(len)` — a new sequence of `len` uninitialized
+    /// elements. Reading an uninitialized element is undefined behaviour
+    /// (the interpreter traps).
+    NewSeq {
+        /// Element type.
+        elem: TypeId,
+        /// Length (an `index`); need not be statically known.
+        len: ValueId,
+    },
+    /// `assoc = new Assoc<K, V>` — a new, empty associative array.
+    NewAssoc {
+        /// Key type.
+        key: TypeId,
+        /// Value type.
+        value: TypeId,
+    },
+    /// `obj = new T` — allocates an object, returning a reference.
+    NewObj {
+        /// Object type.
+        obj: ObjTypeId,
+    },
+    /// `delete (obj)` — ends an object's lifetime.
+    DeleteObj {
+        /// Object reference.
+        obj: ValueId,
+    },
+
+    // ------------------------------------------------------ SSA collection ops
+    /// `v = READ(c, idx)`. Reading an absent index or an uninitialized
+    /// element is undefined behaviour.
+    Read {
+        /// Collection.
+        c: ValueId,
+        /// Index (sequence index or associative key).
+        idx: ValueId,
+    },
+    /// `c1 = WRITE(c0, idx, v)` — functional element redefinition.
+    Write {
+        /// Input collection.
+        c: ValueId,
+        /// Index.
+        idx: ValueId,
+        /// New element value.
+        value: ValueId,
+    },
+    /// `c1 = INSERT(c0, idx, [v])` — extends the index space. For
+    /// sequences, shifts the suffix right by one; for associative arrays,
+    /// adds the key.
+    Insert {
+        /// Input collection.
+        c: ValueId,
+        /// Index/key to insert.
+        idx: ValueId,
+        /// Optional initializing value (absent ⇒ element uninitialized).
+        value: Option<ValueId>,
+    },
+    /// `s1 = INSERT(s0, i, src)` — splices the sequence `src` into `s0` at
+    /// `i` (§IV-C).
+    InsertSeq {
+        /// Destination sequence.
+        c: ValueId,
+        /// Insertion index.
+        idx: ValueId,
+        /// Source sequence.
+        src: ValueId,
+    },
+    /// `c1 = REMOVE(c0, idx)` — shrinks the index space by one element.
+    Remove {
+        /// Input collection.
+        c: ValueId,
+        /// Index/key to remove.
+        idx: ValueId,
+    },
+    /// `s1 = REMOVE(s0, from, to)` — removes the range `[from : to)`
+    /// (§IV-C).
+    RemoveRange {
+        /// Input sequence.
+        c: ValueId,
+        /// Range start (inclusive).
+        from: ValueId,
+        /// Range end (exclusive).
+        to: ValueId,
+    },
+    /// `c1 = COPY(c0)` — a fresh collection with the same index-value
+    /// mapping.
+    Copy {
+        /// Input collection.
+        c: ValueId,
+    },
+    /// `s1 = COPY(s0, from, to)` — a fresh sequence holding the range
+    /// `[from : to)` of `s0`.
+    CopyRange {
+        /// Input sequence.
+        c: ValueId,
+        /// Range start (inclusive).
+        from: ValueId,
+        /// Range end (exclusive).
+        to: ValueId,
+    },
+    /// `s1 = SWAP(s0, from, to, at)` — swaps ranges `[from : to)` and
+    /// `[at : at + (to - from))` within one sequence.
+    Swap {
+        /// Input sequence.
+        c: ValueId,
+        /// First range start.
+        from: ValueId,
+        /// First range end (exclusive).
+        to: ValueId,
+        /// Second range start.
+        at: ValueId,
+    },
+    /// `s0', s1' = SWAP(s0, from, to, s1, at)` — swaps ranges between two
+    /// sequences; two results.
+    Swap2 {
+        /// First sequence.
+        a: ValueId,
+        /// Range start in `a`.
+        from: ValueId,
+        /// Range end in `a` (exclusive).
+        to: ValueId,
+        /// Second sequence.
+        b: ValueId,
+        /// Range start in `b`.
+        at: ValueId,
+    },
+    /// `n = SIZE(c)` — number of index-value pairs.
+    Size {
+        /// Collection.
+        c: ValueId,
+    },
+    /// `b = HAS(assoc, key)` — key membership test.
+    Has {
+        /// Associative array.
+        c: ValueId,
+        /// Key.
+        key: ValueId,
+    },
+    /// `s = KEYS(assoc)` — a sequence of the keys, in unspecified order
+    /// (deterministic in this implementation: insertion order).
+    Keys {
+        /// Associative array.
+        c: ValueId,
+    },
+    /// `c1 = USEφ(c0)` — links reads in control-flow order for sparse
+    /// analyses (§IV-B); constructed and destructed on demand.
+    UsePhi {
+        /// Input collection.
+        c: ValueId,
+    },
+
+    // -------------------------------------------------------- object fields
+    /// `v = READ(F_{T.field}, obj)` — reads a field through the field
+    /// array of `T.field` (§IV-E).
+    FieldRead {
+        /// Object reference.
+        obj: ValueId,
+        /// Object type that owns the field.
+        obj_ty: ObjTypeId,
+        /// Field index within the definition.
+        field: u32,
+    },
+    /// Writes a field through its field array. Field arrays are kept in
+    /// heap form in this implementation (see DESIGN.md §6): a field write
+    /// updates the per-field heap array in place in both program forms.
+    FieldWrite {
+        /// Object reference.
+        obj: ValueId,
+        /// Object type that owns the field.
+        obj_ty: ObjTypeId,
+        /// Field index within the definition.
+        field: u32,
+        /// Stored value.
+        value: ValueId,
+    },
+
+    // ------------------------------------------------------ mut-form (Fig. 5)
+    /// `mut.write(c, idx, v)` — in-place element redefinition.
+    MutWrite {
+        /// Mutated collection.
+        c: ValueId,
+        /// Index.
+        idx: ValueId,
+        /// New value.
+        value: ValueId,
+    },
+    /// `mut.insert(c, idx, [v])` — in-place insertion.
+    MutInsert {
+        /// Mutated collection.
+        c: ValueId,
+        /// Index/key.
+        idx: ValueId,
+        /// Optional initializing value.
+        value: Option<ValueId>,
+    },
+    /// `mut.insert(s, i, src)` — in-place sequence splice.
+    MutInsertSeq {
+        /// Mutated sequence.
+        c: ValueId,
+        /// Insertion index.
+        idx: ValueId,
+        /// Source sequence.
+        src: ValueId,
+    },
+    /// `mut.remove(c, idx)` — in-place removal.
+    MutRemove {
+        /// Mutated collection.
+        c: ValueId,
+        /// Index/key.
+        idx: ValueId,
+    },
+    /// `mut.remove(s, from, to)` — in-place range removal.
+    MutRemoveRange {
+        /// Mutated sequence.
+        c: ValueId,
+        /// Range start.
+        from: ValueId,
+        /// Range end (exclusive).
+        to: ValueId,
+    },
+    /// `mut.append(s, src)` — appends `src` (Fig. 5: `INSERT(s, end, s2)`).
+    MutAppend {
+        /// Mutated sequence.
+        c: ValueId,
+        /// Appended sequence.
+        src: ValueId,
+    },
+    /// `mut.swap(s, from, to, at)` — in-place range swap within one
+    /// sequence.
+    MutSwap {
+        /// Mutated sequence.
+        c: ValueId,
+        /// First range start.
+        from: ValueId,
+        /// First range end (exclusive).
+        to: ValueId,
+        /// Second range start.
+        at: ValueId,
+    },
+    /// `mut.swap(s0, from, to, s1, at)` — in-place range swap between two
+    /// sequences.
+    MutSwap2 {
+        /// First sequence.
+        a: ValueId,
+        /// Range start in `a`.
+        from: ValueId,
+        /// Range end in `a` (exclusive).
+        to: ValueId,
+        /// Second sequence.
+        b: ValueId,
+        /// Range start in `b`.
+        at: ValueId,
+    },
+    /// `s2 = mut.split(s, from, to)` — removes `[from : to)` from `s` and
+    /// returns it as a fresh sequence (Fig. 5: `COPY` + `REMOVE`).
+    MutSplit {
+        /// Mutated sequence.
+        c: ValueId,
+        /// Range start.
+        from: ValueId,
+        /// Range end (exclusive).
+        to: ValueId,
+    },
+}
+
+/// Effect classification of an instruction, used by analyses and DCE.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Effect {
+    /// No observable effect; result depends only on operands.
+    Pure,
+    /// Reads collection/heap state but does not change it.
+    ReadMem,
+    /// Mutates collection/heap state in place (mut form, field writes,
+    /// object allocation).
+    WriteMem,
+    /// Transfers control.
+    Control,
+    /// Calls — effects are those of the callee.
+    CallLike,
+}
+
+impl InstKind {
+    /// Whether this instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            InstKind::Jump { .. }
+                | InstKind::Branch { .. }
+                | InstKind::Ret { .. }
+                | InstKind::Unreachable
+        )
+    }
+
+    /// Whether this is a φ (or USEφ-style) merge that must stay at block
+    /// head.
+    pub fn is_phi(&self) -> bool {
+        matches!(self, InstKind::Phi { .. })
+    }
+
+    /// Effect classification.
+    pub fn effect(&self) -> Effect {
+        use InstKind::*;
+        match self {
+            Bin { .. } | Cmp { .. } | Cast { .. } | Select { .. } | Phi { .. } => Effect::Pure,
+            // SSA collection ops are pure value operations.
+            NewSeq { .. } | NewAssoc { .. } => Effect::Pure,
+            Write { .. } | Insert { .. } | InsertSeq { .. } | Remove { .. }
+            | RemoveRange { .. } | Copy { .. } | CopyRange { .. } | Swap { .. }
+            | Swap2 { .. } | UsePhi { .. } | Keys { .. } => Effect::Pure,
+            Read { .. } | Size { .. } | Has { .. } => Effect::ReadMem,
+            FieldRead { .. } => Effect::ReadMem,
+            NewObj { .. } | DeleteObj { .. } | FieldWrite { .. } => Effect::WriteMem,
+            MutWrite { .. } | MutInsert { .. } | MutInsertSeq { .. } | MutRemove { .. }
+            | MutRemoveRange { .. } | MutAppend { .. } | MutSwap { .. } | MutSwap2 { .. }
+            | MutSplit { .. } => Effect::WriteMem,
+            Call { .. } => Effect::CallLike,
+            Jump { .. } | Branch { .. } | Ret { .. } | Unreachable => Effect::Control,
+        }
+    }
+
+    /// Whether this is a mut-form instruction (in-place collection update).
+    pub fn is_mut_op(&self) -> bool {
+        use InstKind::*;
+        matches!(
+            self,
+            MutWrite { .. }
+                | MutInsert { .. }
+                | MutInsertSeq { .. }
+                | MutRemove { .. }
+                | MutRemoveRange { .. }
+                | MutAppend { .. }
+                | MutSwap { .. }
+                | MutSwap2 { .. }
+                | MutSplit { .. }
+        )
+    }
+
+    /// Whether this is an SSA-form collection update (produces a new
+    /// collection value from an old one).
+    pub fn is_ssa_collection_op(&self) -> bool {
+        use InstKind::*;
+        matches!(
+            self,
+            Write { .. }
+                | Insert { .. }
+                | InsertSeq { .. }
+                | Remove { .. }
+                | RemoveRange { .. }
+                | Swap { .. }
+                | Swap2 { .. }
+                | UsePhi { .. }
+        )
+    }
+
+    /// The collections this instruction mutates in place (mut form).
+    pub fn mutated_collections(&self) -> Vec<ValueId> {
+        use InstKind::*;
+        match self {
+            MutWrite { c, .. } | MutInsert { c, .. } | MutInsertSeq { c, .. }
+            | MutRemove { c, .. } | MutRemoveRange { c, .. } | MutAppend { c, .. }
+            | MutSwap { c, .. } | MutSplit { c, .. } => vec![*c],
+            MutSwap2 { a, b, .. } => vec![*a, *b],
+            _ => Vec::new(),
+        }
+    }
+
+    /// All value operands, in a stable order.
+    pub fn operands(&self) -> Vec<ValueId> {
+        let mut out = Vec::new();
+        self.visit_operands(|v| out.push(*v));
+        out
+    }
+
+    /// Visits every value operand immutably.
+    pub fn visit_operands(&self, mut f: impl FnMut(&ValueId)) {
+        // Delegate to the mutable visitor through a clone-free match by
+        // duplicating the traversal. To avoid divergence, both visitors are
+        // generated from the same match arms below.
+        use InstKind::*;
+        match self {
+            Bin { lhs, rhs, .. } | Cmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Cast { value, .. } => f(value),
+            Select { cond, then_value, else_value } => {
+                f(cond);
+                f(then_value);
+                f(else_value);
+            }
+            Phi { incoming } => {
+                for (_, v) in incoming {
+                    f(v);
+                }
+            }
+            Call { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Jump { .. } | Unreachable => {}
+            Branch { cond, .. } => f(cond),
+            Ret { values } => {
+                for v in values {
+                    f(v);
+                }
+            }
+            NewSeq { len, .. } => f(len),
+            NewAssoc { .. } | NewObj { .. } => {}
+            DeleteObj { obj } => f(obj),
+            Read { c, idx } => {
+                f(c);
+                f(idx);
+            }
+            Write { c, idx, value } | MutWrite { c, idx, value } => {
+                f(c);
+                f(idx);
+                f(value);
+            }
+            Insert { c, idx, value } | MutInsert { c, idx, value } => {
+                f(c);
+                f(idx);
+                if let Some(v) = value {
+                    f(v);
+                }
+            }
+            InsertSeq { c, idx, src } | MutInsertSeq { c, idx, src } => {
+                f(c);
+                f(idx);
+                f(src);
+            }
+            Remove { c, idx } | MutRemove { c, idx } => {
+                f(c);
+                f(idx);
+            }
+            RemoveRange { c, from, to }
+            | CopyRange { c, from, to }
+            | MutRemoveRange { c, from, to }
+            | MutSplit { c, from, to } => {
+                f(c);
+                f(from);
+                f(to);
+            }
+            Copy { c } | Size { c } | Keys { c } | UsePhi { c } => f(c),
+            Swap { c, from, to, at } | MutSwap { c, from, to, at } => {
+                f(c);
+                f(from);
+                f(to);
+                f(at);
+            }
+            Swap2 { a, from, to, b, at } | MutSwap2 { a, from, to, b, at } => {
+                f(a);
+                f(from);
+                f(to);
+                f(b);
+                f(at);
+            }
+            Has { c, key } => {
+                f(c);
+                f(key);
+            }
+            MutAppend { c, src } => {
+                f(c);
+                f(src);
+            }
+            FieldRead { obj, .. } => f(obj),
+            FieldWrite { obj, value, .. } => {
+                f(obj);
+                f(value);
+            }
+        }
+    }
+
+    /// Visits every value operand mutably (used to rewrite uses).
+    pub fn visit_operands_mut(&mut self, mut f: impl FnMut(&mut ValueId)) {
+        use InstKind::*;
+        match self {
+            Bin { lhs, rhs, .. } | Cmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Cast { value, .. } => f(value),
+            Select { cond, then_value, else_value } => {
+                f(cond);
+                f(then_value);
+                f(else_value);
+            }
+            Phi { incoming } => {
+                for (_, v) in incoming {
+                    f(v);
+                }
+            }
+            Call { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Jump { .. } | Unreachable => {}
+            Branch { cond, .. } => f(cond),
+            Ret { values } => {
+                for v in values {
+                    f(v);
+                }
+            }
+            NewSeq { len, .. } => f(len),
+            NewAssoc { .. } | NewObj { .. } => {}
+            DeleteObj { obj } => f(obj),
+            Read { c, idx } => {
+                f(c);
+                f(idx);
+            }
+            Write { c, idx, value } | MutWrite { c, idx, value } => {
+                f(c);
+                f(idx);
+                f(value);
+            }
+            Insert { c, idx, value } | MutInsert { c, idx, value } => {
+                f(c);
+                f(idx);
+                if let Some(v) = value {
+                    f(v);
+                }
+            }
+            InsertSeq { c, idx, src } | MutInsertSeq { c, idx, src } => {
+                f(c);
+                f(idx);
+                f(src);
+            }
+            Remove { c, idx } | MutRemove { c, idx } => {
+                f(c);
+                f(idx);
+            }
+            RemoveRange { c, from, to }
+            | CopyRange { c, from, to }
+            | MutRemoveRange { c, from, to }
+            | MutSplit { c, from, to } => {
+                f(c);
+                f(from);
+                f(to);
+            }
+            Copy { c } | Size { c } | Keys { c } | UsePhi { c } => f(c),
+            Swap { c, from, to, at } | MutSwap { c, from, to, at } => {
+                f(c);
+                f(from);
+                f(to);
+                f(at);
+            }
+            Swap2 { a, from, to, b, at } | MutSwap2 { a, from, to, b, at } => {
+                f(a);
+                f(from);
+                f(to);
+                f(b);
+                f(at);
+            }
+            Has { c, key } => {
+                f(c);
+                f(key);
+            }
+            MutAppend { c, src } => {
+                f(c);
+                f(src);
+            }
+            FieldRead { obj, .. } => f(obj),
+            FieldWrite { obj, value, .. } => {
+                f(obj);
+                f(value);
+            }
+        }
+    }
+
+    /// Successor blocks named by a terminator (empty for non-terminators).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            InstKind::Jump { target } => vec![*target],
+            InstKind::Branch { then_target, else_target, .. } => {
+                if then_target == else_target {
+                    vec![*then_target]
+                } else {
+                    vec![*then_target, *else_target]
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Rewrites successor block references through `f` (used by CFG edits).
+    pub fn visit_successors_mut(&mut self, mut f: impl FnMut(&mut BlockId)) {
+        match self {
+            InstKind::Jump { target } => f(target),
+            InstKind::Branch { then_target, else_target, .. } => {
+                f(then_target);
+                f(else_target);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// An instruction node: its kind plus the result values it defines.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Inst {
+    /// Operation.
+    pub kind: InstKind,
+    /// Results, in order. Most instructions define zero or one value;
+    /// `swap` across two sequences and multi-return calls define several.
+    pub results: Vec<ValueId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Type;
+
+    fn v(n: u32) -> ValueId {
+        ValueId::from_raw(n)
+    }
+
+    #[test]
+    fn operands_and_rewrite_agree() {
+        let mut inst = InstKind::Swap2 { a: v(0), from: v(1), to: v(2), b: v(3), at: v(4) };
+        assert_eq!(inst.operands(), vec![v(0), v(1), v(2), v(3), v(4)]);
+        inst.visit_operands_mut(|op| *op = ValueId::from_raw(op.raw() + 10));
+        assert_eq!(inst.operands(), vec![v(10), v(11), v(12), v(13), v(14)]);
+    }
+
+    #[test]
+    fn effects_classify_forms() {
+        assert_eq!(InstKind::Write { c: v(0), idx: v(1), value: v(2) }.effect(), Effect::Pure);
+        assert_eq!(
+            InstKind::MutWrite { c: v(0), idx: v(1), value: v(2) }.effect(),
+            Effect::WriteMem
+        );
+        assert_eq!(InstKind::Read { c: v(0), idx: v(1) }.effect(), Effect::ReadMem);
+        assert!(InstKind::Ret { values: vec![] }.is_terminator());
+        assert!(InstKind::MutAppend { c: v(0), src: v(1) }.is_mut_op());
+        assert!(InstKind::Swap { c: v(0), from: v(1), to: v(2), at: v(3) }
+            .is_ssa_collection_op());
+    }
+
+    #[test]
+    fn mutated_collections_reported() {
+        let k = InstKind::MutSwap2 { a: v(0), from: v(1), to: v(2), b: v(3), at: v(4) };
+        assert_eq!(k.mutated_collections(), vec![v(0), v(3)]);
+        let k = InstKind::Write { c: v(0), idx: v(1), value: v(2) };
+        assert!(k.mutated_collections().is_empty());
+    }
+
+    #[test]
+    fn branch_successors_dedupe() {
+        let b = InstKind::Branch { cond: v(0), then_target: BlockId::from_raw(1), else_target: BlockId::from_raw(1) };
+        assert_eq!(b.successors().len(), 1);
+        let b = InstKind::Branch { cond: v(0), then_target: BlockId::from_raw(1), else_target: BlockId::from_raw(2) };
+        assert_eq!(b.successors().len(), 2);
+    }
+
+    #[test]
+    fn constant_accessors() {
+        assert_eq!(Constant::index(5).ty(), Type::Index);
+        assert_eq!(Constant::i64(-3).as_int(), Some(-3));
+        assert_eq!(Constant::Bool(true).as_int(), Some(1));
+        assert_eq!(Constant::f64(1.5).as_int(), None);
+        assert_eq!(Constant::f64(1.5).ty(), Type::F64);
+    }
+
+    #[test]
+    fn cmp_op_algebra() {
+        assert_eq!(CmpOp::Lt.swapped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.swapped(), CmpOp::Eq);
+        assert!(BinOp::Add.is_commutative());
+        assert!(!BinOp::Sub.is_commutative());
+    }
+}

@@ -1,0 +1,1389 @@
+//! Parser for the textual MEMOIR format emitted by [`crate::printer`].
+//!
+//! The grammar is line-oriented: a module header, object type definitions,
+//! extern declarations, then functions whose bodies are labelled blocks of
+//! one instruction per line. The parser is a hand-written recursive-descent
+//! over a small token stream and reconstructs a [`Module`] that round-trips
+//! through the printer.
+
+use crate::ids::{BlockId, InstId, ObjTypeId, TypeId, ValueId};
+use crate::inst::{BinOp, Callee, CmpOp, Constant, Inst, InstKind};
+use crate::{
+    ExternDecl, ExternEffects, Field, Form, Function, Module, Type, Value, ValueDef,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure with a line number and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parses a module from its textual form.
+pub fn parse_module(src: &str) -> PResult<Module> {
+    Parser::new(src).parse()
+}
+
+// --------------------------------------------------------------- tokenizer
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(String),
+    Percent,
+    At,
+    Amp,
+    Lt,
+    Gt,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Colon,
+    Comma,
+    Eq,
+    Arrow,
+    Bang,
+    Minus,
+}
+
+fn tokenize(line: &str, lineno: usize) -> PResult<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' => i += 1,
+            ';' => break, // comment
+            '%' => {
+                toks.push(Tok::Percent);
+                i += 1;
+            }
+            '@' => {
+                toks.push(Tok::At);
+                i += 1;
+            }
+            '&' => {
+                toks.push(Tok::Amp);
+                i += 1;
+            }
+            '<' => {
+                toks.push(Tok::Lt);
+                i += 1;
+            }
+            '>' => {
+                toks.push(Tok::Gt);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '{' => {
+                toks.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                toks.push(Tok::RBrace);
+                i += 1;
+            }
+            '[' => {
+                toks.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                toks.push(Tok::RBracket);
+                i += 1;
+            }
+            ':' => {
+                toks.push(Tok::Colon);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '!' => {
+                toks.push(Tok::Bang);
+                i += 1;
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '>' {
+                    toks.push(Tok::Arrow);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Minus);
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == '.'
+                        || bytes[i] == 'e'
+                        || bytes[i] == 'E'
+                        || ((bytes[i] == '+' || bytes[i] == '-')
+                            && i > start
+                            && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')))
+                {
+                    i += 1;
+                }
+                // A trailing '.' belongs to the number only if followed by a
+                // digit; numbers inside names (e.g. `%x.3`) never reach here
+                // because names start with a letter after `%`.
+                let text: String = bytes[start..i].iter().collect();
+                toks.push(Tok::Number(text));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+                {
+                    i += 1;
+                }
+                // Do not swallow a trailing '.' (can't happen: '.' is always
+                // followed by alnum in our format).
+                let text: String = bytes[start..i].iter().collect();
+                toks.push(Tok::Ident(text));
+            }
+            other => {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+// ------------------------------------------------------------------ parser
+
+struct Parser<'a> {
+    lines: Vec<(usize, Vec<Tok>)>,
+    pos: usize,
+    src: &'a str,
+    /// Result types recorded in parse order for instructions whose result
+    /// type is written in their syntax (φ annotations and `new` operators);
+    /// consumed in the same order by `commit_staged`.
+    noted: RefCell<Vec<TypeId>>,
+}
+
+struct LineCursor<'t> {
+    toks: &'t [Tok],
+    i: usize,
+    line: usize,
+}
+
+impl<'t> LineCursor<'t> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i)
+    }
+
+    fn next(&mut self) -> PResult<&Tok> {
+        let t = self.toks.get(self.i).ok_or_else(|| ParseError {
+            line: self.line,
+            message: "unexpected end of line".into(),
+        })?;
+        self.i += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: &Tok) -> PResult<()> {
+        let line = self.line;
+        let t = self.next()?;
+        if t == want {
+            Ok(())
+        } else {
+            Err(ParseError { line, message: format!("expected {want:?}, found {t:?}") })
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        let line = self.line;
+        match self.next()? {
+            Tok::Ident(s) => Ok(s.clone()),
+            other => Err(ParseError { line, message: format!("expected identifier, found {other:?}") }),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+}
+
+/// Staged instruction before result types are known.
+struct Staged {
+    block: BlockId,
+    kind: InstKind,
+    result_names: Vec<String>,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        let lines = src
+            .lines()
+            .enumerate()
+            .map(|(n, l)| (n + 1, l))
+            .filter_map(|(n, l)| match tokenize(l, n) {
+                Ok(toks) if toks.is_empty() => None,
+                Ok(toks) => Some(Ok((n, toks))),
+                Err(e) => Some(Err(e)),
+            })
+            .collect::<PResult<Vec<_>>>();
+        // Tokenization errors are deferred to parse().
+        match lines {
+            Ok(lines) => Parser { lines, pos: 0, src, noted: RefCell::new(Vec::new()) },
+            Err(e) => Parser {
+                lines: vec![(e.line, vec![Tok::Ident(format!("\u{0}{}", e.message))])],
+                pos: 0,
+                src,
+                noted: RefCell::new(Vec::new()),
+            },
+        }
+    }
+
+    fn parse(mut self) -> PResult<Module> {
+        // Surface deferred tokenizer errors.
+        if let Some((line, toks)) = self.lines.first() {
+            if let Some(Tok::Ident(s)) = toks.first() {
+                if let Some(msg) = s.strip_prefix('\u{0}') {
+                    return Err(ParseError { line: *line, message: msg.to_string() });
+                }
+            }
+        }
+        let mut module = Module::new("anonymous");
+        // Pre-intern types that inference synthesizes without seeing them
+        // spelled in the source.
+        module.types.intern(Type::Index);
+        module.types.intern(Type::Bool);
+        module.types.intern(Type::Void);
+
+        // Header.
+        if let Some((_, toks)) = self.lines.first() {
+            if toks.first() == Some(&Tok::Ident("module".into())) {
+                if let Some(Tok::Ident(name)) = toks.get(1) {
+                    module.name = name.clone();
+                }
+                self.pos += 1;
+            }
+        }
+
+        // Pass 1: type definitions, externs, and function signatures.
+        let mut obj_names: HashMap<String, ObjTypeId> = HashMap::new();
+        let mut fn_sigs: HashMap<String, crate::FuncId> = HashMap::new();
+        let mut extern_names: HashMap<String, crate::ExternId> = HashMap::new();
+        let mut body_ranges: Vec<(String, usize, usize)> = Vec::new(); // (fn name, start, end)
+
+        let mut i = self.pos;
+        while i < self.lines.len() {
+            let (line, toks) = &self.lines[i];
+            let head = match toks.first() {
+                Some(Tok::Ident(s)) => s.as_str(),
+                _ => "",
+            };
+            match head {
+                "type" => {
+                    let mut c = LineCursor { toks, i: 1, line: *line };
+                    let name = c.ident()?;
+                    c.expect(&Tok::Eq)?;
+                    c.expect(&Tok::LBrace)?;
+                    let mut fields = Vec::new();
+                    if !c.eat(&Tok::RBrace) {
+                        loop {
+                            let fname = c.ident()?;
+                            c.expect(&Tok::Colon)?;
+                            let fty = self.parse_type(&mut c, &mut module, &obj_names)?;
+                            fields.push(Field { name: fname, ty: fty });
+                            if c.eat(&Tok::RBrace) {
+                                break;
+                            }
+                            c.expect(&Tok::Comma)?;
+                        }
+                    }
+                    let id = module.types.define_object(name.clone(), fields).map_err(|e| {
+                        ParseError { line: *line, message: e.to_string() }
+                    })?;
+                    obj_names.insert(name, id);
+                    i += 1;
+                }
+                "extern" => {
+                    let mut c = LineCursor { toks, i: 1, line: *line };
+                    let name = c.ident()?;
+                    c.expect(&Tok::LParen)?;
+                    let mut params = Vec::new();
+                    if !c.eat(&Tok::RParen) {
+                        loop {
+                            params.push(self.parse_type(&mut c, &mut module, &obj_names)?);
+                            if c.eat(&Tok::RParen) {
+                                break;
+                            }
+                            c.expect(&Tok::Comma)?;
+                        }
+                    }
+                    c.expect(&Tok::Arrow)?;
+                    c.expect(&Tok::LParen)?;
+                    let mut rets = Vec::new();
+                    if !c.eat(&Tok::RParen) {
+                        loop {
+                            rets.push(self.parse_type(&mut c, &mut module, &obj_names)?);
+                            if c.eat(&Tok::RParen) {
+                                break;
+                            }
+                            c.expect(&Tok::Comma)?;
+                        }
+                    }
+                    c.expect(&Tok::LBracket)?;
+                    let eff = c.ident()?;
+                    c.expect(&Tok::RBracket)?;
+                    let effects = match eff.as_str() {
+                        "pure" => ExternEffects::pure_reader(),
+                        "writes" => ExternEffects { reads_args: true, writes_args: true, opaque: false },
+                        "opaque" => ExternEffects::unknown(),
+                        "const" => ExternEffects { reads_args: false, writes_args: false, opaque: false },
+                        other => {
+                            return Err(ParseError {
+                                line: *line,
+                                message: format!("unknown extern effect `{other}`"),
+                            })
+                        }
+                    };
+                    let id = module.add_extern(ExternDecl { name: name.clone(), params, ret_tys: rets, effects });
+                    extern_names.insert(name, id);
+                    i += 1;
+                }
+                "fn" => {
+                    let mut c = LineCursor { toks, i: 1, line: *line };
+                    let name = c.ident()?;
+                    c.expect(&Tok::LParen)?;
+                    let mut params: Vec<(String, TypeId, bool)> = Vec::new();
+                    if !c.eat(&Tok::RParen) {
+                        loop {
+                            let by_ref = c.eat(&Tok::Amp);
+                            let pname = c.ident()?;
+                            c.expect(&Tok::Colon)?;
+                            let pty = self.parse_type(&mut c, &mut module, &obj_names)?;
+                            params.push((pname, pty, by_ref));
+                            if c.eat(&Tok::RParen) {
+                                break;
+                            }
+                            c.expect(&Tok::Comma)?;
+                        }
+                    }
+                    c.expect(&Tok::Arrow)?;
+                    c.expect(&Tok::LParen)?;
+                    let mut rets = Vec::new();
+                    if !c.eat(&Tok::RParen) {
+                        loop {
+                            rets.push(self.parse_type(&mut c, &mut module, &obj_names)?);
+                            if c.eat(&Tok::RParen) {
+                                break;
+                            }
+                            c.expect(&Tok::Comma)?;
+                        }
+                    }
+                    // form=ssa|mut
+                    let form_tok = c.ident()?;
+                    let form = match form_tok.as_str() {
+                        "form" => {
+                            c.expect(&Tok::Eq)?;
+                            match c.ident()?.as_str() {
+                                "ssa" => Form::Ssa,
+                                "mut" => Form::Mut,
+                                other => {
+                                    return Err(ParseError {
+                                        line: *line,
+                                        message: format!("unknown form `{other}`"),
+                                    })
+                                }
+                            }
+                        }
+                        other => {
+                            return Err(ParseError {
+                                line: *line,
+                                message: format!("expected `form=`, found `{other}`"),
+                            })
+                        }
+                    };
+                    c.expect(&Tok::LBrace)?;
+                    let mut f = Function::new(name.clone(), form);
+                    // Drop the implicit entry block: bodies declare all
+                    // blocks by label, the first label being the entry.
+                    f.blocks = crate::IdMap::new();
+                    f.entry = BlockId::from_raw(0);
+                    for (pname, pty, by_ref) in params {
+                        f.add_param(pname, pty, by_ref);
+                    }
+                    f.ret_tys = rets;
+                    let fid = module.add_func(f);
+                    fn_sigs.insert(name.clone(), fid);
+                    // Find body end: matching line with single `}`.
+                    let start = i + 1;
+                    let mut end = start;
+                    while end < self.lines.len() {
+                        if self.lines[end].1 == vec![Tok::RBrace] {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    if end == self.lines.len() {
+                        return Err(ParseError { line: *line, message: "unterminated function body".into() });
+                    }
+                    body_ranges.push((name, start, end));
+                    i = end + 1;
+                }
+                other => {
+                    return Err(ParseError {
+                        line: *line,
+                        message: format!("unexpected top-level token `{other}`"),
+                    })
+                }
+            }
+        }
+
+        // Pass 2: bodies.
+        for (name, start, end) in body_ranges {
+            let fid = fn_sigs[&name];
+            self.parse_body(&mut module, fid, start, end, &obj_names, &fn_sigs, &extern_names)?;
+        }
+        let _ = self.src;
+        Ok(module)
+    }
+
+    fn parse_type(
+        &self,
+        c: &mut LineCursor<'_>,
+        module: &mut Module,
+        obj_names: &HashMap<String, ObjTypeId>,
+    ) -> PResult<TypeId> {
+        let line = c.line;
+        if c.eat(&Tok::Amp) {
+            let name = c.ident()?;
+            let obj = *obj_names.get(&name).ok_or_else(|| ParseError {
+                line,
+                message: format!("unknown object type `{name}`"),
+            })?;
+            return Ok(module.types.ref_of(obj));
+        }
+        let name = c.ident()?;
+        let prim = |t: Type, m: &mut Module| Ok(m.types.intern(t));
+        match name.as_str() {
+            "i64" => prim(Type::I64, module),
+            "i32" => prim(Type::I32, module),
+            "i16" => prim(Type::I16, module),
+            "i8" => prim(Type::I8, module),
+            "u64" => prim(Type::U64, module),
+            "u32" => prim(Type::U32, module),
+            "u16" => prim(Type::U16, module),
+            "u8" => prim(Type::U8, module),
+            "bool" => prim(Type::Bool, module),
+            "index" => prim(Type::Index, module),
+            "f64" => prim(Type::F64, module),
+            "f32" => prim(Type::F32, module),
+            "ptr" => prim(Type::Ptr, module),
+            "void" => prim(Type::Void, module),
+            "Seq" => {
+                c.expect(&Tok::Lt)?;
+                let elem = self.parse_type(c, module, obj_names)?;
+                c.expect(&Tok::Gt)?;
+                Ok(module.types.seq_of(elem))
+            }
+            "Assoc" => {
+                c.expect(&Tok::Lt)?;
+                let k = self.parse_type(c, module, obj_names)?;
+                c.expect(&Tok::Comma)?;
+                let v = self.parse_type(c, module, obj_names)?;
+                c.expect(&Tok::Gt)?;
+                Ok(module.types.assoc_of(k, v))
+            }
+            other => match obj_names.get(other) {
+                Some(&obj) => Ok(module.types.intern(Type::Object(obj))),
+                None => Err(ParseError { line, message: format!("unknown type `{other}`") }),
+            },
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn parse_body(
+        &self,
+        module: &mut Module,
+        fid: crate::FuncId,
+        start: usize,
+        end: usize,
+        obj_names: &HashMap<String, ObjTypeId>,
+        fn_sigs: &HashMap<String, crate::FuncId>,
+        extern_names: &HashMap<String, crate::ExternId>,
+    ) -> PResult<()> {
+        // φ/new result-type notes are per-body (consumed positionally by
+        // commit_staged); clear leftovers from the previous function.
+        self.noted.borrow_mut().clear();
+        // Collect block labels first so branches can forward-reference.
+        let mut block_ids: HashMap<String, BlockId> = HashMap::new();
+        {
+            let f = &mut module.funcs[fid];
+            for idx in start..end {
+                let (_, toks) = &self.lines[idx];
+                if toks.len() == 2 && matches!(toks[0], Tok::Ident(_)) && toks[1] == Tok::Colon {
+                    if let Tok::Ident(label) = &toks[0] {
+                        let base = label.rsplit_once('.').map(|(b, _)| b).unwrap_or(label);
+                        let b = f.add_block(base);
+                        block_ids.insert(label.clone(), b);
+                    }
+                }
+            }
+            if f.blocks.is_empty() {
+                return Err(ParseError {
+                    line: self.lines[start].0,
+                    message: "function body has no blocks".into(),
+                });
+            }
+            f.entry = BlockId::from_raw(0);
+        }
+
+        // Map value names to ids; parameters are pre-bound as `%name.N`
+        // style and `%N` raw style.
+        let mut values: HashMap<String, ValueId> = HashMap::new();
+        {
+            let f = &module.funcs[fid];
+            for &pv in &f.param_values {
+                if let Some(n) = &f.values[pv].name {
+                    values.insert(format!("{}.{}", n, pv.raw()), pv);
+                    values.insert(n.clone(), pv);
+                }
+                values.insert(format!("{}", pv.raw()), pv);
+            }
+        }
+
+        let mut staged: Vec<Staged> = Vec::new();
+        let mut cur_block: Option<BlockId> = None;
+        for idx in start..end {
+            let (line, toks) = &self.lines[idx];
+            // Label?
+            if toks.len() == 2 && matches!(toks[0], Tok::Ident(_)) && toks[1] == Tok::Colon {
+                if let Tok::Ident(label) = &toks[0] {
+                    cur_block = Some(block_ids[label]);
+                }
+                continue;
+            }
+            let block = cur_block.ok_or_else(|| ParseError {
+                line: *line,
+                message: "instruction before first block label".into(),
+            })?;
+            let mut c = LineCursor { toks, i: 0, line: *line };
+            // Results: `%name [, %name]* =` prefix.
+            let mut result_names = Vec::new();
+            let save = c.i;
+            let mut is_def = false;
+            if c.peek() == Some(&Tok::Percent) {
+                // Look ahead for `=` before an opcode.
+                let mut j = c.i;
+                while j < toks.len() {
+                    match &toks[j] {
+                        Tok::Eq => {
+                            is_def = true;
+                            break;
+                        }
+                        Tok::Percent | Tok::Comma | Tok::Ident(_) | Tok::Number(_) => j += 1,
+                        _ => break,
+                    }
+                }
+            }
+            if is_def {
+                loop {
+                    c.expect(&Tok::Percent)?;
+                    let name = match c.next()? {
+                        Tok::Ident(s) => s.clone(),
+                        Tok::Number(s) => s.clone(),
+                        other => {
+                            return Err(ParseError {
+                                line: *line,
+                                message: format!("bad result name {other:?}"),
+                            })
+                        }
+                    };
+                    result_names.push(name);
+                    if c.eat(&Tok::Eq) {
+                        break;
+                    }
+                    c.expect(&Tok::Comma)?;
+                }
+            } else {
+                c.i = save;
+            }
+            let kind = self.parse_inst(
+                &mut c,
+                module,
+                fid,
+                &mut values,
+                &block_ids,
+                obj_names,
+                fn_sigs,
+                extern_names,
+            )?;
+            staged.push(Staged { block, kind, result_names, line: *line });
+        }
+
+        self.commit_staged(module, fid, staged, &mut values, fn_sigs, extern_names)
+    }
+
+    /// Creates instructions, minting result values with types derived from
+    /// operands via a worklist (φs carry explicit type annotations, so the
+    /// derivation terminates).
+    fn commit_staged(
+        &self,
+        module: &mut Module,
+        fid: crate::FuncId,
+        staged: Vec<Staged>,
+        values: &mut HashMap<String, ValueId>,
+        _fn_sigs: &HashMap<String, crate::FuncId>,
+        _extern_names: &HashMap<String, crate::ExternId>,
+    ) -> PResult<()> {
+        // First mint all result values with a placeholder type, so operands
+        // referencing later results resolve. parse_inst already minted
+        // pending values for forward references; bind them here.
+        let void_ty = module.types.intern(Type::Void);
+        let mut planned: Vec<(InstId, Vec<ValueId>)> = Vec::new();
+        {
+            let f = &mut module.funcs[fid];
+            for (si, s) in staged.iter().enumerate() {
+                let inst_id = InstId::from_raw(si as u32);
+                let mut results = Vec::new();
+                for (ri, rname) in s.result_names.iter().enumerate() {
+                    let v = match values.get(rname) {
+                        Some(&v) => {
+                            f.values[v].def = ValueDef::Inst(inst_id, ri as u32);
+                            v
+                        }
+                        None => {
+                            let v = f.values.push(Value {
+                                ty: void_ty,
+                                def: ValueDef::Inst(inst_id, ri as u32),
+                                name: name_hint(rname),
+                            });
+                            values.insert(rname.clone(), v);
+                            v
+                        }
+                    };
+                    results.push(v);
+                }
+                planned.push((inst_id, results));
+            }
+            for (si, s) in staged.iter().enumerate() {
+                let id = f.insts.push(Inst { kind: s.kind.clone(), results: planned[si].1.clone() });
+                debug_assert_eq!(id.raw() as usize, si);
+                f.blocks[s.block].insts.push(id);
+            }
+        }
+
+        // Apply syntax-annotated result types (φ and `new`) in parse order.
+        {
+            let noted = self.noted.borrow();
+            let mut noted_idx = 0usize;
+            let f = &mut module.funcs[fid];
+            for (si, s) in staged.iter().enumerate() {
+                let annotated = matches!(
+                    s.kind,
+                    InstKind::Phi { .. }
+                        | InstKind::NewSeq { .. }
+                        | InstKind::NewAssoc { .. }
+                        | InstKind::NewObj { .. }
+                );
+                if annotated {
+                    let ty = noted[noted_idx];
+                    noted_idx += 1;
+                    if let Some(&v) = planned[si].1.first() {
+                        f.values[v].ty = ty;
+                    }
+                }
+            }
+        }
+
+        // Worklist type inference for the remaining result values.
+        let mut changed = true;
+        let mut rounds = 0;
+        while changed {
+            changed = false;
+            rounds += 1;
+            if rounds > staged.len() + 2 {
+                break;
+            }
+            for (si, s) in staged.iter().enumerate() {
+                let tys = self.infer_result_tys(module, fid, &s.kind, s.line)?;
+                let f = &mut module.funcs[fid];
+                for (ri, ty) in tys.into_iter().enumerate() {
+                    if let Some(ty) = ty {
+                        let v = planned[si].1[ri];
+                        if f.values[v].ty != ty {
+                            f.values[v].ty = ty;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Any result still void-typed (other than genuinely void) is an
+        // inference failure only if used; leave as-is — the verifier will
+        // flag real inconsistencies.
+        Ok(())
+    }
+
+    fn infer_result_tys(
+        &self,
+        module: &mut Module,
+        fid: crate::FuncId,
+        kind: &InstKind,
+        _line: usize,
+    ) -> PResult<Vec<Option<TypeId>>> {
+        let index_ty = module.types.intern(Type::Index);
+        let bool_ty = module.types.intern(Type::Bool);
+        // Pre-compute types that need table mutation before borrowing funcs.
+        let keys_ty = if let InstKind::Keys { c } = kind {
+            let cty = module.funcs[fid].value_ty(*c);
+            match module.types.get(cty) {
+                Type::Assoc(k, _) => Some(module.types.seq_of(k)),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let f = &module.funcs[fid];
+        let t = |v: ValueId| f.value_ty(v);
+        Ok(match kind {
+            InstKind::Bin { lhs, .. } => vec![Some(t(*lhs))],
+            InstKind::Cmp { .. } | InstKind::Has { .. } => vec![Some(bool_ty)],
+            InstKind::Cast { to, .. } => vec![Some(*to)],
+            InstKind::Select { then_value, .. } => vec![Some(t(*then_value))],
+            InstKind::Phi { .. } => vec![None], // annotated at parse time
+            InstKind::Call { callee, .. } => match callee {
+                Callee::Func(id) => module.funcs[*id].ret_tys.iter().map(|&x| Some(x)).collect(),
+                Callee::Extern(id) => {
+                    module.externs[*id].ret_tys.iter().map(|&x| Some(x)).collect()
+                }
+            },
+            InstKind::NewSeq { .. }
+            | InstKind::NewAssoc { .. }
+            | InstKind::NewObj { .. } => vec![None], // set at parse time
+            InstKind::Read { c, .. } => {
+                vec![match module.types.get(t(*c)) {
+                    Type::Seq(e) => Some(e),
+                    Type::Assoc(_, v) => Some(v),
+                    _ => None,
+                }]
+            }
+            InstKind::Write { c, .. }
+            | InstKind::Insert { c, .. }
+            | InstKind::InsertSeq { c, .. }
+            | InstKind::Remove { c, .. }
+            | InstKind::RemoveRange { c, .. }
+            | InstKind::Copy { c }
+            | InstKind::CopyRange { c, .. }
+            | InstKind::Swap { c, .. }
+            | InstKind::UsePhi { c }
+            | InstKind::MutSplit { c, .. } => vec![Some(t(*c))],
+            InstKind::Swap2 { a, b, .. } => vec![Some(t(*a)), Some(t(*b))],
+            InstKind::Size { .. } => vec![Some(index_ty)],
+            InstKind::Keys { .. } => vec![keys_ty],
+            InstKind::FieldRead { obj_ty, field, .. } => {
+                vec![Some(module.types.object(*obj_ty).fields[*field as usize].ty)]
+            }
+            _ => vec![],
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn parse_inst(
+        &self,
+        c: &mut LineCursor<'_>,
+        module: &mut Module,
+        fid: crate::FuncId,
+        values: &mut HashMap<String, ValueId>,
+        blocks: &HashMap<String, BlockId>,
+        obj_names: &HashMap<String, ObjTypeId>,
+        fn_sigs: &HashMap<String, crate::FuncId>,
+        extern_names: &HashMap<String, crate::ExternId>,
+    ) -> PResult<InstKind> {
+        let line = c.line;
+        let op = c.ident()?;
+        macro_rules! val {
+            () => {
+                self.parse_value(c, module, fid, values, obj_names)?
+            };
+        }
+        macro_rules! comma_val {
+            () => {{
+                c.expect(&Tok::Comma)?;
+                self.parse_value(c, module, fid, values, obj_names)?
+            }};
+        }
+        let block_ref = |c: &mut LineCursor<'_>| -> PResult<BlockId> {
+            let line = c.line;
+            let name = c.ident()?;
+            blocks.get(&name).copied().ok_or_else(|| ParseError {
+                line,
+                message: format!("unknown block `{name}`"),
+            })
+        };
+        let kind = match op.as_str() {
+            "add" | "sub" | "mul" | "div" | "rem" | "and" | "or" | "xor" | "shl" | "shr"
+            | "min" | "max" => {
+                let bop = match op.as_str() {
+                    "add" => BinOp::Add,
+                    "sub" => BinOp::Sub,
+                    "mul" => BinOp::Mul,
+                    "div" => BinOp::Div,
+                    "rem" => BinOp::Rem,
+                    "and" => BinOp::And,
+                    "or" => BinOp::Or,
+                    "xor" => BinOp::Xor,
+                    "shl" => BinOp::Shl,
+                    "shr" => BinOp::Shr,
+                    "min" => BinOp::Min,
+                    _ => BinOp::Max,
+                };
+                let lhs = val!();
+                let rhs = comma_val!();
+                InstKind::Bin { op: bop, lhs, rhs }
+            }
+            s if s.starts_with("cmp.") => {
+                let cop = match &s[4..] {
+                    "eq" => CmpOp::Eq,
+                    "ne" => CmpOp::Ne,
+                    "lt" => CmpOp::Lt,
+                    "le" => CmpOp::Le,
+                    "gt" => CmpOp::Gt,
+                    "ge" => CmpOp::Ge,
+                    other => {
+                        return Err(ParseError { line, message: format!("bad cmp op `{other}`") })
+                    }
+                };
+                let lhs = val!();
+                let rhs = comma_val!();
+                InstKind::Cmp { op: cop, lhs, rhs }
+            }
+            "cast" => {
+                let value = val!();
+                let kw = c.ident()?;
+                if kw != "to" {
+                    return Err(ParseError { line, message: "expected `to` in cast".into() });
+                }
+                let to = self.parse_type(c, module, obj_names)?;
+                InstKind::Cast { to, value }
+            }
+            "select" => {
+                let cond = val!();
+                let a = comma_val!();
+                let b = comma_val!();
+                InstKind::Select { cond, then_value: a, else_value: b }
+            }
+            "phi" => {
+                let ty = self.parse_type(c, module, obj_names)?;
+                let mut incoming = Vec::new();
+                while c.eat(&Tok::LBracket) {
+                    let b = block_ref(c)?;
+                    c.expect(&Tok::Colon)?;
+                    let v = val!();
+                    c.expect(&Tok::RBracket)?;
+                    incoming.push((b, v));
+                    c.eat(&Tok::Comma);
+                }
+                // Stash the annotated type onto the pending result by
+                // encoding through a special marker: commit_staged reads φ
+                // types via `phi_tys`. Simpler: mint nothing here; instead
+                // remember the type by wrapping in a Cast-like trick is
+                // ugly — we instead record it in the side table below.
+                self.note_phi_ty(ty);
+                InstKind::Phi { incoming }
+            }
+            "call" => {
+                c.expect(&Tok::At)?;
+                let name = c.ident()?;
+                let is_extern = c.eat(&Tok::Bang);
+                let callee = if is_extern {
+                    Callee::Extern(*extern_names.get(&name).ok_or_else(|| ParseError {
+                        line,
+                        message: format!("unknown extern `{name}`"),
+                    })?)
+                } else {
+                    Callee::Func(*fn_sigs.get(&name).ok_or_else(|| ParseError {
+                        line,
+                        message: format!("unknown function `{name}`"),
+                    })?)
+                };
+                c.expect(&Tok::LParen)?;
+                let mut args = Vec::new();
+                if !c.eat(&Tok::RParen) {
+                    loop {
+                        args.push(self.parse_value(c, module, fid, values, obj_names)?);
+                        if c.eat(&Tok::RParen) {
+                            break;
+                        }
+                        c.expect(&Tok::Comma)?;
+                    }
+                }
+                InstKind::Call { callee, args }
+            }
+            "jump" => InstKind::Jump { target: block_ref(c)? },
+            "br" => {
+                let cond = val!();
+                c.expect(&Tok::Comma)?;
+                let t = block_ref(c)?;
+                c.expect(&Tok::Comma)?;
+                let e = block_ref(c)?;
+                InstKind::Branch { cond, then_target: t, else_target: e }
+            }
+            "ret" => {
+                let mut vals = Vec::new();
+                if !c.done() {
+                    loop {
+                        vals.push(self.parse_value(c, module, fid, values, obj_names)?);
+                        if !c.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                InstKind::Ret { values: vals }
+            }
+            "unreachable" => InstKind::Unreachable,
+            "new" => {
+                let what = c.ident()?;
+                match what.as_str() {
+                    "Seq" => {
+                        c.expect(&Tok::Lt)?;
+                        let elem = self.parse_type(c, module, obj_names)?;
+                        c.expect(&Tok::Gt)?;
+                        c.expect(&Tok::LParen)?;
+                        let len = val!();
+                        c.expect(&Tok::RParen)?;
+                        self.note_new_ty(module.types.seq_of(elem));
+                        InstKind::NewSeq { elem, len }
+                    }
+                    "Assoc" => {
+                        c.expect(&Tok::Lt)?;
+                        let k = self.parse_type(c, module, obj_names)?;
+                        c.expect(&Tok::Comma)?;
+                        let v = self.parse_type(c, module, obj_names)?;
+                        c.expect(&Tok::Gt)?;
+                        self.note_new_ty(module.types.assoc_of(k, v));
+                        InstKind::NewAssoc { key: k, value: v }
+                    }
+                    obj_name => {
+                        let obj = *obj_names.get(obj_name).ok_or_else(|| ParseError {
+                            line,
+                            message: format!("unknown object type `{obj_name}`"),
+                        })?;
+                        self.note_new_ty(module.types.ref_of(obj));
+                        InstKind::NewObj { obj }
+                    }
+                }
+            }
+            "delete" => InstKind::DeleteObj { obj: val!() },
+            "read" => {
+                let cv = val!();
+                let idx = comma_val!();
+                InstKind::Read { c: cv, idx }
+            }
+            "write" => {
+                let cv = val!();
+                let idx = comma_val!();
+                let value = comma_val!();
+                InstKind::Write { c: cv, idx, value }
+            }
+            "insert" => {
+                let cv = val!();
+                let idx = comma_val!();
+                let value = if c.eat(&Tok::Comma) {
+                    Some(self.parse_value(c, module, fid, values, obj_names)?)
+                } else {
+                    None
+                };
+                InstKind::Insert { c: cv, idx, value }
+            }
+            "insert.seq" => {
+                let cv = val!();
+                let idx = comma_val!();
+                let src = comma_val!();
+                InstKind::InsertSeq { c: cv, idx, src }
+            }
+            "remove" => {
+                let cv = val!();
+                let idx = comma_val!();
+                InstKind::Remove { c: cv, idx }
+            }
+            "remove.range" => {
+                let cv = val!();
+                let from = comma_val!();
+                let to = comma_val!();
+                InstKind::RemoveRange { c: cv, from, to }
+            }
+            "copy" => InstKind::Copy { c: val!() },
+            "copy.range" => {
+                let cv = val!();
+                let from = comma_val!();
+                let to = comma_val!();
+                InstKind::CopyRange { c: cv, from, to }
+            }
+            "swap" => {
+                let cv = val!();
+                let from = comma_val!();
+                let to = comma_val!();
+                let at = comma_val!();
+                InstKind::Swap { c: cv, from, to, at }
+            }
+            "swap2" => {
+                let a = val!();
+                let from = comma_val!();
+                let to = comma_val!();
+                let b = comma_val!();
+                let at = comma_val!();
+                InstKind::Swap2 { a, from, to, b, at }
+            }
+            "size" => InstKind::Size { c: val!() },
+            "has" => {
+                let cv = val!();
+                let key = comma_val!();
+                InstKind::Has { c: cv, key }
+            }
+            "keys" => InstKind::Keys { c: val!() },
+            "usephi" => InstKind::UsePhi { c: val!() },
+            "field.read" | "field.write" => {
+                let obj = val!();
+                c.expect(&Tok::Comma)?;
+                let path = c.ident()?; // `tname.fname`
+                let (tname, fname) = path.rsplit_once('.').ok_or_else(|| ParseError {
+                    line,
+                    message: format!("bad field path `{path}`"),
+                })?;
+                let obj_ty = *obj_names.get(tname).ok_or_else(|| ParseError {
+                    line,
+                    message: format!("unknown object type `{tname}`"),
+                })?;
+                let field = module.types.object(obj_ty).field_index(fname).ok_or_else(|| {
+                    ParseError { line, message: format!("unknown field `{fname}`") }
+                })? as u32;
+                if op == "field.read" {
+                    InstKind::FieldRead { obj, obj_ty, field }
+                } else {
+                    let value = comma_val!();
+                    InstKind::FieldWrite { obj, obj_ty, field, value }
+                }
+            }
+            "mut.write" => {
+                let cv = val!();
+                let idx = comma_val!();
+                let value = comma_val!();
+                InstKind::MutWrite { c: cv, idx, value }
+            }
+            "mut.insert" => {
+                let cv = val!();
+                let idx = comma_val!();
+                let value = if c.eat(&Tok::Comma) {
+                    Some(self.parse_value(c, module, fid, values, obj_names)?)
+                } else {
+                    None
+                };
+                InstKind::MutInsert { c: cv, idx, value }
+            }
+            "mut.insert.seq" => {
+                let cv = val!();
+                let idx = comma_val!();
+                let src = comma_val!();
+                InstKind::MutInsertSeq { c: cv, idx, src }
+            }
+            "mut.remove" => {
+                let cv = val!();
+                let idx = comma_val!();
+                InstKind::MutRemove { c: cv, idx }
+            }
+            "mut.remove.range" => {
+                let cv = val!();
+                let from = comma_val!();
+                let to = comma_val!();
+                InstKind::MutRemoveRange { c: cv, from, to }
+            }
+            "mut.append" => {
+                let cv = val!();
+                let src = comma_val!();
+                InstKind::MutAppend { c: cv, src }
+            }
+            "mut.swap" => {
+                let cv = val!();
+                let from = comma_val!();
+                let to = comma_val!();
+                let at = comma_val!();
+                InstKind::MutSwap { c: cv, from, to, at }
+            }
+            "mut.swap2" => {
+                let a = val!();
+                let from = comma_val!();
+                let to = comma_val!();
+                let b = comma_val!();
+                let at = comma_val!();
+                InstKind::MutSwap2 { a, from, to, b, at }
+            }
+            "mut.split" => {
+                let cv = val!();
+                let from = comma_val!();
+                let to = comma_val!();
+                InstKind::MutSplit { c: cv, from, to }
+            }
+            other => {
+                return Err(ParseError { line, message: format!("unknown opcode `{other}`") })
+            }
+        };
+        Ok(kind)
+    }
+
+    fn parse_value(
+        &self,
+        c: &mut LineCursor<'_>,
+        module: &mut Module,
+        fid: crate::FuncId,
+        values: &mut HashMap<String, ValueId>,
+        _obj_names: &HashMap<String, ObjTypeId>,
+    ) -> PResult<ValueId> {
+        let line = c.line;
+        match c.next()?.clone() {
+            Tok::Percent => {
+                let name = match c.next()? {
+                    Tok::Ident(s) => s.clone(),
+                    Tok::Number(s) => s.clone(),
+                    other => {
+                        return Err(ParseError {
+                            line,
+                            message: format!("bad value name {other:?}"),
+                        })
+                    }
+                };
+                if let Some(&v) = values.get(&name) {
+                    return Ok(v);
+                }
+                // Forward reference: mint a placeholder result value.
+                let void_ty = module.types.intern(Type::Void);
+                let f = &mut module.funcs[fid];
+                let v = f.values.push(Value {
+                    ty: void_ty,
+                    def: ValueDef::Inst(InstId::from_raw(u32::MAX), 0),
+                    name: name_hint(&name),
+                });
+                values.insert(name, v);
+                Ok(v)
+            }
+            Tok::Ident(s) if s == "true" || s == "false" => {
+                let t = module.types.intern(Type::Bool);
+                Ok(module.funcs[fid].constant(Constant::Bool(s == "true"), t))
+            }
+            Tok::Ident(s) if s.starts_with("null") => {
+                // Printed as `null:T<raw>` — tokenizer keeps `null` then `:`.
+                c.expect(&Tok::Colon)?;
+                let tref = c.ident()?;
+                let raw: u32 = tref
+                    .strip_prefix('T')
+                    .and_then(|r| r.parse().ok())
+                    .ok_or_else(|| ParseError { line, message: format!("bad null type `{tref}`") })?;
+                let obj = ObjTypeId::from_raw(raw);
+                let t = module.types.ref_of(obj);
+                Ok(module.funcs[fid].constant(Constant::Null(obj), t))
+            }
+            Tok::Minus => {
+                let num = match c.next()? {
+                    Tok::Number(s) => s.clone(),
+                    other => {
+                        return Err(ParseError { line, message: format!("bad number {other:?}") })
+                    }
+                };
+                self.typed_const(c, module, fid, &num, true)
+            }
+            Tok::Number(num) => self.typed_const(c, module, fid, &num, false),
+            other => Err(ParseError { line, message: format!("expected value, found {other:?}") }),
+        }
+    }
+
+    fn typed_const(
+        &self,
+        c: &mut LineCursor<'_>,
+        module: &mut Module,
+        fid: crate::FuncId,
+        num: &str,
+        neg: bool,
+    ) -> PResult<ValueId> {
+        let line = c.line;
+        c.expect(&Tok::Colon)?;
+        let tyname = c.ident()?;
+        let ty = match tyname.as_str() {
+            "I64" => Type::I64,
+            "I32" => Type::I32,
+            "I16" => Type::I16,
+            "I8" => Type::I8,
+            "U64" => Type::U64,
+            "U32" => Type::U32,
+            "U16" => Type::U16,
+            "U8" => Type::U8,
+            "Index" => Type::Index,
+            "F64" => Type::F64,
+            "F32" => Type::F32,
+            other => {
+                return Err(ParseError { line, message: format!("bad constant type `{other}`") })
+            }
+        };
+        let tid = module.types.intern(ty);
+        let konst = if ty.is_float() {
+            let mut v: f64 = num
+                .parse()
+                .map_err(|_| ParseError { line, message: format!("bad float `{num}`") })?;
+            if neg {
+                v = -v;
+            }
+            Constant::Float(ty, v.to_bits())
+        } else {
+            let mut v: i64 = if let Ok(x) = num.parse::<i64>() {
+                x
+            } else if let Ok(x) = num.parse::<u64>() {
+                x as i64
+            } else {
+                return Err(ParseError { line, message: format!("bad integer `{num}`") });
+            };
+            if neg {
+                v = -v;
+            }
+            Constant::Int(ty, v)
+        };
+        Ok(module.funcs[fid].constant(konst, tid))
+    }
+
+    // φ and `new` result types are recorded while parsing the instruction
+    // and consumed in order by `commit_staged`. Because instructions are
+    // parsed strictly in order, a simple queue (behind a RefCell to keep
+    // parse methods `&self`) suffices.
+    fn note_phi_ty(&self, ty: TypeId) {
+        self.noted.borrow_mut().push(ty);
+    }
+
+    fn note_new_ty(&self, ty: TypeId) {
+        self.noted.borrow_mut().push(ty);
+    }
+}
+
+use std::cell::RefCell;
+
+fn name_hint(raw: &str) -> Option<String> {
+    // `%foo.12` carries name hint `foo`; bare `%12` carries none.
+    match raw.rsplit_once('.') {
+        Some((base, _)) if !base.is_empty() && !base.chars().next().unwrap().is_ascii_digit() => {
+            Some(base.to_string())
+        }
+        None if raw.chars().next().is_some_and(|c| !c.is_ascii_digit()) => Some(raw.to_string()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_module;
+    use crate::ModuleBuilder;
+
+    #[test]
+    fn round_trip_simple() {
+        let mut mb = ModuleBuilder::new("rt");
+        mb.func("f", Form::Ssa, |b| {
+            let i64t = b.ty(Type::I64);
+            let n = b.index(4);
+            let s = b.new_seq(i64t, n);
+            let zero = b.index(0);
+            let v = b.i64(7);
+            let s1 = b.write(s, zero, v);
+            let r = b.read(s1, zero);
+            b.returns(&[i64t]);
+            b.ret(vec![r]);
+        });
+        let m = mb.finish();
+        let text = print_module(&m);
+        let parsed = parse_module(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        crate::verifier::assert_valid(&parsed);
+        let text2 = print_module(&parsed);
+        let parsed2 = parse_module(&text2).unwrap();
+        assert_eq!(print_module(&parsed2), text2);
+    }
+
+    /// Multi-result instructions (two-sequence swap, multi-return calls)
+    /// round-trip through the textual format.
+    #[test]
+    fn round_trip_multi_result() {
+        let mut mb = ModuleBuilder::new("rt");
+        let i64t = mb.module.types.intern(Type::I64);
+        let seqt = mb.module.types.seq_of(i64t);
+        let helper = mb.func("pair", Form::Ssa, |b| {
+            let s = b.param("s", seqt);
+            let x = b.i64(1);
+            b.returns(&[seqt, i64t]);
+            b.ret(vec![s, x]);
+        });
+        mb.func("f", Form::Ssa, |b| {
+            let n = b.index(4);
+            let a = b.new_seq(i64t, n);
+            let c = b.new_seq(i64t, n);
+            let zero = b.index(0);
+            let two = b.index(2);
+            let (a2, c2) = b.swap2(a, zero, two, c, zero);
+            let rets = b.call(crate::Callee::Func(helper), vec![a2], &[seqt, i64t]);
+            let sz = b.size(c2);
+            let szi = b.cast(Type::I64, sz);
+            let sum = b.add(rets[1], szi);
+            b.returns(&[i64t]);
+            b.ret(vec![sum]);
+        });
+        let m = mb.finish();
+        let text = print_module(&m);
+        let parsed = parse_module(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        crate::verifier::assert_valid(&parsed);
+        // Parsing renumbers values; stability holds from the second
+        // round trip onward.
+        let text2 = print_module(&parsed);
+        let parsed2 = parse_module(&text2).unwrap();
+        assert_eq!(print_module(&parsed2), text2);
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = parse_module("module m\nfn f() -> () form=ssa {\nentry.0:\n  bogus_op\n}\n")
+            .unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("bogus_op"));
+    }
+}

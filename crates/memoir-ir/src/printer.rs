@@ -1,0 +1,278 @@
+//! Textual rendering of MEMOIR modules and functions.
+//!
+//! The format is stable and parseable by [`crate::parser`]. Values print as
+//! `%N` or `%name.N` when a name hint is present; blocks as `bbN` or
+//! `name.N`.
+
+use crate::ids::{BlockId, InstId, ValueId};
+use crate::inst::{Callee, Constant, InstKind};
+use crate::{Function, Module, TypeTable, ValueDef};
+use std::fmt::Write;
+
+/// Prints a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module {}", m.name);
+    for (id, obj) in m.types.objects() {
+        let fields: Vec<String> = obj
+            .fields
+            .iter()
+            .map(|f| format!("{}: {}", f.name, m.types.display(f.ty)))
+            .collect();
+        let _ = writeln!(out, "type {} = {{ {} }}  ; {}", obj.name, fields.join(", "), id);
+    }
+    for (_, e) in m.externs.iter() {
+        let params: Vec<String> = e.params.iter().map(|&t| m.types.display(t)).collect();
+        let rets: Vec<String> = e.ret_tys.iter().map(|&t| m.types.display(t)).collect();
+        let eff = if e.effects.opaque {
+            "opaque"
+        } else if e.effects.writes_args {
+            "writes"
+        } else if e.effects.reads_args {
+            "pure"
+        } else {
+            "const"
+        };
+        let _ = writeln!(out, "extern {}({}) -> ({}) [{}]", e.name, params.join(", "), rets.join(", "), eff);
+    }
+    for (_, f) in m.funcs.iter() {
+        out.push('\n');
+        out.push_str(&print_function(f, &m.types, m));
+    }
+    out
+}
+
+/// Prints a single function.
+pub fn print_function(f: &Function, types: &TypeTable, module: &Module) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| {
+            format!("{}{}: {}", if p.by_ref { "&" } else { "" }, p.name, types.display(p.ty))
+        })
+        .collect();
+    let rets: Vec<String> = f.ret_tys.iter().map(|&t| types.display(t)).collect();
+    let form = match f.form {
+        crate::Form::Mut => "mut",
+        crate::Form::Ssa => "ssa",
+    };
+    let _ = writeln!(
+        out,
+        "fn {}({}) -> ({}) form={} {{",
+        f.name,
+        params.join(", "),
+        rets.join(", "),
+        form
+    );
+    for (b, block) in f.blocks.iter() {
+        let _ = writeln!(out, "{}:", block_name(f, b));
+        for &i in &block.insts {
+            let _ = writeln!(out, "  {}", print_inst(f, i, types, module));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a value reference.
+pub fn value_name(f: &Function, v: ValueId) -> String {
+    match (&f.values[v].def, &f.values[v].name) {
+        (ValueDef::Const(c), _) => format!("{c}"),
+        (_, Some(n)) => format!("%{}.{}", n, v.raw()),
+        (_, None) => format!("%{}", v.raw()),
+    }
+}
+
+/// Render a block reference.
+pub fn block_name(f: &Function, b: BlockId) -> String {
+    match &f.blocks[b].name {
+        Some(n) => format!("{}.{}", n, b.raw()),
+        None => format!("bb{}", b.raw()),
+    }
+}
+
+fn callee_name(module: &Module, c: Callee) -> String {
+    match c {
+        Callee::Func(id) => format!("@{}", module.funcs[id].name),
+        Callee::Extern(id) => format!("@{}!", module.externs[id].name),
+    }
+}
+
+/// Renders one instruction.
+pub fn print_inst(f: &Function, id: InstId, types: &TypeTable, module: &Module) -> String {
+    let inst = &f.insts[id];
+    let v = |val: &ValueId| value_name(f, *val);
+    let results = if inst.results.is_empty() {
+        String::new()
+    } else {
+        let names: Vec<String> = inst.results.iter().map(|r| value_name(f, *r)).collect();
+        format!("{} = ", names.join(", "))
+    };
+    let body = match &inst.kind {
+        InstKind::Bin { op, lhs, rhs } => format!("{} {}, {}", op.mnemonic(), v(lhs), v(rhs)),
+        InstKind::Cmp { op, lhs, rhs } => {
+            format!("cmp.{} {}, {}", op.mnemonic(), v(lhs), v(rhs))
+        }
+        InstKind::Cast { to, value } => format!("cast {} to {}", v(value), types.display(*to)),
+        InstKind::Select { cond, then_value, else_value } => {
+            format!("select {}, {}, {}", v(cond), v(then_value), v(else_value))
+        }
+        InstKind::Phi { incoming } => {
+            let parts: Vec<String> = incoming
+                .iter()
+                .map(|(b, val)| format!("[{}: {}]", block_name(f, *b), v(val)))
+                .collect();
+            // The result type is annotated so the parser never needs to
+            // resolve forward references to type a φ.
+            let ty = types.display(f.value_ty(inst.results[0]));
+            format!("phi {} {}", ty, parts.join(", "))
+        }
+        InstKind::Call { callee, args } => {
+            let a: Vec<String> = args.iter().map(|x| v(x)).collect();
+            format!("call {}({})", callee_name(module, *callee), a.join(", "))
+        }
+        InstKind::Jump { target } => format!("jump {}", block_name(f, *target)),
+        InstKind::Branch { cond, then_target, else_target } => format!(
+            "br {}, {}, {}",
+            v(cond),
+            block_name(f, *then_target),
+            block_name(f, *else_target)
+        ),
+        InstKind::Ret { values } => {
+            let a: Vec<String> = values.iter().map(|x| v(x)).collect();
+            format!("ret {}", a.join(", "))
+        }
+        InstKind::Unreachable => "unreachable".into(),
+        InstKind::NewSeq { elem, len } => {
+            format!("new Seq<{}>({})", types.display(*elem), v(len))
+        }
+        InstKind::NewAssoc { key, value } => {
+            format!("new Assoc<{}, {}>", types.display(*key), types.display(*value))
+        }
+        InstKind::NewObj { obj } => format!("new {}", types.object(*obj).name),
+        InstKind::DeleteObj { obj } => format!("delete {}", v(obj)),
+        InstKind::Read { c, idx } => format!("read {}, {}", v(c), v(idx)),
+        InstKind::Write { c, idx, value } => {
+            format!("write {}, {}, {}", v(c), v(idx), v(value))
+        }
+        InstKind::Insert { c, idx, value } => match value {
+            Some(val) => format!("insert {}, {}, {}", v(c), v(idx), v(val)),
+            None => format!("insert {}, {}", v(c), v(idx)),
+        },
+        InstKind::InsertSeq { c, idx, src } => {
+            format!("insert.seq {}, {}, {}", v(c), v(idx), v(src))
+        }
+        InstKind::Remove { c, idx } => format!("remove {}, {}", v(c), v(idx)),
+        InstKind::RemoveRange { c, from, to } => {
+            format!("remove.range {}, {}, {}", v(c), v(from), v(to))
+        }
+        InstKind::Copy { c } => format!("copy {}", v(c)),
+        InstKind::CopyRange { c, from, to } => {
+            format!("copy.range {}, {}, {}", v(c), v(from), v(to))
+        }
+        InstKind::Swap { c, from, to, at } => {
+            format!("swap {}, {}, {}, {}", v(c), v(from), v(to), v(at))
+        }
+        InstKind::Swap2 { a, from, to, b, at } => {
+            format!("swap2 {}, {}, {}, {}, {}", v(a), v(from), v(to), v(b), v(at))
+        }
+        InstKind::Size { c } => format!("size {}", v(c)),
+        InstKind::Has { c, key } => format!("has {}, {}", v(c), v(key)),
+        InstKind::Keys { c } => format!("keys {}", v(c)),
+        InstKind::UsePhi { c } => format!("usephi {}", v(c)),
+        InstKind::FieldRead { obj, obj_ty, field } => format!(
+            "field.read {}, {}.{}",
+            v(obj),
+            types.object(*obj_ty).name,
+            types.object(*obj_ty).fields[*field as usize].name
+        ),
+        InstKind::FieldWrite { obj, obj_ty, field, value } => format!(
+            "field.write {}, {}.{}, {}",
+            v(obj),
+            types.object(*obj_ty).name,
+            types.object(*obj_ty).fields[*field as usize].name,
+            v(value)
+        ),
+        InstKind::MutWrite { c, idx, value } => {
+            format!("mut.write {}, {}, {}", v(c), v(idx), v(value))
+        }
+        InstKind::MutInsert { c, idx, value } => match value {
+            Some(val) => format!("mut.insert {}, {}, {}", v(c), v(idx), v(val)),
+            None => format!("mut.insert {}, {}", v(c), v(idx)),
+        },
+        InstKind::MutInsertSeq { c, idx, src } => {
+            format!("mut.insert.seq {}, {}, {}", v(c), v(idx), v(src))
+        }
+        InstKind::MutRemove { c, idx } => format!("mut.remove {}, {}", v(c), v(idx)),
+        InstKind::MutRemoveRange { c, from, to } => {
+            format!("mut.remove.range {}, {}, {}", v(c), v(from), v(to))
+        }
+        InstKind::MutAppend { c, src } => format!("mut.append {}, {}", v(c), v(src)),
+        InstKind::MutSwap { c, from, to, at } => {
+            format!("mut.swap {}, {}, {}, {}", v(c), v(from), v(to), v(at))
+        }
+        InstKind::MutSwap2 { a, from, to, b, at } => {
+            format!("mut.swap2 {}, {}, {}, {}, {}", v(a), v(from), v(to), v(b), v(at))
+        }
+        InstKind::MutSplit { c, from, to } => {
+            format!("mut.split {}, {}, {}", v(c), v(from), v(to))
+        }
+    };
+    format!("{results}{body}")
+}
+
+/// Renders a constant for display in operand position.
+pub fn print_constant(c: Constant) -> String {
+    format!("{c}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::{Form, Type};
+
+    #[test]
+    fn prints_readable_function() {
+        let mut mb = ModuleBuilder::new("demo");
+        mb.func("f", Form::Ssa, |b| {
+            let i64t = b.ty(Type::I64);
+            let n = b.index(4);
+            let s = b.new_seq(i64t, n);
+            b.name(s, "S_0");
+            let zero = b.index(0);
+            let v = b.i64(9);
+            let s1 = b.write(s, zero, v);
+            let r = b.read(s1, zero);
+            b.returns(&[i64t]);
+            b.ret(vec![r]);
+        });
+        let m = mb.finish();
+        let text = print_module(&m);
+        assert!(text.contains("module demo"), "{text}");
+        assert!(text.contains("new Seq<i64>(4:Index)"), "{text}");
+        assert!(text.contains("%S_0"), "{text}");
+        assert!(text.contains("write"), "{text}");
+        assert!(text.contains("ret"), "{text}");
+    }
+
+    #[test]
+    fn prints_phi_and_branch() {
+        let mut mb = ModuleBuilder::new("demo");
+        mb.func("g", Form::Ssa, |b| {
+            let t = b.ty(Type::Index);
+            let exit = b.block("exit");
+            let zero = b.index(0);
+            let c = b.bool(true);
+            b.branch(c, exit, exit);
+            b.switch_to(exit);
+            let p = b.phi(t, vec![(b.func.entry, zero)]);
+            b.ret(vec![p]);
+        });
+        let m = mb.finish();
+        let text = print_module(&m);
+        assert!(text.contains("phi index [entry.0: 0:Index]"), "{text}");
+        assert!(text.contains("br true, exit.1, exit.1"), "{text}");
+    }
+}

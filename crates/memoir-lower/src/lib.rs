@@ -1,0 +1,14 @@
+//! # memoir-lower
+//!
+//! Collection lowering (paper §VI): MEMOIR mut-form programs become
+//! low-level IR with explicit memory — inlined sequence/object accesses
+//! and opaque associative-array runtime calls — plus heap/stack placement
+//! decisions from the escape analysis.
+
+#![warn(missing_docs)]
+
+pub mod lower;
+pub mod stackalloc;
+
+pub use lower::{lower_module, LowerError};
+pub use stackalloc::{placement_report, PlacementReport};

@@ -1,0 +1,61 @@
+//! Heap/stack selection (paper §VI, Collection Lowering): a `new` operator
+//! whose collection is dead at every exit of its containing function is
+//! stack-allocated; everything else goes to the heap. The decision comes
+//! from `memoir-analysis::escape`; this module reports it per module (the
+//! actual low-level IR uses a bump allocator either way, so the decision
+//! is observable as a report and in the `alloca`-vs-`malloc` choice of
+//! future backends).
+
+use memoir_analysis::{EscapeAnalysis, Placement};
+use memoir_ir::Module;
+
+/// Module-wide placement summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlacementReport {
+    /// Allocation sites eligible for the stack.
+    pub stack_sites: usize,
+    /// Allocation sites requiring the heap.
+    pub heap_sites: usize,
+}
+
+/// Computes the heap/stack placement of every allocation site.
+pub fn placement_report(m: &Module) -> PlacementReport {
+    let mut report = PlacementReport::default();
+    for (_, f) in m.funcs.iter() {
+        let esc = EscapeAnalysis::compute(m, f);
+        for p in esc.placements.values() {
+            match p {
+                Placement::Stack => report.stack_sites += 1,
+                Placement::Heap => report.heap_sites += 1,
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memoir_ir::{Form, ModuleBuilder, Type};
+
+    #[test]
+    fn report_counts_both_kinds() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("f", Form::Mut, |b| {
+            let i64t = b.ty(Type::I64);
+            let seqt = b.types.seq_of(i64t);
+            let n = b.index(4);
+            let local = b.new_seq(i64t, n); // stack
+            let escaping = b.new_seq(i64t, n); // heap (returned)
+            let zero = b.index(0);
+            let v = b.i64(1);
+            b.mut_write(local, zero, v);
+            b.returns(&[seqt]);
+            b.ret(vec![escaping]);
+        });
+        let m = mb.finish();
+        let r = placement_report(&m);
+        assert_eq!(r.stack_sites, 1);
+        assert_eq!(r.heap_sites, 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! USEφ construction and destruction (copy folding, §IV-B).
+//!
+//! `USEφ`s link reads of the same collection in control-flow order so that
+//! sparse analyses can attach a lattice variable to each access. They are
+//! not needed by every analysis and cost one instruction per read, so the
+//! paper constructs them on demand and destructs them by copy folding.
+
+use memoir_ir::{Form, InstKind, Module, ValueId};
+use std::collections::HashMap;
+
+/// Inserts a `USEφ` after every collection read (`read`, `has`, `size`),
+/// rethreading later uses in the same block onto the new version. Returns
+/// the number of USEφs constructed.
+pub fn construct_use_phis(m: &mut Module) -> usize {
+    let mut constructed = 0;
+    for fid in m.funcs.ids().collect::<Vec<_>>() {
+        if m.funcs[fid].form != Form::Ssa {
+            continue;
+        }
+        let f = &mut m.funcs[fid];
+        for b in f.blocks.ids().collect::<Vec<_>>() {
+            // Walk the block, inserting USEφ after each access and
+            // renaming subsequent uses within the block.
+            let mut pos = 0;
+            while pos < f.blocks[b].insts.len() {
+                let iid = f.blocks[b].insts[pos];
+                let accessed: Option<ValueId> = match &f.insts[iid].kind {
+                    InstKind::Read { c, .. }
+                    | InstKind::Has { c, .. }
+                    | InstKind::Size { c } => Some(*c),
+                    _ => None,
+                };
+                if let Some(c) = accessed {
+                    // Don't chain a USEφ onto another USEφ's operand twice
+                    // in a row for the same access — each access gets one.
+                    let ty = f.value_ty(c);
+                    let (_, res) =
+                        f.insert_inst_at(b, pos + 1, InstKind::UsePhi { c }, &[ty]);
+                    let new_v = res[0];
+                    constructed += 1;
+                    // Rename uses of `c` after the inserted USEφ in this
+                    // block only (cross-block renaming would require full
+                    // re-φ-insertion; block-local chains are what the
+                    // per-access lattice needs).
+                    for &later in f.blocks[b].insts.clone().iter().skip(pos + 2) {
+                        let mut kind = f.insts[later].kind.clone();
+                        let mut changed = false;
+                        kind.visit_operands_mut(|v| {
+                            if *v == c {
+                                *v = new_v;
+                                changed = true;
+                            }
+                        });
+                        if changed {
+                            f.insts[later].kind = kind;
+                        }
+                    }
+                    pos += 2;
+                } else {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    constructed
+}
+
+/// Destructs every `USEφ` by copy folding: uses of the result are replaced
+/// by the operand and the instruction is removed. Returns the number
+/// folded.
+pub fn destruct_use_phis(m: &mut Module) -> usize {
+    let mut folded = 0;
+    for fid in m.funcs.ids().collect::<Vec<_>>() {
+        let f = &mut m.funcs[fid];
+        let mut replacements: HashMap<ValueId, ValueId> = HashMap::new();
+        let mut removed = Vec::new();
+        for (b, i) in f.inst_ids_in_order() {
+            if let InstKind::UsePhi { c } = f.insts[i].kind {
+                replacements.insert(f.insts[i].results[0], c);
+                removed.push((b, i));
+            }
+        }
+        folded += removed.len();
+        for (b, i) in removed {
+            f.remove_inst(b, i);
+        }
+        f.replace_uses_map(&replacements);
+    }
+    folded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memoir_ir::{ModuleBuilder, Type};
+
+    fn sample() -> memoir_ir::Module {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("f", Form::Ssa, |b| {
+            let i64t = b.ty(Type::I64);
+            let n = b.index(2);
+            let s0 = b.new_seq(i64t, n);
+            let zero = b.index(0);
+            let one = b.index(1);
+            let v = b.i64(3);
+            let s1 = b.write(s0, zero, v);
+            let s2 = b.write(s1, one, v);
+            let a = b.read(s2, zero);
+            let c = b.read(s2, one);
+            let sum = b.add(a, c);
+            b.returns(&[i64t]);
+            b.ret(vec![sum]);
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn construct_then_destruct_is_identity_semantics() {
+        let m0 = sample();
+        let mut m = m0.clone();
+        let n = construct_use_phis(&mut m);
+        assert_eq!(n, 2, "one USEφ per read");
+        memoir_ir::verifier::assert_valid(&m);
+        // The second read consumes the first USEφ's result.
+        let f = &m.funcs[m.func_by_name("f").unwrap()];
+        let mut use_phi_results = Vec::new();
+        let mut read_ops = Vec::new();
+        for (_, i) in f.inst_ids_in_order() {
+            match &f.insts[i].kind {
+                InstKind::UsePhi { .. } => {
+                    use_phi_results.push(f.insts[i].results[0]);
+                }
+                InstKind::Read { c, .. } => read_ops.push(*c),
+                _ => {}
+            }
+        }
+        assert_eq!(read_ops.len(), 2);
+        assert_eq!(read_ops[1], use_phi_results[0], "reads are chained in CFG order");
+
+        let folded = destruct_use_phis(&mut m);
+        assert_eq!(folded, 2);
+        memoir_ir::verifier::assert_valid(&m);
+
+        use memoir_interp::Interp;
+        let mut i0 = Interp::new(&m0);
+        let r0 = i0.run_by_name("f", vec![]).unwrap();
+        let mut i1 = Interp::new(&m);
+        let r1 = i1.run_by_name("f", vec![]).unwrap();
+        assert_eq!(r0, r1);
+    }
+}

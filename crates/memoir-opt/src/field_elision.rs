@@ -1,0 +1,299 @@
+//! Field Elision (paper §V).
+//!
+//! Converts a field of an object type into a key-value pair stored in an
+//! associative array `Assoc<&T, U>`, reducing the memory of
+//! possibly-unused fields and improving the spatial locality of the
+//! remaining ones. Unlike data-structure splicing, no pointer field is
+//! added — the collection replaces it (§V).
+//!
+//! The transformation (per the paper): construct `A_{T.a} = new
+//! Assoc<&T, U>` at the beginning of the program's entry function; replace
+//! every reference to the field array `F_{T.a}` with `A_{T.a}`; where the
+//! field array was used across functions, add a parameter threading the
+//! assoc (the ARGφ rewrite); finally remove field `a` from `T`.
+//!
+//! This pass runs on the **mut form** (layout transformations are
+//! position-independent; see DESIGN.md §6): the assoc parameter threads
+//! by-reference exactly like a C++ `&` parameter.
+
+use crate::dfe::remove_field;
+use memoir_analysis::Affinity;
+use memoir_ir::{
+    Callee, Form, FuncId, InstKind, Module, ObjTypeId, TypeId, ValueId,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Statistics from field elision.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FieldElisionStats {
+    /// `(type, field)` pairs elided.
+    pub fields_elided: Vec<(String, String)>,
+    /// Functions that gained a threaded assoc parameter.
+    pub functions_threaded: usize,
+    /// Field accesses rewritten to assoc accesses.
+    pub accesses_rewritten: usize,
+}
+
+/// Errors from field elision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ElisionError {
+    /// The module has no entry function to host the assoc allocation.
+    NoEntryFunction,
+    /// The module is not in mut form.
+    NotMutForm,
+    /// The object type's references reach unknown code.
+    EscapesToUnknown(String),
+}
+
+impl std::fmt::Display for ElisionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElisionError::NoEntryFunction => write!(f, "module has no entry function"),
+            ElisionError::NotMutForm => write!(f, "field elision runs on the mut form"),
+            ElisionError::EscapesToUnknown(t) => {
+                write!(f, "references to `{t}` reach unknown code")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ElisionError {}
+
+/// Elides every field below the affinity `threshold` (see
+/// [`memoir_analysis::Affinity`]).
+pub fn auto_field_elision(
+    m: &mut Module,
+    threshold: f64,
+) -> Result<FieldElisionStats, ElisionError> {
+    let affinity = Affinity::compute(m);
+    let mut stats = FieldElisionStats::default();
+    let types: Vec<ObjTypeId> = m.types.objects().map(|(t, _)| t).collect();
+    for ty in types {
+        // Candidates shift as fields are removed: take them one at a time.
+        loop {
+            let cands = Affinity::compute(m).elision_candidates(ty, threshold);
+            let _ = &affinity;
+            let Some(&field) = cands.first() else { break };
+            let s = field_elision(m, ty, field)?;
+            stats.fields_elided.extend(s.fields_elided);
+            stats.functions_threaded += s.functions_threaded;
+            stats.accesses_rewritten += s.accesses_rewritten;
+        }
+    }
+    Ok(stats)
+}
+
+/// Elides one specific field of one type.
+pub fn field_elision(
+    m: &mut Module,
+    ty: ObjTypeId,
+    field: u32,
+) -> Result<FieldElisionStats, ElisionError> {
+    let entry = m.entry.ok_or(ElisionError::NoEntryFunction)?;
+    if !m.all_in_form(Form::Mut) {
+        return Err(ElisionError::NotMutForm);
+    }
+    let mut stats = FieldElisionStats::default();
+    let tname = m.types.object(ty).name.clone();
+    let fname = m.types.object(ty).fields[field as usize].name.clone();
+
+    // The assoc type.
+    let ref_ty = m.types.ref_of(ty);
+    let val_ty = m.types.object(ty).fields[field as usize].ty;
+    let assoc_ty = m.types.assoc_of(ref_ty, val_ty);
+
+    // Which functions touch the field (directly or through calls)?
+    let mut needs: HashSet<FuncId> = HashSet::new();
+    for (fid, f) in m.funcs.iter() {
+        for (_, i) in f.inst_ids_in_order() {
+            if let InstKind::FieldRead { obj_ty, field: fi, .. }
+            | InstKind::FieldWrite { obj_ty, field: fi, .. } = &f.insts[i].kind
+            {
+                if *obj_ty == ty && *fi == field {
+                    needs.insert(fid);
+                }
+            }
+        }
+    }
+    // Close over callers.
+    loop {
+        let mut grew = false;
+        for (fid, f) in m.funcs.iter() {
+            if needs.contains(&fid) {
+                continue;
+            }
+            for (_, i) in f.inst_ids_in_order() {
+                if let InstKind::Call { callee: Callee::Func(t), .. } = &f.insts[i].kind {
+                    if needs.contains(t) {
+                        needs.insert(fid);
+                        grew = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // The local assoc value per function: the allocation in the entry
+    // function, a new by-ref parameter elsewhere.
+    let mut local_assoc: HashMap<FuncId, ValueId> = HashMap::new();
+    {
+        // Allocate at the top of the entry function.
+        let f = &mut m.funcs[entry];
+        let (_, res) = f.insert_inst_at(
+            f.entry,
+            0,
+            InstKind::NewAssoc { key: ref_ty, value: val_ty },
+            &[assoc_ty],
+        );
+        f.values[res[0]].name = Some(format!("A_{tname}_{fname}"));
+        local_assoc.insert(entry, res[0]);
+    }
+    for &fid in &needs {
+        if fid == entry {
+            continue;
+        }
+        let f = &mut m.funcs[fid];
+        let pv = f.add_param(format!("A_{tname}_{fname}"), assoc_ty, true);
+        local_assoc.insert(fid, pv);
+        stats.functions_threaded += 1;
+    }
+
+    // Rewrite accesses and call sites.
+    let all_funcs: Vec<FuncId> = m.funcs.ids().collect();
+    for fid in all_funcs {
+        let in_needs = needs.contains(&fid) || fid == entry;
+        let Some(&assoc) = local_assoc.get(&fid) else {
+            // Functions outside `needs` may still call into `needs` only
+            // if... they can't: closure added all callers. Those that call
+            // no needing function are untouched.
+            continue;
+        };
+        let _ = in_needs;
+        let f = &mut m.funcs[fid];
+        for (b, i) in f.inst_ids_in_order() {
+            let kind = f.insts[i].kind.clone();
+            match kind {
+                InstKind::FieldRead { obj, obj_ty, field: fi } if obj_ty == ty && fi == field => {
+                    f.insts[i].kind = InstKind::Read { c: assoc, idx: obj };
+                    stats.accesses_rewritten += 1;
+                }
+                InstKind::FieldWrite { obj, obj_ty, field: fi, value }
+                    if obj_ty == ty && fi == field =>
+                {
+                    f.insts[i].kind = InstKind::MutWrite { c: assoc, idx: obj, value };
+                    stats.accesses_rewritten += 1;
+                }
+                InstKind::Call { callee: Callee::Func(t), mut args } if needs.contains(&t) => {
+                    args.push(assoc);
+                    f.insts[i].kind = InstKind::Call { callee: Callee::Func(t), args };
+                }
+                _ => {
+                    let _ = b;
+                }
+            }
+        }
+    }
+
+    // Remove the field from the type (also shifts access indices).
+    remove_field(m, ty, field);
+    stats.fields_elided.push((tname, fname));
+    Ok(stats)
+}
+
+/// The element value type of an elided field's assoc (test helper).
+pub fn elided_assoc_ty(m: &mut Module, ty: ObjTypeId, val_ty: TypeId) -> TypeId {
+    let r = m.types.ref_of(ty);
+    m.types.assoc_of(r, val_ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memoir_interp::{Interp, Value};
+    use memoir_ir::{Field, ModuleBuilder, Type};
+
+    /// An object with a hot `cost` and a cold `note`; a helper function
+    /// reads the cold field so threading is exercised.
+    fn build() -> (Module, ObjTypeId) {
+        let mut mb = ModuleBuilder::new("m");
+        let i64t = mb.module.types.intern(Type::I64);
+        let obj = mb
+            .module
+            .types
+            .define_object(
+                "arc",
+                vec![
+                    Field { name: "cost".into(), ty: i64t },
+                    Field { name: "note".into(), ty: i64t },
+                ],
+            )
+            .unwrap();
+        let ref_ty = mb.module.types.ref_of(obj);
+        let helper = mb.func("get_note", Form::Mut, |b| {
+            let o = b.param("o", ref_ty);
+            let v = b.field_read(o, obj, 1);
+            b.returns(&[i64t]);
+            b.ret(vec![v]);
+        });
+        mb.func("main", Form::Mut, |b| {
+            let o = b.new_obj(obj);
+            let c = b.i64(100);
+            b.field_write(o, obj, 0, c);
+            let n = b.i64(7);
+            b.field_write(o, obj, 1, n);
+            let rc = b.field_read(o, obj, 0);
+            let rn = b.call(Callee::Func(helper), vec![o], &[i64t])[0];
+            let sum = b.add(rc, rn);
+            b.returns(&[i64t]);
+            b.ret(vec![sum]);
+        });
+        let mut m = mb.finish();
+        m.entry = m.func_by_name("main");
+        (m, obj)
+    }
+
+    #[test]
+    fn elision_preserves_semantics_and_shrinks_object() {
+        let (mut m, obj) = build();
+        let before_size = m.types.object_layout(obj).size;
+        let baseline = {
+            let mut i = Interp::new(&m);
+            i.run_by_name("main", vec![]).unwrap()
+        };
+        let stats = field_elision(&mut m, obj, 1).unwrap();
+        assert_eq!(stats.fields_elided, vec![("arc".into(), "note".into())]);
+        assert_eq!(stats.functions_threaded, 1, "helper gains the assoc param");
+        assert!(stats.accesses_rewritten >= 2);
+        memoir_ir::verifier::assert_valid(&m);
+        assert!(m.types.object_layout(obj).size < before_size);
+
+        let mut i = Interp::new(&m);
+        let out = i.run_by_name("main", vec![]).unwrap();
+        assert_eq!(out, baseline);
+        assert_eq!(out, vec![Value::Int(Type::I64, 107)]);
+        // The elided accesses now go through an assoc.
+        assert!(i.stats.assoc_ops >= 2);
+    }
+
+    #[test]
+    fn auto_elision_picks_low_affinity_field() {
+        let (mut m, obj) = build();
+        // `note` is accessed alone in the helper, `cost` co-accessed in
+        // main... both have mixed patterns; use a permissive threshold and
+        // just check the pass runs and verifies.
+        let stats = auto_field_elision(&mut m, 0.6).unwrap();
+        memoir_ir::verifier::assert_valid(&m);
+        let _ = (stats, obj);
+    }
+
+    #[test]
+    fn requires_entry_function() {
+        let (mut m, obj) = build();
+        m.entry = None;
+        assert_eq!(field_elision(&mut m, obj, 1).unwrap_err(), ElisionError::NoEntryFunction);
+    }
+}

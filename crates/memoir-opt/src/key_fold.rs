@@ -1,0 +1,221 @@
+//! Key folding (paper §VII-C, applied to deepsjeng together with field
+//! elision).
+//!
+//! When every key flowing into an associative array is produced by a
+//! widening `cast` from one common narrower type, the array can be retyped
+//! to the narrower key directly and the casts removed. Widening integer
+//! casts are injective, so identity equality of keys is preserved
+//! (§IV-D). This is our reading of the paper's (undescribed) "key
+//! folding": deepsjeng's elided 16-bit field keys a table that needs no
+//! 64-bit key storage.
+//!
+//! Runs on the mut form.
+
+use memoir_ir::{Form, FuncId, InstId, InstKind, Module, Type, ValueDef, ValueId};
+
+/// Statistics from a key-folding run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KeyFoldStats {
+    /// Associative arrays retyped to a narrower key.
+    pub assocs_folded: usize,
+    /// Casts bypassed at access sites.
+    pub casts_removed: usize,
+}
+
+/// Whether `from` → `to` is a widening (injective) integer conversion.
+fn is_widening(from: Type, to: Type) -> bool {
+    fn width(t: Type) -> Option<(u32, bool)> {
+        Some(match t {
+            Type::I8 => (8, true),
+            Type::U8 => (8, false),
+            Type::I16 => (16, true),
+            Type::U16 => (16, false),
+            Type::I32 => (32, true),
+            Type::U32 => (32, false),
+            Type::I64 => (64, true),
+            Type::U64 | Type::Index => (64, false),
+            _ => return None,
+        })
+    }
+    match (width(from), width(to)) {
+        (Some((wf, sf)), Some((wt, st))) => wt > wf && (sf == st || !sf),
+        _ => false,
+    }
+}
+
+/// Runs key folding on every mut-form function.
+pub fn key_fold(m: &mut Module) -> KeyFoldStats {
+    let mut stats = KeyFoldStats::default();
+    for fid in m.funcs.ids().collect::<Vec<_>>() {
+        if m.funcs[fid].form != Form::Mut {
+            continue;
+        }
+        stats.merge(key_fold_function(m, fid));
+    }
+    stats
+}
+
+impl KeyFoldStats {
+    fn merge(&mut self, o: KeyFoldStats) {
+        self.assocs_folded += o.assocs_folded;
+        self.casts_removed += o.casts_removed;
+    }
+}
+
+fn key_fold_function(m: &mut Module, fid: FuncId) -> KeyFoldStats {
+    let mut stats = KeyFoldStats::default();
+    let candidates: Vec<InstId> = {
+        let f = &m.funcs[fid];
+        f.inst_ids_in_order()
+            .into_iter()
+            .filter(|(_, i)| matches!(f.insts[*i].kind, InstKind::NewAssoc { .. }))
+            .map(|(_, i)| i)
+            .collect()
+    };
+
+    'cand: for alloc in candidates {
+        let f = &m.funcs[fid];
+        let assoc_v = f.insts[alloc].results[0];
+        let InstKind::NewAssoc { key: key_ty_id, value: val_ty_id } = f.insts[alloc].kind
+        else {
+            continue;
+        };
+        let wide_ty = m.types.get(key_ty_id);
+
+        // Collect key operands of every access; reject escapes.
+        let mut sites: Vec<(InstId, ValueId)> = Vec::new();
+        for (_, i) in f.inst_ids_in_order() {
+            let kind = &f.insts[i].kind;
+            let mut uses = false;
+            kind.visit_operands(|&v| uses |= v == assoc_v);
+            if !uses {
+                continue;
+            }
+            match kind {
+                InstKind::Read { c, idx } | InstKind::MutRemove { c, idx }
+                | InstKind::Has { c, key: idx } if *c == assoc_v => {
+                    sites.push((i, *idx));
+                }
+                InstKind::MutWrite { c, idx, .. } if *c == assoc_v => sites.push((i, *idx)),
+                InstKind::MutInsert { c, idx, .. } if *c == assoc_v => sites.push((i, *idx)),
+                InstKind::Size { c } if *c == assoc_v => {}
+                _ => continue 'cand,
+            }
+        }
+        if sites.is_empty() {
+            continue;
+        }
+
+        // Every key must be `cast narrow_value to wide_ty` from one common
+        // narrow type.
+        let mut narrow_ty: Option<Type> = None;
+        let mut replacements: Vec<(InstId, ValueId)> = Vec::new();
+        for &(site, key) in &sites {
+            let ValueDef::Inst(def, _) = f.values[key].def else { continue 'cand };
+            let InstKind::Cast { value, .. } = f.insts[def].kind else { continue 'cand };
+            let src_ty = m.types.get(f.value_ty(value));
+            if !is_widening(src_ty, wide_ty) {
+                continue 'cand;
+            }
+            match narrow_ty {
+                None => narrow_ty = Some(src_ty),
+                Some(t) if t == src_ty => {}
+                _ => continue 'cand,
+            }
+            replacements.push((site, value));
+        }
+        let Some(narrow) = narrow_ty else { continue };
+
+        // ---- commit: retype the assoc, bypass the casts ----
+        let narrow_id = m.types.intern(narrow);
+        let new_assoc_ty = m.types.assoc_of(narrow_id, val_ty_id);
+        let f = &mut m.funcs[fid];
+        f.insts[alloc].kind = InstKind::NewAssoc { key: narrow_id, value: val_ty_id };
+        let result = f.insts[alloc].results[0];
+        f.values[result].ty = new_assoc_ty;
+        for (site, narrow_v) in replacements {
+            let mut kind = f.insts[site].kind.clone();
+            match &mut kind {
+                InstKind::Read { idx, .. }
+                | InstKind::MutRemove { idx, .. }
+                | InstKind::Has { key: idx, .. }
+                | InstKind::MutWrite { idx, .. }
+                | InstKind::MutInsert { idx, .. } => *idx = narrow_v,
+                _ => {}
+            }
+            f.insts[site].kind = kind;
+            stats.casts_removed += 1;
+        }
+        stats.assocs_folded += 1;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memoir_interp::{Interp, Value};
+    use memoir_ir::ModuleBuilder;
+
+    #[test]
+    fn widening_cast_keys_are_folded() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("main", Form::Mut, |b| {
+            let i64t = b.ty(Type::I64);
+            let i16t = b.ty(Type::I16);
+            let a = b.new_assoc(i64t, i64t);
+            let k16 = b.int(Type::I16, 300);
+            let k64 = b.cast(Type::I64, k16);
+            let v = b.i64(42);
+            b.mut_write(a, k64, v);
+            let k16b = b.int(Type::I16, 300);
+            let k64b = b.cast(Type::I64, k16b);
+            let r = b.read(a, k64b);
+            let _ = i16t;
+            b.returns(&[i64t]);
+            b.ret(vec![r]);
+        });
+        let mut m = mb.finish();
+        let baseline = {
+            let mut i = Interp::new(&m);
+            i.run_by_name("main", vec![]).unwrap()
+        };
+        let stats = key_fold(&mut m);
+        assert_eq!(stats.assocs_folded, 1);
+        assert_eq!(stats.casts_removed, 2);
+        memoir_ir::verifier::assert_valid(&m);
+        let mut i = Interp::new(&m);
+        let out = i.run_by_name("main", vec![]).unwrap();
+        assert_eq!(out, baseline);
+        assert_eq!(out, vec![Value::Int(Type::I64, 42)]);
+    }
+
+    #[test]
+    fn mixed_key_sources_defeat_folding() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("main", Form::Mut, |b| {
+            let i64t = b.ty(Type::I64);
+            let a = b.new_assoc(i64t, i64t);
+            let k16 = b.int(Type::I16, 3);
+            let k64 = b.cast(Type::I64, k16);
+            let v = b.i64(1);
+            b.mut_write(a, k64, v);
+            let direct = b.i64(5); // not a cast
+            b.mut_write(a, direct, v);
+            b.ret(vec![]);
+        });
+        let mut m = mb.finish();
+        let stats = key_fold(&mut m);
+        assert_eq!(stats.assocs_folded, 0);
+    }
+
+    #[test]
+    fn narrowing_cast_not_folded() {
+        // i64 → i16 keys are not injective: must not fold.
+        assert!(!is_widening(Type::I64, Type::I16));
+        assert!(is_widening(Type::I16, Type::I64));
+        assert!(is_widening(Type::U16, Type::I64));
+        assert!(!is_widening(Type::I16, Type::U64), "sign-extension into unsigned differs");
+        assert!(is_widening(Type::U8, Type::Index));
+    }
+}

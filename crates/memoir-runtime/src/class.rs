@@ -1,0 +1,73 @@
+//! Collection classification (paper §III, Fig. 1).
+//!
+//! The paper manually classifies heap memory into six classes to show that
+//! the majority of SPECINT 2017's memory has higher-level structure. The
+//! runtime tags every collection with its class so the ledger can produce
+//! the same breakdown.
+
+/// The six memory classes of Fig. 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CollectionClass {
+    /// Contiguous in index space: arrays, vectors, linked lists.
+    Sequential,
+    /// Key-value relations: maps, sets, hash tables.
+    Associative,
+    /// Fixed-length, heterogeneously-typed records.
+    Object,
+    /// Tree-shaped linked structures.
+    Tree,
+    /// Graph-shaped linked structures.
+    Graph,
+    /// No well-defined structure (file buffers, bit streams).
+    Unstructured,
+}
+
+impl CollectionClass {
+    /// All classes, in Fig. 1's legend order.
+    pub const ALL: [CollectionClass; 6] = [
+        CollectionClass::Unstructured,
+        CollectionClass::Graph,
+        CollectionClass::Tree,
+        CollectionClass::Associative,
+        CollectionClass::Sequential,
+        CollectionClass::Object,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CollectionClass::Sequential => "Sequential",
+            CollectionClass::Associative => "Associative",
+            CollectionClass::Object => "Object",
+            CollectionClass::Tree => "Tree",
+            CollectionClass::Graph => "Graph",
+            CollectionClass::Unstructured => "Unstructured",
+        }
+    }
+
+    /// Whether MEMOIR provides a first-class representation for this
+    /// class (§III: objects, sequences and associative arrays).
+    pub fn representable(self) -> bool {
+        matches!(
+            self,
+            CollectionClass::Sequential | CollectionClass::Associative | CollectionClass::Object
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_representability() {
+        assert_eq!(CollectionClass::Sequential.label(), "Sequential");
+        assert!(CollectionClass::Sequential.representable());
+        assert!(CollectionClass::Associative.representable());
+        assert!(CollectionClass::Object.representable());
+        assert!(!CollectionClass::Tree.representable());
+        assert!(!CollectionClass::Graph.representable());
+        assert!(!CollectionClass::Unstructured.representable());
+        assert_eq!(CollectionClass::ALL.len(), 6);
+    }
+}

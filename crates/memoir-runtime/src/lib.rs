@@ -1,0 +1,31 @@
+//! # memoir-runtime
+//!
+//! The **MUT library** (paper §VI) as a Rust API: value-semantic
+//! sequences, associative arrays, and object heaps with the explicit
+//! mutation operators of Fig. 5, plus a byte-accurate per-class memory
+//! ledger.
+//!
+//! The ledger substitutes for the paper's measurement infrastructure
+//! (DESIGN.md §2):
+//!
+//! * the Fig. 1 heap classification (bytes allocated / read / written per
+//!   collection class) is produced by tagging each collection with a
+//!   [`CollectionClass`];
+//! * max RSS (Figs. 7/9) is the ledger's live-byte high-water mark, with
+//!   hashtable lowering overheads modeled per the paper's analysis;
+//! * the execution-time proxy (Figs. 6/8) is the deterministic operation
+//!   cost accumulator (same model as `memoir-interp`).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod assoc;
+mod class;
+mod object;
+mod seq;
+pub mod stats;
+
+pub use assoc::{Assoc, ENTRY_OVERHEAD_BYTES};
+pub use class::CollectionClass;
+pub use object::{ObjRef, ObjectHeap, RawBuf};
+pub use seq::Seq;

@@ -1,0 +1,211 @@
+//! Object storage and field access (paper §IV-E): explicit `new`/`delete`
+//! sites, reference-based access, and a cache-line-aware field access cost
+//! (the §VII-C packing effect: once DFE+FE shrink the object below a cache
+//! line, adjacent objects share fetches).
+
+use crate::class::CollectionClass;
+use crate::stats;
+
+/// A reference to an object in an [`ObjectHeap`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjRef(pub u32);
+
+/// An arena of objects of one (Rust-side) record type.
+///
+/// `LAYOUT_BYTES` is charged per allocation and drives the field-access
+/// cost model — benchmark variants encode their object layouts (before
+/// and after DFE/FE) through this parameter rather than relying on Rust's
+/// own layout.
+#[derive(Debug)]
+pub struct ObjectHeap<T> {
+    objects: Vec<Option<T>>,
+    layout_bytes: u64,
+    header_bytes: u64,
+    live: usize,
+}
+
+const OBJ_HEADER_BYTES: u64 = 16;
+
+impl<T> ObjectHeap<T> {
+    /// Creates a heap for objects whose modeled layout is `layout_bytes`,
+    /// each paying the default 16-byte allocator header.
+    pub fn new(layout_bytes: u64) -> Self {
+        ObjectHeap { objects: Vec::new(), layout_bytes, header_bytes: OBJ_HEADER_BYTES, live: 0 }
+    }
+
+    /// Creates an arena-style heap: objects live in bulk arrays (mcf's arc
+    /// storage) and pay no per-object allocator header.
+    pub fn new_arena(layout_bytes: u64) -> Self {
+        ObjectHeap { objects: Vec::new(), layout_bytes, header_bytes: 0, live: 0 }
+    }
+
+    /// The modeled per-object layout size.
+    pub fn layout_bytes(&self) -> u64 {
+        self.layout_bytes
+    }
+
+    /// `new T` — allocates an object.
+    pub fn alloc(&mut self, value: T) -> ObjRef {
+        stats::alloc(CollectionClass::Object, self.layout_bytes + self.header_bytes);
+        self.live += 1;
+        let id = ObjRef(self.objects.len() as u32);
+        self.objects.push(Some(value));
+        id
+    }
+
+    /// `delete(obj)`.
+    pub fn delete(&mut self, r: ObjRef) {
+        if self.objects[r.0 as usize].take().is_some() {
+            stats::dealloc(CollectionClass::Object, self.layout_bytes + self.header_bytes);
+            self.live -= 1;
+        }
+    }
+
+    /// Number of live objects.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    fn access_cost(&self) -> f64 {
+        // Fractional cache-line pressure: smaller objects pack more
+        // neighbours per line fetched (§VII-C's DFE packing effect).
+        1.0 + self.layout_bytes as f64 / 64.0
+    }
+
+    /// Reads through a field accessor, charging the field-array read cost.
+    pub fn read<R>(&self, r: ObjRef, f: impl FnOnce(&T) -> R) -> R {
+        stats::read(CollectionClass::Object, 8, self.access_cost());
+        f(self.objects[r.0 as usize]
+            .as_ref()
+            .expect("access through deleted reference (UB)"))
+    }
+
+    /// Writes through a field accessor, charging the field-array write
+    /// cost.
+    pub fn write<R>(&mut self, r: ObjRef, f: impl FnOnce(&mut T) -> R) -> R {
+        stats::write(CollectionClass::Object, 8, self.access_cost());
+        f(self.objects[r.0 as usize]
+            .as_mut()
+            .expect("access through deleted reference (UB)"))
+    }
+
+    /// Uninstrumented access for harness assertions.
+    pub fn peek(&self, r: ObjRef) -> Option<&T> {
+        self.objects[r.0 as usize].as_ref()
+    }
+}
+
+impl<T> Drop for ObjectHeap<T> {
+    fn drop(&mut self) {
+        stats::dealloc(
+            CollectionClass::Object,
+            self.live as u64 * (self.layout_bytes + self.header_bytes),
+        );
+    }
+}
+
+/// An unstructured byte buffer (Fig. 1's `Unstructured` class): memory
+/// whose layout is externally dictated, e.g. file contents.
+#[derive(Debug, Default)]
+pub struct RawBuf {
+    bytes: Vec<u8>,
+    charged: u64,
+}
+
+impl RawBuf {
+    /// Allocates a buffer of `n` zero bytes.
+    pub fn new(n: usize) -> Self {
+        stats::alloc(CollectionClass::Unstructured, n as u64);
+        RawBuf { bytes: vec![0; n], charged: n as u64 }
+    }
+
+    /// Buffer length.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Reads a byte.
+    pub fn read(&self, i: usize) -> u8 {
+        stats::read(CollectionClass::Unstructured, 1, 1.0);
+        self.bytes[i]
+    }
+
+    /// Writes a byte.
+    pub fn write(&mut self, i: usize, v: u8) {
+        stats::write(CollectionClass::Unstructured, 1, 1.0);
+        self.bytes[i] = v;
+    }
+}
+
+impl Drop for RawBuf {
+    fn drop(&mut self) {
+        stats::dealloc(CollectionClass::Unstructured, self.charged);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{reset, snapshot};
+
+    #[derive(Debug)]
+    struct Arc56 {
+        cost: i64,
+        flow: i64,
+    }
+
+    #[test]
+    fn alloc_delete_balance() {
+        reset();
+        let mut heap = ObjectHeap::new(56);
+        let a = heap.alloc(Arc56 { cost: 1, flow: 0 });
+        let b = heap.alloc(Arc56 { cost: 2, flow: 0 });
+        assert_eq!(heap.live_count(), 2);
+        heap.delete(a);
+        assert_eq!(heap.live_count(), 1);
+        let l = snapshot();
+        assert_eq!(l.current_bytes, 56 + 16);
+        assert!(l.peak_bytes >= 2 * (56 + 16));
+        let _ = b;
+    }
+
+    #[test]
+    fn field_access_cost_scales_with_layout() {
+        reset();
+        let mut small = ObjectHeap::new(56);
+        let a = small.alloc(Arc56 { cost: 1, flow: 0 });
+        small.read(a, |o| o.cost);
+        let small_cost = snapshot().cost;
+        reset();
+        let mut big = ObjectHeap::new(72);
+        let b = big.alloc(Arc56 { cost: 1, flow: 0 });
+        big.read(b, |o| o.flow);
+        let big_cost = snapshot().cost;
+        assert!(big_cost > small_cost, "packing shrinks access cost");
+    }
+
+    #[test]
+    #[should_panic(expected = "deleted reference")]
+    fn deleted_access_panics() {
+        let mut heap = ObjectHeap::new(8);
+        let a = heap.alloc(Arc56 { cost: 1, flow: 0 });
+        heap.delete(a);
+        heap.read(a, |o| o.cost);
+    }
+
+    #[test]
+    fn rawbuf_is_unstructured() {
+        reset();
+        let mut b = RawBuf::new(1024);
+        b.write(0, 7);
+        assert_eq!(b.read(0), 7);
+        let l = snapshot();
+        assert_eq!(l.class(CollectionClass::Unstructured).allocated, 1024);
+        assert_eq!(l.class(CollectionClass::Unstructured).written, 1);
+    }
+}

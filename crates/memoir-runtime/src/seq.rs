@@ -1,0 +1,288 @@
+//! The MUT sequence (paper §VI, Fig. 5): a value-semantic, contiguous
+//! collection with the explicit mutation operators of the MUT library —
+//! `read`, `write`, `insert`, `remove`, `append`, `swap`, `split`, `copy`
+//! — instrumented through the memory ledger.
+
+use crate::class::CollectionClass;
+use crate::stats;
+
+const HEADER_BYTES: u64 = 32;
+const SEQ_READ_COST: f64 = 2.0;
+const SEQ_WRITE_COST: f64 = 2.0;
+
+/// A value-semantic sequence.
+///
+/// ```
+/// use memoir_runtime::Seq;
+///
+/// let mut s = Seq::new();
+/// s.push(10);
+/// s.push(20);
+/// s.insert(1, 15);
+/// assert_eq!(s.as_slice(), &[10, 15, 20]);
+///
+/// // Value semantics: clones are deep copies.
+/// let snapshot = s.clone();
+/// s.write(0, -1);
+/// assert_eq!(*snapshot.read(0), 10);
+/// ```
+#[derive(Debug)]
+pub struct Seq<T> {
+    elems: Vec<T>,
+    class: CollectionClass,
+    charged: u64,
+}
+
+impl<T: Clone> Clone for Seq<T> {
+    fn clone(&self) -> Self {
+        let mut s = Seq::with_class(self.class);
+        s.elems = self.elems.clone();
+        s.recharge();
+        stats::charge(self.elems.len() as f64); // copy cost
+        s
+    }
+}
+
+impl<T> Seq<T> {
+    /// Creates an empty sequence of the default (`Sequential`) class.
+    pub fn new() -> Self {
+        Seq::with_class(CollectionClass::Sequential)
+    }
+
+    /// Creates an empty sequence tagged with a Fig. 1 class (linked data
+    /// structures re-expressed as sequences keep their original class for
+    /// the classification figures).
+    pub fn with_class(class: CollectionClass) -> Self {
+        let mut s = Seq { elems: Vec::new(), class, charged: 0 };
+        s.recharge();
+        s
+    }
+
+    /// Creates a sequence of `n` elements produced by `init` (the MUT
+    /// `new Seq<T>(n)` with an initializer — Rust has no uninitialized
+    /// values, so the UB-on-uninitialized-read rule is enforced by the IR
+    /// interpreter instead).
+    pub fn with_len(n: usize, init: impl FnMut(usize) -> T) -> Self {
+        let mut s = Seq::new();
+        s.elems = (0..n).map(init).collect();
+        s.recharge();
+        s
+    }
+
+    fn footprint(&self) -> u64 {
+        HEADER_BYTES + (self.elems.capacity() * std::mem::size_of::<T>()) as u64
+    }
+
+    fn recharge(&mut self) {
+        let now = self.footprint();
+        if now > self.charged {
+            stats::alloc(self.class, now - self.charged);
+        } else if now < self.charged {
+            stats::dealloc(self.class, self.charged - now);
+        }
+        self.charged = now;
+    }
+
+    fn elem_bytes(&self) -> u64 {
+        std::mem::size_of::<T>() as u64
+    }
+
+    /// `size(s)`.
+    pub fn size(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// `read(s, i)`.
+    pub fn read(&self, i: usize) -> &T {
+        stats::read(self.class, self.elem_bytes(), SEQ_READ_COST);
+        &self.elems[i]
+    }
+
+    /// `write(s, i, v)`.
+    pub fn write(&mut self, i: usize, v: T) {
+        stats::write(self.class, self.elem_bytes(), SEQ_WRITE_COST);
+        self.elems[i] = v;
+    }
+
+    /// `insert(s, i, v)` — shifts the suffix right.
+    pub fn insert(&mut self, i: usize, v: T) {
+        let moved = self.elems.len() - i;
+        stats::write(self.class, self.elem_bytes(), SEQ_WRITE_COST + moved as f64);
+        self.elems.insert(i, v);
+        self.recharge();
+    }
+
+    /// `append(s, v)` — `insert(s, end, v)`.
+    pub fn push(&mut self, v: T) {
+        stats::write(self.class, self.elem_bytes(), SEQ_WRITE_COST);
+        self.elems.push(v);
+        self.recharge();
+    }
+
+    /// `remove(s, i)`.
+    pub fn remove(&mut self, i: usize) -> T {
+        let moved = self.elems.len() - i - 1;
+        stats::charge(moved as f64);
+        let v = self.elems.remove(i);
+        self.recharge();
+        v
+    }
+
+    /// `remove(s, i, j)` — removes the range `[i : j)`.
+    pub fn remove_range(&mut self, i: usize, j: usize) {
+        let moved = self.elems.len() - j;
+        stats::charge((j - i) as f64 + moved as f64);
+        self.elems.drain(i..j);
+        self.recharge();
+    }
+
+    /// `swap(s, i, j)` — swaps two elements (the Listing 3 partition op).
+    pub fn swap(&mut self, i: usize, j: usize) {
+        stats::write(self.class, 2 * self.elem_bytes(), 2.0 * SEQ_WRITE_COST);
+        self.elems.swap(i, j);
+    }
+
+    /// `swap(s, i, j, k)` — swaps ranges `[i : j)` and `[k : k + j - i)`.
+    pub fn swap_range(&mut self, i: usize, j: usize, k: usize) {
+        let w = j - i;
+        stats::write(self.class, (2 * w) as u64 * self.elem_bytes(), (2 * w) as f64);
+        for o in 0..w {
+            self.elems.swap(i + o, k + o);
+        }
+    }
+
+    /// `copy(s, i, j)` — a fresh sequence holding `[i : j)`.
+    pub fn copy_range(&self, i: usize, j: usize) -> Seq<T>
+    where
+        T: Clone,
+    {
+        let mut out = Seq::with_class(self.class);
+        out.elems = self.elems[i..j].to_vec();
+        out.recharge();
+        stats::charge((j - i) as f64);
+        out
+    }
+
+    /// `split(s, i, j)` — removes `[i : j)` and returns it.
+    pub fn split(&mut self, i: usize, j: usize) -> Seq<T> {
+        let mut out = Seq::with_class(self.class);
+        out.elems = self.elems.drain(i..j).collect();
+        out.recharge();
+        self.recharge();
+        stats::charge((out.elems.len()) as f64);
+        out
+    }
+
+    /// `append(s, s2)` — splices `s2`'s elements onto the end.
+    pub fn append(&mut self, other: Seq<T>) {
+        stats::charge(other.elems.len() as f64);
+        // `other` is consumed; its Drop will release its footprint.
+        let mut other = other;
+        self.elems.append(&mut other.elems);
+        self.recharge();
+    }
+
+    /// Iterates the elements (each element charged as a read).
+    pub fn iter_read(&self) -> impl Iterator<Item = &T> {
+        stats::read(
+            self.class,
+            self.elems.len() as u64 * self.elem_bytes(),
+            self.elems.len() as f64 * SEQ_READ_COST,
+        );
+        self.elems.iter()
+    }
+
+    /// Uninstrumented view (for assertions in tests/harnesses).
+    pub fn as_slice(&self) -> &[T] {
+        &self.elems
+    }
+}
+
+impl<T> Default for Seq<T> {
+    fn default() -> Self {
+        Seq::new()
+    }
+}
+
+impl<T> Drop for Seq<T> {
+    fn drop(&mut self) {
+        stats::dealloc(self.class, self.charged);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{reset, snapshot};
+
+    #[test]
+    fn push_read_write_roundtrip() {
+        reset();
+        let mut s = Seq::new();
+        for i in 0..10i64 {
+            s.push(i);
+        }
+        s.write(3, 99);
+        assert_eq!(*s.read(3), 99);
+        assert_eq!(s.size(), 10);
+        let l = snapshot();
+        assert!(l.class(CollectionClass::Sequential).allocated >= 80);
+        assert!(l.class(CollectionClass::Sequential).written >= 88);
+    }
+
+    #[test]
+    fn drop_releases_footprint() {
+        reset();
+        {
+            let mut s = Seq::new();
+            for i in 0..100i64 {
+                s.push(i);
+            }
+            assert!(snapshot().current_bytes > 800);
+        }
+        let l = snapshot();
+        assert_eq!(l.current_bytes, 0);
+        assert!(l.peak_bytes > 800);
+    }
+
+    #[test]
+    fn split_and_append_preserve_elements() {
+        reset();
+        let mut s = Seq::with_len(6, |i| i as i64);
+        let mid = s.split(2, 4); // [2,3]
+        assert_eq!(mid.as_slice(), &[2, 3]);
+        assert_eq!(s.as_slice(), &[0, 1, 4, 5]);
+        s.append(mid);
+        assert_eq!(s.as_slice(), &[0, 1, 4, 5, 2, 3]);
+    }
+
+    #[test]
+    fn swap_range_matches_fig3() {
+        let mut s = Seq::with_len(6, |i| i as i64);
+        s.swap_range(0, 2, 3); // [0,1] ↔ [3,4]
+        assert_eq!(s.as_slice(), &[3, 4, 2, 0, 1, 5]);
+    }
+
+    #[test]
+    fn clone_is_value_semantic() {
+        let mut a = Seq::with_len(3, |i| i as i64);
+        let b = a.clone();
+        a.write(0, 42);
+        assert_eq!(*b.read(0), 0, "copies do not alias");
+    }
+
+    #[test]
+    fn class_tag_propagates() {
+        reset();
+        let mut s: Seq<u64> = Seq::with_class(CollectionClass::Graph);
+        s.push(1);
+        let l = snapshot();
+        assert!(l.class(CollectionClass::Graph).allocated > 0);
+        assert_eq!(l.class(CollectionClass::Sequential).written, 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The deepsjeng kernel at the IR level — a transposition-table probe/store
+//! loop — used as a Table III compilation subject (compile time and
+//! collection census through the MEMOIR pipeline).
+
+use memoir_ir::{BinOp, Callee, CmpOp, Field, Form, Module, ModuleBuilder, Type};
+
+/// Builds the deepsjeng kernel: `search(nodes: index) -> i64` returns a
+/// search checksum.
+pub fn build_deepsjeng_ir() -> Module {
+    let mut mb = ModuleBuilder::new("deepsjeng");
+    let i64t = mb.module.types.intern(Type::I64);
+    let i16t = mb.module.types.intern(Type::I16);
+    let entry_ty = mb
+        .module
+        .types
+        .define_object(
+            "tt_entry",
+            vec![
+                Field { name: "tag".into(), ty: i16t },
+                Field { name: "depth".into(), ty: i64t },
+                Field { name: "score".into(), ty: i64t },
+                Field { name: "best_move".into(), ty: i64t },
+            ],
+        )
+        .unwrap();
+    let ref_ty = mb.module.types.ref_of(entry_ty);
+
+    // probe(table, hash) -> score or -1 (via assoc of slot → entry ref).
+    let probe = mb.func("probe", Form::Mut, |b| {
+        let idxt = b.ty(Type::Index);
+        let assoc_ty = b.types.assoc_of(idxt, ref_ty);
+        let table = b.param_ref("table", assoc_ty);
+        let slot = b.param("slot", idxt);
+        let tag = b.param("tag", i64t);
+        let hit = b.block("hit");
+        let tag_ok = b.block("tag_ok");
+        let miss = b.block("miss");
+        let out = b.block("out");
+        let present = b.has(table, slot);
+        b.branch(present, hit, miss);
+        b.switch_to(hit);
+        let e = b.read(table, slot);
+        let stored16 = b.field_read(e, entry_ty, 0);
+        let stored = b.cast(Type::I64, stored16);
+        let same = b.cmp(CmpOp::Eq, stored, tag);
+        b.branch(same, tag_ok, miss);
+        b.switch_to(tag_ok);
+        let score = b.field_read(e, entry_ty, 2);
+        b.jump(out);
+        b.switch_to(miss);
+        let neg = b.i64(-1);
+        b.jump(out);
+        b.switch_to(out);
+        let r = b.phi(i64t, vec![(tag_ok, score), (miss, neg)]);
+        b.returns(&[i64t]);
+        b.ret(vec![r]);
+    });
+
+    // store(table, slot, tag, depth, score).
+    let store = mb.func("store", Form::Mut, |b| {
+        let idxt = b.ty(Type::Index);
+        let assoc_ty = b.types.assoc_of(idxt, ref_ty);
+        let table = b.param_ref("table", assoc_ty);
+        let slot = b.param("slot", idxt);
+        let tag = b.param("tag", i64t);
+        let depth = b.param("depth", i64t);
+        let score = b.param("score", i64t);
+        let e = b.new_obj(entry_ty);
+        let t16 = b.cast(Type::I16, tag);
+        b.field_write(e, entry_ty, 0, t16);
+        b.field_write(e, entry_ty, 1, depth);
+        b.field_write(e, entry_ty, 2, score);
+        let zero = b.i64(0);
+        b.field_write(e, entry_ty, 3, zero);
+        b.mut_write(table, slot, e);
+        b.ret(vec![]);
+    });
+
+    // search(nodes) — probe/store loop over xorshift positions.
+    mb.func("search", Form::Mut, |b| {
+        let idxt = b.ty(Type::Index);
+        let assoc_ty = b.types.assoc_of(idxt, ref_ty);
+        let nodes = b.param("nodes", idxt);
+        let table = b.new_assoc(idxt, ref_ty);
+        let _ = assoc_ty;
+        let moves_elem = b.ty(Type::I64);
+        let zero_i = b.index(0);
+        let moves = b.new_seq(moves_elem, zero_i);
+        let seed0 = b.i64(0x12345678);
+        let zero64 = b.i64(0);
+
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        let entry = b.func.entry;
+        b.jump(header);
+        b.switch_to(header);
+        let n = b.phi_placeholder(idxt);
+        let seed = b.phi_placeholder(moves_elem);
+        let acc = b.phi_placeholder(moves_elem);
+        b.add_phi_incoming(n, entry, zero_i);
+        b.add_phi_incoming(seed, entry, seed0);
+        b.add_phi_incoming(acc, entry, zero64);
+        let done = b.cmp(CmpOp::Ge, n, nodes);
+        b.branch(done, exit, body);
+
+        b.switch_to(body);
+        // xorshift
+        let c13 = b.i64(13);
+        let c7 = b.i64(7);
+        let c17 = b.i64(17);
+        let t1 = b.bin(BinOp::Shl, seed, c13);
+        let s1 = b.bin(BinOp::Xor, seed, t1);
+        let t2 = b.bin(BinOp::Shr, s1, c7);
+        let s2 = b.bin(BinOp::Xor, s1, t2);
+        let t3 = b.bin(BinOp::Shl, s2, c17);
+        let s3 = b.bin(BinOp::Xor, s2, t3);
+        let mask = b.i64(0x0FFF);
+        let slot64 = b.bin(BinOp::And, s3, mask);
+        let slot = b.cast(Type::Index, slot64);
+        let c48 = b.i64(48);
+        let tag_shift = b.bin(BinOp::Shr, s3, c48);
+        let tagmask = b.i64(0x7FFF);
+        let tag = b.bin(BinOp::And, tag_shift, tagmask);
+        let score = b.call(Callee::Func(probe), vec![table, slot, tag], &[moves_elem])[0];
+        let acc2 = b.add(acc, score);
+        let neg = b.i64(-1);
+        let was_miss = b.cmp(CmpOp::Eq, score, neg);
+        let do_store = b.block("do_store");
+        let cont = b.block("cont");
+        b.branch(was_miss, do_store, cont);
+        b.switch_to(do_store);
+        let depth = b.i64(5);
+        let sc_mask = b.i64(0xFF);
+        let sc = b.bin(BinOp::And, s3, sc_mask);
+        b.call(Callee::Func(store), vec![table, slot, tag, depth, sc], &[]);
+        let msz = b.size(moves);
+        b.mut_insert(moves, msz, Some(s3));
+        b.jump(cont);
+        b.switch_to(cont);
+        let one = b.index(1);
+        let n2 = b.add(n, one);
+        b.add_phi_incoming(n, cont, n2);
+        b.add_phi_incoming(seed, cont, s3);
+        b.add_phi_incoming(acc, cont, acc2);
+        b.jump(header);
+
+        b.switch_to(exit);
+        b.returns(&[moves_elem]);
+        b.ret(vec![acc]);
+    });
+    let mut m = mb.finish();
+    m.entry = m.func_by_name("search");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memoir_interp::{Interp, Value};
+
+    #[test]
+    fn runs_and_is_deterministic() {
+        let m = build_deepsjeng_ir();
+        memoir_ir::verifier::assert_valid(&m);
+        let run = |m: &Module| {
+            let mut i = Interp::new(m).with_fuel(200_000_000);
+            i.run_by_name("search", vec![Value::Int(Type::Index, 3000)]).unwrap()[0]
+                .as_int()
+                .unwrap()
+        };
+        let a = run(&m);
+        let b = run(&m);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pipeline_o3_preserves_semantics() {
+        let m0 = build_deepsjeng_ir();
+        let mut m = m0.clone();
+        memoir_opt::compile(&mut m, memoir_opt::OptLevel::O3(memoir_opt::OptConfig::all()))
+            .unwrap();
+        memoir_ir::verifier::assert_valid(&m);
+        let run = |m: &Module| {
+            let mut i = Interp::new(m).with_fuel(200_000_000);
+            i.run_by_name("search", vec![Value::Int(Type::Index, 2000)]).unwrap()[0]
+                .as_int()
+                .unwrap()
+        };
+        assert_eq!(run(&m0), run(&m));
+    }
+}

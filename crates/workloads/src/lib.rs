@@ -1,0 +1,26 @@
+//! # workloads
+//!
+//! Benchmark workloads reproducing the hot collection behaviour of the
+//! paper's evaluation targets (DESIGN.md §2):
+//!
+//! * [`mcf_ir`] — the Listings 2–3 master/qsort kernel at the IR level
+//!   (automatic-DEE target, Table III subject);
+//! * [`mcf`] — the runtime-library mcf twin with per-optimization
+//!   variants (Figs. 6–9);
+//! * [`deepsjeng`] — the transposition-table twin (FE + key folding);
+//! * [`optlike`] — the compiler-workload twin (`LLVM opt` analogue);
+//! * [`suite`] — ten SPECINT-shaped workloads for the Fig. 1
+//!   classification;
+//! * [`listing1`] — the stateful-map kernel of Listing 1.
+
+#![warn(missing_docs)]
+
+pub mod deepsjeng;
+pub mod deepsjeng_ir;
+pub mod listing1;
+pub mod mcf;
+pub mod mcf_ir;
+pub mod optlike;
+pub mod optlike_ir;
+pub mod suite;
+pub mod synth_ir;

@@ -1,0 +1,121 @@
+//! The `opt` kernel at the IR level — hash-consing value numbering over a
+//! synthetic instruction stream — the third Table III compilation subject.
+
+use memoir_ir::{BinOp, CmpOp, Form, Module, ModuleBuilder, Type};
+
+/// Builds the opt kernel: `gvn(insts: index) -> i64` returns the number of
+/// redundant expressions found.
+pub fn build_optlike_ir() -> Module {
+    let mut mb = ModuleBuilder::new("optlike");
+    mb.func("gvn", Form::Mut, |b| {
+        let idxt = b.ty(Type::Index);
+        let i64t = b.ty(Type::I64);
+        let insts = b.param("insts", idxt);
+        // Expression table: key → value number; worklist of keys.
+        let table = b.new_assoc(i64t, i64t);
+        let keys = {
+            let zero = b.index(0);
+            b.new_seq(i64t, zero)
+        };
+        let seed0 = b.i64(0x243F6A8885A308);
+        let zero64 = b.i64(0);
+        let zero_i = b.index(0);
+        let one_i = b.index(1);
+
+        let header = b.block("header");
+        let body = b.block("body");
+        let hit = b.block("hit");
+        let miss = b.block("miss");
+        let cont = b.block("cont");
+        let exit = b.block("exit");
+        let entry = b.func.entry;
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi_placeholder(idxt);
+        let seed = b.phi_placeholder(i64t);
+        let vn = b.phi_placeholder(i64t);
+        let red = b.phi_placeholder(i64t);
+        b.add_phi_incoming(i, entry, zero_i);
+        b.add_phi_incoming(seed, entry, seed0);
+        b.add_phi_incoming(vn, entry, zero64);
+        b.add_phi_incoming(red, entry, zero64);
+        let done = b.cmp(CmpOp::Ge, i, insts);
+        b.branch(done, exit, body);
+
+        b.switch_to(body);
+        // xorshift and key derivation (few distinct keys ⇒ hits).
+        let c13 = b.i64(13);
+        let c7 = b.i64(7);
+        let c17 = b.i64(17);
+        let t1 = b.bin(BinOp::Shl, seed, c13);
+        let s1 = b.bin(BinOp::Xor, seed, t1);
+        let t2 = b.bin(BinOp::Shr, s1, c7);
+        let s2 = b.bin(BinOp::Xor, s1, t2);
+        let t3 = b.bin(BinOp::Shl, s2, c17);
+        let s3 = b.bin(BinOp::Xor, s2, t3);
+        let kmask = b.i64(0x3FF);
+        let key = b.bin(BinOp::And, s3, kmask);
+        let present = b.has(table, key);
+        b.branch(present, hit, miss);
+
+        b.switch_to(hit);
+        let _existing = b.read(table, key);
+        let one64 = b.i64(1);
+        let red2 = b.add(red, one64);
+        b.jump(cont);
+
+        b.switch_to(miss);
+        b.mut_write(table, key, vn);
+        let ksz = b.size(keys);
+        b.mut_insert(keys, ksz, Some(key));
+        let one64b = b.i64(1);
+        let vn2 = b.add(vn, one64b);
+        b.jump(cont);
+
+        b.switch_to(cont);
+        let red3 = b.phi(i64t, vec![(hit, red2), (miss, red)]);
+        let vn3 = b.phi(i64t, vec![(hit, vn), (miss, vn2)]);
+        let i2 = b.add(i, one_i);
+        b.add_phi_incoming(i, cont, i2);
+        b.add_phi_incoming(seed, cont, s3);
+        b.add_phi_incoming(vn, cont, vn3);
+        b.add_phi_incoming(red, cont, red3);
+        b.jump(header);
+
+        b.switch_to(exit);
+        b.returns(&[i64t]);
+        b.ret(vec![red]);
+    });
+    let mut m = mb.finish();
+    m.entry = m.func_by_name("gvn");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memoir_interp::{Interp, Value};
+
+    fn run(m: &Module, n: i64) -> i64 {
+        let mut i = Interp::new(m).with_fuel(200_000_000);
+        i.run_by_name("gvn", vec![Value::Int(Type::Index, n)]).unwrap()[0].as_int().unwrap()
+    }
+
+    #[test]
+    fn finds_redundancies() {
+        let m = build_optlike_ir();
+        memoir_ir::verifier::assert_valid(&m);
+        let red = run(&m, 5000);
+        assert!(red > 3000, "1024 distinct keys over 5000 draws ⇒ many hits: {red}");
+    }
+
+    #[test]
+    fn pipeline_o0_round_trip() {
+        let m0 = build_optlike_ir();
+        let mut m = m0.clone();
+        let report = memoir_opt::compile(&mut m, memoir_opt::OptLevel::O0).unwrap();
+        assert_eq!(report.destruct_copies, 0);
+        memoir_ir::verifier::assert_valid(&m);
+        assert_eq!(run(&m0, 3000), run(&m, 3000));
+    }
+}

@@ -1,0 +1,110 @@
+//! Field elision + dead field elimination end-to-end (paper §V): an
+//! object type loses a cold field to an associative array and a dead
+//! field outright, shrinking its layout.
+//!
+//! ```sh
+//! cargo run --example field_elision
+//! ```
+
+use memoir::interp::Interp;
+use memoir::ir::{printer, Callee, Field, Form, ModuleBuilder, Type};
+
+fn main() {
+    let mut mb = ModuleBuilder::new("arcs");
+    let i64t = mb.module.types.intern(Type::I64);
+    let arc_ty = mb
+        .module
+        .types
+        .define_object(
+            "arc",
+            vec![
+                Field { name: "cost".into(), ty: i64t },   // hot
+                Field { name: "ident".into(), ty: i64t },  // cold → elided
+                Field { name: "scratch".into(), ty: i64t }, // never read → DFE
+            ],
+        )
+        .unwrap();
+    let ref_ty = mb.module.types.ref_of(arc_ty);
+
+    // A helper reads the cold field; main works the hot one in a loop.
+    let get_ident = mb.func("get_ident", Form::Mut, |b| {
+        let o = b.param("o", ref_ty);
+        let v = b.field_read(o, arc_ty, 1);
+        b.returns(&[i64t]);
+        b.ret(vec![v]);
+    });
+    mb.func("main", Form::Mut, |b| {
+        let o = b.new_obj(arc_ty);
+        let c = b.i64(7);
+        b.field_write(o, arc_ty, 0, c);
+        let id = b.i64(12345);
+        b.field_write(o, arc_ty, 1, id);
+        let junk = b.i64(-1);
+        b.field_write(o, arc_ty, 2, junk);
+        // Hot loop on cost.
+        let idxt = b.ty(Type::Index);
+        let n = b.index(100);
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        let zero = b.index(0);
+        let one = b.index(1);
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi_placeholder(idxt);
+        let entry = b.func.entry;
+        b.add_phi_incoming(i, entry, zero);
+        let done = b.cmp(memoir::ir::CmpOp::Ge, i, n);
+        b.branch(done, exit, body);
+        b.switch_to(body);
+        let cur = b.field_read(o, arc_ty, 0);
+        let one64 = b.i64(1);
+        let bumped = b.add(cur, one64);
+        b.field_write(o, arc_ty, 0, bumped);
+        let next = b.add(i, one);
+        let bb = b.current_block();
+        b.add_phi_incoming(i, bb, next);
+        b.jump(header);
+        b.switch_to(exit);
+        let cost = b.field_read(o, arc_ty, 0);
+        let ident = b.call(Callee::Func(get_ident), vec![o], &[i64t])[0];
+        let sum = b.add(cost, ident);
+        b.returns(&[i64t]);
+        b.ret(vec![sum]);
+    });
+    let mut module = mb.finish();
+    module.entry = module.func_by_name("main");
+
+    let before = module.types.object_layout(arc_ty).size;
+    let baseline = {
+        let mut vm = Interp::new(&module);
+        vm.run_by_name("main", vec![]).unwrap()
+    };
+    println!("arc layout before: {before} bytes");
+
+    // Affinity analysis picks `ident` (accessed away from its siblings).
+    let affinity = memoir::analysis::Affinity::compute(&module);
+    println!(
+        "ident affinity: {:.2} (cost: {:.2})",
+        affinity.for_type(arc_ty).unwrap().affinity(1),
+        affinity.for_type(arc_ty).unwrap().affinity(0),
+    );
+
+    let fe = memoir::opt::field_elision(&mut module, arc_ty, 1).unwrap();
+    println!("field elision: {fe:?}");
+    let dfe = memoir::opt::dfe(&mut module);
+    println!("dead field elimination: {dfe:?}");
+    memoir::ir::verifier::assert_valid(&module);
+
+    let after = module.types.object_layout(arc_ty).size;
+    println!("arc layout after: {after} bytes");
+    assert!(after < before);
+
+    println!("\n––– transformed module –––");
+    println!("{}", printer::print_module(&module));
+
+    let mut vm = Interp::new(&module);
+    let out = vm.run_by_name("main", vec![]).unwrap();
+    assert_eq!(out, baseline, "layout changes preserve semantics");
+    println!("result unchanged: {out:?}");
+}

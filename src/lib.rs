@@ -1,0 +1,73 @@
+//! # memoir
+//!
+//! A from-scratch Rust implementation of **MEMOIR** — *"Representing Data
+//! Collections in an SSA Form"* (CGO 2024) — a language-agnostic SSA form
+//! for sequential and associative data collections, objects, and their
+//! fields, together with the analyses, transformations, lowering, and
+//! evaluation harness the paper describes.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! * [`ir`] — the MEMOIR IR: types, instructions, builder, printer,
+//!   parser, verifier;
+//! * [`analysis`] — dominance, def-use, liveness, expression trees, range
+//!   lattices, live range analysis (Table I + Alg. 1), escape, affinity,
+//!   purity;
+//! * [`opt`] — SSA construction/destruction (Fig. 5, Alg. 3), dead
+//!   element elimination (Alg. 2), dead field elimination, field elision,
+//!   redundant indirection elimination, key folding, and the supporting
+//!   scalar passes, assembled into the Fig. 4 pipeline;
+//! * [`interp`] — an interpreter with UB-trapping semantics, copy
+//!   accounting, and a deterministic cost model;
+//! * [`runtime`] — the MUT library as a Rust API with a per-class memory
+//!   ledger;
+//! * [`lower`] / [`lir`] — collection lowering into a low-level IR with
+//!   the instrumented GVN/Sink/ConstantFold passes of §VII-D;
+//! * [`workloads`] — the evaluation subjects (mcf, deepsjeng, opt, the
+//!   Fig. 1 suite, Listing 1).
+//!
+//! ## Quickstart
+//!
+//! Build a mut-form function with the MUT-style builder, compile it
+//! through the MEMOIR pipeline, and run it:
+//!
+//! ```
+//! use memoir::ir::{Form, ModuleBuilder, Type};
+//! use memoir::interp::{Interp, Value};
+//! use memoir::opt::{compile, OptConfig, OptLevel};
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! mb.func("main", Form::Mut, |b| {
+//!     let i64t = b.ty(Type::I64);
+//!     let n = b.index(4);
+//!     let s = b.new_seq(i64t, n);
+//!     for k in 0..4 {
+//!         let ik = b.index(k);
+//!         let vk = b.i64((k * k) as i64);
+//!         b.mut_write(s, ik, vk);
+//!     }
+//!     let three = b.index(3);
+//!     let r = b.read(s, three);
+//!     b.returns(&[i64t]);
+//!     b.ret(vec![r]);
+//! });
+//! let mut module = mb.finish();
+//!
+//! let report = compile(&mut module, OptLevel::O3(OptConfig::all())).unwrap();
+//! assert_eq!(report.destruct_copies, 0, "no spurious copies");
+//!
+//! let mut vm = Interp::new(&module);
+//! let out = vm.run_by_name("main", vec![]).unwrap();
+//! assert_eq!(out, vec![Value::Int(Type::I64, 9)]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use lir;
+pub use memoir_analysis as analysis;
+pub use memoir_interp as interp;
+pub use memoir_ir as ir;
+pub use memoir_lower as lower;
+pub use memoir_opt as opt;
+pub use memoir_runtime as runtime;
+pub use workloads;

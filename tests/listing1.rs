@@ -1,0 +1,42 @@
+//! E11: the Listing 1 contrast — MEMOIR's element-level constant
+//! propagation succeeds where the lowered form's ConstantFold fails.
+
+use memoir::ir::InstKind;
+
+#[test]
+fn memoir_folds_the_stateful_map_read() {
+    let mut m = memoir::workloads::listing1::build_listing1();
+    memoir::opt::construct_ssa(&mut m).unwrap();
+    let stats = memoir::opt::constprop(&mut m);
+    assert_eq!(stats.element_reads_forwarded, 1);
+
+    // After DCE the whole map disappears: the function is `return 10`.
+    memoir::opt::dce(&mut m);
+    let f = &m.funcs[m.func_by_name("work").unwrap()];
+    assert_eq!(f.live_inst_count(), 1, "only the ret remains");
+    for (_, i) in f.inst_ids_in_order() {
+        if let InstKind::Ret { values } = &f.insts[i].kind {
+            assert_eq!(
+                f.value_const(values[0]),
+                Some(memoir::ir::Constant::i32(10))
+            );
+        }
+    }
+}
+
+#[test]
+fn lowered_form_cannot_fold() {
+    let m = memoir::workloads::listing1::build_listing1();
+    let mut lowered = memoir::lower::lower_module(&m).unwrap();
+    let cf = memoir::lir::constfold(&mut lowered);
+    assert_eq!(cf.load_success, 0, "opaque hashtable calls block folding");
+
+    // Runtime agreement between the MEMOIR interpreter and the lowered
+    // machine.
+    let mut vm1 = memoir::interp::Interp::new(&m);
+    let r1 = vm1.run_by_name("work", vec![]).unwrap()[0].as_int().unwrap();
+    let mut vm2 = memoir::lir::LirMachine::new(&lowered);
+    let r2 = vm2.run_by_name("work", vec![]).unwrap()[0];
+    assert_eq!(r1, r2);
+    assert_eq!(r1, 10);
+}

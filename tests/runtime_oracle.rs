@@ -1,0 +1,104 @@
+//! Property tests: the MUT runtime collections behave exactly like their
+//! std oracles under arbitrary operation sequences.
+
+use memoir::runtime::{Assoc, Seq};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum SeqOp {
+    Push(i64),
+    Write(usize, i64),
+    Insert(usize, i64),
+    Remove(usize),
+    Swap(usize, usize),
+    SplitAppend(usize, usize),
+}
+
+fn seq_op() -> impl Strategy<Value = SeqOp> {
+    prop_oneof![
+        any::<i64>().prop_map(SeqOp::Push),
+        (any::<usize>(), any::<i64>()).prop_map(|(i, v)| SeqOp::Write(i, v)),
+        (any::<usize>(), any::<i64>()).prop_map(|(i, v)| SeqOp::Insert(i, v)),
+        any::<usize>().prop_map(SeqOp::Remove),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| SeqOp::Swap(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| SeqOp::SplitAppend(a, b)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn seq_matches_vec_oracle(ops in proptest::collection::vec(seq_op(), 0..64)) {
+        let mut s: Seq<i64> = Seq::new();
+        let mut v: Vec<i64> = Vec::new();
+        for op in ops {
+            match op {
+                SeqOp::Push(x) => {
+                    s.push(x);
+                    v.push(x);
+                }
+                SeqOp::Write(i, x) if !v.is_empty() => {
+                    let i = i % v.len();
+                    s.write(i, x);
+                    v[i] = x;
+                }
+                SeqOp::Insert(i, x) => {
+                    let i = i % (v.len() + 1);
+                    s.insert(i, x);
+                    v.insert(i, x);
+                }
+                SeqOp::Remove(i) if !v.is_empty() => {
+                    let i = i % v.len();
+                    prop_assert_eq!(s.remove(i), v.remove(i));
+                }
+                SeqOp::Swap(a, b) if !v.is_empty() => {
+                    let (a, b) = (a % v.len(), b % v.len());
+                    s.swap(a, b);
+                    v.swap(a, b);
+                }
+                SeqOp::SplitAppend(a, b) if !v.is_empty() => {
+                    let (a, b) = (a % v.len(), b % v.len());
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    let mid = s.split(lo, hi);
+                    let vm: Vec<i64> = v.drain(lo..hi).collect();
+                    prop_assert_eq!(mid.as_slice(), vm.as_slice());
+                    s.append(mid);
+                    v.extend(vm);
+                }
+                _ => {}
+            }
+            prop_assert_eq!(s.as_slice(), v.as_slice());
+        }
+    }
+
+    #[test]
+    fn assoc_matches_hashmap_oracle(
+        ops in proptest::collection::vec((0u8..4, -8i64..8, any::<i64>()), 0..64)
+    ) {
+        let mut a: Assoc<i64, i64> = Assoc::new();
+        let mut h: std::collections::HashMap<i64, i64> = std::collections::HashMap::new();
+        for (kind, k, v) in ops {
+            match kind {
+                0 => {
+                    a.write(k, v);
+                    h.insert(k, v);
+                }
+                1 => {
+                    prop_assert_eq!(a.remove(&k), h.remove(&k));
+                }
+                2 => {
+                    prop_assert_eq!(a.contains(&k), h.contains_key(&k));
+                }
+                _ => {
+                    prop_assert_eq!(a.get(&k), h.get(&k));
+                }
+            }
+            prop_assert_eq!(a.size(), h.len());
+        }
+        // keys() returns exactly the live keys.
+        let mut ks: Vec<i64> = a.keys().as_slice().to_vec();
+        ks.sort_unstable();
+        let mut hk: Vec<i64> = h.keys().copied().collect();
+        hk.sort_unstable();
+        prop_assert_eq!(ks, hk);
+    }
+}
