@@ -18,7 +18,7 @@ fn dee_mode_ablation(c: &mut Criterion) {
         ("listing4", DeeOptions::default()),
         ("exact", DeeOptions::exact()),
     ] {
-        c.bench_function(&format!("ablation/dee_transform/{name}"), |b| {
+        c.bench_function(format!("ablation/dee_transform/{name}"), |b| {
             b.iter(|| {
                 let mut m = workloads::mcf_ir::build_mcf_ir();
                 memoir_opt::construct_ssa(&mut m).unwrap();
@@ -46,7 +46,7 @@ fn dee_mode_ablation(c: &mut Criterion) {
         memoir_opt::construct_ssa(&mut m).unwrap();
         memoir_opt::dee_specialize_calls_with(&mut m, opts);
         memoir_opt::destruct_ssa(&mut m);
-        c.bench_function(&format!("ablation/dee_exec/{name}"), |b| {
+        c.bench_function(format!("ablation/dee_exec/{name}"), |b| {
             b.iter(|| {
                 let mut vm = Interp::new(&m).with_fuel(4_000_000_000);
                 vm.run_by_name("master", args()).unwrap()
@@ -64,7 +64,7 @@ fn liverange_config_ablation(c: &mut Criterion) {
         ("escape", LiveRangeConfig::escape()),
         ("paper", LiveRangeConfig::paper()),
     ] {
-        c.bench_function(&format!("ablation/liverange/{name}"), |b| {
+        c.bench_function(format!("ablation/liverange/{name}"), |b| {
             b.iter(|| memoir_analysis::live_ranges(&m, master, &cfg))
         });
     }

@@ -7,10 +7,10 @@ use memoir_opt::OptLevel;
 
 fn compile_time(c: &mut Criterion) {
     for (name, module) in bench::compilation_subjects() {
-        c.bench_function(&format!("compile/{name}/O0"), |b| {
+        c.bench_function(format!("compile/{name}/O0"), |b| {
             b.iter(|| bench::compile_at(std::hint::black_box(&module), OptLevel::O0))
         });
-        c.bench_function(&format!("compile/{name}/O3"), |b| {
+        c.bench_function(format!("compile/{name}/O3"), |b| {
             b.iter(|| bench::compile_at(std::hint::black_box(&module), bench::o3_all()))
         });
     }

@@ -20,13 +20,13 @@ fn passes(c: &mut Criterion) {
 
     // Low-level passes over the lowered subjects.
     for (name, module) in bench::lowered_subjects() {
-        c.bench_function(&format!("lir/gvn/{name}"), |b| {
+        c.bench_function(format!("lir/gvn/{name}"), |b| {
             b.iter(|| {
                 let mut m = module.clone();
                 lir::gvn(&mut m)
             })
         });
-        c.bench_function(&format!("lir/constfold/{name}"), |b| {
+        c.bench_function(format!("lir/constfold/{name}"), |b| {
             b.iter(|| {
                 let mut m = module.clone();
                 lir::constfold(&mut m)

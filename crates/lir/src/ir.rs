@@ -452,6 +452,16 @@ impl Module {
     }
 }
 
+/// lir modules can be driven by the generic `passman` pass-manager
+/// framework; functions are keyed by [`Fun`].
+impl passman::IrUnit for Module {
+    type FuncKey = Fun;
+
+    fn func_keys(&self) -> Vec<Fun> {
+        (0..self.funcs.len() as u32).map(Fun).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

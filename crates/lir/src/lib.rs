@@ -15,6 +15,11 @@
 //!
 //! plus [`dce::dce`] and [`mem2reg::mem2reg`]. MEMOIR programs are lowered into this IR by
 //! `memoir-lower`.
+//!
+//! All passes are also registered with the generic `passman` framework
+//! ([`passes::registry`]), so pipelines can be described as textual
+//! specs and run with [`passes::optimize`], with structural
+//! [`verifier`] checks between passes in debug builds.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -26,7 +31,9 @@ pub mod dce;
 pub mod gvn;
 pub mod interp;
 pub mod ir;
+pub mod passes;
 pub mod sinkpass;
+pub mod verifier;
 
 pub use constfold::{constfold, ConstFoldStats};
 pub use dce::dce;
@@ -34,4 +41,5 @@ pub use gvn::{gvn, GvnStats};
 pub use mem2reg::{mem2reg, Mem2RegStats};
 pub use interp::{LirMachine, LirStats, LirTrap};
 pub use ir::{BinOp, Blk, CmpOp, Fun, Function, Ins, Inst, Module, Op, Val};
+pub use passes::optimize;
 pub use sinkpass::{sink, SinkStats};

@@ -1,0 +1,176 @@
+//! [`passman::Pass`] adapters for the lir passes, and the spec registry.
+//!
+//! The lir passes already iterate to a per-function fixpoint internally,
+//! so each adapter runs the whole pass and declares
+//! [`Mutation::All`](passman::Mutation) when it changed anything. Their
+//! instrumentation counters distinguish *attempts* from *successes*
+//! (e.g. `blocked_may_write`), so the changed-bit is computed from the
+//! success counters only — a sink run that was blocked everywhere did
+//! not mutate the module.
+
+use crate::ir::Module;
+use crate::{constfold, dce, gvn, mem2reg, sinkpass};
+use passman::{
+    FnPass, Mutation, PassManager, PassOutcome, PassRegistry, PipelineSpec, RunError, RunReport,
+};
+
+fn outcome(changed: bool, stats: Vec<(&'static str, i64)>) -> PassOutcome<Module> {
+    PassOutcome {
+        changed,
+        mutated: if changed { Mutation::All } else { Mutation::None },
+        stats,
+    }
+}
+
+/// The registry of lir passes, by spec name: `constfold`, `dce`, `gvn`,
+/// `mem2reg`, `sink`.
+pub fn registry() -> PassRegistry<Module> {
+    let mut r = PassRegistry::new();
+
+    r.register("constfold", || {
+        Box::new(FnPass::infallible("constfold", |m: &mut Module, _am| {
+            let s = constfold::constfold(m);
+            outcome(
+                s.scalar_success + s.load_success > 0,
+                vec![
+                    ("scalar_success", s.scalar_success as i64),
+                    ("load_success", s.load_success as i64),
+                    ("load_fail", s.load_fail as i64),
+                ],
+            )
+        }))
+    });
+    r.register("dce", || {
+        Box::new(FnPass::infallible("dce", |m: &mut Module, _am| {
+            let removed = dce::dce(m);
+            outcome(removed > 0, vec![("insts_removed", removed as i64)])
+        }))
+    });
+    r.register("gvn", || {
+        Box::new(FnPass::infallible("gvn", |m: &mut Module, _am| {
+            let s = gvn::gvn(m);
+            outcome(
+                s.replaced > 0,
+                vec![
+                    ("total_value_numbers", s.total_value_numbers as i64),
+                    ("memory_value_numbers", s.memory_value_numbers as i64),
+                    ("replaced", s.replaced as i64),
+                ],
+            )
+        }))
+    });
+    r.register("mem2reg", || {
+        Box::new(FnPass::infallible("mem2reg", |m: &mut Module, _am| {
+            let s = mem2reg::mem2reg(m);
+            outcome(
+                s.loads_forwarded + s.allocas_removed + s.stores_removed > 0,
+                vec![
+                    ("loads_forwarded", s.loads_forwarded as i64),
+                    ("allocas_removed", s.allocas_removed as i64),
+                    ("stores_removed", s.stores_removed as i64),
+                ],
+            )
+        }))
+    });
+    r.register("sink", || {
+        Box::new(FnPass::infallible("sink", |m: &mut Module, _am| {
+            let s = sinkpass::sink(m);
+            outcome(
+                s.success > 0,
+                vec![
+                    ("success", s.success as i64),
+                    ("blocked_may_write", s.blocked_may_write as i64),
+                    ("blocked_may_reference", s.blocked_may_reference as i64),
+                ],
+            )
+        }))
+    });
+
+    r
+}
+
+/// A [`PassManager`] over the lir registry with the structural verifier
+/// installed (inter-pass verification runs in debug builds by default).
+pub fn pass_manager() -> PassManager<Module> {
+    PassManager::new(registry()).with_verifier(|m: &Module| {
+        let errs = crate::verifier::verify_module(m);
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs.join("; "))
+        }
+    })
+}
+
+/// The default lir optimization pipeline: promote memory, then fold /
+/// number / sink / clean to convergence.
+pub fn default_spec() -> PipelineSpec {
+    PipelineSpec::parse("mem2reg,fixpoint(constfold,gvn,sink,dce)")
+        .expect("default lir spec is well-formed")
+}
+
+/// Runs a pipeline spec over a module.
+pub fn optimize(m: &mut Module, spec: &PipelineSpec) -> Result<RunReport, RunError> {
+    pass_manager().run(m, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Function, Op};
+
+    /// `f(x) = (1 + 2) * x` with a dead add; the default spec folds the
+    /// constant, removes the dead instruction, and converges.
+    fn sample() -> Module {
+        let mut f = Function::new("f", 1, 1);
+        let e = f.entry;
+        let a = f.push1(e, Op::Const(1));
+        let b = f.push1(e, Op::Const(2));
+        let c = f.push1(e, Op::Bin(BinOp::Add, a, b));
+        let dead = f.push1(e, Op::Bin(BinOp::Add, c, c));
+        let _ = dead;
+        let r = f.push1(e, Op::Bin(BinOp::Mul, c, f.param(0)));
+        f.push0(e, Op::Ret(vec![r]));
+        let mut m = Module::default();
+        m.add(f);
+        m
+    }
+
+    #[test]
+    fn default_spec_optimizes_and_converges() {
+        let mut m = sample();
+        let before = m.inst_count();
+        let report = optimize(&mut m, &default_spec()).unwrap();
+        crate::verifier::assert_valid(&m);
+        assert!(m.inst_count() < before);
+        // The fixpoint group terminated with a confirming iteration.
+        let last_fix = report
+            .passes
+            .iter()
+            .rev()
+            .find(|p| p.fixpoint_iteration.is_some())
+            .unwrap();
+        assert!(!last_fix.changed);
+    }
+
+    #[test]
+    fn spec_runs_match_direct_calls() {
+        let mut direct = sample();
+        crate::constfold::constfold(&mut direct);
+        crate::dce::dce(&mut direct);
+        let mut via_spec = sample();
+        let spec = PipelineSpec::parse("constfold,dce").unwrap();
+        optimize(&mut via_spec, &spec).unwrap();
+        assert_eq!(direct.inst_count(), via_spec.inst_count());
+    }
+
+    #[test]
+    fn unknown_pass_errors_before_running() {
+        let mut m = sample();
+        let before = m.inst_count();
+        let spec = PipelineSpec::parse("constfold,licm").unwrap();
+        let err = optimize(&mut m, &spec).unwrap_err();
+        assert!(err.to_string().contains("unknown pass `licm`"));
+        assert_eq!(m.inst_count(), before, "validation precedes execution");
+    }
+}

@@ -1,0 +1,152 @@
+//! Structural verifier for lir modules.
+//!
+//! lir is produced both by `memoir-lower` and by its own optimization
+//! passes; this checker catches the invariant breaks a buggy pass is
+//! most likely to introduce, so the pass manager can pinpoint the
+//! offending pass between runs:
+//!
+//! * every block ends with exactly one terminator, and only its last
+//!   instruction is one;
+//! * branch/jump targets are in range;
+//! * every used value is defined (a parameter or the result of an
+//!   instruction that is still placed in some block);
+//! * no value is defined by two placed instructions;
+//! * φ nodes sit at the head of their block.
+
+use crate::ir::{Fun, Function, Module, Op, Val};
+use std::collections::HashSet;
+
+/// Checks one function, appending human-readable problems to `out`.
+fn verify_function(fun: Fun, f: &Function, out: &mut Vec<String>) {
+    let name = &f.name;
+    let mut defined: HashSet<Val> = (0..f.num_params).map(Val).collect();
+    let mut complain = |msg: String| out.push(format!("{name} (f{}): {msg}", fun.0));
+
+    // Definitions: placed instructions only, each value defined once.
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for &i in &b.insts {
+            let Some(inst) = f.insts.get(i.0 as usize) else {
+                complain(format!("b{bi} references out-of-range instruction {i:?}"));
+                continue;
+            };
+            for &r in &inst.results {
+                if !defined.insert(r) {
+                    complain(format!("{r:?} defined more than once (in b{bi})"));
+                }
+            }
+        }
+    }
+
+    for (bi, b) in f.blocks.iter().enumerate() {
+        if b.insts.is_empty() {
+            complain(format!("b{bi} is empty (no terminator)"));
+            continue;
+        }
+        let mut seen_non_phi = false;
+        for (pos, &i) in b.insts.iter().enumerate() {
+            let Some(inst) = f.insts.get(i.0 as usize) else { continue };
+            let is_last = pos + 1 == b.insts.len();
+            if inst.op.is_terminator() != is_last {
+                if is_last {
+                    complain(format!("b{bi} does not end with a terminator"));
+                } else {
+                    complain(format!("terminator {i:?} in the middle of b{bi}"));
+                }
+            }
+            match &inst.op {
+                Op::Phi(incs) => {
+                    if seen_non_phi {
+                        complain(format!("φ {i:?} after non-φ instructions in b{bi}"));
+                    }
+                    for &(p, _) in incs {
+                        if p.0 as usize >= f.blocks.len() {
+                            complain(format!("φ {i:?} names out-of-range block {p:?}"));
+                        }
+                    }
+                }
+                _ => seen_non_phi = true,
+            }
+            for t in inst.op.successors() {
+                if t.0 as usize >= f.blocks.len() {
+                    complain(format!("{i:?} jumps to out-of-range block {t:?}"));
+                }
+            }
+            inst.op.visit(|v| {
+                if !defined.contains(v) {
+                    complain(format!("{i:?} in b{bi} uses undefined value {v:?}"));
+                }
+            });
+        }
+    }
+}
+
+/// Checks every function, returning all problems found.
+pub fn verify_module(m: &Module) -> Vec<String> {
+    let mut out = Vec::new();
+    for (fi, f) in m.funcs.iter().enumerate() {
+        verify_function(Fun(fi as u32), f, &mut out);
+    }
+    out
+}
+
+/// Panics with a joined report if the module is malformed.
+pub fn assert_valid(m: &Module) {
+    let errs = verify_module(m);
+    if !errs.is_empty() {
+        panic!("lir verification failed:\n  {}", errs.join("\n  "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Blk, Op};
+
+    fn valid() -> Module {
+        let mut f = Function::new("f", 2, 1);
+        let e = f.entry;
+        let s = f.push1(e, Op::Bin(BinOp::Add, f.param(0), f.param(1)));
+        f.push0(e, Op::Ret(vec![s]));
+        let mut m = Module::default();
+        m.add(f);
+        m
+    }
+
+    #[test]
+    fn valid_module_passes() {
+        assert!(verify_module(&valid()).is_empty());
+    }
+
+    #[test]
+    fn missing_terminator_is_reported() {
+        let mut m = valid();
+        let f = &mut m.funcs[0];
+        let b = f.entry;
+        let last = *f.blocks[b.0 as usize].insts.last().unwrap();
+        f.remove(b, last);
+        let errs = verify_module(&m);
+        assert!(errs.iter().any(|e| e.contains("terminator")), "{errs:?}");
+    }
+
+    #[test]
+    fn undefined_use_is_reported() {
+        let mut f = Function::new("f", 0, 1);
+        let e = f.entry;
+        f.push0(e, Op::Ret(vec![Val(42)]));
+        let mut m = Module::default();
+        m.add(f);
+        let errs = verify_module(&m);
+        assert!(errs.iter().any(|e| e.contains("undefined value %42")), "{errs:?}");
+    }
+
+    #[test]
+    fn out_of_range_target_is_reported() {
+        let mut f = Function::new("f", 0, 0);
+        let e = f.entry;
+        f.push0(e, Op::Jmp(Blk(7)));
+        let mut m = Module::default();
+        m.add(f);
+        let errs = verify_module(&m);
+        assert!(errs.iter().any(|e| e.contains("out-of-range block b7")), "{errs:?}");
+    }
+}

@@ -70,7 +70,8 @@ fn every_pass_preserves_behaviour() {
     let expect: Vec<i64> = cases.iter().map(|&(p, x)| run(&m0, p, x)).collect();
 
     // Each pass alone.
-    let passes: Vec<(&str, Box<dyn Fn(&mut Module)>)> = vec![
+    type PassFn = Box<dyn Fn(&mut Module)>;
+    let passes: Vec<(&str, PassFn)> = vec![
         ("gvn", Box::new(|m| {
             lir::gvn(m);
         })),

@@ -1,0 +1,162 @@
+//! Adapters exposing this crate's analyses to the `passman`
+//! [`AnalysisManager`](passman::AnalysisManager).
+//!
+//! Each marker type implements [`passman::Analysis`] (per-function) or
+//! [`passman::ModuleAnalysis`] (module-wide), so passes request results
+//! with `am.get::<CachedDomTree>(m, fid)` instead of recomputing them.
+//! Results are cached until a pass declares it mutated the function —
+//! "analyses as first-class cached artifacts shared across rewrites".
+
+use crate::{Affinity, CallGraph, DefUse, DomTree, EscapeAnalysis, Liveness, Purity};
+use memoir_ir::{BlockId, FuncId, Module};
+use passman::{Analysis, ModuleAnalysis};
+use std::collections::HashMap;
+
+/// Cached sparse def-use chains ([`DefUse`]).
+#[derive(Debug)]
+pub struct CachedDefUse;
+
+impl Analysis<Module> for CachedDefUse {
+    type Output = DefUse;
+    const NAME: &'static str = "def-use";
+    fn compute(m: &Module, f: FuncId) -> DefUse {
+        DefUse::compute(&m.funcs[f])
+    }
+}
+
+/// Cached dominator tree ([`DomTree`]).
+#[derive(Debug)]
+pub struct CachedDomTree;
+
+impl Analysis<Module> for CachedDomTree {
+    type Output = DomTree;
+    const NAME: &'static str = "dom-tree";
+    fn compute(m: &Module, f: FuncId) -> DomTree {
+        DomTree::compute(&m.funcs[f])
+    }
+}
+
+/// Cached natural-loop nesting depths per block
+/// ([`natural_loop_depths`](crate::dominators::natural_loop_depths)).
+#[derive(Debug)]
+pub struct CachedLoopDepths;
+
+impl Analysis<Module> for CachedLoopDepths {
+    type Output = HashMap<BlockId, u32>;
+    const NAME: &'static str = "loop-depths";
+    fn compute(m: &Module, f: FuncId) -> HashMap<BlockId, u32> {
+        crate::dominators::natural_loop_depths(&m.funcs[f])
+    }
+}
+
+/// Cached scalar SSA liveness ([`Liveness`]).
+#[derive(Debug)]
+pub struct CachedLiveness;
+
+impl Analysis<Module> for CachedLiveness {
+    type Output = Liveness;
+    const NAME: &'static str = "liveness";
+    fn compute(m: &Module, f: FuncId) -> Liveness {
+        Liveness::compute(&m.funcs[f])
+    }
+}
+
+/// Cached allocation-site escape analysis ([`EscapeAnalysis`]).
+#[derive(Debug)]
+pub struct CachedEscape;
+
+impl Analysis<Module> for CachedEscape {
+    type Output = EscapeAnalysis;
+    const NAME: &'static str = "escape";
+    fn compute(m: &Module, f: FuncId) -> EscapeAnalysis {
+        EscapeAnalysis::compute(m, &m.funcs[f])
+    }
+}
+
+/// Cached module-wide field affinity ([`Affinity`]).
+#[derive(Debug)]
+pub struct CachedAffinity;
+
+impl ModuleAnalysis<Module> for CachedAffinity {
+    type Output = Affinity;
+    const NAME: &'static str = "affinity";
+    fn compute(m: &Module) -> Affinity {
+        Affinity::compute(m)
+    }
+}
+
+/// Cached module-wide call graph ([`CallGraph`]).
+#[derive(Debug)]
+pub struct CachedCallGraph;
+
+impl ModuleAnalysis<Module> for CachedCallGraph {
+    type Output = CallGraph;
+    const NAME: &'static str = "call-graph";
+    fn compute(m: &Module) -> CallGraph {
+        CallGraph::compute(m)
+    }
+}
+
+/// Cached module-wide purity / effect summaries ([`Purity`]).
+#[derive(Debug)]
+pub struct CachedPurity;
+
+impl ModuleAnalysis<Module> for CachedPurity {
+    type Output = Purity;
+    const NAME: &'static str = "purity";
+    fn compute(m: &Module) -> Purity {
+        Purity::compute(m, &CallGraph::compute(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memoir_ir::{Form, ModuleBuilder, Type};
+    use passman::AnalysisManager;
+
+    fn sample() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("f", Form::Ssa, |b| {
+            let i64t = b.ty(Type::I64);
+            let x = b.param("x", i64t);
+            let y = b.add(x, x);
+            b.returns(&[i64t]);
+            b.ret(vec![y]);
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn per_function_analyses_cache_and_invalidate() {
+        let m = sample();
+        let fid = m.func_by_name("f").unwrap();
+        let mut am: AnalysisManager<Module> = AnalysisManager::new();
+
+        let du1 = am.get::<CachedDefUse>(&m, fid);
+        let du2 = am.get::<CachedDefUse>(&m, fid);
+        assert!(std::rc::Rc::ptr_eq(&du1, &du2), "second request is the cached Rc");
+        let c = am.counter("def-use");
+        assert_eq!((c.hits, c.misses), (1, 1));
+
+        let _ = am.get::<CachedDomTree>(&m, fid);
+        am.invalidate(fid);
+        let _ = am.get::<CachedDomTree>(&m, fid);
+        let c = am.counter("dom-tree");
+        assert_eq!((c.hits, c.misses), (0, 2));
+        assert_eq!(c.max_computes_between_invalidations, 1);
+    }
+
+    #[test]
+    fn module_analyses_cache_until_any_invalidation() {
+        let m = sample();
+        let fid = m.func_by_name("f").unwrap();
+        let mut am: AnalysisManager<Module> = AnalysisManager::new();
+        let _ = am.get_module::<CachedAffinity>(&m);
+        let _ = am.get_module::<CachedAffinity>(&m);
+        assert_eq!(am.counter("affinity").hits, 1);
+        am.invalidate(fid);
+        let _ = am.get_module::<CachedAffinity>(&m);
+        assert_eq!(am.counter("affinity").misses, 2);
+    }
+}

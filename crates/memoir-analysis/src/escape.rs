@@ -81,13 +81,12 @@ impl EscapeAnalysis {
                     | InstKind::MutInsert { value: Some(v), .. } => {
                         changed |= mark(*v, &mut escaped);
                     }
-                    InstKind::Phi { incoming } => {
-                        if inst.results.first().is_some_and(|r| escaped.contains(r)) {
+                    InstKind::Phi { incoming }
+                        if inst.results.first().is_some_and(|r| escaped.contains(r)) => {
                             for (_, v) in incoming {
                                 changed |= mark(*v, &mut escaped);
                             }
                         }
-                    }
                     // Calls: by-ref args do not escape (value semantics);
                     // object references passed to opaque externs escape.
                     InstKind::Call { callee, args } => {

@@ -303,8 +303,8 @@ impl Expr {
                             // min/max widen.
                             match (&e, coeff) {
                                 (Expr::Affine(ae), _) => {
-                                    let mut scaled = Affine::default();
-                                    scaled.konst = ae.konst * coeff;
+                                    let mut scaled =
+                                        Affine { konst: ae.konst * coeff, ..Default::default() };
                                     for (&tt, &cc) in &ae.terms {
                                         scaled.terms.insert(tt, cc * coeff);
                                     }

@@ -253,11 +253,10 @@ impl<'f> IndexRanges<'f> {
                         return c_of(*lhs);
                     }
                 }
-                BinOp::Sub => {
-                    if *lhs == phi_val {
+                BinOp::Sub
+                    if *lhs == phi_val => {
                         return c_of(*rhs).map(|c| -c);
                     }
-                }
                 _ => {}
             }
         }

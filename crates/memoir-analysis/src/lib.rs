@@ -19,12 +19,15 @@
 //! * [`affinity`] — field affinity analysis choosing field-elision
 //!   candidates (§V);
 //! * [`callgraph`] / [`purity`] — call graph and function effect
-//!   summaries (dead-call elimination, sinking).
+//!   summaries (dead-call elimination, sinking);
+//! * [`cached`] — adapters exposing these analyses through the
+//!   `passman` analysis manager so passes share cached results.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod affinity;
+pub mod cached;
 pub mod callgraph;
 pub mod defuse;
 pub mod dominators;

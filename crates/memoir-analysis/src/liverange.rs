@@ -218,11 +218,10 @@ fn transfer(
     };
     let mut out = Vec::new();
     match &inst.kind {
-        InstKind::Read { c, idx: i } if is_seq(*c) => {
-            if cfg.include_reads {
+        InstKind::Read { c, idx: i } if is_seq(*c)
+            && cfg.include_reads => {
                 out.push((*c, idx.range_of(*i).widened()));
             }
-        }
         InstKind::UsePhi { c } | InstKind::Copy { c } if is_seq(*c) => {
             out.push((*c, result_range(0)));
         }
@@ -364,8 +363,8 @@ fn transfer(
                 }
             }
         }
-        InstKind::Phi { incoming } => {
-            if inst.results.first().is_some_and(|r| is_seq(*r)) {
+        InstKind::Phi { incoming }
+            if inst.results.first().is_some_and(|r| is_seq(*r)) => {
                 let pr = result_range(0);
                 for (_, v) in incoming {
                     if is_seq(*v) {
@@ -373,14 +372,12 @@ fn transfer(
                     }
                 }
             }
-        }
-        InstKind::Select { then_value, else_value, .. } => {
-            if inst.results.first().is_some_and(|r| is_seq(*r)) {
+        InstKind::Select { then_value, else_value, .. }
+            if inst.results.first().is_some_and(|r| is_seq(*r)) => {
                 let pr = result_range(0);
                 out.push((*then_value, pr.clone()));
                 out.push((*else_value, pr));
             }
-        }
         InstKind::Ret { values } => {
             for &v in values {
                 if is_seq(v) {
@@ -419,21 +416,18 @@ fn transfer(
         // Element stores of sequences into other collections: the stored
         // sequence escapes wholesale.
         InstKind::MutWrite { value, .. }
-        | InstKind::FieldWrite { value, .. } => {
-            if is_seq(*value) {
+        | InstKind::FieldWrite { value, .. }
+            if is_seq(*value) => {
                 out.push((*value, Range::full()));
             }
-        }
-        InstKind::Write { value, .. } => {
-            if is_seq(*value) {
+        InstKind::Write { value, .. }
+            if is_seq(*value) => {
                 out.push((*value, Range::full()));
             }
-        }
-        InstKind::Insert { value: Some(v), .. } | InstKind::MutInsert { value: Some(v), .. } => {
-            if is_seq(*v) {
+        InstKind::Insert { value: Some(v), .. } | InstKind::MutInsert { value: Some(v), .. }
+            if is_seq(*v) => {
                 out.push((*v, Range::full()));
             }
-        }
         _ => {}
     }
     out

@@ -101,6 +101,16 @@ impl Module {
     }
 }
 
+/// MEMOIR modules can be driven by the generic `passman` pass-manager
+/// framework; functions are keyed by [`FuncId`].
+impl passman::IrUnit for Module {
+    type FuncKey = FuncId;
+
+    fn func_keys(&self) -> Vec<FuncId> {
+        self.funcs.ids().collect()
+    }
+}
+
 /// Module-wide collection statistics (Table III's "# Collections").
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CollectionCensus {

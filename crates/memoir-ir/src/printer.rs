@@ -129,7 +129,7 @@ pub fn print_inst(f: &Function, id: InstId, types: &TypeTable, module: &Module) 
             format!("phi {} {}", ty, parts.join(", "))
         }
         InstKind::Call { callee, args } => {
-            let a: Vec<String> = args.iter().map(|x| v(x)).collect();
+            let a: Vec<String> = args.iter().map(&v).collect();
             format!("call {}({})", callee_name(module, *callee), a.join(", "))
         }
         InstKind::Jump { target } => format!("jump {}", block_name(f, *target)),
@@ -140,7 +140,7 @@ pub fn print_inst(f: &Function, id: InstId, types: &TypeTable, module: &Module) 
             block_name(f, *else_target)
         ),
         InstKind::Ret { values } => {
-            let a: Vec<String> = values.iter().map(|x| v(x)).collect();
+            let a: Vec<String> = values.iter().map(&v).collect();
             format!("ret {}", a.join(", "))
         }
         InstKind::Unreachable => "unreachable".into(),

@@ -314,7 +314,7 @@ impl TypeTable {
             offset += fs;
         }
         let size = offset.div_ceil(align) * align;
-        ObjectLayout { size: size.max(0), align, offsets }
+        ObjectLayout { size, align, offsets }
     }
 
     /// Renders a type as MEMOIR surface syntax (e.g. `Seq<i32>`,

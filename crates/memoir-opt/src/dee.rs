@@ -23,6 +23,7 @@
 //!   outside `[%a : %b)` may hold stale values.
 
 use crate::materialize::{Materializer, Point};
+use memoir_analysis::cached::CachedDefUse;
 use memoir_analysis::exprtree::{Expr, Term};
 use memoir_analysis::idxrange::IndexRanges;
 use memoir_analysis::liverange::{live_ranges, LiveRangeConfig};
@@ -30,6 +31,7 @@ use memoir_analysis::range::Range;
 use memoir_ir::{
     BlockId, Callee, Form, FuncId, Function, InstId, InstKind, Module, Type, TypeId, ValueId,
 };
+use passman::AnalysisManager;
 use std::collections::HashMap;
 
 /// Statistics from a DEE run.
@@ -55,12 +57,18 @@ pub struct DeeStats {
 /// Runs strict (fully semantics-preserving) intra-function DEE on every
 /// SSA function.
 pub fn dee_strict(m: &mut Module) -> DeeStats {
+    dee_strict_with(m, &mut AnalysisManager::new())
+}
+
+/// Runs strict DEE, sharing def-use chains through `am` and invalidating
+/// only the functions it actually rewrote.
+pub fn dee_strict_with(m: &mut Module, am: &mut AnalysisManager<Module>) -> DeeStats {
     let mut stats = DeeStats::default();
     for fid in m.funcs.ids().collect::<Vec<_>>() {
         if m.funcs[fid].form != Form::Ssa {
             continue;
         }
-        stats = merge(stats, dee_function(m, fid, &LiveRangeConfig::sound()));
+        stats = merge(stats, dee_function(m, fid, &LiveRangeConfig::sound(), am));
     }
     stats
 }
@@ -68,19 +76,24 @@ pub fn dee_strict(m: &mut Module) -> DeeStats {
 /// Intra-function DEE under a given live-range configuration: drops
 /// operations whose result is never observed, and guards writes/inserts
 /// whose live slice is a materializable strict sub-range.
-fn dee_function(m: &mut Module, fid: FuncId, cfg: &LiveRangeConfig) -> DeeStats {
+fn dee_function(
+    m: &mut Module,
+    fid: FuncId,
+    cfg: &LiveRangeConfig,
+    am: &mut AnalysisManager<Module>,
+) -> DeeStats {
     let mut stats = DeeStats::default();
     let lr = live_ranges(m, fid, cfg);
 
     enum Site {
-        Drop(InstId, ValueId /* forward-to */),
+        Drop(InstId),
         GuardWrite(InstId, Range),
         GuardInsert(InstId, Range),
     }
     let mut sites = Vec::new();
     {
+        let du = am.get::<CachedDefUse>(m, fid);
         let f = &m.funcs[fid];
-        let du = memoir_analysis::DefUse::compute(f);
         for (_, i) in f.inst_ids_in_order() {
             let inst = &f.insts[i];
             let Some(&result) = inst.results.first() else { continue };
@@ -92,19 +105,19 @@ fn dee_function(m: &mut Module, fid: FuncId, cfg: &LiveRangeConfig) -> DeeStats 
                 continue;
             }
             match &inst.kind {
-                InstKind::Write { c, .. } => {
+                InstKind::Write { .. } => {
                     if range.is_empty_const() && du.use_count(result) > 0 {
-                        sites.push(Site::Drop(i, *c));
+                        sites.push(Site::Drop(i));
                     } else if !range.is_empty_const() {
                         sites.push(Site::GuardWrite(i, range));
                     }
                 }
-                InstKind::Insert { c, .. } => {
+                InstKind::Insert { .. } => {
                     // An insert changes the index space; only a fully dead
                     // result may be dropped, and guarding requires the
                     // suffix to be dead too (hi bound only, Alg. 2).
                     if range.is_empty_const() && du.use_count(result) > 0 {
-                        sites.push(Site::Drop(i, *c));
+                        sites.push(Site::Drop(i));
                     } else if !range.is_empty_const() && !range_mentions_end(&range) {
                         sites.push(Site::GuardInsert(i, range));
                     }
@@ -116,9 +129,17 @@ fn dee_function(m: &mut Module, fid: FuncId, cfg: &LiveRangeConfig) -> DeeStats 
 
     for site in sites {
         match site {
-            Site::Drop(inst, fwd) => {
+            Site::Drop(inst) => {
                 let f = &mut m.funcs[fid];
                 let Some((b, _)) = find_inst(f, inst) else { continue };
+                // Read the forward-to operand *now*: an earlier drop in
+                // this batch may already have rewritten it (capturing it
+                // at site-collection time forwarded uses to a value whose
+                // definition was just removed).
+                let fwd = match &f.insts[inst].kind {
+                    InstKind::Write { c, .. } | InstKind::Insert { c, .. } => *c,
+                    _ => continue,
+                };
                 let result = f.insts[inst].results[0];
                 f.replace_all_uses(result, fwd);
                 f.remove_inst(b, inst);
@@ -138,6 +159,9 @@ fn dee_function(m: &mut Module, fid: FuncId, cfg: &LiveRangeConfig) -> DeeStats 
                 }
             }
         }
+    }
+    if stats != DeeStats::default() {
+        am.invalidate(fid);
     }
     stats
 }
@@ -536,11 +560,10 @@ fn write_range_summary(m: &Module, fid: FuncId) -> Option<Range> {
             | InstKind::InsertSeq { c, .. }
             | InstKind::Remove { c, .. }
             | InstKind::RemoveRange { c, .. }
-            | InstKind::Swap2 { a: c, .. } => {
-                if is_seq(m, f, *c) {
+            | InstKind::Swap2 { a: c, .. }
+                if is_seq(m, f, *c) => {
                     return None; // index-space changes defeat the summary
                 }
-            }
             InstKind::Call { callee: Callee::Func(t), .. } if *t == fid => {
                 // Self recursion: assume the recursive write range is the
                 // substituted summary; since the summary we are computing

@@ -121,13 +121,12 @@ pub fn remove_field(m: &mut Module, ty: ObjTypeId, field: u32) -> usize {
 
 fn mark_reachable_types(m: &Module, ty: memoir_ir::TypeId, out: &mut HashSet<ObjTypeId>) {
     match m.types.get(ty) {
-        Type::Ref(o) | Type::Object(o) => {
-            if out.insert(o) {
+        Type::Ref(o) | Type::Object(o)
+            if out.insert(o) => {
                 for field in m.types.object(o).fields.clone() {
                     mark_reachable_types(m, field.ty, out);
                 }
             }
-        }
         Type::Seq(e) => mark_reachable_types(m, e, out),
         Type::Assoc(k, v) => {
             mark_reachable_types(m, k, out);

@@ -5,7 +5,10 @@
 //! dead field elimination, field elision, redundant indirection
 //! elimination, key folding, and the supporting scalar passes (constant
 //! propagation with element-level forwarding, DCE, CFG simplification,
-//! sinking, USEφ copy folding), assembled into the Fig. 4 pipeline.
+//! sinking, USEφ copy folding), assembled into the Fig. 4 pipeline —
+//! now driven by the generic `passman` pass manager: every pass is
+//! registered in [`passes::registry`] and pipelines are textual
+//! [`PipelineSpec`](passman::PipelineSpec)s (see [`pipeline`]).
 
 #![warn(missing_docs)]
 
@@ -17,6 +20,7 @@ pub mod dfe;
 pub mod field_elision;
 pub mod key_fold;
 pub mod materialize;
+pub mod passes;
 pub mod pipeline;
 pub mod rie;
 pub mod simplify;
@@ -31,7 +35,10 @@ pub use dee::{dee_specialize_calls, dee_specialize_calls_with, dee_strict, DeeOp
 pub use dfe::{dfe, DfeStats};
 pub use field_elision::{auto_field_elision, field_elision, FieldElisionStats};
 pub use key_fold::{key_fold, KeyFoldStats};
-pub use pipeline::{compile, OptConfig, OptLevel, PipelineReport};
+pub use passes::registry;
+pub use pipeline::{
+    compile, compile_spec, default_spec, pass_manager, OptConfig, OptLevel, PipelineReport,
+};
 pub use rie::{rie, RieStats};
 pub use simplify::{simplify, SimplifyStats};
 pub use sink::{sink, SinkStats};

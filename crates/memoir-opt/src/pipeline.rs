@@ -4,12 +4,38 @@
 //! → (layout optimizations) → lowering-ready mut form`, with per-pass
 //! timing for Table III and per-optimization toggles for the Figs. 8/9
 //! breakdown.
+//!
+//! The pipeline is spec-driven: [`compile`] builds the default
+//! [`PipelineSpec`] for an [`OptLevel`] (see [`default_spec`]) and hands
+//! it to the generic `passman` [`PassManager`] over the pass
+//! [`registry`](crate::passes::registry). Arbitrary pipelines can be run
+//! from an LLVM-style `-passes=` string with [`compile_spec`]:
+//!
+//! ```
+//! use memoir_ir::{Form, ModuleBuilder, Type};
+//! let mut mb = ModuleBuilder::new("m");
+//! mb.func("f", Form::Mut, |b| {
+//!     let i64t = b.ty(Type::I64);
+//!     let x = b.param("x", i64t);
+//!     b.returns(&[i64t]);
+//!     b.ret(vec![x]);
+//! });
+//! let mut m = mb.finish();
+//! let spec = "ssa-construct,constprop,fixpoint(simplify,sink,dce),ssa-destruct"
+//!     .parse()
+//!     .unwrap();
+//! let report = memoir_opt::pipeline::compile_spec(&mut m, &spec).unwrap();
+//! assert!(report.run.passes.iter().any(|p| p.name == "constprop"));
+//! ```
 
 use crate::{
     constprop, construct_ssa, dce, dee, destruct_ssa, dfe, field_elision, key_fold, rie,
-    simplify, sink,
+    simplify, sink, ConstructError,
 };
-use memoir_ir::Module;
+use memoir_ir::{CollectionCensus, Module};
+use passman::{PassManager, PipelineSpec, RunError, RunReport};
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// Which MEMOIR optimizations to run (the Figs. 8/9 configuration axes).
@@ -70,6 +96,9 @@ pub struct PipelineReport {
     pub ssa_census: memoir_ir::CollectionCensus,
     /// Collection census after the full pipeline ("Binary" column).
     pub final_census: memoir_ir::CollectionCensus,
+    /// The full pass-manager report: per-pass stats, fixpoint iteration
+    /// tags, analysis-cache counters, invalidation events.
+    pub run: RunReport,
 }
 
 impl PipelineReport {
@@ -79,9 +108,115 @@ impl PipelineReport {
     }
 }
 
+/// The default pipeline spec for an optimization level — the Fig. 4
+/// sequence as a parsable, printable [`PipelineSpec`]:
+///
+/// * `O0` → `ssa-construct,ssa-destruct`
+/// * `O3(all)` → `ssa-construct,constprop,dee,fixpoint(constprop,simplify,sink,dce),sink,dce,ssa-destruct,field-elision,rie,key-fold,dfe`
+///
+/// with the DEE step and each layout pass gated by its [`OptConfig`]
+/// toggle. The `fixpoint(...)` group is the paper's DEE cleanup (fold
+/// the guards, simplify the regions, sink computation into them, drop
+/// dead code), iterated to convergence.
+pub fn default_spec(level: OptLevel) -> PipelineSpec {
+    let mut s = String::from("ssa-construct");
+    if let OptLevel::O3(cfg) = level {
+        s.push_str(",constprop");
+        if cfg.dee {
+            s.push_str(",dee,fixpoint(constprop,simplify,sink,dce)");
+        }
+        s.push_str(",sink,dce");
+    }
+    s.push_str(",ssa-destruct");
+    if let OptLevel::O3(cfg) = level {
+        if cfg.fe {
+            s.push_str(",field-elision");
+        }
+        if cfg.rie {
+            s.push_str(",rie");
+        }
+        if cfg.key_fold {
+            s.push_str(",key-fold");
+        }
+        if cfg.dfe {
+            s.push_str(",dfe");
+        }
+    }
+    PipelineSpec::parse(&s).expect("default spec is well-formed")
+}
+
+/// A [`PassManager`] over the full MEMOIR registry with the IR verifier
+/// installed (inter-pass verification runs in debug builds by default).
+pub fn pass_manager() -> PassManager<Module> {
+    PassManager::new(crate::passes::registry()).with_verifier(|m: &Module| {
+        let errs = memoir_ir::verifier::verify_module(m);
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+            Err(msgs.join("; "))
+        }
+    })
+}
+
+/// Runs an arbitrary pipeline spec over a module, producing the same
+/// [`PipelineReport`] as [`compile`]. Census fields are populated when
+/// the spec contains `ssa-construct`.
+pub fn compile_spec(m: &mut Module, spec: &PipelineSpec) -> Result<PipelineReport, RunError> {
+    let ssa_census: Rc<RefCell<Option<CollectionCensus>>> = Rc::new(RefCell::new(None));
+    let cell = Rc::clone(&ssa_census);
+    let pm = pass_manager().with_observer(move |m: &Module, run| {
+        if run.name == "ssa-construct" {
+            let c = m.collection_census();
+            run.annotations.push(("ssa_variables".into(), c.ssa_variables.to_string()));
+            run.annotations.push(("allocations".into(), c.allocations.to_string()));
+            *cell.borrow_mut() = Some(c);
+        }
+    });
+    let run = pm.run(m, spec)?;
+    let ssa_census = ssa_census.borrow().unwrap_or_default();
+    Ok(PipelineReport {
+        pass_times: run.pass_times(),
+        total: run.total,
+        destruct_copies: run
+            .last_run("ssa-destruct")
+            .and_then(|r| r.stat("copies_inserted"))
+            .unwrap_or(0) as usize,
+        ssa_census,
+        final_census: m.collection_census(),
+        run,
+    })
+}
+
 /// Runs the pipeline in place. The module must be in mut form (the MUT
 /// library frontend output); it is returned in mut form, optimized.
-pub fn compile(m: &mut Module, level: OptLevel) -> Result<PipelineReport, crate::ConstructError> {
+///
+/// This is a thin wrapper: it builds [`default_spec`]`(level)` and runs
+/// it through [`compile_spec`], mapping an SSA-construction failure back
+/// to [`ConstructError`]. Any other pipeline failure (unknown pass,
+/// inter-pass verification) indicates a bug in the default spec or a
+/// pass and panics.
+pub fn compile(m: &mut Module, level: OptLevel) -> Result<PipelineReport, ConstructError> {
+    match compile_spec(m, &default_spec(level)) {
+        Ok(report) => Ok(report),
+        Err(RunError::PassFailed { pass, error }) => {
+            let passman::PassError { message, payload } = error;
+            match payload.and_then(|p| p.downcast::<ConstructError>().ok()) {
+                Some(e) => Err(*e),
+                None => panic!("pass `{pass}` failed: {message}"),
+            }
+        }
+        Err(e) => panic!("default pipeline failed: {e}"),
+    }
+}
+
+/// The legacy hard-coded pass sequence, kept verbatim as a reference
+/// for differential testing of the spec-driven pipeline.
+#[doc(hidden)]
+pub fn compile_fixed_reference(
+    m: &mut Module,
+    level: OptLevel,
+) -> Result<PipelineReport, ConstructError> {
     let mut report = PipelineReport::default();
     let start = Instant::now();
     let time = |name: &str, report: &mut PipelineReport, f: &mut dyn FnMut()| {

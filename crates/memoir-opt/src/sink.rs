@@ -8,8 +8,9 @@
 //! is precisely the advantage §VII-D measures against LLVM's Sink pass
 //! (where "may write"/"may reference" memory barriers dominate failures).
 
-use memoir_analysis::{DefUse, DomTree};
+use memoir_analysis::cached::{CachedDefUse, CachedDomTree, CachedLoopDepths};
 use memoir_ir::{BlockId, Effect, Form, InstId, InstKind, Module};
+use passman::AnalysisManager;
 use std::collections::HashMap;
 
 /// Statistics from a sink run.
@@ -21,28 +22,39 @@ pub struct SinkStats {
 
 /// Runs sinking on every SSA-form function.
 pub fn sink(m: &mut Module) -> SinkStats {
+    sink_with(m, &mut AnalysisManager::new())
+}
+
+/// Runs sinking, sharing analyses through `am`: the dominator tree,
+/// def-use chains, and loop depths are fetched from the cache and
+/// invalidated only on iterations that actually moved an instruction.
+pub fn sink_with(m: &mut Module, am: &mut AnalysisManager<Module>) -> SinkStats {
     let mut stats = SinkStats::default();
     for fid in m.funcs.ids().collect::<Vec<_>>() {
         if m.funcs[fid].form != Form::Ssa {
             continue;
         }
         loop {
-            let n = run_function(m, fid);
+            let n = run_function(m, fid, am);
             stats.sunk += n;
             if n == 0 {
                 break;
             }
+            am.invalidate(fid);
         }
     }
     stats
 }
 
-
-fn run_function(m: &mut Module, fid: memoir_ir::FuncId) -> usize {
+fn run_function(
+    m: &mut Module,
+    fid: memoir_ir::FuncId,
+    am: &mut AnalysisManager<Module>,
+) -> usize {
+    let dt = am.get::<CachedDomTree>(m, fid);
+    let du = am.get::<CachedDefUse>(m, fid);
+    let depths = am.get::<CachedLoopDepths>(m, fid);
     let f = &m.funcs[fid];
-    let dt = DomTree::compute(f);
-    let du = DefUse::compute(f);
-    let depths = memoir_analysis::dominators::natural_loop_depths(f);
 
     // Position of each instruction.
     let mut pos: HashMap<InstId, (BlockId, usize)> = HashMap::new();

@@ -147,7 +147,7 @@ fn candidate_aliases(
         if ok {
             // A param may back at most one return position.
             if let Some(p) = root {
-                if !out.iter().any(|x| *x == Some(p)) {
+                if !out.contains(&Some(p)) {
                     out[k] = Some(p);
                 }
             }

@@ -1,0 +1,180 @@
+//! Lazily computed, cached, invalidation-aware analyses.
+//!
+//! Passes request analyses through an [`AnalysisManager`] instead of
+//! computing them inline. The manager caches each result per function (or
+//! per module for [`ModuleAnalysis`]) and returns `Rc` clones, so a pass
+//! can hold a result while mutating unrelated state. Results stay valid
+//! until a pass *declares* it mutated the function ([`Mutation`] in its
+//! [`PassOutcome`](crate::PassOutcome)); only then are the function's
+//! cached analyses dropped.
+//!
+//! The manager keeps hit/miss counters per analysis, plus a high-water
+//! mark of how many times any single `(function, analysis)` pair was
+//! computed between invalidations — the caching contract says this must
+//! be 1, and tests assert it stays there.
+
+use crate::IrUnit;
+use std::any::{Any, TypeId};
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+/// A per-function analysis over an IR unit.
+///
+/// Implementations are zero-sized marker types; the computed result is
+/// `Output`. The `NAME` is used for cache counters and reports.
+pub trait Analysis<M: IrUnit>: 'static {
+    /// The computed result type.
+    type Output: 'static;
+
+    /// Stable, human-readable analysis name (e.g. `"dom-tree"`).
+    const NAME: &'static str;
+
+    /// Computes the analysis for one function.
+    fn compute(m: &M, f: M::FuncKey) -> Self::Output;
+}
+
+/// A module-wide analysis over an IR unit (e.g. field affinity, which
+/// aggregates accesses across all functions).
+pub trait ModuleAnalysis<M: IrUnit>: 'static {
+    /// The computed result type.
+    type Output: 'static;
+
+    /// Stable, human-readable analysis name.
+    const NAME: &'static str;
+
+    /// Computes the analysis for the whole module.
+    fn compute(m: &M) -> Self::Output;
+}
+
+/// Hit/miss counters for one analysis kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounter {
+    /// Requests served from cache.
+    pub hits: u64,
+    /// Requests that had to compute.
+    pub misses: u64,
+    /// Maximum number of computes observed for a single
+    /// `(function, analysis)` pair between invalidations of that
+    /// function. The caching contract keeps this at 1.
+    pub max_computes_between_invalidations: u64,
+}
+
+/// Caches per-function and module-wide analysis results.
+pub struct AnalysisManager<M: IrUnit> {
+    cache: HashMap<(M::FuncKey, TypeId), Rc<dyn Any>>,
+    module_cache: HashMap<TypeId, Rc<dyn Any>>,
+    counters: BTreeMap<&'static str, CacheCounter>,
+    /// Per-function invalidation generation; bumped by `invalidate`.
+    generation: HashMap<M::FuncKey, u64>,
+    /// Global epoch; bumped by `invalidate_all`.
+    epoch: u64,
+    /// Computes per `(function, analysis)` in the current generation.
+    computes: HashMap<(M::FuncKey, TypeId), (u64, u64, u64)>, // (epoch, gen, count)
+    invalidation_events: u64,
+}
+
+impl<M: IrUnit> std::fmt::Debug for AnalysisManager<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisManager")
+            .field("cached_entries", &self.cache.len())
+            .field("counters", &self.counters)
+            .finish()
+    }
+}
+
+impl<M: IrUnit> Default for AnalysisManager<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: IrUnit> AnalysisManager<M> {
+    /// An empty manager.
+    pub fn new() -> Self {
+        AnalysisManager {
+            cache: HashMap::new(),
+            module_cache: HashMap::new(),
+            counters: BTreeMap::new(),
+            generation: HashMap::new(),
+            epoch: 0,
+            computes: HashMap::new(),
+            invalidation_events: 0,
+        }
+    }
+
+    /// Returns the cached result of analysis `A` for function `f`,
+    /// computing (and caching) it on first request.
+    pub fn get<A: Analysis<M>>(&mut self, m: &M, f: M::FuncKey) -> Rc<A::Output> {
+        let key = (f, TypeId::of::<A>());
+        if let Some(hit) = self.cache.get(&key) {
+            self.counters.entry(A::NAME).or_default().hits += 1;
+            return Rc::clone(hit).downcast::<A::Output>().expect("analysis cache type");
+        }
+        let value: Rc<A::Output> = Rc::new(A::compute(m, f));
+        let gen = self.generation.get(&f).copied().unwrap_or(0);
+        let entry = self.computes.entry(key).or_insert((self.epoch, gen, 0));
+        if entry.0 == self.epoch && entry.1 == gen {
+            entry.2 += 1;
+        } else {
+            *entry = (self.epoch, gen, 1);
+        }
+        let count = entry.2;
+        let ctr = self.counters.entry(A::NAME).or_default();
+        ctr.misses += 1;
+        ctr.max_computes_between_invalidations =
+            ctr.max_computes_between_invalidations.max(count);
+        self.cache.insert(key, Rc::clone(&value) as Rc<dyn Any>);
+        value
+    }
+
+    /// Returns the cached result of module-wide analysis `A`, computing
+    /// (and caching) it on first request.
+    pub fn get_module<A: ModuleAnalysis<M>>(&mut self, m: &M) -> Rc<A::Output> {
+        let key = TypeId::of::<A>();
+        if let Some(hit) = self.module_cache.get(&key) {
+            self.counters.entry(A::NAME).or_default().hits += 1;
+            return Rc::clone(hit).downcast::<A::Output>().expect("analysis cache type");
+        }
+        let value: Rc<A::Output> = Rc::new(A::compute(m));
+        self.counters.entry(A::NAME).or_default().misses += 1;
+        self.module_cache.insert(key, Rc::clone(&value) as Rc<dyn Any>);
+        value
+    }
+
+    /// Drops every cached analysis for function `f` (and all module-wide
+    /// analyses, which may depend on it).
+    pub fn invalidate(&mut self, f: M::FuncKey) {
+        *self.generation.entry(f).or_insert(0) += 1;
+        self.invalidation_events += 1;
+        self.cache.retain(|(k, _), _| *k != f);
+        self.module_cache.clear();
+    }
+
+    /// Drops every cached analysis.
+    pub fn invalidate_all(&mut self) {
+        self.epoch += 1;
+        self.invalidation_events += 1;
+        self.cache.clear();
+        self.module_cache.clear();
+    }
+
+    /// Hit/miss counters per analysis name.
+    pub fn counters(&self) -> &BTreeMap<&'static str, CacheCounter> {
+        &self.counters
+    }
+
+    /// Counter for one analysis name (zeroed if never requested).
+    pub fn counter(&self, name: &str) -> CacheCounter {
+        self.counters.get(name).copied().unwrap_or_default()
+    }
+
+    /// Number of invalidation events so far.
+    pub fn invalidation_events(&self) -> u64 {
+        self.invalidation_events
+    }
+
+    /// Number of live cached per-function entries (for tests).
+    pub fn cached_entries(&self) -> usize {
+        self.cache.len()
+    }
+}

@@ -1,0 +1,52 @@
+//! # passman
+//!
+//! A generic pass-manager framework shared by the MEMOIR pipeline
+//! (`memoir-opt`) and the low-level IR pipeline (`lir`).
+//!
+//! The framework replaces hand-rolled pass sequences (each timing itself,
+//! each recomputing every analysis from scratch) with four cooperating
+//! pieces:
+//!
+//! * [`Pass`] — a named transformation over an IR unit, reporting a
+//!   changed-bit, flat serde-friendly statistics, and which functions it
+//!   mutated (its *analysis invalidation* declaration);
+//! * [`AnalysisManager`] — lazily computes and caches per-function
+//!   [`Analysis`] results (and module-wide [`ModuleAnalysis`] results),
+//!   invalidating them only when a pass declares a mutation, with hit/miss
+//!   counters surfaced in the final report;
+//! * [`PipelineSpec`] — an LLVM `-passes=`-style textual pipeline
+//!   description, e.g. `"constprop,dee,fixpoint(simplify,sink,dce)"`,
+//!   where `fixpoint(...)` iterates its body to convergence using each
+//!   pass's changed-bit;
+//! * [`PassManager`] — runs a spec against a [`PassRegistry`], timing
+//!   every pass, optionally verifying the IR between passes (naming the
+//!   offending pass on failure), and producing a unified [`RunReport`].
+//!
+//! The framework is IR-agnostic: anything implementing [`IrUnit`] (a way
+//! to enumerate function keys) can be driven by it.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod pass;
+pub mod runner;
+pub mod spec;
+
+pub use analysis::{Analysis, AnalysisManager, CacheCounter, ModuleAnalysis};
+pub use pass::{FnPass, Mutation, Pass, PassError, PassOutcome, PassRegistry};
+pub use runner::{PassManager, PassRun, RunError, RunReport};
+pub use spec::{PipelineSpec, SpecParseError, SpecStep};
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// An IR unit a pass pipeline can run over: a module-like container with
+/// enumerable per-function keys.
+pub trait IrUnit {
+    /// Stable identifier for a function within the unit.
+    type FuncKey: Copy + Eq + Hash + Debug + 'static;
+
+    /// All function keys currently in the unit.
+    fn func_keys(&self) -> Vec<Self::FuncKey>;
+}

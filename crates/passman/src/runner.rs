@@ -1,0 +1,488 @@
+//! The pass-manager runner: executes a [`PipelineSpec`] against a
+//! [`PassRegistry`], timing each pass, invalidating cached analyses
+//! according to each pass's declaration, optionally verifying the IR
+//! between passes, and accumulating a unified [`RunReport`].
+
+use crate::analysis::{AnalysisManager, CacheCounter};
+use crate::pass::{Mutation, Pass, PassError, PassRegistry};
+use crate::spec::{PipelineSpec, SpecStep};
+use crate::IrUnit;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// One executed pass instance in the report.
+#[derive(Clone, Debug)]
+pub struct PassRun {
+    /// Pass name.
+    pub name: String,
+    /// Wall time of the pass body (excluding verification).
+    pub time: Duration,
+    /// Whether the pass reported a change.
+    pub changed: bool,
+    /// Flat statistics reported by the pass.
+    pub stats: Vec<(&'static str, i64)>,
+    /// `Some(i)` if this run happened in iteration `i` (0-based) of a
+    /// `fixpoint(...)` group.
+    pub fixpoint_iteration: Option<usize>,
+    /// Driver-attached annotations (e.g. collection censuses).
+    pub annotations: Vec<(String, String)>,
+}
+
+impl PassRun {
+    /// Looks up a statistic by key.
+    pub fn stat(&self, key: &str) -> Option<i64> {
+        self.stats.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+}
+
+/// The unified report of a pipeline run: per-pass timing and stats plus
+/// analysis-cache counters.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Every executed pass, in execution order (fixpoint iterations
+    /// appear once per execution).
+    pub passes: Vec<PassRun>,
+    /// Total wall time, including verification.
+    pub total: Duration,
+    /// Analysis-cache hit/miss counters by analysis name.
+    pub cache: Vec<(String, CacheCounter)>,
+    /// Number of analysis-cache invalidation events.
+    pub invalidation_events: u64,
+}
+
+impl RunReport {
+    /// Total time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total.as_secs_f64() * 1e3
+    }
+
+    /// `(name, time)` pairs in execution order (the legacy
+    /// `PipelineReport::pass_times` shape).
+    pub fn pass_times(&self) -> Vec<(String, Duration)> {
+        self.passes.iter().map(|p| (p.name.clone(), p.time)).collect()
+    }
+
+    /// The last run of the named pass, if any.
+    pub fn last_run(&self, name: &str) -> Option<&PassRun> {
+        self.passes.iter().rev().find(|p| p.name == name)
+    }
+
+    /// Cache counter for one analysis name (zeroed if never requested).
+    pub fn cache_counter(&self, name: &str) -> CacheCounter {
+        self.cache
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, c)| c)
+            .unwrap_or_default()
+    }
+
+    /// Renders a plain-text per-pass table (for debugging and bench
+    /// binaries).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<24} {:>10}  {:>7}  stats\n", "pass", "time", "changed"));
+        for p in &self.passes {
+            let stats: Vec<String> =
+                p.stats.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let name = match p.fixpoint_iteration {
+                Some(i) => format!("{} [fix #{i}]", p.name),
+                None => p.name.clone(),
+            };
+            out.push_str(&format!(
+                "{:<24} {:>8.3}ms  {:>7}  {}\n",
+                name,
+                p.time.as_secs_f64() * 1e3,
+                p.changed,
+                stats.join(" ")
+            ));
+        }
+        for (name, c) in &self.cache {
+            out.push_str(&format!(
+                "analysis {:<15} hits={} misses={}\n",
+                name, c.hits, c.misses
+            ));
+        }
+        out
+    }
+}
+
+/// A pipeline-run failure.
+#[derive(Debug)]
+pub enum RunError {
+    /// The spec referenced a pass the registry does not know.
+    UnknownPass {
+        /// The unknown name.
+        name: String,
+        /// All registered names, for the error message.
+        known: Vec<&'static str>,
+    },
+    /// A pass failed (e.g. SSA construction rejected the input).
+    PassFailed {
+        /// The failing pass.
+        pass: String,
+        /// The failure.
+        error: PassError,
+    },
+    /// Inter-pass verification failed right after the named pass.
+    VerifyFailed {
+        /// The pass after which verification failed.
+        pass: String,
+        /// The verifier's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::UnknownPass { name, known } => {
+                write!(f, "unknown pass `{name}`; known passes: {}", known.join(", "))
+            }
+            RunError::PassFailed { pass, error } => {
+                write!(f, "pass `{pass}` failed: {}", error.message)
+            }
+            RunError::VerifyFailed { pass, message } => {
+                write!(f, "IR verification failed after pass `{pass}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+type Verifier<M> = Rc<dyn Fn(&M) -> Result<(), String>>;
+type Observer<M> = Rc<dyn Fn(&M, &mut PassRun)>;
+
+/// Drives pipeline specs over an IR unit.
+pub struct PassManager<M: IrUnit> {
+    registry: PassRegistry<M>,
+    verifier: Option<Verifier<M>>,
+    verify_between_passes: bool,
+    max_fixpoint_iters: usize,
+    observer: Option<Observer<M>>,
+}
+
+impl<M: IrUnit> std::fmt::Debug for PassManager<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassManager")
+            .field("registry", &self.registry)
+            .field("verify_between_passes", &self.verify_between_passes)
+            .field("max_fixpoint_iters", &self.max_fixpoint_iters)
+            .finish()
+    }
+}
+
+impl<M: IrUnit> PassManager<M> {
+    /// A manager over the given registry. Inter-pass verification
+    /// defaults to on in debug builds and off in release builds.
+    pub fn new(registry: PassRegistry<M>) -> Self {
+        PassManager {
+            registry,
+            verifier: None,
+            verify_between_passes: cfg!(debug_assertions),
+            max_fixpoint_iters: 8,
+            observer: None,
+        }
+    }
+
+    /// Sets the IR verifier run between passes.
+    pub fn with_verifier(mut self, v: impl Fn(&M) -> Result<(), String> + 'static) -> Self {
+        self.verifier = Some(Rc::new(v));
+        self
+    }
+
+    /// Forces inter-pass verification on or off (overriding the
+    /// debug-build default).
+    pub fn verify_between_passes(mut self, on: bool) -> Self {
+        self.verify_between_passes = on;
+        self
+    }
+
+    /// Caps `fixpoint(...)` iteration counts (default 8).
+    pub fn max_fixpoint_iters(mut self, n: usize) -> Self {
+        self.max_fixpoint_iters = n.max(1);
+        self
+    }
+
+    /// Installs a post-pass observer, called with the module and the
+    /// just-recorded [`PassRun`] (e.g. to attach censuses).
+    pub fn with_observer(mut self, obs: impl Fn(&M, &mut PassRun) + 'static) -> Self {
+        self.observer = Some(Rc::new(obs));
+        self
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &PassRegistry<M> {
+        &self.registry
+    }
+
+    /// Validates that every pass named in `spec` is registered.
+    pub fn validate(&self, spec: &PipelineSpec) -> Result<(), RunError> {
+        for name in spec.pass_names() {
+            if !self.registry.contains(name) {
+                return Err(RunError::UnknownPass {
+                    name: name.to_string(),
+                    known: self.registry.names(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a spec with a fresh analysis manager.
+    pub fn run(&self, m: &mut M, spec: &PipelineSpec) -> Result<RunReport, RunError> {
+        let mut am = AnalysisManager::new();
+        self.run_with(m, spec, &mut am)
+    }
+
+    /// Runs a spec against an existing analysis manager (so cached
+    /// analyses survive across multiple `run_with` calls).
+    pub fn run_with(
+        &self,
+        m: &mut M,
+        spec: &PipelineSpec,
+        am: &mut AnalysisManager<M>,
+    ) -> Result<RunReport, RunError> {
+        self.validate(spec)?;
+        let start = Instant::now();
+        let mut report = RunReport::default();
+        // Pass instances are created once per spec step and reused across
+        // fixpoint iterations, so stateful passes can accumulate.
+        let mut instances: HashMap<String, Box<dyn Pass<M>>> = HashMap::new();
+
+        for step in &spec.steps {
+            match step {
+                SpecStep::Pass(name) => {
+                    self.run_one(m, am, &mut instances, name, None, &mut report)?;
+                }
+                SpecStep::Fixpoint(names) => {
+                    for iter in 0..self.max_fixpoint_iters {
+                        let mut any_changed = false;
+                        for name in names {
+                            let changed = self.run_one(
+                                m,
+                                am,
+                                &mut instances,
+                                name,
+                                Some(iter),
+                                &mut report,
+                            )?;
+                            any_changed |= changed;
+                        }
+                        if !any_changed {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        report.total = start.elapsed();
+        report.cache = am
+            .counters()
+            .iter()
+            .map(|(&n, &c)| (n.to_string(), c))
+            .collect();
+        report.invalidation_events = am.invalidation_events();
+        Ok(report)
+    }
+
+    fn run_one(
+        &self,
+        m: &mut M,
+        am: &mut AnalysisManager<M>,
+        instances: &mut HashMap<String, Box<dyn Pass<M>>>,
+        name: &str,
+        fixpoint_iteration: Option<usize>,
+        report: &mut RunReport,
+    ) -> Result<bool, RunError> {
+        if !instances.contains_key(name) {
+            let pass = self.registry.create(name).ok_or_else(|| RunError::UnknownPass {
+                name: name.to_string(),
+                known: self.registry.names(),
+            })?;
+            instances.insert(name.to_string(), pass);
+        }
+        let pass = instances.get_mut(name).expect("just inserted");
+
+        let t0 = Instant::now();
+        let outcome = pass
+            .run(m, am)
+            .map_err(|error| RunError::PassFailed { pass: name.to_string(), error })?;
+        let time = t0.elapsed();
+
+        if outcome.changed {
+            match &outcome.mutated {
+                Mutation::None => am.invalidate_all(), // changed but undeclared: be safe
+                Mutation::Funcs(fs) => {
+                    for &f in fs {
+                        am.invalidate(f);
+                    }
+                }
+                Mutation::All => am.invalidate_all(),
+                Mutation::Handled => {} // pass invalidated through `am` itself
+            }
+        }
+
+        let mut run = PassRun {
+            name: name.to_string(),
+            time,
+            changed: outcome.changed,
+            stats: outcome.stats,
+            fixpoint_iteration,
+            annotations: Vec::new(),
+        };
+
+        if self.verify_between_passes {
+            if let Some(v) = &self.verifier {
+                if let Err(message) = v(m) {
+                    return Err(RunError::VerifyFailed { pass: name.to_string(), message });
+                }
+            }
+        }
+        if let Some(obs) = &self.observer {
+            obs(m, &mut run);
+        }
+
+        let changed = run.changed;
+        report.passes.push(run);
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::{FnPass, PassOutcome};
+
+    /// A toy IR: one "function" per vector slot holding a counter.
+    #[derive(Debug, Default)]
+    struct Toy {
+        vals: Vec<i64>,
+    }
+
+    impl IrUnit for Toy {
+        type FuncKey = usize;
+        fn func_keys(&self) -> Vec<usize> {
+            (0..self.vals.len()).collect()
+        }
+    }
+
+    struct Sum;
+    impl crate::Analysis<Toy> for Sum {
+        type Output = i64;
+        const NAME: &'static str = "sum";
+        fn compute(m: &Toy, f: usize) -> i64 {
+            m.vals[f]
+        }
+    }
+
+    fn registry() -> PassRegistry<Toy> {
+        let mut r = PassRegistry::new();
+        // Decrements every positive slot by one.
+        r.register("dec", || {
+            Box::new(FnPass::infallible("dec", |m: &mut Toy, _am| {
+                let mut n = 0;
+                for v in &mut m.vals {
+                    if *v > 0 {
+                        *v -= 1;
+                        n += 1;
+                    }
+                }
+                PassOutcome::from_stats(vec![("decremented", n)])
+            }))
+        });
+        // Reads the analysis but changes nothing.
+        r.register("observe", || {
+            Box::new(FnPass::infallible("observe", |m: &mut Toy, am| {
+                for f in m.func_keys() {
+                    let _ = am.get::<Sum>(m, f);
+                }
+                PassOutcome::unchanged()
+            }))
+        });
+        r
+    }
+
+    #[test]
+    fn fixpoint_iterates_to_convergence() {
+        let pm = PassManager::new(registry());
+        let mut m = Toy { vals: vec![3, 1] };
+        let spec = PipelineSpec::parse("fixpoint(dec)").unwrap();
+        let report = pm.run(&mut m, &spec).unwrap();
+        assert_eq!(m.vals, vec![0, 0]);
+        // 3 changing iterations + 1 confirming iteration.
+        assert_eq!(report.passes.len(), 4);
+        assert!(!report.passes.last().unwrap().changed);
+        assert_eq!(report.passes[0].fixpoint_iteration, Some(0));
+    }
+
+    #[test]
+    fn fixpoint_iteration_cap_holds() {
+        let pm = PassManager::new(registry()).max_fixpoint_iters(2);
+        let mut m = Toy { vals: vec![100] };
+        let spec = PipelineSpec::parse("fixpoint(dec)").unwrap();
+        let report = pm.run(&mut m, &spec).unwrap();
+        assert_eq!(report.passes.len(), 2);
+        assert_eq!(m.vals, vec![98]);
+    }
+
+    #[test]
+    fn unknown_pass_is_reported_with_known_names() {
+        let pm = PassManager::new(registry());
+        let mut m = Toy::default();
+        let spec = PipelineSpec::parse("dec,nope").unwrap();
+        let err = pm.run(&mut m, &spec).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown pass `nope`"), "{msg}");
+        assert!(msg.contains("dec"), "{msg}");
+        // Validation fails before anything runs.
+        assert_eq!(m.vals, Vec::<i64>::new());
+    }
+
+    #[test]
+    fn analyses_cache_until_mutation() {
+        let pm = PassManager::new(registry());
+        let mut m = Toy { vals: vec![1, 2] };
+        // observe,observe: second is all hits. dec mutates, then observe
+        // must recompute.
+        let spec = PipelineSpec::parse("observe,observe,dec,observe").unwrap();
+        let report = pm.run(&mut m, &spec).unwrap();
+        let c = report.cache_counter("sum");
+        assert_eq!(c.misses, 4, "2 funcs × (initial + post-mutation)");
+        assert_eq!(c.hits, 2, "second observe is fully cached");
+        assert_eq!(c.max_computes_between_invalidations, 1);
+    }
+
+    #[test]
+    fn verifier_names_offending_pass() {
+        let mut r = registry();
+        r.register("break", || {
+            Box::new(FnPass::infallible("break", |m: &mut Toy, _| {
+                m.vals.push(-999);
+                PassOutcome::from_stats(vec![("broke", 1)])
+            }))
+        });
+        let pm = PassManager::new(r)
+            .verify_between_passes(true)
+            .with_verifier(|m: &Toy| {
+                if m.vals.contains(&-999) {
+                    Err("slot holds sentinel -999".into())
+                } else {
+                    Ok(())
+                }
+            });
+        let mut m = Toy { vals: vec![1] };
+        let spec = PipelineSpec::parse("dec,break,dec").unwrap();
+        let err = pm.run(&mut m, &spec).unwrap_err();
+        match err {
+            RunError::VerifyFailed { pass, message } => {
+                assert_eq!(pass, "break");
+                assert!(message.contains("sentinel"));
+            }
+            other => panic!("expected VerifyFailed, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Textual pipeline specifications, LLVM `-passes=` style.
+//!
+//! Grammar (whitespace is insignificant):
+//!
+//! ```text
+//! spec     := step ("," step)*
+//! step     := name | "fixpoint" "(" name ("," name)* ")"
+//! name     := [A-Za-z0-9_-]+
+//! ```
+//!
+//! `fixpoint(a,b,c)` runs `a,b,c` repeatedly until an iteration in which
+//! no pass reports a change (bounded by the runner's iteration cap).
+//! `fixpoint` groups do not nest — a nested `fixpoint(` is a parse error,
+//! keeping convergence behaviour predictable.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One step of a pipeline: a single pass or a fixpoint group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecStep {
+    /// Run the named pass once.
+    Pass(String),
+    /// Run the named passes repeatedly until none reports a change.
+    Fixpoint(Vec<String>),
+}
+
+/// A parsed pipeline specification.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PipelineSpec {
+    /// Steps in execution order.
+    pub steps: Vec<SpecStep>,
+}
+
+/// A pipeline-spec parse failure, with byte position where applicable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecParseError {
+    /// The spec contained no steps.
+    Empty,
+    /// A character outside the name alphabet / structure.
+    UnexpectedChar {
+        /// Byte offset of the offending character.
+        pos: usize,
+        /// The character found.
+        ch: char,
+    },
+    /// A `fixpoint(` occurred inside another `fixpoint(...)`.
+    NestedFixpoint {
+        /// Byte offset of the inner `fixpoint`.
+        pos: usize,
+    },
+    /// A `fixpoint(` was never closed.
+    UnclosedFixpoint,
+    /// A `fixpoint()` group with no passes.
+    EmptyFixpoint {
+        /// Byte offset of the group.
+        pos: usize,
+    },
+    /// An empty pass name (e.g. `a,,b` or a trailing comma).
+    EmptyName {
+        /// Byte offset where a name was expected.
+        pos: usize,
+    },
+}
+
+impl fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecParseError::Empty => write!(f, "empty pipeline spec"),
+            SpecParseError::UnexpectedChar { pos, ch } => {
+                write!(f, "unexpected character `{ch}` at byte {pos}")
+            }
+            SpecParseError::NestedFixpoint { pos } => {
+                write!(f, "nested fixpoint(...) at byte {pos} is not supported")
+            }
+            SpecParseError::UnclosedFixpoint => write!(f, "unclosed fixpoint(..."),
+            SpecParseError::EmptyFixpoint { pos } => {
+                write!(f, "fixpoint() at byte {pos} must contain at least one pass")
+            }
+            SpecParseError::EmptyName { pos } => {
+                write!(f, "expected a pass name at byte {pos}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecParseError {}
+
+fn is_name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+impl PipelineSpec {
+    /// A spec built from steps.
+    pub fn new(steps: Vec<SpecStep>) -> Self {
+        PipelineSpec { steps }
+    }
+
+    /// Parses a textual spec like `"constprop,dee,fixpoint(simplify,sink,dce)"`.
+    pub fn parse(input: &str) -> Result<Self, SpecParseError> {
+        let bytes: Vec<(usize, char)> = input.char_indices().collect();
+        let mut i = 0usize; // index into `bytes`
+        let mut steps = Vec::new();
+
+        let skip_ws = |i: &mut usize| {
+            while *i < bytes.len() && bytes[*i].1.is_whitespace() {
+                *i += 1;
+            }
+        };
+        let read_name = |i: &mut usize| -> Option<String> {
+            let start = *i;
+            while *i < bytes.len() && is_name_char(bytes[*i].1) {
+                *i += 1;
+            }
+            if *i == start {
+                None
+            } else {
+                Some(bytes[start..*i].iter().map(|&(_, c)| c).collect())
+            }
+        };
+
+        loop {
+            skip_ws(&mut i);
+            let name_pos = if i < bytes.len() { bytes[i].0 } else { input.len() };
+            let Some(name) = read_name(&mut i) else {
+                if steps.is_empty() && i >= bytes.len() {
+                    return Err(SpecParseError::Empty);
+                }
+                return Err(SpecParseError::EmptyName { pos: name_pos });
+            };
+            skip_ws(&mut i);
+
+            if name == "fixpoint" && i < bytes.len() && bytes[i].1 == '(' {
+                let group_pos = bytes[i].0;
+                i += 1; // consume '('
+                let mut body = Vec::new();
+                loop {
+                    skip_ws(&mut i);
+                    if i < bytes.len() && bytes[i].1 == ')' && body.is_empty() {
+                        return Err(SpecParseError::EmptyFixpoint { pos: group_pos });
+                    }
+                    let inner_pos = if i < bytes.len() { bytes[i].0 } else { input.len() };
+                    let Some(inner) = read_name(&mut i) else {
+                        if i >= bytes.len() {
+                            return Err(SpecParseError::UnclosedFixpoint);
+                        }
+                        return Err(SpecParseError::EmptyName { pos: inner_pos });
+                    };
+                    skip_ws(&mut i);
+                    if inner == "fixpoint" && i < bytes.len() && bytes[i].1 == '(' {
+                        return Err(SpecParseError::NestedFixpoint { pos: inner_pos });
+                    }
+                    body.push(inner);
+                    if i >= bytes.len() {
+                        return Err(SpecParseError::UnclosedFixpoint);
+                    }
+                    match bytes[i].1 {
+                        ',' => i += 1,
+                        ')' => {
+                            i += 1;
+                            break;
+                        }
+                        ch => return Err(SpecParseError::UnexpectedChar { pos: bytes[i].0, ch }),
+                    }
+                }
+                steps.push(SpecStep::Fixpoint(body));
+            } else {
+                steps.push(SpecStep::Pass(name));
+            }
+
+            skip_ws(&mut i);
+            if i >= bytes.len() {
+                break;
+            }
+            match bytes[i].1 {
+                ',' => i += 1,
+                ch => return Err(SpecParseError::UnexpectedChar { pos: bytes[i].0, ch }),
+            }
+        }
+
+        if steps.is_empty() {
+            return Err(SpecParseError::Empty);
+        }
+        Ok(PipelineSpec { steps })
+    }
+
+    /// All pass names referenced by the spec (with repetitions).
+    pub fn pass_names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for s in &self.steps {
+            match s {
+                SpecStep::Pass(n) => out.push(n.as_str()),
+                SpecStep::Fixpoint(ns) => out.extend(ns.iter().map(|n| n.as_str())),
+            }
+        }
+        out
+    }
+}
+
+impl FromStr for PipelineSpec {
+    type Err = SpecParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PipelineSpec::parse(s)
+    }
+}
+
+impl fmt::Display for PipelineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            match s {
+                SpecStep::Pass(n) => f.write_str(n)?,
+                SpecStep::Fixpoint(ns) => write!(f, "fixpoint({})", ns.join(","))?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_and_fixpoint() {
+        let s = PipelineSpec::parse("constprop,dee,fixpoint(simplify,sink,dce),ssa-destruct")
+            .unwrap();
+        assert_eq!(
+            s.steps,
+            vec![
+                SpecStep::Pass("constprop".into()),
+                SpecStep::Pass("dee".into()),
+                SpecStep::Fixpoint(vec!["simplify".into(), "sink".into(), "dce".into()]),
+                SpecStep::Pass("ssa-destruct".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        for text in [
+            "constprop",
+            "constprop,dce",
+            "constprop,fixpoint(simplify,sink,dce)",
+            "ssa-construct,dee,fixpoint(constprop,simplify,sink,dce),ssa-destruct",
+            "a_b,c-d,fixpoint(e)",
+        ] {
+            let spec = PipelineSpec::parse(text).unwrap();
+            assert_eq!(spec.to_string(), text, "canonical print");
+            let reparsed = PipelineSpec::parse(&spec.to_string()).unwrap();
+            assert_eq!(reparsed, spec, "parse ∘ print is identity");
+        }
+    }
+
+    #[test]
+    fn tolerates_whitespace() {
+        let a = PipelineSpec::parse(" constprop , fixpoint( sink , dce ) ").unwrap();
+        let b = PipelineSpec::parse("constprop,fixpoint(sink,dce)").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_nested_fixpoint() {
+        let err = PipelineSpec::parse("fixpoint(a,fixpoint(b))").unwrap_err();
+        assert!(matches!(err, SpecParseError::NestedFixpoint { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed() {
+        assert_eq!(PipelineSpec::parse(""), Err(SpecParseError::Empty));
+        assert_eq!(PipelineSpec::parse("   "), Err(SpecParseError::Empty));
+        assert!(matches!(
+            PipelineSpec::parse("a,,b"),
+            Err(SpecParseError::EmptyName { .. })
+        ));
+        assert!(matches!(
+            PipelineSpec::parse("a,"),
+            Err(SpecParseError::EmptyName { .. })
+        ));
+        assert!(matches!(
+            PipelineSpec::parse("fixpoint()"),
+            Err(SpecParseError::EmptyFixpoint { .. })
+        ));
+        assert!(matches!(
+            PipelineSpec::parse("fixpoint(a"),
+            Err(SpecParseError::UnclosedFixpoint)
+        ));
+        assert!(matches!(
+            PipelineSpec::parse("a;b"),
+            Err(SpecParseError::UnexpectedChar { ch: ';', .. })
+        ));
+    }
+
+    #[test]
+    fn fixpoint_without_parens_is_a_pass_name() {
+        // A pass literally named `fixpoint` is allowed when not followed
+        // by `(` — the grammar only reserves the call form.
+        let s = PipelineSpec::parse("fixpoint").unwrap();
+        assert_eq!(s.steps, vec![SpecStep::Pass("fixpoint".into())]);
+    }
+}

@@ -392,7 +392,7 @@ mod tests {
         // collapses. The picked values remain genuine basket costs.
         let (ob, s_base) = run_master(&baseline, 900, 8, 450, 2);
         let (od, s_dee) = run_master(&m, 900, 8, 450, 2);
-        assert!(od >= 0 && od < 4 * 16384, "picked values stay in range: base={ob} dee={od}");
+        assert!((0..4 * 16384).contains(&od), "picked values stay in range: base={ob} dee={od}");
         assert!(s_dee.cost < s_base.cost * 0.75, "base={} dee={}", s_base.cost, s_dee.cost);
     }
 

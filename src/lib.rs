@@ -65,6 +65,7 @@
 
 pub use lir;
 pub use memoir_analysis as analysis;
+pub use passman;
 pub use memoir_interp as interp;
 pub use memoir_ir as ir;
 pub use memoir_lower as lower;

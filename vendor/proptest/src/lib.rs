@@ -1,0 +1,446 @@
+//! A minimal, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real crates-io `proptest` cannot be fetched. This stub implements the
+//! subset of the API the workspace's property tests use — `Strategy` with
+//! `prop_map` / `prop_recursive`, integer-range and tuple strategies,
+//! `any`, `Just`, `prop_oneof!`, `proptest::collection::vec`, the
+//! `proptest!` macro with `ProptestConfig`, and the `prop_assert*` /
+//! `prop_assume!` macros — on top of a deterministic splitmix64 generator.
+//!
+//! It generates random cases and reports failures; it does **not** shrink
+//! counterexamples or persist regression files. Tests are seeded from the
+//! test name, so runs are reproducible.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod test_runner {
+    //! Test-runner types: configuration, RNG, and case errors.
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` generated cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!`; it is skipped.
+        Reject,
+        /// An assertion failed; the test panics with this message.
+        Fail(String),
+    }
+
+    /// Result type threaded through a generated test body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic splitmix64 generator.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator deterministically from a test name.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// Generates values of an associated type from random bits.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Clone + std::fmt::Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+        where
+            Self: Sized + 'static,
+            O: Clone + std::fmt::Debug + 'static,
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            let inner = self;
+            BoxedStrategy::from_fn(move |rng| f(inner.generate(rng)))
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            let inner = self;
+            BoxedStrategy::from_fn(move |rng| inner.generate(rng))
+        }
+
+        /// Builds a recursive strategy: starting from `self` as the leaf
+        /// case, applies `recurse` up to `depth` times. Each level picks
+        /// between the previous level and the expanded strategy, so
+        /// generated trees have bounded depth `depth`.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            let mut cur = self.boxed();
+            for _ in 0..depth.max(1) {
+                let leaf = cur.clone();
+                let expanded = recurse(cur).boxed();
+                cur = BoxedStrategy::from_fn(move |rng| {
+                    if rng.below(4) == 0 {
+                        leaf.generate(rng)
+                    } else {
+                        expanded.generate(rng)
+                    }
+                });
+            }
+            cur
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V> {
+        gen: Rc<dyn Fn(&mut TestRng) -> V>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { gen: Rc::clone(&self.gen) }
+        }
+    }
+
+    impl<V> std::fmt::Debug for BoxedStrategy<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<V> BoxedStrategy<V> {
+        /// Wraps a generation closure.
+        pub fn from_fn(f: impl Fn(&mut TestRng) -> V + 'static) -> Self {
+            BoxedStrategy { gen: Rc::new(f) }
+        }
+    }
+
+    impl<V: Clone + std::fmt::Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Strategy that always yields a fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<V>(pub V);
+
+    impl<V: Clone + std::fmt::Debug> Strategy for Just<V> {
+        type Value = V;
+        fn generate(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+
+    /// Weighted union of type-erased strategies (used by `prop_oneof!`).
+    pub fn union<V: Clone + std::fmt::Debug + 'static>(
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+    ) -> BoxedStrategy<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! weights must not all be zero");
+        BoxedStrategy::from_fn(move |rng| {
+            let mut pick = rng.below(total);
+            for (w, s) in &arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!()
+        })
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Clone + std::fmt::Debug + Sized + 'static {
+        /// Generates an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    #[derive(Clone, Debug)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy for any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{BoxedStrategy, Strategy};
+
+    /// A range of collection sizes.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        /// Minimum length (inclusive).
+        pub min: usize,
+        /// Maximum length (exclusive).
+        pub max: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange { min: r.start, max: r.end.max(r.start + 1) }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element` and whose
+    /// length falls in `size`.
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        let size = size.into();
+        BoxedStrategy::from_fn(move |rng| {
+            let span = (size.max - size.min).max(1) as u64;
+            let len = size.min + rng.below(span) as usize;
+            (0..len).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Weighted (or unweighted) choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Rejects (skips) the current generated case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(binding in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat_param in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for _case in 0..config.cases {
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                )+
+                let outcome: $crate::test_runner::TestCaseResult =
+                    (|| -> $crate::test_runner::TestCaseResult {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        continue
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(m)) => {
+                        panic!("proptest case {} failed: {}", _case, m)
+                    }
+                    ::std::result::Result::Ok(()) => {}
+                }
+            }
+        }
+    )*};
+}
