@@ -2,7 +2,10 @@
 //! operations in the low-level GVN (paper §VII-D).
 
 fn main() {
-    println!("{}", bench::header("Figure 10 — % value numbers for memory (GVN)"));
+    println!(
+        "{}",
+        bench::header("Figure 10 — % value numbers for memory (GVN)")
+    );
     for (name, module) in bench::lowered_subjects() {
         let mut m = module;
         let stats = lir::gvn(&mut m);

@@ -2,7 +2,10 @@
 //! success / load fail (paper §VII-D).
 
 fn main() {
-    println!("{}", bench::header("Figure 12 — ConstantFold attempt breakdown"));
+    println!(
+        "{}",
+        bench::header("Figure 12 — ConstantFold attempt breakdown")
+    );
     println!(
         "{:>12} {:>15} {:>13} {:>11}",
         "benchmark", "scalar success", "load success", "load fail"

@@ -2,26 +2,33 @@
 //! ALL configuration (MEMOIR vs the baseline pipeline).
 
 fn main() {
-    println!("{}", bench::header("Figure 6 — relative execution time (vs baseline)"));
+    println!(
+        "{}",
+        bench::header("Figure 6 — relative execution time (vs baseline)")
+    );
     // mcf.
     let sweep = bench::mcf_sweep();
     let base = sweep[0].1.ledger.cost;
     let all = &sweep.iter().find(|(n, _)| *n == "ALL").unwrap().1;
-    println!("{}", bench::pct("mcf (MEMOIR ALL)", all.ledger.cost / base - 1.0));
+    println!(
+        "{}",
+        bench::pct("mcf (MEMOIR ALL)", all.ledger.cost / base - 1.0)
+    );
 
     // deepsjeng.
     let p = workloads::deepsjeng::DeepsjengParams::default();
-    let dbase = workloads::deepsjeng::run_deepsjeng(
-        &p,
-        workloads::deepsjeng::DeepsjengVariant::default(),
-    );
+    let dbase =
+        workloads::deepsjeng::run_deepsjeng(&p, workloads::deepsjeng::DeepsjengVariant::default());
     let dfe = workloads::deepsjeng::run_deepsjeng(
         &p,
         workloads::deepsjeng::DeepsjengVariant { fe_key_fold: true },
     );
     println!(
         "{}",
-        bench::pct("deepsjeng (MEMOIR ALL)", dfe.ledger.cost / dbase.ledger.cost - 1.0)
+        bench::pct(
+            "deepsjeng (MEMOIR ALL)",
+            dfe.ledger.cost / dbase.ledger.cost - 1.0
+        )
     );
     println!("\n(paper: mcf −26.6%…−28%, deepsjeng +5.1%)");
 }

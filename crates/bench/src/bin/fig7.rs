@@ -2,17 +2,24 @@
 //! under the ALL configuration.
 
 fn main() {
-    println!("{}", bench::header("Figure 7 — relative max RSS (vs baseline)"));
+    println!(
+        "{}",
+        bench::header("Figure 7 — relative max RSS (vs baseline)")
+    );
     let sweep = bench::mcf_sweep();
     let base = sweep[0].1.ledger.peak_bytes as f64;
     let all = &sweep.iter().find(|(n, _)| *n == "ALL").unwrap().1;
-    println!("{}", bench::pct("mcf (MEMOIR ALL)", all.ledger.peak_bytes as f64 / base - 1.0));
+    println!(
+        "{}",
+        bench::pct(
+            "mcf (MEMOIR ALL)",
+            all.ledger.peak_bytes as f64 / base - 1.0
+        )
+    );
 
     let p = workloads::deepsjeng::DeepsjengParams::default();
-    let dbase = workloads::deepsjeng::run_deepsjeng(
-        &p,
-        workloads::deepsjeng::DeepsjengVariant::default(),
-    );
+    let dbase =
+        workloads::deepsjeng::run_deepsjeng(&p, workloads::deepsjeng::DeepsjengVariant::default());
     let dfe = workloads::deepsjeng::run_deepsjeng(
         &p,
         workloads::deepsjeng::DeepsjengVariant { fe_key_fold: true },

@@ -2,7 +2,10 @@
 //! isolation and concert (paper §VII-C).
 
 fn main() {
-    println!("{}", bench::header("Figure 8 — mcf execution time per configuration"));
+    println!(
+        "{}",
+        bench::header("Figure 8 — mcf execution time per configuration")
+    );
     let sweep = bench::mcf_sweep();
     let base = sweep[0].1.ledger.cost;
     for (name, out) in &sweep {

@@ -2,11 +2,17 @@
 //! concert (paper §VII-C).
 
 fn main() {
-    println!("{}", bench::header("Figure 9 — mcf max RSS per configuration"));
+    println!(
+        "{}",
+        bench::header("Figure 9 — mcf max RSS per configuration")
+    );
     let sweep = bench::mcf_sweep();
     let base = sweep[0].1.ledger.peak_bytes as f64;
     for (name, out) in &sweep {
-        println!("{}", bench::pct(name, out.ledger.peak_bytes as f64 / base - 1.0));
+        println!(
+            "{}",
+            bench::pct(name, out.ledger.peak_bytes as f64 / base - 1.0)
+        );
     }
     println!("\n(paper: FE +3.3%, FE+RIE −10.4%, FE+DFE/ALL −20.8%)");
 }

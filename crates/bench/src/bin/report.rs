@@ -7,14 +7,20 @@ use memoir_interp::{Interp, Value};
 use memoir_ir::Type;
 
 fn main() {
-    println!("{}", bench::header("E12 — automatic DEE on the mcf IR kernel (interp cost)"));
+    println!(
+        "{}",
+        bench::header("E12 — automatic DEE on the mcf IR kernel (interp cost)")
+    );
     let baseline = workloads::mcf_ir::build_mcf_ir();
     let mut dee = workloads::mcf_ir::build_mcf_ir();
     memoir_opt::construct_ssa(&mut dee).unwrap();
     let stats = memoir_opt::dee_specialize_calls_with(&mut dee, memoir_opt::DeeOptions::exact());
     memoir_opt::destruct_ssa(&mut dee);
     println!("transform: {stats:?}");
-    println!("{:>8} {:>4} {:>14} {:>14} {:>9}", "n0+K", "B", "baseline cost", "DEE cost", "speedup");
+    println!(
+        "{:>8} {:>4} {:>14} {:>14} {:>9}",
+        "n0+K", "B", "baseline cost", "DEE cost", "speedup"
+    );
     for (n0, k) in [(1000i64, 500i64), (2000, 1000), (4000, 2000), (8000, 4000)] {
         let run = |m: &memoir_ir::Module| {
             let mut i = Interp::new(m).with_fuel(4_000_000_000);

@@ -5,7 +5,10 @@
 use memoir_opt::OptLevel;
 
 fn main() {
-    println!("{}", bench::header("Table III — compile time and collection census"));
+    println!(
+        "{}",
+        bench::header("Table III — compile time and collection census")
+    );
     println!(
         "{:>12} | {:>12} {:>12} | {:>8} {:>6} {:>8} | {:>14}",
         "benchmark", "MEMOIR O0", "MEMOIR O3", "source", "SSA", "binary", "destruct copies"

@@ -5,7 +5,9 @@
 use std::path::Path;
 
 fn sloc(path: &Path) -> usize {
-    let Ok(text) = std::fs::read_to_string(path) else { return 0 };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return 0;
+    };
     let mut in_tests = false;
     let mut count = 0;
     for line in text.lines() {
@@ -26,7 +28,10 @@ fn sloc(path: &Path) -> usize {
 
 fn main() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    println!("{}", bench::header("Table II — developer effort (SLOC, tests excluded)"));
+    println!(
+        "{}",
+        bench::header("Table II — developer effort (SLOC, tests excluded)")
+    );
     println!("{:>28} | {:>6}", "MEMOIR pass", "SLOC");
     println!("{}", "-".repeat(40));
     for (label, file) in [

@@ -36,12 +36,50 @@ pub fn header(title: &str) -> String {
 pub fn mcf_variants() -> Vec<(&'static str, McfVariant)> {
     vec![
         ("LLVM9 (baseline)", McfVariant::default()),
-        ("DEE", McfVariant { dee: true, ..Default::default() }),
-        ("FE", McfVariant { fe: true, ..Default::default() }),
-        ("FE+RIE", McfVariant { fe: true, rie: true, ..Default::default() }),
-        ("FE+DFE", McfVariant { fe: true, dfe: true, ..Default::default() }),
-        ("RIE", McfVariant { rie: true, ..Default::default() }),
-        ("DFE", McfVariant { dfe: true, ..Default::default() }),
+        (
+            "DEE",
+            McfVariant {
+                dee: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "FE",
+            McfVariant {
+                fe: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "FE+RIE",
+            McfVariant {
+                fe: true,
+                rie: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "FE+DFE",
+            McfVariant {
+                fe: true,
+                dfe: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "RIE",
+            McfVariant {
+                rie: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "DFE",
+            McfVariant {
+                dfe: true,
+                ..Default::default()
+            },
+        ),
         ("ALL", McfVariant::all()),
     ]
 }

@@ -212,12 +212,36 @@ mod tests {
         // addr0 = gep p, 0 ; addr1 = gep p, 1
         let zero = f.push1(e, Op::Const(0));
         let one = f.push1(e, Op::Const(1));
-        let a0 = f.push1(e, Op::Gep { base: f.param(0), offset: zero });
-        let a1 = f.push1(e, Op::Gep { base: f.param(0), offset: one });
+        let a0 = f.push1(
+            e,
+            Op::Gep {
+                base: f.param(0),
+                offset: zero,
+            },
+        );
+        let a1 = f.push1(
+            e,
+            Op::Gep {
+                base: f.param(0),
+                offset: one,
+            },
+        );
         let ten = f.push1(e, Op::Const(10));
         let eleven = f.push1(e, Op::Const(11));
-        f.push0(e, Op::Store { addr: a0, value: ten });
-        f.push0(e, Op::Store { addr: a1, value: eleven }); // clobbers a0's fact? distinct Val ⇒ keeps a1 only
+        f.push0(
+            e,
+            Op::Store {
+                addr: a0,
+                value: ten,
+            },
+        );
+        f.push0(
+            e,
+            Op::Store {
+                addr: a1,
+                value: eleven,
+            },
+        ); // clobbers a0's fact? distinct Val ⇒ keeps a1 only
         let l = f.push1(e, Op::Load(a0));
         f.push0(e, Op::Ret(vec![l]));
         let mut m = Module::default();
@@ -232,13 +256,29 @@ mod tests {
         let mut g = Function::new("work_rt", 1, 1);
         let e = g.entry;
         let zero = g.push1(e, Op::Const(0));
-        let a0 = g.push1(e, Op::Gep { base: g.param(0), offset: zero });
+        let a0 = g.push1(
+            e,
+            Op::Gep {
+                base: g.param(0),
+                offset: zero,
+            },
+        );
         let ten = g.push1(e, Op::Const(10));
         f = g;
-        f.push0(e, Op::Store { addr: a0, value: ten });
         f.push0(
             e,
-            Op::CallRt { name: "rt_assoc_new".into(), args: vec![], has_result: false },
+            Op::Store {
+                addr: a0,
+                value: ten,
+            },
+        );
+        f.push0(
+            e,
+            Op::CallRt {
+                name: "rt_assoc_new".into(),
+                args: vec![],
+                has_result: false,
+            },
         );
         let l = f.push1(e, Op::Load(a0));
         f.push0(e, Op::Ret(vec![l]));

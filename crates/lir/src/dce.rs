@@ -62,10 +62,20 @@ mod tests {
         let mut f = Function::new("f", 1, 0);
         let e = f.entry;
         let c = f.push1(e, Op::Const(1));
-        f.push0(e, Op::Store { addr: f.param(0), value: c });
         f.push0(
             e,
-            Op::CallRt { name: "rt_assoc_new".into(), args: vec![], has_result: false },
+            Op::Store {
+                addr: f.param(0),
+                value: c,
+            },
+        );
+        f.push0(
+            e,
+            Op::CallRt {
+                name: "rt_assoc_new".into(),
+                args: vec![],
+                has_result: false,
+            },
         );
         f.push0(e, Op::Ret(vec![]));
         let mut m = Module::default();

@@ -59,10 +59,10 @@ fn run_function(f: &mut Function, stats: &mut GvnStats) {
     let mut dead: Vec<(crate::ir::Blk, crate::ir::Ins)> = Vec::new();
 
     let fresh = |vn_of: &mut HashMap<Val, u64>,
-                     next_vn: &mut u64,
-                     v: Val,
-                     memory: bool,
-                     stats: &mut GvnStats| {
+                 next_vn: &mut u64,
+                 v: Val,
+                 memory: bool,
+                 stats: &mut GvnStats| {
         let vn = *next_vn;
         *next_vn += 1;
         vn_of.insert(v, vn);
@@ -91,12 +91,10 @@ fn run_function(f: &mut Function, stats: &mut GvnStats) {
                 (Some(x), Some(y)) => Some(Expr::Cmp(*op, x, y)),
                 _ => None,
             },
-            Op::Gep { base, offset } => {
-                match (vn_arg(&vn_of, *base), vn_arg(&vn_of, *offset)) {
-                    (Some(x), Some(y)) => Some(Expr::Gep(x, y)),
-                    _ => None,
-                }
-            }
+            Op::Gep { base, offset } => match (vn_arg(&vn_of, *base), vn_arg(&vn_of, *offset)) {
+                (Some(x), Some(y)) => Some(Expr::Gep(x, y)),
+                _ => None,
+            },
             _ => None,
         };
 
@@ -110,8 +108,7 @@ fn run_function(f: &mut Function, stats: &mut GvnStats) {
                     stats.replaced += 1;
                 } else {
                     let memory = matches!(e, Expr::Gep(..));
-                    let vn =
-                        fresh(&mut vn_of, &mut next_vn, inst.results[0], memory, stats);
+                    let vn = fresh(&mut vn_of, &mut next_vn, inst.results[0], memory, stats);
                     class_leader.insert(e, (vn, inst.results[0]));
                 }
             }
@@ -185,7 +182,13 @@ mod tests {
         let mut last = f.param(0);
         for k in 0..10 {
             let c = f.push1(e, Op::Const(k));
-            let a = f.push1(e, Op::Gep { base: f.param(0), offset: c });
+            let a = f.push1(
+                e,
+                Op::Gep {
+                    base: f.param(0),
+                    offset: c,
+                },
+            );
             let l = f.push1(e, Op::Load(a));
             f.push0(e, Op::Store { addr: a, value: l });
             last = l;

@@ -140,7 +140,9 @@ impl<'m> LirMachine<'m> {
                         .iter()
                         .find(|(b, _)| *b == pred)
                         .ok_or(LirTrap::Malformed("phi missing incoming"))?;
-                    let x = *env.get(v).ok_or(LirTrap::Malformed("unbound phi operand"))?;
+                    let x = *env
+                        .get(v)
+                        .ok_or(LirTrap::Malformed("unbound phi operand"))?;
                     phi_updates.push((inst.results[0], x));
                     self.stats.insts += 1;
                     cursor += 1;
@@ -160,7 +162,9 @@ impl<'m> LirMachine<'m> {
                 self.stats.insts += 1;
                 let inst = f.insts[iid.0 as usize].clone();
                 let get = |env: &HashMap<Val, i64>, v: Val| -> Result<i64, LirTrap> {
-                    env.get(&v).copied().ok_or(LirTrap::Malformed("unbound value"))
+                    env.get(&v)
+                        .copied()
+                        .ok_or(LirTrap::Malformed("unbound value"))
                 };
                 match inst.op {
                     Op::Const(c) => {
@@ -228,17 +232,23 @@ impl<'m> LirMachine<'m> {
                         env.insert(inst.results[0], r);
                     }
                     Op::Call { func, ref args } => {
-                        let argv: Vec<i64> =
-                            args.iter().map(|&a| get(&env, a)).collect::<Result<_, _>>()?;
+                        let argv: Vec<i64> = args
+                            .iter()
+                            .map(|&a| get(&env, a))
+                            .collect::<Result<_, _>>()?;
                         let rets = self.run(func, argv)?;
                         for (r, v) in inst.results.iter().zip(rets) {
                             env.insert(*r, v);
                         }
                     }
-                    Op::CallRt { ref name, ref args, .. } => {
+                    Op::CallRt {
+                        ref name, ref args, ..
+                    } => {
                         self.stats.rt_calls += 1;
-                        let argv: Vec<i64> =
-                            args.iter().map(|&a| get(&env, a)).collect::<Result<_, _>>()?;
+                        let argv: Vec<i64> = args
+                            .iter()
+                            .map(|&a| get(&env, a))
+                            .collect::<Result<_, _>>()?;
                         let out = self.call_rt(name, &argv)?;
                         if let (Some(&r), Some(v)) = (inst.results.first(), out) {
                             env.insert(r, v);
@@ -248,8 +258,16 @@ impl<'m> LirMachine<'m> {
                         next = Some(b);
                         break;
                     }
-                    Op::Br { cond, then_b, else_b } => {
-                        next = Some(if get(&env, cond)? != 0 { then_b } else { else_b });
+                    Op::Br {
+                        cond,
+                        then_b,
+                        else_b,
+                    } => {
+                        next = Some(if get(&env, cond)? != 0 {
+                            then_b
+                        } else {
+                            else_b
+                        });
                         break;
                     }
                     Op::Ret(ref vs) => {
@@ -424,7 +442,12 @@ impl<'m> LirMachine<'m> {
             }
             "rt_assoc_read" => {
                 let idx = (-args[0] - 1) as usize;
-                self.assocs[idx].0.get(&args[1]).copied().map(Some).ok_or(LirTrap::MissingKey)
+                self.assocs[idx]
+                    .0
+                    .get(&args[1])
+                    .copied()
+                    .map(Some)
+                    .ok_or(LirTrap::MissingKey)
             }
             "rt_assoc_has" => {
                 let idx = (-args[0] - 1) as usize;
@@ -447,7 +470,11 @@ impl<'m> LirMachine<'m> {
                 let idx = (-args[0] - 1) as usize;
                 let keys: Vec<i64> = {
                     let (map, order) = &self.assocs[idx];
-                    order.iter().copied().filter(|k| map.contains_key(k)).collect()
+                    order
+                        .iter()
+                        .copied()
+                        .filter(|k| map.contains_key(k))
+                        .collect()
                 };
                 let out = self.call_rt("rt_seq_new", &[keys.len() as i64])?.unwrap();
                 let (odata, _, _) = self.seq_parts(out)?;
@@ -484,7 +511,14 @@ mod tests {
         let i = f.push1(header, Op::Phi(vec![]));
         let acc = f.push1(header, Op::Phi(vec![]));
         let done = f.push1(header, Op::Cmp(CmpOp::Ge, i, f.param(0)));
-        f.push0(header, Op::Br { cond: done, then_b: exit, else_b: body });
+        f.push0(
+            header,
+            Op::Br {
+                cond: done,
+                then_b: exit,
+                else_b: body,
+            },
+        );
         let one = f.push1(body, Op::Const(1));
         let acc2 = f.push1(body, Op::Bin(BinOp::Add, acc, i));
         let i2 = f.push1(body, Op::Bin(BinOp::Add, i, one));
@@ -519,8 +553,20 @@ mod tests {
         let c = f.push1(e, Op::Const(7));
         f.push0(e, Op::Store { addr: a, value: c });
         let one = f.push1(e, Op::Const(1));
-        let a1 = f.push1(e, Op::Gep { base: a, offset: one });
-        f.push0(e, Op::Store { addr: a1, value: one });
+        let a1 = f.push1(
+            e,
+            Op::Gep {
+                base: a,
+                offset: one,
+            },
+        );
+        f.push0(
+            e,
+            Op::Store {
+                addr: a1,
+                value: one,
+            },
+        );
         let v = f.push1(e, Op::Load(a));
         f.push0(e, Op::Ret(vec![v]));
         let mut m = Module::default();
@@ -536,12 +582,24 @@ mod tests {
         let mut f = Function::new("seqtest", 0, 2);
         let e = f.entry;
         let n = f.push1(e, Op::Const(3));
-        let hdr =
-            f.push1(e, Op::CallRt { name: "rt_seq_new".into(), args: vec![n], has_result: true });
+        let hdr = f.push1(
+            e,
+            Op::CallRt {
+                name: "rt_seq_new".into(),
+                args: vec![n],
+                has_result: true,
+            },
+        );
         // write s[1] = 42 inline: data = load hdr; store data+1.
         let data = f.push1(e, Op::Load(hdr));
         let one = f.push1(e, Op::Const(1));
-        let addr = f.push1(e, Op::Gep { base: data, offset: one });
+        let addr = f.push1(
+            e,
+            Op::Gep {
+                base: data,
+                offset: one,
+            },
+        );
         let v42 = f.push1(e, Op::Const(42));
         f.push0(e, Op::Store { addr, value: v42 });
         // insert 99 at 0 → shifts right.
@@ -556,11 +614,23 @@ mod tests {
             },
         );
         // len and s[2] (the shifted 42).
-        let lenp = f.push1(e, Op::Gep { base: hdr, offset: one });
+        let lenp = f.push1(
+            e,
+            Op::Gep {
+                base: hdr,
+                offset: one,
+            },
+        );
         let len = f.push1(e, Op::Load(lenp));
         let data2 = f.push1(e, Op::Load(hdr));
         let two = f.push1(e, Op::Const(2));
-        let addr2 = f.push1(e, Op::Gep { base: data2, offset: two });
+        let addr2 = f.push1(
+            e,
+            Op::Gep {
+                base: data2,
+                offset: two,
+            },
+        );
         let v = f.push1(e, Op::Load(addr2));
         f.push0(e, Op::Ret(vec![len, v]));
         let mut m = Module::default();
@@ -575,25 +645,45 @@ mod tests {
         let e = f.entry;
         let h = f.push1(
             e,
-            Op::CallRt { name: "rt_assoc_new".into(), args: vec![], has_result: true },
+            Op::CallRt {
+                name: "rt_assoc_new".into(),
+                args: vec![],
+                has_result: true,
+            },
         );
         let k = f.push1(e, Op::Const(5));
         let v = f.push1(e, Op::Const(50));
         f.push0(
             e,
-            Op::CallRt { name: "rt_assoc_write".into(), args: vec![h, k, v], has_result: false },
+            Op::CallRt {
+                name: "rt_assoc_write".into(),
+                args: vec![h, k, v],
+                has_result: false,
+            },
         );
         let got = f.push1(
             e,
-            Op::CallRt { name: "rt_assoc_read".into(), args: vec![h, k], has_result: true },
+            Op::CallRt {
+                name: "rt_assoc_read".into(),
+                args: vec![h, k],
+                has_result: true,
+            },
         );
         let has = f.push1(
             e,
-            Op::CallRt { name: "rt_assoc_has".into(), args: vec![h, k], has_result: true },
+            Op::CallRt {
+                name: "rt_assoc_has".into(),
+                args: vec![h, k],
+                has_result: true,
+            },
         );
         let size = f.push1(
             e,
-            Op::CallRt { name: "rt_assoc_size".into(), args: vec![h], has_result: true },
+            Op::CallRt {
+                name: "rt_assoc_size".into(),
+                args: vec![h],
+                has_result: true,
+            },
         );
         f.push0(e, Op::Ret(vec![got, has, size]));
         let mut m = Module::default();

@@ -350,7 +350,10 @@ impl Function {
             })
             .collect();
         let id = Ins(self.insts.len() as u32);
-        self.insts.push(Inst { op, results: results.clone() });
+        self.insts.push(Inst {
+            op,
+            results: results.clone(),
+        });
         self.blocks[b.0 as usize].insts.push(id);
         results
     }
@@ -375,7 +378,10 @@ impl Function {
             })
             .collect();
         let id = Ins(self.insts.len() as u32);
-        self.insts.push(Inst { op, results: results.clone() });
+        self.insts.push(Inst {
+            op,
+            results: results.clone(),
+        });
         self.blocks[b.0 as usize].insts.insert(pos, id);
         results
     }
@@ -443,7 +449,10 @@ impl Module {
 
     /// Function lookup by name.
     pub fn by_name(&self, name: &str) -> Option<Fun> {
-        self.funcs.iter().position(|f| f.name == name).map(|i| Fun(i as u32))
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| Fun(i as u32))
     }
 
     /// Total reachable instructions.
@@ -483,9 +492,18 @@ mod tests {
     #[test]
     fn memory_classification() {
         assert!(Op::Load(Val(0)).is_memory_op());
-        assert!(Op::Store { addr: Val(0), value: Val(1) }.may_write());
+        assert!(Op::Store {
+            addr: Val(0),
+            value: Val(1)
+        }
+        .may_write());
         assert!(!Op::Bin(BinOp::Add, Val(0), Val(1)).is_memory_op());
-        assert!(Op::CallRt { name: "x".into(), args: vec![], has_result: false }.may_read());
+        assert!(Op::CallRt {
+            name: "x".into(),
+            args: vec![],
+            has_result: false
+        }
+        .may_read());
     }
 
     #[test]

@@ -25,21 +25,21 @@
 #![warn(missing_debug_implementations)]
 
 pub mod constfold;
-pub mod mem2reg;
-pub mod printer;
 pub mod dce;
 pub mod gvn;
 pub mod interp;
 pub mod ir;
+pub mod mem2reg;
 pub mod passes;
+pub mod printer;
 pub mod sinkpass;
 pub mod verifier;
 
 pub use constfold::{constfold, ConstFoldStats};
 pub use dce::dce;
 pub use gvn::{gvn, GvnStats};
-pub use mem2reg::{mem2reg, Mem2RegStats};
 pub use interp::{LirMachine, LirStats, LirTrap};
 pub use ir::{BinOp, Blk, CmpOp, Fun, Function, Ins, Inst, Module, Op, Val};
+pub use mem2reg::{mem2reg, Mem2RegStats};
 pub use passes::optimize;
 pub use sinkpass::{sink, SinkStats};

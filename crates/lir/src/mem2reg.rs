@@ -110,9 +110,7 @@ fn run_function(f: &mut Function, stats: &mut Mem2RegStats) {
                         stats.allocas_removed += 1;
                     }
                 }
-                Op::Store { addr, .. }
-                    if promotable.contains(addr) && !loaded.contains(addr) =>
-                {
+                Op::Store { addr, .. } if promotable.contains(addr) && !loaded.contains(addr) => {
                     drop_insts.push((crate::ir::Blk(bi as u32), i));
                     stats.stores_removed += 1;
                 }
@@ -135,7 +133,13 @@ mod tests {
         let mut f = Function::new("f", 1, 1);
         let e = f.entry;
         let a = f.push1(e, Op::Alloca(1));
-        f.push0(e, Op::Store { addr: a, value: f.param(0) });
+        f.push0(
+            e,
+            Op::Store {
+                addr: a,
+                value: f.param(0),
+            },
+        );
         let l = f.push1(e, Op::Load(a));
         let s = f.push1(e, Op::Bin(BinOp::Add, l, f.param(0)));
         f.push0(e, Op::Ret(vec![s]));
@@ -164,7 +168,11 @@ mod tests {
         // The address escapes through an opaque call.
         f.push0(
             e,
-            Op::CallRt { name: "rt_obj_delete".into(), args: vec![a], has_result: false },
+            Op::CallRt {
+                name: "rt_obj_delete".into(),
+                args: vec![a],
+                has_result: false,
+            },
         );
         let l = f.push1(e, Op::Load(a));
         f.push0(e, Op::Ret(vec![l]));
@@ -183,12 +191,22 @@ mod tests {
         let c = f.push1(e, Op::Const(9));
         f.push0(e, Op::Store { addr: a, value: c });
         // An opaque call that does NOT receive the address.
-        f.push0(e, Op::CallRt { name: "rt_assoc_new".into(), args: vec![], has_result: false });
+        f.push0(
+            e,
+            Op::CallRt {
+                name: "rt_assoc_new".into(),
+                args: vec![],
+                has_result: false,
+            },
+        );
         let l = f.push1(e, Op::Load(a));
         f.push0(e, Op::Ret(vec![l]));
         let mut m = Module::default();
         m.add(f);
         let stats = mem2reg(&mut m);
-        assert_eq!(stats.loads_forwarded, 1, "non-escaping allocas survive opaque calls");
+        assert_eq!(
+            stats.loads_forwarded, 1,
+            "non-escaping allocas survive opaque calls"
+        );
     }
 }

@@ -17,7 +17,11 @@ use passman::{
 fn outcome(changed: bool, stats: Vec<(&'static str, i64)>) -> PassOutcome<Module> {
     PassOutcome {
         changed,
-        mutated: if changed { Mutation::All } else { Mutation::None },
+        mutated: if changed {
+            Mutation::All
+        } else {
+            Mutation::None
+        },
         stats,
     }
 }

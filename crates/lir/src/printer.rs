@@ -17,7 +17,13 @@ pub fn print_module(m: &Module) -> String {
 pub fn print_function(f: &Function, m: &Module) -> String {
     let mut out = String::new();
     let params: Vec<String> = (0..f.num_params).map(|i| format!("%{i}")).collect();
-    let _ = writeln!(out, "fn {}({}) -> {} values {{", f.name, params.join(", "), f.num_rets);
+    let _ = writeln!(
+        out,
+        "fn {}({}) -> {} values {{",
+        f.name,
+        params.join(", "),
+        f.num_rets
+    );
     for (bi, block) in f.blocks.iter().enumerate() {
         let _ = writeln!(out, "b{bi}:");
         for &i in &block.insts {
@@ -25,8 +31,7 @@ pub fn print_function(f: &Function, m: &Module) -> String {
             let results = if inst.results.is_empty() {
                 String::new()
             } else {
-                let names: Vec<String> =
-                    inst.results.iter().map(|r| format!("%{}", r.0)).collect();
+                let names: Vec<String> = inst.results.iter().map(|r| format!("%{}", r.0)).collect();
                 format!("{} = ", names.join(", "))
             };
             let body = match &inst.op {
@@ -34,8 +39,10 @@ pub fn print_function(f: &Function, m: &Module) -> String {
                 Op::Bin(op, a, b) => format!("{op:?} %{}, %{}", a.0, b.0).to_lowercase(),
                 Op::Cmp(op, a, b) => format!("cmp.{op:?} %{}, %{}", a.0, b.0).to_lowercase(),
                 Op::Phi(incs) => {
-                    let parts: Vec<String> =
-                        incs.iter().map(|(b, v)| format!("[b{}: %{}]", b.0, v.0)).collect();
+                    let parts: Vec<String> = incs
+                        .iter()
+                        .map(|(b, v)| format!("[b{}: %{}]", b.0, v.0))
+                        .collect();
                     format!("phi {}", parts.join(", "))
                 }
                 Op::Alloca(n) => format!("alloca {n}"),
@@ -53,7 +60,11 @@ pub fn print_function(f: &Function, m: &Module) -> String {
                     format!("call @{name}!({})", a.join(", "))
                 }
                 Op::Jmp(b) => format!("jmp b{}", b.0),
-                Op::Br { cond, then_b, else_b } => {
+                Op::Br {
+                    cond,
+                    then_b,
+                    else_b,
+                } => {
                     format!("br %{}, b{}, b{}", cond.0, then_b.0, else_b.0)
                 }
                 Op::Ret(vs) => {

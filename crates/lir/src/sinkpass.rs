@@ -74,7 +74,9 @@ fn run_function(f: &mut Function, stats: &mut SinkStats) {
         if inst.results.len() != 1 {
             continue;
         }
-        let Some(us) = uses.get(&inst.results[0]) else { continue };
+        let Some(us) = uses.get(&inst.results[0]) else {
+            continue;
+        };
         if us.len() != 1 {
             continue;
         }
@@ -82,7 +84,9 @@ fn run_function(f: &mut Function, stats: &mut SinkStats) {
         if matches!(f.insts[user.0 as usize].op, Op::Phi(_)) {
             continue;
         }
-        let Some(&(ub, _upos)) = pos.get(&user) else { continue };
+        let Some(&(ub, _upos)) = pos.get(&user) else {
+            continue;
+        };
         if ub == b {
             continue;
         }
@@ -139,7 +143,10 @@ enum Verdict {
 
 fn region_between(order: &[(Blk, Ins)], from: Ins, to: Ins) -> Vec<Ins> {
     let a = order.iter().position(|&(_, i)| i == from).unwrap_or(0);
-    let b = order.iter().position(|&(_, i)| i == to).unwrap_or(order.len());
+    let b = order
+        .iter()
+        .position(|&(_, i)| i == to)
+        .unwrap_or(order.len());
     order[a + 1..b].iter().map(|&(_, i)| i).collect()
 }
 
@@ -157,7 +164,14 @@ mod tests {
         let no = f.add_block();
         let v = f.push1(e, Op::Bin(BinOp::Add, f.param(0), f.param(0)));
         let c = f.push1(e, Op::Cmp(CmpOp::Gt, f.param(1), f.param(0)));
-        f.push0(e, Op::Br { cond: c, then_b: yes, else_b: no });
+        f.push0(
+            e,
+            Op::Br {
+                cond: c,
+                then_b: yes,
+                else_b: no,
+            },
+        );
         f.push0(yes, Op::Ret(vec![v]));
         let z = f.push1(no, Op::Const(0));
         f.push0(no, Op::Ret(vec![z]));
@@ -182,9 +196,22 @@ mod tests {
         let no = f.add_block();
         let l = f.push1(e, Op::Load(f.param(0)));
         let c9 = f.push1(e, Op::Const(9));
-        f.push0(e, Op::Store { addr: f.param(1), value: c9 }); // may alias
+        f.push0(
+            e,
+            Op::Store {
+                addr: f.param(1),
+                value: c9,
+            },
+        ); // may alias
         let c = f.push1(e, Op::Cmp(CmpOp::Gt, c9, f.param(1)));
-        f.push0(e, Op::Br { cond: c, then_b: yes, else_b: no });
+        f.push0(
+            e,
+            Op::Br {
+                cond: c,
+                then_b: yes,
+                else_b: no,
+            },
+        );
         f.push0(yes, Op::Ret(vec![l]));
         let z = f.push1(no, Op::Const(0));
         f.push0(no, Op::Ret(vec![z]));
@@ -203,10 +230,23 @@ mod tests {
         let yes = f.add_block();
         let no = f.add_block();
         let one = f.push1(e, Op::Const(1));
-        let g = f.push1(e, Op::Gep { base: f.param(0), offset: one });
+        let g = f.push1(
+            e,
+            Op::Gep {
+                base: f.param(0),
+                offset: one,
+            },
+        );
         let l = f.push1(e, Op::Load(f.param(1))); // memory reference between
         let c = f.push1(e, Op::Cmp(CmpOp::Gt, l, one));
-        f.push0(e, Op::Br { cond: c, then_b: yes, else_b: no });
+        f.push0(
+            e,
+            Op::Br {
+                cond: c,
+                then_b: yes,
+                else_b: no,
+            },
+        );
         let lv = f.push1(yes, Op::Load(g));
         f.push0(yes, Op::Ret(vec![lv]));
         let z = f.push1(no, Op::Const(0));

@@ -44,7 +44,9 @@ fn verify_function(fun: Fun, f: &Function, out: &mut Vec<String>) {
         }
         let mut seen_non_phi = false;
         for (pos, &i) in b.insts.iter().enumerate() {
-            let Some(inst) = f.insts.get(i.0 as usize) else { continue };
+            let Some(inst) = f.insts.get(i.0 as usize) else {
+                continue;
+            };
             let is_last = pos + 1 == b.insts.len();
             if inst.op.is_terminator() != is_last {
                 if is_last {
@@ -136,7 +138,10 @@ mod tests {
         let mut m = Module::default();
         m.add(f);
         let errs = verify_module(&m);
-        assert!(errs.iter().any(|e| e.contains("undefined value %42")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.contains("undefined value %42")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -147,6 +152,9 @@ mod tests {
         let mut m = Module::default();
         m.add(f);
         let errs = verify_module(&m);
-        assert!(errs.iter().any(|e| e.contains("out-of-range block b7")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.contains("out-of-range block b7")),
+            "{errs:?}"
+        );
     }
 }

@@ -27,7 +27,14 @@ fn build() -> Module {
     let i = f.push1(header, Op::Phi(vec![]));
     let acc = f.push1(header, Op::Phi(vec![]));
     let done = f.push1(header, Op::Cmp(CmpOp::Ge, i, f.param(0)));
-    f.push0(header, Op::Br { cond: done, then_b: exit, else_b: body });
+    f.push0(
+        header,
+        Op::Br {
+            cond: done,
+            then_b: exit,
+            else_b: body,
+        },
+    );
     let l = f.push1(body, Op::Load(a));
     let s1 = f.push1(body, Op::Bin(BinOp::Add, acc, l));
     let s2 = f.push1(body, Op::Bin(BinOp::Add, s1, x2b));
@@ -72,21 +79,36 @@ fn every_pass_preserves_behaviour() {
     // Each pass alone.
     type PassFn = Box<dyn Fn(&mut Module)>;
     let passes: Vec<(&str, PassFn)> = vec![
-        ("gvn", Box::new(|m| {
-            lir::gvn(m);
-        })),
-        ("constfold", Box::new(|m| {
-            lir::constfold(m);
-        })),
-        ("sink", Box::new(|m| {
-            lir::sink(m);
-        })),
-        ("mem2reg", Box::new(|m| {
-            lir::mem2reg(m);
-        })),
-        ("dce", Box::new(|m| {
-            lir::dce(m);
-        })),
+        (
+            "gvn",
+            Box::new(|m| {
+                lir::gvn(m);
+            }),
+        ),
+        (
+            "constfold",
+            Box::new(|m| {
+                lir::constfold(m);
+            }),
+        ),
+        (
+            "sink",
+            Box::new(|m| {
+                lir::sink(m);
+            }),
+        ),
+        (
+            "mem2reg",
+            Box::new(|m| {
+                lir::mem2reg(m);
+            }),
+        ),
+        (
+            "dce",
+            Box::new(|m| {
+                lir::dce(m);
+            }),
+        ),
     ];
     for (name, pass) in &passes {
         let mut m = m0.clone();
@@ -116,6 +138,9 @@ fn every_pass_preserves_behaviour() {
 fn gvn_counts_on_this_function() {
     let mut m = build();
     let stats = lir::gvn(&mut m);
-    assert!(stats.replaced >= 1, "the duplicate multiply collapses: {stats:?}");
+    assert!(
+        stats.replaced >= 1,
+        "the duplicate multiply collapses: {stats:?}"
+    );
     assert!(stats.memory_value_numbers >= 2, "{stats:?}");
 }

@@ -72,7 +72,9 @@ impl Affinity {
     /// on the hot path, the regression the paper observes for FE alone).
     pub fn elision_candidates(&self, ty: ObjTypeId, threshold: f64) -> Vec<u32> {
         const HOTNESS_CUTOFF: f64 = 0.5;
-        let Some(fa) = self.per_type.get(&ty) else { return Vec::new() };
+        let Some(fa) = self.per_type.get(&ty) else {
+            return Vec::new();
+        };
         let max_w = fa.access_weight.iter().copied().fold(0.0f64, f64::max);
         (0..fa.access_weight.len())
             .filter(|&i| {
@@ -127,9 +129,18 @@ mod tests {
             .define_object(
                 "node",
                 vec![
-                    Field { name: "a".into(), ty: i64t },
-                    Field { name: "b".into(), ty: i64t },
-                    Field { name: "c".into(), ty: i64t },
+                    Field {
+                        name: "a".into(),
+                        ty: i64t,
+                    },
+                    Field {
+                        name: "b".into(),
+                        ty: i64t,
+                    },
+                    Field {
+                        name: "c".into(),
+                        ty: i64t,
+                    },
                 ],
             )
             .unwrap();
@@ -200,7 +211,10 @@ mod tests {
         m2.types
             .set_fields(obj, {
                 let mut fs = m2.types.object(obj).fields.clone();
-                fs.push(memoir_ir::Field { name: "cold".into(), ty: i64t });
+                fs.push(memoir_ir::Field {
+                    name: "cold".into(),
+                    ty: i64t,
+                });
                 fs
             })
             .unwrap();
@@ -213,7 +227,11 @@ mod tests {
         let cold_block = f.add_block("cold");
         f.append_inst(
             cold_block,
-            memoir_ir::InstKind::FieldRead { obj: oref, obj_ty: obj, field: 3 },
+            memoir_ir::InstKind::FieldRead {
+                obj: oref,
+                obj_ty: obj,
+                field: 3,
+            },
             &[i64t],
         );
         f.append_inst(cold_block, memoir_ir::InstKind::Ret { values: vec![] }, &[]);
@@ -228,7 +246,13 @@ mod tests {
         let obj = mb
             .module
             .types
-            .define_object("t", vec![Field { name: "dead".into(), ty: i64t }])
+            .define_object(
+                "t",
+                vec![Field {
+                    name: "dead".into(),
+                    ty: i64t,
+                }],
+            )
             .unwrap();
         mb.func("f", Form::Mut, |b| b.ret(vec![]));
         let m = mb.finish();

@@ -135,7 +135,10 @@ mod tests {
 
         let du1 = am.get::<CachedDefUse>(&m, fid);
         let du2 = am.get::<CachedDefUse>(&m, fid);
-        assert!(std::rc::Rc::ptr_eq(&du1, &du2), "second request is the cached Rc");
+        assert!(
+            std::rc::Rc::ptr_eq(&du1, &du2),
+            "second request is the cached Rc"
+        );
         let c = am.counter("def-use");
         assert_eq!((c.hits, c.misses), (1, 1));
 

@@ -45,10 +45,10 @@ impl CallGraph {
                         Callee::Func(target) => {
                             entry.push(*target);
                             adj[fid.index()].push(target.index());
-                            callers
-                                .entry(*target)
-                                .or_default()
-                                .push(CallSite { caller: fid, inst: i });
+                            callers.entry(*target).or_default().push(CallSite {
+                                caller: fid,
+                                inst: i,
+                            });
                         }
                         Callee::Extern(eid) => {
                             if m.externs[*eid].effects.opaque {
@@ -61,17 +61,25 @@ impl CallGraph {
         }
         let sccs = tarjan_scc(&adj)
             .into_iter()
-            .map(|comp| comp.into_iter().map(|i| FuncId::from_raw(i as u32)).collect())
+            .map(|comp| {
+                comp.into_iter()
+                    .map(|i| FuncId::from_raw(i as u32))
+                    .collect()
+            })
             .collect();
-        CallGraph { callees, callers, calls_opaque, sccs }
+        CallGraph {
+            callees,
+            callers,
+            calls_opaque,
+            sccs,
+        }
     }
 
     /// Whether a function is directly or mutually recursive.
     pub fn is_recursive(&self, f: FuncId) -> bool {
         for comp in &self.sccs {
             if comp.contains(&f) {
-                return comp.len() > 1
-                    || self.callees.get(&f).is_some_and(|c| c.contains(&f));
+                return comp.len() > 1 || self.callees.get(&f).is_some_and(|c| c.contains(&f));
             }
         }
         false
@@ -96,7 +104,14 @@ mod tests {
         {
             let f = &mut mb.module.funcs[qsort_id];
             let entry = f.entry;
-            f.append_inst(entry, InstKind::Call { callee: Callee::Func(qsort_id), args: vec![] }, &[]);
+            f.append_inst(
+                entry,
+                InstKind::Call {
+                    callee: Callee::Func(qsort_id),
+                    args: vec![],
+                },
+                &[],
+            );
             f.append_inst(entry, InstKind::Ret { values: vec![] }, &[]);
         }
         mb.func("master", Form::Ssa, |b| {

@@ -30,7 +30,10 @@ impl DefUse {
         for (_, inst) in f.inst_ids_in_order() {
             let mut idx = 0;
             f.insts[inst].kind.visit_operands(|&v| {
-                uses.entry(v).or_default().push(Use { inst, operand_index: idx });
+                uses.entry(v).or_default().push(Use {
+                    inst,
+                    operand_index: idx,
+                });
                 idx += 1;
             });
         }

@@ -63,7 +63,12 @@ impl DomTree {
         for kids in children.values_mut() {
             kids.sort();
         }
-        DomTree { idom, children, rpo, rpo_index }
+        DomTree {
+            idom,
+            children,
+            rpo,
+            rpo_index,
+        }
     }
 
     /// Whether `a` dominates `b` (reflexive).

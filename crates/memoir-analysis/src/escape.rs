@@ -82,11 +82,12 @@ impl EscapeAnalysis {
                         changed |= mark(*v, &mut escaped);
                     }
                     InstKind::Phi { incoming }
-                        if inst.results.first().is_some_and(|r| escaped.contains(r)) => {
-                            for (_, v) in incoming {
-                                changed |= mark(*v, &mut escaped);
-                            }
+                        if inst.results.first().is_some_and(|r| escaped.contains(r)) =>
+                    {
+                        for (_, v) in incoming {
+                            changed |= mark(*v, &mut escaped);
                         }
+                    }
                     // Calls: by-ref args do not escape (value semantics);
                     // object references passed to opaque externs escape.
                     InstKind::Call { callee, args } => {
@@ -120,7 +121,14 @@ impl EscapeAnalysis {
             );
             if is_alloc {
                 let esc = inst.results.iter().any(|r| escaped.contains(r));
-                placements.insert(*i, if esc { Placement::Heap } else { Placement::Stack });
+                placements.insert(
+                    *i,
+                    if esc {
+                        Placement::Heap
+                    } else {
+                        Placement::Stack
+                    },
+                );
             }
         }
         EscapeAnalysis { placements }
@@ -133,7 +141,10 @@ impl EscapeAnalysis {
 
     /// Number of stack-eligible allocation sites.
     pub fn stack_count(&self) -> usize {
-        self.placements.values().filter(|p| **p == Placement::Stack).count()
+        self.placements
+            .values()
+            .filter(|p| **p == Placement::Stack)
+            .count()
     }
 }
 

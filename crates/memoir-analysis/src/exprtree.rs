@@ -43,7 +43,10 @@ pub struct Affine {
 impl Affine {
     /// The constant affine expression.
     pub fn constant(c: i64) -> Self {
-        Affine { konst: c, terms: BTreeMap::new() }
+        Affine {
+            konst: c,
+            terms: BTreeMap::new(),
+        }
     }
 
     /// A single symbolic term.
@@ -303,8 +306,10 @@ impl Expr {
                             // min/max widen.
                             match (&e, coeff) {
                                 (Expr::Affine(ae), _) => {
-                                    let mut scaled =
-                                        Affine { konst: ae.konst * coeff, ..Default::default() };
+                                    let mut scaled = Affine {
+                                        konst: ae.konst * coeff,
+                                        ..Default::default()
+                                    };
                                     for (&tt, &cc) in &ae.terms {
                                         scaled.terms.insert(tt, cc * coeff);
                                     }
@@ -407,7 +412,10 @@ mod tests {
         let b = Affine::term(Term::Value(v(1))).neg();
         let sum = a.add(&b);
         assert_eq!(sum.as_const(), Some(3));
-        assert_eq!(a.const_difference(&Affine::term(Term::Value(v(1)))), Some(3));
+        assert_eq!(
+            a.const_difference(&Affine::term(Term::Value(v(1)))),
+            Some(3)
+        );
         assert_eq!(a.const_difference(&Affine::term(Term::End)), None);
     }
 

@@ -145,9 +145,11 @@ impl<'f> IndexRanges<'f> {
                 }
             }
             InstKind::Cast { value, .. } => self.range_of(*value),
-            InstKind::Select { then_value, else_value, .. } => {
-                self.range_of(*then_value).join(&self.range_of(*else_value))
-            }
+            InstKind::Select {
+                then_value,
+                else_value,
+                ..
+            } => self.range_of(*then_value).join(&self.range_of(*else_value)),
             InstKind::Phi { incoming } => self.induction_range(v, inst, incoming),
             _ => Range::new(Expr::Unknown, Expr::Unknown),
         }
@@ -197,7 +199,10 @@ impl<'f> IndexRanges<'f> {
 
         // Shape (a).
         if let Some(t) = self.f.terminator(back_block) {
-            if let InstKind::Branch { cond, then_target, .. } = &self.f.insts[t].kind {
+            if let InstKind::Branch {
+                cond, then_target, ..
+            } = &self.f.insts[t].kind
+            {
                 if *then_target == phi_block {
                     self.bound_from_cond(*cond, update_val, step_c > 0, &mut bound, &mut lo_bound);
                 }
@@ -206,7 +211,11 @@ impl<'f> IndexRanges<'f> {
         // Shape (b).
         if bound.is_none() && lo_bound.is_none() {
             if let Some(t) = self.f.terminator(phi_block) {
-                if let InstKind::Branch { cond, then_target, else_target } = &self.f.insts[t].kind
+                if let InstKind::Branch {
+                    cond,
+                    then_target,
+                    else_target,
+                } = &self.f.insts[t].kind
                 {
                     // The branch target that stays in the loop is the one
                     // from which the back edge block is reachable; we use a
@@ -241,7 +250,9 @@ impl<'f> IndexRanges<'f> {
 
     /// If `val == phi + c` (syntactically), returns `c`.
     fn step_from(&self, phi_val: ValueId, val: ValueId) -> Option<i64> {
-        let ValueDef::Inst(inst, _) = self.f.values[val].def else { return None };
+        let ValueDef::Inst(inst, _) = self.f.values[val].def else {
+            return None;
+        };
         if let InstKind::Bin { op, lhs, rhs } = &self.f.insts[inst].kind {
             let c_of = |x: ValueId| self.f.value_const(x).and_then(Constant::as_int);
             match op {
@@ -253,10 +264,9 @@ impl<'f> IndexRanges<'f> {
                         return c_of(*lhs);
                     }
                 }
-                BinOp::Sub
-                    if *lhs == phi_val => {
-                        return c_of(*rhs).map(|c| -c);
-                    }
+                BinOp::Sub if *lhs == phi_val => {
+                    return c_of(*rhs).map(|c| -c);
+                }
                 _ => {}
             }
         }
@@ -275,9 +285,15 @@ impl<'f> IndexRanges<'f> {
         hi: &mut Option<Expr>,
         lo: &mut Option<Expr>,
     ) {
-        let ValueDef::Inst(inst, _) = self.f.values[cond].def else { return };
+        let ValueDef::Inst(inst, _) = self.f.values[cond].def else {
+            return;
+        };
         match &self.f.insts[inst].kind {
-            InstKind::Bin { op: BinOp::And, lhs, rhs } => {
+            InstKind::Bin {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
                 self.bound_from_cond(*lhs, subject, ascending, hi, lo);
                 self.bound_from_cond(*rhs, subject, ascending, hi, lo);
             }
@@ -356,7 +372,9 @@ impl<'f> IndexRanges<'f> {
         } else {
             // continue when cond is false: cond = (i >= n) exits ⇒ body has
             // i < n. Normalize by negating the comparison.
-            let ValueDef::Inst(inst, _) = self.f.values[cond].def else { return };
+            let ValueDef::Inst(inst, _) = self.f.values[cond].def else {
+                return;
+            };
             if let InstKind::Cmp { op, lhs, rhs } = self.f.insts[inst].kind {
                 let neg = op.negated();
                 self.bound_from_cmp(neg, lhs, rhs, phi_val, ascending, hi, lo);
@@ -373,9 +391,15 @@ impl<'f> IndexRanges<'f> {
         lo: &mut Option<Expr>,
     ) {
         // `i + c OP bound` guards: find cmp whose lhs is an add of φ.
-        let ValueDef::Inst(inst, _) = self.f.values[cond].def else { return };
+        let ValueDef::Inst(inst, _) = self.f.values[cond].def else {
+            return;
+        };
         match &self.f.insts[inst].kind {
-            InstKind::Bin { op: BinOp::And, lhs, rhs } => {
+            InstKind::Bin {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
                 self.bound_guard_shifted(*lhs, phi_val, ascending, hi, lo);
                 self.bound_guard_shifted(*rhs, phi_val, ascending, hi, lo);
             }
@@ -633,7 +657,11 @@ mod tests {
         let (i, size, bigb) = probe.unwrap();
         let r = ir.range_of(i);
         assert!(r.lo.is_const(0), "{r}");
-        assert_eq!(r.hi, Expr::min2(Expr::value(size), Expr::value(bigb)), "{r}");
+        assert_eq!(
+            r.hi,
+            Expr::min2(Expr::value(size), Expr::value(bigb)),
+            "{r}"
+        );
     }
 
     /// Descending loop `for j in (lo..n).rev()`-style:

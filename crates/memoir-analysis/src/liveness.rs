@@ -69,8 +69,7 @@ impl Liveness {
         while changed {
             changed = false;
             for &b in rpo.iter().rev() {
-                let mut out: HashSet<ValueId> =
-                    phi_uses.get(&b).cloned().unwrap_or_default();
+                let mut out: HashSet<ValueId> = phi_uses.get(&b).cloned().unwrap_or_default();
                 for s in f.successors(b) {
                     for &v in &live_in[&s] {
                         out.insert(v);

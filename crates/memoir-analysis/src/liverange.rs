@@ -218,10 +218,9 @@ fn transfer(
     };
     let mut out = Vec::new();
     match &inst.kind {
-        InstKind::Read { c, idx: i } if is_seq(*c)
-            && cfg.include_reads => {
-                out.push((*c, idx.range_of(*i).widened()));
-            }
+        InstKind::Read { c, idx: i } if is_seq(*c) && cfg.include_reads => {
+            out.push((*c, idx.range_of(*i).widened()));
+        }
         InstKind::UsePhi { c } | InstKind::Copy { c } if is_seq(*c) => {
             out.push((*c, result_range(0)));
         }
@@ -279,11 +278,19 @@ fn transfer(
             if is_seq(*c) {
                 // Splice relocation needs |src| which is not an SSA value
                 // here; widen under relocation, identity otherwise.
-                let r = if cfg.relocation_transfers { Range::full() } else { pr.clone() };
+                let r = if cfg.relocation_transfers {
+                    Range::full()
+                } else {
+                    pr.clone()
+                };
                 out.push((*c, r));
             }
             if is_seq(*src) {
-                let r = if cfg.relocation_transfers { Range::full() } else { pr };
+                let r = if cfg.relocation_transfers {
+                    Range::full()
+                } else {
+                    pr
+                };
                 out.push((*src, r));
             }
         }
@@ -295,8 +302,7 @@ fn transfer(
                 match bound_expr(f, idx, *i) {
                     Some(ie) => {
                         let below = p1.meet(&Range::new(Expr::constant(0), ie.clone()));
-                        let above =
-                            shifted.meet(&Range::new(ie.offset(1), Expr::end()));
+                        let above = shifted.meet(&Range::new(ie.offset(1), Expr::end()));
                         below.join(&above)
                     }
                     None => p1.join(&shifted),
@@ -313,12 +319,10 @@ fn transfer(
                     Some(w) => {
                         // p(S1) in S0 coordinates: end shrinks by w.
                         let p1 = subst_end_expr(&pr, &w, true);
-                        let shifted =
-                            Range::new(p1.lo.add_expr(&w), p1.hi.add_expr(&w));
+                        let shifted = Range::new(p1.lo.add_expr(&w), p1.hi.add_expr(&w));
                         match bound_expr(f, idx, *from) {
                             Some(fe) => {
-                                let below = p1
-                                    .meet(&Range::new(Expr::constant(0), fe));
+                                let below = p1.meet(&Range::new(Expr::constant(0), fe));
                                 below.join(&shifted)
                             }
                             None => p1.join(&shifted),
@@ -363,21 +367,23 @@ fn transfer(
                 }
             }
         }
-        InstKind::Phi { incoming }
-            if inst.results.first().is_some_and(|r| is_seq(*r)) => {
-                let pr = result_range(0);
-                for (_, v) in incoming {
-                    if is_seq(*v) {
-                        out.push((*v, pr.clone()));
-                    }
+        InstKind::Phi { incoming } if inst.results.first().is_some_and(|r| is_seq(*r)) => {
+            let pr = result_range(0);
+            for (_, v) in incoming {
+                if is_seq(*v) {
+                    out.push((*v, pr.clone()));
                 }
             }
-        InstKind::Select { then_value, else_value, .. }
-            if inst.results.first().is_some_and(|r| is_seq(*r)) => {
-                let pr = result_range(0);
-                out.push((*then_value, pr.clone()));
-                out.push((*else_value, pr));
-            }
+        }
+        InstKind::Select {
+            then_value,
+            else_value,
+            ..
+        } if inst.results.first().is_some_and(|r| is_seq(*r)) => {
+            let pr = result_range(0);
+            out.push((*then_value, pr.clone()));
+            out.push((*else_value, pr));
+        }
         InstKind::Ret { values } => {
             for &v in values {
                 if is_seq(v) {
@@ -415,19 +421,17 @@ fn transfer(
         }
         // Element stores of sequences into other collections: the stored
         // sequence escapes wholesale.
-        InstKind::MutWrite { value, .. }
-        | InstKind::FieldWrite { value, .. }
-            if is_seq(*value) => {
-                out.push((*value, Range::full()));
-            }
-        InstKind::Write { value, .. }
-            if is_seq(*value) => {
-                out.push((*value, Range::full()));
-            }
+        InstKind::MutWrite { value, .. } | InstKind::FieldWrite { value, .. } if is_seq(*value) => {
+            out.push((*value, Range::full()));
+        }
+        InstKind::Write { value, .. } if is_seq(*value) => {
+            out.push((*value, Range::full()));
+        }
         InstKind::Insert { value: Some(v), .. } | InstKind::MutInsert { value: Some(v), .. }
-            if is_seq(*v) => {
-                out.push((*v, Range::full()));
-            }
+            if is_seq(*v) =>
+        {
+            out.push((*v, Range::full()));
+        }
         _ => {}
     }
     out
@@ -526,13 +530,10 @@ fn width_expr(f: &Function, idx: &IndexRanges<'_>, from: ValueId, to: ValueId) -
     }
 }
 
-fn cross_swap(
-    f: &Function,
-    idx: &IndexRanges<'_>,
-    kind: &InstKind,
-    pr: &Range,
-) -> Range {
-    let InstKind::Swap { from, to, at, .. } = kind else { return Range::full() };
+fn cross_swap(f: &Function, idx: &IndexRanges<'_>, kind: &InstKind, pr: &Range) -> Range {
+    let InstKind::Swap { from, to, at, .. } = kind else {
+        return Range::full();
+    };
     let (Some(fe), Some(te), Some(ae)) = (
         bound_expr(f, idx, *from),
         bound_expr(f, idx, *to),

@@ -77,15 +77,13 @@ impl Purity {
     /// The summary for a function.
     pub fn summary(&self, f: FuncId) -> &EffectSummary {
         static EMPTY: std::sync::OnceLock<EffectSummary> = std::sync::OnceLock::new();
-        self.summaries.get(&f).unwrap_or_else(|| EMPTY.get_or_init(EffectSummary::default))
+        self.summaries
+            .get(&f)
+            .unwrap_or_else(|| EMPTY.get_or_init(EffectSummary::default))
     }
 }
 
-fn summarize(
-    m: &Module,
-    fid: FuncId,
-    partial: &HashMap<FuncId, EffectSummary>,
-) -> EffectSummary {
+fn summarize(m: &Module, fid: FuncId, partial: &HashMap<FuncId, EffectSummary>) -> EffectSummary {
     let f = &m.funcs[fid];
     let mut s = EffectSummary::default();
     // Map from parameter value → parameter index for by-ref params.
@@ -210,7 +208,13 @@ mod tests {
         let obj = mb
             .module
             .types
-            .define_object("t0", vec![memoir_ir::Field { name: "a".into(), ty: i32t }])
+            .define_object(
+                "t0",
+                vec![memoir_ir::Field {
+                    name: "a".into(),
+                    ty: i32t,
+                }],
+            )
             .unwrap();
         mb.func("writer", Form::Mut, |b| {
             let o = b.new_obj(obj);
@@ -230,7 +234,9 @@ mod tests {
     fn recursion_reaches_fixed_point() {
         // Self-recursive function mutating its by-ref param.
         let mut mb = ModuleBuilder::new("m");
-        let fid = mb.module.add_func(memoir_ir::Function::new("rec", Form::Mut));
+        let fid = mb
+            .module
+            .add_func(memoir_ir::Function::new("rec", Form::Mut));
         {
             let i64t = mb.module.types.intern(Type::I64);
             let seqt = mb.module.types.seq_of(i64t);
@@ -240,10 +246,21 @@ mod tests {
             let zero = f.constant(memoir_ir::Constant::index(0), indext);
             let v = f.constant(memoir_ir::Constant::i64(1), i64t);
             let entry = f.entry;
-            f.append_inst(entry, InstKind::MutWrite { c: s, idx: zero, value: v }, &[]);
             f.append_inst(
                 entry,
-                InstKind::Call { callee: memoir_ir::Callee::Func(fid), args: vec![s] },
+                InstKind::MutWrite {
+                    c: s,
+                    idx: zero,
+                    value: v,
+                },
+                &[],
+            );
+            f.append_inst(
+                entry,
+                InstKind::Call {
+                    callee: memoir_ir::Callee::Func(fid),
+                    args: vec![s],
+                },
                 &[],
             );
             f.append_inst(entry, InstKind::Ret { values: vec![] }, &[]);
@@ -253,6 +270,9 @@ mod tests {
         let p = Purity::compute(&m, &cg);
         let s = p.summary(fid);
         assert!(s.writes_params.contains(&0));
-        assert!(!s.opaque, "fixed point must clear the provisional opaque bit: {s:?}");
+        assert!(
+            !s.opaque,
+            "fixed point must clear the provisional opaque bit: {s:?}"
+        );
     }
 }

@@ -24,18 +24,27 @@ impl Range {
 
     /// The empty range `[0 : 0)`.
     pub fn empty() -> Self {
-        Range { lo: Expr::constant(0), hi: Expr::constant(0) }
+        Range {
+            lo: Expr::constant(0),
+            hi: Expr::constant(0),
+        }
     }
 
     /// The full range `[0 : end)` — the default Alg. 1 assigns to
     /// unresolved cycle members.
     pub fn full() -> Self {
-        Range { lo: Expr::constant(0), hi: Expr::end() }
+        Range {
+            lo: Expr::constant(0),
+            hi: Expr::end(),
+        }
     }
 
     /// The caller-context range `[%a : %b)` used at ARGφ/RETφ boundaries.
     pub fn caller_context() -> Self {
-        Range { lo: Expr::caller_lo(), hi: Expr::caller_hi() }
+        Range {
+            lo: Expr::caller_lo(),
+            hi: Expr::caller_hi(),
+        }
     }
 
     /// A singleton range `[e : e+1)`.
@@ -46,7 +55,10 @@ impl Range {
 
     /// A constant range.
     pub fn constant(lo: i64, hi: i64) -> Self {
-        Range { lo: Expr::constant(lo), hi: Expr::constant(hi) }
+        Range {
+            lo: Expr::constant(lo),
+            hi: Expr::constant(hi),
+        }
     }
 
     /// Whether this is syntactically the empty constant range. Unknown
@@ -93,7 +105,10 @@ impl Range {
 
     /// Shifts both bounds by an affine delta (Table I's `± i` transfers).
     pub fn shift(&self, delta: &Affine) -> Range {
-        Range { lo: self.lo.add(delta), hi: self.hi.add(delta) }
+        Range {
+            lo: self.lo.add(delta),
+            hi: self.hi.add(delta),
+        }
     }
 
     /// Shifts by a constant.
@@ -110,21 +125,35 @@ impl Range {
             Some(_) => self.lo.clone(),
             None => Expr::max2(Expr::constant(0), self.lo.clone()),
         };
-        Range { lo, hi: self.hi.clone() }
+        Range {
+            lo,
+            hi: self.hi.clone(),
+        }
     }
 
     /// Replaces `Unknown` bounds with their widened meaning
     /// (`lo → 0`, `hi → end`).
     pub fn widened(&self) -> Range {
         Range {
-            lo: if self.lo == Expr::Unknown { Expr::constant(0) } else { self.lo.clone() },
-            hi: if self.hi == Expr::Unknown { Expr::end() } else { self.hi.clone() },
+            lo: if self.lo == Expr::Unknown {
+                Expr::constant(0)
+            } else {
+                self.lo.clone()
+            },
+            hi: if self.hi == Expr::Unknown {
+                Expr::end()
+            } else {
+                self.hi.clone()
+            },
         }
     }
 
     /// Applies a substitution to both bounds.
     pub fn substitute(&self, map: &dyn Fn(crate::exprtree::Term) -> Option<Expr>) -> Range {
-        Range { lo: self.lo.substitute(map), hi: self.hi.substitute(map) }
+        Range {
+            lo: self.lo.substitute(map),
+            hi: self.hi.substitute(map),
+        }
     }
 
     /// Whether either bound mentions the caller-context terms.
@@ -195,7 +224,10 @@ mod tests {
 
     #[test]
     fn symbolic_join_builds_minmax() {
-        let a = Range::new(Expr::constant(0), Expr::value(memoir_ir::ValueId::from_raw(7)));
+        let a = Range::new(
+            Expr::constant(0),
+            Expr::value(memoir_ir::ValueId::from_raw(7)),
+        );
         let b = Range::constant(0, 1);
         let j = a.join(&b);
         assert!(j.lo.is_const(0));

@@ -175,7 +175,9 @@ impl<'m> Interp<'m> {
         for (i, &pv) in f.param_values.iter().enumerate() {
             env.insert(
                 pv,
-                args.get(i).cloned().ok_or(Trap::TypeConfusion("missing argument"))?,
+                args.get(i)
+                    .cloned()
+                    .ok_or(Trap::TypeConfusion("missing argument"))?,
             );
         }
 
@@ -239,7 +241,10 @@ impl<'m> Interp<'m> {
     fn eval(&self, f: &Function, env: &HashMap<ValueId, Value>, v: ValueId) -> Result<Value, Trap> {
         match &f.values[v].def {
             ValueDef::Const(c) => Ok(const_value(*c)),
-            _ => env.get(&v).cloned().ok_or(Trap::TypeConfusion("unbound value")),
+            _ => env
+                .get(&v)
+                .cloned()
+                .ok_or(Trap::TypeConfusion("unbound value")),
         }
     }
 
@@ -249,7 +254,9 @@ impl<'m> Interp<'m> {
         env: &HashMap<ValueId, Value>,
         v: ValueId,
     ) -> Result<CollId, Trap> {
-        self.eval(f, env, v)?.as_coll().ok_or(Trap::TypeConfusion("expected collection"))
+        self.eval(f, env, v)?
+            .as_coll()
+            .ok_or(Trap::TypeConfusion("expected collection"))
     }
 
     fn index_arg(
@@ -258,7 +265,9 @@ impl<'m> Interp<'m> {
         env: &HashMap<ValueId, Value>,
         v: ValueId,
     ) -> Result<u64, Trap> {
-        self.eval(f, env, v)?.as_index().ok_or(Trap::TypeConfusion("expected index"))
+        self.eval(f, env, v)?
+            .as_index()
+            .ok_or(Trap::TypeConfusion("expected index"))
     }
 
     fn charge_alloc_bytes(&mut self, id: CollId) {
@@ -294,9 +303,16 @@ impl<'m> Interp<'m> {
                 let v = self.eval(f, env, *value)?;
                 Control::Next(vec![exec_cast(self.module.types.get(*to), &v)?])
             }
-            Select { cond, then_value, else_value } => {
+            Select {
+                cond,
+                then_value,
+                else_value,
+            } => {
                 self.stats.scalar();
-                let c = self.eval(f, env, *cond)?.as_bool().ok_or(Trap::TypeConfusion("select"))?;
+                let c = self
+                    .eval(f, env, *cond)?
+                    .as_bool()
+                    .ok_or(Trap::TypeConfusion("select"))?;
                 let v = if c {
                     self.eval(f, env, *then_value)?
                 } else {
@@ -306,8 +322,10 @@ impl<'m> Interp<'m> {
             }
             Phi { .. } => return Err(Trap::TypeConfusion("phi outside block head")),
             Call { callee, args } => {
-                let argv: Vec<Value> =
-                    args.iter().map(|&a| self.eval(f, env, a)).collect::<Result<_, _>>()?;
+                let argv: Vec<Value> = args
+                    .iter()
+                    .map(|&a| self.eval(f, env, a))
+                    .collect::<Result<_, _>>()?;
                 match callee {
                     Callee::Func(fid) => {
                         let rets = self.call_function(*fid, argv)?;
@@ -330,21 +348,32 @@ impl<'m> Interp<'m> {
                 self.stats.scalar();
                 Control::Jump(*target)
             }
-            Branch { cond, then_target, else_target } => {
+            Branch {
+                cond,
+                then_target,
+                else_target,
+            } => {
                 self.stats.scalar();
-                let c = self.eval(f, env, *cond)?.as_bool().ok_or(Trap::TypeConfusion("branch"))?;
+                let c = self
+                    .eval(f, env, *cond)?
+                    .as_bool()
+                    .ok_or(Trap::TypeConfusion("branch"))?;
                 Control::Jump(if c { *then_target } else { *else_target })
             }
             Ret { values } => {
-                let vals: Vec<Value> =
-                    values.iter().map(|&v| self.eval(f, env, v)).collect::<Result<_, _>>()?;
+                let vals: Vec<Value> = values
+                    .iter()
+                    .map(|&v| self.eval(f, env, v))
+                    .collect::<Result<_, _>>()?;
                 Control::Return(vals)
             }
             Unreachable => return Err(Trap::Unreachable),
 
             NewSeq { len, .. } => {
                 let n = self.index_arg(f, env, *len)?;
-                let id = self.store.alloc_coll(Collection::Seq(vec![Value::Uninit; n as usize]));
+                let id = self
+                    .store
+                    .alloc_coll(Collection::Seq(vec![Value::Uninit; n as usize]));
                 self.charge_alloc_bytes(id);
                 Control::Next(vec![Value::Coll(id)])
             }
@@ -568,7 +597,10 @@ impl<'m> Interp<'m> {
             Size { c } => {
                 self.stats.scalar();
                 let cid = self.coll_arg(f, env, *c)?;
-                Control::Next(vec![Value::Int(Type::Index, self.store.coll(cid).len() as i64)])
+                Control::Next(vec![Value::Int(
+                    Type::Index,
+                    self.store.coll(cid).len() as i64,
+                )])
             }
             Has { c, key } => {
                 self.stats.assoc_op(false);
@@ -609,7 +641,9 @@ impl<'m> Interp<'m> {
                 let bytes = self.module.types.object_layout(*obj_ty).size;
                 self.stats.field_op(bytes);
                 let v = self.eval(f, env, *obj)?;
-                let Value::Ref(_, Some(id)) = v else { return Err(Trap::BadReference) };
+                let Value::Ref(_, Some(id)) = v else {
+                    return Err(Trap::BadReference);
+                };
                 let fields = self.store.objects[id.0 as usize]
                     .fields
                     .as_ref()
@@ -620,12 +654,19 @@ impl<'m> Interp<'m> {
                 }
                 Control::Next(vec![fv])
             }
-            FieldWrite { obj, obj_ty, field, value } => {
+            FieldWrite {
+                obj,
+                obj_ty,
+                field,
+                value,
+            } => {
                 let bytes = self.module.types.object_layout(*obj_ty).size;
                 self.stats.field_op(bytes);
                 let v = self.eval(f, env, *obj)?;
                 let fv = self.eval(f, env, *value)?;
-                let Value::Ref(_, Some(id)) = v else { return Err(Trap::BadReference) };
+                let Value::Ref(_, Some(id)) = v else {
+                    return Err(Trap::BadReference);
+                };
                 let fields = self.store.objects[id.0 as usize]
                     .fields
                     .as_mut()
@@ -668,8 +709,9 @@ impl<'m> Interp<'m> {
             Collection::Seq(elems) => {
                 let i = idx.as_index().ok_or(Trap::TypeConfusion("seq index"))?;
                 let len = elems.len() as u64;
-                let slot =
-                    elems.get_mut(i as usize).ok_or(Trap::OutOfRange { index: i, len })?;
+                let slot = elems
+                    .get_mut(i as usize)
+                    .ok_or(Trap::OutOfRange { index: i, len })?;
                 *slot = v;
                 self.stats.seq_access(true);
                 Ok(())
@@ -774,9 +816,14 @@ impl<'m> Interp<'m> {
             return Err(Trap::TypeConfusion("swap on assoc"));
         };
         let len = elems.len() as u64;
-        let width = to.checked_sub(from).ok_or(Trap::OutOfRange { index: from, len })?;
+        let width = to
+            .checked_sub(from)
+            .ok_or(Trap::OutOfRange { index: from, len })?;
         if to > len || at + width > len {
-            return Err(Trap::OutOfRange { index: at + width, len });
+            return Err(Trap::OutOfRange {
+                index: at + width,
+                len,
+            });
         }
         for k in 0..width {
             elems.swap((from + k) as usize, (at + k) as usize);
@@ -796,7 +843,10 @@ impl<'m> Interp<'m> {
         if a == b {
             return self.swap_ranges(a, from, to, at);
         }
-        let width = to.checked_sub(from).ok_or(Trap::OutOfRange { index: from, len: 0 })?;
+        let width = to.checked_sub(from).ok_or(Trap::OutOfRange {
+            index: from,
+            len: 0,
+        })?;
         // Split-borrow the two collections.
         let (x, y) = {
             let (lo, hi) = if a.0 < b.0 { (a, b) } else { (b, a) };
@@ -813,7 +863,10 @@ impl<'m> Interp<'m> {
             return Err(Trap::TypeConfusion("swap2 on assoc"));
         };
         if to > ea.len() as u64 || at + width > eb.len() as u64 {
-            return Err(Trap::OutOfRange { index: at + width, len: eb.len() as u64 });
+            return Err(Trap::OutOfRange {
+                index: at + width,
+                len: eb.len() as u64,
+            });
         }
         for k in 0..width {
             std::mem::swap(&mut ea[(from + k) as usize], &mut eb[(at + k) as usize]);
@@ -942,7 +995,10 @@ fn exec_cast(to: Type, v: &Value) -> Result<Value, Trap> {
 }
 
 fn is_unsigned(t: Type) -> bool {
-    matches!(t, Type::U64 | Type::U32 | Type::U16 | Type::U8 | Type::Index)
+    matches!(
+        t,
+        Type::U64 | Type::U32 | Type::U16 | Type::U8 | Type::Index
+    )
 }
 
 fn truncate(t: Type, v: i64) -> i64 {
@@ -1222,7 +1278,13 @@ mod tests {
         let obj = mb
             .module
             .types
-            .define_object("t0", vec![memoir_ir::Field { name: "cost".into(), ty: i64t }])
+            .define_object(
+                "t0",
+                vec![memoir_ir::Field {
+                    name: "cost".into(),
+                    ty: i64t,
+                }],
+            )
             .unwrap();
         mb.func("main", Form::Mut, |b| {
             let o = b.new_obj(obj);
@@ -1245,7 +1307,13 @@ mod tests {
         let obj = mb
             .module
             .types
-            .define_object("t0", vec![memoir_ir::Field { name: "x".into(), ty: i64t }])
+            .define_object(
+                "t0",
+                vec![memoir_ir::Field {
+                    name: "x".into(),
+                    ty: i64t,
+                }],
+            )
             .unwrap();
         mb.func("main", Form::Mut, |b| {
             let o = b.new_obj(obj);
@@ -1269,7 +1337,10 @@ mod tests {
         });
         let m = mb.finish();
         let mut interp = Interp::new(&m).with_fuel(1000);
-        assert_eq!(interp.run_by_name("main", vec![]).unwrap_err(), Trap::OutOfFuel);
+        assert_eq!(
+            interp.run_by_name("main", vec![]).unwrap_err(),
+            Trap::OutOfFuel
+        );
     }
 
     #[test]
@@ -1389,7 +1460,10 @@ mod tests {
             b.ret(vec![]);
         });
         let m = mb.finish();
-        assert!(matches!(run_main(&m, vec![]).unwrap_err(), Trap::OutOfRange { .. }));
+        assert!(matches!(
+            run_main(&m, vec![]).unwrap_err(),
+            Trap::OutOfRange { .. }
+        ));
     }
 
     #[test]

@@ -147,7 +147,10 @@ pub enum Collection {
 impl Collection {
     /// Creates an empty associative collection.
     pub fn new_assoc() -> Self {
-        Collection::Assoc { map: HashMap::new(), order: Vec::new() }
+        Collection::Assoc {
+            map: HashMap::new(),
+            order: Vec::new(),
+        }
     }
 
     /// Number of elements.
@@ -193,7 +196,10 @@ impl Store {
     /// Allocates an object with all fields uninitialized.
     pub fn alloc_obj(&mut self, ty: ObjTypeId, nfields: usize) -> ObjId {
         let id = ObjId(self.objects.len() as u32);
-        self.objects.push(Object { ty, fields: Some(vec![Value::Uninit; nfields]) });
+        self.objects.push(Object {
+            ty,
+            fields: Some(vec![Value::Uninit; nfields]),
+        });
         id
     }
 

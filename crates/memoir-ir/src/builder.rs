@@ -163,7 +163,14 @@ impl<'a> FunctionBuilder<'a> {
     /// Ternary select.
     pub fn select(&mut self, cond: ValueId, t: ValueId, e: ValueId) -> ValueId {
         let ty = self.func.value_ty(t);
-        self.emit1(InstKind::Select { cond, then_value: t, else_value: e }, ty)
+        self.emit1(
+            InstKind::Select {
+                cond,
+                then_value: t,
+                else_value: e,
+            },
+            ty,
+        )
     }
 
     /// Creates a φ with the given incomings.
@@ -175,7 +182,9 @@ impl<'a> FunctionBuilder<'a> {
             .take_while(|&&i| self.func.insts[i].kind.is_phi())
             .count();
         let cur = self.cur;
-        self.func.insert_inst_at(cur, pos, InstKind::Phi { incoming }, &[ty]).1[0]
+        self.func
+            .insert_inst_at(cur, pos, InstKind::Phi { incoming }, &[ty])
+            .1[0]
     }
 
     /// Creates an empty φ to be filled later via [`FunctionBuilder::add_phi_incoming`]
@@ -208,7 +217,14 @@ impl<'a> FunctionBuilder<'a> {
 
     /// Conditional branch.
     pub fn branch(&mut self, cond: ValueId, then_target: BlockId, else_target: BlockId) {
-        self.emit(InstKind::Branch { cond, then_target, else_target }, &[]);
+        self.emit(
+            InstKind::Branch {
+                cond,
+                then_target,
+                else_target,
+            },
+            &[],
+        );
     }
 
     /// Return.
@@ -315,7 +331,9 @@ impl<'a> FunctionBuilder<'a> {
     ) -> (ValueId, ValueId) {
         let ta = self.func.value_ty(a);
         let tb = self.func.value_ty(b);
-        let r = self.emit(InstKind::Swap2 { a, from, to, b, at }, &[ta, tb]).1;
+        let r = self
+            .emit(InstKind::Swap2 { a, from, to, b, at }, &[ta, tb])
+            .1;
         (r[0], r[1])
     }
 
@@ -357,7 +375,15 @@ impl<'a> FunctionBuilder<'a> {
 
     /// Field array write.
     pub fn field_write(&mut self, obj: ValueId, obj_ty: ObjTypeId, field: u32, value: ValueId) {
-        self.emit(InstKind::FieldWrite { obj, obj_ty, field, value }, &[]);
+        self.emit(
+            InstKind::FieldWrite {
+                obj,
+                obj_ty,
+                field,
+                value,
+            },
+            &[],
+        );
     }
 
     // -------------------------------------------------------------- mut form
@@ -419,7 +445,9 @@ pub struct ModuleBuilder {
 impl ModuleBuilder {
     /// Creates a module builder.
     pub fn new(name: impl Into<String>) -> Self {
-        ModuleBuilder { module: Module::new(name) }
+        ModuleBuilder {
+            module: Module::new(name),
+        }
     }
 
     /// Builds one function with a closure over a [`FunctionBuilder`] and

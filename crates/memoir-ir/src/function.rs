@@ -92,7 +92,10 @@ impl Function {
     /// Creates an empty function with one (empty) entry block.
     pub fn new(name: impl Into<String>, form: Form) -> Self {
         let mut blocks = IdMap::new();
-        let entry = blocks.push(Block { insts: Vec::new(), name: Some("entry".into()) });
+        let entry = blocks.push(Block {
+            insts: Vec::new(),
+            name: Some("entry".into()),
+        });
         Function {
             name: name.into(),
             params: Vec::new(),
@@ -111,8 +114,16 @@ impl Function {
     pub fn add_param(&mut self, name: impl Into<String>, ty: TypeId, by_ref: bool) -> ValueId {
         let index = self.params.len() as u32;
         let name = name.into();
-        self.params.push(Param { name: name.clone(), ty, by_ref });
-        let v = self.values.push(Value { ty, def: ValueDef::Param(index), name: Some(name) });
+        self.params.push(Param {
+            name: name.clone(),
+            ty,
+            by_ref,
+        });
+        let v = self.values.push(Value {
+            ty,
+            def: ValueDef::Param(index),
+            name: Some(name),
+        });
         self.param_values.push(v);
         v
     }
@@ -122,14 +133,21 @@ impl Function {
         if let Some(&v) = self.const_cache.get(&c) {
             return v;
         }
-        let v = self.values.push(Value { ty, def: ValueDef::Const(c), name: None });
+        let v = self.values.push(Value {
+            ty,
+            def: ValueDef::Const(c),
+            name: None,
+        });
         self.const_cache.insert(c, v);
         v
     }
 
     /// Appends a new empty block.
     pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
-        self.blocks.push(Block { insts: Vec::new(), name: Some(name.into()) })
+        self.blocks.push(Block {
+            insts: Vec::new(),
+            name: Some(name.into()),
+        })
     }
 
     /// Appends an instruction to a block, minting `result_tys.len()` result
@@ -145,10 +163,17 @@ impl Function {
             .iter()
             .enumerate()
             .map(|(i, &ty)| {
-                self.values.push(Value { ty, def: ValueDef::Inst(inst_id, i as u32), name: None })
+                self.values.push(Value {
+                    ty,
+                    def: ValueDef::Inst(inst_id, i as u32),
+                    name: None,
+                })
             })
             .collect();
-        let id = self.insts.push(Inst { kind, results: results.clone() });
+        let id = self.insts.push(Inst {
+            kind,
+            results: results.clone(),
+        });
         debug_assert_eq!(id, inst_id);
         self.blocks[block].insts.push(id);
         (id, results)
@@ -168,10 +193,17 @@ impl Function {
             .iter()
             .enumerate()
             .map(|(i, &ty)| {
-                self.values.push(Value { ty, def: ValueDef::Inst(inst_id, i as u32), name: None })
+                self.values.push(Value {
+                    ty,
+                    def: ValueDef::Inst(inst_id, i as u32),
+                    name: None,
+                })
             })
             .collect();
-        let id = self.insts.push(Inst { kind, results: results.clone() });
+        let id = self.insts.push(Inst {
+            kind,
+            results: results.clone(),
+        });
         debug_assert_eq!(id, inst_id);
         self.blocks[block].insts.insert(pos, id);
         (id, results)
@@ -255,7 +287,9 @@ impl Function {
 
     /// Successor blocks of `b`.
     pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
-        self.terminator(b).map(|t| self.insts[t].kind.successors()).unwrap_or_default()
+        self.terminator(b)
+            .map(|t| self.insts[t].kind.successors())
+            .unwrap_or_default()
     }
 
     /// Predecessor map over all blocks.
@@ -368,15 +402,17 @@ impl Function {
                 value_map.insert(r, nv);
                 results.push(nv);
             }
-            let id = new_insts.push(Inst { kind: inst.kind, results });
+            let id = new_insts.push(Inst {
+                kind: inst.kind,
+                results,
+            });
             debug_assert_eq!(id, new_id);
             inst_map.insert(old_id, new_id);
         }
 
         // Rewrite operands and block instruction lists.
         for b in self.blocks.ids().collect::<Vec<_>>() {
-            let insts: Vec<InstId> =
-                self.blocks[b].insts.iter().map(|i| inst_map[i]).collect();
+            let insts: Vec<InstId> = self.blocks[b].insts.iter().map(|i| inst_map[i]).collect();
             self.blocks[b].insts = insts;
         }
         for (_, inst) in new_insts.iter() {
@@ -410,7 +446,11 @@ mod tests {
         let one = f.constant(Constant::i64(1), i64t);
         let (_, r) = f.append_inst(
             f.entry,
-            InstKind::Bin { op: crate::BinOp::Add, lhs: p, rhs: one },
+            InstKind::Bin {
+                op: crate::BinOp::Add,
+                lhs: p,
+                rhs: one,
+            },
             &[i64t],
         );
         let entry = f.entry;
@@ -457,7 +497,15 @@ mod tests {
         let else_b = f.add_block("else");
         let join = f.add_block("join");
         let entry = f.entry;
-        f.append_inst(entry, InstKind::Branch { cond: c, then_target: then_b, else_target: else_b }, &[]);
+        f.append_inst(
+            entry,
+            InstKind::Branch {
+                cond: c,
+                then_target: then_b,
+                else_target: else_b,
+            },
+            &[],
+        );
         f.append_inst(then_b, InstKind::Jump { target: join }, &[]);
         f.append_inst(else_b, InstKind::Jump { target: join }, &[]);
         f.append_inst(join, InstKind::Ret { values: vec![] }, &[]);
@@ -476,7 +524,16 @@ mod tests {
         let (dead, _) = {
             let i64t = f.values[f.param_values[0]].ty;
             let p = f.param_values[0];
-            f.insert_inst_at(entry, 0, InstKind::Bin { op: crate::BinOp::Mul, lhs: p, rhs: p }, &[i64t])
+            f.insert_inst_at(
+                entry,
+                0,
+                InstKind::Bin {
+                    op: crate::BinOp::Mul,
+                    lhs: p,
+                    rhs: p,
+                },
+                &[i64t],
+            )
         };
         f.remove_inst(entry, dead);
         let before = f.insts.len();

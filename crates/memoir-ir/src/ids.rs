@@ -87,7 +87,10 @@ pub struct IdMap<I, T> {
 
 impl<I, T> Default for IdMap<I, T> {
     fn default() -> Self {
-        IdMap { items: Vec::new(), _marker: std::marker::PhantomData }
+        IdMap {
+            items: Vec::new(),
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -116,7 +119,10 @@ impl<I: Copy + Into<usize> + From<u32>, T> IdMap<I, T> {
 
     /// Iterates over `(id, &item)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
-        self.items.iter().enumerate().map(|(i, t)| (I::from(i as u32), t))
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (I::from(i as u32), t))
     }
 
     /// Iterates over the ids in insertion order.

@@ -601,14 +601,28 @@ impl InstKind {
             Bin { .. } | Cmp { .. } | Cast { .. } | Select { .. } | Phi { .. } => Effect::Pure,
             // SSA collection ops are pure value operations.
             NewSeq { .. } | NewAssoc { .. } => Effect::Pure,
-            Write { .. } | Insert { .. } | InsertSeq { .. } | Remove { .. }
-            | RemoveRange { .. } | Copy { .. } | CopyRange { .. } | Swap { .. }
-            | Swap2 { .. } | UsePhi { .. } | Keys { .. } => Effect::Pure,
+            Write { .. }
+            | Insert { .. }
+            | InsertSeq { .. }
+            | Remove { .. }
+            | RemoveRange { .. }
+            | Copy { .. }
+            | CopyRange { .. }
+            | Swap { .. }
+            | Swap2 { .. }
+            | UsePhi { .. }
+            | Keys { .. } => Effect::Pure,
             Read { .. } | Size { .. } | Has { .. } => Effect::ReadMem,
             FieldRead { .. } => Effect::ReadMem,
             NewObj { .. } | DeleteObj { .. } | FieldWrite { .. } => Effect::WriteMem,
-            MutWrite { .. } | MutInsert { .. } | MutInsertSeq { .. } | MutRemove { .. }
-            | MutRemoveRange { .. } | MutAppend { .. } | MutSwap { .. } | MutSwap2 { .. }
+            MutWrite { .. }
+            | MutInsert { .. }
+            | MutInsertSeq { .. }
+            | MutRemove { .. }
+            | MutRemoveRange { .. }
+            | MutAppend { .. }
+            | MutSwap { .. }
+            | MutSwap2 { .. }
             | MutSplit { .. } => Effect::WriteMem,
             Call { .. } => Effect::CallLike,
             Jump { .. } | Branch { .. } | Ret { .. } | Unreachable => Effect::Control,
@@ -653,9 +667,14 @@ impl InstKind {
     pub fn mutated_collections(&self) -> Vec<ValueId> {
         use InstKind::*;
         match self {
-            MutWrite { c, .. } | MutInsert { c, .. } | MutInsertSeq { c, .. }
-            | MutRemove { c, .. } | MutRemoveRange { c, .. } | MutAppend { c, .. }
-            | MutSwap { c, .. } | MutSplit { c, .. } => vec![*c],
+            MutWrite { c, .. }
+            | MutInsert { c, .. }
+            | MutInsertSeq { c, .. }
+            | MutRemove { c, .. }
+            | MutRemoveRange { c, .. }
+            | MutAppend { c, .. }
+            | MutSwap { c, .. }
+            | MutSplit { c, .. } => vec![*c],
             MutSwap2 { a, b, .. } => vec![*a, *b],
             _ => Vec::new(),
         }
@@ -680,7 +699,11 @@ impl InstKind {
                 f(rhs);
             }
             Cast { value, .. } => f(value),
-            Select { cond, then_value, else_value } => {
+            Select {
+                cond,
+                then_value,
+                else_value,
+            } => {
                 f(cond);
                 f(then_value);
                 f(else_value);
@@ -777,7 +800,11 @@ impl InstKind {
                 f(rhs);
             }
             Cast { value, .. } => f(value),
-            Select { cond, then_value, else_value } => {
+            Select {
+                cond,
+                then_value,
+                else_value,
+            } => {
                 f(cond);
                 f(then_value);
                 f(else_value);
@@ -869,7 +896,11 @@ impl InstKind {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             InstKind::Jump { target } => vec![*target],
-            InstKind::Branch { then_target, else_target, .. } => {
+            InstKind::Branch {
+                then_target,
+                else_target,
+                ..
+            } => {
                 if then_target == else_target {
                     vec![*then_target]
                 } else {
@@ -884,7 +915,11 @@ impl InstKind {
     pub fn visit_successors_mut(&mut self, mut f: impl FnMut(&mut BlockId)) {
         match self {
             InstKind::Jump { target } => f(target),
-            InstKind::Branch { then_target, else_target, .. } => {
+            InstKind::Branch {
+                then_target,
+                else_target,
+                ..
+            } => {
                 f(then_target);
                 f(else_target);
             }
@@ -914,7 +949,13 @@ mod tests {
 
     #[test]
     fn operands_and_rewrite_agree() {
-        let mut inst = InstKind::Swap2 { a: v(0), from: v(1), to: v(2), b: v(3), at: v(4) };
+        let mut inst = InstKind::Swap2 {
+            a: v(0),
+            from: v(1),
+            to: v(2),
+            b: v(3),
+            at: v(4),
+        };
         assert_eq!(inst.operands(), vec![v(0), v(1), v(2), v(3), v(4)]);
         inst.visit_operands_mut(|op| *op = ValueId::from_raw(op.raw() + 10));
         assert_eq!(inst.operands(), vec![v(10), v(11), v(12), v(13), v(14)]);
@@ -922,31 +963,70 @@ mod tests {
 
     #[test]
     fn effects_classify_forms() {
-        assert_eq!(InstKind::Write { c: v(0), idx: v(1), value: v(2) }.effect(), Effect::Pure);
         assert_eq!(
-            InstKind::MutWrite { c: v(0), idx: v(1), value: v(2) }.effect(),
+            InstKind::Write {
+                c: v(0),
+                idx: v(1),
+                value: v(2)
+            }
+            .effect(),
+            Effect::Pure
+        );
+        assert_eq!(
+            InstKind::MutWrite {
+                c: v(0),
+                idx: v(1),
+                value: v(2)
+            }
+            .effect(),
             Effect::WriteMem
         );
-        assert_eq!(InstKind::Read { c: v(0), idx: v(1) }.effect(), Effect::ReadMem);
+        assert_eq!(
+            InstKind::Read { c: v(0), idx: v(1) }.effect(),
+            Effect::ReadMem
+        );
         assert!(InstKind::Ret { values: vec![] }.is_terminator());
         assert!(InstKind::MutAppend { c: v(0), src: v(1) }.is_mut_op());
-        assert!(InstKind::Swap { c: v(0), from: v(1), to: v(2), at: v(3) }
-            .is_ssa_collection_op());
+        assert!(InstKind::Swap {
+            c: v(0),
+            from: v(1),
+            to: v(2),
+            at: v(3)
+        }
+        .is_ssa_collection_op());
     }
 
     #[test]
     fn mutated_collections_reported() {
-        let k = InstKind::MutSwap2 { a: v(0), from: v(1), to: v(2), b: v(3), at: v(4) };
+        let k = InstKind::MutSwap2 {
+            a: v(0),
+            from: v(1),
+            to: v(2),
+            b: v(3),
+            at: v(4),
+        };
         assert_eq!(k.mutated_collections(), vec![v(0), v(3)]);
-        let k = InstKind::Write { c: v(0), idx: v(1), value: v(2) };
+        let k = InstKind::Write {
+            c: v(0),
+            idx: v(1),
+            value: v(2),
+        };
         assert!(k.mutated_collections().is_empty());
     }
 
     #[test]
     fn branch_successors_dedupe() {
-        let b = InstKind::Branch { cond: v(0), then_target: BlockId::from_raw(1), else_target: BlockId::from_raw(1) };
+        let b = InstKind::Branch {
+            cond: v(0),
+            then_target: BlockId::from_raw(1),
+            else_target: BlockId::from_raw(1),
+        };
         assert_eq!(b.successors().len(), 1);
-        let b = InstKind::Branch { cond: v(0), then_target: BlockId::from_raw(1), else_target: BlockId::from_raw(2) };
+        let b = InstKind::Branch {
+            cond: v(0),
+            then_target: BlockId::from_raw(1),
+            else_target: BlockId::from_raw(2),
+        };
         assert_eq!(b.successors().len(), 2);
     }
 

@@ -20,12 +20,20 @@ impl ExternEffects {
     /// A pure summarized computation (like the paper's `check_cost` /
     /// `check_opt`): reads its arguments, no side effects.
     pub fn pure_reader() -> Self {
-        ExternEffects { reads_args: true, writes_args: false, opaque: false }
+        ExternEffects {
+            reads_args: true,
+            writes_args: false,
+            opaque: false,
+        }
     }
 
     /// Fully unknown code: assume everything.
     pub fn unknown() -> Self {
-        ExternEffects { reads_args: true, writes_args: true, opaque: true }
+        ExternEffects {
+            reads_args: true,
+            writes_args: true,
+            opaque: true,
+        }
     }
 }
 
@@ -62,7 +70,10 @@ pub struct Module {
 impl Module {
     /// Creates an empty module.
     pub fn new(name: impl Into<String>) -> Self {
-        Module { name: name.into(), ..Default::default() }
+        Module {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Adds a function, returning its id.
@@ -77,7 +88,10 @@ impl Module {
 
     /// Finds a function by name.
     pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
-        self.funcs.iter().find(|(_, f)| f.name == name).map(|(id, _)| id)
+        self.funcs
+            .iter()
+            .find(|(_, f)| f.name == name)
+            .map(|(id, _)| id)
     }
 
     /// Total reachable instruction count across all functions.

@@ -8,9 +8,7 @@
 
 use crate::ids::{BlockId, InstId, ObjTypeId, TypeId, ValueId};
 use crate::inst::{BinOp, Callee, CmpOp, Constant, Inst, InstKind};
-use crate::{
-    ExternDecl, ExternEffects, Field, Form, Function, Module, Type, Value, ValueDef,
-};
+use crate::{ExternDecl, ExternEffects, Field, Form, Function, Module, Type, Value, ValueDef};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -221,7 +219,10 @@ impl<'t> LineCursor<'t> {
         if t == want {
             Ok(())
         } else {
-            Err(ParseError { line, message: format!("expected {want:?}, found {t:?}") })
+            Err(ParseError {
+                line,
+                message: format!("expected {want:?}, found {t:?}"),
+            })
         }
     }
 
@@ -238,7 +239,10 @@ impl<'t> LineCursor<'t> {
         let line = self.line;
         match self.next()? {
             Tok::Ident(s) => Ok(s.clone()),
-            other => Err(ParseError { line, message: format!("expected identifier, found {other:?}") }),
+            other => Err(ParseError {
+                line,
+                message: format!("expected identifier, found {other:?}"),
+            }),
         }
     }
 
@@ -269,7 +273,12 @@ impl<'a> Parser<'a> {
             .collect::<PResult<Vec<_>>>();
         // Tokenization errors are deferred to parse().
         match lines {
-            Ok(lines) => Parser { lines, pos: 0, src, noted: RefCell::new(Vec::new()) },
+            Ok(lines) => Parser {
+                lines,
+                pos: 0,
+                src,
+                noted: RefCell::new(Vec::new()),
+            },
             Err(e) => Parser {
                 lines: vec![(e.line, vec![Tok::Ident(format!("\u{0}{}", e.message))])],
                 pos: 0,
@@ -284,7 +293,10 @@ impl<'a> Parser<'a> {
         if let Some((line, toks)) = self.lines.first() {
             if let Some(Tok::Ident(s)) = toks.first() {
                 if let Some(msg) = s.strip_prefix('\u{0}') {
-                    return Err(ParseError { line: *line, message: msg.to_string() });
+                    return Err(ParseError {
+                        line: *line,
+                        message: msg.to_string(),
+                    });
                 }
             }
         }
@@ -320,7 +332,11 @@ impl<'a> Parser<'a> {
             };
             match head {
                 "type" => {
-                    let mut c = LineCursor { toks, i: 1, line: *line };
+                    let mut c = LineCursor {
+                        toks,
+                        i: 1,
+                        line: *line,
+                    };
                     let name = c.ident()?;
                     c.expect(&Tok::Eq)?;
                     c.expect(&Tok::LBrace)?;
@@ -330,21 +346,32 @@ impl<'a> Parser<'a> {
                             let fname = c.ident()?;
                             c.expect(&Tok::Colon)?;
                             let fty = self.parse_type(&mut c, &mut module, &obj_names)?;
-                            fields.push(Field { name: fname, ty: fty });
+                            fields.push(Field {
+                                name: fname,
+                                ty: fty,
+                            });
                             if c.eat(&Tok::RBrace) {
                                 break;
                             }
                             c.expect(&Tok::Comma)?;
                         }
                     }
-                    let id = module.types.define_object(name.clone(), fields).map_err(|e| {
-                        ParseError { line: *line, message: e.to_string() }
-                    })?;
+                    let id = module
+                        .types
+                        .define_object(name.clone(), fields)
+                        .map_err(|e| ParseError {
+                            line: *line,
+                            message: e.to_string(),
+                        })?;
                     obj_names.insert(name, id);
                     i += 1;
                 }
                 "extern" => {
-                    let mut c = LineCursor { toks, i: 1, line: *line };
+                    let mut c = LineCursor {
+                        toks,
+                        i: 1,
+                        line: *line,
+                    };
                     let name = c.ident()?;
                     c.expect(&Tok::LParen)?;
                     let mut params = Vec::new();
@@ -374,9 +401,17 @@ impl<'a> Parser<'a> {
                     c.expect(&Tok::RBracket)?;
                     let effects = match eff.as_str() {
                         "pure" => ExternEffects::pure_reader(),
-                        "writes" => ExternEffects { reads_args: true, writes_args: true, opaque: false },
+                        "writes" => ExternEffects {
+                            reads_args: true,
+                            writes_args: true,
+                            opaque: false,
+                        },
                         "opaque" => ExternEffects::unknown(),
-                        "const" => ExternEffects { reads_args: false, writes_args: false, opaque: false },
+                        "const" => ExternEffects {
+                            reads_args: false,
+                            writes_args: false,
+                            opaque: false,
+                        },
                         other => {
                             return Err(ParseError {
                                 line: *line,
@@ -384,12 +419,21 @@ impl<'a> Parser<'a> {
                             })
                         }
                     };
-                    let id = module.add_extern(ExternDecl { name: name.clone(), params, ret_tys: rets, effects });
+                    let id = module.add_extern(ExternDecl {
+                        name: name.clone(),
+                        params,
+                        ret_tys: rets,
+                        effects,
+                    });
                     extern_names.insert(name, id);
                     i += 1;
                 }
                 "fn" => {
-                    let mut c = LineCursor { toks, i: 1, line: *line };
+                    let mut c = LineCursor {
+                        toks,
+                        i: 1,
+                        line: *line,
+                    };
                     let name = c.ident()?;
                     c.expect(&Tok::LParen)?;
                     let mut params: Vec<(String, TypeId, bool)> = Vec::new();
@@ -463,7 +507,10 @@ impl<'a> Parser<'a> {
                         end += 1;
                     }
                     if end == self.lines.len() {
-                        return Err(ParseError { line: *line, message: "unterminated function body".into() });
+                        return Err(ParseError {
+                            line: *line,
+                            message: "unterminated function body".into(),
+                        });
                     }
                     body_ranges.push((name, start, end));
                     i = end + 1;
@@ -480,7 +527,15 @@ impl<'a> Parser<'a> {
         // Pass 2: bodies.
         for (name, start, end) in body_ranges {
             let fid = fn_sigs[&name];
-            self.parse_body(&mut module, fid, start, end, &obj_names, &fn_sigs, &extern_names)?;
+            self.parse_body(
+                &mut module,
+                fid,
+                start,
+                end,
+                &obj_names,
+                &fn_sigs,
+                &extern_names,
+            )?;
         }
         let _ = self.src;
         Ok(module)
@@ -534,7 +589,10 @@ impl<'a> Parser<'a> {
             }
             other => match obj_names.get(other) {
                 Some(&obj) => Ok(module.types.intern(Type::Object(obj))),
-                None => Err(ParseError { line, message: format!("unknown type `{other}`") }),
+                None => Err(ParseError {
+                    line,
+                    message: format!("unknown type `{other}`"),
+                }),
             },
         }
     }
@@ -605,7 +663,11 @@ impl<'a> Parser<'a> {
                 line: *line,
                 message: "instruction before first block label".into(),
             })?;
-            let mut c = LineCursor { toks, i: 0, line: *line };
+            let mut c = LineCursor {
+                toks,
+                i: 0,
+                line: *line,
+            };
             // Results: `%name [, %name]* =` prefix.
             let mut result_names = Vec::new();
             let save = c.i;
@@ -656,7 +718,12 @@ impl<'a> Parser<'a> {
                 fn_sigs,
                 extern_names,
             )?;
-            staged.push(Staged { block, kind, result_names, line: *line });
+            staged.push(Staged {
+                block,
+                kind,
+                result_names,
+                line: *line,
+            });
         }
 
         self.commit_staged(module, fid, staged, &mut values, fn_sigs, extern_names)
@@ -705,7 +772,10 @@ impl<'a> Parser<'a> {
                 planned.push((inst_id, results));
             }
             for (si, s) in staged.iter().enumerate() {
-                let id = f.insts.push(Inst { kind: s.kind.clone(), results: planned[si].1.clone() });
+                let id = f.insts.push(Inst {
+                    kind: s.kind.clone(),
+                    results: planned[si].1.clone(),
+                });
                 debug_assert_eq!(id.raw() as usize, si);
                 f.blocks[s.block].insts.push(id);
             }
@@ -792,13 +862,15 @@ impl<'a> Parser<'a> {
             InstKind::Phi { .. } => vec![None], // annotated at parse time
             InstKind::Call { callee, .. } => match callee {
                 Callee::Func(id) => module.funcs[*id].ret_tys.iter().map(|&x| Some(x)).collect(),
-                Callee::Extern(id) => {
-                    module.externs[*id].ret_tys.iter().map(|&x| Some(x)).collect()
-                }
+                Callee::Extern(id) => module.externs[*id]
+                    .ret_tys
+                    .iter()
+                    .map(|&x| Some(x))
+                    .collect(),
             },
-            InstKind::NewSeq { .. }
-            | InstKind::NewAssoc { .. }
-            | InstKind::NewObj { .. } => vec![None], // set at parse time
+            InstKind::NewSeq { .. } | InstKind::NewAssoc { .. } | InstKind::NewObj { .. } => {
+                vec![None]
+            } // set at parse time
             InstKind::Read { c, .. } => {
                 vec![match module.types.get(t(*c)) {
                     Type::Seq(e) => Some(e),
@@ -820,7 +892,9 @@ impl<'a> Parser<'a> {
             InstKind::Size { .. } => vec![Some(index_ty)],
             InstKind::Keys { .. } => vec![keys_ty],
             InstKind::FieldRead { obj_ty, field, .. } => {
-                vec![Some(module.types.object(*obj_ty).fields[*field as usize].ty)]
+                vec![Some(
+                    module.types.object(*obj_ty).fields[*field as usize].ty,
+                )]
             }
             _ => vec![],
         })
@@ -889,7 +963,10 @@ impl<'a> Parser<'a> {
                     "gt" => CmpOp::Gt,
                     "ge" => CmpOp::Ge,
                     other => {
-                        return Err(ParseError { line, message: format!("bad cmp op `{other}`") })
+                        return Err(ParseError {
+                            line,
+                            message: format!("bad cmp op `{other}`"),
+                        })
                     }
                 };
                 let lhs = val!();
@@ -900,7 +977,10 @@ impl<'a> Parser<'a> {
                 let value = val!();
                 let kw = c.ident()?;
                 if kw != "to" {
-                    return Err(ParseError { line, message: "expected `to` in cast".into() });
+                    return Err(ParseError {
+                        line,
+                        message: "expected `to` in cast".into(),
+                    });
                 }
                 let to = self.parse_type(c, module, obj_names)?;
                 InstKind::Cast { to, value }
@@ -909,7 +989,11 @@ impl<'a> Parser<'a> {
                 let cond = val!();
                 let a = comma_val!();
                 let b = comma_val!();
-                InstKind::Select { cond, then_value: a, else_value: b }
+                InstKind::Select {
+                    cond,
+                    then_value: a,
+                    else_value: b,
+                }
             }
             "phi" => {
                 let ty = self.parse_type(c, module, obj_names)?;
@@ -958,14 +1042,20 @@ impl<'a> Parser<'a> {
                 }
                 InstKind::Call { callee, args }
             }
-            "jump" => InstKind::Jump { target: block_ref(c)? },
+            "jump" => InstKind::Jump {
+                target: block_ref(c)?,
+            },
             "br" => {
                 let cond = val!();
                 c.expect(&Tok::Comma)?;
                 let t = block_ref(c)?;
                 c.expect(&Tok::Comma)?;
                 let e = block_ref(c)?;
-                InstKind::Branch { cond, then_target: t, else_target: e }
+                InstKind::Branch {
+                    cond,
+                    then_target: t,
+                    else_target: e,
+                }
             }
             "ret" => {
                 let mut vals = Vec::new();
@@ -1063,7 +1153,12 @@ impl<'a> Parser<'a> {
                 let from = comma_val!();
                 let to = comma_val!();
                 let at = comma_val!();
-                InstKind::Swap { c: cv, from, to, at }
+                InstKind::Swap {
+                    c: cv,
+                    from,
+                    to,
+                    at,
+                }
             }
             "swap2" => {
                 let a = val!();
@@ -1093,14 +1188,24 @@ impl<'a> Parser<'a> {
                     line,
                     message: format!("unknown object type `{tname}`"),
                 })?;
-                let field = module.types.object(obj_ty).field_index(fname).ok_or_else(|| {
-                    ParseError { line, message: format!("unknown field `{fname}`") }
-                })? as u32;
+                let field = module
+                    .types
+                    .object(obj_ty)
+                    .field_index(fname)
+                    .ok_or_else(|| ParseError {
+                        line,
+                        message: format!("unknown field `{fname}`"),
+                    })? as u32;
                 if op == "field.read" {
                     InstKind::FieldRead { obj, obj_ty, field }
                 } else {
                     let value = comma_val!();
-                    InstKind::FieldWrite { obj, obj_ty, field, value }
+                    InstKind::FieldWrite {
+                        obj,
+                        obj_ty,
+                        field,
+                        value,
+                    }
                 }
             }
             "mut.write" => {
@@ -1146,7 +1251,12 @@ impl<'a> Parser<'a> {
                 let from = comma_val!();
                 let to = comma_val!();
                 let at = comma_val!();
-                InstKind::MutSwap { c: cv, from, to, at }
+                InstKind::MutSwap {
+                    c: cv,
+                    from,
+                    to,
+                    at,
+                }
             }
             "mut.swap2" => {
                 let a = val!();
@@ -1163,7 +1273,10 @@ impl<'a> Parser<'a> {
                 InstKind::MutSplit { c: cv, from, to }
             }
             other => {
-                return Err(ParseError { line, message: format!("unknown opcode `{other}`") })
+                return Err(ParseError {
+                    line,
+                    message: format!("unknown opcode `{other}`"),
+                })
             }
         };
         Ok(kind)
@@ -1215,7 +1328,10 @@ impl<'a> Parser<'a> {
                 let raw: u32 = tref
                     .strip_prefix('T')
                     .and_then(|r| r.parse().ok())
-                    .ok_or_else(|| ParseError { line, message: format!("bad null type `{tref}`") })?;
+                    .ok_or_else(|| ParseError {
+                        line,
+                        message: format!("bad null type `{tref}`"),
+                    })?;
                 let obj = ObjTypeId::from_raw(raw);
                 let t = module.types.ref_of(obj);
                 Ok(module.funcs[fid].constant(Constant::Null(obj), t))
@@ -1224,13 +1340,19 @@ impl<'a> Parser<'a> {
                 let num = match c.next()? {
                     Tok::Number(s) => s.clone(),
                     other => {
-                        return Err(ParseError { line, message: format!("bad number {other:?}") })
+                        return Err(ParseError {
+                            line,
+                            message: format!("bad number {other:?}"),
+                        })
                     }
                 };
                 self.typed_const(c, module, fid, &num, true)
             }
             Tok::Number(num) => self.typed_const(c, module, fid, &num, false),
-            other => Err(ParseError { line, message: format!("expected value, found {other:?}") }),
+            other => Err(ParseError {
+                line,
+                message: format!("expected value, found {other:?}"),
+            }),
         }
     }
 
@@ -1258,14 +1380,18 @@ impl<'a> Parser<'a> {
             "F64" => Type::F64,
             "F32" => Type::F32,
             other => {
-                return Err(ParseError { line, message: format!("bad constant type `{other}`") })
+                return Err(ParseError {
+                    line,
+                    message: format!("bad constant type `{other}`"),
+                })
             }
         };
         let tid = module.types.intern(ty);
         let konst = if ty.is_float() {
-            let mut v: f64 = num
-                .parse()
-                .map_err(|_| ParseError { line, message: format!("bad float `{num}`") })?;
+            let mut v: f64 = num.parse().map_err(|_| ParseError {
+                line,
+                message: format!("bad float `{num}`"),
+            })?;
             if neg {
                 v = -v;
             }
@@ -1276,7 +1402,10 @@ impl<'a> Parser<'a> {
             } else if let Ok(x) = num.parse::<u64>() {
                 x as i64
             } else {
-                return Err(ParseError { line, message: format!("bad integer `{num}`") });
+                return Err(ParseError {
+                    line,
+                    message: format!("bad integer `{num}`"),
+                });
             };
             if neg {
                 v = -v;

@@ -19,7 +19,13 @@ pub fn print_module(m: &Module) -> String {
             .iter()
             .map(|f| format!("{}: {}", f.name, m.types.display(f.ty)))
             .collect();
-        let _ = writeln!(out, "type {} = {{ {} }}  ; {}", obj.name, fields.join(", "), id);
+        let _ = writeln!(
+            out,
+            "type {} = {{ {} }}  ; {}",
+            obj.name,
+            fields.join(", "),
+            id
+        );
     }
     for (_, e) in m.externs.iter() {
         let params: Vec<String> = e.params.iter().map(|&t| m.types.display(t)).collect();
@@ -33,7 +39,14 @@ pub fn print_module(m: &Module) -> String {
         } else {
             "const"
         };
-        let _ = writeln!(out, "extern {}({}) -> ({}) [{}]", e.name, params.join(", "), rets.join(", "), eff);
+        let _ = writeln!(
+            out,
+            "extern {}({}) -> ({}) [{}]",
+            e.name,
+            params.join(", "),
+            rets.join(", "),
+            eff
+        );
     }
     for (_, f) in m.funcs.iter() {
         out.push('\n');
@@ -49,7 +62,12 @@ pub fn print_function(f: &Function, types: &TypeTable, module: &Module) -> Strin
         .params
         .iter()
         .map(|p| {
-            format!("{}{}: {}", if p.by_ref { "&" } else { "" }, p.name, types.display(p.ty))
+            format!(
+                "{}{}: {}",
+                if p.by_ref { "&" } else { "" },
+                p.name,
+                types.display(p.ty)
+            )
         })
         .collect();
     let rets: Vec<String> = f.ret_tys.iter().map(|&t| types.display(t)).collect();
@@ -115,7 +133,11 @@ pub fn print_inst(f: &Function, id: InstId, types: &TypeTable, module: &Module) 
             format!("cmp.{} {}, {}", op.mnemonic(), v(lhs), v(rhs))
         }
         InstKind::Cast { to, value } => format!("cast {} to {}", v(value), types.display(*to)),
-        InstKind::Select { cond, then_value, else_value } => {
+        InstKind::Select {
+            cond,
+            then_value,
+            else_value,
+        } => {
             format!("select {}, {}, {}", v(cond), v(then_value), v(else_value))
         }
         InstKind::Phi { incoming } => {
@@ -133,7 +155,11 @@ pub fn print_inst(f: &Function, id: InstId, types: &TypeTable, module: &Module) 
             format!("call {}({})", callee_name(module, *callee), a.join(", "))
         }
         InstKind::Jump { target } => format!("jump {}", block_name(f, *target)),
-        InstKind::Branch { cond, then_target, else_target } => format!(
+        InstKind::Branch {
+            cond,
+            then_target,
+            else_target,
+        } => format!(
             "br {}, {}, {}",
             v(cond),
             block_name(f, *then_target),
@@ -148,7 +174,11 @@ pub fn print_inst(f: &Function, id: InstId, types: &TypeTable, module: &Module) 
             format!("new Seq<{}>({})", types.display(*elem), v(len))
         }
         InstKind::NewAssoc { key, value } => {
-            format!("new Assoc<{}, {}>", types.display(*key), types.display(*value))
+            format!(
+                "new Assoc<{}, {}>",
+                types.display(*key),
+                types.display(*value)
+            )
         }
         InstKind::NewObj { obj } => format!("new {}", types.object(*obj).name),
         InstKind::DeleteObj { obj } => format!("delete {}", v(obj)),
@@ -175,7 +205,14 @@ pub fn print_inst(f: &Function, id: InstId, types: &TypeTable, module: &Module) 
             format!("swap {}, {}, {}, {}", v(c), v(from), v(to), v(at))
         }
         InstKind::Swap2 { a, from, to, b, at } => {
-            format!("swap2 {}, {}, {}, {}, {}", v(a), v(from), v(to), v(b), v(at))
+            format!(
+                "swap2 {}, {}, {}, {}, {}",
+                v(a),
+                v(from),
+                v(to),
+                v(b),
+                v(at)
+            )
         }
         InstKind::Size { c } => format!("size {}", v(c)),
         InstKind::Has { c, key } => format!("has {}, {}", v(c), v(key)),
@@ -187,7 +224,12 @@ pub fn print_inst(f: &Function, id: InstId, types: &TypeTable, module: &Module) 
             types.object(*obj_ty).name,
             types.object(*obj_ty).fields[*field as usize].name
         ),
-        InstKind::FieldWrite { obj, obj_ty, field, value } => format!(
+        InstKind::FieldWrite {
+            obj,
+            obj_ty,
+            field,
+            value,
+        } => format!(
             "field.write {}, {}.{}, {}",
             v(obj),
             types.object(*obj_ty).name,
@@ -213,7 +255,14 @@ pub fn print_inst(f: &Function, id: InstId, types: &TypeTable, module: &Module) 
             format!("mut.swap {}, {}, {}, {}", v(c), v(from), v(to), v(at))
         }
         InstKind::MutSwap2 { a, from, to, b, at } => {
-            format!("mut.swap2 {}, {}, {}, {}, {}", v(a), v(from), v(to), v(b), v(at))
+            format!(
+                "mut.swap2 {}, {}, {}, {}, {}",
+                v(a),
+                v(from),
+                v(to),
+                v(b),
+                v(at)
+            )
         }
         InstKind::MutSplit { c, from, to } => {
             format!("mut.split {}, {}, {}", v(c), v(from), v(to))

@@ -59,7 +59,10 @@ impl Type {
     /// Whether this is one of the primitive (non-collection, non-object)
     /// types of Fig. 2.
     pub fn is_primitive(self) -> bool {
-        !matches!(self, Type::Seq(_) | Type::Assoc(..) | Type::Object(_) | Type::Void)
+        !matches!(
+            self,
+            Type::Seq(_) | Type::Assoc(..) | Type::Object(_) | Type::Void
+        )
     }
 
     /// Whether this is a collection type (`Seq` or `Assoc`).
@@ -173,7 +176,10 @@ impl fmt::Display for TypeError {
                 write!(f, "object type `{name}` is recursively defined")
             }
             TypeError::DuplicateField(ty, field) => {
-                write!(f, "object type `{ty}` defines field `{field}` more than once")
+                write!(
+                    f,
+                    "object type `{ty}` defines field `{field}` more than once"
+                )
             }
         }
     }
@@ -282,7 +288,9 @@ impl TypeTable {
             }
             if let Type::Object(inner) = self.get(f.ty) {
                 if self.object_reaches(inner, id) || inner == id {
-                    return Err(TypeError::RecursiveObjectType(self.objects[id].name.clone()));
+                    return Err(TypeError::RecursiveObjectType(
+                        self.objects[id].name.clone(),
+                    ));
                 }
             }
         }
@@ -291,10 +299,13 @@ impl TypeTable {
     }
 
     fn object_reaches(&self, from: ObjTypeId, target: ObjTypeId) -> bool {
-        self.objects[from].fields.iter().any(|f| match self.get(f.ty) {
-            Type::Object(inner) => inner == target || self.object_reaches(inner, target),
-            _ => false,
-        })
+        self.objects[from]
+            .fields
+            .iter()
+            .any(|f| match self.get(f.ty) {
+                Type::Object(inner) => inner == target || self.object_reaches(inner, target),
+                _ => false,
+            })
     }
 
     /// Computes the C-like memory layout of an object type: fields at their
@@ -314,7 +325,11 @@ impl TypeTable {
             offset += fs;
         }
         let size = offset.div_ceil(align) * align;
-        ObjectLayout { size, align, offsets }
+        ObjectLayout {
+            size,
+            align,
+            offsets,
+        }
     }
 
     /// Renders a type as MEMOIR surface syntax (e.g. `Seq<i32>`,
@@ -360,8 +375,14 @@ mod tests {
             .define_object(
                 "t0",
                 vec![
-                    Field { name: "a".into(), ty: i32t },
-                    Field { name: "b".into(), ty: f32t },
+                    Field {
+                        name: "a".into(),
+                        ty: i32t,
+                    },
+                    Field {
+                        name: "b".into(),
+                        ty: f32t,
+                    },
                 ],
             )
             .unwrap();
@@ -388,8 +409,14 @@ mod tests {
             .define_object(
                 "bad",
                 vec![
-                    Field { name: "x".into(), ty: i },
-                    Field { name: "x".into(), ty: i },
+                    Field {
+                        name: "x".into(),
+                        ty: i,
+                    },
+                    Field {
+                        name: "x".into(),
+                        ty: i,
+                    },
                 ],
             )
             .unwrap_err();
@@ -405,9 +432,18 @@ mod tests {
             .define_object(
                 "padded",
                 vec![
-                    Field { name: "a".into(), ty: i8t },
-                    Field { name: "b".into(), ty: i64t },
-                    Field { name: "c".into(), ty: i8t },
+                    Field {
+                        name: "a".into(),
+                        ty: i8t,
+                    },
+                    Field {
+                        name: "b".into(),
+                        ty: i64t,
+                    },
+                    Field {
+                        name: "c".into(),
+                        ty: i8t,
+                    },
                 ],
             )
             .unwrap();
@@ -431,9 +467,25 @@ mod tests {
     fn recursive_edit_rejected() {
         let mut t = TypeTable::new();
         let i = t.intern(Type::I32);
-        let a = t.define_object("A", vec![Field { name: "x".into(), ty: i }]).unwrap();
+        let a = t
+            .define_object(
+                "A",
+                vec![Field {
+                    name: "x".into(),
+                    ty: i,
+                }],
+            )
+            .unwrap();
         let a_inline = t.intern(Type::Object(a));
-        let err = t.set_fields(a, vec![Field { name: "self_".into(), ty: a_inline }]).unwrap_err();
+        let err = t
+            .set_fields(
+                a,
+                vec![Field {
+                    name: "self_".into(),
+                    ty: a_inline,
+                }],
+            )
+            .unwrap_err();
         assert!(matches!(err, TypeError::RecursiveObjectType(_)));
     }
 
@@ -443,7 +495,14 @@ mod tests {
         let mut t = TypeTable::new();
         let a = t.define_object("Node", vec![]).unwrap();
         let r = t.ref_of(a);
-        t.set_fields(a, vec![Field { name: "next".into(), ty: r }]).unwrap();
+        t.set_fields(
+            a,
+            vec![Field {
+                name: "next".into(),
+                ty: r,
+            }],
+        )
+        .unwrap();
         assert_eq!(t.object_layout(a).size, 8);
     }
 

@@ -64,7 +64,11 @@ struct Ctx<'a> {
 
 impl<'a> Ctx<'a> {
     fn err(&mut self, inst: Option<InstId>, msg: impl Into<String>) {
-        self.errs.push(VerifyError { func: self.f.name.clone(), inst, message: msg.into() });
+        self.errs.push(VerifyError {
+            func: self.f.name.clone(),
+            inst,
+            message: msg.into(),
+        });
     }
 
     fn ty(&self, v: ValueId) -> Type {
@@ -74,7 +78,11 @@ impl<'a> Ctx<'a> {
 
 /// Verifies a single function.
 pub fn verify_function(m: &Module, _id: FuncId, f: &Function) -> Vec<VerifyError> {
-    let mut ctx = Ctx { m, f, errs: Vec::new() };
+    let mut ctx = Ctx {
+        m,
+        f,
+        errs: Vec::new(),
+    };
     check_structure(&mut ctx);
     check_types(&mut ctx);
     check_form(&mut ctx);
@@ -94,7 +102,10 @@ fn check_structure(ctx: &mut Ctx<'_>) {
         }
         let last = *insts.last().unwrap();
         if !f.insts[last].kind.is_terminator() {
-            ctx.err(Some(last), format!("block {b} does not end in a terminator"));
+            ctx.err(
+                Some(last),
+                format!("block {b} does not end in a terminator"),
+            );
         }
         let mut seen_non_phi = false;
         for (pos, &i) in insts.iter().enumerate() {
@@ -148,12 +159,22 @@ fn check_collection_access(ctx: &mut Ctx<'_>, i: InstId, c: ValueId, idx: ValueI
     match ctx.ty(c) {
         Type::Seq(_) => {
             let it = ctx.ty(idx);
-            expect(ctx, i, index_like(it), format!("sequence index must be `index`, got {it:?}"));
+            expect(
+                ctx,
+                i,
+                index_like(it),
+                format!("sequence index must be `index`, got {it:?}"),
+            );
         }
         Type::Assoc(k, _) => {
             let kt = ctx.m.types.get(k);
             let it = ctx.ty(idx);
-            expect(ctx, i, it == kt, format!("assoc key type mismatch: {it:?} vs {kt:?}"));
+            expect(
+                ctx,
+                i,
+                it == kt,
+                format!("assoc key type mismatch: {it:?} vs {kt:?}"),
+            );
         }
         other => expect(ctx, i, false, format!("expected collection, got {other:?}")),
     }
@@ -173,28 +194,66 @@ fn check_types(ctx: &mut Ctx<'_>) {
         match &inst.kind {
             InstKind::Bin { lhs, rhs, .. } => {
                 let (a, b) = (ctx.ty(*lhs), ctx.ty(*rhs));
-                expect(ctx, i, a == b, format!("bin operand types differ: {a:?} vs {b:?}"));
-                expect(ctx, i, a.is_integer() || a.is_float() || a == Type::Bool,
-                    format!("bin on non-numeric {a:?}"));
+                expect(
+                    ctx,
+                    i,
+                    a == b,
+                    format!("bin operand types differ: {a:?} vs {b:?}"),
+                );
+                expect(
+                    ctx,
+                    i,
+                    a.is_integer() || a.is_float() || a == Type::Bool,
+                    format!("bin on non-numeric {a:?}"),
+                );
             }
             InstKind::Cmp { lhs, rhs, .. } => {
                 let (a, b) = (ctx.ty(*lhs), ctx.ty(*rhs));
-                expect(ctx, i, a == b, format!("cmp operand types differ: {a:?} vs {b:?}"));
+                expect(
+                    ctx,
+                    i,
+                    a == b,
+                    format!("cmp operand types differ: {a:?} vs {b:?}"),
+                );
             }
-            InstKind::Select { cond, then_value, else_value } => {
-                expect(ctx, i, ctx.ty(*cond) == Type::Bool, "select condition must be bool");
+            InstKind::Select {
+                cond,
+                then_value,
+                else_value,
+            } => {
+                expect(
+                    ctx,
+                    i,
+                    ctx.ty(*cond) == Type::Bool,
+                    "select condition must be bool",
+                );
                 let (a, b) = (ctx.ty(*then_value), ctx.ty(*else_value));
-                expect(ctx, i, a == b, format!("select arm types differ: {a:?} vs {b:?}"));
+                expect(
+                    ctx,
+                    i,
+                    a == b,
+                    format!("select arm types differ: {a:?} vs {b:?}"),
+                );
             }
             InstKind::Phi { incoming } => {
                 let rt = ctx.ty(inst.results[0]);
                 for (_, v) in incoming {
                     let vt = ctx.ty(*v);
-                    expect(ctx, i, vt == rt, format!("phi incoming {vt:?} != result {rt:?}"));
+                    expect(
+                        ctx,
+                        i,
+                        vt == rt,
+                        format!("phi incoming {vt:?} != result {rt:?}"),
+                    );
                 }
             }
             InstKind::Branch { cond, .. } => {
-                expect(ctx, i, ctx.ty(*cond) == Type::Bool, "branch condition must be bool");
+                expect(
+                    ctx,
+                    i,
+                    ctx.ty(*cond) == Type::Bool,
+                    "branch condition must be bool",
+                );
             }
             InstKind::Ret { values } => {
                 let want = ctx.f.ret_tys.clone();
@@ -207,7 +266,12 @@ fn check_types(ctx: &mut Ctx<'_>) {
                 for (v, w) in values.iter().zip(want.iter()) {
                     let vt = ctx.ty(*v);
                     let wt = ctx.m.types.get(*w);
-                    expect(ctx, i, vt == wt, format!("ret type {vt:?} != declared {wt:?}"));
+                    expect(
+                        ctx,
+                        i,
+                        vt == wt,
+                        format!("ret type {vt:?} != declared {wt:?}"),
+                    );
                 }
             }
             InstKind::Call { callee, args } => {
@@ -215,8 +279,16 @@ fn check_types(ctx: &mut Ctx<'_>) {
                     Callee::Func(fid) => {
                         let callee_f = &ctx.m.funcs[*fid];
                         (
-                            callee_f.params.iter().map(|p| ctx.m.types.get(p.ty)).collect(),
-                            callee_f.ret_tys.iter().map(|&t| ctx.m.types.get(t)).collect(),
+                            callee_f
+                                .params
+                                .iter()
+                                .map(|p| ctx.m.types.get(p.ty))
+                                .collect(),
+                            callee_f
+                                .ret_tys
+                                .iter()
+                                .map(|&t| ctx.m.types.get(t))
+                                .collect(),
                         )
                     }
                     Callee::Extern(eid) => {
@@ -241,38 +313,77 @@ fn check_types(ctx: &mut Ctx<'_>) {
                     ctx,
                     i,
                     inst.results.len() == rets.len(),
-                    format!("call results {} != returns {}", inst.results.len(), rets.len()),
+                    format!(
+                        "call results {} != returns {}",
+                        inst.results.len(),
+                        rets.len()
+                    ),
                 );
                 for (r, t) in inst.results.iter().zip(rets.iter()) {
                     let rt = ctx.ty(*r);
-                    expect(ctx, i, rt == *t, format!("call result {rt:?} != return {t:?}"));
+                    expect(
+                        ctx,
+                        i,
+                        rt == *t,
+                        format!("call result {rt:?} != return {t:?}"),
+                    );
                 }
             }
             InstKind::Read { c, idx } => {
                 check_collection_access(ctx, i, *c, *idx);
                 if let Some(et) = elem_ty(ctx, *c) {
                     let rt = ctx.ty(inst.results[0]);
-                    expect(ctx, i, rt == et, format!("read result {rt:?} != element {et:?}"));
+                    expect(
+                        ctx,
+                        i,
+                        rt == et,
+                        format!("read result {rt:?} != element {et:?}"),
+                    );
                 }
             }
             InstKind::Write { c, idx, value } | InstKind::MutWrite { c, idx, value } => {
                 check_collection_access(ctx, i, *c, *idx);
                 if let Some(et) = elem_ty(ctx, *c) {
                     let vt = ctx.ty(*value);
-                    expect(ctx, i, vt == et, format!("write value {vt:?} != element {et:?}"));
+                    expect(
+                        ctx,
+                        i,
+                        vt == et,
+                        format!("write value {vt:?} != element {et:?}"),
+                    );
                 }
             }
             InstKind::Insert { c, idx, value } | InstKind::MutInsert { c, idx, value } => {
                 check_collection_access(ctx, i, *c, *idx);
                 if let (Some(v), Some(et)) = (value, elem_ty(ctx, *c)) {
                     let vt = ctx.ty(*v);
-                    expect(ctx, i, vt == et, format!("insert value {vt:?} != element {et:?}"));
+                    expect(
+                        ctx,
+                        i,
+                        vt == et,
+                        format!("insert value {vt:?} != element {et:?}"),
+                    );
                 }
             }
             InstKind::InsertSeq { c, idx, src } | InstKind::MutInsertSeq { c, idx, src } => {
-                expect(ctx, i, matches!(ctx.ty(*c), Type::Seq(_)), "insert.seq needs a sequence");
-                expect(ctx, i, ctx.ty(*c) == ctx.ty(*src), "insert.seq source type mismatch");
-                expect(ctx, i, index_like(ctx.ty(*idx)), "insert.seq index must be `index`");
+                expect(
+                    ctx,
+                    i,
+                    matches!(ctx.ty(*c), Type::Seq(_)),
+                    "insert.seq needs a sequence",
+                );
+                expect(
+                    ctx,
+                    i,
+                    ctx.ty(*c) == ctx.ty(*src),
+                    "insert.seq source type mismatch",
+                );
+                expect(
+                    ctx,
+                    i,
+                    index_like(ctx.ty(*idx)),
+                    "insert.seq index must be `index`",
+                );
             }
             InstKind::Remove { c, idx } | InstKind::MutRemove { c, idx } => {
                 check_collection_access(ctx, i, *c, *idx);
@@ -281,25 +392,65 @@ fn check_types(ctx: &mut Ctx<'_>) {
             | InstKind::CopyRange { c, from, to }
             | InstKind::MutRemoveRange { c, from, to }
             | InstKind::MutSplit { c, from, to } => {
-                expect(ctx, i, matches!(ctx.ty(*c), Type::Seq(_)), "range op needs a sequence");
-                expect(ctx, i, index_like(ctx.ty(*from)), "range start must be `index`");
+                expect(
+                    ctx,
+                    i,
+                    matches!(ctx.ty(*c), Type::Seq(_)),
+                    "range op needs a sequence",
+                );
+                expect(
+                    ctx,
+                    i,
+                    index_like(ctx.ty(*from)),
+                    "range start must be `index`",
+                );
                 expect(ctx, i, index_like(ctx.ty(*to)), "range end must be `index`");
             }
             InstKind::Swap { c, from, to, at } | InstKind::MutSwap { c, from, to, at } => {
-                expect(ctx, i, matches!(ctx.ty(*c), Type::Seq(_)), "swap needs a sequence");
+                expect(
+                    ctx,
+                    i,
+                    matches!(ctx.ty(*c), Type::Seq(_)),
+                    "swap needs a sequence",
+                );
                 for x in [from, to, at] {
-                    expect(ctx, i, index_like(ctx.ty(*x)), "swap indices must be `index`");
+                    expect(
+                        ctx,
+                        i,
+                        index_like(ctx.ty(*x)),
+                        "swap indices must be `index`",
+                    );
                 }
             }
             InstKind::Swap2 { a, from, to, b, at } | InstKind::MutSwap2 { a, from, to, b, at } => {
-                expect(ctx, i, ctx.ty(*a) == ctx.ty(*b), "swap2 sequences must share a type");
-                expect(ctx, i, matches!(ctx.ty(*a), Type::Seq(_)), "swap2 needs sequences");
+                expect(
+                    ctx,
+                    i,
+                    ctx.ty(*a) == ctx.ty(*b),
+                    "swap2 sequences must share a type",
+                );
+                expect(
+                    ctx,
+                    i,
+                    matches!(ctx.ty(*a), Type::Seq(_)),
+                    "swap2 needs sequences",
+                );
                 for x in [from, to, at] {
-                    expect(ctx, i, index_like(ctx.ty(*x)), "swap2 indices must be `index`");
+                    expect(
+                        ctx,
+                        i,
+                        index_like(ctx.ty(*x)),
+                        "swap2 indices must be `index`",
+                    );
                 }
             }
             InstKind::Size { c } => {
-                expect(ctx, i, ctx.ty(*c).is_collection(), "size needs a collection");
+                expect(
+                    ctx,
+                    i,
+                    ctx.ty(*c).is_collection(),
+                    "size needs a collection",
+                );
             }
             InstKind::Has { c, key } => match ctx.ty(*c) {
                 Type::Assoc(k, _) => {
@@ -310,35 +461,88 @@ fn check_types(ctx: &mut Ctx<'_>) {
                 other => expect(ctx, i, false, format!("has needs an assoc, got {other:?}")),
             },
             InstKind::Keys { c } => {
-                expect(ctx, i, matches!(ctx.ty(*c), Type::Assoc(..)), "keys needs an assoc");
+                expect(
+                    ctx,
+                    i,
+                    matches!(ctx.ty(*c), Type::Assoc(..)),
+                    "keys needs an assoc",
+                );
             }
             InstKind::UsePhi { c } | InstKind::Copy { c } => {
-                expect(ctx, i, ctx.ty(*c).is_collection(), "operand must be a collection");
+                expect(
+                    ctx,
+                    i,
+                    ctx.ty(*c).is_collection(),
+                    "operand must be a collection",
+                );
             }
             InstKind::MutAppend { c, src } => {
-                expect(ctx, i, matches!(ctx.ty(*c), Type::Seq(_)), "append needs a sequence");
-                expect(ctx, i, ctx.ty(*c) == ctx.ty(*src), "append source type mismatch");
+                expect(
+                    ctx,
+                    i,
+                    matches!(ctx.ty(*c), Type::Seq(_)),
+                    "append needs a sequence",
+                );
+                expect(
+                    ctx,
+                    i,
+                    ctx.ty(*c) == ctx.ty(*src),
+                    "append source type mismatch",
+                );
             }
             InstKind::FieldRead { obj, obj_ty, field } => {
-                expect(ctx, i, ctx.ty(*obj) == Type::Ref(*obj_ty), "field.read on wrong ref type");
+                expect(
+                    ctx,
+                    i,
+                    ctx.ty(*obj) == Type::Ref(*obj_ty),
+                    "field.read on wrong ref type",
+                );
                 let nfields = ctx.m.types.object(*obj_ty).fields.len() as u32;
                 expect(ctx, i, *field < nfields, "field index out of range");
             }
-            InstKind::FieldWrite { obj, obj_ty, field, value } => {
-                expect(ctx, i, ctx.ty(*obj) == Type::Ref(*obj_ty), "field.write on wrong ref type");
+            InstKind::FieldWrite {
+                obj,
+                obj_ty,
+                field,
+                value,
+            } => {
+                expect(
+                    ctx,
+                    i,
+                    ctx.ty(*obj) == Type::Ref(*obj_ty),
+                    "field.write on wrong ref type",
+                );
                 let nfields = ctx.m.types.object(*obj_ty).fields.len() as u32;
                 expect(ctx, i, *field < nfields, "field index out of range");
                 if *field < nfields {
-                    let ft = ctx.m.types.get(ctx.m.types.object(*obj_ty).fields[*field as usize].ty);
+                    let ft = ctx
+                        .m
+                        .types
+                        .get(ctx.m.types.object(*obj_ty).fields[*field as usize].ty);
                     let vt = ctx.ty(*value);
-                    expect(ctx, i, vt == ft, format!("field.write value {vt:?} != field {ft:?}"));
+                    expect(
+                        ctx,
+                        i,
+                        vt == ft,
+                        format!("field.write value {vt:?} != field {ft:?}"),
+                    );
                 }
             }
             InstKind::DeleteObj { obj } => {
-                expect(ctx, i, matches!(ctx.ty(*obj), Type::Ref(_)), "delete needs a reference");
+                expect(
+                    ctx,
+                    i,
+                    matches!(ctx.ty(*obj), Type::Ref(_)),
+                    "delete needs a reference",
+                );
             }
             InstKind::NewSeq { len, .. } => {
-                expect(ctx, i, index_like(ctx.ty(*len)), "new Seq length must be `index`");
+                expect(
+                    ctx,
+                    i,
+                    index_like(ctx.ty(*len)),
+                    "new Seq length must be `index`",
+                );
             }
             InstKind::NewAssoc { .. }
             | InstKind::NewObj { .. }
@@ -431,7 +635,9 @@ fn check_dominance(ctx: &mut Ctx<'_>) {
                     if db == use_block {
                         didx < use_idx
                     } else {
-                        dom.get(&use_block).map(|d| d.contains(&db)).unwrap_or(false)
+                        dom.get(&use_block)
+                            .map(|d| d.contains(&db))
+                            .unwrap_or(false)
                     }
                 }
             },
@@ -458,7 +664,10 @@ fn check_dominance(ctx: &mut Ctx<'_>) {
             } else {
                 for v in kind.operands() {
                     if !dominates(v, b, idx) {
-                        ctx.err(Some(i), format!("use of {v} not dominated by its definition"));
+                        ctx.err(
+                            Some(i),
+                            format!("use of {v} not dominated by its definition"),
+                        );
                     }
                 }
             }
@@ -514,7 +723,10 @@ mod tests {
         });
         let m = mb.finish();
         let errs = verify_module(&m);
-        assert!(errs.iter().any(|e| e.message.contains("terminator")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("terminator")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -528,7 +740,10 @@ mod tests {
         });
         let m = mb.finish();
         let errs = verify_module(&m);
-        assert!(errs.iter().any(|e| e.message.contains("differ")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("differ")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -545,7 +760,10 @@ mod tests {
         });
         let m = mb.finish();
         let errs = verify_module(&m);
-        assert!(errs.iter().any(|e| e.message.contains("mut-form")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("mut-form")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -571,7 +789,10 @@ mod tests {
         });
         let m = mb.finish();
         let errs = verify_module(&m);
-        assert!(errs.iter().any(|e| e.message.contains("not dominated")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("not dominated")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -590,7 +811,11 @@ mod tests {
         });
         let m = mb.finish();
         let errs = verify_module(&m);
-        assert!(errs.iter().any(|e| e.message.contains("do not match predecessors")), "{errs:?}");
+        assert!(
+            errs.iter()
+                .any(|e| e.message.contains("do not match predecessors")),
+            "{errs:?}"
+        );
     }
 
     #[test]

@@ -10,11 +10,12 @@
 //! The MUT value semantics are preserved: by-value collection arguments
 //! are copied at the call site, by-reference arguments pass the handle.
 
-use lir::{BinOp as LBin, Blk, CmpOp as LCmp, Fun, Function as LFunction, Module as LModule, Op, Val};
+use lir::{
+    BinOp as LBin, Blk, CmpOp as LCmp, Fun, Function as LFunction, Module as LModule, Op, Val,
+};
 use memoir_analysis::Placement;
 use memoir_ir::{
-    BinOp, Callee, CmpOp, Constant, Form, FuncId, InstId, InstKind, Module, Type, ValueDef,
-    ValueId,
+    BinOp, Callee, CmpOp, Constant, Form, FuncId, InstId, InstKind, Module, Type, ValueDef, ValueId,
 };
 use std::collections::HashMap;
 
@@ -42,7 +43,10 @@ impl std::fmt::Display for LowerError {
         match self {
             LowerError::NotMutForm(n) => write!(f, "function `{n}` is not in mut form"),
             LowerError::FloatUnsupported(n) => {
-                write!(f, "function `{n}` uses floats (unsupported in the word-sized LIR)")
+                write!(
+                    f,
+                    "function `{n}` uses floats (unsupported in the word-sized LIR)"
+                )
             }
         }
     }
@@ -65,7 +69,11 @@ pub fn lower_module_with_stats(m: &Module) -> Result<(LModule, LowerStats), Lowe
         if f.form != Form::Mut {
             return Err(LowerError::NotMutForm(f.name.clone()));
         }
-        let lf = LFunction::new(f.name.clone(), f.params.len() as u32, f.ret_tys.len() as u32);
+        let lf = LFunction::new(
+            f.name.clone(),
+            f.params.len() as u32,
+            f.ret_tys.len() as u32,
+        );
         fun_ids.insert(fid, out.add(lf));
     }
     for (fid, _) in m.funcs.iter() {
@@ -81,7 +89,10 @@ struct Ctx<'m> {
     lf: LFunction,
     map: HashMap<ValueId, Val>,
     blocks: HashMap<memoir_ir::BlockId, Blk>,
-    phi_patches: Vec<(usize /* lir inst index */, Vec<(memoir_ir::BlockId, ValueId)>)>,
+    phi_patches: Vec<(
+        usize, /* lir inst index */
+        Vec<(memoir_ir::BlockId, ValueId)>,
+    )>,
     /// Per-allocation-site heap/stack verdicts (§VI).
     placements: HashMap<InstId, Placement>,
 }
@@ -121,7 +132,11 @@ impl Ctx<'_> {
     fn rt(&mut self, b: Blk, name: &str, args: Vec<Val>, has_result: bool) -> Option<Val> {
         let res = self.lf.push(
             b,
-            Op::CallRt { name: name.to_string(), args, has_result },
+            Op::CallRt {
+                name: name.to_string(),
+                args,
+                has_result,
+            },
             has_result as usize,
         );
         res.first().copied()
@@ -130,7 +145,13 @@ impl Ctx<'_> {
     /// Loads the element address of `seq[idx]`: `gep(load(hdr), idx)`.
     fn seq_elem_addr(&mut self, b: Blk, hdr: Val, idx: Val) -> Val {
         let data = self.lf.push1(b, Op::Load(hdr));
-        self.lf.push1(b, Op::Gep { base: data, offset: idx })
+        self.lf.push1(
+            b,
+            Op::Gep {
+                base: data,
+                offset: idx,
+            },
+        )
     }
 }
 
@@ -141,7 +162,11 @@ fn lower_function(
     stats: &mut LowerStats,
 ) -> Result<LFunction, LowerError> {
     let f = &m.funcs[fid];
-    let lf = LFunction::new(f.name.clone(), f.params.len() as u32, f.ret_tys.len() as u32);
+    let lf = LFunction::new(
+        f.name.clone(),
+        f.params.len() as u32,
+        f.ret_tys.len() as u32,
+    );
     let placements = memoir_analysis::EscapeAnalysis::compute(m, f).placements;
     let mut ctx = Ctx {
         m,
@@ -301,14 +326,16 @@ fn lower_inst(
                     let zero = ctx.lf.push1(b, Op::Const(0));
                     ctx.lf.push1(b, Op::Cmp(LCmp::Ne, x, zero))
                 }
-                t if t.is_float() => {
-                    return Err(LowerError::FloatUnsupported(ctx.f.name.clone()))
-                }
+                t if t.is_float() => return Err(LowerError::FloatUnsupported(ctx.f.name.clone())),
                 _ => x,
             };
             ctx.map.insert(results[0], r);
         }
-        InstKind::Select { cond, then_value, else_value } => {
+        InstKind::Select {
+            cond,
+            then_value,
+            else_value,
+        } => {
             let (c, t, e) = (v!(*cond), v!(*then_value), v!(*else_value));
             let one = ctx.lf.push1(b, Op::Const(1));
             let not = ctx.lf.push1(b, Op::Bin(LBin::Xor, c, one));
@@ -343,7 +370,10 @@ fn lower_inst(
                 }
                 let res = ctx.lf.push(
                     b,
-                    Op::Call { func: fun_ids[t], args: lowered_args },
+                    Op::Call {
+                        func: fun_ids[t],
+                        args: lowered_args,
+                    },
                     results.len(),
                 );
                 for (r, lr) in results.iter().zip(res) {
@@ -352,11 +382,17 @@ fn lower_inst(
             }
             Callee::Extern(e) => {
                 let name = ctx.m.externs[*e].name.clone();
-                let lowered_args: Vec<Val> =
-                    args.iter().map(|&a| ctx.val(b, a)).collect::<Result<_, _>>()?;
+                let lowered_args: Vec<Val> = args
+                    .iter()
+                    .map(|&a| ctx.val(b, a))
+                    .collect::<Result<_, _>>()?;
                 let res = ctx.lf.push(
                     b,
-                    Op::CallRt { name, args: lowered_args, has_result: !results.is_empty() },
+                    Op::CallRt {
+                        name,
+                        args: lowered_args,
+                        has_result: !results.is_empty(),
+                    },
                     results.len(),
                 );
                 for (r, lr) in results.iter().zip(res) {
@@ -368,13 +404,27 @@ fn lower_inst(
             let t = ctx.blk(*target);
             ctx.lf.push0(b, Op::Jmp(t));
         }
-        InstKind::Branch { cond, then_target, else_target } => {
+        InstKind::Branch {
+            cond,
+            then_target,
+            else_target,
+        } => {
             let c = v!(*cond);
             let (tb, eb) = (ctx.blk(*then_target), ctx.blk(*else_target));
-            ctx.lf.push0(b, Op::Br { cond: c, then_b: tb, else_b: eb });
+            ctx.lf.push0(
+                b,
+                Op::Br {
+                    cond: c,
+                    then_b: tb,
+                    else_b: eb,
+                },
+            );
         }
         InstKind::Ret { values } => {
-            let vs: Vec<Val> = values.iter().map(|&x| ctx.val(b, x)).collect::<Result<_, _>>()?;
+            let vs: Vec<Val> = values
+                .iter()
+                .map(|&x| ctx.val(b, x))
+                .collect::<Result<_, _>>()?;
             ctx.lf.push0(b, Op::Ret(vs));
         }
         InstKind::Unreachable => {
@@ -400,15 +450,51 @@ fn lower_inst(
                     stats.stack_seqs += 1;
                     let hdr = ctx.lf.push1(b, Op::Alloca(3 + c as u32));
                     let three = ctx.lf.push1(b, Op::Const(3));
-                    let data = ctx.lf.push1(b, Op::Gep { base: hdr, offset: three });
-                    ctx.lf.push0(b, Op::Store { addr: hdr, value: data });
+                    let data = ctx.lf.push1(
+                        b,
+                        Op::Gep {
+                            base: hdr,
+                            offset: three,
+                        },
+                    );
+                    ctx.lf.push0(
+                        b,
+                        Op::Store {
+                            addr: hdr,
+                            value: data,
+                        },
+                    );
                     let one = ctx.lf.push1(b, Op::Const(1));
                     let two = ctx.lf.push1(b, Op::Const(2));
-                    let lenp = ctx.lf.push1(b, Op::Gep { base: hdr, offset: one });
-                    let capp = ctx.lf.push1(b, Op::Gep { base: hdr, offset: two });
+                    let lenp = ctx.lf.push1(
+                        b,
+                        Op::Gep {
+                            base: hdr,
+                            offset: one,
+                        },
+                    );
+                    let capp = ctx.lf.push1(
+                        b,
+                        Op::Gep {
+                            base: hdr,
+                            offset: two,
+                        },
+                    );
                     let n = ctx.lf.push1(b, Op::Const(c));
-                    ctx.lf.push0(b, Op::Store { addr: lenp, value: n });
-                    ctx.lf.push0(b, Op::Store { addr: capp, value: n });
+                    ctx.lf.push0(
+                        b,
+                        Op::Store {
+                            addr: lenp,
+                            value: n,
+                        },
+                    );
+                    ctx.lf.push0(
+                        b,
+                        Op::Store {
+                            addr: capp,
+                            value: n,
+                        },
+                    );
                     ctx.map.insert(results[0], hdr);
                 }
                 _ => {
@@ -475,7 +561,13 @@ fn lower_inst(
         InstKind::MutAppend { c, src } => {
             let (h, s) = (v!(*c), v!(*src));
             let one = ctx.lf.push1(b, Op::Const(1));
-            let lenp = ctx.lf.push1(b, Op::Gep { base: h, offset: one });
+            let lenp = ctx.lf.push1(
+                b,
+                Op::Gep {
+                    base: h,
+                    offset: one,
+                },
+            );
             let len = ctx.lf.push1(b, Op::Load(lenp));
             ctx.rt(b, "rt_seq_splice", vec![h, len, s], false);
         }
@@ -495,7 +587,13 @@ fn lower_inst(
             let (h, x, y, k) = (v!(*c), v!(*from), v!(*to), v!(*at));
             ctx.rt(b, "rt_seq_swap_range", vec![h, x, y, k], false);
         }
-        InstKind::MutSwap2 { a, from, to, b: b2, at } => {
+        InstKind::MutSwap2 {
+            a,
+            from,
+            to,
+            b: b2,
+            at,
+        } => {
             let (ha, x, y, hb, k) = (v!(*a), v!(*from), v!(*to), v!(*b2), v!(*at));
             ctx.rt(b, "rt_seq_swap2", vec![ha, x, y, hb, k], false);
         }
@@ -523,7 +621,13 @@ fn lower_inst(
             let h = v!(*c);
             let r = if ctx.is_seq(*c) {
                 let one = ctx.lf.push1(b, Op::Const(1));
-                let lenp = ctx.lf.push1(b, Op::Gep { base: h, offset: one });
+                let lenp = ctx.lf.push1(
+                    b,
+                    Op::Gep {
+                        base: h,
+                        offset: one,
+                    },
+                );
                 ctx.lf.push1(b, Op::Load(lenp))
             } else {
                 ctx.rt(b, "rt_assoc_size", vec![h], true).unwrap()
@@ -543,15 +647,29 @@ fn lower_inst(
         InstKind::FieldRead { obj, field, .. } => {
             let o = v!(*obj);
             let off = ctx.lf.push1(b, Op::Const(*field as i64));
-            let addr = ctx.lf.push1(b, Op::Gep { base: o, offset: off });
+            let addr = ctx.lf.push1(
+                b,
+                Op::Gep {
+                    base: o,
+                    offset: off,
+                },
+            );
             let r = ctx.lf.push1(b, Op::Load(addr));
             ctx.map.insert(results[0], r);
         }
-        InstKind::FieldWrite { obj, field, value, .. } => {
+        InstKind::FieldWrite {
+            obj, field, value, ..
+        } => {
             let o = v!(*obj);
             let x = v!(*value);
             let off = ctx.lf.push1(b, Op::Const(*field as i64));
-            let addr = ctx.lf.push1(b, Op::Gep { base: o, offset: off });
+            let addr = ctx.lf.push1(
+                b,
+                Op::Gep {
+                    base: o,
+                    offset: off,
+                },
+            );
             ctx.lf.push0(b, Op::Store { addr, value: x });
         }
         // SSA collection ops never appear in mut form (verified upstream).
@@ -646,14 +764,14 @@ mod tests {
         for count in [0i64, 1, 5, 13] {
             let want = {
                 let mut i = Interp::new(&m);
-                i.run_by_name("main", vec![Value::Int(Type::Index, count)]).unwrap()
+                i.run_by_name("main", vec![Value::Int(Type::Index, count)])
+                    .unwrap()
             };
             let got = {
                 let mut vm = LirMachine::new(&lm);
                 vm.run_by_name("main", vec![count]).unwrap()
             };
-            let want_i: Vec<i64> =
-                want.iter().map(|v| v.as_int().unwrap()).collect();
+            let want_i: Vec<i64> = want.iter().map(|v| v.as_int().unwrap()).collect();
             assert_eq!(want_i, got, "count={count}");
         }
     }
@@ -810,8 +928,14 @@ mod tests {
             .define_object(
                 "t",
                 vec![
-                    memoir_ir::Field { name: "a".into(), ty: i64t },
-                    memoir_ir::Field { name: "b".into(), ty: i64t },
+                    memoir_ir::Field {
+                        name: "a".into(),
+                        ty: i64t,
+                    },
+                    memoir_ir::Field {
+                        name: "b".into(),
+                        ty: i64t,
+                    },
                 ],
             )
             .unwrap();
@@ -830,8 +954,11 @@ mod tests {
         let m = mb.finish();
         let lm = lower_module(&m).unwrap();
         let f = &lm.funcs[0];
-        let loads =
-            f.order().iter().filter(|(_, i)| matches!(f.insts[i.0 as usize].op, Op::Load(_))).count();
+        let loads = f
+            .order()
+            .iter()
+            .filter(|(_, i)| matches!(f.insts[i.0 as usize].op, Op::Load(_)))
+            .count();
         let stores = f
             .order()
             .iter()

@@ -17,9 +17,7 @@
 //! value. Calls that may write the field (per the purity summaries) kill
 //! the facts.
 
-use memoir_ir::{
-    BinOp, CmpOp, Constant, Function, InstKind, Module, Type, ValueDef, ValueId,
-};
+use memoir_ir::{BinOp, CmpOp, Constant, Function, InstKind, Module, Type, ValueDef, ValueId};
 use std::collections::HashMap;
 
 /// Statistics from one run.
@@ -63,7 +61,13 @@ fn run_function(m: &mut Module, fid: memoir_ir::FuncId) -> ConstPropStats {
     // Collect fold candidates first (immutable pass), then apply.
     #[derive(Clone)]
     enum Action {
-        ReplaceResult(memoir_ir::BlockId, memoir_ir::InstId, ValueId, Constant, memoir_ir::TypeId),
+        ReplaceResult(
+            memoir_ir::BlockId,
+            memoir_ir::InstId,
+            ValueId,
+            Constant,
+            memoir_ir::TypeId,
+        ),
         ForwardResult(memoir_ir::BlockId, memoir_ir::InstId, ValueId, ValueId),
         FoldBranch(memoir_ir::InstId, bool),
     }
@@ -89,8 +93,13 @@ fn run_function(m: &mut Module, fid: memoir_ir::FuncId) -> ConstPropStats {
                 if let Some(b) = f.value_const(*rhs).and_then(Constant::as_int) {
                     let identity = matches!(
                         (op, b),
-                        (BinOp::Add, 0) | (BinOp::Sub, 0) | (BinOp::Mul, 1)
-                            | (BinOp::Or, 0) | (BinOp::Xor, 0) | (BinOp::Shl, 0) | (BinOp::Shr, 0)
+                        (BinOp::Add, 0)
+                            | (BinOp::Sub, 0)
+                            | (BinOp::Mul, 1)
+                            | (BinOp::Or, 0)
+                            | (BinOp::Xor, 0)
+                            | (BinOp::Shl, 0)
+                            | (BinOp::Shr, 0)
                     );
                     if identity {
                         actions.push(Action::ForwardResult(blk, iid, inst.results[0], *lhs));
@@ -129,11 +138,21 @@ fn run_function(m: &mut Module, fid: memoir_ir::FuncId) -> ConstPropStats {
             InstKind::Cast { to, value } => {
                 if let Some(c) = f.value_const(*value) {
                     if let Some(folded) = fold_cast(m.types.get(*to), c) {
-                        actions.push(Action::ReplaceResult(blk, iid, inst.results[0], folded, *to));
+                        actions.push(Action::ReplaceResult(
+                            blk,
+                            iid,
+                            inst.results[0],
+                            folded,
+                            *to,
+                        ));
                     }
                 }
             }
-            InstKind::Select { cond, then_value, else_value } => {
+            InstKind::Select {
+                cond,
+                then_value,
+                else_value,
+            } => {
                 if let Some(Constant::Bool(b)) = f.value_const(*cond) {
                     let v = if b { *then_value } else { *else_value };
                     actions.push(Action::ForwardResult(blk, iid, inst.results[0], v));
@@ -212,7 +231,12 @@ fn run_function(m: &mut Module, fid: memoir_ir::FuncId) -> ConstPropStats {
                 f.remove_inst(b, i);
             }
             Action::FoldBranch(iid, b) => {
-                if let InstKind::Branch { then_target, else_target, .. } = f.insts[iid].kind {
+                if let InstKind::Branch {
+                    then_target,
+                    else_target,
+                    ..
+                } = f.insts[iid].kind
+                {
                     let target = if b { then_target } else { else_target };
                     f.insts[iid].kind = InstKind::Jump { target };
                     stats.branches_folded += 1;
@@ -241,10 +265,7 @@ fn run_function(m: &mut Module, fid: memoir_ir::FuncId) -> ConstPropStats {
 /// reference. Conservative about aliasing: a write through any *other*
 /// reference to the same `(type, field)` kills that field array's facts,
 /// and calls kill per their effect summaries.
-fn field_forwarding(
-    m: &Module,
-    fid: memoir_ir::FuncId,
-) -> HashMap<memoir_ir::InstId, ValueId> {
+fn field_forwarding(m: &Module, fid: memoir_ir::FuncId) -> HashMap<memoir_ir::InstId, ValueId> {
     use memoir_ir::{Callee, ObjTypeId};
     let cg = memoir_analysis::CallGraph::compute(m);
     let purity = memoir_analysis::Purity::compute(m, &cg);
@@ -255,7 +276,12 @@ fn field_forwarding(
         let mut facts: HashMap<(ValueId, ObjTypeId, u32), ValueId> = HashMap::new();
         for &i in &block.insts {
             match &f.insts[i].kind {
-                InstKind::FieldWrite { obj, obj_ty, field, value } => {
+                InstKind::FieldWrite {
+                    obj,
+                    obj_ty,
+                    field,
+                    value,
+                } => {
                     // A write through `obj` invalidates facts held through
                     // any other reference to the same field array.
                     facts.retain(|&(o, t, fi), _| !(t == *obj_ty && fi == *field && o != *obj));
@@ -273,9 +299,7 @@ fn field_forwarding(
                         if s.opaque {
                             facts.clear();
                         } else {
-                            facts.retain(|&(_, ty, fi), _| {
-                                !s.writes_fields.contains(&(ty, fi))
-                            });
+                            facts.retain(|&(_, ty, fi), _| !s.writes_fields.contains(&(ty, fi)));
                         }
                     }
                     Callee::Extern(e) => {
@@ -292,7 +316,10 @@ fn field_forwarding(
 }
 
 fn block_of(f: &Function, inst: memoir_ir::InstId) -> Option<memoir_ir::BlockId> {
-    f.blocks.iter().find(|(_, b)| b.insts.contains(&inst)).map(|(id, _)| id)
+    f.blocks
+        .iter()
+        .find(|(_, b)| b.insts.contains(&inst))
+        .map(|(id, _)| id)
 }
 
 /// Walks a collection def-use chain backwards looking for the value stored
@@ -303,9 +330,15 @@ fn forward_read(f: &Function, c: ValueId, idx: ValueId, fuel: usize) -> Option<V
         return None;
     }
     let key = f.value_const(idx);
-    let ValueDef::Inst(iid, _) = f.values[c].def else { return None };
+    let ValueDef::Inst(iid, _) = f.values[c].def else {
+        return None;
+    };
     match &f.insts[iid].kind {
-        InstKind::Write { c: prev, idx: wkey, value } => {
+        InstKind::Write {
+            c: prev,
+            idx: wkey,
+            value,
+        } => {
             if idx == *wkey {
                 return Some(*value); // same SSA key value ⇒ must match
             }
@@ -314,7 +347,11 @@ fn forward_read(f: &Function, c: ValueId, idx: ValueId, fuel: usize) -> Option<V
                 _ => None,
             }
         }
-        InstKind::Insert { c: prev, idx: wkey, value } => {
+        InstKind::Insert {
+            c: prev,
+            idx: wkey,
+            value,
+        } => {
             if idx == *wkey {
                 return *value;
             }
@@ -349,11 +386,14 @@ fn fold_size(types: &memoir_ir::TypeTable, f: &Function, c: ValueId, fuel: usize
         return None;
     }
     let is_seq = |v: ValueId| matches!(types.get(f.value_ty(v)), Type::Seq(_));
-    let ValueDef::Inst(iid, _) = f.values[c].def else { return None };
+    let ValueDef::Inst(iid, _) = f.values[c].def else {
+        return None;
+    };
     match &f.insts[iid].kind {
-        InstKind::NewSeq { len, .. } => {
-            f.value_const(*len).and_then(Constant::as_int).map(|v| v as u64)
-        }
+        InstKind::NewSeq { len, .. } => f
+            .value_const(*len)
+            .and_then(Constant::as_int)
+            .map(|v| v as u64),
         InstKind::NewAssoc { .. } => Some(0),
         InstKind::Write { c: prev, .. } | InstKind::Swap { c: prev, .. } => {
             if is_seq(*prev) {
@@ -441,8 +481,10 @@ fn fold_bin(op: BinOp, a: Constant, b: Constant) -> Option<Constant> {
 fn fold_cmp(op: CmpOp, a: Constant, b: Constant) -> Option<bool> {
     match (a, b) {
         (Constant::Int(ty, x), Constant::Int(_, y)) => {
-            let ord = if matches!(ty, Type::U64 | Type::U32 | Type::U16 | Type::U8 | Type::Index)
-            {
+            let ord = if matches!(
+                ty,
+                Type::U64 | Type::U32 | Type::U16 | Type::U8 | Type::Index
+            ) {
                 (x as u64).cmp(&(y as u64))
             } else {
                 x.cmp(&y)
@@ -479,9 +521,7 @@ fn apply_ord(op: CmpOp, ord: std::cmp::Ordering) -> bool {
 fn fold_cast(to: Type, c: Constant) -> Option<Constant> {
     match c {
         Constant::Int(_, v) if to.is_integer() => Some(Constant::Int(to, truncate(to, v))),
-        Constant::Int(_, v) if to.is_float() => {
-            Some(Constant::Float(to, (v as f64).to_bits()))
-        }
+        Constant::Int(_, v) if to.is_float() => Some(Constant::Float(to, (v as f64).to_bits())),
         Constant::Bool(b) if to.is_integer() => Some(Constant::Int(to, b as i64)),
         Constant::Float(_, bits) if to.is_integer() => {
             Some(Constant::Int(to, truncate(to, f64::from_bits(bits) as i64)))
@@ -650,7 +690,13 @@ mod tests {
         let obj = mb
             .module
             .types
-            .define_object("t", vec![memoir_ir::Field { name: "x".into(), ty: i64t }])
+            .define_object(
+                "t",
+                vec![memoir_ir::Field {
+                    name: "x".into(),
+                    ty: i64t,
+                }],
+            )
             .unwrap();
         mb.func("f", Form::Mut, |b| {
             let o = b.new_obj(obj);
@@ -680,7 +726,13 @@ mod tests {
         let obj = mb
             .module
             .types
-            .define_object("t", vec![memoir_ir::Field { name: "x".into(), ty: i64t }])
+            .define_object(
+                "t",
+                vec![memoir_ir::Field {
+                    name: "x".into(),
+                    ty: i64t,
+                }],
+            )
             .unwrap();
         let ref_ty = mb.module.types.ref_of(obj);
         mb.func("f", Form::Mut, |b| {
@@ -708,7 +760,13 @@ mod tests {
         let obj = mb
             .module
             .types
-            .define_object("t", vec![memoir_ir::Field { name: "x".into(), ty: i64t }])
+            .define_object(
+                "t",
+                vec![memoir_ir::Field {
+                    name: "x".into(),
+                    ty: i64t,
+                }],
+            )
             .unwrap();
         let ext = mb.module.add_extern(memoir_ir::ExternDecl {
             name: "io".into(),

@@ -25,17 +25,16 @@ pub fn construct_use_phis(m: &mut Module) -> usize {
             while pos < f.blocks[b].insts.len() {
                 let iid = f.blocks[b].insts[pos];
                 let accessed: Option<ValueId> = match &f.insts[iid].kind {
-                    InstKind::Read { c, .. }
-                    | InstKind::Has { c, .. }
-                    | InstKind::Size { c } => Some(*c),
+                    InstKind::Read { c, .. } | InstKind::Has { c, .. } | InstKind::Size { c } => {
+                        Some(*c)
+                    }
                     _ => None,
                 };
                 if let Some(c) = accessed {
                     // Don't chain a USEφ onto another USEφ's operand twice
                     // in a row for the same access — each access gets one.
                     let ty = f.value_ty(c);
-                    let (_, res) =
-                        f.insert_inst_at(b, pos + 1, InstKind::UsePhi { c }, &[ty]);
+                    let (_, res) = f.insert_inst_at(b, pos + 1, InstKind::UsePhi { c }, &[ty]);
                     let new_v = res[0];
                     constructed += 1;
                     // Rename uses of `c` after the inserted USEφ in this
@@ -135,7 +134,10 @@ mod tests {
             }
         }
         assert_eq!(read_ops.len(), 2);
-        assert_eq!(read_ops[1], use_phi_results[0], "reads are chained in CFG order");
+        assert_eq!(
+            read_ops[1], use_phi_results[0],
+            "reads are chained in CFG order"
+        );
 
         let folded = destruct_use_phis(&mut m);
         assert_eq!(folded, 2);

@@ -69,8 +69,8 @@ fn run_function(m: &mut Module, fid: memoir_ir::FuncId, purity: &Purity) -> DceS
                                 // A call whose by-ref writes cannot reach us
                                 // (SSA form has no by-ref) and which is
                                 // otherwise pure is removable.
-                                let no_byref_effect = s.writes_params.is_empty()
-                                    || m.funcs[fid].form == Form::Ssa;
+                                let no_byref_effect =
+                                    s.writes_params.is_empty() || m.funcs[fid].form == Form::Ssa;
                                 s.writes_fields.is_empty()
                                     && !s.opaque
                                     && !s.allocates_objects

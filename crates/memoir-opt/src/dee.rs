@@ -96,7 +96,9 @@ fn dee_function(
         let f = &m.funcs[fid];
         for (_, i) in f.inst_ids_in_order() {
             let inst = &f.insts[i];
-            let Some(&result) = inst.results.first() else { continue };
+            let Some(&result) = inst.results.first() else {
+                continue;
+            };
             if !matches!(m.types.get(f.value_ty(result)), Type::Seq(_)) {
                 continue;
             }
@@ -131,7 +133,9 @@ fn dee_function(
         match site {
             Site::Drop(inst) => {
                 let f = &mut m.funcs[fid];
-                let Some((b, _)) = find_inst(f, inst) else { continue };
+                let Some((b, _)) = find_inst(f, inst) else {
+                    continue;
+                };
                 // Read the forward-to operand *now*: an earlier drop in
                 // this batch may already have rewritten it (capturing it
                 // at site-collection time forwarded uses to a value whose
@@ -213,14 +217,18 @@ pub struct DeeOptions {
 
 impl Default for DeeOptions {
     fn default() -> Self {
-        DeeOptions { guard_element_writes: true }
+        DeeOptions {
+            guard_element_writes: true,
+        }
     }
 }
 
 impl DeeOptions {
     /// The provably-exact pruning-only mode.
     pub fn exact() -> Self {
-        DeeOptions { guard_element_writes: false }
+        DeeOptions {
+            guard_element_writes: false,
+        }
     }
 }
 
@@ -258,7 +266,10 @@ pub fn dee_specialize_calls_with(m: &mut Module, opts: DeeOptions) -> DeeStats {
         {
             let f = &m.funcs[fid];
             for (b, i) in f.inst_ids_in_order() {
-                let InstKind::Call { callee: Callee::Func(target), args } = &f.insts[i].kind
+                let InstKind::Call {
+                    callee: Callee::Func(target),
+                    args,
+                } = &f.insts[i].kind
                 else {
                     continue;
                 };
@@ -279,7 +290,9 @@ pub fn dee_specialize_calls_with(m: &mut Module, opts: DeeOptions) -> DeeStats {
                     }
                     // The returned seq must alias a parameter of the callee
                     // (so bounds apply to the threaded storage).
-                    let Some(param_pos) = ret_param_root(m, *target, ri) else { continue };
+                    let Some(param_pos) = ret_param_root(m, *target, ri) else {
+                        continue;
+                    };
                     if args.get(param_pos).is_none() {
                         continue;
                     }
@@ -312,7 +325,10 @@ pub fn dee_specialize_calls_with(m: &mut Module, opts: DeeOptions) -> DeeStats {
             // Materialize ℓ and u before the call in the caller.
             let index_ty = m.types.intern(Type::Index);
             let f = &mut m.funcs[fid];
-            let Some(pos) = f.blocks[cand.block].insts.iter().position(|&x| x == cand.inst)
+            let Some(pos) = f.blocks[cand.block]
+                .insts
+                .iter()
+                .position(|&x| x == cand.inst)
             else {
                 continue;
             };
@@ -325,7 +341,10 @@ pub fn dee_specialize_calls_with(m: &mut Module, opts: DeeOptions) -> DeeStats {
                 _ => continue,
             };
             let needs_end = range_mentions_end(&cand.range);
-            let mut point = Point { block: cand.block, index: pos };
+            let mut point = Point {
+                block: cand.block,
+                index: pos,
+            };
             let mut mat = Materializer::new(f, index_ty);
             if needs_end {
                 let (_, res) = mat_insert_size(mat.f, point, arg, index_ty);
@@ -333,9 +352,13 @@ pub fn dee_specialize_calls_with(m: &mut Module, opts: DeeOptions) -> DeeStats {
                 point.index += 1;
                 mat.refresh();
             }
-            let Some((lo_v, n1)) = mat.materialize(&cand.range.lo, point) else { continue };
+            let Some((lo_v, n1)) = mat.materialize(&cand.range.lo, point) else {
+                continue;
+            };
             point.index += n1;
-            let Some((hi_v, n2)) = mat.materialize(&cand.range.hi, point) else { continue };
+            let Some((hi_v, n2)) = mat.materialize(&cand.range.hi, point) else {
+                continue;
+            };
             let _ = n2;
             // Redirect the call.
             let f = &mut m.funcs[fid];
@@ -356,7 +379,12 @@ fn mat_insert_size(
     seq: ValueId,
     index_ty: TypeId,
 ) -> (InstId, ValueId) {
-    let (iid, res) = f.insert_inst_at(point.block, point.index, InstKind::Size { c: seq }, &[index_ty]);
+    let (iid, res) = f.insert_inst_at(
+        point.block,
+        point.index,
+        InstKind::Size { c: seq },
+        &[index_ty],
+    );
     (iid, res[0])
 }
 
@@ -442,7 +470,8 @@ fn trace_param(f: &Function, v: ValueId, visiting: &mut Vec<ValueId>) -> Option<
                     // arg (position matches because the clone preserves ret
                     // structure). Approximate by tracing the arg at the
                     // same position when arities line up.
-                    args.get(*ri as usize).and_then(|&a| trace_param(f, a, visiting))
+                    args.get(*ri as usize)
+                        .and_then(|&a| trace_param(f, a, visiting))
                 }
                 _ => None,
             };
@@ -561,17 +590,24 @@ fn write_range_summary(m: &Module, fid: FuncId) -> Option<Range> {
             | InstKind::Remove { c, .. }
             | InstKind::RemoveRange { c, .. }
             | InstKind::Swap2 { a: c, .. }
-                if is_seq(m, f, *c) => {
-                    return None; // index-space changes defeat the summary
-                }
-            InstKind::Call { callee: Callee::Func(t), .. } if *t == fid => {
+                if is_seq(m, f, *c) =>
+            {
+                return None; // index-space changes defeat the summary
+            }
+            InstKind::Call {
+                callee: Callee::Func(t),
+                ..
+            } if *t == fid => {
                 // Self recursion: assume the recursive write range is the
                 // substituted summary; since the summary we are computing
                 // must *contain* it and qsort-style recursion narrows its
                 // range, the parent range covers it. (Optimistic;验证d by
                 // the range check below being over params.)
             }
-            InstKind::Call { callee: Callee::Func(_), .. } => return None,
+            InstKind::Call {
+                callee: Callee::Func(_),
+                ..
+            } => return None,
             _ => {}
         }
     }
@@ -584,9 +620,10 @@ fn is_seq(m: &Module, f: &Function, v: ValueId) -> bool {
 
 /// Whether every value mentioned by a range is a parameter.
 fn params_only(f: &Function, r: &Range) -> bool {
-    r.lo.values().iter().chain(r.hi.values().iter()).all(|&v| {
-        matches!(f.values[v].def, memoir_ir::ValueDef::Param(_))
-    })
+    r.lo.values()
+        .iter()
+        .chain(r.hi.values().iter())
+        .all(|&v| matches!(f.values[v].def, memoir_ir::ValueDef::Param(_)))
 }
 
 /// Expands a value into an expression over function parameters and
@@ -604,22 +641,38 @@ fn param_affine(f: &Function, v: ValueId, depth: usize) -> Option<Expr> {
         memoir_ir::ValueDef::Param(_) => Some(Expr::value(v)),
         memoir_ir::ValueDef::Const(_) => None,
         memoir_ir::ValueDef::Inst(iid, _) => match &f.insts[*iid].kind {
-            InstKind::Bin { op: memoir_ir::BinOp::Add, lhs, rhs } => {
+            InstKind::Bin {
+                op: memoir_ir::BinOp::Add,
+                lhs,
+                rhs,
+            } => {
                 let a = param_affine(f, *lhs, depth - 1)?;
                 let b = param_affine(f, *rhs, depth - 1)?;
                 Some(a.add_expr(&b))
             }
-            InstKind::Bin { op: memoir_ir::BinOp::Sub, lhs, rhs } => {
+            InstKind::Bin {
+                op: memoir_ir::BinOp::Sub,
+                lhs,
+                rhs,
+            } => {
                 let a = param_affine(f, *lhs, depth - 1)?;
                 let c = f.value_const(*rhs).and_then(memoir_ir::Constant::as_int)?;
                 Some(a.offset(-c))
             }
-            InstKind::Bin { op: memoir_ir::BinOp::Min, lhs, rhs } => {
+            InstKind::Bin {
+                op: memoir_ir::BinOp::Min,
+                lhs,
+                rhs,
+            } => {
                 let a = param_affine(f, *lhs, depth - 1)?;
                 let b = param_affine(f, *rhs, depth - 1)?;
                 Some(Expr::min2(a, b))
             }
-            InstKind::Bin { op: memoir_ir::BinOp::Max, lhs, rhs } => {
+            InstKind::Bin {
+                op: memoir_ir::BinOp::Max,
+                lhs,
+                rhs,
+            } => {
                 let a = param_affine(f, *lhs, depth - 1)?;
                 let b = param_affine(f, *rhs, depth - 1)?;
                 Some(Expr::max2(a, b))
@@ -697,8 +750,12 @@ fn retarget_self_calls(
     let bool_ty = m.types.intern(Type::Bool);
     for call_inst in prune_sites {
         let g = &m.funcs[spec];
-        let Some((block, pos)) = find_inst(g, call_inst) else { continue };
-        let InstKind::Call { args, .. } = &g.insts[call_inst].kind else { continue };
+        let Some((block, pos)) = find_inst(g, call_inst) else {
+            continue;
+        };
+        let InstKind::Call { args, .. } = &g.insts[call_inst].kind else {
+            continue;
+        };
         let args = args.clone();
         // Substitute params → actual args in the summary.
         let params = g.param_values.clone();
@@ -743,9 +800,13 @@ fn retarget_self_calls(
         let g = &mut m.funcs[spec];
         let mut point = Point { block, index: pos };
         let mut mat = Materializer::new(g, index_ty);
-        let Some((lo_v, n1)) = mat.materialize(&sub.lo, point) else { continue };
+        let Some((lo_v, n1)) = mat.materialize(&sub.lo, point) else {
+            continue;
+        };
         point.index += n1;
-        let Some((hi_v, n2)) = mat.materialize(&sub.hi, point) else { continue };
+        let Some((hi_v, n2)) = mat.materialize(&sub.hi, point) else {
+            continue;
+        };
         point.index += n2;
 
         // cond = (lo_v < %b) and (%a < hi_v)
@@ -753,19 +814,31 @@ fn retarget_self_calls(
         let (_, c1) = g.insert_inst_at(
             block,
             point.index,
-            InstKind::Cmp { op: memoir_ir::CmpOp::Lt, lhs: lo_v, rhs: b_param },
+            InstKind::Cmp {
+                op: memoir_ir::CmpOp::Lt,
+                lhs: lo_v,
+                rhs: b_param,
+            },
             &[bool_ty],
         );
         let (_, c2) = g.insert_inst_at(
             block,
             point.index + 1,
-            InstKind::Cmp { op: memoir_ir::CmpOp::Lt, lhs: a_param, rhs: hi_v },
+            InstKind::Cmp {
+                op: memoir_ir::CmpOp::Lt,
+                lhs: a_param,
+                rhs: hi_v,
+            },
             &[bool_ty],
         );
         let (_, cond) = g.insert_inst_at(
             block,
             point.index + 2,
-            InstKind::Bin { op: memoir_ir::BinOp::And, lhs: c1[0], rhs: c2[0] },
+            InstKind::Bin {
+                op: memoir_ir::BinOp::And,
+                lhs: c1[0],
+                rhs: c2[0],
+            },
             &[bool_ty],
         );
         let call_pos = point.index + 3;
@@ -794,12 +867,7 @@ fn retarget_self_calls(
 /// Splits `block` so that the instruction at `pos` sits alone in a new
 /// block executed only when `cond` holds; returns (guarded-block,
 /// continuation-block). `block` ends with `br cond, guarded, cont`.
-fn isolate_inst(
-    f: &mut Function,
-    block: BlockId,
-    pos: usize,
-    cond: ValueId,
-) -> (BlockId, BlockId) {
+fn isolate_inst(f: &mut Function, block: BlockId, pos: usize, cond: ValueId) -> (BlockId, BlockId) {
     let guarded = f.add_block("dee_call");
     let cont = f.add_block("dee_cont");
     let tail: Vec<InstId> = f.blocks[block].insts.drain(pos..).collect();
@@ -824,7 +892,11 @@ fn isolate_inst(
     }
     f.append_inst(
         block,
-        InstKind::Branch { cond, then_target: guarded, else_target: cont },
+        InstKind::Branch {
+            cond,
+            then_target: guarded,
+            else_target: cont,
+        },
         &[],
     );
     f.append_inst(guarded, InstKind::Jump { target: cont }, &[]);
@@ -847,7 +919,12 @@ fn replace_uses_except(
     skip_block: BlockId,
     skip_pos: usize,
 ) {
-    for (b, block) in f.blocks.iter().map(|(b, bl)| (b, bl.insts.clone())).collect::<Vec<_>>() {
+    for (b, block) in f
+        .blocks
+        .iter()
+        .map(|(b, bl)| (b, bl.insts.clone()))
+        .collect::<Vec<_>>()
+    {
         for (pos, i) in block.iter().enumerate() {
             if b == skip_block && pos == skip_pos {
                 continue;
@@ -896,14 +973,22 @@ fn insert_entry_guard(m: &mut Module, spec: FuncId, a_param: ValueId, b_param: V
     let (_, cond) = {
         let (iid, res) = g.append_inst(
             new_entry,
-            InstKind::Cmp { op: memoir_ir::CmpOp::Ge, lhs: a_param, rhs: b_param },
+            InstKind::Cmp {
+                op: memoir_ir::CmpOp::Ge,
+                lhs: a_param,
+                rhs: b_param,
+            },
             &[bool_ty],
         );
         (iid, res)
     };
     g.append_inst(
         new_entry,
-        InstKind::Branch { cond: cond[0], then_target: early, else_target: old_entry },
+        InstKind::Branch {
+            cond: cond[0],
+            then_target: early,
+            else_target: old_entry,
+        },
         &[],
     );
     g.append_inst(early, InstKind::Ret { values: fallbacks }, &[]);
@@ -925,7 +1010,9 @@ fn guard_writes(
         let f = &m.funcs[spec];
         for (_, i) in f.inst_ids_in_order() {
             let inst = &f.insts[i];
-            let Some(&result) = inst.results.first() else { continue };
+            let Some(&result) = inst.results.first() else {
+                continue;
+            };
             if !matches!(m.types.get(f.value_ty(result)), Type::Seq(_)) {
                 continue;
             }
@@ -972,26 +1059,42 @@ enum GuardKind {
 fn guard_write(m: &mut Module, fid: FuncId, inst: InstId, a: ValueId, b: ValueId) {
     let bool_ty = m.types.intern(Type::Bool);
     let f = &mut m.funcs[fid];
-    let Some((block, pos)) = find_inst(f, inst) else { return };
-    let InstKind::Write { c: s0, idx, .. } = f.insts[inst].kind else { return };
+    let Some((block, pos)) = find_inst(f, inst) else {
+        return;
+    };
+    let InstKind::Write { c: s0, idx, .. } = f.insts[inst].kind else {
+        return;
+    };
     let result = f.insts[inst].results[0];
 
     let (_, c1) = f.insert_inst_at(
         block,
         pos,
-        InstKind::Cmp { op: memoir_ir::CmpOp::Le, lhs: a, rhs: idx },
+        InstKind::Cmp {
+            op: memoir_ir::CmpOp::Le,
+            lhs: a,
+            rhs: idx,
+        },
         &[bool_ty],
     );
     let (_, c2) = f.insert_inst_at(
         block,
         pos + 1,
-        InstKind::Cmp { op: memoir_ir::CmpOp::Lt, lhs: idx, rhs: b },
+        InstKind::Cmp {
+            op: memoir_ir::CmpOp::Lt,
+            lhs: idx,
+            rhs: b,
+        },
         &[bool_ty],
     );
     let (_, cond) = f.insert_inst_at(
         block,
         pos + 2,
-        InstKind::Bin { op: memoir_ir::BinOp::And, lhs: c1[0], rhs: c2[0] },
+        InstKind::Bin {
+            op: memoir_ir::BinOp::And,
+            lhs: c1[0],
+            rhs: c2[0],
+        },
         &[bool_ty],
     );
     let (guarded, cont) = isolate_inst(f, block, pos + 3, cond[0]);
@@ -1000,7 +1103,9 @@ fn guard_write(m: &mut Module, fid: FuncId, inst: InstId, a: ValueId, b: ValueId
     let (_, phi) = f.insert_inst_at(
         cont,
         0,
-        InstKind::Phi { incoming: vec![(guarded, result), (block, s0)] },
+        InstKind::Phi {
+            incoming: vec![(guarded, result), (block, s0)],
+        },
         &[ty],
     );
     replace_uses_except_value(f, result, phi[0], cont, 0);
@@ -1010,13 +1115,21 @@ fn guard_write(m: &mut Module, fid: FuncId, inst: InstId, a: ValueId, b: ValueId
 fn guard_insert(m: &mut Module, fid: FuncId, inst: InstId, _a: ValueId, b: ValueId) {
     let bool_ty = m.types.intern(Type::Bool);
     let f = &mut m.funcs[fid];
-    let Some((block, pos)) = find_inst(f, inst) else { return };
-    let InstKind::Insert { c: s0, idx, .. } = f.insts[inst].kind else { return };
+    let Some((block, pos)) = find_inst(f, inst) else {
+        return;
+    };
+    let InstKind::Insert { c: s0, idx, .. } = f.insts[inst].kind else {
+        return;
+    };
     let result = f.insts[inst].results[0];
     let (_, cond) = f.insert_inst_at(
         block,
         pos,
-        InstKind::Cmp { op: memoir_ir::CmpOp::Lt, lhs: idx, rhs: b },
+        InstKind::Cmp {
+            op: memoir_ir::CmpOp::Lt,
+            lhs: idx,
+            rhs: b,
+        },
         &[bool_ty],
     );
     let (guarded, cont) = isolate_inst(f, block, pos + 1, cond[0]);
@@ -1024,7 +1137,9 @@ fn guard_insert(m: &mut Module, fid: FuncId, inst: InstId, _a: ValueId, b: Value
     let (_, phi) = f.insert_inst_at(
         cont,
         0,
-        InstKind::Phi { incoming: vec![(guarded, result), (block, s0)] },
+        InstKind::Phi {
+            incoming: vec![(guarded, result), (block, s0)],
+        },
         &[ty],
     );
     replace_uses_except_value(f, result, phi[0], cont, 0);
@@ -1042,8 +1157,15 @@ fn guard_insert(m: &mut Module, fid: FuncId, inst: InstId, _a: ValueId, b: Value
 fn guard_swap(m: &mut Module, fid: FuncId, inst: InstId, a: ValueId, b: ValueId) {
     let bool_ty = m.types.intern(Type::Bool);
     let f = &mut m.funcs[fid];
-    let Some((block, pos)) = find_inst(f, inst) else { return };
-    let InstKind::Swap { c: s0, from, at, .. } = f.insts[inst].kind else { return };
+    let Some((block, pos)) = find_inst(f, inst) else {
+        return;
+    };
+    let InstKind::Swap {
+        c: s0, from, at, ..
+    } = f.insts[inst].kind
+    else {
+        return;
+    };
     let result = f.insts[inst].results[0];
     let seq_ty = f.value_ty(result);
     let elem_ty = match m.types.get(seq_ty) {
@@ -1056,19 +1178,31 @@ fn guard_swap(m: &mut Module, fid: FuncId, inst: InstId, a: ValueId, b: ValueId)
         let (_, c1) = f.insert_inst_at(
             blk,
             p,
-            InstKind::Cmp { op: memoir_ir::CmpOp::Le, lhs: a, rhs: x },
+            InstKind::Cmp {
+                op: memoir_ir::CmpOp::Le,
+                lhs: a,
+                rhs: x,
+            },
             &[bool_ty],
         );
         let (_, c2) = f.insert_inst_at(
             blk,
             p + 1,
-            InstKind::Cmp { op: memoir_ir::CmpOp::Lt, lhs: x, rhs: b },
+            InstKind::Cmp {
+                op: memoir_ir::CmpOp::Lt,
+                lhs: x,
+                rhs: b,
+            },
             &[bool_ty],
         );
         let (_, c) = f.insert_inst_at(
             blk,
             p + 2,
-            InstKind::Bin { op: memoir_ir::BinOp::And, lhs: c1[0], rhs: c2[0] },
+            InstKind::Bin {
+                op: memoir_ir::BinOp::And,
+                lhs: c1[0],
+                rhs: c2[0],
+            },
             &[bool_ty],
         );
         (p + 3, c[0])
@@ -1078,7 +1212,11 @@ fn guard_swap(m: &mut Module, fid: FuncId, inst: InstId, a: ValueId, b: ValueId)
     let (_, both) = f.insert_inst_at(
         block,
         p,
-        InstKind::Bin { op: memoir_ir::BinOp::And, lhs: from_live, rhs: to_live },
+        InstKind::Bin {
+            op: memoir_ir::BinOp::And,
+            lhs: from_live,
+            rhs: to_live,
+        },
         &[bool_ty],
     );
     let both = both[0];
@@ -1118,7 +1256,11 @@ fn guard_swap(m: &mut Module, fid: FuncId, inst: InstId, a: ValueId, b: ValueId)
     }
     f.append_inst(
         block,
-        InstKind::Branch { cond: both, then_target: bb_swap, else_target: bb_check1 },
+        InstKind::Branch {
+            cond: both,
+            then_target: bb_swap,
+            else_target: bb_check1,
+        },
         &[],
     );
     f.append_inst(bb_swap, InstKind::Jump { target: cont }, &[]);
@@ -1126,13 +1268,21 @@ fn guard_swap(m: &mut Module, fid: FuncId, inst: InstId, a: ValueId, b: ValueId)
     // bb_check1: if from_live → write in-range half at `from`.
     f.append_inst(
         bb_check1,
-        InstKind::Branch { cond: from_live, then_target: bb_w1, else_target: bb_check2 },
+        InstKind::Branch {
+            cond: from_live,
+            then_target: bb_w1,
+            else_target: bb_check2,
+        },
         &[],
     );
     let (_, jv) = f.append_inst(bb_w1, InstKind::Read { c: s0, idx: at }, &[elem_ty]);
     let (_, w1) = f.append_inst(
         bb_w1,
-        InstKind::Write { c: s0, idx: from, value: jv[0] },
+        InstKind::Write {
+            c: s0,
+            idx: from,
+            value: jv[0],
+        },
         &[seq_ty],
     );
     f.append_inst(bb_w1, InstKind::Jump { target: cont }, &[]);
@@ -1140,13 +1290,21 @@ fn guard_swap(m: &mut Module, fid: FuncId, inst: InstId, a: ValueId, b: ValueId)
     // bb_check2: if to_live → write in-range half at `at`.
     f.append_inst(
         bb_check2,
-        InstKind::Branch { cond: to_live, then_target: bb_w2, else_target: cont },
+        InstKind::Branch {
+            cond: to_live,
+            then_target: bb_w2,
+            else_target: cont,
+        },
         &[],
     );
     let (_, iv) = f.append_inst(bb_w2, InstKind::Read { c: s0, idx: from }, &[elem_ty]);
     let (_, w2) = f.append_inst(
         bb_w2,
-        InstKind::Write { c: s0, idx: at, value: iv[0] },
+        InstKind::Write {
+            c: s0,
+            idx: at,
+            value: iv[0],
+        },
         &[seq_ty],
     );
     f.append_inst(bb_w2, InstKind::Jump { target: cont }, &[]);
@@ -1341,7 +1499,11 @@ mod tests {
         let out = i
             .run(
                 spec,
-                vec![s.clone(), Value::Int(Type::Index, 5), Value::Int(Type::Index, 5)],
+                vec![
+                    s.clone(),
+                    Value::Int(Type::Index, 5),
+                    Value::Int(Type::Index, 5),
+                ],
             )
             .unwrap();
         // The sequence is unchanged: element 0 still 7.
@@ -1353,7 +1515,10 @@ mod tests {
         let mut i2 = Interp::new(&m);
         let s2 = i2.alloc_seq(vec![Value::Int(Type::I64, 7)]);
         let out2 = i2
-            .run(spec, vec![s2, Value::Int(Type::Index, 0), Value::Int(Type::Index, 1)])
+            .run(
+                spec,
+                vec![s2, Value::Int(Type::Index, 0), Value::Int(Type::Index, 1)],
+            )
             .unwrap();
         let elems2 = i2.seq_values(&out2[0]).unwrap();
         assert_eq!(elems2, vec![Value::Int(Type::I64, 1)]);

@@ -32,7 +32,10 @@ pub fn dfe(m: &mut Module) -> DfeStats {
                 InstKind::FieldRead { obj_ty, field, .. } => {
                     read.insert((*obj_ty, *field));
                 }
-                InstKind::Call { callee: Callee::Extern(e), args } => {
+                InstKind::Call {
+                    callee: Callee::Extern(e),
+                    args,
+                } => {
                     let eff = m.externs[*e].effects;
                     if eff.reads_args || eff.opaque {
                         for &a in args {
@@ -95,10 +98,12 @@ pub fn remove_field(m: &mut Module, ty: ObjTypeId, field: u32) -> usize {
         let mut to_remove = Vec::new();
         for (b, i) in f.inst_ids_in_order() {
             match &mut f.insts[i].kind {
-                InstKind::FieldWrite { obj_ty, field: fi, .. }
-                | InstKind::FieldRead { obj_ty, field: fi, .. }
-                    if *obj_ty == ty =>
-                {
+                InstKind::FieldWrite {
+                    obj_ty, field: fi, ..
+                }
+                | InstKind::FieldRead {
+                    obj_ty, field: fi, ..
+                } if *obj_ty == ty => {
                     if *fi == field {
                         to_remove.push((b, i));
                     } else if *fi > field {
@@ -115,18 +120,19 @@ pub fn remove_field(m: &mut Module, ty: ObjTypeId, field: u32) -> usize {
     }
     let mut fields = m.types.object(ty).fields.clone();
     fields.remove(field as usize);
-    m.types.set_fields(ty, fields).expect("removing a field keeps the type valid");
+    m.types
+        .set_fields(ty, fields)
+        .expect("removing a field keeps the type valid");
     removed
 }
 
 fn mark_reachable_types(m: &Module, ty: memoir_ir::TypeId, out: &mut HashSet<ObjTypeId>) {
     match m.types.get(ty) {
-        Type::Ref(o) | Type::Object(o)
-            if out.insert(o) => {
-                for field in m.types.object(o).fields.clone() {
-                    mark_reachable_types(m, field.ty, out);
-                }
+        Type::Ref(o) | Type::Object(o) if out.insert(o) => {
+            for field in m.types.object(o).fields.clone() {
+                mark_reachable_types(m, field.ty, out);
             }
+        }
         Type::Seq(e) => mark_reachable_types(m, e, out),
         Type::Assoc(k, v) => {
             mark_reachable_types(m, k, out);
@@ -151,9 +157,18 @@ mod tests {
             .define_object(
                 "arc",
                 vec![
-                    Field { name: "cost".into(), ty: i64t },
-                    Field { name: "scratch".into(), ty: i16t }, // written, never read
-                    Field { name: "flow".into(), ty: i64t },
+                    Field {
+                        name: "cost".into(),
+                        ty: i64t,
+                    },
+                    Field {
+                        name: "scratch".into(),
+                        ty: i16t,
+                    }, // written, never read
+                    Field {
+                        name: "flow".into(),
+                        ty: i64t,
+                    },
                 ],
             )
             .unwrap();
@@ -183,7 +198,10 @@ mod tests {
             i.run_by_name("main", vec![]).unwrap()
         };
         let stats = dfe(&mut m);
-        assert_eq!(stats.fields_eliminated, vec![("arc".into(), "scratch".into())]);
+        assert_eq!(
+            stats.fields_eliminated,
+            vec![("arc".into(), "scratch".into())]
+        );
         assert_eq!(stats.writes_removed, 1);
         memoir_ir::verifier::assert_valid(&m);
         assert!(m.types.object_layout(obj).size < before_size);
@@ -198,8 +216,13 @@ mod tests {
     fn read_fields_survive() {
         let (mut m, obj) = module_with_fields();
         dfe(&mut m);
-        let names: Vec<&str> =
-            m.types.object(obj).fields.iter().map(|f| f.name.as_str()).collect();
+        let names: Vec<&str> = m
+            .types
+            .object(obj)
+            .fields
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
         assert_eq!(names, vec!["cost", "flow"]);
     }
 
@@ -224,10 +247,16 @@ mod tests {
         f.insert_inst_at(
             entry,
             pos,
-            InstKind::Call { callee: Callee::Extern(ext), args: vec![obj_ref] },
+            InstKind::Call {
+                callee: Callee::Extern(ext),
+                args: vec![obj_ref],
+            },
             &[],
         );
         let stats = dfe(&mut m);
-        assert!(stats.fields_eliminated.is_empty(), "unknown code may read any field");
+        assert!(
+            stats.fields_eliminated.is_empty(),
+            "unknown code may read any field"
+        );
     }
 }

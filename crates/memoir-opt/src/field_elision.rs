@@ -18,9 +18,7 @@
 
 use crate::dfe::remove_field;
 use memoir_analysis::Affinity;
-use memoir_ir::{
-    Callee, Form, FuncId, InstKind, Module, ObjTypeId, TypeId, ValueId,
-};
+use memoir_ir::{Callee, Form, FuncId, InstKind, Module, ObjTypeId, TypeId, ValueId};
 use std::collections::{HashMap, HashSet};
 
 /// Statistics from field elision.
@@ -106,8 +104,12 @@ pub fn field_elision(
     let mut needs: HashSet<FuncId> = HashSet::new();
     for (fid, f) in m.funcs.iter() {
         for (_, i) in f.inst_ids_in_order() {
-            if let InstKind::FieldRead { obj_ty, field: fi, .. }
-            | InstKind::FieldWrite { obj_ty, field: fi, .. } = &f.insts[i].kind
+            if let InstKind::FieldRead {
+                obj_ty, field: fi, ..
+            }
+            | InstKind::FieldWrite {
+                obj_ty, field: fi, ..
+            } = &f.insts[i].kind
             {
                 if *obj_ty == ty && *fi == field {
                     needs.insert(fid);
@@ -123,7 +125,11 @@ pub fn field_elision(
                 continue;
             }
             for (_, i) in f.inst_ids_in_order() {
-                if let InstKind::Call { callee: Callee::Func(t), .. } = &f.insts[i].kind {
+                if let InstKind::Call {
+                    callee: Callee::Func(t),
+                    ..
+                } = &f.insts[i].kind
+                {
                     if needs.contains(t) {
                         needs.insert(fid);
                         grew = true;
@@ -146,7 +152,10 @@ pub fn field_elision(
         let (_, res) = f.insert_inst_at(
             f.entry,
             0,
-            InstKind::NewAssoc { key: ref_ty, value: val_ty },
+            InstKind::NewAssoc {
+                key: ref_ty,
+                value: val_ty,
+            },
             &[assoc_ty],
         );
         f.values[res[0]].name = Some(format!("A_{tname}_{fname}"));
@@ -177,19 +186,36 @@ pub fn field_elision(
         for (b, i) in f.inst_ids_in_order() {
             let kind = f.insts[i].kind.clone();
             match kind {
-                InstKind::FieldRead { obj, obj_ty, field: fi } if obj_ty == ty && fi == field => {
+                InstKind::FieldRead {
+                    obj,
+                    obj_ty,
+                    field: fi,
+                } if obj_ty == ty && fi == field => {
                     f.insts[i].kind = InstKind::Read { c: assoc, idx: obj };
                     stats.accesses_rewritten += 1;
                 }
-                InstKind::FieldWrite { obj, obj_ty, field: fi, value }
-                    if obj_ty == ty && fi == field =>
-                {
-                    f.insts[i].kind = InstKind::MutWrite { c: assoc, idx: obj, value };
+                InstKind::FieldWrite {
+                    obj,
+                    obj_ty,
+                    field: fi,
+                    value,
+                } if obj_ty == ty && fi == field => {
+                    f.insts[i].kind = InstKind::MutWrite {
+                        c: assoc,
+                        idx: obj,
+                        value,
+                    };
                     stats.accesses_rewritten += 1;
                 }
-                InstKind::Call { callee: Callee::Func(t), mut args } if needs.contains(&t) => {
+                InstKind::Call {
+                    callee: Callee::Func(t),
+                    mut args,
+                } if needs.contains(&t) => {
                     args.push(assoc);
-                    f.insts[i].kind = InstKind::Call { callee: Callee::Func(t), args };
+                    f.insts[i].kind = InstKind::Call {
+                        callee: Callee::Func(t),
+                        args,
+                    };
                 }
                 _ => {
                     let _ = b;
@@ -227,8 +253,14 @@ mod tests {
             .define_object(
                 "arc",
                 vec![
-                    Field { name: "cost".into(), ty: i64t },
-                    Field { name: "note".into(), ty: i64t },
+                    Field {
+                        name: "cost".into(),
+                        ty: i64t,
+                    },
+                    Field {
+                        name: "note".into(),
+                        ty: i64t,
+                    },
                 ],
             )
             .unwrap();
@@ -294,6 +326,9 @@ mod tests {
     fn requires_entry_function() {
         let (mut m, obj) = build();
         m.entry = None;
-        assert_eq!(field_elision(&mut m, obj, 1).unwrap_err(), ElisionError::NoEntryFunction);
+        assert_eq!(
+            field_elision(&mut m, obj, 1).unwrap_err(),
+            ElisionError::NoEntryFunction
+        );
     }
 }

@@ -76,7 +76,10 @@ fn key_fold_function(m: &mut Module, fid: FuncId) -> KeyFoldStats {
     'cand: for alloc in candidates {
         let f = &m.funcs[fid];
         let assoc_v = f.insts[alloc].results[0];
-        let InstKind::NewAssoc { key: key_ty_id, value: val_ty_id } = f.insts[alloc].kind
+        let InstKind::NewAssoc {
+            key: key_ty_id,
+            value: val_ty_id,
+        } = f.insts[alloc].kind
         else {
             continue;
         };
@@ -92,8 +95,11 @@ fn key_fold_function(m: &mut Module, fid: FuncId) -> KeyFoldStats {
                 continue;
             }
             match kind {
-                InstKind::Read { c, idx } | InstKind::MutRemove { c, idx }
-                | InstKind::Has { c, key: idx } if *c == assoc_v => {
+                InstKind::Read { c, idx }
+                | InstKind::MutRemove { c, idx }
+                | InstKind::Has { c, key: idx }
+                    if *c == assoc_v =>
+                {
                     sites.push((i, *idx));
                 }
                 InstKind::MutWrite { c, idx, .. } if *c == assoc_v => sites.push((i, *idx)),
@@ -111,8 +117,12 @@ fn key_fold_function(m: &mut Module, fid: FuncId) -> KeyFoldStats {
         let mut narrow_ty: Option<Type> = None;
         let mut replacements: Vec<(InstId, ValueId)> = Vec::new();
         for &(site, key) in &sites {
-            let ValueDef::Inst(def, _) = f.values[key].def else { continue 'cand };
-            let InstKind::Cast { value, .. } = f.insts[def].kind else { continue 'cand };
+            let ValueDef::Inst(def, _) = f.values[key].def else {
+                continue 'cand;
+            };
+            let InstKind::Cast { value, .. } = f.insts[def].kind else {
+                continue 'cand;
+            };
             let src_ty = m.types.get(f.value_ty(value));
             if !is_widening(src_ty, wide_ty) {
                 continue 'cand;
@@ -130,7 +140,10 @@ fn key_fold_function(m: &mut Module, fid: FuncId) -> KeyFoldStats {
         let narrow_id = m.types.intern(narrow);
         let new_assoc_ty = m.types.assoc_of(narrow_id, val_ty_id);
         let f = &mut m.funcs[fid];
-        f.insts[alloc].kind = InstKind::NewAssoc { key: narrow_id, value: val_ty_id };
+        f.insts[alloc].kind = InstKind::NewAssoc {
+            key: narrow_id,
+            value: val_ty_id,
+        };
         let result = f.insts[alloc].results[0];
         f.values[result].ty = new_assoc_ty;
         for (site, narrow_v) in replacements {
@@ -215,7 +228,10 @@ mod tests {
         assert!(!is_widening(Type::I64, Type::I16));
         assert!(is_widening(Type::I16, Type::I64));
         assert!(is_widening(Type::U16, Type::I64));
-        assert!(!is_widening(Type::I16, Type::U64), "sign-extension into unsigned differs");
+        assert!(
+            !is_widening(Type::I16, Type::U64),
+            "sign-extension into unsigned differs"
+        );
         assert!(is_widening(Type::U8, Type::Index));
     }
 }

@@ -11,9 +11,7 @@
 
 use memoir_analysis::exprtree::{Expr, Term};
 use memoir_analysis::DomTree;
-use memoir_ir::{
-    BinOp, BlockId, Constant, Function, InstKind, Type, TypeId, ValueDef, ValueId,
-};
+use memoir_ir::{BinOp, BlockId, Constant, Function, InstKind, Type, TypeId, ValueDef, ValueId};
 
 /// A program point: instructions are inserted into `block` starting at
 /// `index` (subsequent insertions shift the index).
@@ -45,7 +43,13 @@ impl<'a> Materializer<'a> {
     /// interned `index` type id.
     pub fn new(f: &'a mut Function, index_ty: TypeId) -> Self {
         let dt = DomTree::compute(f);
-        Materializer { f, dt, index_ty, end_value: None, caller_bounds: None }
+        Materializer {
+            f,
+            dt,
+            index_ty,
+            end_value: None,
+            caller_bounds: None,
+        }
     }
 
     /// Refreshes the dominator tree after CFG edits.
@@ -94,18 +98,10 @@ impl<'a> Materializer<'a> {
         self.f.constant(Constant::index(c as u64), self.index_ty)
     }
 
-    fn insert(
-        &mut self,
-        point: Point,
-        offset: &mut usize,
-        kind: InstKind,
-    ) -> ValueId {
-        let (_, res) = self.f.insert_inst_at(
-            point.block,
-            point.index + *offset,
-            kind,
-            &[self.index_ty],
-        );
+    fn insert(&mut self, point: Point, offset: &mut usize, kind: InstKind) -> ValueId {
+        let (_, res) =
+            self.f
+                .insert_inst_at(point.block, point.index + *offset, kind, &[self.index_ty]);
         *offset += 1;
         res[0]
     }
@@ -133,7 +129,11 @@ impl<'a> Materializer<'a> {
                             self.insert(
                                 point,
                                 offset,
-                                InstKind::Bin { op: BinOp::Sub, lhs: zero, rhs: base },
+                                InstKind::Bin {
+                                    op: BinOp::Sub,
+                                    lhs: zero,
+                                    rhs: base,
+                                },
                             )
                         }
                         c => {
@@ -141,7 +141,11 @@ impl<'a> Materializer<'a> {
                             self.insert(
                                 point,
                                 offset,
-                                InstKind::Bin { op: BinOp::Mul, lhs: base, rhs: k },
+                                InstKind::Bin {
+                                    op: BinOp::Mul,
+                                    lhs: base,
+                                    rhs: k,
+                                },
                             )
                         }
                     };
@@ -150,22 +154,36 @@ impl<'a> Materializer<'a> {
                         Some(prev) => self.insert(
                             point,
                             offset,
-                            InstKind::Bin { op: BinOp::Add, lhs: prev, rhs: scaled },
+                            InstKind::Bin {
+                                op: BinOp::Add,
+                                lhs: prev,
+                                rhs: scaled,
+                            },
                         ),
                     });
                 }
                 acc
             }
             Expr::Min(es) | Expr::Max(es) => {
-                let op = if matches!(e, Expr::Min(_)) { BinOp::Min } else { BinOp::Max };
+                let op = if matches!(e, Expr::Min(_)) {
+                    BinOp::Min
+                } else {
+                    BinOp::Max
+                };
                 let mut acc: Option<ValueId> = None;
                 for sub in es {
                     let v = self.emit(sub, point, offset)?;
                     acc = Some(match acc {
                         None => v,
-                        Some(prev) => {
-                            self.insert(point, offset, InstKind::Bin { op, lhs: prev, rhs: v })
-                        }
+                        Some(prev) => self.insert(
+                            point,
+                            offset,
+                            InstKind::Bin {
+                                op,
+                                lhs: prev,
+                                rhs: v,
+                            },
+                        ),
                     });
                 }
                 acc
@@ -206,7 +224,13 @@ mod tests {
         let entry = f.entry;
         let mut mat = Materializer::new(f, idx_ty);
         let (v, count) = mat
-            .materialize(&e, Point { block: entry, index: 0 })
+            .materialize(
+                &e,
+                Point {
+                    block: entry,
+                    index: 0,
+                },
+            )
             .expect("materializable");
         assert_eq!(count, 1, "one add");
         // Replace the return with the materialized value and run.
@@ -244,7 +268,15 @@ mod tests {
         let f = &mut m.funcs[fid];
         let entry = f.entry;
         let mut mat = Materializer::new(f, idx_ty);
-        let (v, _) = mat.materialize(&e, Point { block: entry, index: 0 }).unwrap();
+        let (v, _) = mat
+            .materialize(
+                &e,
+                Point {
+                    block: entry,
+                    index: 0,
+                },
+            )
+            .unwrap();
         let fr = &mut m.funcs[fid];
         for (_, i) in fr.inst_ids_in_order() {
             if let InstKind::Ret { values } = &mut fr.insts[i].kind {
@@ -278,7 +310,15 @@ mod tests {
         let e = Expr::caller_lo();
         let entry = f.entry;
         let mut mat = Materializer::new(f, idx_ty);
-        assert!(mat.materialize(&e, Point { block: entry, index: 0 }).is_none());
+        assert!(mat
+            .materialize(
+                &e,
+                Point {
+                    block: entry,
+                    index: 0
+                }
+            )
+            .is_none());
     }
 
     #[test]
@@ -293,6 +333,14 @@ mod tests {
         let f = &mut m.funcs[fid];
         let entry = f.entry;
         let mut mat = Materializer::new(f, idx_ty);
-        assert!(mat.materialize(&Expr::Unknown, Point { block: entry, index: 0 }).is_none());
+        assert!(mat
+            .materialize(
+                &Expr::Unknown,
+                Point {
+                    block: entry,
+                    index: 0
+                }
+            )
+            .is_none());
     }
 }

@@ -52,8 +52,7 @@ pub fn registry() -> PassRegistry<Module> {
 
     r.register("ssa-construct", || {
         Box::new(FnPass::new("ssa-construct", |m: &mut Module, _am| {
-            construct_ssa(m)
-                .map_err(|e| passman::PassError::with_payload(e.to_string(), e))?;
+            construct_ssa(m).map_err(|e| passman::PassError::with_payload(e.to_string(), e))?;
             Ok(PassOutcome::from_stats(vec![]).with_changed(true))
         }))
     });
@@ -101,8 +100,7 @@ pub fn registry() -> PassRegistry<Module> {
     r.register("sink", || {
         Box::new(FnPass::infallible("sink", |m: &mut Module, am| {
             let s = sink::sink_with(m, am);
-            PassOutcome::from_stats(vec![("sunk", s.sunk as i64)])
-                .with_mutated(Mutation::Handled)
+            PassOutcome::from_stats(vec![("sunk", s.sunk as i64)]).with_mutated(Mutation::Handled)
         }))
     });
     r.register("dee-strict", || {
@@ -112,10 +110,13 @@ pub fn registry() -> PassRegistry<Module> {
         }))
     });
     r.register("dee-specialize", || {
-        Box::new(FnPass::infallible("dee-specialize", |m: &mut Module, _am| {
-            let s = dee::dee_specialize_calls(m);
-            PassOutcome::from_stats(dee_stats(&s))
-        }))
+        Box::new(FnPass::infallible(
+            "dee-specialize",
+            |m: &mut Module, _am| {
+                let s = dee::dee_specialize_calls(m);
+                PassOutcome::from_stats(dee_stats(&s))
+            },
+        ))
     });
     // The paper's combined DEE step (legacy pipeline name "dee"): strict
     // intra-function DEE followed by call specialization.
@@ -139,18 +140,21 @@ pub fn registry() -> PassRegistry<Module> {
         }))
     });
     r.register("field-elision", || {
-        Box::new(FnPass::infallible("field-elision", |m: &mut Module, _am| {
-            // Elision requires mut form and an entry function; like the
-            // legacy pipeline, quietly skip when preconditions fail.
-            match field_elision::auto_field_elision(m, FE_AFFINITY_THRESHOLD) {
-                Ok(s) => PassOutcome::from_stats(vec![
-                    ("fields_elided", s.fields_elided.len() as i64),
-                    ("functions_threaded", s.functions_threaded as i64),
-                    ("accesses_rewritten", s.accesses_rewritten as i64),
-                ]),
-                Err(_) => PassOutcome::unchanged(),
-            }
-        }))
+        Box::new(FnPass::infallible(
+            "field-elision",
+            |m: &mut Module, _am| {
+                // Elision requires mut form and an entry function; like the
+                // legacy pipeline, quietly skip when preconditions fail.
+                match field_elision::auto_field_elision(m, FE_AFFINITY_THRESHOLD) {
+                    Ok(s) => PassOutcome::from_stats(vec![
+                        ("fields_elided", s.fields_elided.len() as i64),
+                        ("functions_threaded", s.functions_threaded as i64),
+                        ("accesses_rewritten", s.accesses_rewritten as i64),
+                    ]),
+                    Err(_) => PassOutcome::unchanged(),
+                }
+            },
+        ))
     });
     r.register("rie", || {
         Box::new(FnPass::infallible("rie", |m: &mut Module, _am| {
@@ -180,16 +184,22 @@ pub fn registry() -> PassRegistry<Module> {
         }))
     });
     r.register("use-phi-construct", || {
-        Box::new(FnPass::infallible("use-phi-construct", |m: &mut Module, _am| {
-            let n = construct_use_phis(m);
-            PassOutcome::from_stats(vec![("use_phis_constructed", n as i64)])
-        }))
+        Box::new(FnPass::infallible(
+            "use-phi-construct",
+            |m: &mut Module, _am| {
+                let n = construct_use_phis(m);
+                PassOutcome::from_stats(vec![("use_phis_constructed", n as i64)])
+            },
+        ))
     });
     r.register("use-phi-destruct", || {
-        Box::new(FnPass::infallible("use-phi-destruct", |m: &mut Module, _am| {
-            let n = destruct_use_phis(m);
-            PassOutcome::from_stats(vec![("use_phis_folded", n as i64)])
-        }))
+        Box::new(FnPass::infallible(
+            "use-phi-destruct",
+            |m: &mut Module, _am| {
+                let n = destruct_use_phis(m);
+                PassOutcome::from_stats(vec![("use_phis_folded", n as i64)])
+            },
+        ))
     });
 
     r

@@ -29,8 +29,8 @@
 //! ```
 
 use crate::{
-    constprop, construct_ssa, dce, dee, destruct_ssa, dfe, field_elision, key_fold, rie,
-    simplify, sink, ConstructError,
+    constprop, construct_ssa, dce, dee, destruct_ssa, dfe, field_elision, key_fold, rie, simplify,
+    sink, ConstructError,
 };
 use memoir_ir::{CollectionCensus, Module};
 use passman::{PassManager, PipelineSpec, RunError, RunReport};
@@ -57,7 +57,13 @@ pub struct OptConfig {
 impl OptConfig {
     /// Everything on (the paper's ALL configuration).
     pub fn all() -> Self {
-        OptConfig { dee: true, fe: true, rie: true, dfe: true, key_fold: true }
+        OptConfig {
+            dee: true,
+            fe: true,
+            rie: true,
+            dfe: true,
+            key_fold: true,
+        }
     }
 
     /// Everything off (O0: pure construction/destruction).
@@ -67,7 +73,10 @@ impl OptConfig {
 
     /// Only DEE.
     pub fn dee_only() -> Self {
-        OptConfig { dee: true, ..OptConfig::none() }
+        OptConfig {
+            dee: true,
+            ..OptConfig::none()
+        }
     }
 }
 
@@ -168,8 +177,10 @@ pub fn compile_spec(m: &mut Module, spec: &PipelineSpec) -> Result<PipelineRepor
     let pm = pass_manager().with_observer(move |m: &Module, run| {
         if run.name == "ssa-construct" {
             let c = m.collection_census();
-            run.annotations.push(("ssa_variables".into(), c.ssa_variables.to_string()));
-            run.annotations.push(("allocations".into(), c.allocations.to_string()));
+            run.annotations
+                .push(("ssa_variables".into(), c.ssa_variables.to_string()));
+            run.annotations
+                .push(("allocations".into(), c.allocations.to_string()));
             *cell.borrow_mut() = Some(c);
         }
     });
@@ -360,7 +371,8 @@ mod tests {
 
     fn run(m: &Module, count: i64) -> Vec<Value> {
         let mut i = Interp::new(m);
-        i.run_by_name("main", vec![Value::Int(Type::Index, count)]).unwrap()
+        i.run_by_name("main", vec![Value::Int(Type::Index, count)])
+            .unwrap()
     }
 
     #[test]
@@ -402,9 +414,18 @@ mod tests {
             .define_object(
                 "arc",
                 vec![
-                    memoir_ir::Field { name: "cost".into(), ty: i64t },
-                    memoir_ir::Field { name: "ident".into(), ty: i64t },
-                    memoir_ir::Field { name: "scratch".into(), ty: i64t },
+                    memoir_ir::Field {
+                        name: "cost".into(),
+                        ty: i64t,
+                    },
+                    memoir_ir::Field {
+                        name: "ident".into(),
+                        ty: i64t,
+                    },
+                    memoir_ir::Field {
+                        name: "scratch".into(),
+                        ty: i64t,
+                    },
                 ],
             )
             .unwrap();
@@ -498,7 +519,8 @@ mod tests {
 
         let run = |m: &Module, n: i64| {
             let mut vm = Interp::new(m).with_fuel(50_000_000);
-            vm.run_by_name("main", vec![Value::Int(Type::Index, n)]).unwrap()[0]
+            vm.run_by_name("main", vec![Value::Int(Type::Index, n)])
+                .unwrap()[0]
                 .as_int()
                 .unwrap()
         };
@@ -507,26 +529,36 @@ mod tests {
 
         // The individual layout passes, composed as the pipeline runs
         // them: FE (affinity picks `ident`), then RIE, then DFE.
-        let fe = crate::field_elision::auto_field_elision(&mut m, FE_AFFINITY_THRESHOLD)
-            .unwrap();
+        let fe = crate::field_elision::auto_field_elision(&mut m, FE_AFFINITY_THRESHOLD).unwrap();
         assert!(
             fe.fields_elided.iter().any(|(_, f)| f == "ident"),
             "affinity must pick the cold field: {fe:?}"
         );
         let rie = crate::rie::rie(&mut m);
-        assert_eq!(rie.assocs_retyped, 1, "RIE retypes the elided assoc: {rie:?}");
+        assert_eq!(
+            rie.assocs_retyped, 1,
+            "RIE retypes the elided assoc: {rie:?}"
+        );
         let dfe_stats = crate::dfe::dfe(&mut m);
         assert!(
-            dfe_stats.fields_eliminated.iter().any(|(_, f)| f == "scratch"),
+            dfe_stats
+                .fields_eliminated
+                .iter()
+                .any(|(_, f)| f == "scratch"),
             "{dfe_stats:?}"
         );
         memoir_ir::verifier::assert_valid(&m);
 
         assert!(m.types.object_layout(obj).size < before_size);
-        assert_eq!(run(&m, 20), baseline, "composed layout passes preserve semantics");
+        assert_eq!(
+            run(&m, 20),
+            baseline,
+            "composed layout passes preserve semantics"
+        );
         // No associative ops remain at runtime (RIE converted to a seq).
         let mut vm = Interp::new(&m).with_fuel(50_000_000);
-        vm.run_by_name("main", vec![Value::Int(Type::Index, 20)]).unwrap();
+        vm.run_by_name("main", vec![Value::Int(Type::Index, 20)])
+            .unwrap();
         assert_eq!(vm.stats.assoc_ops, 0, "hashtable fully eliminated");
     }
 

@@ -88,7 +88,11 @@ fn rie_function(m: &mut Module, fid: FuncId) -> RieStats {
                 InstKind::MutWrite { c, idx, .. } if *c == assoc_v => {
                     accesses.push((pos, Access::Write(i), *idx));
                 }
-                InstKind::MutInsert { c, idx, value: Some(_) } if *c == assoc_v => {
+                InstKind::MutInsert {
+                    c,
+                    idx,
+                    value: Some(_),
+                } if *c == assoc_v => {
                     accesses.push((pos, Access::Insert(i), *idx));
                 }
                 // Any other use (has/keys/size/call/ret/store) defeats RIE.
@@ -103,8 +107,12 @@ fn rie_function(m: &mut Module, fid: FuncId) -> RieStats {
         let mut index_coll: Option<ValueId> = None;
         let mut key_to_index: HashMap<InstId, (ValueId, InstId)> = HashMap::new();
         for &(_, acc, key) in &accesses {
-            let ValueDef::Inst(key_def, _) = f.values[key].def else { continue 'cand };
-            let InstKind::Read { c, idx } = f.insts[key_def].kind else { continue 'cand };
+            let ValueDef::Inst(key_def, _) = f.values[key].def else {
+                continue 'cand;
+            };
+            let InstKind::Read { c, idx } = f.insts[key_def].kind else {
+                continue 'cand;
+            };
             match index_coll {
                 None => index_coll = Some(c),
                 Some(prev) if prev == c => {}
@@ -164,16 +172,15 @@ fn rie_function(m: &mut Module, fid: FuncId) -> RieStats {
         };
         let replacement = match new_kind {
             None => {
-                let (_, sz) = f.insert_inst_at(
-                    alloc_block,
-                    alloc_idx,
-                    InstKind::Size { c },
-                    &[index_ty],
-                );
+                let (_, sz) =
+                    f.insert_inst_at(alloc_block, alloc_idx, InstKind::Size { c }, &[index_ty]);
                 let (_, res) = f.insert_inst_at(
                     alloc_block,
                     alloc_idx + 1,
-                    InstKind::NewSeq { elem: assoc_val_ty, len: sz[0] },
+                    InstKind::NewSeq {
+                        elem: assoc_val_ty,
+                        len: sz[0],
+                    },
                     &[new_ty],
                 );
                 res[0]
@@ -182,7 +189,10 @@ fn rie_function(m: &mut Module, fid: FuncId) -> RieStats {
                 let (_, res) = f.insert_inst_at(
                     alloc_block,
                     alloc_idx,
-                    InstKind::NewAssoc { key: key_ty, value: assoc_val_ty },
+                    InstKind::NewAssoc {
+                        key: key_ty,
+                        value: assoc_val_ty,
+                    },
                     &[new_ty],
                 );
                 res[0]
@@ -193,15 +203,22 @@ fn rie_function(m: &mut Module, fid: FuncId) -> RieStats {
         for (inst, (idx, _key_def)) in &key_to_index {
             let old_kind = f.insts[*inst].kind.clone();
             let new_kind = match old_kind {
-                InstKind::Read { .. } => InstKind::Read { c: replacement, idx: *idx },
-                InstKind::MutWrite { value, .. } => {
-                    InstKind::MutWrite { c: replacement, idx: *idx, value }
-                }
+                InstKind::Read { .. } => InstKind::Read {
+                    c: replacement,
+                    idx: *idx,
+                },
+                InstKind::MutWrite { value, .. } => InstKind::MutWrite {
+                    c: replacement,
+                    idx: *idx,
+                    value,
+                },
                 // Inserting into the retyped seq is a write (the index
                 // space is pre-sized).
-                InstKind::MutInsert { value: Some(v), .. } => {
-                    InstKind::MutWrite { c: replacement, idx: *idx, value: v }
-                }
+                InstKind::MutInsert { value: Some(v), .. } => InstKind::MutWrite {
+                    c: replacement,
+                    idx: *idx,
+                    value: v,
+                },
                 other => other,
             };
             f.insts[*inst].kind = new_kind;
@@ -314,7 +331,8 @@ mod tests {
         memoir_ir::verifier::assert_valid(&m);
         let baseline = {
             let mut i = Interp::new(&m);
-            i.run_by_name("main", vec![Value::Int(Type::Index, 6)]).unwrap()
+            i.run_by_name("main", vec![Value::Int(Type::Index, 6)])
+                .unwrap()
         };
         let stats = rie(&mut m);
         assert_eq!(stats.assocs_retyped, 1, "{stats:?}");
@@ -322,10 +340,15 @@ mod tests {
         memoir_ir::verifier::assert_valid(&m);
 
         let mut i = Interp::new(&m);
-        let out = i.run_by_name("main", vec![Value::Int(Type::Index, 6)]).unwrap();
+        let out = i
+            .run_by_name("main", vec![Value::Int(Type::Index, 6)])
+            .unwrap();
         assert_eq!(out, baseline);
         // No assoc (hash) operations remain.
-        assert_eq!(i.stats.assoc_ops, 0, "hashtable fully replaced by a sequence");
+        assert_eq!(
+            i.stats.assoc_ops, 0,
+            "hashtable fully replaced by a sequence"
+        );
     }
 
     #[test]
@@ -354,14 +377,23 @@ mod tests {
             // index type already interned by the builder
             m.types.interned_id(Type::Index).unwrap()
         });
-        let null = f.constant(memoir_ir::Constant::Null(memoir_ir::ObjTypeId::from_raw(0)), {
-            m.types.interned_id(Type::Ref(memoir_ir::ObjTypeId::from_raw(0))).unwrap()
-        });
+        let null = f.constant(
+            memoir_ir::Constant::Null(memoir_ir::ObjTypeId::from_raw(0)),
+            {
+                m.types
+                    .interned_id(Type::Ref(memoir_ir::ObjTypeId::from_raw(0)))
+                    .unwrap()
+            },
+        );
         let pos = f.blocks[out_block].insts.len() - 1;
         f.insert_inst_at(
             out_block,
             pos,
-            InstKind::MutWrite { c: nodes_v, idx: zero, value: null },
+            InstKind::MutWrite {
+                c: nodes_v,
+                idx: zero,
+                value: null,
+            },
             &[],
         );
         let stats = rie(&mut m);

@@ -40,9 +40,16 @@ fn run_function(m: &mut Module, fid: memoir_ir::FuncId) -> SimplifyStats {
 
     // 1. br %c, X, X → jump X.
     for (_, i) in f.inst_ids_in_order() {
-        if let InstKind::Branch { then_target, else_target, .. } = f.insts[i].kind {
+        if let InstKind::Branch {
+            then_target,
+            else_target,
+            ..
+        } = f.insts[i].kind
+        {
             if then_target == else_target {
-                f.insts[i].kind = InstKind::Jump { target: then_target };
+                f.insts[i].kind = InstKind::Jump {
+                    target: then_target,
+                };
                 stats.branches_to_jumps += 1;
             }
         }
@@ -96,13 +103,17 @@ fn run_function(m: &mut Module, fid: memoir_ir::FuncId) -> SimplifyStats {
             continue;
         }
         let only = insts[0];
-        let InstKind::Jump { target } = f.insts[only].kind else { continue };
+        let InstKind::Jump { target } = f.insts[only].kind else {
+            continue;
+        };
         if target == b {
             continue;
         }
         // The target must not have φs (threading would change incomings).
-        let target_has_phi =
-            f.blocks[target].insts.iter().any(|&i| f.insts[i].kind.is_phi());
+        let target_has_phi = f.blocks[target]
+            .insts
+            .iter()
+            .any(|&i| f.insts[i].kind.is_phi());
         if target_has_phi {
             continue;
         }

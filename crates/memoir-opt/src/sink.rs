@@ -46,11 +46,7 @@ pub fn sink_with(m: &mut Module, am: &mut AnalysisManager<Module>) -> SinkStats 
     stats
 }
 
-fn run_function(
-    m: &mut Module,
-    fid: memoir_ir::FuncId,
-    am: &mut AnalysisManager<Module>,
-) -> usize {
+fn run_function(m: &mut Module, fid: memoir_ir::FuncId, am: &mut AnalysisManager<Module>) -> usize {
     let dt = am.get::<CachedDomTree>(m, fid);
     let du = am.get::<CachedDefUse>(m, fid);
     let depths = am.get::<CachedLoopDepths>(m, fid);
@@ -108,7 +104,9 @@ fn run_function(
             if f.insts[user].kind.is_phi() {
                 continue;
             }
-            let Some(&(ub, _)) = pos.get(&user) else { continue };
+            let Some(&(ub, _)) = pos.get(&user) else {
+                continue;
+            };
             if ub == b {
                 continue;
             }
@@ -232,7 +230,13 @@ mod tests {
         let obj = mb
             .module
             .types
-            .define_object("t", vec![memoir_ir::Field { name: "x".into(), ty: i64t }])
+            .define_object(
+                "t",
+                vec![memoir_ir::Field {
+                    name: "x".into(),
+                    ty: i64t,
+                }],
+            )
             .unwrap();
         let ref_ty = mb.module.types.ref_of(obj);
         mb.func("f", Form::Ssa, |b| {

@@ -15,8 +15,8 @@
 
 use memoir_analysis::DomTree;
 use memoir_ir::{
-    BlockId, Callee, Form, FuncId, Function, InstId, InstKind, Module, Type, TypeId,
-    ValueDef, ValueId,
+    BlockId, Callee, Form, FuncId, Function, InstId, InstKind, Module, Type, TypeId, ValueDef,
+    ValueId,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -38,11 +38,17 @@ impl std::fmt::Display for ConstructError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConstructError::ExternMutatesCollection(n) => {
-                write!(f, "extern `{n}` mutates a collection argument; cannot build SSA")
+                write!(
+                    f,
+                    "extern `{n}` mutates a collection argument; cannot build SSA"
+                )
             }
             ConstructError::AlreadySsa(n) => write!(f, "function `{n}` is already in SSA form"),
             ConstructError::CollectionPhi(n) => {
-                write!(f, "function `{n}` has a φ over collection handles in mut form")
+                write!(
+                    f,
+                    "function `{n}` has a φ over collection handles in mut form"
+                )
             }
         }
     }
@@ -216,7 +222,11 @@ fn construct_function(
         while let Some(b) = work.pop() {
             for &frontier in df.get(&b).map(|v| v.as_slice()).unwrap_or(&[]) {
                 if placed.insert(frontier) {
-                    if liveness.live_in.get(&frontier).is_some_and(|s| s.contains(&c)) {
+                    if liveness
+                        .live_in
+                        .get(&frontier)
+                        .is_some_and(|s| s.contains(&c))
+                    {
                         phis_at.entry(frontier).or_default().push(c);
                     }
                     work.push(frontier);
@@ -265,7 +275,8 @@ fn construct_function(
         for &c in cells_here {
             let ty = old.value_ty(c);
             let (iid, res) =
-                b.new_f.insert_inst_at(block, 0, InstKind::Phi { incoming: vec![] }, &[ty]);
+                b.new_f
+                    .insert_inst_at(block, 0, InstKind::Phi { incoming: vec![] }, &[ty]);
             phi_values.insert((block, c), res[0]);
             phi_insts.insert((block, c), iid);
             if let Some(n) = &old.values[c].name {
@@ -327,7 +338,10 @@ fn construct_function(
 }
 
 fn block_of(f: &Function, inst: InstId) -> Option<BlockId> {
-    f.blocks.iter().find(|(_, b)| b.insts.contains(&inst)).map(|(id, _)| id)
+    f.blocks
+        .iter()
+        .find(|(_, b)| b.insts.contains(&inst))
+        .map(|(id, _)| id)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -358,12 +372,13 @@ fn rename_block(
         }
     }
 
-    let cur = |stacks: &HashMap<ValueId, Vec<ValueId>>, b: &mut Builder<'_>, c: ValueId| -> ValueId {
-        stacks
-            .get(&c)
-            .and_then(|s| s.last().copied())
-            .unwrap_or_else(|| b.map[&c])
-    };
+    let cur =
+        |stacks: &HashMap<ValueId, Vec<ValueId>>, b: &mut Builder<'_>, c: ValueId| -> ValueId {
+            stacks
+                .get(&c)
+                .and_then(|s| s.last().copied())
+                .unwrap_or_else(|| b.map[&c])
+        };
 
     // Rewrite each instruction.
     for &iid in &old.blocks[block].insts.clone() {
@@ -384,7 +399,15 @@ fn rename_block(
             InstKind::MutWrite { c, idx, value } => {
                 let (cc, ii, vv) = (op!(c), op!(idx), op!(value));
                 let ty = old.value_ty(c);
-                let r = b.emit(block, InstKind::Write { c: cc, idx: ii, value: vv }, &[ty]);
+                let r = b.emit(
+                    block,
+                    InstKind::Write {
+                        c: cc,
+                        idx: ii,
+                        value: vv,
+                    },
+                    &[ty],
+                );
                 stacks.get_mut(&c).unwrap().push(r[0]);
                 pushed.push(c);
             }
@@ -392,14 +415,30 @@ fn rename_block(
                 let (cc, ii) = (op!(c), op!(idx));
                 let vv = value.map(|v| op!(v));
                 let ty = old.value_ty(c);
-                let r = b.emit(block, InstKind::Insert { c: cc, idx: ii, value: vv }, &[ty]);
+                let r = b.emit(
+                    block,
+                    InstKind::Insert {
+                        c: cc,
+                        idx: ii,
+                        value: vv,
+                    },
+                    &[ty],
+                );
                 stacks.get_mut(&c).unwrap().push(r[0]);
                 pushed.push(c);
             }
             InstKind::MutInsertSeq { c, idx, src } => {
                 let (cc, ii, ss) = (op!(c), op!(idx), op!(src));
                 let ty = old.value_ty(c);
-                let r = b.emit(block, InstKind::InsertSeq { c: cc, idx: ii, src: ss }, &[ty]);
+                let r = b.emit(
+                    block,
+                    InstKind::InsertSeq {
+                        c: cc,
+                        idx: ii,
+                        src: ss,
+                    },
+                    &[ty],
+                );
                 stacks.get_mut(&c).unwrap().push(r[0]);
                 pushed.push(c);
             }
@@ -411,7 +450,11 @@ fn rename_block(
                 let endv = b.emit(block, InstKind::Size { c: cc }, &[idx_ty]);
                 let r = b.emit(
                     block,
-                    InstKind::InsertSeq { c: cc, idx: endv[0], src: ss },
+                    InstKind::InsertSeq {
+                        c: cc,
+                        idx: endv[0],
+                        src: ss,
+                    },
                     &[ty],
                 );
                 stacks.get_mut(&c).unwrap().push(r[0]);
@@ -427,23 +470,52 @@ fn rename_block(
             InstKind::MutRemoveRange { c, from, to } => {
                 let (cc, ff, tt) = (op!(c), op!(from), op!(to));
                 let ty = old.value_ty(c);
-                let r = b.emit(block, InstKind::RemoveRange { c: cc, from: ff, to: tt }, &[ty]);
+                let r = b.emit(
+                    block,
+                    InstKind::RemoveRange {
+                        c: cc,
+                        from: ff,
+                        to: tt,
+                    },
+                    &[ty],
+                );
                 stacks.get_mut(&c).unwrap().push(r[0]);
                 pushed.push(c);
             }
             InstKind::MutSwap { c, from, to, at } => {
                 let (cc, ff, tt, aa) = (op!(c), op!(from), op!(to), op!(at));
                 let ty = old.value_ty(c);
-                let r = b.emit(block, InstKind::Swap { c: cc, from: ff, to: tt, at: aa }, &[ty]);
+                let r = b.emit(
+                    block,
+                    InstKind::Swap {
+                        c: cc,
+                        from: ff,
+                        to: tt,
+                        at: aa,
+                    },
+                    &[ty],
+                );
                 stacks.get_mut(&c).unwrap().push(r[0]);
                 pushed.push(c);
             }
-            InstKind::MutSwap2 { a, from, to, b: b2, at } => {
+            InstKind::MutSwap2 {
+                a,
+                from,
+                to,
+                b: b2,
+                at,
+            } => {
                 let (aa, ff, tt, bb, kk) = (op!(a), op!(from), op!(to), op!(b2), op!(at));
                 let (ta, tb) = (old.value_ty(a), old.value_ty(b2));
                 let r = b.emit(
                     block,
-                    InstKind::Swap2 { a: aa, from: ff, to: tt, b: bb, at: kk },
+                    InstKind::Swap2 {
+                        a: aa,
+                        from: ff,
+                        to: tt,
+                        b: bb,
+                        at: kk,
+                    },
                     &[ta, tb],
                 );
                 stacks.get_mut(&a).unwrap().push(r[0]);
@@ -456,13 +528,29 @@ fn rename_block(
                 //                                s' = REMOVE(s, i, j).
                 let (cc, ff, tt) = (op!(c), op!(from), op!(to));
                 let ty = old.value_ty(c);
-                let copy = b.emit(block, InstKind::CopyRange { c: cc, from: ff, to: tt }, &[ty]);
+                let copy = b.emit(
+                    block,
+                    InstKind::CopyRange {
+                        c: cc,
+                        from: ff,
+                        to: tt,
+                    },
+                    &[ty],
+                );
                 b.map.insert(inst.results[0], copy[0]);
                 // The split result is itself a fresh cell; its versions
                 // start at the copy.
                 stacks.entry(inst.results[0]).or_default().push(copy[0]);
                 pushed.push(inst.results[0]);
-                let r = b.emit(block, InstKind::RemoveRange { c: cc, from: ff, to: tt }, &[ty]);
+                let r = b.emit(
+                    block,
+                    InstKind::RemoveRange {
+                        c: cc,
+                        from: ff,
+                        to: tt,
+                    },
+                    &[ty],
+                );
                 stacks.get_mut(&c).unwrap().push(r[0]);
                 pushed.push(c);
             }
@@ -487,7 +575,14 @@ fn rename_block(
                     }
                     Callee::Extern(eid) => (m.externs[eid].ret_tys.clone(), vec![]),
                 };
-                let results = b.emit(block, InstKind::Call { callee, args: new_args }, &ret_tys);
+                let results = b.emit(
+                    block,
+                    InstKind::Call {
+                        callee,
+                        args: new_args,
+                    },
+                    &ret_tys,
+                );
                 // Original results map 1:1.
                 for (i, &r) in inst.results.iter().enumerate() {
                     b.map.insert(r, results[i]);
@@ -530,12 +625,9 @@ fn rename_block(
                     .iter()
                     .take_while(|&&i| b.new_f.insts[i].kind.is_phi())
                     .count();
-                let (iid, results) = b.new_f.insert_inst_at(
-                    block,
-                    pos,
-                    InstKind::Phi { incoming },
-                    &[ty],
-                );
+                let (iid, results) =
+                    b.new_f
+                        .insert_inst_at(block, pos, InstKind::Phi { incoming }, &[ty]);
                 b.phi_patches.push(iid);
                 b.map.insert(inst.results[0], results[0]);
                 if let Some(n) = &old.values[inst.results[0]].name {
@@ -636,7 +728,10 @@ mod tests {
             .filter(|(_, i)| matches!(f.insts[*i].kind, InstKind::Write { .. }))
             .collect();
         assert_eq!(writes.len(), 2);
-        assert!(f.inst_ids_in_order().iter().all(|(_, i)| !f.insts[*i].kind.is_mut_op()));
+        assert!(f
+            .inst_ids_in_order()
+            .iter()
+            .all(|(_, i)| !f.insts[*i].kind.is_mut_op()));
     }
 
     /// A write under a branch inserts a φ at the join.
@@ -796,7 +891,10 @@ mod tests {
         });
         let mut m = mb.finish();
         let err = construct_ssa(&mut m).unwrap_err();
-        assert!(matches!(err, ConstructError::ExternMutatesCollection(_)), "{err}");
+        assert!(
+            matches!(err, ConstructError::ExternMutatesCollection(_)),
+            "{err}"
+        );
     }
 
     /// Pure-reader externs are fine: the collection version is unchanged

@@ -230,12 +230,18 @@ fn trace_root(
                     }
                 }
                 InstKind::Call { callee, args } => {
-                    let Callee::Func(target) = callee else { return None };
+                    let Callee::Func(target) = callee else {
+                        return None;
+                    };
                     // Which param does the callee's ret `ri` alias?
                     let callee_alias: Option<usize> = if scc.contains(target) {
-                        committed.get(target).and_then(|a| a.get(*ri as usize).copied().flatten())
+                        committed
+                            .get(target)
+                            .and_then(|a| a.get(*ri as usize).copied().flatten())
                     } else {
-                        committed.get(target).and_then(|a| a.get(*ri as usize).copied().flatten())
+                        committed
+                            .get(target)
+                            .and_then(|a| a.get(*ri as usize).copied().flatten())
                     };
                     // During candidate computation for the first SCC
                     // member, in-SCC callees may be missing: assume the
@@ -321,7 +327,12 @@ fn build_destructed(
         copies: usize,
         phi_patch: Vec<(InstId, Vec<(BlockId, ValueId)>)>,
     }
-    let mut ctx = Ctx { map: HashMap::new(), repr: HashMap::new(), copies: 0, phi_patch: Vec::new() };
+    let mut ctx = Ctx {
+        map: HashMap::new(),
+        repr: HashMap::new(),
+        copies: 0,
+        phi_patch: Vec::new(),
+    };
     for (i, &pv) in old.param_values.iter().enumerate() {
         ctx.map.insert(pv, g.param_values[i]);
         if m.types.get(old.params[i].ty).is_collection() {
@@ -378,20 +389,44 @@ fn build_destructed(
                 InstKind::Write { c, idx, value } => {
                     let h = consume!(c);
                     let (ii, vv) = (op!(idx), op!(value));
-                    g.append_inst(nblock, InstKind::MutWrite { c: h, idx: ii, value: vv }, &[]);
+                    g.append_inst(
+                        nblock,
+                        InstKind::MutWrite {
+                            c: h,
+                            idx: ii,
+                            value: vv,
+                        },
+                        &[],
+                    );
                     ctx.repr.insert(inst.results[0], h);
                 }
                 InstKind::Insert { c, idx, value } => {
                     let h = consume!(c);
                     let ii = op!(idx);
                     let vv = value.map(|v| op!(v));
-                    g.append_inst(nblock, InstKind::MutInsert { c: h, idx: ii, value: vv }, &[]);
+                    g.append_inst(
+                        nblock,
+                        InstKind::MutInsert {
+                            c: h,
+                            idx: ii,
+                            value: vv,
+                        },
+                        &[],
+                    );
                     ctx.repr.insert(inst.results[0], h);
                 }
                 InstKind::InsertSeq { c, idx, src } => {
                     let h = consume!(c);
                     let (ii, ss) = (op!(idx), op!(src));
-                    g.append_inst(nblock, InstKind::MutInsertSeq { c: h, idx: ii, src: ss }, &[]);
+                    g.append_inst(
+                        nblock,
+                        InstKind::MutInsertSeq {
+                            c: h,
+                            idx: ii,
+                            src: ss,
+                        },
+                        &[],
+                    );
                     ctx.repr.insert(inst.results[0], h);
                 }
                 InstKind::Remove { c, idx } => {
@@ -403,7 +438,15 @@ fn build_destructed(
                 InstKind::RemoveRange { c, from, to } => {
                     let h = consume!(c);
                     let (ff, tt) = (op!(from), op!(to));
-                    g.append_inst(nblock, InstKind::MutRemoveRange { c: h, from: ff, to: tt }, &[]);
+                    g.append_inst(
+                        nblock,
+                        InstKind::MutRemoveRange {
+                            c: h,
+                            from: ff,
+                            to: tt,
+                        },
+                        &[],
+                    );
                     ctx.repr.insert(inst.results[0], h);
                 }
                 InstKind::Swap { c, from, to, at } => {
@@ -411,7 +454,12 @@ fn build_destructed(
                     let (ff, tt, aa) = (op!(from), op!(to), op!(at));
                     g.append_inst(
                         nblock,
-                        InstKind::MutSwap { c: h, from: ff, to: tt, at: aa },
+                        InstKind::MutSwap {
+                            c: h,
+                            from: ff,
+                            to: tt,
+                            at: aa,
+                        },
                         &[],
                     );
                     ctx.repr.insert(inst.results[0], h);
@@ -422,7 +470,13 @@ fn build_destructed(
                     let (ff, tt, aa) = (op!(from), op!(to), op!(at));
                     g.append_inst(
                         nblock,
-                        InstKind::MutSwap2 { a: ha, from: ff, to: tt, b: hb, at: aa },
+                        InstKind::MutSwap2 {
+                            a: ha,
+                            from: ff,
+                            to: tt,
+                            b: hb,
+                            at: aa,
+                        },
                         &[],
                     );
                     ctx.repr.insert(inst.results[0], ha);
@@ -479,16 +533,21 @@ fn build_destructed(
                             .ret_tys
                             .iter()
                             .enumerate()
-                            .filter(|(k, _)| {
-                                callee_aliases.get(*k).copied().flatten().is_none()
-                            })
+                            .filter(|(k, _)| callee_aliases.get(*k).copied().flatten().is_none())
                             .map(|(_, &ty)| ty)
                             .collect(),
                         Callee::Func(t) => m.funcs[t].ret_tys.clone(),
                         Callee::Extern(e) => m.externs[e].ret_tys.clone(),
                     };
                     let res = g
-                        .append_inst(nblock, InstKind::Call { callee, args: new_args.clone() }, &kept_tys)
+                        .append_inst(
+                            nblock,
+                            InstKind::Call {
+                                callee,
+                                args: new_args.clone(),
+                            },
+                            &kept_tys,
+                        )
                         .1;
                     // Bind old results: dropped ones alias the argument
                     // handle; kept ones bind in order.
@@ -527,8 +586,7 @@ fn build_destructed(
                     other.visit_successors_mut(|s| {
                         *s = bmap[s];
                     });
-                    let tys: Vec<TypeId> =
-                        inst.results.iter().map(|&r| old.value_ty(r)).collect();
+                    let tys: Vec<TypeId> = inst.results.iter().map(|&r| old.value_ty(r)).collect();
                     let res = g.append_inst(nblock, other, &tys).1;
                     for (i, &r) in inst.results.iter().enumerate() {
                         g.values[res[i]].name = old.values[r].name.clone();
@@ -587,16 +645,16 @@ fn build_destructed(
 
 /// Resolves the final handle of an SSA value, looking through handle φs
 /// whose incomings all agree.
-fn resolve_handle(
-    g: &Function,
-    repr: &HashMap<ValueId, ValueId>,
-    v: ValueId,
-) -> Option<ValueId> {
+fn resolve_handle(g: &Function, repr: &HashMap<ValueId, ValueId>, v: ValueId) -> Option<ValueId> {
     let mut h = *repr.get(&v)?;
     // Look through self-agreeing φs (bounded walk).
     for _ in 0..8 {
-        let ValueDef::Inst(iid, _) = g.values[h].def else { break };
-        let InstKind::Phi { incoming } = &g.insts[iid].kind else { break };
+        let ValueDef::Inst(iid, _) = g.values[h].def else {
+            break;
+        };
+        let InstKind::Phi { incoming } = &g.insts[iid].kind else {
+            break;
+        };
         let mut agree: Option<ValueId> = None;
         let mut all = true;
         for (_, inc) in incoming {

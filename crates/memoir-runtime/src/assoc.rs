@@ -58,7 +58,12 @@ impl<K: Eq + Hash + Clone, V> Assoc<K, V> {
 
     /// Creates an empty associative array with an explicit Fig. 1 class.
     pub fn with_class(class: CollectionClass) -> Self {
-        let mut a = Assoc { map: HashMap::new(), order: Vec::new(), class, charged: 0 };
+        let mut a = Assoc {
+            map: HashMap::new(),
+            order: Vec::new(),
+            class,
+            charged: 0,
+        };
         a.recharge();
         a
     }
@@ -66,8 +71,8 @@ impl<K: Eq + Hash + Clone, V> Assoc<K, V> {
     fn footprint(&self) -> u64 {
         // Hashtable model: capacity grows by doubling at 87.5% load; each
         // slot stores key + value + overhead.
-        let entry = (std::mem::size_of::<K>() + std::mem::size_of::<V>()) as u64
-            + ENTRY_OVERHEAD_BYTES;
+        let entry =
+            (std::mem::size_of::<K>() + std::mem::size_of::<V>()) as u64 + ENTRY_OVERHEAD_BYTES;
         let cap = self.map.len().next_power_of_two().max(8) as u64;
         HEADER_BYTES + cap * entry + (self.order.len() * std::mem::size_of::<K>()) as u64
     }
@@ -231,7 +236,10 @@ mod tests {
         let mut s = crate::Seq::with_len(1, |_| 0i64);
         s.write(0, 1);
         let seq_cost = snapshot().cost;
-        assert!(assoc_cost > seq_cost, "hash op {assoc_cost} > seq op {seq_cost}");
+        assert!(
+            assoc_cost > seq_cost,
+            "hash op {assoc_cost} > seq op {seq_cost}"
+        );
     }
 
     #[test]

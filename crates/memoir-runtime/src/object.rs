@@ -30,13 +30,23 @@ impl<T> ObjectHeap<T> {
     /// Creates a heap for objects whose modeled layout is `layout_bytes`,
     /// each paying the default 16-byte allocator header.
     pub fn new(layout_bytes: u64) -> Self {
-        ObjectHeap { objects: Vec::new(), layout_bytes, header_bytes: OBJ_HEADER_BYTES, live: 0 }
+        ObjectHeap {
+            objects: Vec::new(),
+            layout_bytes,
+            header_bytes: OBJ_HEADER_BYTES,
+            live: 0,
+        }
     }
 
     /// Creates an arena-style heap: objects live in bulk arrays (mcf's arc
     /// storage) and pay no per-object allocator header.
     pub fn new_arena(layout_bytes: u64) -> Self {
-        ObjectHeap { objects: Vec::new(), layout_bytes, header_bytes: 0, live: 0 }
+        ObjectHeap {
+            objects: Vec::new(),
+            layout_bytes,
+            header_bytes: 0,
+            live: 0,
+        }
     }
 
     /// The modeled per-object layout size.
@@ -46,7 +56,10 @@ impl<T> ObjectHeap<T> {
 
     /// `new T` — allocates an object.
     pub fn alloc(&mut self, value: T) -> ObjRef {
-        stats::alloc(CollectionClass::Object, self.layout_bytes + self.header_bytes);
+        stats::alloc(
+            CollectionClass::Object,
+            self.layout_bytes + self.header_bytes,
+        );
         self.live += 1;
         let id = ObjRef(self.objects.len() as u32);
         self.objects.push(Some(value));
@@ -56,7 +69,10 @@ impl<T> ObjectHeap<T> {
     /// `delete(obj)`.
     pub fn delete(&mut self, r: ObjRef) {
         if self.objects[r.0 as usize].take().is_some() {
-            stats::dealloc(CollectionClass::Object, self.layout_bytes + self.header_bytes);
+            stats::dealloc(
+                CollectionClass::Object,
+                self.layout_bytes + self.header_bytes,
+            );
             self.live -= 1;
         }
     }
@@ -116,7 +132,10 @@ impl RawBuf {
     /// Allocates a buffer of `n` zero bytes.
     pub fn new(n: usize) -> Self {
         stats::alloc(CollectionClass::Unstructured, n as u64);
-        RawBuf { bytes: vec![0; n], charged: n as u64 }
+        RawBuf {
+            bytes: vec![0; n],
+            charged: n as u64,
+        }
     }
 
     /// Buffer length.

@@ -53,7 +53,11 @@ impl<T> Seq<T> {
     /// structures re-expressed as sequences keep their original class for
     /// the classification figures).
     pub fn with_class(class: CollectionClass) -> Self {
-        let mut s = Seq { elems: Vec::new(), class, charged: 0 };
+        let mut s = Seq {
+            elems: Vec::new(),
+            class,
+            charged: 0,
+        };
         s.recharge();
         s
     }
@@ -150,7 +154,11 @@ impl<T> Seq<T> {
     /// `swap(s, i, j, k)` — swaps ranges `[i : j)` and `[k : k + j - i)`.
     pub fn swap_range(&mut self, i: usize, j: usize, k: usize) {
         let w = j - i;
-        stats::write(self.class, (2 * w) as u64 * self.elem_bytes(), (2 * w) as f64);
+        stats::write(
+            self.class,
+            (2 * w) as u64 * self.elem_bytes(),
+            (2 * w) as f64,
+        );
         for o in 0..w {
             self.elems.swap(i + o, k + o);
         }

@@ -108,7 +108,9 @@ impl<M: IrUnit> AnalysisManager<M> {
         let key = (f, TypeId::of::<A>());
         if let Some(hit) = self.cache.get(&key) {
             self.counters.entry(A::NAME).or_default().hits += 1;
-            return Rc::clone(hit).downcast::<A::Output>().expect("analysis cache type");
+            return Rc::clone(hit)
+                .downcast::<A::Output>()
+                .expect("analysis cache type");
         }
         let value: Rc<A::Output> = Rc::new(A::compute(m, f));
         let gen = self.generation.get(&f).copied().unwrap_or(0);
@@ -121,8 +123,7 @@ impl<M: IrUnit> AnalysisManager<M> {
         let count = entry.2;
         let ctr = self.counters.entry(A::NAME).or_default();
         ctr.misses += 1;
-        ctr.max_computes_between_invalidations =
-            ctr.max_computes_between_invalidations.max(count);
+        ctr.max_computes_between_invalidations = ctr.max_computes_between_invalidations.max(count);
         self.cache.insert(key, Rc::clone(&value) as Rc<dyn Any>);
         value
     }
@@ -133,11 +134,14 @@ impl<M: IrUnit> AnalysisManager<M> {
         let key = TypeId::of::<A>();
         if let Some(hit) = self.module_cache.get(&key) {
             self.counters.entry(A::NAME).or_default().hits += 1;
-            return Rc::clone(hit).downcast::<A::Output>().expect("analysis cache type");
+            return Rc::clone(hit)
+                .downcast::<A::Output>()
+                .expect("analysis cache type");
         }
         let value: Rc<A::Output> = Rc::new(A::compute(m));
         self.counters.entry(A::NAME).or_default().misses += 1;
-        self.module_cache.insert(key, Rc::clone(&value) as Rc<dyn Any>);
+        self.module_cache
+            .insert(key, Rc::clone(&value) as Rc<dyn Any>);
         value
     }
 

@@ -94,7 +94,11 @@ impl<M: IrUnit> std::fmt::Debug for PassOutcome<M> {
 impl<M: IrUnit> PassOutcome<M> {
     /// An outcome that changed nothing.
     pub fn unchanged() -> Self {
-        PassOutcome { changed: false, mutated: Mutation::None, stats: Vec::new() }
+        PassOutcome {
+            changed: false,
+            mutated: Mutation::None,
+            stats: Vec::new(),
+        }
     }
 
     /// An outcome computed from statistics: changed iff any stat is
@@ -104,7 +108,11 @@ impl<M: IrUnit> PassOutcome<M> {
         let changed = stats.iter().any(|&(_, v)| v != 0);
         PassOutcome {
             changed,
-            mutated: if changed { Mutation::All } else { Mutation::None },
+            mutated: if changed {
+                Mutation::All
+            } else {
+                Mutation::None
+            },
             stats,
         }
     }
@@ -141,12 +149,18 @@ pub struct PassError {
 impl PassError {
     /// A message-only failure.
     pub fn msg(message: impl Into<String>) -> Self {
-        PassError { message: message.into(), payload: None }
+        PassError {
+            message: message.into(),
+            payload: None,
+        }
     }
 
     /// A failure carrying a typed payload.
     pub fn with_payload(message: impl Into<String>, payload: impl Any) -> Self {
-        PassError { message: message.into(), payload: Some(Box::new(payload)) }
+        PassError {
+            message: message.into(),
+            payload: Some(Box::new(payload)),
+        }
     }
 }
 
@@ -180,7 +194,10 @@ impl<M: IrUnit> FnPass<M> {
         name: &'static str,
         f: impl FnMut(&mut M, &mut AnalysisManager<M>) -> Result<PassOutcome<M>, PassError> + 'static,
     ) -> Self {
-        FnPass { name, f: Box::new(f) }
+        FnPass {
+            name,
+            f: Box::new(f),
+        }
     }
 
     /// Wraps an infallible closure as a pass.
@@ -188,7 +205,10 @@ impl<M: IrUnit> FnPass<M> {
         name: &'static str,
         mut f: impl FnMut(&mut M, &mut AnalysisManager<M>) -> PassOutcome<M> + 'static,
     ) -> Self {
-        FnPass { name, f: Box::new(move |m, am| Ok(f(m, am))) }
+        FnPass {
+            name,
+            f: Box::new(move |m, am| Ok(f(m, am))),
+        }
     }
 }
 
@@ -210,7 +230,9 @@ pub struct PassRegistry<M: IrUnit> {
 
 impl<M: IrUnit> std::fmt::Debug for PassRegistry<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PassRegistry").field("names", &self.names()).finish()
+        f.debug_struct("PassRegistry")
+            .field("names", &self.names())
+            .finish()
     }
 }
 
@@ -223,7 +245,9 @@ impl<M: IrUnit> Default for PassRegistry<M> {
 impl<M: IrUnit> PassRegistry<M> {
     /// An empty registry.
     pub fn new() -> Self {
-        PassRegistry { ctors: BTreeMap::new() }
+        PassRegistry {
+            ctors: BTreeMap::new(),
+        }
     }
 
     /// Registers a pass constructor under `name`. Later registrations

@@ -61,7 +61,10 @@ impl RunReport {
     /// `(name, time)` pairs in execution order (the legacy
     /// `PipelineReport::pass_times` shape).
     pub fn pass_times(&self) -> Vec<(String, Duration)> {
-        self.passes.iter().map(|p| (p.name.clone(), p.time)).collect()
+        self.passes
+            .iter()
+            .map(|p| (p.name.clone(), p.time))
+            .collect()
     }
 
     /// The last run of the named pass, if any.
@@ -82,10 +85,12 @@ impl RunReport {
     /// binaries).
     pub fn render_table(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("{:<24} {:>10}  {:>7}  stats\n", "pass", "time", "changed"));
+        out.push_str(&format!(
+            "{:<24} {:>10}  {:>7}  stats\n",
+            "pass", "time", "changed"
+        ));
         for p in &self.passes {
-            let stats: Vec<String> =
-                p.stats.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let stats: Vec<String> = p.stats.iter().map(|(k, v)| format!("{k}={v}")).collect();
             let name = match p.fixpoint_iteration {
                 Some(i) => format!("{} [fix #{i}]", p.name),
                 None => p.name.clone(),
@@ -138,7 +143,11 @@ impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunError::UnknownPass { name, known } => {
-                write!(f, "unknown pass `{name}`; known passes: {}", known.join(", "))
+                write!(
+                    f,
+                    "unknown pass `{name}`; known passes: {}",
+                    known.join(", ")
+                )
             }
             RunError::PassFailed { pass, error } => {
                 write!(f, "pass `{pass}` failed: {}", error.message)
@@ -261,14 +270,8 @@ impl<M: IrUnit> PassManager<M> {
                     for iter in 0..self.max_fixpoint_iters {
                         let mut any_changed = false;
                         for name in names {
-                            let changed = self.run_one(
-                                m,
-                                am,
-                                &mut instances,
-                                name,
-                                Some(iter),
-                                &mut report,
-                            )?;
+                            let changed =
+                                self.run_one(m, am, &mut instances, name, Some(iter), &mut report)?;
                             any_changed |= changed;
                         }
                         if !any_changed {
@@ -299,18 +302,22 @@ impl<M: IrUnit> PassManager<M> {
         report: &mut RunReport,
     ) -> Result<bool, RunError> {
         if !instances.contains_key(name) {
-            let pass = self.registry.create(name).ok_or_else(|| RunError::UnknownPass {
-                name: name.to_string(),
-                known: self.registry.names(),
-            })?;
+            let pass = self
+                .registry
+                .create(name)
+                .ok_or_else(|| RunError::UnknownPass {
+                    name: name.to_string(),
+                    known: self.registry.names(),
+                })?;
             instances.insert(name.to_string(), pass);
         }
         let pass = instances.get_mut(name).expect("just inserted");
 
         let t0 = Instant::now();
-        let outcome = pass
-            .run(m, am)
-            .map_err(|error| RunError::PassFailed { pass: name.to_string(), error })?;
+        let outcome = pass.run(m, am).map_err(|error| RunError::PassFailed {
+            pass: name.to_string(),
+            error,
+        })?;
         let time = t0.elapsed();
 
         if outcome.changed {
@@ -338,7 +345,10 @@ impl<M: IrUnit> PassManager<M> {
         if self.verify_between_passes {
             if let Some(v) = &self.verifier {
                 if let Err(message) = v(m) {
-                    return Err(RunError::VerifyFailed { pass: name.to_string(), message });
+                    return Err(RunError::VerifyFailed {
+                        pass: name.to_string(),
+                        message,
+                    });
                 }
             }
         }

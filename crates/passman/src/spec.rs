@@ -121,7 +121,11 @@ impl PipelineSpec {
 
         loop {
             skip_ws(&mut i);
-            let name_pos = if i < bytes.len() { bytes[i].0 } else { input.len() };
+            let name_pos = if i < bytes.len() {
+                bytes[i].0
+            } else {
+                input.len()
+            };
             let Some(name) = read_name(&mut i) else {
                 if steps.is_empty() && i >= bytes.len() {
                     return Err(SpecParseError::Empty);
@@ -139,7 +143,11 @@ impl PipelineSpec {
                     if i < bytes.len() && bytes[i].1 == ')' && body.is_empty() {
                         return Err(SpecParseError::EmptyFixpoint { pos: group_pos });
                     }
-                    let inner_pos = if i < bytes.len() { bytes[i].0 } else { input.len() };
+                    let inner_pos = if i < bytes.len() {
+                        bytes[i].0
+                    } else {
+                        input.len()
+                    };
                     let Some(inner) = read_name(&mut i) else {
                         if i >= bytes.len() {
                             return Err(SpecParseError::UnclosedFixpoint);
@@ -160,7 +168,12 @@ impl PipelineSpec {
                             i += 1;
                             break;
                         }
-                        ch => return Err(SpecParseError::UnexpectedChar { pos: bytes[i].0, ch }),
+                        ch => {
+                            return Err(SpecParseError::UnexpectedChar {
+                                pos: bytes[i].0,
+                                ch,
+                            })
+                        }
                     }
                 }
                 steps.push(SpecStep::Fixpoint(body));
@@ -174,7 +187,12 @@ impl PipelineSpec {
             }
             match bytes[i].1 {
                 ',' => i += 1,
-                ch => return Err(SpecParseError::UnexpectedChar { pos: bytes[i].0, ch }),
+                ch => {
+                    return Err(SpecParseError::UnexpectedChar {
+                        pos: bytes[i].0,
+                        ch,
+                    })
+                }
             }
         }
 
@@ -225,8 +243,8 @@ mod tests {
 
     #[test]
     fn parses_flat_and_fixpoint() {
-        let s = PipelineSpec::parse("constprop,dee,fixpoint(simplify,sink,dce),ssa-destruct")
-            .unwrap();
+        let s =
+            PipelineSpec::parse("constprop,dee,fixpoint(simplify,sink,dce),ssa-destruct").unwrap();
         assert_eq!(
             s.steps,
             vec![
@@ -264,7 +282,10 @@ mod tests {
     #[test]
     fn rejects_nested_fixpoint() {
         let err = PipelineSpec::parse("fixpoint(a,fixpoint(b))").unwrap_err();
-        assert!(matches!(err, SpecParseError::NestedFixpoint { .. }), "{err}");
+        assert!(
+            matches!(err, SpecParseError::NestedFixpoint { .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub struct DeepsjengParams {
 
 impl Default for DeepsjengParams {
     fn default() -> Self {
-        DeepsjengParams { table_entries: 60_000, nodes: 400_000 }
+        DeepsjengParams {
+            table_entries: 60_000,
+            nodes: 400_000,
+        }
     }
 }
 
@@ -69,7 +72,11 @@ impl Rng {
 /// Runs the workload; resets the thread ledger first.
 pub fn run_deepsjeng(p: &DeepsjengParams, v: DeepsjengVariant) -> DeepsjengOutcome {
     stats::reset();
-    let layout = if v.fe_key_fold { LAYOUT_ELIDED } else { LAYOUT_BASE };
+    let layout = if v.fe_key_fold {
+        LAYOUT_ELIDED
+    } else {
+        LAYOUT_BASE
+    };
     let mut heap: ObjectHeap<Entry> = ObjectHeap::new_arena(layout);
     // The table itself: a sequence of entry references (the hash array).
     let mut table: Seq<Option<ObjRef>> = Seq::with_len(p.table_entries, |_| None);
@@ -77,8 +84,9 @@ pub fn run_deepsjeng(p: &DeepsjengParams, v: DeepsjengVariant) -> DeepsjengOutco
     // key folding shrank the key from the 64-bit hash to the dense slot
     // index, so the collection is a flat Seq<u16> (2 B per slot) while the
     // entry object packs from 24 B down to 16 B.
-    let mut tags: Option<Seq<u16>> =
-        v.fe_key_fold.then(|| Seq::with_len(p.table_entries, |_| 0u16));
+    let mut tags: Option<Seq<u16>> = v
+        .fe_key_fold
+        .then(|| Seq::with_len(p.table_entries, |_| 0u16));
 
     // A per-search move stack (sequential class traffic).
     let mut moves: Seq<u32> = Seq::new();
@@ -144,7 +152,10 @@ pub fn run_deepsjeng(p: &DeepsjengParams, v: DeepsjengVariant) -> DeepsjengOutco
         stats::charge(48.0); // move generation / evaluation bookkeeping
     }
     let _ = CollectionClass::Tree;
-    DeepsjengOutcome { checksum, ledger: stats::snapshot() }
+    DeepsjengOutcome {
+        checksum,
+        ledger: stats::snapshot(),
+    }
 }
 
 #[cfg(test)]
@@ -152,7 +163,10 @@ mod tests {
     use super::*;
 
     fn small() -> DeepsjengParams {
-        DeepsjengParams { table_entries: 4_000, nodes: 30_000 }
+        DeepsjengParams {
+            table_entries: 4_000,
+            nodes: 30_000,
+        }
     }
 
     #[test]

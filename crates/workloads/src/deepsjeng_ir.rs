@@ -16,10 +16,22 @@ pub fn build_deepsjeng_ir() -> Module {
         .define_object(
             "tt_entry",
             vec![
-                Field { name: "tag".into(), ty: i16t },
-                Field { name: "depth".into(), ty: i64t },
-                Field { name: "score".into(), ty: i64t },
-                Field { name: "best_move".into(), ty: i64t },
+                Field {
+                    name: "tag".into(),
+                    ty: i16t,
+                },
+                Field {
+                    name: "depth".into(),
+                    ty: i64t,
+                },
+                Field {
+                    name: "score".into(),
+                    ty: i64t,
+                },
+                Field {
+                    name: "best_move".into(),
+                    ty: i64t,
+                },
             ],
         )
         .unwrap();
@@ -165,7 +177,8 @@ mod tests {
         memoir_ir::verifier::assert_valid(&m);
         let run = |m: &Module| {
             let mut i = Interp::new(m).with_fuel(200_000_000);
-            i.run_by_name("search", vec![Value::Int(Type::Index, 3000)]).unwrap()[0]
+            i.run_by_name("search", vec![Value::Int(Type::Index, 3000)])
+                .unwrap()[0]
                 .as_int()
                 .unwrap()
         };
@@ -178,12 +191,16 @@ mod tests {
     fn pipeline_o3_preserves_semantics() {
         let m0 = build_deepsjeng_ir();
         let mut m = m0.clone();
-        memoir_opt::compile(&mut m, memoir_opt::OptLevel::O3(memoir_opt::OptConfig::all()))
-            .unwrap();
+        memoir_opt::compile(
+            &mut m,
+            memoir_opt::OptLevel::O3(memoir_opt::OptConfig::all()),
+        )
+        .unwrap();
         memoir_ir::verifier::assert_valid(&m);
         let run = |m: &Module| {
             let mut i = Interp::new(m).with_fuel(200_000_000);
-            i.run_by_name("search", vec![Value::Int(Type::Index, 2000)]).unwrap()[0]
+            i.run_by_name("search", vec![Value::Int(Type::Index, 2000)])
+                .unwrap()[0]
                 .as_int()
                 .unwrap()
         };

@@ -56,7 +56,10 @@ mod tests {
         let mut m = build_listing1();
         memoir_opt::construct_ssa(&mut m).unwrap();
         let stats = memoir_opt::constprop(&mut m);
-        assert_eq!(stats.element_reads_forwarded, 1, "MEMOIR propagates map[0] = 10");
+        assert_eq!(
+            stats.element_reads_forwarded, 1,
+            "MEMOIR propagates map[0] = 10"
+        );
 
         // Lowered path: the map is opaque calls; constfold cannot fold the
         // read (it is not even a load — it is a call).

@@ -39,7 +39,12 @@ pub struct McfParams {
 
 impl Default for McfParams {
     fn default() -> Self {
-        McfParams { initial_arcs: 60_000, window_b: 600, append_k: 6_000, rounds: 6 }
+        McfParams {
+            initial_arcs: 60_000,
+            window_b: 600,
+            append_k: 6_000,
+            rounds: 6,
+        }
     }
 }
 
@@ -59,7 +64,12 @@ pub struct McfVariant {
 impl McfVariant {
     /// The paper's ALL configuration.
     pub fn all() -> Self {
-        McfVariant { dee: true, fe: true, rie: true, dfe: true }
+        McfVariant {
+            dee: true,
+            fe: true,
+            rie: true,
+            dfe: true,
+        }
     }
 }
 
@@ -146,15 +156,19 @@ pub fn run_mcf(p: &McfParams, v: McfVariant) -> McfOutcome {
     let mut basket: Seq<(i64, ObjRef)> = Seq::new();
     let mut specials: Seq<ObjRef> = Seq::new();
     let alloc_arc = |rng: &mut Rng,
-                         heap: &mut ObjectHeap<Arc>,
-                         idents: &mut IdentStore,
-                         specials: &mut Seq<ObjRef>,
-                         special_count: &mut u64|
+                     heap: &mut ObjectHeap<Arc>,
+                     idents: &mut IdentStore,
+                     specials: &mut Seq<ObjRef>,
+                     special_count: &mut u64|
      -> (i64, ObjRef) {
         let cost = rng.cost();
         let special = rng.next().is_multiple_of(SPECIAL_EVERY);
         let ident = rng.next();
-        let r = heap.alloc(Arc { cost, flow: 0, ident: 0 });
+        let r = heap.alloc(Arc {
+            cost,
+            flow: 0,
+            ident: 0,
+        });
         if special {
             specials.push(r);
             // Store the ident in the variant's location.
@@ -169,10 +183,15 @@ pub fn run_mcf(p: &McfParams, v: McfVariant) -> McfOutcome {
     };
 
     for _ in 0..p.initial_arcs {
-        let e = alloc_arc(&mut rng, &mut heap, &mut idents, &mut specials, &mut special_count);
+        let e = alloc_arc(
+            &mut rng,
+            &mut heap,
+            &mut idents,
+            &mut specials,
+            &mut special_count,
+        );
         basket.push(e);
     }
-
 
     let mut objective: i64 = 0;
     for _ in 0..p.rounds {
@@ -185,7 +204,7 @@ pub fn run_mcf(p: &McfParams, v: McfVariant) -> McfOutcome {
             let (cost, flow) = heap.read(r, |x| (x.cost, x.flow));
             let _ = heap.read(r, |x| x.cost); // second field group (head/tail)
             stats::charge(2.0); // reduced-cost arithmetic
-            // Consume the field reads without perturbing the objective.
+                                // Consume the field reads without perturbing the objective.
             std::hint::black_box((cost, flow));
         }
         // 0b. Special-arc pass through the specials list — the RIE access
@@ -219,7 +238,13 @@ pub fn run_mcf(p: &McfParams, v: McfVariant) -> McfOutcome {
 
         // 2. Refill with fresh candidates.
         for _ in 0..p.append_k {
-            let e = alloc_arc(&mut rng, &mut heap, &mut idents, &mut specials, &mut special_count);
+            let e = alloc_arc(
+                &mut rng,
+                &mut heap,
+                &mut idents,
+                &mut specials,
+                &mut special_count,
+            );
             basket.push(e);
         }
 
@@ -248,7 +273,10 @@ pub fn run_mcf(p: &McfParams, v: McfVariant) -> McfOutcome {
             objective += basket.read(0).0;
         }
     }
-    McfOutcome { objective, ledger: stats::snapshot() }
+    McfOutcome {
+        objective,
+        ledger: stats::snapshot(),
+    }
 }
 
 /// Lomuto quicksort over the basket by cost.
@@ -293,7 +321,12 @@ mod tests {
     use super::*;
 
     fn small() -> McfParams {
-        McfParams { initial_arcs: 2_000, window_b: 100, append_k: 800, rounds: 4 }
+        McfParams {
+            initial_arcs: 2_000,
+            window_b: 100,
+            append_k: 800,
+            rounds: 4,
+        }
     }
 
     #[test]
@@ -308,7 +341,13 @@ mod tests {
     #[test]
     fn dee_is_exact_for_the_live_slice() {
         let base = run_mcf(&small(), McfVariant::default());
-        let dee = run_mcf(&small(), McfVariant { dee: true, ..Default::default() });
+        let dee = run_mcf(
+            &small(),
+            McfVariant {
+                dee: true,
+                ..Default::default()
+            },
+        );
         assert_eq!(base.objective, dee.objective);
         assert!(
             dee.ledger.cost < base.ledger.cost,
@@ -323,9 +362,19 @@ mod tests {
     fn layout_variants_preserve_objective() {
         let base = run_mcf(&small(), McfVariant::default());
         for v in [
-            McfVariant { fe: true, ..Default::default() },
-            McfVariant { fe: true, rie: true, ..Default::default() },
-            McfVariant { dfe: true, ..Default::default() },
+            McfVariant {
+                fe: true,
+                ..Default::default()
+            },
+            McfVariant {
+                fe: true,
+                rie: true,
+                ..Default::default()
+            },
+            McfVariant {
+                dfe: true,
+                ..Default::default()
+            },
             McfVariant::all(),
         ] {
             let out = run_mcf(&small(), v);
@@ -340,10 +389,36 @@ mod tests {
     fn figure8_and_9_shape() {
         let p = McfParams::default();
         let base = run_mcf(&p, McfVariant::default());
-        let dee = run_mcf(&p, McfVariant { dee: true, ..Default::default() });
-        let fe = run_mcf(&p, McfVariant { fe: true, ..Default::default() });
-        let fe_rie = run_mcf(&p, McfVariant { fe: true, rie: true, ..Default::default() });
-        let fe_dfe = run_mcf(&p, McfVariant { fe: true, dfe: true, ..Default::default() });
+        let dee = run_mcf(
+            &p,
+            McfVariant {
+                dee: true,
+                ..Default::default()
+            },
+        );
+        let fe = run_mcf(
+            &p,
+            McfVariant {
+                fe: true,
+                ..Default::default()
+            },
+        );
+        let fe_rie = run_mcf(
+            &p,
+            McfVariant {
+                fe: true,
+                rie: true,
+                ..Default::default()
+            },
+        );
+        let fe_dfe = run_mcf(
+            &p,
+            McfVariant {
+                fe: true,
+                dfe: true,
+                ..Default::default()
+            },
+        );
         let all = run_mcf(&p, McfVariant::all());
 
         let t = |o: &McfOutcome| o.ledger.cost / base.ledger.cost - 1.0;
@@ -353,7 +428,12 @@ mod tests {
         assert!(t(&dee) < -0.15, "DEE speedup ≥15%: {}", t(&dee));
         assert!(t(&fe) > 0.02, "FE alone slows down: {}", t(&fe));
         assert!(t(&fe_rie) < t(&fe), "RIE recovers FE's slowdown");
-        assert!(t(&all) < t(&dee) + 0.02, "ALL keeps the DEE win: {} vs {}", t(&all), t(&dee));
+        assert!(
+            t(&all) < t(&dee) + 0.02,
+            "ALL keeps the DEE win: {} vs {}",
+            t(&all),
+            t(&dee)
+        );
 
         // Max RSS shape.
         assert!(r(&fe) > 0.005, "FE alone grows RSS: {}", r(&fe));

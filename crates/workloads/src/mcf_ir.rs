@@ -16,9 +16,7 @@
 //! and prunes recursive calls that cannot touch the live slice — the
 //! `O(n log n) → O(n + B log B)` effect of §VII-C.
 
-use memoir_ir::{
-    BinOp, Callee, CmpOp, Form, Function, FunctionBuilder, Module, Type,
-};
+use memoir_ir::{BinOp, Callee, CmpOp, Form, Function, FunctionBuilder, Module, Type};
 
 /// Builds the mcf kernel module. `master(n0, B, K, rounds) -> i64` returns
 /// the accumulated objective (the sum over rounds of the cheapest arc).
@@ -297,7 +295,13 @@ mod tests {
     use super::*;
     use memoir_interp::{Interp, Value};
 
-    fn run_master(m: &Module, n0: i64, b: i64, k: i64, rounds: i64) -> (i64, memoir_interp::ExecStats) {
+    fn run_master(
+        m: &Module,
+        n0: i64,
+        b: i64,
+        k: i64,
+        rounds: i64,
+    ) -> (i64, memoir_interp::ExecStats) {
         let mut i = Interp::new(m).with_fuel(2_000_000_000);
         let out = i
             .run_by_name(
@@ -334,8 +338,7 @@ mod tests {
         let mut m = build_mcf_ir();
         memoir_opt::construct_ssa(&mut m).unwrap();
         memoir_ir::verifier::assert_valid(&m);
-        let stats =
-            memoir_opt::dee_specialize_calls_with(&mut m, memoir_opt::DeeOptions::exact());
+        let stats = memoir_opt::dee_specialize_calls_with(&mut m, memoir_opt::DeeOptions::exact());
         assert_eq!(stats.functions_specialized, 1, "{stats:?}");
         assert_eq!(stats.calls_specialized, 1, "{stats:?}");
         assert!(stats.recursive_calls_pruned >= 1, "{stats:?}");
@@ -347,7 +350,10 @@ mod tests {
         for (n0, b, k, rounds) in [(200i64, 8i64, 50i64, 1i64), (400, 16, 150, 4)] {
             let (ob, _) = run_master(&baseline, n0, b, k, rounds);
             let (od, _) = run_master(&m, n0, b, k, rounds);
-            assert_eq!(ob, od, "exact mode preserves the objective ({n0},{b},{k},{rounds})");
+            assert_eq!(
+                ob, od,
+                "exact mode preserves the objective ({n0},{b},{k},{rounds})"
+            );
         }
 
         // Complexity: with a large basket and a small live window the
@@ -392,8 +398,16 @@ mod tests {
         // collapses. The picked values remain genuine basket costs.
         let (ob, s_base) = run_master(&baseline, 900, 8, 450, 2);
         let (od, s_dee) = run_master(&m, 900, 8, 450, 2);
-        assert!((0..4 * 16384).contains(&od), "picked values stay in range: base={ob} dee={od}");
-        assert!(s_dee.cost < s_base.cost * 0.75, "base={} dee={}", s_base.cost, s_dee.cost);
+        assert!(
+            (0..4 * 16384).contains(&od),
+            "picked values stay in range: base={ob} dee={od}"
+        );
+        assert!(
+            s_dee.cost < s_base.cost * 0.75,
+            "base={} dee={}",
+            s_base.cost,
+            s_dee.cost
+        );
     }
 
     #[test]

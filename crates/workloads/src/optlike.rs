@@ -20,7 +20,11 @@ pub struct OptlikeParams {
 
 impl Default for OptlikeParams {
     fn default() -> Self {
-        OptlikeParams { insts: 60_000, blocks: 400, passes: 3 }
+        OptlikeParams {
+            insts: 60_000,
+            blocks: 400,
+            passes: 3,
+        }
     }
 }
 
@@ -102,7 +106,10 @@ pub fn run_optlike(p: &OptlikeParams) -> OptlikeOutcome {
             }
         }
     }
-    OptlikeOutcome { redundant, ledger: stats::snapshot() }
+    OptlikeOutcome {
+        redundant,
+        ledger: stats::snapshot(),
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +118,11 @@ mod tests {
 
     #[test]
     fn deterministic_with_hits() {
-        let p = OptlikeParams { insts: 5_000, blocks: 50, passes: 2 };
+        let p = OptlikeParams {
+            insts: 5_000,
+            blocks: 50,
+            passes: 2,
+        };
         let a = run_optlike(&p);
         let b = run_optlike(&p);
         assert_eq!(a.redundant, b.redundant);
@@ -120,7 +131,11 @@ mod tests {
 
     #[test]
     fn traffic_spans_classes() {
-        let p = OptlikeParams { insts: 5_000, blocks: 50, passes: 1 };
+        let p = OptlikeParams {
+            insts: 5_000,
+            blocks: 50,
+            passes: 1,
+        };
         let out = run_optlike(&p);
         use memoir_runtime::CollectionClass as C;
         assert!(out.ledger.class(C::Object).allocated > 0);

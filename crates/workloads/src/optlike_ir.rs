@@ -98,7 +98,10 @@ mod tests {
 
     fn run(m: &Module, n: i64) -> i64 {
         let mut i = Interp::new(m).with_fuel(200_000_000);
-        i.run_by_name("gvn", vec![Value::Int(Type::Index, n)]).unwrap()[0].as_int().unwrap()
+        i.run_by_name("gvn", vec![Value::Int(Type::Index, n)])
+            .unwrap()[0]
+            .as_int()
+            .unwrap()
     }
 
     #[test]
@@ -106,7 +109,10 @@ mod tests {
         let m = build_optlike_ir();
         memoir_ir::verifier::assert_valid(&m);
         let red = run(&m, 5000);
-        assert!(red > 3000, "1024 distinct keys over 5000 draws ⇒ many hits: {red}");
+        assert!(
+            red > 3000,
+            "1024 distinct keys over 5000 draws ⇒ many hits: {red}"
+        );
     }
 
     #[test]

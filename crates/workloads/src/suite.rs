@@ -36,7 +36,10 @@ pub fn run_suite() -> Vec<SuiteResult> {
     let mut run = |name: &'static str, f: &mut dyn FnMut()| {
         stats::reset();
         f();
-        out.push(SuiteResult { name, ledger: stats::snapshot() });
+        out.push(SuiteResult {
+            name,
+            ledger: stats::snapshot(),
+        });
     };
 
     // perlbench: string-hash interpreter — associative-heavy with
@@ -79,7 +82,12 @@ pub fn run_suite() -> Vec<SuiteResult> {
 
     // mcf: the pricing twin.
     run("mcf", &mut || {
-        let p = mcf::McfParams { initial_arcs: 8_000, window_b: 300, append_k: 3_000, rounds: 3 };
+        let p = mcf::McfParams {
+            initial_arcs: 8_000,
+            window_b: 300,
+            append_k: 3_000,
+            rounds: 3,
+        };
         let _ = mcf::run_mcf(&p, mcf::McfVariant::default());
         // run_mcf resets the ledger itself; re-run inline for the suite's
         // accounting by recomputing once more below.
@@ -158,7 +166,10 @@ pub fn run_suite() -> Vec<SuiteResult> {
 
     // deepsjeng: the transposition-table twin.
     run("deepsjeng", &mut || {
-        let p = deepsjeng::DeepsjengParams { table_entries: 8_000, nodes: 60_000 };
+        let p = deepsjeng::DeepsjengParams {
+            table_entries: 8_000,
+            nodes: 60_000,
+        };
         let _ = deepsjeng::run_deepsjeng(&p, deepsjeng::DeepsjengVariant::default());
     });
 
@@ -225,7 +236,11 @@ mod tests {
         let results = run_suite();
         assert_eq!(results.len(), 10);
         for r in &results {
-            assert!(r.ledger.total_allocated() > 0, "{} allocated nothing", r.name);
+            assert!(
+                r.ledger.total_allocated() > 0,
+                "{} allocated nothing",
+                r.name
+            );
         }
     }
 

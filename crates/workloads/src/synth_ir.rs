@@ -37,8 +37,14 @@ pub fn build_synth_ir(nfuncs: usize, seed: u64) -> Module {
         .define_object(
             "rec",
             vec![
-                Field { name: "a".into(), ty: i64t },
-                Field { name: "b".into(), ty: i64t },
+                Field {
+                    name: "a".into(),
+                    ty: i64t,
+                },
+                Field {
+                    name: "b".into(),
+                    ty: i64t,
+                },
             ],
         )
         .unwrap();
@@ -72,7 +78,11 @@ pub fn build_synth_ir(nfuncs: usize, seed: u64) -> Module {
             let t0 = b.mul(x, kk);
             let t = b.add(t0, kk2);
             let u = b.add(r0, r1);
-            let v = if blocked_read { Some(b.read(s, i2)) } else { None };
+            let v = if blocked_read {
+                Some(b.read(s, i2))
+            } else {
+                None
+            };
             // A store the sinker must respect.
             let stored = b.i64(c2);
             b.mut_write(s, i3, stored);
@@ -165,7 +175,10 @@ mod tests {
         let mut s = lowered.clone();
         let sink = lir::sink(&mut s);
         assert!(sink.attempts() > 20, "{sink:?}");
-        assert!(sink.blocked_may_write + sink.blocked_may_reference > 0, "{sink:?}");
+        assert!(
+            sink.blocked_may_write + sink.blocked_may_reference > 0,
+            "{sink:?}"
+        );
         assert!(sink.success > 0, "{sink:?}");
 
         let mut c = lowered.clone();

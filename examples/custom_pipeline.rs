@@ -4,14 +4,17 @@
 //! cargo run --example custom_pipeline
 //! ```
 
-use memoir::ir::{Form, ModuleBuilder, Type};
 use memoir::interp::{Interp, Value};
+use memoir::ir::{Form, ModuleBuilder, Type};
 use memoir::opt::{compile_spec, default_spec, OptConfig, OptLevel};
 use memoir::passman::PipelineSpec;
 
 fn main() {
     // The default O3 pipeline is itself just a spec string.
-    println!("default O3 pipeline:\n  {}\n", default_spec(OptLevel::O3(OptConfig::all())));
+    println!(
+        "default O3 pipeline:\n  {}\n",
+        default_spec(OptLevel::O3(OptConfig::all()))
+    );
 
     // Build a small mut-form program…
     let mut mb = ModuleBuilder::new("demo");
@@ -46,6 +49,8 @@ fn main() {
     let bad: PipelineSpec = "ssa-construct,licm".parse().unwrap();
     let err = compile_spec(&mut module.clone(), &bad).unwrap_err();
     println!("\nunknown pass: {err}");
-    let err = "fixpoint(a,fixpoint(b))".parse::<PipelineSpec>().unwrap_err();
+    let err = "fixpoint(a,fixpoint(b))"
+        .parse::<PipelineSpec>()
+        .unwrap_err();
     println!("nested fixpoint: {err}");
 }

@@ -35,7 +35,10 @@ fn main() {
     // Sweep basket sizes: the window B stays fixed, so the baseline sorts
     // ever more dead elements while the specialized kernel's work stays
     // near-linear.
-    println!("{:>8} {:>4} {:>13} {:>13} {:>9}", "n", "B", "base cost", "DEE cost", "speedup");
+    println!(
+        "{:>8} {:>4} {:>13} {:>13} {:>9}",
+        "n", "B", "base cost", "DEE cost", "speedup"
+    );
     for scale in [1i64, 2, 4, 8] {
         let (n0, k, b, rounds) = (800 * scale, 400 * scale, 16, 3);
         let run = |m: &memoir::ir::Module| {

@@ -18,9 +18,18 @@ fn main() {
         .define_object(
             "arc",
             vec![
-                Field { name: "cost".into(), ty: i64t },   // hot
-                Field { name: "ident".into(), ty: i64t },  // cold → elided
-                Field { name: "scratch".into(), ty: i64t }, // never read → DFE
+                Field {
+                    name: "cost".into(),
+                    ty: i64t,
+                }, // hot
+                Field {
+                    name: "ident".into(),
+                    ty: i64t,
+                }, // cold → elided
+                Field {
+                    name: "scratch".into(),
+                    ty: i64t,
+                }, // never read → DFE
             ],
         )
         .unwrap();

@@ -52,7 +52,10 @@ fn main() {
     for (pass, t) in &report.pass_times {
         println!("{pass:>16}: {:?}", t);
     }
-    println!("spurious copies from destruction: {}", report.destruct_copies);
+    println!(
+        "spurious copies from destruction: {}",
+        report.destruct_copies
+    );
 
     // Run the original and the optimized program: same answer.
     let run = |m: &memoir::ir::Module| {
@@ -65,5 +68,5 @@ fn main() {
     println!("\noriginal : {r0:?} in {i0} interpreted instructions");
     println!("optimized: {r1:?} in {i1} interpreted instructions");
     assert_eq!(r0, r1);
-    assert_eq!(r0, Value::Int(Type::I64, 0 + 4 + 25));
+    assert_eq!(r0, Value::Int(Type::I64, 4 + 25)); // 0² + 2² + 5²
 }

@@ -65,10 +65,10 @@
 
 pub use lir;
 pub use memoir_analysis as analysis;
-pub use passman;
 pub use memoir_interp as interp;
 pub use memoir_ir as ir;
 pub use memoir_lower as lower;
 pub use memoir_opt as opt;
 pub use memoir_runtime as runtime;
+pub use passman;
 pub use workloads;

@@ -34,7 +34,9 @@ fn lowered_form_cannot_fold() {
     // Runtime agreement between the MEMOIR interpreter and the lowered
     // machine.
     let mut vm1 = memoir::interp::Interp::new(&m);
-    let r1 = vm1.run_by_name("work", vec![]).unwrap()[0].as_int().unwrap();
+    let r1 = vm1.run_by_name("work", vec![]).unwrap()[0]
+        .as_int()
+        .unwrap();
     let mut vm2 = memoir::lir::LirMachine::new(&lowered);
     let r2 = vm2.run_by_name("work", vec![]).unwrap()[0];
     assert_eq!(r1, r2);

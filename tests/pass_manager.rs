@@ -65,7 +65,8 @@ fn loopy() -> Module {
 
 fn run_main(m: &Module, count: i64) -> Vec<Value> {
     let mut vm = Interp::new(m).with_fuel(50_000_000);
-    vm.run_by_name("main", vec![Value::Int(Type::Index, count)]).unwrap()
+    vm.run_by_name("main", vec![Value::Int(Type::Index, count)])
+        .unwrap()
 }
 
 // ---------------------------------------------------------------- specs
@@ -85,7 +86,10 @@ fn spec_round_trips_through_parse_and_print() {
 
 #[test]
 fn default_specs_print_the_documented_pipelines() {
-    assert_eq!(default_spec(OptLevel::O0).to_string(), "ssa-construct,ssa-destruct");
+    assert_eq!(
+        default_spec(OptLevel::O0).to_string(),
+        "ssa-construct,ssa-destruct"
+    );
     assert_eq!(
         default_spec(OptLevel::O3(OptConfig::all())).to_string(),
         "ssa-construct,constprop,dee,fixpoint(constprop,simplify,sink,dce),\
@@ -100,8 +104,13 @@ fn default_specs_print_the_documented_pipelines() {
 
 #[test]
 fn nested_fixpoint_is_a_parse_error() {
-    let err = "fixpoint(a,fixpoint(b))".parse::<PipelineSpec>().unwrap_err();
-    assert!(matches!(err, SpecParseError::NestedFixpoint { .. }), "{err:?}");
+    let err = "fixpoint(a,fixpoint(b))"
+        .parse::<PipelineSpec>()
+        .unwrap_err();
+    assert!(
+        matches!(err, SpecParseError::NestedFixpoint { .. }),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -138,7 +147,11 @@ fn spec_driven_o3_matches_legacy_sequence_on_loopy() {
 
     for c in [0, 1, 7, 20] {
         assert_eq!(run_main(&m0, c), run_main(&spec, c), "vs source, count={c}");
-        assert_eq!(run_main(&legacy, c), run_main(&spec, c), "vs legacy, count={c}");
+        assert_eq!(
+            run_main(&legacy, c),
+            run_main(&spec, c),
+            "vs legacy, count={c}"
+        );
     }
     assert_eq!(rl.destruct_copies, rs.destruct_copies);
     assert_eq!(rl.ssa_census, rs.ssa_census);
@@ -153,7 +166,9 @@ fn spec_driven_o3_matches_legacy_sequence_on_workloads() {
     let mut spec = m0.clone();
     compile(&mut spec, OptLevel::O3(OptConfig::all())).unwrap();
     let run = |m: &Module| {
-        Interp::new(m).run_by_name("work", vec![]).unwrap()[0].as_int().unwrap()
+        Interp::new(m).run_by_name("work", vec![]).unwrap()[0]
+            .as_int()
+            .unwrap()
     };
     assert_eq!(run(&m0), run(&spec));
     assert_eq!(run(&legacy), run(&spec));
@@ -166,7 +181,8 @@ fn spec_driven_o3_matches_legacy_sequence_on_workloads() {
     compile(&mut spec, OptLevel::O3(OptConfig::all())).unwrap();
     let run = |m: &Module| {
         let mut i = Interp::new(m).with_fuel(200_000_000);
-        i.run_by_name("search", vec![Value::Int(Type::Index, 600)]).unwrap()[0]
+        i.run_by_name("search", vec![Value::Int(Type::Index, 600)])
+            .unwrap()[0]
             .as_int()
             .unwrap()
     };
@@ -179,10 +195,14 @@ fn spec_driven_o3_matches_legacy_sequence_on_workloads() {
 #[test]
 fn handwritten_scalar_core_spec_preserves_semantics() {
     let core: PipelineSpec = "constprop,dee,fixpoint(simplify,sink,dce)".parse().unwrap();
-    assert_eq!(core.to_string(), "constprop,dee,fixpoint(simplify,sink,dce)");
+    assert_eq!(
+        core.to_string(),
+        "constprop,dee,fixpoint(simplify,sink,dce)"
+    );
 
-    let full: PipelineSpec =
-        format!("ssa-construct,{core},ssa-destruct").parse().unwrap();
+    let full: PipelineSpec = format!("ssa-construct,{core},ssa-destruct")
+        .parse()
+        .unwrap();
     let m0 = loopy();
     let mut m = m0.clone();
     let report = compile_spec(&mut m, &full).unwrap();
@@ -193,7 +213,11 @@ fn handwritten_scalar_core_spec_preserves_semantics() {
     compile_fixed_reference(&mut legacy, OptLevel::O3(OptConfig::all())).unwrap();
     for c in [0, 1, 7, 20] {
         assert_eq!(run_main(&m0, c), run_main(&m, c), "vs source, count={c}");
-        assert_eq!(run_main(&legacy, c), run_main(&m, c), "vs legacy, count={c}");
+        assert_eq!(
+            run_main(&legacy, c),
+            run_main(&m, c),
+            "vs legacy, count={c}"
+        );
     }
 }
 

@@ -131,7 +131,9 @@ fn build(ops: &[Op]) -> (Module, i64) {
     });
     let mut m = mb.finish();
     m.entry = m.func_by_name("main");
-    let expect = oracle.iter().fold(0i64, |a, &v| a.wrapping_mul(2).wrapping_add(v));
+    let expect = oracle
+        .iter()
+        .fold(0i64, |a, &v| a.wrapping_mul(2).wrapping_add(v));
     (m, expect)
 }
 

@@ -9,7 +9,10 @@ use proptest::prelude::*;
 fn workload_modules() -> Vec<(&'static str, memoir::ir::Module)> {
     vec![
         ("mcf", memoir::workloads::mcf_ir::build_mcf_ir()),
-        ("deepsjeng", memoir::workloads::deepsjeng_ir::build_deepsjeng_ir()),
+        (
+            "deepsjeng",
+            memoir::workloads::deepsjeng_ir::build_deepsjeng_ir(),
+        ),
         ("optlike", memoir::workloads::optlike_ir::build_optlike_ir()),
         ("listing1", memoir::workloads::listing1::build_listing1()),
     ]
@@ -39,8 +42,8 @@ fn printer_parser_round_trip_ssa_form() {
     for (name, mut m) in workload_modules() {
         memoir::opt::construct_ssa(&mut m).unwrap();
         let text = printer::print_module(&m);
-        let parsed = parser::parse_module(&text)
-            .unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+        let parsed =
+            parser::parse_module(&text).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
         memoir::ir::verifier::assert_valid(&parsed);
     }
 }
@@ -66,7 +69,10 @@ fn pipeline_is_repeatable() {
     memoir::opt::compile(&mut m, memoir::opt::OptLevel::O0).unwrap();
     memoir::ir::verifier::assert_valid(&m);
     let mut vm = memoir::interp::Interp::new(&m);
-    assert_eq!(vm.run_by_name("work", vec![]).unwrap()[0].as_int(), Some(10));
+    assert_eq!(
+        vm.run_by_name("work", vec![]).unwrap()[0].as_int(),
+        Some(10)
+    );
 }
 
 // ------------------------------------------------------- lattice laws

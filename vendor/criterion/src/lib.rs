@@ -27,7 +27,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A benchmark id `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
     }
 }
 
@@ -133,7 +135,10 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { parent: self, name: name.into() }
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
     }
 }
 

@@ -63,7 +63,9 @@ pub mod test_runner {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x0000_0100_0000_01B3);
             }
-            TestRng { state: h ^ 0x9E37_79B9_7F4A_7C15 }
+            TestRng {
+                state: h ^ 0x9E37_79B9_7F4A_7C15,
+            }
         }
 
         /// Next 64 random bits.
@@ -157,7 +159,9 @@ pub mod strategy {
 
     impl<V> Clone for BoxedStrategy<V> {
         fn clone(&self) -> Self {
-            BoxedStrategy { gen: Rc::clone(&self.gen) }
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
         }
     }
 
@@ -296,7 +300,10 @@ pub mod collection {
 
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
-            SizeRange { min: r.start, max: r.end.max(r.start + 1) }
+            SizeRange {
+                min: r.start,
+                max: r.end.max(r.start + 1),
+            }
         }
     }
 
