@@ -469,6 +469,10 @@ impl passman::IrUnit for Module {
     fn func_keys(&self) -> Vec<Fun> {
         (0..self.funcs.len() as u32).map(Fun).collect()
     }
+
+    fn size_hint(&self) -> usize {
+        self.inst_count()
+    }
 }
 
 #[cfg(test)]

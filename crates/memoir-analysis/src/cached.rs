@@ -7,7 +7,7 @@
 //! Results are cached until a pass declares it mutated the function —
 //! "analyses as first-class cached artifacts shared across rewrites".
 
-use crate::{Affinity, CallGraph, DefUse, DomTree, EscapeAnalysis, Liveness, Purity};
+use crate::{Affinity, CallGraph, DefUse, DomTree, EscapeAnalysis, Liveness, Purity, TypeEscape};
 use memoir_ir::{BlockId, FuncId, Module};
 use passman::{Analysis, ModuleAnalysis};
 use std::collections::HashMap;
@@ -106,6 +106,19 @@ impl ModuleAnalysis<Module> for CachedPurity {
     const NAME: &'static str = "purity";
     fn compute(m: &Module) -> Purity {
         Purity::compute(m, &CallGraph::compute(m))
+    }
+}
+
+/// Cached module-wide type escape ([`TypeEscape`]): which object types
+/// reach unknown code and so must keep their layout.
+#[derive(Debug)]
+pub struct CachedTypeEscape;
+
+impl ModuleAnalysis<Module> for CachedTypeEscape {
+    type Output = TypeEscape;
+    const NAME: &'static str = "type-escape";
+    fn compute(m: &Module) -> TypeEscape {
+        TypeEscape::compute(m)
     }
 }
 

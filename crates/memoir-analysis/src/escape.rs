@@ -11,7 +11,7 @@
 //! by contrast, are first-class and escape through field writes, element
 //! stores, returns, and opaque calls.
 
-use memoir_ir::{Callee, Function, InstId, InstKind, Module, ValueId};
+use memoir_ir::{Callee, Function, InstId, InstKind, Module, ObjTypeId, Type, TypeId, ValueId};
 use std::collections::{HashMap, HashSet};
 
 /// Verdict for one allocation site.
@@ -145,6 +145,65 @@ impl EscapeAnalysis {
             .values()
             .filter(|p| **p == Placement::Stack)
             .count()
+    }
+}
+
+/// Module-wide type escape: which object types have references that reach
+/// *unknown* code (externs that read their arguments, or are opaque).
+///
+/// Under partial compilation, unknown code may read any field of such a
+/// type, so layout transformations (dead-field elimination, field
+/// elision) must leave it untouched. The set is closed over reachability:
+/// passing `&T` to an extern taints `T` and every type reachable through
+/// `T`'s fields, element types, and key/value types.
+#[derive(Clone, Debug, Default)]
+pub struct TypeEscape {
+    /// Object types whose references reach unknown code.
+    pub escaping: HashSet<ObjTypeId>,
+}
+
+impl TypeEscape {
+    /// Scans every extern call site of the module.
+    pub fn compute(m: &Module) -> Self {
+        let mut escaping = HashSet::new();
+        for (_, f) in m.funcs.iter() {
+            for (_, i) in f.inst_ids_in_order() {
+                if let InstKind::Call {
+                    callee: Callee::Extern(e),
+                    args,
+                } = &f.insts[i].kind
+                {
+                    let eff = m.externs[*e].effects;
+                    if eff.reads_args || eff.opaque {
+                        for &a in args {
+                            mark_reachable_types(m, f.value_ty(a), &mut escaping);
+                        }
+                    }
+                }
+            }
+        }
+        TypeEscape { escaping }
+    }
+
+    /// Whether layout transformations must leave `ty` alone.
+    pub fn escapes(&self, ty: ObjTypeId) -> bool {
+        self.escaping.contains(&ty)
+    }
+}
+
+fn mark_reachable_types(m: &Module, ty: TypeId, out: &mut HashSet<ObjTypeId>) {
+    match m.types.get(ty) {
+        Type::Ref(o) | Type::Object(o) if out.insert(o) => {
+            for field in m.types.object(o).fields.clone() {
+                mark_reachable_types(m, field.ty, out);
+            }
+        }
+        Type::Seq(e) => mark_reachable_types(m, e, out),
+        Type::Assoc(k, v) => {
+            mark_reachable_types(m, k, out);
+            mark_reachable_types(m, v, out);
+        }
+        _ => {}
     }
 }
 

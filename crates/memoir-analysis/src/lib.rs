@@ -44,7 +44,7 @@ pub use affinity::Affinity;
 pub use callgraph::CallGraph;
 pub use defuse::DefUse;
 pub use dominators::DomTree;
-pub use escape::{EscapeAnalysis, Placement};
+pub use escape::{EscapeAnalysis, Placement, TypeEscape};
 pub use exprtree::{Affine, Expr, Term};
 pub use idxrange::IndexRanges;
 pub use liveness::Liveness;

@@ -123,6 +123,10 @@ impl passman::IrUnit for Module {
     fn func_keys(&self) -> Vec<FuncId> {
         self.funcs.ids().collect()
     }
+
+    fn size_hint(&self) -> usize {
+        self.inst_count()
+    }
 }
 
 /// Module-wide collection statistics (Table III's "# Collections").

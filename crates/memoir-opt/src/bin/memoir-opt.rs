@@ -1,0 +1,178 @@
+//! The `memoir-opt` command-line driver: parse textual MEMOIR IR, run a
+//! pipeline spec over it, print the optimized module.
+//!
+//! ```text
+//! memoir-opt --passes='ssa-construct,constprop,fixpoint<max=4>(simplify,dce),ssa-destruct' \
+//!            --on-fault=skip --budget=pass-ms=500,growth=4.0 --report in.mir -o out.mir
+//! ```
+
+use memoir_opt::pipeline::{compile_spec_with, default_spec, OptConfig, OptLevel};
+use passman::{Budgets, FaultPlan, FaultPolicy, PipelineSpec};
+use std::io::{Read, Write};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+memoir-opt — run a MEMOIR pass pipeline over textual IR
+
+USAGE:
+    memoir-opt [OPTIONS] [INPUT]
+
+ARGS:
+    INPUT                 input file of textual MEMOIR IR (default: stdin)
+
+OPTIONS:
+    --passes=SPEC         pipeline spec, e.g. 'ssa-construct,constprop,
+                          fixpoint<max=4>(simplify,sink,dce),ssa-destruct';
+                          per-pass budgets ride along as options
+                          (dce<max-ms=50>, dee<max-growth=2.0>)
+    -O0                   preset: SSA round-trip only
+    -O3                   preset: the full default pipeline (the default)
+    --on-fault=POLICY     abort (default) | skip | stop — what to do when a
+                          pass panics, fails verification, or blows a budget
+    --budget=LIST         pipeline-wide budgets:
+                          pass-ms=N,pipeline-ms=N,growth=F,fixpoint=N
+    --verify=on|off       force inter-pass IR verification (default: on in
+                          debug builds, off in release)
+    --inject=PLAN         test-only fault injection, e.g. panic@dce,
+                          verify@#3, budget@dee#2
+    --report              print the per-pass report table to stderr
+    -o FILE               write the optimized module to FILE (default: stdout)
+    -h, --help            show this help
+";
+
+struct Cli {
+    input: Option<String>,
+    output: Option<String>,
+    spec: PipelineSpec,
+    policy: FaultPolicy,
+    budgets: Budgets,
+    verify: Option<bool>,
+    inject: Option<FaultPlan>,
+    report: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut cli = Cli {
+        input: None,
+        output: None,
+        spec: default_spec(OptLevel::O3(OptConfig::all())),
+        policy: FaultPolicy::Abort,
+        budgets: Budgets::none(),
+        verify: None,
+        inject: None,
+        report: false,
+    };
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+            inline
+                .clone()
+                .or_else(|| it.next().cloned())
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        match flag {
+            "-h" | "--help" => return Ok(None),
+            "--passes" => {
+                cli.spec = PipelineSpec::parse(&value(&mut it)?)
+                    .map_err(|e| format!("bad --passes spec: {e}"))?;
+            }
+            "-O0" => cli.spec = default_spec(OptLevel::O0),
+            "-O3" => cli.spec = default_spec(OptLevel::O3(OptConfig::all())),
+            "--on-fault" => cli.policy = value(&mut it)?.parse()?,
+            "--budget" => cli.budgets = Budgets::parse(&value(&mut it)?)?,
+            "--verify" => {
+                cli.verify = Some(match value(&mut it)?.as_str() {
+                    "on" | "true" => true,
+                    "off" | "false" => false,
+                    other => return Err(format!("bad --verify value `{other}`")),
+                })
+            }
+            "--inject" => cli.inject = Some(value(&mut it)?.parse()?),
+            "--report" => cli.report = true,
+            "-o" | "--output" => cli.output = Some(value(&mut it)?),
+            _ if flag.starts_with('-') && flag != "-" => {
+                return Err(format!("unknown option `{flag}` (try --help)"))
+            }
+            _ => {
+                if cli.input.is_some() {
+                    return Err("more than one input file".into());
+                }
+                cli.input = Some(arg.clone());
+            }
+        }
+    }
+    Ok(Some(cli))
+}
+
+fn run(cli: Cli) -> Result<(), String> {
+    let src = match cli.input.as_deref() {
+        None | Some("-") => {
+            let mut s = String::new();
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            s
+        }
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?
+        }
+    };
+    let mut m = memoir_ir::parser::parse_module(&src).map_err(|e| format!("parsing input: {e}"))?;
+
+    let report = compile_spec_with(&mut m, &cli.spec, |mut pm| {
+        pm = pm.on_fault(cli.policy).with_budgets(cli.budgets);
+        if let Some(v) = cli.verify {
+            pm = pm.verify_between_passes(v);
+        }
+        if let Some(plan) = cli.inject.clone() {
+            pm = pm.with_fault_injection(plan);
+        }
+        pm
+    })
+    .map_err(|e| format!("pipeline failed: {e}"))?;
+
+    for d in &report.run.degradations {
+        eprintln!("memoir-opt: warning: {d}");
+    }
+    if report.run.stopped_early {
+        eprintln!("memoir-opt: warning: pipeline stopped before completing the spec");
+    }
+    if cli.report {
+        eprint!("{}", report.run.render_table());
+        eprintln!("total {:.3}ms", report.total_ms());
+    }
+
+    let text = memoir_ir::printer::print_module(&m);
+    match cli.output.as_deref() {
+        None | Some("-") => std::io::stdout()
+            .write_all(text.as_bytes())
+            .map_err(|e| format!("writing stdout: {e}"))?,
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("writing `{path}`: {e}"))?,
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(None) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Some(cli)) => match run(cli) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("memoir-opt: error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("memoir-opt: error: {e}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

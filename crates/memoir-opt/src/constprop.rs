@@ -36,10 +36,20 @@ pub struct ConstPropStats {
 /// Runs constant propagation over every function. Iterates to a local
 /// fixed point.
 pub fn constprop(m: &mut Module) -> ConstPropStats {
+    constprop_with(m, &mut passman::AnalysisManager::new())
+}
+
+/// Like [`constprop`], but takes the purity summaries from a shared
+/// [`passman::AnalysisManager`] instead of recomputing them per function
+/// per fixpoint round. Constprop folds values and branch conditions
+/// without adding or removing calls or field writes, so the summaries
+/// fetched up front stay valid for the whole run.
+pub fn constprop_with(m: &mut Module, am: &mut passman::AnalysisManager<Module>) -> ConstPropStats {
+    let purity = am.get_module::<memoir_analysis::cached::CachedPurity>(m);
     let mut stats = ConstPropStats::default();
     for fid in m.funcs.ids().collect::<Vec<_>>() {
         loop {
-            let round = run_function(m, fid);
+            let round = run_function(m, fid, &purity);
             stats.scalars_folded += round.scalars_folded;
             stats.element_reads_forwarded += round.element_reads_forwarded;
             stats.sizes_folded += round.sizes_folded;
@@ -52,10 +62,14 @@ pub fn constprop(m: &mut Module) -> ConstPropStats {
     stats
 }
 
-fn run_function(m: &mut Module, fid: memoir_ir::FuncId) -> ConstPropStats {
+fn run_function(
+    m: &mut Module,
+    fid: memoir_ir::FuncId,
+    purity: &memoir_analysis::Purity,
+) -> ConstPropStats {
     let mut stats = ConstPropStats::default();
     let mut replacements: HashMap<ValueId, ValueId> = HashMap::new();
-    let field_forwards = field_forwarding(m, fid);
+    let field_forwards = field_forwarding(m, fid, purity);
     let f = &m.funcs[fid];
 
     // Collect fold candidates first (immutable pass), then apply.
@@ -186,7 +200,11 @@ fn run_function(m: &mut Module, fid: memoir_ir::FuncId) -> ConstPropStats {
                     actions.push(Action::FoldBranch(iid, b));
                 }
             }
-            InstKind::Read { c, idx } => {
+            // The collection def-use chain walks below assume value
+            // semantics: in mut form a collection is a single mutable
+            // value, so its chain stops at the allocation even though
+            // MUT ops have changed the contents since. SSA form only.
+            InstKind::Read { c, idx } if f.form == memoir_ir::Form::Ssa => {
                 if let Some(v) = forward_read(f, *c, *idx, 64) {
                     actions.push(Action::ForwardResult(blk, iid, inst.results[0], v));
                     stats.element_reads_forwarded += 1;
@@ -198,7 +216,7 @@ fn run_function(m: &mut Module, fid: memoir_ir::FuncId) -> ConstPropStats {
                     stats.element_reads_forwarded += 1;
                 }
             }
-            InstKind::Size { c } => {
+            InstKind::Size { c } if f.form == memoir_ir::Form::Ssa => {
                 if let Some(n) = fold_size(&m.types, f, *c, 64) {
                     actions.push(Action::ReplaceResult(
                         blk,
@@ -265,10 +283,12 @@ fn run_function(m: &mut Module, fid: memoir_ir::FuncId) -> ConstPropStats {
 /// reference. Conservative about aliasing: a write through any *other*
 /// reference to the same `(type, field)` kills that field array's facts,
 /// and calls kill per their effect summaries.
-fn field_forwarding(m: &Module, fid: memoir_ir::FuncId) -> HashMap<memoir_ir::InstId, ValueId> {
+fn field_forwarding(
+    m: &Module,
+    fid: memoir_ir::FuncId,
+    purity: &memoir_analysis::Purity,
+) -> HashMap<memoir_ir::InstId, ValueId> {
     use memoir_ir::{Callee, ObjTypeId};
-    let cg = memoir_analysis::CallGraph::compute(m);
-    let purity = memoir_analysis::Purity::compute(m, &cg);
     let f = &m.funcs[fid];
     let mut out = HashMap::new();
     for (_, block) in f.blocks.iter() {
@@ -786,6 +806,35 @@ mod tests {
         let mut m = mb.finish();
         let stats = constprop(&mut m);
         assert_eq!(stats.element_reads_forwarded, 0);
+    }
+
+    /// In mut form a collection's def-use chain stops at its allocation,
+    /// so size/read folding through the chain would ignore interleaved
+    /// MUT ops — it must stay off until SSA construction.
+    #[test]
+    fn mut_form_blocks_collection_chain_folding() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("f", Form::Mut, |b| {
+            let i64t = b.ty(Type::I64);
+            let zero = b.index(0);
+            let s = b.new_seq(i64t, zero);
+            let v = b.i64(7);
+            let sz0 = b.size(s);
+            b.mut_insert(s, sz0, Some(v));
+            let sz = b.size(s); // 1 at runtime; the chain says 0
+            let r = b.read(s, zero); // 7 at runtime; the chain sees no write
+            let szi = b.cast(Type::I64, sz);
+            let out = b.add(szi, r);
+            b.returns(&[i64t]);
+            b.ret(vec![out]);
+        });
+        let mut m = mb.finish();
+        let stats = constprop(&mut m);
+        assert_eq!(stats.sizes_folded, 0, "mut-form size must not fold");
+        assert_eq!(
+            stats.element_reads_forwarded, 0,
+            "mut-form read must not forward"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! effect and whose results are unused (`drop_effect_free_calls`, the
 //! dead-call component of the DEE follow-up described in DESIGN.md §6).
 
-use memoir_analysis::{CallGraph, Purity};
+use memoir_analysis::Purity;
 use memoir_ir::{Callee, Effect, Form, InstKind, Module, ValueId};
 use std::collections::HashSet;
 
@@ -22,8 +22,15 @@ pub struct DceStats {
 
 /// Runs DCE on every function of the module.
 pub fn dce(m: &mut Module) -> DceStats {
-    let cg = CallGraph::compute(m);
-    let purity = Purity::compute(m, &cg);
+    dce_with(m, &mut passman::AnalysisManager::new())
+}
+
+/// Like [`dce`], but takes the purity summaries from a shared
+/// [`passman::AnalysisManager`] so repeated pipeline runs (e.g. inside a
+/// `fixpoint(...)` group) reuse them instead of rebuilding the call graph
+/// each time.
+pub fn dce_with(m: &mut Module, am: &mut passman::AnalysisManager<Module>) -> DceStats {
+    let purity = am.get_module::<memoir_analysis::cached::CachedPurity>(m);
     let mut stats = DceStats::default();
     for fid in m.funcs.ids().collect::<Vec<_>>() {
         stats = add(stats, run_function(m, fid, &purity));

@@ -6,7 +6,7 @@
 //! shrinking every object of that type (§VII-C reports this shrinking
 //! mcf's hot object to 56 bytes, packing more objects per cache line).
 
-use memoir_ir::{Callee, InstKind, Module, ObjTypeId, Type};
+use memoir_ir::{InstKind, Module, ObjTypeId};
 use std::collections::HashSet;
 
 /// Statistics from a DFE run.
@@ -20,30 +20,25 @@ pub struct DfeStats {
 
 /// Runs dead field elimination over the whole module.
 pub fn dfe(m: &mut Module) -> DfeStats {
+    dfe_with(m, &mut passman::AnalysisManager::new())
+}
+
+/// Like [`dfe`], but takes the [`TypeEscape`] analysis — which types
+/// reach unknown code and must keep their layout — from a shared
+/// [`passman::AnalysisManager`] instead of rescanning every extern call
+/// site itself.
+pub fn dfe_with(m: &mut Module, am: &mut passman::AnalysisManager<Module>) -> DfeStats {
     let mut stats = DfeStats::default();
+
+    // Types whose references reach unknown code (externs that read args).
+    let escape = am.get_module::<memoir_analysis::cached::CachedTypeEscape>(m);
 
     // 1. Which (type, field) pairs are read anywhere?
     let mut read: HashSet<(ObjTypeId, u32)> = HashSet::new();
-    // Types whose references reach unknown code (externs that read args).
-    let mut escapes_to_unknown: HashSet<ObjTypeId> = HashSet::new();
     for (_, f) in m.funcs.iter() {
         for (_, i) in f.inst_ids_in_order() {
-            match &f.insts[i].kind {
-                InstKind::FieldRead { obj_ty, field, .. } => {
-                    read.insert((*obj_ty, *field));
-                }
-                InstKind::Call {
-                    callee: Callee::Extern(e),
-                    args,
-                } => {
-                    let eff = m.externs[*e].effects;
-                    if eff.reads_args || eff.opaque {
-                        for &a in args {
-                            mark_reachable_types(m, f.value_ty(a), &mut escapes_to_unknown);
-                        }
-                    }
-                }
-                _ => {}
+            if let InstKind::FieldRead { obj_ty, field, .. } = &f.insts[i].kind {
+                read.insert((*obj_ty, *field));
             }
         }
     }
@@ -54,7 +49,7 @@ pub fn dfe(m: &mut Module) -> DfeStats {
     loop {
         let mut victim: Option<(ObjTypeId, u32)> = None;
         'outer: for (ty, obj) in m.types.objects() {
-            if escapes_to_unknown.contains(&ty) {
+            if escape.escapes(ty) {
                 continue;
             }
             for fi in 0..obj.fields.len() as u32 {
@@ -126,26 +121,10 @@ pub fn remove_field(m: &mut Module, ty: ObjTypeId, field: u32) -> usize {
     removed
 }
 
-fn mark_reachable_types(m: &Module, ty: memoir_ir::TypeId, out: &mut HashSet<ObjTypeId>) {
-    match m.types.get(ty) {
-        Type::Ref(o) | Type::Object(o) if out.insert(o) => {
-            for field in m.types.object(o).fields.clone() {
-                mark_reachable_types(m, field.ty, out);
-            }
-        }
-        Type::Seq(e) => mark_reachable_types(m, e, out),
-        Type::Assoc(k, v) => {
-            mark_reachable_types(m, k, out);
-            mark_reachable_types(m, v, out);
-        }
-        _ => {}
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use memoir_ir::{Field, Form, ModuleBuilder};
+    use memoir_ir::{Callee, Field, Form, ModuleBuilder, Type};
 
     fn module_with_fields() -> (Module, ObjTypeId) {
         let mut mb = ModuleBuilder::new("m");

@@ -17,7 +17,6 @@
 //! by-reference exactly like a C++ `&` parameter.
 
 use crate::dfe::remove_field;
-use memoir_analysis::Affinity;
 use memoir_ir::{Callee, Form, FuncId, InstKind, Module, ObjTypeId, TypeId, ValueId};
 use std::collections::{HashMap, HashSet};
 
@@ -63,16 +62,30 @@ pub fn auto_field_elision(
     m: &mut Module,
     threshold: f64,
 ) -> Result<FieldElisionStats, ElisionError> {
-    let affinity = Affinity::compute(m);
+    auto_field_elision_with(m, threshold, &mut passman::AnalysisManager::new())
+}
+
+/// Like [`auto_field_elision`], but derives the affinity analysis through
+/// a shared [`passman::AnalysisManager`]: cached while the module is
+/// untouched (so a pipeline that already computed affinity pays nothing),
+/// invalidated after every elision rewrite.
+pub fn auto_field_elision_with(
+    m: &mut Module,
+    threshold: f64,
+    am: &mut passman::AnalysisManager<Module>,
+) -> Result<FieldElisionStats, ElisionError> {
+    use memoir_analysis::cached::CachedAffinity;
     let mut stats = FieldElisionStats::default();
     let types: Vec<ObjTypeId> = m.types.objects().map(|(t, _)| t).collect();
     for ty in types {
         // Candidates shift as fields are removed: take them one at a time.
         loop {
-            let cands = Affinity::compute(m).elision_candidates(ty, threshold);
-            let _ = &affinity;
+            let cands = am
+                .get_module::<CachedAffinity>(m)
+                .elision_candidates(ty, threshold);
             let Some(&field) = cands.first() else { break };
             let s = field_elision(m, ty, field)?;
+            am.invalidate_all();
             stats.fields_elided.extend(s.fields_elided);
             stats.functions_threaded += s.functions_threaded;
             stats.accesses_rewritten += s.accesses_rewritten;

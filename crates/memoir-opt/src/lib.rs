@@ -37,7 +37,8 @@ pub use field_elision::{auto_field_elision, field_elision, FieldElisionStats};
 pub use key_fold::{key_fold, KeyFoldStats};
 pub use passes::registry;
 pub use pipeline::{
-    compile, compile_spec, default_spec, pass_manager, OptConfig, OptLevel, PipelineReport,
+    compile, compile_spec, compile_spec_with, default_spec, pass_manager, OptConfig, OptLevel,
+    PipelineReport,
 };
 pub use rie::{rie, RieStats};
 pub use simplify::{simplify, SimplifyStats};

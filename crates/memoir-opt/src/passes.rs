@@ -67,8 +67,8 @@ pub fn registry() -> PassRegistry<Module> {
         }))
     });
     r.register("constprop", || {
-        Box::new(FnPass::infallible("constprop", |m: &mut Module, _am| {
-            let s = constprop::constprop(m);
+        Box::new(FnPass::infallible("constprop", |m: &mut Module, am| {
+            let s = constprop::constprop_with(m, am);
             PassOutcome::from_stats(vec![
                 ("scalars_folded", s.scalars_folded as i64),
                 ("element_reads_forwarded", s.element_reads_forwarded as i64),
@@ -88,8 +88,8 @@ pub fn registry() -> PassRegistry<Module> {
         }))
     });
     r.register("dce", || {
-        Box::new(FnPass::infallible("dce", |m: &mut Module, _am| {
-            let s = dce::dce(m);
+        Box::new(FnPass::infallible("dce", |m: &mut Module, am| {
+            let s = dce::dce_with(m, am);
             PassOutcome::from_stats(vec![
                 ("insts_removed", s.insts_removed as i64),
                 ("blocks_removed", s.blocks_removed as i64),
@@ -140,25 +140,26 @@ pub fn registry() -> PassRegistry<Module> {
         }))
     });
     r.register("field-elision", || {
-        Box::new(FnPass::infallible(
-            "field-elision",
-            |m: &mut Module, _am| {
-                // Elision requires mut form and an entry function; like the
-                // legacy pipeline, quietly skip when preconditions fail.
-                match field_elision::auto_field_elision(m, FE_AFFINITY_THRESHOLD) {
-                    Ok(s) => PassOutcome::from_stats(vec![
-                        ("fields_elided", s.fields_elided.len() as i64),
-                        ("functions_threaded", s.functions_threaded as i64),
-                        ("accesses_rewritten", s.accesses_rewritten as i64),
-                    ]),
-                    Err(_) => PassOutcome::unchanged(),
-                }
-            },
-        ))
+        Box::new(FnPass::infallible("field-elision", |m: &mut Module, am| {
+            // Elision requires mut form and an entry function; like the
+            // legacy pipeline, quietly skip when preconditions fail.
+            // The pass invalidates `am` itself after each rewrite (and
+            // re-derives affinity through it), so declare Handled to
+            // keep the final — still fresh — affinity cached.
+            match field_elision::auto_field_elision_with(m, FE_AFFINITY_THRESHOLD, am) {
+                Ok(s) => PassOutcome::from_stats(vec![
+                    ("fields_elided", s.fields_elided.len() as i64),
+                    ("functions_threaded", s.functions_threaded as i64),
+                    ("accesses_rewritten", s.accesses_rewritten as i64),
+                ])
+                .with_mutated(Mutation::Handled),
+                Err(_) => PassOutcome::unchanged(),
+            }
+        }))
     });
     r.register("rie", || {
-        Box::new(FnPass::infallible("rie", |m: &mut Module, _am| {
-            let s = rie::rie(m);
+        Box::new(FnPass::infallible("rie", |m: &mut Module, am| {
+            let s = rie::rie_with(m, am);
             PassOutcome::from_stats(vec![
                 ("assocs_retyped", s.assocs_retyped as i64),
                 ("accesses_rewritten", s.accesses_rewritten as i64),
@@ -175,8 +176,8 @@ pub fn registry() -> PassRegistry<Module> {
         }))
     });
     r.register("dfe", || {
-        Box::new(FnPass::infallible("dfe", |m: &mut Module, _am| {
-            let s = dfe::dfe(m);
+        Box::new(FnPass::infallible("dfe", |m: &mut Module, am| {
+            let s = dfe::dfe_with(m, am);
             PassOutcome::from_stats(vec![
                 ("fields_eliminated", s.fields_eliminated.len() as i64),
                 ("writes_removed", s.writes_removed as i64),

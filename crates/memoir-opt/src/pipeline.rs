@@ -172,9 +172,27 @@ pub fn pass_manager() -> PassManager<Module> {
 /// [`PipelineReport`] as [`compile`]. Census fields are populated when
 /// the spec contains `ssa-construct`.
 pub fn compile_spec(m: &mut Module, spec: &PipelineSpec) -> Result<PipelineReport, RunError> {
+    compile_spec_with(m, spec, |pm| pm)
+}
+
+/// Like [`compile_spec`], but lets the caller reconfigure the
+/// [`PassManager`] before the run — the hook for the `memoir-opt` CLI's
+/// `--on-fault`/`--budget` flags and the `memoir-fuzz` harness's fault
+/// injection:
+///
+/// ```ignore
+/// compile_spec_with(&mut m, &spec, |pm| {
+///     pm.on_fault(FaultPolicy::SkipPass).with_budgets(budgets)
+/// })
+/// ```
+pub fn compile_spec_with(
+    m: &mut Module,
+    spec: &PipelineSpec,
+    configure: impl FnOnce(PassManager<Module>) -> PassManager<Module>,
+) -> Result<PipelineReport, RunError> {
     let ssa_census: Rc<RefCell<Option<CollectionCensus>>> = Rc::new(RefCell::new(None));
     let cell = Rc::clone(&ssa_census);
-    let pm = pass_manager().with_observer(move |m: &Module, run| {
+    let pm = configure(pass_manager().with_observer(move |m: &Module, run| {
         if run.name == "ssa-construct" {
             let c = m.collection_census();
             run.annotations
@@ -183,7 +201,7 @@ pub fn compile_spec(m: &mut Module, spec: &PipelineSpec) -> Result<PipelineRepor
                 .push(("allocations".into(), c.allocations.to_string()));
             *cell.borrow_mut() = Some(c);
         }
-    });
+    }));
     let run = pm.run(m, spec)?;
     let ssa_census = ssa_census.borrow().unwrap_or_default();
     Ok(PipelineReport {

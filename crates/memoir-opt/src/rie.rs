@@ -30,10 +30,37 @@ pub struct RieStats {
 
 /// Runs RIE on every mut-form function.
 pub fn rie(m: &mut Module) -> RieStats {
+    rie_with(m, &mut passman::AnalysisManager::new())
+}
+
+/// Like [`rie`], but consults the cached module call graph: when the
+/// module has an entry function, functions unreachable from it are
+/// skipped — their indirections can never execute, so rewriting them is
+/// wasted work (and the call graph is usually already cached by an
+/// earlier pass).
+pub fn rie_with(m: &mut Module, am: &mut passman::AnalysisManager<Module>) -> RieStats {
+    let reachable: Option<std::collections::HashSet<FuncId>> = m.entry.map(|entry| {
+        let cg = am.get_module::<memoir_analysis::cached::CachedCallGraph>(m);
+        let mut seen = std::collections::HashSet::from([entry]);
+        let mut work = vec![entry];
+        while let Some(f) = work.pop() {
+            for &callee in cg.callees.get(&f).into_iter().flatten() {
+                if seen.insert(callee) {
+                    work.push(callee);
+                }
+            }
+        }
+        seen
+    });
     let mut stats = RieStats::default();
     for fid in m.funcs.ids().collect::<Vec<_>>() {
         if m.funcs[fid].form != Form::Mut {
             continue;
+        }
+        if let Some(reachable) = &reachable {
+            if !reachable.contains(&fid) {
+                continue;
+            }
         }
         stats = add(stats, rie_function(m, fid));
     }

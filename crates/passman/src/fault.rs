@@ -1,0 +1,182 @@
+//! Deterministic fault injection.
+//!
+//! The recovery machinery (snapshots, rollback, degradation reports) is
+//! itself code that must be exercised; real pass crashes are rare and
+//! non-deterministic. A [`FaultPlan`] installed with
+//! [`PassManager::with_fault_injection`](crate::PassManager::with_fault_injection)
+//! makes the runner inject a chosen fault — a panic, a forced verifier
+//! failure, or a synthetic budget blowup — whenever a pass invocation
+//! matches the plan, so recovery paths can be tested deterministically
+//! and fuzz harnesses can seed reproducible crashes.
+//!
+//! This hook is intended for tests and the `memoir-fuzz` triage harness;
+//! production drivers should never install a plan.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which fault to inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectKind {
+    /// Panic inside the pass body (exercises `catch_unwind` + rollback).
+    Panic,
+    /// Force the inter-pass verifier to report a failure after the pass.
+    VerifyFail,
+    /// Report a synthetic pass-time budget violation after the pass.
+    BudgetBlowup,
+}
+
+impl fmt::Display for InjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InjectKind::Panic => "panic",
+            InjectKind::VerifyFail => "verify",
+            InjectKind::BudgetBlowup => "budget",
+        })
+    }
+}
+
+/// When and what to inject. A plan fires when *all* of its set
+/// conditions match the current pass invocation; a plan with no
+/// conditions never fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The fault to inject.
+    pub kind: InjectKind,
+    /// Fire only when the running pass has this spec name.
+    pub pass: Option<String>,
+    /// Fire only at this 0-based pass invocation index (counted across
+    /// the whole pipeline run, fixpoint iterations included).
+    pub at_invocation: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A plan injecting `kind` every time the named pass runs.
+    pub fn at_pass(kind: InjectKind, pass: impl Into<String>) -> Self {
+        FaultPlan {
+            kind,
+            pass: Some(pass.into()),
+            at_invocation: None,
+        }
+    }
+
+    /// A plan injecting `kind` at the Nth (0-based) pass invocation.
+    pub fn at_invocation(kind: InjectKind, n: usize) -> Self {
+        FaultPlan {
+            kind,
+            pass: None,
+            at_invocation: Some(n),
+        }
+    }
+
+    /// Whether the plan fires for invocation `index` of pass `name`.
+    pub fn fires(&self, index: usize, name: &str) -> bool {
+        if self.pass.is_none() && self.at_invocation.is_none() {
+            return false;
+        }
+        self.pass.as_deref().is_none_or(|p| p == name)
+            && self.at_invocation.is_none_or(|n| n == index)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@", self.kind)?;
+        match (&self.pass, self.at_invocation) {
+            (Some(p), Some(n)) => write!(f, "{p}#{n}"),
+            (Some(p), None) => write!(f, "{p}"),
+            (None, Some(n)) => write!(f, "#{n}"),
+            (None, None) => write!(f, "never"),
+        }
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = String;
+
+    /// Parses `kind@target`: `panic@dee`, `verify@dce`, `budget@#5`
+    /// (5th invocation), `panic@dee#2` (only when the 2nd invocation is
+    /// `dee`).
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (kind, target) = s
+            .split_once('@')
+            .ok_or_else(|| format!("fault plan `{s}` is not of the form kind@target"))?;
+        let kind = match kind {
+            "panic" => InjectKind::Panic,
+            "verify" => InjectKind::VerifyFail,
+            "budget" => InjectKind::BudgetBlowup,
+            other => return Err(format!("unknown fault kind `{other}`")),
+        };
+        let (pass, at_invocation) = match target.split_once('#') {
+            Some((p, n)) => {
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("fault plan `{s}` has a bad invocation index"))?;
+                let p = if p.is_empty() {
+                    None
+                } else {
+                    Some(p.to_string())
+                };
+                (p, Some(n))
+            }
+            None => {
+                if target.is_empty() {
+                    return Err(format!("fault plan `{s}` names no pass or invocation"));
+                }
+                (Some(target.to_string()), None)
+            }
+        };
+        Ok(FaultPlan {
+            kind,
+            pass,
+            at_invocation,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_prints_plans() {
+        for (text, pass, inv) in [
+            ("panic@dee", Some("dee"), None),
+            ("verify@dce", Some("dce"), None),
+            ("budget@#5", None, Some(5)),
+            ("panic@dee#2", Some("dee"), Some(2)),
+        ] {
+            let plan: FaultPlan = text.parse().unwrap();
+            assert_eq!(plan.pass.as_deref(), pass, "{text}");
+            assert_eq!(plan.at_invocation, inv, "{text}");
+            assert_eq!(plan.to_string(), text, "round trip");
+        }
+        assert!("panic".parse::<FaultPlan>().is_err());
+        assert!("panic@".parse::<FaultPlan>().is_err());
+        assert!("nuke@dee".parse::<FaultPlan>().is_err());
+        assert!("panic@#x".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn firing_conditions_conjoin() {
+        let by_pass = FaultPlan::at_pass(InjectKind::Panic, "dee");
+        assert!(by_pass.fires(0, "dee") && by_pass.fires(7, "dee"));
+        assert!(!by_pass.fires(0, "dce"));
+
+        let by_index = FaultPlan::at_invocation(InjectKind::Panic, 3);
+        assert!(by_index.fires(3, "anything"));
+        assert!(!by_index.fires(2, "anything"));
+
+        let both: FaultPlan = "panic@dee#3".parse().unwrap();
+        assert!(both.fires(3, "dee"));
+        assert!(!both.fires(3, "dce"));
+        assert!(!both.fires(2, "dee"));
+
+        let never = FaultPlan {
+            kind: InjectKind::Panic,
+            pass: None,
+            at_invocation: None,
+        };
+        assert!(!never.fires(0, "dee"));
+    }
+}

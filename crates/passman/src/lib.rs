@@ -29,14 +29,20 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod budget;
+pub mod fault;
 pub mod pass;
+pub mod recover;
 pub mod runner;
 pub mod spec;
 
 pub use analysis::{Analysis, AnalysisManager, CacheCounter, ModuleAnalysis};
+pub use budget::{BudgetViolation, Budgets};
+pub use fault::{FaultPlan, InjectKind};
 pub use pass::{FnPass, Mutation, Pass, PassError, PassOutcome, PassRegistry};
+pub use recover::{Degradation, FaultCause, FaultPolicy, RecoveryAction};
 pub use runner::{PassManager, PassRun, RunError, RunReport};
-pub use spec::{PipelineSpec, SpecParseError, SpecStep};
+pub use spec::{PassCall, PassOptions, PipelineSpec, SpecParseError, SpecStep};
 
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -49,4 +55,11 @@ pub trait IrUnit {
 
     /// All function keys currently in the unit.
     fn func_keys(&self) -> Vec<Self::FuncKey>;
+
+    /// A cheap size measure (typically the instruction count) used by
+    /// growth budgets. Units returning the default `0` opt out of growth
+    /// budgeting.
+    fn size_hint(&self) -> usize {
+        0
+    }
 }

@@ -1,6 +1,7 @@
 //! The [`Pass`] trait, pass outcomes, and the name → constructor registry.
 
 use crate::analysis::AnalysisManager;
+use crate::spec::PassOptions;
 use crate::IrUnit;
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -222,10 +223,17 @@ impl<M: IrUnit> Pass<M> for FnPass<M> {
     }
 }
 
+type Ctor<M> = Rc<dyn Fn(&PassOptions) -> Result<Box<dyn Pass<M>>, String>>;
+
 /// Maps spec names to pass constructors.
+///
+/// Constructors receive the [`PassOptions`] attached at the spec call
+/// site (minus the runner-reserved budget keys). Passes registered with
+/// [`register`](PassRegistry::register) accept no options and reject any
+/// they are given; option-aware passes use
+/// [`register_with`](PassRegistry::register_with).
 pub struct PassRegistry<M: IrUnit> {
-    #[allow(clippy::type_complexity)]
-    ctors: BTreeMap<&'static str, Rc<dyn Fn() -> Box<dyn Pass<M>>>>,
+    ctors: BTreeMap<&'static str, Ctor<M>>,
 }
 
 impl<M: IrUnit> std::fmt::Debug for PassRegistry<M> {
@@ -250,15 +258,49 @@ impl<M: IrUnit> PassRegistry<M> {
         }
     }
 
-    /// Registers a pass constructor under `name`. Later registrations
-    /// shadow earlier ones.
+    /// Registers an option-free pass constructor under `name`. Later
+    /// registrations shadow earlier ones. The pass rejects any call-site
+    /// option (other than the runner-reserved budget keys) with an error
+    /// naming the pass, so `constprop<bogus>` fails loudly instead of
+    /// silently ignoring the typo.
     pub fn register(&mut self, name: &'static str, ctor: impl Fn() -> Box<dyn Pass<M>> + 'static) {
+        self.ctors.insert(
+            name,
+            Rc::new(move |opts: &PassOptions| {
+                if let Some((key, _)) = opts.iter().next() {
+                    return Err(format!("pass `{name}` takes no options (got `{key}`)"));
+                }
+                Ok(ctor())
+            }),
+        );
+    }
+
+    /// Registers an option-aware pass constructor under `name`. The
+    /// constructor receives call-site options (reserved budget keys
+    /// already stripped) and should reject unknown keys.
+    pub fn register_with(
+        &mut self,
+        name: &'static str,
+        ctor: impl Fn(&PassOptions) -> Result<Box<dyn Pass<M>>, String> + 'static,
+    ) {
         self.ctors.insert(name, Rc::new(ctor));
     }
 
-    /// Instantiates the pass registered under `name`.
+    /// Instantiates the pass registered under `name` with no options.
     pub fn create(&self, name: &str) -> Option<Box<dyn Pass<M>>> {
-        self.ctors.get(name).map(|c| c())
+        self.create_with(name, &PassOptions::none())
+            .and_then(Result::ok)
+    }
+
+    /// Instantiates the pass registered under `name` with the given
+    /// options. `None` if the name is unknown; `Some(Err(_))` if the
+    /// constructor rejected the options.
+    pub fn create_with(
+        &self,
+        name: &str,
+        opts: &PassOptions,
+    ) -> Option<Result<Box<dyn Pass<M>>, String>> {
+        self.ctors.get(name).map(|c| c(opts))
     }
 
     /// Whether `name` is registered.

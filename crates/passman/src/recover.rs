@@ -1,0 +1,115 @@
+//! Fault policies and degradation records.
+//!
+//! A *fault* is anything that would previously have aborted a pipeline:
+//! a pass panicking, a pass returning an error, the inter-pass verifier
+//! rejecting the IR, or a budget being exceeded. The [`FaultPolicy`]
+//! decides what the runner does with a fault; under the recovering
+//! policies the module is rolled back to the snapshot taken before the
+//! offending pass (the last verified IR) and the fault is recorded as a
+//! [`Degradation`] in the [`RunReport`](crate::RunReport) instead of
+//! tearing the pipeline down.
+
+use crate::budget::BudgetViolation;
+use std::fmt;
+use std::str::FromStr;
+
+/// What the runner does when a pass faults.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// Fail fast (the pre-fault-tolerance behaviour): pass errors and
+    /// verifier failures become [`RunError`](crate::RunError)s, panics
+    /// propagate, and the module is left as the failing pass left it.
+    #[default]
+    Abort,
+    /// Roll the module back to the snapshot taken before the faulting
+    /// pass, record a [`Degradation`], and continue with the next pass.
+    SkipPass,
+    /// Roll back like [`FaultPolicy::SkipPass`], but stop the pipeline:
+    /// the module is left in its last verified state and the report is
+    /// marked as stopped early.
+    StopPipeline,
+}
+
+impl FromStr for FaultPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "abort" => Ok(FaultPolicy::Abort),
+            "skip" | "skip-pass" => Ok(FaultPolicy::SkipPass),
+            "stop" | "stop-pipeline" => Ok(FaultPolicy::StopPipeline),
+            other => Err(format!(
+                "unknown fault policy `{other}` (expected abort|skip|stop)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for FaultPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultPolicy::Abort => "abort",
+            FaultPolicy::SkipPass => "skip",
+            FaultPolicy::StopPipeline => "stop",
+        })
+    }
+}
+
+/// Why a pass was degraded.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultCause {
+    /// The pass body panicked; the payload's message, if extractable.
+    Panic(String),
+    /// The pass returned a [`PassError`](crate::PassError).
+    PassFailed(String),
+    /// The inter-pass verifier rejected the IR the pass produced.
+    VerifyFailed(String),
+    /// A per-pass or pipeline budget was exceeded.
+    Budget(BudgetViolation),
+}
+
+impl fmt::Display for FaultCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultCause::Panic(msg) => write!(f, "panic: {msg}"),
+            FaultCause::PassFailed(msg) => write!(f, "pass error: {msg}"),
+            FaultCause::VerifyFailed(msg) => write!(f, "verifier: {msg}"),
+            FaultCause::Budget(v) => write!(f, "budget: {v}"),
+        }
+    }
+}
+
+/// What the runner did about a fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Module rolled back to the pre-pass snapshot; pipeline continued.
+    RolledBack,
+    /// Module rolled back (where applicable) and the pipeline stopped.
+    Stopped,
+}
+
+/// One contained fault: which pass, why, and what was done.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Degradation {
+    /// The faulting pass (spec name).
+    pub pass: String,
+    /// Why it faulted.
+    pub cause: FaultCause,
+    /// `Some(i)` if the fault happened in iteration `i` of a
+    /// `fixpoint(...)` group.
+    pub fixpoint_iteration: Option<usize>,
+    /// What the runner did.
+    pub action: RecoveryAction,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pass `{}` degraded ({})", self.pass, self.cause)?;
+        if let Some(i) = self.fixpoint_iteration {
+            write!(f, " [fix #{i}]")?;
+        }
+        match self.action {
+            RecoveryAction::RolledBack => write!(f, " — rolled back, pipeline continued"),
+            RecoveryAction::Stopped => write!(f, " — pipeline stopped"),
+        }
+    }
+}

@@ -1,14 +1,27 @@
 //! The pass-manager runner: executes a [`PipelineSpec`] against a
 //! [`PassRegistry`], timing each pass, invalidating cached analyses
 //! according to each pass's declaration, optionally verifying the IR
-//! between passes, and accumulating a unified [`RunReport`].
+//! between passes, enforcing [`Budgets`], and accumulating a unified
+//! [`RunReport`].
+//!
+//! With a recovering [`FaultPolicy`] installed (see
+//! [`PassManager::on_fault`]), every pass runs under `catch_unwind` with
+//! the module snapshotted beforehand: a panicking, erroring,
+//! verifier-failing, or over-budget pass is rolled back to the last
+//! verified IR and recorded as a [`Degradation`], and the pipeline either
+//! continues (`SkipPass`) or stops cleanly (`StopPipeline`).
 
 use crate::analysis::{AnalysisManager, CacheCounter};
+use crate::budget::{BudgetViolation, Budgets};
+use crate::fault::{FaultPlan, InjectKind};
 use crate::pass::{Mutation, Pass, PassError, PassRegistry};
-use crate::spec::{PipelineSpec, SpecStep};
+use crate::recover::{Degradation, FaultCause, FaultPolicy, RecoveryAction};
+use crate::spec::{PassCall, PipelineSpec, SpecStep};
 use crate::IrUnit;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -38,11 +51,12 @@ impl PassRun {
 }
 
 /// The unified report of a pipeline run: per-pass timing and stats plus
-/// analysis-cache counters.
+/// analysis-cache counters and any contained faults.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
     /// Every executed pass, in execution order (fixpoint iterations
-    /// appear once per execution).
+    /// appear once per execution). Degraded passes appear with
+    /// `changed = false` and a `degraded` annotation.
     pub passes: Vec<PassRun>,
     /// Total wall time, including verification.
     pub total: Duration,
@@ -50,6 +64,11 @@ pub struct RunReport {
     pub cache: Vec<(String, CacheCounter)>,
     /// Number of analysis-cache invalidation events.
     pub invalidation_events: u64,
+    /// Faults contained by the fault policy, in occurrence order.
+    pub degradations: Vec<Degradation>,
+    /// Whether the pipeline stopped before completing the spec (the
+    /// `StopPipeline` policy fired, or the pipeline time budget ran out).
+    pub stopped_early: bool,
 }
 
 impl RunReport {
@@ -81,6 +100,16 @@ impl RunReport {
             .unwrap_or_default()
     }
 
+    /// Whether any fault was contained during the run.
+    pub fn is_degraded(&self) -> bool {
+        !self.degradations.is_empty()
+    }
+
+    /// The degradation recorded for the named pass, if any.
+    pub fn degradation_of(&self, pass: &str) -> Option<&Degradation> {
+        self.degradations.iter().find(|d| d.pass == pass)
+    }
+
     /// Renders a plain-text per-pass table (for debugging and bench
     /// binaries).
     pub fn render_table(&self) -> String {
@@ -109,11 +138,19 @@ impl RunReport {
                 name, c.hits, c.misses
             ));
         }
+        for d in &self.degradations {
+            out.push_str(&format!("degraded {d}\n"));
+        }
+        if self.stopped_early {
+            out.push_str("pipeline stopped early\n");
+        }
         out
     }
 }
 
-/// A pipeline-run failure.
+/// A pipeline-run failure (under the [`FaultPolicy::Abort`] policy;
+/// recovering policies turn most of these into
+/// [`Degradation`]s instead).
 #[derive(Debug)]
 pub enum RunError {
     /// The spec referenced a pass the registry does not know.
@@ -122,6 +159,13 @@ pub enum RunError {
         name: String,
         /// All registered names, for the error message.
         known: Vec<&'static str>,
+    },
+    /// A pass constructor rejected its spec options.
+    InvalidOptions {
+        /// The pass whose options were rejected.
+        pass: String,
+        /// The constructor's message.
+        message: String,
     },
     /// A pass failed (e.g. SSA construction rejected the input).
     PassFailed {
@@ -137,6 +181,13 @@ pub enum RunError {
         /// The verifier's message.
         message: String,
     },
+    /// A budget was exceeded by (or right after) the named pass.
+    BudgetExceeded {
+        /// The pass charged with the violation.
+        pass: String,
+        /// The violated budget.
+        violation: BudgetViolation,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -149,11 +200,17 @@ impl fmt::Display for RunError {
                     known.join(", ")
                 )
             }
+            RunError::InvalidOptions { pass, message } => {
+                write!(f, "invalid options for pass `{pass}`: {message}")
+            }
             RunError::PassFailed { pass, error } => {
                 write!(f, "pass `{pass}` failed: {}", error.message)
             }
             RunError::VerifyFailed { pass, message } => {
                 write!(f, "IR verification failed after pass `{pass}`: {message}")
+            }
+            RunError::BudgetExceeded { pass, violation } => {
+                write!(f, "budget exceeded at pass `{pass}`: {violation}")
             }
         }
     }
@@ -163,6 +220,16 @@ impl std::error::Error for RunError {}
 
 type Verifier<M> = Rc<dyn Fn(&M) -> Result<(), String>>;
 type Observer<M> = Rc<dyn Fn(&M, &mut PassRun)>;
+type Snapshotter<M> = Rc<dyn Fn(&M) -> M>;
+
+/// What [`PassManager::run_one`] tells the step loop.
+enum StepOutcome {
+    /// The pass ran (or was degraded under `SkipPass`); the flag is its
+    /// changed-bit (`false` for a degraded pass).
+    Ran(bool),
+    /// The pipeline must stop (`StopPipeline` fired).
+    Stop,
+}
 
 /// Drives pipeline specs over an IR unit.
 pub struct PassManager<M: IrUnit> {
@@ -171,6 +238,12 @@ pub struct PassManager<M: IrUnit> {
     verify_between_passes: bool,
     max_fixpoint_iters: usize,
     observer: Option<Observer<M>>,
+    policy: FaultPolicy,
+    budgets: Budgets,
+    snapshotter: Option<Snapshotter<M>>,
+    injection: Option<FaultPlan>,
+    /// 0-based index of the next pass invocation (reset per run).
+    invocations: Cell<usize>,
 }
 
 impl<M: IrUnit> std::fmt::Debug for PassManager<M> {
@@ -179,13 +252,18 @@ impl<M: IrUnit> std::fmt::Debug for PassManager<M> {
             .field("registry", &self.registry)
             .field("verify_between_passes", &self.verify_between_passes)
             .field("max_fixpoint_iters", &self.max_fixpoint_iters)
+            .field("policy", &self.policy)
+            .field("budgets", &self.budgets)
+            .field("injection", &self.injection)
             .finish()
     }
 }
 
 impl<M: IrUnit> PassManager<M> {
     /// A manager over the given registry. Inter-pass verification
-    /// defaults to on in debug builds and off in release builds.
+    /// defaults to on in debug builds and off in release builds; the
+    /// fault policy defaults to [`FaultPolicy::Abort`] (fail fast, no
+    /// snapshotting cost) and budgets default to unlimited.
     pub fn new(registry: PassRegistry<M>) -> Self {
         PassManager {
             registry,
@@ -193,6 +271,11 @@ impl<M: IrUnit> PassManager<M> {
             verify_between_passes: cfg!(debug_assertions),
             max_fixpoint_iters: 8,
             observer: None,
+            policy: FaultPolicy::Abort,
+            budgets: Budgets::none(),
+            snapshotter: None,
+            injection: None,
+            invocations: Cell::new(0),
         }
     }
 
@@ -209,7 +292,9 @@ impl<M: IrUnit> PassManager<M> {
         self
     }
 
-    /// Caps `fixpoint(...)` iteration counts (default 8).
+    /// Caps `fixpoint(...)` iteration counts (default 8; overridden per
+    /// group by `fixpoint<max=N>(...)` and by
+    /// [`Budgets::max_fixpoint_iters`]).
     pub fn max_fixpoint_iters(mut self, n: usize) -> Self {
         self.max_fixpoint_iters = n.max(1);
         self
@@ -222,9 +307,43 @@ impl<M: IrUnit> PassManager<M> {
         self
     }
 
+    /// Sets the fault policy. The recovering policies snapshot the
+    /// module before every pass (hence the `Clone` bound) and roll back
+    /// on any contained fault; [`FaultPolicy::Abort`] restores the
+    /// legacy fail-fast behaviour and costs nothing.
+    pub fn on_fault(mut self, policy: FaultPolicy) -> Self
+    where
+        M: Clone,
+    {
+        self.policy = policy;
+        if self.snapshotter.is_none() {
+            self.snapshotter = Some(Rc::new(|m: &M| m.clone()));
+        }
+        self
+    }
+
+    /// Sets pipeline-wide default budgets (per-pass spec options like
+    /// `dce<max-ms=50>` override the per-pass axes).
+    pub fn with_budgets(mut self, budgets: Budgets) -> Self {
+        self.budgets = budgets;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (tests and fuzz
+    /// harnesses only — see [`crate::fault`]).
+    pub fn with_fault_injection(mut self, plan: FaultPlan) -> Self {
+        self.injection = Some(plan);
+        self
+    }
+
     /// The underlying registry.
     pub fn registry(&self) -> &PassRegistry<M> {
         &self.registry
+    }
+
+    /// The active fault policy.
+    pub fn policy(&self) -> FaultPolicy {
+        self.policy
     }
 
     /// Validates that every pass named in `spec` is registered.
@@ -256,23 +375,56 @@ impl<M: IrUnit> PassManager<M> {
     ) -> Result<RunReport, RunError> {
         self.validate(spec)?;
         let start = Instant::now();
+        self.invocations.set(0);
         let mut report = RunReport::default();
-        // Pass instances are created once per spec step and reused across
-        // fixpoint iterations, so stateful passes can accumulate.
+        // Pass instances are created once per distinct spec call (name +
+        // options) and reused across fixpoint iterations, so stateful
+        // passes can accumulate.
         let mut instances: HashMap<String, Box<dyn Pass<M>>> = HashMap::new();
 
-        for step in &spec.steps {
+        'steps: for step in &spec.steps {
             match step {
-                SpecStep::Pass(name) => {
-                    self.run_one(m, am, &mut instances, name, None, &mut report)?;
+                SpecStep::Pass(call) => {
+                    match self.run_one(m, am, &mut instances, call, None, &mut report, start)? {
+                        StepOutcome::Ran(_) => {}
+                        StepOutcome::Stop => {
+                            report.stopped_early = true;
+                            break 'steps;
+                        }
+                    }
                 }
-                SpecStep::Fixpoint(names) => {
-                    for iter in 0..self.max_fixpoint_iters {
+                SpecStep::Fixpoint { opts, body } => {
+                    let cap = match opts.get_parsed::<usize>("max") {
+                        Ok(Some(n)) => n.max(1),
+                        Ok(None) => self
+                            .budgets
+                            .max_fixpoint_iters
+                            .unwrap_or(self.max_fixpoint_iters),
+                        Err(message) => {
+                            return Err(RunError::InvalidOptions {
+                                pass: "fixpoint".into(),
+                                message,
+                            })
+                        }
+                    };
+                    for iter in 0..cap {
                         let mut any_changed = false;
-                        for name in names {
-                            let changed =
-                                self.run_one(m, am, &mut instances, name, Some(iter), &mut report)?;
-                            any_changed |= changed;
+                        for call in body {
+                            match self.run_one(
+                                m,
+                                am,
+                                &mut instances,
+                                call,
+                                Some(iter),
+                                &mut report,
+                                start,
+                            )? {
+                                StepOutcome::Ran(changed) => any_changed |= changed,
+                                StepOutcome::Stop => {
+                                    report.stopped_early = true;
+                                    break 'steps;
+                                }
+                            }
                         }
                         if !any_changed {
                             break;
@@ -292,73 +444,301 @@ impl<M: IrUnit> PassManager<M> {
         Ok(report)
     }
 
+    /// Instantiates (or reuses) the pass for `call`.
+    fn instance<'i>(
+        &self,
+        instances: &'i mut HashMap<String, Box<dyn Pass<M>>>,
+        call: &PassCall,
+    ) -> Result<&'i mut Box<dyn Pass<M>>, RunError> {
+        let key = call.to_string();
+        if !instances.contains_key(&key) {
+            let created = self
+                .registry
+                .create_with(&call.name, &call.opts.without_reserved())
+                .ok_or_else(|| RunError::UnknownPass {
+                    name: call.name.clone(),
+                    known: self.registry.names(),
+                })?;
+            let pass = created.map_err(|message| RunError::InvalidOptions {
+                pass: call.name.clone(),
+                message,
+            })?;
+            instances.insert(key.clone(), pass);
+        }
+        Ok(instances.get_mut(&key).expect("just inserted"))
+    }
+
+    /// The effective per-pass budgets for `call` (spec options override
+    /// the pipeline-wide defaults).
+    fn pass_budgets(&self, call: &PassCall) -> Result<(Option<u64>, Option<f64>), RunError> {
+        let bad = |message| RunError::InvalidOptions {
+            pass: call.name.clone(),
+            message,
+        };
+        let ms = call
+            .opts
+            .get_parsed::<u64>("max-ms")
+            .map_err(bad)?
+            .or(self.budgets.max_pass_millis);
+        let growth = call
+            .opts
+            .get_parsed::<f64>("max-growth")
+            .map_err(bad)?
+            .or(self.budgets.max_growth);
+        Ok((ms, growth))
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn run_one(
         &self,
         m: &mut M,
         am: &mut AnalysisManager<M>,
         instances: &mut HashMap<String, Box<dyn Pass<M>>>,
-        name: &str,
+        call: &PassCall,
         fixpoint_iteration: Option<usize>,
         report: &mut RunReport,
-    ) -> Result<bool, RunError> {
-        if !instances.contains_key(name) {
-            let pass = self
-                .registry
-                .create(name)
-                .ok_or_else(|| RunError::UnknownPass {
-                    name: name.to_string(),
-                    known: self.registry.names(),
-                })?;
-            instances.insert(name.to_string(), pass);
-        }
-        let pass = instances.get_mut(name).expect("just inserted");
+        pipeline_start: Instant,
+    ) -> Result<StepOutcome, RunError> {
+        let name = call.name.as_str();
+        let (max_ms, max_growth) = self.pass_budgets(call)?;
+        let pass = self.instance(instances, call)?;
 
+        let invocation = self.invocations.get();
+        self.invocations.set(invocation + 1);
+        let injected = self
+            .injection
+            .as_ref()
+            .filter(|plan| plan.fires(invocation, name))
+            .map(|plan| plan.kind);
+
+        let recovering = self.policy != FaultPolicy::Abort;
+        let size_before = if max_growth.is_some() {
+            m.size_hint()
+        } else {
+            0
+        };
+        let snapshot = if recovering {
+            let snap = self
+                .snapshotter
+                .as_ref()
+                .expect("recovering policies are installed with a snapshotter");
+            Some(snap(m))
+        } else {
+            None
+        };
+
+        // --- run the pass body ---------------------------------------
         let t0 = Instant::now();
-        let outcome = pass.run(m, am).map_err(|error| RunError::PassFailed {
-            pass: name.to_string(),
-            error,
-        })?;
+        let body = |m: &mut M, am: &mut AnalysisManager<M>, pass: &mut Box<dyn Pass<M>>| {
+            if injected == Some(InjectKind::Panic) {
+                panic!("fault injection: panic in `{name}` at invocation {invocation}");
+            }
+            pass.run(m, am)
+        };
+        let result: Result<Result<_, PassError>, String> = if recovering {
+            catch_unwind(AssertUnwindSafe(|| body(m, am, pass))).map_err(|payload| {
+                payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic with non-string payload".to_string())
+            })
+        } else {
+            // Abort: let panics propagate with their original backtrace.
+            Ok(body(m, am, pass))
+        };
         let time = t0.elapsed();
 
-        if outcome.changed {
-            match &outcome.mutated {
-                Mutation::None => am.invalidate_all(), // changed but undeclared: be safe
-                Mutation::Funcs(fs) => {
-                    for &f in fs {
-                        am.invalidate(f);
+        // --- classify the outcome into (success, fault) ---------------
+        let mut fault: Option<FaultCause> = None;
+        let mut success: Option<(bool, Vec<(&'static str, i64)>)> = None;
+        match result {
+            Err(panic_msg) => fault = Some(FaultCause::Panic(panic_msg)),
+            Ok(Err(error)) => {
+                if recovering {
+                    fault = Some(FaultCause::PassFailed(error.message.clone()));
+                } else {
+                    return Err(RunError::PassFailed {
+                        pass: name.to_string(),
+                        error,
+                    });
+                }
+            }
+            Ok(Ok(outcome)) => {
+                if outcome.changed {
+                    match &outcome.mutated {
+                        Mutation::None => am.invalidate_all(), // changed but undeclared: be safe
+                        Mutation::Funcs(fs) => {
+                            for &f in fs {
+                                am.invalidate(f);
+                            }
+                        }
+                        Mutation::All => am.invalidate_all(),
+                        Mutation::Handled => {} // pass invalidated through `am` itself
                     }
                 }
-                Mutation::All => am.invalidate_all(),
-                Mutation::Handled => {} // pass invalidated through `am` itself
+
+                // Verification (a forced injection counts as a failure).
+                let verify_msg = if injected == Some(InjectKind::VerifyFail) {
+                    Some(format!(
+                        "fault injection: forced verifier failure after `{name}`"
+                    ))
+                } else if self.verify_between_passes {
+                    match &self.verifier {
+                        Some(v) => v(m).err(),
+                        None => None,
+                    }
+                } else {
+                    None
+                };
+
+                if let Some(message) = verify_msg {
+                    fault = Some(FaultCause::VerifyFailed(message));
+                } else if let Some(v) =
+                    self.budget_violation(injected, time, max_ms, max_growth, size_before, m)
+                {
+                    fault = Some(FaultCause::Budget(v));
+                } else {
+                    success = Some((outcome.changed, outcome.stats));
+                }
             }
         }
 
+        // --- fault handling -------------------------------------------
+        if let Some(cause) = fault {
+            if !recovering {
+                return Err(match cause {
+                    FaultCause::Panic(message) => {
+                        unreachable!("panics are not caught under Abort: {message}")
+                    }
+                    FaultCause::PassFailed(message) => RunError::PassFailed {
+                        pass: name.to_string(),
+                        error: PassError::msg(message),
+                    },
+                    FaultCause::VerifyFailed(message) => RunError::VerifyFailed {
+                        pass: name.to_string(),
+                        message,
+                    },
+                    FaultCause::Budget(violation) => RunError::BudgetExceeded {
+                        pass: name.to_string(),
+                        violation,
+                    },
+                });
+            }
+
+            // Roll back to the last verified IR; every cached analysis
+            // may describe the discarded state, so drop them all.
+            *m = snapshot.expect("recovering policies snapshot before every pass");
+            am.invalidate_all();
+
+            let action = match self.policy {
+                FaultPolicy::SkipPass => RecoveryAction::RolledBack,
+                FaultPolicy::StopPipeline => RecoveryAction::Stopped,
+                FaultPolicy::Abort => unreachable!("handled above"),
+            };
+            report.passes.push(PassRun {
+                name: name.to_string(),
+                time,
+                changed: false,
+                stats: Vec::new(),
+                fixpoint_iteration,
+                annotations: vec![("degraded".into(), cause.to_string())],
+            });
+            report.degradations.push(Degradation {
+                pass: name.to_string(),
+                cause,
+                fixpoint_iteration,
+                action,
+            });
+            return Ok(match action {
+                RecoveryAction::RolledBack => StepOutcome::Ran(false),
+                RecoveryAction::Stopped => StepOutcome::Stop,
+            });
+        }
+
+        // --- success ---------------------------------------------------
+        let (changed, stats) = success.expect("no fault implies a successful outcome");
         let mut run = PassRun {
             name: name.to_string(),
             time,
-            changed: outcome.changed,
-            stats: outcome.stats,
+            changed,
+            stats,
             fixpoint_iteration,
             annotations: Vec::new(),
         };
+        if let Some(obs) = &self.observer {
+            obs(m, &mut run);
+        }
+        report.passes.push(run);
 
-        if self.verify_between_passes {
-            if let Some(v) = &self.verifier {
-                if let Err(message) = v(m) {
-                    return Err(RunError::VerifyFailed {
+        // Pipeline time budget: checked between passes, charged to the
+        // pass that crossed the line. The pass itself succeeded and
+        // verified, so there is nothing to roll back — the pipeline just
+        // ends here (or errors under Abort).
+        if let Some(limit_ms) = self.budgets.max_pipeline_millis {
+            let elapsed = pipeline_start.elapsed();
+            if elapsed > Duration::from_millis(limit_ms) {
+                let violation = BudgetViolation::PipelineTime {
+                    limit_ms,
+                    actual_ms: (elapsed.as_millis() as u64).max(1),
+                };
+                if !recovering {
+                    return Err(RunError::BudgetExceeded {
                         pass: name.to_string(),
-                        message,
+                        violation,
+                    });
+                }
+                report.degradations.push(Degradation {
+                    pass: name.to_string(),
+                    cause: FaultCause::Budget(violation),
+                    fixpoint_iteration,
+                    action: RecoveryAction::Stopped,
+                });
+                return Ok(StepOutcome::Stop);
+            }
+        }
+
+        Ok(StepOutcome::Ran(changed))
+    }
+
+    /// Checks the per-pass budgets (and the injected blowup) after a
+    /// successful pass body.
+    fn budget_violation(
+        &self,
+        injected: Option<InjectKind>,
+        time: Duration,
+        max_ms: Option<u64>,
+        max_growth: Option<f64>,
+        size_before: usize,
+        m: &M,
+    ) -> Option<BudgetViolation> {
+        if injected == Some(InjectKind::BudgetBlowup) {
+            return Some(BudgetViolation::PassTime {
+                limit_ms: 0,
+                actual_ms: (time.as_millis() as u64).max(1),
+            });
+        }
+        if let Some(limit_ms) = max_ms {
+            if time > Duration::from_millis(limit_ms) {
+                return Some(BudgetViolation::PassTime {
+                    limit_ms,
+                    actual_ms: (time.as_millis() as u64).max(1),
+                });
+            }
+        }
+        if let Some(limit) = max_growth {
+            if size_before > 0 {
+                let after = m.size_hint();
+                if after as f64 > size_before as f64 * limit {
+                    return Some(BudgetViolation::Growth {
+                        limit,
+                        before: size_before,
+                        after,
                     });
                 }
             }
         }
-        if let Some(obs) = &self.observer {
-            obs(m, &mut run);
-        }
-
-        let changed = run.changed;
-        report.passes.push(run);
-        Ok(changed)
+        None
     }
 }
 
@@ -366,9 +746,10 @@ impl<M: IrUnit> PassManager<M> {
 mod tests {
     use super::*;
     use crate::pass::{FnPass, PassOutcome};
+    use crate::spec::PassOptions;
 
     /// A toy IR: one "function" per vector slot holding a counter.
-    #[derive(Debug, Default)]
+    #[derive(Clone, Debug, Default, PartialEq, Eq)]
     struct Toy {
         vals: Vec<i64>,
     }
@@ -377,6 +758,9 @@ mod tests {
         type FuncKey = usize;
         fn func_keys(&self) -> Vec<usize> {
             (0..self.vals.len()).collect()
+        }
+        fn size_hint(&self) -> usize {
+            self.vals.len()
         }
     }
 
@@ -413,6 +797,41 @@ mod tests {
                 PassOutcome::unchanged()
             }))
         });
+        // Doubles the slot count (for growth-budget tests).
+        r.register("grow", || {
+            Box::new(FnPass::infallible("grow", |m: &mut Toy, _am| {
+                let extra: Vec<i64> = m.vals.clone();
+                m.vals.extend(extra);
+                PassOutcome::from_stats(vec![("grown", m.vals.len() as i64 / 2)])
+            }))
+        });
+        // Panics when any slot is negative, after corrupting the state —
+        // rollback must discard the corruption.
+        r.register("landmine", || {
+            Box::new(FnPass::infallible("landmine", |m: &mut Toy, _am| {
+                if m.vals.iter().any(|&v| v < 0) {
+                    m.vals.push(777); // half-done mutation a panic leaves behind
+                    panic!("landmine stepped on");
+                }
+                PassOutcome::unchanged()
+            }))
+        });
+        // Option-aware pass: `bump<by=N>` adds N to every slot.
+        r.register_with("bump", |opts: &PassOptions| {
+            if let Some(bad) = opts.unknown_keys(&["by"]).first() {
+                return Err(format!("unknown option `{bad}` (expected `by`)"));
+            }
+            let by = opts.get_parsed::<i64>("by")?.unwrap_or(1);
+            Ok(Box::new(FnPass::infallible(
+                "bump",
+                move |m: &mut Toy, _| {
+                    for v in &mut m.vals {
+                        *v += by;
+                    }
+                    PassOutcome::from_stats(vec![("bumped", by)])
+                },
+            )))
+        });
         r
     }
 
@@ -440,6 +859,16 @@ mod tests {
     }
 
     #[test]
+    fn fixpoint_cap_from_spec_options_wins() {
+        let pm = PassManager::new(registry()).max_fixpoint_iters(8);
+        let mut m = Toy { vals: vec![100] };
+        let spec = PipelineSpec::parse("fixpoint<max=3>(dec)").unwrap();
+        let report = pm.run(&mut m, &spec).unwrap();
+        assert_eq!(report.passes.len(), 3);
+        assert_eq!(m.vals, vec![97]);
+    }
+
+    #[test]
     fn unknown_pass_is_reported_with_known_names() {
         let pm = PassManager::new(registry());
         let mut m = Toy::default();
@@ -450,6 +879,36 @@ mod tests {
         assert!(msg.contains("dec"), "{msg}");
         // Validation fails before anything runs.
         assert_eq!(m.vals, Vec::<i64>::new());
+    }
+
+    #[test]
+    fn pass_options_reach_the_constructor() {
+        let pm = PassManager::new(registry());
+        let mut m = Toy { vals: vec![10] };
+        let spec = PipelineSpec::parse("bump<by=5>,bump").unwrap();
+        pm.run(&mut m, &spec).unwrap();
+        assert_eq!(m.vals, vec![16], "bump<by=5> then default bump<by=1>");
+    }
+
+    #[test]
+    fn bad_options_error_names_the_pass() {
+        let pm = PassManager::new(registry());
+        let mut m = Toy { vals: vec![1] };
+        // Unknown key on an option-aware pass.
+        let spec = PipelineSpec::parse("bump<wat=3>").unwrap();
+        let err = pm.run(&mut m, &spec).unwrap_err();
+        assert!(
+            matches!(&err, RunError::InvalidOptions { pass, .. } if pass == "bump"),
+            "{err}"
+        );
+        // Any non-budget key on an option-free pass.
+        let spec = PipelineSpec::parse("dec<fast>").unwrap();
+        let err = pm.run(&mut m, &spec).unwrap_err();
+        assert!(err.to_string().contains("takes no options"), "{err}");
+        // Budget keys are fine on option-free passes.
+        let spec = PipelineSpec::parse("dec<max-ms=10000>").unwrap();
+        pm.run(&mut m, &spec).unwrap();
+        assert_eq!(m.vals, vec![0]);
     }
 
     #[test]
@@ -494,5 +953,244 @@ mod tests {
             }
             other => panic!("expected VerifyFailed, got {other:?}"),
         }
+    }
+
+    // ---- fault tolerance ---------------------------------------------
+
+    #[test]
+    fn injected_panic_rolls_back_bit_identical_to_skipping_the_pass() {
+        let spec = PipelineSpec::parse("dec,grow,dec").unwrap();
+        // Inject a panic at each invocation in turn; the result must be
+        // bit-identical to the spec with that step removed.
+        for n in 0..3usize {
+            let pm = PassManager::new(registry())
+                .on_fault(FaultPolicy::SkipPass)
+                .with_fault_injection(FaultPlan::at_invocation(InjectKind::Panic, n));
+            let mut faulted = Toy {
+                vals: vec![3, 0, 5],
+            };
+            let report = pm.run(&mut faulted, &spec).unwrap();
+
+            let mut steps = spec.steps.clone();
+            steps.remove(n);
+            let skipped_spec = PipelineSpec::new(steps);
+            let pm2 = PassManager::new(registry());
+            let mut skipped = Toy {
+                vals: vec![3, 0, 5],
+            };
+            pm2.run(&mut skipped, &skipped_spec).unwrap();
+
+            assert_eq!(faulted, skipped, "invocation {n}");
+            assert_eq!(report.degradations.len(), 1);
+            let d = &report.degradations[0];
+            assert!(matches!(d.cause, FaultCause::Panic(_)), "{d:?}");
+            assert_eq!(d.action, RecoveryAction::RolledBack);
+            assert!(!report.stopped_early);
+            // The degraded attempt still appears in the pass list.
+            assert_eq!(report.passes.len(), 3);
+            assert!(report.passes[n]
+                .annotations
+                .iter()
+                .any(|(k, _)| k == "degraded"));
+        }
+    }
+
+    #[test]
+    fn rollback_discards_half_done_mutations() {
+        // `landmine` pushes a bogus slot *before* panicking; the snapshot
+        // restore must discard it.
+        let pm = PassManager::new(registry()).on_fault(FaultPolicy::SkipPass);
+        let mut m = Toy { vals: vec![-1, 4] };
+        let spec = PipelineSpec::parse("landmine,dec").unwrap();
+        let report = pm.run(&mut m, &spec).unwrap();
+        assert_eq!(m.vals, vec![-1, 3], "no 777 slot; dec still ran");
+        let d = report.degradation_of("landmine").unwrap();
+        assert!(matches!(&d.cause, FaultCause::Panic(msg) if msg.contains("landmine")));
+    }
+
+    #[test]
+    fn stop_pipeline_halts_at_the_fault() {
+        let pm = PassManager::new(registry())
+            .on_fault(FaultPolicy::StopPipeline)
+            .with_fault_injection(FaultPlan::at_pass(InjectKind::Panic, "grow"));
+        let mut m = Toy { vals: vec![2, 2] };
+        let spec = PipelineSpec::parse("dec,grow,dec").unwrap();
+        let report = pm.run(&mut m, &spec).unwrap();
+        assert_eq!(
+            m.vals,
+            vec![1, 1],
+            "first dec ran, grow rolled back, second dec never ran"
+        );
+        assert!(report.stopped_early);
+        assert_eq!(report.degradations.len(), 1);
+        assert_eq!(report.degradations[0].action, RecoveryAction::Stopped);
+        assert_eq!(report.passes.len(), 2, "dec + degraded grow");
+    }
+
+    #[test]
+    fn abort_policy_still_fails_fast_on_pass_errors() {
+        let mut r = registry();
+        r.register("fail", || {
+            Box::new(FnPass::new("fail", |_: &mut Toy, _| {
+                Err(PassError::msg("nope"))
+            }))
+        });
+        let pm = PassManager::new(r);
+        let mut m = Toy { vals: vec![1] };
+        let spec = PipelineSpec::parse("fail").unwrap();
+        let err = pm.run(&mut m, &spec).unwrap_err();
+        assert!(matches!(err, RunError::PassFailed { .. }), "{err}");
+    }
+
+    #[test]
+    fn pass_error_degrades_under_skip() {
+        let mut r = registry();
+        r.register("fail", || {
+            Box::new(FnPass::new("fail", |_: &mut Toy, _| {
+                Err(PassError::msg("nope"))
+            }))
+        });
+        let pm = PassManager::new(r).on_fault(FaultPolicy::SkipPass);
+        let mut m = Toy { vals: vec![1] };
+        let spec = PipelineSpec::parse("fail,dec").unwrap();
+        let report = pm.run(&mut m, &spec).unwrap();
+        assert_eq!(m.vals, vec![0]);
+        let d = report.degradation_of("fail").unwrap();
+        assert!(matches!(&d.cause, FaultCause::PassFailed(msg) if msg == "nope"));
+    }
+
+    #[test]
+    fn verifier_failure_degrades_and_rolls_back() {
+        let mut r = registry();
+        r.register("break", || {
+            Box::new(FnPass::infallible("break", |m: &mut Toy, _| {
+                m.vals.push(-999);
+                PassOutcome::from_stats(vec![("broke", 1)])
+            }))
+        });
+        let pm = PassManager::new(r)
+            .verify_between_passes(true)
+            .with_verifier(|m: &Toy| {
+                if m.vals.contains(&-999) {
+                    Err("slot holds sentinel -999".into())
+                } else {
+                    Ok(())
+                }
+            })
+            .on_fault(FaultPolicy::SkipPass);
+        let mut m = Toy { vals: vec![2] };
+        let spec = PipelineSpec::parse("dec,break,dec").unwrap();
+        let report = pm.run(&mut m, &spec).unwrap();
+        assert_eq!(m.vals, vec![0], "break rolled back, both decs ran");
+        let d = report.degradation_of("break").unwrap();
+        assert!(matches!(d.cause, FaultCause::VerifyFailed(_)));
+    }
+
+    #[test]
+    fn injected_verify_failure_fires_even_without_a_verifier() {
+        let pm = PassManager::new(registry())
+            .on_fault(FaultPolicy::SkipPass)
+            .with_fault_injection(FaultPlan::at_pass(InjectKind::VerifyFail, "dec"));
+        let mut m = Toy { vals: vec![5] };
+        let spec = PipelineSpec::parse("dec").unwrap();
+        let report = pm.run(&mut m, &spec).unwrap();
+        assert_eq!(m.vals, vec![5], "dec rolled back");
+        assert!(matches!(
+            report.degradation_of("dec").unwrap().cause,
+            FaultCause::VerifyFailed(_)
+        ));
+    }
+
+    #[test]
+    fn growth_budget_contains_a_runaway_pass() {
+        let pm = PassManager::new(registry()).on_fault(FaultPolicy::SkipPass);
+        let mut m = Toy { vals: vec![1, 2] };
+        // grow doubles the module; a 1.5× budget forbids that.
+        let spec = PipelineSpec::parse("grow<max-growth=1.5>,dec").unwrap();
+        let report = pm.run(&mut m, &spec).unwrap();
+        assert_eq!(m.vals, vec![0, 1], "grow rolled back, dec ran");
+        let d = report.degradation_of("grow").unwrap();
+        assert!(
+            matches!(
+                d.cause,
+                FaultCause::Budget(BudgetViolation::Growth {
+                    before: 2,
+                    after: 4,
+                    ..
+                })
+            ),
+            "{d:?}"
+        );
+        // Within budget, the pass is kept.
+        let pm = PassManager::new(registry()).on_fault(FaultPolicy::SkipPass);
+        let mut m = Toy { vals: vec![1, 2] };
+        let spec = PipelineSpec::parse("grow<max-growth=2.0>").unwrap();
+        let report = pm.run(&mut m, &spec).unwrap();
+        assert_eq!(m.vals.len(), 4);
+        assert!(report.degradations.is_empty());
+    }
+
+    #[test]
+    fn growth_budget_errors_under_abort() {
+        let pm = PassManager::new(registry()).with_budgets(Budgets {
+            max_growth: Some(1.5),
+            ..Budgets::none()
+        });
+        let mut m = Toy { vals: vec![1, 2] };
+        let spec = PipelineSpec::parse("grow").unwrap();
+        let err = pm.run(&mut m, &spec).unwrap_err();
+        assert!(matches!(err, RunError::BudgetExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn injected_budget_blowup_degrades() {
+        let pm = PassManager::new(registry())
+            .on_fault(FaultPolicy::SkipPass)
+            .with_fault_injection(FaultPlan::at_pass(InjectKind::BudgetBlowup, "dec"));
+        let mut m = Toy { vals: vec![5] };
+        let spec = PipelineSpec::parse("dec,observe").unwrap();
+        let report = pm.run(&mut m, &spec).unwrap();
+        assert_eq!(m.vals, vec![5], "dec rolled back");
+        assert!(matches!(
+            report.degradation_of("dec").unwrap().cause,
+            FaultCause::Budget(BudgetViolation::PassTime { limit_ms: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn pipeline_time_budget_stops_early() {
+        let pm = PassManager::new(registry())
+            .on_fault(FaultPolicy::SkipPass)
+            .with_budgets(Budgets {
+                max_pipeline_millis: Some(0),
+                ..Budgets::none()
+            });
+        let mut m = Toy { vals: vec![9] };
+        let spec = PipelineSpec::parse("dec,dec,dec").unwrap();
+        let report = pm.run(&mut m, &spec).unwrap();
+        // The first pass completes (and is kept — it verified), then the
+        // pipeline stops.
+        assert_eq!(m.vals, vec![8]);
+        assert!(report.stopped_early);
+        assert!(matches!(
+            report.degradations[0].cause,
+            FaultCause::Budget(BudgetViolation::PipelineTime { .. })
+        ));
+    }
+
+    #[test]
+    fn degraded_pass_in_fixpoint_does_not_spin() {
+        // A pass that always panics inside a fixpoint group contributes
+        // changed=false after rollback, so the group still converges.
+        let pm = PassManager::new(registry())
+            .on_fault(FaultPolicy::SkipPass)
+            .with_fault_injection(FaultPlan::at_pass(InjectKind::Panic, "grow"));
+        let mut m = Toy { vals: vec![2] };
+        let spec = PipelineSpec::parse("fixpoint(dec,grow)").unwrap();
+        let report = pm.run(&mut m, &spec).unwrap();
+        assert_eq!(m.vals, vec![0], "dec converged despite grow degrading");
+        // grow degraded once per iteration it was attempted.
+        assert!(report.degradations.iter().all(|d| d.pass == "grow"));
+        assert!(!report.stopped_early);
     }
 }

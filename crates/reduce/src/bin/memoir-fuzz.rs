@@ -1,0 +1,232 @@
+//! The `memoir-fuzz` crash-triage harness.
+//!
+//! ```text
+//! memoir-fuzz run --seed 1 --iters 200 --out fuzz-out/
+//! memoir-fuzz reduce fuzz-out/crash-1-17.repro
+//! memoir-fuzz replay fuzz-out/crash-1-17.repro
+//! ```
+//!
+//! `run` drives random MUT-op programs through random pipeline specs and
+//! writes every failure as a minimized, replayable `.repro` artifact;
+//! `reduce` shrinks an existing artifact in place; `replay` re-runs one
+//! exactly and reports whether the recorded failure still reproduces.
+
+use reduce::{
+    random_ops, random_spec, reduce_case, run_case, CaseConfig, Outcome, Repro, SplitMix64,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+memoir-fuzz — fuzz the MEMOIR pass pipeline and triage crashes
+
+USAGE:
+    memoir-fuzz run [--seed N] [--iters N] [--max-ops N] [--out DIR]
+                    [--on-fault=abort|skip|stop] [--inject=PLAN] [--no-reduce]
+    memoir-fuzz reduce FILE.repro
+    memoir-fuzz replay FILE.repro
+
+SUBCOMMANDS:
+    run       fuzz: random op programs through random pipeline specs;
+              every failure is delta-debugged (unless --no-reduce) and
+              written to DIR as a replayable .repro artifact.
+              Exits 1 if any crash was found.
+    reduce    shrink an existing .repro in place (ops first, then
+              pipeline steps) and mark it `minimized: true`
+    replay    re-run a .repro exactly; exits 0 if the recorded failure
+              class reproduces, 1 if it does not
+
+OPTIONS (run):
+    --seed N              campaign seed (default 1)
+    --iters N             number of cases (default 100)
+    --max-ops N           op-sequence length bound (default 40)
+    --out DIR             artifact directory (default fuzz-out)
+    --on-fault=POLICY     fault policy for every case (default abort)
+    --inject=PLAN         seed a fault into every case, e.g. panic@dce
+    --no-reduce           write raw artifacts with `minimized: false`
+";
+
+fn first_line(s: &str) -> String {
+    s.lines().next().unwrap_or("").to_string()
+}
+
+struct RunArgs {
+    seed: u64,
+    iters: u64,
+    max_ops: usize,
+    out: String,
+    cfg: CaseConfig,
+    no_reduce: bool,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut r = RunArgs {
+        seed: 1,
+        iters: 100,
+        max_ops: 40,
+        out: "fuzz-out".to_string(),
+        cfg: CaseConfig::default(),
+        no_reduce: false,
+    };
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let mut value = || {
+            inline
+                .clone()
+                .or_else(|| it.next().cloned())
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        match flag {
+            "--seed" => r.seed = value()?.parse().map_err(|_| "bad --seed".to_string())?,
+            "--iters" => r.iters = value()?.parse().map_err(|_| "bad --iters".to_string())?,
+            "--max-ops" => r.max_ops = value()?.parse().map_err(|_| "bad --max-ops".to_string())?,
+            "--out" => r.out = value()?,
+            "--on-fault" => r.cfg.policy = value()?.parse()?,
+            "--inject" => r.cfg.inject = Some(value()?.parse()?),
+            "--no-reduce" => r.no_reduce = true,
+            other => return Err(format!("unknown `run` option `{other}`")),
+        }
+    }
+    Ok(r)
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let r = parse_run_args(args)?;
+    std::fs::create_dir_all(&r.out).map_err(|e| format!("creating `{}`: {e}", r.out))?;
+
+    let root = SplitMix64::new(r.seed);
+    let mut crashes = 0u64;
+    for case in 0..r.iters {
+        let mut rng = root.split(case);
+        let ops = random_ops(&mut rng, r.max_ops);
+        let spec = random_spec(&mut rng);
+        let Outcome::Crash { detail, .. } = run_case(&ops, &spec, &r.cfg) else {
+            continue;
+        };
+        crashes += 1;
+        eprintln!("case {case}: {}", first_line(&detail));
+
+        let (ops, spec, detail, minimized) = if r.no_reduce {
+            (ops, spec, detail, false)
+        } else {
+            match reduce_case(&ops, &spec, &r.cfg) {
+                Some((o, s, d)) => (o, s, d, true),
+                None => (ops, spec, detail, false), // shrink lost the bug
+            }
+        };
+        let repro = Repro {
+            seed: r.seed,
+            case,
+            spec,
+            policy: r.cfg.policy,
+            inject: r.cfg.inject.clone(),
+            minimized,
+            failure: first_line(&detail),
+            ops,
+        };
+        let path = format!("{}/crash-{}-{case}.repro", r.out, r.seed);
+        std::fs::write(&path, repro.to_string()).map_err(|e| format!("writing `{path}`: {e}"))?;
+        eprintln!(
+            "  -> {path} ({} ops, {} steps{})",
+            repro.ops.len(),
+            repro.spec.steps.len(),
+            if minimized {
+                ", minimized"
+            } else {
+                ", NOT minimized"
+            }
+        );
+    }
+    eprintln!("{} case(s), {crashes} crash(es), seed {}", r.iters, r.seed);
+    Ok(if crashes == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn load(path: &str) -> Result<Repro, String> {
+    std::fs::read_to_string(path)
+        .map_err(|e| format!("reading `{path}`: {e}"))?
+        .parse()
+        .map_err(|e| format!("`{path}`: {e}"))
+}
+
+fn cmd_reduce(path: &str) -> Result<ExitCode, String> {
+    let mut repro = load(path)?;
+    let cfg = repro.config();
+    match reduce_case(&repro.ops, &repro.spec, &cfg) {
+        None => {
+            eprintln!("`{path}` does not reproduce; leaving it untouched");
+            Ok(ExitCode::FAILURE)
+        }
+        Some((ops, spec, detail)) => {
+            repro.ops = ops;
+            repro.spec = spec;
+            repro.failure = first_line(&detail);
+            repro.minimized = true;
+            std::fs::write(path, repro.to_string())
+                .map_err(|e| format!("writing `{path}`: {e}"))?;
+            eprintln!(
+                "{path}: reduced to {} ops, {} pipeline steps ({})",
+                repro.ops.len(),
+                repro.spec.steps.len(),
+                repro.failure
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
+fn cmd_replay(path: &str) -> Result<ExitCode, String> {
+    let repro = load(path)?;
+    let out = run_case(&repro.ops, &repro.spec, &repro.config());
+    let recorded_kind = repro.failure.split(':').next().unwrap_or("");
+    match out {
+        Outcome::Crash { kind, detail } => {
+            println!("{}", first_line(&detail));
+            if kind == recorded_kind {
+                eprintln!("{path}: reproduces");
+                Ok(ExitCode::SUCCESS)
+            } else {
+                eprintln!(
+                    "{path}: crashes, but as `{kind}` rather than the recorded `{recorded_kind}`"
+                );
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        Outcome::Pass => {
+            eprintln!("{path}: does not reproduce (pipeline passed)");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    // The harness catches pass panics by design; keep the default hook
+    // from spraying a message + backtrace for every contained fault.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        None | Some("-h") | Some("--help") => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some("run") => cmd_run(&args[1..]),
+        Some("reduce") if args.len() == 2 => cmd_reduce(&args[1]),
+        Some("replay") if args.len() == 2 => cmd_replay(&args[1]),
+        Some("reduce") | Some("replay") => Err("expected exactly one FILE.repro".to_string()),
+        Some(other) => Err(format!("unknown subcommand `{other}`")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("memoir-fuzz: error: {e}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

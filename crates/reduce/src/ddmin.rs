@@ -1,0 +1,107 @@
+//! Delta debugging (Zeller & Hildebrandt's ddmin, complement phase).
+//!
+//! Shrinks a failing input to a *1-minimal* subsequence: removing any
+//! single remaining chunk of the current granularity makes the failure
+//! disappear. The predicate is re-run on candidates only, so an
+//! expensive `fails` (a whole pipeline execution) is called
+//! O(n log n) times in the typical case.
+
+/// Minimizes `input` against `fails` (which must return `true` for the
+/// failing input itself; if it does not, the input is returned as-is —
+/// an unreproducible failure should be reported, not silently shrunk).
+pub fn ddmin<T: Clone>(input: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut cur: Vec<T> = input.to_vec();
+    if cur.is_empty() || !fails(&cur) {
+        return cur;
+    }
+    let mut n = 2usize;
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            // The complement of cur[start..end].
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            if !candidate.is_empty() && fails(&candidate) {
+                cur = candidate;
+                n = (n - 1).max(2);
+                reduced = true;
+                start = 0; // restart the sweep at the new, smaller input
+            } else {
+                start = end;
+            }
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break; // 1-minimal at granularity 1
+            }
+            n = (n * 2).min(cur.len());
+        }
+    }
+    // A failing singleton may still shrink to empty if the failure does
+    // not depend on the input at all.
+    if cur.len() == 1 && fails(&[]) {
+        cur.clear();
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_single_culprit() {
+        let input: Vec<u32> = (0..64).collect();
+        let out = ddmin(&input, |xs| xs.contains(&47));
+        assert_eq!(out, vec![47]);
+    }
+
+    #[test]
+    fn finds_a_scattered_pair() {
+        let input: Vec<u32> = (0..32).collect();
+        let out = ddmin(&input, |xs| xs.contains(&3) && xs.contains(&29));
+        assert_eq!(out, vec![3, 29]);
+    }
+
+    #[test]
+    fn order_dependent_failure_keeps_order() {
+        // Fails only when 7 appears before 2.
+        let input: Vec<u32> = vec![5, 7, 9, 1, 2, 8];
+        let out = ddmin(&input, |xs| {
+            let a = xs.iter().position(|&x| x == 7);
+            let b = xs.iter().position(|&x| x == 2);
+            matches!((a, b), (Some(a), Some(b)) if a < b)
+        });
+        assert_eq!(out, vec![7, 2]);
+    }
+
+    #[test]
+    fn unreproducible_input_is_returned_unchanged() {
+        let input = vec![1, 2, 3];
+        let out = ddmin(&input, |_| false);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn unconditional_failure_shrinks_to_empty() {
+        let input = vec![1, 2, 3, 4, 5];
+        let out = ddmin(&input, |_| true);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn counts_predicate_calls_reasonably() {
+        let input: Vec<u32> = (0..128).collect();
+        let mut calls = 0usize;
+        let out = ddmin(&input, |xs| {
+            calls += 1;
+            xs.contains(&100)
+        });
+        assert_eq!(out, vec![100]);
+        assert!(calls < 2000, "ddmin ran the oracle {calls} times");
+    }
+}

@@ -1,0 +1,234 @@
+//! Random MUT-op sequence programs with a built-in oracle.
+//!
+//! This is the program generator of `tests/pipeline_differential.rs`,
+//! promoted to a library so the fuzz harness, the reducer, and the
+//! property tests all draw from the same distribution: a straight-line
+//! prefix of sequence mutations (push/write/insert/remove/swap/
+//! remove-range) followed by a fold loop, with a plain-Rust oracle
+//! computing the expected result alongside.
+
+use crate::rng::SplitMix64;
+use memoir_ir::{CmpOp, Form, Module, ModuleBuilder, Type};
+use std::fmt;
+use std::str::FromStr;
+
+/// One sequence mutation in the generated program. Indices are reduced
+/// modulo the current length at build time, so any byte values are valid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Append a value.
+    Push(i8),
+    /// Overwrite the element at index `i % len`.
+    Write(u8, i8),
+    /// Insert at index `i % (len + 1)`.
+    InsertAt(u8, i8),
+    /// Remove the element at index `i % len`.
+    Remove(u8),
+    /// Swap the elements at two (distinct-after-mod) indices.
+    SwapElems(u8, u8),
+    /// Remove the half-open range between two indices.
+    RemoveRange(u8, u8),
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Push(v) => write!(f, "push {v}"),
+            Op::Write(i, v) => write!(f, "write {i} {v}"),
+            Op::InsertAt(i, v) => write!(f, "insert {i} {v}"),
+            Op::Remove(i) => write!(f, "remove {i}"),
+            Op::SwapElems(a, b) => write!(f, "swap {a} {b}"),
+            Op::RemoveRange(a, b) => write!(f, "remove-range {a} {b}"),
+        }
+    }
+}
+
+impl FromStr for Op {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Op, String> {
+        let mut it = s.split_whitespace();
+        let head = it.next().ok_or("empty op")?;
+        let mut arg = |name: &str| -> Result<i64, String> {
+            it.next()
+                .ok_or_else(|| format!("op `{head}` is missing its {name} argument"))?
+                .parse::<i64>()
+                .map_err(|_| format!("op `{s}` has a bad {name} argument"))
+        };
+        let op = match head {
+            "push" => Op::Push(arg("value")? as i8),
+            "write" => Op::Write(arg("index")? as u8, arg("value")? as i8),
+            "insert" => Op::InsertAt(arg("index")? as u8, arg("value")? as i8),
+            "remove" => Op::Remove(arg("index")? as u8),
+            "swap" => Op::SwapElems(arg("index")? as u8, arg("index")? as u8),
+            "remove-range" => Op::RemoveRange(arg("index")? as u8, arg("index")? as u8),
+            other => return Err(format!("unknown op `{other}`")),
+        };
+        if it.next().is_some() {
+            return Err(format!("op `{s}` has trailing arguments"));
+        }
+        Ok(op)
+    }
+}
+
+/// Draws one random op (the `tests/pipeline_differential.rs` weights).
+pub fn random_op(rng: &mut SplitMix64) -> Op {
+    match rng.below(11) {
+        0..=2 => Op::Push(rng.next_u64() as i8),
+        3..=4 => Op::Write(rng.next_u64() as u8, rng.next_u64() as i8),
+        5..=6 => Op::InsertAt(rng.next_u64() as u8, rng.next_u64() as i8),
+        7 => Op::Remove(rng.next_u64() as u8),
+        8..=9 => Op::SwapElems(rng.next_u64() as u8, rng.next_u64() as u8),
+        _ => Op::RemoveRange(rng.next_u64() as u8, rng.next_u64() as u8),
+    }
+}
+
+/// Draws a random op sequence of length `0..max_len`.
+pub fn random_ops(rng: &mut SplitMix64, max_len: usize) -> Vec<Op> {
+    let n = rng.index(max_len.max(1));
+    (0..n).map(|_| random_op(rng)).collect()
+}
+
+/// Builds the module and the oracle result together (indices are clamped
+/// identically in both, so every op list is a valid program).
+pub fn build(ops: &[Op]) -> (Module, i64) {
+    let mut oracle: Vec<i64> = Vec::new();
+    let mut mb = ModuleBuilder::new("fuzz");
+    mb.func("main", Form::Mut, |b| {
+        let i64t = b.ty(Type::I64);
+        let zero = b.index(0);
+        let s = b.new_seq(i64t, zero);
+        for o in ops {
+            match *o {
+                Op::Push(v) => {
+                    let sz = b.size(s);
+                    let vv = b.i64(v as i64);
+                    b.mut_insert(s, sz, Some(vv));
+                    oracle.push(v as i64);
+                }
+                Op::Write(i, v) => {
+                    if !oracle.is_empty() {
+                        let i = i as usize % oracle.len();
+                        let iv = b.index(i as u64);
+                        let vv = b.i64(v as i64);
+                        b.mut_write(s, iv, vv);
+                        oracle[i] = v as i64;
+                    }
+                }
+                Op::InsertAt(i, v) => {
+                    let i = i as usize % (oracle.len() + 1);
+                    let iv = b.index(i as u64);
+                    let vv = b.i64(v as i64);
+                    b.mut_insert(s, iv, Some(vv));
+                    oracle.insert(i, v as i64);
+                }
+                Op::Remove(i) => {
+                    if !oracle.is_empty() {
+                        let i = i as usize % oracle.len();
+                        let iv = b.index(i as u64);
+                        b.mut_remove(s, iv);
+                        oracle.remove(i);
+                    }
+                }
+                Op::SwapElems(a, c) => {
+                    if !oracle.is_empty() {
+                        let a = a as usize % oracle.len();
+                        let c = c as usize % oracle.len();
+                        // Disjoint or identical single-element ranges only.
+                        if a != c {
+                            let av = b.index(a as u64);
+                            let a1 = b.index(a as u64 + 1);
+                            let cv = b.index(c as u64);
+                            b.mut_swap(s, av, a1, cv);
+                            oracle.swap(a, c);
+                        }
+                    }
+                }
+                Op::RemoveRange(a, c) => {
+                    if !oracle.is_empty() {
+                        let a = a as usize % oracle.len();
+                        let c = c as usize % oracle.len();
+                        let (lo, hi) = (a.min(c), a.max(c));
+                        let lov = b.index(lo as u64);
+                        let hiv = b.index(hi as u64);
+                        b.mut_remove_range(s, lov, hiv);
+                        oracle.drain(lo..hi);
+                    }
+                }
+            }
+        }
+        // Epilogue: fold the sequence with a loop: acc = Σ (2*acc + elem).
+        let idxt = b.ty(Type::Index);
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        let zero64 = b.i64(0);
+        let pre = b.current_block();
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi_placeholder(idxt);
+        let acc = b.phi_placeholder(i64t);
+        b.add_phi_incoming(i, pre, zero);
+        b.add_phi_incoming(acc, pre, zero64);
+        let sz = b.size(s);
+        let done = b.cmp(CmpOp::Ge, i, sz);
+        b.branch(done, exit, body);
+        b.switch_to(body);
+        let v = b.read(s, i);
+        let two = b.i64(2);
+        let acc2x = b.mul(acc, two);
+        let acc2 = b.add(acc2x, v);
+        let one = b.index(1);
+        let next = b.add(i, one);
+        let bb = b.current_block();
+        b.add_phi_incoming(i, bb, next);
+        b.add_phi_incoming(acc, bb, acc2);
+        b.jump(header);
+        b.switch_to(exit);
+        b.returns(&[i64t]);
+        b.ret(vec![acc]);
+    });
+    let mut m = mb.finish();
+    m.entry = m.func_by_name("main");
+    let expect = oracle
+        .iter()
+        .fold(0i64, |a, &v| a.wrapping_mul(2).wrapping_add(v));
+    (m, expect)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_round_trip_as_text() {
+        let ops = vec![
+            Op::Push(-3),
+            Op::Write(4, 7),
+            Op::InsertAt(2, -1),
+            Op::Remove(0),
+            Op::SwapElems(1, 2),
+            Op::RemoveRange(1, 3),
+        ];
+        for op in &ops {
+            let text = op.to_string();
+            assert_eq!(text.parse::<Op>().unwrap(), *op, "{text}");
+        }
+        assert!("push".parse::<Op>().is_err());
+        assert!("nuke 1".parse::<Op>().is_err());
+        assert!("push 1 2".parse::<Op>().is_err());
+    }
+
+    #[test]
+    fn build_matches_the_oracle() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..10 {
+            let ops = random_ops(&mut rng, 30);
+            let (m, expect) = build(&ops);
+            memoir_ir::verifier::assert_valid(&m);
+            let mut vm = memoir_interp::Interp::new(&m).with_fuel(50_000_000);
+            let got = vm.run_by_name("main", vec![]).unwrap()[0].as_int().unwrap();
+            assert_eq!(got, expect, "ops: {ops:?}");
+        }
+    }
+}

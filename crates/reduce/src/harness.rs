@@ -1,0 +1,256 @@
+//! The fuzz oracle: run one generated case through the pipeline and
+//! classify the result.
+//!
+//! A case is (op sequence, pipeline spec, fault policy, optional fault
+//! injection). The harness builds the MUT-form module, runs the spec
+//! with inter-pass verification forced on, panics caught, and finally
+//! executes the optimized module in the interpreter against the plain
+//! Rust oracle. Anything other than "completed and computed the right
+//! answer" is a [`Crash`] — including a *degraded* run whose recovered
+//! module no longer matches the oracle, which is exactly the rollback
+//! soundness the fault-tolerance layer promises.
+
+use crate::genprog::{build, Op};
+use memoir_opt::pipeline::compile_spec_with;
+use passman::{FaultPlan, FaultPolicy, PipelineSpec};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// How to configure the pass manager for a fuzz case (fixed across a
+/// reduction, varied across a campaign).
+#[derive(Clone, Debug)]
+pub struct CaseConfig {
+    /// Fault policy for the run (`Abort` makes every fault a crash;
+    /// `SkipPass`/`StopPipeline` exercise rollback instead).
+    pub policy: FaultPolicy,
+    /// Test-only fault injection plan, replayed exactly.
+    pub inject: Option<FaultPlan>,
+}
+
+impl Default for CaseConfig {
+    fn default() -> Self {
+        CaseConfig {
+            policy: FaultPolicy::Abort,
+            inject: None,
+        }
+    }
+}
+
+/// The classified result of one case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Pipeline completed and the optimized module matches the oracle.
+    Pass,
+    /// Something went wrong.
+    Crash {
+        /// Stable failure class (`panic`, `run-error`, `verify`,
+        /// `miscompile`, `interp`) — reduction holds this fixed so it
+        /// shrinks toward *the same* bug.
+        kind: &'static str,
+        /// Human-readable one-liner.
+        detail: String,
+    },
+}
+
+impl Outcome {
+    /// The failure class, if this is a crash.
+    pub fn kind(&self) -> Option<&'static str> {
+        match self {
+            Outcome::Pass => None,
+            Outcome::Crash { kind, .. } => Some(kind),
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one case end to end and classifies it.
+pub fn run_case(ops: &[Op], spec: &PipelineSpec, cfg: &CaseConfig) -> Outcome {
+    let (mut m, expect) = build(ops);
+
+    let ran = catch_unwind(AssertUnwindSafe(|| {
+        compile_spec_with(&mut m, spec, |mut pm| {
+            pm = pm.on_fault(cfg.policy).verify_between_passes(true);
+            if let Some(plan) = cfg.inject.clone() {
+                pm = pm.with_fault_injection(plan);
+            }
+            pm
+        })
+    }));
+    match ran {
+        Err(payload) => {
+            return Outcome::Crash {
+                kind: "panic",
+                detail: format!("panic: {}", panic_message(payload)),
+            }
+        }
+        Ok(Err(e)) => {
+            return Outcome::Crash {
+                kind: "run-error",
+                detail: format!("run-error: {e}"),
+            }
+        }
+        Ok(Ok(_report)) => {}
+    }
+
+    // The pipeline itself verifies between passes, but re-check the final
+    // module so a corrupting *last* pass cannot slip through.
+    let errs = memoir_ir::verifier::verify_module(&m);
+    if let Some(first) = errs.first() {
+        return Outcome::Crash {
+            kind: "verify",
+            detail: format!("verify: {first:?} (+{} more)", errs.len() - 1),
+        };
+    }
+
+    let mut vm = memoir_interp::Interp::new(&m).with_fuel(50_000_000);
+    match vm.run_by_name("main", vec![]) {
+        Err(trap) => Outcome::Crash {
+            kind: "interp",
+            detail: format!("interp: {trap:?}"),
+        },
+        Ok(vals) => match vals.first().and_then(|v| v.as_int()) {
+            Some(got) if got == expect => Outcome::Pass,
+            Some(got) => Outcome::Crash {
+                kind: "miscompile",
+                detail: format!("miscompile: got {got}, oracle says {expect}"),
+            },
+            None => Outcome::Crash {
+                kind: "miscompile",
+                detail: "miscompile: no integer result".to_string(),
+            },
+        },
+    }
+}
+
+/// Reduces a crashing case: first ddmin over the op sequence, then over
+/// the pipeline steps, holding the failure *class* fixed throughout so
+/// the shrink converges on the original bug rather than a new one.
+///
+/// Returns the minimized `(ops, spec)` and the (possibly re-worded)
+/// failure detail of the minimized case.
+pub fn reduce_case(
+    ops: &[Op],
+    spec: &PipelineSpec,
+    cfg: &CaseConfig,
+) -> Option<(Vec<Op>, PipelineSpec, String)> {
+    let kind = run_case(ops, spec, cfg).kind()?;
+    let same_kind = |o: &Outcome| o.kind() == Some(kind);
+
+    let ops = crate::ddmin::ddmin(ops, |candidate| same_kind(&run_case(candidate, spec, cfg)));
+    let mut steps = crate::ddmin::ddmin(&spec.steps, |candidate| {
+        same_kind(&run_case(&ops, &PipelineSpec::new(candidate.to_vec()), cfg))
+    });
+    // Steps are atomic to ddmin, so shrink inside surviving fixpoint
+    // groups too — and try flattening each group to plain passes (a
+    // group that only needs one trip is noise in a repro).
+    let mut i = 0;
+    while i < steps.len() {
+        let passman::SpecStep::Fixpoint { opts, body } = steps[i].clone() else {
+            i += 1;
+            continue;
+        };
+        let body = crate::ddmin::ddmin(&body, |cand| {
+            if cand.is_empty() {
+                return false; // fixpoint() is not a valid spec
+            }
+            let mut trial = steps.clone();
+            trial[i] = passman::SpecStep::Fixpoint {
+                opts: opts.clone(),
+                body: cand.to_vec(),
+            };
+            same_kind(&run_case(&ops, &PipelineSpec::new(trial), cfg))
+        });
+        let mut flat = steps.clone();
+        flat.splice(i..=i, body.iter().cloned().map(passman::SpecStep::Pass));
+        if same_kind(&run_case(&ops, &PipelineSpec::new(flat.clone()), cfg)) {
+            steps = flat;
+            i += body.len();
+        } else {
+            steps[i] = passman::SpecStep::Fixpoint { opts, body };
+            i += 1;
+        }
+    }
+    let spec = PipelineSpec::new(steps);
+    // One more ops pass: a smaller spec may admit a smaller program.
+    let ops = crate::ddmin::ddmin(&ops, |candidate| {
+        same_kind(&run_case(candidate, &spec, cfg))
+    });
+
+    match run_case(&ops, &spec, cfg) {
+        Outcome::Crash { detail, .. } => Some((ops, spec, detail)),
+        Outcome::Pass => None, // shrink lost the bug (should not happen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genprog::random_ops;
+    use crate::genspec::random_spec;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn healthy_cases_pass() {
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..5 {
+            let ops = random_ops(&mut rng, 20);
+            let spec = random_spec(&mut rng);
+            let out = run_case(&ops, &spec, &CaseConfig::default());
+            assert_eq!(out, Outcome::Pass, "ops {ops:?} spec {spec}");
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_a_crash_under_abort() {
+        let ops = vec![Op::Push(1), Op::Push(2)];
+        let spec = PipelineSpec::parse("ssa-construct,dce,ssa-destruct").unwrap();
+        let cfg = CaseConfig {
+            policy: FaultPolicy::Abort,
+            inject: Some("panic@dce".parse().unwrap()),
+        };
+        let out = run_case(&ops, &spec, &cfg);
+        assert_eq!(out.kind(), Some("panic"), "{out:?}");
+    }
+
+    #[test]
+    fn injected_panic_is_recovered_under_skip() {
+        let ops = vec![Op::Push(1), Op::Push(2), Op::Write(0, 9)];
+        let spec = PipelineSpec::parse("ssa-construct,dce,ssa-destruct").unwrap();
+        let cfg = CaseConfig {
+            policy: FaultPolicy::SkipPass,
+            inject: Some("panic@dce".parse().unwrap()),
+        };
+        // Rollback must leave an interpreter-correct module: no crash.
+        assert_eq!(run_case(&ops, &spec, &cfg), Outcome::Pass);
+    }
+
+    #[test]
+    fn reduction_shrinks_an_injected_crash() {
+        let mut rng = SplitMix64::new(3);
+        let ops = random_ops(&mut rng, 40);
+        let spec = PipelineSpec::parse(
+            "ssa-construct,constprop,fixpoint<max=3>(simplify,dce),dee,ssa-destruct,rie,dfe",
+        )
+        .unwrap();
+        let cfg = CaseConfig {
+            policy: FaultPolicy::Abort,
+            inject: Some("panic@dee".parse().unwrap()),
+        };
+        let (min_ops, min_spec, detail) = reduce_case(&ops, &spec, &cfg).expect("still crashes");
+        assert!(min_ops.len() <= 8, "ops not minimal: {min_ops:?}");
+        assert!(
+            min_spec.steps.len() <= 2,
+            "spec not minimal: {min_spec} ({} steps)",
+            min_spec.steps.len()
+        );
+        assert!(detail.starts_with("panic:"), "{detail}");
+    }
+}

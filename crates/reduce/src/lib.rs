@@ -1,0 +1,38 @@
+//! # reduce
+//!
+//! Crash triage for the MEMOIR pass pipeline: the library behind the
+//! `memoir-fuzz` binary.
+//!
+//! The pieces compose into a classic fuzz-and-shrink loop:
+//!
+//! * [`rng::SplitMix64`] — a tiny deterministic RNG, so every campaign
+//!   and every case is replayable from `(seed, case-index)` alone;
+//! * [`genprog`] — random MUT-op sequence programs with a plain-Rust
+//!   oracle computed alongside (the generator of
+//!   `tests/pipeline_differential.rs`, promoted to a library);
+//! * [`genspec`] — random but always phase-correct [`PipelineSpec`]s;
+//! * [`harness`] — runs one case through the pipeline with panics
+//!   caught and verification forced on, then differentially checks the
+//!   optimized module against the oracle in the interpreter;
+//! * [`ddmin`] — delta debugging, used to shrink first the op sequence
+//!   and then the pipeline steps of a crashing case;
+//! * [`repro`] — `.repro` text artifacts that `memoir-fuzz replay`
+//!   re-runs exactly.
+//!
+//! [`PipelineSpec`]: passman::PipelineSpec
+
+#![warn(missing_docs)]
+
+pub mod ddmin;
+pub mod genprog;
+pub mod genspec;
+pub mod harness;
+pub mod repro;
+pub mod rng;
+
+pub use ddmin::ddmin;
+pub use genprog::{build, random_op, random_ops, Op};
+pub use genspec::random_spec;
+pub use harness::{reduce_case, run_case, CaseConfig, Outcome};
+pub use repro::Repro;
+pub use rng::SplitMix64;

@@ -1,0 +1,183 @@
+//! Replayable crash artifacts (`.repro` files).
+//!
+//! A repro is a small, line-oriented text file that captures *exactly*
+//! one fuzz case: the op program, the pipeline spec, the fault policy,
+//! and any injection plan. `memoir-fuzz replay file.repro` re-runs it
+//! bit-for-bit; `memoir-fuzz reduce file.repro` shrinks it in place.
+//!
+//! ```text
+//! memoir-fuzz repro v1
+//! seed: 42
+//! case: 17
+//! spec: ssa-construct,dce,ssa-destruct
+//! policy: skip
+//! inject: panic@dce
+//! minimized: true
+//! failure: panic: injected fault
+//! ops:
+//!   push -3
+//!   write 1 7
+//! ```
+
+use crate::genprog::Op;
+use crate::harness::CaseConfig;
+use passman::{FaultPolicy, PipelineSpec};
+use std::fmt;
+use std::str::FromStr;
+
+const HEADER: &str = "memoir-fuzz repro v1";
+
+/// One replayable crash case.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Repro {
+    /// Campaign seed that produced the case.
+    pub seed: u64,
+    /// Case index within the campaign.
+    pub case: u64,
+    /// The pipeline spec the case ran.
+    pub spec: PipelineSpec,
+    /// Fault policy in effect.
+    pub policy: FaultPolicy,
+    /// Injection plan, if the campaign was seeded with one.
+    pub inject: Option<passman::FaultPlan>,
+    /// Whether this artifact has been through the reducer.
+    pub minimized: bool,
+    /// One-line failure classification from the harness.
+    pub failure: String,
+    /// The MUT-op program.
+    pub ops: Vec<Op>,
+}
+
+impl Repro {
+    /// The harness configuration this repro replays under.
+    pub fn config(&self) -> CaseConfig {
+        CaseConfig {
+            policy: self.policy,
+            inject: self.inject.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Repro {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{HEADER}")?;
+        writeln!(f, "seed: {}", self.seed)?;
+        writeln!(f, "case: {}", self.case)?;
+        writeln!(f, "spec: {}", self.spec)?;
+        writeln!(f, "policy: {}", self.policy)?;
+        if let Some(plan) = &self.inject {
+            writeln!(f, "inject: {plan}")?;
+        }
+        writeln!(f, "minimized: {}", self.minimized)?;
+        writeln!(f, "failure: {}", self.failure)?;
+        writeln!(f, "ops:")?;
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Repro {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Repro, String> {
+        let mut lines = s.lines().enumerate();
+        let (_, first) = lines.next().ok_or("empty repro file")?;
+        if first.trim() != HEADER {
+            return Err(format!("not a repro file (expected `{HEADER}`)"));
+        }
+
+        let mut seed = None;
+        let mut case = None;
+        let mut spec = None;
+        let mut policy = None;
+        let mut inject = None;
+        let mut minimized = None;
+        let mut failure = None;
+        let mut ops: Option<Vec<Op>> = None;
+
+        for (i, raw) in lines {
+            let line = raw.trim_end();
+            if line.trim().is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("line {}: {what}", i + 1);
+            if let Some(list) = &mut ops {
+                // Inside the trailing `ops:` block every line is one op.
+                list.push(line.trim().parse::<Op>().map_err(|e| err(&e))?);
+                continue;
+            }
+            let (key, value) = line
+                .split_once(':')
+                .ok_or_else(|| err("expected `key: value`"))?;
+            let value = value.trim();
+            match key.trim() {
+                "seed" => seed = Some(value.parse::<u64>().map_err(|_| err("bad seed"))?),
+                "case" => case = Some(value.parse::<u64>().map_err(|_| err("bad case"))?),
+                "spec" => spec = Some(PipelineSpec::parse(value).map_err(|e| err(&e.to_string()))?),
+                "policy" => policy = Some(value.parse().map_err(|e: String| err(&e))?),
+                "inject" => inject = Some(value.parse().map_err(|e: String| err(&e))?),
+                "minimized" => {
+                    minimized = Some(value.parse::<bool>().map_err(|_| err("bad minimized"))?)
+                }
+                "failure" => failure = Some(value.to_string()),
+                "ops" => ops = Some(Vec::new()),
+                other => return Err(err(&format!("unknown key `{other}`"))),
+            }
+        }
+
+        Ok(Repro {
+            seed: seed.ok_or("missing `seed:`")?,
+            case: case.ok_or("missing `case:`")?,
+            spec: spec.ok_or("missing `spec:`")?,
+            policy: policy.ok_or("missing `policy:`")?,
+            inject,
+            minimized: minimized.ok_or("missing `minimized:`")?,
+            failure: failure.ok_or("missing `failure:`")?,
+            ops: ops.ok_or("missing `ops:` section")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Repro {
+        Repro {
+            seed: 42,
+            case: 17,
+            spec: PipelineSpec::parse("ssa-construct,fixpoint<max=3>(simplify,dce),ssa-destruct")
+                .unwrap(),
+            policy: FaultPolicy::SkipPass,
+            inject: Some("panic@dce#2".parse().unwrap()),
+            minimized: true,
+            failure: "panic: injected fault".to_string(),
+            ops: vec![Op::Push(-3), Op::Write(1, 7), Op::RemoveRange(0, 2)],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let r = sample();
+        let text = r.to_string();
+        assert_eq!(text.parse::<Repro>().unwrap(), r, "{text}");
+
+        // And without the optional inject line.
+        let mut r2 = sample();
+        r2.inject = None;
+        assert_eq!(r2.to_string().parse::<Repro>().unwrap(), r2);
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        assert!("".parse::<Repro>().is_err());
+        assert!("not a repro".parse::<Repro>().is_err());
+        let no_ops = "memoir-fuzz repro v1\nseed: 1\ncase: 0\nspec: dce\n\
+                      policy: abort\nminimized: false\nfailure: x";
+        assert!(no_ops.parse::<Repro>().is_err());
+        let bad_op = format!("{}\n  fly 9", sample().to_string().trim_end());
+        assert!(bad_op.parse::<Repro>().is_err());
+    }
+}

@@ -1,0 +1,4 @@
+fn main() {
+    let m = workloads::listing1::build_listing1();
+    print!("{}", memoir_ir::printer::print_module(&m));
+}

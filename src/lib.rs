@@ -71,4 +71,5 @@ pub use memoir_lower as lower;
 pub use memoir_opt as opt;
 pub use memoir_runtime as runtime;
 pub use passman;
+pub use reduce;
 pub use workloads;
