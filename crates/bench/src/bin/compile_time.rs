@@ -1,0 +1,244 @@
+//! Compile-time profile: serial vs sharded pass execution, and
+//! copy-on-write vs full-clone snapshots, over the Table III subjects
+//! plus a lowered low-level-IR subject.
+//!
+//! Emits `BENCH_compile_time.json`: per subject × mode, the per-pass
+//! wall-clock times, the total, and the snapshot-engine counters. The
+//! three modes are `serial` (1 thread, CoW snapshots), `threads4`
+//! (4 workers, CoW snapshots) and `full-clone` (1 thread, whole-module
+//! clone snapshots — the recovery baseline CoW replaces). All modes run
+//! under the `SkipPass` policy so snapshots are actually taken.
+//!
+//! ```text
+//! compile_time [--out FILE] [--check]
+//! ```
+//!
+//! `--check` asserts the invariants CI smokes: non-zero pass timings,
+//! byte-identical IR between serial and sharded runs, and strictly fewer
+//! units cloned by CoW than by the full-clone baseline.
+
+use bench::{compilation_subjects, o3_all};
+use memoir_opt::pipeline::{compile_spec_with, default_spec};
+use passman::{FaultPolicy, SnapshotStats};
+
+struct ModeResult {
+    mode: &'static str,
+    threads: usize,
+    engine: &'static str,
+    total_ms: f64,
+    passes: Vec<(String, f64)>,
+    snapshots: SnapshotStats,
+    /// Printed final IR, for the determinism check (not serialized).
+    ir: String,
+}
+
+fn run_memoir(m: &memoir_ir::Module, mode: &'static str, threads: usize, cow: bool) -> ModeResult {
+    let mut m = m.clone();
+    let report = compile_spec_with(&mut m, &default_spec(o3_all()), |pm| {
+        let pm = pm.on_fault(FaultPolicy::SkipPass).with_threads(threads);
+        if cow {
+            pm // pass_manager() installs the CoW engine by default
+        } else {
+            pm.with_full_clone_snapshots()
+        }
+    })
+    .expect("pipeline runs clean");
+    let run = report.run;
+    ModeResult {
+        mode,
+        threads,
+        engine: if cow { "cow" } else { "full-clone" },
+        total_ms: run.total_ms(),
+        passes: run
+            .passes
+            .iter()
+            .map(|p| (p.name.clone(), p.time.as_secs_f64() * 1e3))
+            .collect(),
+        snapshots: run.snapshots,
+        ir: memoir_ir::printer::print_module(&m),
+    }
+}
+
+fn run_lir(m: &lir::Module, mode: &'static str, threads: usize, cow: bool) -> ModeResult {
+    let mut m = m.clone();
+    let pm = lir::passes::pass_manager()
+        .on_fault(FaultPolicy::SkipPass)
+        .with_threads(threads);
+    let pm = if cow {
+        pm
+    } else {
+        pm.with_full_clone_snapshots()
+    };
+    let run = pm
+        .run(&mut m, &lir::passes::default_spec())
+        .expect("pipeline runs clean");
+    ModeResult {
+        mode,
+        threads,
+        engine: if cow { "cow" } else { "full-clone" },
+        total_ms: run.total_ms(),
+        passes: run
+            .passes
+            .iter()
+            .map(|p| (p.name.clone(), p.time.as_secs_f64() * 1e3))
+            .collect(),
+        snapshots: run.snapshots,
+        ir: format!("{m:?}"),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn mode_json(r: &ModeResult) -> String {
+    let passes: Vec<String> = r
+        .passes
+        .iter()
+        .map(|(n, ms)| format!("{{\"name\": \"{}\", \"ms\": {:.6}}}", json_escape(n), ms))
+        .collect();
+    let s = r.snapshots;
+    format!(
+        "{{\"mode\": \"{}\", \"threads\": {}, \"snapshot_engine\": \"{}\", \
+         \"total_ms\": {:.6}, \"passes\": [{}], \"snapshots\": {{\
+         \"captures\": {}, \"full_clones\": {}, \"funcs_cloned\": {}, \
+         \"funcs_reused\": {}, \"units_cloned\": {}, \"restores\": {}}}}}",
+        r.mode,
+        r.threads,
+        r.engine,
+        r.total_ms,
+        passes.join(", "),
+        s.captures,
+        s.full_clones,
+        s.funcs_cloned,
+        s.funcs_reused,
+        s.units_cloned,
+        s.restores,
+    )
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_compile_time.json");
+    let mut check = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => out_path = it.next().expect("--out needs a value"),
+            other => match other.strip_prefix("--out=") {
+                Some(v) => out_path = v.to_string(),
+                None => panic!("unknown argument `{other}`"),
+            },
+        }
+    }
+
+    let mut subjects: Vec<(String, &'static str, Vec<ModeResult>)> = Vec::new();
+    for (name, m) in compilation_subjects() {
+        subjects.push((
+            name.to_string(),
+            "memoir",
+            vec![
+                run_memoir(&m, "serial", 1, true),
+                run_memoir(&m, "threads4", 4, true),
+                run_memoir(&m, "full-clone", 1, false),
+            ],
+        ));
+    }
+    // One low-level-IR subject, where every pass is function-sharded: the
+    // whole-program-sized synthetic module.
+    let synth = memoir_lower::lower_module(&workloads::synth_ir::build_synth_ir(120, 2024))
+        .expect("lowerable");
+    subjects.push((
+        "synthetic (lir)".to_string(),
+        "lir",
+        vec![
+            run_lir(&synth, "serial", 1, true),
+            run_lir(&synth, "threads4", 4, true),
+            run_lir(&synth, "full-clone", 1, false),
+        ],
+    ));
+
+    let subject_json: Vec<String> = subjects
+        .iter()
+        .map(|(name, ir, modes)| {
+            let modes: Vec<String> = modes.iter().map(mode_json).collect();
+            format!(
+                "    {{\"name\": \"{}\", \"ir\": \"{}\", \"modes\": [\n      {}\n    ]}}",
+                json_escape(name),
+                ir,
+                modes.join(",\n      ")
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"compile_time\",\n  \"subjects\": [\n{}\n  ]\n}}\n",
+        subject_json.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path} ({} subjects)", subjects.len());
+
+    for (name, _, modes) in &subjects {
+        for r in modes {
+            let s = r.snapshots;
+            println!(
+                "{name:>16}  {:>10}  {:8.3}ms  snapshots: {} captures, {} full, \
+                 {}c/{}r funcs, {} units",
+                r.mode,
+                r.total_ms,
+                s.captures,
+                s.full_clones,
+                s.funcs_cloned,
+                s.funcs_reused,
+                s.units_cloned,
+            );
+        }
+    }
+
+    if check {
+        let mut cow_units = 0usize;
+        let mut full_units = 0usize;
+        for (name, _, modes) in &subjects {
+            let serial = &modes[0];
+            let threads4 = &modes[1];
+            let full = &modes[2];
+            assert!(
+                serial.passes.iter().map(|(_, ms)| ms).sum::<f64>() > 0.0,
+                "{name}: zero pass timings"
+            );
+            assert_eq!(
+                serial.ir, threads4.ir,
+                "{name}: sharded IR diverged from serial"
+            );
+            assert_eq!(
+                fingerprint_times(&serial.passes),
+                fingerprint_times(&threads4.passes),
+                "{name}: sharded pass sequence diverged from serial"
+            );
+            assert!(serial.snapshots.captures > 0, "{name}: no snapshots taken");
+            cow_units += serial.snapshots.units_cloned;
+            full_units += full.snapshots.units_cloned;
+        }
+        assert!(
+            cow_units < full_units,
+            "CoW snapshots must clone strictly fewer units than the \
+             full-clone baseline ({cow_units} vs {full_units})"
+        );
+        println!("check OK: cow cloned {cow_units} units vs full-clone {full_units}");
+    }
+}
+
+/// The pass-name sequence (timings themselves legitimately differ
+/// between runs; the executed sequence must not).
+fn fingerprint_times(passes: &[(String, f64)]) -> Vec<&str> {
+    passes.iter().map(|(n, _)| n.as_str()).collect()
+}

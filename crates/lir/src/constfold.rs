@@ -34,16 +34,26 @@ impl ConstFoldStats {
 pub fn constfold(m: &mut Module) -> ConstFoldStats {
     let mut stats = ConstFoldStats::default();
     for f in &mut m.funcs {
-        loop {
-            let round = run_function(f);
-            stats.scalar_success += round.scalar_success;
-            stats.load_success += round.load_success;
-            // Count load failures only once (they do not change between
-            // rounds unless something folded).
-            if round.scalar_success == 0 && round.load_success == 0 {
-                stats.load_fail += round.load_fail;
-                break;
-            }
+        let s = constfold_function(f);
+        stats.scalar_success += s.scalar_success;
+        stats.load_success += s.load_success;
+        stats.load_fail += s.load_fail;
+    }
+    stats
+}
+
+/// Runs constant folding on one function, to a local fixpoint.
+pub fn constfold_function(f: &mut Function) -> ConstFoldStats {
+    let mut stats = ConstFoldStats::default();
+    loop {
+        let round = run_function(f);
+        stats.scalar_success += round.scalar_success;
+        stats.load_success += round.load_success;
+        // Count load failures only once (they do not change between
+        // rounds unless something folded).
+        if round.scalar_success == 0 && round.load_success == 0 {
+            stats.load_fail += round.load_fail;
+            break;
         }
     }
     stats
@@ -121,7 +131,10 @@ fn run_function(f: &mut Function) -> ConstFoldStats {
     }
     let mut map: HashMap<Val, Val> = HashMap::new();
     let entry = f.entry;
-    let pairs: Vec<(Val, i64)> = replacements.into_iter().collect();
+    // Sort for determinism: HashMap iteration order would otherwise leak
+    // into the materialized-constant ids and their entry-block order.
+    let mut pairs: Vec<(Val, i64)> = replacements.into_iter().collect();
+    pairs.sort_unstable_by_key(|&(v, _)| v);
     for (old, c) in pairs {
         let v = f.insert_at(entry, 0, Op::Const(c), 1)[0];
         map.insert(old, v);

@@ -6,33 +6,37 @@ use std::collections::HashSet;
 
 /// Removes dead instructions; returns how many were removed.
 pub fn dce(m: &mut Module) -> usize {
+    m.funcs.iter_mut().map(dce_function).sum()
+}
+
+/// Removes dead instructions from one function, transitively; returns
+/// how many were removed.
+pub fn dce_function(f: &mut crate::ir::Function) -> usize {
     let mut removed = 0;
-    for f in &mut m.funcs {
-        loop {
-            let mut used: HashSet<Val> = HashSet::new();
-            for (_, i) in f.order() {
-                f.insts[i.0 as usize].op.visit(|v| {
-                    used.insert(*v);
-                });
+    loop {
+        let mut used: HashSet<Val> = HashSet::new();
+        for (_, i) in f.order() {
+            f.insts[i.0 as usize].op.visit(|v| {
+                used.insert(*v);
+            });
+        }
+        let mut dead = Vec::new();
+        for (b, i) in f.order() {
+            let inst = &f.insts[i.0 as usize];
+            if inst.op.is_terminator() || inst.op.may_write() {
+                continue;
             }
-            let mut dead = Vec::new();
-            for (b, i) in f.order() {
-                let inst = &f.insts[i.0 as usize];
-                if inst.op.is_terminator() || inst.op.may_write() {
-                    continue;
-                }
-                // Loads are removable when unused (no observable effect).
-                if !inst.results.is_empty() && inst.results.iter().all(|r| !used.contains(r)) {
-                    dead.push((b, i));
-                }
+            // Loads are removable when unused (no observable effect).
+            if !inst.results.is_empty() && inst.results.iter().all(|r| !used.contains(r)) {
+                dead.push((b, i));
             }
-            if dead.is_empty() {
-                break;
-            }
-            removed += dead.len();
-            for (b, i) in dead {
-                f.remove(b, i);
-            }
+        }
+        if dead.is_empty() {
+            break;
+        }
+        removed += dead.len();
+        for (b, i) in dead {
+            f.remove(b, i);
         }
     }
     removed

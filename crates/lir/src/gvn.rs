@@ -42,6 +42,13 @@ pub fn gvn(m: &mut Module) -> GvnStats {
     stats
 }
 
+/// Runs GVN on one function.
+pub fn gvn_function(f: &mut crate::ir::Function) -> GvnStats {
+    let mut stats = GvnStats::default();
+    run_function(f, &mut stats);
+    stats
+}
+
 #[derive(Clone, PartialEq, Eq, Hash)]
 enum Expr {
     Bin(crate::ir::BinOp, u64, u64),

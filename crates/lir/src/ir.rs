@@ -475,6 +475,40 @@ impl passman::IrUnit for Module {
     }
 }
 
+/// Functions detach from the (empty) module shell, enabling
+/// function-sharded passes and per-function copy-on-write snapshots.
+impl passman::ShardedIr for Module {
+    type Func = Function;
+
+    fn detach_funcs(&mut self) -> Vec<(Fun, Function)> {
+        std::mem::take(&mut self.funcs)
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| (Fun(i as u32), f))
+            .collect()
+    }
+
+    fn attach_funcs(&mut self, funcs: Vec<(Fun, Function)>) {
+        debug_assert!(self.funcs.is_empty(), "attach over detached shell only");
+        for (i, (id, f)) in funcs.into_iter().enumerate() {
+            debug_assert_eq!(id, Fun(i as u32), "functions must re-attach in id order");
+            self.funcs.push(f);
+        }
+    }
+
+    fn clone_func(&self, key: Fun) -> Function {
+        self.funcs[key.0 as usize].clone()
+    }
+
+    fn restore_func(&mut self, key: Fun, func: Function) {
+        self.funcs[key.0 as usize] = func;
+    }
+
+    fn func_size_hint(&self, key: Fun) -> usize {
+        self.funcs[key.0 as usize].live_inst_count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,6 +27,13 @@ pub fn mem2reg(m: &mut Module) -> Mem2RegStats {
     stats
 }
 
+/// Runs promotion on one function.
+pub fn mem2reg_function(f: &mut crate::ir::Function) -> Mem2RegStats {
+    let mut stats = Mem2RegStats::default();
+    run_function(f, &mut stats);
+    stats
+}
+
 fn run_function(f: &mut Function, stats: &mut Mem2RegStats) {
     // Which values are alloca results, and do they escape (used by
     // anything but a direct load/store-address)?

@@ -1,109 +1,150 @@
 //! [`passman::Pass`] adapters for the lir passes, and the spec registry.
 //!
-//! The lir passes already iterate to a per-function fixpoint internally,
-//! so each adapter runs the whole pass and declares
-//! [`Mutation::All`](passman::Mutation) when it changed anything. Their
-//! instrumentation counters distinguish *attempts* from *successes*
-//! (e.g. `blocked_may_write`), so the changed-bit is computed from the
-//! success counters only — a sink run that was blocked everywhere did
-//! not mutate the module.
+//! Every lir pass is function-local — it touches one function at a time
+//! and never the module shell — so all five register as
+//! [`FuncPass`]es behind the sharded executor
+//! ([`FuncPassAdapter`]): they run per function, potentially on
+//! [`PassManager::with_threads`] worker threads, and declare exactly the
+//! changed functions via `Mutation::Funcs` (so unmutated functions keep
+//! their cached analyses). Their instrumentation counters distinguish
+//! *attempts* from *successes* (e.g. `blocked_may_write`), so the
+//! per-function changed-bit is computed from the success counters only —
+//! a sink run that was blocked everywhere did not mutate the function.
 
-use crate::ir::Module;
+use crate::ir::{Fun, Function, Module};
 use crate::{constfold, dce, gvn, mem2reg, sinkpass};
 use passman::{
-    FnPass, Mutation, PassManager, PassOutcome, PassRegistry, PipelineSpec, RunError, RunReport,
+    FuncOutcome, FuncPass, FuncPassAdapter, PassManager, PassRegistry, PipelineSpec, RunError,
+    RunReport,
 };
 
-fn outcome(changed: bool, stats: Vec<(&'static str, i64)>) -> PassOutcome<Module> {
-    PassOutcome {
-        changed,
-        mutated: if changed {
-            Mutation::All
-        } else {
-            Mutation::None
-        },
-        stats,
+struct ConstFoldPass;
+impl FuncPass<Module> for ConstFoldPass {
+    fn name(&self) -> &'static str {
+        "constfold"
+    }
+    fn run_on(&self, _shell: &Module, _key: Fun, f: &mut Function) -> FuncOutcome {
+        let s = constfold::constfold_function(f);
+        FuncOutcome {
+            changed: s.scalar_success + s.load_success > 0,
+            stats: vec![
+                ("scalar_success", s.scalar_success as i64),
+                ("load_success", s.load_success as i64),
+                ("load_fail", s.load_fail as i64),
+            ],
+        }
+    }
+}
+
+struct DcePass;
+impl FuncPass<Module> for DcePass {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+    fn run_on(&self, _shell: &Module, _key: Fun, f: &mut Function) -> FuncOutcome {
+        let removed = dce::dce_function(f);
+        FuncOutcome {
+            changed: removed > 0,
+            stats: vec![("insts_removed", removed as i64)],
+        }
+    }
+}
+
+struct GvnPass;
+impl FuncPass<Module> for GvnPass {
+    fn name(&self) -> &'static str {
+        "gvn"
+    }
+    fn run_on(&self, _shell: &Module, _key: Fun, f: &mut Function) -> FuncOutcome {
+        let s = gvn::gvn_function(f);
+        FuncOutcome {
+            changed: s.replaced > 0,
+            stats: vec![
+                ("total_value_numbers", s.total_value_numbers as i64),
+                ("memory_value_numbers", s.memory_value_numbers as i64),
+                ("replaced", s.replaced as i64),
+            ],
+        }
+    }
+}
+
+struct Mem2RegPass;
+impl FuncPass<Module> for Mem2RegPass {
+    fn name(&self) -> &'static str {
+        "mem2reg"
+    }
+    fn run_on(&self, _shell: &Module, _key: Fun, f: &mut Function) -> FuncOutcome {
+        let s = mem2reg::mem2reg_function(f);
+        FuncOutcome {
+            changed: s.loads_forwarded + s.allocas_removed + s.stores_removed > 0,
+            stats: vec![
+                ("loads_forwarded", s.loads_forwarded as i64),
+                ("allocas_removed", s.allocas_removed as i64),
+                ("stores_removed", s.stores_removed as i64),
+            ],
+        }
+    }
+}
+
+struct SinkPass;
+impl FuncPass<Module> for SinkPass {
+    fn name(&self) -> &'static str {
+        "sink"
+    }
+    fn run_on(&self, _shell: &Module, _key: Fun, f: &mut Function) -> FuncOutcome {
+        let s = sinkpass::sink_function(f);
+        FuncOutcome {
+            changed: s.success > 0,
+            stats: vec![
+                ("success", s.success as i64),
+                ("blocked_may_write", s.blocked_may_write as i64),
+                ("blocked_may_reference", s.blocked_may_reference as i64),
+            ],
+        }
     }
 }
 
 /// The registry of lir passes, by spec name: `constfold`, `dce`, `gvn`,
-/// `mem2reg`, `sink`.
+/// `mem2reg`, `sink` — all function-sharded.
 pub fn registry() -> PassRegistry<Module> {
     let mut r = PassRegistry::new();
-
     r.register("constfold", || {
-        Box::new(FnPass::infallible("constfold", |m: &mut Module, _am| {
-            let s = constfold::constfold(m);
-            outcome(
-                s.scalar_success + s.load_success > 0,
-                vec![
-                    ("scalar_success", s.scalar_success as i64),
-                    ("load_success", s.load_success as i64),
-                    ("load_fail", s.load_fail as i64),
-                ],
-            )
-        }))
+        Box::new(FuncPassAdapter::new(ConstFoldPass))
     });
-    r.register("dce", || {
-        Box::new(FnPass::infallible("dce", |m: &mut Module, _am| {
-            let removed = dce::dce(m);
-            outcome(removed > 0, vec![("insts_removed", removed as i64)])
-        }))
-    });
-    r.register("gvn", || {
-        Box::new(FnPass::infallible("gvn", |m: &mut Module, _am| {
-            let s = gvn::gvn(m);
-            outcome(
-                s.replaced > 0,
-                vec![
-                    ("total_value_numbers", s.total_value_numbers as i64),
-                    ("memory_value_numbers", s.memory_value_numbers as i64),
-                    ("replaced", s.replaced as i64),
-                ],
-            )
-        }))
-    });
-    r.register("mem2reg", || {
-        Box::new(FnPass::infallible("mem2reg", |m: &mut Module, _am| {
-            let s = mem2reg::mem2reg(m);
-            outcome(
-                s.loads_forwarded + s.allocas_removed + s.stores_removed > 0,
-                vec![
-                    ("loads_forwarded", s.loads_forwarded as i64),
-                    ("allocas_removed", s.allocas_removed as i64),
-                    ("stores_removed", s.stores_removed as i64),
-                ],
-            )
-        }))
-    });
-    r.register("sink", || {
-        Box::new(FnPass::infallible("sink", |m: &mut Module, _am| {
-            let s = sinkpass::sink(m);
-            outcome(
-                s.success > 0,
-                vec![
-                    ("success", s.success as i64),
-                    ("blocked_may_write", s.blocked_may_write as i64),
-                    ("blocked_may_reference", s.blocked_may_reference as i64),
-                ],
-            )
-        }))
-    });
-
+    r.register("dce", || Box::new(FuncPassAdapter::new(DcePass)));
+    r.register("gvn", || Box::new(FuncPassAdapter::new(GvnPass)));
+    r.register("mem2reg", || Box::new(FuncPassAdapter::new(Mem2RegPass)));
+    r.register("sink", || Box::new(FuncPassAdapter::new(SinkPass)));
     r
 }
 
 /// A [`PassManager`] over the lir registry with the structural verifier
-/// installed (inter-pass verification runs in debug builds by default).
+/// installed (inter-pass verification runs in debug builds by default),
+/// per-function copy-on-write snapshots for recovering fault policies,
+/// and the worker-thread count taken from `MEMOIR_THREADS` (default
+/// serial).
 pub fn pass_manager() -> PassManager<Module> {
-    PassManager::new(registry()).with_verifier(|m: &Module| {
-        let errs = crate::verifier::verify_module(m);
-        if errs.is_empty() {
-            Ok(())
-        } else {
-            Err(errs.join("; "))
-        }
-    })
+    PassManager::new(registry())
+        .with_verifier(|m: &Module| {
+            let errs = crate::verifier::verify_module(m);
+            if errs.is_empty() {
+                Ok(())
+            } else {
+                Err(errs.join("; "))
+            }
+        })
+        .with_cow_snapshots()
+        .with_threads(crate::passes::threads_from_env())
+}
+
+/// The worker-thread count requested via the `MEMOIR_THREADS`
+/// environment variable (unset, empty, or unparsable → 1, i.e. serial).
+pub fn threads_from_env() -> usize {
+    std::env::var("MEMOIR_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(1)
 }
 
 /// The default lir optimization pipeline: promote memory, then fold /
@@ -121,7 +162,7 @@ pub fn optimize(m: &mut Module, spec: &PipelineSpec) -> Result<RunReport, RunErr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir::{BinOp, Function, Op};
+    use crate::ir::{BinOp, Op};
 
     /// `f(x) = (1 + 2) * x` with a dead add; the default spec folds the
     /// constant, removes the dead instruction, and converges.
@@ -176,5 +217,40 @@ mod tests {
         let err = optimize(&mut m, &spec).unwrap_err();
         assert!(err.to_string().contains("unknown pass `licm`"));
         assert_eq!(m.inst_count(), before, "validation precedes execution");
+    }
+
+    #[test]
+    fn parallel_runs_match_serial() {
+        // Three copies of the sample function so the sharded executor
+        // actually partitions work.
+        let build = || {
+            let mut m = sample();
+            let f1 = m.funcs[0].clone();
+            let f2 = m.funcs[0].clone();
+            m.add(f1);
+            m.add(f2);
+            m
+        };
+        let mut serial = build();
+        let serial_report = optimize(&mut serial, &default_spec()).unwrap();
+        for threads in [2, 4, 8] {
+            let mut par = build();
+            let report = PassManager::new(registry())
+                .with_threads(threads)
+                .run(&mut par, &default_spec())
+                .unwrap();
+            assert_eq!(
+                format!("{par:?}"),
+                format!("{serial:?}"),
+                "threads={threads}"
+            );
+            let fp = |r: &RunReport| {
+                r.passes
+                    .iter()
+                    .map(|p| (p.name.clone(), p.changed, p.stats.clone()))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(fp(&report), fp(&serial_report), "threads={threads}");
+        }
     }
 }

@@ -42,6 +42,13 @@ pub fn sink(m: &mut Module) -> SinkStats {
     stats
 }
 
+/// Runs the sink pass on one function.
+pub fn sink_function(f: &mut crate::ir::Function) -> SinkStats {
+    let mut stats = SinkStats::default();
+    run_function(f, &mut stats);
+    stats
+}
+
 fn run_function(f: &mut Function, stats: &mut SinkStats) {
     // Single pass (LLVM's Sink iterates; one pass suffices for counters
     // and most motion).

@@ -129,6 +129,17 @@ impl<I: Copy + Into<usize> + From<u32>, T> IdMap<I, T> {
     pub fn ids(&self) -> impl Iterator<Item = I> + '_ {
         (0..self.items.len()).map(|i| I::from(i as u32))
     }
+
+    /// Removes and returns every entry as `(id, item)` pairs in id
+    /// order, leaving the map empty. Re-`push`ing the items in the same
+    /// order reproduces the original ids.
+    pub fn take_entries(&mut self) -> Vec<(I, T)> {
+        std::mem::take(&mut self.items)
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (I::from(i as u32), t))
+            .collect()
+    }
 }
 
 impl<I: Copy + Into<usize>, T> std::ops::Index<I> for IdMap<I, T> {

@@ -129,6 +129,37 @@ impl passman::IrUnit for Module {
     }
 }
 
+/// Functions detach from the module shell (name, types, externs, entry
+/// stay behind), enabling function-sharded passes and per-function
+/// copy-on-write snapshots.
+impl passman::ShardedIr for Module {
+    type Func = Function;
+
+    fn detach_funcs(&mut self) -> Vec<(FuncId, Function)> {
+        self.funcs.take_entries()
+    }
+
+    fn attach_funcs(&mut self, funcs: Vec<(FuncId, Function)>) {
+        debug_assert!(self.funcs.is_empty(), "attach over detached shell only");
+        for (id, f) in funcs {
+            let got = self.funcs.push(f);
+            debug_assert_eq!(got, id, "functions must re-attach in id order");
+        }
+    }
+
+    fn clone_func(&self, key: FuncId) -> Function {
+        self.funcs[key].clone()
+    }
+
+    fn restore_func(&mut self, key: FuncId, func: Function) {
+        self.funcs[key] = func;
+    }
+
+    fn func_size_hint(&self, key: FuncId) -> usize {
+        self.funcs[key].live_inst_count()
+    }
+}
+
 /// Module-wide collection statistics (Table III's "# Collections").
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CollectionCensus {

@@ -34,7 +34,11 @@ OPTIONS:
     --verify=on|off       force inter-pass IR verification (default: on in
                           debug builds, off in release)
     --inject=PLAN         test-only fault injection, e.g. panic@dce,
-                          verify@#3, budget@dee#2
+                          verify@#3, budget@dee#2, panic@simplify%1
+                          (%N targets function N of a sharded pass)
+    --threads=N           worker threads for function-sharded passes
+                          (default: MEMOIR_THREADS, else 1 = serial;
+                          results are identical to serial)
     --report              print the per-pass report table to stderr
     -o FILE               write the optimized module to FILE (default: stdout)
     -h, --help            show this help
@@ -48,6 +52,7 @@ struct Cli {
     budgets: Budgets,
     verify: Option<bool>,
     inject: Option<FaultPlan>,
+    threads: Option<usize>,
     report: bool,
 }
 
@@ -60,6 +65,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         budgets: Budgets::none(),
         verify: None,
         inject: None,
+        threads: None,
         report: false,
     };
     let mut it = args.iter().peekable();
@@ -92,6 +98,13 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 })
             }
             "--inject" => cli.inject = Some(value(&mut it)?.parse()?),
+            "--threads" => {
+                cli.threads = Some(
+                    value(&mut it)?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad --threads value: {e}"))?,
+                )
+            }
             "--report" => cli.report = true,
             "-o" | "--output" => cli.output = Some(value(&mut it)?),
             _ if flag.starts_with('-') && flag != "-" => {
@@ -130,6 +143,9 @@ fn run(cli: Cli) -> Result<(), String> {
         }
         if let Some(plan) = cli.inject.clone() {
             pm = pm.with_fault_injection(plan);
+        }
+        if let Some(n) = cli.threads {
+            pm = pm.with_threads(n);
         }
         pm
     })

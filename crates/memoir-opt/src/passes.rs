@@ -13,8 +13,10 @@ use crate::dee::DeeStats;
 use crate::pipeline::FE_AFFINITY_THRESHOLD;
 use crate::{constprop, dce, dee, dfe, field_elision, key_fold, rie, simplify, sink};
 use crate::{construct_ssa, construct_use_phis, destruct_ssa, destruct_use_phis};
-use memoir_ir::Module;
-use passman::{FnPass, Mutation, Pass, PassOutcome, PassRegistry};
+use memoir_ir::{FuncId, Function, Module};
+use passman::{
+    FnPass, FuncOutcome, FuncPass, FuncPassAdapter, Mutation, Pass, PassOutcome, PassRegistry,
+};
 
 fn dee_stats(s: &DeeStats) -> Vec<(&'static str, i64)> {
     vec![
@@ -28,6 +30,28 @@ fn dee_stats(s: &DeeStats) -> Vec<(&'static str, i64)> {
     ]
 }
 
+/// CFG simplification as a function-sharded pass: it rewrites one
+/// function at a time and never touches the module shell, so it runs
+/// per function (potentially on worker threads) behind
+/// [`FuncPassAdapter`] and declares exactly the changed functions.
+struct SimplifyPass;
+impl FuncPass<Module> for SimplifyPass {
+    fn name(&self) -> &'static str {
+        "simplify"
+    }
+    fn run_on(&self, _shell: &Module, _key: FuncId, f: &mut Function) -> FuncOutcome {
+        let s = simplify::simplify_function(f);
+        FuncOutcome {
+            changed: s != Default::default(),
+            stats: vec![
+                ("phis_removed", s.phis_removed as i64),
+                ("branches_to_jumps", s.branches_to_jumps as i64),
+                ("blocks_threaded", s.blocks_threaded as i64),
+            ],
+        }
+    }
+}
+
 /// The registry of all MEMOIR passes, by spec name:
 ///
 /// | name | pass |
@@ -35,7 +59,7 @@ fn dee_stats(s: &DeeStats) -> Vec<(&'static str, i64)> {
 /// | `ssa-construct` | [`construct_ssa`] (Fig. 5) |
 /// | `ssa-destruct` | [`destruct_ssa`] (Alg. 3) |
 /// | `constprop` | [`constprop::constprop`] |
-/// | `simplify` | [`simplify::simplify`] |
+/// | `simplify` | [`simplify::simplify_function`] (function-sharded) |
 /// | `dce` | [`dce::dce`] |
 /// | `sink` | [`sink::sink_with`] |
 /// | `dee-strict` | [`dee::dee_strict_with`] |
@@ -77,16 +101,7 @@ pub fn registry() -> PassRegistry<Module> {
             ])
         }))
     });
-    r.register("simplify", || {
-        Box::new(FnPass::infallible("simplify", |m: &mut Module, _am| {
-            let s = simplify::simplify(m);
-            PassOutcome::from_stats(vec![
-                ("phis_removed", s.phis_removed as i64),
-                ("branches_to_jumps", s.branches_to_jumps as i64),
-                ("blocks_threaded", s.blocks_threaded as i64),
-            ])
-        }))
-    });
+    r.register("simplify", || Box::new(FuncPassAdapter::new(SimplifyPass)));
     r.register("dce", || {
         Box::new(FnPass::infallible("dce", |m: &mut Module, am| {
             let s = dce::dce_with(m, am);

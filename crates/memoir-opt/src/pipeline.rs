@@ -155,17 +155,33 @@ pub fn default_spec(level: OptLevel) -> PipelineSpec {
 }
 
 /// A [`PassManager`] over the full MEMOIR registry with the IR verifier
-/// installed (inter-pass verification runs in debug builds by default).
+/// installed (inter-pass verification runs in debug builds by default),
+/// per-function copy-on-write snapshots for recovering fault policies,
+/// and the worker-thread count taken from `MEMOIR_THREADS` (default
+/// serial; function-sharded passes like `simplify` use the workers).
 pub fn pass_manager() -> PassManager<Module> {
-    PassManager::new(crate::passes::registry()).with_verifier(|m: &Module| {
-        let errs = memoir_ir::verifier::verify_module(m);
-        if errs.is_empty() {
-            Ok(())
-        } else {
-            let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
-            Err(msgs.join("; "))
-        }
-    })
+    PassManager::new(crate::passes::registry())
+        .with_verifier(|m: &Module| {
+            let errs = memoir_ir::verifier::verify_module(m);
+            if errs.is_empty() {
+                Ok(())
+            } else {
+                let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+                Err(msgs.join("; "))
+            }
+        })
+        .with_cow_snapshots()
+        .with_threads(threads_from_env())
+}
+
+/// The worker-thread count requested via the `MEMOIR_THREADS`
+/// environment variable (unset, empty, or unparsable → 1, i.e. serial).
+pub fn threads_from_env() -> usize {
+    std::env::var("MEMOIR_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(1)
 }
 
 /// Runs an arbitrary pipeline spec over a module, producing the same

@@ -21,22 +21,31 @@ pub struct SimplifyStats {
 pub fn simplify(m: &mut Module) -> SimplifyStats {
     let mut stats = SimplifyStats::default();
     for fid in m.funcs.ids().collect::<Vec<_>>() {
-        loop {
-            let round = run_function(m, fid);
-            stats.phis_removed += round.phis_removed;
-            stats.branches_to_jumps += round.branches_to_jumps;
-            stats.blocks_threaded += round.blocks_threaded;
-            if round == SimplifyStats::default() {
-                break;
-            }
+        let round = simplify_function(&mut m.funcs[fid]);
+        stats.phis_removed += round.phis_removed;
+        stats.branches_to_jumps += round.branches_to_jumps;
+        stats.blocks_threaded += round.blocks_threaded;
+    }
+    stats
+}
+
+/// Runs simplification on one function, to a local fixpoint.
+pub fn simplify_function(f: &mut memoir_ir::Function) -> SimplifyStats {
+    let mut stats = SimplifyStats::default();
+    loop {
+        let round = run_function(f);
+        stats.phis_removed += round.phis_removed;
+        stats.branches_to_jumps += round.branches_to_jumps;
+        stats.blocks_threaded += round.blocks_threaded;
+        if round == SimplifyStats::default() {
+            break;
         }
     }
     stats
 }
 
-fn run_function(m: &mut Module, fid: memoir_ir::FuncId) -> SimplifyStats {
+fn run_function(f: &mut memoir_ir::Function) -> SimplifyStats {
     let mut stats = SimplifyStats::default();
-    let f = &mut m.funcs[fid];
 
     // 1. br %c, X, X → jump X.
     for (_, i) in f.inst_ids_in_order() {

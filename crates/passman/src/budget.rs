@@ -12,9 +12,10 @@
 //! * **wall-clock time** — per pass ([`Budgets::max_pass_millis`] or
 //!   `pass<max-ms=50>`) and per pipeline
 //!   ([`Budgets::max_pipeline_millis`]). Enforcement is post-hoc: the
-//!   runner is single-threaded, so a pass cannot be pre-empted mid-body,
-//!   but the first pass to exceed its budget is rolled back and the
-//!   pipeline degrades instead of compounding the overrun;
+//!   runner never pre-empts a pass mid-body (even function-sharded
+//!   passes run their shards to completion), but the first pass to
+//!   exceed its budget is rolled back and the pipeline degrades instead
+//!   of compounding the overrun;
 //! * **instruction-count growth** — per pass, as a factor over the
 //!   pre-pass [`IrUnit::size_hint`](crate::IrUnit::size_hint)
 //!   ([`Budgets::max_growth`] or `pass<max-growth=2.0>`).

@@ -48,6 +48,11 @@ pub struct FaultPlan {
     /// Fire only at this 0-based pass invocation index (counted across
     /// the whole pipeline run, fixpoint iterations included).
     pub at_invocation: Option<usize>,
+    /// For [`InjectKind::Panic`] on a function-sharded pass: panic while
+    /// processing the function at this 0-based index of the stable
+    /// function order, instead of before the pass body. Lets tests fault
+    /// one shard and watch the others survive.
+    pub func: Option<usize>,
 }
 
 impl FaultPlan {
@@ -57,6 +62,7 @@ impl FaultPlan {
             kind,
             pass: Some(pass.into()),
             at_invocation: None,
+            func: None,
         }
     }
 
@@ -66,7 +72,14 @@ impl FaultPlan {
             kind,
             pass: None,
             at_invocation: Some(n),
+            func: None,
         }
+    }
+
+    /// Narrows a panic plan to the function at stable index `i`.
+    pub fn on_func(mut self, i: usize) -> Self {
+        self.func = Some(i);
+        self
     }
 
     /// Whether the plan fires for invocation `index` of pass `name`.
@@ -83,11 +96,15 @@ impl fmt::Display for FaultPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}@", self.kind)?;
         match (&self.pass, self.at_invocation) {
-            (Some(p), Some(n)) => write!(f, "{p}#{n}"),
-            (Some(p), None) => write!(f, "{p}"),
-            (None, Some(n)) => write!(f, "#{n}"),
-            (None, None) => write!(f, "never"),
+            (Some(p), Some(n)) => write!(f, "{p}#{n}")?,
+            (Some(p), None) => write!(f, "{p}")?,
+            (None, Some(n)) => write!(f, "#{n}")?,
+            (None, None) => write!(f, "never")?,
         }
+        if let Some(i) = self.func {
+            write!(f, "%{i}")?;
+        }
+        Ok(())
     }
 }
 
@@ -96,7 +113,8 @@ impl FromStr for FaultPlan {
 
     /// Parses `kind@target`: `panic@dee`, `verify@dce`, `budget@#5`
     /// (5th invocation), `panic@dee#2` (only when the 2nd invocation is
-    /// `dee`).
+    /// `dee`), `panic@simplify%1` (panic while `simplify` processes the
+    /// function at stable index 1).
     fn from_str(s: &str) -> Result<Self, String> {
         let (kind, target) = s
             .split_once('@')
@@ -106,6 +124,15 @@ impl FromStr for FaultPlan {
             "verify" => InjectKind::VerifyFail,
             "budget" => InjectKind::BudgetBlowup,
             other => return Err(format!("unknown fault kind `{other}`")),
+        };
+        let (target, func) = match target.split_once('%') {
+            Some((t, i)) => {
+                let i: usize = i
+                    .parse()
+                    .map_err(|_| format!("fault plan `{s}` has a bad function index"))?;
+                (t, Some(i))
+            }
+            None => (target, None),
         };
         let (pass, at_invocation) = match target.split_once('#') {
             Some((p, n)) => {
@@ -130,6 +157,7 @@ impl FromStr for FaultPlan {
             kind,
             pass,
             at_invocation,
+            func,
         })
     }
 }
@@ -176,7 +204,27 @@ mod tests {
             kind: InjectKind::Panic,
             pass: None,
             at_invocation: None,
+            func: None,
         };
         assert!(!never.fires(0, "dee"));
+    }
+
+    #[test]
+    fn function_targets_parse_and_round_trip() {
+        for (text, pass, inv, func) in [
+            ("panic@simplify%1", Some("simplify"), None, Some(1)),
+            ("panic@dee#2%0", Some("dee"), Some(2), Some(0)),
+            ("panic@#3%4", None, Some(3), Some(4)),
+        ] {
+            let plan: FaultPlan = text.parse().unwrap();
+            assert_eq!(plan.pass.as_deref(), pass, "{text}");
+            assert_eq!(plan.at_invocation, inv, "{text}");
+            assert_eq!(plan.func, func, "{text}");
+            assert_eq!(plan.to_string(), text, "round trip");
+        }
+        assert!("panic@dee%x".parse::<FaultPlan>().is_err());
+        // The function target does not change *when* the plan fires.
+        let plan: FaultPlan = "panic@dee%1".parse().unwrap();
+        assert!(plan.fires(0, "dee") && !plan.fires(0, "dce"));
     }
 }

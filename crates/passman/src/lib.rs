@@ -31,17 +31,24 @@
 pub mod analysis;
 pub mod budget;
 pub mod fault;
+pub mod parallel;
 pub mod pass;
 pub mod recover;
 pub mod runner;
+pub mod snapshot;
 pub mod spec;
 
 pub use analysis::{Analysis, AnalysisManager, CacheCounter, ModuleAnalysis};
 pub use budget::{BudgetViolation, Budgets};
 pub use fault::{FaultPlan, InjectKind};
+pub use parallel::{
+    ContainedFault, ExecContext, FuncOutcome, FuncPass, FuncPassAdapter, FuncPassProfile,
+    ShardStat, ShardedIr,
+};
 pub use pass::{FnPass, Mutation, Pass, PassError, PassOutcome, PassRegistry};
 pub use recover::{Degradation, FaultCause, FaultPolicy, RecoveryAction};
 pub use runner::{PassManager, PassRun, RunError, RunReport};
+pub use snapshot::{CowEngine, FullCloneEngine, SnapshotCost, SnapshotEngine, SnapshotStats};
 pub use spec::{PassCall, PassOptions, PipelineSpec, SpecParseError, SpecStep};
 
 use std::fmt::Debug;
@@ -49,9 +56,13 @@ use std::hash::Hash;
 
 /// An IR unit a pass pipeline can run over: a module-like container with
 /// enumerable per-function keys.
+///
+/// `FuncKey` is `Ord + Send + Sync` so the sharded executor
+/// ([`parallel`]) can partition the key set deterministically and share
+/// it across scoped worker threads.
 pub trait IrUnit {
     /// Stable identifier for a function within the unit.
-    type FuncKey: Copy + Eq + Hash + Debug + 'static;
+    type FuncKey: Copy + Eq + Ord + Hash + Debug + Send + Sync + 'static;
 
     /// All function keys currently in the unit.
     fn func_keys(&self) -> Vec<Self::FuncKey>;

@@ -1,0 +1,423 @@
+//! Function-scoped passes and the sharded parallel executor.
+//!
+//! A [`FuncPass`] is a transformation that touches exactly one function
+//! at a time and never the module shell (types, externs, entry): the
+//! per-function specialization of [`Pass`](crate::Pass) whose
+//! `Mutation::Funcs` declaration the analysis manager already exploits.
+//! [`FuncPassAdapter`] lifts a `FuncPass` into a regular [`Pass`] by
+//! detaching the module's functions, partitioning them into contiguous
+//! shards in stable key order, and running the shards on scoped threads
+//! (`std::thread::scope` — the workspace is offline, so no rayon).
+//!
+//! Determinism: shards are a pure partition of disjoint functions, the
+//! pass sees an immutable module shell, and outcomes are merged in stable
+//! function-key order — so the resulting IR, the changed-key set, and the
+//! merged statistics are bit-identical no matter how many worker threads
+//! ran (only wall-clock timings differ).
+//!
+//! Fault containment: when the runner is under a recovering
+//! [`FaultPolicy`](crate::FaultPolicy), each function is cloned before
+//! the pass runs on it and a panic inside one function rolls back *that
+//! function only* — the other functions (and the other shards) keep
+//! their results, and the fault surfaces as a per-function
+//! [`ContainedFault`] in the pass profile instead of a whole-pass
+//! rollback.
+
+use crate::pass::{Mutation, Pass, PassError, PassOutcome};
+use crate::AnalysisManager;
+use crate::IrUnit;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Per-invocation execution context the runner hands to every pass via
+/// [`Pass::prepare`](crate::Pass::prepare) right before running it.
+///
+/// Module-level passes ignore it; [`FuncPassAdapter`] reads the worker
+/// count, the fault-containment flag, and the (test-only) per-function
+/// panic injection target from it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecContext {
+    /// Worker threads available to the pass (`1` = run serially).
+    pub threads: usize,
+    /// Whether a recovering fault policy is active: function-sharded
+    /// passes then snapshot each function and contain per-function
+    /// panics instead of letting them tear down the whole pass.
+    pub contain_faults: bool,
+    /// Test-only injection: panic while processing the function at this
+    /// index of the stable key order (see
+    /// [`FaultPlan::func`](crate::FaultPlan::func)).
+    pub inject_func_panic: Option<usize>,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext {
+            threads: 1,
+            contain_faults: false,
+            inject_func_panic: None,
+        }
+    }
+}
+
+/// An [`IrUnit`] whose functions can be detached from the module shell,
+/// worked on independently, and re-attached — the capability behind both
+/// the sharded executor and per-function copy-on-write snapshots.
+///
+/// Invariants implementors must uphold:
+///
+/// * `detach_funcs` returns every function in stable ascending key order
+///   and leaves the shell intact (types, externs, entry survive);
+/// * `attach_funcs(detach_funcs())` round-trips to an identical module;
+/// * `clone_func`/`restore_func` address functions in place without
+///   disturbing any other function.
+pub trait ShardedIr: IrUnit + Sync {
+    /// One detached function body.
+    type Func: Send + Clone;
+
+    /// Removes all functions, returning `(key, function)` pairs in
+    /// stable ascending key order. The shell stays behind.
+    fn detach_funcs(&mut self) -> Vec<(Self::FuncKey, Self::Func)>;
+
+    /// Re-attaches functions previously returned by
+    /// [`detach_funcs`](ShardedIr::detach_funcs), in the same order.
+    fn attach_funcs(&mut self, funcs: Vec<(Self::FuncKey, Self::Func)>);
+
+    /// Clones one function out of the module (for snapshots).
+    fn clone_func(&self, key: Self::FuncKey) -> Self::Func;
+
+    /// Overwrites one function in place (for snapshot restore).
+    fn restore_func(&mut self, key: Self::FuncKey, func: Self::Func);
+
+    /// A cheap per-function size measure (typically the instruction
+    /// count), the unit of the snapshot-cost counters. Defaults to `0`
+    /// (opting out of size accounting).
+    fn func_size_hint(&self, _key: Self::FuncKey) -> usize {
+        0
+    }
+}
+
+/// The result of running a [`FuncPass`] on one function.
+#[derive(Clone, Debug, Default)]
+pub struct FuncOutcome {
+    /// Whether this function was mutated.
+    pub changed: bool,
+    /// Flat `(key, value)` statistics; merged across functions by
+    /// summation, in stable function order.
+    pub stats: Vec<(&'static str, i64)>,
+}
+
+impl FuncOutcome {
+    /// An outcome that changed nothing.
+    pub fn unchanged() -> Self {
+        FuncOutcome::default()
+    }
+
+    /// An outcome computed from statistics: changed iff any stat is
+    /// nonzero.
+    pub fn from_stats(stats: Vec<(&'static str, i64)>) -> Self {
+        FuncOutcome {
+            changed: stats.iter().any(|&(_, v)| v != 0),
+            stats,
+        }
+    }
+}
+
+/// A transformation over a single function. `run_on` receives the module
+/// *shell* (functions detached — types/externs/entry only) and one
+/// mutable function; it must not assume any other function is visible.
+///
+/// Implementations are shared across worker threads, hence `Send + Sync`
+/// and `&self` (per-function state belongs in locals, not fields).
+pub trait FuncPass<M: ShardedIr>: Send + Sync {
+    /// The registry/spec name of this pass.
+    fn name(&self) -> &'static str;
+
+    /// Transforms one function.
+    fn run_on(&self, shell: &M, key: M::FuncKey, func: &mut M::Func) -> FuncOutcome;
+}
+
+/// Per-shard utilization: how many functions the shard processed and how
+/// long its worker was busy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStat {
+    /// Functions assigned to this shard.
+    pub funcs: usize,
+    /// Wall-clock time the shard's worker spent processing them.
+    pub busy: Duration,
+}
+
+/// A per-function fault the executor contained: the function was rolled
+/// back to its pre-pass state and the rest of the pass kept its results.
+#[derive(Clone, Debug)]
+pub struct ContainedFault {
+    /// Index of the function in the stable key order (the sort key for
+    /// deterministic reports).
+    pub func_index: usize,
+    /// Rendered function key (e.g. `fn3`).
+    pub func: String,
+    /// The panic message.
+    pub message: String,
+}
+
+/// Per-pass execution profile of a function-sharded pass: per-function
+/// wall-clock in stable key order, per-shard utilization, and any
+/// contained per-function faults.
+#[derive(Clone, Debug, Default)]
+pub struct FuncPassProfile {
+    /// `(rendered key, wall time)` per function, in stable key order.
+    pub func_times: Vec<(String, Duration)>,
+    /// One entry per shard that ran, in shard order.
+    pub shards: Vec<ShardStat>,
+    /// Contained per-function faults, in stable key order.
+    pub contained: Vec<ContainedFault>,
+}
+
+impl FuncPassProfile {
+    /// Shard utilization as `busiest / total busy` (1.0 = perfectly
+    /// balanced across one shard, lower = more parallel headroom used).
+    pub fn max_shard_fraction(&self) -> f64 {
+        let total: f64 = self.shards.iter().map(|s| s.busy.as_secs_f64()).sum();
+        let max = self
+            .shards
+            .iter()
+            .map(|s| s.busy.as_secs_f64())
+            .fold(0.0, f64::max);
+        if total > 0.0 {
+            max / total
+        } else {
+            1.0
+        }
+    }
+}
+
+/// What one function produced inside a shard worker.
+struct FuncResult {
+    changed: bool,
+    stats: Vec<(&'static str, i64)>,
+    time: Duration,
+    /// Panic message, if the function faulted (contained or not).
+    panic: Option<String>,
+    /// The raw panic payload when faults are *not* contained — carried
+    /// back to the calling thread and resumed there, preserving the
+    /// legacy fail-fast behaviour under [`FaultPolicy::Abort`](crate::FaultPolicy).
+    payload: Option<Box<dyn std::any::Any + Send>>,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "panic with non-string payload".to_string())
+}
+
+/// Lifts a [`FuncPass`] into a [`Pass`] that shards the module's
+/// functions across scoped worker threads (see the module docs for the
+/// determinism and containment guarantees).
+pub struct FuncPassAdapter<M: ShardedIr, P: FuncPass<M>> {
+    pass: P,
+    cx: ExecContext,
+    _ir: PhantomData<fn(&mut M)>,
+}
+
+impl<M: ShardedIr, P: FuncPass<M>> std::fmt::Debug for FuncPassAdapter<M, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FuncPassAdapter")
+            .field("pass", &self.pass.name())
+            .field("cx", &self.cx)
+            .finish()
+    }
+}
+
+impl<M: ShardedIr, P: FuncPass<M>> FuncPassAdapter<M, P> {
+    /// Wraps a function pass. The executor defaults to serial; the
+    /// runner raises the worker count via [`Pass::prepare`].
+    pub fn new(pass: P) -> Self {
+        FuncPassAdapter {
+            pass,
+            cx: ExecContext::default(),
+            _ir: PhantomData,
+        }
+    }
+}
+
+/// Runs one shard: every `(key, func)` in `funcs`, writing per-function
+/// results into the parallel `results` slice.
+fn run_shard<M: ShardedIr, P: FuncPass<M>>(
+    pass: &P,
+    shell: &M,
+    base: usize,
+    funcs: &mut [(M::FuncKey, M::Func)],
+    results: &mut [Option<FuncResult>],
+    cx: ExecContext,
+    stat: &mut ShardStat,
+) {
+    let t0 = Instant::now();
+    for (li, (key, func)) in funcs.iter_mut().enumerate() {
+        let global_index = base + li;
+        let backup = if cx.contain_faults {
+            Some(func.clone())
+        } else {
+            None
+        };
+        let ft0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if cx.inject_func_panic == Some(global_index) {
+                panic!(
+                    "fault injection: panic in `{}` on function {:?}",
+                    pass.name(),
+                    *key
+                );
+            }
+            pass.run_on(shell, *key, func)
+        }));
+        let time = ft0.elapsed();
+        results[li] = Some(match outcome {
+            Ok(out) => FuncResult {
+                changed: out.changed,
+                stats: out.stats,
+                time,
+                panic: None,
+                payload: None,
+            },
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                if let Some(b) = backup {
+                    // Contain: this function reverts, the rest stand.
+                    *func = b;
+                }
+                FuncResult {
+                    changed: false,
+                    stats: Vec::new(),
+                    time,
+                    panic: Some(message),
+                    payload: if cx.contain_faults {
+                        None
+                    } else {
+                        Some(payload)
+                    },
+                }
+            }
+        });
+        // Fail fast within the shard when faults are not contained: the
+        // panic is re-raised on the calling thread after re-attachment.
+        if results[li].as_ref().is_some_and(|r| r.payload.is_some()) {
+            break;
+        }
+    }
+    stat.funcs = funcs.len();
+    stat.busy = t0.elapsed();
+}
+
+impl<M: ShardedIr, P: FuncPass<M>> Pass<M> for FuncPassAdapter<M, P> {
+    fn name(&self) -> &'static str {
+        self.pass.name()
+    }
+
+    fn prepare(&mut self, cx: ExecContext) {
+        self.cx = cx;
+    }
+
+    fn may_mutate(&self, m: &M) -> Mutation<M> {
+        let mut keys = m.func_keys();
+        keys.sort_unstable();
+        Mutation::Funcs(keys)
+    }
+
+    fn run(
+        &mut self,
+        m: &mut M,
+        _am: &mut AnalysisManager<M>,
+    ) -> Result<PassOutcome<M>, PassError> {
+        let mut funcs = m.detach_funcs();
+        funcs.sort_by_key(|a| a.0);
+        let n = funcs.len();
+        let mut results: Vec<Option<FuncResult>> = Vec::new();
+        results.resize_with(n, || None);
+
+        let mut profile = FuncPassProfile::default();
+        if n > 0 {
+            let threads = self.cx.threads.max(1).min(n);
+            let chunk = n.div_ceil(threads);
+            let shards = funcs.chunks(chunk).count();
+            let mut shard_stats = vec![ShardStat::default(); shards];
+            let shell: &M = m;
+            let pass = &self.pass;
+            let cx = self.cx;
+            if threads == 1 {
+                run_shard(
+                    pass,
+                    shell,
+                    0,
+                    &mut funcs,
+                    &mut results,
+                    cx,
+                    &mut shard_stats[0],
+                );
+            } else {
+                std::thread::scope(|s| {
+                    for (si, ((fchunk, rchunk), stat)) in funcs
+                        .chunks_mut(chunk)
+                        .zip(results.chunks_mut(chunk))
+                        .zip(shard_stats.iter_mut())
+                        .enumerate()
+                    {
+                        let base = si * chunk;
+                        s.spawn(move || run_shard(pass, shell, base, fchunk, rchunk, cx, stat));
+                    }
+                });
+            }
+            profile.shards = shard_stats;
+        }
+
+        // Merge in stable key order: IR, changed keys, and stats come out
+        // identical regardless of the shard layout.
+        let mut changed_keys: Vec<M::FuncKey> = Vec::new();
+        let mut stats: Vec<(&'static str, i64)> = Vec::new();
+        let mut first_payload: Option<Box<dyn std::any::Any + Send>> = None;
+        for (gi, ((key, _), result)) in funcs.iter().zip(results).enumerate() {
+            let Some(r) = result else {
+                continue; // shard failed fast before reaching this one
+            };
+            profile.func_times.push((format!("{key:?}"), r.time));
+            for (k, v) in r.stats {
+                match stats.iter_mut().find(|(sk, _)| *sk == k) {
+                    Some(slot) => slot.1 += v,
+                    None => stats.push((k, v)),
+                }
+            }
+            if r.changed {
+                changed_keys.push(*key);
+            }
+            if let Some(message) = r.panic {
+                profile.contained.push(ContainedFault {
+                    func_index: gi,
+                    func: format!("{key:?}"),
+                    message,
+                });
+            }
+            if first_payload.is_none() {
+                first_payload = r.payload;
+            }
+        }
+        m.attach_funcs(funcs);
+        if let Some(payload) = first_payload {
+            // Faults were not contained (Abort): re-raise the first panic
+            // in stable function order, module structurally re-attached.
+            std::panic::resume_unwind(payload);
+        }
+
+        let changed = !changed_keys.is_empty();
+        Ok(PassOutcome {
+            changed,
+            mutated: if changed {
+                Mutation::Funcs(changed_keys)
+            } else {
+                Mutation::None
+            },
+            stats,
+            profile: Some(profile),
+        })
+    }
+}

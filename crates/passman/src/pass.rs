@@ -1,6 +1,7 @@
 //! The [`Pass`] trait, pass outcomes, and the name → constructor registry.
 
 use crate::analysis::AnalysisManager;
+use crate::parallel::{ExecContext, FuncPassProfile};
 use crate::spec::PassOptions;
 use crate::IrUnit;
 use std::any::Any;
@@ -70,6 +71,9 @@ pub struct PassOutcome<M: IrUnit> {
     pub mutated: Mutation<M>,
     /// Flat, serde-friendly `(key, value)` statistics.
     pub stats: Vec<(&'static str, i64)>,
+    /// Per-function execution profile, populated by function-sharded
+    /// passes (see [`FuncPassAdapter`](crate::parallel::FuncPassAdapter)).
+    pub profile: Option<FuncPassProfile>,
 }
 
 impl<M: IrUnit> Clone for PassOutcome<M> {
@@ -78,6 +82,7 @@ impl<M: IrUnit> Clone for PassOutcome<M> {
             changed: self.changed,
             mutated: self.mutated.clone(),
             stats: self.stats.clone(),
+            profile: self.profile.clone(),
         }
     }
 }
@@ -88,6 +93,7 @@ impl<M: IrUnit> std::fmt::Debug for PassOutcome<M> {
             .field("changed", &self.changed)
             .field("mutated", &self.mutated)
             .field("stats", &self.stats)
+            .field("profile", &self.profile)
             .finish()
     }
 }
@@ -99,6 +105,7 @@ impl<M: IrUnit> PassOutcome<M> {
             changed: false,
             mutated: Mutation::None,
             stats: Vec::new(),
+            profile: None,
         }
     }
 
@@ -115,6 +122,7 @@ impl<M: IrUnit> PassOutcome<M> {
                 Mutation::None
             },
             stats,
+            profile: None,
         }
     }
 
@@ -169,6 +177,20 @@ impl PassError {
 pub trait Pass<M: IrUnit> {
     /// The registry/spec name of this pass (e.g. `"constprop"`).
     fn name(&self) -> &'static str;
+
+    /// Hands the pass its per-invocation [`ExecContext`] (worker thread
+    /// count, fault-containment flag) right before [`run`](Pass::run).
+    /// Module-level passes can ignore it; the default does nothing.
+    fn prepare(&mut self, _cx: ExecContext) {}
+
+    /// Which functions [`run`](Pass::run) *may* mutate — the snapshot
+    /// scope for the fault-recovery path. A pass returning
+    /// `Mutation::Funcs(keys)` additionally promises it will not touch
+    /// the module shell (types, externs, entry) nor add or remove
+    /// functions. The conservative default is everything.
+    fn may_mutate(&self, _m: &M) -> Mutation<M> {
+        Mutation::All
+    }
 
     /// Runs the pass. Analyses should be requested through `am` so they
     /// are shared with other passes; the runner invalidates `am`

@@ -92,11 +92,20 @@ pub enum RecoveryAction {
 pub struct Degradation {
     /// The faulting pass (spec name).
     pub pass: String,
+    /// 0-based pass invocation index the fault happened at (the primary
+    /// sort key of the deterministic degradation ordering).
+    pub invocation: usize,
     /// Why it faulted.
     pub cause: FaultCause,
     /// `Some(i)` if the fault happened in iteration `i` of a
     /// `fixpoint(...)` group.
     pub fixpoint_iteration: Option<usize>,
+    /// For a fault contained to one function of a sharded pass: the
+    /// function's index in the stable function order (the secondary sort
+    /// key). `None` for whole-pass faults, which sort first.
+    pub func_index: Option<usize>,
+    /// Rendered function key (e.g. `fn3`) for contained faults.
+    pub func: Option<String>,
     /// What the runner did.
     pub action: RecoveryAction,
 }
@@ -104,6 +113,9 @@ pub struct Degradation {
 impl fmt::Display for Degradation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "pass `{}` degraded ({})", self.pass, self.cause)?;
+        if let Some(func) = &self.func {
+            write!(f, " [func {func}]")?;
+        }
         if let Some(i) = self.fixpoint_iteration {
             write!(f, " [fix #{i}]")?;
         }

@@ -6,19 +6,29 @@
 //!
 //! With a recovering [`FaultPolicy`] installed (see
 //! [`PassManager::on_fault`]), every pass runs under `catch_unwind` with
-//! the module snapshotted beforehand: a panicking, erroring,
+//! its declared mutation scope snapshotted beforehand (whole-module
+//! clone by default, per-function copy-on-write via
+//! [`PassManager::with_cow_snapshots`]): a panicking, erroring,
 //! verifier-failing, or over-budget pass is rolled back to the last
 //! verified IR and recorded as a [`Degradation`], and the pipeline either
 //! continues (`SkipPass`) or stops cleanly (`StopPipeline`).
+//!
+//! Function-sharded passes (see [`crate::parallel`]) additionally run
+//! their per-function bodies on [`PassManager::with_threads`] worker
+//! threads, with bit-identical results to serial runs, and surface a
+//! per-function wall-clock/shard-utilization profile through each
+//! [`PassRun`].
 
 use crate::analysis::{AnalysisManager, CacheCounter};
 use crate::budget::{BudgetViolation, Budgets};
 use crate::fault::{FaultPlan, InjectKind};
+use crate::parallel::{ExecContext, FuncPassProfile, ShardedIr};
 use crate::pass::{Mutation, Pass, PassError, PassRegistry};
 use crate::recover::{Degradation, FaultCause, FaultPolicy, RecoveryAction};
+use crate::snapshot::{CowEngine, FullCloneEngine, SnapshotCost, SnapshotEngine, SnapshotStats};
 use crate::spec::{PassCall, PipelineSpec, SpecStep};
 use crate::IrUnit;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -41,6 +51,10 @@ pub struct PassRun {
     pub fixpoint_iteration: Option<usize>,
     /// Driver-attached annotations (e.g. collection censuses).
     pub annotations: Vec<(String, String)>,
+    /// Cost of the pre-pass snapshot (recovering policies only).
+    pub snapshot: Option<SnapshotCost>,
+    /// Per-function execution profile (function-sharded passes only).
+    pub profile: Option<FuncPassProfile>,
 }
 
 impl PassRun {
@@ -64,11 +78,18 @@ pub struct RunReport {
     pub cache: Vec<(String, CacheCounter)>,
     /// Number of analysis-cache invalidation events.
     pub invalidation_events: u64,
-    /// Faults contained by the fault policy, in occurrence order.
+    /// Faults contained by the fault policy, sorted by pass invocation
+    /// index then function index — deterministic, so parallel and serial
+    /// runs diff clean.
     pub degradations: Vec<Degradation>,
     /// Whether the pipeline stopped before completing the spec (the
     /// `StopPipeline` policy fired, or the pipeline time budget ran out).
     pub stopped_early: bool,
+    /// Worker threads the manager was configured with.
+    pub threads: usize,
+    /// Cumulative snapshot-engine counters (zeroed under
+    /// [`FaultPolicy::Abort`], which never snapshots).
+    pub snapshots: SnapshotStats,
 }
 
 impl RunReport {
@@ -119,7 +140,27 @@ impl RunReport {
             "pass", "time", "changed"
         ));
         for p in &self.passes {
-            let stats: Vec<String> = p.stats.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let mut stats: Vec<String> = p.stats.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            if let Some(s) = &p.snapshot {
+                if s.full {
+                    stats.push(format!("[snap full {}u]", s.units_cloned));
+                } else if s.funcs_cloned + s.funcs_reused > 0 {
+                    stats.push(format!(
+                        "[snap {}c/{}r {}u]",
+                        s.funcs_cloned, s.funcs_reused, s.units_cloned
+                    ));
+                }
+            }
+            if let Some(prof) = &p.profile {
+                if prof.shards.len() > 1 {
+                    stats.push(format!(
+                        "[{} funcs / {} shards, max {:.0}%]",
+                        prof.func_times.len(),
+                        prof.shards.len(),
+                        prof.max_shard_fraction() * 100.0
+                    ));
+                }
+            }
             let name = match p.fixpoint_iteration {
                 Some(i) => format!("{} [fix #{i}]", p.name),
                 None => p.name.clone(),
@@ -140,6 +181,21 @@ impl RunReport {
         }
         for d in &self.degradations {
             out.push_str(&format!("degraded {d}\n"));
+        }
+        if self.threads > 1 {
+            out.push_str(&format!("threads {}\n", self.threads));
+        }
+        if self.snapshots.captures > 0 {
+            let s = &self.snapshots;
+            out.push_str(&format!(
+                "snapshots captures={} full={} cloned={} reused={} units={} restores={}\n",
+                s.captures,
+                s.full_clones,
+                s.funcs_cloned,
+                s.funcs_reused,
+                s.units_cloned,
+                s.restores
+            ));
         }
         if self.stopped_early {
             out.push_str("pipeline stopped early\n");
@@ -220,7 +276,6 @@ impl std::error::Error for RunError {}
 
 type Verifier<M> = Rc<dyn Fn(&M) -> Result<(), String>>;
 type Observer<M> = Rc<dyn Fn(&M, &mut PassRun)>;
-type Snapshotter<M> = Rc<dyn Fn(&M) -> M>;
 
 /// What [`PassManager::run_one`] tells the step loop.
 enum StepOutcome {
@@ -240,8 +295,10 @@ pub struct PassManager<M: IrUnit> {
     observer: Option<Observer<M>>,
     policy: FaultPolicy,
     budgets: Budgets,
-    snapshotter: Option<Snapshotter<M>>,
+    snapshots: Option<RefCell<Box<dyn SnapshotEngine<M>>>>,
     injection: Option<FaultPlan>,
+    /// Worker threads for function-sharded passes (1 = serial).
+    threads: usize,
     /// 0-based index of the next pass invocation (reset per run).
     invocations: Cell<usize>,
 }
@@ -255,6 +312,7 @@ impl<M: IrUnit> std::fmt::Debug for PassManager<M> {
             .field("policy", &self.policy)
             .field("budgets", &self.budgets)
             .field("injection", &self.injection)
+            .field("threads", &self.threads)
             .finish()
     }
 }
@@ -273,10 +331,21 @@ impl<M: IrUnit> PassManager<M> {
             observer: None,
             policy: FaultPolicy::Abort,
             budgets: Budgets::none(),
-            snapshotter: None,
+            snapshots: None,
             injection: None,
+            threads: 1,
             invocations: Cell::new(0),
         }
+    }
+
+    /// Sets the worker-thread count for function-sharded passes (see
+    /// [`FuncPassAdapter`](crate::parallel::FuncPassAdapter)). Results
+    /// are bit-identical to serial runs; only wall-clock changes. The
+    /// per-call spec option `parallel=N` overrides this for one
+    /// invocation. Default 1 (serial).
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
     }
 
     /// Sets the IR verifier run between passes.
@@ -307,18 +376,46 @@ impl<M: IrUnit> PassManager<M> {
         self
     }
 
-    /// Sets the fault policy. The recovering policies snapshot the
-    /// module before every pass (hence the `Clone` bound) and roll back
-    /// on any contained fault; [`FaultPolicy::Abort`] restores the
-    /// legacy fail-fast behaviour and costs nothing.
+    /// Sets the fault policy. The recovering policies snapshot what each
+    /// pass may mutate before running it (hence the `Clone` bound) and
+    /// roll back on any contained fault; [`FaultPolicy::Abort`] restores
+    /// the legacy fail-fast behaviour and costs nothing.
+    ///
+    /// If no snapshot engine is installed yet, this installs the
+    /// whole-module [`FullCloneEngine`]; a previously installed engine
+    /// (e.g. [`with_cow_snapshots`](PassManager::with_cow_snapshots)) is
+    /// kept.
     pub fn on_fault(mut self, policy: FaultPolicy) -> Self
     where
-        M: Clone,
+        M: Clone + 'static,
     {
         self.policy = policy;
-        if self.snapshotter.is_none() {
-            self.snapshotter = Some(Rc::new(|m: &M| m.clone()));
+        if self.snapshots.is_none() {
+            self.snapshots = Some(RefCell::new(Box::new(FullCloneEngine::<M>::new())));
         }
+        self
+    }
+
+    /// Installs the per-function copy-on-write [`CowEngine`]: recovering
+    /// policies then clone only the functions a pass declares it may
+    /// mutate (reusing clones of still-clean functions across passes)
+    /// instead of the whole module. Overrides any earlier engine.
+    pub fn with_cow_snapshots(mut self) -> Self
+    where
+        M: ShardedIr + Clone + 'static,
+    {
+        self.snapshots = Some(RefCell::new(Box::new(CowEngine::<M>::new())));
+        self
+    }
+
+    /// Forces the legacy whole-module [`FullCloneEngine`] (the baseline
+    /// the compile-time bench compares CoW against). Overrides any
+    /// earlier engine.
+    pub fn with_full_clone_snapshots(mut self) -> Self
+    where
+        M: Clone + 'static,
+    {
+        self.snapshots = Some(RefCell::new(Box::new(FullCloneEngine::<M>::new())));
         self
     }
 
@@ -441,6 +538,16 @@ impl<M: IrUnit> PassManager<M> {
             .map(|(&n, &c)| (n.to_string(), c))
             .collect();
         report.invalidation_events = am.invalidation_events();
+        report.threads = self.threads;
+        if let Some(engine) = &self.snapshots {
+            report.snapshots = engine.borrow().stats();
+        }
+        // Deterministic ordering: pass invocation index, then function
+        // index (whole-pass faults first). Pushes already happen in this
+        // order, so the (stable) sort is a guard, not a shuffle.
+        report
+            .degradations
+            .sort_by_key(|d| (d.invocation, d.func_index));
         Ok(report)
     }
 
@@ -501,15 +608,28 @@ impl<M: IrUnit> PassManager<M> {
     ) -> Result<StepOutcome, RunError> {
         let name = call.name.as_str();
         let (max_ms, max_growth) = self.pass_budgets(call)?;
+        let threads = match call.opts.get_parsed::<usize>("parallel") {
+            Ok(Some(n)) => n.max(1),
+            Ok(None) => self.threads,
+            Err(message) => {
+                return Err(RunError::InvalidOptions {
+                    pass: name.to_string(),
+                    message,
+                })
+            }
+        };
         let pass = self.instance(instances, call)?;
 
         let invocation = self.invocations.get();
         self.invocations.set(invocation + 1);
-        let injected = self
+        let plan = self
             .injection
             .as_ref()
-            .filter(|plan| plan.fires(invocation, name))
-            .map(|plan| plan.kind);
+            .filter(|plan| plan.fires(invocation, name));
+        let injected = plan.map(|plan| plan.kind);
+        // A function-targeted panic is injected inside the sharded
+        // executor (via the ExecContext), not ahead of the pass body.
+        let injected_func = plan.and_then(|plan| plan.func);
 
         let recovering = self.policy != FaultPolicy::Abort;
         let size_before = if max_growth.is_some() {
@@ -517,12 +637,24 @@ impl<M: IrUnit> PassManager<M> {
         } else {
             0
         };
-        let snapshot = if recovering {
-            let snap = self
-                .snapshotter
+        pass.prepare(ExecContext {
+            threads,
+            contain_faults: recovering,
+            inject_func_panic: if injected == Some(InjectKind::Panic) {
+                injected_func
+            } else {
+                None
+            },
+        });
+        let snapshot_cost = if recovering {
+            let engine = self
+                .snapshots
                 .as_ref()
-                .expect("recovering policies are installed with a snapshotter");
-            Some(snap(m))
+                .expect("recovering policies are installed with a snapshot engine");
+            let scope = pass.may_mutate(m);
+            let mut engine = engine.borrow_mut();
+            engine.capture(m, &scope);
+            Some(engine.last_cost())
         } else {
             None
         };
@@ -530,7 +662,7 @@ impl<M: IrUnit> PassManager<M> {
         // --- run the pass body ---------------------------------------
         let t0 = Instant::now();
         let body = |m: &mut M, am: &mut AnalysisManager<M>, pass: &mut Box<dyn Pass<M>>| {
-            if injected == Some(InjectKind::Panic) {
+            if injected == Some(InjectKind::Panic) && injected_func.is_none() {
                 panic!("fault injection: panic in `{name}` at invocation {invocation}");
             }
             pass.run(m, am)
@@ -551,7 +683,7 @@ impl<M: IrUnit> PassManager<M> {
 
         // --- classify the outcome into (success, fault) ---------------
         let mut fault: Option<FaultCause> = None;
-        let mut success: Option<(bool, Vec<(&'static str, i64)>)> = None;
+        let mut success: Option<crate::pass::PassOutcome<M>> = None;
         match result {
             Err(panic_msg) => fault = Some(FaultCause::Panic(panic_msg)),
             Ok(Err(error)) => {
@@ -599,7 +731,7 @@ impl<M: IrUnit> PassManager<M> {
                 {
                     fault = Some(FaultCause::Budget(v));
                 } else {
-                    success = Some((outcome.changed, outcome.stats));
+                    success = Some(outcome);
                 }
             }
         }
@@ -628,7 +760,11 @@ impl<M: IrUnit> PassManager<M> {
 
             // Roll back to the last verified IR; every cached analysis
             // may describe the discarded state, so drop them all.
-            *m = snapshot.expect("recovering policies snapshot before every pass");
+            self.snapshots
+                .as_ref()
+                .expect("recovering policies are installed with a snapshot engine")
+                .borrow_mut()
+                .restore(m);
             am.invalidate_all();
 
             let action = match self.policy {
@@ -643,11 +779,16 @@ impl<M: IrUnit> PassManager<M> {
                 stats: Vec::new(),
                 fixpoint_iteration,
                 annotations: vec![("degraded".into(), cause.to_string())],
+                snapshot: snapshot_cost,
+                profile: None,
             });
             report.degradations.push(Degradation {
                 pass: name.to_string(),
+                invocation,
                 cause,
                 fixpoint_iteration,
+                func_index: None,
+                func: None,
                 action,
             });
             return Ok(match action {
@@ -657,19 +798,60 @@ impl<M: IrUnit> PassManager<M> {
         }
 
         // --- success ---------------------------------------------------
-        let (changed, stats) = success.expect("no fault implies a successful outcome");
+        let outcome = success.expect("no fault implies a successful outcome");
+        if let Some(engine) = &self.snapshots {
+            if recovering {
+                engine
+                    .borrow_mut()
+                    .commit(&outcome.mutated, outcome.changed);
+            }
+        }
+        let changed = outcome.changed;
         let mut run = PassRun {
             name: name.to_string(),
             time,
             changed,
-            stats,
+            stats: outcome.stats,
             fixpoint_iteration,
             annotations: Vec::new(),
+            snapshot: snapshot_cost,
+            profile: outcome.profile.clone(),
         };
         if let Some(obs) = &self.observer {
             obs(m, &mut run);
         }
         report.passes.push(run);
+
+        // Faults a sharded pass contained to single functions: the pass
+        // as a whole succeeded (and verified) with those functions rolled
+        // back to their pre-pass state; record them as function-scoped
+        // degradations.
+        let contained = outcome
+            .profile
+            .as_ref()
+            .map(|p| p.contained.clone())
+            .unwrap_or_default();
+        if !contained.is_empty() {
+            let action = match self.policy {
+                FaultPolicy::SkipPass => RecoveryAction::RolledBack,
+                FaultPolicy::StopPipeline => RecoveryAction::Stopped,
+                FaultPolicy::Abort => unreachable!("faults are only contained when recovering"),
+            };
+            for c in contained {
+                report.degradations.push(Degradation {
+                    pass: name.to_string(),
+                    invocation,
+                    cause: FaultCause::Panic(c.message),
+                    fixpoint_iteration,
+                    func_index: Some(c.func_index),
+                    func: Some(c.func),
+                    action,
+                });
+            }
+            if action == RecoveryAction::Stopped {
+                return Ok(StepOutcome::Stop);
+            }
+        }
 
         // Pipeline time budget: checked between passes, charged to the
         // pass that crossed the line. The pass itself succeeded and
@@ -690,8 +872,11 @@ impl<M: IrUnit> PassManager<M> {
                 }
                 report.degradations.push(Degradation {
                     pass: name.to_string(),
+                    invocation,
                     cause: FaultCause::Budget(violation),
                     fixpoint_iteration,
+                    func_index: None,
+                    func: None,
                     action: RecoveryAction::Stopped,
                 });
                 return Ok(StepOutcome::Stop);
@@ -1176,6 +1361,218 @@ mod tests {
             report.degradations[0].cause,
             FaultCause::Budget(BudgetViolation::PipelineTime { .. })
         ));
+    }
+
+    // ---- function-sharded execution ----------------------------------
+
+    use crate::parallel::{FuncOutcome, FuncPass, FuncPassAdapter, ShardedIr};
+
+    impl ShardedIr for Toy {
+        type Func = i64;
+        fn detach_funcs(&mut self) -> Vec<(usize, i64)> {
+            std::mem::take(&mut self.vals)
+                .into_iter()
+                .enumerate()
+                .collect()
+        }
+        fn attach_funcs(&mut self, funcs: Vec<(usize, i64)>) {
+            assert!(self.vals.is_empty());
+            for (i, (k, v)) in funcs.into_iter().enumerate() {
+                assert_eq!(i, k, "functions re-attach in key order");
+                self.vals.push(v);
+            }
+        }
+        fn clone_func(&self, key: usize) -> i64 {
+            self.vals[key]
+        }
+        fn restore_func(&mut self, key: usize, func: i64) {
+            self.vals[key] = func;
+        }
+        fn func_size_hint(&self, _key: usize) -> usize {
+            1
+        }
+    }
+
+    /// Function-scoped `dec`: decrements one positive slot.
+    struct FDec;
+    impl FuncPass<Toy> for FDec {
+        fn name(&self) -> &'static str {
+            "fdec"
+        }
+        fn run_on(&self, _shell: &Toy, _key: usize, v: &mut i64) -> FuncOutcome {
+            if *v > 0 {
+                *v -= 1;
+                FuncOutcome::from_stats(vec![("decremented", 1)])
+            } else {
+                FuncOutcome::unchanged()
+            }
+        }
+    }
+
+    fn registry_with_fdec() -> PassRegistry<Toy> {
+        let mut r = registry();
+        r.register("fdec", || Box::new(FuncPassAdapter::new(FDec)));
+        r
+    }
+
+    type Fingerprint = Vec<(String, bool, Vec<(&'static str, i64)>)>;
+
+    fn report_fingerprint(report: &RunReport) -> Fingerprint {
+        report
+            .passes
+            .iter()
+            .map(|p| (p.name.clone(), p.changed, p.stats.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_pass_is_bit_identical_across_thread_counts() {
+        let init = Toy {
+            vals: vec![3, 0, 5, 1, 0, 2, 7, 4],
+        };
+        let spec = PipelineSpec::parse("fixpoint<max=16>(fdec)").unwrap();
+        let mut serial = init.clone();
+        let serial_report = PassManager::new(registry_with_fdec())
+            .run(&mut serial, &spec)
+            .unwrap();
+        for threads in [2, 4, 8, 64] {
+            let mut par = init.clone();
+            let report = PassManager::new(registry_with_fdec())
+                .with_threads(threads)
+                .run(&mut par, &spec)
+                .unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+            assert_eq!(
+                report_fingerprint(&report),
+                report_fingerprint(&serial_report),
+                "threads={threads}"
+            );
+        }
+        assert_eq!(serial.vals, vec![0; 8]);
+    }
+
+    #[test]
+    fn parallel_spec_option_overrides_the_manager() {
+        let mut m = Toy {
+            vals: vec![1, 2, 3],
+        };
+        let spec = PipelineSpec::parse("fdec<parallel=2>").unwrap();
+        let report = PassManager::new(registry_with_fdec())
+            .run(&mut m, &spec)
+            .unwrap();
+        assert_eq!(m.vals, vec![0, 1, 2]);
+        let prof = report.passes[0].profile.as_ref().unwrap();
+        assert_eq!(prof.shards.len(), 2);
+        assert_eq!(prof.func_times.len(), 3);
+    }
+
+    #[test]
+    fn sharded_panic_rolls_back_only_the_faulting_function() {
+        for threads in [1, 4] {
+            let pm = PassManager::new(registry_with_fdec())
+                .with_threads(threads)
+                .on_fault(FaultPolicy::SkipPass)
+                .with_fault_injection("panic@fdec%2".parse().unwrap());
+            let mut m = Toy {
+                vals: vec![5, 6, 7, 8],
+            };
+            let spec = PipelineSpec::parse("fdec").unwrap();
+            let report = pm.run(&mut m, &spec).unwrap();
+            assert_eq!(
+                m.vals,
+                vec![4, 5, 7, 7],
+                "function 2 rolled back, others decremented (threads={threads})"
+            );
+            assert_eq!(report.degradations.len(), 1);
+            let d = &report.degradations[0];
+            assert_eq!(d.func_index, Some(2));
+            assert_eq!(d.func.as_deref(), Some("2"));
+            assert_eq!(d.action, RecoveryAction::RolledBack);
+            assert!(matches!(d.cause, FaultCause::Panic(_)));
+            // The pass as a whole still counts as run-and-changed.
+            assert!(report.passes[0].changed);
+        }
+    }
+
+    #[test]
+    fn uncontained_sharded_panic_propagates_under_abort() {
+        let pm = PassManager::new(registry_with_fdec())
+            .with_threads(4)
+            .with_fault_injection("panic@fdec%1".parse().unwrap());
+        let mut m = Toy {
+            vals: vec![1, 2, 3],
+        };
+        let spec = PipelineSpec::parse("fdec").unwrap();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _ = pm.run(&mut m, &spec);
+        }));
+        assert!(result.is_err(), "Abort lets the shard panic propagate");
+        assert_eq!(m.vals.len(), 3, "functions were still re-attached");
+    }
+
+    #[test]
+    fn cow_snapshots_clone_less_than_full_clones() {
+        let init = Toy {
+            vals: vec![1, 0, 0, 0],
+        };
+        let spec = PipelineSpec::parse("fdec,fdec").unwrap();
+
+        let pm = PassManager::new(registry_with_fdec())
+            .with_cow_snapshots()
+            .on_fault(FaultPolicy::SkipPass);
+        let mut m = init.clone();
+        let cow = pm.run(&mut m, &spec).unwrap().snapshots;
+        // First fdec captures all 4 slots, mutates only slot 0; the
+        // second capture reclones slot 0 and reuses the other 3.
+        assert_eq!(cow.funcs_cloned, 5);
+        assert_eq!(cow.funcs_reused, 3);
+        assert_eq!(cow.units_cloned, 5);
+        assert_eq!(cow.full_clones, 0);
+
+        let pm = PassManager::new(registry_with_fdec())
+            .with_full_clone_snapshots()
+            .on_fault(FaultPolicy::SkipPass);
+        let mut m = init.clone();
+        let full = pm.run(&mut m, &spec).unwrap().snapshots;
+        assert_eq!(full.full_clones, 2);
+        assert_eq!(full.units_cloned, 8);
+        assert!(cow.units_cloned < full.units_cloned);
+    }
+
+    #[test]
+    fn cow_restore_survives_a_module_level_fault() {
+        // A module-level pass (landmine: may_mutate = All) faulting under
+        // the CoW engine must still roll back via the full-clone
+        // fallback.
+        let pm = PassManager::new(registry_with_fdec())
+            .with_cow_snapshots()
+            .on_fault(FaultPolicy::SkipPass);
+        let mut m = Toy { vals: vec![-1, 4] };
+        let spec = PipelineSpec::parse("landmine,fdec").unwrap();
+        let report = pm.run(&mut m, &spec).unwrap();
+        assert_eq!(m.vals, vec![-1, 3], "no 777 slot; fdec still ran");
+        assert!(report.degradation_of("landmine").is_some());
+        assert_eq!(report.snapshots.full_clones, 1);
+    }
+
+    #[test]
+    fn degradations_sort_by_invocation_then_function() {
+        let pm = PassManager::new(registry_with_fdec())
+            .with_threads(3)
+            .on_fault(FaultPolicy::SkipPass)
+            .with_fault_injection(FaultPlan::at_pass(InjectKind::Panic, "fdec").on_func(1));
+        let mut m = Toy {
+            vals: vec![2, 2, 2],
+        };
+        let spec = PipelineSpec::parse("fdec,fdec").unwrap();
+        let report = pm.run(&mut m, &spec).unwrap();
+        let order: Vec<(usize, Option<usize>)> = report
+            .degradations
+            .iter()
+            .map(|d| (d.invocation, d.func_index))
+            .collect();
+        assert_eq!(order, vec![(0, Some(1)), (1, Some(1))]);
+        assert_eq!(m.vals, vec![0, 2, 0]);
     }
 
     #[test]

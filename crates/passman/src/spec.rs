@@ -24,7 +24,11 @@
 //! * `max` (fixpoint groups only) — iteration cap for this group,
 //!   overriding the manager-wide default;
 //! * `max-ms` — per-pass wall-clock budget in milliseconds;
-//! * `max-growth` — per-pass instruction-count growth factor budget.
+//! * `max-growth` — per-pass instruction-count growth factor budget;
+//! * `parallel` — worker-thread count for this invocation of a
+//!   function-sharded pass (e.g. `simplify<parallel=4>`), overriding the
+//!   manager-wide [`with_threads`](crate::PassManager::with_threads)
+//!   setting. Module-level passes ignore it.
 //!
 //! All other options are handed to the pass constructor (see
 //! [`PassRegistry::register_with`](crate::PassRegistry::register_with)),
@@ -34,8 +38,8 @@ use std::fmt;
 use std::str::FromStr;
 
 /// Option keys interpreted by the runner rather than the pass
-/// constructor (budgets and fixpoint caps).
-pub const RESERVED_OPTION_KEYS: &[&str] = &["max", "max-ms", "max-growth"];
+/// constructor (budgets, fixpoint caps, worker threads).
+pub const RESERVED_OPTION_KEYS: &[&str] = &["max", "max-ms", "max-growth", "parallel"];
 
 /// Options attached to a pass invocation or fixpoint group: an ordered
 /// list of `key` / `key=value` pairs.

@@ -4,16 +4,19 @@
 //! promoted to a library so the fuzz harness, the reducer, and the
 //! property tests all draw from the same distribution: a straight-line
 //! prefix of sequence mutations (push/write/insert/remove/swap/
-//! remove-range) followed by a fold loop, with a plain-Rust oracle
-//! computing the expected result alongside.
+//! remove-range) and associative-array mutations (assoc-insert/remove/
+//! has/keys over a small key universe) followed by two fold loops — one
+//! over the sequence, one over the assoc's insertion-ordered keys — with
+//! a plain-Rust oracle computing the expected result alongside.
 
 use crate::rng::SplitMix64;
-use memoir_ir::{CmpOp, Form, Module, ModuleBuilder, Type};
+use memoir_ir::{CmpOp, Form, FunctionBuilder, Module, ModuleBuilder, Type};
 use std::fmt;
 use std::str::FromStr;
 
-/// One sequence mutation in the generated program. Indices are reduced
-/// modulo the current length at build time, so any byte values are valid.
+/// One collection mutation in the generated program. Sequence indices are
+/// reduced modulo the current length at build time and assoc keys modulo
+/// a small key universe, so any byte values are valid.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Op {
     /// Append a value.
@@ -28,7 +31,22 @@ pub enum Op {
     SwapElems(u8, u8),
     /// Remove the half-open range between two indices.
     RemoveRange(u8, u8),
+    /// Insert (or overwrite) key `k % 16` in the assoc.
+    AssocInsert(u8, i8),
+    /// Remove key `k % 16` from the assoc (emitted only when present —
+    /// removal of a missing key traps).
+    AssocRemove(u8),
+    /// Probe key `k % 16` and fold the boolean into the result
+    /// (position-weighted, so reorderings are observable).
+    AssocHas(u8),
+    /// Take the key-sequence size and fold it into the result
+    /// (position-weighted).
+    AssocKeys,
 }
+
+/// Assoc keys are drawn from `0..ASSOC_KEYS` so that inserts, removes and
+/// probes collide often enough to exercise overwrite and miss paths.
+pub const ASSOC_KEYS: u8 = 16;
 
 impl fmt::Display for Op {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -39,6 +57,10 @@ impl fmt::Display for Op {
             Op::Remove(i) => write!(f, "remove {i}"),
             Op::SwapElems(a, b) => write!(f, "swap {a} {b}"),
             Op::RemoveRange(a, b) => write!(f, "remove-range {a} {b}"),
+            Op::AssocInsert(k, v) => write!(f, "assoc-insert {k} {v}"),
+            Op::AssocRemove(k) => write!(f, "assoc-remove {k}"),
+            Op::AssocHas(k) => write!(f, "assoc-has {k}"),
+            Op::AssocKeys => write!(f, "assoc-keys"),
         }
     }
 }
@@ -62,6 +84,10 @@ impl FromStr for Op {
             "remove" => Op::Remove(arg("index")? as u8),
             "swap" => Op::SwapElems(arg("index")? as u8, arg("index")? as u8),
             "remove-range" => Op::RemoveRange(arg("index")? as u8, arg("index")? as u8),
+            "assoc-insert" => Op::AssocInsert(arg("key")? as u8, arg("value")? as i8),
+            "assoc-remove" => Op::AssocRemove(arg("key")? as u8),
+            "assoc-has" => Op::AssocHas(arg("key")? as u8),
+            "assoc-keys" => Op::AssocKeys,
             other => return Err(format!("unknown op `{other}`")),
         };
         if it.next().is_some() {
@@ -71,15 +97,20 @@ impl FromStr for Op {
     }
 }
 
-/// Draws one random op (the `tests/pipeline_differential.rs` weights).
+/// Draws one random op (the `tests/pipeline_differential.rs` weights,
+/// extended with the associative ops).
 pub fn random_op(rng: &mut SplitMix64) -> Op {
-    match rng.below(11) {
+    match rng.below(16) {
         0..=2 => Op::Push(rng.next_u64() as i8),
         3..=4 => Op::Write(rng.next_u64() as u8, rng.next_u64() as i8),
         5..=6 => Op::InsertAt(rng.next_u64() as u8, rng.next_u64() as i8),
         7 => Op::Remove(rng.next_u64() as u8),
         8..=9 => Op::SwapElems(rng.next_u64() as u8, rng.next_u64() as u8),
-        _ => Op::RemoveRange(rng.next_u64() as u8, rng.next_u64() as u8),
+        10 => Op::RemoveRange(rng.next_u64() as u8, rng.next_u64() as u8),
+        11..=12 => Op::AssocInsert(rng.next_u64() as u8, rng.next_u64() as i8),
+        13 => Op::AssocRemove(rng.next_u64() as u8),
+        14 => Op::AssocHas(rng.next_u64() as u8),
+        _ => Op::AssocKeys,
     }
 }
 
@@ -89,111 +120,230 @@ pub fn random_ops(rng: &mut SplitMix64, max_len: usize) -> Vec<Op> {
     (0..n).map(|_| random_op(rng)).collect()
 }
 
-/// Builds the module and the oracle result together (indices are clamped
-/// identically in both, so every op list is a valid program).
-pub fn build(ops: &[Op]) -> (Module, i64) {
-    let mut oracle: Vec<i64> = Vec::new();
-    let mut mb = ModuleBuilder::new("fuzz");
-    mb.func("main", Form::Mut, |b| {
-        let i64t = b.ty(Type::I64);
-        let zero = b.index(0);
-        let s = b.new_seq(i64t, zero);
-        for o in ops {
-            match *o {
-                Op::Push(v) => {
-                    let sz = b.size(s);
-                    let vv = b.i64(v as i64);
-                    b.mut_insert(s, sz, Some(vv));
-                    oracle.push(v as i64);
-                }
-                Op::Write(i, v) => {
-                    if !oracle.is_empty() {
-                        let i = i as usize % oracle.len();
-                        let iv = b.index(i as u64);
-                        let vv = b.i64(v as i64);
-                        b.mut_write(s, iv, vv);
-                        oracle[i] = v as i64;
-                    }
-                }
-                Op::InsertAt(i, v) => {
-                    let i = i as usize % (oracle.len() + 1);
+/// Emits one program body into a function builder and returns the oracle
+/// result. The function takes no parameters and returns one `i64`:
+/// `seq_fold + position-weighted has/keys probes + assoc_fold`.
+fn emit_body(b: &mut FunctionBuilder<'_>, ops: &[Op]) -> i64 {
+    let mut seq_oracle: Vec<i64> = Vec::new();
+    // Insertion-ordered, mirroring the interpreter's assoc key order.
+    let mut assoc_oracle: Vec<(i64, i64)> = Vec::new();
+    let mut extra_oracle: i64 = 0;
+
+    let i64t = b.ty(Type::I64);
+    let idxt = b.ty(Type::Index);
+    let zero = b.index(0);
+    let zero64 = b.i64(0);
+    let s = b.new_seq(i64t, zero);
+    let a = b.new_assoc(i64t, i64t);
+    // Running accumulator for the probe ops (straight-line, entry block).
+    let mut extra = zero64;
+    for (pos, o) in ops.iter().enumerate() {
+        let weight = pos as i64 + 1;
+        match *o {
+            Op::Push(v) => {
+                let sz = b.size(s);
+                let vv = b.i64(v as i64);
+                b.mut_insert(s, sz, Some(vv));
+                seq_oracle.push(v as i64);
+            }
+            Op::Write(i, v) => {
+                if !seq_oracle.is_empty() {
+                    let i = i as usize % seq_oracle.len();
                     let iv = b.index(i as u64);
                     let vv = b.i64(v as i64);
-                    b.mut_insert(s, iv, Some(vv));
-                    oracle.insert(i, v as i64);
+                    b.mut_write(s, iv, vv);
+                    seq_oracle[i] = v as i64;
                 }
-                Op::Remove(i) => {
-                    if !oracle.is_empty() {
-                        let i = i as usize % oracle.len();
-                        let iv = b.index(i as u64);
-                        b.mut_remove(s, iv);
-                        oracle.remove(i);
-                    }
+            }
+            Op::InsertAt(i, v) => {
+                let i = i as usize % (seq_oracle.len() + 1);
+                let iv = b.index(i as u64);
+                let vv = b.i64(v as i64);
+                b.mut_insert(s, iv, Some(vv));
+                seq_oracle.insert(i, v as i64);
+            }
+            Op::Remove(i) => {
+                if !seq_oracle.is_empty() {
+                    let i = i as usize % seq_oracle.len();
+                    let iv = b.index(i as u64);
+                    b.mut_remove(s, iv);
+                    seq_oracle.remove(i);
                 }
-                Op::SwapElems(a, c) => {
-                    if !oracle.is_empty() {
-                        let a = a as usize % oracle.len();
-                        let c = c as usize % oracle.len();
-                        // Disjoint or identical single-element ranges only.
-                        if a != c {
-                            let av = b.index(a as u64);
-                            let a1 = b.index(a as u64 + 1);
-                            let cv = b.index(c as u64);
-                            b.mut_swap(s, av, a1, cv);
-                            oracle.swap(a, c);
-                        }
-                    }
-                }
-                Op::RemoveRange(a, c) => {
-                    if !oracle.is_empty() {
-                        let a = a as usize % oracle.len();
-                        let c = c as usize % oracle.len();
-                        let (lo, hi) = (a.min(c), a.max(c));
-                        let lov = b.index(lo as u64);
-                        let hiv = b.index(hi as u64);
-                        b.mut_remove_range(s, lov, hiv);
-                        oracle.drain(lo..hi);
+            }
+            Op::SwapElems(x, c) => {
+                if !seq_oracle.is_empty() {
+                    let x = x as usize % seq_oracle.len();
+                    let c = c as usize % seq_oracle.len();
+                    // Disjoint or identical single-element ranges only.
+                    if x != c {
+                        let xv = b.index(x as u64);
+                        let x1 = b.index(x as u64 + 1);
+                        let cv = b.index(c as u64);
+                        b.mut_swap(s, xv, x1, cv);
+                        seq_oracle.swap(x, c);
                     }
                 }
             }
+            Op::RemoveRange(x, c) => {
+                if !seq_oracle.is_empty() {
+                    let x = x as usize % seq_oracle.len();
+                    let c = c as usize % seq_oracle.len();
+                    let (lo, hi) = (x.min(c), x.max(c));
+                    let lov = b.index(lo as u64);
+                    let hiv = b.index(hi as u64);
+                    b.mut_remove_range(s, lov, hiv);
+                    seq_oracle.drain(lo..hi);
+                }
+            }
+            Op::AssocInsert(k, v) => {
+                let key = (k % ASSOC_KEYS) as i64;
+                let kv = b.i64(key);
+                let vv = b.i64(v as i64);
+                b.mut_insert(a, kv, Some(vv));
+                // Overwrite keeps the original insertion position.
+                match assoc_oracle.iter_mut().find(|(ek, _)| *ek == key) {
+                    Some(e) => e.1 = v as i64,
+                    None => assoc_oracle.push((key, v as i64)),
+                }
+            }
+            Op::AssocRemove(k) => {
+                let key = (k % ASSOC_KEYS) as i64;
+                if assoc_oracle.iter().any(|(ek, _)| *ek == key) {
+                    let kv = b.i64(key);
+                    b.mut_remove(a, kv);
+                    assoc_oracle.retain(|(ek, _)| *ek != key);
+                }
+            }
+            Op::AssocHas(k) => {
+                let key = (k % ASSOC_KEYS) as i64;
+                let kv = b.i64(key);
+                let h = b.has(a, kv);
+                let w = b.i64(weight);
+                let hit = b.select(h, w, zero64);
+                extra = b.add(extra, hit);
+                if assoc_oracle.iter().any(|(ek, _)| *ek == key) {
+                    extra_oracle = extra_oracle.wrapping_add(weight);
+                }
+            }
+            Op::AssocKeys => {
+                let ks = b.keys(a);
+                let n = b.size(ks);
+                let ni = b.cast(Type::I64, n);
+                let w = b.i64(weight);
+                let term = b.mul(ni, w);
+                extra = b.add(extra, term);
+                extra_oracle =
+                    extra_oracle.wrapping_add(weight.wrapping_mul(assoc_oracle.len() as i64));
+            }
         }
-        // Epilogue: fold the sequence with a loop: acc = Σ (2*acc + elem).
-        let idxt = b.ty(Type::Index);
-        let header = b.block("header");
-        let body = b.block("body");
-        let exit = b.block("exit");
-        let zero64 = b.i64(0);
-        let pre = b.current_block();
-        b.jump(header);
-        b.switch_to(header);
-        let i = b.phi_placeholder(idxt);
-        let acc = b.phi_placeholder(i64t);
-        b.add_phi_incoming(i, pre, zero);
-        b.add_phi_incoming(acc, pre, zero64);
-        let sz = b.size(s);
-        let done = b.cmp(CmpOp::Ge, i, sz);
-        b.branch(done, exit, body);
-        b.switch_to(body);
-        let v = b.read(s, i);
-        let two = b.i64(2);
-        let acc2x = b.mul(acc, two);
-        let acc2 = b.add(acc2x, v);
-        let one = b.index(1);
-        let next = b.add(i, one);
-        let bb = b.current_block();
-        b.add_phi_incoming(i, bb, next);
-        b.add_phi_incoming(acc, bb, acc2);
-        b.jump(header);
-        b.switch_to(exit);
-        b.returns(&[i64t]);
-        b.ret(vec![acc]);
+    }
+
+    // Epilogue 1: fold the sequence with a loop: acc = Σ (2*acc + elem).
+    let header = b.block("header");
+    let body = b.block("body");
+    let exit = b.block("exit");
+    let pre = b.current_block();
+    b.jump(header);
+    b.switch_to(header);
+    let i = b.phi_placeholder(idxt);
+    let acc = b.phi_placeholder(i64t);
+    b.add_phi_incoming(i, pre, zero);
+    b.add_phi_incoming(acc, pre, zero64);
+    let sz = b.size(s);
+    let done = b.cmp(CmpOp::Ge, i, sz);
+    b.branch(done, exit, body);
+    b.switch_to(body);
+    let v = b.read(s, i);
+    let two = b.i64(2);
+    let acc2x = b.mul(acc, two);
+    let acc2 = b.add(acc2x, v);
+    let one = b.index(1);
+    let next = b.add(i, one);
+    let bb = b.current_block();
+    b.add_phi_incoming(i, bb, next);
+    b.add_phi_incoming(acc, bb, acc2);
+    b.jump(header);
+    b.switch_to(exit);
+
+    // Epilogue 2: fold the assoc through its insertion-ordered key
+    // sequence, weighting by position so key-order bugs are observable:
+    // kacc = Σ_j (j+1) * (key_j + 2*value_j).
+    let ks = b.keys(a);
+    let ksz = b.size(ks);
+    let header2 = b.block("kheader");
+    let body2 = b.block("kbody");
+    let exit2 = b.block("kexit");
+    let pre2 = b.current_block();
+    b.jump(header2);
+    b.switch_to(header2);
+    let j = b.phi_placeholder(idxt);
+    let kacc = b.phi_placeholder(i64t);
+    b.add_phi_incoming(j, pre2, zero);
+    b.add_phi_incoming(kacc, pre2, zero64);
+    let done2 = b.cmp(CmpOp::Ge, j, ksz);
+    b.branch(done2, exit2, body2);
+    b.switch_to(body2);
+    let key = b.read(ks, j);
+    let val = b.read(a, key);
+    let jv = b.cast(Type::I64, j);
+    let one64 = b.i64(1);
+    let w = b.add(jv, one64);
+    let val2 = b.mul(val, two);
+    let kv2 = b.add(key, val2);
+    let term = b.mul(w, kv2);
+    let kacc2 = b.add(kacc, term);
+    let next2 = b.add(j, one);
+    let bb2 = b.current_block();
+    b.add_phi_incoming(j, bb2, next2);
+    b.add_phi_incoming(kacc, bb2, kacc2);
+    b.jump(header2);
+    b.switch_to(exit2);
+    let t1 = b.add(acc, extra);
+    let total = b.add(t1, kacc);
+    b.returns(&[i64t]);
+    b.ret(vec![total]);
+
+    let seq_fold = seq_oracle
+        .iter()
+        .fold(0i64, |x, &v| x.wrapping_mul(2).wrapping_add(v));
+    let assoc_fold = assoc_oracle
+        .iter()
+        .enumerate()
+        .fold(0i64, |x, (j, &(k, v))| {
+            let w = j as i64 + 1;
+            x.wrapping_add(w.wrapping_mul(k.wrapping_add(v.wrapping_mul(2))))
+        });
+    seq_fold.wrapping_add(extra_oracle).wrapping_add(assoc_fold)
+}
+
+/// Builds the module and the oracle result together (indices are clamped
+/// identically in both, so every op list is a valid program).
+pub fn build(ops: &[Op]) -> (Module, i64) {
+    let mut expect = 0i64;
+    let mut mb = ModuleBuilder::new("fuzz");
+    mb.func("main", Form::Mut, |b| {
+        expect = emit_body(b, ops);
     });
     let mut m = mb.finish();
     m.entry = m.func_by_name("main");
-    let expect = oracle
-        .iter()
-        .fold(0i64, |a, &v| a.wrapping_mul(2).wrapping_add(v));
     (m, expect)
+}
+
+/// Builds one module containing one generated function per op list
+/// (`main0`, `main1`, …), with the oracle result for each — multi-function
+/// subjects for the sharded pass executor. The entry is `main0`.
+pub fn build_multi(progs: &[Vec<Op>]) -> (Module, Vec<i64>) {
+    let mut expects = Vec::with_capacity(progs.len());
+    let mut mb = ModuleBuilder::new("fuzz-multi");
+    for (i, ops) in progs.iter().enumerate() {
+        let name = format!("main{i}");
+        mb.func(&name, Form::Mut, |b| {
+            expects.push(emit_body(b, ops));
+        });
+    }
+    let mut m = mb.finish();
+    m.entry = m.func_by_name("main0");
+    (m, expects)
 }
 
 #[cfg(test)]
@@ -209,6 +359,10 @@ mod tests {
             Op::Remove(0),
             Op::SwapElems(1, 2),
             Op::RemoveRange(1, 3),
+            Op::AssocInsert(5, -9),
+            Op::AssocRemove(5),
+            Op::AssocHas(21),
+            Op::AssocKeys,
         ];
         for op in &ops {
             let text = op.to_string();
@@ -217,6 +371,8 @@ mod tests {
         assert!("push".parse::<Op>().is_err());
         assert!("nuke 1".parse::<Op>().is_err());
         assert!("push 1 2".parse::<Op>().is_err());
+        assert!("assoc-insert 1".parse::<Op>().is_err());
+        assert!("assoc-keys 1".parse::<Op>().is_err());
     }
 
     #[test]
@@ -229,6 +385,44 @@ mod tests {
             let mut vm = memoir_interp::Interp::new(&m).with_fuel(50_000_000);
             let got = vm.run_by_name("main", vec![]).unwrap()[0].as_int().unwrap();
             assert_eq!(got, expect, "ops: {ops:?}");
+        }
+    }
+
+    #[test]
+    fn assoc_ops_hit_overwrite_and_probe_paths() {
+        let ops = vec![
+            Op::AssocHas(3),       // miss: weight 1 not added
+            Op::AssocInsert(3, 5), // {3: 5}
+            Op::AssocInsert(3, 7), // overwrite in place: {3: 7}
+            Op::AssocInsert(4, 1), // {3: 7, 4: 1}
+            Op::AssocHas(3),       // hit: +5
+            Op::AssocKeys,         // +6 * 2 keys
+            Op::AssocRemove(4),    // {3: 7}
+            Op::AssocRemove(4),    // absent: not emitted
+            Op::AssocKeys,         // +9 * 1 key
+        ];
+        let (m, expect) = build(&ops);
+        memoir_ir::verifier::assert_valid(&m);
+        // extra = 5 + 12 + 9 = 26; assoc fold = 1*(3 + 2*7) = 17.
+        assert_eq!(expect, 26 + 17);
+        let mut vm = memoir_interp::Interp::new(&m).with_fuel(50_000_000);
+        let got = vm.run_by_name("main", vec![]).unwrap()[0].as_int().unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn build_multi_matches_per_function_oracles() {
+        let mut rng = SplitMix64::new(7);
+        let progs: Vec<Vec<Op>> = (0..5).map(|_| random_ops(&mut rng, 25)).collect();
+        let (m, expects) = build_multi(&progs);
+        memoir_ir::verifier::assert_valid(&m);
+        assert_eq!(m.funcs.ids().count(), 5);
+        for (i, expect) in expects.iter().enumerate() {
+            let mut vm = memoir_interp::Interp::new(&m).with_fuel(50_000_000);
+            let got = vm.run_by_name(&format!("main{i}"), vec![]).unwrap()[0]
+                .as_int()
+                .unwrap();
+            assert_eq!(got, *expect, "func {i}, ops: {:?}", progs[i]);
         }
     }
 }
