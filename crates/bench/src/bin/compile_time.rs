@@ -18,8 +18,9 @@
 //! units cloned by CoW than by the full-clone baseline.
 
 use bench::{compilation_subjects, o3_all};
+use memoir_opt::lowering::{compile_lowered_with, LowerConfig, LoweredPipeline};
 use memoir_opt::pipeline::{compile_spec_with, default_spec};
-use passman::{FaultPolicy, SnapshotStats};
+use passman::{FaultPolicy, PassOptions, SnapshotStats};
 
 struct ModeResult {
     mode: &'static str,
@@ -84,6 +85,40 @@ fn run_lir(m: &lir::Module, mode: &'static str, threads: usize, cow: bool) -> Mo
             .collect(),
         snapshots: run.snapshots,
         ir: format!("{m:?}"),
+    }
+}
+
+/// The end-to-end lowered pipeline: MEMOIR passes → the verified `lower`
+/// stage → the default lir pipeline, profiled as one run (the stage shows
+/// up as the `lower` row in `passes`).
+fn run_lowered(m: &memoir_ir::Module, mode: &'static str, threads: usize, cow: bool) -> ModeResult {
+    let mut m = m.clone();
+    let pipeline = LoweredPipeline {
+        memoir: default_spec(o3_all()),
+        lower_opts: PassOptions::none(),
+        lir: lir::passes::default_spec(),
+    };
+    let cfg = LowerConfig {
+        policy: FaultPolicy::SkipPass,
+        threads,
+        full_clone_snapshots: !cow,
+        ..LowerConfig::default()
+    };
+    let out = compile_lowered_with(&mut m, &pipeline, &cfg).expect("pipeline runs clean");
+    let lowered = out.lowered.expect("pipeline lowers");
+    let run = out.report.run;
+    ModeResult {
+        mode,
+        threads,
+        engine: if cow { "cow" } else { "full-clone" },
+        total_ms: run.total_ms(),
+        passes: run
+            .passes
+            .iter()
+            .map(|p| (p.name.clone(), p.time.as_secs_f64() * 1e3))
+            .collect(),
+        snapshots: run.snapshots,
+        ir: format!("{lowered:?}"),
     }
 }
 
@@ -165,6 +200,18 @@ fn main() {
             run_lir(&synth, "serial", 1, true),
             run_lir(&synth, "threads4", 4, true),
             run_lir(&synth, "full-clone", 1, false),
+        ],
+    ));
+    // The full MEMOIR → lower → lir pipeline as one profiled run: the
+    // verified lowering stage appears as the `lower` row.
+    let synth_mir = workloads::synth_ir::build_synth_ir(120, 2024);
+    subjects.push((
+        "synthetic (memoir→lir)".to_string(),
+        "lowered",
+        vec![
+            run_lowered(&synth_mir, "serial", 1, true),
+            run_lowered(&synth_mir, "threads4", 4, true),
+            run_lowered(&synth_mir, "full-clone", 1, false),
         ],
     ));
 

@@ -1,0 +1,225 @@
+//! Dominator analysis for lir functions.
+//!
+//! Block *layout* order in lir is not required to follow dominance —
+//! `memoir-lower` preserves the MEMOIR module's block indices, and the
+//! MEMOIR passes (`dee-strict` splitting, `ssa-destruct` copy blocks)
+//! append blocks that sit late in the layout but early in the CFG. Any
+//! pass that reasons about "before/after" must therefore consult real
+//! dominance, not layout positions; this module provides it.
+//!
+//! The immediate-dominator tree is computed with the Cooper–Harvey–
+//! Kennedy iterative algorithm over a reverse post-order, which is
+//! simple and near-linear on the small CFGs lowering produces.
+
+use crate::ir::{Blk, Function};
+
+/// The dominator tree of one function's CFG.
+///
+/// Blocks unreachable from the entry have no dominator information;
+/// [`DomTree::dominates`] is `false` whenever either endpoint is
+/// unreachable.
+#[derive(Debug)]
+pub struct DomTree {
+    /// Immediate dominator per block; the entry points at itself,
+    /// unreachable blocks are `None`.
+    idom: Vec<Option<Blk>>,
+    /// Reverse post-order number per block (`None` = unreachable).
+    rpo_num: Vec<Option<u32>>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `f`.
+    pub fn compute(f: &Function) -> DomTree {
+        let n = f.blocks.len();
+        // Out-of-range targets are a (reportable) malformation, not a
+        // reason to panic — the verifier runs this on broken modules.
+        let succs = |b: Blk| -> Vec<Blk> {
+            f.successors(b)
+                .into_iter()
+                .filter(|s| (s.0 as usize) < n)
+                .collect()
+        };
+        // Post-order DFS from the entry (iterative, successor cursor per
+        // frame), then reverse.
+        let mut post: Vec<Blk> = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut stack: Vec<(Blk, Vec<Blk>, usize)> = Vec::new();
+        visited[f.entry.0 as usize] = true;
+        stack.push((f.entry, succs(f.entry), 0));
+        while let Some((b, frame_succs, cursor)) = stack.last_mut() {
+            if let Some(&s) = frame_succs.get(*cursor) {
+                *cursor += 1;
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    stack.push((s, succs(s), 0));
+                }
+            } else {
+                post.push(*b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<Blk> = post.into_iter().rev().collect();
+        let mut rpo_num = vec![None; n];
+        for (k, &b) in rpo.iter().enumerate() {
+            rpo_num[b.0 as usize] = Some(k as u32);
+        }
+
+        // Predecessors, restricted to reachable blocks.
+        let mut preds: Vec<Vec<Blk>> = vec![Vec::new(); n];
+        for &b in &rpo {
+            for s in succs(b) {
+                if rpo_num[s.0 as usize].is_some() {
+                    preds[s.0 as usize].push(b);
+                }
+            }
+        }
+
+        let mut idom: Vec<Option<Blk>> = vec![None; n];
+        idom[f.entry.0 as usize] = Some(f.entry);
+        let intersect = |idom: &[Option<Blk>], mut a: Blk, mut b: Blk| -> Blk {
+            let num = |x: Blk| rpo_num[x.0 as usize].unwrap();
+            while a != b {
+                while num(a) > num(b) {
+                    a = idom[a.0 as usize].unwrap();
+                }
+                while num(b) > num(a) {
+                    b = idom[b.0 as usize].unwrap();
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new: Option<Blk> = None;
+                for &p in &preds[b.0 as usize] {
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new = Some(match new {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new.is_some() && idom[b.0 as usize] != new {
+                    idom[b.0 as usize] = new;
+                    changed = true;
+                }
+            }
+        }
+
+        DomTree { idom, rpo_num }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: Blk) -> bool {
+        self.rpo_num.get(b.0 as usize).is_some_and(|n| n.is_some())
+    }
+
+    /// Whether `a` dominates `b` (reflexively). `false` when either
+    /// block is unreachable.
+    pub fn dominates(&self, a: Blk, b: Blk) -> bool {
+        let (Some(na), Some(_)) = (
+            self.rpo_num.get(a.0 as usize).copied().flatten(),
+            self.rpo_num.get(b.0 as usize).copied().flatten(),
+        ) else {
+            return false;
+        };
+        // Walk b's idom chain; RPO numbers strictly decrease along it,
+        // so stop once we pass a's.
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let num = self.rpo_num[cur.0 as usize].unwrap();
+            if num <= na {
+                return false;
+            }
+            cur = self.idom[cur.0 as usize].unwrap();
+        }
+    }
+
+    /// Whether `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: Blk, b: Blk) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: Blk) -> Option<Blk> {
+        let d = self.idom.get(b.0 as usize).copied().flatten()?;
+        (d != b).then_some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CmpOp, Op};
+
+    /// entry → {then, else} → join: the join's idom is the entry, the
+    /// arms dominate only themselves.
+    #[test]
+    fn diamond_idoms() {
+        let mut f = Function::new("f", 1, 1);
+        let e = f.entry;
+        let t = f.add_block();
+        let el = f.add_block();
+        let j = f.add_block();
+        let c = f.push1(e, Op::Cmp(CmpOp::Gt, f.param(0), f.param(0)));
+        f.push0(
+            e,
+            Op::Br {
+                cond: c,
+                then_b: t,
+                else_b: el,
+            },
+        );
+        f.push0(t, Op::Jmp(j));
+        f.push0(el, Op::Jmp(j));
+        f.push0(j, Op::Ret(vec![f.param(0)]));
+        let dom = DomTree::compute(&f);
+        assert_eq!(dom.idom(j), Some(e));
+        assert_eq!(dom.idom(t), Some(e));
+        assert!(dom.dominates(e, j));
+        assert!(dom.dominates(j, j));
+        assert!(!dom.dominates(t, j));
+        assert!(!dom.strictly_dominates(j, j));
+    }
+
+    /// Layout order and dominance order disagree: the entry jumps to the
+    /// *last* block, which dominates the middle one. This is the shape
+    /// `ssa-destruct`-appended blocks give the lowered module.
+    #[test]
+    fn backward_layout_dominance() {
+        let mut f = Function::new("f", 1, 1);
+        let e = f.entry;
+        let mid = f.add_block(); // b1, laid out before…
+        let late = f.add_block(); // …b2, its dominator
+        f.push0(e, Op::Jmp(late));
+        f.push0(late, Op::Jmp(mid));
+        f.push0(mid, Op::Ret(vec![f.param(0)]));
+        let dom = DomTree::compute(&f);
+        assert!(dom.strictly_dominates(late, mid));
+        assert!(!dom.dominates(mid, late));
+        assert_eq!(dom.idom(mid), Some(late));
+    }
+
+    /// Unreachable blocks have no dominance relations.
+    #[test]
+    fn unreachable_blocks_dominate_nothing() {
+        let mut f = Function::new("f", 0, 0);
+        let e = f.entry;
+        let dead = f.add_block();
+        f.push0(e, Op::Ret(Vec::new()));
+        f.push0(dead, Op::Ret(Vec::new()));
+        let dom = DomTree::compute(&f);
+        assert!(!dom.is_reachable(dead));
+        assert!(dom.is_reachable(e));
+        assert!(!dom.dominates(dead, e));
+        assert!(!dom.dominates(e, dead));
+        assert!(!dom.dominates(dead, dead));
+    }
+}

@@ -8,7 +8,8 @@
 //! for memory operations (49.8–52.8% on SPEC under LLVM's NewGVN); the
 //! same counter is exposed here.
 
-use crate::ir::{Function, Module, Op, Val};
+use crate::dom::DomTree;
+use crate::ir::{Blk, Function, Module, Op, Val};
 use std::collections::HashMap;
 
 /// Fig. 10 counters.
@@ -58,12 +59,18 @@ enum Expr {
 }
 
 fn run_function(f: &mut Function, stats: &mut GvnStats) {
-    // Value → value number; leader per expression/class.
+    // Value → value number; per expression class, the value number and
+    // every *leader*: a defining occurrence with its position, so a
+    // redundant instruction is only replaced by a leader whose
+    // definition dominates it (block layout is not dominance-sorted in
+    // lowered modules, so "first in layout" is not "available here" —
+    // found by `memoir-fuzz --lower`, crash-7-172).
+    let dom = DomTree::compute(f);
     let mut vn_of: HashMap<Val, u64> = HashMap::new();
     let mut next_vn: u64 = 0;
-    let mut class_leader: HashMap<Expr, (u64, Val)> = HashMap::new();
+    let mut classes: HashMap<Expr, (u64, Vec<(Val, Blk, usize)>)> = HashMap::new();
     let mut replacements: HashMap<Val, Val> = HashMap::new();
-    let mut dead: Vec<(crate::ir::Blk, crate::ir::Ins)> = Vec::new();
+    let mut dead: Vec<(Blk, crate::ir::Ins)> = Vec::new();
 
     let fresh = |vn_of: &mut HashMap<Val, u64>,
                  next_vn: &mut u64,
@@ -85,7 +92,18 @@ fn run_function(f: &mut Function, stats: &mut GvnStats) {
         fresh(&mut vn_of, &mut next_vn, Val(p), false, stats);
     }
 
-    for (b, i) in f.order() {
+    let order: Vec<(Blk, usize, crate::ir::Ins)> = f
+        .blocks
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, blk)| {
+            blk.insts
+                .iter()
+                .enumerate()
+                .map(move |(k, &i)| (Blk(bi as u32), k, i))
+        })
+        .collect();
+    for (b, k, i) in order {
         let inst = f.insts[i.0 as usize].clone();
         let vn_arg = |vn_of: &HashMap<Val, u64>, v: Val| vn_of.get(&v).copied();
         let expr: Option<Expr> = match &inst.op {
@@ -108,15 +126,28 @@ fn run_function(f: &mut Function, stats: &mut GvnStats) {
         match expr {
             Some(e) => {
                 // Pure expression: join or found a class.
-                if let Some(&(vn, leader)) = class_leader.get(&e) {
-                    vn_of.insert(inst.results[0], vn);
-                    replacements.insert(inst.results[0], leader);
-                    dead.push((b, i));
-                    stats.replaced += 1;
+                if let Some((vn, leaders)) = classes.get_mut(&e) {
+                    // Replace only when some leader's definition
+                    // dominates this instruction — earlier in the same
+                    // block, or in a strictly dominating block.
+                    let avail = leaders
+                        .iter()
+                        .find(|&&(_, db, dk)| (db == b && dk < k) || dom.strictly_dominates(db, b));
+                    vn_of.insert(inst.results[0], *vn);
+                    if let Some(&(leader, _, _)) = avail {
+                        replacements.insert(inst.results[0], leader);
+                        dead.push((b, i));
+                        stats.replaced += 1;
+                    } else {
+                        // Congruent (same value number) but not
+                        // available here; keep it as another leader for
+                        // the region it dominates.
+                        leaders.push((inst.results[0], b, k));
+                    }
                 } else {
                     let memory = matches!(e, Expr::Gep(..));
                     let vn = fresh(&mut vn_of, &mut next_vn, inst.results[0], memory, stats);
-                    class_leader.insert(e, (vn, inst.results[0]));
+                    classes.insert(e, (vn, vec![(inst.results[0], b, k)]));
                 }
             }
             None => {
@@ -178,6 +209,46 @@ mod tests {
         let stats = gvn(&mut m);
         assert_eq!(stats.replaced, 0, "loads are opaque");
         assert!(stats.memory_value_numbers >= 2);
+    }
+
+    /// Congruent expressions where the *layout-first* occurrence sits in
+    /// a block that does **not** dominate the second one — the shape
+    /// `dee-strict` + `ssa-destruct` give the lowered module (found by
+    /// `memoir-fuzz --lower`, crash-7-172: GVN replaced the dominating
+    /// occurrence with the dominated one, leaving a use-before-def that
+    /// trapped as `unbound value`). The cross-block pair must be left
+    /// alone; a same-block redundancy after a surviving occurrence must
+    /// still collapse.
+    #[test]
+    fn layout_first_occurrence_in_dominated_block_is_not_a_leader() {
+        let mut f = Function::new("f", 1, 1);
+        let e = f.entry;
+        let late_use = f.add_block(); // b1, laid out before…
+        let dom_b = f.add_block(); // …b2, its dominator
+        f.push0(e, Op::Jmp(dom_b));
+        // b1 (runs last): its own copy of p0+p0, plus a second copy that
+        // IS locally redundant.
+        let y = f.push1(late_use, Op::Bin(BinOp::Add, f.param(0), f.param(0)));
+        let y2 = f.push1(late_use, Op::Bin(BinOp::Add, f.param(0), f.param(0)));
+        let s = f.push1(late_use, Op::Bin(BinOp::Mul, y, y2));
+        f.push0(late_use, Op::Ret(vec![s]));
+        // b2 (runs first): the congruent add, used before b1 executes.
+        let x = f.push1(dom_b, Op::Bin(BinOp::Add, f.param(0), f.param(0)));
+        let two = f.push1(dom_b, Op::Const(2));
+        let _z = f.push1(dom_b, Op::Bin(BinOp::Mul, x, two));
+        f.push0(dom_b, Op::Jmp(late_use));
+        let mut m = Module::default();
+        m.add(f);
+
+        let stats = gvn(&mut m);
+        // Only the same-block duplicate collapses; replacing across the
+        // non-dominating pair would break def-before-use.
+        assert_eq!(stats.replaced, 1, "{stats:?}");
+        crate::verifier::assert_valid(&m);
+        let got = crate::interp::LirMachine::new(&m)
+            .run_by_name("f", vec![3])
+            .unwrap();
+        assert_eq!(got, vec![36]); // (3+3) * (3+3)
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 pub mod constfold;
 pub mod dce;
+pub mod dom;
 pub mod gvn;
 pub mod interp;
 pub mod ir;
@@ -37,6 +38,7 @@ pub mod verifier;
 
 pub use constfold::{constfold, ConstFoldStats};
 pub use dce::dce;
+pub use dom::DomTree;
 pub use gvn::{gvn, GvnStats};
 pub use interp::{LirMachine, LirStats, LirTrap};
 pub use ir::{BinOp, Blk, CmpOp, Fun, Function, Ins, Inst, Module, Op, Val};

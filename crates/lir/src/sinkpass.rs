@@ -105,19 +105,35 @@ fn run_function(f: &mut Function, stats: &mut SinkStats) {
             Op::Gep { .. } => (false, true),
             _ => (false, false),
         };
-        let between = region_between(&order, i, user);
         let mut verdict = Verdict::Ok;
-        for &j in &between {
-            let other = &f.insts[j.0 as usize].op;
-            if reads_mem && other.may_write() {
-                verdict = Verdict::MayWrite;
-                break;
+        match region_between(&order, i, user) {
+            Some(between) => {
+                for &j in &between {
+                    let other = &f.insts[j.0 as usize].op;
+                    if reads_mem && other.may_write() {
+                        verdict = Verdict::MayWrite;
+                        break;
+                    }
+                    if is_addr && (other.may_write() || other.may_read()) {
+                        // Moving address computation past memory
+                        // operations that may reference the same object.
+                        verdict = Verdict::MayReference;
+                        break;
+                    }
+                }
             }
-            if is_addr && (other.may_write() || other.may_read()) {
-                // Moving address computation past memory operations that
-                // may reference the same object.
-                verdict = Verdict::MayReference;
-                break;
+            None => {
+                // The use precedes the def in layout order (block layout
+                // is not required to be dominance-sorted), so the
+                // straight-layout interval is no stand-in for the paths
+                // between them: conservatively block memory-sensitive
+                // candidates. Pure scalar ops need no memory legality
+                // and may still sink.
+                if reads_mem {
+                    verdict = Verdict::MayWrite;
+                } else if is_addr {
+                    verdict = Verdict::MayReference;
+                }
             }
         }
         match verdict {
@@ -148,13 +164,14 @@ enum Verdict {
     MayReference,
 }
 
-fn region_between(order: &[(Blk, Ins)], from: Ins, to: Ins) -> Vec<Ins> {
-    let a = order.iter().position(|&(_, i)| i == from).unwrap_or(0);
-    let b = order
-        .iter()
-        .position(|&(_, i)| i == to)
-        .unwrap_or(order.len());
-    order[a + 1..b].iter().map(|&(_, i)| i).collect()
+/// The instructions strictly between `from` and `to` in layout order, or
+/// `None` when `to` does not come after `from` — then the layout
+/// interval says nothing about the def→use paths and the caller must be
+/// conservative.
+fn region_between(order: &[(Blk, Ins)], from: Ins, to: Ins) -> Option<Vec<Ins>> {
+    let a = order.iter().position(|&(_, i)| i == from)?;
+    let b = order.iter().position(|&(_, i)| i == to)?;
+    (a < b).then(|| order[a + 1..b].iter().map(|&(_, i)| i).collect())
 }
 
 #[cfg(test)]
@@ -227,6 +244,43 @@ mod tests {
         let stats = sink(&mut m);
         assert_eq!(stats.blocked_may_write, 1);
         assert_eq!(stats.success, 0);
+    }
+
+    /// A def whose block dominates its use's block but comes *after* it
+    /// in layout order — the shape `ssa-destruct`'s appended blocks give
+    /// the lowered module (found by `memoir-fuzz --lower`, crash-7-46:
+    /// `region_between` used to panic on the reversed slice). A pure op
+    /// may still sink; a memory-sensitive one is conservatively blocked.
+    #[test]
+    fn backward_layout_use_does_not_panic() {
+        let build = |mem: bool| {
+            let mut f = Function::new("f", 1, 1);
+            let e = f.entry;
+            let use_b = f.add_block(); // b1, laid out before…
+            let def_b = f.add_block(); // …b2, its dominator
+            f.push0(e, Op::Jmp(def_b));
+            let v = if mem {
+                f.push1(def_b, Op::Load(f.param(0)))
+            } else {
+                f.push1(def_b, Op::Bin(BinOp::Add, f.param(0), f.param(0)))
+            };
+            f.push0(def_b, Op::Jmp(use_b));
+            let one = f.push1(use_b, Op::Const(1));
+            let r = f.push1(use_b, Op::Bin(BinOp::Add, v, one));
+            f.push0(use_b, Op::Ret(vec![r]));
+            let mut m = Module::default();
+            m.add(f);
+            m
+        };
+        let mut m = build(false);
+        let stats = sink(&mut m);
+        assert_eq!(stats.success, 1, "{stats:?}");
+        crate::verifier::assert_valid(&m);
+        let mut m = build(true);
+        let stats = sink(&mut m);
+        assert_eq!(stats.success, 0, "{stats:?}");
+        assert_eq!(stats.blocked_may_write, 1, "{stats:?}");
+        crate::verifier::assert_valid(&m);
     }
 
     /// A GEP blocked by intervening memory traffic reports MayReference.

@@ -11,10 +11,18 @@
 //! * every used value is defined (a parameter or the result of an
 //!   instruction that is still placed in some block);
 //! * no value is defined by two placed instructions;
-//! * φ nodes sit at the head of their block.
+//! * φ nodes sit at the head of their block;
+//! * every use in a reachable block is **dominated** by its definition
+//!   (a φ's incoming value must dominate the end of the matching
+//!   predecessor). Block layout order is no proxy for this: lowered
+//!   modules routinely place dominators *after* the blocks they
+//!   dominate, and a GVN miscompile that broke def-before-use used to
+//!   slip past this verifier and only surface as an interpreter trap
+//!   (found by `memoir-fuzz --lower`, crash-7-172).
 
-use crate::ir::{Fun, Function, Module, Op, Val};
-use std::collections::HashSet;
+use crate::dom::DomTree;
+use crate::ir::{Blk, Fun, Function, Module, Op, Val};
+use std::collections::{HashMap, HashSet};
 
 /// Checks one function, appending human-readable problems to `out`.
 fn verify_function(fun: Fun, f: &Function, out: &mut Vec<String>) {
@@ -23,8 +31,10 @@ fn verify_function(fun: Fun, f: &Function, out: &mut Vec<String>) {
     let mut complain = |msg: String| out.push(format!("{name} (f{}): {msg}", fun.0));
 
     // Definitions: placed instructions only, each value defined once.
+    // Record each definition's position for the dominance check below.
+    let mut def_at: HashMap<Val, (Blk, usize)> = HashMap::new();
     for (bi, b) in f.blocks.iter().enumerate() {
-        for &i in &b.insts {
+        for (pos, &i) in b.insts.iter().enumerate() {
             let Some(inst) = f.insts.get(i.0 as usize) else {
                 complain(format!("b{bi} references out-of-range instruction {i:?}"));
                 continue;
@@ -33,6 +43,7 @@ fn verify_function(fun: Fun, f: &Function, out: &mut Vec<String>) {
                 if !defined.insert(r) {
                     complain(format!("{r:?} defined more than once (in b{bi})"));
                 }
+                def_at.entry(r).or_insert((Blk(bi as u32), pos));
             }
         }
     }
@@ -80,6 +91,61 @@ fn verify_function(fun: Fun, f: &Function, out: &mut Vec<String>) {
             });
         }
     }
+
+    // Dominance: every use in a reachable block must be dominated by
+    // its definition (parameters dominate everything). Unreachable
+    // blocks are skipped — no dominance relation is defined there, and
+    // dce is entitled to drop them wholesale.
+    let dom = DomTree::compute(f);
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let blk = Blk(bi as u32);
+        if !dom.is_reachable(blk) {
+            continue;
+        }
+        for (pos, &i) in b.insts.iter().enumerate() {
+            let Some(inst) = f.insts.get(i.0 as usize) else {
+                continue;
+            };
+            match &inst.op {
+                Op::Phi(incs) => {
+                    // An incoming value is used at the *end of the
+                    // matching predecessor*, not at the φ itself.
+                    for &(p, v) in incs {
+                        let Some(&(db, _)) = def_at.get(&v) else {
+                            continue;
+                        };
+                        if p.0 as usize >= f.blocks.len() || !dom.is_reachable(p) {
+                            continue;
+                        }
+                        if !dom.dominates(db, p) {
+                            complain(format!(
+                                "φ {i:?} in b{bi}: incoming {v:?} (defined in b{}) \
+                                 does not dominate predecessor b{}",
+                                db.0, p.0
+                            ));
+                        }
+                    }
+                }
+                op => {
+                    op.visit(|v| {
+                        // Parameters and undefined values (already
+                        // reported above) have no entry here.
+                        let Some(&(db, dk)) = def_at.get(v) else {
+                            return;
+                        };
+                        let ok = (db == blk && dk < pos) || dom.strictly_dominates(db, blk);
+                        if !ok {
+                            complain(format!(
+                                "{i:?} in b{bi} uses {v:?} before its definition \
+                                 (in b{}) on some path",
+                                db.0
+                            ));
+                        }
+                    });
+                }
+            }
+        }
+    }
 }
 
 /// Checks every function, returning all problems found.
@@ -102,7 +168,7 @@ pub fn assert_valid(m: &Module) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir::{BinOp, Blk, Op};
+    use crate::ir::{BinOp, Blk, CmpOp, Op};
 
     fn valid() -> Module {
         let mut f = Function::new("f", 2, 1);
@@ -140,6 +206,84 @@ mod tests {
         let errs = verify_module(&m);
         assert!(
             errs.iter().any(|e| e.contains("undefined value %42")),
+            "{errs:?}"
+        );
+    }
+
+    /// A use in a block its definition does not dominate — the exact
+    /// module shape GVN's miscompile produced (crash-7-172): the value
+    /// is *defined somewhere*, so the old structural check passed, but
+    /// the defining block runs after the using one.
+    #[test]
+    fn non_dominating_def_is_reported() {
+        let mut f = Function::new("f", 1, 1);
+        let e = f.entry;
+        let first = f.add_block(); // runs first, uses v
+        let second = f.add_block(); // runs second, defines v
+        f.push0(e, Op::Jmp(first));
+        let one = f.push1(second, Op::Const(1));
+        f.push0(second, Op::Ret(vec![one]));
+        // `first` uses `one` before `second` has run.
+        let u = f.push1(first, Op::Bin(BinOp::Add, one, one));
+        f.push0(first, Op::Jmp(second));
+        let _ = u;
+        let mut m = Module::default();
+        m.add(f);
+        let errs = verify_module(&m);
+        assert!(
+            errs.iter().any(|e| e.contains("before its definition")),
+            "{errs:?}"
+        );
+    }
+
+    /// A def in a block that dominates its (layout-earlier) use is fine:
+    /// backward layout alone is not an error.
+    #[test]
+    fn backward_layout_with_dominance_is_valid() {
+        let mut f = Function::new("f", 1, 1);
+        let e = f.entry;
+        let use_b = f.add_block(); // b1, laid out before…
+        let def_b = f.add_block(); // …b2, its dominator
+        f.push0(e, Op::Jmp(def_b));
+        let v = f.push1(def_b, Op::Bin(BinOp::Add, f.param(0), f.param(0)));
+        f.push0(def_b, Op::Jmp(use_b));
+        f.push0(use_b, Op::Ret(vec![v]));
+        let mut m = Module::default();
+        m.add(f);
+        assert!(verify_module(&m).is_empty());
+    }
+
+    /// A φ incoming value must dominate the matching predecessor's end,
+    /// not the φ's own block.
+    #[test]
+    fn phi_incoming_must_dominate_predecessor() {
+        let mut f = Function::new("f", 1, 1);
+        let e = f.entry;
+        let a = f.add_block();
+        let b = f.add_block();
+        let j = f.add_block();
+        let c = f.push1(e, Op::Cmp(CmpOp::Gt, f.param(0), f.param(0)));
+        f.push0(
+            e,
+            Op::Br {
+                cond: c,
+                then_b: a,
+                else_b: b,
+            },
+        );
+        // `va` is defined in arm `a` but named as the incoming for arm
+        // `b`, which it does not dominate.
+        let va = f.push1(a, Op::Const(1));
+        f.push0(a, Op::Jmp(j));
+        f.push0(b, Op::Jmp(j));
+        let p = f.push1(j, Op::Phi(vec![(a, va), (b, va)]));
+        f.push0(j, Op::Ret(vec![p]));
+        let mut m = Module::default();
+        m.add(f);
+        let errs = verify_module(&m);
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("does not dominate predecessor b2")),
             "{errs:?}"
         );
     }

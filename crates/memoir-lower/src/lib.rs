@@ -9,6 +9,8 @@
 
 pub mod lower;
 pub mod stackalloc;
+pub mod validate;
 
-pub use lower::{lower_module, LowerError};
+pub use lower::{lower_module, lower_module_with_stats, LowerError, LowerStats};
 pub use stackalloc::{placement_report, PlacementReport};
+pub use validate::{cross_validate, CrossCheckReport, DEFAULT_PROBES};

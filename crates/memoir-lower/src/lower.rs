@@ -215,32 +215,35 @@ fn lower_function(
 
     // Patch φ incomings.
     for (lir_idx, incomings) in std::mem::take(&mut ctx.phi_patches) {
-        let mapped: Vec<(Blk, Val)> = incomings
-            .iter()
-            .map(|(ob, ov)| {
-                let lb = ctx.blk(*ob);
-                // Incoming constants must be materialized in the
-                // predecessor block (before its terminator).
-                let lv = match ctx.map.get(ov) {
-                    Some(&v) => v,
-                    None => {
-                        if let ValueDef::Const(c) = ctx.f.values[*ov].def {
-                            let raw = match c {
-                                Constant::Int(_, x) => x,
-                                Constant::Bool(x) => x as i64,
-                                Constant::Null(_) => 0,
-                                Constant::Float(..) => 0,
-                            };
-                            let at = ctx.lf.blocks[lb.0 as usize].insts.len().saturating_sub(1);
-                            ctx.lf.insert_at(lb, at, Op::Const(raw), 1)[0]
-                        } else {
-                            panic!("phi incoming unresolved")
-                        }
+        let mut mapped: Vec<(Blk, Val)> = Vec::with_capacity(incomings.len());
+        for (ob, ov) in &incomings {
+            let lb = ctx.blk(*ob);
+            // Incoming constants must be materialized in the
+            // predecessor block (before its terminator).
+            let lv = match ctx.map.get(ov) {
+                Some(&v) => v,
+                None => {
+                    if let ValueDef::Const(c) = ctx.f.values[*ov].def {
+                        let raw = match c {
+                            Constant::Int(_, x) => x,
+                            Constant::Bool(x) => x as i64,
+                            Constant::Null(_) => 0,
+                            // Float constants must not silently lower to
+                            // 0: the non-φ path (`Ctx::val`) rejects
+                            // them, and a φ incoming is no different.
+                            Constant::Float(..) => {
+                                return Err(LowerError::FloatUnsupported(f.name.clone()))
+                            }
+                        };
+                        let at = ctx.lf.blocks[lb.0 as usize].insts.len().saturating_sub(1);
+                        ctx.lf.insert_at(lb, at, Op::Const(raw), 1)[0]
+                    } else {
+                        panic!("phi incoming unresolved")
                     }
-                };
-                (lb, lv)
-            })
-            .collect();
+                }
+            };
+            mapped.push((lb, lv));
+        }
         if let Op::Phi(incs) = &mut ctx.lf.insts[lir_idx].op {
             *incs = mapped;
         }
@@ -551,6 +554,17 @@ fn lower_inst(
             if ctx.is_seq(*c) {
                 ctx.rt(b, "rt_seq_insert", vec![h, i, x], false);
             } else {
+                // Insertion-order audit (MEMOIR `keys` determinism):
+                // `rt_assoc_write` must append the key to the enumeration
+                // order only when absent (overwrite keeps the original
+                // position), `rt_assoc_remove` must drop it from the
+                // order, and `rt_assoc_keys` must enumerate the current
+                // membership in that order — so a remove + reinsert moves
+                // the key to the END of the `keys` sequence. This matches
+                // `memoir-runtime::Assoc` and the `memoir-interp` store;
+                // `LirMachine`'s host tables implement the same contract
+                // (see `lir::interp` and the `assoc_remove_reinsert_*`
+                // regression tests).
                 ctx.rt(b, "rt_assoc_write", vec![h, i, x], false);
             }
         }
@@ -968,5 +982,119 @@ mod tests {
         assert_eq!(stores, 2);
         let mut vm = LirMachine::new(&lm);
         assert_eq!(vm.run_by_name("main", vec![]).unwrap(), vec![7]);
+    }
+
+    /// The insertion-order contract audited at the `rt_assoc_*` lowering
+    /// sites: `rt_assoc_write` appends the key to the enumeration order
+    /// only when absent, `rt_assoc_remove` drops it — so a remove +
+    /// reinsert moves the key to the **end** of `keys`. The MEMOIR
+    /// interpreter and the lowered machine must agree on the exact
+    /// order, not just the membership.
+    #[test]
+    fn assoc_remove_reinsert_moves_key_to_end() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("main", Form::Mut, |b| {
+            let i64t = b.ty(Type::I64);
+            let a = b.new_assoc(i64t, i64t);
+            let k1 = b.i64(1);
+            let k2 = b.i64(2);
+            let v10 = b.i64(10);
+            let v20 = b.i64(20);
+            let v30 = b.i64(30);
+            b.mut_insert(a, k1, Some(v10));
+            b.mut_insert(a, k2, Some(v20));
+            b.mut_remove(a, k1);
+            b.mut_insert(a, k1, Some(v30)); // reinsert: now LAST in order
+            let ks = b.keys(a);
+            let zero = b.index(0);
+            let one = b.index(1);
+            let first = b.read(ks, zero);
+            let second = b.read(ks, one);
+            let val = b.read(a, k1);
+            b.returns(&[i64t, i64t, i64t]);
+            b.ret(vec![first, second, val]);
+        });
+        let m = mb.finish();
+        memoir_ir::verifier::assert_valid(&m);
+        let mut vm = Interp::new(&m);
+        let r = vm.run_by_name("main", vec![]).unwrap();
+        let want = [2i64, 1, 30];
+        for (got, w) in r.iter().zip(want) {
+            assert_eq!(got, &Value::Int(Type::I64, w), "interp order");
+        }
+        let lm = lower_module(&m).unwrap();
+        let mut vm = LirMachine::new(&lm);
+        assert_eq!(
+            vm.run_by_name("main", vec![]).unwrap(),
+            vec![2, 1, 30],
+            "lowered order"
+        );
+    }
+
+    /// A module still in SSA form is a structured [`LowerError`], never a
+    /// panic: callers are expected to run `ssa-destruct` first, and the
+    /// error names the offending function.
+    #[test]
+    fn ssa_form_is_rejected_with_context() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("still_ssa", Form::Ssa, |b| {
+            let i64t = b.ty(Type::I64);
+            let one = b.i64(1);
+            b.returns(&[i64t]);
+            b.ret(vec![one]);
+        });
+        let m = mb.finish();
+        let err = lower_module(&m).unwrap_err();
+        assert_eq!(err, LowerError::NotMutForm("still_ssa".into()));
+        assert!(err.to_string().contains("still_ssa"), "{err}");
+    }
+
+    /// Float parameters cannot be represented in the word-sized LIR and
+    /// must surface as [`LowerError::FloatUnsupported`].
+    #[test]
+    fn float_param_is_rejected_with_context() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("floaty", Form::Mut, |b| {
+            let f64t = b.ty(Type::F64);
+            let x = b.param("x", f64t);
+            b.returns(&[f64t]);
+            b.ret(vec![x]);
+        });
+        let m = mb.finish();
+        let err = lower_module(&m).unwrap_err();
+        assert_eq!(err, LowerError::FloatUnsupported("floaty".into()));
+        assert!(err.to_string().contains("floaty"), "{err}");
+    }
+
+    /// Regression for the φ-incoming path: a float constant feeding a φ
+    /// used to lower silently to 0 through the patch loop; it must error
+    /// exactly like the straight-line constant path does.
+    #[test]
+    fn float_phi_incoming_is_rejected_with_context() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("phif", Form::Mut, |b| {
+            let i64t = b.ty(Type::I64);
+            let f64t = b.ty(Type::F64);
+            let x = b.param("x", i64t);
+            let yes = b.block("yes");
+            let no = b.block("no");
+            let join = b.block("join");
+            let zero = b.i64(0);
+            let c = b.cmp(CmpOp::Gt, x, zero);
+            b.branch(c, yes, no);
+            b.switch_to(yes);
+            b.jump(join);
+            b.switch_to(no);
+            b.jump(join);
+            b.switch_to(join);
+            let a = b.f64(1.5);
+            let bv = b.f64(2.5);
+            let p = b.phi(f64t, vec![(yes, a), (no, bv)]);
+            b.returns(&[f64t]);
+            b.ret(vec![p]);
+        });
+        let m = mb.finish();
+        let err = lower_module(&m).unwrap_err();
+        assert_eq!(err, LowerError::FloatUnsupported("phif".into()));
     }
 }

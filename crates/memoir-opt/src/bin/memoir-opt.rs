@@ -6,7 +6,10 @@
 //!            --on-fault=skip --budget=pass-ms=500,growth=4.0 --report in.mir -o out.mir
 //! ```
 
-use memoir_opt::pipeline::{compile_spec_with, default_spec, OptConfig, OptLevel};
+use memoir_opt::lowering::{compile_lowered_with, split_lowered_spec, LowerConfig};
+use memoir_opt::pipeline::{
+    compile_spec_with, default_spec, threads_from_env, OptConfig, OptLevel,
+};
 use passman::{Budgets, FaultPlan, FaultPolicy, PipelineSpec};
 use std::io::{Read, Write};
 use std::process::ExitCode;
@@ -24,9 +27,17 @@ OPTIONS:
     --passes=SPEC         pipeline spec, e.g. 'ssa-construct,constprop,
                           fixpoint<max=4>(simplify,sink,dce),ssa-destruct';
                           per-pass budgets ride along as options
-                          (dce<max-ms=50>, dee<max-growth=2.0>)
+                          (dce<max-ms=50>, dee<max-growth=2.0>). The
+                          pseudo-pass `lower` splits the pipeline: passes
+                          after it run on the lowered low-level IR, e.g.
+                          '...,ssa-destruct,lower,mem2reg,constfold,dce'.
+                          `lower<max-ms=N>` budgets the stage,
+                          `lower<no-cross-check>` skips the interpreter-
+                          agreement probes (the lir verifier always runs)
     -O0                   preset: SSA round-trip only
     -O3                   preset: the full default pipeline (the default)
+    --lower               preset: -O3, then `lower`, then the default lir
+                          pipeline; output is low-level IR
     --on-fault=POLICY     abort (default) | skip | stop — what to do when a
                           pass panics, fails verification, or blows a budget
     --budget=LIST         pipeline-wide budgets:
@@ -88,6 +99,12 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             }
             "-O0" => cli.spec = default_spec(OptLevel::O0),
             "-O3" => cli.spec = default_spec(OptLevel::O3(OptConfig::all())),
+            "--lower" => {
+                let memoir = default_spec(OptLevel::O3(OptConfig::all()));
+                let lir = lir::passes::default_spec();
+                cli.spec = PipelineSpec::parse(&format!("{memoir},lower,{lir}"))
+                    .expect("default lowered spec is well-formed");
+            }
             "--on-fault" => cli.policy = value(&mut it)?.parse()?,
             "--budget" => cli.budgets = Budgets::parse(&value(&mut it)?)?,
             "--verify" => {
@@ -136,20 +153,40 @@ fn run(cli: Cli) -> Result<(), String> {
     };
     let mut m = memoir_ir::parser::parse_module(&src).map_err(|e| format!("parsing input: {e}"))?;
 
-    let report = compile_spec_with(&mut m, &cli.spec, |mut pm| {
-        pm = pm.on_fault(cli.policy).with_budgets(cli.budgets);
-        if let Some(v) = cli.verify {
-            pm = pm.verify_between_passes(v);
+    let lowered_pipeline = split_lowered_spec(&cli.spec)?;
+    let (report, lowered) = match &lowered_pipeline {
+        Some(lp) => {
+            let cfg = LowerConfig {
+                policy: cli.policy,
+                budgets: cli.budgets,
+                verify: cli.verify,
+                inject: cli.inject.clone(),
+                threads: cli.threads.unwrap_or_else(threads_from_env),
+                cross_check: true,
+                full_clone_snapshots: false,
+            };
+            let out = compile_lowered_with(&mut m, lp, &cfg)
+                .map_err(|e| format!("pipeline failed: {e}"))?;
+            (out.report, out.lowered)
         }
-        if let Some(plan) = cli.inject.clone() {
-            pm = pm.with_fault_injection(plan);
+        None => {
+            let report = compile_spec_with(&mut m, &cli.spec, |mut pm| {
+                pm = pm.on_fault(cli.policy).with_budgets(cli.budgets);
+                if let Some(v) = cli.verify {
+                    pm = pm.verify_between_passes(v);
+                }
+                if let Some(plan) = cli.inject.clone() {
+                    pm = pm.with_fault_injection(plan);
+                }
+                if let Some(n) = cli.threads {
+                    pm = pm.with_threads(n);
+                }
+                pm
+            })
+            .map_err(|e| format!("pipeline failed: {e}"))?;
+            (report, None)
         }
-        if let Some(n) = cli.threads {
-            pm = pm.with_threads(n);
-        }
-        pm
-    })
-    .map_err(|e| format!("pipeline failed: {e}"))?;
+    };
 
     for d in &report.run.degradations {
         eprintln!("memoir-opt: warning: {d}");
@@ -157,12 +194,20 @@ fn run(cli: Cli) -> Result<(), String> {
     if report.run.stopped_early {
         eprintln!("memoir-opt: warning: pipeline stopped before completing the spec");
     }
+    if lowered_pipeline.is_some() && lowered.is_none() {
+        eprintln!(
+            "memoir-opt: warning: lowering did not complete; emitting the optimized MEMOIR module"
+        );
+    }
     if cli.report {
         eprint!("{}", report.run.render_table());
         eprintln!("total {:.3}ms", report.total_ms());
     }
 
-    let text = memoir_ir::printer::print_module(&m);
+    let text = match &lowered {
+        Some(lm) => lir::printer::print_module(lm),
+        None => memoir_ir::printer::print_module(&m),
+    };
     match cli.output.as_deref() {
         None | Some("-") => std::io::stdout()
             .write_all(text.as_bytes())

@@ -19,6 +19,7 @@ pub mod dee;
 pub mod dfe;
 pub mod field_elision;
 pub mod key_fold;
+pub mod lowering;
 pub mod materialize;
 pub mod passes;
 pub mod pipeline;
@@ -35,6 +36,10 @@ pub use dee::{dee_specialize_calls, dee_specialize_calls_with, dee_strict, DeeOp
 pub use dfe::{dfe, DfeStats};
 pub use field_elision::{auto_field_elision, field_elision, FieldElisionStats};
 pub use key_fold::{key_fold, KeyFoldStats};
+pub use lowering::{
+    compile_lowered_with, split_lowered_spec, LowerConfig, LoweredOutcome, LoweredPipeline,
+    LOWER_STAGE,
+};
 pub use passes::registry;
 pub use pipeline::{
     compile, compile_spec, compile_spec_with, default_spec, pass_manager, OptConfig, OptLevel,

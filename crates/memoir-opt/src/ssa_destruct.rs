@@ -288,12 +288,19 @@ fn build_destructed(
 
     let mut g = Function::new(old.name.clone(), Form::Mut);
     g.blocks[g.entry].name = old.blocks[old.entry].name.clone();
+    // Only dominator-tree-reachable blocks are translated (and only they
+    // get a clone): materializing unreachable blocks would leave empty,
+    // terminator-less husks behind, which downstream lowering rejects
+    // (found by `memoir-fuzz`, crash-7-193 — constprop branch folding
+    // strands the dropped arm).
+    let reachable: std::collections::HashSet<BlockId> =
+        dt.preorder(old.entry).into_iter().collect();
     // Old block → new block. The old entry need not be block 0 (DEE's
     // entry guard prepends blocks), so the mapping is explicit.
     let mut bmap: HashMap<BlockId, BlockId> = HashMap::new();
     bmap.insert(old.entry, g.entry);
     for (ob, oblock) in old.blocks.iter() {
-        if ob != old.entry {
+        if ob != old.entry && reachable.contains(&ob) {
             let nb = g.add_block(oblock.name.clone().unwrap_or_default());
             bmap.insert(ob, nb);
         }
@@ -602,9 +609,16 @@ fn build_destructed(
     }
 
     // Patch φ incomings (values through repr/map, blocks through bmap).
+    // Incomings from *unreachable* predecessors are dropped, not
+    // resolved: translation walks the dominator tree, so their values
+    // were never mapped — and the verifier's invariant ("one incoming
+    // per structural predecessor") deliberately keeps such incomings in
+    // the SSA function after constprop branch folding makes an arm
+    // unreachable (found by `memoir-fuzz`, crash-7-193).
     for (nid, incoming) in std::mem::take(&mut ctx.phi_patch) {
         let mapped: Vec<(BlockId, ValueId)> = incoming
             .into_iter()
+            .filter(|(b, _)| reachable.contains(b))
             .map(|(b, v)| {
                 let b = bmap[&b];
                 let nv = if let Some(&h) = ctx.repr.get(&v) {
@@ -759,6 +773,51 @@ mod tests {
         assert_eq!(r0, r1);
         assert_eq!(r1, vec![Value::Int(Type::I64, 30)]);
         assert_eq!(i1.stats.collection_copies, 1);
+    }
+
+    /// A φ whose predecessor arm becomes unreachable after constprop
+    /// branch folding: the arm is still a *structural* predecessor — so
+    /// the SSA verifier's "one incoming per predecessor" invariant keeps
+    /// its incoming — but destruction only translates dominator-tree
+    /// blocks, and it used to panic trying to resolve the untranslated
+    /// value (found by `memoir-fuzz`, crash-7-193). The incoming must
+    /// simply be dropped.
+    #[test]
+    fn phi_incoming_from_unreachable_arm_is_dropped() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("f", Form::Ssa, |b| {
+            let i64t = b.ty(Type::I64);
+            let x = b.param("x", i64t);
+            let yes = b.block("yes");
+            let no = b.block("no");
+            let join = b.block("join");
+            let cond = b.bool(true);
+            b.branch(cond, yes, no);
+            b.switch_to(yes);
+            let a = b.add(x, x); // param-dependent: constprop can't fold it
+            b.jump(join);
+            b.switch_to(no);
+            let c = b.add(x, x);
+            b.jump(join);
+            b.switch_to(join);
+            let p = b.phi(i64t, vec![(yes, a), (no, c)]);
+            b.returns(&[i64t]);
+            b.ret(vec![p]);
+        });
+        let mut m = mb.finish();
+        memoir_ir::verifier::assert_valid(&m);
+        let stats = crate::constprop::constprop(&mut m);
+        assert_eq!(stats.branches_folded, 1);
+        memoir_ir::verifier::assert_valid(&m);
+        destruct_ssa(&mut m);
+        memoir_ir::verifier::assert_valid(&m);
+        // The stranded arm is not materialized — no empty husk blocks
+        // for lowering to choke on.
+        let f = &m.funcs[m.func_by_name("f").unwrap()];
+        assert_eq!(f.blocks.iter().count(), 3, "entry, live arm, join");
+        let mut i = Interp::new(&m);
+        let r = i.run_by_name("f", vec![Value::Int(Type::I64, 21)]).unwrap();
+        assert_eq!(r, vec![Value::Int(Type::I64, 42)]);
     }
 
     /// Loop round trip: construct then destruct a loop that fills and sums

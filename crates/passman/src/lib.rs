@@ -37,6 +37,7 @@ pub mod recover;
 pub mod runner;
 pub mod snapshot;
 pub mod spec;
+pub mod stage;
 
 pub use analysis::{Analysis, AnalysisManager, CacheCounter, ModuleAnalysis};
 pub use budget::{BudgetViolation, Budgets};
@@ -50,6 +51,7 @@ pub use recover::{Degradation, FaultCause, FaultPolicy, RecoveryAction};
 pub use runner::{PassManager, PassRun, RunError, RunReport};
 pub use snapshot::{CowEngine, FullCloneEngine, SnapshotCost, SnapshotEngine, SnapshotStats};
 pub use spec::{PassCall, PassOptions, PipelineSpec, SpecParseError, SpecStep};
+pub use stage::{LowerStage, StageOutcome};
 
 use std::fmt::Debug;
 use std::hash::Hash;

@@ -2,17 +2,20 @@
 //!
 //! ```text
 //! memoir-fuzz run --seed 1 --iters 200 --out fuzz-out/
+//! memoir-fuzz run --lower --seed 1 --iters 500
 //! memoir-fuzz reduce fuzz-out/crash-1-17.repro
 //! memoir-fuzz replay fuzz-out/crash-1-17.repro
 //! ```
 //!
-//! `run` drives random MUT-op programs through random pipeline specs and
-//! writes every failure as a minimized, replayable `.repro` artifact;
-//! `reduce` shrinks an existing artifact in place; `replay` re-runs one
-//! exactly and reports whether the recorded failure still reproduces.
+//! `run` drives random MUT-op programs through random pipeline specs —
+//! with `--lower`, on through the `lower` stage and a random low-level
+//! IR pipeline — and writes every failure as a minimized, replayable
+//! `.repro` artifact; `reduce` shrinks an existing artifact in place;
+//! `replay` re-runs one exactly and reports whether the recorded failure
+//! still reproduces.
 
 use reduce::{
-    random_ops, random_spec, reduce_case, run_case, CaseConfig, Outcome, Repro, SplitMix64,
+    random_case_config, random_ops, random_spec, reduce_case, run_case, Outcome, Repro, SplitMix64,
 };
 use std::process::ExitCode;
 
@@ -20,8 +23,9 @@ const USAGE: &str = "\
 memoir-fuzz — fuzz the MEMOIR pass pipeline and triage crashes
 
 USAGE:
-    memoir-fuzz run [--seed N] [--iters N] [--max-ops N] [--out DIR]
-                    [--on-fault=abort|skip|stop] [--inject=PLAN] [--no-reduce]
+    memoir-fuzz run [--seed N] [--iters N] [--max-ops N] [--out DIR] [--lower]
+                    [--on-fault=abort|skip|stop] [--budget=LIST] [--inject=PLAN]
+                    [--no-reduce]
     memoir-fuzz reduce FILE.repro
     memoir-fuzz replay FILE.repro
 
@@ -30,8 +34,8 @@ SUBCOMMANDS:
               every failure is delta-debugged (unless --no-reduce) and
               written to DIR as a replayable .repro artifact.
               Exits 1 if any crash was found.
-    reduce    shrink an existing .repro in place (ops first, then
-              pipeline steps) and mark it `minimized: true`
+    reduce    shrink an existing .repro in place (ops, pipeline steps,
+              lir steps, budgets) and mark it `minimized: true`
     replay    re-run a .repro exactly; exits 0 if the recorded failure
               class reproduces, 1 if it does not
 
@@ -40,7 +44,16 @@ OPTIONS (run):
     --iters N             number of cases (default 100)
     --max-ops N           op-sequence length bound (default 40)
     --out DIR             artifact directory (default fuzz-out)
-    --on-fault=POLICY     fault policy for every case (default abort)
+    --lower               drive every case through the `lower` stage and a
+                          random lir pipeline, with the four-way
+                          differential oracle (MEMOIR interp, direct
+                          lowering, lir-optimized module vs the Rust
+                          oracle)
+    --on-fault=POLICY     pin the fault policy for every case; by default
+                          each case samples abort/skip/stop itself
+    --budget=LIST         pin the budgets for every case (e.g.
+                          growth=4.0,fixpoint=2); by default recovering
+                          cases sample deterministic budget axes
     --inject=PLAN         seed a fault into every case, e.g. panic@dce
     --no-reduce           write raw artifacts with `minimized: false`
 ";
@@ -54,7 +67,10 @@ struct RunArgs {
     iters: u64,
     max_ops: usize,
     out: String,
-    cfg: CaseConfig,
+    lower: bool,
+    policy: Option<passman::FaultPolicy>,
+    budgets: Option<passman::Budgets>,
+    inject: Option<passman::FaultPlan>,
     no_reduce: bool,
 }
 
@@ -64,7 +80,10 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         iters: 100,
         max_ops: 40,
         out: "fuzz-out".to_string(),
-        cfg: CaseConfig::default(),
+        lower: false,
+        policy: None,
+        budgets: None,
+        inject: None,
         no_reduce: false,
     };
     let mut it = args.iter().peekable();
@@ -84,8 +103,10 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--iters" => r.iters = value()?.parse().map_err(|_| "bad --iters".to_string())?,
             "--max-ops" => r.max_ops = value()?.parse().map_err(|_| "bad --max-ops".to_string())?,
             "--out" => r.out = value()?,
-            "--on-fault" => r.cfg.policy = value()?.parse()?,
-            "--inject" => r.cfg.inject = Some(value()?.parse()?),
+            "--lower" => r.lower = true,
+            "--on-fault" => r.policy = Some(value()?.parse()?),
+            "--budget" => r.budgets = Some(passman::Budgets::parse(&value()?)?),
+            "--inject" => r.inject = Some(value()?.parse()?),
             "--no-reduce" => r.no_reduce = true,
             other => return Err(format!("unknown `run` option `{other}`")),
         }
@@ -103,26 +124,36 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         let mut rng = root.split(case);
         let ops = random_ops(&mut rng, r.max_ops);
         let spec = random_spec(&mut rng);
-        let Outcome::Crash { detail, .. } = run_case(&ops, &spec, &r.cfg) else {
+        let mut cfg = random_case_config(&mut rng, r.lower);
+        if let Some(p) = r.policy {
+            cfg.policy = p;
+        }
+        if let Some(b) = r.budgets {
+            cfg.budgets = b;
+        }
+        cfg.inject = r.inject.clone();
+        let Outcome::Crash { detail, .. } = run_case(&ops, &spec, &cfg) else {
             continue;
         };
         crashes += 1;
         eprintln!("case {case}: {}", first_line(&detail));
 
-        let (ops, spec, detail, minimized) = if r.no_reduce {
-            (ops, spec, detail, false)
+        let (ops, spec, cfg, detail, minimized) = if r.no_reduce {
+            (ops, spec, cfg, detail, false)
         } else {
-            match reduce_case(&ops, &spec, &r.cfg) {
-                Some((o, s, d)) => (o, s, d, true),
-                None => (ops, spec, detail, false), // shrink lost the bug
+            match reduce_case(&ops, &spec, &cfg) {
+                Some((o, s, c, d)) => (o, s, c, d, true),
+                None => (ops, spec, cfg, detail, false), // shrink lost the bug
             }
         };
         let repro = Repro {
             seed: r.seed,
             case,
             spec,
-            policy: r.cfg.policy,
-            inject: r.cfg.inject.clone(),
+            lir_spec: cfg.lir_spec.clone(),
+            policy: cfg.policy,
+            budgets: cfg.budgets,
+            inject: cfg.inject.clone(),
             minimized,
             failure: first_line(&detail),
             ops,
@@ -130,9 +161,13 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         let path = format!("{}/crash-{}-{case}.repro", r.out, r.seed);
         std::fs::write(&path, repro.to_string()).map_err(|e| format!("writing `{path}`: {e}"))?;
         eprintln!(
-            "  -> {path} ({} ops, {} steps{})",
+            "  -> {path} ({} ops, {} steps{}{})",
             repro.ops.len(),
             repro.spec.steps.len(),
+            match &repro.lir_spec {
+                Some(l) => format!(" + {} lir steps", l.steps.len()),
+                None => String::new(),
+            },
             if minimized {
                 ", minimized"
             } else {
@@ -163,9 +198,13 @@ fn cmd_reduce(path: &str) -> Result<ExitCode, String> {
             eprintln!("`{path}` does not reproduce; leaving it untouched");
             Ok(ExitCode::FAILURE)
         }
-        Some((ops, spec, detail)) => {
+        Some((ops, spec, cfg, detail)) => {
             repro.ops = ops;
             repro.spec = spec;
+            repro.lir_spec = cfg.lir_spec;
+            repro.policy = cfg.policy;
+            repro.budgets = cfg.budgets;
+            repro.inject = cfg.inject;
             repro.failure = first_line(&detail);
             repro.minimized = true;
             std::fs::write(path, repro.to_string())

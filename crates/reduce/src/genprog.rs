@@ -9,8 +9,10 @@
 //! over the sequence, one over the assoc's insertion-ordered keys — with
 //! a plain-Rust oracle computing the expected result alongside.
 
+use crate::harness::CaseConfig;
 use crate::rng::SplitMix64;
 use memoir_ir::{CmpOp, Form, FunctionBuilder, Module, ModuleBuilder, Type};
+use passman::{Budgets, FaultPolicy};
 use std::fmt;
 use std::str::FromStr;
 
@@ -316,6 +318,47 @@ fn emit_body(b: &mut FunctionBuilder<'_>, ops: &[Op]) -> i64 {
     seq_fold.wrapping_add(extra_oracle).wrapping_add(assoc_fold)
 }
 
+/// Samples a per-case harness configuration, so a campaign varies the
+/// fault policy and budgets *per case* instead of fixing them for the
+/// whole run (explicit `--on-fault`/`--budget` flags pin them again).
+///
+/// Policy is Abort half the time (every fault is a crash) and a
+/// recovering policy otherwise (rollback soundness is the fuzzed
+/// property). Budgets are sampled only alongside recovering policies and
+/// only on the deterministic axes — a fixpoint iteration cap (never a
+/// fault, just an earlier stop) and a growth factor generous enough
+/// (8–16×) that legitimate passes stay far inside it; wall-clock budgets
+/// would make campaigns flaky. `lower` makes it a through-lowering case
+/// with a random [`random_lir_spec`](crate::genspec::random_lir_spec)
+/// phase. Injection plans are never sampled: they come only from the
+/// `--inject` flag.
+pub fn random_case_config(rng: &mut SplitMix64, lower: bool) -> CaseConfig {
+    let policy = match rng.below(4) {
+        0 | 1 => FaultPolicy::Abort,
+        2 => FaultPolicy::SkipPass,
+        _ => FaultPolicy::StopPipeline,
+    };
+    let mut budgets = Budgets::none();
+    if policy != FaultPolicy::Abort {
+        if rng.chance(1, 3) {
+            budgets.max_fixpoint_iters = Some([1, 2, 4][rng.index(3)]);
+        }
+        if rng.chance(1, 4) {
+            budgets.max_growth = Some([8.0, 16.0][rng.index(2)]);
+        }
+    }
+    CaseConfig {
+        policy,
+        inject: None,
+        budgets,
+        lir_spec: if lower {
+            Some(crate::genspec::random_lir_spec(rng))
+        } else {
+            None
+        },
+    }
+}
+
 /// Builds the module and the oracle result together (indices are clamped
 /// identically in both, so every op list is a valid program).
 pub fn build(ops: &[Op]) -> (Module, i64) {
@@ -408,6 +451,41 @@ mod tests {
         let mut vm = memoir_interp::Interp::new(&m).with_fuel(50_000_000);
         let got = vm.run_by_name("main", vec![]).unwrap()[0].as_int().unwrap();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn random_case_configs_cover_the_policy_space() {
+        let mut rng = SplitMix64::new(17);
+        let (mut abort, mut skip, mut stop, mut budgeted, mut lowered) = (0, 0, 0, 0, 0);
+        for i in 0..200 {
+            let cfg = random_case_config(&mut rng, i % 2 == 0);
+            match cfg.policy {
+                FaultPolicy::Abort => {
+                    abort += 1;
+                    // Budgets ride only with recovering policies.
+                    assert!(cfg.budgets.is_unlimited(), "{:?}", cfg.budgets);
+                }
+                FaultPolicy::SkipPass => skip += 1,
+                FaultPolicy::StopPipeline => stop += 1,
+            }
+            if !cfg.budgets.is_unlimited() {
+                budgeted += 1;
+                // Only the deterministic axes are sampled.
+                assert!(cfg.budgets.max_pass_millis.is_none());
+                assert!(cfg.budgets.max_pipeline_millis.is_none());
+            }
+            assert!(cfg.inject.is_none());
+            assert_eq!(cfg.lir_spec.is_some(), i % 2 == 0);
+            if cfg.lir_spec.is_some() {
+                lowered += 1;
+            }
+        }
+        assert!(
+            abort > 60 && skip > 25 && stop > 25,
+            "{abort}/{skip}/{stop}"
+        );
+        assert!(budgeted > 10, "budget axis never sampled");
+        assert_eq!(lowered, 100);
     }
 
     #[test]

@@ -1,22 +1,42 @@
 //! The fuzz oracle: run one generated case through the pipeline and
 //! classify the result.
 //!
-//! A case is (op sequence, pipeline spec, fault policy, optional fault
-//! injection). The harness builds the MUT-form module, runs the spec
-//! with inter-pass verification forced on, panics caught, and finally
-//! executes the optimized module in the interpreter against the plain
-//! Rust oracle. Anything other than "completed and computed the right
-//! answer" is a [`Crash`] — including a *degraded* run whose recovered
-//! module no longer matches the oracle, which is exactly the rollback
-//! soundness the fault-tolerance layer promises.
+//! A case is (op sequence, pipeline spec, [`CaseConfig`]). The config
+//! carries the per-case fault policy, budgets, optional fault injection,
+//! and — for *through-lowering* cases — the low-level IR pipeline to run
+//! after the `lower` stage. The harness builds the MUT-form module, runs
+//! the pipeline with inter-pass verification forced on and panics
+//! caught, then checks the result differentially:
+//!
+//! 1. the optimized MEMOIR module must verify and agree with the plain
+//!    Rust oracle in `memoir-interp` (rollback soundness: this holds
+//!    even when a pass or the lowering stage degraded);
+//! 2. for through-lowering cases, the *direct* lowering of the optimized
+//!    MEMOIR module must agree with the oracle on [`lir::LirMachine`]
+//!    (isolates `memoir-lower` bugs: `lower-trap` / `lower-miscompile`);
+//! 3. and the pipeline's final, lir-optimized module must verify and
+//!    agree too (isolates lir pass bugs: `lir-verify` / `lir-trap` /
+//!    `lir-miscompile`).
+//!
+//! Anything other than "completed and computed the right answer" is a
+//! [`Crash`] — including a *degraded* run whose recovered module no
+//! longer matches the oracle, which is exactly the rollback soundness
+//! the fault-tolerance layer promises.
+//!
+//! [`Crash`]: Outcome::Crash
 
 use crate::genprog::{build, Op};
+use memoir_opt::lowering::{compile_lowered_with, LowerConfig, LoweredPipeline, LOWER_STAGE};
 use memoir_opt::pipeline::compile_spec_with;
-use passman::{FaultPlan, FaultPolicy, PipelineSpec};
+use passman::{Budgets, FaultPlan, FaultPolicy, PassOptions, PipelineSpec, RunError, SpecStep};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+/// Interpreter fuel for the differential checks, on either IR.
+const FUEL: u64 = 50_000_000;
+
 /// How to configure the pass manager for a fuzz case (fixed across a
-/// reduction, varied across a campaign).
+/// reduction, varied across a campaign — see
+/// [`random_case_config`](crate::genprog::random_case_config)).
 #[derive(Clone, Debug)]
 pub struct CaseConfig {
     /// Fault policy for the run (`Abort` makes every fault a crash;
@@ -24,6 +44,12 @@ pub struct CaseConfig {
     pub policy: FaultPolicy,
     /// Test-only fault injection plan, replayed exactly.
     pub inject: Option<FaultPlan>,
+    /// Pipeline-wide budgets (violations fault under the policy above).
+    pub budgets: Budgets,
+    /// `Some(spec)` makes this a through-lowering case: after the MEMOIR
+    /// phase the module runs through the `lower` stage and then `spec`
+    /// on the low-level IR (the spec may be empty — "lower only").
+    pub lir_spec: Option<PipelineSpec>,
 }
 
 impl Default for CaseConfig {
@@ -31,6 +57,8 @@ impl Default for CaseConfig {
         CaseConfig {
             policy: FaultPolicy::Abort,
             inject: None,
+            budgets: Budgets::none(),
+            lir_spec: None,
         }
     }
 }
@@ -42,9 +70,15 @@ pub enum Outcome {
     Pass,
     /// Something went wrong.
     Crash {
-        /// Stable failure class (`panic`, `run-error`, `verify`,
-        /// `miscompile`, `interp`) — reduction holds this fixed so it
-        /// shrinks toward *the same* bug.
+        /// Stable failure class — reduction holds this fixed so it
+        /// shrinks toward *the same* bug. MEMOIR-side classes: `panic`,
+        /// `run-error`, `verify`, `miscompile`, `interp`. Lowering-side
+        /// classes: `lower-error` (the stage failed), `lower-verify`
+        /// (the lir verifier or the cross-IR probe oracle rejected the
+        /// stage output), `lower-trap` / `lower-miscompile` (the direct
+        /// lowering disagrees with the oracle), `lir-verify` /
+        /// `lir-trap` / `lir-miscompile` (the lir-optimized module
+        /// does).
         kind: &'static str,
         /// Human-readable one-liner.
         detail: String,
@@ -71,13 +105,85 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Verifies the (post-pipeline) MEMOIR module and runs it against the
+/// oracle; `None` means both checks passed.
+fn check_memoir(m: &memoir_ir::Module, expect: i64) -> Option<Outcome> {
+    // The pipeline itself verifies between passes, but re-check the final
+    // module so a corrupting *last* pass cannot slip through.
+    let errs = memoir_ir::verifier::verify_module(m);
+    if let Some(first) = errs.first() {
+        return Some(Outcome::Crash {
+            kind: "verify",
+            detail: format!("verify: {first:?} (+{} more)", errs.len() - 1),
+        });
+    }
+    let mut vm = memoir_interp::Interp::new(m).with_fuel(FUEL);
+    match vm.run_by_name("main", vec![]) {
+        Err(trap) => Some(Outcome::Crash {
+            kind: "interp",
+            detail: format!("interp: {trap:?}"),
+        }),
+        Ok(vals) => match vals.first().and_then(|v| v.as_int()) {
+            Some(got) if got == expect => None,
+            Some(got) => Some(Outcome::Crash {
+                kind: "miscompile",
+                detail: format!("miscompile: got {got}, oracle says {expect}"),
+            }),
+            None => Some(Outcome::Crash {
+                kind: "miscompile",
+                detail: "miscompile: no integer result".to_string(),
+            }),
+        },
+    }
+}
+
+/// Runs a lowered module against the oracle, classifying failures with
+/// the given crash-kind prefix (`lower` or `lir`).
+fn check_lowered(
+    lm: &lir::Module,
+    expect: i64,
+    trap_kind: &'static str,
+    bad_kind: &'static str,
+) -> Option<Outcome> {
+    match lir::LirMachine::new(lm)
+        .with_fuel(FUEL)
+        .run_by_name("main", vec![])
+    {
+        Err(trap) => Some(Outcome::Crash {
+            kind: trap_kind,
+            detail: format!("{trap_kind}: {trap:?}"),
+        }),
+        Ok(vals) => match vals.first() {
+            Some(&got) if got == expect => None,
+            Some(&got) => Some(Outcome::Crash {
+                kind: bad_kind,
+                detail: format!("{bad_kind}: got {got}, oracle says {expect}"),
+            }),
+            None => Some(Outcome::Crash {
+                kind: bad_kind,
+                detail: format!("{bad_kind}: no result"),
+            }),
+        },
+    }
+}
+
 /// Runs one case end to end and classifies it.
 pub fn run_case(ops: &[Op], spec: &PipelineSpec, cfg: &CaseConfig) -> Outcome {
+    match &cfg.lir_spec {
+        None => run_memoir_case(ops, spec, cfg),
+        Some(lir_spec) => run_lowered_case(ops, spec, lir_spec, cfg),
+    }
+}
+
+fn run_memoir_case(ops: &[Op], spec: &PipelineSpec, cfg: &CaseConfig) -> Outcome {
     let (mut m, expect) = build(ops);
 
     let ran = catch_unwind(AssertUnwindSafe(|| {
         compile_spec_with(&mut m, spec, |mut pm| {
-            pm = pm.on_fault(cfg.policy).verify_between_passes(true);
+            pm = pm
+                .on_fault(cfg.policy)
+                .with_budgets(cfg.budgets)
+                .verify_between_passes(true);
             if let Some(plan) = cfg.inject.clone() {
                 pm = pm.with_fault_injection(plan);
             }
@@ -100,60 +206,106 @@ pub fn run_case(ops: &[Op], spec: &PipelineSpec, cfg: &CaseConfig) -> Outcome {
         Ok(Ok(_report)) => {}
     }
 
-    // The pipeline itself verifies between passes, but re-check the final
-    // module so a corrupting *last* pass cannot slip through.
-    let errs = memoir_ir::verifier::verify_module(&m);
-    if let Some(first) = errs.first() {
-        return Outcome::Crash {
-            kind: "verify",
-            detail: format!("verify: {first:?} (+{} more)", errs.len() - 1),
-        };
-    }
-
-    let mut vm = memoir_interp::Interp::new(&m).with_fuel(50_000_000);
-    match vm.run_by_name("main", vec![]) {
-        Err(trap) => Outcome::Crash {
-            kind: "interp",
-            detail: format!("interp: {trap:?}"),
-        },
-        Ok(vals) => match vals.first().and_then(|v| v.as_int()) {
-            Some(got) if got == expect => Outcome::Pass,
-            Some(got) => Outcome::Crash {
-                kind: "miscompile",
-                detail: format!("miscompile: got {got}, oracle says {expect}"),
-            },
-            None => Outcome::Crash {
-                kind: "miscompile",
-                detail: "miscompile: no integer result".to_string(),
-            },
-        },
-    }
+    check_memoir(&m, expect).unwrap_or(Outcome::Pass)
 }
 
-/// Reduces a crashing case: first ddmin over the op sequence, then over
-/// the pipeline steps, holding the failure *class* fixed throughout so
-/// the shrink converges on the original bug rather than a new one.
-///
-/// Returns the minimized `(ops, spec)` and the (possibly re-worded)
-/// failure detail of the minimized case.
-pub fn reduce_case(
+fn run_lowered_case(
     ops: &[Op],
     spec: &PipelineSpec,
+    lir_spec: &PipelineSpec,
     cfg: &CaseConfig,
-) -> Option<(Vec<Op>, PipelineSpec, String)> {
-    let kind = run_case(ops, spec, cfg).kind()?;
-    let same_kind = |o: &Outcome| o.kind() == Some(kind);
+) -> Outcome {
+    let (mut m, expect) = build(ops);
+    let pipeline = LoweredPipeline {
+        memoir: spec.clone(),
+        lower_opts: PassOptions::none(),
+        lir: lir_spec.clone(),
+    };
+    let lcfg = LowerConfig {
+        policy: cfg.policy,
+        budgets: cfg.budgets,
+        verify: Some(true),
+        inject: cfg.inject.clone(),
+        threads: 1,
+        cross_check: true,
+        full_clone_snapshots: false,
+    };
 
-    let ops = crate::ddmin::ddmin(ops, |candidate| same_kind(&run_case(candidate, spec, cfg)));
-    let mut steps = crate::ddmin::ddmin(&spec.steps, |candidate| {
-        same_kind(&run_case(&ops, &PipelineSpec::new(candidate.to_vec()), cfg))
-    });
-    // Steps are atomic to ddmin, so shrink inside surviving fixpoint
-    // groups too — and try flattening each group to plain passes (a
-    // group that only needs one trip is noise in a repro).
+    let ran = catch_unwind(AssertUnwindSafe(|| {
+        compile_lowered_with(&mut m, &pipeline, &lcfg)
+    }));
+    let outcome = match ran {
+        Err(payload) => {
+            return Outcome::Crash {
+                kind: "panic",
+                detail: format!("panic: {}", panic_message(payload)),
+            }
+        }
+        Ok(Err(e)) => {
+            // Stage faults get their own classes so reduction keeps a
+            // lowering bug a lowering bug.
+            let kind = match &e {
+                RunError::VerifyFailed { pass, .. } if pass == LOWER_STAGE => "lower-verify",
+                RunError::PassFailed { pass, .. } if pass == LOWER_STAGE => "lower-error",
+                _ => "run-error",
+            };
+            return Outcome::Crash {
+                kind,
+                detail: format!("{kind}: {e}"),
+            };
+        }
+        Ok(Ok(out)) => out,
+    };
+
+    // Oracle 1: the optimized MEMOIR module is always checkable — and
+    // must stay correct even when the stage (or a pass) degraded.
+    if let Some(crash) = check_memoir(&m, expect) {
+        return crash;
+    }
+    let Some(lm) = outcome.lowered else {
+        // The stage or the MEMOIR phase degraded under a recovering
+        // policy: graceful containment, the (just-checked) MEMOIR module
+        // is the pipeline's result.
+        return Outcome::Pass;
+    };
+
+    // Oracle 2: the *direct* lowering of the optimized MEMOIR module —
+    // pre-lir-opt, so a divergence here is memoir-lower's fault.
+    match memoir_lower::lower_module(&m) {
+        Err(e) => {
+            return Outcome::Crash {
+                kind: "lower-error",
+                detail: format!("lower-error: direct lowering failed after the stage ran: {e}"),
+            }
+        }
+        Ok(direct) => {
+            if let Some(crash) = check_lowered(&direct, expect, "lower-trap", "lower-miscompile") {
+                return crash;
+            }
+        }
+    }
+
+    // Oracle 3: the pipeline's final lir-optimized module. The stage
+    // verifier already vetted its input, so re-verify and blame the lir
+    // passes for anything new.
+    let errs = lir::verifier::verify_module(&lm);
+    if let Some(first) = errs.first() {
+        return Outcome::Crash {
+            kind: "lir-verify",
+            detail: format!("lir-verify: {first} (+{} more)", errs.len() - 1),
+        };
+    }
+    check_lowered(&lm, expect, "lir-trap", "lir-miscompile").unwrap_or(Outcome::Pass)
+}
+
+/// Shrinks the `fixpoint(...)` groups inside a step list: ddmin each
+/// group's body, then try flattening the group to plain passes (a group
+/// that only needs one trip is noise in a repro). `eval` judges a trial
+/// step list ("still the same crash").
+fn shrink_fixpoints(mut steps: Vec<SpecStep>, eval: impl Fn(&[SpecStep]) -> bool) -> Vec<SpecStep> {
     let mut i = 0;
     while i < steps.len() {
-        let passman::SpecStep::Fixpoint { opts, body } = steps[i].clone() else {
+        let SpecStep::Fixpoint { opts, body } = steps[i].clone() else {
             i += 1;
             continue;
         };
@@ -162,30 +314,98 @@ pub fn reduce_case(
                 return false; // fixpoint() is not a valid spec
             }
             let mut trial = steps.clone();
-            trial[i] = passman::SpecStep::Fixpoint {
+            trial[i] = SpecStep::Fixpoint {
                 opts: opts.clone(),
                 body: cand.to_vec(),
             };
-            same_kind(&run_case(&ops, &PipelineSpec::new(trial), cfg))
+            eval(&trial)
         });
         let mut flat = steps.clone();
-        flat.splice(i..=i, body.iter().cloned().map(passman::SpecStep::Pass));
-        if same_kind(&run_case(&ops, &PipelineSpec::new(flat.clone()), cfg)) {
+        flat.splice(i..=i, body.iter().cloned().map(SpecStep::Pass));
+        if eval(&flat) {
             steps = flat;
             i += body.len();
         } else {
-            steps[i] = passman::SpecStep::Fixpoint { opts, body };
+            steps[i] = SpecStep::Fixpoint { opts, body };
             i += 1;
         }
     }
+    steps
+}
+
+/// Reduces a crashing case: ddmin over the op sequence, the MEMOIR
+/// pipeline steps, the lir pipeline steps (for through-lowering cases),
+/// and the config (budgets cleared, the lir phase dropped entirely) —
+/// holding the failure *class* fixed throughout so the shrink converges
+/// on the original bug rather than a new one.
+///
+/// Returns the minimized `(ops, spec, config)` and the (possibly
+/// re-worded) failure detail of the minimized case.
+pub fn reduce_case(
+    ops: &[Op],
+    spec: &PipelineSpec,
+    cfg: &CaseConfig,
+) -> Option<(Vec<Op>, PipelineSpec, CaseConfig, String)> {
+    let kind = run_case(ops, spec, cfg).kind()?;
+    let same_kind = |o: &Outcome| o.kind() == Some(kind);
+    let mut cfg = cfg.clone();
+
+    // Config first, so every later trial runs the cheapest harness that
+    // still crashes: without budgets, and without the lowering phase.
+    if !cfg.budgets.is_unlimited() {
+        let mut trial = cfg.clone();
+        trial.budgets = Budgets::none();
+        if same_kind(&run_case(ops, spec, &trial)) {
+            cfg = trial;
+        }
+    }
+    if cfg.lir_spec.is_some() {
+        let mut trial = cfg.clone();
+        trial.lir_spec = None;
+        if same_kind(&run_case(ops, spec, &trial)) {
+            cfg = trial;
+        }
+    }
+
+    let ops = crate::ddmin::ddmin(ops, |candidate| same_kind(&run_case(candidate, spec, &cfg)));
+    let steps = crate::ddmin::ddmin(&spec.steps, |candidate| {
+        same_kind(&run_case(
+            &ops,
+            &PipelineSpec::new(candidate.to_vec()),
+            &cfg,
+        ))
+    });
+    // Steps are atomic to ddmin, so shrink inside surviving fixpoint
+    // groups too.
+    let steps = shrink_fixpoints(steps, |trial| {
+        same_kind(&run_case(&ops, &PipelineSpec::new(trial.to_vec()), &cfg))
+    });
     let spec = PipelineSpec::new(steps);
+
+    // The lir phase shrinks the same way (an empty lir spec is valid:
+    // "lower, then nothing").
+    if let Some(lspec) = cfg.lir_spec.clone() {
+        let with_lir = |steps: &[SpecStep], cfg: &CaseConfig| {
+            let mut trial = cfg.clone();
+            trial.lir_spec = Some(PipelineSpec::new(steps.to_vec()));
+            trial
+        };
+        let lsteps = crate::ddmin::ddmin(&lspec.steps, |candidate| {
+            same_kind(&run_case(&ops, &spec, &with_lir(candidate, &cfg)))
+        });
+        let lsteps = shrink_fixpoints(lsteps, |trial| {
+            same_kind(&run_case(&ops, &spec, &with_lir(trial, &cfg)))
+        });
+        cfg.lir_spec = Some(PipelineSpec::new(lsteps));
+    }
+
     // One more ops pass: a smaller spec may admit a smaller program.
     let ops = crate::ddmin::ddmin(&ops, |candidate| {
-        same_kind(&run_case(candidate, &spec, cfg))
+        same_kind(&run_case(candidate, &spec, &cfg))
     });
 
-    match run_case(&ops, &spec, cfg) {
-        Outcome::Crash { detail, .. } => Some((ops, spec, detail)),
+    match run_case(&ops, &spec, &cfg) {
+        Outcome::Crash { detail, .. } => Some((ops, spec, cfg, detail)),
         Outcome::Pass => None, // shrink lost the bug (should not happen)
     }
 }
@@ -193,8 +413,8 @@ pub fn reduce_case(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::genprog::random_ops;
-    use crate::genspec::random_spec;
+    use crate::genprog::{random_case_config, random_ops};
+    use crate::genspec::{random_lir_spec, random_spec};
     use crate::rng::SplitMix64;
 
     #[test]
@@ -209,12 +429,111 @@ mod tests {
     }
 
     #[test]
+    fn healthy_cases_pass_through_lowering() {
+        let mut rng = SplitMix64::new(13);
+        for _ in 0..5 {
+            let ops = random_ops(&mut rng, 20);
+            let spec = random_spec(&mut rng);
+            let mut cfg = random_case_config(&mut rng, true);
+            cfg.lir_spec = Some(random_lir_spec(&mut rng));
+            let out = run_case(&ops, &spec, &cfg);
+            assert_eq!(
+                out,
+                Outcome::Pass,
+                "ops {ops:?} spec {spec} lir {:?}",
+                cfg.lir_spec
+            );
+        }
+    }
+
+    /// Reduced from `memoir-fuzz run --lower --seed 7` (crash-7-172):
+    /// `dee-strict` + `ssa-destruct` leave the lowered module's block
+    /// layout non-dominance-sorted, and lir's GVN used to pick the
+    /// *layout-first* congruent instruction as the class leader —
+    /// replacing a dominating definition with a dominated one and
+    /// trapping as `lir-trap: Malformed("unbound value")`. Must Pass
+    /// now that GVN gates replacements on dominance.
+    #[test]
+    fn gvn_respects_dominance_in_lowered_modules() {
+        let ops = vec![Op::Push(-15), Op::Write(61, 67), Op::Push(67)];
+        let spec =
+            PipelineSpec::parse("ssa-construct,fixpoint<max=3>(dee-strict),ssa-destruct").unwrap();
+        let cfg = CaseConfig {
+            policy: FaultPolicy::SkipPass,
+            lir_spec: Some(PipelineSpec::parse("gvn").unwrap()),
+            ..CaseConfig::default()
+        };
+        assert_eq!(run_case(&ops, &spec, &cfg), Outcome::Pass);
+
+        // crash-1234-101: same root cause through a different spec.
+        let ops = vec![
+            Op::Push(88),
+            Op::Write(64, 9),
+            Op::AssocInsert(169, -103),
+            Op::Push(-25),
+        ];
+        let spec = PipelineSpec::parse("ssa-construct,dee-strict,dee-strict,ssa-destruct").unwrap();
+        let cfg = CaseConfig {
+            policy: FaultPolicy::StopPipeline,
+            lir_spec: Some(PipelineSpec::parse("gvn").unwrap()),
+            ..CaseConfig::default()
+        };
+        assert_eq!(run_case(&ops, &spec, &cfg), Outcome::Pass);
+    }
+
+    /// Reduced from `memoir-fuzz run --lower --seed 7` (crash-7-193,
+    /// reproduces without the lowering phase): constprop branch folding
+    /// inside a fixpoint left a φ with an incoming from a now-unreachable
+    /// arm — legal SSA per the verifier's one-incoming-per-structural-
+    /// predecessor invariant — and `ssa-destruct` panicked trying to
+    /// resolve the never-translated value.
+    #[test]
+    fn ssa_destruct_tolerates_unreachable_phi_incomings() {
+        let ops = vec![Op::InsertAt(81, 31), Op::Write(156, -28), Op::Remove(90)];
+        let spec =
+            PipelineSpec::parse("ssa-construct,fixpoint<max=3>(constprop,dee-strict),ssa-destruct")
+                .unwrap();
+        assert_eq!(run_case(&ops, &spec, &CaseConfig::default()), Outcome::Pass);
+
+        // Second manifestation of the same case: with the panic fixed,
+        // destruction used to materialize the stranded arm as an empty,
+        // terminator-less block, which the (stricter) lir verifier
+        // rejected right after the `lower` stage.
+        let cfg = CaseConfig {
+            lir_spec: Some(PipelineSpec::new(Vec::new())),
+            ..CaseConfig::default()
+        };
+        assert_eq!(run_case(&ops, &spec, &cfg), Outcome::Pass);
+    }
+
+    /// Reduced from `memoir-fuzz run --lower --seed 7` (crash-7-46):
+    /// the same backward-layout shape made lir's sink pass panic on a
+    /// reversed slice range in `region_between`.
+    #[test]
+    fn sink_survives_backward_layout_in_lowered_modules() {
+        let ops = vec![
+            Op::Push(32),
+            Op::Write(209, -115),
+            Op::AssocKeys,
+            Op::Push(12),
+        ];
+        let spec = PipelineSpec::parse("ssa-construct,dee-strict,ssa-destruct").unwrap();
+        let cfg = CaseConfig {
+            policy: FaultPolicy::Abort,
+            lir_spec: Some(PipelineSpec::parse("sink").unwrap()),
+            ..CaseConfig::default()
+        };
+        assert_eq!(run_case(&ops, &spec, &cfg), Outcome::Pass);
+    }
+
+    #[test]
     fn injected_panic_is_a_crash_under_abort() {
         let ops = vec![Op::Push(1), Op::Push(2)];
         let spec = PipelineSpec::parse("ssa-construct,dce,ssa-destruct").unwrap();
         let cfg = CaseConfig {
             policy: FaultPolicy::Abort,
             inject: Some("panic@dce".parse().unwrap()),
+            ..CaseConfig::default()
         };
         let out = run_case(&ops, &spec, &cfg);
         assert_eq!(out.kind(), Some("panic"), "{out:?}");
@@ -227,8 +546,42 @@ mod tests {
         let cfg = CaseConfig {
             policy: FaultPolicy::SkipPass,
             inject: Some("panic@dce".parse().unwrap()),
+            ..CaseConfig::default()
         };
         // Rollback must leave an interpreter-correct module: no crash.
+        assert_eq!(run_case(&ops, &spec, &cfg), Outcome::Pass);
+    }
+
+    #[test]
+    fn injected_stage_fault_classifies_and_recovers() {
+        let ops = vec![Op::Push(3), Op::AssocInsert(1, 4)];
+        let spec = PipelineSpec::parse("ssa-construct,dce,ssa-destruct").unwrap();
+        let lir_spec = PipelineSpec::parse("mem2reg,dce").unwrap();
+
+        // An injected verify failure at the stage is its own class…
+        let cfg = CaseConfig {
+            inject: Some("verify@lower".parse().unwrap()),
+            lir_spec: Some(lir_spec.clone()),
+            ..CaseConfig::default()
+        };
+        assert_eq!(run_case(&ops, &spec, &cfg).kind(), Some("lower-verify"));
+
+        // …an injected stage panic under Abort is a plain panic…
+        let cfg = CaseConfig {
+            inject: Some("panic@lower".parse().unwrap()),
+            lir_spec: Some(lir_spec.clone()),
+            ..CaseConfig::default()
+        };
+        assert_eq!(run_case(&ops, &spec, &cfg).kind(), Some("panic"));
+
+        // …and under a recovering policy the stage fault is contained:
+        // the MEMOIR module is the (oracle-correct) result.
+        let cfg = CaseConfig {
+            policy: FaultPolicy::StopPipeline,
+            inject: Some("panic@lower".parse().unwrap()),
+            lir_spec: Some(lir_spec),
+            ..CaseConfig::default()
+        };
         assert_eq!(run_case(&ops, &spec, &cfg), Outcome::Pass);
     }
 
@@ -243,8 +596,9 @@ mod tests {
         let cfg = CaseConfig {
             policy: FaultPolicy::Abort,
             inject: Some("panic@dee".parse().unwrap()),
+            ..CaseConfig::default()
         };
-        let (min_ops, min_spec, detail) = reduce_case(&ops, &spec, &cfg).expect("still crashes");
+        let (min_ops, min_spec, _, detail) = reduce_case(&ops, &spec, &cfg).expect("still crashes");
         assert!(min_ops.len() <= 8, "ops not minimal: {min_ops:?}");
         assert!(
             min_spec.steps.len() <= 2,
@@ -252,5 +606,42 @@ mod tests {
             min_spec.steps.len()
         );
         assert!(detail.starts_with("panic:"), "{detail}");
+    }
+
+    #[test]
+    fn reduction_shrinks_config_too() {
+        let ops = vec![Op::Push(1), Op::Push(2), Op::AssocInsert(3, 4)];
+        let spec = PipelineSpec::parse("ssa-construct,constprop,dce,ssa-destruct").unwrap();
+        // A dce-targeted injected panic: the budgets and the lowering
+        // phase are irrelevant to the crash, so reduction drops both.
+        let cfg = CaseConfig {
+            policy: FaultPolicy::Abort,
+            inject: Some("panic@dce".parse().unwrap()),
+            budgets: Budgets::parse("growth=16.0,fixpoint=4").unwrap(),
+            lir_spec: Some(PipelineSpec::parse("mem2reg,fixpoint<max=3>(constfold,dce)").unwrap()),
+        };
+        let (_, _, min_cfg, detail) = reduce_case(&ops, &spec, &cfg).expect("still crashes");
+        assert!(min_cfg.budgets.is_unlimited(), "{:?}", min_cfg.budgets);
+        assert!(min_cfg.lir_spec.is_none(), "{:?}", min_cfg.lir_spec);
+        assert!(detail.starts_with("panic:"), "{detail}");
+    }
+
+    #[test]
+    fn reduction_keeps_the_lir_phase_when_the_crash_needs_it() {
+        let ops = vec![Op::Push(5)];
+        let spec = PipelineSpec::parse("ssa-construct,dce,ssa-destruct").unwrap();
+        // A fault injected into a *lir* pass only fires when the lir
+        // phase actually runs, so `lir_spec` must survive reduction.
+        let cfg = CaseConfig {
+            policy: FaultPolicy::Abort,
+            inject: Some("panic@gvn".parse().unwrap()),
+            budgets: Budgets::none(),
+            lir_spec: Some(PipelineSpec::parse("mem2reg,gvn,dce").unwrap()),
+        };
+        let out = run_case(&ops, &spec, &cfg);
+        assert_eq!(out.kind(), Some("panic"), "{out:?}");
+        let (_, _, min_cfg, _) = reduce_case(&ops, &spec, &cfg).expect("still crashes");
+        let lspec = min_cfg.lir_spec.expect("lir phase is load-bearing");
+        assert_eq!(lspec.pass_names(), vec!["gvn"], "{lspec}");
     }
 }

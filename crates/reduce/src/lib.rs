@@ -9,13 +9,16 @@
 //!   and every case is replayable from `(seed, case-index)` alone;
 //! * [`genprog`] — random MUT-op sequence programs with a plain-Rust
 //!   oracle computed alongside (the generator of
-//!   `tests/pipeline_differential.rs`, promoted to a library);
-//! * [`genspec`] — random but always phase-correct [`PipelineSpec`]s;
-//! * [`harness`] — runs one case through the pipeline with panics
-//!   caught and verification forced on, then differentially checks the
-//!   optimized module against the oracle in the interpreter;
-//! * [`ddmin`] — delta debugging, used to shrink first the op sequence
-//!   and then the pipeline steps of a crashing case;
+//!   `tests/pipeline_differential.rs`, promoted to a library), plus
+//!   per-case sampling of the fault policy and budgets;
+//! * [`genspec`] — random but always phase-correct [`PipelineSpec`]s,
+//!   for both the MEMOIR and the post-lowering low-level IR phase;
+//! * [`harness`] — runs one case through the pipeline (optionally on
+//!   through the `lower` stage and a lir pipeline) with panics caught
+//!   and verification forced on, then differentially checks every
+//!   intermediate result against the oracle;
+//! * [`ddmin`] — delta debugging, used to shrink the op sequence, the
+//!   pipeline steps of both phases, and the config of a crashing case;
 //! * [`repro`] — `.repro` text artifacts that `memoir-fuzz replay`
 //!   re-runs exactly.
 //!
@@ -31,8 +34,8 @@ pub mod repro;
 pub mod rng;
 
 pub use ddmin::ddmin;
-pub use genprog::{build, random_op, random_ops, Op};
-pub use genspec::random_spec;
+pub use genprog::{build, random_case_config, random_op, random_ops, Op};
+pub use genspec::{random_lir_spec, random_spec};
 pub use harness::{reduce_case, run_case, CaseConfig, Outcome};
 pub use repro::Repro;
 pub use rng::SplitMix64;

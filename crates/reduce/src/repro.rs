@@ -2,15 +2,19 @@
 //!
 //! A repro is a small, line-oriented text file that captures *exactly*
 //! one fuzz case: the op program, the pipeline spec, the fault policy,
-//! and any injection plan. `memoir-fuzz replay file.repro` re-runs it
-//! bit-for-bit; `memoir-fuzz reduce file.repro` shrinks it in place.
+//! per-case budgets, any injection plan, and — for through-lowering
+//! cases — the low-level IR pipeline run after the `lower` stage.
+//! `memoir-fuzz replay file.repro` re-runs it bit-for-bit;
+//! `memoir-fuzz reduce file.repro` shrinks it in place.
 //!
 //! ```text
 //! memoir-fuzz repro v1
 //! seed: 42
 //! case: 17
 //! spec: ssa-construct,dce,ssa-destruct
+//! lir-spec: mem2reg,constfold
 //! policy: skip
+//! budget: growth=16,fixpoint=2
 //! inject: panic@dce
 //! minimized: true
 //! failure: panic: injected fault
@@ -18,10 +22,14 @@
 //!   push -3
 //!   write 1 7
 //! ```
+//!
+//! `budget:` is omitted when unlimited and `inject:` when absent. A
+//! present `lir-spec:` key marks a through-lowering case; its value may
+//! be empty ("lower, then nothing").
 
 use crate::genprog::Op;
 use crate::harness::CaseConfig;
-use passman::{FaultPolicy, PipelineSpec};
+use passman::{Budgets, FaultPolicy, PipelineSpec};
 use std::fmt;
 use std::str::FromStr;
 
@@ -34,10 +42,15 @@ pub struct Repro {
     pub seed: u64,
     /// Case index within the campaign.
     pub case: u64,
-    /// The pipeline spec the case ran.
+    /// The (MEMOIR) pipeline spec the case ran.
     pub spec: PipelineSpec,
+    /// The low-level IR pipeline after the `lower` stage, when this is a
+    /// through-lowering case (may be empty: "lower, then nothing").
+    pub lir_spec: Option<PipelineSpec>,
     /// Fault policy in effect.
     pub policy: FaultPolicy,
+    /// Per-case budgets ([`Budgets::none`] when the line is absent).
+    pub budgets: Budgets,
     /// Injection plan, if the campaign was seeded with one.
     pub inject: Option<passman::FaultPlan>,
     /// Whether this artifact has been through the reducer.
@@ -54,6 +67,8 @@ impl Repro {
         CaseConfig {
             policy: self.policy,
             inject: self.inject.clone(),
+            budgets: self.budgets,
+            lir_spec: self.lir_spec.clone(),
         }
     }
 }
@@ -64,7 +79,13 @@ impl fmt::Display for Repro {
         writeln!(f, "seed: {}", self.seed)?;
         writeln!(f, "case: {}", self.case)?;
         writeln!(f, "spec: {}", self.spec)?;
+        if let Some(lspec) = &self.lir_spec {
+            writeln!(f, "lir-spec: {lspec}")?;
+        }
         writeln!(f, "policy: {}", self.policy)?;
+        if !self.budgets.is_unlimited() {
+            writeln!(f, "budget: {}", self.budgets)?;
+        }
         if let Some(plan) = &self.inject {
             writeln!(f, "inject: {plan}")?;
         }
@@ -91,7 +112,9 @@ impl FromStr for Repro {
         let mut seed = None;
         let mut case = None;
         let mut spec = None;
+        let mut lir_spec = None;
         let mut policy = None;
+        let mut budgets = None;
         let mut inject = None;
         let mut minimized = None;
         let mut failure = None;
@@ -116,7 +139,17 @@ impl FromStr for Repro {
                 "seed" => seed = Some(value.parse::<u64>().map_err(|_| err("bad seed"))?),
                 "case" => case = Some(value.parse::<u64>().map_err(|_| err("bad case"))?),
                 "spec" => spec = Some(PipelineSpec::parse(value).map_err(|e| err(&e.to_string()))?),
+                "lir-spec" => {
+                    // The key's presence is what marks a through-lowering
+                    // case; an empty value is the empty lir pipeline.
+                    lir_spec = Some(if value.is_empty() {
+                        PipelineSpec::new(Vec::new())
+                    } else {
+                        PipelineSpec::parse(value).map_err(|e| err(&e.to_string()))?
+                    })
+                }
                 "policy" => policy = Some(value.parse().map_err(|e: String| err(&e))?),
+                "budget" => budgets = Some(Budgets::parse(value).map_err(|e| err(&e))?),
                 "inject" => inject = Some(value.parse().map_err(|e: String| err(&e))?),
                 "minimized" => {
                     minimized = Some(value.parse::<bool>().map_err(|_| err("bad minimized"))?)
@@ -131,7 +164,9 @@ impl FromStr for Repro {
             seed: seed.ok_or("missing `seed:`")?,
             case: case.ok_or("missing `case:`")?,
             spec: spec.ok_or("missing `spec:`")?,
+            lir_spec,
             policy: policy.ok_or("missing `policy:`")?,
+            budgets: budgets.unwrap_or_default(),
             inject,
             minimized: minimized.ok_or("missing `minimized:`")?,
             failure: failure.ok_or("missing `failure:`")?,
@@ -150,7 +185,9 @@ mod tests {
             case: 17,
             spec: PipelineSpec::parse("ssa-construct,fixpoint<max=3>(simplify,dce),ssa-destruct")
                 .unwrap(),
+            lir_spec: None,
             policy: FaultPolicy::SkipPass,
+            budgets: Budgets::none(),
             inject: Some("panic@dce#2".parse().unwrap()),
             minimized: true,
             failure: "panic: injected fault".to_string(),
@@ -171,6 +208,43 @@ mod tests {
     }
 
     #[test]
+    fn round_trips_budgets_and_lir_spec() {
+        let mut r = sample();
+        r.budgets = Budgets::parse("growth=16,fixpoint=2").unwrap();
+        r.lir_spec = Some(PipelineSpec::parse("mem2reg,fixpoint<max=3>(constfold,dce)").unwrap());
+        let text = r.to_string();
+        assert!(text.contains("budget: growth=16,fixpoint=2"), "{text}");
+        assert!(text.contains("lir-spec: mem2reg"), "{text}");
+        assert_eq!(text.parse::<Repro>().unwrap(), r, "{text}");
+
+        // An *empty* lir spec is a real case ("lower, then nothing") and
+        // must survive the round trip as Some, not collapse to None.
+        r.lir_spec = Some(PipelineSpec::new(Vec::new()));
+        let text = r.to_string();
+        let back = text.parse::<Repro>().unwrap();
+        assert_eq!(back, r, "{text}");
+        assert!(back.lir_spec.is_some());
+
+        // Unlimited budgets write no line and read back as none().
+        r.budgets = Budgets::none();
+        let text = r.to_string();
+        assert!(!text.contains("budget:"), "{text}");
+        assert_eq!(text.parse::<Repro>().unwrap().budgets, Budgets::none());
+    }
+
+    #[test]
+    fn config_carries_the_whole_case() {
+        let mut r = sample();
+        r.budgets = Budgets::parse("fixpoint=1").unwrap();
+        r.lir_spec = Some(PipelineSpec::parse("dce").unwrap());
+        let cfg = r.config();
+        assert_eq!(cfg.policy, r.policy);
+        assert_eq!(cfg.budgets, r.budgets);
+        assert_eq!(cfg.inject, r.inject);
+        assert_eq!(cfg.lir_spec, r.lir_spec);
+    }
+
+    #[test]
     fn rejects_malformed_files() {
         assert!("".parse::<Repro>().is_err());
         assert!("not a repro".parse::<Repro>().is_err());
@@ -179,5 +253,8 @@ mod tests {
         assert!(no_ops.parse::<Repro>().is_err());
         let bad_op = format!("{}\n  fly 9", sample().to_string().trim_end());
         assert!(bad_op.parse::<Repro>().is_err());
+        let bad_budget = "memoir-fuzz repro v1\nseed: 1\ncase: 0\nspec: dce\n\
+                          policy: abort\nbudget: fuel=9\nminimized: false\nfailure: x\nops:";
+        assert!(bad_budget.parse::<Repro>().is_err());
     }
 }

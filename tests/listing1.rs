@@ -27,7 +27,8 @@ fn memoir_folds_the_stateful_map_read() {
 #[test]
 fn lowered_form_cannot_fold() {
     let m = memoir::workloads::listing1::build_listing1();
-    let mut lowered = memoir::lower::lower_module(&m).unwrap();
+    let mut lowered =
+        memoir::lower::lower_module(&m).unwrap_or_else(|e| panic!("lowering listing1 failed: {e}"));
     let cf = memoir::lir::constfold(&mut lowered);
     assert_eq!(cf.load_success, 0, "opaque hashtable calls block folding");
 

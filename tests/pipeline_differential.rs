@@ -164,7 +164,8 @@ proptest! {
         prop_assert_eq!(run_module(&o3), expect, "O3");
 
         // Lowered to the low-level IR.
-        let lowered = memoir::lower::lower_module(&o3).unwrap();
+        let lowered = memoir::lower::lower_module(&o3)
+            .unwrap_or_else(|e| panic!("lowering the O3 module failed: {e}"));
         let mut vm = memoir::lir::LirMachine::new(&lowered);
         let got = vm.run_by_name("main", vec![]).unwrap()[0];
         prop_assert_eq!(got, expect, "lowered");
