@@ -11,14 +11,18 @@
 //! Kennedy iterative algorithm over a reverse post-order, which is
 //! simple and near-linear on the small CFGs lowering produces.
 
-use crate::ir::{Blk, Function};
+use crate::ir::{Blk, Fun, Function, Module};
 
 /// The dominator tree of one function's CFG.
 ///
 /// Blocks unreachable from the entry have no dominator information;
 /// [`DomTree::dominates`] is `false` whenever either endpoint is
 /// unreachable.
-#[derive(Debug)]
+///
+/// `Clone` is cheap (two flat `Vec`s over the block count) so sharded
+/// passes can carry a copy of the cached tree onto worker threads — see
+/// [`DomTreeAnalysis`].
+#[derive(Clone, Debug)]
 pub struct DomTree {
     /// Immediate dominator per block; the entry points at itself,
     /// unreachable blocks are `None`.
@@ -151,6 +155,27 @@ impl DomTree {
     pub fn idom(&self, b: Blk) -> Option<Blk> {
         let d = self.idom.get(b.0 as usize).copied().flatten()?;
         (d != b).then_some(d)
+    }
+}
+
+/// Registers [`DomTree`] as a cached per-function analysis with the
+/// pass manager, the way the MEMOIR passes cache affinity and purity:
+/// consumers call `am.get::<DomTreeAnalysis>(module, fun)` and the tree
+/// is computed at most once per function between mutations of that
+/// function.
+///
+/// The two lir consumers are `gvn` (dominance-gated leader replacement)
+/// and the inter-pass verifier (dominance of uses by definitions) —
+/// `sink` is deliberately *not* one: it reasons over layout order within
+/// a single block and has no dominance query to migrate.
+#[derive(Debug)]
+pub struct DomTreeAnalysis;
+
+impl passman::Analysis<Module> for DomTreeAnalysis {
+    type Output = DomTree;
+    const NAME: &'static str = "dom-tree";
+    fn compute(m: &Module, f: Fun) -> DomTree {
+        DomTree::compute(&m.funcs[f.0 as usize])
     }
 }
 

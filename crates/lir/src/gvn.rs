@@ -43,10 +43,22 @@ pub fn gvn(m: &mut Module) -> GvnStats {
     stats
 }
 
-/// Runs GVN on one function.
+/// Runs GVN on one function, computing the dominator tree fresh.
 pub fn gvn_function(f: &mut crate::ir::Function) -> GvnStats {
+    let dom = DomTree::compute(f);
+    gvn_function_with(f, &dom)
+}
+
+/// Runs GVN on one function against a caller-provided dominator tree —
+/// the entry point for the pass-manager path, where the tree comes out
+/// of the analysis cache ([`DomTreeAnalysis`](crate::dom::DomTreeAnalysis))
+/// instead of being recomputed per invocation. `dom` must describe `f`'s
+/// current CFG; GVN itself only deletes redundant straight-line
+/// instructions and never edits edges, so the tree stays valid
+/// throughout the run.
+pub fn gvn_function_with(f: &mut crate::ir::Function, dom: &DomTree) -> GvnStats {
     let mut stats = GvnStats::default();
-    run_function(f, &mut stats);
+    run_function_with(f, dom, &mut stats);
     stats
 }
 
@@ -58,17 +70,25 @@ enum Expr {
     Const(i64),
 }
 
+/// Per expression class: the value number and every *leader* — a
+/// defining occurrence with its (block, position-in-block).
+type Classes = HashMap<Expr, (u64, Vec<(Val, Blk, usize)>)>;
+
 fn run_function(f: &mut Function, stats: &mut GvnStats) {
+    let dom = DomTree::compute(f);
+    run_function_with(f, &dom, stats);
+}
+
+fn run_function_with(f: &mut Function, dom: &DomTree, stats: &mut GvnStats) {
     // Value → value number; per expression class, the value number and
     // every *leader*: a defining occurrence with its position, so a
     // redundant instruction is only replaced by a leader whose
     // definition dominates it (block layout is not dominance-sorted in
     // lowered modules, so "first in layout" is not "available here" —
     // found by `memoir-fuzz --lower`, crash-7-172).
-    let dom = DomTree::compute(f);
     let mut vn_of: HashMap<Val, u64> = HashMap::new();
     let mut next_vn: u64 = 0;
-    let mut classes: HashMap<Expr, (u64, Vec<(Val, Blk, usize)>)> = HashMap::new();
+    let mut classes: Classes = HashMap::new();
     let mut replacements: HashMap<Val, Val> = HashMap::new();
     let mut dead: Vec<(Blk, crate::ir::Ins)> = Vec::new();
 

@@ -38,7 +38,7 @@ pub mod verifier;
 
 pub use constfold::{constfold, ConstFoldStats};
 pub use dce::dce;
-pub use dom::DomTree;
+pub use dom::{DomTree, DomTreeAnalysis};
 pub use gvn::{gvn, GvnStats};
 pub use interp::{LirMachine, LirStats, LirTrap};
 pub use ir::{BinOp, Blk, CmpOp, Fun, Function, Ins, Inst, Module, Op, Val};

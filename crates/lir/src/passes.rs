@@ -11,19 +11,23 @@
 //! per-function changed-bit is computed from the success counters only —
 //! a sink run that was blocked everywhere did not mutate the function.
 
+use crate::dom::{DomTree, DomTreeAnalysis};
 use crate::ir::{Fun, Function, Module};
 use crate::{constfold, dce, gvn, mem2reg, sinkpass};
 use passman::{
-    FuncOutcome, FuncPass, FuncPassAdapter, PassManager, PassRegistry, PipelineSpec, RunError,
-    RunReport,
+    AnalysisManager, FuncOutcome, FuncPass, FuncPassAdapter, PassManager, PassRegistry,
+    PipelineSpec, RunError, RunReport,
 };
+use std::any::Any;
+
+type Ctx<'a> = Option<&'a (dyn Any + Send + Sync)>;
 
 struct ConstFoldPass;
 impl FuncPass<Module> for ConstFoldPass {
     fn name(&self) -> &'static str {
         "constfold"
     }
-    fn run_on(&self, _shell: &Module, _key: Fun, f: &mut Function) -> FuncOutcome {
+    fn run_on(&self, _shell: &Module, _key: Fun, f: &mut Function, _ctx: Ctx) -> FuncOutcome {
         let s = constfold::constfold_function(f);
         FuncOutcome {
             changed: s.scalar_success + s.load_success > 0,
@@ -41,7 +45,7 @@ impl FuncPass<Module> for DcePass {
     fn name(&self) -> &'static str {
         "dce"
     }
-    fn run_on(&self, _shell: &Module, _key: Fun, f: &mut Function) -> FuncOutcome {
+    fn run_on(&self, _shell: &Module, _key: Fun, f: &mut Function, _ctx: Ctx) -> FuncOutcome {
         let removed = dce::dce_function(f);
         FuncOutcome {
             changed: removed > 0,
@@ -55,8 +59,23 @@ impl FuncPass<Module> for GvnPass {
     fn name(&self) -> &'static str {
         "gvn"
     }
-    fn run_on(&self, _shell: &Module, _key: Fun, f: &mut Function) -> FuncOutcome {
-        let s = gvn::gvn_function(f);
+    /// GVN gates replacements on dominance, so it pulls the dominator
+    /// tree from the analysis cache. A clone of the tree (two flat
+    /// `Vec`s) crosses onto the worker shard — cheaper than the CHK
+    /// recomputation it replaces, and the `Rc` cache itself can't cross.
+    fn prefetch(
+        &self,
+        m: &Module,
+        key: Fun,
+        am: &mut AnalysisManager<Module>,
+    ) -> Option<Box<dyn Any + Send + Sync>> {
+        Some(Box::new((*am.get::<DomTreeAnalysis>(m, key)).clone()))
+    }
+    fn run_on(&self, _shell: &Module, _key: Fun, f: &mut Function, ctx: Ctx) -> FuncOutcome {
+        let s = match ctx.and_then(|c| c.downcast_ref::<DomTree>()) {
+            Some(dom) => gvn::gvn_function_with(f, dom),
+            None => gvn::gvn_function(f),
+        };
         FuncOutcome {
             changed: s.replaced > 0,
             stats: vec![
@@ -73,7 +92,7 @@ impl FuncPass<Module> for Mem2RegPass {
     fn name(&self) -> &'static str {
         "mem2reg"
     }
-    fn run_on(&self, _shell: &Module, _key: Fun, f: &mut Function) -> FuncOutcome {
+    fn run_on(&self, _shell: &Module, _key: Fun, f: &mut Function, _ctx: Ctx) -> FuncOutcome {
         let s = mem2reg::mem2reg_function(f);
         FuncOutcome {
             changed: s.loads_forwarded + s.allocas_removed + s.stores_removed > 0,
@@ -91,7 +110,11 @@ impl FuncPass<Module> for SinkPass {
     fn name(&self) -> &'static str {
         "sink"
     }
-    fn run_on(&self, _shell: &Module, _key: Fun, f: &mut Function) -> FuncOutcome {
+    // No `prefetch`: sink decides legality from layout order within a
+    // single block (may-write / may-reference scans between the def and
+    // its unique use) and never asks a dominance question — there is no
+    // DomTree call site to migrate to the cache.
+    fn run_on(&self, _shell: &Module, _key: Fun, f: &mut Function, _ctx: Ctx) -> FuncOutcome {
         let s = sinkpass::sink_function(f);
         FuncOutcome {
             changed: s.success > 0,
@@ -122,11 +145,13 @@ pub fn registry() -> PassRegistry<Module> {
 /// installed (inter-pass verification runs in debug builds by default),
 /// per-function copy-on-write snapshots for recovering fault policies,
 /// and the worker-thread count taken from `MEMOIR_THREADS` (default
-/// serial).
+/// serial). The verifier draws dominator trees from the run's analysis
+/// cache ([`DomTreeAnalysis`]), so back-to-back verifications recompute
+/// them only for the functions a pass actually mutated.
 pub fn pass_manager() -> PassManager<Module> {
     PassManager::new(registry())
-        .with_verifier(|m: &Module| {
-            let errs = crate::verifier::verify_module(m);
+        .with_verifier_am(|m: &Module, am: &mut AnalysisManager<Module>| {
+            let errs = crate::verifier::verify_module_cached(m, am);
             if errs.is_empty() {
                 Ok(())
             } else {
@@ -217,6 +242,28 @@ mod tests {
         let err = optimize(&mut m, &spec).unwrap_err();
         assert!(err.to_string().contains("unknown pass `licm`"));
         assert_eq!(m.inst_count(), before, "validation precedes execution");
+    }
+
+    /// The dominator tree is computed at most once per function between
+    /// mutations, and reused across verifier invocations and gvn's
+    /// prefetch: once the fixpoint group stops changing the module, the
+    /// confirming iteration's verifications are pure cache hits.
+    #[test]
+    fn dom_trees_are_cached_across_verifications() {
+        let mut m = sample();
+        let pm = pass_manager().verify_between_passes(true);
+        let mut am = passman::AnalysisManager::new();
+        pm.run_with(&mut m, &default_spec(), &mut am).unwrap();
+        let c = am.counter("dom-tree");
+        assert!(c.misses > 0, "the verifier and gvn did request the tree");
+        assert!(
+            c.hits > 0,
+            "converged iterations must reuse cached trees, got {c:?}"
+        );
+        assert_eq!(
+            c.max_computes_between_invalidations, 1,
+            "caching contract: one compute per function per generation"
+        );
     }
 
     #[test]

@@ -24,8 +24,17 @@ use crate::dom::DomTree;
 use crate::ir::{Blk, Fun, Function, Module, Op, Val};
 use std::collections::{HashMap, HashSet};
 
-/// Checks one function, appending human-readable problems to `out`.
+/// Checks one function, computing the dominator tree fresh.
 fn verify_function(fun: Fun, f: &Function, out: &mut Vec<String>) {
+    verify_function_with(fun, f, &DomTree::compute(f), out)
+}
+
+/// Checks one function against a caller-provided dominator tree,
+/// appending human-readable problems to `out`. `dom` must describe `f`'s
+/// current CFG — the cached-analysis path
+/// ([`verify_module_cached`]) guarantees this by invalidating mutated
+/// functions before verification runs.
+fn verify_function_with(fun: Fun, f: &Function, dom: &DomTree, out: &mut Vec<String>) {
     let name = &f.name;
     let mut defined: HashSet<Val> = (0..f.num_params).map(Val).collect();
     let mut complain = |msg: String| out.push(format!("{name} (f{}): {msg}", fun.0));
@@ -96,7 +105,6 @@ fn verify_function(fun: Fun, f: &Function, out: &mut Vec<String>) {
     // its definition (parameters dominate everything). Unreachable
     // blocks are skipped — no dominance relation is defined there, and
     // dce is entitled to drop them wholesale.
-    let dom = DomTree::compute(f);
     for (bi, b) in f.blocks.iter().enumerate() {
         let blk = Blk(bi as u32);
         if !dom.is_reachable(blk) {
@@ -153,6 +161,24 @@ pub fn verify_module(m: &Module) -> Vec<String> {
     let mut out = Vec::new();
     for (fi, f) in m.funcs.iter().enumerate() {
         verify_function(Fun(fi as u32), f, &mut out);
+    }
+    out
+}
+
+/// Checks every function, drawing each dominator tree from the analysis
+/// cache ([`DomTreeAnalysis`](crate::dom::DomTreeAnalysis)) instead of
+/// recomputing it — the inter-pass verification path installed by
+/// [`pass_manager`](crate::passes::pass_manager). Functions no pass has
+/// mutated since the last verification reuse their cached tree; mutated
+/// functions were invalidated by the runner before verification, so the
+/// `get` recomputes on the current (possibly broken) body, which
+/// [`DomTree::compute`] tolerates.
+pub fn verify_module_cached(m: &Module, am: &mut passman::AnalysisManager<Module>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (fi, f) in m.funcs.iter().enumerate() {
+        let fun = Fun(fi as u32);
+        let dom = am.get::<crate::dom::DomTreeAnalysis>(m, fun);
+        verify_function_with(fun, f, &dom, &mut out);
     }
     out
 }

@@ -13,4 +13,7 @@ pub mod validate;
 
 pub use lower::{lower_module, lower_module_with_stats, LowerError, LowerStats};
 pub use stackalloc::{placement_report, PlacementReport};
-pub use validate::{cross_validate, CrossCheckReport, DEFAULT_PROBES};
+pub use validate::{
+    cross_validate, materialize, mix_seed, scalar_args, synth_args, CrossCheckReport, ProbeArg,
+    DEFAULT_PROBES,
+};

@@ -1,27 +1,35 @@
 //! Cross-IR translation validation: interpreter agreement between the
-//! MEMOIR module and its lowered low-level form on generated probe
+//! MEMOIR module and its lowered low-level form on synthesized probe
 //! inputs.
 //!
 //! This is the dynamic analogue of translation validation (cf. *Verifying
 //! Peephole Rewriting In SSA Compiler IRs*): instead of proving the
 //! lowering correct once, every lowered module is checked against its
-//! source on a small battery of concrete inputs. For each function whose
-//! signature is scalar (integer/bool/index parameters and results — no
-//! collections, references, floats, or pointers), the probe runs
-//! `memoir-interp` on the MEMOIR function and [`lir::LirMachine`] on the
-//! lowered function with the same arguments and requires identical
-//! results. Functions with non-scalar signatures are skipped (their
-//! handles are not comparable across IRs); probes where the MEMOIR
-//! interpreter itself traps (e.g. out-of-bounds on that input) are
+//! source on a small battery of concrete inputs. Argument vectors are
+//! *synthesized from the parameter types* ([`synth_args`]): a seeded,
+//! deterministic draw from per-type value domains (boundary values plus
+//! small randoms, clamped to the type's width). The same synthesis is
+//! shared with the fuzz harness in `crates/reduce`, which uses it to probe
+//! individual functions before and after optimization — so the agreement
+//! probe and the fuzz oracle can't drift apart.
+//!
+//! For the cross-IR check itself only functions whose signature is scalar
+//! (integer/bool/index parameters and results — no collections,
+//! references, floats, or pointers) are compared: collection handles are
+//! not comparable across IRs. The probe runs `memoir-interp` on the
+//! MEMOIR function and [`lir::LirMachine`] on the lowered function with
+//! the same arguments and requires identical results. Probes where the
+//! MEMOIR interpreter itself traps (e.g. out-of-bounds on that input) are
 //! skipped conservatively.
 
 use lir::{LirMachine, Module as LModule};
-use memoir_interp::{Interp, Value};
-use memoir_ir::{Module, Type};
+use memoir_interp::{Collection, Interp, Key, Value};
+use memoir_ir::{Module, Type, TypeId, TypeTable};
 
-/// Default probe seeds: each seed `p` probes a function with arguments
-/// `p + i` for parameter `i` (clamped to the parameter type's domain).
-pub const DEFAULT_PROBES: &[i64] = &[0, 1, 3];
+/// Default probe seeds: each seed synthesizes one typed argument vector
+/// per probed function via [`synth_args`] (mixed with the function's
+/// index, so different functions see different vectors).
+pub const DEFAULT_PROBES: &[u64] = &[0, 1, 3];
 
 /// Interpreter fuel per probe execution, on either side.
 pub const PROBE_FUEL: u64 = 10_000_000;
@@ -37,7 +45,64 @@ pub struct CrossCheckReport {
     pub probes_skipped: usize,
 }
 
-/// Whether a function signature type can be probed with a plain integer.
+/// A synthesized argument value, described independently of any
+/// interpreter heap. Scalars carry their payload directly; collections
+/// carry their element values and are materialized into a concrete
+/// interpreter store by [`materialize`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProbeArg {
+    /// An integer (or index) of the given IR type, already clamped to the
+    /// type's domain.
+    Int(Type, i64),
+    /// A boolean.
+    Bool(bool),
+    /// A sequence with the given element values.
+    Seq(Vec<ProbeArg>),
+    /// An associative array with the given (distinct-key) entries, in
+    /// insertion order.
+    Assoc(Vec<(ProbeArg, ProbeArg)>),
+}
+
+impl ProbeArg {
+    /// The scalar payload, if this argument is a scalar.
+    pub fn as_scalar(&self) -> Option<i64> {
+        match self {
+            ProbeArg::Int(_, v) => Some(*v),
+            ProbeArg::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+}
+
+/// Minimal deterministic generator (SplitMix64 step) so synthesis does
+/// not depend on the fuzz crate (which depends on this one).
+#[derive(Clone, Copy, Debug)]
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Mixes a probe seed with a per-function (or per-call-site) salt,
+/// yielding the seed for one synthesized vector. Exposed so harnesses can
+/// derive the same streams as [`cross_validate`].
+pub fn mix_seed(seed: u64, salt: u64) -> u64 {
+    let mut m = Mix(seed ^ salt.wrapping_mul(0x2545f4914f6cdd1d));
+    m.next()
+}
+
+/// Whether a function signature type can be probed with a plain integer
+/// on both interpreters.
 fn probe_scalar(ty: Type) -> bool {
     matches!(
         ty,
@@ -54,19 +119,135 @@ fn probe_scalar(ty: Type) -> bool {
     )
 }
 
-/// Clamps a raw probe value into the domain of a parameter type and
-/// builds the MEMOIR interpreter value for it.
-fn probe_value(ty: Type, raw: i64) -> (Value, i64) {
+/// Clamps a raw draw into the domain of an integer parameter type.
+fn clamp_int(ty: Type, raw: i64) -> i64 {
     match ty {
-        Type::Bool => {
-            let b = raw & 1 != 0;
-            (Value::Bool(b), b as i64)
+        Type::I8 => raw as i8 as i64,
+        Type::I16 => raw as i16 as i64,
+        Type::I32 => raw as i32 as i64,
+        Type::I64 => raw,
+        Type::U8 => raw as u8 as i64,
+        Type::U16 => raw as u16 as i64,
+        Type::U32 => raw as u32 as i64,
+        // The interpreters carry unsigned 64-bit payloads in an i64 word;
+        // keep the sign bit clear so both sides agree on comparisons.
+        Type::U64 => raw & i64::MAX,
+        // Indices are used against collections: keep them small enough to
+        // land in (and just outside) realistic bounds.
+        Type::Index => raw.rem_euclid(17),
+        _ => raw,
+    }
+}
+
+/// Draws one scalar from the "interesting values" pool for a type:
+/// boundaries (0, ±1, extremes) with high probability, small randoms
+/// otherwise.
+fn synth_scalar(ty: Type, rng: &mut Mix) -> ProbeArg {
+    if ty == Type::Bool {
+        return ProbeArg::Bool(rng.below(2) == 1);
+    }
+    let raw = match rng.below(8) {
+        0 => 0,
+        1 => 1,
+        2 => 2,
+        3 => -1,
+        4 => i64::MIN,
+        5 => i64::MAX,
+        _ => (rng.next() % 255) as i64 - 127,
+    };
+    ProbeArg::Int(ty, clamp_int(ty, raw))
+}
+
+/// Synthesizes one value of type `ty`, or `None` if the type is not
+/// synthesizable (floats, pointers, references, inline objects, void).
+fn synth_value(types: &TypeTable, ty: TypeId, rng: &mut Mix, depth: u32) -> Option<ProbeArg> {
+    match types.get(ty) {
+        t if probe_scalar(t) => Some(synth_scalar(t, rng)),
+        Type::Seq(elem) if depth < 3 => {
+            let n = rng.below(5) as usize;
+            let elems = (0..n)
+                .map(|_| synth_value(types, elem, rng, depth + 1))
+                .collect::<Option<Vec<_>>>()?;
+            Some(ProbeArg::Seq(elems))
         }
-        Type::Index | Type::U64 | Type::U32 | Type::U16 | Type::U8 => {
-            let v = raw.abs();
-            (Value::Int(ty, v), v)
+        Type::Assoc(kt, vt) if depth < 3 => {
+            // Keys must be scalar (hashable and directly comparable);
+            // duplicates are dropped so insertion order is well-defined.
+            if !probe_scalar(types.get(kt)) {
+                return None;
+            }
+            let n = rng.below(5) as usize;
+            let mut entries: Vec<(ProbeArg, ProbeArg)> = Vec::new();
+            for _ in 0..n {
+                let k = synth_scalar(types.get(kt), rng);
+                let v = synth_value(types, vt, rng, depth + 1)?;
+                if !entries.iter().any(|(ek, _)| *ek == k) {
+                    entries.push((k, v));
+                }
+            }
+            Some(ProbeArg::Assoc(entries))
         }
-        _ => (Value::Int(ty, raw), raw),
+        _ => None,
+    }
+}
+
+/// Synthesizes a typed argument vector for a parameter list from a seed.
+/// Deterministic: the same `(types, param_tys, seed)` always yields the
+/// same vector. Returns `None` if any parameter type is not
+/// synthesizable.
+///
+/// ```
+/// use memoir_ir::{Type, TypeTable};
+/// use memoir_lower::synth_args;
+///
+/// let mut types = TypeTable::new();
+/// let i64t = types.intern(Type::I64);
+/// let seqt = types.seq_of(i64t);
+///
+/// let args = synth_args(&types, &[i64t, seqt], 7).unwrap();
+/// assert_eq!(args.len(), 2);
+/// // Same seed, same vector — probes replay exactly.
+/// assert_eq!(synth_args(&types, &[i64t, seqt], 7).unwrap(), args);
+/// ```
+pub fn synth_args(types: &TypeTable, param_tys: &[TypeId], seed: u64) -> Option<Vec<ProbeArg>> {
+    let mut rng = Mix(seed ^ 0xa076_1d64_78bd_642f);
+    param_tys
+        .iter()
+        .map(|&t| synth_value(types, t, &mut rng, 0))
+        .collect()
+}
+
+/// Projects an argument vector onto plain machine words for the
+/// low-level interpreter. `None` if any argument is a collection (no
+/// cross-IR representation).
+pub fn scalar_args(args: &[ProbeArg]) -> Option<Vec<i64>> {
+    args.iter().map(ProbeArg::as_scalar).collect()
+}
+
+/// Materializes a synthesized argument in a concrete interpreter heap
+/// (collections are allocated in `interp`'s store).
+pub fn materialize(interp: &mut Interp<'_>, arg: &ProbeArg) -> Value {
+    match arg {
+        ProbeArg::Int(ty, v) => Value::Int(*ty, *v),
+        ProbeArg::Bool(b) => Value::Bool(*b),
+        ProbeArg::Seq(elems) => {
+            let vals: Vec<Value> = elems.iter().map(|e| materialize(interp, e)).collect();
+            interp.alloc_seq(vals)
+        }
+        ProbeArg::Assoc(entries) => {
+            let mut c = Collection::new_assoc();
+            for (k, v) in entries {
+                let kv = materialize(interp, k);
+                let vv = materialize(interp, v);
+                let key = Key::from_value(&kv).expect("scalar assoc key");
+                if let Collection::Assoc { map, order } = &mut c {
+                    if map.insert(key.clone(), vv).is_none() {
+                        order.push(key);
+                    }
+                }
+            }
+            Value::Coll(interp.store.alloc_coll(c))
+        }
     }
 }
 
@@ -76,10 +257,10 @@ fn probe_value(ty: Type, raw: i64) -> (Value, i64) {
 pub fn cross_validate(
     m: &Module,
     lm: &LModule,
-    probes: &[i64],
+    probes: &[u64],
 ) -> Result<CrossCheckReport, String> {
     let mut report = CrossCheckReport::default();
-    for (_, f) in m.funcs.iter() {
+    for (fidx, (_, f)) in m.funcs.iter().enumerate() {
         let sig_ok = f
             .params
             .iter()
@@ -96,17 +277,17 @@ pub fn cross_validate(
             ));
         }
         report.functions_checked += 1;
+        let param_tys: Vec<TypeId> = f.params.iter().map(|p| p.ty).collect();
         for &seed in probes {
-            let mut memoir_args = Vec::with_capacity(f.params.len());
-            let mut lir_args = Vec::with_capacity(f.params.len());
-            for (i, p) in f.params.iter().enumerate() {
-                let (v, raw) = probe_value(m.types.get(p.ty), seed + i as i64);
-                memoir_args.push(v);
-                lir_args.push(raw);
-            }
-            let memoir_result = Interp::new(m)
-                .with_fuel(PROBE_FUEL)
-                .run_by_name(&f.name, memoir_args);
+            let args = match synth_args(&m.types, &param_tys, mix_seed(seed, fidx as u64)) {
+                Some(a) => a,
+                None => continue,
+            };
+            let lir_args = scalar_args(&args).expect("scalar signature");
+            let mut interp = Interp::new(m).with_fuel(PROBE_FUEL);
+            let memoir_args: Vec<Value> =
+                args.iter().map(|a| materialize(&mut interp, a)).collect();
+            let memoir_result = interp.run_by_name(&f.name, memoir_args);
             let expected: Vec<i64> = match memoir_result {
                 // The source program traps on this input (or runs out of
                 // probe fuel): no agreement obligation.
@@ -128,13 +309,15 @@ pub fn cross_validate(
             match got {
                 Err(trap) => {
                     return Err(format!(
-                        "`{}`({:?}): memoir-interp returned {:?} but LirMachine trapped: {:?}",
+                        "`{}`({:?}): memoir-interp returned {:?} but LirMachine trapped: {:?} \
+                         (see docs/REPRO_FORMAT.md for replaying fuzz artifacts)",
                         f.name, lir_args, expected, trap
                     ));
                 }
                 Ok(got) if got != expected => {
                     return Err(format!(
-                        "`{}`({:?}): memoir-interp returned {:?} but LirMachine returned {:?}",
+                        "`{}`({:?}): memoir-interp returned {:?} but LirMachine returned {:?} \
+                         (see docs/REPRO_FORMAT.md for replaying fuzz artifacts)",
                         f.name, lir_args, expected, got
                     ));
                 }
@@ -212,5 +395,93 @@ mod tests {
         let rep = cross_validate(&m, &lm, DEFAULT_PROBES).unwrap();
         assert_eq!(rep.functions_checked, 0);
         assert_eq!(rep.probes_compared, 0);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_and_typed() {
+        let mut types = TypeTable::new();
+        let i8t = types.intern(Type::I8);
+        let u16t = types.intern(Type::U16);
+        let boolt = types.intern(Type::Bool);
+        let idxt = types.intern(Type::Index);
+        let seqt = types.seq_of(i8t);
+        let assoct = types.assoc_of(u16t, seqt);
+        let params = [i8t, u16t, boolt, idxt, seqt, assoct];
+        for seed in 0..64 {
+            let a = synth_args(&types, &params, seed).unwrap();
+            let b = synth_args(&types, &params, seed).unwrap();
+            assert_eq!(a, b, "seed {seed}");
+            match (&a[0], &a[1], &a[2], &a[3], &a[4], &a[5]) {
+                (
+                    ProbeArg::Int(Type::I8, v8),
+                    ProbeArg::Int(Type::U16, v16),
+                    ProbeArg::Bool(_),
+                    ProbeArg::Int(Type::Index, vi),
+                    ProbeArg::Seq(elems),
+                    ProbeArg::Assoc(entries),
+                ) => {
+                    assert!((i8::MIN as i64..=i8::MAX as i64).contains(v8));
+                    assert!((0..=u16::MAX as i64).contains(v16));
+                    assert!(*vi >= 0);
+                    for e in elems {
+                        assert!(matches!(e, ProbeArg::Int(Type::I8, _)));
+                    }
+                    let mut seen = Vec::new();
+                    for (k, _) in entries {
+                        assert!(matches!(k, ProbeArg::Int(Type::U16, _)));
+                        assert!(!seen.contains(k), "duplicate key in {entries:?}");
+                        seen.push(k.clone());
+                    }
+                }
+                other => panic!("mis-typed synthesis: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_types_refuse_synthesis() {
+        let mut types = TypeTable::new();
+        let f64t = types.intern(Type::F64);
+        let ptrt = types.intern(Type::Ptr);
+        assert_eq!(synth_args(&types, &[f64t], 0), None);
+        assert_eq!(synth_args(&types, &[ptrt], 0), None);
+    }
+
+    #[test]
+    fn materialized_collections_run_through_the_interpreter() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("len2", Form::Mut, |b| {
+            let i64t = b.ty(Type::I64);
+            let seqt = b.types.seq_of(i64t);
+            let assoct = b.types.assoc_of(i64t, i64t);
+            let s = b.param("s", seqt);
+            let a = b.param("a", assoct);
+            let n = b.size(s);
+            let k = b.size(a);
+            let ni = b.cast(Type::I64, n);
+            let ki = b.cast(Type::I64, k);
+            let total = b.add(ni, ki);
+            b.returns(&[i64t]);
+            b.ret(vec![total]);
+        });
+        let m = mb.finish();
+        let f = &m.funcs[m.func_by_name("len2").unwrap()];
+        let param_tys: Vec<TypeId> = f.params.iter().map(|p| p.ty).collect();
+        let mut compared = 0;
+        for seed in 0..32 {
+            let args = synth_args(&m.types, &param_tys, seed).unwrap();
+            let (ProbeArg::Seq(se), ProbeArg::Assoc(ae)) = (&args[0], &args[1]) else {
+                panic!("expected collection args");
+            };
+            let expect = (se.len() + ae.len()) as i64;
+            let mut interp = Interp::new(&m);
+            let vals: Vec<Value> = args.iter().map(|a| materialize(&mut interp, a)).collect();
+            let got = interp.run_by_name("len2", vals).unwrap()[0]
+                .as_int()
+                .unwrap();
+            assert_eq!(got, expect, "seed {seed}");
+            compared += 1;
+        }
+        assert_eq!(compared, 32);
     }
 }

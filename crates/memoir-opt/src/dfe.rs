@@ -23,7 +23,8 @@ pub fn dfe(m: &mut Module) -> DfeStats {
     dfe_with(m, &mut passman::AnalysisManager::new())
 }
 
-/// Like [`dfe`], but takes the [`TypeEscape`] analysis — which types
+/// Like [`dfe`], but takes the [`TypeEscape`](memoir_analysis::TypeEscape)
+/// analysis — which types
 /// reach unknown code and must keep their layout — from a shared
 /// [`passman::AnalysisManager`] instead of rescanning every extern call
 /// site itself.

@@ -4,7 +4,8 @@
 //! Each adapter translates a pass's native statistics struct into the
 //! flat `(key, value)` form of [`PassOutcome`] and declares what it
 //! invalidates: most passes declare [`Mutation::All`] on change, while
-//! the iterative passes that already maintain the [`AnalysisManager`]
+//! the iterative passes that already maintain the
+//! [`AnalysisManager`](passman::AnalysisManager)
 //! themselves ([`sink_with`](crate::sink::sink_with),
 //! [`dee_strict_with`](crate::dee::dee_strict_with)) declare
 //! [`Mutation::Handled`] so their still-fresh analyses survive the run.
@@ -39,7 +40,13 @@ impl FuncPass<Module> for SimplifyPass {
     fn name(&self) -> &'static str {
         "simplify"
     }
-    fn run_on(&self, _shell: &Module, _key: FuncId, f: &mut Function) -> FuncOutcome {
+    fn run_on(
+        &self,
+        _shell: &Module,
+        _key: FuncId,
+        f: &mut Function,
+        _ctx: Option<&(dyn std::any::Any + Send + Sync)>,
+    ) -> FuncOutcome {
         let s = simplify::simplify_function(f);
         FuncOutcome {
             changed: s != Default::default(),

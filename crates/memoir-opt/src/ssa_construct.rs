@@ -383,6 +383,7 @@ fn rename_block(
     // Rewrite each instruction.
     for &iid in &old.blocks[block].insts.clone() {
         let inst = old.insts[iid].clone();
+        let pushed_before = pushed.len();
         // Remap a (possibly cell) operand to its current version.
         macro_rules! op {
             ($v:expr) => {{
@@ -659,6 +660,31 @@ fn rename_block(
                     }
                 }
             }
+        }
+
+        // Field arrays stay in heap form (DESIGN.md §6), so when a
+        // collection that was read *out of a field* gets a new SSA
+        // version — a rewritten mut op, or a by-ref call's RETφ — the
+        // version must be stored back for later field reads to see it.
+        for &c in &pushed[pushed_before..] {
+            let ValueDef::Inst(def_inst, _) = old.values[c].def else {
+                continue;
+            };
+            let InstKind::FieldRead { obj, obj_ty, field } = old.insts[def_inst].kind else {
+                continue;
+            };
+            let value = cur(stacks, b, c);
+            let obj = op!(obj);
+            b.emit(
+                block,
+                InstKind::FieldWrite {
+                    obj,
+                    obj_ty,
+                    field,
+                    value,
+                },
+                &[],
+            );
         }
     }
 

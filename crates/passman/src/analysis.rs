@@ -4,7 +4,8 @@
 //! computing them inline. The manager caches each result per function (or
 //! per module for [`ModuleAnalysis`]) and returns `Rc` clones, so a pass
 //! can hold a result while mutating unrelated state. Results stay valid
-//! until a pass *declares* it mutated the function ([`Mutation`] in its
+//! until a pass *declares* it mutated the function
+//! ([`Mutation`](crate::Mutation) in its
 //! [`PassOutcome`](crate::PassOutcome)); only then are the function's
 //! cached analyses dropped.
 //!

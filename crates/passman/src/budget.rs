@@ -50,8 +50,23 @@ impl Budgets {
     }
 
     /// Parses a `key=value,...` budget list, the `--budget=` CLI syntax:
-    /// `pass-ms=50,pipeline-ms=2000,growth=2.0,fixpoint=4`.
+    /// `pass-ms=50,pipeline-ms=2000,growth=2.0,fixpoint=4`. The word
+    /// `unlimited` — what [`Budgets::none`] displays as — parses back to
+    /// no limits, so `parse . to_string` round-trips.
+    ///
+    /// ```
+    /// use passman::Budgets;
+    ///
+    /// let b = Budgets::parse("pass-ms=50,growth=2.5").unwrap();
+    /// assert_eq!(b.max_pass_millis, Some(50));
+    /// assert_eq!(Budgets::parse(&b.to_string()).unwrap(), b);
+    /// assert_eq!(Budgets::parse("unlimited").unwrap(), Budgets::none());
+    /// assert!(Budgets::parse("growth=nan").is_err(), "bounds must be finite");
+    /// ```
     pub fn parse(s: &str) -> Result<Self, String> {
+        if s.trim() == "unlimited" {
+            return Ok(Budgets::none());
+        }
         let mut b = Budgets::none();
         for item in s.split(',').map(str::trim).filter(|s| !s.is_empty()) {
             let (key, value) = item
@@ -63,7 +78,16 @@ impl Budgets {
                 "pipeline-ms" => {
                     b.max_pipeline_millis = Some(value.trim().parse().map_err(|_| bad())?)
                 }
-                "growth" => b.max_growth = Some(value.trim().parse().map_err(|_| bad())?),
+                "growth" => {
+                    let g: f64 = value.trim().parse().map_err(|_| bad())?;
+                    // NaN never trips a comparison (and breaks display
+                    // round-tripping); infinities are "no limit" spelled
+                    // confusingly. Insist on a real bound.
+                    if !g.is_finite() {
+                        return Err(format!("budget `{item}` must be finite"));
+                    }
+                    b.max_growth = Some(g);
+                }
                 "fixpoint" => b.max_fixpoint_iters = Some(value.trim().parse().map_err(|_| bad())?),
                 other => {
                     return Err(format!(
@@ -169,18 +193,20 @@ mod tests {
         assert!(Budgets::parse("nope=1").is_err());
         assert!(Budgets::parse("pass-ms").is_err());
         assert!(Budgets::parse("pass-ms=abc").is_err());
+        assert!(Budgets::parse("growth=nan").is_err());
+        assert!(Budgets::parse("growth=inf").is_err());
     }
 
     #[test]
     fn display_round_trips() {
-        for text in ["pass-ms=50", "growth=2.5,fixpoint=4", ""] {
+        for text in ["pass-ms=50", "growth=2.5,fixpoint=4", "", ",", "unlimited"] {
             let b = Budgets::parse(text).unwrap();
             let shown = b.to_string();
             if b.is_unlimited() {
                 assert_eq!(shown, "unlimited");
-            } else {
-                assert_eq!(Budgets::parse(&shown).unwrap(), b);
             }
+            // `parse . to_string` must close, unlimited included.
+            assert_eq!(Budgets::parse(&shown).unwrap(), b);
         }
     }
 }

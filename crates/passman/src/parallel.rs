@@ -2,7 +2,7 @@
 //!
 //! A [`FuncPass`] is a transformation that touches exactly one function
 //! at a time and never the module shell (types, externs, entry): the
-//! per-function specialization of [`Pass`](crate::Pass) whose
+//! per-function specialization of [`Pass`] whose
 //! `Mutation::Funcs` declaration the analysis manager already exploits.
 //! [`FuncPassAdapter`] lifts a `FuncPass` into a regular [`Pass`] by
 //! detaching the module's functions, partitioning them into contiguous
@@ -31,7 +31,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Per-invocation execution context the runner hands to every pass via
-/// [`Pass::prepare`](crate::Pass::prepare) right before running it.
+/// [`Pass::prepare`] right before running it.
 ///
 /// Module-level passes ignore it; [`FuncPassAdapter`] reads the worker
 /// count, the fault-containment flag, and the (test-only) per-function
@@ -129,12 +129,42 @@ impl FuncOutcome {
 ///
 /// Implementations are shared across worker threads, hence `Send + Sync`
 /// and `&self` (per-function state belongs in locals, not fields).
+///
+/// Passes that consume cached analyses implement
+/// [`prefetch`](FuncPass::prefetch): it runs on the *main* thread with
+/// the module still whole and the [`AnalysisManager`] in hand, and
+/// whatever it returns is handed back to `run_on` for that function as
+/// the `ctx` argument — the bridge between the single-threaded `Rc`
+/// analysis cache and the `Send` worker shards.
 pub trait FuncPass<M: ShardedIr>: Send + Sync {
     /// The registry/spec name of this pass.
     fn name(&self) -> &'static str;
 
-    /// Transforms one function.
-    fn run_on(&self, shell: &M, key: M::FuncKey, func: &mut M::Func) -> FuncOutcome;
+    /// Fetches (typically from the analysis cache) whatever per-function
+    /// context `run_on` wants. Called once per function, in stable key
+    /// order, before the functions are detached — the only point in a
+    /// sharded pass where both the whole module and the analysis manager
+    /// are visible. The default prefetches nothing.
+    fn prefetch(
+        &self,
+        _m: &M,
+        _key: M::FuncKey,
+        _am: &mut AnalysisManager<M>,
+    ) -> Option<Box<dyn std::any::Any + Send + Sync>> {
+        None
+    }
+
+    /// Transforms one function. `ctx` is what
+    /// [`prefetch`](FuncPass::prefetch) returned for this function;
+    /// passes must treat it as an optimization and fall back to
+    /// recomputing when it is `None`.
+    fn run_on(
+        &self,
+        shell: &M,
+        key: M::FuncKey,
+        func: &mut M::Func,
+        ctx: Option<&(dyn std::any::Any + Send + Sync)>,
+    ) -> FuncOutcome;
 }
 
 /// Per-shard utilization: how many functions the shard processed and how
@@ -243,12 +273,15 @@ impl<M: ShardedIr, P: FuncPass<M>> FuncPassAdapter<M, P> {
 }
 
 /// Runs one shard: every `(key, func)` in `funcs`, writing per-function
-/// results into the parallel `results` slice.
+/// results into the parallel `results` slice (`ctxs` carries each
+/// function's prefetched analysis context, same order).
+#[allow(clippy::too_many_arguments)]
 fn run_shard<M: ShardedIr, P: FuncPass<M>>(
     pass: &P,
     shell: &M,
     base: usize,
     funcs: &mut [(M::FuncKey, M::Func)],
+    ctxs: &[Option<Box<dyn std::any::Any + Send + Sync>>],
     results: &mut [Option<FuncResult>],
     cx: ExecContext,
     stat: &mut ShardStat,
@@ -270,7 +303,7 @@ fn run_shard<M: ShardedIr, P: FuncPass<M>>(
                     *key
                 );
             }
-            pass.run_on(shell, *key, func)
+            pass.run_on(shell, *key, func, ctxs[li].as_deref())
         }));
         let time = ft0.elapsed();
         results[li] = Some(match outcome {
@@ -325,13 +358,18 @@ impl<M: ShardedIr, P: FuncPass<M>> Pass<M> for FuncPassAdapter<M, P> {
         Mutation::Funcs(keys)
     }
 
-    fn run(
-        &mut self,
-        m: &mut M,
-        _am: &mut AnalysisManager<M>,
-    ) -> Result<PassOutcome<M>, PassError> {
+    fn run(&mut self, m: &mut M, am: &mut AnalysisManager<M>) -> Result<PassOutcome<M>, PassError> {
+        // Prefetch while the module is still whole (analyses index into
+        // the attached functions) and the `Rc`-based cache is still on
+        // this thread. Stable key order matches the detach order below.
+        let mut keys = m.func_keys();
+        keys.sort_unstable();
+        let ctxs: Vec<Option<Box<dyn std::any::Any + Send + Sync>>> =
+            keys.iter().map(|&k| self.pass.prefetch(m, k, am)).collect();
+
         let mut funcs = m.detach_funcs();
         funcs.sort_by_key(|a| a.0);
+        debug_assert!(funcs.iter().map(|(k, _)| *k).eq(keys.iter().copied()));
         let n = funcs.len();
         let mut results: Vec<Option<FuncResult>> = Vec::new();
         results.resize_with(n, || None);
@@ -351,20 +389,24 @@ impl<M: ShardedIr, P: FuncPass<M>> Pass<M> for FuncPassAdapter<M, P> {
                     shell,
                     0,
                     &mut funcs,
+                    &ctxs,
                     &mut results,
                     cx,
                     &mut shard_stats[0],
                 );
             } else {
                 std::thread::scope(|s| {
-                    for (si, ((fchunk, rchunk), stat)) in funcs
+                    for (si, (((fchunk, cchunk), rchunk), stat)) in funcs
                         .chunks_mut(chunk)
+                        .zip(ctxs.chunks(chunk))
                         .zip(results.chunks_mut(chunk))
                         .zip(shard_stats.iter_mut())
                         .enumerate()
                     {
                         let base = si * chunk;
-                        s.spawn(move || run_shard(pass, shell, base, fchunk, rchunk, cx, stat));
+                        s.spawn(move || {
+                            run_shard(pass, shell, base, fchunk, cchunk, rchunk, cx, stat)
+                        });
                     }
                 });
             }

@@ -274,7 +274,7 @@ impl fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
-type Verifier<M> = Rc<dyn Fn(&M) -> Result<(), String>>;
+type Verifier<M> = Rc<dyn Fn(&M, &mut AnalysisManager<M>) -> Result<(), String>>;
 type Observer<M> = Rc<dyn Fn(&M, &mut PassRun)>;
 
 /// What [`PassManager::run_one`] tells the step loop.
@@ -350,6 +350,20 @@ impl<M: IrUnit> PassManager<M> {
 
     /// Sets the IR verifier run between passes.
     pub fn with_verifier(mut self, v: impl Fn(&M) -> Result<(), String> + 'static) -> Self {
+        self.verifier = Some(Rc::new(move |m, _am| v(m)));
+        self
+    }
+
+    /// Sets an IR verifier that may consult (and populate) the run's
+    /// [`AnalysisManager`] — e.g. to reuse cached dominator trees for
+    /// functions no pass has touched since they were last verified. Safe
+    /// with rollback: a failed verification restores the snapshot and
+    /// then drops *every* cached analysis, so nothing the verifier
+    /// computed against the discarded state survives.
+    pub fn with_verifier_am(
+        mut self,
+        v: impl Fn(&M, &mut AnalysisManager<M>) -> Result<(), String> + 'static,
+    ) -> Self {
         self.verifier = Some(Rc::new(v));
         self
     }
@@ -717,7 +731,7 @@ impl<M: IrUnit> PassManager<M> {
                     ))
                 } else if self.verify_between_passes {
                     match &self.verifier {
-                        Some(v) => v(m).err(),
+                        Some(v) => v(m, am).err(),
                         None => None,
                     }
                 } else {
@@ -1399,7 +1413,13 @@ mod tests {
         fn name(&self) -> &'static str {
             "fdec"
         }
-        fn run_on(&self, _shell: &Toy, _key: usize, v: &mut i64) -> FuncOutcome {
+        fn run_on(
+            &self,
+            _shell: &Toy,
+            _key: usize,
+            v: &mut i64,
+            _ctx: Option<&(dyn std::any::Any + Send + Sync)>,
+        ) -> FuncOutcome {
             if *v > 0 {
                 *v -= 1;
                 FuncOutcome::from_stats(vec![("decremented", 1)])

@@ -396,6 +396,16 @@ impl PipelineSpec {
 
     /// Parses a textual spec like
     /// `"constprop,dee<exact>,fixpoint<max=4>(simplify,sink,dce)"`.
+    ///
+    /// ```
+    /// use passman::PipelineSpec;
+    ///
+    /// let spec = PipelineSpec::parse("constprop,fixpoint<max=4>(simplify,dce)").unwrap();
+    /// assert_eq!(spec.pass_names(), ["constprop", "simplify", "dce"]);
+    /// // Printing and reparsing closes (the fuzzer's `cli` mode
+    /// // attacks this property on every textual surface).
+    /// assert_eq!(PipelineSpec::parse(&spec.to_string()).unwrap(), spec);
+    /// ```
     pub fn parse(input: &str) -> Result<Self, SpecParseError> {
         let mut p = Parser::new(input);
         let mut steps = Vec::new();

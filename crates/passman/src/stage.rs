@@ -67,6 +67,9 @@ impl<B> StageOutcome<B> {
 
 type OutputVerifier<B> = Box<dyn Fn(&B) -> Result<(), String>>;
 type CrossCheck<A, B> = Box<dyn Fn(&A, &B) -> Result<(), String>>;
+/// Outcome of running a stage body: outer `Err` is a caught panic
+/// message, inner `Err` a stage failure, `Ok` the output plus stats.
+type BodyResult<B> = Result<Result<(B, Vec<(&'static str, i64)>), String>, String>;
 
 /// A cross-IR bridge stage (see the module docs).
 ///
@@ -229,7 +232,7 @@ impl<A: IrUnit + Clone, B: IrUnit> LowerStage<A, B> {
             }
             body(input)
         };
-        let result: Result<Result<(B, Vec<(&'static str, i64)>), String>, String> = if recovering {
+        let result: BodyResult<B> = if recovering {
             catch_unwind(AssertUnwindSafe(|| exec(input))).map_err(|payload| {
                 payload
                     .downcast_ref::<&str>()
@@ -403,7 +406,9 @@ mod tests {
         }
     }
 
-    fn double(src: &mut Src) -> Result<(Dst, Vec<(&'static str, i64)>), String> {
+    type DoubleResult = Result<(Dst, Vec<(&'static str, i64)>), String>;
+
+    fn double(src: &mut Src) -> DoubleResult {
         let vals: Vec<i64> = src.vals.iter().map(|v| v * 2).collect();
         let n = vals.len() as i64;
         Ok((Dst { vals }, vec![("lowered", n)]))

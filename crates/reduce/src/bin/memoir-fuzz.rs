@@ -2,20 +2,25 @@
 //!
 //! ```text
 //! memoir-fuzz run --seed 1 --iters 200 --out fuzz-out/
-//! memoir-fuzz run --lower --seed 1 --iters 500
+//! memoir-fuzz run --lower --objects --multi --probe --seed 1 --iters 800
 //! memoir-fuzz reduce fuzz-out/crash-1-17.repro
 //! memoir-fuzz replay fuzz-out/crash-1-17.repro
+//! memoir-fuzz cli --seed 1 --iters 2000
 //! ```
 //!
-//! `run` drives random MUT-op programs through random pipeline specs —
-//! with `--lower`, on through the `lower` stage and a random low-level
-//! IR pipeline — and writes every failure as a minimized, replayable
-//! `.repro` artifact; `reduce` shrinks an existing artifact in place;
-//! `replay` re-runs one exactly and reports whether the recorded failure
-//! still reproduces.
+//! `run` drives random whole-language programs (sequence/assoc ops,
+//! object field traffic with `--objects`, helper functions with
+//! `--multi`) through random pipeline specs — with `--lower`, on through
+//! the `lower` stage and a random low-level IR pipeline — and writes
+//! every failure as a minimized, replayable `.repro` artifact (format:
+//! `docs/REPRO_FORMAT.md`); `reduce` shrinks an existing artifact in
+//! place; `replay` re-runs one exactly and reports whether the recorded
+//! failure still reproduces; `cli` fuzzes the binaries' own textual
+//! argument surfaces for parser panics.
 
 use reduce::{
-    random_case_config, random_ops, random_spec, reduce_case, run_case, Outcome, Repro, SplitMix64,
+    fuzz_cli_case, parse_run_args, random_case, random_case_config, random_spec, reduce_case_prog,
+    run_case_prog, Outcome, Repro, SplitMix64,
 };
 use std::process::ExitCode;
 
@@ -24,31 +29,46 @@ memoir-fuzz — fuzz the MEMOIR pass pipeline and triage crashes
 
 USAGE:
     memoir-fuzz run [--seed N] [--iters N] [--max-ops N] [--out DIR] [--lower]
+                    [--objects] [--multi] [--probe]
                     [--on-fault=abort|skip|stop] [--budget=LIST] [--inject=PLAN]
                     [--no-reduce]
     memoir-fuzz reduce FILE.repro
     memoir-fuzz replay FILE.repro
+    memoir-fuzz cli [--seed N] [--iters N]
 
 SUBCOMMANDS:
-    run       fuzz: random op programs through random pipeline specs;
-              every failure is delta-debugged (unless --no-reduce) and
-              written to DIR as a replayable .repro artifact.
-              Exits 1 if any crash was found.
-    reduce    shrink an existing .repro in place (ops, pipeline steps,
-              lir steps, budgets) and mark it `minimized: true`
+    run       fuzz: random whole-language programs through random pipeline
+              specs; every failure is delta-debugged (unless --no-reduce)
+              and written to DIR as a replayable .repro artifact (see
+              docs/REPRO_FORMAT.md). Exits 1 if any crash was found.
+    reduce    shrink an existing .repro in place (helpers, ops, pipeline
+              steps, lir steps, budgets) and mark it `minimized: true`
     replay    re-run a .repro exactly; exits 0 if the recorded failure
               class reproduces, 1 if it does not
+    cli       fuzz the textual surfaces the binaries parse (--passes
+              specs, --budget lists, --inject plans, .repro files, run
+              argv) for panics and print/parse round-trip breaks.
+              Exits 1 if any finding.
 
 OPTIONS (run):
     --seed N              campaign seed (default 1)
     --iters N             number of cases (default 100)
-    --max-ops N           op-sequence length bound (default 40)
+    --max-ops N           op-sequence length bound per function (default 40)
     --out DIR             artifact directory (default fuzz-out)
     --lower               drive every case through the `lower` stage and a
                           random lir pipeline, with the four-way
                           differential oracle (MEMOIR interp, direct
                           lowering, lir-optimized module vs the Rust
                           oracle)
+    --objects             include object types: field reads/writes and a
+                          nested collection field in every generated main
+    --multi               generate helper functions — collection-typed
+                          by-ref parameters and scalar callees — called
+                          from main
+    --probe               probe every surviving function pre- vs post-opt
+                          on synthesized typed argument vectors, and
+                          cross-check the direct lowering on the same
+                          seeds
     --on-fault=POLICY     pin the fault policy for every case; by default
                           each case samples abort/skip/stop itself
     --budget=LIST         pin the budgets for every case (e.g.
@@ -62,58 +82,6 @@ fn first_line(s: &str) -> String {
     s.lines().next().unwrap_or("").to_string()
 }
 
-struct RunArgs {
-    seed: u64,
-    iters: u64,
-    max_ops: usize,
-    out: String,
-    lower: bool,
-    policy: Option<passman::FaultPolicy>,
-    budgets: Option<passman::Budgets>,
-    inject: Option<passman::FaultPlan>,
-    no_reduce: bool,
-}
-
-fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
-    let mut r = RunArgs {
-        seed: 1,
-        iters: 100,
-        max_ops: 40,
-        out: "fuzz-out".to_string(),
-        lower: false,
-        policy: None,
-        budgets: None,
-        inject: None,
-        no_reduce: false,
-    };
-    let mut it = args.iter().peekable();
-    while let Some(arg) = it.next() {
-        let (flag, inline) = match arg.split_once('=') {
-            Some((f, v)) => (f, Some(v.to_string())),
-            None => (arg.as_str(), None),
-        };
-        let mut value = || {
-            inline
-                .clone()
-                .or_else(|| it.next().cloned())
-                .ok_or_else(|| format!("`{flag}` needs a value"))
-        };
-        match flag {
-            "--seed" => r.seed = value()?.parse().map_err(|_| "bad --seed".to_string())?,
-            "--iters" => r.iters = value()?.parse().map_err(|_| "bad --iters".to_string())?,
-            "--max-ops" => r.max_ops = value()?.parse().map_err(|_| "bad --max-ops".to_string())?,
-            "--out" => r.out = value()?,
-            "--lower" => r.lower = true,
-            "--on-fault" => r.policy = Some(value()?.parse()?),
-            "--budget" => r.budgets = Some(passman::Budgets::parse(&value()?)?),
-            "--inject" => r.inject = Some(value()?.parse()?),
-            "--no-reduce" => r.no_reduce = true,
-            other => return Err(format!("unknown `run` option `{other}`")),
-        }
-    }
-    Ok(r)
-}
-
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let r = parse_run_args(args)?;
     std::fs::create_dir_all(&r.out).map_err(|e| format!("creating `{}`: {e}", r.out))?;
@@ -122,9 +90,12 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut crashes = 0u64;
     for case in 0..r.iters {
         let mut rng = root.split(case);
-        let ops = random_ops(&mut rng, r.max_ops);
+        let prog = random_case(&mut rng, r.max_ops, r.dims);
         let spec = random_spec(&mut rng);
         let mut cfg = random_case_config(&mut rng, r.lower);
+        if r.probe {
+            cfg.probe_seed = Some(rng.next_u64());
+        }
         if let Some(p) = r.policy {
             cfg.policy = p;
         }
@@ -132,18 +103,18 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             cfg.budgets = b;
         }
         cfg.inject = r.inject.clone();
-        let Outcome::Crash { detail, .. } = run_case(&ops, &spec, &cfg) else {
+        let Outcome::Crash { detail, .. } = run_case_prog(&prog, &spec, &cfg) else {
             continue;
         };
         crashes += 1;
         eprintln!("case {case}: {}", first_line(&detail));
 
-        let (ops, spec, cfg, detail, minimized) = if r.no_reduce {
-            (ops, spec, cfg, detail, false)
+        let (prog, spec, cfg, detail, minimized) = if r.no_reduce {
+            (prog, spec, cfg, detail, false)
         } else {
-            match reduce_case(&ops, &spec, &cfg) {
-                Some((o, s, c, d)) => (o, s, c, d, true),
-                None => (ops, spec, cfg, detail, false), // shrink lost the bug
+            match reduce_case_prog(&prog, &spec, &cfg) {
+                Some((p, s, c, d)) => (p, s, c, d, true),
+                None => (prog, spec, cfg, detail, false), // shrink lost the bug
             }
         };
         let repro = Repro {
@@ -154,15 +125,17 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             policy: cfg.policy,
             budgets: cfg.budgets,
             inject: cfg.inject.clone(),
+            probe_seed: cfg.probe_seed,
             minimized,
             failure: first_line(&detail),
-            ops,
+            prog,
         };
         let path = format!("{}/crash-{}-{case}.repro", r.out, r.seed);
         std::fs::write(&path, repro.to_string()).map_err(|e| format!("writing `{path}`: {e}"))?;
         eprintln!(
-            "  -> {path} ({} ops, {} steps{}{})",
-            repro.ops.len(),
+            "  -> {path} ({} ops + {} helpers, {} steps{}{})",
+            repro.prog.main.len(),
+            repro.prog.helpers.len(),
             repro.spec.steps.len(),
             match &repro.lir_spec {
                 Some(l) => format!(" + {} lir steps", l.steps.len()),
@@ -183,6 +156,46 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+fn cmd_cli(args: &[String]) -> Result<ExitCode, String> {
+    let mut seed = 1u64;
+    let mut iters = 1000u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let mut value = || {
+            inline
+                .clone()
+                .or_else(|| it.next().cloned())
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        match flag {
+            "--seed" => seed = value()?.parse().map_err(|_| "bad --seed".to_string())?,
+            "--iters" => iters = value()?.parse().map_err(|_| "bad --iters".to_string())?,
+            other => return Err(format!("unknown `cli` option `{other}`")),
+        }
+    }
+
+    let root = SplitMix64::new(seed);
+    let mut findings = 0u64;
+    for case in 0..iters {
+        let mut rng = root.split(case);
+        if let Some(c) = fuzz_cli_case(&mut rng) {
+            findings += 1;
+            eprintln!("case {case}: [{}] {}", c.surface, c.message);
+            eprintln!("  input: {:?}", c.input);
+        }
+    }
+    eprintln!("{iters} case(s), {findings} finding(s), seed {seed}");
+    Ok(if findings == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn load(path: &str) -> Result<Repro, String> {
     std::fs::read_to_string(path)
         .map_err(|e| format!("reading `{path}`: {e}"))?
@@ -193,25 +206,27 @@ fn load(path: &str) -> Result<Repro, String> {
 fn cmd_reduce(path: &str) -> Result<ExitCode, String> {
     let mut repro = load(path)?;
     let cfg = repro.config();
-    match reduce_case(&repro.ops, &repro.spec, &cfg) {
+    match reduce_case_prog(&repro.prog, &repro.spec, &cfg) {
         None => {
             eprintln!("`{path}` does not reproduce; leaving it untouched");
             Ok(ExitCode::FAILURE)
         }
-        Some((ops, spec, cfg, detail)) => {
-            repro.ops = ops;
+        Some((prog, spec, cfg, detail)) => {
+            repro.prog = prog;
             repro.spec = spec;
             repro.lir_spec = cfg.lir_spec;
             repro.policy = cfg.policy;
             repro.budgets = cfg.budgets;
             repro.inject = cfg.inject;
+            repro.probe_seed = cfg.probe_seed;
             repro.failure = first_line(&detail);
             repro.minimized = true;
             std::fs::write(path, repro.to_string())
                 .map_err(|e| format!("writing `{path}`: {e}"))?;
             eprintln!(
-                "{path}: reduced to {} ops, {} pipeline steps ({})",
-                repro.ops.len(),
+                "{path}: reduced to {} ops + {} helpers, {} pipeline steps ({})",
+                repro.prog.main.len(),
+                repro.prog.helpers.len(),
                 repro.spec.steps.len(),
                 repro.failure
             );
@@ -222,7 +237,7 @@ fn cmd_reduce(path: &str) -> Result<ExitCode, String> {
 
 fn cmd_replay(path: &str) -> Result<ExitCode, String> {
     let repro = load(path)?;
-    let out = run_case(&repro.ops, &repro.spec, &repro.config());
+    let out = run_case_prog(&repro.prog, &repro.spec, &repro.config());
     let recorded_kind = repro.failure.split(':').next().unwrap_or("");
     match out {
         Outcome::Crash { kind, detail } => {
@@ -256,6 +271,7 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         Some("run") => cmd_run(&args[1..]),
+        Some("cli") => cmd_cli(&args[1..]),
         Some("reduce") if args.len() == 2 => cmd_reduce(&args[1]),
         Some("replay") if args.len() == 2 => cmd_replay(&args[1]),
         Some("reduce") | Some("replay") => Err("expected exactly one FILE.repro".to_string()),

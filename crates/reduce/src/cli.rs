@@ -1,0 +1,429 @@
+//! The `memoir-fuzz` argument surface, plus a fuzzer for every textual
+//! surface the `memoir-opt`/`memoir-fuzz` binaries parse.
+//!
+//! The binaries accept user-controlled text in several places — pipeline
+//! spec strings (`--passes`), budget lists (`--budget`), fault-injection
+//! plans (`--inject`), fault policies (`--on-fault`), whole `.repro`
+//! files, and `memoir-fuzz run`'s own argv. A malformed input must come
+//! back as `Err`, never a panic, and anything a parser *accepts* must
+//! round-trip through its `Display` form. [`fuzz_cli_case`] throws
+//! grammar-aware garbage at all of them; `memoir-fuzz cli` is the
+//! campaign driver around it.
+
+use crate::genprog::CaseDims;
+use crate::repro::Repro;
+use crate::rng::SplitMix64;
+use passman::{Budgets, FaultPlan, FaultPolicy, PipelineSpec};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Parsed options of `memoir-fuzz run` (public so the CLI fuzzer can
+/// drive the argv parser itself).
+pub struct RunArgs {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Number of cases.
+    pub iters: u64,
+    /// Op-sequence length bound per function.
+    pub max_ops: usize,
+    /// Artifact directory.
+    pub out: String,
+    /// Drive every case through the `lower` stage + a random lir spec.
+    pub lower: bool,
+    /// Generation dimensions (`--objects`, `--multi`).
+    pub dims: CaseDims,
+    /// Probe preserved functions on synthesized arguments (`--probe`).
+    pub probe: bool,
+    /// Pin the fault policy for every case.
+    pub policy: Option<FaultPolicy>,
+    /// Pin the budgets for every case.
+    pub budgets: Option<Budgets>,
+    /// Seed a fault into every case.
+    pub inject: Option<FaultPlan>,
+    /// Write raw artifacts without reducing.
+    pub no_reduce: bool,
+}
+
+/// Parses the argv of `memoir-fuzz run` (everything after the
+/// subcommand).
+pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut r = RunArgs {
+        seed: 1,
+        iters: 100,
+        max_ops: 40,
+        out: "fuzz-out".to_string(),
+        lower: false,
+        dims: CaseDims {
+            objects: false,
+            multi: false,
+        },
+        probe: false,
+        policy: None,
+        budgets: None,
+        inject: None,
+        no_reduce: false,
+    };
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let mut value = || {
+            inline
+                .clone()
+                .or_else(|| it.next().cloned())
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        match flag {
+            "--seed" => r.seed = value()?.parse().map_err(|_| "bad --seed".to_string())?,
+            "--iters" => r.iters = value()?.parse().map_err(|_| "bad --iters".to_string())?,
+            "--max-ops" => r.max_ops = value()?.parse().map_err(|_| "bad --max-ops".to_string())?,
+            "--out" => r.out = value()?,
+            "--lower" => r.lower = true,
+            "--objects" => r.dims.objects = true,
+            "--multi" => r.dims.multi = true,
+            "--probe" => r.probe = true,
+            "--on-fault" => r.policy = Some(value()?.parse()?),
+            "--budget" => r.budgets = Some(Budgets::parse(&value()?)?),
+            "--inject" => r.inject = Some(value()?.parse()?),
+            "--no-reduce" => r.no_reduce = true,
+            other => return Err(format!("unknown `run` option `{other}`")),
+        }
+    }
+    Ok(r)
+}
+
+/// One CLI-surface finding: the parser that misbehaved, the input that
+/// triggered it, and what went wrong.
+#[derive(Clone, Debug)]
+pub struct CliCrash {
+    /// Which textual surface (`spec`, `budget`, `inject`, `policy`,
+    /// `repro`, `run-args`).
+    pub surface: &'static str,
+    /// The offending input, verbatim.
+    pub input: String,
+    /// Panic message or round-trip mismatch description.
+    pub message: String,
+}
+
+const SPEC_TOKENS: &[&str] = &[
+    "ssa-construct",
+    "ssa-destruct",
+    "constprop",
+    "simplify",
+    "dce",
+    "dee",
+    "dee-strict",
+    "dfe",
+    "fe",
+    "rie",
+    "key-fold",
+    "copyfold",
+    "sink",
+    "lower",
+    "mem2reg",
+    "constfold",
+    "gvn",
+    "fixpoint",
+    "(",
+    ")",
+    ",",
+    "<",
+    ">",
+    "=",
+    "max",
+    "max-ms",
+    "max-growth",
+    "no-cross-check",
+    "0",
+    "3",
+    "4.0",
+    "-1",
+    "18446744073709551615",
+    "",
+    " ",
+    "fixpoint<max=2>(",
+    "<<",
+    "héllo",
+    "\t",
+    "\u{0}",
+];
+
+const BUDGET_TOKENS: &[&str] = &[
+    "pass-ms",
+    "pipeline-ms",
+    "growth",
+    "fixpoint",
+    "=",
+    ",",
+    "500",
+    "4.0",
+    "-3",
+    "nan",
+    "inf",
+    "1e999",
+    "",
+    " ",
+    "=,=",
+    "growth=",
+];
+
+const INJECT_TOKENS: &[&str] = &[
+    "panic", "verify", "budget", "@", "#", "%", "dce", "dee", "lower", "gvn", "*", "2", "-1", "",
+    " ", "@@", "#%",
+];
+
+const ARG_TOKENS: &[&str] = &[
+    "--seed",
+    "--iters",
+    "--max-ops",
+    "--out",
+    "--lower",
+    "--objects",
+    "--multi",
+    "--probe",
+    "--on-fault",
+    "--budget",
+    "--inject",
+    "--no-reduce",
+    "--seed=abc",
+    "--iters=",
+    "=",
+    "7",
+    "skip",
+    "panic@dce",
+    "growth=2.0",
+    "--unknown",
+    "",
+];
+
+fn soup(rng: &mut SplitMix64, tokens: &[&str], max_len: usize) -> String {
+    let n = rng.index(max_len.max(1));
+    let mut s = String::new();
+    for _ in 0..n {
+        s.push_str(tokens[rng.index(tokens.len())]);
+    }
+    s
+}
+
+fn argv_soup(rng: &mut SplitMix64) -> Vec<String> {
+    let n = rng.index(8);
+    (0..n)
+        .map(|_| ARG_TOKENS[rng.index(ARG_TOKENS.len())].to_string())
+        .collect()
+}
+
+/// A syntactically plausible `.repro` file: a valid skeleton with
+/// random lines mutated, duplicated, or dropped.
+fn repro_soup(rng: &mut SplitMix64) -> String {
+    let base = "memoir-fuzz repro v2\nseed: 1\ncase: 0\nspec: ssa-construct,dce,ssa-destruct\n\
+                lir-spec: gvn\npolicy: skip\nbudget: growth=4.0\ninject: panic@dce\n\
+                probe-seed: 9\nminimized: false\nfailure: panic: x\nops:\n  push 3\n\
+                  obj-write 0 1 -2\nhelper:\n  assoc-insert 1 2\nhelper-scalar: 3 -1\n";
+    let mut lines: Vec<String> = base.lines().map(String::from).collect();
+    for _ in 0..rng.index(6) {
+        let i = rng.index(lines.len());
+        match rng.below(4) {
+            0 => {
+                lines.remove(i);
+            }
+            1 => {
+                let dup = lines[i].clone();
+                lines.insert(i, dup);
+            }
+            2 => {
+                // Clobber the line with token soup from a random grammar.
+                lines[i] = soup(rng, SPEC_TOKENS, 6);
+            }
+            _ => {
+                // Flip one byte to a printable-ish random one.
+                let mut bytes = lines[i].clone().into_bytes();
+                if !bytes.is_empty() {
+                    let j = rng.index(bytes.len());
+                    bytes[j] = (rng.below(95) + 32) as u8;
+                }
+                lines[i] = String::from_utf8_lossy(&bytes).into_owned();
+            }
+        }
+        if lines.is_empty() {
+            break;
+        }
+    }
+    let mut s = lines.join("\n");
+    if rng.chance(1, 4) {
+        let mut cut = rng.index(s.len().max(1));
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        s.truncate(cut);
+    }
+    s
+}
+
+/// Checks one parser on one input: it must not panic, and if it accepts
+/// the input, its `Display` form must reparse to an equal value
+/// (`parse . print = id` on the accepted set).
+fn check<T, P, D>(surface: &'static str, input: &str, parse: P, display: D) -> Option<CliCrash>
+where
+    T: PartialEq,
+    P: Fn(&str) -> Option<T> + std::panic::RefUnwindSafe,
+    D: Fn(&T) -> String,
+{
+    let crash = |message: String| {
+        Some(CliCrash {
+            surface,
+            input: input.to_string(),
+            message,
+        })
+    };
+    match catch_unwind(AssertUnwindSafe(|| parse(input))) {
+        Err(payload) => crash(format!("panic: {}", crate::panic_text(payload))),
+        Ok(None) => None, // rejected cleanly
+        Ok(Some(v)) => {
+            let printed = display(&v);
+            match catch_unwind(AssertUnwindSafe(|| parse(&printed))) {
+                Err(payload) => crash(format!(
+                    "accepted, but its printed form `{printed}` panics the parser: {}",
+                    crate::panic_text(payload)
+                )),
+                Ok(None) => crash(format!(
+                    "accepted, but its printed form `{printed}` is rejected"
+                )),
+                Ok(Some(v2)) if v2 != v => {
+                    crash(format!("printed form `{printed}` reparses differently"))
+                }
+                Ok(Some(_)) => None,
+            }
+        }
+    }
+}
+
+/// Runs one CLI-fuzz case: throws grammar-aware token soup at every
+/// textual surface the binaries parse. Returns the first finding, if
+/// any.
+pub fn fuzz_cli_case(rng: &mut SplitMix64) -> Option<CliCrash> {
+    let spec_input = soup(rng, SPEC_TOKENS, 12);
+    if let Some(c) = check(
+        "spec",
+        &spec_input,
+        |s| PipelineSpec::parse(s).ok(),
+        |v| v.to_string(),
+    ) {
+        return Some(c);
+    }
+    // Accepted specs must also survive the lowered-pipeline splitter
+    // (the `--lower` path of memoir-opt).
+    if let Ok(spec) = PipelineSpec::parse(&spec_input) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+            let _ = memoir_opt::lowering::split_lowered_spec(&spec);
+        })) {
+            return Some(CliCrash {
+                surface: "spec",
+                input: spec_input,
+                message: format!(
+                    "split_lowered_spec panicked: {}",
+                    crate::panic_text(payload)
+                ),
+            });
+        }
+    }
+
+    if let Some(c) = check(
+        "budget",
+        &soup(rng, BUDGET_TOKENS, 8),
+        |s| Budgets::parse(s).ok(),
+        |v| v.to_string(),
+    ) {
+        return Some(c);
+    }
+    if let Some(c) = check(
+        "inject",
+        &soup(rng, INJECT_TOKENS, 6),
+        |s| s.parse::<FaultPlan>().ok(),
+        |v| v.to_string(),
+    ) {
+        return Some(c);
+    }
+    if let Some(c) = check(
+        "policy",
+        &soup(rng, INJECT_TOKENS, 3),
+        |s| s.parse::<FaultPolicy>().ok(),
+        |v| v.to_string(),
+    ) {
+        return Some(c);
+    }
+    if let Some(c) = check(
+        "repro",
+        &repro_soup(rng),
+        |s| s.parse::<Repro>().ok(),
+        |v| v.to_string(),
+    ) {
+        return Some(c);
+    }
+
+    let argv = argv_soup(rng);
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+        let _ = parse_run_args(&argv);
+    })) {
+        return Some(CliCrash {
+            surface: "run-args",
+            input: argv.join(" "),
+            message: format!("panic: {}", crate::panic_text(payload)),
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_args_parse_the_documented_surface() {
+        let args: Vec<String> = [
+            "--seed",
+            "9",
+            "--iters=50",
+            "--max-ops",
+            "12",
+            "--lower",
+            "--objects",
+            "--multi",
+            "--probe",
+            "--on-fault=skip",
+            "--budget=growth=4.0",
+            "--inject",
+            "panic@dce",
+            "--no-reduce",
+            "--out",
+            "artifacts",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let r = parse_run_args(&args).unwrap();
+        assert_eq!(r.seed, 9);
+        assert_eq!(r.iters, 50);
+        assert_eq!(r.max_ops, 12);
+        assert!(r.lower && r.dims.objects && r.dims.multi && r.probe && r.no_reduce);
+        assert_eq!(r.policy, Some(FaultPolicy::SkipPass));
+        assert!(r.budgets.is_some() && r.inject.is_some());
+        assert_eq!(r.out, "artifacts");
+
+        assert!(parse_run_args(&["--seed".to_string()]).is_err());
+        assert!(parse_run_args(&["--what".to_string()]).is_err());
+    }
+
+    #[test]
+    fn cli_surfaces_survive_a_smoke_campaign() {
+        let mut rng = SplitMix64::new(0xc11);
+        for case in 0..300 {
+            if let Some(c) = fuzz_cli_case(&mut rng) {
+                panic!(
+                    "case {case}: [{}] {}\ninput: {}",
+                    c.surface, c.message, c.input
+                );
+            }
+        }
+    }
+}

@@ -1,24 +1,45 @@
-//! Random MUT-op sequence programs with a built-in oracle.
+//! Random MUT-op programs with a built-in oracle, over the whole MEMOIR
+//! language surface.
 //!
 //! This is the program generator of `tests/pipeline_differential.rs`,
 //! promoted to a library so the fuzz harness, the reducer, and the
-//! property tests all draw from the same distribution: a straight-line
-//! prefix of sequence mutations (push/write/insert/remove/swap/
-//! remove-range) and associative-array mutations (assoc-insert/remove/
-//! has/keys over a small key universe) followed by two fold loops — one
-//! over the sequence, one over the assoc's insertion-ordered keys — with
-//! a plain-Rust oracle computing the expected result alongside.
+//! property tests all draw from the same distribution. A generated case
+//! ([`CaseProgram`]) is:
+//!
+//! - a straight-line prefix of sequence mutations (push/write/insert/
+//!   remove/swap/remove-range), associative-array mutations
+//!   (assoc-insert/remove/has/keys over a small key universe), and —
+//!   in the object dimension — field reads/writes over a small pool of
+//!   objects of a generated struct type `Pt { a, b, sink, tags: Seq }`
+//!   (`sink` is written but never read, so dead-field elimination has
+//!   something to eliminate; `tags` nests a collection inside a field);
+//! - optionally (the multi-function dimension) a list of helper
+//!   functions called in order from `main`: *ops helpers* take the
+//!   sequence and assoc **by reference** plus a scalar accumulator and
+//!   apply their own op list (fuzzing `ARGφ`/`RETφ` construction and
+//!   destruction, call lowering, and the call-graph/purity/escape
+//!   analyses), and *scalar helpers* are branchy pure arithmetic
+//!   (probe-able across IRs by the typed-argument synthesis in
+//!   `memoir-lower::validate`);
+//! - fold-loop epilogues over every live collection, with a plain-Rust
+//!   oracle computing the expected result alongside.
+//!
+//! Build-time index clamping and the oracle share one resolution step
+//! ([`Op`] → `Action`), so the generated IR and the oracle cannot drift.
 
 use crate::harness::CaseConfig;
 use crate::rng::SplitMix64;
-use memoir_ir::{CmpOp, Form, FunctionBuilder, Module, ModuleBuilder, Type};
+use memoir_ir::{
+    CmpOp, Field, Form, FuncId, FunctionBuilder, Module, ModuleBuilder, ObjTypeId, Type,
+};
 use passman::{Budgets, FaultPolicy};
 use std::fmt;
 use std::str::FromStr;
 
 /// One collection mutation in the generated program. Sequence indices are
-/// reduced modulo the current length at build time and assoc keys modulo
-/// a small key universe, so any byte values are valid.
+/// reduced modulo the current length at build time, assoc keys modulo a
+/// small key universe, and object slots/fields modulo the pool, so any
+/// byte values are valid.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Op {
     /// Append a value.
@@ -44,11 +65,39 @@ pub enum Op {
     /// Take the key-sequence size and fold it into the result
     /// (position-weighted).
     AssocKeys,
+    /// Write field `f % 3` (`a`/`b`/`sink`) of object `slot % OBJ_SLOTS`.
+    ObjWrite(u8, u8, i8),
+    /// Read field `f % 2` (`a`/`b`) of object `slot % OBJ_SLOTS` and fold
+    /// it into the result (position-weighted).
+    ObjRead(u8, u8),
+    /// Push onto the `tags` sequence nested in a field of object
+    /// `slot % OBJ_SLOTS` (re-reads the field each time).
+    ObjTagPush(u8, i8),
 }
 
 /// Assoc keys are drawn from `0..ASSOC_KEYS` so that inserts, removes and
 /// probes collide often enough to exercise overwrite and miss paths.
 pub const ASSOC_KEYS: u8 = 16;
+
+/// Size of the object pool in the object dimension.
+pub const OBJ_SLOTS: u8 = 2;
+
+/// `Pt` field indices: `a`, `b`, `sink` (write-only — dead-field
+/// elimination bait), `tags` (a nested `Seq<i64>`).
+const F_A: u32 = 0;
+const F_B: u32 = 1;
+const F_SINK: u32 = 2;
+const F_TAGS: u32 = 3;
+
+impl Op {
+    /// Whether this op touches the object pool (the object dimension).
+    pub fn is_obj(&self) -> bool {
+        matches!(
+            self,
+            Op::ObjWrite(..) | Op::ObjRead(..) | Op::ObjTagPush(..)
+        )
+    }
+}
 
 impl fmt::Display for Op {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -63,6 +112,9 @@ impl fmt::Display for Op {
             Op::AssocRemove(k) => write!(f, "assoc-remove {k}"),
             Op::AssocHas(k) => write!(f, "assoc-has {k}"),
             Op::AssocKeys => write!(f, "assoc-keys"),
+            Op::ObjWrite(s, fl, v) => write!(f, "obj-write {s} {fl} {v}"),
+            Op::ObjRead(s, fl) => write!(f, "obj-read {s} {fl}"),
+            Op::ObjTagPush(s, v) => write!(f, "obj-tag-push {s} {v}"),
         }
     }
 }
@@ -90,6 +142,11 @@ impl FromStr for Op {
             "assoc-remove" => Op::AssocRemove(arg("key")? as u8),
             "assoc-has" => Op::AssocHas(arg("key")? as u8),
             "assoc-keys" => Op::AssocKeys,
+            "obj-write" => {
+                Op::ObjWrite(arg("slot")? as u8, arg("field")? as u8, arg("value")? as i8)
+            }
+            "obj-read" => Op::ObjRead(arg("slot")? as u8, arg("field")? as u8),
+            "obj-tag-push" => Op::ObjTagPush(arg("slot")? as u8, arg("value")? as i8),
             other => return Err(format!("unknown op `{other}`")),
         };
         if it.next().is_some() {
@@ -99,10 +156,75 @@ impl FromStr for Op {
     }
 }
 
-/// Draws one random op (the `tests/pipeline_differential.rs` weights,
-/// extended with the associative ops).
+/// A helper function callable from `main` in a multi-function case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Helper {
+    /// `fn helperK(s: &Seq<i64>, a: &Assoc<i64,i64>, x: i64) -> i64`:
+    /// applies its op list to the caller's collections (by reference) and
+    /// returns `x + its own probe/fold contributions`. Object ops are not
+    /// valid here and are skipped at build time (the object pool is local
+    /// to `main`).
+    Ops(Vec<Op>),
+    /// `fn helperK(x: i64, y: i64) -> i64`: branchy pure scalar
+    /// arithmetic built from two constants —
+    /// `if x < y { x*c1 + y } else { y*c2 - x }` (wrapping). All-scalar
+    /// signature, so the cross-IR agreement probe exercises it with
+    /// synthesized argument vectors.
+    Scalar(i8, i8),
+}
+
+/// A whole generated case: `main`'s op list plus helper functions called
+/// in order after `main`'s own ops.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CaseProgram {
+    /// `main`'s straight-line op list.
+    pub main: Vec<Op>,
+    /// Helper functions, called once each in order.
+    pub helpers: Vec<Helper>,
+}
+
+impl CaseProgram {
+    /// A single-function case over one op list (the v1 shape).
+    pub fn single(ops: Vec<Op>) -> Self {
+        CaseProgram {
+            main: ops,
+            helpers: Vec::new(),
+        }
+    }
+
+    /// Whether this case uses any post-v1 language surface (objects or
+    /// helper functions) — used for `.repro` version selection.
+    pub fn uses_v2(&self) -> bool {
+        !self.helpers.is_empty() || self.main.iter().any(Op::is_obj)
+    }
+}
+
+/// Which program dimensions the generator draws from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CaseDims {
+    /// Include object/field ops in `main`.
+    pub objects: bool,
+    /// Generate helper functions called from `main`.
+    pub multi: bool,
+}
+
+/// Draws one random op from the v1 (sequence + assoc) distribution, the
+/// `tests/pipeline_differential.rs` weights.
 pub fn random_op(rng: &mut SplitMix64) -> Op {
-    match rng.below(16) {
+    let bucket = rng.below(16);
+    op_from_bucket(rng, bucket)
+}
+
+/// Draws one random op; with `objects`, the distribution extends to the
+/// object/field ops. (`objects = false` reproduces the [`random_op`]
+/// stream exactly, so v1 seeds stay replayable.)
+pub fn random_op_dim(rng: &mut SplitMix64, objects: bool) -> Op {
+    let bucket = rng.below(if objects { 22 } else { 16 });
+    op_from_bucket(rng, bucket)
+}
+
+fn op_from_bucket(rng: &mut SplitMix64, bucket: u64) -> Op {
+    match bucket {
         0..=2 => Op::Push(rng.next_u64() as i8),
         3..=4 => Op::Write(rng.next_u64() as u8, rng.next_u64() as i8),
         5..=6 => Op::InsertAt(rng.next_u64() as u8, rng.next_u64() as i8),
@@ -112,135 +234,343 @@ pub fn random_op(rng: &mut SplitMix64) -> Op {
         11..=12 => Op::AssocInsert(rng.next_u64() as u8, rng.next_u64() as i8),
         13 => Op::AssocRemove(rng.next_u64() as u8),
         14 => Op::AssocHas(rng.next_u64() as u8),
-        _ => Op::AssocKeys,
+        15 => Op::AssocKeys,
+        16..=17 => Op::ObjWrite(
+            rng.next_u64() as u8,
+            rng.next_u64() as u8,
+            rng.next_u64() as i8,
+        ),
+        18..=19 => Op::ObjRead(rng.next_u64() as u8, rng.next_u64() as u8),
+        _ => Op::ObjTagPush(rng.next_u64() as u8, rng.next_u64() as i8),
     }
 }
 
-/// Draws a random op sequence of length `0..max_len`.
+/// Draws a random op sequence of length `0..max_len` (v1 distribution).
 pub fn random_ops(rng: &mut SplitMix64, max_len: usize) -> Vec<Op> {
-    let n = rng.index(max_len.max(1));
-    (0..n).map(|_| random_op(rng)).collect()
+    random_ops_dim(rng, max_len, false)
 }
 
-/// Emits one program body into a function builder and returns the oracle
-/// result. The function takes no parameters and returns one `i64`:
-/// `seq_fold + position-weighted has/keys probes + assoc_fold`.
-fn emit_body(b: &mut FunctionBuilder<'_>, ops: &[Op]) -> i64 {
-    let mut seq_oracle: Vec<i64> = Vec::new();
-    // Insertion-ordered, mirroring the interpreter's assoc key order.
-    let mut assoc_oracle: Vec<(i64, i64)> = Vec::new();
-    let mut extra_oracle: i64 = 0;
+/// Draws a random op sequence of length `0..max_len`, optionally
+/// including object ops.
+pub fn random_ops_dim(rng: &mut SplitMix64, max_len: usize, objects: bool) -> Vec<Op> {
+    let n = rng.index(max_len.max(1));
+    (0..n).map(|_| random_op_dim(rng, objects)).collect()
+}
 
-    let i64t = b.ty(Type::I64);
-    let idxt = b.ty(Type::Index);
-    let zero = b.index(0);
+/// Draws a whole case in the given dimensions: `main`'s ops, plus 1–3
+/// helpers when `dims.multi` (ops helpers twice as likely as scalar
+/// ones).
+pub fn random_case(rng: &mut SplitMix64, max_ops: usize, dims: CaseDims) -> CaseProgram {
+    let main = random_ops_dim(rng, max_ops, dims.objects);
+    let mut helpers = Vec::new();
+    if dims.multi {
+        let n = 1 + rng.index(3);
+        for _ in 0..n {
+            if rng.chance(1, 3) {
+                helpers.push(Helper::Scalar(rng.next_u64() as i8, rng.next_u64() as i8));
+            } else {
+                helpers.push(Helper::Ops(random_ops(rng, max_ops / 2 + 1)));
+            }
+        }
+    }
+    CaseProgram { main, helpers }
+}
+
+/// The scalar-helper function, evaluated on the oracle side (wrapping,
+/// matching the interpreters' integer semantics).
+pub fn scalar_helper_eval(c1: i8, c2: i8, x: i64, y: i64) -> i64 {
+    if x < y {
+        x.wrapping_mul(c1 as i64).wrapping_add(y)
+    } else {
+        y.wrapping_mul(c2 as i64).wrapping_sub(x)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oracle state and the shared op-resolution step.
+
+#[derive(Clone, Debug, Default, PartialEq)]
+struct ObjState {
+    a: i64,
+    b: i64,
+    tags: Vec<i64>,
+}
+
+/// The oracle's model of the whole heap reachable from a case: the shared
+/// sequence and assoc (threaded through helpers by reference) and the
+/// object pool (local to `main`).
+#[derive(Clone, Debug, Default, PartialEq)]
+struct OracleState {
+    seq: Vec<i64>,
+    // Insertion-ordered, mirroring the interpreter's assoc key order.
+    assoc: Vec<(i64, i64)>,
+    objs: Vec<ObjState>,
+}
+
+impl OracleState {
+    fn with_objs(objects: bool) -> Self {
+        OracleState {
+            objs: if objects {
+                vec![ObjState::default(); OBJ_SLOTS as usize]
+            } else {
+                Vec::new()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// An [`Op`] resolved against the current oracle state: concrete clamped
+/// indices, with invalid ops resolved to `Skip`. Both the IR emitter and
+/// the pure simulator consume resolved actions, so they cannot disagree.
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    Skip,
+    Push(i64),
+    Write(usize, i64),
+    Insert(usize, i64),
+    Remove(usize),
+    Swap(usize, usize),
+    RemoveRange(usize, usize),
+    AInsert(i64, i64),
+    ARemove(i64),
+    AHas(i64),
+    AKeys,
+    OWrite(usize, u32, i64),
+    ORead(usize, u32),
+    OTagPush(usize, i64),
+}
+
+/// Resolves `op` against `state`, applies it, and returns the action plus
+/// the op's contribution to the position-weighted probe accumulator.
+fn step(state: &mut OracleState, weight: i64, op: Op, allow_obj: bool) -> (Action, i64) {
+    let act = match op {
+        Op::Push(v) => Action::Push(v as i64),
+        Op::Write(i, v) if !state.seq.is_empty() => {
+            Action::Write(i as usize % state.seq.len(), v as i64)
+        }
+        Op::InsertAt(i, v) => Action::Insert(i as usize % (state.seq.len() + 1), v as i64),
+        Op::Remove(i) if !state.seq.is_empty() => Action::Remove(i as usize % state.seq.len()),
+        Op::SwapElems(x, c) if !state.seq.is_empty() => {
+            let x = x as usize % state.seq.len();
+            let c = c as usize % state.seq.len();
+            // Disjoint or identical single-element ranges only.
+            if x != c {
+                Action::Swap(x, c)
+            } else {
+                Action::Skip
+            }
+        }
+        Op::RemoveRange(x, c) if !state.seq.is_empty() => {
+            let x = x as usize % state.seq.len();
+            let c = c as usize % state.seq.len();
+            Action::RemoveRange(x.min(c), x.max(c))
+        }
+        Op::AssocInsert(k, v) => Action::AInsert((k % ASSOC_KEYS) as i64, v as i64),
+        Op::AssocRemove(k) => {
+            let key = (k % ASSOC_KEYS) as i64;
+            if state.assoc.iter().any(|(ek, _)| *ek == key) {
+                Action::ARemove(key)
+            } else {
+                Action::Skip
+            }
+        }
+        Op::AssocHas(k) => Action::AHas((k % ASSOC_KEYS) as i64),
+        Op::AssocKeys => Action::AKeys,
+        Op::ObjWrite(s, f, v) if allow_obj => {
+            Action::OWrite((s % OBJ_SLOTS) as usize, (f % 3) as u32, v as i64)
+        }
+        Op::ObjRead(s, f) if allow_obj => Action::ORead((s % OBJ_SLOTS) as usize, (f % 2) as u32),
+        Op::ObjTagPush(s, v) if allow_obj => Action::OTagPush((s % OBJ_SLOTS) as usize, v as i64),
+        _ => Action::Skip,
+    };
+    let mut extra = 0i64;
+    match act {
+        Action::Skip => {}
+        Action::Push(v) => state.seq.push(v),
+        Action::Write(i, v) => state.seq[i] = v,
+        Action::Insert(i, v) => state.seq.insert(i, v),
+        Action::Remove(i) => {
+            state.seq.remove(i);
+        }
+        Action::Swap(x, c) => state.seq.swap(x, c),
+        Action::RemoveRange(lo, hi) => {
+            state.seq.drain(lo..hi);
+        }
+        Action::AInsert(k, v) => {
+            // Overwrite keeps the original insertion position.
+            match state.assoc.iter_mut().find(|(ek, _)| *ek == k) {
+                Some(e) => e.1 = v,
+                None => state.assoc.push((k, v)),
+            }
+        }
+        Action::ARemove(k) => state.assoc.retain(|(ek, _)| *ek != k),
+        Action::AHas(k) => {
+            if state.assoc.iter().any(|(ek, _)| *ek == k) {
+                extra = weight;
+            }
+        }
+        Action::AKeys => extra = weight.wrapping_mul(state.assoc.len() as i64),
+        Action::OWrite(s, f, v) => match f {
+            F_A => state.objs[s].a = v,
+            F_B => state.objs[s].b = v,
+            // `sink` is deliberately unobserved.
+            _ => {}
+        },
+        Action::ORead(s, f) => {
+            let v = if f == F_A {
+                state.objs[s].a
+            } else {
+                state.objs[s].b
+            };
+            extra = weight.wrapping_mul(v);
+        }
+        Action::OTagPush(s, v) => state.objs[s].tags.push(v),
+    }
+    (act, extra)
+}
+
+fn seq_fold_oracle(seq: &[i64]) -> i64 {
+    seq.iter()
+        .fold(0i64, |x, &v| x.wrapping_mul(2).wrapping_add(v))
+}
+
+fn assoc_fold_oracle(assoc: &[(i64, i64)]) -> i64 {
+    assoc.iter().enumerate().fold(0i64, |x, (j, &(k, v))| {
+        let w = j as i64 + 1;
+        x.wrapping_add(w.wrapping_mul(k.wrapping_add(v.wrapping_mul(2))))
+    })
+}
+
+fn obj_fold_oracle(objs: &[ObjState]) -> i64 {
+    objs.iter().enumerate().fold(0i64, |x, (s, o)| {
+        let w = s as i64 + 1;
+        let t = seq_fold_oracle(&o.tags);
+        x.wrapping_add(w.wrapping_mul(o.a.wrapping_add(o.b.wrapping_mul(2)).wrapping_add(t)))
+    })
+}
+
+// ---------------------------------------------------------------------
+// IR emission.
+
+/// Per-function emission context: handles of the live collections and the
+/// running probe accumulator.
+struct EmitCtx {
+    s: memoir_ir::ValueId,
+    a: memoir_ir::ValueId,
+    objs: Option<ObjCtx>,
+    extra: memoir_ir::ValueId,
+}
+
+struct ObjCtx {
+    pt: ObjTypeId,
+    slots: Vec<memoir_ir::ValueId>,
+}
+
+/// Emits the straight-line op prefix, threading the oracle state; returns
+/// the oracle's probe-accumulator total.
+fn emit_ops(
+    b: &mut FunctionBuilder<'_>,
+    ops: &[Op],
+    ctx: &mut EmitCtx,
+    state: &mut OracleState,
+) -> i64 {
+    let allow_obj = ctx.objs.is_some();
+    let mut extra_oracle = 0i64;
     let zero64 = b.i64(0);
-    let s = b.new_seq(i64t, zero);
-    let a = b.new_assoc(i64t, i64t);
-    // Running accumulator for the probe ops (straight-line, entry block).
-    let mut extra = zero64;
-    for (pos, o) in ops.iter().enumerate() {
+    for (pos, &op) in ops.iter().enumerate() {
         let weight = pos as i64 + 1;
-        match *o {
-            Op::Push(v) => {
-                let sz = b.size(s);
-                let vv = b.i64(v as i64);
-                b.mut_insert(s, sz, Some(vv));
-                seq_oracle.push(v as i64);
+        let (act, delta) = step(state, weight, op, allow_obj);
+        extra_oracle = extra_oracle.wrapping_add(delta);
+        match act {
+            Action::Skip => {}
+            Action::Push(v) => {
+                let sz = b.size(ctx.s);
+                let vv = b.i64(v);
+                b.mut_insert(ctx.s, sz, Some(vv));
             }
-            Op::Write(i, v) => {
-                if !seq_oracle.is_empty() {
-                    let i = i as usize % seq_oracle.len();
-                    let iv = b.index(i as u64);
-                    let vv = b.i64(v as i64);
-                    b.mut_write(s, iv, vv);
-                    seq_oracle[i] = v as i64;
-                }
-            }
-            Op::InsertAt(i, v) => {
-                let i = i as usize % (seq_oracle.len() + 1);
+            Action::Write(i, v) => {
                 let iv = b.index(i as u64);
-                let vv = b.i64(v as i64);
-                b.mut_insert(s, iv, Some(vv));
-                seq_oracle.insert(i, v as i64);
+                let vv = b.i64(v);
+                b.mut_write(ctx.s, iv, vv);
             }
-            Op::Remove(i) => {
-                if !seq_oracle.is_empty() {
-                    let i = i as usize % seq_oracle.len();
-                    let iv = b.index(i as u64);
-                    b.mut_remove(s, iv);
-                    seq_oracle.remove(i);
-                }
+            Action::Insert(i, v) => {
+                let iv = b.index(i as u64);
+                let vv = b.i64(v);
+                b.mut_insert(ctx.s, iv, Some(vv));
             }
-            Op::SwapElems(x, c) => {
-                if !seq_oracle.is_empty() {
-                    let x = x as usize % seq_oracle.len();
-                    let c = c as usize % seq_oracle.len();
-                    // Disjoint or identical single-element ranges only.
-                    if x != c {
-                        let xv = b.index(x as u64);
-                        let x1 = b.index(x as u64 + 1);
-                        let cv = b.index(c as u64);
-                        b.mut_swap(s, xv, x1, cv);
-                        seq_oracle.swap(x, c);
-                    }
-                }
+            Action::Remove(i) => {
+                let iv = b.index(i as u64);
+                b.mut_remove(ctx.s, iv);
             }
-            Op::RemoveRange(x, c) => {
-                if !seq_oracle.is_empty() {
-                    let x = x as usize % seq_oracle.len();
-                    let c = c as usize % seq_oracle.len();
-                    let (lo, hi) = (x.min(c), x.max(c));
-                    let lov = b.index(lo as u64);
-                    let hiv = b.index(hi as u64);
-                    b.mut_remove_range(s, lov, hiv);
-                    seq_oracle.drain(lo..hi);
-                }
+            Action::Swap(x, c) => {
+                let xv = b.index(x as u64);
+                let x1 = b.index(x as u64 + 1);
+                let cv = b.index(c as u64);
+                b.mut_swap(ctx.s, xv, x1, cv);
             }
-            Op::AssocInsert(k, v) => {
-                let key = (k % ASSOC_KEYS) as i64;
-                let kv = b.i64(key);
-                let vv = b.i64(v as i64);
-                b.mut_insert(a, kv, Some(vv));
-                // Overwrite keeps the original insertion position.
-                match assoc_oracle.iter_mut().find(|(ek, _)| *ek == key) {
-                    Some(e) => e.1 = v as i64,
-                    None => assoc_oracle.push((key, v as i64)),
-                }
+            Action::RemoveRange(lo, hi) => {
+                let lov = b.index(lo as u64);
+                let hiv = b.index(hi as u64);
+                b.mut_remove_range(ctx.s, lov, hiv);
             }
-            Op::AssocRemove(k) => {
-                let key = (k % ASSOC_KEYS) as i64;
-                if assoc_oracle.iter().any(|(ek, _)| *ek == key) {
-                    let kv = b.i64(key);
-                    b.mut_remove(a, kv);
-                    assoc_oracle.retain(|(ek, _)| *ek != key);
-                }
+            Action::AInsert(k, v) => {
+                let kv = b.i64(k);
+                let vv = b.i64(v);
+                b.mut_insert(ctx.a, kv, Some(vv));
             }
-            Op::AssocHas(k) => {
-                let key = (k % ASSOC_KEYS) as i64;
-                let kv = b.i64(key);
-                let h = b.has(a, kv);
+            Action::ARemove(k) => {
+                let kv = b.i64(k);
+                b.mut_remove(ctx.a, kv);
+            }
+            Action::AHas(k) => {
+                let kv = b.i64(k);
+                let h = b.has(ctx.a, kv);
                 let w = b.i64(weight);
                 let hit = b.select(h, w, zero64);
-                extra = b.add(extra, hit);
-                if assoc_oracle.iter().any(|(ek, _)| *ek == key) {
-                    extra_oracle = extra_oracle.wrapping_add(weight);
-                }
+                ctx.extra = b.add(ctx.extra, hit);
             }
-            Op::AssocKeys => {
-                let ks = b.keys(a);
+            Action::AKeys => {
+                let ks = b.keys(ctx.a);
                 let n = b.size(ks);
                 let ni = b.cast(Type::I64, n);
                 let w = b.i64(weight);
                 let term = b.mul(ni, w);
-                extra = b.add(extra, term);
-                extra_oracle =
-                    extra_oracle.wrapping_add(weight.wrapping_mul(assoc_oracle.len() as i64));
+                ctx.extra = b.add(ctx.extra, term);
+            }
+            Action::OWrite(s, f, v) => {
+                let oc = ctx.objs.as_ref().expect("object pool");
+                let vv = b.i64(v);
+                let (pt, slot) = (oc.pt, oc.slots[s]);
+                b.field_write(slot, pt, f, vv);
+            }
+            Action::ORead(s, f) => {
+                let oc = ctx.objs.as_ref().expect("object pool");
+                let (pt, slot) = (oc.pt, oc.slots[s]);
+                let v = b.field_read(slot, pt, f);
+                let w = b.i64(weight);
+                let term = b.mul(v, w);
+                ctx.extra = b.add(ctx.extra, term);
+            }
+            Action::OTagPush(s, v) => {
+                let oc = ctx.objs.as_ref().expect("object pool");
+                let (pt, slot) = (oc.pt, oc.slots[s]);
+                let tags = b.field_read(slot, pt, F_TAGS);
+                let sz = b.size(tags);
+                let vv = b.i64(v);
+                b.mut_insert(tags, sz, Some(vv));
             }
         }
     }
+    extra_oracle
+}
 
-    // Epilogue 1: fold the sequence with a loop: acc = Σ (2*acc + elem).
+/// Emits the sequence fold loop `acc = Σ (2*acc + elem)` over `s`.
+fn emit_seq_fold(b: &mut FunctionBuilder<'_>, s: memoir_ir::ValueId) -> memoir_ir::ValueId {
+    let i64t = b.ty(Type::I64);
+    let idxt = b.ty(Type::Index);
+    let zero = b.index(0);
+    let zero64 = b.i64(0);
     let header = b.block("header");
     let body = b.block("body");
     let exit = b.block("exit");
@@ -266,56 +596,275 @@ fn emit_body(b: &mut FunctionBuilder<'_>, ops: &[Op]) -> i64 {
     b.add_phi_incoming(acc, bb, acc2);
     b.jump(header);
     b.switch_to(exit);
+    acc
+}
 
-    // Epilogue 2: fold the assoc through its insertion-ordered key
-    // sequence, weighting by position so key-order bugs are observable:
-    // kacc = Σ_j (j+1) * (key_j + 2*value_j).
+/// Emits the assoc fold loop over the insertion-ordered key sequence,
+/// weighting by position so key-order bugs are observable:
+/// `kacc = Σ_j (j+1) * (key_j + 2*value_j)`.
+fn emit_assoc_fold(b: &mut FunctionBuilder<'_>, a: memoir_ir::ValueId) -> memoir_ir::ValueId {
+    let i64t = b.ty(Type::I64);
+    let idxt = b.ty(Type::Index);
+    let zero = b.index(0);
+    let zero64 = b.i64(0);
     let ks = b.keys(a);
     let ksz = b.size(ks);
-    let header2 = b.block("kheader");
-    let body2 = b.block("kbody");
-    let exit2 = b.block("kexit");
-    let pre2 = b.current_block();
-    b.jump(header2);
-    b.switch_to(header2);
+    let header = b.block("kheader");
+    let body = b.block("kbody");
+    let exit = b.block("kexit");
+    let pre = b.current_block();
+    b.jump(header);
+    b.switch_to(header);
     let j = b.phi_placeholder(idxt);
     let kacc = b.phi_placeholder(i64t);
-    b.add_phi_incoming(j, pre2, zero);
-    b.add_phi_incoming(kacc, pre2, zero64);
-    let done2 = b.cmp(CmpOp::Ge, j, ksz);
-    b.branch(done2, exit2, body2);
-    b.switch_to(body2);
+    b.add_phi_incoming(j, pre, zero);
+    b.add_phi_incoming(kacc, pre, zero64);
+    let done = b.cmp(CmpOp::Ge, j, ksz);
+    b.branch(done, exit, body);
+    b.switch_to(body);
     let key = b.read(ks, j);
     let val = b.read(a, key);
     let jv = b.cast(Type::I64, j);
     let one64 = b.i64(1);
     let w = b.add(jv, one64);
+    let two = b.i64(2);
     let val2 = b.mul(val, two);
     let kv2 = b.add(key, val2);
     let term = b.mul(w, kv2);
     let kacc2 = b.add(kacc, term);
-    let next2 = b.add(j, one);
-    let bb2 = b.current_block();
-    b.add_phi_incoming(j, bb2, next2);
-    b.add_phi_incoming(kacc, bb2, kacc2);
-    b.jump(header2);
-    b.switch_to(exit2);
-    let t1 = b.add(acc, extra);
-    let total = b.add(t1, kacc);
+    let one = b.index(1);
+    let next = b.add(j, one);
+    let bb = b.current_block();
+    b.add_phi_incoming(j, bb, next);
+    b.add_phi_incoming(kacc, bb, kacc2);
+    b.jump(header);
+    b.switch_to(exit);
+    kacc
+}
+
+/// Emits the object-pool fold: per slot, `(slot+1) * (a + 2*b +
+/// fold(tags))` — `sink` is never read.
+fn emit_obj_fold(b: &mut FunctionBuilder<'_>, oc: &ObjCtx) -> memoir_ir::ValueId {
+    let mut acc = b.i64(0);
+    let two = b.i64(2);
+    for (s, &slot) in oc.slots.iter().enumerate() {
+        let av = b.field_read(slot, oc.pt, F_A);
+        let bv = b.field_read(slot, oc.pt, F_B);
+        let tags = b.field_read(slot, oc.pt, F_TAGS);
+        let tv = emit_seq_fold(b, tags);
+        let b2 = b.mul(bv, two);
+        let s1 = b.add(av, b2);
+        let s2 = b.add(s1, tv);
+        let w = b.i64(s as i64 + 1);
+        let term = b.mul(w, s2);
+        acc = b.add(acc, term);
+    }
+    acc
+}
+
+/// Emits `main`'s preamble: the shared sequence and assoc, plus the
+/// object pool when `pt` is set (objects initialized field-by-field, with
+/// a fresh nested `tags` sequence per slot).
+fn emit_preamble(b: &mut FunctionBuilder<'_>, pt: Option<ObjTypeId>) -> EmitCtx {
+    let i64t = b.ty(Type::I64);
+    let zero = b.index(0);
+    let zero64 = b.i64(0);
+    let s = b.new_seq(i64t, zero);
+    let a = b.new_assoc(i64t, i64t);
+    let objs = pt.map(|pt| {
+        let slots = (0..OBJ_SLOTS)
+            .map(|_| {
+                let o = b.new_obj(pt);
+                b.field_write(o, pt, F_A, zero64);
+                b.field_write(o, pt, F_B, zero64);
+                b.field_write(o, pt, F_SINK, zero64);
+                let tags = b.new_seq(i64t, zero);
+                b.field_write(o, pt, F_TAGS, tags);
+                o
+            })
+            .collect();
+        ObjCtx { pt, slots }
+    });
+    EmitCtx {
+        s,
+        a,
+        objs,
+        extra: zero64,
+    }
+}
+
+/// Emits the body of an ops helper (shared collections by reference, the
+/// accumulator by value); advances `state` past its ops and returns the
+/// oracle's delta to the accumulator.
+fn emit_ops_helper_body(b: &mut FunctionBuilder<'_>, ops: &[Op], state: &mut OracleState) -> i64 {
+    let i64t = b.ty(Type::I64);
+    let seqt = b.types.seq_of(i64t);
+    let assoct = b.types.assoc_of(i64t, i64t);
+    let s = b.param_ref("s", seqt);
+    let a = b.param_ref("a", assoct);
+    let x = b.param("x", i64t);
+    let zero64 = b.i64(0);
+    let mut ctx = EmitCtx {
+        s,
+        a,
+        objs: None,
+        extra: zero64,
+    };
+    let extra_oracle = emit_ops(b, ops, &mut ctx, state);
+    let acc = emit_seq_fold(b, s);
+    let kacc = emit_assoc_fold(b, a);
+    let t1 = b.add(x, ctx.extra);
+    let t2 = b.add(t1, acc);
+    let total = b.add(t2, kacc);
     b.returns(&[i64t]);
     b.ret(vec![total]);
+    extra_oracle
+        .wrapping_add(seq_fold_oracle(&state.seq))
+        .wrapping_add(assoc_fold_oracle(&state.assoc))
+}
 
-    let seq_fold = seq_oracle
-        .iter()
-        .fold(0i64, |x, &v| x.wrapping_mul(2).wrapping_add(v));
-    let assoc_fold = assoc_oracle
-        .iter()
-        .enumerate()
-        .fold(0i64, |x, (j, &(k, v))| {
-            let w = j as i64 + 1;
-            x.wrapping_add(w.wrapping_mul(k.wrapping_add(v.wrapping_mul(2))))
-        });
-    seq_fold.wrapping_add(extra_oracle).wrapping_add(assoc_fold)
+/// Emits the branchy scalar helper `if x < y { x*c1 + y } else
+/// { y*c2 - x }` (see [`scalar_helper_eval`]).
+fn emit_scalar_helper_body(b: &mut FunctionBuilder<'_>, c1: i8, c2: i8) {
+    let i64t = b.ty(Type::I64);
+    let x = b.param("x", i64t);
+    let y = b.param("y", i64t);
+    let then_b = b.block("then");
+    let else_b = b.block("else");
+    let merge = b.block("merge");
+    let c = b.cmp(CmpOp::Lt, x, y);
+    b.branch(c, then_b, else_b);
+    b.switch_to(then_b);
+    let c1v = b.i64(c1 as i64);
+    let t1 = b.mul(x, c1v);
+    let t2 = b.add(t1, y);
+    let tb = b.current_block();
+    b.jump(merge);
+    b.switch_to(else_b);
+    let c2v = b.i64(c2 as i64);
+    let e1 = b.mul(y, c2v);
+    let e2 = b.sub(e1, x);
+    let eb = b.current_block();
+    b.jump(merge);
+    b.switch_to(merge);
+    let r = b.phi_placeholder(i64t);
+    b.add_phi_incoming(r, tb, t2);
+    b.add_phi_incoming(r, eb, e2);
+    b.returns(&[i64t]);
+    b.ret(vec![r]);
+}
+
+/// Defines the `Pt` object type in a module's type table.
+fn define_pt(mb: &mut ModuleBuilder) -> ObjTypeId {
+    let i64t = mb.module.types.intern(Type::I64);
+    let tags_t = mb.module.types.seq_of(i64t);
+    mb.module
+        .types
+        .define_object(
+            "Pt",
+            vec![
+                Field {
+                    name: "a".into(),
+                    ty: i64t,
+                },
+                Field {
+                    name: "b".into(),
+                    ty: i64t,
+                },
+                Field {
+                    name: "sink".into(),
+                    ty: i64t,
+                },
+                Field {
+                    name: "tags".into(),
+                    ty: tags_t,
+                },
+            ],
+        )
+        .expect("Pt is not recursive")
+}
+
+/// Builds the module and the oracle result for a whole case. Helpers are
+/// emitted first (so `main` can call them); index clamping in every
+/// function is derived from one oracle state threaded in call order, so
+/// any op lists form a valid program.
+pub fn build_case(prog: &CaseProgram) -> (Module, i64) {
+    let mut mb = ModuleBuilder::new("fuzz");
+    let has_obj = prog.main.iter().any(Op::is_obj);
+    let pt = has_obj.then(|| define_pt(&mut mb));
+
+    // Pure simulation of main's ops: helpers run against the state they
+    // leave behind.
+    let mut state = OracleState::with_objs(has_obj);
+    for (pos, &op) in prog.main.iter().enumerate() {
+        step(&mut state, pos as i64 + 1, op, has_obj);
+    }
+
+    // Helpers, in call order, threading the oracle accumulator `r`.
+    let mut r = 0i64;
+    let mut fids: Vec<FuncId> = Vec::new();
+    for (k, h) in prog.helpers.iter().enumerate() {
+        let name = format!("helper{k}");
+        match h {
+            Helper::Ops(ops) => {
+                let mut delta = 0i64;
+                let fid = mb.func(&name, Form::Mut, |b| {
+                    delta = emit_ops_helper_body(b, ops, &mut state);
+                });
+                r = r.wrapping_add(delta);
+                fids.push(fid);
+            }
+            Helper::Scalar(c1, c2) => {
+                let fid = mb.func(&name, Form::Mut, |b| emit_scalar_helper_body(b, *c1, *c2));
+                r = scalar_helper_eval(*c1, *c2, r, (k as i64 + 1) * 13);
+                fids.push(fid);
+            }
+        }
+    }
+
+    // `state` now holds the post-helpers heap: the epilogue folds run
+    // over it at runtime, so the oracle folds over it here.
+    let mut expect = 0i64;
+    mb.func("main", Form::Mut, |b| {
+        let i64t = b.ty(Type::I64);
+        let mut ctx = emit_preamble(b, pt);
+        let mut st = OracleState::with_objs(has_obj);
+        let main_extra = emit_ops(b, &prog.main, &mut ctx, &mut st);
+        let mut rv = b.i64(0);
+        for (k, h) in prog.helpers.iter().enumerate() {
+            let rets = match h {
+                Helper::Ops(_) => b.call(
+                    memoir_ir::Callee::Func(fids[k]),
+                    vec![ctx.s, ctx.a, rv],
+                    &[i64t],
+                ),
+                Helper::Scalar(..) => {
+                    let w = b.i64((k as i64 + 1) * 13);
+                    b.call(memoir_ir::Callee::Func(fids[k]), vec![rv, w], &[i64t])
+                }
+            };
+            rv = rets[0];
+        }
+        let acc = emit_seq_fold(b, ctx.s);
+        let kacc = emit_assoc_fold(b, ctx.a);
+        let t1 = b.add(acc, ctx.extra);
+        let mut total = b.add(t1, kacc);
+        if let Some(oc) = &ctx.objs {
+            let ofold = emit_obj_fold(b, oc);
+            total = b.add(total, ofold);
+        }
+        total = b.add(total, rv);
+        b.returns(&[i64t]);
+        b.ret(vec![total]);
+        expect = seq_fold_oracle(&state.seq)
+            .wrapping_add(main_extra)
+            .wrapping_add(assoc_fold_oracle(&state.assoc))
+            .wrapping_add(obj_fold_oracle(&state.objs))
+            .wrapping_add(r);
+    });
+    let mut m = mb.finish();
+    m.entry = m.func_by_name("main");
+    (m, expect)
 }
 
 /// Samples a per-case harness configuration, so a campaign varies the
@@ -331,7 +880,9 @@ fn emit_body(b: &mut FunctionBuilder<'_>, ops: &[Op]) -> i64 {
 /// would make campaigns flaky. `lower` makes it a through-lowering case
 /// with a random [`random_lir_spec`](crate::genspec::random_lir_spec)
 /// phase. Injection plans are never sampled: they come only from the
-/// `--inject` flag.
+/// `--inject` flag. The per-function probe seed is left unset here; the
+/// campaign driver samples it for multi-function cases (see
+/// [`CaseConfig::probe_seed`](crate::harness::CaseConfig)).
 pub fn random_case_config(rng: &mut SplitMix64, lower: bool) -> CaseConfig {
     let policy = match rng.below(4) {
         0 | 1 => FaultPolicy::Abort,
@@ -356,20 +907,15 @@ pub fn random_case_config(rng: &mut SplitMix64, lower: bool) -> CaseConfig {
         } else {
             None
         },
+        probe_seed: None,
     }
 }
 
-/// Builds the module and the oracle result together (indices are clamped
-/// identically in both, so every op list is a valid program).
+/// Builds the module and the oracle result together for a single-function
+/// case (indices are clamped identically in both, so every op list is a
+/// valid program).
 pub fn build(ops: &[Op]) -> (Module, i64) {
-    let mut expect = 0i64;
-    let mut mb = ModuleBuilder::new("fuzz");
-    mb.func("main", Form::Mut, |b| {
-        expect = emit_body(b, ops);
-    });
-    let mut m = mb.finish();
-    m.entry = m.func_by_name("main");
-    (m, expect)
+    build_case(&CaseProgram::single(ops.to_vec()))
 }
 
 /// Builds one module containing one generated function per op list
@@ -378,10 +924,32 @@ pub fn build(ops: &[Op]) -> (Module, i64) {
 pub fn build_multi(progs: &[Vec<Op>]) -> (Module, Vec<i64>) {
     let mut expects = Vec::with_capacity(progs.len());
     let mut mb = ModuleBuilder::new("fuzz-multi");
+    let has_obj = progs.iter().flatten().any(Op::is_obj);
+    let pt = has_obj.then(|| define_pt(&mut mb));
     for (i, ops) in progs.iter().enumerate() {
         let name = format!("main{i}");
+        let func_obj = ops.iter().any(Op::is_obj);
         mb.func(&name, Form::Mut, |b| {
-            expects.push(emit_body(b, ops));
+            let i64t = b.ty(Type::I64);
+            let mut ctx = emit_preamble(b, pt.filter(|_| func_obj));
+            let mut st = OracleState::with_objs(func_obj);
+            let extra_oracle = emit_ops(b, ops, &mut ctx, &mut st);
+            let acc = emit_seq_fold(b, ctx.s);
+            let kacc = emit_assoc_fold(b, ctx.a);
+            let t1 = b.add(acc, ctx.extra);
+            let mut total = b.add(t1, kacc);
+            if let Some(oc) = &ctx.objs {
+                let ofold = emit_obj_fold(b, oc);
+                total = b.add(total, ofold);
+            }
+            b.returns(&[i64t]);
+            b.ret(vec![total]);
+            expects.push(
+                seq_fold_oracle(&st.seq)
+                    .wrapping_add(extra_oracle)
+                    .wrapping_add(assoc_fold_oracle(&st.assoc))
+                    .wrapping_add(obj_fold_oracle(&st.objs)),
+            );
         });
     }
     let mut m = mb.finish();
@@ -406,6 +974,9 @@ mod tests {
             Op::AssocRemove(5),
             Op::AssocHas(21),
             Op::AssocKeys,
+            Op::ObjWrite(1, 2, -5),
+            Op::ObjRead(0, 1),
+            Op::ObjTagPush(3, 7),
         ];
         for op in &ops {
             let text = op.to_string();
@@ -416,6 +987,8 @@ mod tests {
         assert!("push 1 2".parse::<Op>().is_err());
         assert!("assoc-insert 1".parse::<Op>().is_err());
         assert!("assoc-keys 1".parse::<Op>().is_err());
+        assert!("obj-write 1 2".parse::<Op>().is_err());
+        assert!("obj-read 1 2 3".parse::<Op>().is_err());
     }
 
     #[test]
@@ -428,6 +1001,109 @@ mod tests {
             let mut vm = memoir_interp::Interp::new(&m).with_fuel(50_000_000);
             let got = vm.run_by_name("main", vec![]).unwrap()[0].as_int().unwrap();
             assert_eq!(got, expect, "ops: {ops:?}");
+        }
+    }
+
+    #[test]
+    fn object_programs_match_the_oracle() {
+        let mut rng = SplitMix64::new(2026);
+        let dims = CaseDims {
+            objects: true,
+            multi: false,
+        };
+        let mut with_obj = 0;
+        for _ in 0..20 {
+            let prog = random_case(&mut rng, 30, dims);
+            if prog.main.iter().any(Op::is_obj) {
+                with_obj += 1;
+            }
+            let (m, expect) = build_case(&prog);
+            memoir_ir::verifier::assert_valid(&m);
+            let mut vm = memoir_interp::Interp::new(&m).with_fuel(50_000_000);
+            let got = vm.run_by_name("main", vec![]).unwrap()[0].as_int().unwrap();
+            assert_eq!(got, expect, "prog: {prog:?}");
+        }
+        assert!(with_obj > 5, "object ops under-sampled: {with_obj}");
+    }
+
+    #[test]
+    fn object_ops_are_observable() {
+        // slot 0: a=5, b=-2, tags=[3]; slot 1: untouched (all zero).
+        let prog = CaseProgram::single(vec![
+            Op::ObjWrite(0, 0, 5),
+            Op::ObjWrite(0, 1, -2),
+            Op::ObjWrite(0, 2, 99), // sink: must not affect the result
+            Op::ObjTagPush(0, 3),
+            Op::ObjRead(2, 0), // slot 2 % 2 = 0, field a: +weight(5) * 5
+        ]);
+        let (m, expect) = build_case(&prog);
+        memoir_ir::verifier::assert_valid(&m);
+        // extra = 5*5 = 25; obj fold = 1*(5 + 2*(-2) + 3) = 4.
+        assert_eq!(expect, 25 + 4);
+        let mut vm = memoir_interp::Interp::new(&m).with_fuel(50_000_000);
+        let got = vm.run_by_name("main", vec![]).unwrap()[0].as_int().unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn multi_function_cases_match_the_oracle() {
+        let mut rng = SplitMix64::new(41);
+        let dims = CaseDims {
+            objects: true,
+            multi: true,
+        };
+        for _ in 0..20 {
+            let prog = random_case(&mut rng, 25, dims);
+            let (m, expect) = build_case(&prog);
+            memoir_ir::verifier::assert_valid(&m);
+            let mut vm = memoir_interp::Interp::new(&m).with_fuel(50_000_000);
+            let got = vm.run_by_name("main", vec![]).unwrap()[0].as_int().unwrap();
+            assert_eq!(got, expect, "prog: {prog:?}");
+        }
+    }
+
+    #[test]
+    fn helpers_mutate_the_callers_collections_by_ref() {
+        // Helper pushes 7 onto the shared (initially empty) sequence; the
+        // fold in main must see it: seq fold = 7, helper returns
+        // 0 + 0 + fold(=7) + 0, so total = 7 (fold) + 7 (r).
+        let prog = CaseProgram {
+            main: vec![],
+            helpers: vec![Helper::Ops(vec![Op::Push(7)])],
+        };
+        let (m, expect) = build_case(&prog);
+        memoir_ir::verifier::assert_valid(&m);
+        assert_eq!(expect, 14);
+        let mut vm = memoir_interp::Interp::new(&m).with_fuel(50_000_000);
+        let got = vm.run_by_name("main", vec![]).unwrap()[0].as_int().unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn scalar_helpers_match_their_eval() {
+        let prog = CaseProgram {
+            main: vec![Op::Push(1)],
+            helpers: vec![Helper::Scalar(3, -2), Helper::Scalar(-1, 5)],
+        };
+        let (m, expect) = build_case(&prog);
+        memoir_ir::verifier::assert_valid(&m);
+        let r1 = scalar_helper_eval(3, -2, 0, 13);
+        let r2 = scalar_helper_eval(-1, 5, r1, 26);
+        // seq fold = 1.
+        assert_eq!(expect, 1 + r2);
+        let mut vm = memoir_interp::Interp::new(&m).with_fuel(50_000_000);
+        let got = vm.run_by_name("main", vec![]).unwrap()[0].as_int().unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn v1_random_op_stream_is_preserved() {
+        // `random_op` and `random_op_dim(_, false)` must draw identical
+        // streams so that v1 `.repro` seeds stay replayable.
+        let mut a = SplitMix64::new(555);
+        let mut b = SplitMix64::new(555);
+        for _ in 0..500 {
+            assert_eq!(random_op(&mut a), random_op_dim(&mut b, false));
         }
     }
 
@@ -475,6 +1151,7 @@ mod tests {
                 assert!(cfg.budgets.max_pipeline_millis.is_none());
             }
             assert!(cfg.inject.is_none());
+            assert!(cfg.probe_seed.is_none());
             assert_eq!(cfg.lir_spec.is_some(), i % 2 == 0);
             if cfg.lir_spec.is_some() {
                 lowered += 1;

@@ -1,20 +1,29 @@
 //! The fuzz oracle: run one generated case through the pipeline and
 //! classify the result.
 //!
-//! A case is (op sequence, pipeline spec, [`CaseConfig`]). The config
-//! carries the per-case fault policy, budgets, optional fault injection,
-//! and — for *through-lowering* cases — the low-level IR pipeline to run
-//! after the `lower` stage. The harness builds the MUT-form module, runs
-//! the pipeline with inter-pass verification forced on and panics
-//! caught, then checks the result differentially:
+//! A case is (program, pipeline spec, [`CaseConfig`]). The program
+//! ([`CaseProgram`]) is `main`'s op list plus optional helper functions;
+//! the config carries the per-case fault policy, budgets, optional fault
+//! injection, an optional per-function probe seed, and — for
+//! *through-lowering* cases — the low-level IR pipeline to run after the
+//! `lower` stage. The harness builds the MUT-form module, runs the
+//! pipeline with inter-pass verification forced on and panics caught,
+//! then checks the result differentially:
 //!
 //! 1. the optimized MEMOIR module must verify and agree with the plain
 //!    Rust oracle in `memoir-interp` (rollback soundness: this holds
 //!    even when a pass or the lowering stage degraded);
-//! 2. for through-lowering cases, the *direct* lowering of the optimized
+//! 2. every non-entry function whose signature survived optimization is
+//!    probed on typed argument vectors synthesized by
+//!    `memoir-lower::validate` — pre-opt vs post-opt interpreter runs
+//!    must agree on both return values and the final contents of
+//!    collection arguments (`probe-diverge`);
+//! 3. for through-lowering cases, the *direct* lowering of the optimized
 //!    MEMOIR module must agree with the oracle on [`lir::LirMachine`]
-//!    (isolates `memoir-lower` bugs: `lower-trap` / `lower-miscompile`);
-//! 3. and the pipeline's final, lir-optimized module must verify and
+//!    (isolates `memoir-lower` bugs: `lower-trap` / `lower-miscompile`),
+//!    and with the MEMOIR interpreter on synthesized scalar probes
+//!    (`lower-probe`);
+//! 4. and the pipeline's final, lir-optimized module must verify and
 //!    agree too (isolates lir pass bugs: `lir-verify` / `lir-trap` /
 //!    `lir-miscompile`).
 //!
@@ -25,7 +34,7 @@
 //!
 //! [`Crash`]: Outcome::Crash
 
-use crate::genprog::{build, Op};
+use crate::genprog::{build_case, CaseProgram, Helper, Op};
 use memoir_opt::lowering::{compile_lowered_with, LowerConfig, LoweredPipeline, LOWER_STAGE};
 use memoir_opt::pipeline::compile_spec_with;
 use passman::{Budgets, FaultPlan, FaultPolicy, PassOptions, PipelineSpec, RunError, SpecStep};
@@ -33,6 +42,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Interpreter fuel for the differential checks, on either IR.
 const FUEL: u64 = 50_000_000;
+
+/// Synthesized probe vectors per preserved function (see
+/// [`CaseConfig::probe_seed`]).
+const PROBES_PER_FUNC: u64 = 3;
 
 /// How to configure the pass manager for a fuzz case (fixed across a
 /// reduction, varied across a campaign — see
@@ -50,6 +63,12 @@ pub struct CaseConfig {
     /// phase the module runs through the `lower` stage and then `spec`
     /// on the low-level IR (the spec may be empty — "lower only").
     pub lir_spec: Option<PipelineSpec>,
+    /// `Some(seed)` turns on per-function probing: every non-entry
+    /// function whose signature survived the pipeline is run pre-opt and
+    /// post-opt on typed argument vectors synthesized from `seed` (see
+    /// `memoir_lower::validate::synth_args`), and — for through-lowering
+    /// cases — the direct lowering is cross-checked on the same seeds.
+    pub probe_seed: Option<u64>,
 }
 
 impl Default for CaseConfig {
@@ -59,6 +78,7 @@ impl Default for CaseConfig {
             inject: None,
             budgets: Budgets::none(),
             lir_spec: None,
+            probe_seed: None,
         }
     }
 }
@@ -72,13 +92,17 @@ pub enum Outcome {
     Crash {
         /// Stable failure class — reduction holds this fixed so it
         /// shrinks toward *the same* bug. MEMOIR-side classes: `panic`,
-        /// `run-error`, `verify`, `miscompile`, `interp`. Lowering-side
-        /// classes: `lower-error` (the stage failed), `lower-verify`
-        /// (the lir verifier or the cross-IR probe oracle rejected the
-        /// stage output), `lower-trap` / `lower-miscompile` (the direct
-        /// lowering disagrees with the oracle), `lir-verify` /
+        /// `run-error`, `verify`, `miscompile`, `interp`, and
+        /// `probe-diverge` (a preserved-signature function disagrees
+        /// with its pre-optimization self on synthesized arguments).
+        /// Lowering-side classes: `lower-error` (the stage failed),
+        /// `lower-verify` (the lir verifier or the cross-IR probe
+        /// oracle rejected the stage output), `lower-trap` /
+        /// `lower-miscompile` (the direct lowering disagrees with the
+        /// oracle), `lower-probe` (it disagrees with the MEMOIR
+        /// interpreter on synthesized scalar probes), `lir-verify` /
         /// `lir-trap` / `lir-miscompile` (the lir-optimized module
-        /// does).
+        /// does). Artifact format: `docs/REPRO_FORMAT.md`.
         kind: &'static str,
         /// Human-readable one-liner.
         detail: String,
@@ -167,16 +191,143 @@ fn check_lowered(
     }
 }
 
-/// Runs one case end to end and classifies it.
-pub fn run_case(ops: &[Op], spec: &PipelineSpec, cfg: &CaseConfig) -> Outcome {
-    match &cfg.lir_spec {
-        None => run_memoir_case(ops, spec, cfg),
-        Some(lir_spec) => run_lowered_case(ops, spec, lir_spec, cfg),
+/// Canonical signature text of a function (probing only compares
+/// functions whose signature survived the pipeline — layout passes like
+/// field elision legitimately thread extra parameters).
+fn sig_string(m: &memoir_ir::Module, f: &memoir_ir::Function) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for p in &f.params {
+        let _ = write!(
+            s,
+            "{}{},",
+            if p.by_ref { "&" } else { "" },
+            m.types.display(p.ty)
+        );
+    }
+    s.push(';');
+    for &t in &f.ret_tys {
+        let _ = write!(s, "{},", m.types.display(t));
+    }
+    s
+}
+
+/// A comparable snapshot of a collection argument after a probe run;
+/// `None` for non-collections or collections of collections (handles are
+/// not comparable across interpreter instances).
+fn coll_snapshot(interp: &memoir_interp::Interp, v: &memoir_interp::Value) -> Option<String> {
+    use memoir_interp::{Collection, Value};
+    let id = v.as_coll()?;
+    match interp.store.coll(id) {
+        Collection::Seq(elems) => {
+            if elems.iter().any(|e| matches!(e, Value::Coll(_))) {
+                return None;
+            }
+            Some(format!("{elems:?}"))
+        }
+        Collection::Assoc { map, order } => {
+            let entries: Vec<_> = order
+                .iter()
+                .map(|k| (k.clone(), map.get(k).cloned()))
+                .collect();
+            if entries
+                .iter()
+                .any(|(_, v)| matches!(v, Some(Value::Coll(_))))
+            {
+                return None;
+            }
+            Some(format!("{entries:?}"))
+        }
     }
 }
 
-fn run_memoir_case(ops: &[Op], spec: &PipelineSpec, cfg: &CaseConfig) -> Outcome {
-    let (mut m, expect) = build(ops);
+/// Probes every preserved-signature non-entry function of `m` against
+/// its pre-optimization self `m0` on synthesized typed argument vectors:
+/// return values and the final contents of collection arguments must
+/// agree. Probes where the *pre*-optimization run traps are skipped
+/// (passes may legally remove dead trapping reads).
+fn probe_functions(m0: &memoir_ir::Module, m: &memoir_ir::Module, seed: u64) -> Option<Outcome> {
+    use memoir_lower::{materialize, mix_seed, synth_args};
+
+    type ProbeResult = Result<(Vec<i64>, Vec<Option<String>>), memoir_interp::Trap>;
+    for (fidx, (_, f)) in m0.funcs.iter().enumerate() {
+        if f.name == "main" {
+            continue; // the whole-program oracle already covers the entry
+        }
+        let Some(post_fid) = m.func_by_name(&f.name) else {
+            continue;
+        };
+        if sig_string(m0, f) != sig_string(m, &m.funcs[post_fid]) {
+            continue;
+        }
+        let param_tys: Vec<memoir_ir::TypeId> = f.params.iter().map(|p| p.ty).collect();
+        for pi in 0..PROBES_PER_FUNC {
+            let Some(args) = synth_args(&m0.types, &param_tys, mix_seed(seed ^ pi, fidx as u64))
+            else {
+                break; // un-synthesizable parameter type
+            };
+            let run = |mm: &memoir_ir::Module| -> ProbeResult {
+                let mut interp = memoir_interp::Interp::new(mm).with_fuel(FUEL);
+                let vals: Vec<memoir_interp::Value> =
+                    args.iter().map(|a| materialize(&mut interp, a)).collect();
+                let rets = interp.run_by_name(&f.name, vals.clone())?;
+                let ret_ints = rets.iter().filter_map(|v| v.as_int()).collect();
+                let snaps = vals.iter().map(|v| coll_snapshot(&interp, v)).collect();
+                Ok((ret_ints, snaps))
+            };
+            match (run(m0), run(m)) {
+                (Err(_), _) => continue,
+                (Ok((rets, _)), Err(trap)) => {
+                    return Some(Outcome::Crash {
+                        kind: "probe-diverge",
+                        detail: format!(
+                            "probe-diverge: `{}` probe {pi} returned {rets:?} before \
+                             optimization but traps after: {trap:?}",
+                            f.name
+                        ),
+                    });
+                }
+                (Ok(pre), Ok(post)) if pre != post => {
+                    return Some(Outcome::Crash {
+                        kind: "probe-diverge",
+                        detail: format!(
+                            "probe-diverge: `{}` probe {pi} changed from {pre:?} to {post:?}",
+                            f.name
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Runs one whole-language case end to end and classifies it.
+///
+/// ```
+/// use passman::PipelineSpec;
+/// use reduce::{run_case_prog, CaseConfig, CaseProgram, Op, Outcome};
+///
+/// let prog = CaseProgram::single(vec![Op::Push(3), Op::AssocInsert(2, -1)]);
+/// let spec = PipelineSpec::parse("ssa-construct,dce,ssa-destruct").unwrap();
+/// assert_eq!(run_case_prog(&prog, &spec, &CaseConfig::default()), Outcome::Pass);
+/// ```
+pub fn run_case_prog(prog: &CaseProgram, spec: &PipelineSpec, cfg: &CaseConfig) -> Outcome {
+    match &cfg.lir_spec {
+        None => run_memoir_case(prog, spec, cfg),
+        Some(lir_spec) => run_lowered_case(prog, spec, lir_spec, cfg),
+    }
+}
+
+/// Runs one single-function case end to end and classifies it (the v1
+/// entry point; see [`run_case_prog`] for the whole-language form).
+pub fn run_case(ops: &[Op], spec: &PipelineSpec, cfg: &CaseConfig) -> Outcome {
+    run_case_prog(&CaseProgram::single(ops.to_vec()), spec, cfg)
+}
+
+fn run_memoir_case(prog: &CaseProgram, spec: &PipelineSpec, cfg: &CaseConfig) -> Outcome {
+    let (mut m, expect) = build_case(prog);
 
     let ran = catch_unwind(AssertUnwindSafe(|| {
         compile_spec_with(&mut m, spec, |mut pm| {
@@ -206,16 +357,25 @@ fn run_memoir_case(ops: &[Op], spec: &PipelineSpec, cfg: &CaseConfig) -> Outcome
         Ok(Ok(_report)) => {}
     }
 
-    check_memoir(&m, expect).unwrap_or(Outcome::Pass)
+    if let Some(crash) = check_memoir(&m, expect) {
+        return crash;
+    }
+    if let Some(seed) = cfg.probe_seed {
+        let (m0, _) = build_case(prog);
+        if let Some(crash) = probe_functions(&m0, &m, seed) {
+            return crash;
+        }
+    }
+    Outcome::Pass
 }
 
 fn run_lowered_case(
-    ops: &[Op],
+    prog: &CaseProgram,
     spec: &PipelineSpec,
     lir_spec: &PipelineSpec,
     cfg: &CaseConfig,
 ) -> Outcome {
-    let (mut m, expect) = build(ops);
+    let (mut m, expect) = build_case(prog);
     let pipeline = LoweredPipeline {
         memoir: spec.clone(),
         lower_opts: PassOptions::none(),
@@ -262,6 +422,13 @@ fn run_lowered_case(
     if let Some(crash) = check_memoir(&m, expect) {
         return crash;
     }
+    // Oracle 2: preserved-signature functions on synthesized inputs.
+    if let Some(seed) = cfg.probe_seed {
+        let (m0, _) = build_case(prog);
+        if let Some(crash) = probe_functions(&m0, &m, seed) {
+            return crash;
+        }
+    }
     let Some(lm) = outcome.lowered else {
         // The stage or the MEMOIR phase degraded under a recovering
         // policy: graceful containment, the (just-checked) MEMOIR module
@@ -269,7 +436,7 @@ fn run_lowered_case(
         return Outcome::Pass;
     };
 
-    // Oracle 2: the *direct* lowering of the optimized MEMOIR module —
+    // Oracle 3: the *direct* lowering of the optimized MEMOIR module —
     // pre-lir-opt, so a divergence here is memoir-lower's fault.
     match memoir_lower::lower_module(&m) {
         Err(e) => {
@@ -282,10 +449,22 @@ fn run_lowered_case(
             if let Some(crash) = check_lowered(&direct, expect, "lower-trap", "lower-miscompile") {
                 return crash;
             }
+            // Cross-IR agreement on this case's probe seeds (scalar
+            // signatures only — e.g. the generated scalar helpers).
+            if let Some(seed) = cfg.probe_seed {
+                if let Err(e) =
+                    memoir_lower::cross_validate(&m, &direct, &[seed, seed ^ 0x9e3779b9])
+                {
+                    return Outcome::Crash {
+                        kind: "lower-probe",
+                        detail: format!("lower-probe: {e}"),
+                    };
+                }
+            }
         }
     }
 
-    // Oracle 3: the pipeline's final lir-optimized module. The stage
+    // Oracle 4: the pipeline's final lir-optimized module. The stage
     // verifier already vetted its input, so re-verify and blame the lir
     // passes for anything new.
     let errs = lir::verifier::verify_module(&lm);
@@ -333,44 +512,81 @@ fn shrink_fixpoints(mut steps: Vec<SpecStep>, eval: impl Fn(&[SpecStep]) -> bool
     steps
 }
 
-/// Reduces a crashing case: ddmin over the op sequence, the MEMOIR
-/// pipeline steps, the lir pipeline steps (for through-lowering cases),
-/// and the config (budgets cleared, the lir phase dropped entirely) —
+/// Reduces a crashing whole-language case: the config shrinks first
+/// (budgets cleared, probe seed dropped, the lir phase dropped entirely),
+/// then ddmin over the helper list, `main`'s ops, each surviving
+/// helper's ops, the MEMOIR pipeline steps, and the lir pipeline steps —
 /// holding the failure *class* fixed throughout so the shrink converges
 /// on the original bug rather than a new one.
 ///
-/// Returns the minimized `(ops, spec, config)` and the (possibly
+/// Returns the minimized `(program, spec, config)` and the (possibly
 /// re-worded) failure detail of the minimized case.
-pub fn reduce_case(
-    ops: &[Op],
+pub fn reduce_case_prog(
+    prog: &CaseProgram,
     spec: &PipelineSpec,
     cfg: &CaseConfig,
-) -> Option<(Vec<Op>, PipelineSpec, CaseConfig, String)> {
-    let kind = run_case(ops, spec, cfg).kind()?;
+) -> Option<(CaseProgram, PipelineSpec, CaseConfig, String)> {
+    let kind = run_case_prog(prog, spec, cfg).kind()?;
     let same_kind = |o: &Outcome| o.kind() == Some(kind);
     let mut cfg = cfg.clone();
+    let mut prog = prog.clone();
 
     // Config first, so every later trial runs the cheapest harness that
-    // still crashes: without budgets, and without the lowering phase.
+    // still crashes: without budgets, probing, or the lowering phase.
     if !cfg.budgets.is_unlimited() {
         let mut trial = cfg.clone();
         trial.budgets = Budgets::none();
-        if same_kind(&run_case(ops, spec, &trial)) {
+        if same_kind(&run_case_prog(&prog, spec, &trial)) {
+            cfg = trial;
+        }
+    }
+    if cfg.probe_seed.is_some() {
+        let mut trial = cfg.clone();
+        trial.probe_seed = None;
+        if same_kind(&run_case_prog(&prog, spec, &trial)) {
             cfg = trial;
         }
     }
     if cfg.lir_spec.is_some() {
         let mut trial = cfg.clone();
         trial.lir_spec = None;
-        if same_kind(&run_case(ops, spec, &trial)) {
+        if same_kind(&run_case_prog(&prog, spec, &trial)) {
             cfg = trial;
         }
     }
 
-    let ops = crate::ddmin::ddmin(ops, |candidate| same_kind(&run_case(candidate, spec, &cfg)));
+    // Whole helpers first (cheapest structural shrink) …
+    prog.helpers = crate::ddmin::ddmin(&prog.helpers, |cand| {
+        let trial = CaseProgram {
+            main: prog.main.clone(),
+            helpers: cand.to_vec(),
+        };
+        same_kind(&run_case_prog(&trial, spec, &cfg))
+    });
+    // … then main's ops …
+    prog.main = crate::ddmin::ddmin(&prog.main, |cand| {
+        let trial = CaseProgram {
+            main: cand.to_vec(),
+            helpers: prog.helpers.clone(),
+        };
+        same_kind(&run_case_prog(&trial, spec, &cfg))
+    });
+    // … then each surviving ops helper's op list.
+    for i in 0..prog.helpers.len() {
+        let Helper::Ops(ops) = prog.helpers[i].clone() else {
+            continue;
+        };
+        let min = crate::ddmin::ddmin(&ops, |cand| {
+            let mut trial = prog.clone();
+            trial.helpers[i] = Helper::Ops(cand.to_vec());
+            same_kind(&run_case_prog(&trial, spec, &cfg))
+        });
+        prog.helpers[i] = Helper::Ops(min);
+    }
+
     let steps = crate::ddmin::ddmin(&spec.steps, |candidate| {
-        same_kind(&run_case(
-            &ops,
+        same_kind(&run_case_prog(
+            &prog,
             &PipelineSpec::new(candidate.to_vec()),
             &cfg,
         ))
@@ -378,7 +594,11 @@ pub fn reduce_case(
     // Steps are atomic to ddmin, so shrink inside surviving fixpoint
     // groups too.
     let steps = shrink_fixpoints(steps, |trial| {
-        same_kind(&run_case(&ops, &PipelineSpec::new(trial.to_vec()), &cfg))
+        same_kind(&run_case_prog(
+            &prog,
+            &PipelineSpec::new(trial.to_vec()),
+            &cfg,
+        ))
     });
     let spec = PipelineSpec::new(steps);
 
@@ -391,29 +611,45 @@ pub fn reduce_case(
             trial
         };
         let lsteps = crate::ddmin::ddmin(&lspec.steps, |candidate| {
-            same_kind(&run_case(&ops, &spec, &with_lir(candidate, &cfg)))
+            same_kind(&run_case_prog(&prog, &spec, &with_lir(candidate, &cfg)))
         });
         let lsteps = shrink_fixpoints(lsteps, |trial| {
-            same_kind(&run_case(&ops, &spec, &with_lir(trial, &cfg)))
+            same_kind(&run_case_prog(&prog, &spec, &with_lir(trial, &cfg)))
         });
         cfg.lir_spec = Some(PipelineSpec::new(lsteps));
     }
 
-    // One more ops pass: a smaller spec may admit a smaller program.
-    let ops = crate::ddmin::ddmin(&ops, |candidate| {
-        same_kind(&run_case(candidate, &spec, &cfg))
+    // One more main-ops pass: a smaller spec may admit a smaller program.
+    prog.main = crate::ddmin::ddmin(&prog.main, |cand| {
+        let trial = CaseProgram {
+            main: cand.to_vec(),
+            helpers: prog.helpers.clone(),
+        };
+        same_kind(&run_case_prog(&trial, &spec, &cfg))
     });
 
-    match run_case(&ops, &spec, &cfg) {
-        Outcome::Crash { detail, .. } => Some((ops, spec, cfg, detail)),
+    match run_case_prog(&prog, &spec, &cfg) {
+        Outcome::Crash { detail, .. } => Some((prog, spec, cfg, detail)),
         Outcome::Pass => None, // shrink lost the bug (should not happen)
     }
+}
+
+/// Reduces a crashing single-function case (the v1 entry point; see
+/// [`reduce_case_prog`] for the whole-language form).
+pub fn reduce_case(
+    ops: &[Op],
+    spec: &PipelineSpec,
+    cfg: &CaseConfig,
+) -> Option<(Vec<Op>, PipelineSpec, CaseConfig, String)> {
+    let (prog, spec, cfg, detail) =
+        reduce_case_prog(&CaseProgram::single(ops.to_vec()), spec, cfg)?;
+    Some((prog.main, spec, cfg, detail))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::genprog::{random_case_config, random_ops};
+    use crate::genprog::{random_case, random_case_config, random_ops, CaseDims};
     use crate::genspec::{random_lir_spec, random_spec};
     use crate::rng::SplitMix64;
 
@@ -443,6 +679,23 @@ mod tests {
                 "ops {ops:?} spec {spec} lir {:?}",
                 cfg.lir_spec
             );
+        }
+    }
+
+    #[test]
+    fn healthy_whole_language_cases_pass_with_probing() {
+        let mut rng = SplitMix64::new(29);
+        let dims = CaseDims {
+            objects: true,
+            multi: true,
+        };
+        for i in 0..5 {
+            let prog = random_case(&mut rng, 20, dims);
+            let spec = random_spec(&mut rng);
+            let mut cfg = random_case_config(&mut rng, i % 2 == 0);
+            cfg.probe_seed = Some(rng.next_u64());
+            let out = run_case_prog(&prog, &spec, &cfg);
+            assert_eq!(out, Outcome::Pass, "prog {prog:?} spec {spec}");
         }
     }
 
@@ -612,17 +865,20 @@ mod tests {
     fn reduction_shrinks_config_too() {
         let ops = vec![Op::Push(1), Op::Push(2), Op::AssocInsert(3, 4)];
         let spec = PipelineSpec::parse("ssa-construct,constprop,dce,ssa-destruct").unwrap();
-        // A dce-targeted injected panic: the budgets and the lowering
-        // phase are irrelevant to the crash, so reduction drops both.
+        // A dce-targeted injected panic: the budgets, probing, and the
+        // lowering phase are irrelevant to the crash, so reduction drops
+        // all three.
         let cfg = CaseConfig {
             policy: FaultPolicy::Abort,
             inject: Some("panic@dce".parse().unwrap()),
             budgets: Budgets::parse("growth=16.0,fixpoint=4").unwrap(),
             lir_spec: Some(PipelineSpec::parse("mem2reg,fixpoint<max=3>(constfold,dce)").unwrap()),
+            probe_seed: Some(42),
         };
         let (_, _, min_cfg, detail) = reduce_case(&ops, &spec, &cfg).expect("still crashes");
         assert!(min_cfg.budgets.is_unlimited(), "{:?}", min_cfg.budgets);
         assert!(min_cfg.lir_spec.is_none(), "{:?}", min_cfg.lir_spec);
+        assert!(min_cfg.probe_seed.is_none(), "{:?}", min_cfg.probe_seed);
         assert!(detail.starts_with("panic:"), "{detail}");
     }
 
@@ -637,11 +893,66 @@ mod tests {
             inject: Some("panic@gvn".parse().unwrap()),
             budgets: Budgets::none(),
             lir_spec: Some(PipelineSpec::parse("mem2reg,gvn,dce").unwrap()),
+            probe_seed: None,
         };
         let out = run_case(&ops, &spec, &cfg);
         assert_eq!(out.kind(), Some("panic"), "{out:?}");
         let (_, _, min_cfg, _) = reduce_case(&ops, &spec, &cfg).expect("still crashes");
         let lspec = min_cfg.lir_spec.expect("lir phase is load-bearing");
         assert_eq!(lspec.pass_names(), vec!["gvn"], "{lspec}");
+    }
+
+    /// Reduced from the first whole-language campaign (objects + multi,
+    /// probing): a mut push onto a collection read *out of an object
+    /// field* got renamed to a fresh SSA version, but nothing stored the
+    /// version back into the field — the epilogue's field read folded
+    /// the stale, empty tags seq ("got 0, oracle says 252"). Must Pass
+    /// now that `ssa-construct` emits the field write-back.
+    #[test]
+    fn nested_collection_fields_survive_ssa_construction() {
+        let prog = CaseProgram::single(vec![Op::ObjTagPush(131, 126)]);
+        let spec = PipelineSpec::parse("ssa-construct").unwrap();
+        assert_eq!(
+            run_case_prog(&prog, &spec, &CaseConfig::default()),
+            Outcome::Pass
+        );
+
+        // The original shape: pushes from two call sites interleaved
+        // with field writes, through the full round-trip.
+        let prog = CaseProgram::single(vec![
+            Op::ObjTagPush(0, 4),
+            Op::ObjWrite(1, 0, -7),
+            Op::ObjTagPush(1, 24),
+            Op::ObjRead(1, 1),
+            Op::ObjTagPush(0, -3),
+        ]);
+        let spec = PipelineSpec::parse("ssa-construct,dce,simplify,ssa-destruct").unwrap();
+        assert_eq!(
+            run_case_prog(&prog, &spec, &CaseConfig::default()),
+            Outcome::Pass
+        );
+    }
+
+    #[test]
+    fn reduction_shrinks_helpers() {
+        // Inject a panic into dce: the helpers are irrelevant, so the
+        // reducer must drop them all (and the shape still crashes).
+        let prog = CaseProgram {
+            main: vec![Op::Push(1), Op::ObjWrite(0, 0, 3)],
+            helpers: vec![
+                Helper::Ops(vec![Op::Push(2), Op::AssocInsert(1, 1)]),
+                Helper::Scalar(3, -1),
+            ],
+        };
+        let spec = PipelineSpec::parse("ssa-construct,dce,ssa-destruct").unwrap();
+        let cfg = CaseConfig {
+            policy: FaultPolicy::Abort,
+            inject: Some("panic@dce".parse().unwrap()),
+            ..CaseConfig::default()
+        };
+        let (min, _, _, detail) = reduce_case_prog(&prog, &spec, &cfg).expect("still crashes");
+        assert!(min.helpers.is_empty(), "helpers not dropped: {min:?}");
+        assert!(min.main.is_empty(), "main ops not dropped: {min:?}");
+        assert!(detail.starts_with("panic:"), "{detail}");
     }
 }

@@ -17,15 +17,27 @@
 //!   through the `lower` stage and a lir pipeline) with panics caught
 //!   and verification forced on, then differentially checks every
 //!   intermediate result against the oracle;
-//! * [`ddmin`] — delta debugging, used to shrink the op sequence, the
-//!   pipeline steps of both phases, and the config of a crashing case;
-//! * [`repro`] — `.repro` text artifacts that `memoir-fuzz replay`
-//!   re-runs exactly.
+//! * [`ddmin`](mod@ddmin) — delta debugging, used to shrink the op
+//!   sequence, the pipeline steps of both phases, and the config of a
+//!   crashing case;
+//! * [`repro`] — `.repro` text artifacts (spec: `docs/REPRO_FORMAT.md`)
+//!   that `memoir-fuzz replay` re-runs exactly;
+//! * [`cli`] — the `memoir-fuzz run` argument surface, plus a fuzzer
+//!   for every textual surface the binaries parse.
+//!
+//! Programs span the whole language: sequence and assoc ops, object
+//! types with field reads/writes and nested collections
+//! ([`genprog::CaseDims::objects`]), and multi-function cases whose
+//! helpers take collection parameters by reference
+//! ([`genprog::CaseDims::multi`]). The harness can additionally probe
+//! every surviving function on synthesized typed argument vectors
+//! ([`harness::CaseConfig::probe_seed`]).
 //!
 //! [`PipelineSpec`]: passman::PipelineSpec
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod ddmin;
 pub mod genprog;
 pub mod genspec;
@@ -33,9 +45,24 @@ pub mod harness;
 pub mod repro;
 pub mod rng;
 
+pub use cli::{fuzz_cli_case, parse_run_args, CliCrash, RunArgs};
 pub use ddmin::ddmin;
-pub use genprog::{build, random_case_config, random_op, random_ops, Op};
+pub use genprog::{
+    build, build_case, random_case, random_case_config, random_op, random_ops, CaseDims,
+    CaseProgram, Helper, Op,
+};
 pub use genspec::{random_lir_spec, random_spec};
-pub use harness::{reduce_case, run_case, CaseConfig, Outcome};
+pub use harness::{reduce_case, reduce_case_prog, run_case, run_case_prog, CaseConfig, Outcome};
 pub use repro::Repro;
 pub use rng::SplitMix64;
+
+/// Best-effort text of a caught panic payload.
+pub fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

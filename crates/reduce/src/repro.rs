@@ -1,14 +1,16 @@
 //! Replayable crash artifacts (`.repro` files).
 //!
 //! A repro is a small, line-oriented text file that captures *exactly*
-//! one fuzz case: the op program, the pipeline spec, the fault policy,
-//! per-case budgets, any injection plan, and — for through-lowering
-//! cases — the low-level IR pipeline run after the `lower` stage.
+//! one fuzz case: the program (`main`'s ops plus any helper functions),
+//! the pipeline spec, the fault policy, per-case budgets, any injection
+//! plan, the probe seed, and — for through-lowering cases — the
+//! low-level IR pipeline run after the `lower` stage.
 //! `memoir-fuzz replay file.repro` re-runs it bit-for-bit;
-//! `memoir-fuzz reduce file.repro` shrinks it in place.
+//! `memoir-fuzz reduce file.repro` shrinks it in place. The normative
+//! format spec (with versioning rules) lives in `docs/REPRO_FORMAT.md`.
 //!
 //! ```text
-//! memoir-fuzz repro v1
+//! memoir-fuzz repro v2
 //! seed: 42
 //! case: 17
 //! spec: ssa-construct,dce,ssa-destruct
@@ -16,24 +18,34 @@
 //! policy: skip
 //! budget: growth=16,fixpoint=2
 //! inject: panic@dce
+//! probe-seed: 7
 //! minimized: true
 //! failure: panic: injected fault
 //! ops:
 //!   push -3
-//!   write 1 7
+//!   obj-write 0 1 9
+//! helper:
+//!   assoc-insert 2 5
+//! helper-scalar: 3 -2
 //! ```
 //!
-//! `budget:` is omitted when unlimited and `inject:` when absent. A
-//! present `lir-spec:` key marks a through-lowering case; its value may
-//! be empty ("lower, then nothing").
+//! `budget:` is omitted when unlimited, `inject:` and `probe-seed:` when
+//! absent. A present `lir-spec:` key marks a through-lowering case; its
+//! value may be empty ("lower, then nothing"). Each `helper:` block and
+//! `helper-scalar:` line after the `ops:` block appends one helper
+//! function, in call order. Files that use none of the v2 features
+//! (helpers, object ops, probe seed) are written with — and round-trip
+//! through — the v1 header, so artifacts committed by older campaigns
+//! stay valid verbatim.
 
-use crate::genprog::Op;
+use crate::genprog::{CaseProgram, Helper, Op};
 use crate::harness::CaseConfig;
 use passman::{Budgets, FaultPolicy, PipelineSpec};
 use std::fmt;
 use std::str::FromStr;
 
-const HEADER: &str = "memoir-fuzz repro v1";
+const HEADER_V1: &str = "memoir-fuzz repro v1";
+const HEADER_V2: &str = "memoir-fuzz repro v2";
 
 /// One replayable crash case.
 #[derive(Clone, Debug, PartialEq)]
@@ -53,12 +65,15 @@ pub struct Repro {
     pub budgets: Budgets,
     /// Injection plan, if the campaign was seeded with one.
     pub inject: Option<passman::FaultPlan>,
+    /// Per-function probe seed, if the case ran with synthesized-argument
+    /// probing (v2).
+    pub probe_seed: Option<u64>,
     /// Whether this artifact has been through the reducer.
     pub minimized: bool,
     /// One-line failure classification from the harness.
     pub failure: String,
-    /// The MUT-op program.
-    pub ops: Vec<Op>,
+    /// The whole-language program: `main`'s MUT ops plus helpers (v2).
+    pub prog: CaseProgram,
 }
 
 impl Repro {
@@ -69,13 +84,21 @@ impl Repro {
             inject: self.inject.clone(),
             budgets: self.budgets,
             lir_spec: self.lir_spec.clone(),
+            probe_seed: self.probe_seed,
         }
+    }
+
+    /// Whether this artifact needs the v2 header (any helper, object op,
+    /// or probe seed).
+    pub fn uses_v2(&self) -> bool {
+        self.probe_seed.is_some() || self.prog.uses_v2()
     }
 }
 
 impl fmt::Display for Repro {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{HEADER}")?;
+        let header = if self.uses_v2() { HEADER_V2 } else { HEADER_V1 };
+        writeln!(f, "{header}")?;
         writeln!(f, "seed: {}", self.seed)?;
         writeln!(f, "case: {}", self.case)?;
         writeln!(f, "spec: {}", self.spec)?;
@@ -89,11 +112,25 @@ impl fmt::Display for Repro {
         if let Some(plan) = &self.inject {
             writeln!(f, "inject: {plan}")?;
         }
+        if let Some(seed) = self.probe_seed {
+            writeln!(f, "probe-seed: {seed}")?;
+        }
         writeln!(f, "minimized: {}", self.minimized)?;
         writeln!(f, "failure: {}", self.failure)?;
         writeln!(f, "ops:")?;
-        for op in &self.ops {
+        for op in &self.prog.main {
             writeln!(f, "  {op}")?;
+        }
+        for h in &self.prog.helpers {
+            match h {
+                Helper::Ops(ops) => {
+                    writeln!(f, "helper:")?;
+                    for op in ops {
+                        writeln!(f, "  {op}")?;
+                    }
+                }
+                Helper::Scalar(c1, c2) => writeln!(f, "helper-scalar: {c1} {c2}")?,
+            }
         }
         Ok(())
     }
@@ -105,9 +142,15 @@ impl FromStr for Repro {
     fn from_str(s: &str) -> Result<Repro, String> {
         let mut lines = s.lines().enumerate();
         let (_, first) = lines.next().ok_or("empty repro file")?;
-        if first.trim() != HEADER {
-            return Err(format!("not a repro file (expected `{HEADER}`)"));
-        }
+        let v2 = match first.trim() {
+            h if h == HEADER_V1 => false,
+            h if h == HEADER_V2 => true,
+            _ => {
+                return Err(format!(
+                    "not a repro file (expected `{HEADER_V1}` or `{HEADER_V2}`)"
+                ))
+            }
+        };
 
         let mut seed = None;
         let mut case = None;
@@ -116,9 +159,11 @@ impl FromStr for Repro {
         let mut policy = None;
         let mut budgets = None;
         let mut inject = None;
+        let mut probe_seed = None;
         let mut minimized = None;
         let mut failure = None;
-        let mut ops: Option<Vec<Op>> = None;
+        let mut main: Option<Vec<Op>> = None;
+        let mut helpers: Vec<Helper> = Vec::new();
 
         for (i, raw) in lines {
             let line = raw.trim_end();
@@ -126,9 +171,47 @@ impl FromStr for Repro {
                 continue;
             }
             let err = |what: &str| format!("line {}: {what}", i + 1);
-            if let Some(list) = &mut ops {
-                // Inside the trailing `ops:` block every line is one op.
-                list.push(line.trim().parse::<Op>().map_err(|e| err(&e))?);
+            if let Some(main_ops) = main.as_mut() {
+                // Inside the trailing program section every line is an
+                // op of the current block or the start of a helper.
+                let trimmed = line.trim();
+                if trimmed == "helper:" {
+                    if !v2 {
+                        return Err(err("`helper:` requires the v2 header"));
+                    }
+                    helpers.push(Helper::Ops(Vec::new()));
+                    continue;
+                }
+                if let Some(rest) = trimmed.strip_prefix("helper-scalar:") {
+                    if !v2 {
+                        return Err(err("`helper-scalar:` requires the v2 header"));
+                    }
+                    let mut it = rest.split_whitespace();
+                    let c1 = it
+                        .next()
+                        .and_then(|t| t.parse::<i8>().ok())
+                        .ok_or_else(|| err("bad helper-scalar constants"))?;
+                    let c2 = it
+                        .next()
+                        .and_then(|t| t.parse::<i8>().ok())
+                        .ok_or_else(|| err("bad helper-scalar constants"))?;
+                    if it.next().is_some() {
+                        return Err(err("helper-scalar takes exactly two constants"));
+                    }
+                    helpers.push(Helper::Scalar(c1, c2));
+                    continue;
+                }
+                let op = trimmed.parse::<Op>().map_err(|e| err(&e))?;
+                if !v2 && op.is_obj() {
+                    return Err(err("object ops require the v2 header"));
+                }
+                match helpers.last_mut() {
+                    Some(Helper::Ops(ops)) => ops.push(op),
+                    Some(Helper::Scalar(..)) => {
+                        return Err(err("ops after `helper-scalar:` (start a `helper:` block)"))
+                    }
+                    None => main_ops.push(op),
+                }
                 continue;
             }
             let (key, value) = line
@@ -151,11 +234,17 @@ impl FromStr for Repro {
                 "policy" => policy = Some(value.parse().map_err(|e: String| err(&e))?),
                 "budget" => budgets = Some(Budgets::parse(value).map_err(|e| err(&e))?),
                 "inject" => inject = Some(value.parse().map_err(|e: String| err(&e))?),
+                "probe-seed" => {
+                    if !v2 {
+                        return Err(err("`probe-seed:` requires the v2 header"));
+                    }
+                    probe_seed = Some(value.parse::<u64>().map_err(|_| err("bad probe-seed"))?)
+                }
                 "minimized" => {
                     minimized = Some(value.parse::<bool>().map_err(|_| err("bad minimized"))?)
                 }
                 "failure" => failure = Some(value.to_string()),
-                "ops" => ops = Some(Vec::new()),
+                "ops" => main = Some(Vec::new()),
                 other => return Err(err(&format!("unknown key `{other}`"))),
             }
         }
@@ -168,9 +257,13 @@ impl FromStr for Repro {
             policy: policy.ok_or("missing `policy:`")?,
             budgets: budgets.unwrap_or_default(),
             inject,
+            probe_seed,
             minimized: minimized.ok_or("missing `minimized:`")?,
             failure: failure.ok_or("missing `failure:`")?,
-            ops: ops.ok_or("missing `ops:` section")?,
+            prog: CaseProgram {
+                main: main.ok_or("missing `ops:` section")?,
+                helpers,
+            },
         })
     }
 }
@@ -189,9 +282,10 @@ mod tests {
             policy: FaultPolicy::SkipPass,
             budgets: Budgets::none(),
             inject: Some("panic@dce#2".parse().unwrap()),
+            probe_seed: None,
             minimized: true,
             failure: "panic: injected fault".to_string(),
-            ops: vec![Op::Push(-3), Op::Write(1, 7), Op::RemoveRange(0, 2)],
+            prog: CaseProgram::single(vec![Op::Push(-3), Op::Write(1, 7), Op::RemoveRange(0, 2)]),
         }
     }
 
@@ -199,6 +293,7 @@ mod tests {
     fn round_trips_through_text() {
         let r = sample();
         let text = r.to_string();
+        assert!(text.starts_with(HEADER_V1), "{text}");
         assert_eq!(text.parse::<Repro>().unwrap(), r, "{text}");
 
         // And without the optional inject line.
@@ -233,15 +328,63 @@ mod tests {
     }
 
     #[test]
+    fn round_trips_v2_programs() {
+        // Helpers, object ops, and a probe seed together force — and
+        // survive — the v2 header.
+        let mut r = sample();
+        r.probe_seed = Some(7);
+        r.prog = CaseProgram {
+            main: vec![Op::Push(1), Op::ObjWrite(0, 1, 9), Op::ObjTagPush(1, -2)],
+            helpers: vec![
+                Helper::Ops(vec![Op::AssocInsert(2, 5), Op::ObjRead(0, 0)]),
+                Helper::Scalar(3, -2),
+                Helper::Ops(vec![]),
+            ],
+        };
+        let text = r.to_string();
+        assert!(text.starts_with(HEADER_V2), "{text}");
+        assert!(text.contains("probe-seed: 7"), "{text}");
+        assert!(text.contains("helper-scalar: 3 -2"), "{text}");
+        assert_eq!(text.parse::<Repro>().unwrap(), r, "{text}");
+
+        // Each v2 feature alone is enough to flip the header.
+        let mut obj_only = sample();
+        obj_only.prog = CaseProgram::single(vec![Op::ObjRead(1, 0)]);
+        assert!(obj_only.to_string().starts_with(HEADER_V2));
+        assert_eq!(obj_only.to_string().parse::<Repro>().unwrap(), obj_only);
+        let mut probe_only = sample();
+        probe_only.probe_seed = Some(0);
+        assert!(probe_only.to_string().starts_with(HEADER_V2));
+    }
+
+    #[test]
+    fn v1_files_reject_v2_features() {
+        // A v1 header must not smuggle in v2 constructs — old tooling
+        // would silently misread such a file.
+        let with_helper = format!("{}helper:\n  push 1", sample());
+        assert!(with_helper.parse::<Repro>().is_err(), "{with_helper}");
+        let with_scalar = format!("{}helper-scalar: 1 2", sample());
+        assert!(with_scalar.parse::<Repro>().is_err(), "{with_scalar}");
+        let with_obj = format!("{}  obj-read 0 1\n", sample());
+        assert!(with_obj.parse::<Repro>().is_err(), "{with_obj}");
+        let with_probe = sample()
+            .to_string()
+            .replace("minimized:", "probe-seed: 3\nminimized:");
+        assert!(with_probe.parse::<Repro>().is_err(), "{with_probe}");
+    }
+
+    #[test]
     fn config_carries_the_whole_case() {
         let mut r = sample();
         r.budgets = Budgets::parse("fixpoint=1").unwrap();
         r.lir_spec = Some(PipelineSpec::parse("dce").unwrap());
+        r.probe_seed = Some(99);
         let cfg = r.config();
         assert_eq!(cfg.policy, r.policy);
         assert_eq!(cfg.budgets, r.budgets);
         assert_eq!(cfg.inject, r.inject);
         assert_eq!(cfg.lir_spec, r.lir_spec);
+        assert_eq!(cfg.probe_seed, r.probe_seed);
     }
 
     #[test]
@@ -256,5 +399,11 @@ mod tests {
         let bad_budget = "memoir-fuzz repro v1\nseed: 1\ncase: 0\nspec: dce\n\
                           policy: abort\nbudget: fuel=9\nminimized: false\nfailure: x\nops:";
         assert!(bad_budget.parse::<Repro>().is_err());
+        // Ops directly after helper-scalar have no block to live in.
+        let stray = format!(
+            "{}helper-scalar: 1 2\n  push 3",
+            sample().to_string().replace(HEADER_V1, HEADER_V2)
+        );
+        assert!(stray.parse::<Repro>().is_err(), "{stray}");
     }
 }

@@ -1,0 +1,36 @@
+//! Replays every archived artifact in `findings/` (reduced `.repro`
+//! files for bugs the fuzzer found that have since been fixed) and
+//! asserts none of them crashes again. See `findings/README.md`.
+
+use reduce::{run_case_prog, Outcome, Repro};
+use std::path::PathBuf;
+
+#[test]
+fn archived_findings_stay_fixed() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../findings");
+    let mut replayed = 0;
+    for entry in std::fs::read_dir(&dir).expect("findings/ directory exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("repro") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let repro: Repro = text
+            .parse()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let outcome = run_case_prog(&repro.prog, &repro.spec, &repro.config());
+        assert_eq!(
+            outcome,
+            Outcome::Pass,
+            "{}: archived finding reproduces again (recorded failure: {})",
+            path.display(),
+            repro.failure
+        );
+        replayed += 1;
+    }
+    assert!(
+        replayed > 0,
+        "no .repro artifacts found in {}",
+        dir.display()
+    );
+}

@@ -1,0 +1,35 @@
+//! Property test for the probing oracle: `run_case_prog` with a fixed
+//! `probe_seed` is deterministic — running the same case twice yields the
+//! same `Outcome`, including the probe verdict. This is what makes
+//! `probe-diverge` / `lower-probe` artifacts replayable from a `.repro`.
+
+use proptest::prelude::*;
+use reduce::{random_case, random_lir_spec, random_spec, CaseConfig, CaseDims, SplitMix64};
+
+proptest! {
+    // Each case runs two full four-way differential pipelines; keep the
+    // count low so the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whole-language cases (objects + helpers) probed through `--lower`
+    /// produce the same outcome on replay with the same probe seed.
+    #[test]
+    fn probe_agreement_is_deterministic_per_seed(
+        case_seed in any::<u64>(),
+        spec_seed in any::<u64>(),
+        probe_seed in any::<u64>(),
+    ) {
+        let dims = CaseDims { objects: true, multi: true };
+        let prog = random_case(&mut SplitMix64::new(case_seed), 12, dims);
+        let spec = random_spec(&mut SplitMix64::new(spec_seed));
+        let lir_spec = random_lir_spec(&mut SplitMix64::new(spec_seed ^ 0x9e3779b97f4a7c15));
+        let cfg = CaseConfig {
+            lir_spec: Some(lir_spec),
+            probe_seed: Some(probe_seed),
+            ..Default::default()
+        };
+        let first = reduce::run_case_prog(&prog, &spec, &cfg);
+        let second = reduce::run_case_prog(&prog, &spec, &cfg);
+        prop_assert_eq!(first, second);
+    }
+}
