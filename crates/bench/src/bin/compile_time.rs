@@ -9,13 +9,23 @@
 //! clone snapshots — the recovery baseline CoW replaces). All modes run
 //! under the `SkipPass` policy so snapshots are actually taken.
 //!
+//! Also emits `BENCH_incremental.json`: warm-cache recompiles through a
+//! shared [`passman::CompileCache`]. Each subject compiles the synthetic
+//! whole-program module cold (populating the cache), edits 0%, 10%, or
+//! 50% of its functions, and recompiles warm — reporting the cache
+//! hit/skip/miss counters, the reuse rate, and the speedup vs the cold
+//! compile. The 0% subject is the incremental-recompilation contract:
+//! byte-identical output with ≥ 90% of per-function work reused.
+//!
 //! ```text
-//! compile_time [--out FILE] [--check]
+//! compile_time [--out FILE] [--inc-out FILE] [--check]
 //! ```
 //!
 //! `--check` asserts the invariants CI smokes: non-zero pass timings,
-//! byte-identical IR between serial and sharded runs, and strictly fewer
-//! units cloned by CoW than by the full-clone baseline.
+//! byte-identical IR between serial and sharded runs, strictly fewer
+//! units cloned by CoW than by the full-clone baseline, and — for the
+//! incremental section — ≥ 90% cache reuse and byte-identical output on
+//! the unchanged-module recompile.
 
 use bench::{compilation_subjects, o3_all};
 use memoir_opt::lowering::{compile_lowered_with, LowerConfig, LoweredPipeline};
@@ -122,6 +132,120 @@ fn run_lowered(m: &memoir_ir::Module, mode: &'static str, threads: usize, cow: b
     }
 }
 
+/// One warm-cache recompile subject: edit `edited_funcs` functions,
+/// recompile through the cache the cold run populated.
+struct IncrementalResult {
+    edited_pct: u32,
+    edited_funcs: usize,
+    funcs: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    cache: passman::CompileCacheStats,
+    identical: bool,
+}
+
+/// Compiles `m` through the full lowered pipeline with `cache`
+/// installed, returning wall-clock ms, this run's cache counters, and
+/// the printed lowered output.
+fn compile_cached(
+    m: &memoir_ir::Module,
+    cache: &passman::CompileCache,
+) -> (f64, passman::CompileCacheStats, String) {
+    let mut m = m.clone();
+    let pipeline = LoweredPipeline {
+        memoir: default_spec(o3_all()),
+        lower_opts: PassOptions::none(),
+        lir: lir::passes::default_spec(),
+    };
+    let cfg = LowerConfig {
+        threads: 1,
+        cross_check: false,
+        cache: Some(cache.clone()),
+        ..LowerConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let out = compile_lowered_with(&mut m, &pipeline, &cfg).expect("pipeline runs clean");
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let lowered = out.lowered.expect("pipeline lowers");
+    (ms, out.report.run.compile_cache, format!("{lowered:?}"))
+}
+
+/// Edits the first `count` functions in place — bumping an `i64`
+/// constant where one exists, renaming otherwise — so their fingerprints
+/// (and their callers') change while the rest of the module stays
+/// cache-hot.
+fn edit_functions(m: &mut memoir_ir::Module, count: usize) -> usize {
+    use memoir_ir::{Constant, Type, ValueDef};
+    let ids: Vec<_> = m.funcs.ids().collect();
+    let mut edited = 0;
+    for &fid in &ids {
+        if edited == count {
+            break;
+        }
+        let f = &mut m.funcs[fid];
+        let const_val = f.values.ids().find(|&v| {
+            matches!(
+                f.values[v].def,
+                ValueDef::Const(Constant::Int(Type::I64, _))
+            )
+        });
+        match const_val {
+            Some(v) => {
+                let ValueDef::Const(Constant::Int(t, k)) = f.values[v].def else {
+                    unreachable!()
+                };
+                f.values[v].def = ValueDef::Const(Constant::Int(t, k.wrapping_add(1)));
+            }
+            None => f.name.push_str("_edited"),
+        }
+        edited += 1;
+    }
+    edited
+}
+
+/// Cold-compiles the subject into a fresh cache, edits `pct`% of its
+/// functions, and recompiles warm through the same cache.
+fn run_incremental(base: &memoir_ir::Module, pct: u32) -> IncrementalResult {
+    let funcs = base.funcs.ids().count();
+    let cache = passman::CompileCache::new();
+    let (cold_ms, _, cold_ir) = compile_cached(base, &cache);
+    let mut edited_m = base.clone();
+    let edited_funcs = edit_functions(&mut edited_m, funcs * pct as usize / 100);
+    let (warm_ms, warm_cache, warm_ir) = compile_cached(&edited_m, &cache);
+    IncrementalResult {
+        edited_pct: pct,
+        edited_funcs,
+        funcs,
+        cold_ms,
+        warm_ms,
+        cache: warm_cache,
+        identical: cold_ir == warm_ir,
+    }
+}
+
+fn incremental_json(r: &IncrementalResult) -> String {
+    let c = r.cache;
+    format!(
+        "    {{\"edited_pct\": {}, \"edited_funcs\": {}, \"funcs\": {},          \"cold_ms\": {:.6}, \"warm_ms\": {:.6}, \"speedup\": {:.6},          \"cache\": {{\"hits\": {}, \"skips\": {}, \"misses\": {},          \"lookups\": {}, \"reuse_rate\": {:.6}}}, \"identical_output\": {}}}",
+        r.edited_pct,
+        r.edited_funcs,
+        r.funcs,
+        r.cold_ms,
+        r.warm_ms,
+        if r.warm_ms > 0.0 {
+            r.cold_ms / r.warm_ms
+        } else {
+            0.0
+        },
+        c.hits,
+        c.skips,
+        c.misses,
+        c.lookups(),
+        c.reuse_rate(),
+        r.identical,
+    )
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -164,15 +288,21 @@ fn mode_json(r: &ModeResult) -> String {
 
 fn main() {
     let mut out_path = String::from("BENCH_compile_time.json");
+    let mut inc_path = String::from("BENCH_incremental.json");
     let mut check = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--check" => check = true,
             "--out" => out_path = it.next().expect("--out needs a value"),
-            other => match other.strip_prefix("--out=") {
-                Some(v) => out_path = v.to_string(),
-                None => panic!("unknown argument `{other}`"),
+            "--inc-out" => inc_path = it.next().expect("--inc-out needs a value"),
+            other => match (
+                other.strip_prefix("--out="),
+                other.strip_prefix("--inc-out="),
+            ) {
+                (Some(v), _) => out_path = v.to_string(),
+                (_, Some(v)) => inc_path = v.to_string(),
+                _ => panic!("unknown argument `{other}`"),
             },
         }
     }
@@ -251,7 +381,68 @@ fn main() {
         }
     }
 
+    // Warm-cache/incremental subjects: cold compile populates a shared
+    // compile cache; the warm recompile (0%, 10%, 50% of functions
+    // edited) replays it.
+    let incrementals: Vec<IncrementalResult> = [0u32, 10, 50]
+        .iter()
+        .map(|&pct| run_incremental(&synth_mir, pct))
+        .collect();
+    let inc_json = format!(
+        "{{\n  \"bench\": \"incremental\",\n  \"subject\": \"synthetic (memoir→lir)\",\n  \"subjects\": [\n{}\n  ]\n}}\n",
+        incrementals
+            .iter()
+            .map(incremental_json)
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    std::fs::write(&inc_path, &inc_json).expect("write incremental report");
+    println!("wrote {inc_path} ({} subjects)", incrementals.len());
+    for r in &incrementals {
+        println!(
+            "incremental {:>3}% edited ({:>3}/{} funcs)  cold {:8.3}ms  warm {:8.3}ms               {:.1}x  cache {}h/{}s/{}m ({:.0}% reuse){}",
+            r.edited_pct,
+            r.edited_funcs,
+            r.funcs,
+            r.cold_ms,
+            r.warm_ms,
+            if r.warm_ms > 0.0 { r.cold_ms / r.warm_ms } else { 0.0 },
+            r.cache.hits,
+            r.cache.skips,
+            r.cache.misses,
+            r.cache.reuse_rate() * 100.0,
+            if r.identical { ", identical" } else { "" },
+        );
+    }
+
     if check {
+        let unchanged = &incrementals[0];
+        assert!(
+            unchanged.cache.lookups() > 0,
+            "warm recompile made no cache lookups"
+        );
+        assert!(
+            unchanged.cache.reuse_rate() >= 0.9,
+            "unchanged-module warm recompile must reuse >= 90% of per-function              work, got {:.1}% ({:?})",
+            unchanged.cache.reuse_rate() * 100.0,
+            unchanged.cache
+        );
+        assert!(
+            unchanged.identical,
+            "unchanged-module warm recompile must be byte-identical to cold"
+        );
+        for r in &incrementals[1..] {
+            assert!(
+                r.cache.misses > 0,
+                "{}% edit produced no cache misses",
+                r.edited_pct
+            );
+        }
+        println!(
+            "check OK: unchanged warm recompile reused {:.1}% of lookups, identical output",
+            unchanged.cache.reuse_rate() * 100.0
+        );
+
         let mut cow_units = 0usize;
         let mut full_units = 0usize;
         for (name, _, modes) in &subjects {

@@ -473,6 +473,14 @@ impl passman::IrUnit for Module {
     fn size_hint(&self) -> usize {
         self.inst_count()
     }
+
+    fn supports_fingerprints(&self) -> bool {
+        true
+    }
+
+    fn fingerprints(&self) -> Vec<(Fun, passman::Fingerprint)> {
+        crate::fingerprint::module_fingerprints(self)
+    }
 }
 
 /// Functions detach from the (empty) module shell, enabling

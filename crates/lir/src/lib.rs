@@ -27,6 +27,7 @@
 pub mod constfold;
 pub mod dce;
 pub mod dom;
+pub mod fingerprint;
 pub mod gvn;
 pub mod interp;
 pub mod ir;

@@ -16,7 +16,7 @@ use crate::ir::{Fun, Function, Module};
 use crate::{constfold, dce, gvn, mem2reg, sinkpass};
 use passman::{
     AnalysisManager, FuncOutcome, FuncPass, FuncPassAdapter, PassManager, PassRegistry,
-    PipelineSpec, RunError, RunReport,
+    PipelineSpec, QueryCtx, RunError, RunReport,
 };
 use std::any::Any;
 
@@ -60,16 +60,11 @@ impl FuncPass<Module> for GvnPass {
         "gvn"
     }
     /// GVN gates replacements on dominance, so it pulls the dominator
-    /// tree from the analysis cache. A clone of the tree (two flat
+    /// tree through the query bridge. A clone of the tree (two flat
     /// `Vec`s) crosses onto the worker shard — cheaper than the CHK
     /// recomputation it replaces, and the `Rc` cache itself can't cross.
-    fn prefetch(
-        &self,
-        m: &Module,
-        key: Fun,
-        am: &mut AnalysisManager<Module>,
-    ) -> Option<Box<dyn Any + Send + Sync>> {
-        Some(Box::new((*am.get::<DomTreeAnalysis>(m, key)).clone()))
+    fn prefetch(&self, q: &mut QueryCtx<'_, Module>) -> Option<Box<dyn Any + Send + Sync>> {
+        Some(Box::new((*q.analysis::<DomTreeAnalysis>()).clone()))
     }
     fn run_on(&self, _shell: &Module, _key: Fun, f: &mut Function, ctx: Ctx) -> FuncOutcome {
         let s = match ctx.and_then(|c| c.downcast_ref::<DomTree>()) {
@@ -149,7 +144,7 @@ pub fn registry() -> PassRegistry<Module> {
 /// cache ([`DomTreeAnalysis`]), so back-to-back verifications recompute
 /// them only for the functions a pass actually mutated.
 pub fn pass_manager() -> PassManager<Module> {
-    PassManager::new(registry())
+    let mut pm = PassManager::new(registry())
         .with_verifier_am(|m: &Module, am: &mut AnalysisManager<Module>| {
             let errs = crate::verifier::verify_module_cached(m, am);
             if errs.is_empty() {
@@ -159,7 +154,32 @@ pub fn pass_manager() -> PassManager<Module> {
             }
         })
         .with_cow_snapshots()
-        .with_threads(crate::passes::threads_from_env())
+        .with_threads(crate::passes::threads_from_env());
+    if let Some(cache) = cache_from_env() {
+        pm = pm.with_compile_cache(cache);
+    }
+    pm
+}
+
+/// The process-global compile cache enabled by `MEMOIR_CACHE=1` (or
+/// `true`); read once per process, shared by every lir pass manager
+/// built here. Pass outputs are keyed by function fingerprint, so jobs
+/// recompiling unchanged functions through an identical pipeline are
+/// served from cache.
+pub fn cache_from_env() -> Option<passman::CompileCache> {
+    static CACHE: std::sync::OnceLock<Option<passman::CompileCache>> = std::sync::OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            matches!(
+                std::env::var("MEMOIR_CACHE")
+                    .ok()
+                    .map(|v| v.trim().to_ascii_lowercase())
+                    .as_deref(),
+                Some("1") | Some("true")
+            )
+            .then(passman::CompileCache::new)
+        })
+        .clone()
 }
 
 /// The worker-thread count requested via the `MEMOIR_THREADS`

@@ -163,6 +163,90 @@ mod tests {
         assert_eq!(c.max_computes_between_invalidations, 1);
     }
 
+    /// Pins the callgraph-edge audit gap: a `Mutation::Funcs`-scoped
+    /// pass that edits a *callee* names only the callee in its mutation
+    /// declaration, yet the *caller's* cached per-function analyses must
+    /// drop too — the caller's fingerprint folds in the callee's, so the
+    /// lazy refresh sees both change. Unrelated functions keep their
+    /// entries (the retention the fingerprint layer exists for).
+    #[test]
+    fn callee_edit_invalidates_callers_cached_analyses() {
+        use memoir_ir::{Callee, Constant, FunctionBuilder, ValueDef};
+
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new(&mut m.types, "callee", Form::Ssa);
+        let i64t = b.ty(Type::I64);
+        let x = b.param("x", i64t);
+        b.returns(&[i64t]);
+        let c = b.i64(10);
+        let s = b.add(x, c);
+        b.ret(vec![s]);
+        let callee = {
+            let f = b.finish();
+            m.add_func(f)
+        };
+        let mut b = FunctionBuilder::new(&mut m.types, "caller", Form::Ssa);
+        let i64t = b.ty(Type::I64);
+        let y = b.param("y", i64t);
+        b.returns(&[i64t]);
+        let rets = b.call(Callee::Func(callee), vec![y], &[i64t]);
+        b.ret(vec![rets[0]]);
+        let caller = {
+            let f = b.finish();
+            m.add_func(f)
+        };
+        let mut b = FunctionBuilder::new(&mut m.types, "leaf", Form::Ssa);
+        let i64t = b.ty(Type::I64);
+        let z = b.param("z", i64t);
+        b.returns(&[i64t]);
+        let c = b.i64(3);
+        let s = b.add(z, c);
+        b.ret(vec![s]);
+        let leaf = {
+            let f = b.finish();
+            m.add_func(f)
+        };
+
+        let mut am: AnalysisManager<Module> = AnalysisManager::new();
+        for fid in [callee, caller, leaf] {
+            let _ = am.get::<CachedDefUse>(&m, fid);
+        }
+        assert_eq!(am.counter("def-use").misses, 3);
+
+        // A Funcs-scoped pass edits the callee's body (bump a constant)
+        // and declares only the callee mutated.
+        let f = &mut m.funcs[callee];
+        let vid = f
+            .values
+            .ids()
+            .find(|&v| {
+                matches!(
+                    f.values[v].def,
+                    ValueDef::Const(Constant::Int(Type::I64, _))
+                )
+            })
+            .expect("callee has an i64 constant");
+        f.values[vid].def = ValueDef::Const(Constant::Int(Type::I64, 11));
+        am.note_mutation(&m, &passman::Mutation::Funcs(vec![callee]));
+
+        // The unrelated leaf's entry survives the refresh …
+        let _ = am.get::<CachedDefUse>(&m, leaf);
+        let c = am.counter("def-use");
+        assert_eq!((c.hits, c.misses), (1, 3), "leaf entry must be retained");
+        // … while both the callee *and its caller* recompute.
+        let _ = am.get::<CachedDefUse>(&m, callee);
+        let _ = am.get::<CachedDefUse>(&m, caller);
+        let c = am.counter("def-use");
+        assert_eq!(
+            (c.hits, c.misses),
+            (1, 5),
+            "callee edit must drop the caller's entry via fingerprint propagation"
+        );
+        let fps = am.fingerprint_stats();
+        assert!(fps.retained >= 1, "{fps:?}");
+        assert!(fps.dropped >= 2, "{fps:?}");
+    }
+
     #[test]
     fn module_analyses_cache_until_any_invalidation() {
         let m = sample();

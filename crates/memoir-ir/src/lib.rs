@@ -51,6 +51,7 @@
 #![warn(missing_debug_implementations)]
 
 mod builder;
+pub mod fingerprint;
 mod function;
 mod ids;
 mod inst;

@@ -127,6 +127,14 @@ impl passman::IrUnit for Module {
     fn size_hint(&self) -> usize {
         self.inst_count()
     }
+
+    fn supports_fingerprints(&self) -> bool {
+        true
+    }
+
+    fn fingerprints(&self) -> Vec<(FuncId, passman::Fingerprint)> {
+        crate::fingerprint::module_fingerprints(self)
+    }
 }
 
 /// Functions detach from the module shell (name, types, externs, entry

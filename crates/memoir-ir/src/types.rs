@@ -232,7 +232,12 @@ impl TypeTable {
         self.types[id]
     }
 
-    /// Looks up the id of an already-interned type without interning.
+    /// Iterates `(id, type)` over every interned type, in id order.
+    pub fn entries(&self) -> impl Iterator<Item = (TypeId, Type)> + '_ {
+        self.types.iter().map(|(id, &ty)| (id, ty))
+    }
+
+    /// Looks up the id of an already-interned type without interning it.
     pub fn interned_id(&self, ty: Type) -> Option<TypeId> {
         self.interned.get(&ty).copied()
     }

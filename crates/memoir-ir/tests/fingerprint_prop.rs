@@ -1,0 +1,138 @@
+//! Property tests for the structural fingerprint
+//! (`memoir_ir::fingerprint`): the contract every fingerprint-keyed
+//! cache layer (analysis retention, the cross-job compile cache, the
+//! lowered-body cache) relies on.
+//!
+//! * **Determinism** — fingerprints are a pure function of the module:
+//!   recomputation, a deep clone, and concurrent computation from many
+//!   threads all agree.
+//! * **Renumbering insensitivity** — orphan (unreferenced) values
+//!   displace every later raw `ValueId` without changing observable
+//!   structure; fingerprints must not move.
+//! * **Edit sensitivity** — changing any single constant in a function
+//!   changes that function's fingerprint and (via callee propagation)
+//!   its callers', while unrelated functions keep theirs.
+
+use memoir_ir::fingerprint::module_fingerprints;
+use memoir_ir::{Form, FuncId, FunctionBuilder, Module, Type};
+use passman::Fingerprint;
+use proptest::prelude::*;
+
+/// Builds a module with one `chain` function (a running sum over the
+/// given constants) plus a `caller` wrapping it and an unrelated `leaf`.
+/// `orphans[i]` injects an unreferenced constant value before step `i`,
+/// shifting every later raw value id without changing structure.
+fn build(chain: &[i64], orphans: &[bool]) -> (Module, FuncId, FuncId, FuncId) {
+    let mut m = Module::new("prop");
+
+    let mut b = FunctionBuilder::new(&mut m.types, "chain", Form::Ssa);
+    let i64t = b.ty(Type::I64);
+    let x = b.param("x", i64t);
+    b.returns(&[i64t]);
+    let mut acc = x;
+    for (i, &k) in chain.iter().enumerate() {
+        if orphans.get(i).copied().unwrap_or(false) {
+            b.i64(0x0BAD); // orphan: displaces ids, invisible to structure
+        }
+        let c = b.i64(k);
+        acc = b.add(acc, c);
+    }
+    b.ret(vec![acc]);
+    let chain_id = {
+        let f = b.finish();
+        m.add_func(f)
+    };
+
+    let mut b = FunctionBuilder::new(&mut m.types, "caller", Form::Ssa);
+    let i64t = b.ty(Type::I64);
+    let y = b.param("y", i64t);
+    b.returns(&[i64t]);
+    let rets = b.call(memoir_ir::Callee::Func(chain_id), vec![y], &[i64t]);
+    b.ret(vec![rets[0]]);
+    let caller_id = {
+        let f = b.finish();
+        m.add_func(f)
+    };
+
+    let mut b = FunctionBuilder::new(&mut m.types, "leaf", Form::Ssa);
+    let i64t = b.ty(Type::I64);
+    let z = b.param("z", i64t);
+    b.returns(&[i64t]);
+    let c = b.i64(7);
+    let s = b.add(z, c);
+    b.ret(vec![s]);
+    let leaf_id = {
+        let f = b.finish();
+        m.add_func(f)
+    };
+
+    (m, chain_id, caller_id, leaf_id)
+}
+
+/// `module_fingerprints` as a lookup table.
+fn fps(m: &Module) -> Vec<(FuncId, Fingerprint)> {
+    module_fingerprints(m)
+}
+
+fn fp_of(table: &[(FuncId, Fingerprint)], id: FuncId) -> Fingerprint {
+    table
+        .iter()
+        .find(|(fid, _)| *fid == id)
+        .map(|&(_, fp)| fp)
+        .expect("function has a fingerprint")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pure function of the module: recomputing, cloning, and computing
+    /// from four concurrent threads all yield the same table.
+    #[test]
+    fn deterministic_across_runs_and_threads(
+        chain in proptest::collection::vec(-100i64..100, 1..16),
+    ) {
+        let (m, ..) = build(&chain, &[]);
+        let base = fps(&m);
+        prop_assert_eq!(&base, &fps(&m));
+        prop_assert_eq!(&base, &fps(&m.clone()));
+        let concurrent: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4).map(|_| s.spawn(|| fps(&m))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for table in concurrent {
+            prop_assert_eq!(&base, &table);
+        }
+    }
+
+    /// Orphan values renumber every later `ValueId`; fingerprints are
+    /// keyed on canonical structure and must not move.
+    #[test]
+    fn insensitive_to_value_id_renumbering(
+        chain in proptest::collection::vec(-100i64..100, 1..16),
+        orphans in proptest::collection::vec(any::<bool>(), 16),
+    ) {
+        let (plain, ..) = build(&chain, &[]);
+        let (shifted, ..) = build(&chain, &orphans);
+        prop_assert_eq!(fps(&plain), fps(&shifted));
+    }
+
+    /// Editing one constant changes the edited function's fingerprint,
+    /// propagates to its caller through the callgraph, and leaves the
+    /// unrelated function untouched.
+    #[test]
+    fn one_op_edit_is_visible_and_propagates(
+        chain in proptest::collection::vec(-100i64..100, 1..16),
+        pick in any::<u64>(),
+    ) {
+        let idx = (pick as usize) % chain.len();
+        let mut edited = chain.clone();
+        edited[idx] = edited[idx].wrapping_add(1);
+
+        let (before, chain_id, caller_id, leaf_id) = build(&chain, &[]);
+        let (after, ..) = build(&edited, &[]);
+        let (fb, fa) = (fps(&before), fps(&after));
+        prop_assert!(fp_of(&fb, chain_id) != fp_of(&fa, chain_id));
+        prop_assert!(fp_of(&fb, caller_id) != fp_of(&fa, caller_id));
+        prop_assert_eq!(fp_of(&fb, leaf_id), fp_of(&fa, leaf_id));
+    }
+}

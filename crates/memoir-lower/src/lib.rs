@@ -11,7 +11,10 @@ pub mod lower;
 pub mod stackalloc;
 pub mod validate;
 
-pub use lower::{lower_module, lower_module_with_stats, LowerError, LowerStats};
+pub use lower::{
+    lower_module, lower_module_opts, lower_module_with_stats, LowerError, LowerOptions, LowerRun,
+    LowerStats,
+};
 pub use stackalloc::{placement_report, PlacementReport};
 pub use validate::{
     cross_validate, materialize, mix_seed, scalar_args, synth_args, CrossCheckReport, ProbeArg,

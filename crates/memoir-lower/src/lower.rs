@@ -61,8 +61,49 @@ pub fn lower_module(m: &Module) -> Result<LModule, LowerError> {
 
 /// [`lower_module`], also reporting heap/stack placement statistics.
 pub fn lower_module_with_stats(m: &Module) -> Result<(LModule, LowerStats), LowerError> {
+    lower_module_opts(m, &LowerOptions::default()).map(|run| (run.module, run.stats))
+}
+
+/// Options for [`lower_module_opts`]: per-function sharding and an
+/// optional cross-job cache of lowered outputs.
+#[derive(Clone, Debug, Default)]
+pub struct LowerOptions {
+    /// Worker threads lowering functions in parallel (`0`/`1` = serial).
+    /// The merged module is byte-identical for every thread count:
+    /// functions are reassembled in id order and the error of the
+    /// lowest-id failing function wins, exactly as in a serial walk.
+    pub threads: usize,
+    /// Cache of per-function lowered outputs, keyed by the function's
+    /// structural fingerprint (`memoir_ir::fingerprint`). A fingerprint
+    /// covers the whole type table, extern summaries, callee slot ids,
+    /// and (transitively) callee bodies — everything `lower_function`
+    /// and its escape analysis can observe — so a hit is sound to splice
+    /// in without re-lowering.
+    pub cache: Option<passman::CompileCache>,
+}
+
+/// The result of [`lower_module_opts`].
+#[derive(Clone, Debug)]
+pub struct LowerRun {
+    /// The lowered module.
+    pub module: LModule,
+    /// Heap/stack placement statistics (cache hits contribute their
+    /// recorded per-function stats, so totals match a cold run).
+    pub stats: LowerStats,
+    /// Cache traffic: one lookup per function when a cache is attached.
+    pub cache: passman::CompileCacheStats,
+}
+
+/// A cached per-function lowering result.
+#[derive(Clone)]
+struct LoweredEntry {
+    func: LFunction,
+    stats: LowerStats,
+}
+
+/// [`lower_module_with_stats`] with explicit sharding/caching options.
+pub fn lower_module_opts(m: &Module, opts: &LowerOptions) -> Result<LowerRun, LowerError> {
     let mut out = LModule::default();
-    let mut stats = LowerStats::default();
     // Pre-create functions so calls can reference forward ids.
     let mut fun_ids: HashMap<FuncId, Fun> = HashMap::new();
     for (fid, f) in m.funcs.iter() {
@@ -76,11 +117,88 @@ pub fn lower_module_with_stats(m: &Module) -> Result<(LModule, LowerStats), Lowe
         );
         fun_ids.insert(fid, out.add(lf));
     }
-    for (fid, _) in m.funcs.iter() {
-        let lowered = lower_function(m, fid, &fun_ids, &mut stats)?;
-        out.funcs[fun_ids[&fid].0 as usize] = lowered;
+
+    let fids: Vec<FuncId> = m.funcs.ids().collect();
+    type FuncResult = Option<Result<(LFunction, LowerStats), LowerError>>;
+    let mut results: Vec<FuncResult> = (0..fids.len()).map(|_| None).collect();
+    let mut cache_stats = passman::CompileCacheStats::default();
+
+    // Consult the cache serially (before any sharding) so hit/miss
+    // accounting and the resulting work list are thread-count-invariant.
+    let fps: Option<HashMap<FuncId, passman::Fingerprint>> = opts.cache.as_ref().map(|_| {
+        memoir_ir::fingerprint::module_fingerprints(m)
+            .into_iter()
+            .collect()
+    });
+    if let (Some(cache), Some(fps)) = (&opts.cache, &fps) {
+        for (i, fid) in fids.iter().enumerate() {
+            match cache.lookup::<LoweredEntry>("lower", fps[fid]) {
+                Some(entry) => {
+                    cache_stats.hits += 1;
+                    results[i] = Some(Ok((entry.func, entry.stats)));
+                }
+                None => cache_stats.misses += 1,
+            }
+        }
     }
-    Ok((out, stats))
+
+    // Lower the misses, sharded in contiguous chunks.
+    let miss: Vec<usize> = (0..fids.len()).filter(|&i| results[i].is_none()).collect();
+    let mut miss_results: Vec<FuncResult> = (0..miss.len()).map(|_| None).collect();
+    let threads = opts.threads.clamp(1, miss.len().max(1));
+    let run_one = |i: usize| {
+        let mut stats = LowerStats::default();
+        lower_function(m, fids[i], &fun_ids, &mut stats).map(|lf| (lf, stats))
+    };
+    if threads <= 1 {
+        for (&i, slot) in miss.iter().zip(miss_results.iter_mut()) {
+            *slot = Some(run_one(i));
+        }
+    } else {
+        let chunk = miss.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for (ids, slots) in miss.chunks(chunk).zip(miss_results.chunks_mut(chunk)) {
+                let run_one = &run_one;
+                s.spawn(move || {
+                    for (&i, slot) in ids.iter().zip(slots.iter_mut()) {
+                        *slot = Some(run_one(i));
+                    }
+                });
+            }
+        });
+    }
+    for (k, &i) in miss.iter().enumerate() {
+        results[i] = miss_results[k].take();
+    }
+
+    // Publish fresh results, then assemble in id order; the first error
+    // by function id wins, matching the serial walk.
+    if let (Some(cache), Some(fps)) = (&opts.cache, &fps) {
+        for &i in &miss {
+            if let Some(Ok((lf, stats))) = &results[i] {
+                cache.store(
+                    "lower",
+                    fps[&fids[i]],
+                    LoweredEntry {
+                        func: lf.clone(),
+                        stats: *stats,
+                    },
+                );
+            }
+        }
+    }
+    let mut stats = LowerStats::default();
+    for (i, fid) in fids.iter().enumerate() {
+        let (lf, fstats) = results[i].take().expect("every function lowered")?;
+        stats.stack_seqs += fstats.stack_seqs;
+        stats.heap_seqs += fstats.heap_seqs;
+        out.funcs[fun_ids[fid].0 as usize] = lf;
+    }
+    Ok(LowerRun {
+        module: out,
+        stats,
+        cache: cache_stats,
+    })
 }
 
 struct Ctx<'m> {
@@ -1096,5 +1214,49 @@ mod tests {
         let m = mb.finish();
         let err = lower_module(&m).unwrap_err();
         assert_eq!(err, LowerError::FloatUnsupported("phif".into()));
+    }
+
+    /// Sharded lowering is byte-identical to serial for every thread
+    /// count, and a warm cache serves every function while leaving the
+    /// output and the summed stats unchanged.
+    #[test]
+    fn sharded_and_cached_lowering_match_serial() {
+        let mut mb = ModuleBuilder::new("m");
+        for k in 0..5i64 {
+            mb.func(&format!("f{k}"), Form::Mut, |bb| {
+                let i64t = bb.ty(Type::I64);
+                let four = bb.index(4);
+                let s = bb.new_seq(i64t, four);
+                let zero = bb.index(0);
+                let x = bb.i64(10 + k);
+                bb.mut_write(s, zero, x);
+                let r = bb.read(s, zero);
+                bb.returns(&[i64t]);
+                bb.ret(vec![r]);
+            });
+        }
+        let m = mb.finish();
+        let serial = format!("{:?}", lower_module(&m).unwrap());
+        for threads in [2, 4, 8] {
+            let run = lower_module_opts(
+                &m,
+                &LowerOptions {
+                    threads,
+                    cache: None,
+                },
+            )
+            .unwrap();
+            assert_eq!(format!("{:?}", run.module), serial, "threads={threads}");
+        }
+        let opts = LowerOptions {
+            threads: 4,
+            cache: Some(passman::CompileCache::new()),
+        };
+        let cold = lower_module_opts(&m, &opts).unwrap();
+        assert_eq!((cold.cache.hits, cold.cache.misses), (0, 5));
+        let warm = lower_module_opts(&m, &opts).unwrap();
+        assert_eq!((warm.cache.hits, warm.cache.misses), (5, 0));
+        assert_eq!(format!("{:?}", warm.module), serial);
+        assert_eq!(warm.stats, cold.stats);
     }
 }

@@ -21,7 +21,11 @@ USAGE:
     memoir-opt [OPTIONS] [INPUT]
 
 ARGS:
-    INPUT                 input file of textual MEMOIR IR (default: stdin)
+    INPUT...              input files of textual MEMOIR IR (default: stdin).
+                          Several inputs form a job stream: each is compiled
+                          through the same pipeline in order, and with
+                          --cache they share one compile cache, so functions
+                          repeated across jobs are not re-optimized
 
 OPTIONS:
     --passes=SPEC         pipeline spec, e.g. 'ssa-construct,constprop,
@@ -50,13 +54,18 @@ OPTIONS:
     --threads=N           worker threads for function-sharded passes
                           (default: MEMOIR_THREADS, else 1 = serial;
                           results are identical to serial)
+    --cache               share a fingerprint-keyed compile cache across
+                          all jobs of this invocation: per-function pass
+                          outputs, analyses, and lowered bodies of unchanged
+                          functions are reused instead of recomputed
+                          (MEMOIR_CACHE=1 enables the same cache globally)
     --report              print the per-pass report table to stderr
     -o FILE               write the optimized module to FILE (default: stdout)
     -h, --help            show this help
 ";
 
 struct Cli {
-    input: Option<String>,
+    inputs: Vec<String>,
     output: Option<String>,
     spec: PipelineSpec,
     policy: FaultPolicy,
@@ -65,11 +74,12 @@ struct Cli {
     inject: Option<FaultPlan>,
     threads: Option<usize>,
     report: bool,
+    cache: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     let mut cli = Cli {
-        input: None,
+        inputs: Vec::new(),
         output: None,
         spec: default_spec(OptLevel::O3(OptConfig::all())),
         policy: FaultPolicy::Abort,
@@ -78,6 +88,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         inject: None,
         threads: None,
         report: false,
+        cache: false,
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -123,23 +134,44 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 )
             }
             "--report" => cli.report = true,
+            "--cache" => cli.cache = true,
             "-o" | "--output" => cli.output = Some(value(&mut it)?),
             _ if flag.starts_with('-') && flag != "-" => {
                 return Err(format!("unknown option `{flag}` (try --help)"))
             }
-            _ => {
-                if cli.input.is_some() {
-                    return Err("more than one input file".into());
-                }
-                cli.input = Some(arg.clone());
-            }
+            _ => cli.inputs.push(arg.clone()),
         }
     }
     Ok(Some(cli))
 }
 
 fn run(cli: Cli) -> Result<(), String> {
-    let src = match cli.input.as_deref() {
+    let cache = if cli.cache {
+        Some(passman::CompileCache::new())
+    } else {
+        memoir_opt::pipeline::cache_from_env()
+    };
+    if cli.inputs.len() > 1 && cli.output.is_some() {
+        return Err("-o cannot be combined with more than one input".into());
+    }
+    let inputs: Vec<Option<&str>> = if cli.inputs.is_empty() {
+        vec![None]
+    } else {
+        cli.inputs.iter().map(|p| Some(p.as_str())).collect()
+    };
+    for input in inputs {
+        run_job(&cli, input, cache.clone())?;
+    }
+    Ok(())
+}
+
+/// Compiles one input through the shared pipeline and cache.
+fn run_job(
+    cli: &Cli,
+    input: Option<&str>,
+    cache: Option<passman::CompileCache>,
+) -> Result<(), String> {
+    let src = match input {
         None | Some("-") => {
             let mut s = String::new();
             std::io::stdin()
@@ -164,6 +196,7 @@ fn run(cli: Cli) -> Result<(), String> {
                 threads: cli.threads.unwrap_or_else(threads_from_env),
                 cross_check: true,
                 full_clone_snapshots: false,
+                cache,
             };
             let out = compile_lowered_with(&mut m, lp, &cfg)
                 .map_err(|e| format!("pipeline failed: {e}"))?;
@@ -180,6 +213,9 @@ fn run(cli: Cli) -> Result<(), String> {
                 }
                 if let Some(n) = cli.threads {
                     pm = pm.with_threads(n);
+                }
+                if let Some(cache) = cache {
+                    pm = pm.with_compile_cache(cache);
                 }
                 pm
             })
@@ -200,6 +236,9 @@ fn run(cli: Cli) -> Result<(), String> {
         );
     }
     if cli.report {
+        if let Some(path) = input {
+            eprintln!("== {path}");
+        }
         eprint!("{}", report.run.render_table());
         eprintln!("total {:.3}ms", report.total_ms());
     }

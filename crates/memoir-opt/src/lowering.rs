@@ -24,7 +24,7 @@
 
 use crate::pipeline::{compile_spec_with, threads_from_env, PipelineReport};
 use memoir_ir::Module;
-use memoir_lower::{cross_validate, lower_module_with_stats, placement_report};
+use memoir_lower::{cross_validate, lower_module_opts, placement_report, LowerOptions};
 use memoir_lower::{LowerStats, PlacementReport, DEFAULT_PROBES};
 use passman::{
     Budgets, FaultPlan, FaultPolicy, LowerStage, PassManager, PassOptions, PipelineSpec, RunError,
@@ -104,6 +104,10 @@ pub struct LowerConfig {
     /// default in both pass phases (the recovery baseline, kept for
     /// comparison — see `bench --bin compile_time`).
     pub full_clone_snapshots: bool,
+    /// Cross-job compile cache shared by all three phases: fingerprint-
+    /// keyed per-function pass outputs (MEMOIR and lir) and lowered
+    /// function bodies. `None` = no caching (every run is cold).
+    pub cache: Option<passman::CompileCache>,
 }
 
 impl Default for LowerConfig {
@@ -116,6 +120,7 @@ impl Default for LowerConfig {
             threads: threads_from_env(),
             cross_check: true,
             full_clone_snapshots: false,
+            cache: None,
         }
     }
 }
@@ -137,6 +142,9 @@ impl LowerConfig {
         }
         if self.full_clone_snapshots {
             pm = pm.with_full_clone_snapshots();
+        }
+        if let Some(cache) = &self.cache {
+            pm = pm.with_compile_cache(cache.clone());
         }
         pm
     }
@@ -214,19 +222,28 @@ pub fn compile_lowered_with(
     }
 
     let invocation = out.report.run.passes.len();
-    let mut captured: Option<(LowerStats, PlacementReport)> = None;
+    let mut captured: Option<(LowerStats, PlacementReport, passman::CompileCacheStats)> = None;
     let captured_ref = &mut captured;
+    let lower_opts = LowerOptions {
+        threads: cfg.threads,
+        cache: cfg.cache.clone(),
+    };
     let stage_result = stage.run(m, &mut out.report.run, invocation, |mm: &mut Module| {
-        let (lm, stats) = lower_module_with_stats(mm).map_err(|e| e.to_string())?;
+        let run = lower_module_opts(mm, &lower_opts).map_err(|e| e.to_string())?;
+        let (lm, stats) = (run.module, run.stats);
         let placement = placement_report(mm);
-        let flat = vec![
+        let mut flat = vec![
             ("stack_seqs", stats.stack_seqs as i64),
             ("heap_seqs", stats.heap_seqs as i64),
             ("stack_sites", placement.stack_sites as i64),
             ("heap_sites", placement.heap_sites as i64),
             ("lir_insts", lm.inst_count() as i64),
         ];
-        *captured_ref = Some((stats, placement));
+        if run.cache.lookups() > 0 {
+            flat.push(("cache_hits", run.cache.hits as i64));
+            flat.push(("cache_misses", run.cache.misses as i64));
+        }
+        *captured_ref = Some((stats, placement, run.cache));
         Ok((lm, flat))
     })?;
     let stage_run_time = out
@@ -243,9 +260,10 @@ pub fn compile_lowered_with(
         StageOutcome::Lowered(lm) => lm,
         StageOutcome::Degraded { .. } => return Ok(out),
     };
-    if let Some((stats, placement)) = captured {
+    if let Some((stats, placement, cache)) = captured {
         out.lower_stats = Some(stats);
         out.placement = Some(placement);
+        out.report.run.compile_cache.merge(cache);
     }
 
     // --- phase 3: lir ----------------------------------------------------
@@ -283,6 +301,8 @@ fn merge_run(into: &mut RunReport, from: RunReport, invocation_offset: usize) {
         d.invocation += invocation_offset;
         into.degradations.push(d);
     }
+    into.compile_cache.merge(from.compile_cache);
+    into.fingerprints.merge(from.fingerprints);
     into.stopped_early |= from.stopped_early;
     into.threads = into.threads.max(from.threads);
     let s = from.snapshots;

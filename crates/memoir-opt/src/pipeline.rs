@@ -160,7 +160,7 @@ pub fn default_spec(level: OptLevel) -> PipelineSpec {
 /// and the worker-thread count taken from `MEMOIR_THREADS` (default
 /// serial; function-sharded passes like `simplify` use the workers).
 pub fn pass_manager() -> PassManager<Module> {
-    PassManager::new(crate::passes::registry())
+    let mut pm = PassManager::new(crate::passes::registry())
         .with_verifier(|m: &Module| {
             let errs = memoir_ir::verifier::verify_module(m);
             if errs.is_empty() {
@@ -171,7 +171,32 @@ pub fn pass_manager() -> PassManager<Module> {
             }
         })
         .with_cow_snapshots()
-        .with_threads(threads_from_env())
+        .with_threads(threads_from_env());
+    if let Some(cache) = cache_from_env() {
+        pm = pm.with_compile_cache(cache);
+    }
+    pm
+}
+
+/// The process-global compile cache enabled by `MEMOIR_CACHE=1` (or
+/// `true`): every pass manager built by [`pass_manager`] shares one
+/// [`passman::CompileCache`], so repeated compiles of unchanged
+/// functions across jobs in the same process are served from cache. The
+/// variable is read once; later changes have no effect.
+pub fn cache_from_env() -> Option<passman::CompileCache> {
+    static CACHE: std::sync::OnceLock<Option<passman::CompileCache>> = std::sync::OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            matches!(
+                std::env::var("MEMOIR_CACHE")
+                    .ok()
+                    .map(|v| v.trim().to_ascii_lowercase())
+                    .as_deref(),
+                Some("1") | Some("true")
+            )
+            .then(passman::CompileCache::new)
+        })
+        .clone()
 }
 
 /// The worker-thread count requested via the `MEMOIR_THREADS`

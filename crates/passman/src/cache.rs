@@ -1,0 +1,210 @@
+//! The cross-job compile cache: fingerprint-keyed pass outputs and
+//! lowered bodies that outlive a single `compile` call.
+//!
+//! A [`CompileCache`] is a cheaply clonable handle (`Arc<Mutex<..>>`)
+//! shared across compile jobs — the `memoir-opt` CLI installs one per
+//! `--cache` job stream, the fuzzer's cached-vs-cold oracle shares one
+//! between two compiles of the same program, and a future `memoird`
+//! daemon would hold one for its lifetime. Entries are keyed by
+//! `(domain, fingerprint)`:
+//!
+//! * *domain* names the producer — `"pass:<ir>:<name>"` for a
+//!   function-sharded pass, `"lower:<options>"` for a lowered body — so
+//!   results from different transformations never alias;
+//! * *fingerprint* is the [`Fingerprint`] of the **input** function
+//!   (content + types + transitive callees), so a hit guarantees the
+//!   producer would recompute byte-identical output.
+//!
+//! The payload is opaque (`Box<dyn Any + Send>`); producers store small
+//! `Clone`able records (transformed body, per-function stats, changed
+//! bit) and [`lookup`](CompileCache::lookup) hands back a clone.
+//!
+//! Coherence rules (DESIGN.md §14): a cached entry must be a pure
+//! function of `(domain, fingerprint)`. Anything that makes a pass's
+//! output depend on more than the input function — fault *injection*
+//! plans, module-shell identifiers baked into the output (lowered call
+//! indices) — must either bypass the cache or fold the extra input into
+//! the key.
+
+use crate::fingerprint::Fingerprint;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Hit/skip/miss counters for the compile cache, reported per run in
+/// [`RunReport`](crate::RunReport) and merged across jobs by the CLI.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompileCacheStats {
+    /// Lookups that found a cached *changed* result and applied the
+    /// cached body instead of re-running the producer.
+    pub hits: u64,
+    /// Lookups that found a cached *unchanged* result — the function was
+    /// skipped outright (nothing to apply, nothing to run).
+    pub skips: u64,
+    /// Lookups that found nothing; the producer ran and (on success)
+    /// populated the entry.
+    pub misses: u64,
+}
+
+impl CompileCacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.skips + self.misses
+    }
+
+    /// Fraction of lookups served from cache (hits + skips), `0.0` when
+    /// there were none.
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            (self.hits + self.skips) as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: CompileCacheStats) {
+        self.hits += other.hits;
+        self.skips += other.skips;
+        self.misses += other.misses;
+    }
+
+    /// Counter-wise difference (`self - earlier`), for per-run deltas of
+    /// an accumulating counter.
+    pub fn since(&self, earlier: CompileCacheStats) -> CompileCacheStats {
+        CompileCacheStats {
+            hits: self.hits - earlier.hits,
+            skips: self.skips - earlier.skips,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+#[derive(Default)]
+struct CacheInner {
+    entries: HashMap<(String, Fingerprint), Box<dyn Any + Send>>,
+}
+
+/// A shared, thread-safe, fingerprint-keyed result cache that outlives a
+/// single pipeline run. See the module docs for keying and coherence.
+#[derive(Clone, Default)]
+pub struct CompileCache {
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+impl std::fmt::Debug for CompileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompileCache")
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CompileCache::default()
+    }
+
+    /// Looks up the entry for `(domain, fp)`, returning a clone of the
+    /// stored value if present and of type `T`.
+    pub fn lookup<T: Clone + Send + 'static>(&self, domain: &str, fp: Fingerprint) -> Option<T> {
+        let inner = self.inner.lock().expect("compile cache poisoned");
+        inner
+            .entries
+            .get(&(domain.to_string(), fp))
+            .and_then(|b| b.downcast_ref::<T>())
+            .cloned()
+    }
+
+    /// Stores `value` under `(domain, fp)`, replacing any previous entry.
+    pub fn store<T: Clone + Send + 'static>(&self, domain: &str, fp: Fingerprint, value: T) {
+        let mut inner = self.inner.lock().expect("compile cache poisoned");
+        inner
+            .entries
+            .insert((domain.to_string(), fp), Box::new(value));
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("compile cache poisoned")
+            .entries
+            .len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters held elsewhere are unaffected).
+    pub fn clear(&self) {
+        self.inner
+            .lock()
+            .expect("compile cache poisoned")
+            .entries
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_lookup_roundtrip_and_domain_separation() {
+        let c = CompileCache::new();
+        let fp = Fingerprint(42);
+        c.store("pass:a", fp, vec![1u32, 2, 3]);
+        assert_eq!(c.lookup::<Vec<u32>>("pass:a", fp), Some(vec![1, 2, 3]));
+        assert_eq!(c.lookup::<Vec<u32>>("pass:b", fp), None);
+        assert_eq!(c.lookup::<Vec<u32>>("pass:a", Fingerprint(43)), None);
+        // Wrong payload type: miss, not panic.
+        assert_eq!(c.lookup::<String>("pass:a", fp), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn handles_are_shared() {
+        let a = CompileCache::new();
+        let b = a.clone();
+        a.store("d", Fingerprint(1), 7i64);
+        assert_eq!(b.lookup::<i64>("d", Fingerprint(1)), Some(7));
+        b.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn stats_math() {
+        let mut s = CompileCacheStats {
+            hits: 8,
+            skips: 1,
+            misses: 1,
+        };
+        assert_eq!(s.lookups(), 10);
+        assert!((s.reuse_rate() - 0.9).abs() < 1e-9);
+        s.merge(CompileCacheStats {
+            hits: 2,
+            skips: 0,
+            misses: 0,
+        });
+        assert_eq!(s.hits, 10);
+        let d = s.since(CompileCacheStats {
+            hits: 8,
+            skips: 1,
+            misses: 1,
+        });
+        assert_eq!(
+            d,
+            CompileCacheStats {
+                hits: 2,
+                skips: 0,
+                misses: 0
+            }
+        );
+        assert_eq!(CompileCacheStats::default().reuse_rate(), 0.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Structural content fingerprints — the cache key of the incremental
+//! query layer.
+//!
+//! A [`Fingerprint`] is a stable structural hash of a function's
+//! *content*: its operations, the structure of every type it touches,
+//! and — transitively, via the callgraph — the fingerprints of every
+//! function it calls. Two functions with the same fingerprint are
+//! structurally identical for every per-function analysis and
+//! transformation in the workspace, so analysis results, pass outputs,
+//! and lowered bodies can be keyed by fingerprint and reused across
+//! pipeline iterations and even across compile jobs (see
+//! [`CompileCache`](crate::CompileCache)).
+//!
+//! The contract (DESIGN.md §14):
+//!
+//! * **Deterministic** — independent of process, run, thread count, and
+//!   hash-map iteration order. The hasher below is a fixed-seed mixer,
+//!   never `std`'s randomly keyed `SipHash`.
+//! * **Renumbering-insensitive** — value ids are canonicalized by
+//!   definition order before hashing, so a print/parse round trip or a
+//!   compaction that renumbers values does not change the fingerprint.
+//! * **Content-sensitive** — any edit to an op, an immediate, a referenced
+//!   type's structure, or any (transitive) callee's body changes the
+//!   fingerprint. Callee sensitivity is what lets the analysis manager
+//!   invalidate *dependents* of a changed function without a separate
+//!   dependency graph.
+//!
+//! The IR crates implement the actual walks
+//! (`memoir_ir::fingerprint`, `lir::fingerprint`) on top of the
+//! [`StableHasher`] and the leaves-first [`sccs`] condensation here.
+
+use std::fmt;
+
+/// A stable structural content hash of one function (plus its type and
+/// callee context). See the module docs for the contract.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Fingerprint(pub u64);
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fp:{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl Fingerprint {
+    /// Combines two fingerprints order-sensitively (`combine(a, b) !=
+    /// combine(b, a)`).
+    pub fn combine(self, other: Fingerprint) -> Fingerprint {
+        let mut h = StableHasher::new();
+        h.write_u64(self.0);
+        h.write_u64(other.0);
+        Fingerprint(h.finish())
+    }
+
+    /// Combines a set of fingerprints commutatively (order-insensitive) —
+    /// used for SCC summaries, where member order is id-dependent.
+    pub fn combine_commutative(fps: impl IntoIterator<Item = Fingerprint>) -> Fingerprint {
+        let (mut xor, mut sum, mut n) = (0u64, 0u64, 0u64);
+        for fp in fps {
+            xor ^= fp.0;
+            sum = sum.wrapping_add(mix64(fp.0));
+            n += 1;
+        }
+        let mut h = StableHasher::new();
+        h.write_u64(xor);
+        h.write_u64(sum);
+        h.write_u64(n);
+        Fingerprint(h.finish())
+    }
+}
+
+/// 64-bit finalization mixer (the murmur3/splitmix avalanche step).
+fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// A deterministic, fixed-seed word hasher.
+///
+/// Unlike `std::hash::DefaultHasher` (randomly keyed per process), this
+/// produces the same digest for the same write sequence in every run on
+/// every machine — the property fingerprints need to serve as cross-job
+/// cache keys. Not cryptographic; collision resistance is "good 64-bit
+/// mixing", which is plenty for cache keying.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher with the fixed seed.
+    pub fn new() -> Self {
+        StableHasher {
+            state: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Feeds one 64-bit word.
+    pub fn write_u64(&mut self, x: u64) {
+        self.state = mix64(self.state.rotate_left(23) ^ x).wrapping_add(0x2545_f491_4f6c_dd1d);
+    }
+
+    /// Feeds a 32-bit word.
+    pub fn write_u32(&mut self, x: u32) {
+        self.write_u64(x as u64);
+    }
+
+    /// Feeds a `usize`.
+    pub fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+
+    /// Feeds a signed 64-bit word.
+    pub fn write_i64(&mut self, x: i64) {
+        self.write_u64(x as u64);
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, x: u8) {
+        self.write_u64(x as u64);
+    }
+
+    /// Feeds a boolean.
+    pub fn write_bool(&mut self, x: bool) {
+        self.write_u64(x as u64);
+    }
+
+    /// Feeds a string, length-prefixed (so `"ab", "c"` and `"a", "bc"`
+    /// digest differently).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        for chunk in s.as_bytes().chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(w));
+        }
+    }
+
+    /// The digest of everything written so far.
+    pub fn finish(&self) -> u64 {
+        mix64(self.state)
+    }
+
+    /// The digest as a [`Fingerprint`].
+    pub fn fingerprint(&self) -> Fingerprint {
+        Fingerprint(self.finish())
+    }
+}
+
+/// Strongly connected components of a directed graph over nodes
+/// `0..n`, returned **leaves-first** (every edge leaving a component
+/// points to an earlier component in the returned order). Within a
+/// component, nodes appear in a deterministic (input-index) order.
+///
+/// This is the condensation both IR crates run callee-fingerprint
+/// propagation over: process SCCs leaves-first, so every cross-SCC
+/// callee already has a final fingerprint, and summarize intra-SCC
+/// (recursive) edges commutatively.
+///
+/// Iterative Tarjan — fuzzed modules can have deep call chains, so no
+/// recursion.
+pub fn sccs(n: usize, edges: &dyn Fn(usize) -> Vec<usize>) -> Vec<Vec<usize>> {
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS frames: (node, its edge list, next edge position).
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        let mut frames: Vec<(usize, Vec<usize>, usize)> = vec![(root, edges(root), 0)];
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.0;
+            if frame.2 < frame.1.len() {
+                let w = frame.1[frame.2];
+                frame.2 += 1;
+                if w >= n {
+                    continue; // dangling edge (broken IR): ignore
+                }
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, edges(w), 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    let p = parent.0;
+                    lowlink[p] = lowlink[p].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hasher_is_deterministic_and_order_sensitive() {
+        let mut a = StableHasher::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = StableHasher::new();
+        b.write_u64(1);
+        b.write_u64(2);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = StableHasher::new();
+        c.write_u64(2);
+        c.write_u64(1);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn str_hashing_is_length_prefixed() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn commutative_combine_ignores_order() {
+        let fps = [Fingerprint(3), Fingerprint(9), Fingerprint(27)];
+        let a = Fingerprint::combine_commutative(fps);
+        let b = Fingerprint::combine_commutative([fps[2], fps[0], fps[1]]);
+        assert_eq!(a, b);
+        let c = Fingerprint::combine_commutative([fps[0], fps[1]]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sccs_leaves_first() {
+        // 0 -> 1 -> 2, 2 -> 1 (cycle {1,2}), 3 isolated.
+        let edges = |v: usize| -> Vec<usize> {
+            match v {
+                0 => vec![1],
+                1 => vec![2],
+                2 => vec![1],
+                _ => vec![],
+            }
+        };
+        let comps = sccs(4, &edges);
+        let pos = |v: usize| comps.iter().position(|c| c.contains(&v)).unwrap();
+        assert!(pos(1) < pos(0), "callee SCC must precede caller");
+        assert_eq!(pos(1), pos(2), "cycle is one component");
+        assert_eq!(comps.iter().map(|c| c.len()).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn sccs_handles_self_loop_and_dangling_edges() {
+        let edges = |v: usize| -> Vec<usize> {
+            match v {
+                0 => vec![0, 7],
+                _ => vec![],
+            }
+        };
+        let comps = sccs(2, &edges);
+        assert_eq!(comps.iter().map(|c| c.len()).sum::<usize>(), 2);
+    }
+}

@@ -30,23 +30,29 @@
 
 pub mod analysis;
 pub mod budget;
+pub mod cache;
 pub mod fault;
+pub mod fingerprint;
 pub mod parallel;
 pub mod pass;
+pub mod query;
 pub mod recover;
 pub mod runner;
 pub mod snapshot;
 pub mod spec;
 pub mod stage;
 
-pub use analysis::{Analysis, AnalysisManager, CacheCounter, ModuleAnalysis};
+pub use analysis::{Analysis, AnalysisManager, CacheCounter, FingerprintStats, ModuleAnalysis};
 pub use budget::{BudgetViolation, Budgets};
+pub use cache::{CompileCache, CompileCacheStats};
 pub use fault::{FaultPlan, InjectKind};
+pub use fingerprint::{Fingerprint, StableHasher};
 pub use parallel::{
     ContainedFault, ExecContext, FuncOutcome, FuncPass, FuncPassAdapter, FuncPassProfile,
     ShardStat, ShardedIr,
 };
 pub use pass::{FnPass, Mutation, Pass, PassError, PassOutcome, PassRegistry};
+pub use query::QueryCtx;
 pub use recover::{Degradation, FaultCause, FaultPolicy, RecoveryAction};
 pub use runner::{PassManager, PassRun, RunError, RunReport};
 pub use snapshot::{CowEngine, FullCloneEngine, SnapshotCost, SnapshotEngine, SnapshotStats};
@@ -74,5 +80,24 @@ pub trait IrUnit {
     /// budgeting.
     fn size_hint(&self) -> usize {
         0
+    }
+
+    /// Whether this IR produces content [`Fingerprint`]s — the cheap
+    /// probe callers check before paying for
+    /// [`fingerprints`](IrUnit::fingerprints). Defaults to `false`:
+    /// units that opt out keep the analysis manager's legacy
+    /// generation-counter invalidation.
+    fn supports_fingerprints(&self) -> bool {
+        false
+    }
+
+    /// Structural content fingerprints for every function, in any order
+    /// (see [`fingerprint`] for the contract: deterministic,
+    /// renumbering-insensitive, sensitive to op/type/callee edits).
+    /// Must return one entry per key of [`func_keys`](IrUnit::func_keys)
+    /// when [`supports_fingerprints`](IrUnit::supports_fingerprints) is
+    /// `true`.
+    fn fingerprints(&self) -> Vec<(Self::FuncKey, Fingerprint)> {
+        Vec::new()
     }
 }

@@ -23,7 +23,10 @@
 //! [`ContainedFault`] in the pass profile instead of a whole-pass
 //! rollback.
 
+use crate::cache::CompileCacheStats;
+use crate::fingerprint::Fingerprint;
 use crate::pass::{Mutation, Pass, PassError, PassOutcome};
+use crate::query::QueryCtx;
 use crate::AnalysisManager;
 use crate::IrUnit;
 use std::marker::PhantomData;
@@ -72,8 +75,9 @@ impl Default for ExecContext {
 /// * `clone_func`/`restore_func` address functions in place without
 ///   disturbing any other function.
 pub trait ShardedIr: IrUnit + Sync {
-    /// One detached function body.
-    type Func: Send + Clone;
+    /// One detached function body (`'static` so cached pass outputs can
+    /// live in the type-erased [`CompileCache`](crate::CompileCache)).
+    type Func: Send + Clone + 'static;
 
     /// Removes all functions, returning `(key, function)` pairs in
     /// stable ascending key order. The shell stays behind.
@@ -140,17 +144,13 @@ pub trait FuncPass<M: ShardedIr>: Send + Sync {
     /// The registry/spec name of this pass.
     fn name(&self) -> &'static str;
 
-    /// Fetches (typically from the analysis cache) whatever per-function
-    /// context `run_on` wants. Called once per function, in stable key
-    /// order, before the functions are detached — the only point in a
-    /// sharded pass where both the whole module and the analysis manager
-    /// are visible. The default prefetches nothing.
-    fn prefetch(
-        &self,
-        _m: &M,
-        _key: M::FuncKey,
-        _am: &mut AnalysisManager<M>,
-    ) -> Option<Box<dyn std::any::Any + Send + Sync>> {
+    /// Fetches (typically from the analysis cache, via the
+    /// [`QueryCtx`] query bridge) whatever per-function context `run_on`
+    /// wants. Called once per function, in stable key order, before the
+    /// functions are detached — the only point in a sharded pass where
+    /// both the whole module and the analysis cache are visible. The
+    /// default prefetches nothing.
+    fn prefetch(&self, _q: &mut QueryCtx<'_, M>) -> Option<Box<dyn std::any::Any + Send + Sync>> {
         None
     }
 
@@ -272,23 +272,44 @@ impl<M: ShardedIr, P: FuncPass<M>> FuncPassAdapter<M, P> {
     }
 }
 
-/// Runs one shard: every `(key, func)` in `funcs`, writing per-function
-/// results into the parallel `results` slice (`ctxs` carries each
-/// function's prefetched analysis context, same order).
-#[allow(clippy::too_many_arguments)]
+/// A cached per-function pass output: what the
+/// [`CompileCache`](crate::CompileCache) stores under
+/// `("pass:<ir>:<name>", input fingerprint)`. `func` is `Some` only when
+/// the pass changed the function (an unchanged function needs nothing
+/// applied — the lookup is a *skip*).
+#[derive(Clone)]
+struct PassEntry<F> {
+    changed: bool,
+    stats: Vec<(&'static str, i64)>,
+    func: Option<F>,
+}
+
+/// One sharded work item: a function (with its key) tagged with its
+/// global index in the module's stable function order.
+type IndexedFunc<'a, M> = (
+    usize,
+    &'a mut (<M as IrUnit>::FuncKey, <M as ShardedIr>::Func),
+);
+
+/// Runs one shard: every `(global index, (key, func))` item, writing
+/// per-function results into the parallel `results` slice (`ctxs`
+/// carries each item's prefetched analysis context, same order). Items
+/// are the *cache misses* in stable key order; the global index keys
+/// fault injection and profile reporting, so shard layout and cache hits
+/// never shift which function an injection targets.
 fn run_shard<M: ShardedIr, P: FuncPass<M>>(
     pass: &P,
     shell: &M,
-    base: usize,
-    funcs: &mut [(M::FuncKey, M::Func)],
+    items: &mut [IndexedFunc<'_, M>],
     ctxs: &[Option<Box<dyn std::any::Any + Send + Sync>>],
     results: &mut [Option<FuncResult>],
     cx: ExecContext,
     stat: &mut ShardStat,
 ) {
     let t0 = Instant::now();
-    for (li, (key, func)) in funcs.iter_mut().enumerate() {
-        let global_index = base + li;
+    for (li, (global_index, slot)) in items.iter_mut().enumerate() {
+        let global_index = *global_index;
+        let (key, func) = (&slot.0, &mut slot.1);
         let backup = if cx.contain_faults {
             Some(func.clone())
         } else {
@@ -339,7 +360,7 @@ fn run_shard<M: ShardedIr, P: FuncPass<M>>(
             break;
         }
     }
-    stat.funcs = funcs.len();
+    stat.funcs = items.len();
     stat.busy = t0.elapsed();
 }
 
@@ -359,58 +380,156 @@ impl<M: ShardedIr, P: FuncPass<M>> Pass<M> for FuncPassAdapter<M, P> {
     }
 
     fn run(&mut self, m: &mut M, am: &mut AnalysisManager<M>) -> Result<PassOutcome<M>, PassError> {
-        // Prefetch while the module is still whole (analyses index into
-        // the attached functions) and the `Rc`-based cache is still on
-        // this thread. Stable key order matches the detach order below.
         let mut keys = m.func_keys();
         keys.sort_unstable();
-        let ctxs: Vec<Option<Box<dyn std::any::Any + Send + Sync>>> =
-            keys.iter().map(|&k| self.pass.prefetch(m, k, am)).collect();
+        let n = keys.len();
+
+        // Consult the cross-job compile cache first: a function whose
+        // (pass, input-fingerprint) entry exists needs no prefetch and no
+        // worker — its cached output is applied (hit) or it is skipped
+        // outright (skip). Fault *injection* makes the pass's output
+        // depend on more than the input function, so it bypasses the
+        // cache (see cache.rs coherence rules); contained *real* panics
+        // are deterministic and simply never populate an entry.
+        let cache = am.compile_cache().cloned();
+        let use_cache =
+            cache.is_some() && m.supports_fingerprints() && self.cx.inject_func_panic.is_none();
+        let domain = format!("pass:{}:{}", std::any::type_name::<M>(), self.pass.name());
+        let mut fps: Vec<Option<Fingerprint>> = vec![None; n];
+        let mut cached: Vec<Option<PassEntry<M::Func>>> = Vec::new();
+        cached.resize_with(n, || None);
+        if use_cache {
+            let cache = cache.as_ref().expect("use_cache implies cache");
+            let mut delta = CompileCacheStats::default();
+            for (i, &k) in keys.iter().enumerate() {
+                let Some(fp) = am.fingerprint_of(m, k) else {
+                    continue;
+                };
+                fps[i] = Some(fp);
+                match cache.lookup::<PassEntry<M::Func>>(&domain, fp) {
+                    Some(e) => {
+                        if e.changed {
+                            delta.hits += 1;
+                        } else {
+                            delta.skips += 1;
+                        }
+                        cached[i] = Some(e);
+                    }
+                    None => delta.misses += 1,
+                }
+            }
+            am.note_compile_cache(delta);
+        }
+
+        // Prefetch (misses only) while the module is still whole
+        // (analyses index into the attached functions) and the
+        // `Rc`-based cache is still on this thread, via the query
+        // bridge. Stable key order matches the detach order below.
+        let mut miss_ctxs: Vec<Option<Box<dyn std::any::Any + Send + Sync>>> = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if cached[i].is_none() {
+                let mut q = QueryCtx::new(m, k, am);
+                miss_ctxs.push(self.pass.prefetch(&mut q));
+            }
+        }
 
         let mut funcs = m.detach_funcs();
         funcs.sort_by_key(|a| a.0);
         debug_assert!(funcs.iter().map(|(k, _)| *k).eq(keys.iter().copied()));
-        let n = funcs.len();
         let mut results: Vec<Option<FuncResult>> = Vec::new();
         results.resize_with(n, || None);
 
-        let mut profile = FuncPassProfile::default();
-        if n > 0 {
-            let threads = self.cx.threads.max(1).min(n);
-            let chunk = n.div_ceil(threads);
-            let shards = funcs.chunks(chunk).count();
-            let mut shard_stats = vec![ShardStat::default(); shards];
-            let shell: &M = m;
-            let pass = &self.pass;
-            let cx = self.cx;
-            if threads == 1 {
-                run_shard(
-                    pass,
-                    shell,
-                    0,
-                    &mut funcs,
-                    &ctxs,
-                    &mut results,
-                    cx,
-                    &mut shard_stats[0],
-                );
-            } else {
-                std::thread::scope(|s| {
-                    for (si, (((fchunk, cchunk), rchunk), stat)) in funcs
-                        .chunks_mut(chunk)
-                        .zip(ctxs.chunks(chunk))
-                        .zip(results.chunks_mut(chunk))
-                        .zip(shard_stats.iter_mut())
-                        .enumerate()
-                    {
-                        let base = si * chunk;
-                        s.spawn(move || {
-                            run_shard(pass, shell, base, fchunk, cchunk, rchunk, cx, stat)
-                        });
-                    }
+        // Apply cached outputs in place; everything else is a miss that
+        // still runs through the sharded workers.
+        let mut applied = vec![false; n];
+        for i in 0..n {
+            if let Some(e) = cached[i].take() {
+                if let Some(body) = e.func {
+                    funcs[i].1 = body;
+                }
+                applied[i] = true;
+                results[i] = Some(FuncResult {
+                    changed: e.changed,
+                    stats: e.stats,
+                    time: Duration::ZERO,
+                    panic: None,
+                    payload: None,
                 });
             }
-            profile.shards = shard_stats;
+        }
+
+        let mut profile = FuncPassProfile::default();
+        {
+            let mut miss_items: Vec<IndexedFunc<'_, M>> = funcs
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| results[*i].is_none())
+                .collect();
+            let miss_n = miss_items.len();
+            debug_assert_eq!(miss_n, miss_ctxs.len());
+            let mut miss_results: Vec<Option<FuncResult>> = Vec::new();
+            miss_results.resize_with(miss_n, || None);
+            if miss_n > 0 {
+                let threads = self.cx.threads.max(1).min(miss_n);
+                let chunk = miss_n.div_ceil(threads);
+                let shards = miss_n.div_ceil(chunk);
+                let mut shard_stats = vec![ShardStat::default(); shards];
+                let shell: &M = m;
+                let pass = &self.pass;
+                let cx = self.cx;
+                if threads == 1 {
+                    run_shard(
+                        pass,
+                        shell,
+                        &mut miss_items,
+                        &miss_ctxs,
+                        &mut miss_results,
+                        cx,
+                        &mut shard_stats[0],
+                    );
+                } else {
+                    std::thread::scope(|s| {
+                        for (((ichunk, cchunk), rchunk), stat) in miss_items
+                            .chunks_mut(chunk)
+                            .zip(miss_ctxs.chunks(chunk))
+                            .zip(miss_results.chunks_mut(chunk))
+                            .zip(shard_stats.iter_mut())
+                        {
+                            s.spawn(move || {
+                                run_shard(pass, shell, ichunk, cchunk, rchunk, cx, stat)
+                            });
+                        }
+                    });
+                }
+                profile.shards = shard_stats;
+            }
+            // Scatter worker results back to stable positions.
+            for ((gi, _), r) in miss_items.iter().zip(miss_results.iter_mut()) {
+                results[*gi] = r.take();
+            }
+        }
+
+        // Populate the compile cache from fresh (non-faulted) results
+        // before stats are consumed by the merge below.
+        if use_cache {
+            let cache = cache.as_ref().expect("use_cache implies cache");
+            for (i, fp) in fps.iter().enumerate() {
+                let (Some(fp), Some(r)) = (fp, results[i].as_ref()) else {
+                    continue;
+                };
+                if r.panic.is_some() || r.payload.is_some() || applied[i] {
+                    continue; // faulted, or was itself a cache application
+                }
+                cache.store(
+                    &domain,
+                    *fp,
+                    PassEntry::<M::Func> {
+                        changed: r.changed,
+                        stats: r.stats.clone(),
+                        func: r.changed.then(|| funcs[i].1.clone()),
+                    },
+                );
+            }
         }
 
         // Merge in stable key order: IR, changed keys, and stats come out

@@ -19,11 +19,12 @@
 //! per-function wall-clock/shard-utilization profile through each
 //! [`PassRun`].
 
-use crate::analysis::{AnalysisManager, CacheCounter};
+use crate::analysis::{AnalysisManager, CacheCounter, FingerprintStats};
 use crate::budget::{BudgetViolation, Budgets};
+use crate::cache::{CompileCache, CompileCacheStats};
 use crate::fault::{FaultPlan, InjectKind};
 use crate::parallel::{ExecContext, FuncPassProfile, ShardedIr};
-use crate::pass::{Mutation, Pass, PassError, PassRegistry};
+use crate::pass::{Pass, PassError, PassRegistry};
 use crate::recover::{Degradation, FaultCause, FaultPolicy, RecoveryAction};
 use crate::snapshot::{CowEngine, FullCloneEngine, SnapshotCost, SnapshotEngine, SnapshotStats};
 use crate::spec::{PassCall, PipelineSpec, SpecStep};
@@ -90,6 +91,12 @@ pub struct RunReport {
     /// Cumulative snapshot-engine counters (zeroed under
     /// [`FaultPolicy::Abort`], which never snapshots).
     pub snapshots: SnapshotStats,
+    /// Cross-job compile-cache hit/skip/miss counters for this run
+    /// (all-zero when no [`CompileCache`] was installed).
+    pub compile_cache: CompileCacheStats,
+    /// Fingerprint-retention counters for this run (all-zero for IRs
+    /// without fingerprint support).
+    pub fingerprints: FingerprintStats,
 }
 
 impl RunReport {
@@ -177,6 +184,23 @@ impl RunReport {
             out.push_str(&format!(
                 "analysis {:<15} hits={} misses={}\n",
                 name, c.hits, c.misses
+            ));
+        }
+        if self.compile_cache.lookups() > 0 {
+            let cc = &self.compile_cache;
+            out.push_str(&format!(
+                "compile-cache hits={} skips={} misses={} (reused {:.0}%)\n",
+                cc.hits,
+                cc.skips,
+                cc.misses,
+                cc.reuse_rate() * 100.0
+            ));
+        }
+        if self.fingerprints.refreshes > 0 {
+            let fp = &self.fingerprints;
+            out.push_str(&format!(
+                "fingerprints refreshes={} retained={} dropped={}\n",
+                fp.refreshes, fp.retained, fp.dropped
             ));
         }
         for d in &self.degradations {
@@ -301,6 +325,9 @@ pub struct PassManager<M: IrUnit> {
     threads: usize,
     /// 0-based index of the next pass invocation (reset per run).
     invocations: Cell<usize>,
+    /// Cross-job compile cache installed into each run's analysis
+    /// manager (unless the manager already carries one).
+    compile_cache: Option<CompileCache>,
 }
 
 impl<M: IrUnit> std::fmt::Debug for PassManager<M> {
@@ -335,7 +362,19 @@ impl<M: IrUnit> PassManager<M> {
             injection: None,
             threads: 1,
             invocations: Cell::new(0),
+            compile_cache: None,
         }
+    }
+
+    /// Installs a cross-job [`CompileCache`]: function-sharded passes
+    /// then skip functions whose `(pass, input-fingerprint)` output is
+    /// already cached — across fixpoint iterations, across `run_with`
+    /// calls, and across jobs sharing the cache handle. Requires the IR
+    /// to support fingerprints ([`IrUnit::fingerprints`]); without them
+    /// the cache is never consulted.
+    pub fn with_compile_cache(mut self, cache: CompileCache) -> Self {
+        self.compile_cache = Some(cache);
+        self
     }
 
     /// Sets the worker-thread count for function-sharded passes (see
@@ -487,6 +526,13 @@ impl<M: IrUnit> PassManager<M> {
         self.validate(spec)?;
         let start = Instant::now();
         self.invocations.set(0);
+        if let (Some(cache), None) = (&self.compile_cache, am.compile_cache()) {
+            am.set_compile_cache(cache.clone());
+        }
+        // Per-run deltas: the manager's counters accumulate across
+        // `run_with` calls.
+        let cc_before = am.compile_cache_stats();
+        let fp_before = am.fingerprint_stats();
         let mut report = RunReport::default();
         // Pass instances are created once per distinct spec call (name +
         // options) and reused across fixpoint iterations, so stateful
@@ -552,6 +598,8 @@ impl<M: IrUnit> PassManager<M> {
             .map(|(&n, &c)| (n.to_string(), c))
             .collect();
         report.invalidation_events = am.invalidation_events();
+        report.compile_cache = am.compile_cache_stats().since(cc_before);
+        report.fingerprints = am.fingerprint_stats().since(fp_before);
         report.threads = self.threads;
         if let Some(engine) = &self.snapshots {
             report.snapshots = engine.borrow().stats();
@@ -712,16 +760,12 @@ impl<M: IrUnit> PassManager<M> {
             }
             Ok(Ok(outcome)) => {
                 if outcome.changed {
-                    match &outcome.mutated {
-                        Mutation::None => am.invalidate_all(), // changed but undeclared: be safe
-                        Mutation::Funcs(fs) => {
-                            for &f in fs {
-                                am.invalidate(f);
-                            }
-                        }
-                        Mutation::All => am.invalidate_all(),
-                        Mutation::Handled => {} // pass invalidated through `am` itself
-                    }
+                    // Fingerprint-capable IRs resolve every scope lazily
+                    // ("drop what actually changed") at the next query;
+                    // others get the legacy push-invalidation (wholesale
+                    // for `None`/`All`, per-function for `Funcs`,
+                    // nothing for `Handled`).
+                    am.note_mutation(m, &outcome.mutated);
                 }
 
                 // Verification (a forced injection counts as a failure).

@@ -126,6 +126,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             budgets: cfg.budgets,
             inject: cfg.inject.clone(),
             probe_seed: cfg.probe_seed,
+            cache_check: cfg.cache_check,
             minimized,
             failure: first_line(&detail),
             prog,

@@ -908,6 +908,9 @@ pub fn random_case_config(rng: &mut SplitMix64, lower: bool) -> CaseConfig {
             None
         },
         probe_seed: None,
+        // One case in eight also runs the cached-vs-cold differential
+        // oracle (two extra compiles through a shared compile cache).
+        cache_check: rng.chance(1, 8),
     }
 }
 
@@ -1133,6 +1136,7 @@ mod tests {
     fn random_case_configs_cover_the_policy_space() {
         let mut rng = SplitMix64::new(17);
         let (mut abort, mut skip, mut stop, mut budgeted, mut lowered) = (0, 0, 0, 0, 0);
+        let mut cached = 0;
         for i in 0..200 {
             let cfg = random_case_config(&mut rng, i % 2 == 0);
             match cfg.policy {
@@ -1156,6 +1160,9 @@ mod tests {
             if cfg.lir_spec.is_some() {
                 lowered += 1;
             }
+            if cfg.cache_check {
+                cached += 1;
+            }
         }
         assert!(
             abort > 60 && skip > 25 && stop > 25,
@@ -1163,6 +1170,7 @@ mod tests {
         );
         assert!(budgeted > 10, "budget axis never sampled");
         assert_eq!(lowered, 100);
+        assert!(cached > 5, "cache-check axis never sampled");
     }
 
     #[test]

@@ -69,6 +69,13 @@ pub struct CaseConfig {
     /// `memoir_lower::validate::synth_args`), and — for through-lowering
     /// cases — the direct lowering is cross-checked on the same seeds.
     pub probe_seed: Option<u64>,
+    /// Turns on the cached-vs-cold differential oracle: the case is
+    /// compiled twice more through one shared
+    /// [`passman::CompileCache`] — the second (warm) run must produce a
+    /// byte-identical module and an equivalent report (pass names,
+    /// changed flags, stats, degradations; timings and the cache's own
+    /// counters excluded). A mismatch is a `cache-diverge` crash.
+    pub cache_check: bool,
 }
 
 impl Default for CaseConfig {
@@ -79,6 +86,7 @@ impl Default for CaseConfig {
             budgets: Budgets::none(),
             lir_spec: None,
             probe_seed: None,
+            cache_check: false,
         }
     }
 }
@@ -314,10 +322,157 @@ fn probe_functions(m0: &memoir_ir::Module, m: &memoir_ir::Module, seed: u64) -> 
 /// assert_eq!(run_case_prog(&prog, &spec, &CaseConfig::default()), Outcome::Pass);
 /// ```
 pub fn run_case_prog(prog: &CaseProgram, spec: &PipelineSpec, cfg: &CaseConfig) -> Outcome {
-    match &cfg.lir_spec {
+    let out = match &cfg.lir_spec {
         None => run_memoir_case(prog, spec, cfg),
         Some(lir_spec) => run_lowered_case(prog, spec, lir_spec, cfg),
+    };
+    if cfg.cache_check && out == Outcome::Pass {
+        if let Some(crash) = check_cache_coherence(prog, spec, cfg) {
+            return crash;
+        }
     }
+    out
+}
+
+/// The stable part of a run report: everything a warm cache run must
+/// reproduce bit-for-bit. Timings and the compile cache's own counters
+/// (which legitimately differ cold vs warm) are excluded.
+fn report_signature(r: &passman::RunReport) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for p in &r.passes {
+        let stats: Vec<_> = p
+            .stats
+            .iter()
+            .filter(|(k, _)| *k != "cache_hits" && *k != "cache_misses")
+            .collect();
+        let _ = writeln!(
+            s,
+            "{} changed={} iter={:?} stats={stats:?}",
+            p.name, p.changed, p.fixpoint_iteration
+        );
+    }
+    let _ = writeln!(s, "degradations={:?}", r.degradations);
+    let _ = writeln!(s, "stopped_early={}", r.stopped_early);
+    s
+}
+
+/// One compile of the case with `cache` installed, summarized as
+/// `(module text, report signature)` — the pair a warm run must
+/// reproduce byte-for-byte.
+fn run_with_cache(
+    prog: &CaseProgram,
+    spec: &PipelineSpec,
+    cfg: &CaseConfig,
+    cache: &passman::CompileCache,
+) -> Result<(String, String), String> {
+    let (mut m, _) = build_case(prog);
+    match &cfg.lir_spec {
+        None => {
+            let report = compile_spec_with(&mut m, spec, |mut pm| {
+                pm = pm
+                    .on_fault(cfg.policy)
+                    .with_budgets(cfg.budgets)
+                    .verify_between_passes(true)
+                    .with_compile_cache(cache.clone());
+                if let Some(plan) = cfg.inject.clone() {
+                    pm = pm.with_fault_injection(plan);
+                }
+                pm
+            })
+            .map_err(|e| format!("run-error: {e}"))?;
+            Ok((
+                memoir_ir::printer::print_module(&m),
+                report_signature(&report.run),
+            ))
+        }
+        Some(lir_spec) => {
+            let pipeline = LoweredPipeline {
+                memoir: spec.clone(),
+                lower_opts: PassOptions::none(),
+                lir: lir_spec.clone(),
+            };
+            let lcfg = LowerConfig {
+                policy: cfg.policy,
+                budgets: cfg.budgets,
+                verify: Some(true),
+                inject: cfg.inject.clone(),
+                threads: 1,
+                cross_check: true,
+                full_clone_snapshots: false,
+                cache: Some(cache.clone()),
+            };
+            let out = compile_lowered_with(&mut m, &pipeline, &lcfg)
+                .map_err(|e| format!("run-error: {e}"))?;
+            let mut text = memoir_ir::printer::print_module(&m);
+            if let Some(lm) = &out.lowered {
+                text.push_str(
+                    "
+== lowered ==
+",
+                );
+                text.push_str(&lir::printer::print_module(lm));
+            }
+            Ok((text, report_signature(&out.report.run)))
+        }
+    }
+}
+
+/// The cached-vs-cold differential oracle (`cache-diverge`): compiles
+/// the case twice through one shared [`passman::CompileCache`]. The
+/// first run populates the cache; the second must replay it to a
+/// byte-identical module and an equivalent report. Run only on cases
+/// that already pass the plain oracles, so any divergence is the
+/// cache's fault.
+fn check_cache_coherence(
+    prog: &CaseProgram,
+    spec: &PipelineSpec,
+    cfg: &CaseConfig,
+) -> Option<Outcome> {
+    let cache = passman::CompileCache::new();
+    let run = |label: &str| {
+        catch_unwind(AssertUnwindSafe(|| run_with_cache(prog, spec, cfg, &cache)))
+            .map_err(|payload| format!("{label} run panicked: {}", panic_message(payload)))
+            .and_then(|r| r.map_err(|e| format!("{label} run failed: {e}")))
+    };
+    let cold = match run("cold") {
+        Ok(v) => v,
+        Err(detail) => {
+            return Some(Outcome::Crash {
+                kind: "cache-diverge",
+                detail: format!("cache-diverge: {detail}"),
+            })
+        }
+    };
+    let warm = match run("warm") {
+        Ok(v) => v,
+        Err(detail) => {
+            return Some(Outcome::Crash {
+                kind: "cache-diverge",
+                detail: format!("cache-diverge: {detail}"),
+            })
+        }
+    };
+    if cold.0 != warm.0 {
+        return Some(Outcome::Crash {
+            kind: "cache-diverge",
+            detail: "cache-diverge: warm run produced a different module than the cold run"
+                .to_string(),
+        });
+    }
+    if cold.1 != warm.1 {
+        return Some(Outcome::Crash {
+            kind: "cache-diverge",
+            detail: format!(
+                "cache-diverge: warm run report differs from cold:
+--- cold
+{}--- warm
+{}",
+                cold.1, warm.1
+            ),
+        });
+    }
+    None
 }
 
 /// Runs one single-function case end to end and classifies it (the v1
@@ -389,6 +544,7 @@ fn run_lowered_case(
         threads: 1,
         cross_check: true,
         full_clone_snapshots: false,
+        cache: None,
     };
 
     let ran = catch_unwind(AssertUnwindSafe(|| {
@@ -532,7 +688,15 @@ pub fn reduce_case_prog(
     let mut prog = prog.clone();
 
     // Config first, so every later trial runs the cheapest harness that
-    // still crashes: without budgets, probing, or the lowering phase.
+    // still crashes: without the cache oracle, budgets, probing, or the
+    // lowering phase.
+    if cfg.cache_check {
+        let mut trial = cfg.clone();
+        trial.cache_check = false;
+        if same_kind(&run_case_prog(&prog, spec, &trial)) {
+            cfg = trial;
+        }
+    }
     if !cfg.budgets.is_unlimited() {
         let mut trial = cfg.clone();
         trial.budgets = Budgets::none();
@@ -862,23 +1026,45 @@ mod tests {
     }
 
     #[test]
+    fn healthy_cases_pass_the_cache_oracle() {
+        let mut rng = SplitMix64::new(41);
+        for i in 0..4 {
+            let prog = random_case(
+                &mut rng,
+                15,
+                CaseDims {
+                    objects: true,
+                    multi: true,
+                },
+            );
+            let spec = random_spec(&mut rng);
+            let mut cfg = random_case_config(&mut rng, i % 2 == 0);
+            cfg.cache_check = true;
+            let out = run_case_prog(&prog, &spec, &cfg);
+            assert_eq!(out, Outcome::Pass, "prog {prog:?} spec {spec}");
+        }
+    }
+
+    #[test]
     fn reduction_shrinks_config_too() {
         let ops = vec![Op::Push(1), Op::Push(2), Op::AssocInsert(3, 4)];
         let spec = PipelineSpec::parse("ssa-construct,constprop,dce,ssa-destruct").unwrap();
-        // A dce-targeted injected panic: the budgets, probing, and the
-        // lowering phase are irrelevant to the crash, so reduction drops
-        // all three.
+        // A dce-targeted injected panic: the cache oracle, budgets,
+        // probing, and the lowering phase are irrelevant to the crash,
+        // so reduction drops all four.
         let cfg = CaseConfig {
             policy: FaultPolicy::Abort,
             inject: Some("panic@dce".parse().unwrap()),
             budgets: Budgets::parse("growth=16.0,fixpoint=4").unwrap(),
             lir_spec: Some(PipelineSpec::parse("mem2reg,fixpoint<max=3>(constfold,dce)").unwrap()),
             probe_seed: Some(42),
+            cache_check: true,
         };
         let (_, _, min_cfg, detail) = reduce_case(&ops, &spec, &cfg).expect("still crashes");
         assert!(min_cfg.budgets.is_unlimited(), "{:?}", min_cfg.budgets);
         assert!(min_cfg.lir_spec.is_none(), "{:?}", min_cfg.lir_spec);
         assert!(min_cfg.probe_seed.is_none(), "{:?}", min_cfg.probe_seed);
+        assert!(!min_cfg.cache_check, "cache oracle should be dropped");
         assert!(detail.starts_with("panic:"), "{detail}");
     }
 
@@ -894,6 +1080,7 @@ mod tests {
             budgets: Budgets::none(),
             lir_spec: Some(PipelineSpec::parse("mem2reg,gvn,dce").unwrap()),
             probe_seed: None,
+            cache_check: false,
         };
         let out = run_case(&ops, &spec, &cfg);
         assert_eq!(out.kind(), Some("panic"), "{out:?}");

@@ -30,11 +30,13 @@
 //! ```
 //!
 //! `budget:` is omitted when unlimited, `inject:` and `probe-seed:` when
-//! absent. A present `lir-spec:` key marks a through-lowering case; its
+//! absent, and `cache-check: true` is present only when the case runs
+//! the cached-vs-cold differential oracle (two extra compiles through a
+//! shared compile cache — the `cache-diverge` crash class). A present `lir-spec:` key marks a through-lowering case; its
 //! value may be empty ("lower, then nothing"). Each `helper:` block and
 //! `helper-scalar:` line after the `ops:` block appends one helper
 //! function, in call order. Files that use none of the v2 features
-//! (helpers, object ops, probe seed) are written with — and round-trip
+//! (helpers, object ops, probe seed, cache check) are written with — and round-trip
 //! through — the v1 header, so artifacts committed by older campaigns
 //! stay valid verbatim.
 
@@ -68,6 +70,9 @@ pub struct Repro {
     /// Per-function probe seed, if the case ran with synthesized-argument
     /// probing (v2).
     pub probe_seed: Option<u64>,
+    /// Whether the case ran the cached-vs-cold differential oracle (v2;
+    /// the `cache-diverge` class replays only with this set).
+    pub cache_check: bool,
     /// Whether this artifact has been through the reducer.
     pub minimized: bool,
     /// One-line failure classification from the harness.
@@ -85,13 +90,14 @@ impl Repro {
             budgets: self.budgets,
             lir_spec: self.lir_spec.clone(),
             probe_seed: self.probe_seed,
+            cache_check: self.cache_check,
         }
     }
 
     /// Whether this artifact needs the v2 header (any helper, object op,
     /// or probe seed).
     pub fn uses_v2(&self) -> bool {
-        self.probe_seed.is_some() || self.prog.uses_v2()
+        self.probe_seed.is_some() || self.cache_check || self.prog.uses_v2()
     }
 }
 
@@ -114,6 +120,9 @@ impl fmt::Display for Repro {
         }
         if let Some(seed) = self.probe_seed {
             writeln!(f, "probe-seed: {seed}")?;
+        }
+        if self.cache_check {
+            writeln!(f, "cache-check: true")?;
         }
         writeln!(f, "minimized: {}", self.minimized)?;
         writeln!(f, "failure: {}", self.failure)?;
@@ -160,6 +169,7 @@ impl FromStr for Repro {
         let mut budgets = None;
         let mut inject = None;
         let mut probe_seed = None;
+        let mut cache_check = false;
         let mut minimized = None;
         let mut failure = None;
         let mut main: Option<Vec<Op>> = None;
@@ -240,6 +250,12 @@ impl FromStr for Repro {
                     }
                     probe_seed = Some(value.parse::<u64>().map_err(|_| err("bad probe-seed"))?)
                 }
+                "cache-check" => {
+                    if !v2 {
+                        return Err(err("`cache-check:` requires the v2 header"));
+                    }
+                    cache_check = value.parse::<bool>().map_err(|_| err("bad cache-check"))?
+                }
                 "minimized" => {
                     minimized = Some(value.parse::<bool>().map_err(|_| err("bad minimized"))?)
                 }
@@ -258,6 +274,7 @@ impl FromStr for Repro {
             budgets: budgets.unwrap_or_default(),
             inject,
             probe_seed,
+            cache_check,
             minimized: minimized.ok_or("missing `minimized:`")?,
             failure: failure.ok_or("missing `failure:`")?,
             prog: CaseProgram {
@@ -283,6 +300,7 @@ mod tests {
             budgets: Budgets::none(),
             inject: Some("panic@dce#2".parse().unwrap()),
             probe_seed: None,
+            cache_check: false,
             minimized: true,
             failure: "panic: injected fault".to_string(),
             prog: CaseProgram::single(vec![Op::Push(-3), Op::Write(1, 7), Op::RemoveRange(0, 2)]),
@@ -355,6 +373,12 @@ mod tests {
         let mut probe_only = sample();
         probe_only.probe_seed = Some(0);
         assert!(probe_only.to_string().starts_with(HEADER_V2));
+        let mut cache_only = sample();
+        cache_only.cache_check = true;
+        let text = cache_only.to_string();
+        assert!(text.starts_with(HEADER_V2), "{text}");
+        assert!(text.contains("cache-check: true"), "{text}");
+        assert_eq!(text.parse::<Repro>().unwrap(), cache_only, "{text}");
     }
 
     #[test]
@@ -371,6 +395,10 @@ mod tests {
             .to_string()
             .replace("minimized:", "probe-seed: 3\nminimized:");
         assert!(with_probe.parse::<Repro>().is_err(), "{with_probe}");
+        let with_cache = sample()
+            .to_string()
+            .replace("minimized:", "cache-check: true\nminimized:");
+        assert!(with_cache.parse::<Repro>().is_err(), "{with_cache}");
     }
 
     #[test]
@@ -385,6 +413,8 @@ mod tests {
         assert_eq!(cfg.inject, r.inject);
         assert_eq!(cfg.lir_spec, r.lir_spec);
         assert_eq!(cfg.probe_seed, r.probe_seed);
+        r.cache_check = true;
+        assert!(r.config().cache_check);
     }
 
     #[test]
