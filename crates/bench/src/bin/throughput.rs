@@ -1,0 +1,366 @@
+//! Service throughput bench: a fixed Smallbank-ish compile-job mix
+//! driven closed-loop through `memoird` at several worker × client
+//! combinations, plus one deliberately overloaded configuration and a
+//! fault-injection determinism check.
+//!
+//! Emits `BENCH_throughput.json`: per configuration, jobs/sec, p50/p99
+//! latency, terminal-outcome counts (ok / degraded-ok / shed / failed),
+//! retry/timeout/panic counts, and compile-cache reuse. The
+//! `fault_check` section replays the same mix with `slow-job`,
+//! `worker-panic`, and `poison-cache` plans at the same seed and records
+//! whether every recovered job's output stayed byte-identical.
+//!
+//! `--check` asserts the robustness invariants: at least two distinct
+//! worker counts were measured, no configuration lost a job
+//! (ok + degraded-ok + shed + failed == submitted), and the
+//! fault-injected replay was byte-identical with zero lost jobs.
+
+use memoird::{JobOutcome, JobSpec, RetryPolicy, Service, ServiceConfig, ServiceStats};
+use passman::{CompileCache, PipelineSpec};
+use workloads::synth_ir::build_synth_ir;
+
+const MEMOIR_SPEC: &str = "ssa-construct,constprop,dce,ssa-destruct";
+const LOWER_SPEC: &str = "ssa-construct,constprop,dce,ssa-destruct,lower,mem2reg,dce";
+
+/// The fixed job mix, one "tranche" of 12 jobs: mostly small modules
+/// drawn from three repeated seeds (so a shared cache gets real hits),
+/// a few mid-size, one large, one through-lowering.
+fn job_mix(tranches: usize) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for t in 0..tranches {
+        for i in 0..7 {
+            let seed = (i % 3) as u64 + 1;
+            jobs.push(JobSpec::new(
+                format!("small-{t}-{i}"),
+                build_synth_ir(4, seed),
+                PipelineSpec::parse(MEMOIR_SPEC).unwrap(),
+            ));
+        }
+        for i in 0..3 {
+            jobs.push(JobSpec::new(
+                format!("mid-{t}-{i}"),
+                build_synth_ir(12, 40 + i as u64),
+                PipelineSpec::parse(MEMOIR_SPEC).unwrap(),
+            ));
+        }
+        jobs.push(JobSpec::new(
+            format!("large-{t}"),
+            build_synth_ir(24, 99),
+            PipelineSpec::parse(MEMOIR_SPEC).unwrap(),
+        ));
+        jobs.push(JobSpec::new(
+            format!("lowered-{t}"),
+            build_synth_ir(4, 2),
+            PipelineSpec::parse(LOWER_SPEC).unwrap(),
+        ));
+    }
+    jobs
+}
+
+struct ConfigResult {
+    name: String,
+    workers: usize,
+    clients: usize,
+    jobs: usize,
+    wall_ms: f64,
+    stats: ServiceStats,
+}
+
+impl ConfigResult {
+    fn jobs_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.jobs as f64 / (self.wall_ms / 1e3)
+        } else {
+            0.0
+        }
+    }
+
+    fn lost(&self) -> i64 {
+        self.stats.submitted as i64 - self.stats.terminal() as i64
+    }
+}
+
+/// Closed-loop run: `clients` driver threads share the service, each
+/// submitting its slice of the mix one job at a time (submit, wait,
+/// next), so offered load tracks service capacity.
+fn run_closed_loop(name: &str, workers: usize, clients: usize, tranches: usize) -> ConfigResult {
+    let jobs = job_mix(tranches);
+    let total = jobs.len();
+    let cfg = ServiceConfig {
+        workers,
+        queue_cap: 256,
+        cache: Some(CompileCache::new()),
+        job_cache: true,
+        retry: RetryPolicy {
+            base_backoff_ms: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let svc = Service::start(cfg);
+    let mut slices: Vec<Vec<JobSpec>> = (0..clients).map(|_| Vec::new()).collect();
+    for (i, j) in jobs.into_iter().enumerate() {
+        slices[i % clients].push(j);
+    }
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for slice in slices {
+            let svc = &svc;
+            scope.spawn(move || {
+                for job in slice {
+                    let outcome = svc.submit(job).wait();
+                    assert!(outcome.output().is_some() || outcome.kind() == "shed");
+                }
+            });
+        }
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let stats = svc.join();
+    ConfigResult {
+        name: name.to_string(),
+        workers,
+        clients,
+        jobs: total,
+        wall_ms,
+        stats,
+    }
+}
+
+/// Overload run: everything submitted open-loop into a tiny queue on one
+/// worker, so admission control must shed; the invariant under test is
+/// that shed jobs still get structured terminal outcomes.
+fn run_overload(tranches: usize) -> ConfigResult {
+    let jobs = job_mix(tranches);
+    let total = jobs.len();
+    let cfg = ServiceConfig {
+        workers: 1,
+        queue_cap: 4,
+        shed_qdepth: Some(3),
+        ..Default::default()
+    };
+    let start = std::time::Instant::now();
+    let (outcomes, stats) = memoird::run_jobs(cfg, jobs);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(outcomes.len(), total);
+    ConfigResult {
+        name: "overload".to_string(),
+        workers: 1,
+        clients: 1,
+        jobs: total,
+        wall_ms,
+        stats,
+    }
+}
+
+struct FaultCheck {
+    jobs: usize,
+    clean: Vec<JobOutcome>,
+    faulty: Vec<JobOutcome>,
+    stats: ServiceStats,
+}
+
+impl FaultCheck {
+    fn lost(&self) -> i64 {
+        self.stats.submitted as i64 - self.stats.terminal() as i64
+    }
+
+    /// Byte-identical outputs for every job across the clean and the
+    /// fault-injected run at the same seed.
+    fn byte_identical(&self) -> bool {
+        self.clean.len() == self.faulty.len()
+            && self
+                .clean
+                .iter()
+                .zip(&self.faulty)
+                .all(|(a, b)| a.output() == b.output())
+    }
+}
+
+/// The determinism check: the same mix and seed, once clean and once
+/// under slow-job / worker-panic / poison-cache plans with the watchdog
+/// armed. Submission is single-threaded so job ids (fault targets) are
+/// reproducible.
+fn run_fault_check() -> FaultCheck {
+    let mk_cfg = || ServiceConfig {
+        workers: 2,
+        seed: 2024,
+        cache: Some(CompileCache::new()),
+        retry: RetryPolicy {
+            base_backoff_ms: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let faulty_cfg = ServiceConfig {
+        timeout_ms: Some(300),
+        faults: vec![
+            "slow-job@1".parse().unwrap(),
+            "worker-panic@3".parse().unwrap(),
+            "poison-cache@5".parse().unwrap(),
+        ],
+        ..mk_cfg()
+    };
+    let (clean, _) = memoird::run_jobs(mk_cfg(), job_mix(1));
+    let (faulty, stats) = memoird::run_jobs(faulty_cfg, job_mix(1));
+    FaultCheck {
+        jobs: clean.len(),
+        clean,
+        faulty,
+        stats,
+    }
+}
+
+fn stats_json(s: &ServiceStats) -> String {
+    format!(
+        "{{\"ok\": {}, \"degraded_ok\": {}, \"shed\": {}, \"failed\": {}, \
+         \"retries\": {}, \"timeouts\": {}, \"worker_panics\": {}, \
+         \"cache\": {{\"hits\": {}, \"skips\": {}, \"misses\": {}, \
+         \"contended\": {}, \"job_hits\": {}, \"reuse_rate\": {:.4}}}}}",
+        s.ok,
+        s.degraded_ok,
+        s.shed,
+        s.failed,
+        s.retries,
+        s.timeouts,
+        s.worker_panics,
+        s.compile_cache.hits,
+        s.compile_cache.skips,
+        s.compile_cache.misses,
+        s.compile_cache.contended,
+        s.job_cache_hits,
+        s.compile_cache.reuse_rate(),
+    )
+}
+
+fn config_json(r: &ConfigResult) -> String {
+    format!(
+        "    {{\"name\": \"{}\", \"workers\": {}, \"clients\": {}, \"jobs\": {}, \
+         \"wall_ms\": {:.3}, \"jobs_per_sec\": {:.2}, \"p50_ms\": {:.3}, \
+         \"p99_ms\": {:.3}, \"lost\": {}, \"outcomes\": {}}}",
+        r.name,
+        r.workers,
+        r.clients,
+        r.jobs,
+        r.wall_ms,
+        r.jobs_per_sec(),
+        r.stats.p50_ms,
+        r.stats.p99_ms,
+        r.lost(),
+        stats_json(&r.stats),
+    )
+}
+
+fn main() {
+    // Injected worker panics are caught by the service's envelope; keep
+    // the default hook from spraying backtraces over the report.
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info.to_string();
+        if !msg.contains("injected ") {
+            eprintln!("{msg}");
+        }
+    }));
+    let mut out_path = String::from("BENCH_throughput.json");
+    let mut check = false;
+    let mut tranches = 2usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => out_path = it.next().expect("--out needs a value"),
+            other => match (
+                other.strip_prefix("--out="),
+                other.strip_prefix("--tranches="),
+            ) {
+                (Some(v), _) => out_path = v.to_string(),
+                (_, Some(v)) => tranches = v.parse().expect("bad --tranches"),
+                _ => panic!("unknown argument `{other}`"),
+            },
+        }
+    }
+
+    let mut configs = Vec::new();
+    for &(workers, clients) in &[(1usize, 1usize), (1, 4), (2, 4), (4, 4), (4, 8)] {
+        let name = format!("w{workers}-c{clients}");
+        configs.push(run_closed_loop(&name, workers, clients, tranches));
+    }
+    configs.push(run_overload(tranches));
+    let fault = run_fault_check();
+
+    let json = format!(
+        "{{\n  \"bench\": \"throughput\",\n  \"configs\": [\n{}\n  ],\n  \
+         \"fault_check\": {{\"jobs\": {}, \"lost\": {}, \"byte_identical\": {}, \
+         \"timeouts\": {}, \"worker_panics\": {}, \"outcomes\": {}}}\n}}\n",
+        configs
+            .iter()
+            .map(config_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        fault.jobs,
+        fault.lost(),
+        fault.byte_identical(),
+        fault.stats.timeouts,
+        fault.stats.worker_panics,
+        stats_json(&fault.stats),
+    );
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path} ({} configs)", configs.len());
+
+    for r in &configs {
+        println!(
+            "{:>10}  {} workers x {} clients  {:>4} jobs  {:8.1} jobs/s  \
+             p50 {:6.2}ms  p99 {:6.2}ms  ok {} deg {} shed {} fail {}  \
+             cache {:.0}% reuse",
+            r.name,
+            r.workers,
+            r.clients,
+            r.jobs,
+            r.jobs_per_sec(),
+            r.stats.p50_ms,
+            r.stats.p99_ms,
+            r.stats.ok,
+            r.stats.degraded_ok,
+            r.stats.shed,
+            r.stats.failed,
+            r.stats.compile_cache.reuse_rate() * 100.0,
+        );
+    }
+    println!(
+        "fault-check  {} jobs  lost {}  byte-identical {}  timeouts {}  panics {}",
+        fault.jobs,
+        fault.lost(),
+        fault.byte_identical(),
+        fault.stats.timeouts,
+        fault.stats.worker_panics,
+    );
+
+    if check {
+        let worker_counts: std::collections::BTreeSet<usize> =
+            configs.iter().map(|c| c.workers).collect();
+        assert!(
+            worker_counts.len() >= 2,
+            "--check needs at least two distinct worker counts, got {worker_counts:?}"
+        );
+        for r in &configs {
+            assert_eq!(
+                r.lost(),
+                0,
+                "config {} lost jobs: {} submitted, {} terminal",
+                r.name,
+                r.stats.submitted,
+                r.stats.terminal()
+            );
+            assert_eq!(r.stats.submitted as usize, r.jobs, "config {}", r.name);
+        }
+        assert_eq!(fault.lost(), 0, "fault check lost jobs: {:?}", fault.stats);
+        assert!(
+            fault.byte_identical(),
+            "fault-injected outputs diverged from the clean run"
+        );
+        assert!(
+            fault.stats.timeouts >= 1 && fault.stats.worker_panics >= 1,
+            "injection did not exercise the envelope: {:?}",
+            fault.stats
+        );
+        println!("check passed: no lost jobs, deterministic under injection");
+    }
+}

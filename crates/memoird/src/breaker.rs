@@ -1,0 +1,199 @@
+//! Per-pipeline-spec circuit breaker.
+//!
+//! A pipeline spec that keeps failing (a pass with a crash bug, a spec
+//! that always blows its budget) would otherwise burn `max_attempts`
+//! worth of worker time on every submission. The breaker tracks
+//! *consecutive* failures per spec string and, once `threshold` is
+//! reached, **opens**: subsequent jobs with that spec are shed at
+//! admission ([`ShedReason::BreakerOpen`](crate::ShedReason::BreakerOpen))
+//! without consuming a worker. After `cooldown` sheds the breaker goes
+//! half-open and admits a single probe job; the probe's outcome closes
+//! the breaker (success) or re-opens it (failure).
+//!
+//! The cooldown is count-based, not clock-based, so breaker behavior is
+//! deterministic for a fixed submission order — the same property the
+//! rest of the envelope maintains. Because admission outcomes depend on
+//! *completion* order when jobs run concurrently, the breaker is off by
+//! default and the determinism proptest runs with it disabled.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Breaker thresholds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures of one spec that open the breaker.
+    pub threshold: u32,
+    /// Sheds to absorb while open before admitting a half-open probe.
+    pub cooldown: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: 5,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum BreakerState {
+    /// Counting consecutive failures.
+    Closed { consecutive_failures: u32 },
+    /// Shedding; admits a probe after `sheds_remaining` more rejections.
+    Open { sheds_remaining: u32 },
+    /// One probe is in flight; everything else is shed until it reports.
+    HalfOpen,
+}
+
+/// A per-spec-string circuit breaker (see the module docs).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    states: Mutex<HashMap<String, BreakerState>>,
+}
+
+impl CircuitBreaker {
+    /// A breaker with the given thresholds; every spec starts closed.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            states: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Admission check for a job with pipeline spec `spec`. Returns
+    /// `false` if the job must be shed. Called once per submission;
+    /// open-state bookkeeping (the shed countdown, the half-open probe
+    /// slot) is updated as a side effect.
+    pub fn admit(&self, spec: &str) -> bool {
+        let mut states = self.states.lock().expect("breaker poisoned");
+        let state = states
+            .entry(spec.to_string())
+            .or_insert(BreakerState::Closed {
+                consecutive_failures: 0,
+            });
+        match *state {
+            BreakerState::Closed { .. } => true,
+            BreakerState::Open { sheds_remaining } => {
+                if sheds_remaining <= 1 {
+                    // Cooldown served: let the *next* submission probe.
+                    *state = BreakerState::HalfOpen;
+                } else {
+                    *state = BreakerState::Open {
+                        sheds_remaining: sheds_remaining - 1,
+                    };
+                }
+                false
+            }
+            BreakerState::HalfOpen => {
+                // This submission is the probe; everyone else keeps
+                // getting shed until it reports via `on_result`.
+                *state = BreakerState::Open {
+                    sheds_remaining: u32::MAX,
+                };
+                true
+            }
+        }
+    }
+
+    /// Reports a terminal compile result for `spec` (shed jobs never
+    /// report). Success closes the breaker; failure counts toward — or
+    /// re-arms — the open state.
+    pub fn on_result(&self, spec: &str, success: bool) {
+        let mut states = self.states.lock().expect("breaker poisoned");
+        let state = states
+            .entry(spec.to_string())
+            .or_insert(BreakerState::Closed {
+                consecutive_failures: 0,
+            });
+        *state = if success {
+            BreakerState::Closed {
+                consecutive_failures: 0,
+            }
+        } else {
+            match *state {
+                BreakerState::Closed {
+                    consecutive_failures,
+                } if consecutive_failures + 1 < self.cfg.threshold => BreakerState::Closed {
+                    consecutive_failures: consecutive_failures + 1,
+                },
+                // Threshold reached, or a failed half-open probe
+                // (recorded as Open{MAX} by `admit`): (re-)open.
+                _ => BreakerState::Open {
+                    sheds_remaining: self.cfg.cooldown.max(1),
+                },
+            }
+        };
+    }
+
+    /// Whether `spec` is currently shedding (open or waiting on a probe).
+    pub fn is_open(&self, spec: &str) -> bool {
+        let states = self.states.lock().expect("breaker poisoned");
+        !matches!(states.get(spec), None | Some(BreakerState::Closed { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_and_probes_after_cooldown() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            threshold: 3,
+            cooldown: 2,
+        });
+        // Two failures: still closed.
+        assert!(b.admit("spec"));
+        b.on_result("spec", false);
+        assert!(b.admit("spec"));
+        b.on_result("spec", false);
+        assert!(!b.is_open("spec"));
+        // Third consecutive failure opens it.
+        assert!(b.admit("spec"));
+        b.on_result("spec", false);
+        assert!(b.is_open("spec"));
+        // Cooldown: two sheds, then the next submission probes.
+        assert!(!b.admit("spec"));
+        assert!(!b.admit("spec"));
+        assert!(b.admit("spec"), "half-open probe admitted");
+        // While the probe is in flight everyone else is shed.
+        assert!(!b.admit("spec"));
+        // Probe succeeds: closed again.
+        b.on_result("spec", true);
+        assert!(!b.is_open("spec"));
+        assert!(b.admit("spec"));
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            threshold: 1,
+            cooldown: 1,
+        });
+        assert!(b.admit("s"));
+        b.on_result("s", false); // threshold 1: open immediately
+        assert!(!b.admit("s")); // serves the 1-shed cooldown
+        assert!(b.admit("s"), "probe");
+        b.on_result("s", false); // probe failed: open again
+        assert!(!b.admit("s"));
+    }
+
+    #[test]
+    fn specs_are_independent_and_success_resets_the_count() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            threshold: 2,
+            cooldown: 1,
+        });
+        b.on_result("a", false);
+        b.on_result("b", false);
+        b.on_result("a", true); // resets a's consecutive count
+        b.on_result("a", false);
+        assert!(!b.is_open("a"), "1 consecutive failure < threshold 2");
+        b.on_result("b", false);
+        assert!(b.is_open("b"));
+        assert!(b.admit("a"), "a unaffected by b's state");
+    }
+}

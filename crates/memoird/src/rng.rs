@@ -1,0 +1,68 @@
+//! A tiny deterministic RNG (SplitMix64) for backoff jitter.
+//!
+//! The workspace is fully offline — no `rand` crate — and the retry
+//! schedule must be replayable from the service seed alone, so a 64-bit
+//! mixer keyed on `(seed, job, attempt)` is exactly enough. This is a
+//! private copy of the fuzzer's generator: `reduce` depends on this
+//! crate (the `memoir-fuzz service` mode), so the dependency cannot run
+//! the other way.
+
+/// SplitMix64: one `u64` of state, full-period, excellent mixing.
+#[derive(Clone, Debug)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be nonzero).
+    pub(crate) fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        // Multiply-shift: negligible bias for the small bounds used here.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Mixes independent key parts into one decorrelated seed.
+pub(crate) fn mix(a: u64, b: u64, c: u64) -> u64 {
+    let mut g = SplitMix64::new(
+        a ^ b.wrapping_mul(0xA24B_AED4_963E_E407) ^ c.wrapping_mul(0x9FB2_1C65_1E98_DF25),
+    );
+    g.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_spread() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let set: std::collections::HashSet<_> = xs.iter().collect();
+        assert_eq!(set.len(), xs.len());
+    }
+
+    #[test]
+    fn mix_separates_key_parts() {
+        assert_ne!(mix(1, 2, 3), mix(1, 3, 2));
+        assert_ne!(mix(1, 2, 3), mix(2, 1, 3));
+        assert_eq!(mix(7, 8, 9), mix(7, 8, 9));
+    }
+}

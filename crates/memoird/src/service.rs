@@ -1,0 +1,1319 @@
+//! The compile service: a module-level worker pool wrapping every job in
+//! the robustness envelope.
+//!
+//! Submitted [`JobSpec`]s flow through a bounded queue into a pool of
+//! worker threads. Each worker owns a job end-to-end: it runs the retry
+//! ladder inline — deterministic seeded backoff, one degradation
+//! [`Rung`] per attempt — with every attempt wrapped in `catch_unwind`.
+//! A supervisor thread watchdogs in-flight attempts against the
+//! configured wall-clock timeout: an attempt that blows its deadline is
+//! *abandoned* (its worker poisoned and replaced, its eventual result
+//! discarded) and the job is requeued for the next rung, so a wedged
+//! pass can never wedge the service.
+//!
+//! Admission control sheds work before it queues: a full bounded queue,
+//! a queue-depth high-water mark, a p99-latency threshold over the
+//! recent-completion window, or an open per-pipeline-spec
+//! [`CircuitBreaker`] each produce a structured [`JobOutcome::Shed`].
+//! Every admitted job resolves to exactly one terminal [`JobOutcome`]
+//! (the *zero lost jobs* invariant).
+//!
+//! Determinism: for a fixed submission order, seed, and fault plan,
+//! job ids, injected faults, retry rungs, backoff delays, and outputs
+//! are all reproducible — timing-derived numbers (latency percentiles)
+//! are the only nondeterministic observables. The throughput bench's
+//! `--check` mode leans on this to assert byte-identical output with
+//! and without fault injection at the same seed.
+
+use crate::backoff::RetryPolicy;
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::inject::{JobFaultPlan, JobInjectKind};
+use crate::job::{AttemptRecord, JobId, JobOutcome, JobSpec, Rung, ShedReason};
+use memoir_opt::{
+    compile_lowered_with, compile_spec_with, default_spec, split_lowered_spec, LowerConfig,
+    OptConfig, OptLevel,
+};
+use passman::{
+    BudgetViolation, CompileCache, CompileCacheStats, FaultCause, PipelineSpec, StableHasher,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How many recent job latencies the p50/p99 window holds.
+const LATENCY_WINDOW: usize = 64;
+
+/// Service configuration: pool size, envelope thresholds, shared cache.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (module-level parallelism; clamped to ≥ 1).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are shed.
+    pub queue_cap: usize,
+    /// Per-attempt wall-clock timeout. Composes with job budgets (the
+    /// smaller of this and `max_pipeline_millis` is handed to the
+    /// pipeline as an in-band budget) and arms the watchdog. `None`
+    /// disables the watchdog entirely.
+    pub timeout_ms: Option<u64>,
+    /// Retry ladder and backoff curve.
+    pub retry: RetryPolicy,
+    /// Service seed: the only entropy source for backoff jitter.
+    pub seed: u64,
+    /// Per-pipeline-spec circuit breaker; `None` (the default) disables
+    /// it — breaker admission depends on completion order, which is
+    /// nondeterministic under concurrency.
+    pub breaker: Option<BreakerConfig>,
+    /// Early-shed when queue depth reaches this high-water mark.
+    pub shed_qdepth: Option<usize>,
+    /// Early-shed when windowed p99 latency exceeds this, in ms (only
+    /// once the latency window is full, so cold starts are not shed).
+    pub shed_p99_ms: Option<f64>,
+    /// Shared cross-job compile cache for function-sharded pass results
+    /// and lowered bodies; also backs the job-output cache.
+    pub cache: Option<CompileCache>,
+    /// Cache whole job outputs (keyed on module text + effective spec)
+    /// in `cache` as well; requires `cache`.
+    pub job_cache: bool,
+    /// Deterministic service-level fault plans (`slow-job@3`, …).
+    pub faults: Vec<JobFaultPlan>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_cap: 64,
+            timeout_ms: None,
+            retry: RetryPolicy::default(),
+            seed: 0,
+            breaker: None,
+            shed_qdepth: None,
+            shed_p99_ms: None,
+            cache: None,
+            job_cache: false,
+            faults: Vec::new(),
+        }
+    }
+}
+
+/// Monotonic service counters plus a latency snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Jobs submitted (admitted + shed).
+    pub submitted: u64,
+    /// Terminal [`JobOutcome::Ok`] count.
+    pub ok: u64,
+    /// Terminal [`JobOutcome::DegradedOk`] count.
+    pub degraded_ok: u64,
+    /// Terminal [`JobOutcome::Shed`] count.
+    pub shed: u64,
+    /// Terminal [`JobOutcome::Failed`] count.
+    pub failed: u64,
+    /// Attempts recorded (including watchdog-abandoned ones).
+    pub attempts: u64,
+    /// Attempts beyond each job's first — the retry count.
+    pub retries: u64,
+    /// Attempts abandoned by the watchdog.
+    pub timeouts: u64,
+    /// Attempts that ended in a (caught) worker panic.
+    pub worker_panics: u64,
+    /// Whole-job outputs served from the job cache.
+    pub job_cache_hits: u64,
+    /// Compile-cache counters summed over every recorded attempt.
+    pub compile_cache: CompileCacheStats,
+    /// Median job latency over the recent window, in ms (0 when empty).
+    pub p50_ms: f64,
+    /// p99 job latency over the recent window, in ms (0 when empty).
+    pub p99_ms: f64,
+}
+
+impl ServiceStats {
+    /// Terminal outcomes delivered so far.
+    pub fn terminal(&self) -> u64 {
+        self.ok + self.degraded_ok + self.shed + self.failed
+    }
+}
+
+#[derive(Default)]
+struct StatsInner {
+    submitted: u64,
+    ok: u64,
+    degraded_ok: u64,
+    shed: u64,
+    failed: u64,
+    attempts: u64,
+    retries: u64,
+    timeouts: u64,
+    worker_panics: u64,
+    job_cache_hits: u64,
+    compile_cache: CompileCacheStats,
+}
+
+/// Ring buffer of recent job latencies for load-based shedding.
+struct LatencyWindow {
+    samples: VecDeque<f64>,
+}
+
+impl LatencyWindow {
+    fn new() -> Self {
+        LatencyWindow {
+            samples: VecDeque::with_capacity(LATENCY_WINDOW),
+        }
+    }
+
+    fn record(&mut self, ms: f64) {
+        if self.samples.len() == LATENCY_WINDOW {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(ms);
+    }
+
+    fn full(&self) -> bool {
+        self.samples.len() == LATENCY_WINDOW
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = self.samples.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency NaN"));
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+}
+
+/// Per-job mutable state shared between its worker, the supervisor, and
+/// the submitter's ticket.
+struct JobState {
+    id: JobId,
+    spec: JobSpec,
+    /// The submitted spec rendered once, for breaker keying.
+    spec_string: String,
+    attempts: Vec<AttemptRecord>,
+    /// Attempt indices abandoned by the watchdog: the stuck worker's
+    /// eventual result for these is discarded.
+    abandoned: HashSet<usize>,
+    done: bool,
+    submitted_at: Instant,
+    tx: mpsc::Sender<JobOutcome>,
+}
+
+type SharedJob = Arc<Mutex<JobState>>;
+
+enum Event {
+    Started {
+        worker: usize,
+        job: JobId,
+        attempt: usize,
+        deadline: Instant,
+        state: SharedJob,
+    },
+    Finished {
+        job: JobId,
+        attempt: usize,
+    },
+    Shutdown,
+}
+
+struct WorkerSlot {
+    poisoned: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+struct Shared {
+    cfg: ServiceConfig,
+    queue: Mutex<VecDeque<SharedJob>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Admitted jobs not yet terminal.
+    pending: AtomicUsize,
+    drain_mx: Mutex<()>,
+    drain_cv: Condvar,
+    stats: Mutex<StatsInner>,
+    latencies: Mutex<LatencyWindow>,
+    breaker: Option<CircuitBreaker>,
+    workers: Mutex<Vec<WorkerSlot>>,
+    next_worker: AtomicUsize,
+    /// Prototype sender for worker threads (supervisor owns the receiver).
+    events: Mutex<mpsc::Sender<Event>>,
+}
+
+impl Shared {
+    /// Delivers `outcome` for a job whose state lock is already held,
+    /// exactly once. Returns `false` if the job was already finalized.
+    fn finalize(&self, st: &mut JobState, outcome: JobOutcome) -> bool {
+        if st.done {
+            return false;
+        }
+        st.done = true;
+        let success = matches!(
+            outcome,
+            JobOutcome::Ok { .. } | JobOutcome::DegradedOk { .. }
+        );
+        {
+            let mut stats = self.stats.lock().expect("stats poisoned");
+            match &outcome {
+                JobOutcome::Ok { .. } => stats.ok += 1,
+                JobOutcome::DegradedOk { .. } => stats.degraded_ok += 1,
+                JobOutcome::Shed { .. } => stats.shed += 1,
+                JobOutcome::Failed { .. } => stats.failed += 1,
+            }
+            stats.retries += (st.attempts.len() as u64).saturating_sub(1);
+        }
+        if let Some(b) = &self.breaker {
+            b.on_result(&st.spec_string, success);
+        }
+        self.latencies
+            .lock()
+            .expect("latencies poisoned")
+            .record(st.submitted_at.elapsed().as_secs_f64() * 1e3);
+        // The submitter may have dropped its ticket; that loses nothing.
+        let _ = st.tx.send(outcome);
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+        let _g = self.drain_mx.lock().expect("drain poisoned");
+        self.drain_cv.notify_all();
+        true
+    }
+
+    /// Records one attempt under the state lock, updating counters.
+    fn record_attempt(&self, st: &mut JobState, rec: AttemptRecord) {
+        let mut stats = self.stats.lock().expect("stats poisoned");
+        stats.attempts += 1;
+        stats.compile_cache.merge(rec.compile_cache);
+        if matches!(rec.fault, Some(FaultCause::Panic(_))) {
+            stats.worker_panics += 1;
+        }
+        st.attempts.push(rec);
+    }
+
+    /// Requeues an admitted job (bypasses the admission cap: the job
+    /// already holds a queue slot conceptually).
+    fn requeue(&self, job: SharedJob) {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        q.push_back(job);
+        self.queue_cv.notify_one();
+    }
+
+    fn spawn_worker(self: &Arc<Self>) {
+        let id = self.next_worker.fetch_add(1, Ordering::SeqCst);
+        let poisoned = Arc::new(AtomicBool::new(false));
+        let events = self.events.lock().expect("events poisoned").clone();
+        let shared = Arc::clone(self);
+        let flag = Arc::clone(&poisoned);
+        let handle = thread::Builder::new()
+            .name(format!("memoird-worker-{id}"))
+            .spawn(move || worker_loop(id, shared, flag, events))
+            .expect("spawn worker");
+        self.workers
+            .lock()
+            .expect("workers poisoned")
+            .push(WorkerSlot {
+                poisoned,
+                handle: Some(handle),
+            });
+    }
+}
+
+/// A handle to one submitted job's eventual [`JobOutcome`].
+pub struct JobTicket {
+    /// The service-assigned job id (the submission index, which is also
+    /// what fault-plan targets refer to).
+    pub id: JobId,
+    rx: mpsc::Receiver<JobOutcome>,
+}
+
+impl JobTicket {
+    /// Blocks until the job's terminal outcome. Panics if the service
+    /// was torn down without delivering one — which the service never
+    /// does for an admitted job while it is alive.
+    pub fn wait(self) -> JobOutcome {
+        self.rx
+            .recv()
+            .expect("service dropped before the job completed")
+    }
+}
+
+/// The running compile service. See the module docs for the envelope.
+/// `submit` takes `&self` and the type is `Sync`, so clients may share
+/// one service across threads (e.g. `std::thread::scope` closed-loop
+/// drivers in the throughput bench).
+pub struct Service {
+    shared: Arc<Shared>,
+    supervisor: Option<thread::JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Service {
+    /// Starts the worker pool and supervisor.
+    pub fn start(cfg: ServiceConfig) -> Service {
+        let workers = cfg.workers.max(1);
+        let (tx, rx) = mpsc::channel::<Event>();
+        let shared = Arc::new(Shared {
+            breaker: cfg.breaker.map(CircuitBreaker::new),
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+            drain_mx: Mutex::new(()),
+            drain_cv: Condvar::new(),
+            stats: Mutex::new(StatsInner::default()),
+            latencies: Mutex::new(LatencyWindow::new()),
+            workers: Mutex::new(Vec::new()),
+            next_worker: AtomicUsize::new(0),
+            events: Mutex::new(tx),
+        });
+        for _ in 0..workers {
+            shared.spawn_worker();
+        }
+        let sup_shared = Arc::clone(&shared);
+        let supervisor = thread::Builder::new()
+            .name("memoird-supervisor".to_string())
+            .spawn(move || supervisor_loop(sup_shared, rx))
+            .expect("spawn supervisor");
+        Service {
+            shared,
+            supervisor: Some(supervisor),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Submits one job, running admission control inline. The returned
+    /// ticket resolves to the job's terminal outcome (shed outcomes
+    /// resolve immediately).
+    pub fn submit(&self, spec: JobSpec) -> JobTicket {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = mpsc::channel();
+        self.shared.stats.lock().expect("stats poisoned").submitted += 1;
+        let spec_string = spec.spec.to_string();
+
+        let shed = {
+            let q = self.shared.queue.lock().expect("queue poisoned");
+            let qdepth = q.len();
+            let cfg = &self.shared.cfg;
+            if qdepth >= cfg.queue_cap {
+                Some((qdepth, ShedReason::QueueFull))
+            } else if cfg.shed_qdepth.is_some_and(|hw| qdepth >= hw) {
+                Some((
+                    qdepth,
+                    ShedReason::QueueDepth {
+                        threshold: cfg.shed_qdepth.unwrap(),
+                    },
+                ))
+            } else if let Some(limit) = cfg.shed_p99_ms {
+                let lat = self.shared.latencies.lock().expect("latencies poisoned");
+                let p99 = lat.percentile(0.99);
+                (lat.full() && p99 > limit)
+                    .then_some((qdepth, ShedReason::HighLatency { p99_ms: p99 }))
+            } else {
+                None
+            }
+        };
+        // Breaker admission runs last so an open breaker is only charged
+        // for jobs that would otherwise have been admitted.
+        let shed = shed.or_else(|| {
+            let b = self.shared.breaker.as_ref()?;
+            if b.admit(&spec_string) {
+                None
+            } else {
+                let qdepth = self.shared.queue.lock().expect("queue poisoned").len();
+                Some((qdepth, ShedReason::BreakerOpen))
+            }
+        });
+
+        if let Some((qdepth, reason)) = shed {
+            self.shared.stats.lock().expect("stats poisoned").shed += 1;
+            let _ = tx.send(JobOutcome::Shed { qdepth, reason });
+            return JobTicket { id, rx };
+        }
+
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::new(Mutex::new(JobState {
+            id,
+            spec,
+            spec_string,
+            attempts: Vec::new(),
+            abandoned: HashSet::new(),
+            done: false,
+            submitted_at: Instant::now(),
+            tx,
+        }));
+        {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            q.push_back(state);
+            self.shared.queue_cv.notify_one();
+        }
+        JobTicket { id, rx }
+    }
+
+    /// Blocks until every admitted job has a terminal outcome.
+    pub fn drain(&self) {
+        let mut g = self.shared.drain_mx.lock().expect("drain poisoned");
+        while self.shared.pending.load(Ordering::SeqCst) > 0 {
+            let (guard, _) = self
+                .shared
+                .drain_cv
+                .wait_timeout(g, Duration::from_millis(100))
+                .expect("drain poisoned");
+            g = guard;
+        }
+    }
+
+    /// A stats snapshot (counters plus the current latency window).
+    pub fn stats(&self) -> ServiceStats {
+        let s = self.shared.stats.lock().expect("stats poisoned");
+        let lat = self.shared.latencies.lock().expect("latencies poisoned");
+        ServiceStats {
+            submitted: s.submitted,
+            ok: s.ok,
+            degraded_ok: s.degraded_ok,
+            shed: s.shed,
+            failed: s.failed,
+            attempts: s.attempts,
+            retries: s.retries,
+            timeouts: s.timeouts,
+            worker_panics: s.worker_panics,
+            job_cache_hits: s.job_cache_hits,
+            compile_cache: s.compile_cache,
+            p50_ms: lat.percentile(0.50),
+            p99_ms: lat.percentile(0.99),
+        }
+    }
+
+    /// Drains, stops the pool, joins every healthy thread, and returns
+    /// the final stats. Workers poisoned by the watchdog are detached
+    /// rather than joined (they may still be wedged in an abandoned
+    /// attempt; their eventual results are already discarded).
+    pub fn join(mut self) -> ServiceStats {
+        self.drain();
+        self.stop_threads();
+        self.stats()
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        let _ = self
+            .shared
+            .events
+            .lock()
+            .expect("events poisoned")
+            .send(Event::Shutdown);
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+        let slots: Vec<WorkerSlot> =
+            std::mem::take(&mut *self.shared.workers.lock().expect("workers poisoned"));
+        for mut slot in slots {
+            if let Some(h) = slot.handle.take() {
+                if slot.poisoned.load(Ordering::SeqCst) {
+                    drop(h); // detached; see `join` docs
+                } else {
+                    let _ = h.join();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        if self.supervisor.is_some() {
+            self.stop_threads();
+        }
+    }
+}
+
+/// Convenience driver: starts a service, submits `jobs` in order (so job
+/// ids are the vector indices), waits for every outcome, and joins.
+/// This fixed submission order is what makes a whole batch reproducible
+/// from `(cfg.seed, cfg.faults, jobs)` alone.
+pub fn run_jobs(cfg: ServiceConfig, jobs: Vec<JobSpec>) -> (Vec<JobOutcome>, ServiceStats) {
+    let svc = Service::start(cfg);
+    let tickets: Vec<JobTicket> = jobs.into_iter().map(|j| svc.submit(j)).collect();
+    let outcomes: Vec<JobOutcome> = tickets.into_iter().map(|t| t.wait()).collect();
+    (outcomes, svc.join())
+}
+
+// ---------------------------------------------------------------------------
+// worker
+// ---------------------------------------------------------------------------
+
+fn worker_loop(
+    me: usize,
+    shared: Arc<Shared>,
+    poisoned: Arc<AtomicBool>,
+    events: mpsc::Sender<Event>,
+) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if poisoned.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.queue_cv.wait(q).expect("queue poisoned");
+            }
+        };
+        run_job(me, &shared, &poisoned, &events, job);
+        if poisoned.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Runs one job's retry ladder inline until it is finalized, abandoned
+/// out from under us, or handed back (never: requeue only happens on
+/// abandonment, which poisons this worker).
+fn run_job(
+    me: usize,
+    shared: &Arc<Shared>,
+    poisoned: &Arc<AtomicBool>,
+    events: &mpsc::Sender<Event>,
+    job: SharedJob,
+) {
+    loop {
+        // Snapshot what this attempt needs, then drop the lock for the
+        // (potentially long) compile.
+        let (job_id, attempt, spec) = {
+            let st = job.lock().expect("job poisoned");
+            if st.done {
+                return;
+            }
+            (st.id, st.attempts.len(), st.spec.clone())
+        };
+        let retry = shared.cfg.retry;
+        let rung = retry.rung_for_attempt(attempt);
+        let backoff_ms = retry.backoff_ms(shared.cfg.seed, job_id, attempt);
+        if backoff_ms > 0 {
+            thread::sleep(Duration::from_millis(backoff_ms));
+        }
+
+        if let Some(timeout_ms) = shared.cfg.timeout_ms {
+            let _ = events.send(Event::Started {
+                worker: me,
+                job: job_id,
+                attempt,
+                deadline: Instant::now() + Duration::from_millis(timeout_ms),
+                state: Arc::clone(&job),
+            });
+        }
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            execute_attempt(shared, &spec, job_id, attempt, rung)
+        }));
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if shared.cfg.timeout_ms.is_some() {
+            let _ = events.send(Event::Finished {
+                job: job_id,
+                attempt,
+            });
+        }
+        if poisoned.load(Ordering::SeqCst) {
+            // The watchdog abandoned this attempt (and recorded it);
+            // discard our result and let the replacement carry on.
+            return;
+        }
+
+        let mut st = job.lock().expect("job poisoned");
+        if st.done || st.abandoned.contains(&attempt) || st.attempts.len() > attempt {
+            return; // finalized or abandoned while we raced the watchdog
+        }
+        let outcome = match result {
+            Err(panic) => Err(FaultCause::Panic(panic_message(panic))),
+            Ok(r) => r,
+        };
+        match outcome {
+            Ok(out) => {
+                shared.record_attempt(
+                    &mut st,
+                    AttemptRecord {
+                        rung,
+                        backoff_ms,
+                        fault: None,
+                        degradations: out.degradations.clone(),
+                        compile_cache: out.compile_cache,
+                        ms,
+                    },
+                );
+                let attempts = st.attempts.clone();
+                let terminal = if rung.output_preserving() && out.clean {
+                    JobOutcome::Ok {
+                        output: out.output,
+                        attempts,
+                    }
+                } else {
+                    JobOutcome::DegradedOk {
+                        output: out.output,
+                        attempts,
+                    }
+                };
+                shared.finalize(&mut st, terminal);
+                return;
+            }
+            Err(fault) => {
+                shared.record_attempt(
+                    &mut st,
+                    AttemptRecord {
+                        rung,
+                        backoff_ms,
+                        fault: Some(fault),
+                        degradations: Vec::new(),
+                        compile_cache: CompileCacheStats::default(),
+                        ms,
+                    },
+                );
+                if st.attempts.len() >= retry.max_attempts.max(1) {
+                    let attempts = st.attempts.clone();
+                    shared.finalize(&mut st, JobOutcome::Failed { attempts });
+                    return;
+                }
+                // Fall through: next ladder rung, same worker.
+            }
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// attempt execution
+// ---------------------------------------------------------------------------
+
+struct AttemptOutput {
+    output: String,
+    degradations: Vec<passman::Degradation>,
+    compile_cache: CompileCacheStats,
+    /// No pass-level degradations, no early stop, lowering produced its
+    /// module: the output is exactly what the submitted config yields.
+    clean: bool,
+}
+
+/// Whole-job cache entry: only degradation-free outputs are reusable.
+#[derive(Clone)]
+enum JobCacheEntry {
+    Clean(String),
+    Uncacheable,
+}
+
+/// The baseline rung's pipeline: the default scalar pipeline with every
+/// optional MEMOIR optimization off, keeping a bare `lower` stage iff
+/// the submitted spec lowered.
+fn baseline_spec(original: &PipelineSpec) -> PipelineSpec {
+    let base = default_spec(OptLevel::O3(OptConfig::none()));
+    match split_lowered_spec(original) {
+        Ok(Some(_)) => PipelineSpec::parse(&format!("{base},lower"))
+            .expect("baseline lowered spec is well-formed"),
+        _ => base,
+    }
+}
+
+fn execute_attempt(
+    shared: &Shared,
+    spec: &JobSpec,
+    job: JobId,
+    attempt: usize,
+    rung: Rung,
+) -> Result<AttemptOutput, FaultCause> {
+    let cfg = &shared.cfg;
+    let cache_installed = cfg.cache.is_some();
+    for plan in &cfg.faults {
+        if !plan.fires(job, attempt, rung, cache_installed) {
+            continue;
+        }
+        match plan.kind {
+            JobInjectKind::WorkerPanic => panic!("injected worker-panic@{job}#{attempt}"),
+            JobInjectKind::PoisonCache => panic!("injected poison-cache@{job}#{attempt}"),
+            JobInjectKind::SlowJob => {
+                // Stall well past the watchdog deadline (bounded, so a
+                // poisoned worker always exits eventually).
+                let ms = cfg
+                    .timeout_ms
+                    .map(|t| (t.saturating_mul(2) + 50).min(2000))
+                    .unwrap_or(100);
+                thread::sleep(Duration::from_millis(ms));
+            }
+        }
+    }
+
+    let effective_spec = if rung == Rung::Baseline {
+        baseline_spec(&spec.spec)
+    } else {
+        spec.spec.clone()
+    };
+    let threads = if rung == Rung::Full { spec.threads } else { 1 };
+    let cache = if rung.uses_cache() {
+        cfg.cache.clone()
+    } else {
+        None
+    };
+    let mut budgets = spec.budgets;
+    if let Some(t) = cfg.timeout_ms {
+        budgets.max_pipeline_millis = Some(match budgets.max_pipeline_millis {
+            Some(b) => b.min(t),
+            None => t,
+        });
+    }
+
+    // Whole-job output cache: coherent because a clean output is a pure
+    // function of (module text, effective spec).
+    if cfg.job_cache && rung.uses_cache() {
+        if let Some(cache) = &cache {
+            let mut h = StableHasher::new();
+            h.write_str(&memoir_ir::printer::print_module(&spec.module));
+            h.write_str(&effective_spec.to_string());
+            let fp = h.fingerprint();
+            let mut fresh: Option<Result<AttemptOutput, FaultCause>> = None;
+            let entry = cache.get_or_compute::<JobCacheEntry, _>("job", fp, || {
+                let r = compile_attempt(spec, &effective_spec, threads, budgets, Some(cache));
+                let e = match &r {
+                    Ok(out) if out.clean => JobCacheEntry::Clean(out.output.clone()),
+                    _ => JobCacheEntry::Uncacheable,
+                };
+                fresh = Some(r);
+                e
+            });
+            return match fresh {
+                Some(r) => r, // we were the producer
+                None => match entry {
+                    JobCacheEntry::Clean(output) => {
+                        shared.stats.lock().expect("stats poisoned").job_cache_hits += 1;
+                        Ok(AttemptOutput {
+                            output,
+                            degradations: Vec::new(),
+                            compile_cache: CompileCacheStats {
+                                hits: 1,
+                                ..Default::default()
+                            },
+                            clean: true,
+                        })
+                    }
+                    // A cached non-clean marker: recompute (the marker
+                    // only says "don't reuse", not "will fail again").
+                    JobCacheEntry::Uncacheable => {
+                        compile_attempt(spec, &effective_spec, threads, budgets, Some(cache))
+                    }
+                },
+            };
+        }
+    }
+    compile_attempt(spec, &effective_spec, threads, budgets, cache.as_ref())
+}
+
+/// One pipeline run (MEMOIR-only or through-lowering) with the attempt's
+/// effective configuration.
+fn compile_attempt(
+    spec: &JobSpec,
+    effective_spec: &PipelineSpec,
+    threads: usize,
+    budgets: passman::Budgets,
+    cache: Option<&CompileCache>,
+) -> Result<AttemptOutput, FaultCause> {
+    let mut m = spec.module.clone();
+    let lowered = split_lowered_spec(effective_spec)
+        .map_err(|e| FaultCause::PassFailed(format!("bad lowered spec: {e}")))?;
+    match lowered {
+        Some(pipeline) => {
+            let lcfg = LowerConfig {
+                policy: spec.policy,
+                budgets,
+                verify: None,
+                inject: None,
+                threads,
+                cross_check: true,
+                full_clone_snapshots: false,
+                cache: cache.cloned(),
+            };
+            let out = compile_lowered_with(&mut m, &pipeline, &lcfg)
+                .map_err(|e| FaultCause::PassFailed(e.to_string()))?;
+            match out.lowered {
+                Some(lm) => Ok(AttemptOutput {
+                    output: lir::printer::print_module(&lm),
+                    clean: out.report.run.degradations.is_empty() && !out.report.run.stopped_early,
+                    degradations: out.report.run.degradations,
+                    compile_cache: out.report.run.compile_cache,
+                }),
+                // No low-level module means the job's contract (produce
+                // lowered output) was not met: count it as a fault so
+                // the ladder retries on a weaker rung.
+                None => Err(FaultCause::PassFailed(
+                    "lowering produced no output (stage degraded or pipeline stopped early)"
+                        .to_string(),
+                )),
+            }
+        }
+        None => {
+            let report = compile_spec_with(&mut m, effective_spec, |pm| {
+                let mut pm = pm
+                    .on_fault(spec.policy)
+                    .with_budgets(budgets)
+                    .with_threads(threads);
+                if let Some(c) = cache {
+                    pm = pm.with_compile_cache(c.clone());
+                }
+                pm
+            })
+            .map_err(|e| FaultCause::PassFailed(e.to_string()))?;
+            Ok(AttemptOutput {
+                output: memoir_ir::printer::print_module(&m),
+                clean: report.run.degradations.is_empty() && !report.run.stopped_early,
+                degradations: report.run.degradations,
+                compile_cache: report.run.compile_cache,
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// supervisor (watchdog)
+// ---------------------------------------------------------------------------
+
+struct Inflight {
+    worker: usize,
+    deadline: Instant,
+    state: SharedJob,
+}
+
+fn supervisor_loop(shared: Arc<Shared>, rx: mpsc::Receiver<Event>) {
+    let mut inflight: HashMap<(JobId, usize), Inflight> = HashMap::new();
+    loop {
+        let next_deadline = inflight.values().map(|i| i.deadline).min();
+        let event = match next_deadline {
+            Some(d) => {
+                let wait = d.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(wait) {
+                    Ok(ev) => Some(ev),
+                    Err(mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            None => match rx.recv() {
+                Ok(ev) => Some(ev),
+                Err(_) => return,
+            },
+        };
+        if let Some(ev) = event {
+            if !handle_event(&mut inflight, ev) {
+                return;
+            }
+        }
+        // Drain whatever else is queued before expiring deadlines, so a
+        // Finished that raced the watchdog wins over the abandonment.
+        while let Ok(ev) = rx.try_recv() {
+            if !handle_event(&mut inflight, ev) {
+                return;
+            }
+        }
+        expire_due(&shared, &mut inflight);
+    }
+}
+
+/// Returns `false` on shutdown.
+fn handle_event(inflight: &mut HashMap<(JobId, usize), Inflight>, ev: Event) -> bool {
+    match ev {
+        Event::Started {
+            worker,
+            job,
+            attempt,
+            deadline,
+            state,
+        } => {
+            inflight.insert(
+                (job, attempt),
+                Inflight {
+                    worker,
+                    deadline,
+                    state,
+                },
+            );
+            true
+        }
+        Event::Finished { job, attempt } => {
+            inflight.remove(&(job, attempt));
+            true
+        }
+        Event::Shutdown => false,
+    }
+}
+
+fn expire_due(shared: &Arc<Shared>, inflight: &mut HashMap<(JobId, usize), Inflight>) {
+    let now = Instant::now();
+    let due: Vec<(JobId, usize)> = inflight
+        .iter()
+        .filter(|(_, i)| i.deadline <= now)
+        .map(|(k, _)| *k)
+        .collect();
+    for key in due {
+        let Some(inf) = inflight.remove(&key) else {
+            continue;
+        };
+        let (job_id, attempt) = key;
+        let timeout_ms = shared.cfg.timeout_ms.unwrap_or(0);
+        let retry = shared.cfg.retry;
+
+        let mut st = inf.state.lock().expect("job poisoned");
+        if st.done || st.attempts.len() > attempt {
+            continue; // the worker beat us to it
+        }
+        let actual_ms =
+            (now - (inf.deadline - Duration::from_millis(timeout_ms))).as_millis() as u64;
+        shared.record_attempt(
+            &mut st,
+            AttemptRecord {
+                rung: retry.rung_for_attempt(attempt),
+                backoff_ms: retry.backoff_ms(shared.cfg.seed, job_id, attempt),
+                fault: Some(FaultCause::Budget(BudgetViolation::PipelineTime {
+                    limit_ms: timeout_ms,
+                    actual_ms,
+                })),
+                degradations: Vec::new(),
+                compile_cache: CompileCacheStats::default(),
+                ms: timeout_ms as f64,
+            },
+        );
+        st.abandoned.insert(attempt);
+        shared.stats.lock().expect("stats poisoned").timeouts += 1;
+
+        // Poison the stuck worker and backfill the pool.
+        {
+            let workers = shared.workers.lock().expect("workers poisoned");
+            if let Some(slot) = workers.get(inf.worker) {
+                slot.poisoned.store(true, Ordering::SeqCst);
+            }
+        }
+        shared.spawn_worker();
+
+        if st.attempts.len() >= retry.max_attempts.max(1) {
+            let attempts = st.attempts.clone();
+            shared.finalize(&mut st, JobOutcome::Failed { attempts });
+        } else {
+            drop(st);
+            shared.requeue(Arc::clone(&inf.state));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::synth_ir::build_synth_ir;
+
+    fn job(n: usize, seed: u64, spec: &str) -> JobSpec {
+        JobSpec::new(
+            format!("synth({n},{seed})"),
+            build_synth_ir(n, seed),
+            PipelineSpec::parse(spec).unwrap(),
+        )
+    }
+
+    const SPEC: &str = "ssa-construct,constprop,dce,ssa-destruct";
+
+    #[test]
+    fn happy_path_batch_is_all_ok() {
+        let jobs: Vec<JobSpec> = (0..6).map(|i| job(3, i, SPEC)).collect();
+        let (outcomes, stats) = run_jobs(
+            ServiceConfig {
+                workers: 3,
+                ..Default::default()
+            },
+            jobs,
+        );
+        assert_eq!(outcomes.len(), 6);
+        assert!(outcomes.iter().all(|o| o.kind() == "ok"), "{stats:?}");
+        assert_eq!(stats.terminal(), 6);
+        assert_eq!(stats.retries, 0);
+        assert!(outcomes.iter().all(|o| o.output().is_some()));
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_retried() {
+        let jobs: Vec<JobSpec> = (0..3).map(|i| job(3, i, SPEC)).collect();
+        let cfg = ServiceConfig {
+            workers: 2,
+            faults: vec!["worker-panic@1".parse().unwrap()],
+            retry: RetryPolicy {
+                base_backoff_ms: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (outcomes, stats) = run_jobs(cfg, jobs);
+        // Job 1 panics on attempt 0, succeeds on the retry; the retry
+        // rung (Full again: 1 same-config retry) is output-preserving,
+        // so the job still reports Ok.
+        assert_eq!(outcomes[1].kind(), "ok", "{:?}", outcomes[1].attempts());
+        assert_eq!(outcomes[1].attempts().len(), 2);
+        assert!(matches!(
+            outcomes[1].attempts()[0].fault,
+            Some(FaultCause::Panic(_))
+        ));
+        assert_eq!(stats.worker_panics, 1);
+        assert_eq!(stats.retries, 1);
+        // Fault evidence is aggregated, not dropped.
+        assert_eq!(outcomes[1].all_degradations().len(), 1);
+        assert_eq!(outcomes[1].all_degradations()[0].pass, "job");
+        // The other jobs are untouched.
+        assert_eq!(outcomes[0].kind(), "ok");
+        assert_eq!(outcomes[2].kind(), "ok");
+    }
+
+    #[test]
+    fn slow_job_times_out_and_recovers_on_retry() {
+        let jobs: Vec<JobSpec> = (0..3).map(|i| job(3, i, SPEC)).collect();
+        let cfg = ServiceConfig {
+            workers: 2,
+            timeout_ms: Some(150),
+            faults: vec!["slow-job@0".parse().unwrap()],
+            retry: RetryPolicy {
+                base_backoff_ms: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (outcomes, stats) = run_jobs(cfg, jobs);
+        assert_eq!(outcomes[0].kind(), "ok", "{:?}", outcomes[0].attempts());
+        let first = &outcomes[0].attempts()[0];
+        assert!(
+            matches!(
+                first.fault,
+                Some(FaultCause::Budget(BudgetViolation::PipelineTime { .. }))
+            ),
+            "{first:?}"
+        );
+        assert!(stats.timeouts >= 1);
+        assert_eq!(outcomes[1].kind(), "ok");
+        assert_eq!(outcomes[2].kind(), "ok");
+        assert_eq!(stats.terminal(), 3, "zero lost jobs under timeout");
+    }
+
+    #[test]
+    fn poisoned_cache_escapes_via_the_no_cache_rung() {
+        let cache = CompileCache::new();
+        let jobs: Vec<JobSpec> = (0..2).map(|i| job(3, i, SPEC)).collect();
+        let cfg = ServiceConfig {
+            workers: 1,
+            cache: Some(cache),
+            faults: vec!["poison-cache@0".parse().unwrap()],
+            retry: RetryPolicy {
+                base_backoff_ms: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (outcomes, _stats) = run_jobs(cfg, jobs);
+        // Job 0 panics on every cache-using rung (Full, Full, Serial)
+        // and only succeeds once the ladder reaches NoCache — which is
+        // still output-preserving, hence Ok.
+        assert_eq!(outcomes[0].kind(), "ok", "{:?}", outcomes[0].attempts());
+        let rungs: Vec<Rung> = outcomes[0].attempts().iter().map(|a| a.rung).collect();
+        assert_eq!(
+            rungs,
+            vec![Rung::Full, Rung::Full, Rung::Serial, Rung::NoCache]
+        );
+        assert_eq!(outcomes[1].kind(), "ok");
+    }
+
+    #[test]
+    fn queue_full_sheds_with_structured_outcome() {
+        // Zero-capacity queue: everything is shed, nothing is lost.
+        let svc = Service::start(ServiceConfig {
+            workers: 1,
+            queue_cap: 0,
+            ..Default::default()
+        });
+        let t = svc.submit(job(2, 0, SPEC));
+        let out = t.wait();
+        match out {
+            JobOutcome::Shed {
+                reason: ShedReason::QueueFull,
+                ..
+            } => {}
+            other => panic!("expected QueueFull shed, got {other:?}"),
+        }
+        let stats = svc.join();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.terminal(), 1);
+    }
+
+    #[test]
+    fn exhausted_ladder_reports_failed_with_all_attempts() {
+        let jobs = vec![job(2, 0, SPEC)];
+        let cfg = ServiceConfig {
+            workers: 1,
+            faults: vec![
+                "worker-panic@0#0".parse().unwrap(),
+                "worker-panic@0#1".parse().unwrap(),
+                "worker-panic@0#2".parse().unwrap(),
+            ],
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff_ms: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (outcomes, stats) = run_jobs(cfg, jobs);
+        assert_eq!(outcomes[0].kind(), "failed");
+        assert_eq!(outcomes[0].attempts().len(), 3);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(outcomes[0].all_degradations().len(), 3);
+    }
+
+    #[test]
+    fn baseline_rung_reports_degraded_ok() {
+        let jobs = vec![job(3, 1, SPEC)];
+        let cfg = ServiceConfig {
+            workers: 1,
+            faults: vec![
+                "worker-panic@0#0".parse().unwrap(),
+                "worker-panic@0#1".parse().unwrap(),
+                "worker-panic@0#2".parse().unwrap(),
+                "worker-panic@0#3".parse().unwrap(),
+            ],
+            retry: RetryPolicy {
+                base_backoff_ms: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (outcomes, _) = run_jobs(cfg, jobs);
+        assert_eq!(
+            outcomes[0].kind(),
+            "degraded-ok",
+            "{:?}",
+            outcomes[0]
+                .attempts()
+                .iter()
+                .map(|a| (a.rung, a.fault.clone()))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(outcomes[0].attempts().last().unwrap().rung, Rung::Baseline);
+    }
+
+    #[test]
+    fn through_lowering_jobs_emit_lir() {
+        let jobs = vec![job(
+            3,
+            0,
+            "ssa-construct,dce,ssa-destruct,lower,mem2reg,dce",
+        )];
+        let (outcomes, _) = run_jobs(
+            ServiceConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            jobs,
+        );
+        assert_eq!(outcomes[0].kind(), "ok");
+        let out = outcomes[0].output().unwrap();
+        assert!(
+            out.contains("values {") && !out.starts_with("module "),
+            "not lir output:\n{out}"
+        );
+    }
+
+    #[test]
+    fn fault_injection_does_not_change_output_bytes() {
+        let mk = || (0..4).map(|i| job(3, i, SPEC)).collect::<Vec<_>>();
+        let clean_cfg = ServiceConfig {
+            workers: 2,
+            seed: 7,
+            retry: RetryPolicy {
+                base_backoff_ms: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let faulty_cfg = ServiceConfig {
+            timeout_ms: Some(200),
+            faults: vec![
+                "worker-panic@1".parse().unwrap(),
+                "slow-job@2".parse().unwrap(),
+            ],
+            ..clean_cfg.clone()
+        };
+        let (clean, _) = run_jobs(clean_cfg, mk());
+        let (faulty, _) = run_jobs(faulty_cfg, mk());
+        for (i, (a, b)) in clean.iter().zip(&faulty).enumerate() {
+            assert_eq!(a.output(), b.output(), "job {i} output diverged");
+        }
+    }
+
+    #[test]
+    fn job_cache_serves_repeat_outputs() {
+        let cache = CompileCache::new();
+        let jobs: Vec<JobSpec> = (0..4).map(|_| job(3, 9, SPEC)).collect();
+        let cfg = ServiceConfig {
+            workers: 1,
+            cache: Some(cache),
+            job_cache: true,
+            ..Default::default()
+        };
+        let (outcomes, stats) = run_jobs(cfg, jobs);
+        assert!(outcomes.iter().all(|o| o.kind() == "ok"));
+        assert!(stats.job_cache_hits >= 1, "{stats:?}");
+        let first = outcomes[0].output().unwrap();
+        assert!(outcomes.iter().all(|o| o.output().unwrap() == first));
+    }
+
+    #[test]
+    fn breaker_sheds_after_consecutive_failures() {
+        // One worker + always-failing spec via worker-panic@* on every
+        // attempt is awkward; instead fail deterministically by
+        // exhausting a 1-attempt ladder with a panic on attempt 0.
+        let cfg = ServiceConfig {
+            workers: 1,
+            breaker: Some(BreakerConfig {
+                threshold: 2,
+                cooldown: 2,
+            }),
+            faults: vec!["worker-panic@*#0".parse().unwrap()],
+            retry: RetryPolicy {
+                max_attempts: 1,
+                base_backoff_ms: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let svc = Service::start(cfg);
+        // Serialize: wait each ticket before submitting the next so the
+        // breaker sees a deterministic failure sequence.
+        let mut kinds = Vec::new();
+        for i in 0..5 {
+            let t = svc.submit(job(2, i, SPEC));
+            kinds.push(t.wait().kind());
+        }
+        let stats = svc.join();
+        assert_eq!(
+            kinds,
+            vec!["failed", "failed", "shed", "shed", "failed"],
+            "{stats:?}"
+        );
+        assert!(matches!(
+            stats,
+            ServiceStats {
+                shed: 2,
+                failed: 3,
+                ..
+            }
+        ));
+    }
+}

@@ -189,10 +189,11 @@ impl RunReport {
         if self.compile_cache.lookups() > 0 {
             let cc = &self.compile_cache;
             out.push_str(&format!(
-                "compile-cache hits={} skips={} misses={} (reused {:.0}%)\n",
+                "compile-cache hits={} skips={} misses={} contended={} (reused {:.0}%)\n",
                 cc.hits,
                 cc.skips,
                 cc.misses,
+                cc.contended,
                 cc.reuse_rate() * 100.0
             ));
         }
@@ -533,6 +534,9 @@ impl<M: IrUnit> PassManager<M> {
         // `run_with` calls.
         let cc_before = am.compile_cache_stats();
         let fp_before = am.fingerprint_stats();
+        // Contention is counted by the shared cache handle itself (it is
+        // a property of the lock, not of this manager), so delta it too.
+        let contention_before = am.compile_cache().map_or(0, |c| c.contention());
         let mut report = RunReport::default();
         // Pass instances are created once per distinct spec call (name +
         // options) and reused across fixpoint iterations, so stateful
@@ -599,6 +603,10 @@ impl<M: IrUnit> PassManager<M> {
             .collect();
         report.invalidation_events = am.invalidation_events();
         report.compile_cache = am.compile_cache_stats().since(cc_before);
+        report.compile_cache.contended += am
+            .compile_cache()
+            .map_or(0, |c| c.contention())
+            .saturating_sub(contention_before);
         report.fingerprints = am.fingerprint_stats().since(fp_before);
         report.threads = self.threads;
         if let Some(engine) = &self.snapshots {

@@ -16,11 +16,14 @@
 //! `docs/REPRO_FORMAT.md`); `reduce` shrinks an existing artifact in
 //! place; `replay` re-runs one exactly and reports whether the recorded
 //! failure still reproduces; `cli` fuzzes the binaries' own textual
-//! argument surfaces for parser panics.
+//! argument surfaces for parser panics; `service` fuzzes the `memoird`
+//! compile service — its job-stream parsers and randomized job batches
+//! under fault injection (zero lost jobs, clean-vs-injected byte
+//! identity, warm-vs-cold job-cache coherence).
 
 use reduce::{
-    fuzz_cli_case, parse_run_args, random_case, random_case_config, random_spec, reduce_case_prog,
-    run_case_prog, Outcome, Repro, SplitMix64,
+    fuzz_cli_case, fuzz_service_case, parse_run_args, random_case, random_case_config, random_spec,
+    reduce_case_prog, run_case_prog, Outcome, Repro, SplitMix64,
 };
 use std::process::ExitCode;
 
@@ -31,10 +34,11 @@ USAGE:
     memoir-fuzz run [--seed N] [--iters N] [--max-ops N] [--out DIR] [--lower]
                     [--objects] [--multi] [--probe]
                     [--on-fault=abort|skip|stop] [--budget=LIST] [--inject=PLAN]
-                    [--no-reduce]
+                    [--service-fault=PLAN] [--no-reduce]
     memoir-fuzz reduce FILE.repro
     memoir-fuzz replay FILE.repro
     memoir-fuzz cli [--seed N] [--iters N]
+    memoir-fuzz service [--seed N] [--iters N]
 
 SUBCOMMANDS:
     run       fuzz: random whole-language programs through random pipeline
@@ -49,6 +53,12 @@ SUBCOMMANDS:
               specs, --budget lists, --inject plans, .repro files, run
               argv) for panics and print/parse round-trip breaks.
               Exits 1 if any finding.
+    service   fuzz the memoird compile service: job-line and job-fault
+              parsers (panics, round-trip breaks), randomized job
+              batches with sampled slow-job/worker-panic/poison-cache
+              injection (zero lost jobs, clean-vs-injected byte
+              identity, warm-vs-cold job-cache coherence), and the
+              service-envelope case oracle. Exits 1 if any finding.
 
 OPTIONS (run):
     --seed N              campaign seed (default 1)
@@ -75,6 +85,9 @@ OPTIONS (run):
                           growth=4.0,fixpoint=2); by default recovering
                           cases sample deterministic budget axes
     --inject=PLAN         seed a fault into every case, e.g. panic@dce
+    --service-fault=PLAN  also run every case through the one-job memoird
+                          service envelope, clean vs under PLAN (e.g.
+                          worker-panic@0) — outputs must not diverge
     --no-reduce           write raw artifacts with `minimized: false`
 ";
 
@@ -103,6 +116,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             cfg.budgets = b;
         }
         cfg.inject = r.inject.clone();
+        cfg.service_fault = r.service_fault.clone();
         let Outcome::Crash { detail, .. } = run_case_prog(&prog, &spec, &cfg) else {
             continue;
         };
@@ -127,6 +141,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             inject: cfg.inject.clone(),
             probe_seed: cfg.probe_seed,
             cache_check: cfg.cache_check,
+            service_fault: cfg.service_fault.clone(),
             minimized,
             failure: first_line(&detail),
             prog,
@@ -157,9 +172,17 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-fn cmd_cli(args: &[String]) -> Result<ExitCode, String> {
+/// Shared driver for the finding-based campaigns (`cli`, `service`):
+/// parses `--seed`/`--iters`, runs `fuzz` per split-off case RNG, and
+/// exits 1 if anything was found.
+fn cmd_findings(
+    name: &str,
+    default_iters: u64,
+    args: &[String],
+    fuzz: impl Fn(&mut SplitMix64) -> Option<reduce::CliCrash>,
+) -> Result<ExitCode, String> {
     let mut seed = 1u64;
-    let mut iters = 1000u64;
+    let mut iters = default_iters;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let (flag, inline) = match arg.split_once('=') {
@@ -175,7 +198,7 @@ fn cmd_cli(args: &[String]) -> Result<ExitCode, String> {
         match flag {
             "--seed" => seed = value()?.parse().map_err(|_| "bad --seed".to_string())?,
             "--iters" => iters = value()?.parse().map_err(|_| "bad --iters".to_string())?,
-            other => return Err(format!("unknown `cli` option `{other}`")),
+            other => return Err(format!("unknown `{name}` option `{other}`")),
         }
     }
 
@@ -183,7 +206,7 @@ fn cmd_cli(args: &[String]) -> Result<ExitCode, String> {
     let mut findings = 0u64;
     for case in 0..iters {
         let mut rng = root.split(case);
-        if let Some(c) = fuzz_cli_case(&mut rng) {
+        if let Some(c) = fuzz(&mut rng) {
             findings += 1;
             eprintln!("case {case}: [{}] {}", c.surface, c.message);
             eprintln!("  input: {:?}", c.input);
@@ -220,6 +243,8 @@ fn cmd_reduce(path: &str) -> Result<ExitCode, String> {
             repro.budgets = cfg.budgets;
             repro.inject = cfg.inject;
             repro.probe_seed = cfg.probe_seed;
+            repro.cache_check = cfg.cache_check;
+            repro.service_fault = cfg.service_fault;
             repro.failure = first_line(&detail);
             repro.minimized = true;
             std::fs::write(path, repro.to_string())
@@ -272,7 +297,10 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         Some("run") => cmd_run(&args[1..]),
-        Some("cli") => cmd_cli(&args[1..]),
+        Some("cli") => cmd_findings("cli", 1000, &args[1..], fuzz_cli_case),
+        // Service cases run several full service batches each, so the
+        // default campaign is much shorter than `cli`'s.
+        Some("service") => cmd_findings("service", 40, &args[1..], fuzz_service_case),
         Some("reduce") if args.len() == 2 => cmd_reduce(&args[1]),
         Some("replay") if args.len() == 2 => cmd_replay(&args[1]),
         Some("reduce") | Some("replay") => Err("expected exactly one FILE.repro".to_string()),

@@ -39,6 +39,9 @@ pub struct RunArgs {
     pub budgets: Option<Budgets>,
     /// Seed a fault into every case.
     pub inject: Option<FaultPlan>,
+    /// Run every case through the service-envelope differential oracle
+    /// under this `memoird` job-fault plan (`--service-fault`).
+    pub service_fault: Option<memoird::JobFaultPlan>,
     /// Write raw artifacts without reducing.
     pub no_reduce: bool,
 }
@@ -60,6 +63,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         policy: None,
         budgets: None,
         inject: None,
+        service_fault: None,
         no_reduce: false,
     };
     let mut it = args.iter().peekable();
@@ -86,6 +90,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--on-fault" => r.policy = Some(value()?.parse()?),
             "--budget" => r.budgets = Some(Budgets::parse(&value()?)?),
             "--inject" => r.inject = Some(value()?.parse()?),
+            "--service-fault" => r.service_fault = Some(value()?.parse()?),
             "--no-reduce" => r.no_reduce = true,
             other => return Err(format!("unknown `run` option `{other}`")),
         }
@@ -185,8 +190,10 @@ const ARG_TOKENS: &[&str] = &[
     "--on-fault",
     "--budget",
     "--inject",
+    "--service-fault",
     "--no-reduce",
     "--seed=abc",
+    "worker-panic@0",
     "--iters=",
     "=",
     "7",
@@ -197,7 +204,7 @@ const ARG_TOKENS: &[&str] = &[
     "",
 ];
 
-fn soup(rng: &mut SplitMix64, tokens: &[&str], max_len: usize) -> String {
+pub(crate) fn soup(rng: &mut SplitMix64, tokens: &[&str], max_len: usize) -> String {
     let n = rng.index(max_len.max(1));
     let mut s = String::new();
     for _ in 0..n {
@@ -263,7 +270,12 @@ fn repro_soup(rng: &mut SplitMix64) -> String {
 /// Checks one parser on one input: it must not panic, and if it accepts
 /// the input, its `Display` form must reparse to an equal value
 /// (`parse . print = id` on the accepted set).
-fn check<T, P, D>(surface: &'static str, input: &str, parse: P, display: D) -> Option<CliCrash>
+pub(crate) fn check<T, P, D>(
+    surface: &'static str,
+    input: &str,
+    parse: P,
+    display: D,
+) -> Option<CliCrash>
 where
     T: PartialEq,
     P: Fn(&str) -> Option<T> + std::panic::RefUnwindSafe,
@@ -394,6 +406,7 @@ mod tests {
             "--budget=growth=4.0",
             "--inject",
             "panic@dce",
+            "--service-fault=worker-panic@0",
             "--no-reduce",
             "--out",
             "artifacts",
@@ -408,6 +421,11 @@ mod tests {
         assert!(r.lower && r.dims.objects && r.dims.multi && r.probe && r.no_reduce);
         assert_eq!(r.policy, Some(FaultPolicy::SkipPass));
         assert!(r.budgets.is_some() && r.inject.is_some());
+        assert_eq!(
+            r.service_fault,
+            Some("worker-panic@0".parse().unwrap()),
+            "--service-fault should parse as a memoird job-fault plan"
+        );
         assert_eq!(r.out, "artifacts");
 
         assert!(parse_run_args(&["--seed".to_string()]).is_err());

@@ -911,6 +911,10 @@ pub fn random_case_config(rng: &mut SplitMix64, lower: bool) -> CaseConfig {
         // One case in eight also runs the cached-vs-cold differential
         // oracle (two extra compiles through a shared compile cache).
         cache_check: rng.chance(1, 8),
+        // Service faults are never sampled here: the `memoir-fuzz
+        // service` campaign driver samples them (two extra service
+        // batches per case is too expensive for the default campaign).
+        service_fault: None,
     }
 }
 

@@ -76,6 +76,16 @@ pub struct CaseConfig {
     /// changed flags, stats, degradations; timings and the cache's own
     /// counters excluded). A mismatch is a `cache-diverge` crash.
     pub cache_check: bool,
+    /// `Some(plan)` turns on the service-envelope differential oracle:
+    /// the case is compiled twice more through a one-job
+    /// [`memoird`] service — once clean and once under `plan`
+    /// (`slow-job@0`, `worker-panic@0`, `poison-cache@0`, …). Both runs
+    /// must resolve the job to exactly one terminal outcome
+    /// (`service-lost` otherwise) and, because every injected fault is
+    /// recoverable by the retry ladder, produce byte-identical output
+    /// (`service-diverge` otherwise). Run only on cases that already
+    /// pass the plain oracles, so any failure is the envelope's fault.
+    pub service_fault: Option<memoird::JobFaultPlan>,
 }
 
 impl Default for CaseConfig {
@@ -87,6 +97,7 @@ impl Default for CaseConfig {
             lir_spec: None,
             probe_seed: None,
             cache_check: false,
+            service_fault: None,
         }
     }
 }
@@ -110,7 +121,13 @@ pub enum Outcome {
         /// oracle), `lower-probe` (it disagrees with the MEMOIR
         /// interpreter on synthesized scalar probes), `lir-verify` /
         /// `lir-trap` / `lir-miscompile` (the lir-optimized module
-        /// does). Artifact format: `docs/REPRO_FORMAT.md`.
+        /// does). Service-side classes (see
+        /// [`CaseConfig::service_fault`]): `service-lost` (a one-job
+        /// `memoird` batch did not resolve to exactly one terminal
+        /// outcome) and `service-diverge` (the fault-injected service
+        /// run produced different bytes than the clean one, or failed a
+        /// recoverable fault outright). Artifact format:
+        /// `docs/REPRO_FORMAT.md`.
         kind: &'static str,
         /// Human-readable one-liner.
         detail: String,
@@ -331,6 +348,11 @@ pub fn run_case_prog(prog: &CaseProgram, spec: &PipelineSpec, cfg: &CaseConfig) 
             return crash;
         }
     }
+    if cfg.service_fault.is_some() && out == Outcome::Pass {
+        if let Some(crash) = check_service_envelope(prog, spec, cfg) {
+            return crash;
+        }
+    }
     out
 }
 
@@ -473,6 +495,125 @@ fn check_cache_coherence(
         });
     }
     None
+}
+
+/// The service-envelope differential oracle (`service-lost` /
+/// `service-diverge`): runs the case as a one-job [`memoird`] batch
+/// twice — once clean, once under [`CaseConfig::service_fault`] — with
+/// the watchdog armed. Both batches must resolve the job to exactly one
+/// terminal outcome, and because every injectable service fault is
+/// recoverable by the retry ladder, both must compile it to the same
+/// bytes. Run only on cases that already pass the plain oracles, so any
+/// failure is the envelope's fault.
+fn check_service_envelope(
+    prog: &CaseProgram,
+    spec: &PipelineSpec,
+    cfg: &CaseConfig,
+) -> Option<Outcome> {
+    let plan = cfg.service_fault.clone()?;
+    let crash = |kind: &'static str, detail: String| {
+        Some(Outcome::Crash {
+            kind,
+            detail: format!("{kind}: {detail}"),
+        })
+    };
+
+    // The service takes the whole pipeline as one spec; for
+    // through-lowering cases the lir phase rides behind a `lower` step.
+    let mut text = spec.to_string();
+    if let Some(lspec) = &cfg.lir_spec {
+        if !text.is_empty() {
+            text.push(',');
+        }
+        text.push_str(LOWER_STAGE);
+        let ltext = lspec.to_string();
+        if !ltext.is_empty() {
+            text.push(',');
+            text.push_str(&ltext);
+        }
+    }
+    let full_spec = match PipelineSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            return crash(
+                "service-lost",
+                format!("composed job spec `{text}` does not parse: {e}"),
+            )
+        }
+    };
+
+    let run = |faults: Vec<memoird::JobFaultPlan>| {
+        let (m, _) = build_case(prog);
+        let mut job = memoird::JobSpec::new("fuzz-case", m, full_spec.clone());
+        job.policy = cfg.policy;
+        job.budgets = cfg.budgets;
+        let scfg = memoird::ServiceConfig {
+            workers: 1,
+            // Generous for a fuzz-sized compile, but small enough that
+            // `slow-job`'s stall (which sleeps past it) trips the
+            // watchdog rather than the campaign's patience.
+            timeout_ms: Some(1000),
+            seed: 0x5e41ce,
+            cache: Some(passman::CompileCache::new()),
+            retry: memoird::RetryPolicy {
+                base_backoff_ms: 1,
+                max_backoff_ms: 8,
+                ..Default::default()
+            },
+            faults,
+            ..Default::default()
+        };
+        memoird::run_jobs(scfg, vec![job])
+    };
+    let (clean, clean_stats) = run(Vec::new());
+    let (faulty, faulty_stats) = run(vec![plan.clone()]);
+
+    if clean.len() != 1 || clean_stats.terminal() != 1 {
+        return crash(
+            "service-lost",
+            format!(
+                "clean one-job batch resolved {} outcome(s), {} terminal",
+                clean.len(),
+                clean_stats.terminal()
+            ),
+        );
+    }
+    if faulty.len() != 1 || faulty_stats.terminal() != 1 {
+        return crash(
+            "service-lost",
+            format!(
+                "one-job batch under `{plan}` resolved {} outcome(s), {} terminal",
+                faulty.len(),
+                faulty_stats.terminal()
+            ),
+        );
+    }
+    match (clean[0].output(), faulty[0].output()) {
+        (Some(a), Some(b)) if a == b => None,
+        (Some(_), Some(_)) => crash(
+            "service-diverge",
+            format!(
+                "output under `{plan}` differs from the clean run ({} vs {})",
+                clean[0].kind(),
+                faulty[0].kind()
+            ),
+        ),
+        (None, _) => crash(
+            "service-diverge",
+            format!(
+                "clean service run did not compile the job (outcome `{}`)",
+                clean[0].kind()
+            ),
+        ),
+        (_, None) => crash(
+            "service-diverge",
+            format!(
+                "run under `{plan}` did not compile the job (outcome `{}` after {} attempt(s))",
+                faulty[0].kind(),
+                faulty[0].attempts().len()
+            ),
+        ),
+    }
 }
 
 /// Runs one single-function case end to end and classifies it (the v1
@@ -669,7 +810,8 @@ fn shrink_fixpoints(mut steps: Vec<SpecStep>, eval: impl Fn(&[SpecStep]) -> bool
 }
 
 /// Reduces a crashing whole-language case: the config shrinks first
-/// (budgets cleared, probe seed dropped, the lir phase dropped entirely),
+/// (service envelope and cache oracle dropped, budgets cleared, probe
+/// seed dropped, the lir phase dropped entirely),
 /// then ddmin over the helper list, `main`'s ops, each surviving
 /// helper's ops, the MEMOIR pipeline steps, and the lir pipeline steps —
 /// holding the failure *class* fixed throughout so the shrink converges
@@ -688,8 +830,16 @@ pub fn reduce_case_prog(
     let mut prog = prog.clone();
 
     // Config first, so every later trial runs the cheapest harness that
-    // still crashes: without the cache oracle, budgets, probing, or the
-    // lowering phase.
+    // still crashes: without the service envelope (two extra service
+    // batches per trial — by far the most expensive axis, so it goes
+    // first), the cache oracle, budgets, probing, or the lowering phase.
+    if cfg.service_fault.is_some() {
+        let mut trial = cfg.clone();
+        trial.service_fault = None;
+        if same_kind(&run_case_prog(&prog, spec, &trial)) {
+            cfg = trial;
+        }
+    }
     if cfg.cache_check {
         let mut trial = cfg.clone();
         trial.cache_check = false;
@@ -1046,12 +1196,37 @@ mod tests {
     }
 
     #[test]
+    fn healthy_cases_pass_the_service_envelope() {
+        // Every injectable service fault is recoverable, so a passing
+        // case must stay byte-identical through the one-job envelope —
+        // including through-lowering cases, whose lir phase rides behind
+        // a `lower` step in the composed job spec.
+        let prog = CaseProgram::single(vec![Op::Push(3), Op::AssocInsert(2, -1), Op::Write(0, 9)]);
+        let spec = PipelineSpec::parse("ssa-construct,constprop,dce,ssa-destruct").unwrap();
+        for plan in ["worker-panic@0", "poison-cache@0", "slow-job@0"] {
+            let cfg = CaseConfig {
+                service_fault: Some(plan.parse().unwrap()),
+                ..CaseConfig::default()
+            };
+            let out = run_case_prog(&prog, &spec, &cfg);
+            assert_eq!(out, Outcome::Pass, "{plan}: {out:?}");
+        }
+        let lowered = CaseConfig {
+            lir_spec: Some(PipelineSpec::parse("mem2reg,constfold,dce").unwrap()),
+            service_fault: Some("worker-panic@0".parse().unwrap()),
+            ..CaseConfig::default()
+        };
+        let out = run_case_prog(&prog, &spec, &lowered);
+        assert_eq!(out, Outcome::Pass, "{out:?}");
+    }
+
+    #[test]
     fn reduction_shrinks_config_too() {
         let ops = vec![Op::Push(1), Op::Push(2), Op::AssocInsert(3, 4)];
         let spec = PipelineSpec::parse("ssa-construct,constprop,dce,ssa-destruct").unwrap();
-        // A dce-targeted injected panic: the cache oracle, budgets,
-        // probing, and the lowering phase are irrelevant to the crash,
-        // so reduction drops all four.
+        // A dce-targeted injected panic: the service envelope, cache
+        // oracle, budgets, probing, and the lowering phase are
+        // irrelevant to the crash, so reduction drops all five.
         let cfg = CaseConfig {
             policy: FaultPolicy::Abort,
             inject: Some("panic@dce".parse().unwrap()),
@@ -1059,12 +1234,17 @@ mod tests {
             lir_spec: Some(PipelineSpec::parse("mem2reg,fixpoint<max=3>(constfold,dce)").unwrap()),
             probe_seed: Some(42),
             cache_check: true,
+            service_fault: Some("worker-panic@0".parse().unwrap()),
         };
         let (_, _, min_cfg, detail) = reduce_case(&ops, &spec, &cfg).expect("still crashes");
         assert!(min_cfg.budgets.is_unlimited(), "{:?}", min_cfg.budgets);
         assert!(min_cfg.lir_spec.is_none(), "{:?}", min_cfg.lir_spec);
         assert!(min_cfg.probe_seed.is_none(), "{:?}", min_cfg.probe_seed);
         assert!(!min_cfg.cache_check, "cache oracle should be dropped");
+        assert!(
+            min_cfg.service_fault.is_none(),
+            "service envelope should be dropped"
+        );
         assert!(detail.starts_with("panic:"), "{detail}");
     }
 
@@ -1081,6 +1261,7 @@ mod tests {
             lir_spec: Some(PipelineSpec::parse("mem2reg,gvn,dce").unwrap()),
             probe_seed: None,
             cache_check: false,
+            service_fault: None,
         };
         let out = run_case(&ops, &spec, &cfg);
         assert_eq!(out.kind(), Some("panic"), "{out:?}");

@@ -23,7 +23,13 @@
 //! * [`repro`] — `.repro` text artifacts (spec: `docs/REPRO_FORMAT.md`)
 //!   that `memoir-fuzz replay` re-runs exactly;
 //! * [`cli`] — the `memoir-fuzz run` argument surface, plus a fuzzer
-//!   for every textual surface the binaries parse.
+//!   for every textual surface the binaries parse;
+//! * [`service`] — the `memoir-fuzz service` mode: fuzzes the `memoird`
+//!   compile service's job-stream parsers and drives randomized job
+//!   batches with sampled fault injection, asserting zero lost jobs,
+//!   clean-vs-injected byte identity, and warm-vs-cold job-cache
+//!   coherence (the harness-side oracle is
+//!   [`harness::CaseConfig::service_fault`]).
 //!
 //! Programs span the whole language: sequence and assoc ops, object
 //! types with field reads/writes and nested collections
@@ -44,6 +50,7 @@ pub mod genspec;
 pub mod harness;
 pub mod repro;
 pub mod rng;
+pub mod service;
 
 pub use cli::{fuzz_cli_case, parse_run_args, CliCrash, RunArgs};
 pub use ddmin::ddmin;
@@ -55,6 +62,7 @@ pub use genspec::{random_lir_spec, random_spec};
 pub use harness::{reduce_case, reduce_case_prog, run_case, run_case_prog, CaseConfig, Outcome};
 pub use repro::Repro;
 pub use rng::SplitMix64;
+pub use service::fuzz_service_case;
 
 /// Best-effort text of a caught panic payload.
 pub fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {

@@ -32,7 +32,11 @@
 //! `budget:` is omitted when unlimited, `inject:` and `probe-seed:` when
 //! absent, and `cache-check: true` is present only when the case runs
 //! the cached-vs-cold differential oracle (two extra compiles through a
-//! shared compile cache — the `cache-diverge` crash class). A present `lir-spec:` key marks a through-lowering case; its
+//! shared compile cache — the `cache-diverge` crash class).
+//! `service-fault:` carries a `memoird` job-fault plan (e.g.
+//! `worker-panic@0`) and is present only when the case runs the
+//! service-envelope differential oracle (two one-job service batches —
+//! the `service-lost`/`service-diverge` crash classes). A present `lir-spec:` key marks a through-lowering case; its
 //! value may be empty ("lower, then nothing"). Each `helper:` block and
 //! `helper-scalar:` line after the `ops:` block appends one helper
 //! function, in call order. Files that use none of the v2 features
@@ -73,6 +77,10 @@ pub struct Repro {
     /// Whether the case ran the cached-vs-cold differential oracle (v2;
     /// the `cache-diverge` class replays only with this set).
     pub cache_check: bool,
+    /// Service-fault plan of the service-envelope differential oracle
+    /// (v2; the `service-lost`/`service-diverge` classes replay only
+    /// with this set).
+    pub service_fault: Option<memoird::JobFaultPlan>,
     /// Whether this artifact has been through the reducer.
     pub minimized: bool,
     /// One-line failure classification from the harness.
@@ -91,13 +99,17 @@ impl Repro {
             lir_spec: self.lir_spec.clone(),
             probe_seed: self.probe_seed,
             cache_check: self.cache_check,
+            service_fault: self.service_fault.clone(),
         }
     }
 
     /// Whether this artifact needs the v2 header (any helper, object op,
-    /// or probe seed).
+    /// probe seed, or differential-oracle key).
     pub fn uses_v2(&self) -> bool {
-        self.probe_seed.is_some() || self.cache_check || self.prog.uses_v2()
+        self.probe_seed.is_some()
+            || self.cache_check
+            || self.service_fault.is_some()
+            || self.prog.uses_v2()
     }
 }
 
@@ -123,6 +135,9 @@ impl fmt::Display for Repro {
         }
         if self.cache_check {
             writeln!(f, "cache-check: true")?;
+        }
+        if let Some(plan) = &self.service_fault {
+            writeln!(f, "service-fault: {plan}")?;
         }
         writeln!(f, "minimized: {}", self.minimized)?;
         writeln!(f, "failure: {}", self.failure)?;
@@ -170,6 +185,7 @@ impl FromStr for Repro {
         let mut inject = None;
         let mut probe_seed = None;
         let mut cache_check = false;
+        let mut service_fault = None;
         let mut minimized = None;
         let mut failure = None;
         let mut main: Option<Vec<Op>> = None;
@@ -256,6 +272,16 @@ impl FromStr for Repro {
                     }
                     cache_check = value.parse::<bool>().map_err(|_| err("bad cache-check"))?
                 }
+                "service-fault" => {
+                    if !v2 {
+                        return Err(err("`service-fault:` requires the v2 header"));
+                    }
+                    service_fault = Some(
+                        value
+                            .parse::<memoird::JobFaultPlan>()
+                            .map_err(|e| err(&e))?,
+                    )
+                }
                 "minimized" => {
                     minimized = Some(value.parse::<bool>().map_err(|_| err("bad minimized"))?)
                 }
@@ -275,6 +301,7 @@ impl FromStr for Repro {
             inject,
             probe_seed,
             cache_check,
+            service_fault,
             minimized: minimized.ok_or("missing `minimized:`")?,
             failure: failure.ok_or("missing `failure:`")?,
             prog: CaseProgram {
@@ -301,6 +328,7 @@ mod tests {
             inject: Some("panic@dce#2".parse().unwrap()),
             probe_seed: None,
             cache_check: false,
+            service_fault: None,
             minimized: true,
             failure: "panic: injected fault".to_string(),
             prog: CaseProgram::single(vec![Op::Push(-3), Op::Write(1, 7), Op::RemoveRange(0, 2)]),
@@ -379,6 +407,12 @@ mod tests {
         assert!(text.starts_with(HEADER_V2), "{text}");
         assert!(text.contains("cache-check: true"), "{text}");
         assert_eq!(text.parse::<Repro>().unwrap(), cache_only, "{text}");
+        let mut service_only = sample();
+        service_only.service_fault = Some("worker-panic@0#1".parse().unwrap());
+        let text = service_only.to_string();
+        assert!(text.starts_with(HEADER_V2), "{text}");
+        assert!(text.contains("service-fault: worker-panic@0#1"), "{text}");
+        assert_eq!(text.parse::<Repro>().unwrap(), service_only, "{text}");
     }
 
     #[test]
@@ -399,6 +433,10 @@ mod tests {
             .to_string()
             .replace("minimized:", "cache-check: true\nminimized:");
         assert!(with_cache.parse::<Repro>().is_err(), "{with_cache}");
+        let with_service = sample()
+            .to_string()
+            .replace("minimized:", "service-fault: slow-job@0\nminimized:");
+        assert!(with_service.parse::<Repro>().is_err(), "{with_service}");
     }
 
     #[test]
@@ -415,6 +453,8 @@ mod tests {
         assert_eq!(cfg.probe_seed, r.probe_seed);
         r.cache_check = true;
         assert!(r.config().cache_check);
+        r.service_fault = Some("poison-cache@0".parse().unwrap());
+        assert_eq!(r.config().service_fault, r.service_fault);
     }
 
     #[test]
