@@ -27,6 +27,7 @@
 //! incremental section — ≥ 90% cache reuse and byte-identical output on
 //! the unchanged-module recompile.
 
+use bench::report::{json_escape, write_report, BenchArgs};
 use bench::{compilation_subjects, o3_all};
 use memoir_opt::lowering::{compile_lowered_with, LowerConfig, LoweredPipeline};
 use memoir_opt::pipeline::{compile_spec_with, default_spec};
@@ -246,20 +247,6 @@ fn incremental_json(r: &IncrementalResult) -> String {
     )
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 fn mode_json(r: &ModeResult) -> String {
     let passes: Vec<String> = r
         .passes
@@ -287,25 +274,13 @@ fn mode_json(r: &ModeResult) -> String {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_compile_time.json");
-    let mut inc_path = String::from("BENCH_incremental.json");
-    let mut check = false;
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--check" => check = true,
-            "--out" => out_path = it.next().expect("--out needs a value"),
-            "--inc-out" => inc_path = it.next().expect("--inc-out needs a value"),
-            other => match (
-                other.strip_prefix("--out="),
-                other.strip_prefix("--inc-out="),
-            ) {
-                (Some(v), _) => out_path = v.to_string(),
-                (_, Some(v)) => inc_path = v.to_string(),
-                _ => panic!("unknown argument `{other}`"),
-            },
-        }
-    }
+    let args = BenchArgs::parse("BENCH_compile_time.json", &["inc-out"]);
+    let out_path = args.out.clone();
+    let inc_path = args
+        .opt("inc-out")
+        .unwrap_or("BENCH_incremental.json")
+        .to_string();
+    let check = args.check;
 
     let mut subjects: Vec<(String, &'static str, Vec<ModeResult>)> = Vec::new();
     for (name, m) in compilation_subjects() {
@@ -361,8 +336,7 @@ fn main() {
         "{{\n  \"bench\": \"compile_time\",\n  \"subjects\": [\n{}\n  ]\n}}\n",
         subject_json.join(",\n")
     );
-    std::fs::write(&out_path, &json).expect("write report");
-    println!("wrote {out_path} ({} subjects)", subjects.len());
+    write_report(&out_path, &json, &format!("{} subjects", subjects.len()));
 
     for (name, _, modes) in &subjects {
         for r in modes {
@@ -396,8 +370,11 @@ fn main() {
             .collect::<Vec<_>>()
             .join(",\n")
     );
-    std::fs::write(&inc_path, &inc_json).expect("write incremental report");
-    println!("wrote {inc_path} ({} subjects)", incrementals.len());
+    write_report(
+        &inc_path,
+        &inc_json,
+        &format!("{} subjects", incrementals.len()),
+    );
     for r in &incrementals {
         println!(
             "incremental {:>3}% edited ({:>3}/{} funcs)  cold {:8.3}ms  warm {:8.3}ms               {:.1}x  cache {}h/{}s/{}m ({:.0}% reuse){}",

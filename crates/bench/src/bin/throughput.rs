@@ -15,6 +15,7 @@
 //! (ok + degraded-ok + shed + failed == submitted), and the
 //! fault-injected replay was byte-identical with zero lost jobs.
 
+use bench::report::{write_report, BenchArgs};
 use memoird::{JobOutcome, JobSpec, RetryPolicy, Service, ServiceConfig, ServiceStats};
 use passman::{CompileCache, PipelineSpec};
 use workloads::synth_ir::build_synth_ir;
@@ -259,24 +260,13 @@ fn main() {
             eprintln!("{msg}");
         }
     }));
-    let mut out_path = String::from("BENCH_throughput.json");
-    let mut check = false;
-    let mut tranches = 2usize;
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--check" => check = true,
-            "--out" => out_path = it.next().expect("--out needs a value"),
-            other => match (
-                other.strip_prefix("--out="),
-                other.strip_prefix("--tranches="),
-            ) {
-                (Some(v), _) => out_path = v.to_string(),
-                (_, Some(v)) => tranches = v.parse().expect("bad --tranches"),
-                _ => panic!("unknown argument `{other}`"),
-            },
-        }
-    }
+    let args = BenchArgs::parse("BENCH_throughput.json", &["tranches"]);
+    let out_path = args.out.clone();
+    let check = args.check;
+    let tranches: usize = args
+        .opt("tranches")
+        .map(|v| v.parse().expect("bad --tranches"))
+        .unwrap_or(2);
 
     let mut configs = Vec::new();
     for &(workers, clients) in &[(1usize, 1usize), (1, 4), (2, 4), (4, 4), (4, 8)] {
@@ -302,8 +292,7 @@ fn main() {
         fault.stats.worker_panics,
         stats_json(&fault.stats),
     );
-    std::fs::write(&out_path, &json).expect("write report");
-    println!("wrote {out_path} ({} configs)", configs.len());
+    write_report(&out_path, &json, &format!("{} configs", configs.len()));
 
     for r in &configs {
         println!(

@@ -22,6 +22,8 @@
 use memoir_opt::{OptConfig, OptLevel};
 use workloads::mcf::{McfOutcome, McfParams, McfVariant};
 
+pub mod report;
+
 /// Renders a labelled percentage row.
 pub fn pct(label: &str, value: f64) -> String {
     format!("{label:>24}  {:+7.1}%", value * 100.0)

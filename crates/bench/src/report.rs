@@ -1,0 +1,150 @@
+//! Shared plumbing for the `BENCH_*.json`-emitting report binaries:
+//! the common CLI shape (`--out FILE`, `--check`, plus binary-specific
+//! `--name VALUE` options), JSON string escaping, and the standard
+//! write-and-announce step. Every report binary parses its arguments
+//! through [`BenchArgs`] so the flag syntax (space- or `=`-separated
+//! values, unknown-flag diagnostics) stays identical across them.
+
+use std::collections::BTreeMap;
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The common report-binary CLI: `--check`, `--out FILE` (or
+/// `--out=FILE`), plus any extra `--name VALUE` options the binary
+/// declares up front.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// Output path for the primary JSON report.
+    pub out: String,
+    /// Whether `--check` (the CI smoke assertions) was requested.
+    pub check: bool,
+    opts: BTreeMap<String, String>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`, accepting `--check`, `--out`, and the
+    /// `extra` option names (without the `--` prefix). Panics on unknown
+    /// flags, matching the report binaries' historical behaviour.
+    pub fn parse(default_out: &str, extra: &[&str]) -> BenchArgs {
+        Self::parse_from(std::env::args().skip(1), default_out, extra)
+    }
+
+    /// [`BenchArgs::parse`] over an explicit argument iterator (testable).
+    pub fn parse_from(
+        args: impl IntoIterator<Item = String>,
+        default_out: &str,
+        extra: &[&str],
+    ) -> BenchArgs {
+        let mut out = BenchArgs {
+            out: default_out.to_string(),
+            check: false,
+            opts: BTreeMap::new(),
+        };
+        let mut it = args.into_iter().peekable();
+        'args: while let Some(arg) = it.next() {
+            if arg == "--check" {
+                out.check = true;
+                continue;
+            }
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                None => (arg.clone(), None),
+            };
+            let value = |it: &mut std::iter::Peekable<_>| {
+                inline
+                    .clone()
+                    .or_else(|| it.next())
+                    .unwrap_or_else(|| panic!("`{flag}` needs a value"))
+            };
+            if flag == "--out" {
+                out.out = value(&mut it);
+                continue;
+            }
+            for name in extra {
+                if flag == format!("--{name}") {
+                    let v = value(&mut it);
+                    out.opts.insert(name.to_string(), v);
+                    continue 'args;
+                }
+            }
+            panic!("unknown argument `{arg}`");
+        }
+        out
+    }
+
+    /// The value of a binary-specific option, if given.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.opts.get(name).map(String::as_str)
+    }
+}
+
+/// Writes the report and prints the standard `wrote <path> (<what>)`
+/// line every report binary emits.
+pub fn write_report(path: &str, json: &str, what: &str) {
+    std::fs::write(path, json).expect("write report");
+    println!("wrote {path} ({what})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str], extra: &[&str]) -> BenchArgs {
+        BenchArgs::parse_from(
+            args.iter().map(|s| s.to_string()),
+            "BENCH_default.json",
+            extra,
+        )
+    }
+
+    #[test]
+    fn defaults_and_check() {
+        let a = parse(&[], &[]);
+        assert_eq!(a.out, "BENCH_default.json");
+        assert!(!a.check);
+        let a = parse(&["--check"], &[]);
+        assert!(a.check);
+    }
+
+    #[test]
+    fn out_both_syntaxes() {
+        assert_eq!(parse(&["--out", "x.json"], &[]).out, "x.json");
+        assert_eq!(parse(&["--out=y.json"], &[]).out, "y.json");
+    }
+
+    #[test]
+    fn extra_options() {
+        let a = parse(
+            &["--tranches=3", "--inc-out", "z.json"],
+            &["tranches", "inc-out"],
+        );
+        assert_eq!(a.opt("tranches"), Some("3"));
+        assert_eq!(a.opt("inc-out"), Some("z.json"));
+        assert_eq!(a.opt("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_panics() {
+        parse(&["--bogus"], &[]);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -71,6 +71,38 @@ pub struct LirMachine<'m> {
 
 const NULL_GUARD: usize = 16; // low addresses invalid
 
+/// Applies an `rt_assoc_rmw`/dense-rmw opcode (the integer encoding of
+/// `memoir_ir::BinOp` emitted by `memoir-lower::rmw_opcode`):
+/// `0`=add `1`=sub `2`=mul `3`=div `4`=rem `5`=and `6`=or `7`=xor
+/// `8`=shl `9`=shr `10`=min `11`=max.
+fn apply_rmw(op: i64, x: i64, y: i64) -> Result<i64, LirTrap> {
+    Ok(match op {
+        0 => x.wrapping_add(y),
+        1 => x.wrapping_sub(y),
+        2 => x.wrapping_mul(y),
+        3 => {
+            if y == 0 {
+                return Err(LirTrap::DivByZero);
+            }
+            x.wrapping_div(y)
+        }
+        4 => {
+            if y == 0 {
+                return Err(LirTrap::DivByZero);
+            }
+            x.wrapping_rem(y)
+        }
+        5 => x & y,
+        6 => x | y,
+        7 => x ^ y,
+        8 => x.wrapping_shl(y as u32),
+        9 => x.wrapping_shr(y as u32),
+        10 => x.min(y),
+        11 => x.max(y),
+        _ => return Err(LirTrap::Malformed("bad rmw opcode")),
+    })
+}
+
 impl<'m> LirMachine<'m> {
     /// Creates a machine.
     pub fn new(module: &'m Module) -> Self {
@@ -290,8 +322,106 @@ impl<'m> LirMachine<'m> {
         Ok((self.load(hdr)?, self.load(hdr + 1)?, self.load(hdr + 2)?))
     }
 
+    /// Dense-map operations at a non-negative assoc handle. Layout in
+    /// linear memory: `[cap, size, present[cap], vals[cap]]` at `hdr`.
+    /// The repr analysis proved every key in `0 .. cap`, so an
+    /// out-of-bound read/write is a compiler bug and traps loudly
+    /// (`has` stays total: absent, not a trap).
+    fn call_dense(&mut self, name: &str, args: &[i64]) -> Result<Option<i64>, LirTrap> {
+        let hdr = args[0];
+        let cap = self.load(hdr)?;
+        let in_bounds = |k: i64| (0..cap).contains(&k);
+        match name {
+            "rt_assoc_read" => {
+                let k = args[1];
+                if !in_bounds(k) || self.load(hdr + 2 + k)? == 0 {
+                    return Err(LirTrap::MissingKey);
+                }
+                Ok(Some(self.load(hdr + 2 + cap + k)?))
+            }
+            "rt_assoc_write" => {
+                let (k, v) = (args[1], args[2]);
+                if !in_bounds(k) {
+                    return Err(LirTrap::BadAddress(k));
+                }
+                if self.load(hdr + 2 + k)? == 0 {
+                    self.store(hdr + 2 + k, 1)?;
+                    let sz = self.load(hdr + 1)?;
+                    self.store(hdr + 1, sz + 1)?;
+                }
+                self.store(hdr + 2 + cap + k, v)?;
+                Ok(None)
+            }
+            "rt_assoc_rmw" => {
+                let k = args[1];
+                if !in_bounds(k) || self.load(hdr + 2 + k)? == 0 {
+                    return Err(LirTrap::MissingKey);
+                }
+                let x = self.load(hdr + 2 + cap + k)?;
+                let r = apply_rmw(args[2], x, args[3])?;
+                self.store(hdr + 2 + cap + k, r)?;
+                Ok(None)
+            }
+            "rt_assoc_has" => {
+                let k = args[1];
+                let present = in_bounds(k) && self.load(hdr + 2 + k)? != 0;
+                Ok(Some(present as i64))
+            }
+            "rt_assoc_remove" => {
+                let k = args[1];
+                if in_bounds(k) && self.load(hdr + 2 + k)? != 0 {
+                    self.store(hdr + 2 + k, 0)?;
+                    let sz = self.load(hdr + 1)?;
+                    self.store(hdr + 1, sz - 1)?;
+                }
+                Ok(None)
+            }
+            "rt_assoc_size" => Ok(Some(self.load(hdr + 1)?)),
+            "rt_assoc_copy" => {
+                let out = self.alloc_words((2 + 2 * cap) as usize);
+                for i in 0..2 + 2 * cap {
+                    let v = self.load(hdr + i)?;
+                    self.store(out + i, v)?;
+                }
+                Ok(Some(out))
+            }
+            "rt_assoc_keys" => {
+                // Present keys ascending — selection never fires when a
+                // `keys` op is reachable, so this order is unobservable;
+                // it matches `memoir_runtime::DenseMap::keys`.
+                let mut keys = Vec::new();
+                for k in 0..cap {
+                    if self.load(hdr + 2 + k)? != 0 {
+                        keys.push(k);
+                    }
+                }
+                let out = self.call_rt("rt_seq_new", &[keys.len() as i64])?.unwrap();
+                let (odata, _, _) = self.seq_parts(out)?;
+                for (i, k) in keys.iter().enumerate() {
+                    self.store(odata + i as i64, *k)?;
+                }
+                Ok(Some(out))
+            }
+            other => Err(LirTrap::UnknownRt(other.to_string())),
+        }
+    }
+
     fn call_rt(&mut self, name: &str, args: &[i64]) -> Result<Option<i64>, LirTrap> {
         match name {
+            // Dense dispatch: a non-negative assoc handle is a dense
+            // direct-indexed map living in linear memory (emitted by the
+            // adaptive `rt_dense_new` lowering); a negative handle is a
+            // host hashtable as before.
+            n if n.starts_with("rt_assoc_") && args.first().is_some_and(|&h| h >= 0) => {
+                self.call_dense(n, args)
+            }
+            "rt_dense_new" => {
+                let cap = args[0].max(0);
+                let hdr = self.alloc_words((2 + 2 * cap) as usize);
+                self.store(hdr, cap)?;
+                self.store(hdr + 1, 0)?;
+                Ok(Some(hdr))
+            }
             // ------------------------------------------------- sequences
             "rt_seq_new" => {
                 let n = args[0].max(0);
@@ -459,6 +589,20 @@ impl<'m> LirMachine<'m> {
                 if map.remove(&args[1]).is_some() {
                     order.retain(|&k| k != args[1]);
                 }
+                Ok(None)
+            }
+            "rt_assoc_rmw" => {
+                // Fused read-modify-write (`mut.rmw` lowering): the
+                // read-half traps on a missing key exactly like
+                // `rt_assoc_read`, then the combined value is stored
+                // without re-hashing.
+                let idx = (-args[0] - 1) as usize;
+                let x = *self.assocs[idx]
+                    .0
+                    .get(&args[1])
+                    .ok_or(LirTrap::MissingKey)?;
+                let r = apply_rmw(args[2], x, args[3])?;
+                self.assocs[idx].0.insert(args[1], r);
                 Ok(None)
             }
             "rt_assoc_size" => {
@@ -690,5 +834,137 @@ mod tests {
         m.add(f);
         let mut vm = LirMachine::new(&m);
         assert_eq!(vm.run_by_name("assoctest", vec![]).unwrap(), vec![50, 1, 1]);
+    }
+
+    /// Builds a one-block function that performs `calls` in order and
+    /// returns the listed result values.
+    fn rt_program(calls: Vec<(&str, Vec<RtArg>, bool)>, rets: Vec<usize>) -> Module {
+        let nrets = rets.len();
+        let mut f = Function::new("t", 0, nrets as u32);
+        let e = f.entry;
+        let mut results: Vec<Val> = Vec::new();
+        for (name, args, has_result) in calls {
+            let argv: Vec<Val> = args
+                .into_iter()
+                .map(|a| match a {
+                    RtArg::C(c) => f.push1(e, Op::Const(c)),
+                    RtArg::R(i) => results[i],
+                })
+                .collect();
+            let out = f.push(
+                e,
+                Op::CallRt {
+                    name: name.into(),
+                    args: argv,
+                    has_result,
+                },
+                has_result as usize,
+            );
+            results.push(out.first().copied().unwrap_or(Val(u32::MAX)));
+        }
+        let ret_vals: Vec<Val> = rets.into_iter().map(|i| results[i]).collect();
+        f.push0(e, Op::Ret(ret_vals));
+        let mut m = Module::default();
+        m.add(f);
+        m
+    }
+
+    enum RtArg {
+        C(i64),
+        R(usize),
+    }
+    use RtArg::{C, R};
+
+    #[test]
+    fn dense_map_roundtrip_through_assoc_dispatch() {
+        // new(8); write(3,30); write(3,33); has(3); has(7); size; read(3)
+        let m = rt_program(
+            vec![
+                ("rt_dense_new", vec![C(8)], true),
+                ("rt_assoc_write", vec![R(0), C(3), C(30)], false),
+                ("rt_assoc_write", vec![R(0), C(3), C(33)], false),
+                ("rt_assoc_has", vec![R(0), C(3)], true),
+                ("rt_assoc_has", vec![R(0), C(7)], true),
+                ("rt_assoc_size", vec![R(0)], true),
+                ("rt_assoc_read", vec![R(0), C(3)], true),
+            ],
+            vec![3, 4, 5, 6],
+        );
+        let mut vm = LirMachine::new(&m);
+        assert_eq!(vm.run_by_name("t", vec![]).unwrap(), vec![1, 0, 1, 33]);
+    }
+
+    #[test]
+    fn dense_rmw_and_remove() {
+        let m = rt_program(
+            vec![
+                ("rt_dense_new", vec![C(4)], true),
+                ("rt_assoc_write", vec![R(0), C(2), C(5)], false),
+                ("rt_assoc_rmw", vec![R(0), C(2), C(0), C(7)], false), // += 7
+                ("rt_assoc_read", vec![R(0), C(2)], true),
+                ("rt_assoc_remove", vec![R(0), C(2)], false),
+                ("rt_assoc_size", vec![R(0)], true),
+            ],
+            vec![3, 5],
+        );
+        let mut vm = LirMachine::new(&m);
+        assert_eq!(vm.run_by_name("t", vec![]).unwrap(), vec![12, 0]);
+    }
+
+    #[test]
+    fn dense_read_of_absent_key_traps_like_hashtable() {
+        let m = rt_program(
+            vec![
+                ("rt_dense_new", vec![C(4)], true),
+                ("rt_assoc_read", vec![R(0), C(1)], true),
+            ],
+            vec![1],
+        );
+        let mut vm = LirMachine::new(&m);
+        assert_eq!(vm.run_by_name("t", vec![]), Err(LirTrap::MissingKey));
+    }
+
+    #[test]
+    fn dense_copy_is_value_semantic() {
+        let m = rt_program(
+            vec![
+                ("rt_dense_new", vec![C(4)], true),
+                ("rt_assoc_write", vec![R(0), C(1), C(10)], false),
+                ("rt_assoc_copy", vec![R(0)], true),
+                ("rt_assoc_write", vec![R(0), C(1), C(99)], false),
+                ("rt_assoc_read", vec![R(2), C(1)], true),
+            ],
+            vec![4],
+        );
+        let mut vm = LirMachine::new(&m);
+        assert_eq!(vm.run_by_name("t", vec![]).unwrap(), vec![10]);
+    }
+
+    #[test]
+    fn host_assoc_rmw_traps_on_missing_key() {
+        let m = rt_program(
+            vec![
+                ("rt_assoc_new", vec![], true),
+                ("rt_assoc_rmw", vec![R(0), C(1), C(0), C(7)], false),
+            ],
+            vec![],
+        );
+        let mut vm = LirMachine::new(&m);
+        assert_eq!(vm.run_by_name("t", vec![]), Err(LirTrap::MissingKey));
+    }
+
+    #[test]
+    fn host_assoc_rmw_combines_in_place() {
+        let m = rt_program(
+            vec![
+                ("rt_assoc_new", vec![], true),
+                ("rt_assoc_write", vec![R(0), C(5), C(40)], false),
+                ("rt_assoc_rmw", vec![R(0), C(5), C(11), C(50)], false), // max
+                ("rt_assoc_read", vec![R(0), C(5)], true),
+            ],
+            vec![3],
+        );
+        let mut vm = LirMachine::new(&m);
+        assert_eq!(vm.run_by_name("t", vec![]).unwrap(), vec![50]);
     }
 }

@@ -48,6 +48,7 @@ impl EscapeAnalysis {
                 // result escapes, the source's storage may be reused by
                 // destruction, so treat it as escaping too.
                 if let InstKind::Write { c, .. }
+                | InstKind::Rmw { c, .. }
                 | InstKind::Insert { c, .. }
                 | InstKind::Remove { c, .. }
                 | InstKind::RemoveRange { c, .. }
@@ -74,7 +75,10 @@ impl EscapeAnalysis {
                     InstKind::FieldWrite { value, .. } => {
                         changed |= mark(*value, &mut escaped);
                     }
-                    InstKind::Write { value, .. } | InstKind::MutWrite { value, .. } => {
+                    InstKind::Write { value, .. }
+                    | InstKind::MutWrite { value, .. }
+                    | InstKind::Rmw { value, .. }
+                    | InstKind::MutRmw { value, .. } => {
                         changed |= mark(*value, &mut escaped);
                     }
                     InstKind::Insert { value: Some(v), .. }

@@ -141,6 +141,19 @@ impl<'f> IndexRanges<'f> {
                         let lo = prefer_known_max(ra.lo, rb.lo);
                         Range::new(lo, Expr::max2(ra.hi, rb.hi))
                     }
+                    BinOp::And => {
+                        // x & mask with a non-negative constant mask lands
+                        // in [0 : mask] regardless of x (hash-style key
+                        // wrapping: `h & (N-1)` proves a dense key space).
+                        let mask = f
+                            .value_const(b)
+                            .and_then(Constant::as_int)
+                            .or_else(|| f.value_const(a).and_then(Constant::as_int));
+                        match mask {
+                            Some(m) if m >= 0 => Range::constant(0, m + 1),
+                            _ => Range::new(Expr::Unknown, Expr::Unknown),
+                        }
+                    }
                     _ => Range::new(Expr::Unknown, Expr::Unknown),
                 }
             }

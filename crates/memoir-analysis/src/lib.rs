@@ -18,6 +18,8 @@
 //!   selection (§VI);
 //! * [`affinity`] — field affinity analysis choosing field-elision
 //!   candidates (§V);
+//! * [`repr`] — adaptive representation selection (dense / inline
+//!   layouts per allocation site, from escape + index-range facts);
 //! * [`callgraph`] / [`purity`] — call graph and function effect
 //!   summaries (dead-call elimination, sinking);
 //! * [`cached`] — adapters exposing these analyses through the
@@ -38,6 +40,7 @@ pub mod liveness;
 pub mod liverange;
 pub mod purity;
 pub mod range;
+pub mod repr;
 pub mod scc;
 
 pub use affinity::Affinity;
@@ -51,3 +54,4 @@ pub use liveness::Liveness;
 pub use liverange::{live_ranges, LiveRangeConfig, LiveRanges};
 pub use purity::{EffectSummary, Purity};
 pub use range::Range;
+pub use repr::{choose_reprs, choose_reprs_with, ReprConfig};

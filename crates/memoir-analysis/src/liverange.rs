@@ -249,6 +249,15 @@ fn transfer(
             // Table I: S1 ⊑ S0 (no kill — conservative).
             out.push((*c, result_range(0)));
         }
+        InstKind::Rmw { c, idx: i, .. } if is_seq(*c) => {
+            // Fused read+write: the write half transfers like `write`
+            // (S1 ⊑ S0, no kill) and the read half makes the indexed
+            // element live exactly like `read`.
+            out.push((*c, result_range(0)));
+            if cfg.include_reads {
+                out.push((*c, idx.range_of(*i).widened()));
+            }
+        }
         InstKind::Insert { c, idx: i, .. } if is_seq(*c) => {
             let pr = result_range(0);
             let r = if cfg.relocation_transfers {
@@ -421,10 +430,14 @@ fn transfer(
         }
         // Element stores of sequences into other collections: the stored
         // sequence escapes wholesale.
-        InstKind::MutWrite { value, .. } | InstKind::FieldWrite { value, .. } if is_seq(*value) => {
+        InstKind::MutWrite { value, .. }
+        | InstKind::MutRmw { value, .. }
+        | InstKind::FieldWrite { value, .. }
+            if is_seq(*value) =>
+        {
             out.push((*value, Range::full()));
         }
-        InstKind::Write { value, .. } if is_seq(*value) => {
+        InstKind::Write { value, .. } | InstKind::Rmw { value, .. } if is_seq(*value) => {
             out.push((*value, Range::full()));
         }
         InstKind::Insert { value: Some(v), .. } | InstKind::MutInsert { value: Some(v), .. }

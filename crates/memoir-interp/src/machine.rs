@@ -18,8 +18,8 @@
 use crate::stats::ExecStats;
 use crate::value::{CollId, Collection, Key, Store, Value};
 use memoir_ir::{
-    BinOp, BlockId, Callee, CmpOp, Constant, FuncId, Function, InstKind, Module, Type, ValueDef,
-    ValueId,
+    BinOp, BlockId, Callee, CmpOp, Constant, FuncId, Function, InstKind, Module, Repr, ReprChoices,
+    Type, ValueDef, ValueId,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -84,6 +84,9 @@ pub struct Interp<'m> {
     /// Accumulated statistics.
     pub stats: ExecStats,
     fuel: u64,
+    /// Adaptive representation choices per allocation site (opt-in via
+    /// [`Interp::with_repr_choices`]; affects cost accounting only).
+    repr_choices: ReprChoices,
 }
 
 impl fmt::Debug for Interp<'_> {
@@ -105,12 +108,23 @@ impl<'m> Interp<'m> {
             externs: HashMap::new(),
             stats: ExecStats::default(),
             fuel: 100_000_000,
+            repr_choices: ReprChoices::default(),
         }
     }
 
     /// Overrides the fuel budget.
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = fuel;
+        self
+    }
+
+    /// Enables adaptive-representation cost accounting: collections
+    /// allocated at the given sites are tagged with their chosen
+    /// representation and charge that representation's (cheaper) per-op
+    /// costs. Semantics are unchanged — only `stats.cost` differs — so
+    /// observable outputs are byte-identical to a run without choices.
+    pub fn with_repr_choices(mut self, choices: ReprChoices) -> Self {
+        self.repr_choices = choices;
         self
     }
 
@@ -217,6 +231,20 @@ impl<'m> Interp<'m> {
                 let inst = f.insts[iid].clone();
                 match self.exec(f, &mut env, &inst.kind)? {
                     Control::Next(values) => {
+                        // Tag collections allocated at sites with an
+                        // adaptive representation choice.
+                        if !self.repr_choices.is_empty()
+                            && matches!(
+                                inst.kind,
+                                InstKind::NewSeq { .. } | InstKind::NewAssoc { .. }
+                            )
+                        {
+                            if let Some(r) = self.repr_choices.get(&(fid, iid)).copied() {
+                                if let Some(Value::Coll(id)) = values.first() {
+                                    self.store.reprs.insert(*id, r);
+                                }
+                            }
+                        }
                         for (r, v) in inst.results.iter().zip(values) {
                             env.insert(*r, v);
                         }
@@ -424,6 +452,23 @@ impl<'m> Interp<'m> {
                 self.write_element(cid, &iv, vv)?;
                 Control::Next(vec![])
             }
+            Rmw { c, idx, op, value } => {
+                let cid = self.coll_arg(f, env, *c)?;
+                let (copy, n) = self.store.clone_coll(cid);
+                self.stats.copy(n as u64);
+                self.charge_alloc_bytes(copy);
+                let iv = self.eval(f, env, *idx)?;
+                let vv = self.eval(f, env, *value)?;
+                self.rmw_element(copy, &iv, *op, &vv)?;
+                Control::Next(vec![Value::Coll(copy)])
+            }
+            MutRmw { c, idx, op, value } => {
+                let cid = self.coll_arg(f, env, *c)?;
+                let iv = self.eval(f, env, *idx)?;
+                let vv = self.eval(f, env, *value)?;
+                self.rmw_element(cid, &iv, *op, &vv)?;
+                Control::Next(vec![])
+            }
             Insert { c, idx, value } => {
                 let cid = self.coll_arg(f, env, *c)?;
                 let (copy, n) = self.store.clone_coll(cid);
@@ -603,8 +648,12 @@ impl<'m> Interp<'m> {
                 )])
             }
             Has { c, key } => {
-                self.stats.assoc_op(false);
                 let cid = self.coll_arg(f, env, *c)?;
+                if matches!(self.store.repr_of(cid), Repr::Dense { .. }) {
+                    self.stats.dense_access(false);
+                } else {
+                    self.stats.assoc_op(false);
+                }
                 let kv = self.eval(f, env, *key)?;
                 let k = Key::from_value(&kv).ok_or(Trap::TypeConfusion("bad key"))?;
                 let Collection::Assoc { map, .. } = self.store.coll(cid) else {
@@ -677,10 +726,51 @@ impl<'m> Interp<'m> {
         })
     }
 
+    /// Fused read-modify-write of one element: reads (with `read`'s trap
+    /// behaviour — the element must be present and initialized), combines
+    /// via `op`, and writes back, charging a single fused storage cost.
+    fn rmw_element(&mut self, cid: CollId, idx: &Value, op: BinOp, v: &Value) -> Result<(), Trap> {
+        let repr = self.store.repr_of(cid);
+        match self.store.coll_mut(cid) {
+            Collection::Seq(elems) => {
+                let i = idx.as_index().ok_or(Trap::TypeConfusion("seq index"))?;
+                let len = elems.len() as u64;
+                let slot = elems
+                    .get_mut(i as usize)
+                    .ok_or(Trap::OutOfRange { index: i, len })?;
+                if *slot == Value::Uninit {
+                    return Err(Trap::ReadUninit);
+                }
+                *slot = exec_bin(op, slot, v)?;
+                self.stats.seq_rmw();
+                Ok(())
+            }
+            Collection::Assoc { map, .. } => {
+                let k = Key::from_value(idx).ok_or(Trap::TypeConfusion("bad key"))?;
+                let slot = map.get_mut(&k).ok_or(Trap::MissingKey)?;
+                if *slot == Value::Uninit {
+                    return Err(Trap::ReadUninit);
+                }
+                *slot = exec_bin(op, slot, v)?;
+                if matches!(repr, Repr::Dense { .. }) {
+                    self.stats.dense_rmw();
+                } else {
+                    self.stats.assoc_rmw();
+                }
+                Ok(())
+            }
+        }
+    }
+
     fn read_element(&mut self, cid: CollId, idx: &Value) -> Result<Value, Trap> {
+        let repr = self.store.repr_of(cid);
         match self.store.coll(cid) {
             Collection::Seq(elems) => {
-                self.stats.seq_access(false);
+                if matches!(repr, Repr::Inline { .. }) {
+                    self.stats.inline_access(false);
+                } else {
+                    self.stats.seq_access(false);
+                }
                 let i = idx.as_index().ok_or(Trap::TypeConfusion("seq index"))?;
                 let len = elems.len() as u64;
                 let v = elems
@@ -693,7 +783,11 @@ impl<'m> Interp<'m> {
                 Ok(v)
             }
             Collection::Assoc { map, .. } => {
-                self.stats.assoc_op(false);
+                if matches!(repr, Repr::Dense { .. }) {
+                    self.stats.dense_access(false);
+                } else {
+                    self.stats.assoc_op(false);
+                }
                 let k = Key::from_value(idx).ok_or(Trap::TypeConfusion("bad key"))?;
                 let v = map.get(&k).cloned().ok_or(Trap::MissingKey)?;
                 if v == Value::Uninit {
@@ -705,6 +799,7 @@ impl<'m> Interp<'m> {
     }
 
     fn write_element(&mut self, cid: CollId, idx: &Value, v: Value) -> Result<(), Trap> {
+        let repr = self.store.repr_of(cid);
         match self.store.coll_mut(cid) {
             Collection::Seq(elems) => {
                 let i = idx.as_index().ok_or(Trap::TypeConfusion("seq index"))?;
@@ -713,7 +808,11 @@ impl<'m> Interp<'m> {
                     .get_mut(i as usize)
                     .ok_or(Trap::OutOfRange { index: i, len })?;
                 *slot = v;
-                self.stats.seq_access(true);
+                if matches!(repr, Repr::Inline { .. }) {
+                    self.stats.inline_access(true);
+                } else {
+                    self.stats.seq_access(true);
+                }
                 Ok(())
             }
             Collection::Assoc { map, order } => {
@@ -722,13 +821,18 @@ impl<'m> Interp<'m> {
                     order.push(k.clone());
                 }
                 map.insert(k, v);
-                self.stats.assoc_op(true);
+                if matches!(repr, Repr::Dense { .. }) {
+                    self.stats.dense_access(true);
+                } else {
+                    self.stats.assoc_op(true);
+                }
                 Ok(())
             }
         }
     }
 
     fn insert_element(&mut self, cid: CollId, idx: &Value, v: Option<Value>) -> Result<(), Trap> {
+        let repr = self.store.repr_of(cid);
         match self.store.coll_mut(cid) {
             Collection::Seq(elems) => {
                 let i = idx.as_index().ok_or(Trap::TypeConfusion("seq index"))?;
@@ -748,13 +852,18 @@ impl<'m> Interp<'m> {
                     order.push(k.clone());
                 }
                 map.insert(k, v.unwrap_or(Value::Uninit));
-                self.stats.assoc_op(true);
+                if matches!(repr, Repr::Dense { .. }) {
+                    self.stats.dense_access(true);
+                } else {
+                    self.stats.assoc_op(true);
+                }
                 Ok(())
             }
         }
     }
 
     fn remove_element(&mut self, cid: CollId, idx: &Value) -> Result<(), Trap> {
+        let repr = self.store.repr_of(cid);
         match self.store.coll_mut(cid) {
             Collection::Seq(elems) => {
                 let i = idx.as_index().ok_or(Trap::TypeConfusion("seq index"))?;
@@ -773,7 +882,11 @@ impl<'m> Interp<'m> {
                     return Err(Trap::MissingKey);
                 }
                 order.retain(|x| x != &k);
-                self.stats.assoc_op(false);
+                if matches!(repr, Repr::Dense { .. }) {
+                    self.stats.dense_access(true);
+                } else {
+                    self.stats.assoc_op(false);
+                }
                 Ok(())
             }
         }

@@ -16,6 +16,37 @@
 //! | per element moved (insert/remove/swap/copy/splice) | 1 |
 //! | call/return | 6 |
 //! | collection allocation | 12 (+1 per reserved element) |
+//!
+//! ## Fused operations
+//!
+//! `rmw` (fused read-modify-write, produced by the fusion pass) touches
+//! storage once where the unfused `read; bin; write` sequence touches it
+//! twice plus an ALU op:
+//!
+//! | operation | fused cost | unfused equivalent |
+//! |---|---|---|
+//! | sequence `rmw` | 3 | 2 (read) + 1 (bin) + 2 (write) = 5 |
+//! | associative `rmw` (one hash + probe) | 9 | 8 + 1 + 8 = 17 |
+//! | dense-repr `rmw` | 3 | 2 + 1 + 2 = 5 |
+//!
+//! ## Per-representation costs (adaptive representation selection)
+//!
+//! When the interpreter is given a [`ReprChoice`](crate::machine) map
+//! (opt-in; default off so baselines stay comparable), collections tagged
+//! with a non-default representation charge cheaper per-op costs — the
+//! semantics are unchanged, only the cost accounting reflects the layout
+//! the lowering would pick:
+//!
+//! | representation | read/write/has | insert | size |
+//! |---|---|---|---|
+//! | assoc table (default) | 8 | 12 | 1 |
+//! | dense array (bounded integral keys, no `keys`, no escape) | 2 | 2 | 1 |
+//! | inline buffer (small const-len non-escaping seq) | 1 | — | 1 |
+//! | seq (default) | 2 | 2 + shift | 1 |
+//!
+//! Allocation charges are identical across representations, so a
+//! repr-tagged run's cost is always ≤ the default-layout run of the same
+//! program (checked by proptest).
 
 /// Counters accumulated during execution.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -99,6 +130,53 @@ impl ExecStats {
         self.allocations += 1;
         self.bytes_allocated += bytes;
         self.cost += 12.0 + reserved as f64;
+    }
+
+    /// Records a fused read-modify-write on a sequence (one pass over
+    /// storage: cost 3 vs 5 for the unfused read+bin+write).
+    pub fn seq_rmw(&mut self) {
+        self.insts += 1;
+        self.seq_reads += 1;
+        self.seq_writes += 1;
+        self.cost += 3.0;
+    }
+
+    /// Records a fused read-modify-write on an associative array (one
+    /// hash + probe: cost 9 vs 17 unfused).
+    pub fn assoc_rmw(&mut self) {
+        self.insts += 1;
+        self.assoc_ops += 1;
+        self.cost += 9.0;
+    }
+
+    /// Records an element access on a dense-array-repr collection
+    /// (direct indexing: cost 2, like a sequence access).
+    pub fn dense_access(&mut self, write: bool) {
+        self.insts += 1;
+        if write {
+            self.seq_writes += 1;
+        } else {
+            self.seq_reads += 1;
+        }
+        self.cost += 2.0;
+    }
+
+    /// Records a fused read-modify-write on a dense-array-repr
+    /// collection (cost 3, like a sequence rmw).
+    pub fn dense_rmw(&mut self) {
+        self.seq_rmw();
+    }
+
+    /// Records an element access on an inline-buffer-repr sequence
+    /// (register-like: cost 1).
+    pub fn inline_access(&mut self, write: bool) {
+        self.insts += 1;
+        if write {
+            self.seq_writes += 1;
+        } else {
+            self.seq_reads += 1;
+        }
+        self.cost += 1.0;
     }
 
     /// Records a call.

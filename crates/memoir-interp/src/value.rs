@@ -183,6 +183,10 @@ pub struct Store {
     pub collections: Vec<Collection>,
     /// Objects by id.
     pub objects: Vec<Object>,
+    /// Representation tags for collections allocated at sites with a
+    /// non-default [`Repr`](memoir_ir::Repr) choice (cost accounting
+    /// only — storage semantics are unchanged). Tags follow value copies.
+    pub reprs: HashMap<CollId, memoir_ir::Repr>,
 }
 
 impl Store {
@@ -218,7 +222,20 @@ impl Store {
     pub fn clone_coll(&mut self, id: CollId) -> (CollId, usize) {
         let c = self.coll(id).clone();
         let n = c.len();
-        (self.alloc_coll(c), n)
+        let copy = self.alloc_coll(c);
+        if let Some(r) = self.reprs.get(&id).copied() {
+            self.reprs.insert(copy, r);
+        }
+        (copy, n)
+    }
+
+    /// The representation tag of a collection ([`memoir_ir::Repr::Default`]
+    /// when untagged).
+    pub fn repr_of(&self, id: CollId) -> memoir_ir::Repr {
+        self.reprs
+            .get(&id)
+            .copied()
+            .unwrap_or(memoir_ir::Repr::Default)
     }
 }
 

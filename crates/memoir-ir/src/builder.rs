@@ -278,6 +278,12 @@ impl<'a> FunctionBuilder<'a> {
         self.emit1(InstKind::Write { c, idx, value }, ty)
     }
 
+    /// SSA fused `RMW`: `c' = WRITE(c, idx, op(READ(c, idx), value))`.
+    pub fn rmw(&mut self, c: ValueId, idx: ValueId, op: BinOp, value: ValueId) -> ValueId {
+        let ty = self.func.value_ty(c);
+        self.emit1(InstKind::Rmw { c, idx, op, value }, ty)
+    }
+
     /// SSA `INSERT` of a single element.
     pub fn insert(&mut self, c: ValueId, idx: ValueId, value: Option<ValueId>) -> ValueId {
         let ty = self.func.value_ty(c);
@@ -391,6 +397,11 @@ impl<'a> FunctionBuilder<'a> {
     /// `mut.write(c, idx, v)`.
     pub fn mut_write(&mut self, c: ValueId, idx: ValueId, value: ValueId) {
         self.emit(InstKind::MutWrite { c, idx, value }, &[]);
+    }
+
+    /// `mut.rmw(c, idx, op, v)` — in-place fused read-modify-write.
+    pub fn mut_rmw(&mut self, c: ValueId, idx: ValueId, op: BinOp, value: ValueId) {
+        self.emit(InstKind::MutRmw { c, idx, op, value }, &[]);
     }
 
     /// `mut.insert(c, idx, [v])`.

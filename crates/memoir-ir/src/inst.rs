@@ -341,6 +341,22 @@ pub enum InstKind {
         /// New element value.
         value: ValueId,
     },
+    /// `c1 = RMW(c0, idx, op, v)` — fused read-modify-write:
+    /// `c1 = WRITE(c0, idx, op(READ(c0, idx), v))` in one pass over
+    /// storage. The element must already be present and initialized (the
+    /// read half traps exactly like `READ`), so unlike `WRITE` an `rmw`
+    /// never extends an associative key space. Produced by the fusion
+    /// pass; never required for expressiveness.
+    Rmw {
+        /// Input collection.
+        c: ValueId,
+        /// Index.
+        idx: ValueId,
+        /// Combining operator applied as `op(old_element, value)`.
+        op: BinOp,
+        /// Right-hand operand of the combine.
+        value: ValueId,
+    },
     /// `c1 = INSERT(c0, idx, [v])` — extends the index space. For
     /// sequences, shifts the suffix right by one; for associative arrays,
     /// adds the key.
@@ -481,6 +497,18 @@ pub enum InstKind {
         /// New value.
         value: ValueId,
     },
+    /// `mut.rmw(c, idx, op, v)` — in-place fused read-modify-write:
+    /// `mut.write(c, idx, op(read(c, idx), v))` in one pass over storage.
+    MutRmw {
+        /// Mutated collection.
+        c: ValueId,
+        /// Index.
+        idx: ValueId,
+        /// Combining operator applied as `op(old_element, value)`.
+        op: BinOp,
+        /// Right-hand operand of the combine.
+        value: ValueId,
+    },
     /// `mut.insert(c, idx, [v])` — in-place insertion.
     MutInsert {
         /// Mutated collection.
@@ -612,10 +640,14 @@ impl InstKind {
             | Swap2 { .. }
             | UsePhi { .. }
             | Keys { .. } => Effect::Pure,
-            Read { .. } | Size { .. } | Has { .. } => Effect::ReadMem,
+            // `rmw` reads the prior element (and traps like `read` when it
+            // is absent/uninitialized), so it is ReadMem, not Pure: DCE
+            // must keep the trap even when the new version is unused.
+            Read { .. } | Size { .. } | Has { .. } | Rmw { .. } => Effect::ReadMem,
             FieldRead { .. } => Effect::ReadMem,
             NewObj { .. } | DeleteObj { .. } | FieldWrite { .. } => Effect::WriteMem,
             MutWrite { .. }
+            | MutRmw { .. }
             | MutInsert { .. }
             | MutInsertSeq { .. }
             | MutRemove { .. }
@@ -635,6 +667,7 @@ impl InstKind {
         matches!(
             self,
             MutWrite { .. }
+                | MutRmw { .. }
                 | MutInsert { .. }
                 | MutInsertSeq { .. }
                 | MutRemove { .. }
@@ -653,6 +686,7 @@ impl InstKind {
         matches!(
             self,
             Write { .. }
+                | Rmw { .. }
                 | Insert { .. }
                 | InsertSeq { .. }
                 | Remove { .. }
@@ -668,6 +702,7 @@ impl InstKind {
         use InstKind::*;
         match self {
             MutWrite { c, .. }
+            | MutRmw { c, .. }
             | MutInsert { c, .. }
             | MutInsertSeq { c, .. }
             | MutRemove { c, .. }
@@ -732,7 +767,10 @@ impl InstKind {
                 f(c);
                 f(idx);
             }
-            Write { c, idx, value } | MutWrite { c, idx, value } => {
+            Write { c, idx, value }
+            | MutWrite { c, idx, value }
+            | Rmw { c, idx, value, .. }
+            | MutRmw { c, idx, value, .. } => {
                 f(c);
                 f(idx);
                 f(value);
@@ -833,7 +871,10 @@ impl InstKind {
                 f(c);
                 f(idx);
             }
-            Write { c, idx, value } | MutWrite { c, idx, value } => {
+            Write { c, idx, value }
+            | MutWrite { c, idx, value }
+            | Rmw { c, idx, value, .. }
+            | MutRmw { c, idx, value, .. } => {
                 f(c);
                 f(idx);
                 f(value);

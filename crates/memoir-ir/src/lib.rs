@@ -58,6 +58,7 @@ mod inst;
 mod module;
 pub mod parser;
 pub mod printer;
+pub mod repr;
 mod types;
 pub mod verifier;
 
@@ -66,4 +67,5 @@ pub use function::{Block, Form, Function, Param, Value, ValueDef};
 pub use ids::{BlockId, ExternId, FuncId, IdMap, InstId, ObjTypeId, TypeId, ValueId};
 pub use inst::{BinOp, Callee, CmpOp, Constant, Effect, Inst, InstKind};
 pub use module::{CollectionCensus, ExternDecl, ExternEffects, Module};
+pub use repr::{Repr, ReprChoices};
 pub use types::{Field, ObjectLayout, ObjectType, Type, TypeError, TypeTable};

@@ -879,6 +879,7 @@ impl<'a> Parser<'a> {
                 }]
             }
             InstKind::Write { c, .. }
+            | InstKind::Rmw { c, .. }
             | InstKind::Insert { c, .. }
             | InstKind::InsertSeq { c, .. }
             | InstKind::Remove { c, .. }
@@ -1113,6 +1114,48 @@ impl<'a> Parser<'a> {
                 let idx = comma_val!();
                 let value = comma_val!();
                 InstKind::Write { c: cv, idx, value }
+            }
+            "rmw" | "mut.rmw" => {
+                let cv = val!();
+                let idx = comma_val!();
+                c.expect(&Tok::Comma)?;
+                let opname = c.ident()?;
+                let bop = match opname.as_str() {
+                    "add" => BinOp::Add,
+                    "sub" => BinOp::Sub,
+                    "mul" => BinOp::Mul,
+                    "div" => BinOp::Div,
+                    "rem" => BinOp::Rem,
+                    "and" => BinOp::And,
+                    "or" => BinOp::Or,
+                    "xor" => BinOp::Xor,
+                    "shl" => BinOp::Shl,
+                    "shr" => BinOp::Shr,
+                    "min" => BinOp::Min,
+                    "max" => BinOp::Max,
+                    other => {
+                        return Err(ParseError {
+                            line,
+                            message: format!("bad rmw op `{other}`"),
+                        })
+                    }
+                };
+                let value = comma_val!();
+                if op == "rmw" {
+                    InstKind::Rmw {
+                        c: cv,
+                        idx,
+                        op: bop,
+                        value,
+                    }
+                } else {
+                    InstKind::MutRmw {
+                        c: cv,
+                        idx,
+                        op: bop,
+                        value,
+                    }
+                }
             }
             "insert" => {
                 let cv = val!();

@@ -186,6 +186,9 @@ pub fn print_inst(f: &Function, id: InstId, types: &TypeTable, module: &Module) 
         InstKind::Write { c, idx, value } => {
             format!("write {}, {}, {}", v(c), v(idx), v(value))
         }
+        InstKind::Rmw { c, idx, op, value } => {
+            format!("rmw {}, {}, {}, {}", v(c), v(idx), op.mnemonic(), v(value))
+        }
         InstKind::Insert { c, idx, value } => match value {
             Some(val) => format!("insert {}, {}, {}", v(c), v(idx), v(val)),
             None => format!("insert {}, {}", v(c), v(idx)),
@@ -238,6 +241,15 @@ pub fn print_inst(f: &Function, id: InstId, types: &TypeTable, module: &Module) 
         ),
         InstKind::MutWrite { c, idx, value } => {
             format!("mut.write {}, {}, {}", v(c), v(idx), v(value))
+        }
+        InstKind::MutRmw { c, idx, op, value } => {
+            format!(
+                "mut.rmw {}, {}, {}, {}",
+                v(c),
+                v(idx),
+                op.mnemonic(),
+                v(value)
+            )
         }
         InstKind::MutInsert { c, idx, value } => match value {
             Some(val) => format!("mut.insert {}, {}, {}", v(c), v(idx), v(val)),

@@ -1,0 +1,47 @@
+//! Per-collection storage representation choices (adaptive representation
+//! lowering).
+//!
+//! The default lowering gives every collection one layout per kind:
+//! sequences become `[data, len, cap]` heap buffers, associative arrays
+//! become opaque host tables. Adaptive representation selection
+//! (`memoir-analysis::repr`) lets the lowering and the interpreters' cost
+//! model pick a cheaper layout per *allocation site* when the analysis can
+//! prove it safe:
+//!
+//! * [`Repr::Dense`] — an associative array whose keys are provably
+//!   integral and bounded lowers to a direct-indexed dense array (present
+//!   bitmap + value slots). Requires: bounded non-negative integral key
+//!   space, no `keys` op observing insertion order, and no escape out of
+//!   the analyzed scope.
+//! * [`Repr::Inline`] — a small constant-length, non-escaping sequence
+//!   lowers to an inline (stack) buffer.
+//! * [`Repr::Default`] — the conservative fallback; always legal.
+//!
+//! Choices are keyed by allocation site (`FuncId` + the `new_*`
+//! instruction's `InstId`), see [`ReprChoices`].
+
+use crate::ids::{FuncId, InstId};
+use std::collections::HashMap;
+
+/// The storage representation chosen for one collection allocation site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Repr {
+    /// The kind's default layout (heap seq buffer / host assoc table).
+    Default,
+    /// Dense direct-indexed array for an assoc with bounded integral keys
+    /// `[0 : cap)`.
+    Dense {
+        /// Exclusive key-space bound.
+        cap: u64,
+    },
+    /// Small inline (stack) buffer for a constant-length sequence.
+    Inline {
+        /// The constant length.
+        cap: u64,
+    },
+}
+
+/// Representation choices for every eligible allocation site of a module,
+/// keyed by `(function, allocating instruction)`. Sites absent from the
+/// map use [`Repr::Default`].
+pub type ReprChoices = HashMap<(FuncId, InstId), Repr>;

@@ -353,6 +353,18 @@ fn check_types(ctx: &mut Ctx<'_>) {
                     );
                 }
             }
+            InstKind::Rmw { c, idx, value, .. } | InstKind::MutRmw { c, idx, value, .. } => {
+                check_collection_access(ctx, i, *c, *idx);
+                if let Some(et) = elem_ty(ctx, *c) {
+                    let vt = ctx.ty(*value);
+                    expect(
+                        ctx,
+                        i,
+                        vt == et,
+                        format!("rmw value {vt:?} != element {et:?}"),
+                    );
+                }
+            }
             InstKind::Insert { c, idx, value } | InstKind::MutInsert { c, idx, value } => {
                 check_collection_access(ctx, i, *c, *idx);
                 if let (Some(v), Some(et)) = (value, elem_ty(ctx, *c)) {

@@ -15,7 +15,8 @@ use lir::{
 };
 use memoir_analysis::Placement;
 use memoir_ir::{
-    BinOp, Callee, CmpOp, Constant, Form, FuncId, InstId, InstKind, Module, Type, ValueDef, ValueId,
+    BinOp, Callee, CmpOp, Constant, Form, FuncId, InstId, InstKind, Module, Repr, Type, ValueDef,
+    ValueId,
 };
 use std::collections::HashMap;
 
@@ -27,6 +28,12 @@ pub struct LowerStats {
     pub stack_seqs: usize,
     /// Sequences lowered to heap storage (runtime allocation).
     pub heap_seqs: usize,
+    /// Associative arrays lowered to the dense direct-indexed layout
+    /// (`rt_dense_new`) by adaptive representation selection.
+    pub dense_assocs: usize,
+    /// Stack sequences whose placement was additionally proven by the
+    /// repr analysis ([`Repr::Inline`]) — a subset of `stack_seqs`.
+    pub inline_seqs: usize,
 }
 
 /// Errors from lowering.
@@ -80,6 +87,12 @@ pub struct LowerOptions {
     /// and its escape analysis can observe — so a hit is sound to splice
     /// in without re-lowering.
     pub cache: Option<passman::CompileCache>,
+    /// Adaptive representation selection (DESIGN §16): run
+    /// [`memoir_analysis::choose_reprs`] and lower qualifying assocs to
+    /// the dense direct-indexed layout (`rt_dense_new`). The analysis is
+    /// per-function and deterministic, so cached entries stay sound —
+    /// they are simply namespaced apart from default-layout entries.
+    pub adaptive: bool,
 }
 
 /// The result of [`lower_module_opts`].
@@ -123,6 +136,20 @@ pub fn lower_module_opts(m: &Module, opts: &LowerOptions) -> Result<LowerRun, Lo
     let mut results: Vec<FuncResult> = (0..fids.len()).map(|_| None).collect();
     let mut cache_stats = passman::CompileCacheStats::default();
 
+    // Adaptive representation selection, split per function. The empty
+    // map is the conservative default for every function.
+    let mut reprs: HashMap<FuncId, HashMap<InstId, Repr>> = HashMap::new();
+    if opts.adaptive {
+        for ((fid, iid), r) in memoir_analysis::choose_reprs(m) {
+            reprs.entry(fid).or_default().insert(iid, r);
+        }
+    }
+    let cache_ns = if opts.adaptive {
+        "lower-adaptive"
+    } else {
+        "lower"
+    };
+
     // Consult the cache serially (before any sharding) so hit/miss
     // accounting and the resulting work list are thread-count-invariant.
     let fps: Option<HashMap<FuncId, passman::Fingerprint>> = opts.cache.as_ref().map(|_| {
@@ -132,7 +159,7 @@ pub fn lower_module_opts(m: &Module, opts: &LowerOptions) -> Result<LowerRun, Lo
     });
     if let (Some(cache), Some(fps)) = (&opts.cache, &fps) {
         for (i, fid) in fids.iter().enumerate() {
-            match cache.lookup::<LoweredEntry>("lower", fps[fid]) {
+            match cache.lookup::<LoweredEntry>(cache_ns, fps[fid]) {
                 Some(entry) => {
                     cache_stats.hits += 1;
                     results[i] = Some(Ok((entry.func, entry.stats)));
@@ -146,9 +173,12 @@ pub fn lower_module_opts(m: &Module, opts: &LowerOptions) -> Result<LowerRun, Lo
     let miss: Vec<usize> = (0..fids.len()).filter(|&i| results[i].is_none()).collect();
     let mut miss_results: Vec<FuncResult> = (0..miss.len()).map(|_| None).collect();
     let threads = opts.threads.clamp(1, miss.len().max(1));
+    static NO_REPRS: std::sync::OnceLock<HashMap<InstId, Repr>> = std::sync::OnceLock::new();
+    let no_reprs = NO_REPRS.get_or_init(HashMap::new);
     let run_one = |i: usize| {
         let mut stats = LowerStats::default();
-        lower_function(m, fids[i], &fun_ids, &mut stats).map(|lf| (lf, stats))
+        let frep = reprs.get(&fids[i]).unwrap_or(no_reprs);
+        lower_function(m, fids[i], &fun_ids, frep, &mut stats).map(|lf| (lf, stats))
     };
     if threads <= 1 {
         for (&i, slot) in miss.iter().zip(miss_results.iter_mut()) {
@@ -177,7 +207,7 @@ pub fn lower_module_opts(m: &Module, opts: &LowerOptions) -> Result<LowerRun, Lo
         for &i in &miss {
             if let Some(Ok((lf, stats))) = &results[i] {
                 cache.store(
-                    "lower",
+                    cache_ns,
                     fps[&fids[i]],
                     LoweredEntry {
                         func: lf.clone(),
@@ -192,6 +222,8 @@ pub fn lower_module_opts(m: &Module, opts: &LowerOptions) -> Result<LowerRun, Lo
         let (lf, fstats) = results[i].take().expect("every function lowered")?;
         stats.stack_seqs += fstats.stack_seqs;
         stats.heap_seqs += fstats.heap_seqs;
+        stats.dense_assocs += fstats.dense_assocs;
+        stats.inline_seqs += fstats.inline_seqs;
         out.funcs[fun_ids[fid].0 as usize] = lf;
     }
     Ok(LowerRun {
@@ -213,6 +245,9 @@ struct Ctx<'m> {
     )>,
     /// Per-allocation-site heap/stack verdicts (§VI).
     placements: HashMap<InstId, Placement>,
+    /// Per-allocation-site adaptive representation choices (DESIGN §16);
+    /// empty unless [`LowerOptions::adaptive`] is set.
+    reprs: &'m HashMap<InstId, Repr>,
 }
 
 impl Ctx<'_> {
@@ -277,6 +312,7 @@ fn lower_function(
     m: &Module,
     fid: FuncId,
     fun_ids: &HashMap<FuncId, Fun>,
+    reprs: &HashMap<InstId, Repr>,
     stats: &mut LowerStats,
 ) -> Result<LFunction, LowerError> {
     let f = &m.funcs[fid];
@@ -294,6 +330,7 @@ fn lower_function(
         blocks: HashMap::new(),
         phi_patches: Vec::new(),
         placements,
+        reprs,
     };
     // Parameters map 1:1 (floats rejected).
     for (i, p) in f.params.iter().enumerate() {
@@ -388,37 +425,7 @@ fn lower_inst(
     match kind {
         InstKind::Bin { op, lhs, rhs } => {
             let (a, c) = (v!(*lhs), v!(*rhs));
-            let r = match op {
-                BinOp::Add => ctx.lf.push1(b, Op::Bin(LBin::Add, a, c)),
-                BinOp::Sub => ctx.lf.push1(b, Op::Bin(LBin::Sub, a, c)),
-                BinOp::Mul => ctx.lf.push1(b, Op::Bin(LBin::Mul, a, c)),
-                BinOp::Div => ctx.lf.push1(b, Op::Bin(LBin::Div, a, c)),
-                BinOp::Rem => ctx.lf.push1(b, Op::Bin(LBin::Rem, a, c)),
-                BinOp::And => ctx.lf.push1(b, Op::Bin(LBin::And, a, c)),
-                BinOp::Or => ctx.lf.push1(b, Op::Bin(LBin::Or, a, c)),
-                BinOp::Xor => ctx.lf.push1(b, Op::Bin(LBin::Xor, a, c)),
-                BinOp::Shl => ctx.lf.push1(b, Op::Bin(LBin::Shl, a, c)),
-                BinOp::Shr => ctx.lf.push1(b, Op::Bin(LBin::Shr, a, c)),
-                BinOp::Min => {
-                    // min(a, c) = a < c ? a : c — lowered with a select-free
-                    // arithmetic trick: via compare and branchless blend is
-                    // overkill; use cmp + mul.
-                    let lt = ctx.lf.push1(b, Op::Cmp(LCmp::Lt, a, c));
-                    let one = ctx.lf.push1(b, Op::Const(1));
-                    let not = ctx.lf.push1(b, Op::Bin(LBin::Xor, lt, one));
-                    let pa = ctx.lf.push1(b, Op::Bin(LBin::Mul, lt, a));
-                    let pc = ctx.lf.push1(b, Op::Bin(LBin::Mul, not, c));
-                    ctx.lf.push1(b, Op::Bin(LBin::Add, pa, pc))
-                }
-                BinOp::Max => {
-                    let gt = ctx.lf.push1(b, Op::Cmp(LCmp::Gt, a, c));
-                    let one = ctx.lf.push1(b, Op::Const(1));
-                    let not = ctx.lf.push1(b, Op::Bin(LBin::Xor, gt, one));
-                    let pa = ctx.lf.push1(b, Op::Bin(LBin::Mul, gt, a));
-                    let pc = ctx.lf.push1(b, Op::Bin(LBin::Mul, not, c));
-                    ctx.lf.push1(b, Op::Bin(LBin::Add, pa, pc))
-                }
-            };
+            let r = emit_bin(ctx, b, *op, a, c);
             ctx.map.insert(results[0], r);
         }
         InstKind::Cmp { op, lhs, rhs } => {
@@ -569,6 +576,13 @@ fn lower_inst(
             match (stack, const_len) {
                 (true, Some(c)) => {
                     stats.stack_seqs += 1;
+                    // The repr analysis independently proving Inline is
+                    // a strict subset of this §VI stack path (const len,
+                    // non-escaping, never resized) — count it so the
+                    // adaptive report can attribute the placement.
+                    if matches!(ctx.reprs.get(&iid), Some(Repr::Inline { .. })) {
+                        stats.inline_seqs += 1;
+                    }
                     let hdr = ctx.lf.push1(b, Op::Alloca(3 + c as u32));
                     let three = ctx.lf.push1(b, Op::Const(3));
                     let data = ctx.lf.push1(
@@ -627,7 +641,16 @@ fn lower_inst(
             }
         }
         InstKind::NewAssoc { .. } => {
-            let h = ctx.rt(b, "rt_assoc_new", vec![], true).unwrap();
+            // Adaptive selection (DESIGN §16): a bounded-key assoc
+            // lowers to a dense direct-indexed map in linear memory; the
+            // handle is non-negative, so `rt_assoc_*` dispatch on sign.
+            let h = if let Some(Repr::Dense { cap }) = ctx.reprs.get(&iid) {
+                stats.dense_assocs += 1;
+                let n = ctx.lf.push1(b, Op::Const(*cap as i64));
+                ctx.rt(b, "rt_dense_new", vec![n], true).unwrap()
+            } else {
+                ctx.rt(b, "rt_assoc_new", vec![], true).unwrap()
+            };
             ctx.map.insert(results[0], h);
         }
         InstKind::NewObj { obj } => {
@@ -660,6 +683,29 @@ fn lower_inst(
                 ctx.lf.push0(b, Op::Store { addr, value: x });
             } else {
                 ctx.rt(b, "rt_assoc_write", vec![h, i, x], false);
+            }
+        }
+        InstKind::MutRmw { c, idx, op, value } => {
+            let h = v!(*c);
+            let i = v!(*idx);
+            let x = v!(*value);
+            if ctx.is_seq(*c) {
+                // One address computation for both halves — the fusion
+                // payoff the interpreter's cost model charges as a
+                // single storage pass.
+                let addr = ctx.seq_elem_addr(b, h, i);
+                let old = ctx.lf.push1(b, Op::Load(addr));
+                let combined = emit_bin(ctx, b, *op, old, x);
+                ctx.lf.push0(
+                    b,
+                    Op::Store {
+                        addr,
+                        value: combined,
+                    },
+                );
+            } else {
+                let opc = ctx.lf.push1(b, Op::Const(rmw_opcode(*op)));
+                ctx.rt(b, "rt_assoc_rmw", vec![h, i, opc, x], false);
             }
         }
         InstKind::MutInsert { c, idx, value } => {
@@ -813,6 +859,61 @@ fn lower_inst(
         }
     }
     Ok(())
+}
+
+/// Emits a scalar binary op (the `InstKind::Bin` lowering, also reused
+/// by the sequence `mut.rmw` combine step).
+fn emit_bin(ctx: &mut Ctx<'_>, b: Blk, op: BinOp, a: Val, c: Val) -> Val {
+    match op {
+        BinOp::Add => ctx.lf.push1(b, Op::Bin(LBin::Add, a, c)),
+        BinOp::Sub => ctx.lf.push1(b, Op::Bin(LBin::Sub, a, c)),
+        BinOp::Mul => ctx.lf.push1(b, Op::Bin(LBin::Mul, a, c)),
+        BinOp::Div => ctx.lf.push1(b, Op::Bin(LBin::Div, a, c)),
+        BinOp::Rem => ctx.lf.push1(b, Op::Bin(LBin::Rem, a, c)),
+        BinOp::And => ctx.lf.push1(b, Op::Bin(LBin::And, a, c)),
+        BinOp::Or => ctx.lf.push1(b, Op::Bin(LBin::Or, a, c)),
+        BinOp::Xor => ctx.lf.push1(b, Op::Bin(LBin::Xor, a, c)),
+        BinOp::Shl => ctx.lf.push1(b, Op::Bin(LBin::Shl, a, c)),
+        BinOp::Shr => ctx.lf.push1(b, Op::Bin(LBin::Shr, a, c)),
+        BinOp::Min => {
+            // min(a, c) = a < c ? a : c — lowered with a select-free
+            // arithmetic trick: via compare and branchless blend is
+            // overkill; use cmp + mul.
+            let lt = ctx.lf.push1(b, Op::Cmp(LCmp::Lt, a, c));
+            let one = ctx.lf.push1(b, Op::Const(1));
+            let not = ctx.lf.push1(b, Op::Bin(LBin::Xor, lt, one));
+            let pa = ctx.lf.push1(b, Op::Bin(LBin::Mul, lt, a));
+            let pc = ctx.lf.push1(b, Op::Bin(LBin::Mul, not, c));
+            ctx.lf.push1(b, Op::Bin(LBin::Add, pa, pc))
+        }
+        BinOp::Max => {
+            let gt = ctx.lf.push1(b, Op::Cmp(LCmp::Gt, a, c));
+            let one = ctx.lf.push1(b, Op::Const(1));
+            let not = ctx.lf.push1(b, Op::Bin(LBin::Xor, gt, one));
+            let pa = ctx.lf.push1(b, Op::Bin(LBin::Mul, gt, a));
+            let pc = ctx.lf.push1(b, Op::Bin(LBin::Mul, not, c));
+            ctx.lf.push1(b, Op::Bin(LBin::Add, pa, pc))
+        }
+    }
+}
+
+/// The integer opcode for `rt_assoc_rmw` — decoded by `apply_rmw` in
+/// `lir::interp` (the two tables must stay in sync).
+fn rmw_opcode(op: BinOp) -> i64 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Rem => 4,
+        BinOp::And => 5,
+        BinOp::Or => 6,
+        BinOp::Xor => 7,
+        BinOp::Shl => 8,
+        BinOp::Shr => 9,
+        BinOp::Min => 10,
+        BinOp::Max => 11,
+    }
 }
 
 fn truncate_signed(ctx: &mut Ctx<'_>, b: Blk, x: Val, shift: i64) -> Val {
@@ -1216,6 +1317,110 @@ mod tests {
         assert_eq!(err, LowerError::FloatUnsupported("phif".into()));
     }
 
+    /// `mut.rmw` lowers to a single address computation on sequences
+    /// (load + combine + store through one gep) and to `rt_assoc_rmw` on
+    /// associative arrays; both agree with the MEMOIR interpreter.
+    #[test]
+    fn mut_rmw_lowering_matches_interp() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("main", Form::Mut, |bb| {
+            let i64t = bb.ty(Type::I64);
+            let four = bb.index(4);
+            let s = bb.new_seq(i64t, four);
+            let zero = bb.index(0);
+            let ten = bb.i64(10);
+            bb.mut_write(s, zero, ten);
+            let seven = bb.i64(7);
+            bb.mut_rmw(s, zero, BinOp::Add, seven); // s[0] = 17
+            let a = bb.new_assoc(i64t, i64t);
+            let k = bb.param("k", i64t); // unbounded key: stays hashtable
+            let forty = bb.i64(40);
+            bb.mut_write(a, k, forty);
+            bb.mut_rmw(a, k, BinOp::Max, ten); // a[k] = max(40, 10)
+            let x = bb.read(s, zero);
+            let y = bb.read(a, k);
+            let sum = bb.add(x, y);
+            bb.returns(&[i64t]);
+            bb.ret(vec![sum]);
+        });
+        let m = mb.finish();
+        memoir_ir::verifier::assert_valid(&m);
+        let want = {
+            let mut i = Interp::new(&m);
+            i.run_by_name("main", vec![Value::Int(Type::I64, 3)])
+                .unwrap()[0]
+                .as_int()
+                .unwrap()
+        };
+        assert_eq!(want, 57);
+        for adaptive in [false, true] {
+            let run = lower_module_opts(
+                &m,
+                &LowerOptions {
+                    adaptive,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let mut vm = LirMachine::new(&run.module);
+            assert_eq!(
+                vm.run_by_name("main", vec![3]).unwrap(),
+                vec![want],
+                "adaptive={adaptive}"
+            );
+        }
+    }
+
+    /// Adaptive selection lowers a bounded-key assoc to `rt_dense_new`;
+    /// the result is byte-for-byte the same program output as the
+    /// hashtable layout, and the stats report the choice.
+    #[test]
+    fn adaptive_dense_assoc_lowering_matches_default() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("main", Form::Mut, |bb| {
+            let i64t = bb.ty(Type::I64);
+            let a = bb.new_assoc(i64t, i64t);
+            let h = bb.param("h", i64t);
+            let mask = bb.i64(15);
+            let k = bb.bin(BinOp::And, h, mask);
+            let one = bb.i64(1);
+            bb.mut_insert(a, k, Some(one));
+            bb.mut_rmw(a, k, BinOp::Add, one);
+            let other = bb.i64(3);
+            let present = bb.has(a, other);
+            let sz = bb.size(a);
+            let szi = bb.cast(Type::I64, sz);
+            let v = bb.read(a, k);
+            let t = bb.add(v, szi);
+            let pi = bb.cast(Type::I64, present);
+            let sum = bb.add(t, pi);
+            bb.returns(&[i64t]);
+            bb.ret(vec![sum]);
+        });
+        let m = mb.finish();
+        memoir_ir::verifier::assert_valid(&m);
+        let base = lower_module_opts(&m, &LowerOptions::default()).unwrap();
+        assert_eq!(base.stats.dense_assocs, 0);
+        let adap = lower_module_opts(
+            &m,
+            &LowerOptions {
+                adaptive: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(adap.stats.dense_assocs, 1, "{:?}", adap.stats);
+        for hash in [0i64, 3, 16, 100, -5] {
+            let a = LirMachine::new(&base.module)
+                .run_by_name("main", vec![hash])
+                .unwrap();
+            let b = LirMachine::new(&adap.module)
+                .run_by_name("main", vec![hash])
+                .unwrap();
+            assert_eq!(a, b, "hash={hash}");
+        }
+    }
+
     /// Sharded lowering is byte-identical to serial for every thread
     /// count, and a warm cache serves every function while leaving the
     /// output and the summed stats unchanged.
@@ -1242,7 +1447,7 @@ mod tests {
                 &m,
                 &LowerOptions {
                     threads,
-                    cache: None,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -1251,6 +1456,7 @@ mod tests {
         let opts = LowerOptions {
             threads: 4,
             cache: Some(passman::CompileCache::new()),
+            ..Default::default()
         };
         let cold = lower_module_opts(&m, &opts).unwrap();
         assert_eq!((cold.cache.hits, cold.cache.misses), (0, 5));

@@ -197,6 +197,7 @@ fn run_job(
                 cross_check: true,
                 full_clone_snapshots: false,
                 cache,
+                adaptive: false,
             };
             let out = compile_lowered_with(&mut m, lp, &cfg)
                 .map_err(|e| format!("pipeline failed: {e}"))?;

@@ -553,7 +553,11 @@ fn write_range_summary(m: &Module, fid: FuncId) -> Option<Range> {
     };
     for (_, i) in f.inst_ids_in_order() {
         match &f.insts[i].kind {
-            InstKind::Write { c, idx: k, .. } if is_seq(m, f, *c) => {
+            InstKind::Write { c, idx: k, .. }
+            | InstKind::Rmw { c, idx: k, .. }
+            | InstKind::MutRmw { c, idx: k, .. }
+                if is_seq(m, f, *c) =>
+            {
                 let r = idx.range_of(*k);
                 if r.lo == Expr::Unknown || r.hi == Expr::Unknown {
                     return None;

@@ -18,6 +18,7 @@ pub mod dce;
 pub mod dee;
 pub mod dfe;
 pub mod field_elision;
+pub mod fusion;
 pub mod key_fold;
 pub mod lowering;
 pub mod materialize;
@@ -35,6 +36,7 @@ pub use dce::{dce, DceStats};
 pub use dee::{dee_specialize_calls, dee_specialize_calls_with, dee_strict, DeeOptions, DeeStats};
 pub use dfe::{dfe, DfeStats};
 pub use field_elision::{auto_field_elision, field_elision, FieldElisionStats};
+pub use fusion::{fuse, FusionStats};
 pub use key_fold::{key_fold, KeyFoldStats};
 pub use lowering::{
     compile_lowered_with, split_lowered_spec, LowerConfig, LoweredOutcome, LoweredPipeline,

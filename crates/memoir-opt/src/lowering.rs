@@ -72,7 +72,7 @@ pub fn split_lowered_spec(spec: &PipelineSpec) -> Result<Option<LoweredPipeline>
     let Some((at, lower_opts)) = split else {
         return Ok(None);
     };
-    let unknown = lower_opts.unknown_keys(&["max-ms", "no-cross-check"]);
+    let unknown = lower_opts.unknown_keys(&["max-ms", "no-cross-check", "adaptive"]);
     if !unknown.is_empty() {
         return Err(format!("unknown `lower` option(s): {}", unknown.join(", ")));
     }
@@ -108,6 +108,10 @@ pub struct LowerConfig {
     /// keyed per-function pass outputs (MEMOIR and lir) and lowered
     /// function bodies. `None` = no caching (every run is cold).
     pub cache: Option<passman::CompileCache>,
+    /// Adaptive representation selection in the lowering stage (dense
+    /// direct-indexed assocs, attributed inline sequences — DESIGN §16).
+    /// Also enabled per-spec with `lower<adaptive>`.
+    pub adaptive: bool,
 }
 
 impl Default for LowerConfig {
@@ -121,6 +125,7 @@ impl Default for LowerConfig {
             cross_check: true,
             full_clone_snapshots: false,
             cache: None,
+            adaptive: false,
         }
     }
 }
@@ -227,6 +232,7 @@ pub fn compile_lowered_with(
     let lower_opts = LowerOptions {
         threads: cfg.threads,
         cache: cfg.cache.clone(),
+        adaptive: cfg.adaptive || pipeline.lower_opts.flag("adaptive"),
     };
     let stage_result = stage.run(m, &mut out.report.run, invocation, |mm: &mut Module| {
         let run = lower_module_opts(mm, &lower_opts).map_err(|e| e.to_string())?;
@@ -239,6 +245,10 @@ pub fn compile_lowered_with(
             ("heap_sites", placement.heap_sites as i64),
             ("lir_insts", lm.inst_count() as i64),
         ];
+        if lower_opts.adaptive {
+            flat.push(("dense_assocs", stats.dense_assocs as i64));
+            flat.push(("inline_seqs", stats.inline_seqs as i64));
+        }
         if run.cache.lookups() > 0 {
             flat.push(("cache_hits", run.cache.hits as i64));
             flat.push(("cache_misses", run.cache.misses as i64));

@@ -12,7 +12,7 @@
 
 use crate::dee::DeeStats;
 use crate::pipeline::FE_AFFINITY_THRESHOLD;
-use crate::{constprop, dce, dee, dfe, field_elision, key_fold, rie, simplify, sink};
+use crate::{constprop, dce, dee, dfe, field_elision, fusion, key_fold, rie, simplify, sink};
 use crate::{construct_ssa, construct_use_phis, destruct_ssa, destruct_use_phis};
 use memoir_ir::{FuncId, Function, Module};
 use passman::{
@@ -59,6 +59,34 @@ impl FuncPass<Module> for SimplifyPass {
     }
 }
 
+/// Collection-op fusion as a function-sharded pass: it rewrites one
+/// SSA-form function at a time (read-modify-write fusion, query folds,
+/// dominance CSE of redundant queries) and needs only the module shell's
+/// type table, so it runs per function behind [`FuncPassAdapter`].
+struct FusionPass;
+impl FuncPass<Module> for FusionPass {
+    fn name(&self) -> &'static str {
+        "fusion"
+    }
+    fn run_on(
+        &self,
+        shell: &Module,
+        _key: FuncId,
+        f: &mut Function,
+        _ctx: Option<&(dyn std::any::Any + Send + Sync)>,
+    ) -> FuncOutcome {
+        let s = fusion::fuse_function(&shell.types, f);
+        FuncOutcome {
+            changed: s != Default::default(),
+            stats: vec![
+                ("rmws_fused", s.rmws_fused as i64),
+                ("queries_folded", s.queries_folded as i64),
+                ("queries_merged", s.queries_merged as i64),
+            ],
+        }
+    }
+}
+
 /// The registry of all MEMOIR passes, by spec name:
 ///
 /// | name | pass |
@@ -67,6 +95,7 @@ impl FuncPass<Module> for SimplifyPass {
 /// | `ssa-destruct` | [`destruct_ssa`] (Alg. 3) |
 /// | `constprop` | [`constprop::constprop`] |
 /// | `simplify` | [`simplify::simplify_function`] (function-sharded) |
+/// | `fusion` | [`fusion::fuse_function`] (function-sharded) |
 /// | `dce` | [`dce::dce`] |
 /// | `sink` | [`sink::sink_with`] |
 /// | `dee-strict` | [`dee::dee_strict_with`] |
@@ -109,6 +138,7 @@ pub fn registry() -> PassRegistry<Module> {
         }))
     });
     r.register("simplify", || Box::new(FuncPassAdapter::new(SimplifyPass)));
+    r.register("fusion", || Box::new(FuncPassAdapter::new(FusionPass)));
     r.register("dce", || {
         Box::new(FnPass::infallible("dce", |m: &mut Module, am| {
             let s = dce::dce_with(m, am);
@@ -246,6 +276,7 @@ mod tests {
             "ssa-destruct",
             "constprop",
             "simplify",
+            "fusion",
             "dce",
             "sink",
             "dee",
@@ -260,7 +291,7 @@ mod tests {
         ] {
             assert!(r.contains(name), "missing pass `{name}`");
         }
-        assert_eq!(r.names().len(), 15);
+        assert_eq!(r.names().len(), 16);
     }
 
     #[test]

@@ -121,7 +121,7 @@ impl PipelineReport {
 /// sequence as a parsable, printable [`PipelineSpec`]:
 ///
 /// * `O0` → `ssa-construct,ssa-destruct`
-/// * `O3(all)` → `ssa-construct,constprop,dee,fixpoint(constprop,simplify,sink,dce),sink,dce,ssa-destruct,field-elision,rie,key-fold,dfe`
+/// * `O3(all)` → `ssa-construct,constprop,fusion,dee,fixpoint(constprop,simplify,sink,dce),fusion,sink,dce,ssa-destruct,field-elision,rie,key-fold,dfe`
 ///
 /// with the DEE step and each layout pass gated by its [`OptConfig`]
 /// toggle. The `fixpoint(...)` group is the paper's DEE cleanup (fold
@@ -130,11 +130,11 @@ impl PipelineReport {
 pub fn default_spec(level: OptLevel) -> PipelineSpec {
     let mut s = String::from("ssa-construct");
     if let OptLevel::O3(cfg) = level {
-        s.push_str(",constprop");
+        s.push_str(",constprop,fusion");
         if cfg.dee {
             s.push_str(",dee,fixpoint(constprop,simplify,sink,dce)");
         }
-        s.push_str(",sink,dce");
+        s.push_str(",fusion,sink,dce");
     }
     s.push_str(",ssa-destruct");
     if let OptLevel::O3(cfg) = level {

@@ -412,6 +412,22 @@ fn rename_block(
                 stacks.get_mut(&c).unwrap().push(r[0]);
                 pushed.push(c);
             }
+            InstKind::MutRmw { c, idx, op, value } => {
+                let (cc, ii, vv) = (op!(c), op!(idx), op!(value));
+                let ty = old.value_ty(c);
+                let r = b.emit(
+                    block,
+                    InstKind::Rmw {
+                        c: cc,
+                        idx: ii,
+                        op,
+                        value: vv,
+                    },
+                    &[ty],
+                );
+                stacks.get_mut(&c).unwrap().push(r[0]);
+                pushed.push(c);
+            }
             InstKind::MutInsert { c, idx, value } => {
                 let (cc, ii) = (op!(c), op!(idx));
                 let vv = value.map(|v| op!(v));

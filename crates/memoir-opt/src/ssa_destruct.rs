@@ -183,6 +183,7 @@ fn trace_root(
             let inst = &f.insts[*iid];
             match &inst.kind {
                 InstKind::Write { c, .. }
+                | InstKind::Rmw { c, .. }
                 | InstKind::Insert { c, .. }
                 | InstKind::InsertSeq { c, .. }
                 | InstKind::Remove { c, .. }
@@ -401,6 +402,21 @@ fn build_destructed(
                         InstKind::MutWrite {
                             c: h,
                             idx: ii,
+                            value: vv,
+                        },
+                        &[],
+                    );
+                    ctx.repr.insert(inst.results[0], h);
+                }
+                InstKind::Rmw { c, idx, op, value } => {
+                    let h = consume!(c);
+                    let (ii, vv) = (op!(idx), op!(value));
+                    g.append_inst(
+                        nblock,
+                        InstKind::MutRmw {
+                            c: h,
+                            idx: ii,
+                            op,
                             value: vv,
                         },
                         &[],

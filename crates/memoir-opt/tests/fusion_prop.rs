@@ -1,0 +1,109 @@
+//! Property tests for the two tentpole optimizations (DESIGN §16), on
+//! randomly generated whole-language programs from `reduce`'s genprog:
+//!
+//! - **Fusion ≡ identity** under the memoir-interp oracle: compiling
+//!   with the fusion pass in the pipeline must produce the same
+//!   observable results as compiling without it, and both must match
+//!   the mut-form oracle.
+//! - **Repr selection ≡ default layout**: charging the interpreter per
+//!   the adaptive representation analysis's choices never changes
+//!   results and never costs more than the default hashed accounting;
+//!   and a through-lowering case with `adaptive: true` passes the full
+//!   four-way differential oracle (byte-identical observable outputs).
+
+use memoir_opt::pipeline::{compile_spec_with, default_spec, OptConfig, OptLevel};
+use passman::PipelineSpec;
+use proptest::prelude::*;
+use reduce::{
+    build_case, random_case, run_case_prog, CaseConfig, CaseDims, CaseProgram, Outcome, SplitMix64,
+};
+
+const FUEL: u64 = 50_000_000;
+
+fn compiled_run(
+    prog: &CaseProgram,
+    spec: &PipelineSpec,
+    adaptive: bool,
+) -> (Vec<memoir_interp::Value>, f64) {
+    let (mut m, _expect) = build_case(prog);
+    compile_spec_with(&mut m, spec, |pm| pm).expect("pipeline runs clean");
+    let mut vm = memoir_interp::Interp::new(&m).with_fuel(FUEL);
+    if adaptive {
+        vm = vm.with_repr_choices(memoir_analysis::choose_reprs(&m));
+    }
+    let out = vm
+        .run_by_name("main", vec![])
+        .expect("genprog cases never trap");
+    let cost = vm.stats.cost;
+    (out, cost)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fusion is semantics-preserving: with-fusion compilation agrees
+    /// with without-fusion compilation (and the mut-form oracle) on the
+    /// interpreter, for whole-language programs with objects + helpers.
+    #[test]
+    fn fusion_is_identity_under_the_interp_oracle(seed in any::<u64>()) {
+        let dims = CaseDims { objects: true, multi: false };
+        let prog = random_case(&mut SplitMix64::new(seed), 24, dims);
+        let (_, expect) = build_case(&prog);
+        let ident = PipelineSpec::parse("ssa-construct,constprop,ssa-destruct").unwrap();
+        let fused = PipelineSpec::parse("ssa-construct,constprop,fusion,ssa-destruct").unwrap();
+        let (out_ident, _) = compiled_run(&prog, &ident, false);
+        let (out_fused, _) = compiled_run(&prog, &fused, false);
+        prop_assert_eq!(&out_fused, &out_ident);
+        // Both agree with the op-level oracle on the scalar result.
+        match out_fused.first() {
+            Some(memoir_interp::Value::Int(_, got)) => prop_assert_eq!(*got, expect),
+            other => prop_assert!(false, "non-scalar main result: {:?}", other),
+        }
+    }
+
+    /// The adaptive representation analysis changes costs, never
+    /// results: same outputs, cost less than or equal to the default
+    /// accounting, on fully optimized (O3, fusion included) modules.
+    #[test]
+    fn repr_selection_preserves_outputs_and_never_costs_more(seed in any::<u64>()) {
+        let dims = CaseDims { objects: false, multi: false };
+        let prog = random_case(&mut SplitMix64::new(seed), 24, dims);
+        let spec = default_spec(OptLevel::O3(OptConfig::all()));
+        let (out_default, cost_default) = compiled_run(&prog, &spec, false);
+        let (out_adaptive, cost_adaptive) = compiled_run(&prog, &spec, true);
+        prop_assert_eq!(out_adaptive, out_default);
+        prop_assert!(
+            cost_adaptive <= cost_default,
+            "adaptive cost {} exceeds default {}",
+            cost_adaptive,
+            cost_default
+        );
+    }
+}
+
+proptest! {
+    // Each case runs the full four-way differential pipeline twice
+    // (hashed and adaptive layouts); keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Through lowering, the adaptive representation selector is
+    /// invisible to the four-way differential oracle: a case that
+    /// passes with the default hashed layout passes byte-identically
+    /// with dense / inline layouts enabled.
+    #[test]
+    fn adaptive_lowering_agrees_with_the_default_layout(seed in any::<u64>()) {
+        let dims = CaseDims { objects: true, multi: false };
+        let prog = random_case(&mut SplitMix64::new(seed), 16, dims);
+        let spec =
+            PipelineSpec::parse("ssa-construct,constprop,fusion,dce,ssa-destruct").unwrap();
+        for adaptive in [false, true] {
+            let cfg = CaseConfig {
+                lir_spec: Some(PipelineSpec::parse("mem2reg,dce").unwrap()),
+                adaptive,
+                ..CaseConfig::default()
+            };
+            let out = run_case_prog(&prog, &spec, &cfg);
+            prop_assert_eq!(out, Outcome::Pass, "adaptive={}", adaptive);
+        }
+    }
+}

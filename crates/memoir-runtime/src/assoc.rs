@@ -18,6 +18,9 @@ const HEADER_BYTES: u64 = 48;
 pub const ENTRY_OVERHEAD_BYTES: u64 = 16;
 const ASSOC_READ_COST: f64 = 8.0;
 const ASSOC_WRITE_COST: f64 = 12.0;
+/// One probe + in-place combine: the fused read-modify-write (DESIGN §16)
+/// pays a single hash lookup where `read` + `write` pay two.
+const ASSOC_RMW_COST: f64 = 12.0;
 
 /// A value-semantic associative array.
 ///
@@ -134,6 +137,18 @@ impl<K: Eq + Hash + Clone, V> Assoc<K, V> {
         v
     }
 
+    /// `rmw(a, k, op)` — the fused read-modify-write of DESIGN §16:
+    /// `a[k] = op(a[k])` in one storage pass (one probe, not two).
+    /// Panics on a missing key, like `read` (UB in the IR semantics).
+    pub fn rmw(&mut self, k: &K, op: impl FnOnce(&V) -> V) {
+        stats::write(self.class, self.entry_bytes(), ASSOC_RMW_COST);
+        let slot = self
+            .map
+            .get_mut(k)
+            .expect("rmw of absent key (UB per §IV-B)");
+        *slot = op(slot);
+    }
+
     /// `contains(a, k)` — the HAS operator.
     pub fn contains(&self, k: &K) -> bool {
         stats::read(self.class, 0, ASSOC_READ_COST);
@@ -239,6 +254,28 @@ mod tests {
         assert!(
             assoc_cost > seq_cost,
             "hash op {assoc_cost} > seq op {seq_cost}"
+        );
+    }
+
+    #[test]
+    fn fused_rmw_combines_and_costs_one_probe() {
+        reset();
+        let mut a = Assoc::new();
+        a.write(1i64, 10i64);
+        let before = snapshot().cost;
+        a.rmw(&1, |v| v + 5);
+        let fused = snapshot().cost - before;
+        assert_eq!(*a.read(&1), 15);
+        reset();
+        let mut b = Assoc::new();
+        b.write(1i64, 10i64);
+        let before = snapshot().cost;
+        let v = *b.read(&1);
+        b.write(1, v + 5);
+        let unfused = snapshot().cost - before;
+        assert!(
+            fused < unfused,
+            "fused rmw {fused} must beat read+write {unfused}"
         );
     }
 

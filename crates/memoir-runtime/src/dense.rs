@@ -1,0 +1,387 @@
+//! Adaptive-representation MUT variants (DESIGN §16): the dense
+//! direct-indexed map and the inline small-sequence buffer that
+//! `memoir-lower` selects when the repr analysis proves a collection's
+//! key space bounded (dense) or its length small and fixed (inline).
+//!
+//! Both are drop-in value-semantic replacements for the default
+//! [`Assoc`](crate::Assoc)/[`Seq`](crate::Seq) layouts with strictly
+//! cheaper per-op costs and — for [`DenseMap`] — a flat footprint
+//! (`cap × (1 present byte + value)`), versus the hashtable's
+//! bucket-overhead-and-doubling model. The ledger instrumentation is
+//! identical so Fig. 1-style classifications stay comparable.
+
+use crate::class::CollectionClass;
+use crate::stats;
+
+const DENSE_HEADER_BYTES: u64 = 32;
+const DENSE_READ_COST: f64 = 2.0;
+const DENSE_WRITE_COST: f64 = 2.0;
+const INLINE_READ_COST: f64 = 1.0;
+const INLINE_WRITE_COST: f64 = 1.0;
+
+/// A direct-indexed associative array over keys `0 .. cap`.
+///
+/// The dense lowering of an assoc whose keys are provably bounded: one
+/// present flag and one value slot per possible key, no hashing, no
+/// bucket overhead, no growth.
+///
+/// ```
+/// use memoir_runtime::DenseMap;
+///
+/// let mut m = DenseMap::new(16);
+/// m.write(3, 30i64);
+/// m.write(7, 70);
+/// assert!(m.contains(3));
+/// assert_eq!(*m.read(7), 70);
+/// assert_eq!(m.size(), 2);
+/// m.remove(3);
+/// assert!(!m.contains(3));
+/// ```
+#[derive(Debug)]
+pub struct DenseMap<V> {
+    slots: Vec<Option<V>>,
+    len: usize,
+    class: CollectionClass,
+    charged: u64,
+}
+
+impl<V: Clone> Clone for DenseMap<V> {
+    fn clone(&self) -> Self {
+        let mut m = DenseMap::with_class(self.slots.len(), self.class);
+        m.slots = self.slots.clone();
+        m.len = self.len;
+        stats::charge(self.slots.len() as f64);
+        m
+    }
+}
+
+impl<V> DenseMap<V> {
+    /// Creates an empty dense map over the key space `0 .. cap`
+    /// (class `Associative` — it lowers an assoc).
+    pub fn new(cap: usize) -> Self {
+        DenseMap::with_class(cap, CollectionClass::Associative)
+    }
+
+    /// Creates an empty dense map with an explicit Fig. 1 class.
+    pub fn with_class(cap: usize, class: CollectionClass) -> Self {
+        let mut m = DenseMap {
+            slots: Vec::new(),
+            len: 0,
+            class,
+            charged: 0,
+        };
+        m.slots.resize_with(cap, || None);
+        m.charged = m.footprint();
+        stats::alloc(class, m.charged);
+        m
+    }
+
+    fn footprint(&self) -> u64 {
+        // Flat layout: present flag + value slot per possible key. No
+        // doubling, no bucket overhead — the whole point of the variant.
+        DENSE_HEADER_BYTES + (self.slots.len() * (1 + std::mem::size_of::<V>())) as u64
+    }
+
+    fn value_bytes(&self) -> u64 {
+        std::mem::size_of::<V>() as u64
+    }
+
+    /// The fixed key-space bound this map was created with.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `size(a)` — the number of present keys.
+    pub fn size(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no key is present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `read(a, k)` — panics on a missing key (UB in the IR semantics).
+    pub fn read(&self, k: usize) -> &V {
+        stats::read(self.class, self.value_bytes(), DENSE_READ_COST);
+        self.slots[k]
+            .as_ref()
+            .expect("read of absent key (UB per §IV-B)")
+    }
+
+    /// Non-trapping read.
+    pub fn get(&self, k: usize) -> Option<&V> {
+        stats::read(self.class, self.value_bytes(), DENSE_READ_COST);
+        self.slots.get(k).and_then(Option::as_ref)
+    }
+
+    /// `write(a, k, v)` — inserts the key if absent. Panics if `k` is
+    /// outside the proven bound (the repr analysis guaranteed it isn't).
+    pub fn write(&mut self, k: usize, v: V) {
+        stats::write(self.class, self.value_bytes(), DENSE_WRITE_COST);
+        if self.slots[k].replace(v).is_none() {
+            self.len += 1;
+        }
+    }
+
+    /// `remove(a, k)`.
+    pub fn remove(&mut self, k: usize) -> Option<V> {
+        stats::charge(DENSE_WRITE_COST);
+        let v = self.slots[k].take();
+        if v.is_some() {
+            self.len -= 1;
+        }
+        v
+    }
+
+    /// `contains(a, k)` — the HAS operator. Out-of-bound keys are simply
+    /// absent (HAS never traps).
+    pub fn contains(&self, k: usize) -> bool {
+        stats::read(self.class, 0, DENSE_READ_COST);
+        self.slots.get(k).is_some_and(Option::is_some)
+    }
+
+    /// Fused read-modify-write: `a[k] = op(a[k], x)` in one slot access.
+    /// Panics on a missing key, exactly like `read`.
+    pub fn rmw(&mut self, k: usize, op: impl FnOnce(&V) -> V) {
+        stats::write(self.class, self.value_bytes(), DENSE_WRITE_COST);
+        let slot = self.slots[k]
+            .as_mut()
+            .expect("rmw of absent key (UB per §IV-B)");
+        *slot = op(slot);
+    }
+
+    /// `keys(a)` — present keys in ascending order (the dense layout's
+    /// deterministic order; selection only fires when no `keys` op
+    /// observes insertion order, so this is never visible to lowered
+    /// programs).
+    pub fn keys(&self) -> crate::Seq<usize> {
+        let mut s = crate::Seq::with_class(CollectionClass::Sequential);
+        for (k, slot) in self.slots.iter().enumerate() {
+            if slot.is_some() {
+                s.push(k);
+            }
+        }
+        s
+    }
+}
+
+impl<V> Drop for DenseMap<V> {
+    fn drop(&mut self) {
+        stats::dealloc(self.class, self.charged);
+    }
+}
+
+/// A fixed-capacity inline sequence: the stack lowering of a small
+/// `new Seq<T>(n)` whose length never changes and which never escapes.
+///
+/// No heap footprint is charged — the buffer lives in the frame — and
+/// element access costs less than the heap sequence's.
+///
+/// ```
+/// use memoir_runtime::InlineSeq;
+///
+/// let mut s = InlineSeq::new(4, |_| 0i64);
+/// s.write(2, 5);
+/// assert_eq!(*s.read(2), 5);
+/// assert_eq!(s.size(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InlineSeq<T> {
+    elems: Vec<T>,
+    class: CollectionClass,
+}
+
+impl<T> InlineSeq<T> {
+    /// Creates an inline sequence of fixed length `n`.
+    pub fn new(n: usize, init: impl FnMut(usize) -> T) -> Self {
+        // Stack placement: no ledger allocation. (The interpreter's cost
+        // model likewise charges no alloc delta for inline buffers.)
+        InlineSeq {
+            elems: (0..n).map(init).collect(),
+            class: CollectionClass::Sequential,
+        }
+    }
+
+    /// `size(s)` — fixed at construction.
+    pub fn size(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// `read(s, i)`.
+    pub fn read(&self, i: usize) -> &T {
+        stats::read(
+            self.class,
+            std::mem::size_of::<T>() as u64,
+            INLINE_READ_COST,
+        );
+        &self.elems[i]
+    }
+
+    /// `write(s, i, v)`.
+    pub fn write(&mut self, i: usize, v: T) {
+        stats::write(
+            self.class,
+            std::mem::size_of::<T>() as u64,
+            INLINE_WRITE_COST,
+        );
+        self.elems[i] = v;
+    }
+
+    /// Fused read-modify-write: `s[i] = op(s[i], x)` in one access.
+    pub fn rmw(&mut self, i: usize, op: impl FnOnce(&T) -> T) {
+        stats::write(
+            self.class,
+            std::mem::size_of::<T>() as u64,
+            INLINE_WRITE_COST,
+        );
+        self.elems[i] = op(&self.elems[i]);
+    }
+
+    /// `swap(s, i, j)`.
+    pub fn swap(&mut self, i: usize, j: usize) {
+        stats::write(
+            self.class,
+            2 * std::mem::size_of::<T>() as u64,
+            2.0 * INLINE_WRITE_COST,
+        );
+        self.elems.swap(i, j);
+    }
+
+    /// Uninstrumented view (for assertions in tests/harnesses).
+    pub fn as_slice(&self) -> &[T] {
+        &self.elems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{reset, snapshot};
+    use crate::Assoc;
+
+    #[test]
+    fn dense_write_read_contains_remove() {
+        reset();
+        let mut m = DenseMap::new(8);
+        m.write(1, 10i64);
+        m.write(2, 20);
+        assert_eq!(*m.read(1), 10);
+        assert!(m.contains(2));
+        assert!(!m.contains(3));
+        assert!(!m.contains(99), "out-of-bound HAS is false, not a trap");
+        assert_eq!(m.remove(1), Some(10));
+        assert!(!m.contains(1));
+        assert_eq!(m.size(), 1);
+    }
+
+    #[test]
+    fn dense_rmw_updates_in_place() {
+        let mut m = DenseMap::new(4);
+        m.write(2, 5i64);
+        m.rmw(2, |v| v + 7);
+        assert_eq!(*m.read(2), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "absent key")]
+    fn dense_read_of_absent_key_traps() {
+        let m: DenseMap<i64> = DenseMap::new(4);
+        let _ = m.read(0);
+    }
+
+    #[test]
+    fn dense_keys_ascend() {
+        let mut m = DenseMap::new(8);
+        m.write(5, ());
+        m.write(1, ());
+        m.write(6, ());
+        m.remove(1);
+        assert_eq!(m.keys().as_slice(), &[5, 6]);
+    }
+
+    #[test]
+    fn dense_footprint_beats_hashtable_at_same_population() {
+        reset();
+        let mut a = Assoc::new();
+        for i in 0..64i64 {
+            a.write(i, i);
+        }
+        let assoc_peak = snapshot().peak_bytes;
+        drop(a);
+        reset();
+        let mut m = DenseMap::new(64);
+        for i in 0..64usize {
+            m.write(i, i as i64);
+        }
+        let dense_peak = snapshot().peak_bytes;
+        assert!(
+            dense_peak < assoc_peak,
+            "dense {dense_peak}B must undercut hashtable {assoc_peak}B"
+        );
+    }
+
+    #[test]
+    fn dense_ops_cost_less_than_assoc_ops() {
+        reset();
+        let mut a = Assoc::new();
+        a.write(1i64, 1i64);
+        let assoc_cost = snapshot().cost;
+        reset();
+        let mut m = DenseMap::new(8);
+        m.write(1, 1i64);
+        let dense_cost = snapshot().cost;
+        assert!(
+            dense_cost < assoc_cost,
+            "dense op {dense_cost} < hash op {assoc_cost}"
+        );
+    }
+
+    #[test]
+    fn dense_clone_is_value_semantic() {
+        let mut a = DenseMap::new(4);
+        a.write(1, 1i64);
+        let b = a.clone();
+        a.write(1, 99);
+        assert_eq!(*b.read(1), 1);
+    }
+
+    #[test]
+    fn dense_drop_releases_footprint() {
+        reset();
+        {
+            let _m: DenseMap<i64> = DenseMap::new(256);
+            assert!(snapshot().current_bytes > 256);
+        }
+        assert_eq!(snapshot().current_bytes, 0);
+    }
+
+    #[test]
+    fn inline_roundtrip_and_rmw() {
+        reset();
+        let mut s = InlineSeq::new(4, |i| i as i64);
+        s.write(0, 9);
+        s.rmw(0, |v| v * 2);
+        s.swap(0, 3);
+        assert_eq!(s.as_slice(), &[3, 1, 2, 18]);
+        assert_eq!(s.size(), 4);
+        assert_eq!(snapshot().current_bytes, 0, "inline buffers charge no heap");
+    }
+
+    #[test]
+    fn inline_access_costs_less_than_heap_seq() {
+        reset();
+        let mut h = crate::Seq::with_len(1, |_| 0i64);
+        h.write(0, 1);
+        let heap_cost = snapshot().cost;
+        reset();
+        let base = snapshot().cost;
+        let mut s = InlineSeq::new(1, |_| 0i64);
+        s.write(0, 1);
+        let inline_cost = snapshot().cost - base;
+        assert!(
+            inline_cost < heap_cost,
+            "inline write {inline_cost} < heap write {heap_cost}"
+        );
+    }
+}

@@ -21,11 +21,13 @@
 
 mod assoc;
 mod class;
+mod dense;
 mod object;
 mod seq;
 pub mod stats;
 
 pub use assoc::{Assoc, ENTRY_OVERHEAD_BYTES};
 pub use class::CollectionClass;
+pub use dense::{DenseMap, InlineSeq};
 pub use object::{ObjRef, ObjectHeap, RawBuf};
 pub use seq::Seq;

@@ -841,6 +841,7 @@ fn compile_attempt(
                 cross_check: true,
                 full_clone_snapshots: false,
                 cache: cache.cloned(),
+                adaptive: false,
             };
             let out = compile_lowered_with(&mut m, &pipeline, &lcfg)
                 .map_err(|e| FaultCause::PassFailed(e.to_string()))?;

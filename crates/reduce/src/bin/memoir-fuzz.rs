@@ -136,6 +136,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             case,
             spec,
             lir_spec: cfg.lir_spec.clone(),
+            adaptive: cfg.adaptive,
             policy: cfg.policy,
             budgets: cfg.budgets,
             inject: cfg.inject.clone(),
@@ -239,6 +240,7 @@ fn cmd_reduce(path: &str) -> Result<ExitCode, String> {
             repro.prog = prog;
             repro.spec = spec;
             repro.lir_spec = cfg.lir_spec;
+            repro.adaptive = cfg.adaptive;
             repro.policy = cfg.policy;
             repro.budgets = cfg.budgets;
             repro.inject = cfg.inject;

@@ -224,7 +224,7 @@ fn argv_soup(rng: &mut SplitMix64) -> Vec<String> {
 /// random lines mutated, duplicated, or dropped.
 fn repro_soup(rng: &mut SplitMix64) -> String {
     let base = "memoir-fuzz repro v2\nseed: 1\ncase: 0\nspec: ssa-construct,dce,ssa-destruct\n\
-                lir-spec: gvn\npolicy: skip\nbudget: growth=4.0\ninject: panic@dce\n\
+                lir-spec: gvn\nadaptive: true\npolicy: skip\nbudget: growth=4.0\ninject: panic@dce\n\
                 probe-seed: 9\nminimized: false\nfailure: panic: x\nops:\n  push 3\n\
                   obj-write 0 1 -2\nhelper:\n  assoc-insert 1 2\nhelper-scalar: 3 -1\n";
     let mut lines: Vec<String> = base.lines().map(String::from).collect();

@@ -879,7 +879,9 @@ pub fn build_case(prog: &CaseProgram) -> (Module, i64) {
 /// (8–16×) that legitimate passes stay far inside it; wall-clock budgets
 /// would make campaigns flaky. `lower` makes it a through-lowering case
 /// with a random [`random_lir_spec`](crate::genspec::random_lir_spec)
-/// phase. Injection plans are never sampled: they come only from the
+/// phase; half of those also lower through the adaptive representation
+/// selector (dense / inline layouts for provably bounded collections).
+/// Injection plans are never sampled: they come only from the
 /// `--inject` flag. The per-function probe seed is left unset here; the
 /// campaign driver samples it for multi-function cases (see
 /// [`CaseConfig::probe_seed`](crate::harness::CaseConfig)).
@@ -907,6 +909,10 @@ pub fn random_case_config(rng: &mut SplitMix64, lower: bool) -> CaseConfig {
         } else {
             None
         },
+        // Half of all through-lowering cases lower through the adaptive
+        // representation selector, so the differential oracles cover
+        // dense / inline layouts as heavily as the default hashed one.
+        adaptive: lower && rng.chance(1, 2),
         probe_seed: None,
         // One case in eight also runs the cached-vs-cold differential
         // oracle (two extra compiles through a shared compile cache).
@@ -1140,7 +1146,7 @@ mod tests {
     fn random_case_configs_cover_the_policy_space() {
         let mut rng = SplitMix64::new(17);
         let (mut abort, mut skip, mut stop, mut budgeted, mut lowered) = (0, 0, 0, 0, 0);
-        let mut cached = 0;
+        let (mut cached, mut adaptive) = (0, 0);
         for i in 0..200 {
             let cfg = random_case_config(&mut rng, i % 2 == 0);
             match cfg.policy {
@@ -1167,6 +1173,11 @@ mod tests {
             if cfg.cache_check {
                 cached += 1;
             }
+            if cfg.adaptive {
+                // Adaptive layouts ride only with the lowering phase.
+                assert!(cfg.lir_spec.is_some());
+                adaptive += 1;
+            }
         }
         assert!(
             abort > 60 && skip > 25 && stop > 25,
@@ -1175,6 +1186,7 @@ mod tests {
         assert!(budgeted > 10, "budget axis never sampled");
         assert_eq!(lowered, 100);
         assert!(cached > 5, "cache-check axis never sampled");
+        assert!(adaptive > 25, "adaptive axis never sampled: {adaptive}");
     }
 
     #[test]

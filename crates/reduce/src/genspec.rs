@@ -16,6 +16,7 @@ use passman::{PassCall, PipelineSpec, SpecStep};
 pub const MIDDLE_POOL: &[&str] = &[
     "constprop",
     "simplify",
+    "fusion",
     "dce",
     "sink",
     "dee",

@@ -63,6 +63,13 @@ pub struct CaseConfig {
     /// phase the module runs through the `lower` stage and then `spec`
     /// on the low-level IR (the spec may be empty — "lower only").
     pub lir_spec: Option<PipelineSpec>,
+    /// Lower through the adaptive representation selector
+    /// (`memoir_analysis::choose_reprs`): collections the analysis
+    /// proves bounded-integer-keyed or small-and-fixed lower to dense /
+    /// inline layouts instead of the default hashed runtime. Only
+    /// meaningful on through-lowering cases; the differential oracles
+    /// must hold bit-for-bit regardless of the layout chosen.
+    pub adaptive: bool,
     /// `Some(seed)` turns on per-function probing: every non-entry
     /// function whose signature survived the pipeline is run pre-opt and
     /// post-opt on typed argument vectors synthesized from `seed` (see
@@ -95,6 +102,7 @@ impl Default for CaseConfig {
             inject: None,
             budgets: Budgets::none(),
             lir_spec: None,
+            adaptive: false,
             probe_seed: None,
             cache_check: false,
             service_fault: None,
@@ -423,6 +431,7 @@ fn run_with_cache(
                 cross_check: true,
                 full_clone_snapshots: false,
                 cache: Some(cache.clone()),
+                adaptive: cfg.adaptive,
             };
             let out = compile_lowered_with(&mut m, &pipeline, &lcfg)
                 .map_err(|e| format!("run-error: {e}"))?;
@@ -686,6 +695,7 @@ fn run_lowered_case(
         cross_check: true,
         full_clone_snapshots: false,
         cache: None,
+        adaptive: cfg.adaptive,
     };
 
     let ran = catch_unwind(AssertUnwindSafe(|| {
@@ -832,7 +842,8 @@ pub fn reduce_case_prog(
     // Config first, so every later trial runs the cheapest harness that
     // still crashes: without the service envelope (two extra service
     // batches per trial — by far the most expensive axis, so it goes
-    // first), the cache oracle, budgets, probing, or the lowering phase.
+    // first), the cache oracle, budgets, probing, adaptive layouts, or
+    // the lowering phase.
     if cfg.service_fault.is_some() {
         let mut trial = cfg.clone();
         trial.service_fault = None;
@@ -857,6 +868,13 @@ pub fn reduce_case_prog(
     if cfg.probe_seed.is_some() {
         let mut trial = cfg.clone();
         trial.probe_seed = None;
+        if same_kind(&run_case_prog(&prog, spec, &trial)) {
+            cfg = trial;
+        }
+    }
+    if cfg.adaptive {
+        let mut trial = cfg.clone();
+        trial.adaptive = false;
         if same_kind(&run_case_prog(&prog, spec, &trial)) {
             cfg = trial;
         }
@@ -1093,6 +1111,44 @@ mod tests {
         assert_eq!(run_case(&ops, &spec, &cfg), Outcome::Pass);
     }
 
+    /// Adaptive lowered cases must pass the same differential oracles
+    /// as the default hashed layout: the representation selector only
+    /// changes storage, never observable results — with or without
+    /// fusion in the MEMOIR phase, with or without a lir phase after
+    /// `lower`, and under argument probing.
+    #[test]
+    fn adaptive_lowering_passes_the_differential_oracles() {
+        let ops = vec![
+            Op::Push(7),
+            Op::AssocInsert(3, 40),
+            Op::AssocInsert(3, -2),
+            Op::Write(1, 9),
+            Op::AssocKeys,
+            Op::Push(-5),
+        ];
+        for spec in [
+            "ssa-construct,constprop,dce,ssa-destruct",
+            "ssa-construct,constprop,fusion,dce,ssa-destruct",
+        ] {
+            let spec = PipelineSpec::parse(spec).unwrap();
+            for lir in ["", "mem2reg,gvn,dce"] {
+                let cfg = CaseConfig {
+                    lir_spec: Some(
+                        PipelineSpec::parse(lir).unwrap_or_else(|_| PipelineSpec::new(Vec::new())),
+                    ),
+                    adaptive: true,
+                    probe_seed: Some(11),
+                    ..CaseConfig::default()
+                };
+                assert_eq!(
+                    run_case(&ops, &spec, &cfg),
+                    Outcome::Pass,
+                    "spec `{spec}` + lir `{lir}`"
+                );
+            }
+        }
+    }
+
     #[test]
     fn injected_panic_is_a_crash_under_abort() {
         let ops = vec![Op::Push(1), Op::Push(2)];
@@ -1225,13 +1281,14 @@ mod tests {
         let ops = vec![Op::Push(1), Op::Push(2), Op::AssocInsert(3, 4)];
         let spec = PipelineSpec::parse("ssa-construct,constprop,dce,ssa-destruct").unwrap();
         // A dce-targeted injected panic: the service envelope, cache
-        // oracle, budgets, probing, and the lowering phase are
-        // irrelevant to the crash, so reduction drops all five.
+        // oracle, budgets, probing, adaptive layouts, and the lowering
+        // phase are irrelevant to the crash, so reduction drops all six.
         let cfg = CaseConfig {
             policy: FaultPolicy::Abort,
             inject: Some("panic@dce".parse().unwrap()),
             budgets: Budgets::parse("growth=16.0,fixpoint=4").unwrap(),
             lir_spec: Some(PipelineSpec::parse("mem2reg,fixpoint<max=3>(constfold,dce)").unwrap()),
+            adaptive: true,
             probe_seed: Some(42),
             cache_check: true,
             service_fault: Some("worker-panic@0".parse().unwrap()),
@@ -1240,6 +1297,7 @@ mod tests {
         assert!(min_cfg.budgets.is_unlimited(), "{:?}", min_cfg.budgets);
         assert!(min_cfg.lir_spec.is_none(), "{:?}", min_cfg.lir_spec);
         assert!(min_cfg.probe_seed.is_none(), "{:?}", min_cfg.probe_seed);
+        assert!(!min_cfg.adaptive, "adaptive layouts should be dropped");
         assert!(!min_cfg.cache_check, "cache oracle should be dropped");
         assert!(
             min_cfg.service_fault.is_none(),
@@ -1259,6 +1317,7 @@ mod tests {
             inject: Some("panic@gvn".parse().unwrap()),
             budgets: Budgets::none(),
             lir_spec: Some(PipelineSpec::parse("mem2reg,gvn,dce").unwrap()),
+            adaptive: false,
             probe_seed: None,
             cache_check: false,
             service_fault: None,

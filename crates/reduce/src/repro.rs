@@ -37,7 +37,9 @@
 //! `worker-panic@0`) and is present only when the case runs the
 //! service-envelope differential oracle (two one-job service batches —
 //! the `service-lost`/`service-diverge` crash classes). A present `lir-spec:` key marks a through-lowering case; its
-//! value may be empty ("lower, then nothing"). Each `helper:` block and
+//! value may be empty ("lower, then nothing"). `adaptive: true` marks a
+//! through-lowering case that used the adaptive representation selector
+//! (dense / inline collection layouts) and is omitted otherwise. Each `helper:` block and
 //! `helper-scalar:` line after the `ops:` block appends one helper
 //! function, in call order. Files that use none of the v2 features
 //! (helpers, object ops, probe seed, cache check) are written with — and round-trip
@@ -65,6 +67,11 @@ pub struct Repro {
     /// The low-level IR pipeline after the `lower` stage, when this is a
     /// through-lowering case (may be empty: "lower, then nothing").
     pub lir_spec: Option<PipelineSpec>,
+    /// Whether the through-lowering case lowered through the adaptive
+    /// representation selector (v2; dense / inline layouts for provably
+    /// bounded collections — layout-sensitive crashes replay only with
+    /// this set).
+    pub adaptive: bool,
     /// Fault policy in effect.
     pub policy: FaultPolicy,
     /// Per-case budgets ([`Budgets::none`] when the line is absent).
@@ -97,6 +104,7 @@ impl Repro {
             inject: self.inject.clone(),
             budgets: self.budgets,
             lir_spec: self.lir_spec.clone(),
+            adaptive: self.adaptive,
             probe_seed: self.probe_seed,
             cache_check: self.cache_check,
             service_fault: self.service_fault.clone(),
@@ -107,6 +115,7 @@ impl Repro {
     /// probe seed, or differential-oracle key).
     pub fn uses_v2(&self) -> bool {
         self.probe_seed.is_some()
+            || self.adaptive
             || self.cache_check
             || self.service_fault.is_some()
             || self.prog.uses_v2()
@@ -122,6 +131,9 @@ impl fmt::Display for Repro {
         writeln!(f, "spec: {}", self.spec)?;
         if let Some(lspec) = &self.lir_spec {
             writeln!(f, "lir-spec: {lspec}")?;
+        }
+        if self.adaptive {
+            writeln!(f, "adaptive: true")?;
         }
         writeln!(f, "policy: {}", self.policy)?;
         if !self.budgets.is_unlimited() {
@@ -180,6 +192,7 @@ impl FromStr for Repro {
         let mut case = None;
         let mut spec = None;
         let mut lir_spec = None;
+        let mut adaptive = false;
         let mut policy = None;
         let mut budgets = None;
         let mut inject = None;
@@ -257,6 +270,12 @@ impl FromStr for Repro {
                         PipelineSpec::parse(value).map_err(|e| err(&e.to_string()))?
                     })
                 }
+                "adaptive" => {
+                    if !v2 {
+                        return Err(err("`adaptive:` requires the v2 header"));
+                    }
+                    adaptive = value.parse::<bool>().map_err(|_| err("bad adaptive"))?
+                }
                 "policy" => policy = Some(value.parse().map_err(|e: String| err(&e))?),
                 "budget" => budgets = Some(Budgets::parse(value).map_err(|e| err(&e))?),
                 "inject" => inject = Some(value.parse().map_err(|e: String| err(&e))?),
@@ -296,6 +315,7 @@ impl FromStr for Repro {
             case: case.ok_or("missing `case:`")?,
             spec: spec.ok_or("missing `spec:`")?,
             lir_spec,
+            adaptive,
             policy: policy.ok_or("missing `policy:`")?,
             budgets: budgets.unwrap_or_default(),
             inject,
@@ -323,6 +343,7 @@ mod tests {
             spec: PipelineSpec::parse("ssa-construct,fixpoint<max=3>(simplify,dce),ssa-destruct")
                 .unwrap(),
             lir_spec: None,
+            adaptive: false,
             policy: FaultPolicy::SkipPass,
             budgets: Budgets::none(),
             inject: Some("panic@dce#2".parse().unwrap()),
@@ -401,6 +422,12 @@ mod tests {
         let mut probe_only = sample();
         probe_only.probe_seed = Some(0);
         assert!(probe_only.to_string().starts_with(HEADER_V2));
+        let mut adaptive_only = sample();
+        adaptive_only.adaptive = true;
+        let text = adaptive_only.to_string();
+        assert!(text.starts_with(HEADER_V2), "{text}");
+        assert!(text.contains("adaptive: true"), "{text}");
+        assert_eq!(text.parse::<Repro>().unwrap(), adaptive_only, "{text}");
         let mut cache_only = sample();
         cache_only.cache_check = true;
         let text = cache_only.to_string();
@@ -433,6 +460,10 @@ mod tests {
             .to_string()
             .replace("minimized:", "cache-check: true\nminimized:");
         assert!(with_cache.parse::<Repro>().is_err(), "{with_cache}");
+        let with_adaptive = sample()
+            .to_string()
+            .replace("minimized:", "adaptive: true\nminimized:");
+        assert!(with_adaptive.parse::<Repro>().is_err(), "{with_adaptive}");
         let with_service = sample()
             .to_string()
             .replace("minimized:", "service-fault: slow-job@0\nminimized:");
@@ -451,6 +482,8 @@ mod tests {
         assert_eq!(cfg.inject, r.inject);
         assert_eq!(cfg.lir_spec, r.lir_spec);
         assert_eq!(cfg.probe_seed, r.probe_seed);
+        r.adaptive = true;
+        assert!(r.config().adaptive);
         r.cache_check = true;
         assert!(r.config().cache_check);
         r.service_fault = Some("poison-cache@0".parse().unwrap());

@@ -9,7 +9,11 @@
 //!   variants (Figs. 6–9);
 //! * [`deepsjeng`] — the transposition-table twin (FE + key folding);
 //! * [`optlike`] — the compiler-workload twin (`LLVM opt` analogue);
-//! * [`suite`] — ten SPECINT-shaped workloads for the Fig. 1
+//! * [`smallbank`] — the assoc-heavy read-modify-write transaction twin
+//!   with fusion/dense-representation variants (DESIGN §16);
+//! * [`smallbank_ir`] — the same kernel at the IR level (fusion +
+//!   adaptive-representation subject);
+//! * [`suite`] — eleven SPECINT-shaped workloads for the Fig. 1
 //!   classification;
 //! * [`listing1`] — the stateful-map kernel of Listing 1.
 
@@ -22,5 +26,7 @@ pub mod mcf;
 pub mod mcf_ir;
 pub mod optlike;
 pub mod optlike_ir;
+pub mod smallbank;
+pub mod smallbank_ir;
 pub mod suite;
 pub mod synth_ir;

@@ -1,11 +1,11 @@
-//! The Fig. 1 workload suite: ten SPECINT-2017-shaped programs whose heap
+//! The Fig. 1 workload suite: eleven SPECINT-2017-shaped programs whose heap
 //! traffic is classified by the runtime ledger (bytes allocated / read /
 //! written per collection class). Each workload is a deterministic
 //! miniature of the benchmark's dominant data-structure behaviour, sized
 //! to run in milliseconds; the *proportions* of the traffic are the
 //! experiment (DESIGN.md E1).
 
-use crate::{deepsjeng, mcf};
+use crate::{deepsjeng, mcf, smallbank};
 use memoir_runtime::{stats, Assoc, CollectionClass, ObjectHeap, RawBuf, Seq};
 
 /// One Fig. 1 column: workload name plus its ledger snapshot.
@@ -208,6 +208,16 @@ pub fn run_suite() -> Vec<SuiteResult> {
         }
     });
 
+    // smallbank: the assoc-heavy read-modify-write transaction twin
+    // (DESIGN §16) — the fusion/adaptive-representation subject.
+    run("smallbank", &mut || {
+        let p = smallbank::SmallbankParams {
+            customers: 512,
+            txns: 12_000,
+        };
+        let _ = smallbank::run_smallbank(&p, smallbank::SmallbankVariant::default());
+    });
+
     // xz: LZMA-ish — unstructured buffers with an associative match table.
     run("xz", &mut || {
         let mut rng = Rng(77);
@@ -234,7 +244,7 @@ mod tests {
     #[test]
     fn suite_runs_and_classifies() {
         let results = run_suite();
-        assert_eq!(results.len(), 10);
+        assert_eq!(results.len(), 11);
         for r in &results {
             assert!(
                 r.ledger.total_allocated() > 0,
@@ -280,6 +290,7 @@ mod tests {
         assert!(get("xalancbmk").ledger.class(C::Tree).allocated > 0);
         assert!(get("gcc").ledger.class(C::Graph).allocated > 0);
         assert!(get("perlbench").ledger.class(C::Associative).allocated > 0);
+        assert!(get("smallbank").ledger.class(C::Associative).allocated > 0);
         assert!(get("mcf").ledger.class(C::Object).allocated > 0);
         assert!(get("exchange2").ledger.class(C::Sequential).allocated > 0);
     }

@@ -92,13 +92,13 @@ fn default_specs_print_the_documented_pipelines() {
     );
     assert_eq!(
         default_spec(OptLevel::O3(OptConfig::all())).to_string(),
-        "ssa-construct,constprop,dee,fixpoint(constprop,simplify,sink,dce),\
-         sink,dce,ssa-destruct,field-elision,rie,key-fold,dfe"
+        "ssa-construct,constprop,fusion,dee,fixpoint(constprop,simplify,sink,dce),\
+         fusion,sink,dce,ssa-destruct,field-elision,rie,key-fold,dfe"
     );
     assert_eq!(
         default_spec(OptLevel::O3(OptConfig::dee_only())).to_string(),
-        "ssa-construct,constprop,dee,fixpoint(constprop,simplify,sink,dce),\
-         sink,dce,ssa-destruct"
+        "ssa-construct,constprop,fusion,dee,fixpoint(constprop,simplify,sink,dce),\
+         fusion,sink,dce,ssa-destruct"
     );
 }
 
