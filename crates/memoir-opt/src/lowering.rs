@@ -219,7 +219,9 @@ pub fn compile_lowered_with(
     }
     if cfg.cross_check && !pipeline.lower_opts.flag("no-cross-check") {
         stage = stage.with_cross_check(|a: &Module, b: &lir::Module| {
-            cross_validate(a, b, DEFAULT_PROBES).map(|_| ())
+            cross_validate(a, b, DEFAULT_PROBES)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
         });
     }
     if let Some(plan) = &cfg.inject {

@@ -156,6 +156,7 @@ pub fn default_spec(level: OptLevel) -> PipelineSpec {
 
 /// A [`PassManager`] over the full MEMOIR registry with the IR verifier
 /// installed (inter-pass verification runs in debug builds by default),
+/// the symbolic equivalence oracle behind the `verify-sym` spec option,
 /// per-function copy-on-write snapshots for recovering fault policies,
 /// and the worker-thread count taken from `MEMOIR_THREADS` (default
 /// serial; function-sharded passes like `simplify` use the workers).
@@ -170,12 +171,49 @@ pub fn pass_manager() -> PassManager<Module> {
                 Err(msgs.join("; "))
             }
         })
+        .with_sym_verifier(|m: &Module| m.clone(), prove_pass_equiv)
         .with_cow_snapshots()
         .with_threads(threads_from_env());
     if let Some(cache) = cache_from_env() {
         pm = pm.with_compile_cache(cache);
     }
     pm
+}
+
+/// The `verify-sym` checker wired into [`pass_manager`]: proves every
+/// function of `before` equivalent to its namesake in `after` with the
+/// bounded symbolic oracle (`symexec`). `budget` is the per-function
+/// path cap (`0` = [`symexec::Budget::default`], currently 64 paths).
+///
+/// Only a *confirmed* divergence witness fails the pass — inconclusive
+/// verdicts (budget exhausted, unsupported ops, non-scalar signatures)
+/// pass, because a peephole verifier that rejects everything it cannot
+/// prove would reject most real pipelines. Functions added or removed
+/// by the pass (e.g. DEE call specialization) are skipped: equivalence
+/// is only defined for name-matched pairs.
+pub fn prove_pass_equiv(before: &Module, after: &Module, budget: u64) -> Result<(), String> {
+    let b = if budget == 0 {
+        symexec::Budget::default()
+    } else {
+        symexec::Budget {
+            max_paths: budget as usize,
+            ..symexec::Budget::default()
+        }
+    };
+    for (_, f) in after.funcs.iter() {
+        if before.func_by_name(&f.name).is_none() {
+            continue;
+        }
+        if let symexec::FnVerdict::Diverged { args, detail } =
+            symexec::prove_memoir_equiv(before, after, &f.name, &b)
+        {
+            return Err(format!(
+                "function `{}` diverges on args {args:?}: {detail}",
+                f.name
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// The process-global compile cache enabled by `MEMOIR_CACHE=1` (or
@@ -619,6 +657,69 @@ mod tests {
         vm.run_by_name("main", vec![Value::Int(Type::Index, 20)])
             .unwrap();
         assert_eq!(vm.stats.assoc_ops, 0, "hashtable fully eliminated");
+    }
+
+    /// `f(x) = x + n` as a mut-form module, for the verify-sym tests.
+    fn add_const(n: i64) -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        mb.func("f", Form::Mut, |b| {
+            let i64t = b.ty(Type::I64);
+            let x = b.param("x", i64t);
+            let c = b.i64(n);
+            let r = b.add(x, c);
+            b.returns(&[i64t]);
+            b.ret(vec![r]);
+        });
+        let mut m = mb.finish();
+        m.entry = m.func_by_name("f");
+        m
+    }
+
+    #[test]
+    fn verify_sym_spec_option_catches_a_miscompile() {
+        // A deliberately wrong "pass": replaces f(x)=x+1 with f(x)=x+2.
+        let mut r = crate::passes::registry();
+        r.register("clobber", || {
+            Box::new(passman::FnPass::infallible(
+                "clobber",
+                |m: &mut Module, _| {
+                    *m = add_const(2);
+                    passman::PassOutcome::from_stats(vec![("clobbered", 1)])
+                },
+            ))
+        });
+        let pm = PassManager::new(r).with_sym_verifier(|m: &Module| m.clone(), prove_pass_equiv);
+        let mut m = add_const(1);
+        let spec = PipelineSpec::parse("clobber<verify-sym>").unwrap();
+        let err = pm.run(&mut m, &spec).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("verify-sym"), "{msg}");
+        assert!(msg.contains("diverges"), "{msg}");
+    }
+
+    #[test]
+    fn verify_sym_accepts_the_real_pipeline() {
+        // Scalar function: the oracle proves each verify-sym'd pass
+        // outright. The spec string is what a CI tier-1 step runs.
+        let mut m = add_const(3);
+        let spec = PipelineSpec::parse(
+            "ssa-construct,constprop<verify-sym>,fixpoint(simplify<verify-sym>,sink,dce<verify-sym>),ssa-destruct",
+        )
+        .unwrap();
+        compile_spec(&mut m, &spec).unwrap();
+        let mut vm = Interp::new(&m);
+        let out = vm.run_by_name("f", vec![Value::Int(Type::I64, 4)]).unwrap();
+        assert_eq!(out[0].as_int(), Some(7));
+
+        // Collection-bearing module: proofs go inconclusive (symbolic
+        // loop bounds exceed the path budget) and must NOT fail the run.
+        let mut m = sample();
+        let spec = PipelineSpec::parse(
+            "ssa-construct,constprop<verify-sym=8>,fusion<verify-sym=8>,sink,dce,ssa-destruct",
+        )
+        .unwrap();
+        compile_spec(&mut m, &spec).unwrap();
+        assert_eq!(run(&m, 5), run(&sample(), 5));
     }
 
     #[test]

@@ -301,6 +301,16 @@ impl std::error::Error for RunError {}
 
 type Verifier<M> = Rc<dyn Fn(&M, &mut AnalysisManager<M>) -> Result<(), String>>;
 type Observer<M> = Rc<dyn Fn(&M, &mut PassRun)>;
+type SymCheck<M> = Rc<dyn Fn(&M, &M, u64) -> Result<(), String>>;
+
+/// The per-pass symbolic equivalence verifier (see
+/// [`PassManager::with_sym_verifier`]): a capture hook cloning the IR
+/// before a pass runs, and a check proving pre-pass ≡ post-pass under a
+/// path budget (`0` = the verifier's default budget).
+struct SymVerifier<M> {
+    capture: Rc<dyn Fn(&M) -> M>,
+    check: SymCheck<M>,
+}
 
 /// What [`PassManager::run_one`] tells the step loop.
 enum StepOutcome {
@@ -329,6 +339,9 @@ pub struct PassManager<M: IrUnit> {
     /// Cross-job compile cache installed into each run's analysis
     /// manager (unless the manager already carries one).
     compile_cache: Option<CompileCache>,
+    /// Symbolic per-pass equivalence verifier, consulted only by pass
+    /// invocations carrying the `verify-sym` spec option.
+    sym_verifier: Option<SymVerifier<M>>,
 }
 
 impl<M: IrUnit> std::fmt::Debug for PassManager<M> {
@@ -364,7 +377,30 @@ impl<M: IrUnit> PassManager<M> {
             threads: 1,
             invocations: Cell::new(0),
             compile_cache: None,
+            sym_verifier: None,
         }
+    }
+
+    /// Installs the symbolic per-pass equivalence verifier behind the
+    /// `verify-sym` spec option: for each invocation carrying the
+    /// option (`dce<verify-sym>`, `fusion<verify-sym=128>`), `capture`
+    /// clones the IR before the pass body and `check(before, after,
+    /// budget)` must prove the two equivalent afterwards. The budget is
+    /// the option's value (`0` for the bare flag — the checker's
+    /// default). A failed check is classified exactly like an IR
+    /// verifier failure: [`RunError::VerifyFailed`] under
+    /// [`FaultPolicy::Abort`], rollback + degradation under recovering
+    /// policies. Passes without the option never pay the capture cost.
+    pub fn with_sym_verifier(
+        mut self,
+        capture: impl Fn(&M) -> M + 'static,
+        check: impl Fn(&M, &M, u64) -> Result<(), String> + 'static,
+    ) -> Self {
+        self.sym_verifier = Some(SymVerifier {
+            capture: Rc::new(capture),
+            check: Rc::new(check),
+        });
+        self
     }
 
     /// Installs a cross-job [`CompileCache`]: function-sharded passes
@@ -688,6 +724,32 @@ impl<M: IrUnit> PassManager<M> {
                 })
             }
         };
+        // Per-pass symbolic verification (`verify-sym` / `verify-sym=N`).
+        let sym_requested = call.opts.iter().any(|(k, _)| k == "verify-sym");
+        let sym_budget = match call.opts.get_parsed::<u64>("verify-sym") {
+            Ok(v) => v.unwrap_or(0),
+            Err(message) => {
+                return Err(RunError::InvalidOptions {
+                    pass: name.to_string(),
+                    message,
+                })
+            }
+        };
+        let sym = if sym_requested {
+            match &self.sym_verifier {
+                Some(sv) => Some(sv),
+                None => {
+                    return Err(RunError::InvalidOptions {
+                        pass: name.to_string(),
+                        message: "option `verify-sym` requires a symbolic verifier \
+                                  (see PassManager::with_sym_verifier)"
+                            .into(),
+                    })
+                }
+            }
+        } else {
+            None
+        };
         let pass = self.instance(instances, call)?;
 
         let invocation = self.invocations.get();
@@ -728,6 +790,9 @@ impl<M: IrUnit> PassManager<M> {
         } else {
             None
         };
+
+        // The symbolic verifier needs the pre-pass IR to prove against.
+        let sym_before = sym.map(|sv| (sv.capture)(m));
 
         // --- run the pass body ---------------------------------------
         let t0 = Instant::now();
@@ -789,6 +854,17 @@ impl<M: IrUnit> PassManager<M> {
                 } else {
                     None
                 };
+                // Symbolic per-pass verification, only once the plain
+                // verifier accepted the IR: prove pre-pass ≡ post-pass.
+                // An unchanged pass is trivially equivalent — skip it.
+                let verify_msg = verify_msg.or_else(|| match (&sym, &sym_before) {
+                    (Some(sv), Some(before)) if outcome.changed => {
+                        (sv.check)(before, m, sym_budget)
+                            .err()
+                            .map(|e| format!("verify-sym: {e}"))
+                    }
+                    _ => None,
+                });
 
                 if let Some(message) = verify_msg {
                     fault = Some(FaultCause::VerifyFailed(message));
@@ -1204,6 +1280,103 @@ mod tests {
             }
             other => panic!("expected VerifyFailed, got {other:?}"),
         }
+    }
+
+    // ---- per-pass symbolic verification ------------------------------
+
+    /// A Toy "equivalence" oracle: a pass is equivalence-preserving iff
+    /// it keeps the slot count (dec/bump qualify, grow does not).
+    fn slot_count_oracle(before: &Toy, after: &Toy) -> Result<(), String> {
+        if before.vals.len() == after.vals.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "slot count {} -> {}",
+                before.vals.len(),
+                after.vals.len()
+            ))
+        }
+    }
+
+    #[test]
+    fn verify_sym_option_checks_pass_equivalence() {
+        let seen_budget = Rc::new(Cell::new(None));
+        let sb = Rc::clone(&seen_budget);
+        let pm = PassManager::new(registry()).with_sym_verifier(
+            |m: &Toy| m.clone(),
+            move |before, after, budget| {
+                sb.set(Some(budget));
+                slot_count_oracle(before, after)
+            },
+        );
+        let mut m = Toy { vals: vec![2, 3] };
+        let spec = PipelineSpec::parse("dec<verify-sym=128>").unwrap();
+        pm.run(&mut m, &spec).unwrap();
+        assert_eq!(seen_budget.get(), Some(128), "option value is the budget");
+        assert_eq!(m.vals, vec![1, 2]);
+
+        let mut m = Toy { vals: vec![1] };
+        let spec = PipelineSpec::parse("grow<verify-sym>").unwrap();
+        let err = pm.run(&mut m, &spec).unwrap_err();
+        match err {
+            RunError::VerifyFailed { pass, message } => {
+                assert_eq!(pass, "grow");
+                assert!(message.contains("verify-sym"), "{message}");
+                assert!(message.contains("1 -> 2"), "{message}");
+            }
+            other => panic!("expected VerifyFailed, got {other:?}"),
+        }
+        assert_eq!(seen_budget.get(), Some(0), "bare flag means default budget");
+    }
+
+    #[test]
+    fn verify_sym_failure_degrades_and_rolls_back() {
+        let pm = PassManager::new(registry())
+            .with_sym_verifier(|m: &Toy| m.clone(), |b, a, _| slot_count_oracle(b, a))
+            .on_fault(FaultPolicy::SkipPass);
+        let mut m = Toy { vals: vec![3, 1] };
+        let spec = PipelineSpec::parse("grow<verify-sym>,dec").unwrap();
+        let report = pm.run(&mut m, &spec).unwrap();
+        assert_eq!(m.vals, vec![2, 0], "grow rolled back, dec still ran");
+        let d = report.degradation_of("grow").unwrap();
+        assert!(
+            matches!(&d.cause, FaultCause::VerifyFailed(msg) if msg.contains("verify-sym")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn verify_sym_requires_an_installed_verifier() {
+        let pm = PassManager::new(registry());
+        let mut m = Toy { vals: vec![1] };
+        let spec = PipelineSpec::parse("dec<verify-sym>").unwrap();
+        let err = pm.run(&mut m, &spec).unwrap_err();
+        assert!(
+            matches!(&err, RunError::InvalidOptions { pass, .. } if pass == "dec"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("with_sym_verifier"), "{err}");
+        assert_eq!(m.vals, vec![1], "nothing ran");
+    }
+
+    #[test]
+    fn sym_verifier_only_runs_when_requested_and_changed() {
+        let calls = Rc::new(Cell::new(0usize));
+        let c = Rc::clone(&calls);
+        let pm = PassManager::new(registry()).with_sym_verifier(
+            |m: &Toy| m.clone(),
+            move |_, _, _| {
+                c.set(c.get() + 1);
+                Ok(())
+            },
+        );
+        let mut m = Toy { vals: vec![1] };
+        // grow without the option: never checked. observe<verify-sym>
+        // reports no change: trivially equivalent, skipped. Only
+        // dec<verify-sym> (requested + changed) pays for a proof.
+        let spec = PipelineSpec::parse("grow,observe<verify-sym>,dec<verify-sym>").unwrap();
+        pm.run(&mut m, &spec).unwrap();
+        assert_eq!(calls.get(), 1);
     }
 
     // ---- fault tolerance ---------------------------------------------

@@ -29,6 +29,10 @@
 //!   function-sharded pass (e.g. `simplify<parallel=4>`), overriding the
 //!   manager-wide [`with_threads`](crate::PassManager::with_threads)
 //!   setting. Module-level passes ignore it.
+//! * `verify-sym` — prove this invocation's input ≡ output with the
+//!   manager's symbolic verifier (see
+//!   [`with_sym_verifier`](crate::PassManager::with_sym_verifier));
+//!   `verify-sym=N` caps the proof at `N` symbolic paths per function.
 //!
 //! All other options are handed to the pass constructor (see
 //! [`PassRegistry::register_with`](crate::PassRegistry::register_with)),
@@ -38,8 +42,10 @@ use std::fmt;
 use std::str::FromStr;
 
 /// Option keys interpreted by the runner rather than the pass
-/// constructor (budgets, fixpoint caps, worker threads).
-pub const RESERVED_OPTION_KEYS: &[&str] = &["max", "max-ms", "max-growth", "parallel"];
+/// constructor (budgets, fixpoint caps, worker threads, per-pass
+/// symbolic verification).
+pub const RESERVED_OPTION_KEYS: &[&str] =
+    &["max", "max-ms", "max-growth", "parallel", "verify-sym"];
 
 /// Options attached to a pass invocation or fixpoint group: an ordered
 /// list of `key` / `key=value` pairs.

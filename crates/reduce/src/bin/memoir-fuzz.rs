@@ -34,7 +34,7 @@ USAGE:
     memoir-fuzz run [--seed N] [--iters N] [--max-ops N] [--out DIR] [--lower]
                     [--objects] [--multi] [--probe]
                     [--on-fault=abort|skip|stop] [--budget=LIST] [--inject=PLAN]
-                    [--service-fault=PLAN] [--no-reduce]
+                    [--service-fault=PLAN] [--sym] [--no-reduce]
     memoir-fuzz reduce FILE.repro
     memoir-fuzz replay FILE.repro
     memoir-fuzz cli [--seed N] [--iters N]
@@ -88,6 +88,11 @@ OPTIONS (run):
     --service-fault=PLAN  also run every case through the one-job memoird
                           service envelope, clean vs under PLAN (e.g.
                           worker-panic@0) — outputs must not diverge
+    --sym                 also run every passing case through the bounded
+                          symbolic oracle: each function's path-set
+                          prediction must match the concrete interpreter
+                          (sym-unsound) and pre-opt must prove equivalent
+                          to post-opt (sym-diverge on a confirmed witness)
     --no-reduce           write raw artifacts with `minimized: false`
 ";
 
@@ -117,6 +122,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         }
         cfg.inject = r.inject.clone();
         cfg.service_fault = r.service_fault.clone();
+        cfg.sym |= r.sym;
         let Outcome::Crash { detail, .. } = run_case_prog(&prog, &spec, &cfg) else {
             continue;
         };
@@ -143,6 +149,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             probe_seed: cfg.probe_seed,
             cache_check: cfg.cache_check,
             service_fault: cfg.service_fault.clone(),
+            sym: cfg.sym,
             minimized,
             failure: first_line(&detail),
             prog,
@@ -163,6 +170,13 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             } else {
                 ", NOT minimized"
             }
+        );
+    }
+    let (proved, probed, skipped) = reduce::cross_check_totals();
+    if proved + probed + skipped > 0 {
+        eprintln!(
+            "lower cross-check: {proved} function(s) proved probe-free, {probed} probed, \
+             {skipped} skipped"
         );
     }
     eprintln!("{} case(s), {crashes} crash(es), seed {}", r.iters, r.seed);
@@ -247,6 +261,7 @@ fn cmd_reduce(path: &str) -> Result<ExitCode, String> {
             repro.probe_seed = cfg.probe_seed;
             repro.cache_check = cfg.cache_check;
             repro.service_fault = cfg.service_fault;
+            repro.sym = cfg.sym;
             repro.failure = first_line(&detail);
             repro.minimized = true;
             std::fs::write(path, repro.to_string())

@@ -42,6 +42,9 @@ pub struct RunArgs {
     /// Run every case through the service-envelope differential oracle
     /// under this `memoird` job-fault plan (`--service-fault`).
     pub service_fault: Option<memoird::JobFaultPlan>,
+    /// Run every passing case through the symbolic oracle (`--sym`; the
+    /// `sym-diverge`/`sym-unsound` crash classes).
+    pub sym: bool,
     /// Write raw artifacts without reducing.
     pub no_reduce: bool,
 }
@@ -64,6 +67,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         budgets: None,
         inject: None,
         service_fault: None,
+        sym: false,
         no_reduce: false,
     };
     let mut it = args.iter().peekable();
@@ -91,6 +95,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--budget" => r.budgets = Some(Budgets::parse(&value()?)?),
             "--inject" => r.inject = Some(value()?.parse()?),
             "--service-fault" => r.service_fault = Some(value()?.parse()?),
+            "--sym" => r.sym = true,
             "--no-reduce" => r.no_reduce = true,
             other => return Err(format!("unknown `run` option `{other}`")),
         }
@@ -191,6 +196,7 @@ const ARG_TOKENS: &[&str] = &[
     "--budget",
     "--inject",
     "--service-fault",
+    "--sym",
     "--no-reduce",
     "--seed=abc",
     "worker-panic@0",
@@ -225,7 +231,7 @@ fn argv_soup(rng: &mut SplitMix64) -> Vec<String> {
 fn repro_soup(rng: &mut SplitMix64) -> String {
     let base = "memoir-fuzz repro v2\nseed: 1\ncase: 0\nspec: ssa-construct,dce,ssa-destruct\n\
                 lir-spec: gvn\nadaptive: true\npolicy: skip\nbudget: growth=4.0\ninject: panic@dce\n\
-                probe-seed: 9\nminimized: false\nfailure: panic: x\nops:\n  push 3\n\
+                probe-seed: 9\nsym: true\nminimized: false\nfailure: panic: x\nops:\n  push 3\n\
                   obj-write 0 1 -2\nhelper:\n  assoc-insert 1 2\nhelper-scalar: 3 -1\n";
     let mut lines: Vec<String> = base.lines().map(String::from).collect();
     for _ in 0..rng.index(6) {
@@ -407,6 +413,7 @@ mod tests {
             "--inject",
             "panic@dce",
             "--service-fault=worker-panic@0",
+            "--sym",
             "--no-reduce",
             "--out",
             "artifacts",
@@ -426,6 +433,7 @@ mod tests {
             Some("worker-panic@0".parse().unwrap()),
             "--service-fault should parse as a memoird job-fault plan"
         );
+        assert!(r.sym, "--sym should turn on the symbolic-oracle axis");
         assert_eq!(r.out, "artifacts");
 
         assert!(parse_run_args(&["--seed".to_string()]).is_err());

@@ -921,6 +921,9 @@ pub fn random_case_config(rng: &mut SplitMix64, lower: bool) -> CaseConfig {
         // service` campaign driver samples them (two extra service
         // batches per case is too expensive for the default campaign).
         service_fault: None,
+        // The symbolic oracle is opt-in (`--sym`): path enumeration on
+        // every case would dominate campaign throughput.
+        sym: false,
     }
 }
 

@@ -39,9 +39,30 @@ use memoir_opt::lowering::{compile_lowered_with, LowerConfig, LoweredPipeline, L
 use memoir_opt::pipeline::compile_spec_with;
 use passman::{Budgets, FaultPlan, FaultPolicy, PassOptions, PipelineSpec, RunError, SpecStep};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Interpreter fuel for the differential checks, on either IR.
 const FUEL: u64 = 50_000_000;
+
+/// Campaign-wide lowering cross-check tallies (oracle 3), so a fuzz run
+/// can report how much of its coverage was symbolically discharged and
+/// — crucially — how many functions were silently skipped.
+static CC_PROVED: AtomicU64 = AtomicU64::new(0);
+static CC_PROBED: AtomicU64 = AtomicU64::new(0);
+static CC_SKIPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Totals of the lowering cross-check across every case this process has
+/// run: functions proved probe-free by the symbolic backend, functions
+/// that fell back to concrete probing, and functions skipped outright
+/// (non-scalar signatures, no synthesizable probes). `memoir-fuzz`
+/// prints these at the end of a campaign.
+pub fn cross_check_totals() -> (u64, u64, u64) {
+    (
+        CC_PROVED.load(Ordering::Relaxed),
+        CC_PROBED.load(Ordering::Relaxed),
+        CC_SKIPPED.load(Ordering::Relaxed),
+    )
+}
 
 /// Synthesized probe vectors per preserved function (see
 /// [`CaseConfig::probe_seed`]).
@@ -93,6 +114,15 @@ pub struct CaseConfig {
     /// (`service-diverge` otherwise). Run only on cases that already
     /// pass the plain oracles, so any failure is the envelope's fault.
     pub service_fault: Option<memoird::JobFaultPlan>,
+    /// Turns on the symbolic-oracle axis: for cases that pass the plain
+    /// oracles, every function of the pre-opt module is (a) checked for
+    /// symbolic/concrete agreement — the bounded path enumeration's
+    /// prediction on concrete arguments must match the interpreter
+    /// (`sym-unsound` otherwise: a bug in the oracle itself) — and (b)
+    /// proved equivalent to its post-opt namesake with
+    /// `symexec::prove_memoir_equiv` (`sym-diverge` on a confirmed
+    /// witness: a miscompile the probe oracles missed).
+    pub sym: bool,
 }
 
 impl Default for CaseConfig {
@@ -106,6 +136,7 @@ impl Default for CaseConfig {
             probe_seed: None,
             cache_check: false,
             service_fault: None,
+            sym: false,
         }
     }
 }
@@ -134,7 +165,12 @@ pub enum Outcome {
         /// `memoird` batch did not resolve to exactly one terminal
         /// outcome) and `service-diverge` (the fault-injected service
         /// run produced different bytes than the clean one, or failed a
-        /// recoverable fault outright). Artifact format:
+        /// recoverable fault outright). Symbolic-oracle classes (see
+        /// [`CaseConfig::sym`]): `sym-diverge` (the bounded symbolic
+        /// oracle proved pre-opt ≢ post-opt with a concretely confirmed
+        /// witness) and `sym-unsound` (the oracle's own path-set
+        /// prediction disagrees with the concrete interpreter — a bug in
+        /// the oracle, not the pipeline). Artifact format:
         /// `docs/REPRO_FORMAT.md`.
         kind: &'static str,
         /// Human-readable one-liner.
@@ -301,8 +337,12 @@ fn probe_functions(m0: &memoir_ir::Module, m: &memoir_ir::Module, seed: u64) -> 
             };
             let run = |mm: &memoir_ir::Module| -> ProbeResult {
                 let mut interp = memoir_interp::Interp::new(mm).with_fuel(FUEL);
-                let vals: Vec<memoir_interp::Value> =
-                    args.iter().map(|a| materialize(&mut interp, a)).collect();
+                // `synth_args` never emits collection-valued assoc keys,
+                // so materialization cannot fail here.
+                let vals: Vec<memoir_interp::Value> = args
+                    .iter()
+                    .map(|a| materialize(&mut interp, a).expect("synthesized args materialize"))
+                    .collect();
                 let rets = interp.run_by_name(&f.name, vals.clone())?;
                 let ret_ints = rets.iter().filter_map(|v| v.as_int()).collect();
                 let snaps = vals.iter().map(|v| coll_snapshot(&interp, v)).collect();
@@ -356,12 +396,140 @@ pub fn run_case_prog(prog: &CaseProgram, spec: &PipelineSpec, cfg: &CaseConfig) 
             return crash;
         }
     }
+    if cfg.sym && out == Outcome::Pass {
+        if let Some(crash) = check_sym_oracle(prog, spec, cfg) {
+            return crash;
+        }
+    }
     if cfg.service_fault.is_some() && out == Outcome::Pass {
         if let Some(crash) = check_service_envelope(prog, spec, cfg) {
             return crash;
         }
     }
     out
+}
+
+/// Concrete argument vectors for the symbolic/concrete agreement check:
+/// small magnitudes (boundary indices live there) clamped into each
+/// parameter's type domain, varied per probe.
+fn sym_probe_args(domains: &[(i64, i64)], fidx: u64, probe: u64) -> Vec<i64> {
+    const PICKS: [i64; 5] = [0, 1, -1, 2, 7];
+    domains
+        .iter()
+        .enumerate()
+        .map(|(i, &(lo, hi))| {
+            let h = memoir_lower::mix_seed(0xa5_5eed ^ probe, fidx * 31 + i as u64);
+            PICKS[(h % PICKS.len() as u64) as usize].clamp(lo, hi)
+        })
+        .collect()
+}
+
+/// The symbolic-oracle axis (`sym-unsound` / `sym-diverge`; see
+/// [`CaseConfig::sym`]). Run only on cases that already pass the plain
+/// oracles, so any failure is the symbolic engine's or an
+/// oracle-visible miscompile's fault. The lowering phase is not
+/// re-checked here — the `lower` stage's prove-then-probe cross-check
+/// already runs the symbolic oracle across the IR boundary.
+fn check_sym_oracle(prog: &CaseProgram, spec: &PipelineSpec, cfg: &CaseConfig) -> Option<Outcome> {
+    use memoir_interp::{Interp, Value};
+
+    let (m0, _) = build_case(prog);
+    let (mut m, _) = build_case(prog);
+    let ran = catch_unwind(AssertUnwindSafe(|| {
+        compile_spec_with(&mut m, spec, |mut pm| {
+            pm = pm
+                .on_fault(cfg.policy)
+                .with_budgets(cfg.budgets)
+                .verify_between_passes(true);
+            if let Some(plan) = cfg.inject.clone() {
+                pm = pm.with_fault_injection(plan);
+            }
+            pm
+        })
+    }));
+    if !matches!(ran, Ok(Ok(_))) {
+        // The base oracle already ran this compile and passed; a failure
+        // on the re-run is not the symbolic oracle's finding.
+        return None;
+    }
+
+    let budget = symexec::Budget::default();
+    for (fidx, (fid0, f)) in m0.funcs.iter().enumerate() {
+        // (a) Soundness of the oracle itself: the enumerated path set's
+        // prediction must match the concrete interpreter.
+        if let Some(mut pool) = symexec::seed_params(&m0, fid0) {
+            if let Ok(paths) = symexec::enumerate_memoir(&m0, fid0, &mut pool, &budget) {
+                let domains = symexec::param_domains(&pool);
+                for probe in 0..PROBES_PER_FUNC {
+                    let args = sym_probe_args(&domains, fidx as u64, probe);
+                    let vals: Vec<Value> = f
+                        .params
+                        .iter()
+                        .zip(args.iter())
+                        .map(|(p, &v)| match m0.types.get(p.ty) {
+                            memoir_ir::Type::Bool => Value::Bool(v != 0),
+                            ty => Value::Int(ty, v),
+                        })
+                        .collect();
+                    let concrete = Interp::new(&m0)
+                        .with_fuel(FUEL)
+                        .run_by_name(&f.name, vals)
+                        .ok()
+                        .map(|rets| rets.iter().map(Value::as_int).collect::<Option<Vec<i64>>>());
+                    let predicted = symexec::predict(&pool, &paths, &args);
+                    match (concrete, predicted) {
+                        // Non-integer concrete result or no matching
+                        // path: no agreement obligation.
+                        (Some(None), _) | (_, None) => {}
+                        (None, Some(Ok(v))) => {
+                            return Some(Outcome::Crash {
+                                kind: "sym-unsound",
+                                detail: format!(
+                                    "sym-unsound: `{}`({args:?}) traps concretely but the \
+                                     symbolic path set predicts {v:?}",
+                                    f.name
+                                ),
+                            });
+                        }
+                        (Some(Some(got)), Some(Err(()))) => {
+                            return Some(Outcome::Crash {
+                                kind: "sym-unsound",
+                                detail: format!(
+                                    "sym-unsound: `{}`({args:?}) returns {got:?} concretely but \
+                                     the symbolic path set predicts a trap",
+                                    f.name
+                                ),
+                            });
+                        }
+                        (Some(Some(got)), Some(Ok(v))) if got != v => {
+                            return Some(Outcome::Crash {
+                                kind: "sym-unsound",
+                                detail: format!(
+                                    "sym-unsound: `{}`({args:?}) returns {got:?} concretely but \
+                                     the symbolic path set predicts {v:?}",
+                                    f.name
+                                ),
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // (b) Pre-opt ≡ post-opt, with confirmed witnesses only.
+        if let symexec::FnVerdict::Diverged { args, detail } =
+            symexec::prove_memoir_equiv(&m0, &m, &f.name, &budget)
+        {
+            return Some(Outcome::Crash {
+                kind: "sym-diverge",
+                detail: format!(
+                    "sym-diverge: `{}` diverges on witness {args:?}: {detail}",
+                    f.name
+                ),
+            });
+        }
+    }
+    None
 }
 
 /// The stable part of a run report: everything a warm cache run must
@@ -759,13 +927,18 @@ fn run_lowered_case(
             // Cross-IR agreement on this case's probe seeds (scalar
             // signatures only — e.g. the generated scalar helpers).
             if let Some(seed) = cfg.probe_seed {
-                if let Err(e) =
-                    memoir_lower::cross_validate(&m, &direct, &[seed, seed ^ 0x9e3779b9])
-                {
-                    return Outcome::Crash {
-                        kind: "lower-probe",
-                        detail: format!("lower-probe: {e}"),
-                    };
+                match memoir_lower::cross_validate(&m, &direct, &[seed, seed ^ 0x9e3779b9]) {
+                    Err(e) => {
+                        return Outcome::Crash {
+                            kind: "lower-probe",
+                            detail: format!("lower-probe: {e}"),
+                        };
+                    }
+                    Ok(report) => {
+                        CC_PROVED.fetch_add(report.functions_proved as u64, Ordering::Relaxed);
+                        CC_PROBED.fetch_add(report.functions_probed as u64, Ordering::Relaxed);
+                        CC_SKIPPED.fetch_add(report.functions_skipped as u64, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -854,6 +1027,13 @@ pub fn reduce_case_prog(
     if cfg.cache_check {
         let mut trial = cfg.clone();
         trial.cache_check = false;
+        if same_kind(&run_case_prog(&prog, spec, &trial)) {
+            cfg = trial;
+        }
+    }
+    if cfg.sym {
+        let mut trial = cfg.clone();
+        trial.sym = false;
         if same_kind(&run_case_prog(&prog, spec, &trial)) {
             cfg = trial;
         }
@@ -1292,6 +1472,7 @@ mod tests {
             probe_seed: Some(42),
             cache_check: true,
             service_fault: Some("worker-panic@0".parse().unwrap()),
+            sym: true,
         };
         let (_, _, min_cfg, detail) = reduce_case(&ops, &spec, &cfg).expect("still crashes");
         assert!(min_cfg.budgets.is_unlimited(), "{:?}", min_cfg.budgets);
@@ -1299,6 +1480,7 @@ mod tests {
         assert!(min_cfg.probe_seed.is_none(), "{:?}", min_cfg.probe_seed);
         assert!(!min_cfg.adaptive, "adaptive layouts should be dropped");
         assert!(!min_cfg.cache_check, "cache oracle should be dropped");
+        assert!(!min_cfg.sym, "symbolic oracle should be dropped");
         assert!(
             min_cfg.service_fault.is_none(),
             "service envelope should be dropped"
@@ -1321,6 +1503,7 @@ mod tests {
             probe_seed: None,
             cache_check: false,
             service_fault: None,
+            sym: false,
         };
         let out = run_case(&ops, &spec, &cfg);
         assert_eq!(out.kind(), Some("panic"), "{out:?}");

@@ -59,7 +59,9 @@ pub use genprog::{
     CaseProgram, Helper, Op,
 };
 pub use genspec::{random_lir_spec, random_spec};
-pub use harness::{reduce_case, reduce_case_prog, run_case, run_case_prog, CaseConfig, Outcome};
+pub use harness::{
+    cross_check_totals, reduce_case, reduce_case_prog, run_case, run_case_prog, CaseConfig, Outcome,
+};
 pub use repro::Repro;
 pub use rng::SplitMix64;
 pub use service::fuzz_service_case;

@@ -36,7 +36,9 @@
 //! `service-fault:` carries a `memoird` job-fault plan (e.g.
 //! `worker-panic@0`) and is present only when the case runs the
 //! service-envelope differential oracle (two one-job service batches —
-//! the `service-lost`/`service-diverge` crash classes). A present `lir-spec:` key marks a through-lowering case; its
+//! the `service-lost`/`service-diverge` crash classes). `sym: true` is
+//! present only when the case runs the symbolic-oracle axis (the
+//! `sym-diverge`/`sym-unsound` crash classes). A present `lir-spec:` key marks a through-lowering case; its
 //! value may be empty ("lower, then nothing"). `adaptive: true` marks a
 //! through-lowering case that used the adaptive representation selector
 //! (dense / inline collection layouts) and is omitted otherwise. Each `helper:` block and
@@ -88,6 +90,9 @@ pub struct Repro {
     /// (v2; the `service-lost`/`service-diverge` classes replay only
     /// with this set).
     pub service_fault: Option<memoird::JobFaultPlan>,
+    /// Whether the case ran the symbolic-oracle axis (v2; the
+    /// `sym-diverge`/`sym-unsound` classes replay only with this set).
+    pub sym: bool,
     /// Whether this artifact has been through the reducer.
     pub minimized: bool,
     /// One-line failure classification from the harness.
@@ -108,6 +113,7 @@ impl Repro {
             probe_seed: self.probe_seed,
             cache_check: self.cache_check,
             service_fault: self.service_fault.clone(),
+            sym: self.sym,
         }
     }
 
@@ -118,6 +124,7 @@ impl Repro {
             || self.adaptive
             || self.cache_check
             || self.service_fault.is_some()
+            || self.sym
             || self.prog.uses_v2()
     }
 }
@@ -150,6 +157,9 @@ impl fmt::Display for Repro {
         }
         if let Some(plan) = &self.service_fault {
             writeln!(f, "service-fault: {plan}")?;
+        }
+        if self.sym {
+            writeln!(f, "sym: true")?;
         }
         writeln!(f, "minimized: {}", self.minimized)?;
         writeln!(f, "failure: {}", self.failure)?;
@@ -199,6 +209,7 @@ impl FromStr for Repro {
         let mut probe_seed = None;
         let mut cache_check = false;
         let mut service_fault = None;
+        let mut sym = false;
         let mut minimized = None;
         let mut failure = None;
         let mut main: Option<Vec<Op>> = None;
@@ -301,6 +312,12 @@ impl FromStr for Repro {
                             .map_err(|e| err(&e))?,
                     )
                 }
+                "sym" => {
+                    if !v2 {
+                        return Err(err("`sym:` requires the v2 header"));
+                    }
+                    sym = value.parse::<bool>().map_err(|_| err("bad sym"))?
+                }
                 "minimized" => {
                     minimized = Some(value.parse::<bool>().map_err(|_| err("bad minimized"))?)
                 }
@@ -322,6 +339,7 @@ impl FromStr for Repro {
             probe_seed,
             cache_check,
             service_fault,
+            sym,
             minimized: minimized.ok_or("missing `minimized:`")?,
             failure: failure.ok_or("missing `failure:`")?,
             prog: CaseProgram {
@@ -350,6 +368,7 @@ mod tests {
             probe_seed: None,
             cache_check: false,
             service_fault: None,
+            sym: false,
             minimized: true,
             failure: "panic: injected fault".to_string(),
             prog: CaseProgram::single(vec![Op::Push(-3), Op::Write(1, 7), Op::RemoveRange(0, 2)]),
@@ -440,6 +459,12 @@ mod tests {
         assert!(text.starts_with(HEADER_V2), "{text}");
         assert!(text.contains("service-fault: worker-panic@0#1"), "{text}");
         assert_eq!(text.parse::<Repro>().unwrap(), service_only, "{text}");
+        let mut sym_only = sample();
+        sym_only.sym = true;
+        let text = sym_only.to_string();
+        assert!(text.starts_with(HEADER_V2), "{text}");
+        assert!(text.contains("sym: true"), "{text}");
+        assert_eq!(text.parse::<Repro>().unwrap(), sym_only, "{text}");
     }
 
     #[test]
@@ -468,6 +493,10 @@ mod tests {
             .to_string()
             .replace("minimized:", "service-fault: slow-job@0\nminimized:");
         assert!(with_service.parse::<Repro>().is_err(), "{with_service}");
+        let with_sym = sample()
+            .to_string()
+            .replace("minimized:", "sym: true\nminimized:");
+        assert!(with_sym.parse::<Repro>().is_err(), "{with_sym}");
     }
 
     #[test]
@@ -488,6 +517,8 @@ mod tests {
         assert!(r.config().cache_check);
         r.service_fault = Some("poison-cache@0".parse().unwrap());
         assert_eq!(r.config().service_fault, r.service_fault);
+        r.sym = true;
+        assert!(r.config().sym);
     }
 
     #[test]

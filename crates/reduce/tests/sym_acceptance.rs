@@ -1,0 +1,34 @@
+//! Acceptance gate for prove-then-probe translation validation
+//! (DESIGN §17): on a 500-case corpus of small multi-function genprog
+//! programs, the symbolic backend must discharge at least 60% of
+//! checkable functions *probe-free* at the default path budget — the
+//! point of the oracle is proofs, with probing as the fallback, not the
+//! other way round.
+
+use reduce::{build_case, random_case, CaseDims, SplitMix64};
+
+#[test]
+fn prove_mode_discharges_most_small_functions() {
+    let mut rng = SplitMix64::new(0x5eed_cafe);
+    let dims = CaseDims {
+        objects: true,
+        multi: true,
+    };
+    let (mut checked, mut proved, mut skipped) = (0usize, 0usize, 0usize);
+    for _ in 0..500 {
+        let prog = random_case(&mut rng, 10, dims);
+        let (m, _) = build_case(&prog);
+        let lm = memoir_lower::lower_module(&m).expect("corpus lowers");
+        let report = memoir_lower::cross_validate(&m, &lm, &[1, 2]).expect("healthy corpus");
+        checked += report.functions_checked;
+        proved += report.functions_proved;
+        skipped += report.functions_skipped;
+    }
+    assert!(checked > 0, "corpus produced no checkable functions");
+    let pct = 100.0 * proved as f64 / checked as f64;
+    assert!(
+        pct >= 60.0,
+        "prove mode discharged only {proved}/{checked} functions probe-free \
+         ({pct:.1}%, {skipped} skipped) — need >= 60%"
+    );
+}

@@ -1,0 +1,77 @@
+//! Property tests for the bounded symbolic oracle.
+//!
+//! Two properties the translation-validation story rests on:
+//!
+//! 1. *Agreement* — on random whole-language cases the symbolic axis
+//!    never fires: path-set predictions match the concrete interpreter
+//!    (`sym-unsound` is a solver/enumerator bug by definition), and the
+//!    optimizer's output proves equivalent to its input on a confirmed
+//!    witness or not at all (`sym-diverge` is a real miscompile).
+//! 2. *Determinism* — path enumeration is a pure function of the
+//!    module: concurrent enumerations from many threads produce
+//!    identical path sets, which is what makes `sym:`-keyed `.repro`
+//!    artifacts replayable.
+
+use proptest::prelude::*;
+use reduce::{build_case, random_case, random_spec, CaseConfig, CaseDims, Outcome, SplitMix64};
+use symexec::{enumerate_memoir, seed_params, Budget};
+
+proptest! {
+    // Each agreement case enumerates every function of a whole-language
+    // module and re-proves the pipeline; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Zero `sym-unsound`, zero `sym-diverge` on random cases through
+    /// random pipelines. Any other outcome kind would be a pre-existing
+    /// pipeline bug, not a symbolic-oracle bug, so the assertion is
+    /// specifically about the `sym-*` classes.
+    #[test]
+    fn symbolic_and_concrete_interpreters_agree(
+        case_seed in any::<u64>(),
+        spec_seed in any::<u64>(),
+    ) {
+        let dims = CaseDims { objects: true, multi: true };
+        let prog = random_case(&mut SplitMix64::new(case_seed), 12, dims);
+        let spec = random_spec(&mut SplitMix64::new(spec_seed));
+        let cfg = CaseConfig { sym: true, ..Default::default() };
+        let out = reduce::run_case_prog(&prog, &spec, &cfg);
+        if let Outcome::Crash { kind, detail } = &out {
+            prop_assert!(
+                !kind.starts_with("sym-"),
+                "symbolic oracle fired on a healthy case: {detail}"
+            );
+        }
+        // And the axis is replay-stable: the same case crashes (or
+        // passes) identically the second time.
+        prop_assert_eq!(&out, &reduce::run_case_prog(&prog, &spec, &cfg));
+    }
+
+    /// Path enumeration from four concurrent threads agrees exactly
+    /// with a baseline enumeration — same paths, same order, for every
+    /// scalar-signature function of the case.
+    #[test]
+    fn path_enumeration_is_deterministic_across_threads(
+        case_seed in any::<u64>(),
+    ) {
+        let dims = CaseDims { objects: true, multi: true };
+        let prog = random_case(&mut SplitMix64::new(case_seed), 10, dims);
+        let (m, _) = build_case(&prog);
+        let budget = Budget::default();
+        let enumerate_all = || {
+            let mut out = Vec::new();
+            for (fid, _) in m.funcs.iter() {
+                let Some(mut pool) = seed_params(&m, fid) else { continue };
+                out.push(enumerate_memoir(&m, fid, &mut pool, &budget).ok());
+            }
+            out
+        };
+        let baseline = enumerate_all();
+        let runs: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4).map(|_| s.spawn(enumerate_all)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for run in &runs {
+            prop_assert_eq!(run, &baseline);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Per-function equivalence from path enumeration.
+//!
+//! Two functions are compared by enumerating both path sets over a
+//! *shared* term pool (so parameter `i` is the same term on both sides)
+//! and discharging every jointly-feasible path pair:
+//!
+//! * a MEMOIR/source path that **traps** imposes no obligation — this
+//!   matches the probe policy, where a probe on which the source
+//!   interpreter traps is skipped conservatively;
+//! * a source `Ret` paired with a target `Trap`, or with a `Ret` whose
+//!   terms are not provably equal under the joint path condition, is a
+//!   *candidate* divergence — never a verdict. The solver's bounded
+//!   model search produces a witness, and the witness is **confirmed on
+//!   the concrete interpreters** before `Diverged` is reported. A
+//!   candidate with no confirmable witness yields `Inconclusive`
+//!   ("fall back to probing"), never a false alarm.
+//!
+//! `Proved` therefore means: every jointly-feasible pair was discharged
+//! structurally (identical terms) or by the interval/congruence solver.
+
+use crate::memoir::seed_params;
+use crate::solver::{self, Lit};
+use crate::term::TermPool;
+use crate::{lirsym, memoir, Budget, Path, PathEnd, SymError};
+use lir::{LirMachine, Module as LModule};
+use memoir_ir::{CmpOp, Module, Type};
+
+/// Interpreter fuel for witness confirmation runs.
+const CONFIRM_FUEL: u64 = 10_000_000;
+
+/// The outcome of a per-function equivalence attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FnVerdict {
+    /// Every jointly-feasible path pair was discharged: the functions
+    /// agree on all inputs (within the enumerated path space, which the
+    /// budget guarantees is exhaustive when enumeration succeeds).
+    Proved,
+    /// A divergence witness, confirmed by running both concrete
+    /// interpreters on `args`.
+    Diverged {
+        /// The confirmed witness arguments.
+        args: Vec<i64>,
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+    /// Could not prove or refute within the budget/solver power; the
+    /// caller should fall back to probing.
+    Inconclusive(&'static str),
+}
+
+fn budget_reason(e: SymError) -> &'static str {
+    match e {
+        SymError::Unsupported(what) => what,
+        SymError::BudgetExceeded => "path/op budget exceeded",
+    }
+}
+
+/// Discharges all jointly-feasible path pairs; `confirm` runs the
+/// concrete engines on a witness and returns `Some(detail)` when they
+/// really disagree.
+fn compare_paths(
+    pool: &mut TermPool,
+    paths_a: &[Path],
+    paths_b: &[Path],
+    confirm: &mut dyn FnMut(&[i64]) -> Option<String>,
+) -> FnVerdict {
+    for pa in paths_a {
+        let ret_a = match &pa.end {
+            PathEnd::Trap => continue, // source trap: no obligation
+            PathEnd::Ret(terms) => terms,
+        };
+        for pb in paths_b {
+            let mut joint: Vec<Lit> = pa.cond.clone();
+            joint.extend_from_slice(&pb.cond);
+            if solver::contradicts(pool, &joint) {
+                continue; // the two paths cannot co-occur
+            }
+            match &pb.end {
+                PathEnd::Trap => {
+                    // Source returns, target traps: candidate.
+                    match solver::find_model(pool, &joint) {
+                        Some(model) => match confirm(&model) {
+                            Some(detail) => {
+                                return FnVerdict::Diverged {
+                                    args: model,
+                                    detail,
+                                }
+                            }
+                            None => return FnVerdict::Inconclusive("unconfirmed trap candidate"),
+                        },
+                        None => return FnVerdict::Inconclusive("no witness for trap candidate"),
+                    }
+                }
+                PathEnd::Ret(ret_b) => {
+                    if ret_a.len() != ret_b.len() {
+                        return FnVerdict::Inconclusive("return arity mismatch");
+                    }
+                    for (&x, &y) in ret_a.iter().zip(ret_b.iter()) {
+                        if x == y {
+                            continue; // structurally identical
+                        }
+                        let ne = pool.cmp(CmpOp::Ne, false, x, y);
+                        let mut lits = joint.clone();
+                        lits.push((ne, true));
+                        if solver::contradicts(pool, &lits) {
+                            continue; // provably equal under the joint condition
+                        }
+                        match solver::find_model(pool, &lits) {
+                            Some(model) => match confirm(&model) {
+                                Some(detail) => {
+                                    return FnVerdict::Diverged {
+                                        args: model,
+                                        detail,
+                                    }
+                                }
+                                // The symbolic witness did not reproduce
+                                // concretely: don't trust either engine
+                                // enough to rule.
+                                None => {
+                                    return FnVerdict::Inconclusive("unconfirmed value candidate")
+                                }
+                            },
+                            None => return FnVerdict::Inconclusive("no witness for candidate"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    FnVerdict::Proved
+}
+
+/// Runs the MEMOIR interpreter on raw scalar args (typed per the
+/// function's signature). `None` = trapped / non-scalar result — no
+/// agreement obligation.
+fn run_memoir_concrete(m: &Module, fname: &str, args: &[i64]) -> Option<Vec<i64>> {
+    use memoir_interp::{Interp, Value};
+    let fid = m.func_by_name(fname)?;
+    let f = &m.funcs[fid];
+    let vals: Vec<Value> = f
+        .params
+        .iter()
+        .zip(args.iter())
+        .map(|(p, &v)| match m.types.get(p.ty) {
+            Type::Bool => Value::Bool(v != 0),
+            ty => Value::Int(ty, v),
+        })
+        .collect();
+    let mut interp = Interp::new(m).with_fuel(CONFIRM_FUEL);
+    let out = interp.run_by_name(fname, vals).ok()?;
+    out.iter().map(Value::as_int).collect()
+}
+
+/// Proves (or refutes, with a confirmed witness) that the lowered
+/// function `fname` in `lm` agrees with its MEMOIR source in `m`.
+pub fn prove_lowering(m: &Module, lm: &LModule, fname: &str, budget: &Budget) -> FnVerdict {
+    let Some(fid) = m.func_by_name(fname) else {
+        return FnVerdict::Inconclusive("unknown source function");
+    };
+    let Some(lfun) = lm.by_name(fname) else {
+        return FnVerdict::Inconclusive("missing lowered function");
+    };
+    let Some(mut pool) = seed_params(m, fid) else {
+        return FnVerdict::Inconclusive("non-scalar signature");
+    };
+    if lm.funcs[lfun.0 as usize].num_params as usize != m.funcs[fid].params.len() {
+        return FnVerdict::Inconclusive("parameter count mismatch");
+    }
+    let paths_a = match memoir::enumerate_memoir(m, fid, &mut pool, budget) {
+        Ok(p) => p,
+        Err(e) => return FnVerdict::Inconclusive(budget_reason(e)),
+    };
+    let paths_b = match lirsym::enumerate_lir(lm, lfun, &mut pool, budget) {
+        Ok(p) => p,
+        Err(e) => return FnVerdict::Inconclusive(budget_reason(e)),
+    };
+    let mut confirm = |args: &[i64]| -> Option<String> {
+        let expected = run_memoir_concrete(m, fname, args)?;
+        let got = LirMachine::new(lm)
+            .with_fuel(CONFIRM_FUEL)
+            .run_by_name(fname, args.to_vec());
+        match got {
+            Err(trap) => Some(format!(
+                "`{fname}`({args:?}): memoir-interp returned {expected:?} but LirMachine \
+                 trapped: {trap:?}"
+            )),
+            Ok(got) if got != expected => Some(format!(
+                "`{fname}`({args:?}): memoir-interp returned {expected:?} but LirMachine \
+                 returned {got:?}"
+            )),
+            Ok(_) => None,
+        }
+    };
+    compare_paths(&mut pool, &paths_a, &paths_b, &mut confirm)
+}
+
+/// Proves (or refutes, with a confirmed witness) that two MEMOIR modules
+/// agree on function `fname` — the peephole-verification backend for
+/// passman's `verify-sym` option (before-module vs after-module).
+pub fn prove_memoir_equiv(ma: &Module, mb: &Module, fname: &str, budget: &Budget) -> FnVerdict {
+    let (Some(fa), Some(fb)) = (ma.func_by_name(fname), mb.func_by_name(fname)) else {
+        return FnVerdict::Inconclusive("function missing on one side");
+    };
+    let Some(mut pool) = seed_params(ma, fa) else {
+        return FnVerdict::Inconclusive("non-scalar signature");
+    };
+    if seed_params(mb, fb).map(|p| p.param_tys) != Some(pool.param_tys.clone()) {
+        return FnVerdict::Inconclusive("signature mismatch");
+    }
+    let paths_a = match memoir::enumerate_memoir(ma, fa, &mut pool, budget) {
+        Ok(p) => p,
+        Err(e) => return FnVerdict::Inconclusive(budget_reason(e)),
+    };
+    let paths_b = match memoir::enumerate_memoir(mb, fb, &mut pool, budget) {
+        Ok(p) => p,
+        Err(e) => return FnVerdict::Inconclusive(budget_reason(e)),
+    };
+    let mut confirm = |args: &[i64]| -> Option<String> {
+        let expected = run_memoir_concrete(ma, fname, args)?;
+        match run_memoir_concrete(mb, fname, args) {
+            None => Some(format!(
+                "`{fname}`({args:?}): before returned {expected:?} but after trapped"
+            )),
+            Some(got) if got != expected => Some(format!(
+                "`{fname}`({args:?}): before returned {expected:?} but after returned {got:?}"
+            )),
+            Some(_) => None,
+        }
+    };
+    compare_paths(&mut pool, &paths_a, &paths_b, &mut confirm)
+}

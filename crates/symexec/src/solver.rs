@@ -1,0 +1,590 @@
+//! The in-tree path-condition solver: interval and congruence
+//! propagation plus structural (dis)equality — deliberately *not* an SMT
+//! solver. It answers two questions about a conjunction of literals
+//! (terms asserted non-zero or zero):
+//!
+//! * [`contradicts`] — is the conjunction *definitely* infeasible? Sound
+//!   in one direction only: `true` means no assignment satisfies it;
+//!   `false` means "maybe feasible".
+//! * [`find_model`] — a best-effort concrete parameter assignment
+//!   satisfying the conjunction, used to *refute* equivalence with a
+//!   witness (which is then confirmed on the concrete interpreters, so
+//!   incompleteness here can never produce a false bug report).
+
+use crate::term::{type_domain, Term, TermId, TermPool};
+use memoir_ir::{BinOp, CmpOp};
+use std::collections::HashMap;
+
+/// A literal: the term asserted non-zero (`true`) or zero (`false`).
+pub type Lit = (TermId, bool);
+
+/// An inclusive interval over `i64`, tracked in `i128` so arithmetic on
+/// the bounds cannot overflow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i128,
+    /// Inclusive upper bound.
+    pub hi: i128,
+}
+
+impl Interval {
+    /// The full `i64` domain.
+    pub fn full() -> Self {
+        Interval {
+            lo: i64::MIN as i128,
+            hi: i64::MAX as i128,
+        }
+    }
+
+    /// A singleton.
+    pub fn point(v: i64) -> Self {
+        Interval {
+            lo: v as i128,
+            hi: v as i128,
+        }
+    }
+
+    /// Whether no value is left.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    fn meet(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    fn in_i64(self) -> bool {
+        self.lo >= i64::MIN as i128 && self.hi <= i64::MAX as i128
+    }
+}
+
+/// A congruence `value ≡ rem (mod modulus)`; `modulus == 1` is "anything".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Congruence {
+    /// The modulus (`≥ 1`).
+    pub modulus: u64,
+    /// The canonical residue in `0 .. modulus`.
+    pub rem: u64,
+}
+
+impl Congruence {
+    fn any() -> Self {
+        Congruence { modulus: 1, rem: 0 }
+    }
+
+    fn point(v: i64) -> Self {
+        Congruence {
+            modulus: 0,
+            rem: v as u64,
+        }
+    }
+
+    /// Residue of `v` for this congruence's modulus.
+    fn residue(modulus: u64, v: i64) -> u64 {
+        (v as i128).rem_euclid(modulus as i128) as u64
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// The solver state for one conjunction.
+#[derive(Debug)]
+pub struct Solver<'p> {
+    pool: &'p TermPool,
+    /// Narrowed intervals for atom terms (params and opaque nodes).
+    atom_iv: HashMap<TermId, Interval>,
+}
+
+impl<'p> Solver<'p> {
+    /// Creates a solver over a pool; parameter atoms start at their
+    /// declared type domains.
+    pub fn new(pool: &'p TermPool) -> Self {
+        let mut atom_iv = HashMap::new();
+        for (i, node) in (0u32..).zip(0..pool.len()) {
+            if let Term::Param(p) = pool.get(TermId(node as u32)) {
+                let (lo, hi) = pool
+                    .param_tys
+                    .get(*p as usize)
+                    .copied()
+                    .map(type_domain)
+                    .unwrap_or((i64::MIN, i64::MAX));
+                atom_iv.insert(
+                    TermId(i),
+                    Interval {
+                        lo: lo as i128,
+                        hi: hi as i128,
+                    },
+                );
+            }
+        }
+        Solver { pool, atom_iv }
+    }
+
+    /// Structural interval of a term under the current atom narrowing.
+    pub fn interval(&self, t: TermId) -> Interval {
+        if let Some(iv) = self.atom_iv.get(&t) {
+            return *iv;
+        }
+        match self.pool.get(t) {
+            Term::Const(v) => Interval::point(*v),
+            Term::Param(_) => Interval::full(),
+            Term::Bin(op, a, b) => {
+                let (ia, ib) = (self.interval(*a), self.interval(*b));
+                let wide = match op {
+                    BinOp::Add => Interval {
+                        lo: ia.lo + ib.lo,
+                        hi: ia.hi + ib.hi,
+                    },
+                    BinOp::Sub => Interval {
+                        lo: ia.lo - ib.hi,
+                        hi: ia.hi - ib.lo,
+                    },
+                    BinOp::Mul => {
+                        let cands = [ia.lo * ib.lo, ia.lo * ib.hi, ia.hi * ib.lo, ia.hi * ib.hi];
+                        Interval {
+                            lo: *cands.iter().min().unwrap(),
+                            hi: *cands.iter().max().unwrap(),
+                        }
+                    }
+                    BinOp::Min => Interval {
+                        lo: ia.lo.min(ib.lo),
+                        hi: ia.hi.min(ib.hi),
+                    },
+                    BinOp::Max => Interval {
+                        lo: ia.lo.max(ib.lo),
+                        hi: ia.hi.max(ib.hi),
+                    },
+                    BinOp::And => match self.pool.as_const(*b).or(self.pool.as_const(*a)) {
+                        Some(m) if m >= 0 => Interval {
+                            lo: 0,
+                            hi: m as i128,
+                        },
+                        _ => Interval::full(),
+                    },
+                    BinOp::Rem => match self.pool.as_const(*b) {
+                        // Non-negative dividend: wrapping_rem keeps the
+                        // dividend's sign, so the result is in [0, |c|).
+                        Some(c) if c != 0 && ia.lo >= 0 => Interval {
+                            lo: 0,
+                            hi: (c.unsigned_abs() as i128) - 1,
+                        },
+                        _ => Interval::full(),
+                    },
+                    _ => Interval::full(),
+                };
+                // Wrapping arithmetic: a bound outside i64 means the
+                // concrete op may wrap, so the interval is unusable.
+                if wide.in_i64() {
+                    wide
+                } else {
+                    Interval::full()
+                }
+            }
+            Term::Cmp(..) => Interval { lo: 0, hi: 1 },
+            Term::Trunc(ty, _) => {
+                let (lo, hi) = type_domain(*ty);
+                Interval {
+                    lo: lo as i128,
+                    hi: hi as i128,
+                }
+            }
+            Term::Select(_, a, b) => {
+                let (ia, ib) = (self.interval(*a), self.interval(*b));
+                Interval {
+                    lo: ia.lo.min(ib.lo),
+                    hi: ia.hi.max(ib.hi),
+                }
+            }
+        }
+    }
+
+    /// Structural congruence of a term.
+    pub fn congruence(&self, t: TermId) -> Congruence {
+        match self.pool.get(t) {
+            Term::Const(v) => Congruence::point(*v),
+            Term::Bin(op, a, b) => {
+                let (ca, cb) = (self.congruence(*a), self.congruence(*b));
+                match op {
+                    BinOp::Add | BinOp::Sub => {
+                        if ca.modulus == 0 && cb.modulus == 0 {
+                            return Congruence::any(); // folded already
+                        }
+                        let m = match (ca.modulus, cb.modulus) {
+                            (0, m) | (m, 0) => m,
+                            (x, y) => gcd(x, y),
+                        };
+                        if m <= 1 {
+                            return Congruence::any();
+                        }
+                        let ra = if ca.modulus == 0 {
+                            Congruence::residue(m, ca.rem as i64)
+                        } else {
+                            ca.rem % m
+                        };
+                        let rb = if cb.modulus == 0 {
+                            Congruence::residue(m, cb.rem as i64)
+                        } else {
+                            cb.rem % m
+                        };
+                        let r = match op {
+                            BinOp::Add => (ra + rb) % m,
+                            _ => (ra + m - rb % m) % m,
+                        };
+                        Congruence { modulus: m, rem: r }
+                    }
+                    BinOp::Mul => {
+                        // x * c is ≡ 0 (mod |c|).
+                        let c = self.pool.as_const(*a).or(self.pool.as_const(*b));
+                        match c {
+                            Some(c) if c.unsigned_abs() > 1 => Congruence {
+                                modulus: c.unsigned_abs(),
+                                rem: 0,
+                            },
+                            _ => Congruence::any(),
+                        }
+                    }
+                    BinOp::Shl => match self.pool.as_const(*b) {
+                        Some(s) if (1..63).contains(&s) => Congruence {
+                            modulus: 1u64 << s,
+                            rem: 0,
+                        },
+                        _ => Congruence::any(),
+                    },
+                    _ => Congruence::any(),
+                }
+            }
+            _ => Congruence::any(),
+        }
+    }
+
+    fn narrow_atom(&mut self, t: TermId, iv: Interval) {
+        let cur = self.atom_iv.get(&t).copied().unwrap_or_else(Interval::full);
+        self.atom_iv.insert(t, cur.meet(iv));
+    }
+
+    /// Absorbs one literal, narrowing atom intervals where the literal
+    /// has the shape `atom OP const` (or a negation of one).
+    fn absorb(&mut self, lit: Lit) {
+        let (t, truth) = lit;
+        if let Term::Cmp(op, _unsigned, a, b) = self.pool.get(t) {
+            let op = if truth { *op } else { op.negated() };
+            let (a, b) = (*a, *b);
+            if let Some(c) = self.pool.as_const(b) {
+                self.narrow_with(op, a, c);
+            } else if let Some(c) = self.pool.as_const(a) {
+                self.narrow_with(op.swapped(), b, c);
+            }
+        } else {
+            // A non-comparison condition: `t != 0` / `t == 0`.
+            if truth {
+                // != 0 doesn't narrow an interval usefully.
+            } else {
+                self.narrow_atom(t, Interval::point(0));
+            }
+        }
+    }
+
+    fn narrow_with(&mut self, op: CmpOp, t: TermId, c: i64) {
+        let c = c as i128;
+        let iv = match op {
+            CmpOp::Eq => Interval { lo: c, hi: c },
+            CmpOp::Lt => Interval {
+                lo: i64::MIN as i128,
+                hi: c - 1,
+            },
+            CmpOp::Le => Interval {
+                lo: i64::MIN as i128,
+                hi: c,
+            },
+            CmpOp::Gt => Interval {
+                lo: c + 1,
+                hi: i64::MAX as i128,
+            },
+            CmpOp::Ge => Interval {
+                lo: c,
+                hi: i64::MAX as i128,
+            },
+            CmpOp::Ne => return, // no contiguous narrowing
+        };
+        self.narrow_atom(t, iv);
+    }
+
+    /// Whether the conjunction is *definitely* infeasible.
+    pub fn contradicts(&mut self, lits: &[Lit]) -> bool {
+        // Structural complement: the same term asserted both ways.
+        for (i, &(t, v)) in lits.iter().enumerate() {
+            for &(u, w) in &lits[i + 1..] {
+                if t == u && v != w {
+                    return true;
+                }
+            }
+        }
+        // Two passes so a later literal's narrowing feeds an earlier
+        // literal's check.
+        for &l in lits {
+            self.absorb(l);
+        }
+        for &(t, truth) in lits {
+            // Constant literal already decided.
+            if let Some(v) = self.pool.as_const(t) {
+                if (v != 0) != truth {
+                    return true;
+                }
+                continue;
+            }
+            if let Term::Cmp(op, unsigned, a, b) = self.pool.get(t) {
+                let op = if truth { *op } else { op.negated() };
+                if *unsigned {
+                    // Unsigned ordering only matches interval reasoning
+                    // when both sides are known non-negative.
+                    let (ia, ib) = (self.interval(*a), self.interval(*b));
+                    if ia.lo < 0 || ib.lo < 0 {
+                        continue;
+                    }
+                }
+                let (ia, ib) = (self.interval(*a), self.interval(*b));
+                let possible = match op {
+                    CmpOp::Eq => ia.lo <= ib.hi && ib.lo <= ia.hi,
+                    CmpOp::Ne => !(ia.lo == ia.hi && ib.lo == ib.hi && ia.lo == ib.lo),
+                    CmpOp::Lt => ia.lo < ib.hi,
+                    CmpOp::Le => ia.lo <= ib.hi,
+                    CmpOp::Gt => ia.hi > ib.lo,
+                    CmpOp::Ge => ia.hi >= ib.lo,
+                };
+                if !possible {
+                    return true;
+                }
+                // Congruence refutation of equalities.
+                if op == CmpOp::Eq {
+                    let (ca, cb) = (self.congruence(*a), self.congruence(*b));
+                    let m = match (ca.modulus, cb.modulus) {
+                        (0, 0) => 0,
+                        (0, m) | (m, 0) => m,
+                        (x, y) => gcd(x, y),
+                    };
+                    if m > 1 {
+                        let ra = if ca.modulus == 0 {
+                            Congruence::residue(m, ca.rem as i64)
+                        } else {
+                            ca.rem % m
+                        };
+                        let rb = if cb.modulus == 0 {
+                            Congruence::residue(m, cb.rem as i64)
+                        } else {
+                            cb.rem % m
+                        };
+                        if ra != rb {
+                            return true;
+                        }
+                    }
+                }
+            } else {
+                // `t != 0` with a zero-only interval (or vice versa).
+                let iv = self.interval(t);
+                if truth && iv.lo == 0 && iv.hi == 0 {
+                    return true;
+                }
+                if !truth && (iv.lo > 0 || iv.hi < 0) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Convenience: one-shot infeasibility check.
+pub fn contradicts(pool: &TermPool, lits: &[Lit]) -> bool {
+    Solver::new(pool).contradicts(lits)
+}
+
+/// One-shot interval of `t` under a path condition (used by the engines to
+/// decide whether a symbolic index is narrow enough to fork over).
+pub fn interval_under(pool: &TermPool, lits: &[Lit], t: TermId) -> Interval {
+    let mut s = Solver::new(pool);
+    for &l in lits {
+        s.absorb(l);
+    }
+    s.interval(t)
+}
+
+/// Best-effort model search: a concrete assignment of every parameter
+/// that satisfies the conjunction, or `None`. Bounded enumeration over
+/// boundary candidates of each parameter's narrowed interval.
+pub fn find_model(pool: &TermPool, lits: &[Lit]) -> Option<Vec<i64>> {
+    let nparams = pool.param_tys.len();
+    let mut solver = Solver::new(pool);
+    for &l in lits {
+        solver.absorb(l);
+    }
+    // Candidate values per parameter: interval boundaries plus small
+    // values that fall inside.
+    let mut cands: Vec<Vec<i64>> = Vec::with_capacity(nparams);
+    for i in 0..nparams {
+        let pid = find_param_term(pool, i as u32);
+        let iv = match pid {
+            Some(t) => solver.interval(t),
+            None => Interval::full(),
+        };
+        let mut c: Vec<i64> = Vec::new();
+        for v in [
+            iv.lo,
+            iv.hi,
+            0,
+            1,
+            2,
+            -1,
+            3,
+            iv.lo + 1,
+            iv.hi - 1,
+            (iv.lo + iv.hi) / 2,
+        ] {
+            if v >= iv.lo && v <= iv.hi && v >= i64::MIN as i128 && v <= i64::MAX as i128 {
+                let v = v as i64;
+                if !c.contains(&v) {
+                    c.push(v);
+                }
+            }
+        }
+        if c.is_empty() {
+            return None; // empty domain
+        }
+        cands.push(c);
+    }
+    // Bounded cartesian search.
+    let mut budget = 4096usize;
+    let mut asg = vec![0i64; nparams];
+    search(pool, lits, &cands, 0, &mut asg, &mut budget)
+}
+
+fn find_param_term(pool: &TermPool, i: u32) -> Option<TermId> {
+    (0..pool.len() as u32)
+        .map(TermId)
+        .find(|&t| matches!(pool.get(t), Term::Param(p) if *p == i))
+}
+
+fn search(
+    pool: &TermPool,
+    lits: &[Lit],
+    cands: &[Vec<i64>],
+    at: usize,
+    asg: &mut Vec<i64>,
+    budget: &mut usize,
+) -> Option<Vec<i64>> {
+    if *budget == 0 {
+        return None;
+    }
+    if at == cands.len() {
+        *budget -= 1;
+        let sat = lits.iter().all(|&(t, truth)| {
+            pool.eval(t, asg)
+                .map(|v| (v != 0) == truth)
+                .unwrap_or(false)
+        });
+        return sat.then(|| asg.clone());
+    }
+    for &v in &cands[at] {
+        asg[at] = v;
+        if let Some(m) = search(pool, lits, cands, at + 1, asg, budget) {
+            return Some(m);
+        }
+        if *budget == 0 {
+            return None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memoir_ir::Type;
+
+    fn pool2() -> TermPool {
+        let mut p = TermPool::new();
+        p.param_tys = vec![Type::I64, Type::I64];
+        p.param(0);
+        p.param(1);
+        p
+    }
+
+    #[test]
+    fn complementary_literals_contradict() {
+        let mut p = pool2();
+        let x = p.param(0);
+        let y = p.param(1);
+        let c = p.cmp(CmpOp::Lt, false, x, y);
+        assert!(contradicts(&p, &[(c, true), (c, false)]));
+        assert!(!contradicts(&p, &[(c, true)]));
+    }
+
+    #[test]
+    fn interval_narrowing_contradicts() {
+        let mut p = pool2();
+        let x = p.param(0);
+        let five = p.konst(5);
+        let three = p.konst(3);
+        let lt3 = p.cmp(CmpOp::Lt, false, x, three);
+        let gt5 = p.cmp(CmpOp::Gt, false, x, five);
+        assert!(contradicts(&p, &[(lt3, true), (gt5, true)]));
+        assert!(!contradicts(&p, &[(lt3, true), (gt5, false)]));
+    }
+
+    #[test]
+    fn congruence_refutes_parity() {
+        let mut p = pool2();
+        let x = p.param(0);
+        let two = p.konst(2);
+        let seven = p.konst(7);
+        let even = p.bin(BinOp::Mul, x, two).unwrap();
+        let eq = p.cmp(CmpOp::Eq, false, even, seven);
+        assert!(contradicts(&p, &[(eq, true)]), "2x == 7 is impossible");
+    }
+
+    #[test]
+    fn unsigned_comparison_needs_nonnegative_sides() {
+        let mut p = TermPool::new();
+        p.param_tys = vec![Type::I64];
+        let x = p.param(0);
+        let m1 = p.konst(-1);
+        // Unsigned: -1 is u64::MAX, so `x > -1` is satisfiable only ...
+        // the solver must NOT claim a contradiction from signed intervals.
+        let c = p.cmp(CmpOp::Gt, true, x, m1);
+        assert!(!contradicts(&p, &[(c, false)]));
+    }
+
+    #[test]
+    fn model_search_finds_witnesses() {
+        let mut p = pool2();
+        let x = p.param(0);
+        let y = p.param(1);
+        let lt = p.cmp(CmpOp::Lt, false, x, y);
+        let ten = p.konst(10);
+        let gt10 = p.cmp(CmpOp::Gt, false, x, ten);
+        let m = find_model(&p, &[(lt, true), (gt10, true)]).expect("model exists");
+        assert!(m[0] < m[1] && m[0] > 10, "{m:?}");
+        // And an infeasible system yields no model.
+        assert!(find_model(&p, &[(lt, true), (lt, false)]).is_none());
+    }
+
+    #[test]
+    fn param_domains_respect_types() {
+        let mut p = TermPool::new();
+        p.param_tys = vec![Type::Index];
+        let x = p.param(0);
+        let big = p.konst(1000);
+        let gt = p.cmp(CmpOp::Gt, false, x, big);
+        // Index params stay in the synthesizable probe window [0, 16].
+        assert!(contradicts(&p, &[(gt, true)]));
+    }
+}

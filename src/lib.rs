@@ -23,6 +23,8 @@
 //!   ledger;
 //! * [`lower`] / [`lir`] — collection lowering into a low-level IR with
 //!   the instrumented GVN/Sink/ConstantFold passes of §VII-D;
+//! * [`symexec`] — bounded symbolic path enumeration over both IRs with
+//!   an in-tree solver, backing prove-then-probe translation validation;
 //! * [`workloads`] — the evaluation subjects (mcf, deepsjeng, opt, the
 //!   Fig. 1 suite, Listing 1).
 //!
@@ -72,4 +74,5 @@ pub use memoir_opt as opt;
 pub use memoir_runtime as runtime;
 pub use passman;
 pub use reduce;
+pub use symexec;
 pub use workloads;
