@@ -16,7 +16,8 @@
 //!   ("fall back to probing"), never a false alarm.
 //!
 //! `Proved` therefore means: every jointly-feasible pair was discharged
-//! structurally (identical terms) or by the interval/congruence solver.
+//! structurally (identical terms) or by the interval/congruence solver —
+//! over the *synthesizable* input domains only (see [`FnVerdict::Proved`]).
 
 use crate::memoir::seed_params;
 use crate::solver::{self, Lit};
@@ -32,8 +33,15 @@ const CONFIRM_FUEL: u64 = 10_000_000;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FnVerdict {
     /// Every jointly-feasible path pair was discharged: the functions
-    /// agree on all inputs (within the enumerated path space, which the
-    /// budget guarantees is exhaustive when enumeration succeeds).
+    /// agree on all inputs **within the per-type synthesizable domains**
+    /// of [`crate::term::type_domain`] (the same domains `synth_args`
+    /// probes draw from) — notably `Index` parameters are only covered
+    /// on the probe window `[0, 16]` and `U64` only with the sign bit
+    /// clear. Behavior outside those domains is *not* certified, and a
+    /// function discharged in prove mode is not probed there either; a
+    /// caller needing coverage beyond the window must treat `Proved` as
+    /// bounded, not universal. Within the domains the enumerated path
+    /// space is exhaustive whenever enumeration fits the budget.
     Proved,
     /// A divergence witness, confirmed by running both concrete
     /// interpreters on `args`.

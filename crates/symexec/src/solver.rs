@@ -208,6 +208,34 @@ impl<'p> Solver<'p> {
         }
     }
 
+    /// Whether `a op b` provably cannot wrap under the current atom
+    /// narrowing: the wide-interval result stays within `i64`.
+    /// Wrapping adds a multiple of 2^64 to the true integer result,
+    /// which preserves residues only for power-of-two moduli — so
+    /// non-power-of-two congruences are only sound under this guard.
+    fn no_wrap(&self, op: BinOp, a: TermId, b: TermId) -> bool {
+        let (ia, ib) = (self.interval(a), self.interval(b));
+        let wide = match op {
+            BinOp::Add => Interval {
+                lo: ia.lo + ib.lo,
+                hi: ia.hi + ib.hi,
+            },
+            BinOp::Sub => Interval {
+                lo: ia.lo - ib.hi,
+                hi: ia.hi - ib.lo,
+            },
+            BinOp::Mul => {
+                let cands = [ia.lo * ib.lo, ia.lo * ib.hi, ia.hi * ib.lo, ia.hi * ib.hi];
+                Interval {
+                    lo: *cands.iter().min().unwrap(),
+                    hi: *cands.iter().max().unwrap(),
+                }
+            }
+            _ => return false,
+        };
+        wide.in_i64()
+    }
+
     /// Structural congruence of a term.
     pub fn congruence(&self, t: TermId) -> Congruence {
         match self.pool.get(t) {
@@ -226,6 +254,9 @@ impl<'p> Solver<'p> {
                         if m <= 1 {
                             return Congruence::any();
                         }
+                        if !m.is_power_of_two() && !self.no_wrap(*op, *a, *b) {
+                            return Congruence::any(); // a wrap would shift the residue
+                        }
                         let ra = if ca.modulus == 0 {
                             Congruence::residue(m, ca.rem as i64)
                         } else {
@@ -243,13 +274,22 @@ impl<'p> Solver<'p> {
                         Congruence { modulus: m, rem: r }
                     }
                     BinOp::Mul => {
-                        // x * c is ≡ 0 (mod |c|).
+                        // x * c is ≡ 0 (mod |c|) in the integers, but the
+                        // term wraps mod 2^64: the residue survives the
+                        // wrap only when |c| divides 2^64 (|c| a power of
+                        // two) or the product provably stays in range.
                         let c = self.pool.as_const(*a).or(self.pool.as_const(*b));
                         match c {
-                            Some(c) if c.unsigned_abs() > 1 => Congruence {
-                                modulus: c.unsigned_abs(),
-                                rem: 0,
-                            },
+                            Some(c)
+                                if c.unsigned_abs() > 1
+                                    && (c.unsigned_abs().is_power_of_two()
+                                        || self.no_wrap(BinOp::Mul, *a, *b)) =>
+                            {
+                                Congruence {
+                                    modulus: c.unsigned_abs(),
+                                    rem: 0,
+                                }
+                            }
                             _ => Congruence::any(),
                         }
                     }
@@ -276,13 +316,13 @@ impl<'p> Solver<'p> {
     /// has the shape `atom OP const` (or a negation of one).
     fn absorb(&mut self, lit: Lit) {
         let (t, truth) = lit;
-        if let Term::Cmp(op, _unsigned, a, b) = self.pool.get(t) {
-            let op = if truth { *op } else { op.negated() };
+        if let Term::Cmp(op, unsigned, a, b) = self.pool.get(t) {
+            let (op, unsigned) = (if truth { *op } else { op.negated() }, *unsigned);
             let (a, b) = (*a, *b);
             if let Some(c) = self.pool.as_const(b) {
-                self.narrow_with(op, a, c);
+                self.narrow_with(op, unsigned, a, c);
             } else if let Some(c) = self.pool.as_const(a) {
-                self.narrow_with(op.swapped(), b, c);
+                self.narrow_with(op.swapped(), unsigned, b, c);
             }
         } else {
             // A non-comparison condition: `t != 0` / `t == 0`.
@@ -294,7 +334,30 @@ impl<'p> Solver<'p> {
         }
     }
 
-    fn narrow_with(&mut self, op: CmpOp, t: TermId, c: i64) {
+    fn narrow_with(&mut self, op: CmpOp, unsigned: bool, t: TermId, c: i64) {
+        if unsigned {
+            // An unsigned ordering against a constant narrows the i64
+            // word interval only when its true set is contiguous in the
+            // signed view: `<u c` / `<=u c` with `c >= 0` pin the word
+            // to [0, c-1] / [0, c] (every negative word is >u i64::MAX),
+            // and equality is bit-pattern equality, signedness-blind.
+            // `>u` / `>=u` (and negative bounds) admit negative words
+            // alongside non-negative ones, so they must not narrow.
+            let iv = match op {
+                CmpOp::Eq => Interval::point(c),
+                CmpOp::Lt if c >= 0 => Interval {
+                    lo: 0,
+                    hi: c as i128 - 1,
+                },
+                CmpOp::Le if c >= 0 => Interval {
+                    lo: 0,
+                    hi: c as i128,
+                },
+                _ => return,
+            };
+            self.narrow_atom(t, iv);
+            return;
+        }
         let c = c as i128;
         let iv = match op {
             CmpOp::Eq => Interval { lo: c, hi: c },
@@ -549,6 +612,73 @@ mod tests {
         let even = p.bin(BinOp::Mul, x, two).unwrap();
         let eq = p.cmp(CmpOp::Eq, false, even, seven);
         assert!(contradicts(&p, &[(eq, true)]), "2x == 7 is impossible");
+    }
+
+    #[test]
+    fn mul_congruence_respects_wrapping() {
+        // 3x == 7 IS satisfiable under wrapping_mul (x = 7 * 3^-1 mod
+        // 2^64), so a full-domain multiply by a non-power-of-two must
+        // not produce a congruence refutation.
+        let mut p = pool2();
+        let x = p.param(0);
+        let three = p.konst(3);
+        let seven = p.konst(7);
+        let trip = p.bin(BinOp::Mul, x, three).unwrap();
+        let eq = p.cmp(CmpOp::Eq, false, trip, seven);
+        assert!(!contradicts(&p, &[(eq, true)]), "3x == 7 wraps to a model");
+    }
+
+    #[test]
+    fn mul_congruence_applies_when_no_wrap() {
+        // With x confined to the Index window the product cannot wrap,
+        // so the integer congruence is sound and 3x == 7 is refuted.
+        let mut p = TermPool::new();
+        p.param_tys = vec![Type::Index];
+        let x = p.param(0);
+        let three = p.konst(3);
+        let seven = p.konst(7);
+        let trip = p.bin(BinOp::Mul, x, three).unwrap();
+        let eq = p.cmp(CmpOp::Eq, false, trip, seven);
+        assert!(contradicts(&p, &[(eq, true)]), "no wrap: 3x == 7 refuted");
+    }
+
+    #[test]
+    fn unsigned_gt_does_not_narrow_signed_interval() {
+        // `d >u 5` is satisfied by every negative word, so it must not
+        // narrow d to [6, i64::MAX]: together with `d < 0` (signed) the
+        // conjunction is satisfiable (e.g. d = -1 at x=0, y=1).
+        let mut p = pool2();
+        let x = p.param(0);
+        let y = p.param(1);
+        let d = p.bin(BinOp::Sub, x, y).unwrap();
+        let five = p.konst(5);
+        let zero = p.konst(0);
+        let ugt = p.cmp(CmpOp::Gt, true, d, five);
+        let neg = p.cmp(CmpOp::Lt, false, d, zero);
+        assert!(!contradicts(&p, &[(ugt, true), (neg, true)]));
+        // Negated unsigned `<u` / `<=u` land on `>=u` / `>u` and must
+        // not narrow either: `!(d <u 5)` admits d = -1 as well.
+        let ult = p.cmp(CmpOp::Lt, true, d, five);
+        assert!(!contradicts(&p, &[(ult, false), (neg, true)]));
+    }
+
+    #[test]
+    fn unsigned_lt_narrows_to_nonnegative_window() {
+        // `x <u 5` does pin the word to [0, 4], so `x == 10` is refuted.
+        let mut p = pool2();
+        let x = p.param(0);
+        let five = p.konst(5);
+        let ten = p.konst(10);
+        let ult = p.cmp(CmpOp::Lt, true, x, five);
+        let eq10 = p.cmp(CmpOp::Eq, false, x, ten);
+        assert!(contradicts(&p, &[(ult, true), (eq10, true)]));
+        // ... but `x <u -1` (-1 is u64::MAX) keeps negative words in
+        // play and must not pin x non-negative.
+        let m1 = p.konst(-1);
+        let m2 = p.konst(-2);
+        let ultm1 = p.cmp(CmpOp::Lt, true, x, m1);
+        let eqm2 = p.cmp(CmpOp::Eq, false, x, m2);
+        assert!(!contradicts(&p, &[(ultm1, true), (eqm2, true)]));
     }
 
     #[test]
