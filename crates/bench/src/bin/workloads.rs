@@ -65,6 +65,12 @@ fn subjects() -> Vec<Subject> {
             entry: "bank",
             args: vec![idx(4000)],
         },
+        Subject {
+            name: "docstore",
+            module: workloads::docstore::build_docstore_ir(),
+            entry: "docstore",
+            args: vec![idx(4000)],
+        },
     ]
 }
 

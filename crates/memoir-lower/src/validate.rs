@@ -36,7 +36,7 @@
 
 use lir::{LirMachine, Module as LModule};
 use memoir_interp::{Collection, Interp, Key, Value};
-use memoir_ir::{Module, Type, TypeId, TypeTable};
+use memoir_ir::{Module, ObjTypeId, Type, TypeId, TypeTable};
 pub use symexec::Budget;
 
 /// Default probe seeds: each seed synthesizes one typed argument vector
@@ -167,6 +167,12 @@ pub enum ProbeArg {
     /// An associative array with the given (distinct-key) entries, in
     /// insertion order.
     Assoc(Vec<(ProbeArg, ProbeArg)>),
+    /// A freshly allocated object of the given type, with one value per
+    /// field in declaration order.
+    Obj(ObjTypeId, Vec<ProbeArg>),
+    /// A null reference to the given object type (exercises the callee's
+    /// null paths; probes where the source traps on it are skipped).
+    NullRef(ObjTypeId),
 }
 
 impl ProbeArg {
@@ -265,10 +271,25 @@ fn synth_scalar(ty: Type, rng: &mut Mix) -> ProbeArg {
 }
 
 /// Synthesizes one value of type `ty`, or `None` if the type is not
-/// synthesizable (floats, pointers, references, inline objects, void).
+/// synthesizable (floats, pointers, inline objects, void).
 fn synth_value(types: &TypeTable, ty: TypeId, rng: &mut Mix, depth: u32) -> Option<ProbeArg> {
     match types.get(ty) {
         t if probe_scalar(t) => Some(synth_scalar(t, rng)),
+        Type::Ref(obj) => {
+            // Mostly a fresh object with synthesized fields; occasionally
+            // null, to probe the callee's null paths (source-side traps
+            // are skipped, so null is always safe to draw). At the depth
+            // limit null is forced, so recursive object types terminate.
+            if depth >= 3 || rng.below(8) == 0 {
+                return Some(ProbeArg::NullRef(obj));
+            }
+            let field_tys: Vec<TypeId> = types.object(obj).fields.iter().map(|f| f.ty).collect();
+            let fields = field_tys
+                .iter()
+                .map(|&ft| synth_value(types, ft, rng, depth + 1))
+                .collect::<Option<Vec<_>>>()?;
+            Some(ProbeArg::Obj(obj, fields))
+        }
         Type::Seq(elem) if depth < 3 => {
             let n = rng.below(5) as usize;
             let elems = (0..n)
@@ -360,6 +381,16 @@ pub fn materialize(interp: &mut Interp<'_>, arg: &ProbeArg) -> Result<Value, Val
             }
             Ok(Value::Coll(interp.store.alloc_coll(c)))
         }
+        ProbeArg::Obj(ty, fields) => {
+            let vals: Vec<Value> = fields
+                .iter()
+                .map(|f| materialize(interp, f))
+                .collect::<Result<_, _>>()?;
+            let id = interp.store.alloc_obj(*ty, vals.len());
+            interp.store.objects[id.0 as usize].fields = Some(vals);
+            Ok(Value::Ref(*ty, Some(id)))
+        }
+        ProbeArg::NullRef(ty) => Ok(Value::Ref(*ty, None)),
     }
 }
 
@@ -749,6 +780,81 @@ mod tests {
                 other => panic!("mis-typed synthesis: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn object_arguments_synthesize_and_probe() {
+        use memoir_ir::Field;
+        let mut mb = ModuleBuilder::new("m");
+        let i64t = mb.module.types.intern(Type::I64);
+        let inner = mb
+            .module
+            .types
+            .define_object(
+                "Inner",
+                vec![
+                    Field {
+                        name: "u".into(),
+                        ty: i64t,
+                    },
+                    Field {
+                        name: "v".into(),
+                        ty: i64t,
+                    },
+                ],
+            )
+            .unwrap();
+        mb.func("getu", Form::Mut, |b| {
+            let i64t = b.ty(Type::I64);
+            let rt = b.types.ref_of(inner);
+            let p = b.param("p", rt);
+            let x = b.param("x", i64t);
+            let u = b.field_read(p, inner, 0);
+            let s = b.add(u, x);
+            b.returns(&[i64t]);
+            b.ret(vec![s]);
+        });
+        let m = mb.finish();
+        let f = &m.funcs[m.func_by_name("getu").unwrap()];
+        let param_tys: Vec<TypeId> = f.params.iter().map(|p| p.ty).collect();
+        let (mut ran, mut nulls) = (0, 0);
+        for seed in 0..64 {
+            let args = synth_args(&m.types, &param_tys, seed).unwrap();
+            assert_eq!(args, synth_args(&m.types, &param_tys, seed).unwrap());
+            match &args[0] {
+                ProbeArg::Obj(ty, fields) => {
+                    assert_eq!(*ty, inner);
+                    assert_eq!(fields.len(), 2);
+                    let u = fields[0].as_scalar().unwrap();
+                    let x = args[1].as_scalar().unwrap();
+                    let mut interp = Interp::new(&m);
+                    let vals: Vec<Value> = args
+                        .iter()
+                        .map(|a| materialize(&mut interp, a).unwrap())
+                        .collect();
+                    let got = interp.run_by_name("getu", vals).unwrap()[0]
+                        .as_int()
+                        .unwrap();
+                    assert_eq!(got, u.wrapping_add(x), "seed {seed}");
+                    ran += 1;
+                }
+                ProbeArg::NullRef(ty) => {
+                    // Null draws are part of the domain: the interpreter
+                    // traps on the field read, and probes skip the trap.
+                    assert_eq!(*ty, inner);
+                    let mut interp = Interp::new(&m);
+                    let vals: Vec<Value> = args
+                        .iter()
+                        .map(|a| materialize(&mut interp, a).unwrap())
+                        .collect();
+                    assert!(interp.run_by_name("getu", vals).is_err());
+                    nulls += 1;
+                }
+                other => panic!("expected object arg, got {other:?}"),
+            }
+        }
+        assert!(ran > 40, "objects under-sampled: {ran}");
+        assert!(nulls > 0, "null refs never sampled");
     }
 
     #[test]

@@ -73,6 +73,35 @@ pub enum Op {
     /// Push onto the `tags` sequence nested in a field of object
     /// `slot % OBJ_SLOTS` (re-reads the field each time).
     ObjTagPush(u8, i8),
+    /// Write field `f % 2` (`u`/`v`) of the `Inner` object linked from
+    /// field `link` of object `slot % OBJ_SLOTS` (one level of object
+    /// nesting: a field read chained into a field write).
+    LinkWrite(u8, u8, i8),
+    /// Read field `f % 2` of the linked `Inner` of object
+    /// `slot % OBJ_SLOTS` and fold it in (position-weighted).
+    LinkRead(u8, u8),
+    /// Re-link object `slot % OBJ_SLOTS` to a freshly allocated
+    /// `Inner { u: value, v: old.u }` — the old inner's `u` flows through
+    /// the replacement, then the old object becomes garbage.
+    LinkNew(u8, i8),
+    /// Push a *reference* to pool object `slot % OBJ_SLOTS` onto the
+    /// shared doc sequence (`Seq<&Pt>`): the pool and the sequence now
+    /// alias.
+    DocPush(u8),
+    /// Write field `f % 3` (`a`/`b`/`sink`) of the object referenced at
+    /// `docs[i % len]` — a store through a collection-held alias of the
+    /// pool.
+    DocWrite(u8, u8, i8),
+    /// Read field `f % 2` of the object referenced at `docs[i % len]`
+    /// and fold it in (position-weighted).
+    DocRead(u8, u8),
+    /// Insert a reference to pool object `slot % OBJ_SLOTS` into the doc
+    /// assoc (`Assoc<i64, &Pt>`) at key `k % 16`.
+    DocAssocInsert(u8, u8),
+    /// If key `k % 16` is present in the doc assoc, read field `f % 2`
+    /// of the referenced object and fold it in (position-weighted;
+    /// emitted only when present — reading a missing key traps).
+    DocAssocRead(u8, u8),
 }
 
 /// Assoc keys are drawn from `0..ASSOC_KEYS` so that inserts, removes and
@@ -83,18 +112,34 @@ pub const ASSOC_KEYS: u8 = 16;
 pub const OBJ_SLOTS: u8 = 2;
 
 /// `Pt` field indices: `a`, `b`, `sink` (write-only — dead-field
-/// elimination bait), `tags` (a nested `Seq<i64>`).
+/// elimination bait), `tags` (a nested `Seq<i64>`), `link` (a nested
+/// `&Inner` — one level of object-in-object nesting).
 const F_A: u32 = 0;
 const F_B: u32 = 1;
 const F_SINK: u32 = 2;
 const F_TAGS: u32 = 3;
+const F_LINK: u32 = 4;
+
+/// `Inner` field indices: `u`, `v`.
+const I_U: u32 = 0;
+const I_V: u32 = 1;
 
 impl Op {
     /// Whether this op touches the object pool (the object dimension).
     pub fn is_obj(&self) -> bool {
         matches!(
             self,
-            Op::ObjWrite(..) | Op::ObjRead(..) | Op::ObjTagPush(..)
+            Op::ObjWrite(..)
+                | Op::ObjRead(..)
+                | Op::ObjTagPush(..)
+                | Op::LinkWrite(..)
+                | Op::LinkRead(..)
+                | Op::LinkNew(..)
+                | Op::DocPush(..)
+                | Op::DocWrite(..)
+                | Op::DocRead(..)
+                | Op::DocAssocInsert(..)
+                | Op::DocAssocRead(..)
         )
     }
 }
@@ -115,6 +160,14 @@ impl fmt::Display for Op {
             Op::ObjWrite(s, fl, v) => write!(f, "obj-write {s} {fl} {v}"),
             Op::ObjRead(s, fl) => write!(f, "obj-read {s} {fl}"),
             Op::ObjTagPush(s, v) => write!(f, "obj-tag-push {s} {v}"),
+            Op::LinkWrite(s, fl, v) => write!(f, "obj-link-write {s} {fl} {v}"),
+            Op::LinkRead(s, fl) => write!(f, "obj-link-read {s} {fl}"),
+            Op::LinkNew(s, v) => write!(f, "obj-link-new {s} {v}"),
+            Op::DocPush(s) => write!(f, "doc-push {s}"),
+            Op::DocWrite(i, fl, v) => write!(f, "doc-write {i} {fl} {v}"),
+            Op::DocRead(i, fl) => write!(f, "doc-read {i} {fl}"),
+            Op::DocAssocInsert(k, s) => write!(f, "doc-assoc-insert {k} {s}"),
+            Op::DocAssocRead(k, fl) => write!(f, "doc-assoc-read {k} {fl}"),
         }
     }
 }
@@ -147,6 +200,20 @@ impl FromStr for Op {
             }
             "obj-read" => Op::ObjRead(arg("slot")? as u8, arg("field")? as u8),
             "obj-tag-push" => Op::ObjTagPush(arg("slot")? as u8, arg("value")? as i8),
+            "obj-link-write" => {
+                Op::LinkWrite(arg("slot")? as u8, arg("field")? as u8, arg("value")? as i8)
+            }
+            "obj-link-read" => Op::LinkRead(arg("slot")? as u8, arg("field")? as u8),
+            "obj-link-new" => Op::LinkNew(arg("slot")? as u8, arg("value")? as i8),
+            "doc-push" => Op::DocPush(arg("slot")? as u8),
+            "doc-write" => Op::DocWrite(
+                arg("index")? as u8,
+                arg("field")? as u8,
+                arg("value")? as i8,
+            ),
+            "doc-read" => Op::DocRead(arg("index")? as u8, arg("field")? as u8),
+            "doc-assoc-insert" => Op::DocAssocInsert(arg("key")? as u8, arg("slot")? as u8),
+            "doc-assoc-read" => Op::DocAssocRead(arg("key")? as u8, arg("field")? as u8),
             other => return Err(format!("unknown op `{other}`")),
         };
         if it.next().is_some() {
@@ -171,6 +238,13 @@ pub enum Helper {
     /// signature, so the cross-IR agreement probe exercises it with
     /// synthesized argument vectors.
     Scalar(i8, i8),
+    /// `fn helperK(p: &Inner, x: i64) -> i64`: branchy arithmetic over
+    /// the fields of an object argument —
+    /// `if p.u < x { p.u*c1 + p.v } else { p.v*c2 - x }` (wrapping).
+    /// The signature takes a `Ref`, so the same-IR pre/post-opt probe
+    /// exercises it with a *synthesized object* argument
+    /// (`ProbeArg::Obj` in `memoir-lower::validate`).
+    ObjProbe(i8, i8),
 }
 
 /// A whole generated case: `main`'s op list plus helper functions called
@@ -216,10 +290,12 @@ pub fn random_op(rng: &mut SplitMix64) -> Op {
 }
 
 /// Draws one random op; with `objects`, the distribution extends to the
-/// object/field ops. (`objects = false` reproduces the [`random_op`]
-/// stream exactly, so v1 seeds stay replayable.)
+/// object/field ops, including the object-graph shapes (nested `Inner`
+/// links and doc collections of object refs). (`objects = false`
+/// reproduces the [`random_op`] stream exactly, so v1 seeds stay
+/// replayable.)
 pub fn random_op_dim(rng: &mut SplitMix64, objects: bool) -> Op {
-    let bucket = rng.below(if objects { 22 } else { 16 });
+    let bucket = rng.below(if objects { 32 } else { 16 });
     op_from_bucket(rng, bucket)
 }
 
@@ -241,7 +317,23 @@ fn op_from_bucket(rng: &mut SplitMix64, bucket: u64) -> Op {
             rng.next_u64() as i8,
         ),
         18..=19 => Op::ObjRead(rng.next_u64() as u8, rng.next_u64() as u8),
-        _ => Op::ObjTagPush(rng.next_u64() as u8, rng.next_u64() as i8),
+        20..=21 => Op::ObjTagPush(rng.next_u64() as u8, rng.next_u64() as i8),
+        22..=23 => Op::LinkWrite(
+            rng.next_u64() as u8,
+            rng.next_u64() as u8,
+            rng.next_u64() as i8,
+        ),
+        24 => Op::LinkRead(rng.next_u64() as u8, rng.next_u64() as u8),
+        25 => Op::LinkNew(rng.next_u64() as u8, rng.next_u64() as i8),
+        26..=27 => Op::DocPush(rng.next_u64() as u8),
+        28 => Op::DocWrite(
+            rng.next_u64() as u8,
+            rng.next_u64() as u8,
+            rng.next_u64() as i8,
+        ),
+        29 => Op::DocRead(rng.next_u64() as u8, rng.next_u64() as u8),
+        30 => Op::DocAssocInsert(rng.next_u64() as u8, rng.next_u64() as u8),
+        _ => Op::DocAssocRead(rng.next_u64() as u8, rng.next_u64() as u8),
     }
 }
 
@@ -259,7 +351,8 @@ pub fn random_ops_dim(rng: &mut SplitMix64, max_len: usize, objects: bool) -> Ve
 
 /// Draws a whole case in the given dimensions: `main`'s ops, plus 1–3
 /// helpers when `dims.multi` (ops helpers twice as likely as scalar
-/// ones).
+/// ones; with `dims.objects`, a quarter of the non-scalar draws become
+/// object-probe helpers taking a `&Inner` argument).
 pub fn random_case(rng: &mut SplitMix64, max_ops: usize, dims: CaseDims) -> CaseProgram {
     let main = random_ops_dim(rng, max_ops, dims.objects);
     let mut helpers = Vec::new();
@@ -268,6 +361,8 @@ pub fn random_case(rng: &mut SplitMix64, max_ops: usize, dims: CaseDims) -> Case
         for _ in 0..n {
             if rng.chance(1, 3) {
                 helpers.push(Helper::Scalar(rng.next_u64() as i8, rng.next_u64() as i8));
+            } else if dims.objects && rng.chance(1, 4) {
+                helpers.push(Helper::ObjProbe(rng.next_u64() as i8, rng.next_u64() as i8));
             } else {
                 helpers.push(Helper::Ops(random_ops(rng, max_ops / 2 + 1)));
             }
@@ -286,6 +381,16 @@ pub fn scalar_helper_eval(c1: i8, c2: i8, x: i64, y: i64) -> i64 {
     }
 }
 
+/// The object-probe helper, evaluated on the oracle side: `u`/`v` are
+/// the fields of the `&Inner` argument (wrapping).
+pub fn obj_probe_eval(c1: i8, c2: i8, u: i64, v: i64, x: i64) -> i64 {
+    if u < x {
+        u.wrapping_mul(c1 as i64).wrapping_add(v)
+    } else {
+        v.wrapping_mul(c2 as i64).wrapping_sub(x)
+    }
+}
+
 // ---------------------------------------------------------------------
 // Oracle state and the shared op-resolution step.
 
@@ -294,17 +399,29 @@ struct ObjState {
     a: i64,
     b: i64,
     tags: Vec<i64>,
+    // Fields of the `Inner` object reachable through `link`. Each pool
+    // slot owns exactly one inner at a time (re-linking replaces it and
+    // nothing else ever holds an inner ref), so modelling the pointee
+    // inline is exact.
+    u: i64,
+    v: i64,
 }
 
 /// The oracle's model of the whole heap reachable from a case: the shared
 /// sequence and assoc (threaded through helpers by reference) and the
-/// object pool (local to `main`).
+/// object pool (local to `main`). The doc collections hold *pool slot
+/// indices* — every `&Pt` in them aliases a pool object, and the oracle
+/// models the aliasing by indirecting through the slot.
 #[derive(Clone, Debug, Default, PartialEq)]
 struct OracleState {
     seq: Vec<i64>,
     // Insertion-ordered, mirroring the interpreter's assoc key order.
     assoc: Vec<(i64, i64)>,
     objs: Vec<ObjState>,
+    // `Seq<&Pt>` of pool aliases, as slot indices.
+    docs: Vec<usize>,
+    // `Assoc<i64, &Pt>` of pool aliases: insertion-ordered key → slot.
+    adocs: Vec<(i64, usize)>,
 }
 
 impl OracleState {
@@ -339,6 +456,14 @@ enum Action {
     OWrite(usize, u32, i64),
     ORead(usize, u32),
     OTagPush(usize, i64),
+    LWrite(usize, u32, i64),
+    LRead(usize, u32),
+    LNew(usize, i64),
+    DPush(usize),
+    DWrite(usize, u32, i64),
+    DRead(usize, u32),
+    DAInsert(i64, usize),
+    DARead(i64, u32),
 }
 
 /// Resolves `op` against `state`, applies it, and returns the action plus
@@ -382,6 +507,29 @@ fn step(state: &mut OracleState, weight: i64, op: Op, allow_obj: bool) -> (Actio
         }
         Op::ObjRead(s, f) if allow_obj => Action::ORead((s % OBJ_SLOTS) as usize, (f % 2) as u32),
         Op::ObjTagPush(s, v) if allow_obj => Action::OTagPush((s % OBJ_SLOTS) as usize, v as i64),
+        Op::LinkWrite(s, f, v) if allow_obj => {
+            Action::LWrite((s % OBJ_SLOTS) as usize, (f % 2) as u32, v as i64)
+        }
+        Op::LinkRead(s, f) if allow_obj => Action::LRead((s % OBJ_SLOTS) as usize, (f % 2) as u32),
+        Op::LinkNew(s, v) if allow_obj => Action::LNew((s % OBJ_SLOTS) as usize, v as i64),
+        Op::DocPush(s) if allow_obj => Action::DPush((s % OBJ_SLOTS) as usize),
+        Op::DocWrite(i, f, v) if allow_obj && !state.docs.is_empty() => {
+            Action::DWrite(i as usize % state.docs.len(), (f % 3) as u32, v as i64)
+        }
+        Op::DocRead(i, f) if allow_obj && !state.docs.is_empty() => {
+            Action::DRead(i as usize % state.docs.len(), (f % 2) as u32)
+        }
+        Op::DocAssocInsert(k, s) if allow_obj => {
+            Action::DAInsert((k % ASSOC_KEYS) as i64, (s % OBJ_SLOTS) as usize)
+        }
+        Op::DocAssocRead(k, f) if allow_obj => {
+            let key = (k % ASSOC_KEYS) as i64;
+            if state.adocs.iter().any(|(ek, _)| *ek == key) {
+                Action::DARead(key, (f % 2) as u32)
+            } else {
+                Action::Skip
+            }
+        }
         _ => Action::Skip,
     };
     let mut extra = 0i64;
@@ -426,6 +574,66 @@ fn step(state: &mut OracleState, weight: i64, op: Op, allow_obj: bool) -> (Actio
             extra = weight.wrapping_mul(v);
         }
         Action::OTagPush(s, v) => state.objs[s].tags.push(v),
+        Action::LWrite(s, f, v) => {
+            if f == I_U {
+                state.objs[s].u = v;
+            } else {
+                state.objs[s].v = v;
+            }
+        }
+        Action::LRead(s, f) => {
+            let x = if f == I_U {
+                state.objs[s].u
+            } else {
+                state.objs[s].v
+            };
+            extra = weight.wrapping_mul(x);
+        }
+        Action::LNew(s, v) => {
+            // The fresh inner carries the old inner's `u` in its `v`.
+            state.objs[s].v = state.objs[s].u;
+            state.objs[s].u = v;
+        }
+        Action::DPush(s) => state.docs.push(s),
+        Action::DWrite(i, f, v) => {
+            let slot = state.docs[i];
+            match f {
+                F_A => state.objs[slot].a = v,
+                F_B => state.objs[slot].b = v,
+                // `sink` stays deliberately unobserved.
+                _ => {}
+            }
+        }
+        Action::DRead(i, f) => {
+            let slot = state.docs[i];
+            let x = if f == F_A {
+                state.objs[slot].a
+            } else {
+                state.objs[slot].b
+            };
+            extra = weight.wrapping_mul(x);
+        }
+        Action::DAInsert(k, s) => {
+            // Overwrite keeps the original insertion position.
+            match state.adocs.iter_mut().find(|(ek, _)| *ek == k) {
+                Some(e) => e.1 = s,
+                None => state.adocs.push((k, s)),
+            }
+        }
+        Action::DARead(k, f) => {
+            let slot = state
+                .adocs
+                .iter()
+                .find(|(ek, _)| *ek == k)
+                .map(|(_, s)| *s)
+                .expect("DARead is only resolved when the key is present");
+            let x = if f == F_A {
+                state.objs[slot].a
+            } else {
+                state.objs[slot].b
+            };
+            extra = weight.wrapping_mul(x);
+        }
     }
     (act, extra)
 }
@@ -446,8 +654,43 @@ fn obj_fold_oracle(objs: &[ObjState]) -> i64 {
     objs.iter().enumerate().fold(0i64, |x, (s, o)| {
         let w = s as i64 + 1;
         let t = seq_fold_oracle(&o.tags);
-        x.wrapping_add(w.wrapping_mul(o.a.wrapping_add(o.b.wrapping_mul(2)).wrapping_add(t)))
+        let inner = o.u.wrapping_mul(3).wrapping_add(o.v.wrapping_mul(5));
+        x.wrapping_add(
+            w.wrapping_mul(
+                o.a.wrapping_add(o.b.wrapping_mul(2))
+                    .wrapping_add(t)
+                    .wrapping_add(inner),
+            ),
+        )
     })
+}
+
+/// `Seq<&Pt>` fold: `acc = Σ (2*acc + (a + 2*b))` over the pointees, so
+/// writes through either alias (pool slot or doc element) are observed.
+fn docs_fold_oracle(state: &OracleState) -> i64 {
+    state.docs.iter().fold(0i64, |x, &slot| {
+        let o = &state.objs[slot];
+        x.wrapping_mul(2)
+            .wrapping_add(o.a.wrapping_add(o.b.wrapping_mul(2)))
+    })
+}
+
+/// `Assoc<i64, &Pt>` fold over the insertion-ordered key sequence:
+/// `Σ_j (j+1) * (key_j + 2*a + 3*u)` — the `u` read chains a collection
+/// read into two field reads (pointee, then its linked inner).
+fn adocs_fold_oracle(state: &OracleState) -> i64 {
+    state
+        .adocs
+        .iter()
+        .enumerate()
+        .fold(0i64, |x, (j, &(k, slot))| {
+            let o = &state.objs[slot];
+            let w = j as i64 + 1;
+            let term = k
+                .wrapping_add(o.a.wrapping_mul(2))
+                .wrapping_add(o.u.wrapping_mul(3));
+            x.wrapping_add(w.wrapping_mul(term))
+        })
 }
 
 // ---------------------------------------------------------------------
@@ -464,7 +707,20 @@ struct EmitCtx {
 
 struct ObjCtx {
     pt: ObjTypeId,
+    inner: ObjTypeId,
     slots: Vec<memoir_ir::ValueId>,
+    /// `Seq<&Pt>` of pool aliases.
+    docs: memoir_ir::ValueId,
+    /// `Assoc<i64, &Pt>` of pool aliases.
+    adocs: memoir_ir::ValueId,
+}
+
+/// The generated object types: the pool struct `Pt` and the one-level
+/// nested `Inner` linked from `Pt.link`.
+#[derive(Clone, Copy)]
+struct GenObjTypes {
+    pt: ObjTypeId,
+    inner: ObjTypeId,
 }
 
 /// Emits the straight-line op prefix, threading the oracle state; returns
@@ -560,6 +816,73 @@ fn emit_ops(
                 let vv = b.i64(v);
                 b.mut_insert(tags, sz, Some(vv));
             }
+            Action::LWrite(s, f, v) => {
+                let oc = ctx.objs.as_ref().expect("object pool");
+                let (pt, inner, slot) = (oc.pt, oc.inner, oc.slots[s]);
+                let l = b.field_read(slot, pt, F_LINK);
+                let vv = b.i64(v);
+                b.field_write(l, inner, f, vv);
+            }
+            Action::LRead(s, f) => {
+                let oc = ctx.objs.as_ref().expect("object pool");
+                let (pt, inner, slot) = (oc.pt, oc.inner, oc.slots[s]);
+                let l = b.field_read(slot, pt, F_LINK);
+                let v = b.field_read(l, inner, f);
+                let w = b.i64(weight);
+                let term = b.mul(v, w);
+                ctx.extra = b.add(ctx.extra, term);
+            }
+            Action::LNew(s, v) => {
+                let oc = ctx.objs.as_ref().expect("object pool");
+                let (pt, inner, slot) = (oc.pt, oc.inner, oc.slots[s]);
+                let old = b.field_read(slot, pt, F_LINK);
+                let old_u = b.field_read(old, inner, I_U);
+                let l = b.new_obj(inner);
+                let vv = b.i64(v);
+                b.field_write(l, inner, I_U, vv);
+                b.field_write(l, inner, I_V, old_u);
+                b.field_write(slot, pt, F_LINK, l);
+            }
+            Action::DPush(s) => {
+                let oc = ctx.objs.as_ref().expect("object pool");
+                let (docs, slot) = (oc.docs, oc.slots[s]);
+                let sz = b.size(docs);
+                b.mut_insert(docs, sz, Some(slot));
+            }
+            Action::DWrite(i, f, v) => {
+                let oc = ctx.objs.as_ref().expect("object pool");
+                let (pt, docs) = (oc.pt, oc.docs);
+                let iv = b.index(i as u64);
+                let d = b.read(docs, iv);
+                let vv = b.i64(v);
+                b.field_write(d, pt, f, vv);
+            }
+            Action::DRead(i, f) => {
+                let oc = ctx.objs.as_ref().expect("object pool");
+                let (pt, docs) = (oc.pt, oc.docs);
+                let iv = b.index(i as u64);
+                let d = b.read(docs, iv);
+                let v = b.field_read(d, pt, f);
+                let w = b.i64(weight);
+                let term = b.mul(v, w);
+                ctx.extra = b.add(ctx.extra, term);
+            }
+            Action::DAInsert(k, s) => {
+                let oc = ctx.objs.as_ref().expect("object pool");
+                let (adocs, slot) = (oc.adocs, oc.slots[s]);
+                let kv = b.i64(k);
+                b.mut_insert(adocs, kv, Some(slot));
+            }
+            Action::DARead(k, f) => {
+                let oc = ctx.objs.as_ref().expect("object pool");
+                let (pt, adocs) = (oc.pt, oc.adocs);
+                let kv = b.i64(k);
+                let d = b.read(adocs, kv);
+                let v = b.field_read(d, pt, f);
+                let w = b.i64(weight);
+                let term = b.mul(v, w);
+                ctx.extra = b.add(ctx.extra, term);
+            }
         }
     }
     extra_oracle
@@ -643,35 +966,135 @@ fn emit_assoc_fold(b: &mut FunctionBuilder<'_>, a: memoir_ir::ValueId) -> memoir
 }
 
 /// Emits the object-pool fold: per slot, `(slot+1) * (a + 2*b +
-/// fold(tags))` — `sink` is never read.
+/// fold(tags) + 3*link.u + 5*link.v)` — `sink` is never read.
 fn emit_obj_fold(b: &mut FunctionBuilder<'_>, oc: &ObjCtx) -> memoir_ir::ValueId {
     let mut acc = b.i64(0);
     let two = b.i64(2);
+    let three = b.i64(3);
+    let five = b.i64(5);
     for (s, &slot) in oc.slots.iter().enumerate() {
         let av = b.field_read(slot, oc.pt, F_A);
         let bv = b.field_read(slot, oc.pt, F_B);
         let tags = b.field_read(slot, oc.pt, F_TAGS);
         let tv = emit_seq_fold(b, tags);
+        let l = b.field_read(slot, oc.pt, F_LINK);
+        let uv = b.field_read(l, oc.inner, I_U);
+        let vv = b.field_read(l, oc.inner, I_V);
         let b2 = b.mul(bv, two);
+        let u3 = b.mul(uv, three);
+        let v5 = b.mul(vv, five);
         let s1 = b.add(av, b2);
         let s2 = b.add(s1, tv);
+        let s3 = b.add(s2, u3);
+        let s4 = b.add(s3, v5);
         let w = b.i64(s as i64 + 1);
-        let term = b.mul(w, s2);
+        let term = b.mul(w, s4);
         acc = b.add(acc, term);
     }
     acc
 }
 
+/// Emits the `Seq<&Pt>` doc fold: `acc = Σ (2*acc + (a + 2*b))` over the
+/// pointees — a loop whose body chains a collection read into two field
+/// reads through the alias.
+fn emit_docs_fold(b: &mut FunctionBuilder<'_>, oc: &ObjCtx) -> memoir_ir::ValueId {
+    let i64t = b.ty(Type::I64);
+    let idxt = b.ty(Type::Index);
+    let zero = b.index(0);
+    let zero64 = b.i64(0);
+    let header = b.block("dheader");
+    let body = b.block("dbody");
+    let exit = b.block("dexit");
+    let pre = b.current_block();
+    b.jump(header);
+    b.switch_to(header);
+    let i = b.phi_placeholder(idxt);
+    let acc = b.phi_placeholder(i64t);
+    b.add_phi_incoming(i, pre, zero);
+    b.add_phi_incoming(acc, pre, zero64);
+    let sz = b.size(oc.docs);
+    let done = b.cmp(CmpOp::Ge, i, sz);
+    b.branch(done, exit, body);
+    b.switch_to(body);
+    let d = b.read(oc.docs, i);
+    let av = b.field_read(d, oc.pt, F_A);
+    let bv = b.field_read(d, oc.pt, F_B);
+    let two = b.i64(2);
+    let b2 = b.mul(bv, two);
+    let term = b.add(av, b2);
+    let acc2x = b.mul(acc, two);
+    let acc2 = b.add(acc2x, term);
+    let one = b.index(1);
+    let next = b.add(i, one);
+    let bb = b.current_block();
+    b.add_phi_incoming(i, bb, next);
+    b.add_phi_incoming(acc, bb, acc2);
+    b.jump(header);
+    b.switch_to(exit);
+    acc
+}
+
+/// Emits the `Assoc<i64, &Pt>` doc fold over the insertion-ordered key
+/// sequence: `Σ_j (j+1) * (key_j + 2*a + 3*link.u)` — the `u` read
+/// chains a collection read into two field reads (pointee, then its
+/// linked inner).
+fn emit_adocs_fold(b: &mut FunctionBuilder<'_>, oc: &ObjCtx) -> memoir_ir::ValueId {
+    let i64t = b.ty(Type::I64);
+    let idxt = b.ty(Type::Index);
+    let zero = b.index(0);
+    let zero64 = b.i64(0);
+    let ks = b.keys(oc.adocs);
+    let ksz = b.size(ks);
+    let header = b.block("adheader");
+    let body = b.block("adbody");
+    let exit = b.block("adexit");
+    let pre = b.current_block();
+    b.jump(header);
+    b.switch_to(header);
+    let j = b.phi_placeholder(idxt);
+    let kacc = b.phi_placeholder(i64t);
+    b.add_phi_incoming(j, pre, zero);
+    b.add_phi_incoming(kacc, pre, zero64);
+    let done = b.cmp(CmpOp::Ge, j, ksz);
+    b.branch(done, exit, body);
+    b.switch_to(body);
+    let key = b.read(ks, j);
+    let d = b.read(oc.adocs, key);
+    let av = b.field_read(d, oc.pt, F_A);
+    let l = b.field_read(d, oc.pt, F_LINK);
+    let uv = b.field_read(l, oc.inner, I_U);
+    let jv = b.cast(Type::I64, j);
+    let one64 = b.i64(1);
+    let w = b.add(jv, one64);
+    let two = b.i64(2);
+    let three = b.i64(3);
+    let a2 = b.mul(av, two);
+    let u3 = b.mul(uv, three);
+    let t1 = b.add(key, a2);
+    let t2 = b.add(t1, u3);
+    let term = b.mul(w, t2);
+    let kacc2 = b.add(kacc, term);
+    let one = b.index(1);
+    let next = b.add(j, one);
+    let bb = b.current_block();
+    b.add_phi_incoming(j, bb, next);
+    b.add_phi_incoming(kacc, bb, kacc2);
+    b.jump(header);
+    b.switch_to(exit);
+    kacc
+}
+
 /// Emits `main`'s preamble: the shared sequence and assoc, plus the
-/// object pool when `pt` is set (objects initialized field-by-field, with
-/// a fresh nested `tags` sequence per slot).
-fn emit_preamble(b: &mut FunctionBuilder<'_>, pt: Option<ObjTypeId>) -> EmitCtx {
+/// object pool when `types` is set (objects initialized field-by-field,
+/// with a fresh nested `tags` sequence and a fresh zeroed `Inner` linked
+/// per slot, and the two empty doc collections of `&Pt`).
+fn emit_preamble(b: &mut FunctionBuilder<'_>, types: Option<GenObjTypes>) -> EmitCtx {
     let i64t = b.ty(Type::I64);
     let zero = b.index(0);
     let zero64 = b.i64(0);
     let s = b.new_seq(i64t, zero);
     let a = b.new_assoc(i64t, i64t);
-    let objs = pt.map(|pt| {
+    let objs = types.map(|GenObjTypes { pt, inner }| {
         let slots = (0..OBJ_SLOTS)
             .map(|_| {
                 let o = b.new_obj(pt);
@@ -680,10 +1103,23 @@ fn emit_preamble(b: &mut FunctionBuilder<'_>, pt: Option<ObjTypeId>) -> EmitCtx 
                 b.field_write(o, pt, F_SINK, zero64);
                 let tags = b.new_seq(i64t, zero);
                 b.field_write(o, pt, F_TAGS, tags);
+                let l = b.new_obj(inner);
+                b.field_write(l, inner, I_U, zero64);
+                b.field_write(l, inner, I_V, zero64);
+                b.field_write(o, pt, F_LINK, l);
                 o
             })
             .collect();
-        ObjCtx { pt, slots }
+        let pt_ref = b.types.ref_of(pt);
+        let docs = b.new_seq(pt_ref, zero);
+        let adocs = b.new_assoc(i64t, pt_ref);
+        ObjCtx {
+            pt,
+            inner,
+            slots,
+            docs,
+            adocs,
+        }
     });
     EmitCtx {
         s,
@@ -754,11 +1190,67 @@ fn emit_scalar_helper_body(b: &mut FunctionBuilder<'_>, c1: i8, c2: i8) {
     b.ret(vec![r]);
 }
 
-/// Defines the `Pt` object type in a module's type table.
-fn define_pt(mb: &mut ModuleBuilder) -> ObjTypeId {
+/// Emits the branchy object-probe helper `if p.u < x { p.u*c1 + p.v }
+/// else { p.v*c2 - x }` over a `&Inner` argument (see
+/// [`obj_probe_eval`]).
+fn emit_obj_probe_body(b: &mut FunctionBuilder<'_>, inner: ObjTypeId, c1: i8, c2: i8) {
+    let i64t = b.ty(Type::I64);
+    let innert = b.types.ref_of(inner);
+    let p = b.param("p", innert);
+    let x = b.param("x", i64t);
+    let u = b.field_read(p, inner, I_U);
+    let v = b.field_read(p, inner, I_V);
+    let then_b = b.block("then");
+    let else_b = b.block("else");
+    let merge = b.block("merge");
+    let c = b.cmp(CmpOp::Lt, u, x);
+    b.branch(c, then_b, else_b);
+    b.switch_to(then_b);
+    let c1v = b.i64(c1 as i64);
+    let t1 = b.mul(u, c1v);
+    let t2 = b.add(t1, v);
+    let tb = b.current_block();
+    b.jump(merge);
+    b.switch_to(else_b);
+    let c2v = b.i64(c2 as i64);
+    let e1 = b.mul(v, c2v);
+    let e2 = b.sub(e1, x);
+    let eb = b.current_block();
+    b.jump(merge);
+    b.switch_to(merge);
+    let r = b.phi_placeholder(i64t);
+    b.add_phi_incoming(r, tb, t2);
+    b.add_phi_incoming(r, eb, e2);
+    b.returns(&[i64t]);
+    b.ret(vec![r]);
+}
+
+/// Defines the generated object types in a module's type table: the
+/// nested `Inner { u, v }` first, then `Pt { a, b, sink, tags, link }`
+/// whose `link` field holds a `&Inner` (one level of object nesting).
+fn define_obj_types(mb: &mut ModuleBuilder) -> GenObjTypes {
     let i64t = mb.module.types.intern(Type::I64);
     let tags_t = mb.module.types.seq_of(i64t);
-    mb.module
+    let inner = mb
+        .module
+        .types
+        .define_object(
+            "Inner",
+            vec![
+                Field {
+                    name: "u".into(),
+                    ty: i64t,
+                },
+                Field {
+                    name: "v".into(),
+                    ty: i64t,
+                },
+            ],
+        )
+        .expect("Inner is not recursive");
+    let inner_ref = mb.module.types.ref_of(inner);
+    let pt = mb
+        .module
         .types
         .define_object(
             "Pt",
@@ -779,9 +1271,14 @@ fn define_pt(mb: &mut ModuleBuilder) -> ObjTypeId {
                     name: "tags".into(),
                     ty: tags_t,
                 },
+                Field {
+                    name: "link".into(),
+                    ty: inner_ref,
+                },
             ],
         )
-        .expect("Pt is not recursive")
+        .expect("Pt is not recursive");
+    GenObjTypes { pt, inner }
 }
 
 /// Builds the module and the oracle result for a whole case. Helpers are
@@ -791,7 +1288,12 @@ fn define_pt(mb: &mut ModuleBuilder) -> ObjTypeId {
 pub fn build_case(prog: &CaseProgram) -> (Module, i64) {
     let mut mb = ModuleBuilder::new("fuzz");
     let has_obj = prog.main.iter().any(Op::is_obj);
-    let pt = has_obj.then(|| define_pt(&mut mb));
+    let has_probe = prog
+        .helpers
+        .iter()
+        .any(|h| matches!(h, Helper::ObjProbe(..)));
+    // Object-probe helpers need the types even when `main` has no pool.
+    let types = (has_obj || has_probe).then(|| define_obj_types(&mut mb));
 
     // Pure simulation of main's ops: helpers run against the state they
     // leave behind.
@@ -819,6 +1321,16 @@ pub fn build_case(prog: &CaseProgram) -> (Module, i64) {
                 r = scalar_helper_eval(*c1, *c2, r, (k as i64 + 1) * 13);
                 fids.push(fid);
             }
+            Helper::ObjProbe(c1, c2) => {
+                let inner = types.expect("obj types exist for probes").inner;
+                let fid = mb.func(&name, Form::Mut, |b| {
+                    emit_obj_probe_body(b, inner, *c1, *c2)
+                });
+                // The call site allocates `Inner { u: (k+1)*3, v: (k+1)*5 }`.
+                let (u0, v0) = ((k as i64 + 1) * 3, (k as i64 + 1) * 5);
+                r = obj_probe_eval(*c1, *c2, u0, v0, r);
+                fids.push(fid);
+            }
         }
     }
 
@@ -827,7 +1339,7 @@ pub fn build_case(prog: &CaseProgram) -> (Module, i64) {
     let mut expect = 0i64;
     mb.func("main", Form::Mut, |b| {
         let i64t = b.ty(Type::I64);
-        let mut ctx = emit_preamble(b, pt);
+        let mut ctx = emit_preamble(b, types.filter(|_| has_obj));
         let mut st = OracleState::with_objs(has_obj);
         let main_extra = emit_ops(b, &prog.main, &mut ctx, &mut st);
         let mut rv = b.i64(0);
@@ -842,6 +1354,15 @@ pub fn build_case(prog: &CaseProgram) -> (Module, i64) {
                     let w = b.i64((k as i64 + 1) * 13);
                     b.call(memoir_ir::Callee::Func(fids[k]), vec![rv, w], &[i64t])
                 }
+                Helper::ObjProbe(..) => {
+                    let inner = types.expect("obj types exist for probes").inner;
+                    let l = b.new_obj(inner);
+                    let u0 = b.i64((k as i64 + 1) * 3);
+                    let v0 = b.i64((k as i64 + 1) * 5);
+                    b.field_write(l, inner, I_U, u0);
+                    b.field_write(l, inner, I_V, v0);
+                    b.call(memoir_ir::Callee::Func(fids[k]), vec![l, rv], &[i64t])
+                }
             };
             rv = rets[0];
         }
@@ -851,7 +1372,11 @@ pub fn build_case(prog: &CaseProgram) -> (Module, i64) {
         let mut total = b.add(t1, kacc);
         if let Some(oc) = &ctx.objs {
             let ofold = emit_obj_fold(b, oc);
-            total = b.add(total, ofold);
+            let dfold = emit_docs_fold(b, oc);
+            let adfold = emit_adocs_fold(b, oc);
+            let t2 = b.add(ofold, dfold);
+            let t3 = b.add(t2, adfold);
+            total = b.add(total, t3);
         }
         total = b.add(total, rv);
         b.returns(&[i64t]);
@@ -860,6 +1385,8 @@ pub fn build_case(prog: &CaseProgram) -> (Module, i64) {
             .wrapping_add(main_extra)
             .wrapping_add(assoc_fold_oracle(&state.assoc))
             .wrapping_add(obj_fold_oracle(&state.objs))
+            .wrapping_add(docs_fold_oracle(&state))
+            .wrapping_add(adocs_fold_oracle(&state))
             .wrapping_add(r);
     });
     let mut m = mb.finish();
@@ -941,13 +1468,13 @@ pub fn build_multi(progs: &[Vec<Op>]) -> (Module, Vec<i64>) {
     let mut expects = Vec::with_capacity(progs.len());
     let mut mb = ModuleBuilder::new("fuzz-multi");
     let has_obj = progs.iter().flatten().any(Op::is_obj);
-    let pt = has_obj.then(|| define_pt(&mut mb));
+    let types = has_obj.then(|| define_obj_types(&mut mb));
     for (i, ops) in progs.iter().enumerate() {
         let name = format!("main{i}");
         let func_obj = ops.iter().any(Op::is_obj);
         mb.func(&name, Form::Mut, |b| {
             let i64t = b.ty(Type::I64);
-            let mut ctx = emit_preamble(b, pt.filter(|_| func_obj));
+            let mut ctx = emit_preamble(b, types.filter(|_| func_obj));
             let mut st = OracleState::with_objs(func_obj);
             let extra_oracle = emit_ops(b, ops, &mut ctx, &mut st);
             let acc = emit_seq_fold(b, ctx.s);
@@ -956,7 +1483,11 @@ pub fn build_multi(progs: &[Vec<Op>]) -> (Module, Vec<i64>) {
             let mut total = b.add(t1, kacc);
             if let Some(oc) = &ctx.objs {
                 let ofold = emit_obj_fold(b, oc);
-                total = b.add(total, ofold);
+                let dfold = emit_docs_fold(b, oc);
+                let adfold = emit_adocs_fold(b, oc);
+                let t2 = b.add(ofold, dfold);
+                let t3 = b.add(t2, adfold);
+                total = b.add(total, t3);
             }
             b.returns(&[i64t]);
             b.ret(vec![total]);
@@ -964,7 +1495,9 @@ pub fn build_multi(progs: &[Vec<Op>]) -> (Module, Vec<i64>) {
                 seq_fold_oracle(&st.seq)
                     .wrapping_add(extra_oracle)
                     .wrapping_add(assoc_fold_oracle(&st.assoc))
-                    .wrapping_add(obj_fold_oracle(&st.objs)),
+                    .wrapping_add(obj_fold_oracle(&st.objs))
+                    .wrapping_add(docs_fold_oracle(&st))
+                    .wrapping_add(adocs_fold_oracle(&st)),
             );
         });
     }
@@ -993,6 +1526,14 @@ mod tests {
             Op::ObjWrite(1, 2, -5),
             Op::ObjRead(0, 1),
             Op::ObjTagPush(3, 7),
+            Op::LinkWrite(1, 0, -8),
+            Op::LinkRead(0, 1),
+            Op::LinkNew(1, 6),
+            Op::DocPush(1),
+            Op::DocWrite(2, 1, -4),
+            Op::DocRead(3, 0),
+            Op::DocAssocInsert(9, 1),
+            Op::DocAssocRead(9, 1),
         ];
         for op in &ops {
             let text = op.to_string();
@@ -1005,6 +1546,9 @@ mod tests {
         assert!("assoc-keys 1".parse::<Op>().is_err());
         assert!("obj-write 1 2".parse::<Op>().is_err());
         assert!("obj-read 1 2 3".parse::<Op>().is_err());
+        assert!("obj-link-write 1 2".parse::<Op>().is_err());
+        assert!("doc-push".parse::<Op>().is_err());
+        assert!("doc-assoc-read 1 2 3".parse::<Op>().is_err());
     }
 
     #[test]
@@ -1056,6 +1600,65 @@ mod tests {
         memoir_ir::verifier::assert_valid(&m);
         // extra = 5*5 = 25; obj fold = 1*(5 + 2*(-2) + 3) = 4.
         assert_eq!(expect, 25 + 4);
+        let mut vm = memoir_interp::Interp::new(&m).with_fuel(50_000_000);
+        let got = vm.run_by_name("main", vec![]).unwrap()[0].as_int().unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn object_graph_ops_are_observable() {
+        let prog = CaseProgram::single(vec![
+            Op::LinkWrite(0, 0, 4),   // slot0.link.u = 4
+            Op::LinkNew(0, 9),        // re-link slot0: Inner { u: 9, v: 4 }
+            Op::LinkRead(0, 1),       // +weight(3) * v(4) = 12
+            Op::DocPush(0),           // docs = [&slot0]
+            Op::DocWrite(0, 0, 6),    // through the alias: slot0.a = 6
+            Op::DocRead(0, 0),        // +weight(6) * a(6) = 36
+            Op::DocAssocInsert(5, 1), // adocs = {5: &slot1}
+            Op::DocAssocRead(5, 0),   // +weight(8) * slot1.a(0) = 0
+        ]);
+        let (m, expect) = build_case(&prog);
+        memoir_ir::verifier::assert_valid(&m);
+        // extra = 12 + 36 = 48;
+        // obj fold = 1*(6 + 3*9 + 5*4) + 2*0 = 53;
+        // docs fold = 2*0 + (6 + 2*0) = 6;
+        // adocs fold = 1*(5 + 2*0 + 3*0) = 5.
+        assert_eq!(expect, 48 + 53 + 6 + 5);
+        let mut vm = memoir_interp::Interp::new(&m).with_fuel(50_000_000);
+        let got = vm.run_by_name("main", vec![]).unwrap()[0].as_int().unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn doc_ops_on_empty_collections_resolve_to_skip() {
+        // No DocPush/DocAssocInsert precedes the reads/writes, so every
+        // doc op must resolve to Skip instead of trapping.
+        let prog = CaseProgram::single(vec![
+            Op::DocWrite(0, 0, 6),
+            Op::DocRead(1, 1),
+            Op::DocAssocRead(3, 0),
+        ]);
+        let (m, expect) = build_case(&prog);
+        memoir_ir::verifier::assert_valid(&m);
+        assert_eq!(expect, 0);
+        let mut vm = memoir_interp::Interp::new(&m).with_fuel(50_000_000);
+        let got = vm.run_by_name("main", vec![]).unwrap()[0].as_int().unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn obj_probe_helpers_match_their_eval() {
+        // `main` has no object ops, so the probe helper alone forces the
+        // object types plus the call-site `Inner` allocation.
+        let prog = CaseProgram {
+            main: vec![],
+            helpers: vec![Helper::ObjProbe(3, -2), Helper::ObjProbe(-1, 5)],
+        };
+        let (m, expect) = build_case(&prog);
+        memoir_ir::verifier::assert_valid(&m);
+        let r1 = obj_probe_eval(3, -2, 3, 5, 0);
+        let r2 = obj_probe_eval(-1, 5, 6, 10, r1);
+        assert_eq!(expect, r2);
         let mut vm = memoir_interp::Interp::new(&m).with_fuel(50_000_000);
         let got = vm.run_by_name("main", vec![]).unwrap()[0].as_int().unwrap();
         assert_eq!(got, expect);

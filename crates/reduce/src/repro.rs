@@ -176,6 +176,7 @@ impl fmt::Display for Repro {
                     }
                 }
                 Helper::Scalar(c1, c2) => writeln!(f, "helper-scalar: {c1} {c2}")?,
+                Helper::ObjProbe(c1, c2) => writeln!(f, "helper-obj: {c1} {c2}")?,
             }
         }
         Ok(())
@@ -251,14 +252,35 @@ impl FromStr for Repro {
                     helpers.push(Helper::Scalar(c1, c2));
                     continue;
                 }
+                if let Some(rest) = trimmed.strip_prefix("helper-obj:") {
+                    if !v2 {
+                        return Err(err("`helper-obj:` requires the v2 header"));
+                    }
+                    let mut it = rest.split_whitespace();
+                    let c1 = it
+                        .next()
+                        .and_then(|t| t.parse::<i8>().ok())
+                        .ok_or_else(|| err("bad helper-obj constants"))?;
+                    let c2 = it
+                        .next()
+                        .and_then(|t| t.parse::<i8>().ok())
+                        .ok_or_else(|| err("bad helper-obj constants"))?;
+                    if it.next().is_some() {
+                        return Err(err("helper-obj takes exactly two constants"));
+                    }
+                    helpers.push(Helper::ObjProbe(c1, c2));
+                    continue;
+                }
                 let op = trimmed.parse::<Op>().map_err(|e| err(&e))?;
                 if !v2 && op.is_obj() {
                     return Err(err("object ops require the v2 header"));
                 }
                 match helpers.last_mut() {
                     Some(Helper::Ops(ops)) => ops.push(op),
-                    Some(Helper::Scalar(..)) => {
-                        return Err(err("ops after `helper-scalar:` (start a `helper:` block)"))
+                    Some(Helper::Scalar(..)) | Some(Helper::ObjProbe(..)) => {
+                        return Err(err(
+                            "ops after a scalar/obj helper (start a `helper:` block)",
+                        ))
                     }
                     None => main_ops.push(op),
                 }
@@ -420,10 +442,21 @@ mod tests {
         let mut r = sample();
         r.probe_seed = Some(7);
         r.prog = CaseProgram {
-            main: vec![Op::Push(1), Op::ObjWrite(0, 1, 9), Op::ObjTagPush(1, -2)],
+            main: vec![
+                Op::Push(1),
+                Op::ObjWrite(0, 1, 9),
+                Op::ObjTagPush(1, -2),
+                Op::LinkWrite(0, 1, -3),
+                Op::LinkNew(1, 8),
+                Op::DocPush(0),
+                Op::DocWrite(1, 0, 4),
+                Op::DocAssocInsert(6, 1),
+                Op::DocAssocRead(6, 0),
+            ],
             helpers: vec![
                 Helper::Ops(vec![Op::AssocInsert(2, 5), Op::ObjRead(0, 0)]),
                 Helper::Scalar(3, -2),
+                Helper::ObjProbe(-7, 4),
                 Helper::Ops(vec![]),
             ],
         };
@@ -431,6 +464,7 @@ mod tests {
         assert!(text.starts_with(HEADER_V2), "{text}");
         assert!(text.contains("probe-seed: 7"), "{text}");
         assert!(text.contains("helper-scalar: 3 -2"), "{text}");
+        assert!(text.contains("helper-obj: -7 4"), "{text}");
         assert_eq!(text.parse::<Repro>().unwrap(), r, "{text}");
 
         // Each v2 feature alone is enough to flip the header.
@@ -475,8 +509,12 @@ mod tests {
         assert!(with_helper.parse::<Repro>().is_err(), "{with_helper}");
         let with_scalar = format!("{}helper-scalar: 1 2", sample());
         assert!(with_scalar.parse::<Repro>().is_err(), "{with_scalar}");
+        let with_objprobe = format!("{}helper-obj: 1 2", sample());
+        assert!(with_objprobe.parse::<Repro>().is_err(), "{with_objprobe}");
         let with_obj = format!("{}  obj-read 0 1\n", sample());
         assert!(with_obj.parse::<Repro>().is_err(), "{with_obj}");
+        let with_graph = format!("{}  obj-link-new 0 3\n", sample());
+        assert!(with_graph.parse::<Repro>().is_err(), "{with_graph}");
         let with_probe = sample()
             .to_string()
             .replace("minimized:", "probe-seed: 3\nminimized:");

@@ -1,0 +1,416 @@
+//! A document-store kernel at the IR level: nested object graphs
+//! (documents with an object-valued `meta` field and a per-document
+//! `tags` sequence) stored in an associative table keyed by a masked
+//! (provably bounded) document id.
+//!
+//! This is the scenario-diversity subject from the ROADMAP: where
+//! Smallbank stresses scalar-valued associative tables, the document
+//! store runs the whole pipeline over real object graphs — `Ref`-valued
+//! assoc elements, one level of object nesting (`Doc.meta: &Meta`), and
+//! collections stored inside object fields (`Doc.tags: Seq<i64>`).
+//!
+//! The transaction loop executes an OptME-style fixed job mix per
+//! iteration:
+//!
+//! * **update-field** — read a document, bump `meta.views`, `score`, and
+//!   `rev`, and xor a tag slot; the tag and per-document counter updates
+//!   are written as naive `read → bin → mut_write` chains so the fusion
+//!   pass can collapse each into a single-pass `RMW`;
+//! * **get / project** — read a second document and fold
+//!   `score ^ meta.flags` into the running checksum;
+//! * **insert** — every 16th transaction replaces a slot with a freshly
+//!   allocated document (new `Doc`, new `Meta`, fresh `tags` sequence).
+//!
+//! After the transaction loop a **scan-project + filter** pass walks the
+//! bounded id space, projects `score + 2·meta.views` from every present
+//! document, and counts odd scores. Every key that touches the store or
+//! the counter table is an `& (DOCS-1)` mask of a hash, `keys` is never
+//! called, and neither table escapes — so the representation analysis
+//! can lower both to the dense direct-indexed layout, which is what
+//! makes the scan's `has`/`read` probes cheap. The duplicate `size`
+//! queries at the exit are fodder for the fusion pass's redundant-query
+//! folding.
+
+use memoir_ir::{BinOp, CmpOp, Field, Form, Module, ModuleBuilder, Type};
+
+/// Number of document slots (the masked key-space bound).
+pub const DOCS: u64 = 512;
+
+/// Tag slots per document (`Doc.tags` length).
+pub const TAG_SLOTS: u64 = 4;
+
+/// `Doc` field indices.
+const F_SCORE: u32 = 0;
+const F_REV: u32 = 1;
+const F_META: u32 = 2;
+const F_TAGS: u32 = 3;
+
+/// `Meta` field indices.
+const M_VIEWS: u32 = 0;
+const M_FLAGS: u32 = 1;
+
+/// Builds the document-store kernel: `docstore(txns: index) -> i64`
+/// returns a deterministic checksum over everything the job mix and the
+/// final scan observed.
+pub fn build_docstore_ir() -> Module {
+    let mut mb = ModuleBuilder::new("docstore");
+    let i64t = mb.module.types.intern(Type::I64);
+    let tags_t = mb.module.types.seq_of(i64t);
+    let meta_ty = mb
+        .module
+        .types
+        .define_object(
+            "Meta",
+            vec![
+                Field {
+                    name: "views".into(),
+                    ty: i64t,
+                },
+                Field {
+                    name: "flags".into(),
+                    ty: i64t,
+                },
+            ],
+        )
+        .unwrap();
+    let meta_ref = mb.module.types.ref_of(meta_ty);
+    let doc_ty = mb
+        .module
+        .types
+        .define_object(
+            "Doc",
+            vec![
+                Field {
+                    name: "score".into(),
+                    ty: i64t,
+                },
+                Field {
+                    name: "rev".into(),
+                    ty: i64t,
+                },
+                Field {
+                    name: "meta".into(),
+                    ty: meta_ref,
+                },
+                Field {
+                    name: "tags".into(),
+                    ty: tags_t,
+                },
+            ],
+        )
+        .unwrap();
+    let doc_ref = mb.module.types.ref_of(doc_ty);
+
+    mb.func("docstore", Form::Mut, |b| {
+        let idxt = b.ty(Type::Index);
+        let i64t = b.ty(Type::I64);
+        let txns = b.param("txns", idxt);
+        let store = b.new_assoc(i64t, doc_ref);
+        let counts = b.new_assoc(i64t, i64t);
+        let mask = b.i64(DOCS as i64 - 1);
+        let zero_i = b.index(0);
+        let one_i = b.index(1);
+        let zero64 = b.i64(0);
+        let one64 = b.i64(1);
+        let seed0 = b.i64(0x00C0FFEE);
+        let c_docs = b.index(DOCS);
+        let c_tags = b.index(TAG_SLOTS);
+        let c7 = b.i64(7);
+        let c255 = b.i64(0xFF);
+
+        let ih = b.block("init_header");
+        let ib = b.block("init_body");
+        let mh = b.block("txn_header");
+        let tb = b.block("txn_body");
+        let ins = b.block("txn_insert");
+        let cont = b.block("txn_cont");
+        let sh = b.block("scan_header");
+        let sb = b.block("scan_body");
+        let sp = b.block("scan_present");
+        let scont = b.block("scan_cont");
+        let exit = b.block("exit");
+        let entry = b.func.entry;
+        b.jump(ih);
+
+        // Seed every slot with a fresh document: keys are masked so the
+        // bound is provable at every write site.
+        b.switch_to(ih);
+        let j = b.phi_placeholder(idxt);
+        b.add_phi_incoming(j, entry, zero_i);
+        let init_done = b.cmp(CmpOp::Ge, j, c_docs);
+        b.branch(init_done, mh, ib);
+
+        b.switch_to(ib);
+        let jc = b.cast(Type::I64, j);
+        let key = b.bin(BinOp::And, jc, mask);
+        let meta = b.new_obj(meta_ty);
+        b.field_write(meta, meta_ty, M_VIEWS, zero64);
+        let flags = b.bin(BinOp::And, key, c7);
+        b.field_write(meta, meta_ty, M_FLAGS, flags);
+        let doc = b.new_obj(doc_ty);
+        b.field_write(doc, doc_ty, F_SCORE, key);
+        b.field_write(doc, doc_ty, F_REV, zero64);
+        b.field_write(doc, doc_ty, F_META, meta);
+        let tags = b.new_seq(i64t, c_tags);
+        for slot in 0..TAG_SLOTS {
+            let at = b.index(slot);
+            b.mut_write(tags, at, zero64);
+        }
+        b.field_write(doc, doc_ty, F_TAGS, tags);
+        b.mut_write(store, key, doc);
+        b.mut_write(counts, key, zero64);
+        let j2 = b.add(j, one_i);
+        b.add_phi_incoming(j, ib, j2);
+        b.jump(ih);
+
+        // The transaction loop.
+        b.switch_to(mh);
+        let i = b.phi_placeholder(idxt);
+        let seed = b.phi_placeholder(i64t);
+        let acc = b.phi_placeholder(i64t);
+        b.add_phi_incoming(i, ih, zero_i);
+        b.add_phi_incoming(seed, ih, seed0);
+        b.add_phi_incoming(acc, ih, zero64);
+        let done = b.cmp(CmpOp::Ge, i, txns);
+        b.branch(done, sh, tb);
+
+        b.switch_to(tb);
+        // xorshift.
+        let c13 = b.i64(13);
+        let c17 = b.i64(17);
+        let t1 = b.bin(BinOp::Shl, seed, c13);
+        let s1 = b.bin(BinOp::Xor, seed, t1);
+        let t2 = b.bin(BinOp::Shr, s1, c7);
+        let s2 = b.bin(BinOp::Xor, s1, t2);
+        let t3 = b.bin(BinOp::Shl, s2, c17);
+        let s3 = b.bin(BinOp::Xor, s2, t3);
+        // Document ids and the update amount.
+        let key1 = b.bin(BinOp::And, s3, mask);
+        let c13b = b.i64(13);
+        let sh13 = b.bin(BinOp::Shr, s3, c13b);
+        let key2 = b.bin(BinOp::And, sh13, mask);
+        let c24 = b.i64(24);
+        let sh24 = b.bin(BinOp::Shr, s3, c24);
+        let amt = b.bin(BinOp::And, sh24, c255);
+        // update-field: bump meta.views, score, and rev through the
+        // nested object graph.
+        let d = b.read(store, key1);
+        let m = b.field_read(d, doc_ty, F_META);
+        let v = b.field_read(m, meta_ty, M_VIEWS);
+        let v2 = b.bin(BinOp::Add, v, one64);
+        b.field_write(m, meta_ty, M_VIEWS, v2);
+        let s = b.field_read(d, doc_ty, F_SCORE);
+        let s_up = b.bin(BinOp::Add, s, amt);
+        b.field_write(d, doc_ty, F_SCORE, s_up);
+        let r = b.field_read(d, doc_ty, F_REV);
+        let r2 = b.bin(BinOp::Add, r, one64);
+        b.field_write(d, doc_ty, F_REV, r2);
+        // Tag-slot update: the naive seq RMW chain fusion turns into one
+        // storage pass.
+        let dtags = b.field_read(d, doc_ty, F_TAGS);
+        let c40 = b.i64(40);
+        let sh40 = b.bin(BinOp::Shr, s3, c40);
+        let c3 = b.i64(TAG_SLOTS as i64 - 1);
+        let ti64 = b.bin(BinOp::And, sh40, c3);
+        let ti = b.cast(Type::Index, ti64);
+        let t = b.read(dtags, ti);
+        let t2 = b.bin(BinOp::Xor, t, amt);
+        b.mut_write(dtags, ti, t2);
+        // Per-document update counter: the naive assoc RMW chain.
+        let c = b.read(counts, key1);
+        let c2 = b.bin(BinOp::Add, c, one64);
+        b.mut_write(counts, key1, c2);
+        // get/project: fold score ^ meta.flags of a second document.
+        let d2 = b.read(store, key2);
+        let sc = b.field_read(d2, doc_ty, F_SCORE);
+        let m2 = b.field_read(d2, doc_ty, F_META);
+        let fl = b.field_read(m2, meta_ty, M_FLAGS);
+        let proj = b.bin(BinOp::Xor, sc, fl);
+        let pbits = b.bin(BinOp::And, proj, c255);
+        let acc2 = b.add(acc, pbits);
+        // insert: every 16th transaction replaces a third slot with a
+        // freshly allocated document.
+        let c15 = b.i64(15);
+        let insbits = b.bin(BinOp::And, s3, c15);
+        let do_ins = b.cmp(CmpOp::Eq, insbits, zero64);
+        b.branch(do_ins, ins, cont);
+
+        b.switch_to(ins);
+        let c33 = b.i64(33);
+        let sh33 = b.bin(BinOp::Shr, s3, c33);
+        let key3 = b.bin(BinOp::And, sh33, mask);
+        let nm = b.new_obj(meta_ty);
+        b.field_write(nm, meta_ty, M_VIEWS, amt);
+        let nflags = b.bin(BinOp::And, key3, c7);
+        b.field_write(nm, meta_ty, M_FLAGS, nflags);
+        let nd = b.new_obj(doc_ty);
+        let c_ffff = b.i64(0xFFFF);
+        let nscore = b.bin(BinOp::And, s3, c_ffff);
+        b.field_write(nd, doc_ty, F_SCORE, nscore);
+        b.field_write(nd, doc_ty, F_REV, zero64);
+        b.field_write(nd, doc_ty, F_META, nm);
+        let ntags = b.new_seq(i64t, c_tags);
+        let at0 = b.index(0);
+        b.mut_write(ntags, at0, amt);
+        for slot in 1..TAG_SLOTS {
+            let at = b.index(slot);
+            b.mut_write(ntags, at, zero64);
+        }
+        b.field_write(nd, doc_ty, F_TAGS, ntags);
+        b.mut_write(store, key3, nd);
+        b.mut_write(counts, key3, zero64);
+        b.jump(cont);
+
+        b.switch_to(cont);
+        let i2 = b.add(i, one_i);
+        b.add_phi_incoming(i, cont, i2);
+        b.add_phi_incoming(seed, cont, s3);
+        b.add_phi_incoming(acc, cont, acc2);
+        b.jump(mh);
+
+        // scan-project + filter over the bounded id space.
+        b.switch_to(sh);
+        let k = b.phi_placeholder(idxt);
+        let sacc = b.phi_placeholder(i64t);
+        let matched = b.phi_placeholder(i64t);
+        b.add_phi_incoming(k, mh, zero_i);
+        b.add_phi_incoming(sacc, mh, acc);
+        b.add_phi_incoming(matched, mh, zero64);
+        let scan_done = b.cmp(CmpOp::Ge, k, c_docs);
+        b.branch(scan_done, exit, sb);
+
+        b.switch_to(sb);
+        let kc = b.cast(Type::I64, k);
+        let skey = b.bin(BinOp::And, kc, mask);
+        let present = b.has(store, skey);
+        b.branch(present, sp, scont);
+
+        b.switch_to(sp);
+        let sd = b.read(store, skey);
+        let ssc = b.field_read(sd, doc_ty, F_SCORE);
+        let sm = b.field_read(sd, doc_ty, F_META);
+        let sv = b.field_read(sm, meta_ty, M_VIEWS);
+        let two = b.i64(2);
+        let sv2 = b.bin(BinOp::Mul, sv, two);
+        let sproj = b.bin(BinOp::Add, ssc, sv2);
+        let sacc_hit = b.add(sacc, sproj);
+        let odd = b.bin(BinOp::And, ssc, one64);
+        let matched_hit = b.add(matched, odd);
+        b.jump(scont);
+
+        b.switch_to(scont);
+        let sacc2 = b.phi(i64t, vec![(sp, sacc_hit), (sb, sacc)]);
+        let matched2 = b.phi(i64t, vec![(sp, matched_hit), (sb, matched)]);
+        let k2 = b.add(k, one_i);
+        b.add_phi_incoming(k, scont, k2);
+        b.add_phi_incoming(sacc, scont, sacc2);
+        b.add_phi_incoming(matched, scont, matched2);
+        b.jump(sh);
+
+        b.switch_to(exit);
+        // Redundant queries for the fusion pass's folding to collapse.
+        let sz1 = b.size(store);
+        let sz2 = b.size(store);
+        let sz3 = b.size(counts);
+        let sz4 = b.size(counts);
+        let sc1 = b.cast(Type::I64, sz1);
+        let sc2 = b.cast(Type::I64, sz2);
+        let sc3 = b.cast(Type::I64, sz3);
+        let sc4 = b.cast(Type::I64, sz4);
+        let szsum1 = b.add(sc1, sc2);
+        let szsum2 = b.add(sc3, sc4);
+        let szsum = b.add(szsum1, szsum2);
+        let three = b.i64(3);
+        let mweight = b.bin(BinOp::Mul, matched, three);
+        let with_match = b.add(sacc, mweight);
+        let total = b.add(with_match, szsum);
+        b.returns(&[i64t]);
+        b.ret(vec![total]);
+    });
+    let mut m = mb.finish();
+    m.entry = m.func_by_name("docstore");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memoir_analysis::choose_reprs;
+    use memoir_interp::{Interp, Value};
+    use memoir_ir::Repr;
+
+    fn run(m: &Module, n: i64) -> i64 {
+        let mut i = Interp::new(m).with_fuel(200_000_000);
+        i.run_by_name("docstore", vec![Value::Int(Type::Index, n)])
+            .unwrap()[0]
+            .as_int()
+            .unwrap()
+    }
+
+    #[test]
+    fn deterministic_and_nontrivial() {
+        let m = build_docstore_ir();
+        memoir_ir::verifier::assert_valid(&m);
+        let a = run(&m, 2_000);
+        assert_eq!(a, run(&m, 2_000));
+        // 2 × DOCS from the store size queries plus 2 × DOCS from the
+        // counter table, plus whatever the mix and the scan observed.
+        assert!(a >= 4 * DOCS as i64, "checksum too small: {a}");
+    }
+
+    /// The O3 pipeline (which includes fusion) preserves the checksum
+    /// through the nested read→write document chains.
+    #[test]
+    fn pipeline_o3_preserves_semantics() {
+        let m0 = build_docstore_ir();
+        let mut m = m0.clone();
+        memoir_opt::compile(
+            &mut m,
+            memoir_opt::OptLevel::O3(memoir_opt::OptConfig::all()),
+        )
+        .unwrap();
+        memoir_ir::verifier::assert_valid(&m);
+        assert_eq!(run(&m0, 1_500), run(&m, 1_500));
+    }
+
+    /// The masked document ids make both the ref-valued store and the
+    /// scalar counter table dense-selectable.
+    #[test]
+    fn repr_analysis_selects_dense_for_both_tables() {
+        let m = build_docstore_ir();
+        let choices = choose_reprs(&m);
+        let dense: Vec<_> = choices
+            .values()
+            .filter(|r| matches!(r, Repr::Dense { cap } if *cap == DOCS))
+            .collect();
+        assert_eq!(
+            dense.len(),
+            2,
+            "store and counts must select Dense{{cap: {DOCS}}}: {choices:?}"
+        );
+    }
+
+    /// Repr-tagged execution keeps the output and only lowers the cost.
+    #[test]
+    fn adaptive_reprs_preserve_output_and_cost_no_worse() {
+        let m = build_docstore_ir();
+        let n = 1_200;
+        let mut base = Interp::new(&m).with_fuel(200_000_000);
+        let out0 = base
+            .run_by_name("docstore", vec![Value::Int(Type::Index, n)])
+            .unwrap();
+        let mut tagged = Interp::new(&m)
+            .with_fuel(200_000_000)
+            .with_repr_choices(choose_reprs(&m));
+        let out1 = tagged
+            .run_by_name("docstore", vec![Value::Int(Type::Index, n)])
+            .unwrap();
+        assert_eq!(out0, out1);
+        assert!(
+            tagged.stats.cost <= base.stats.cost,
+            "repr-tagged cost {} must not exceed default cost {}",
+            tagged.stats.cost,
+            base.stats.cost
+        );
+    }
+}

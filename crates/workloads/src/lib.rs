@@ -13,6 +13,9 @@
 //!   with fusion/dense-representation variants (DESIGN §16);
 //! * [`smallbank_ir`] — the same kernel at the IR level (fusion +
 //!   adaptive-representation subject);
+//! * [`docstore`] — the document-store kernel over nested object graphs
+//!   (object-valued fields, ref-valued assoc elements, collections in
+//!   fields) at the IR level;
 //! * [`suite`] — eleven SPECINT-shaped workloads for the Fig. 1
 //!   classification;
 //! * [`listing1`] — the stateful-map kernel of Listing 1.
@@ -21,6 +24,7 @@
 
 pub mod deepsjeng;
 pub mod deepsjeng_ir;
+pub mod docstore;
 pub mod listing1;
 pub mod mcf;
 pub mod mcf_ir;

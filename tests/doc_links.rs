@@ -1,0 +1,236 @@
+//! Markdown link-and-anchor checker over the repository's hand-written
+//! documentation (`README.md`, `DESIGN.md`, everything under `docs/`).
+//! Every intra-repo link must point at a file that exists, and every
+//! `#fragment` must match a heading anchor (GitHub slug rules) in the
+//! target document — so renames and section edits that would strand a
+//! reader fail CI instead of rotting silently.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The documents whose outgoing links are checked. Link *targets* may be
+/// any file in the repository.
+fn documents() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut docs = vec![root.join("README.md"), root.join("DESIGN.md")];
+    let dir = root.join("docs");
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .expect("docs/ directory")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "md"))
+        .collect();
+    entries.sort();
+    docs.extend(entries);
+    docs
+}
+
+/// GitHub-style heading slug: lowercase, markdown markers stripped,
+/// non-alphanumeric characters removed, spaces collapsed to hyphens.
+fn slugify(heading: &str) -> String {
+    // Drop emphasis/code markers and reduce `[text](target)` to `text`.
+    let mut text = String::new();
+    let mut chars = heading.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '`' | '*' | '[' => {}
+            ']' => {
+                if chars.peek() == Some(&'(') {
+                    for t in chars.by_ref() {
+                        if t == ')' {
+                            break;
+                        }
+                    }
+                }
+            }
+            _ => text.push(c),
+        }
+    }
+    let mut slug = String::new();
+    for c in text.trim().chars() {
+        if c.is_alphanumeric() {
+            slug.extend(c.to_lowercase());
+        } else if c == ' ' || c == '-' {
+            slug.push('-');
+        }
+        // Everything else (punctuation, `§`, `.`) is dropped.
+    }
+    slug
+}
+
+/// All anchors a document exposes, with GitHub's `-1`, `-2` suffixes on
+/// duplicate headings.
+fn anchors(markdown: &str) -> Vec<String> {
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let hashes = trimmed.chars().take_while(|&c| c == '#').count();
+        if (1..=6).contains(&hashes) && trimmed[hashes..].starts_with(' ') {
+            let base = slugify(&trimmed[hashes + 1..]);
+            let n = seen.entry(base.clone()).or_insert(0);
+            out.push(if *n == 0 { base } else { format!("{base}-{n}") });
+            *n += 1;
+        }
+    }
+    out
+}
+
+/// Extracts `(line_number, target)` for every inline `[text](target)`
+/// link outside fenced code blocks and inline code spans.
+fn links(markdown: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (lineno, line) in markdown.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        // Strip inline code spans so `[i](j)`-shaped code is not a link.
+        let stripped: String = line
+            .split('`')
+            .enumerate()
+            .map(|(i, seg)| if i % 2 == 0 { seg } else { "" })
+            .collect::<Vec<_>>()
+            .join("");
+        let bytes = stripped.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b']' && bytes[i + 1] == b'(' {
+                let mut j = i + 2;
+                let mut depth = 1;
+                while j < bytes.len() && depth > 0 {
+                    match bytes[j] {
+                        b'(' => depth += 1,
+                        b')' => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if depth == 0 {
+                    out.push((lineno + 1, stripped[i + 2..j - 1].to_string()));
+                }
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn doc_links_resolve() {
+    let root = repo_root();
+    let mut anchor_cache: HashMap<PathBuf, Vec<String>> = HashMap::new();
+    let mut errors = Vec::new();
+
+    for doc in documents() {
+        let text = fs::read_to_string(&doc).unwrap_or_else(|e| panic!("{doc:?}: {e}"));
+        let rel = doc.strip_prefix(&root).unwrap().to_path_buf();
+        anchor_cache.insert(rel.clone(), anchors(&text));
+
+        for (lineno, raw) in links(&text) {
+            // Drop an optional `"title"` suffix.
+            let target = raw.split(' ').next().unwrap_or("").trim();
+            if target.is_empty()
+                || target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (path_part, frag) = match target.split_once('#') {
+                Some((p, f)) => (p, Some(f)),
+                None => (target, None),
+            };
+            // Resolve the target relative to the linking document (or
+            // the repo root for absolute paths), normalizing `..`.
+            let target_rel = if path_part.is_empty() {
+                rel.clone()
+            } else {
+                let base = if path_part.starts_with('/') {
+                    PathBuf::new()
+                } else {
+                    rel.parent().unwrap_or(Path::new("")).to_path_buf()
+                };
+                let mut resolved = base;
+                for comp in path_part.trim_start_matches('/').split('/') {
+                    match comp {
+                        "" | "." => {}
+                        ".." => {
+                            if !resolved.pop() {
+                                errors.push(format!(
+                                    "{}:{lineno}: link escapes the repository: {raw}",
+                                    rel.display()
+                                ));
+                            }
+                        }
+                        c => resolved.push(c),
+                    }
+                }
+                resolved
+            };
+            let abs = root.join(&target_rel);
+            if !abs.exists() {
+                errors.push(format!(
+                    "{}:{lineno}: dead link target {}",
+                    rel.display(),
+                    target_rel.display()
+                ));
+                continue;
+            }
+            if let Some(frag) = frag {
+                if target_rel.extension().is_some_and(|e| e == "md") {
+                    let known = anchor_cache
+                        .entry(target_rel.clone())
+                        .or_insert_with(|| anchors(&fs::read_to_string(&abs).unwrap()));
+                    if !known.iter().any(|a| a == frag) {
+                        errors.push(format!(
+                            "{}:{lineno}: no anchor `#{frag}` in {} (have: {})",
+                            rel.display(),
+                            target_rel.display(),
+                            known.join(", ")
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    assert!(
+        errors.is_empty(),
+        "broken documentation links:\n{}",
+        errors.join("\n")
+    );
+}
+
+#[test]
+fn slugify_matches_github_rules() {
+    assert_eq!(
+        slugify("The `.repro` artifact format"),
+        "the-repro-artifact-format"
+    );
+    assert_eq!(slugify("1. The four-way sweep"), "1-the-four-way-sweep");
+    assert_eq!(slugify("Install & test"), "install--test");
+    assert_eq!(slugify("§3.1 Ops"), "31-ops");
+    assert_eq!(
+        slugify("**Bold** and [linked](x.md) words"),
+        "bold-and-linked-words"
+    );
+}
